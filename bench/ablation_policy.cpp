@@ -1,0 +1,119 @@
+// Extension ablation — per-unit scheduling policies on top of Defuse's
+// dependency sets (paper §VII: "our method is compatible with arbitrary
+// scheduling policies").
+//
+// Same dependency sets, five per-unit policies:
+//   * hybrid histogram (the paper's choice),
+//   * hybrid + deterministic AR(1) fallback (the ARIMA branch of
+//     Shahrad et al., for idle times beyond the histogram range),
+//   * periodicity predictor (tight residency windows around the
+//     predicted next invocation),
+//   * diurnal-aware (time-of-day profiles: linger through the active
+//     window, pre-warm before tomorrow's),
+//   * 10-minute fixed keep-alive (what production platforms do).
+//
+// Expected shape: the predictor matches the hybrid's cold-start rate on
+// periodic sets at less memory; the AR fallback and the diurnal profile
+// cut cold starts for the long-idle-time tail; fixed keep-alive is
+// strictly worse on both axes for predictable traffic.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "policy/diurnal.hpp"
+#include "policy/fixed.hpp"
+#include "policy/predictor.hpp"
+#include "sim/simulator.hpp"
+#include "stats/descriptive.hpp"
+
+using namespace defuse;
+
+namespace {
+
+struct Row {
+  const char* name;
+  double p75, memory, loads;
+};
+
+Row Evaluate(const char* name, sim::SchedulingPolicy& policy,
+             const trace::InvocationTrace& trace, TimeRange eval) {
+  const auto r = sim::Simulate(trace, eval, policy);
+  return Row{name, r.ColdStartRatePercentile(policy.unit_map(), 0.75),
+             r.AverageMemoryUsage(), r.AverageLoadingFunctions()};
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Extension ablation",
+      "per-unit policies over the same Defuse dependency sets");
+  auto bw = bench::MakeStandardWorkload();
+  const auto& mining = bw.driver->MiningFor(core::Method::kDefuse);
+  const auto& trace = bw.workload.trace;
+
+  std::printf("\npolicy,p75_cold_start_rate,avg_memory,avg_loads_per_minute\n");
+  std::vector<Row> rows;
+  {
+    auto policy = core::MakeDefuseScheduler(trace, mining, bw.train);
+    rows.push_back(Evaluate("hybrid-histogram", *policy, trace, bw.eval));
+  }
+  {
+    policy::HybridConfig config;
+    config.use_ar_fallback = true;
+    auto policy = core::MakeDefuseScheduler(trace, mining, bw.train, config);
+    rows.push_back(Evaluate("hybrid+AR-fallback", *policy, trace, bw.eval));
+  }
+  {
+    policy::PredictorConfig config;
+    policy::PeriodicityPredictorPolicy policy{
+        sim::UnitMap::FromDependencySets(mining.sets, trace.num_functions()),
+        config};
+    for (std::size_t u = 0; u < policy.unit_map().num_units(); ++u) {
+      const UnitId unit{static_cast<std::uint32_t>(u)};
+      const auto hist = mining::BuildGroupItHistogram(
+          trace, policy.unit_map().functions_of(unit), bw.train);
+      if (hist.total() > 0) policy.SeedHistogram(unit, hist);
+    }
+    rows.push_back(
+        Evaluate("periodicity-predictor", *&policy, trace, bw.eval));
+  }
+  {
+    policy::DiurnalConfig config;
+    policy::DiurnalPolicy policy{
+        sim::UnitMap::FromDependencySets(mining.sets, trace.num_functions()),
+        config};
+    // Seed both the IT histograms and the day profiles from training.
+    for (std::size_t u = 0; u < policy.unit_map().num_units(); ++u) {
+      const UnitId unit{static_cast<std::uint32_t>(u)};
+      const auto hist = mining::BuildGroupItHistogram(
+          trace, policy.unit_map().functions_of(unit), bw.train);
+      if (hist.total() > 0) policy.SeedHistogram(unit, hist);
+      for (const FunctionId fn : policy.unit_map().functions_of(unit)) {
+        for (const auto& e : trace.SeriesInRange(fn, bw.train)) {
+          policy.SeedDayProfile(unit, e.minute);
+        }
+      }
+    }
+    rows.push_back(Evaluate("diurnal-aware", policy, trace, bw.eval));
+  }
+  {
+    policy::FixedKeepAlivePolicy policy{
+        sim::UnitMap::FromDependencySets(mining.sets, trace.num_functions()),
+        10};
+    rows.push_back(Evaluate("fixed-10min", policy, trace, bw.eval));
+  }
+  for (const auto& row : rows) {
+    std::printf("%s,%.3f,%.1f,%.2f\n", row.name, row.p75, row.memory,
+                row.loads);
+  }
+  bench::PrintHeadline(
+      "vs plain hybrid (p75 " + std::to_string(rows[0].p75) +
+      "): predictor saves " +
+      bench::PercentChange(rows[0].memory, rows[2].memory) +
+      " memory at equal p75; AR fallback p75 " + std::to_string(rows[1].p75) +
+      "; diurnal-aware p75 " + std::to_string(rows[3].p75) +
+      " (§VII: smarter per-unit policies cut memory and cold starts "
+      "further)");
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace defuse::bench {
+namespace {
+
+long EnvLong(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+}  // namespace
+
+BenchWorkload MakeStandardWorkload() {
+  trace::GeneratorConfig cfg;
+  cfg.num_users = static_cast<std::uint32_t>(EnvLong("DEFUSE_BENCH_USERS",
+                                                     250));
+  cfg.seed = static_cast<std::uint64_t>(EnvLong("DEFUSE_BENCH_SEED", 2024));
+  cfg.horizon_minutes = EnvLong("DEFUSE_BENCH_DAYS", 14) * kMinutesPerDay;
+
+  BenchWorkload bw{.workload = trace::GenerateWorkload(cfg),
+                   .train = {},
+                   .eval = {},
+                   .driver = nullptr};
+  const auto [train, eval] =
+      core::SplitTrainEval(bw.workload.trace.horizon());
+  bw.train = train;
+  bw.eval = eval;
+  bw.driver = std::make_unique<core::ExperimentDriver>(
+      bw.workload.model, bw.workload.trace, train, eval);
+  std::printf(
+      "# workload: %zu users, %zu apps, %zu functions, %llu invocations "
+      "(%lld-day trace, mine %lld days / simulate %lld days)\n",
+      bw.workload.model.num_users(), bw.workload.model.num_apps(),
+      bw.workload.model.num_functions(),
+      static_cast<unsigned long long>(
+          bw.workload.trace.TotalInvocations(bw.workload.trace.horizon())),
+      static_cast<long long>(bw.workload.trace.horizon().length() /
+                             kMinutesPerDay),
+      static_cast<long long>(train.length() / kMinutesPerDay),
+      static_cast<long long>(eval.length() / kMinutesPerDay));
+  return bw;
+}
+
+void PrintHeader(const std::string& figure, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), what.c_str());
+  std::printf("==============================================================\n");
+}
+
+void PrintHeadline(const std::string& text) {
+  std::printf("headline: %s\n", text.c_str());
+}
+
+core::MethodResult RunWithinBudget(core::ExperimentDriver& driver,
+                                   core::Method method, double budget) {
+  static const double kGrid[] = {0.25, 0.5, 0.75, 1.0, 1.5, 2.0,
+                                 2.5,  3.0, 3.5,  4.0, 6.0, 8.0};
+  core::MethodResult best = driver.Run(method, kGrid[0]);
+  for (const double a : kGrid) {
+    auto r = driver.Run(method, a);
+    if (r.avg_memory <= budget) best = std::move(r);
+  }
+  return best;
+}
+
+std::string PercentChange(double from, double to) {
+  if (from == 0.0) return "n/a";
+  const double change = 100.0 * (to - from) / from;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", change);
+  return buf;
+}
+
+}  // namespace defuse::bench

@@ -1,0 +1,48 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench binary reproduces one figure of the paper's evaluation on
+// the same standard synthetic workload (see DESIGN.md for the
+// Azure-dataset substitution) and prints the series a plotting script
+// would consume, plus the headline comparison the paper states in text.
+//
+// Environment overrides (all optional):
+//   DEFUSE_BENCH_USERS   number of synthetic users  (default 250)
+//   DEFUSE_BENCH_SEED    workload seed              (default 2024)
+//   DEFUSE_BENCH_DAYS    trace length in days       (default 14)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "trace/generator.hpp"
+
+namespace defuse::bench {
+
+struct BenchWorkload {
+  trace::SyntheticWorkload workload;
+  TimeRange train;
+  TimeRange eval;
+  std::unique_ptr<core::ExperimentDriver> driver;
+};
+
+/// Builds the standard bench workload (reads the env overrides).
+[[nodiscard]] BenchWorkload MakeStandardWorkload();
+
+/// Prints the figure banner.
+void PrintHeader(const std::string& figure, const std::string& what);
+
+/// Prints a normalized headline line, e.g.
+///   headline: defuse vs hybrid-application: -35.1% p75 cold rate, -20.4% memory
+void PrintHeadline(const std::string& text);
+
+/// "x.xx%" change of b relative to a (negative = reduction).
+[[nodiscard]] std::string PercentChange(double from, double to);
+
+/// Runs `method` at the largest amplification (over a standard grid)
+/// whose average memory fits `budget` — the paper's "restrict the memory
+/// consumption for the fairness of comparison" procedure (§V.C).
+[[nodiscard]] core::MethodResult RunWithinBudget(
+    core::ExperimentDriver& driver, core::Method method, double budget);
+
+}  // namespace defuse::bench

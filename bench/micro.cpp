@@ -1,0 +1,137 @@
+// Micro-benchmarks of the hot substrate paths: FP-Growth, PPMI
+// co-occurrence, union-find, histogram decisions, and the simulator tick
+// loop. These bound the per-component costs behind the end-to-end mining
+// and simulation numbers.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "graph/union_find.hpp"
+#include "mining/cooccurrence.hpp"
+#include "mining/fpgrowth.hpp"
+#include "policy/hybrid.hpp"
+#include "sim/simulator.hpp"
+#include "stats/histogram.hpp"
+#include "trace/generator.hpp"
+
+using namespace defuse;
+
+namespace {
+
+std::vector<mining::Transaction> RandomTransactions(std::size_t count,
+                                                    std::uint32_t universe,
+                                                    double density,
+                                                    std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<mining::Transaction> txs;
+  txs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    mining::Transaction t;
+    for (std::uint32_t item = 0; item < universe; ++item) {
+      if (rng.NextBernoulli(density)) t.push_back(FunctionId{item});
+    }
+    if (t.size() >= 2) txs.push_back(std::move(t));
+  }
+  return txs;
+}
+
+void BM_FpGrowth(benchmark::State& state) {
+  const auto txs = RandomTransactions(
+      static_cast<std::size_t>(state.range(0)), 20, 0.25, 42);
+  mining::FpGrowthConfig cfg;
+  cfg.min_support_fraction = 0.2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::MineFrequentItemsets(txs, cfg).size());
+  }
+  state.counters["transactions_per_sec"] = benchmark::Counter(
+      static_cast<double>(txs.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_FpGrowth)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_PpmiMatrix(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  trace::InvocationTrace t{2 * n, TimeRange{0, kMinutesPerDay}};
+  Rng rng{7};
+  for (std::uint32_t f = 0; f < 2 * n; ++f) {
+    Minute m = static_cast<Minute>(rng.NextBelow(30));
+    while (m < kMinutesPerDay) {
+      t.Add(FunctionId{f}, m);
+      m += 5 + static_cast<Minute>(rng.NextBelow(60));
+    }
+  }
+  t.Finalize();
+  std::vector<FunctionId> rows, cols;
+  for (std::uint32_t f = 0; f < n; ++f) rows.push_back(FunctionId{f});
+  for (std::uint32_t f = n; f < 2 * n; ++f) cols.push_back(FunctionId{f});
+  for (auto _ : state) {
+    mining::CooccurrenceMatrix matrix{rows, cols};
+    matrix.Accumulate(t, TimeRange{0, kMinutesPerDay}, 1);
+    double total = 0;
+    for (std::size_t r = 0; r < matrix.num_rows(); ++r) {
+      for (std::size_t c = 0; c < matrix.num_cols(); ++c) {
+        total += matrix.Ppmi(r, c);
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_PpmiMatrix)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void BM_UnionFind(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng{13};
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> unions;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    unions.emplace_back(static_cast<std::uint32_t>(rng.NextBelow(n)),
+                        static_cast<std::uint32_t>(rng.NextBelow(n)));
+  }
+  for (auto _ : state) {
+    graph::UnionFind uf{n};
+    for (const auto& [a, b] : unions) uf.Union(a, b);
+    benchmark::DoNotOptimize(uf.Components().size());
+  }
+  state.counters["unions_per_sec"] = benchmark::Counter(
+      static_cast<double>(n), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_UnionFind)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_HistogramDecision(benchmark::State& state) {
+  policy::HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), {}};
+  Rng rng{17};
+  for (int i = 0; i < 1000; ++i) {
+    policy.ObserveIdleTime(UnitId{0},
+                           static_cast<MinuteDelta>(rng.NextBelow(240)));
+  }
+  for (auto _ : state) {
+    // Invalidate then recompute: the worst-case per-invocation path.
+    policy.ObserveIdleTime(UnitId{0}, 30);
+    benchmark::DoNotOptimize(policy.DecisionFor(UnitId{0}));
+  }
+}
+BENCHMARK(BM_HistogramDecision)->Unit(benchmark::kNanosecond);
+
+void BM_SimulatorDay(benchmark::State& state) {
+  trace::GeneratorConfig cfg;
+  cfg.num_users = static_cast<std::uint32_t>(state.range(0));
+  cfg.seed = 3;
+  cfg.horizon_minutes = 2 * kMinutesPerDay;
+  const auto w = trace::GenerateWorkload(cfg);
+  policy::HybridHistogramPolicy policy{
+      sim::UnitMap::PerFunction(w.model.num_functions()), {}};
+  for (auto _ : state) {
+    const auto r = sim::Simulate(w.trace, TimeRange{kMinutesPerDay,
+                                                    2 * kMinutesPerDay},
+                                 policy);
+    benchmark::DoNotOptimize(r.function_cold_minutes);
+  }
+  state.counters["functions"] = static_cast<double>(w.model.num_functions());
+  state.counters["sim_minutes_per_sec"] = benchmark::Counter(
+      static_cast<double>(kMinutesPerDay),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SimulatorDay)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Mining throughput (paper §VII, "Adaptive Scheduling"): the authors
+// report that mining a one-day trace with 50,334 distinct functions takes
+// about 15 minutes on their workstation, making daily re-mining
+// practical. This google-benchmark suite measures our miner's throughput
+// on one-day synthetic traces of increasing size so the same feasibility
+// argument can be checked on this machine.
+#include <benchmark/benchmark.h>
+
+#include "core/defuse.hpp"
+#include "trace/generator.hpp"
+
+using namespace defuse;
+
+namespace {
+
+trace::SyntheticWorkload MakeOneDayWorkload(std::uint32_t users) {
+  trace::GeneratorConfig cfg;
+  cfg.num_users = users;
+  cfg.seed = 777;
+  cfg.horizon_minutes = kMinutesPerDay;
+  return trace::GenerateWorkload(cfg);
+}
+
+void BM_FullDependencyMining(benchmark::State& state) {
+  const auto w = MakeOneDayWorkload(static_cast<std::uint32_t>(state.range(0)));
+  const TimeRange train = w.trace.horizon();
+  for (auto _ : state) {
+    const auto mining = core::MineDependencies(w.trace, w.model, train);
+    benchmark::DoNotOptimize(mining.sets.size());
+  }
+  state.counters["functions"] =
+      static_cast<double>(w.model.num_functions());
+  state.counters["functions_per_sec"] = benchmark::Counter(
+      static_cast<double>(w.model.num_functions()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_FullDependencyMining)->Arg(50)->Arg(150)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StrongMiningOnly(benchmark::State& state) {
+  const auto w = MakeOneDayWorkload(static_cast<std::uint32_t>(state.range(0)));
+  const TimeRange train = w.trace.horizon();
+  core::DefuseConfig cfg;
+  cfg.use_weak = false;
+  for (auto _ : state) {
+    const auto mining = core::MineDependencies(w.trace, w.model, train, cfg);
+    benchmark::DoNotOptimize(mining.num_frequent_itemsets);
+  }
+  state.counters["functions"] =
+      static_cast<double>(w.model.num_functions());
+}
+BENCHMARK(BM_StrongMiningOnly)->Arg(150)->Unit(benchmark::kMillisecond);
+
+void BM_WeakMiningOnly(benchmark::State& state) {
+  const auto w = MakeOneDayWorkload(static_cast<std::uint32_t>(state.range(0)));
+  const TimeRange train = w.trace.horizon();
+  core::DefuseConfig cfg;
+  cfg.use_strong = false;
+  for (auto _ : state) {
+    const auto mining = core::MineDependencies(w.trace, w.model, train, cfg);
+    benchmark::DoNotOptimize(mining.num_weak_dependencies);
+  }
+  state.counters["functions"] =
+      static_cast<double>(w.model.num_functions());
+}
+BENCHMARK(BM_WeakMiningOnly)->Arg(150)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Seed-stability replication: the headline comparison (Fig 7/8) across
+// independent synthetic workloads. The paper's dataset is a single
+// 14-day trace; with a synthetic substitute we can verify the ordering
+// "Defuse beats Hybrid-Application at comparable memory; Hybrid-Function
+// is leanest but coldest" is a property of the mechanism, not of one
+// random draw. Reports mean +- std over the seeds.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/replication.hpp"
+
+using namespace defuse;
+
+int main() {
+  bench::PrintHeader("Seed stability",
+                     "headline ordering across independent workloads");
+  trace::GeneratorConfig base;
+  base.num_users = 100;
+  base.horizon_minutes = 7 * kMinutesPerDay;
+  const std::vector<std::uint64_t> seeds{11, 22, 33, 44, 55};
+  std::printf("# %zu seeds, %u users, 7-day traces; Defuse runs at a = 3 "
+              "(its comparable-memory point)\n",
+              seeds.size(), base.num_users);
+
+  struct Row {
+    const char* name;
+    core::ReplicatedMetrics metrics;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"Defuse(a=3)",
+                  core::RunReplicated(base, seeds, core::Method::kDefuse,
+                                      3.0)});
+  rows.push_back({"Hybrid-Function",
+                  core::RunReplicated(base, seeds,
+                                      core::Method::kHybridFunction, 1.0)});
+  rows.push_back({"Hybrid-Application",
+                  core::RunReplicated(base, seeds,
+                                      core::Method::kHybridApplication,
+                                      1.0)});
+
+  std::printf("\nmethod,p75_mean,p75_std,memory_mean,memory_std\n");
+  for (const auto& row : rows) {
+    std::printf("%s,%.3f,%.3f,%.1f,%.1f\n", row.name,
+                row.metrics.p75_cold_start_rate.mean,
+                row.metrics.p75_cold_start_rate.stddev,
+                row.metrics.avg_memory.mean, row.metrics.avg_memory.stddev);
+  }
+
+  const bool defuse_beats_ha =
+      core::DominatesOnColdStarts(rows[0].metrics, rows[2].metrics);
+  const bool defuse_beats_hf =
+      core::DominatesOnColdStarts(rows[0].metrics, rows[1].metrics);
+  std::size_t memory_ok = 0;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    if (rows[0].metrics.runs[i].avg_memory <
+        rows[2].metrics.runs[i].avg_memory) {
+      ++memory_ok;
+    }
+  }
+  bench::PrintHeadline(
+      std::string{"Defuse beats Hybrid-Application on p75 in "} +
+      (defuse_beats_ha ? "all" : "NOT all") + " seeds, beats "
+      "Hybrid-Function in " + (defuse_beats_hf ? "all" : "NOT all") +
+      " seeds, and uses less memory than Hybrid-Application in " +
+      std::to_string(memory_ok) + "/" + std::to_string(seeds.size()) +
+      " seeds");
+  return 0;
+}

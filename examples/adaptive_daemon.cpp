@@ -1,0 +1,142 @@
+// Adaptive scheduling (paper §VII): the dependency miner as a daily
+// daemon over a sliding window.
+//
+// The paper mines once (12 days) and simulates the rest, but notes that
+// Defuse is naturally adaptive: re-mine the dependency graph every day
+// and hand the scheduler fresh dependency sets. This example shows why
+// that matters with a mid-trace deployment:
+//
+//   * days 0-6: a "legacy" workflow (unpredictable, pings the common
+//     seat service) carries the traffic;
+//   * day 7: a new feature ships; the legacy workflow is retired and a
+//     new unpredictable workflow (also pinging the service) replaces it.
+//
+// A static miner that ran before the deployment has never seen the new
+// functions: they stay singletons under a 10-minute fixed keep-alive and
+// go cold. The daily daemon picks up the new weak dependency one day
+// later and the new workflow rides the service's warm set.
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "core/defuse.hpp"
+#include "sim/simulator.hpp"
+#include "trace/invocation_trace.hpp"
+#include "trace/model.hpp"
+
+using namespace defuse;
+
+namespace {
+
+struct DayStats {
+  std::uint64_t invoked = 0;
+  std::uint64_t cold = 0;
+  [[nodiscard]] double rate() const {
+    return invoked == 0 ? 0.0
+                        : static_cast<double>(cold) /
+                              static_cast<double>(invoked);
+  }
+};
+
+/// Cold/invoked minutes of `fn`'s unit over one simulated day.
+DayStats SimulateDayFor(const trace::InvocationTrace& trace,
+                        const core::MiningOutput& mining, TimeRange train,
+                        TimeRange day, FunctionId fn) {
+  const auto policy = core::MakeDefuseScheduler(trace, mining, train);
+  const auto result = sim::Simulate(trace, day, *policy);
+  const UnitId unit = policy->unit_map().unit_of(fn);
+  return DayStats{.invoked = result.unit_invoked_minutes[unit.value()],
+                  .cold = result.unit_cold_minutes[unit.value()]};
+}
+
+}  // namespace
+
+int main() {
+  constexpr Minute kDays = 14;
+  constexpr Minute kDeployDay = 7;
+
+  trace::WorkloadModel model;
+  const UserId user = model.AddUser("shop");
+  const AppId service_app = model.AddApp(user, "seat-service");
+  const FunctionId service0 = model.AddFunction(service_app, "svc-a");
+  const FunctionId service1 = model.AddFunction(service_app, "svc-b");
+  const AppId legacy_app = model.AddApp(user, "legacy-checkout");
+  const FunctionId legacy0 = model.AddFunction(legacy_app, "legacy-fe");
+  const FunctionId legacy1 = model.AddFunction(legacy_app, "legacy-be");
+  const AppId new_app = model.AddApp(user, "new-checkout");
+  const FunctionId new0 = model.AddFunction(new_app, "new-fe");
+  const FunctionId new1 = model.AddFunction(new_app, "new-be");
+
+  const TimeRange horizon{0, kDays * kMinutesPerDay};
+  trace::InvocationTrace trace{model.num_functions(), horizon};
+  Rng rng{4711};
+
+  // Common service: periodic every 10 minutes over the whole trace.
+  for (Minute t = 0; t < horizon.end; t += 10) {
+    trace.Add(service0, t);
+    trace.Add(service1, t);
+  }
+  // One unpredictable checkout workflow before the deployment, another
+  // after; both ping the service on every firing.
+  const auto emit_workflow = [&](FunctionId fe, FunctionId be, Minute from,
+                                 Minute to) {
+    double t = static_cast<double>(from) + 30.0 * rng.NextExponential(1.0);
+    while (t < static_cast<double>(to)) {
+      const auto minute = static_cast<Minute>(t);
+      trace.Add(fe, minute);
+      trace.Add(be, minute);
+      trace.Add(service0, minute);
+      t += 30.0 * rng.NextExponential(1.0);
+    }
+  };
+  emit_workflow(legacy0, legacy1, 0, kDeployDay * kMinutesPerDay);
+  emit_workflow(new0, new1, kDeployDay * kMinutesPerDay, horizon.end);
+  trace.Finalize();
+
+  // --- static: mine once on days 0-3, schedule days 4-13 ---------------
+  // --- adaptive: every day, re-mine on the last 4 days -----------------
+  const TimeRange static_train{0, 4 * kMinutesPerDay};
+  const auto static_mining = core::MineDependencies(trace, model,
+                                                    static_train);
+
+  std::printf("day  checkout-path cold-start rate     sets containing the\n");
+  std::printf("     static-miner   daily-daemon       active checkout fns\n");
+  DayStats static_total, adaptive_total;
+  for (Minute day = 4; day < kDays; ++day) {
+    const TimeRange day_range{day * kMinutesPerDay,
+                              (day + 1) * kMinutesPerDay};
+    const TimeRange window{std::max<Minute>(0, (day - 4)) * kMinutesPerDay,
+                           day * kMinutesPerDay};
+    const auto adaptive_mining = core::MineDependencies(trace, model, window);
+
+    // The workflow that is actually live on this day.
+    const FunctionId fe = day < kDeployDay ? legacy0 : new0;
+    const auto s = SimulateDayFor(trace, static_mining, static_train,
+                                  day_range, fe);
+    const auto a = SimulateDayFor(trace, adaptive_mining, window, day_range,
+                                  fe);
+    static_total.invoked += s.invoked;
+    static_total.cold += s.cold;
+    adaptive_total.invoked += a.invoked;
+    adaptive_total.cold += a.cold;
+
+    const auto set_of = [&](const core::MiningOutput& m, FunctionId fn) {
+      const auto index =
+          graph::FunctionToSetIndex(m.sets, model.num_functions());
+      return m.sets[index[fn.value()]].functions.size();
+    };
+    std::printf("%3lld   %6.2f         %6.2f          "
+                "static set size %zu, daemon set size %zu\n",
+                static_cast<long long>(day), s.rate(), a.rate(),
+                set_of(static_mining, fe), set_of(adaptive_mining, fe));
+  }
+  std::printf("\noverall checkout cold-start rate: static %.2f vs "
+              "daily daemon %.2f\n",
+              static_total.rate(), adaptive_total.rate());
+  std::printf(
+      "After the day-%lld deployment the static miner has never seen the\n"
+      "new checkout functions (singleton sets, fixed keep-alive, cold),\n"
+      "while the daily daemon re-links them to the warm seat service.\n",
+      static_cast<long long>(kDeployDay));
+  return 0;
+}

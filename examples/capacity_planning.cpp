@@ -1,0 +1,64 @@
+// Capacity planning with the amplification knob (paper §V.E / Fig 10).
+//
+// A platform operator has a cold-start SLO (e.g. "75% of functions must
+// have a cold-start rate below 20%") and wants the cheapest memory
+// configuration that meets it. This example sweeps the keep-alive
+// amplification factor, prints the resulting memory/cold-start frontier
+// for Defuse and the baselines, and picks the cheapest compliant point.
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "trace/generator.hpp"
+
+using namespace defuse;
+
+int main() {
+  constexpr double kSloP75 = 0.20;
+
+  trace::GeneratorConfig gen;
+  gen.num_users = 120;
+  gen.seed = 99;
+  const auto workload = trace::GenerateWorkload(gen);
+  const auto [train, eval] = core::SplitTrainEval(workload.trace.horizon());
+  core::ExperimentDriver driver{workload.model, workload.trace, train, eval};
+  std::printf("workload: %zu functions; SLO: p75 cold-start rate <= %.2f\n\n",
+              workload.model.num_functions(), kSloP75);
+
+  const std::vector<double> grid{0.5, 1.0, 1.5, 2.0, 3.0, 4.0,
+                                 6.0, 8.0, 12.0, 16.0};
+  struct Choice {
+    core::Method method;
+    double a, memory, p75;
+  };
+  std::optional<Choice> cheapest;
+
+  std::printf("%-20s %6s %12s %10s %10s\n", "method", "a", "avg memory",
+              "p75 cold", "meets SLO");
+  for (const auto method :
+       {core::Method::kDefuse, core::Method::kHybridFunction,
+        core::Method::kHybridApplication}) {
+    for (const double a : grid) {
+      const auto r = driver.Run(method, a);
+      const bool ok = r.p75_cold_start_rate <= kSloP75;
+      std::printf("%-20s %6.1f %12.1f %10.3f %10s\n",
+                  core::MethodName(method), a, r.avg_memory,
+                  r.p75_cold_start_rate, ok ? "yes" : "no");
+      if (ok && (!cheapest || r.avg_memory < cheapest->memory)) {
+        cheapest = Choice{method, a, r.avg_memory, r.p75_cold_start_rate};
+      }
+    }
+  }
+
+  if (cheapest) {
+    std::printf(
+        "\ncheapest compliant configuration: %s with a = %.1f "
+        "(memory %.1f, p75 %.3f)\n",
+        core::MethodName(cheapest->method), cheapest->a, cheapest->memory,
+        cheapest->p75);
+  } else {
+    std::printf("\nno configuration on the grid meets the SLO\n");
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Platform operator's view: container-level telemetry under Defuse.
+//
+// Uses the concurrency-aware simulator (one container per concurrent
+// execution) to produce the hour-by-hour numbers a platform dashboard
+// would show — resident containers, container spawns, event cold
+// fraction — and compares Defuse against the 10-minute fixed keep-alive
+// a production platform ships with by default.
+#include <cstdio>
+#include <memory>
+
+#include "core/defuse.hpp"
+#include "core/experiment.hpp"
+#include "policy/fixed.hpp"
+#include "sim/concurrency.hpp"
+#include "trace/generator.hpp"
+
+using namespace defuse;
+
+namespace {
+
+struct HourRow {
+  std::uint64_t spawns = 0;
+  double avg_resident = 0.0;
+};
+
+std::vector<HourRow> ByHour(const sim::ConcurrencyResult& r) {
+  std::vector<HourRow> hours;
+  const std::size_t minutes = r.resident_containers.size();
+  for (std::size_t start = 0; start + kMinutesPerHour <= minutes;
+       start += kMinutesPerHour) {
+    HourRow row;
+    std::uint64_t resident = 0;
+    for (std::size_t m = start; m < start + kMinutesPerHour; ++m) {
+      row.spawns += r.spawned_containers[m];
+      resident += r.resident_containers[m];
+    }
+    row.avg_resident =
+        static_cast<double>(resident) / static_cast<double>(kMinutesPerHour);
+    hours.push_back(row);
+  }
+  return hours;
+}
+
+}  // namespace
+
+int main() {
+  trace::GeneratorConfig gen;
+  gen.num_users = 80;
+  gen.seed = 2026;
+  const auto workload = trace::GenerateWorkload(gen);
+  const auto [train, eval] = core::SplitTrainEval(workload.trace.horizon());
+  std::printf("platform: %zu functions, simulating the last %lld hours with "
+              "container-level semantics\n\n",
+              workload.model.num_functions(),
+              static_cast<long long>(eval.length() / kMinutesPerHour));
+
+  const auto mining =
+      core::MineDependencies(workload.trace, workload.model, train);
+  const auto defuse_policy =
+      core::MakeDefuseScheduler(workload.trace, mining, train);
+  const auto defuse =
+      sim::SimulateConcurrent(workload.trace, eval, *defuse_policy);
+
+  policy::FixedKeepAlivePolicy fixed_policy{
+      sim::UnitMap::PerFunction(workload.model.num_functions()), 10};
+  const auto fixed =
+      sim::SimulateConcurrent(workload.trace, eval, fixed_policy);
+
+  const auto defuse_hours = ByHour(defuse);
+  const auto fixed_hours = ByHour(fixed);
+  std::printf("hour   defuse spawns/resident    fixed-10min spawns/resident\n");
+  for (std::size_t h = 0; h < std::min<std::size_t>(defuse_hours.size(), 12);
+       ++h) {
+    std::printf("%4zu   %7llu / %8.1f       %7llu / %8.1f\n", h,
+                static_cast<unsigned long long>(defuse_hours[h].spawns),
+                defuse_hours[h].avg_resident,
+                static_cast<unsigned long long>(fixed_hours[h].spawns),
+                fixed_hours[h].avg_resident);
+  }
+
+  std::printf("\ntotals over the window:\n");
+  std::printf("  %-14s cold fraction %.3f, avg resident containers %.1f\n",
+              "Defuse:", defuse.EventColdFraction(),
+              defuse.AverageResidentContainers());
+  std::printf("  %-14s cold fraction %.3f, avg resident containers %.1f\n",
+              "fixed-10min:", fixed.EventColdFraction(),
+              fixed.AverageResidentContainers());
+  std::printf(
+      "\nDefuse pre-warms dependency sets ahead of their invocations, so the\n"
+      "platform serves the same traffic with far fewer cold container\n"
+      "spawns on the request path.\n");
+  return 0;
+}

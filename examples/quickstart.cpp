@@ -1,0 +1,50 @@
+// Quickstart: the whole Defuse pipeline in one page.
+//
+//  1. synthesize (or load) a 14-day minute-granularity invocation trace;
+//  2. mine strong + weak dependencies on the first 12 days;
+//  3. build the dependency-set scheduler;
+//  4. simulate the last 2 days and compare against the two baselines.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "trace/generator.hpp"
+
+using namespace defuse;
+
+int main() {
+  // 1. Synthetic Azure-like workload (see trace/generator.hpp for what it
+  // models and DESIGN.md for why it substitutes the Azure dataset).
+  trace::GeneratorConfig gen;
+  gen.num_users = 60;
+  gen.seed = 7;
+  const trace::SyntheticWorkload workload = trace::GenerateWorkload(gen);
+  std::printf("workload: %zu users, %zu apps, %zu functions, %llu invocations\n",
+              workload.model.num_users(), workload.model.num_apps(),
+              workload.model.num_functions(),
+              static_cast<unsigned long long>(
+                  workload.trace.TotalInvocations(workload.trace.horizon())));
+
+  // 2-3. Mine dependencies on the training window and build schedulers.
+  const auto [train, eval] = core::SplitTrainEval(workload.trace.horizon());
+  core::ExperimentDriver driver{workload.model, workload.trace, train, eval};
+
+  const core::MiningOutput& mining = driver.MiningFor(core::Method::kDefuse);
+  std::printf("mining: %zu frequent itemsets, %zu weak dependencies, "
+              "%zu dependency sets\n",
+              mining.num_frequent_itemsets, mining.num_weak_dependencies,
+              mining.sets.size());
+
+  // 4. Simulate the last 2 days under each method.
+  std::printf("\n%-20s %14s %12s %12s\n", "method", "p75 cold rate",
+              "avg memory", "avg loads");
+  for (const core::Method method :
+       {core::Method::kDefuse, core::Method::kHybridFunction,
+        core::Method::kHybridApplication, core::Method::kFixedKeepAlive}) {
+    const core::MethodResult r = driver.Run(method);
+    std::printf("%-20s %14.3f %12.1f %12.2f\n", core::MethodName(method),
+                r.p75_cold_start_rate, r.avg_memory, r.avg_loading);
+  }
+  return 0;
+}

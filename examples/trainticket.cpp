@@ -1,0 +1,126 @@
+// The paper's motivating example (§III.B): serverless-trainticket, a
+// train-ticket selling system on a FaaS platform, expressed with the
+// declarative workload builder:
+//
+//   * When a user books a ticket, `preserve-ticket` invokes
+//     `dispatch-seats` and `create-order` — the three co-fire (strong
+//     dependency / frequent itemset).
+//   * Users book at unpredictable times (Poisson), so `preserve-ticket`
+//     has no usable idle-time pattern of its own.
+//   * `dispatch-seats` is a common service also driven by a periodic
+//     seat-map refresh, making it predictable — the weak dependency
+//     `preserve-ticket` -> `dispatch-seats` lets Defuse schedule the
+//     unpredictable booking path off the predictable one.
+//
+// The example mines the dependency graph back out of the invocation
+// history and compares the booking path's cold-start rate under Defuse
+// vs the hybrid-histogram baselines.
+#include <cstdio>
+#include <memory>
+
+#include "core/defuse.hpp"
+#include "core/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "trace/builder.hpp"
+
+using namespace defuse;
+
+int main() {
+  trace::WorkloadBuilder builder{20210707};
+  const UserId operator_ = builder.AddUser("trainticket-operator");
+
+  const AppId booking = builder.AddApp(operator_, "booking");
+  const FunctionId preserve_ticket =
+      builder.AddFunction(booking, "preserve-ticket");
+  const FunctionId create_order = builder.AddFunction(booking, "create-order");
+  const FunctionId notify_user = builder.AddFunction(booking, "notify-user");
+
+  const AppId seats = builder.AddApp(operator_, "seat-service");
+  const FunctionId dispatch_seats =
+      builder.AddFunction(seats, "dispatch-seats");
+  const FunctionId refresh_seatmap =
+      builder.AddFunction(seats, "refresh-seatmap");
+
+  const AppId reporting = builder.AddApp(operator_, "reporting");
+  const FunctionId daily_report =
+      builder.AddFunction(reporting, "daily-report");
+  const FunctionId cleanup = builder.AddFunction(reporting, "cleanup-tmp");
+
+  // The call graph of the booking flow (paper §III.B).
+  builder.AddCall(preserve_ticket, dispatch_seats);
+  builder.AddCall(preserve_ticket, create_order);
+  builder.AddCall(create_order, notify_user, 0.8);
+  // Seat-map refresh pings dispatch-seats every 10 minutes.
+  builder.AddCall(refresh_seatmap, dispatch_seats);
+  builder.AddPeriodicTrigger(refresh_seatmap, 10);
+  // Bookings: Poisson, one per ~25 minutes on average.
+  builder.AddPoissonTrigger(preserve_ticket, 25.0);
+  // Nightly reporting at 03:00, cleanup 5 minutes later.
+  builder.AddPeriodicTrigger(daily_report, kMinutesPerDay, 180);
+  builder.AddCall(daily_report, cleanup, 1.0, 5);
+
+  const auto workload = builder.Build(14 * kMinutesPerDay);
+  std::printf("trainticket: %zu functions, %llu invocations over 14 days\n",
+              workload.model.num_functions(),
+              static_cast<unsigned long long>(
+                  workload.trace.TotalInvocations(workload.trace.horizon())));
+
+  // Mine on days 0-11, inspect the recovered graph.
+  const auto [train, eval] = core::SplitTrainEval(workload.trace.horizon());
+  const auto mining =
+      core::MineDependencies(workload.trace, workload.model, train);
+
+  std::printf("\nrecovered dependency graph (Graphviz):\n");
+  std::vector<std::string> names;
+  for (const auto& fn : workload.model.functions()) names.push_back(fn.name);
+  std::printf("%s", mining.graph.ToDot(&names).c_str());
+
+  std::printf("dependency sets:\n");
+  for (const auto& set : mining.sets) {
+    std::printf("  set %u: {", set.id);
+    for (std::size_t i = 0; i < set.functions.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "",
+                  workload.model.function(set.functions[i]).name.c_str());
+    }
+    std::printf("}\n");
+  }
+
+  // Simulate days 12-13 and compare the booking path.
+  std::printf("\n%-20s %22s %12s\n", "method", "preserve-ticket cold%",
+              "avg memory");
+  for (const auto method :
+       {core::Method::kDefuse, core::Method::kHybridFunction,
+        core::Method::kHybridApplication}) {
+    std::unique_ptr<sim::SchedulingPolicy> policy;
+    switch (method) {
+      case core::Method::kDefuse:
+        policy = core::MakeDefuseScheduler(workload.trace, mining, train);
+        break;
+      case core::Method::kHybridFunction:
+        policy = core::MakeHybridFunctionScheduler(workload.trace,
+                                                   workload.model, train);
+        break;
+      default:
+        policy = core::MakeHybridApplicationScheduler(workload.trace,
+                                                      workload.model, train);
+        break;
+    }
+    const auto result = sim::Simulate(workload.trace, eval, *policy);
+    const UnitId unit = policy->unit_map().unit_of(preserve_ticket);
+    const double rate =
+        result.unit_invoked_minutes[unit.value()] == 0
+            ? 0.0
+            : 100.0 *
+                  static_cast<double>(
+                      result.unit_cold_minutes[unit.value()]) /
+                  static_cast<double>(
+                      result.unit_invoked_minutes[unit.value()]);
+    std::printf("%-20s %21.1f%% %12.2f\n", core::MethodName(method), rate,
+                result.AverageMemoryUsage());
+  }
+  std::printf(
+      "\nThe weak dependency preserve-ticket -> dispatch-seats puts the\n"
+      "unpredictable booking chain in the seat-service's dependency set,\n"
+      "which the 10-minute refresh keeps resident: bookings start warm.\n");
+  return 0;
+}

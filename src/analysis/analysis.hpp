@@ -1,0 +1,103 @@
+// Workload characterization — the analyses behind the paper's motivation
+// section (§III): within-application invocation-frequency skew (Fig 2)
+// and the predictability (idle-time-histogram CV) distributions of
+// applications vs functions (Fig 3). Used by the figure benches and the
+// CLI's `inspect` command.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "mining/predictability.hpp"
+#include "sim/metrics.hpp"
+#include "trace/generator.hpp"
+#include "trace/invocation_trace.hpp"
+#include "trace/model.hpp"
+
+namespace defuse::analysis {
+using trace::WorkloadModel;
+using trace::InvocationTrace;
+
+struct FrequencySkewReport {
+  /// Per function (of apps with >= 2 functions and enough activity):
+  /// active minutes of the function / active minutes of its app.
+  std::vector<double> frequencies;
+  /// Fraction of functions with frequency < 0.25 (paper: 0.647).
+  double fraction_below_quarter = 0.0;
+  /// The app with the most functions (for the Fig 2b-style drill-down)
+  /// and its members' frequencies, descending.
+  AppId largest_app = AppId::invalid();
+  std::vector<double> largest_app_frequencies;
+};
+
+struct PredictabilityReportByLevel {
+  std::vector<double> app_cvs;
+  std::vector<double> function_cvs;
+  /// Fractions with CV <= threshold (paper: 0.14 apps, 0.32 functions).
+  double unpredictable_apps = 0.0;
+  double unpredictable_functions = 0.0;
+  double cv_threshold = 5.0;
+};
+
+struct WorkloadReport {
+  std::size_t num_users = 0;
+  std::size_t num_apps = 0;
+  std::size_t num_functions = 0;
+  std::uint64_t total_invocations = 0;
+  /// Functions with at least one invocation in the analyzed range.
+  std::size_t active_functions = 0;
+  double invocations_per_minute = 0.0;
+  FrequencySkewReport skew;
+  PredictabilityReportByLevel predictability;
+};
+
+/// Fig 2-style analysis over `range`. Apps need `min_app_minutes` active
+/// minutes and >= 2 functions to contribute.
+[[nodiscard]] FrequencySkewReport AnalyzeFrequencySkew(
+    const WorkloadModel& model, const InvocationTrace& trace, TimeRange range,
+    std::uint64_t min_app_minutes = 50);
+
+/// Fig 3-style analysis over `range`.
+[[nodiscard]] PredictabilityReportByLevel AnalyzePredictability(
+    const WorkloadModel& model, const InvocationTrace& trace, TimeRange range,
+    const mining::PredictabilityConfig& config = {});
+
+/// Everything at once.
+[[nodiscard]] WorkloadReport AnalyzeWorkload(
+    const WorkloadModel& model, const InvocationTrace& trace, TimeRange range,
+    const mining::PredictabilityConfig& config = {});
+
+/// Human-readable multi-line rendering of a report.
+[[nodiscard]] std::string RenderWorkloadReport(const WorkloadReport& report);
+
+/// Per-trigger-archetype cold-start breakdown (synthetic workloads only:
+/// needs the generator's ground truth). Quantifies *which* functions a
+/// scheduling method helps — e.g. Defuse's weak dependencies should
+/// specifically rescue Poisson/bursty (unpredictable) functions.
+struct TriggerKindBreakdown {
+  /// Indexed by trace::TriggerKind; mean cold-start rate of invoked
+  /// functions of that kind, and how many there were.
+  std::array<double, 4> mean_cold_rate{};
+  std::array<std::size_t, 4> function_count{};
+};
+
+[[nodiscard]] TriggerKindBreakdown BreakdownByTriggerKind(
+    const trace::GroundTruth& truth, const sim::SimulationResult& result,
+    const sim::UnitMap& units);
+
+/// Daily-rhythm detection via autocorrelation of the function's hourly
+/// activity series: true when the series has a dominant period of ~24
+/// hours (22..26h tolerated). Complements the histogram-CV test, which
+/// cannot see beyond its 4-hour range.
+struct DailyPattern {
+  bool detected = false;
+  double strength = 0.0;  // autocorrelation at the daily lag
+};
+
+[[nodiscard]] DailyPattern DetectDailyPattern(
+    const trace::InvocationTrace& trace, FunctionId fn, TimeRange range,
+    double min_strength = 0.3);
+
+}  // namespace defuse::analysis

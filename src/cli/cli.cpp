@@ -1,0 +1,622 @@
+#include "cli/cli.hpp"
+
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "common/csv.hpp"
+#include "core/adaptive.hpp"
+#include "platform/platform.hpp"
+#include "common/flags.hpp"
+#include "core/experiment.hpp"
+#include "graph/serialization.hpp"
+#include "stats/descriptive.hpp"
+#include "trace/azure_csv.hpp"
+#include "trace/generator.hpp"
+#include "trace/transform.hpp"
+
+namespace defuse::cli {
+namespace {
+
+constexpr const char* kUsage = R"(usage: defuse <command> [flags]
+
+commands:
+  generate   synthesize an Azure-like trace and write it as CSV
+             --users N (120)  --days N (14)  --seed N (42)
+             --out FILE       long-format CSV (required)
+             --azure-dir DIR  additionally write Azure daily files
+  inspect    characterize a trace (frequency skew, predictability)
+             --trace FILE (required)
+  mine       mine dependencies, write sets / edges / Graphviz
+             --trace FILE (required)   --train-days N (all but 2)
+             --support S (0.2)  --topk K (1)  --cv-threshold C (5)
+             --strong-only | --weak-only
+             --sets-out FILE  --edges-out FILE  --dot-out FILE
+  simulate   replay the tail of a trace under a scheduling method
+             --trace FILE (required)   --train-days N (all but 2)
+             --method defuse|strong-only|weak-only|hybrid-function|
+                      hybrid-application|fixed|defuse-predictor|
+                      defuse-diurnal   (defuse)
+             --amplification A (1.0)
+             --ar-fallback  enable the AR(1) time-series branch
+             --sets FILE  use pre-mined dependency sets
+  sweep      fig-7 style table: p75 cold rate vs memory for 3 methods
+             --trace FILE (required)   --train-days N (all but 2)
+             --amplifications "0.5,1,2,4" (1,2,4)
+  filter     carve a smaller trace out of a big one
+             --trace FILE (required)   --out FILE (required)
+             --sample-users N  uniform user sample (--seed S)
+             --first-days N    time-slice the first N days
+  adaptive   simulate the daily re-mining daemon over the trace tail
+             --trace FILE (required)   --last-days N (2)
+             --epoch-days N (1)        --window-days N (4)
+  replay     stream the whole trace through the online platform engine
+             (live re-mining, residency carry-over)
+             --trace FILE (required)   --remine-days N (1)
+             --window-days N (4)
+  compare    the paper's headline comparison on this trace: Defuse vs
+             Hybrid-Function vs Hybrid-Application at restricted memory
+             --trace FILE (required)   --train-days N (all but 2)
+             --budget-factor F (0.85)  Defuse's share of HA's memory
+  help       this text
+)";
+
+struct TraceBundle {
+  trace::WorkloadModel model;
+  trace::InvocationTrace trace;
+  TimeRange train;
+  TimeRange eval;
+};
+
+std::optional<TraceBundle> LoadTrace(const FlagParser& flags,
+                                     std::ostream& err) {
+  const auto path = flags.Get("trace");
+  if (!path) {
+    err << "error: --trace is required\n";
+    return std::nullopt;
+  }
+  auto buffer = ReadFile(*path);
+  if (!buffer.ok()) {
+    err << "error: " << buffer.error().ToString() << "\n";
+    return std::nullopt;
+  }
+  auto loaded = trace::ReadLongCsv(buffer.value());
+  if (!loaded.ok()) {
+    err << "error: " << loaded.error().ToString() << "\n";
+    return std::nullopt;
+  }
+
+  const TimeRange horizon = loaded.value().trace.horizon();
+  const auto train_days = flags.GetInt("train-days", -1);
+  if (!train_days.ok()) {
+    err << "error: " << train_days.error().ToString() << "\n";
+    return std::nullopt;
+  }
+  TimeRange train, eval;
+  if (train_days.value() < 0) {
+    // Default: everything but the last 2 days (or the paper 6:1 split
+    // for short traces).
+    if (horizon.length() > 3 * kMinutesPerDay) {
+      train = TimeRange{0, horizon.end - 2 * kMinutesPerDay};
+      eval = TimeRange{train.end, horizon.end};
+    } else {
+      std::tie(train, eval) = core::SplitTrainEval(horizon);
+    }
+  } else {
+    const Minute split = train_days.value() * kMinutesPerDay;
+    if (split <= 0 || split >= horizon.end) {
+      err << "error: --train-days must split the trace (horizon "
+          << horizon.end / kMinutesPerDay << " days)\n";
+      return std::nullopt;
+    }
+    train = TimeRange{0, split};
+    eval = TimeRange{split, horizon.end};
+  }
+  return TraceBundle{.model = std::move(loaded.value().model),
+                     .trace = std::move(loaded.value().trace),
+                     .train = train,
+                     .eval = eval};
+}
+
+core::DefuseConfig MiningConfigFromFlags(const FlagParser& flags,
+                                         std::ostream& err, bool& ok) {
+  core::DefuseConfig config;
+  ok = true;
+  const auto support = flags.GetDouble("support", config.support);
+  const auto topk = flags.GetInt("topk",
+                                 static_cast<std::int64_t>(config.top_k));
+  const auto cv = flags.GetDouble("cv-threshold", config.cv_threshold);
+  for (const auto* error :
+       {support.ok() ? nullptr : &support.error(),
+        topk.ok() ? nullptr : &topk.error(),
+        cv.ok() ? nullptr : &cv.error()}) {
+    if (error != nullptr) {
+      err << "error: " << error->ToString() << "\n";
+      ok = false;
+    }
+  }
+  if (!ok) return config;
+  config.support = support.value();
+  config.top_k = static_cast<std::size_t>(topk.value());
+  config.cv_threshold = cv.value();
+  if (flags.Has("strong-only")) config.use_weak = false;
+  if (flags.Has("weak-only")) config.use_strong = false;
+  if (!config.use_strong && !config.use_weak) {
+    err << "error: --strong-only and --weak-only are mutually exclusive\n";
+    ok = false;
+  }
+  return config;
+}
+
+std::optional<core::Method> ParseMethod(std::string_view name) {
+  if (name == "defuse") return core::Method::kDefuse;
+  if (name == "strong-only") return core::Method::kDefuseStrongOnly;
+  if (name == "weak-only") return core::Method::kDefuseWeakOnly;
+  if (name == "hybrid-function") return core::Method::kHybridFunction;
+  if (name == "hybrid-application") return core::Method::kHybridApplication;
+  if (name == "fixed") return core::Method::kFixedKeepAlive;
+  if (name == "defuse-predictor") return core::Method::kDefusePredictor;
+  if (name == "defuse-diurnal") return core::Method::kDefuseDiurnal;
+  return std::nullopt;
+}
+
+bool WriteOrReport(const std::string& path, std::string_view content,
+                   std::ostream& err) {
+  const auto result = WriteFile(path, content);
+  if (!result.ok()) {
+    err << "error: " << result.error().ToString() << "\n";
+    return false;
+  }
+  return true;
+}
+
+int CmdGenerate(const FlagParser& flags, std::ostream& out,
+                std::ostream& err) {
+  const auto users = flags.GetInt("users", 120);
+  const auto days = flags.GetInt("days", 14);
+  const auto seed = flags.GetInt("seed", 42);
+  if (!users.ok() || !days.ok() || !seed.ok()) {
+    err << "error: malformed numeric flag\n";
+    return 1;
+  }
+  const auto out_path = flags.Get("out");
+  if (!out_path) {
+    err << "error: --out is required\n";
+    return 1;
+  }
+  if (users.value() < 1 || days.value() < 1) {
+    err << "error: --users and --days must be positive\n";
+    return 1;
+  }
+
+  trace::GeneratorConfig config;
+  config.num_users = static_cast<std::uint32_t>(users.value());
+  config.horizon_minutes = days.value() * kMinutesPerDay;
+  config.seed = static_cast<std::uint64_t>(seed.value());
+  const auto workload = trace::GenerateWorkload(config);
+
+  if (!WriteOrReport(*out_path,
+                     trace::WriteLongCsv(workload.model, workload.trace),
+                     err)) {
+    return 2;
+  }
+  out << "wrote " << *out_path << ": " << workload.model.num_users()
+      << " users, " << workload.model.num_apps() << " apps, "
+      << workload.model.num_functions() << " functions, "
+      << workload.trace.TotalInvocations(workload.trace.horizon())
+      << " invocations over " << days.value() << " days\n";
+
+  if (const auto dir = flags.Get("azure-dir")) {
+    for (Minute day = 0; day < days.value(); ++day) {
+      char name[64];
+      std::snprintf(name, sizeof name,
+                    "/invocations_per_function_md.anon.d%02lld.csv",
+                    static_cast<long long>(day + 1));
+      if (!WriteOrReport(*dir + name,
+                         trace::WriteAzureDayCsv(workload.model,
+                                                 workload.trace, day),
+                         err)) {
+        return 2;
+      }
+    }
+    out << "wrote " << days.value() << " Azure daily files under " << *dir
+        << "\n";
+  }
+  return 0;
+}
+
+int CmdInspect(const FlagParser& flags, std::ostream& out,
+               std::ostream& err) {
+  const auto bundle = LoadTrace(flags, err);
+  if (!bundle) return 1;
+  const auto report = analysis::AnalyzeWorkload(
+      bundle->model, bundle->trace, bundle->trace.horizon());
+  out << analysis::RenderWorkloadReport(report);
+  return 0;
+}
+
+int CmdMine(const FlagParser& flags, std::ostream& out, std::ostream& err) {
+  const auto bundle = LoadTrace(flags, err);
+  if (!bundle) return 1;
+  bool config_ok = false;
+  const auto config = MiningConfigFromFlags(flags, err, config_ok);
+  if (!config_ok) return 1;
+
+  const auto mining =
+      core::MineDependencies(bundle->trace, bundle->model, bundle->train,
+                             config);
+  out << "mined " << mining.num_frequent_itemsets << " frequent itemsets, "
+      << mining.num_weak_dependencies << " weak dependencies; "
+      << mining.graph.num_strong_edges() << " strong + "
+      << mining.graph.num_weak_edges() << " weak edges; "
+      << mining.sets.size() << " dependency sets over "
+      << bundle->model.num_functions() << " functions\n";
+
+  std::size_t multi = 0, largest = 0;
+  for (const auto& set : mining.sets) {
+    if (set.functions.size() > 1) ++multi;
+    largest = std::max(largest, set.functions.size());
+  }
+  out << multi << " multi-function sets; largest has " << largest
+      << " functions\n";
+
+  if (const auto path = flags.Get("sets-out")) {
+    if (!WriteOrReport(*path, graph::WriteDependencySetsCsv(mining.sets,
+                                                            bundle->model),
+                       err)) {
+      return 2;
+    }
+    out << "wrote dependency sets to " << *path << "\n";
+  }
+  if (const auto path = flags.Get("edges-out")) {
+    if (!WriteOrReport(*path, graph::WriteDependencyEdgesCsv(mining.graph,
+                                                             bundle->model),
+                       err)) {
+      return 2;
+    }
+    out << "wrote dependency edges to " << *path << "\n";
+  }
+  if (const auto path = flags.Get("dot-out")) {
+    std::vector<std::string> names;
+    names.reserve(bundle->model.num_functions());
+    for (const auto& fn : bundle->model.functions()) {
+      names.push_back(fn.name);
+    }
+    if (!WriteOrReport(*path, mining.graph.ToDot(&names), err)) return 2;
+    out << "wrote Graphviz graph to " << *path << "\n";
+  }
+  return 0;
+}
+
+void PrintMetrics(const core::MethodResult& r, std::ostream& out) {
+  out << "method: " << core::MethodName(r.method)
+      << "  amplification: " << r.amplification << "\n"
+      << "scheduling units: " << r.num_units << "\n"
+      << "functions with invocations: " << r.cold_start_rates.size() << "\n"
+      << "p75 function cold-start rate: " << r.p75_cold_start_rate << "\n"
+      << "mean function cold-start rate: " << r.mean_cold_start_rate << "\n"
+      << "cold fraction of invocation events: " << r.event_cold_fraction
+      << "\n"
+      << "avg memory (loaded functions): " << r.avg_memory << "\n"
+      << "avg loads per minute: " << r.avg_loading << "\n";
+}
+
+int CmdSimulate(const FlagParser& flags, std::ostream& out,
+                std::ostream& err) {
+  const auto bundle = LoadTrace(flags, err);
+  if (!bundle) return 1;
+  const auto amplification = flags.GetDouble("amplification", 1.0);
+  if (!amplification.ok()) {
+    err << "error: " << amplification.error().ToString() << "\n";
+    return 1;
+  }
+
+  // Pre-mined sets path: bypass the driver and run the set scheduler.
+  if (const auto sets_path = flags.Get("sets")) {
+    auto buffer = ReadFile(*sets_path);
+    if (!buffer.ok()) {
+      err << "error: " << buffer.error().ToString() << "\n";
+      return 2;
+    }
+    auto sets = graph::ReadDependencySetsCsv(buffer.value(), bundle->model);
+    if (!sets.ok()) {
+      err << "error: " << sets.error().ToString() << "\n";
+      return 2;
+    }
+    policy::HybridConfig policy_config;
+    policy_config.amplification = amplification.value();
+    const auto policy = core::MakeSetScheduler(bundle->trace, sets.value(),
+                                               bundle->train, policy_config);
+    const auto sim = sim::Simulate(bundle->trace, bundle->eval, *policy);
+    core::MethodResult r;
+    r.method = core::Method::kDefuse;
+    r.amplification = amplification.value();
+    r.cold_start_rates = sim.FunctionColdStartRates(policy->unit_map());
+    r.p75_cold_start_rate = sim.ColdStartRatePercentile(policy->unit_map(),
+                                                        0.75);
+    r.mean_cold_start_rate = stats::Mean(r.cold_start_rates);
+    r.event_cold_fraction =
+        sim.function_invocation_minutes == 0
+            ? 0.0
+            : static_cast<double>(sim.function_cold_minutes) /
+                  static_cast<double>(sim.function_invocation_minutes);
+    r.avg_memory = sim.AverageMemoryUsage();
+    r.avg_loading = sim.AverageLoadingFunctions();
+    r.num_units = policy->unit_map().num_units();
+    out << "(using pre-mined dependency sets from " << *sets_path << ")\n";
+    PrintMetrics(r, out);
+    return 0;
+  }
+
+  const auto method = ParseMethod(flags.GetOr("method", "defuse"));
+  if (!method) {
+    err << "error: unknown --method '" << flags.GetOr("method", "") << "'\n";
+    return 1;
+  }
+  policy::HybridConfig policy_config;
+  policy_config.use_ar_fallback = flags.Has("ar-fallback");
+  core::ExperimentDriver driver{bundle->model, bundle->trace, bundle->train,
+                                bundle->eval, core::DefuseConfig{},
+                                policy_config};
+  PrintMetrics(driver.Run(*method, amplification.value()), out);
+  return 0;
+}
+
+int CmdSweep(const FlagParser& flags, std::ostream& out, std::ostream& err) {
+  const auto bundle = LoadTrace(flags, err);
+  if (!bundle) return 1;
+  std::vector<double> amplifications;
+  {
+    const std::string spec = flags.GetOr("amplifications", "1,2,4");
+    std::istringstream stream{spec};
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+      const auto value = ParseDouble(token);
+      if (!value.ok() || value.value() <= 0) {
+        err << "error: bad --amplifications entry '" << token << "'\n";
+        return 1;
+      }
+      amplifications.push_back(value.value());
+    }
+  }
+  core::ExperimentDriver driver{bundle->model, bundle->trace, bundle->train,
+                                bundle->eval};
+  out << "method,amplification,avg_memory,p75_cold_start_rate,"
+         "avg_loads_per_minute\n";
+  for (const auto method :
+       {core::Method::kDefuse, core::Method::kHybridFunction,
+        core::Method::kHybridApplication}) {
+    for (const double a : amplifications) {
+      const auto r = driver.Run(method, a);
+      char line[160];
+      std::snprintf(line, sizeof line, "%s,%.2f,%.1f,%.4f,%.2f\n",
+                    core::MethodName(method), a, r.avg_memory,
+                    r.p75_cold_start_rate, r.avg_loading);
+      out << line;
+    }
+  }
+  return 0;
+}
+
+int CmdFilter(const FlagParser& flags, std::ostream& out,
+              std::ostream& err) {
+  const auto bundle = LoadTrace(flags, err);
+  if (!bundle) return 1;
+  const auto out_path = flags.Get("out");
+  if (!out_path) {
+    err << "error: --out is required\n";
+    return 1;
+  }
+  const auto sample = flags.GetInt("sample-users", 0);
+  const auto first_days = flags.GetInt("first-days", 0);
+  const auto seed = flags.GetInt("seed", 1);
+  if (!sample.ok() || !first_days.ok() || !seed.ok()) {
+    err << "error: malformed numeric flag\n";
+    return 1;
+  }
+  if (sample.value() <= 0 && first_days.value() <= 0) {
+    err << "error: give --sample-users and/or --first-days\n";
+    return 1;
+  }
+
+  trace::LoadedTrace current{.model = std::move(bundle->model),
+                             .trace = std::move(bundle->trace)};
+  if (sample.value() > 0) {
+    Rng rng{static_cast<std::uint64_t>(seed.value())};
+    current = trace::SampleUsers(current.model, current.trace,
+                                 static_cast<std::size_t>(sample.value()),
+                                 rng);
+  }
+  if (first_days.value() > 0) {
+    const Minute limit = std::min<Minute>(
+        first_days.value() * kMinutesPerDay, current.trace.horizon().end);
+    current = trace::SliceTime(current.model, current.trace,
+                               TimeRange{0, limit});
+  }
+  if (!WriteOrReport(*out_path,
+                     trace::WriteLongCsv(current.model, current.trace),
+                     err)) {
+    return 2;
+  }
+  out << "wrote " << *out_path << ": " << current.model.num_users()
+      << " users, " << current.model.num_functions() << " functions, "
+      << current.trace.TotalInvocations(current.trace.horizon())
+      << " invocations over "
+      << current.trace.horizon().length() / kMinutesPerDay << " days\n";
+  return 0;
+}
+
+int CmdAdaptive(const FlagParser& flags, std::ostream& out,
+                std::ostream& err) {
+  const auto bundle = LoadTrace(flags, err);
+  if (!bundle) return 1;
+  const auto last_days = flags.GetInt("last-days", 2);
+  const auto epoch_days = flags.GetInt("epoch-days", 1);
+  const auto window_days = flags.GetInt("window-days", 4);
+  if (!last_days.ok() || !epoch_days.ok() || !window_days.ok() ||
+      last_days.value() < 1 || epoch_days.value() < 1 ||
+      window_days.value() < 1) {
+    err << "error: --last-days/--epoch-days/--window-days must be positive "
+           "integers\n";
+    return 1;
+  }
+  const TimeRange horizon = bundle->trace.horizon();
+  const Minute span_begin = std::max<Minute>(
+      horizon.begin, horizon.end - last_days.value() * kMinutesPerDay);
+
+  core::AdaptiveConfig config;
+  config.remine_interval = epoch_days.value() * kMinutesPerDay;
+  config.mining_window = window_days.value() * kMinutesPerDay;
+  const auto result =
+      core::RunAdaptive(bundle->model, bundle->trace,
+                        TimeRange{span_begin, horizon.end}, config);
+
+  out << "epoch,mined_days,dependency_sets,avg_memory,cold_fraction\n";
+  for (std::size_t i = 0; i < result.epochs.size(); ++i) {
+    const auto& epoch = result.epochs[i];
+    std::uint64_t invoked = 0, cold = 0;
+    for (const auto& [inv, c] : epoch.function_counts) {
+      invoked += inv;
+      cold += c;
+    }
+    char line[128];
+    std::snprintf(line, sizeof line, "%zu,%.1f,%zu,%.1f,%.4f\n", i,
+                  static_cast<double>(epoch.mined_from.length()) /
+                      static_cast<double>(kMinutesPerDay),
+                  epoch.dependency_sets, epoch.sim.AverageMemoryUsage(),
+                  invoked == 0 ? 0.0
+                               : static_cast<double>(cold) /
+                                     static_cast<double>(invoked));
+    out << line;
+  }
+  const auto rates = result.FunctionColdStartRates();
+  out << "aggregate: p75 function cold-start rate "
+      << stats::Percentile(rates, 0.75) << ", avg memory "
+      << result.AverageMemoryUsage() << "\n";
+  return 0;
+}
+
+int CmdCompare(const FlagParser& flags, std::ostream& out,
+               std::ostream& err) {
+  const auto bundle = LoadTrace(flags, err);
+  if (!bundle) return 1;
+  const auto budget_factor = flags.GetDouble("budget-factor", 0.85);
+  if (!budget_factor.ok() || budget_factor.value() <= 0) {
+    err << "error: --budget-factor must be a positive number\n";
+    return 1;
+  }
+  core::ExperimentDriver driver{bundle->model, bundle->trace, bundle->train,
+                                bundle->eval};
+
+  // The paper's procedure (§V.C): Hybrid-Application at its natural
+  // point; Defuse and Hybrid-Function restricted to a memory budget.
+  const auto ha = driver.Run(core::Method::kHybridApplication, 1.0);
+  const auto fit_budget = [&](core::Method method, double budget) {
+    core::MethodResult best = driver.Run(method, 0.25);
+    for (const double a : {0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0,
+                           6.0, 8.0}) {
+      auto r = driver.Run(method, a);
+      if (r.avg_memory <= budget) best = std::move(r);
+    }
+    return best;
+  };
+  const auto defuse = fit_budget(core::Method::kDefuse,
+                                 budget_factor.value() * ha.avg_memory);
+  const auto hf = fit_budget(core::Method::kHybridFunction, ha.avg_memory);
+
+  out << "method,amplification,p75_cold_start_rate,avg_memory,"
+         "avg_loads_per_minute\n";
+  for (const auto* r : {&defuse, &hf, &ha}) {
+    char line[160];
+    std::snprintf(line, sizeof line, "%s,%.2f,%.4f,%.1f,%.2f\n",
+                  core::MethodName(r->method), r->amplification,
+                  r->p75_cold_start_rate, r->avg_memory, r->avg_loading);
+    out << line;
+  }
+  char headline[256];
+  std::snprintf(headline, sizeof headline,
+                "Defuse vs Hybrid-Application: p75 %+.1f%%, memory %+.1f%%, "
+                "loads %+.1f%% (paper: -35%% / -20%% / -79%%)\n",
+                100.0 * (defuse.p75_cold_start_rate /
+                             ha.p75_cold_start_rate -
+                         1.0),
+                100.0 * (defuse.avg_memory / ha.avg_memory - 1.0),
+                100.0 * (defuse.avg_loading / ha.avg_loading - 1.0));
+  out << headline;
+  return 0;
+}
+
+int CmdReplay(const FlagParser& flags, std::ostream& out, std::ostream& err) {
+  const auto bundle = LoadTrace(flags, err);
+  if (!bundle) return 1;
+  const auto remine_days = flags.GetInt("remine-days", 1);
+  const auto window_days = flags.GetInt("window-days", 4);
+  if (!remine_days.ok() || !window_days.ok() || remine_days.value() < 1 ||
+      window_days.value() < 1) {
+    err << "error: --remine-days/--window-days must be positive integers\n";
+    return 1;
+  }
+
+  platform::PlatformConfig config;
+  config.horizon = bundle->trace.horizon().end;
+  config.remine_interval = remine_days.value() * kMinutesPerDay;
+  config.mining_window = window_days.value() * kMinutesPerDay;
+  platform::Platform engine{bundle->model, config};
+
+  const auto index = bundle->trace.BuildMinuteIndex(bundle->trace.horizon());
+  std::uint64_t day_invocations = 0, day_cold = 0;
+  Minute day = 0;
+  out << "day,invocations,cold_fraction,dependency_sets\n";
+  for (Minute t = 0; t < bundle->trace.horizon().end; ++t) {
+    for (const auto& [fn, count] : index.at(t)) {
+      const auto outcome = engine.Invoke(fn, t);
+      ++day_invocations;
+      day_cold += outcome.cold ? 1 : 0;
+    }
+    if ((t + 1) % kMinutesPerDay == 0 ||
+        t + 1 == bundle->trace.horizon().end) {
+      char line[96];
+      std::snprintf(line, sizeof line, "%lld,%llu,%.4f,%zu\n",
+                    static_cast<long long>(day),
+                    static_cast<unsigned long long>(day_invocations),
+                    day_invocations == 0
+                        ? 0.0
+                        : static_cast<double>(day_cold) /
+                              static_cast<double>(day_invocations),
+                    engine.units().num_units());
+      out << line;
+      day_invocations = day_cold = 0;
+      ++day;
+    }
+  }
+  out << "total: " << engine.stats().invocations << " invocations, cold "
+      << engine.stats().cold_fraction() << ", " << engine.stats().remines
+      << " re-mines\n";
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(std::span<const std::string> args, std::ostream& out,
+           std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << kUsage;
+    return args.empty() ? 1 : 0;
+  }
+  const std::string& command = args[0];
+  const FlagParser flags{args.subspan(1)};
+  if (command == "generate") return CmdGenerate(flags, out, err);
+  if (command == "inspect") return CmdInspect(flags, out, err);
+  if (command == "mine") return CmdMine(flags, out, err);
+  if (command == "simulate") return CmdSimulate(flags, out, err);
+  if (command == "sweep") return CmdSweep(flags, out, err);
+  if (command == "filter") return CmdFilter(flags, out, err);
+  if (command == "adaptive") return CmdAdaptive(flags, out, err);
+  if (command == "replay") return CmdReplay(flags, out, err);
+  if (command == "compare") return CmdCompare(flags, out, err);
+  err << "error: unknown command '" << command << "'\n" << kUsage;
+  return 1;
+}
+
+}  // namespace defuse::cli

@@ -1,0 +1,71 @@
+#include "common/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace defuse {
+
+std::vector<std::string_view> SplitCsvLine(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+Result<std::uint64_t> ParseU64(std::string_view field) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    return Error{ErrorCode::kParseError,
+                 "expected unsigned integer, got '" + std::string{field} + "'"};
+  }
+  return value;
+}
+
+Result<double> ParseDouble(std::string_view field) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    return Error{ErrorCode::kParseError,
+                 "expected floating point, got '" + std::string{field} + "'"};
+  }
+  return value;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    return Error{ErrorCode::kIoError, "cannot open file for read: " + path};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Error{ErrorCode::kIoError, "read failure on: " + path};
+  }
+  return std::move(buffer).str();
+}
+
+Result<bool> WriteFile(const std::string& path, std::string_view content) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out) {
+    return Error{ErrorCode::kIoError, "cannot open file for write: " + path};
+  }
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) {
+    return Error{ErrorCode::kIoError, "write failure on: " + path};
+  }
+  return true;
+}
+
+}  // namespace defuse

@@ -1,0 +1,49 @@
+// Small CSV reading/writing utilities, sufficient for the Azure-schema
+// trace files. No quoting support: none of our fields contain commas.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace defuse {
+
+/// Splits one CSV line into fields (no quoting / escaping).
+[[nodiscard]] std::vector<std::string_view> SplitCsvLine(
+    std::string_view line);
+
+/// Parses a non-negative integer field. Rejects empty/garbage input.
+[[nodiscard]] Result<std::uint64_t> ParseU64(std::string_view field);
+
+/// Parses a double field.
+[[nodiscard]] Result<double> ParseDouble(std::string_view field);
+
+/// Reads a whole file into memory. Errors if the file cannot be opened.
+[[nodiscard]] Result<std::string> ReadFile(const std::string& path);
+
+/// Writes content to a file, truncating. Errors on failure.
+[[nodiscard]] Result<bool> WriteFile(const std::string& path,
+                                     std::string_view content);
+
+/// Iterates lines of a buffer (skipping a trailing empty line), calling
+/// fn(line_number, line). Stops early and returns the error if fn errors.
+template <typename Fn>
+Result<std::size_t> ForEachLine(std::string_view buffer, Fn&& fn) {
+  std::size_t line_number = 0;
+  std::size_t pos = 0;
+  while (pos < buffer.size()) {
+    std::size_t eol = buffer.find('\n', pos);
+    if (eol == std::string_view::npos) eol = buffer.size();
+    std::string_view line = buffer.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    ++line_number;
+    if (auto res = fn(line_number, line); !res.ok()) return res.error();
+    pos = eol + 1;
+  }
+  return line_number;
+}
+
+}  // namespace defuse

@@ -1,0 +1,104 @@
+#include "common/flags.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace defuse {
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  Parse(tokens);
+}
+
+FlagParser::FlagParser(std::span<const std::string> tokens) { Parse(tokens); }
+
+void FlagParser::Parse(std::span<const std::string> tokens) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(token);
+      continue;
+    }
+    const std::string_view body{token.data() + 2, token.size() - 2};
+    const std::size_t eq = body.find('=');
+    if (eq != std::string_view::npos) {
+      flags_.emplace_back(std::string{body.substr(0, eq)},
+                          std::string{body.substr(eq + 1)});
+      continue;
+    }
+    // "--name value" when the next token is not itself a flag.
+    if (i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0) {
+      flags_.emplace_back(std::string{body}, tokens[i + 1]);
+      ++i;
+    } else {
+      flags_.emplace_back(std::string{body}, "true");
+    }
+  }
+}
+
+std::optional<std::string> FlagParser::Get(std::string_view name) const {
+  // Last occurrence wins, so repeated flags behave like overrides.
+  std::optional<std::string> value;
+  for (const auto& [flag, v] : flags_) {
+    if (flag == name) value = v;
+  }
+  return value;
+}
+
+std::string FlagParser::GetOr(std::string_view name,
+                              std::string_view fallback) const {
+  const auto value = Get(name);
+  return value ? *value : std::string{fallback};
+}
+
+bool FlagParser::Has(std::string_view name) const {
+  return std::any_of(flags_.begin(), flags_.end(),
+                     [&](const auto& kv) { return kv.first == name; });
+}
+
+Result<std::int64_t> FlagParser::GetInt(std::string_view name,
+                                        std::int64_t fallback) const {
+  const auto value = Get(name);
+  if (!value) return fallback;
+  std::int64_t parsed = 0;
+  const char* begin = value->data();
+  const char* end = begin + value->size();
+  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+  if (ec != std::errc{} || ptr != end) {
+    return Error{ErrorCode::kParseError,
+                 "--" + std::string{name} + " expects an integer, got '" +
+                     *value + "'"};
+  }
+  return parsed;
+}
+
+Result<double> FlagParser::GetDouble(std::string_view name,
+                                     double fallback) const {
+  const auto value = Get(name);
+  if (!value) return fallback;
+  double parsed = 0.0;
+  const char* begin = value->data();
+  const char* end = begin + value->size();
+  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+  if (ec != std::errc{} || ptr != end) {
+    return Error{ErrorCode::kParseError,
+                 "--" + std::string{name} + " expects a number, got '" +
+                     *value + "'"};
+  }
+  return parsed;
+}
+
+std::vector<std::string> FlagParser::UnknownFlags(
+    std::span<const std::string_view> known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [flag, value] : flags_) {
+    if (std::find(known.begin(), known.end(), flag) == known.end() &&
+        std::find(unknown.begin(), unknown.end(), flag) == unknown.end()) {
+      unknown.push_back(flag);
+    }
+  }
+  return unknown;
+}
+
+}  // namespace defuse

@@ -1,0 +1,62 @@
+// Minimal command-line flag parsing for the CLI tool and examples.
+//
+// Supported syntax:
+//   --name=value
+//   --name value        (when the next token does not start with "--")
+//   --flag              (boolean, value "true")
+//   positional          (anything not starting with "--")
+//
+// Parsing never fails; typed getters return Result so callers can give
+// precise messages for malformed values.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace defuse {
+
+class FlagParser {
+ public:
+  /// Parses argv[1..argc). argv[0] (the program name) is skipped.
+  FlagParser(int argc, const char* const* argv);
+  /// Parses a token list directly (tests, embedding).
+  explicit FlagParser(std::span<const std::string> tokens);
+
+  /// Raw string value of a flag, if present.
+  [[nodiscard]] std::optional<std::string> Get(std::string_view name) const;
+  /// String value with a default.
+  [[nodiscard]] std::string GetOr(std::string_view name,
+                                  std::string_view fallback) const;
+  /// True if the flag appeared at all (with or without a value).
+  [[nodiscard]] bool Has(std::string_view name) const;
+
+  /// Typed getters; absent flags yield the fallback, malformed values an
+  /// error naming the flag.
+  [[nodiscard]] Result<std::int64_t> GetInt(std::string_view name,
+                                            std::int64_t fallback) const;
+  [[nodiscard]] Result<double> GetDouble(std::string_view name,
+                                         double fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Flags present on the command line but not in `known` — for "unknown
+  /// flag" diagnostics. `known` holds bare names (no leading dashes).
+  [[nodiscard]] std::vector<std::string> UnknownFlags(
+      std::span<const std::string_view> known) const;
+
+ private:
+  void Parse(std::span<const std::string> tokens);
+
+  std::vector<std::pair<std::string, std::string>> flags_;  // name -> value
+  std::vector<std::string> positional_;
+};
+
+}  // namespace defuse

@@ -1,0 +1,70 @@
+// Strongly-typed identifiers for the entities of a FaaS platform.
+//
+// The Azure public dataset (and our synthetic equivalent) identifies three
+// kinds of entities: users (clients/owners), applications, and serverless
+// functions. All three are dense 0-based indices in this codebase, but
+// mixing them up is a classic source of silent bugs in matrix-heavy mining
+// code, so each gets its own phantom-tagged wrapper type.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace defuse {
+
+/// A dense, 0-based identifier tagged with a phantom type so that ids of
+/// different entity kinds do not implicitly convert into each other.
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+
+  constexpr Id() noexcept = default;
+  constexpr explicit Id(value_type v) noexcept : value_(v) {}
+
+  /// The raw index, for use as a container subscript.
+  [[nodiscard]] constexpr value_type value() const noexcept { return value_; }
+
+  /// Invalid sentinel (max value); default-constructed ids are invalid.
+  [[nodiscard]] static constexpr Id invalid() noexcept {
+    return Id{std::numeric_limits<value_type>::max()};
+  }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value_ != std::numeric_limits<value_type>::max();
+  }
+
+  friend constexpr bool operator==(Id a, Id b) noexcept = default;
+  friend constexpr auto operator<=>(Id a, Id b) noexcept = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    return os << id.value_;
+  }
+
+ private:
+  value_type value_ = std::numeric_limits<value_type>::max();
+};
+
+/// A serverless function (the unit the platform loads and invokes).
+using FunctionId = Id<struct FunctionIdTag>;
+/// An application: a set of functions deployed together by one user.
+using AppId = Id<struct AppIdTag>;
+/// A user/client: the owner of one or more applications.
+using UserId = Id<struct UserIdTag>;
+/// A scheduling unit: what a policy loads/evicts atomically. Depending on
+/// granularity a unit is a single function, an application, or a
+/// dependency set.
+using UnitId = Id<struct UnitIdTag>;
+
+}  // namespace defuse
+
+namespace std {
+template <typename Tag>
+struct hash<defuse::Id<Tag>> {
+  size_t operator()(defuse::Id<Tag> id) const noexcept {
+    return std::hash<typename defuse::Id<Tag>::value_type>{}(id.value());
+  }
+};
+}  // namespace std

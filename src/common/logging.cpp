@@ -1,0 +1,34 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace defuse {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+constexpr const char* LevelName(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) noexcept { g_level.store(level); }
+LogLevel GetLogLevel() noexcept { return g_level.load(); }
+
+namespace internal {
+void Emit(LogLevel level, std::string_view message) {
+  std::fprintf(stderr, "[defuse %s] %.*s\n", LevelName(level),
+               static_cast<int>(message.size()), message.data());
+}
+}  // namespace internal
+
+}  // namespace defuse

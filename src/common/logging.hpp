@@ -1,0 +1,50 @@
+// Minimal leveled logging to stderr. The simulator and pipeline are
+// libraries, so logging is off by default and enabled by the binaries
+// (benches, examples) that want progress output.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace defuse {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level) noexcept;
+[[nodiscard]] LogLevel GetLogLevel() noexcept;
+
+namespace internal {
+void Emit(LogLevel level, std::string_view message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) noexcept : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace defuse
+
+#define DEFUSE_LOG(level)                                       \
+  if (static_cast<int>(level) < static_cast<int>(::defuse::GetLogLevel())) \
+    ;                                                           \
+  else                                                          \
+    ::defuse::internal::LogLine(level)
+
+#define DEFUSE_LOG_DEBUG DEFUSE_LOG(::defuse::LogLevel::kDebug)
+#define DEFUSE_LOG_INFO DEFUSE_LOG(::defuse::LogLevel::kInfo)
+#define DEFUSE_LOG_WARN DEFUSE_LOG(::defuse::LogLevel::kWarn)
+#define DEFUSE_LOG_ERROR DEFUSE_LOG(::defuse::LogLevel::kError)

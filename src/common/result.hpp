@@ -1,0 +1,81 @@
+// A minimal Result<T> for fallible operations (I/O, parsing, config
+// validation) in a codebase that otherwise avoids exceptions on hot paths.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace defuse {
+
+enum class ErrorCode {
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kParseError,
+  kOutOfRange,
+  kFailedPrecondition,
+};
+
+[[nodiscard]] constexpr const char* ErrorCodeName(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kIoError: return "io_error";
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kFailedPrecondition: return "failed_precondition";
+  }
+  return "unknown";
+}
+
+struct Error {
+  ErrorCode code = ErrorCode::kInvalidArgument;
+  std::string message;
+
+  [[nodiscard]] std::string ToString() const {
+    return std::string{ErrorCodeName(code)} + ": " + message;
+  }
+};
+
+/// Either a value or an Error. Intentionally tiny: exactly the surface the
+/// trace loaders and config validators need.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Error error) : state_(std::move(error)) {}        // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(state_);
+  }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  [[nodiscard]] const Error& error() const& {
+    assert(!ok());
+    return std::get<Error>(state_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+}  // namespace defuse

@@ -1,0 +1,137 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace defuse {
+namespace {
+
+constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // SplitMix64 expansion, as recommended by the xoshiro authors; guards
+  // against the all-zero state.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(sm);
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::Next() noexcept {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::Fork(std::uint64_t stream_id) noexcept {
+  // Mix the child stream id with fresh output so forks with different ids
+  // (and successive forks with the same id) are decorrelated.
+  std::uint64_t sm = Next() ^ (stream_id * 0x9e3779b97f4a7c15ULL);
+  return Rng{SplitMix64(sm)};
+}
+
+double Rng::NextDouble() noexcept {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::NextBelow(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  __extension__ using u128 = unsigned __int128;
+  std::uint64_t x = Next();
+  u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<u128>(x) * static_cast<u128>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::NextInRange(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(NextBelow(span));
+}
+
+bool Rng::NextBernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() noexcept {
+  // Box-Muller; u1 is kept away from 0 so log() is finite.
+  const double u1 = 1.0 - NextDouble();
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::NextExponential(double lambda) noexcept {
+  const double u = 1.0 - NextDouble();
+  return -std::log(u) / lambda;
+}
+
+std::uint32_t Rng::NextPoisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's multiplication method.
+    const double limit = std::exp(-mean);
+    double product = NextDouble();
+    std::uint32_t n = 0;
+    while (product > limit) {
+      product *= NextDouble();
+      ++n;
+    }
+    return n;
+  }
+  // Normal approximation with continuity correction is adequate for the
+  // large means the workload generator uses (errors well under the noise
+  // floor of the trace model).
+  const double sample = mean + std::sqrt(mean) * NextGaussian() + 0.5;
+  return sample <= 0.0 ? 0u : static_cast<std::uint32_t>(sample);
+}
+
+std::uint64_t Rng::NextZipf(std::uint64_t n, double s) noexcept {
+  // One-shot convenience path; hot loops should hold a ZipfSampler.
+  const ZipfSampler sampler{n, s};
+  return sampler.Sample(*this);
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) {
+  cumulative_.resize(n);
+  double total = 0.0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cumulative_[k] = total;
+  }
+  for (auto& c : cumulative_) c /= total;
+  cumulative_.back() = 1.0;  // guard against rounding
+}
+
+std::uint64_t ZipfSampler::Sample(Rng& rng) const noexcept {
+  const double u = rng.NextDouble();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::uint64_t>(it - cumulative_.begin());
+}
+
+double ZipfSampler::Pmf(std::uint64_t k) const noexcept {
+  if (k >= cumulative_.size()) return 0.0;
+  return k == 0 ? cumulative_[0] : cumulative_[k] - cumulative_[k - 1];
+}
+
+}  // namespace defuse

@@ -1,0 +1,38 @@
+// Discrete time model.
+//
+// The Azure trace records invocation counts at minute granularity, so the
+// whole system — trace, mining windows, simulator ticks, pre-warm and
+// keep-alive timers — operates on integral minutes since trace start.
+#pragma once
+
+#include <cstdint>
+
+namespace defuse {
+
+/// A point in time, in minutes since the start of the trace.
+using Minute = std::int64_t;
+
+/// A span of time, in minutes.
+using MinuteDelta = std::int64_t;
+
+inline constexpr Minute kMinutesPerHour = 60;
+inline constexpr Minute kMinutesPerDay = 24 * kMinutesPerHour;
+
+/// A half-open time interval [begin, end) in minutes.
+struct TimeRange {
+  Minute begin = 0;
+  Minute end = 0;
+
+  [[nodiscard]] constexpr MinuteDelta length() const noexcept {
+    return end - begin;
+  }
+  [[nodiscard]] constexpr bool contains(Minute t) const noexcept {
+    return t >= begin && t < end;
+  }
+  [[nodiscard]] constexpr bool empty() const noexcept { return end <= begin; }
+
+  friend constexpr bool operator==(const TimeRange&,
+                                   const TimeRange&) noexcept = default;
+};
+
+}  // namespace defuse

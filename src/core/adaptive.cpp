@@ -1,0 +1,91 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+
+namespace defuse::core {
+
+std::vector<double> AdaptiveResult::FunctionColdStartRates() const {
+  if (epochs.empty()) return {};
+  const std::size_t n = epochs.front().function_counts.size();
+  std::vector<std::uint64_t> invoked(n, 0), cold(n, 0);
+  for (const auto& epoch : epochs) {
+    for (std::size_t f = 0; f < n; ++f) {
+      invoked[f] += epoch.function_counts[f].first;
+      cold[f] += epoch.function_counts[f].second;
+    }
+  }
+  std::vector<double> rates;
+  for (std::size_t f = 0; f < n; ++f) {
+    if (invoked[f] == 0) continue;
+    rates.push_back(static_cast<double>(cold[f]) /
+                    static_cast<double>(invoked[f]));
+  }
+  return rates;
+}
+
+double AdaptiveResult::AverageMemoryUsage() const {
+  std::uint64_t total = 0;
+  std::size_t minutes = 0;
+  for (const auto& epoch : epochs) {
+    for (const auto v : epoch.sim.loaded_functions) total += v;
+    minutes += epoch.sim.loaded_functions.size();
+  }
+  return minutes == 0 ? 0.0
+                      : static_cast<double>(total) /
+                            static_cast<double>(minutes);
+}
+
+AdaptiveResult RunAdaptive(const trace::WorkloadModel& model,
+                           const trace::InvocationTrace& trace,
+                           TimeRange span, const AdaptiveConfig& config) {
+  assert(config.remine_interval > 0);
+  assert(config.mining_window > 0);
+  AdaptiveResult result;
+  for (Minute epoch_start = span.begin; epoch_start < span.end;
+       epoch_start += config.remine_interval) {
+    AdaptiveEpoch epoch;
+    epoch.simulated = TimeRange{
+        epoch_start,
+        std::min<Minute>(epoch_start + config.remine_interval, span.end)};
+    epoch.mined_from = TimeRange{
+        std::max<Minute>(trace.horizon().begin,
+                         epoch_start - config.mining_window),
+        epoch_start};
+    if (epoch.mined_from.empty()) {
+      // Nothing to mine from yet: schedule everything as singletons.
+      epoch.mined_from = TimeRange{trace.horizon().begin,
+                                   trace.horizon().begin};
+    }
+
+    const auto mining =
+        MineDependencies(trace, model, epoch.mined_from, config.mining);
+    epoch.dependency_sets = mining.sets.size();
+    const auto policy = MakeDefuseScheduler(trace, mining, epoch.mined_from,
+                                            config.policy);
+    epoch.sim = sim::Simulate(trace, epoch.simulated, *policy);
+
+    const auto& units = policy->unit_map();
+    epoch.function_counts.assign(model.num_functions(), {0, 0});
+    for (std::size_t f = 0; f < model.num_functions(); ++f) {
+      const FunctionId fn{static_cast<std::uint32_t>(f)};
+      // A function's epoch counts: its own invoked minutes, with
+      // coldness inherited from its unit (paper §V.B).
+      const auto own_minutes = trace.ActiveMinutes(fn, epoch.simulated);
+      if (own_minutes == 0) continue;
+      const UnitId unit = units.unit_of(fn);
+      const auto unit_invoked = epoch.sim.unit_invoked_minutes[unit.value()];
+      if (unit_invoked == 0) continue;
+      const double unit_rate =
+          static_cast<double>(epoch.sim.unit_cold_minutes[unit.value()]) /
+          static_cast<double>(unit_invoked);
+      epoch.function_counts[f] = {
+          own_minutes,
+          static_cast<std::uint64_t>(
+              unit_rate * static_cast<double>(own_minutes) + 0.5)};
+    }
+    result.epochs.push_back(std::move(epoch));
+  }
+  return result;
+}
+
+}  // namespace defuse::core

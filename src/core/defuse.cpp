@@ -1,0 +1,147 @@
+#include "core/defuse.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace defuse::core {
+namespace {
+
+/// Seeds every unit's histogram from the unit's group idle times over the
+/// training window.
+void SeedFromTraining(policy::HybridHistogramPolicy& policy,
+                      const trace::InvocationTrace& trace, TimeRange train) {
+  const sim::UnitMap& units = policy.unit_map();
+  mining::PredictabilityConfig hist_shape;
+  hist_shape.histogram_bins = policy.config().histogram_bins;
+  hist_shape.histogram_bin_width = policy.config().histogram_bin_width;
+  for (std::size_t u = 0; u < units.num_units(); ++u) {
+    const UnitId unit{static_cast<std::uint32_t>(u)};
+    const auto hist = mining::BuildGroupItHistogram(
+        trace, units.functions_of(unit), train, hist_shape);
+    if (hist.total() > 0) policy.SeedHistogram(unit, hist);
+  }
+}
+
+}  // namespace
+
+const char* ValidateDefuseConfig(const DefuseConfig& config) {
+  if (!config.use_strong && !config.use_weak) {
+    return "at least one of use_strong / use_weak must be set";
+  }
+  if (config.window_minutes < 1) return "window_minutes must be >= 1";
+  if (config.support <= 0 || config.support > 1) {
+    return "support must be in (0, 1]";
+  }
+  if (config.universe_window < 2) return "universe_window must be >= 2";
+  if (config.universe_stride < 1 ||
+      config.universe_stride > config.universe_window) {
+    return "universe_stride must be in [1, universe_window]";
+  }
+  if (config.top_k < 1) return "top_k must be >= 1";
+  if (config.cv_threshold < 0) return "cv_threshold must be >= 0";
+  return nullptr;
+}
+
+MiningOutput MineDependencies(const trace::InvocationTrace& trace,
+                              const trace::WorkloadModel& model,
+                              TimeRange train, const DefuseConfig& config) {
+  graph::DependencyGraph graph{model.num_functions()};
+  MiningOutput output{.graph = std::move(graph),
+                      .sets = {},
+                      .predictability = {},
+                      .num_frequent_itemsets = 0,
+                      .num_weak_dependencies = 0};
+
+  // Predictability is needed by weak mining; it is also part of the
+  // output because the scheduling stage reuses the classification.
+  output.predictability = mining::ClassifyFunctions(
+      trace, model, train, config.MakePredictabilityConfig());
+
+  Rng rng{config.mining_seed};
+  const auto transaction_config = config.MakeTransactionConfig();
+  const auto fpgrowth_config = config.MakeFpGrowthConfig();
+  const auto ppmi_config = config.MakePpmiConfig();
+
+  for (const auto& user : model.users()) {
+    if (config.use_strong) {
+      // Strong dependencies: frequent itemsets over the user's
+      // transactions, mined per universe window (paper §V.A).
+      const auto transactions = mining::BuildUserTransactions(
+          trace, model, user.id, train, transaction_config);
+      if (!transactions.empty()) {
+        auto universe = model.FunctionsOfUser(user.id);
+        const auto windows =
+            mining::SplitUniverse(std::move(universe), config.universe_window,
+                                  config.universe_stride, rng);
+        for (const auto& window : windows) {
+          const auto projected =
+              mining::ProjectTransactions(transactions, window);
+          if (projected.empty()) continue;
+          const auto itemsets =
+              mining::MineFrequentItemsets(projected, fpgrowth_config);
+          for (const auto& itemset : itemsets) {
+            output.graph.AddStrongItemset(itemset);
+          }
+          output.num_frequent_itemsets += itemsets.size();
+        }
+      }
+    }
+    if (config.use_weak) {
+      const auto weak = mining::MineWeakDependencies(
+          trace, model, user.id, output.predictability.predictable, train,
+          ppmi_config);
+      for (const auto& dep : weak) output.graph.AddWeakDependency(dep);
+      output.num_weak_dependencies += weak.size();
+    }
+  }
+
+  output.graph.Canonicalize();
+  output.sets = output.graph.ConnectedComponents();
+  DEFUSE_LOG_INFO << "mining: " << output.num_frequent_itemsets
+                  << " frequent itemsets, " << output.num_weak_dependencies
+                  << " weak dependencies, " << output.sets.size()
+                  << " dependency sets over " << model.num_functions()
+                  << " functions";
+  return output;
+}
+
+std::unique_ptr<policy::HybridHistogramPolicy> MakeDefuseScheduler(
+    const trace::InvocationTrace& trace, const MiningOutput& mining,
+    TimeRange train, const policy::HybridConfig& policy_config) {
+  return MakeSetScheduler(trace, mining.sets, train, policy_config);
+}
+
+std::unique_ptr<policy::HybridHistogramPolicy> MakeSetScheduler(
+    const trace::InvocationTrace& trace,
+    const std::vector<graph::DependencySet>& sets, TimeRange train,
+    const policy::HybridConfig& policy_config) {
+  auto units = sim::UnitMap::FromDependencySets(sets, trace.num_functions());
+  auto policy = std::make_unique<policy::HybridHistogramPolicy>(
+      std::move(units), policy_config);
+  SeedFromTraining(*policy, trace, train);
+  return policy;
+}
+
+std::unique_ptr<policy::HybridHistogramPolicy> MakeHybridFunctionScheduler(
+    const trace::InvocationTrace& trace, const trace::WorkloadModel& model,
+    TimeRange train, const policy::HybridConfig& policy_config) {
+  auto policy = std::make_unique<policy::HybridHistogramPolicy>(
+      sim::UnitMap::PerFunction(model.num_functions()), policy_config);
+  SeedFromTraining(*policy, trace, train);
+  return policy;
+}
+
+std::unique_ptr<policy::HybridHistogramPolicy>
+MakeHybridApplicationScheduler(const trace::InvocationTrace& trace,
+                               const trace::WorkloadModel& model,
+                               TimeRange train,
+                               const policy::HybridConfig& policy_config) {
+  auto policy = std::make_unique<policy::HybridHistogramPolicy>(
+      sim::UnitMap::PerApplication(model), policy_config);
+  SeedFromTraining(*policy, trace, train);
+  return policy;
+}
+
+}  // namespace defuse::core

@@ -1,0 +1,121 @@
+// Defuse: the dependency-guided function scheduler (paper §IV).
+//
+// This is the paper's primary contribution, assembled from the substrate
+// libraries:
+//
+//   invocation history --(FP-Growth)--> strong dependencies --+
+//                                                              +-> graph
+//   invocation history --(CV + PPMI)--> weak dependencies   --+
+//
+//   dependency graph --(union-find)--> dependency sets
+//   dependency sets  --(hybrid histogram policy per set)--> scheduler
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/time.hpp"
+#include "graph/dependency_graph.hpp"
+#include "mining/cooccurrence.hpp"
+#include "mining/fpgrowth.hpp"
+#include "mining/predictability.hpp"
+#include "mining/transactions.hpp"
+#include "policy/hybrid.hpp"
+#include "trace/invocation_trace.hpp"
+#include "trace/model.hpp"
+
+namespace defuse::core {
+
+struct DefuseConfig {
+  /// Include strong (FP-Growth) dependencies. Disabling gives the
+  /// Weak-Only ablation of §V.F.
+  bool use_strong = true;
+  /// Include weak (PPMI) dependencies. Disabling gives Strong-Only.
+  bool use_weak = true;
+
+  /// Mining time window (paper §V.A: 1 minute, the trace granularity).
+  MinuteDelta window_minutes = 1;
+  /// FP-Growth support threshold θ (paper line-search optimum: 0.2).
+  double support = 0.2;
+  /// Function-universe shuffle window/stride for FP-Growth (paper: 20/10).
+  std::size_t universe_window = 20;
+  std::size_t universe_stride = 10;
+  /// Seed for the universe shuffles.
+  std::uint64_t mining_seed = 0x5eed;
+
+  /// Weak-dependency top-k (paper line-search optimum: 1).
+  std::size_t top_k = 1;
+  /// CV threshold for the predictable/unpredictable split (paper: 5).
+  double cv_threshold = 5.0;
+
+  mining::PpmiConfig MakePpmiConfig() const {
+    mining::PpmiConfig c;
+    c.window_minutes = window_minutes;
+    c.top_k = top_k;
+    return c;
+  }
+  mining::FpGrowthConfig MakeFpGrowthConfig() const {
+    mining::FpGrowthConfig c;
+    c.min_support_fraction = support;
+    return c;
+  }
+  mining::PredictabilityConfig MakePredictabilityConfig() const {
+    mining::PredictabilityConfig c;
+    c.cv_threshold = cv_threshold;
+    return c;
+  }
+  mining::TransactionConfig MakeTransactionConfig() const {
+    mining::TransactionConfig c;
+    c.window_minutes = window_minutes;
+    return c;
+  }
+};
+
+/// Everything the mining stage produces.
+struct MiningOutput {
+  graph::DependencyGraph graph;
+  std::vector<graph::DependencySet> sets;
+  mining::PredictabilityReport predictability;
+  std::size_t num_frequent_itemsets = 0;
+  std::size_t num_weak_dependencies = 0;
+};
+
+/// Validates a DefuseConfig; returns a message for the first violated
+/// constraint, or nullptr when valid.
+[[nodiscard]] const char* ValidateDefuseConfig(const DefuseConfig& config);
+
+/// Stage 1 + 2 of the pipeline: mines dependencies from the training
+/// window of the trace and extracts dependency sets.
+[[nodiscard]] MiningOutput MineDependencies(
+    const trace::InvocationTrace& trace, const trace::WorkloadModel& model,
+    TimeRange train, const DefuseConfig& config = {});
+
+/// Stage 3: builds the dependency-set-granularity scheduler, with every
+/// set's idle-time histogram seeded from the training window.
+[[nodiscard]] std::unique_ptr<policy::HybridHistogramPolicy>
+MakeDefuseScheduler(const trace::InvocationTrace& trace,
+                    const MiningOutput& mining, TimeRange train,
+                    const policy::HybridConfig& policy_config = {});
+
+/// Same, from an explicit set list (e.g. loaded from disk via
+/// graph::ReadDependencySetsCsv). The sets must cover every function.
+[[nodiscard]] std::unique_ptr<policy::HybridHistogramPolicy>
+MakeSetScheduler(const trace::InvocationTrace& trace,
+                 const std::vector<graph::DependencySet>& sets,
+                 TimeRange train,
+                 const policy::HybridConfig& policy_config = {});
+
+/// Baseline builders: the same hybrid histogram policy at function /
+/// application granularity, histograms seeded from the training window.
+[[nodiscard]] std::unique_ptr<policy::HybridHistogramPolicy>
+MakeHybridFunctionScheduler(const trace::InvocationTrace& trace,
+                            const trace::WorkloadModel& model, TimeRange train,
+                            const policy::HybridConfig& policy_config = {});
+
+[[nodiscard]] std::unique_ptr<policy::HybridHistogramPolicy>
+MakeHybridApplicationScheduler(const trace::InvocationTrace& trace,
+                               const trace::WorkloadModel& model,
+                               TimeRange train,
+                               const policy::HybridConfig& policy_config = {});
+
+}  // namespace defuse::core

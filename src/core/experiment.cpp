@@ -1,0 +1,179 @@
+#include "core/experiment.hpp"
+
+#include "policy/diurnal.hpp"
+#include "policy/fixed.hpp"
+#include "policy/predictor.hpp"
+#include "stats/descriptive.hpp"
+
+namespace defuse::core {
+namespace {
+
+/// Seeds a policy's per-unit histograms from training group idle times —
+/// the same procedure core::MakeDefuseScheduler applies to the hybrid
+/// policy.
+template <typename Policy>
+void SeedGroupHistograms(Policy& policy, const policy::HybridConfig& config,
+                         const trace::InvocationTrace& trace,
+                         TimeRange train) {
+  mining::PredictabilityConfig shape;
+  shape.histogram_bins = config.histogram_bins;
+  shape.histogram_bin_width = config.histogram_bin_width;
+  for (std::size_t u = 0; u < policy.unit_map().num_units(); ++u) {
+    const UnitId unit{static_cast<std::uint32_t>(u)};
+    const auto hist = mining::BuildGroupItHistogram(
+        trace, policy.unit_map().functions_of(unit), train, shape);
+    if (hist.total() > 0) policy.SeedHistogram(unit, hist);
+  }
+}
+
+}  // namespace
+
+const char* MethodName(Method method) noexcept {
+  switch (method) {
+    case Method::kDefuse: return "Defuse";
+    case Method::kDefuseStrongOnly: return "Strong-Only";
+    case Method::kDefuseWeakOnly: return "Weak-Only";
+    case Method::kHybridFunction: return "Hybrid-Function";
+    case Method::kHybridApplication: return "Hybrid-Application";
+    case Method::kFixedKeepAlive: return "Fixed-KeepAlive";
+    case Method::kDefusePredictor: return "Defuse-Predictor";
+    case Method::kDefuseDiurnal: return "Defuse-Diurnal";
+  }
+  return "?";
+}
+
+std::pair<TimeRange, TimeRange> SplitTrainEval(TimeRange horizon) {
+  // Paper: mine on the first 12 of 14 days, simulate on the last 2.
+  const MinuteDelta train_len = horizon.length() * 6 / 7;
+  const Minute split = horizon.begin + train_len;
+  return {TimeRange{horizon.begin, split}, TimeRange{split, horizon.end}};
+}
+
+ExperimentDriver::ExperimentDriver(const trace::WorkloadModel& model,
+                                   const trace::InvocationTrace& trace,
+                                   TimeRange train, TimeRange eval,
+                                   DefuseConfig defuse_config,
+                                   policy::HybridConfig policy_config)
+    : model_(model),
+      trace_(trace),
+      train_(train),
+      eval_(eval),
+      defuse_config_(defuse_config),
+      policy_config_(policy_config) {}
+
+const MiningOutput& ExperimentDriver::MiningFor(Method method) {
+  DefuseConfig config = defuse_config_;
+  std::optional<MiningOutput>* slot = nullptr;
+  switch (method) {
+    case Method::kDefuse:
+    case Method::kDefusePredictor:
+    case Method::kDefuseDiurnal:
+      slot = &mining_full_;
+      break;
+    case Method::kDefuseStrongOnly:
+      config.use_weak = false;
+      slot = &mining_strong_;
+      break;
+    case Method::kDefuseWeakOnly:
+      config.use_strong = false;
+      slot = &mining_weak_;
+      break;
+    default:
+      assert(false && "mining is only defined for Defuse-family methods");
+      slot = &mining_full_;
+      break;
+  }
+  if (!slot->has_value()) {
+    *slot = MineDependencies(trace_, model_, train_, config);
+  }
+  return **slot;
+}
+
+MethodResult ExperimentDriver::Run(Method method, double amplification,
+                                   const sim::SimulatorOptions& options) {
+  policy::HybridConfig policy_config = policy_config_;
+  policy_config.amplification = amplification;
+
+  std::unique_ptr<sim::SchedulingPolicy> policy;
+  switch (method) {
+    case Method::kDefuse:
+    case Method::kDefuseStrongOnly:
+    case Method::kDefuseWeakOnly:
+      policy = MakeDefuseScheduler(trace_, MiningFor(method), train_,
+                                   policy_config);
+      break;
+    case Method::kHybridFunction:
+      policy = MakeHybridFunctionScheduler(trace_, model_, train_,
+                                           policy_config);
+      break;
+    case Method::kHybridApplication:
+      policy = MakeHybridApplicationScheduler(trace_, model_, train_,
+                                              policy_config);
+      break;
+    case Method::kFixedKeepAlive: {
+      const auto keepalive = static_cast<MinuteDelta>(
+          static_cast<double>(policy_config.fixed_keepalive) * amplification);
+      policy = std::make_unique<policy::FixedKeepAlivePolicy>(
+          sim::UnitMap::PerFunction(model_.num_functions()),
+          std::max<MinuteDelta>(keepalive, 1));
+      break;
+    }
+    case Method::kDefusePredictor: {
+      policy::PredictorConfig config;
+      config.hybrid = policy_config;
+      auto predictor = std::make_unique<policy::PeriodicityPredictorPolicy>(
+          sim::UnitMap::FromDependencySets(MiningFor(method).sets,
+                                           model_.num_functions()),
+          config);
+      SeedGroupHistograms(*predictor, policy_config, trace_, train_);
+      policy = std::move(predictor);
+      break;
+    }
+    case Method::kDefuseDiurnal: {
+      policy::DiurnalConfig config;
+      config.hybrid = policy_config;
+      auto diurnal = std::make_unique<policy::DiurnalPolicy>(
+          sim::UnitMap::FromDependencySets(MiningFor(method).sets,
+                                           model_.num_functions()),
+          config);
+      SeedGroupHistograms(*diurnal, policy_config, trace_, train_);
+      for (std::size_t u = 0; u < diurnal->unit_map().num_units(); ++u) {
+        const UnitId unit{static_cast<std::uint32_t>(u)};
+        for (const FunctionId fn : diurnal->unit_map().functions_of(unit)) {
+          for (const auto& e : trace_.SeriesInRange(fn, train_)) {
+            diurnal->SeedDayProfile(unit, e.minute);
+          }
+        }
+      }
+      policy = std::move(diurnal);
+      break;
+    }
+  }
+
+  const sim::SimulationResult sim_result =
+      sim::Simulate(trace_, eval_, *policy, options);
+
+  MethodResult result;
+  result.method = method;
+  result.amplification = amplification;
+  result.cold_start_rates =
+      sim_result.FunctionColdStartRates(policy->unit_map());
+  result.p75_cold_start_rate = stats::Percentile(result.cold_start_rates,
+                                                 0.75);
+  result.mean_cold_start_rate = stats::Mean(result.cold_start_rates);
+  result.event_cold_fraction =
+      sim_result.function_invocation_minutes == 0
+          ? 0.0
+          : static_cast<double>(sim_result.function_cold_minutes) /
+                static_cast<double>(sim_result.function_invocation_minutes);
+  result.avg_memory = sim_result.AverageMemoryUsage();
+  result.avg_weighted_memory = sim_result.AverageWeightedMemory();
+  result.avg_loading = sim_result.AverageLoadingFunctions();
+  result.loading_per_minute = sim_result.loading_functions;
+  result.loaded_per_minute = sim_result.loaded_functions;
+  result.num_units = policy->unit_map().num_units();
+  result.capacity_evictions = sim_result.capacity_evictions;
+  return result;
+}
+
+}  // namespace defuse::core

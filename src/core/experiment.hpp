@@ -1,0 +1,94 @@
+// Experiment driver: runs any of the paper's scheduling methods over a
+// workload and collects the evaluation metrics. Mining results and
+// training histograms are cached per method family so amplification
+// sweeps (Fig 7, Fig 10) only pay for mining once.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/defuse.hpp"
+#include "sim/simulator.hpp"
+
+namespace defuse::core {
+
+enum class Method {
+  kDefuse,             // strong + weak dependency sets
+  kDefuseStrongOnly,   // §V.F ablation
+  kDefuseWeakOnly,     // §V.F ablation
+  kHybridFunction,     // baseline: hybrid histogram per function
+  kHybridApplication,  // baseline: hybrid histogram per application
+  kFixedKeepAlive,     // 10-minute fixed keep-alive per function
+  kDefusePredictor,    // Defuse sets + periodicity-predictor policy (§VII)
+  kDefuseDiurnal,      // Defuse sets + diurnal time-of-day policy (§VII)
+};
+
+[[nodiscard]] const char* MethodName(Method method) noexcept;
+
+/// The metrics of one simulation run, detached from policy internals.
+struct MethodResult {
+  Method method = Method::kDefuse;
+  double amplification = 1.0;
+  /// Cold-start rate of every invoked function (unit rate inherited).
+  std::vector<double> cold_start_rates;
+  double p75_cold_start_rate = 0.0;
+  double mean_cold_start_rate = 0.0;
+  /// Overall cold fraction of function-minute invocation events.
+  double event_cold_fraction = 0.0;
+  double avg_memory = 0.0;   // mean loaded functions per minute
+  /// Mean weighted memory (0 unless SimulatorOptions::function_weights).
+  double avg_weighted_memory = 0.0;
+  double avg_loading = 0.0;  // mean function loads per minute
+  std::vector<std::uint64_t> loading_per_minute;
+  std::vector<std::uint64_t> loaded_per_minute;
+  std::size_t num_units = 0;
+  /// Units evicted for capacity (only nonzero under a hard memory limit).
+  std::uint64_t capacity_evictions = 0;
+};
+
+/// Standard 12-day-train / 2-day-eval split of a 14-day horizon; for
+/// shorter horizons, the same 6:1 proportion.
+[[nodiscard]] std::pair<TimeRange, TimeRange> SplitTrainEval(
+    TimeRange horizon);
+
+class ExperimentDriver {
+ public:
+  /// Borrows the workload; the caller keeps it alive.
+  ExperimentDriver(const trace::WorkloadModel& model,
+                   const trace::InvocationTrace& trace, TimeRange train,
+                   TimeRange eval, DefuseConfig defuse_config = {},
+                   policy::HybridConfig policy_config = {});
+
+  /// Runs a method with the given keep-alive amplification factor.
+  /// `options` passes through to the simulator (online updates, hard
+  /// memory limit).
+  [[nodiscard]] MethodResult Run(Method method, double amplification = 1.0,
+                                 const sim::SimulatorOptions& options = {});
+
+  /// The mining output used by a Defuse-family method (computed lazily).
+  [[nodiscard]] const MiningOutput& MiningFor(Method method);
+
+  [[nodiscard]] TimeRange train() const noexcept { return train_; }
+  [[nodiscard]] TimeRange eval() const noexcept { return eval_; }
+  [[nodiscard]] const DefuseConfig& defuse_config() const noexcept {
+    return defuse_config_;
+  }
+  [[nodiscard]] const policy::HybridConfig& policy_config() const noexcept {
+    return policy_config_;
+  }
+
+ private:
+  const trace::WorkloadModel& model_;
+  const trace::InvocationTrace& trace_;
+  TimeRange train_;
+  TimeRange eval_;
+  DefuseConfig defuse_config_;
+  policy::HybridConfig policy_config_;
+  std::optional<MiningOutput> mining_full_;
+  std::optional<MiningOutput> mining_strong_;
+  std::optional<MiningOutput> mining_weak_;
+};
+
+}  // namespace defuse::core

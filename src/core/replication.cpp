@@ -1,0 +1,42 @@
+#include "core/replication.hpp"
+
+namespace defuse::core {
+
+ReplicatedMetrics RunReplicated(const trace::GeneratorConfig& base,
+                                std::span<const std::uint64_t> seeds,
+                                Method method, double amplification,
+                                const DefuseConfig& defuse_config,
+                                const policy::HybridConfig& policy_config) {
+  ReplicatedMetrics metrics;
+  std::vector<double> p75s, memories, loadings;
+  for (const std::uint64_t seed : seeds) {
+    trace::GeneratorConfig config = base;
+    config.seed = seed;
+    const auto workload = trace::GenerateWorkload(config);
+    const auto [train, eval] = SplitTrainEval(workload.trace.horizon());
+    ExperimentDriver driver{workload.model, workload.trace, train, eval,
+                            defuse_config, policy_config};
+    auto result = driver.Run(method, amplification);
+    p75s.push_back(result.p75_cold_start_rate);
+    memories.push_back(result.avg_memory);
+    loadings.push_back(result.avg_loading);
+    metrics.runs.push_back(std::move(result));
+  }
+  metrics.p75_cold_start_rate = stats::Summarize(p75s);
+  metrics.avg_memory = stats::Summarize(memories);
+  metrics.avg_loading = stats::Summarize(loadings);
+  return metrics;
+}
+
+bool DominatesOnColdStarts(const ReplicatedMetrics& a,
+                           const ReplicatedMetrics& b) {
+  if (a.runs.size() != b.runs.size() || a.runs.empty()) return false;
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    if (a.runs[i].p75_cold_start_rate >= b.runs[i].p75_cold_start_rate) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace defuse::core

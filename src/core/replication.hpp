@@ -1,0 +1,40 @@
+// Multi-seed replication harness.
+//
+// The paper reports single-trace numbers (its dataset is one fixed
+// 14-day trace). Our substitute workload is synthetic, so every headline
+// comparison can — and should — be replicated across generator seeds to
+// check it is a property of the mechanism, not of one random draw. This
+// harness generates one workload per seed, runs a method on each, and
+// summarizes the metrics.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "stats/descriptive.hpp"
+#include "trace/generator.hpp"
+
+namespace defuse::core {
+
+struct ReplicatedMetrics {
+  stats::Summary p75_cold_start_rate;
+  stats::Summary avg_memory;
+  stats::Summary avg_loading;
+  std::vector<MethodResult> runs;  // one per seed, in seed order
+};
+
+/// Runs `method` at `amplification` on one workload per seed
+/// (`base` with its seed overridden) and summarizes across seeds.
+[[nodiscard]] ReplicatedMetrics RunReplicated(
+    const trace::GeneratorConfig& base, std::span<const std::uint64_t> seeds,
+    Method method, double amplification = 1.0,
+    const DefuseConfig& defuse_config = {},
+    const policy::HybridConfig& policy_config = {});
+
+/// Convenience: does `a` beat `b` on p75 cold-start rate in every
+/// replication? (The strongest form of "the ordering is seed-stable".)
+[[nodiscard]] bool DominatesOnColdStarts(const ReplicatedMetrics& a,
+                                         const ReplicatedMetrics& b);
+
+}  // namespace defuse::core

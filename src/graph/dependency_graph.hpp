@@ -1,0 +1,86 @@
+// Function dependency graph and dependency-set generation (paper §IV.C).
+//
+// Vertices are serverless functions; edges are mined strong (undirected)
+// or weak (directed, but treated as connectivity) dependencies. Dependency
+// sets — the scheduling units of Defuse — are the connected components.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "mining/cooccurrence.hpp"
+#include "mining/fpgrowth.hpp"
+
+namespace defuse::graph {
+
+enum class EdgeKind : std::uint8_t { kStrong, kWeak };
+
+struct DependencyEdge {
+  FunctionId a;  // for weak edges: the unpredictable source
+  FunctionId b;  // for weak edges: the predictable target
+  EdgeKind kind = EdgeKind::kStrong;
+  /// Strength: itemset support (strong) or PPMI (weak).
+  double weight = 0.0;
+
+  friend bool operator==(const DependencyEdge&,
+                         const DependencyEdge&) = default;
+};
+
+struct DependencySet {
+  std::uint32_t id = 0;
+  std::vector<FunctionId> functions;  // ascending
+};
+
+class DependencyGraph {
+ public:
+  /// A graph over functions 0..num_functions-1 with no edges.
+  explicit DependencyGraph(std::size_t num_functions);
+
+  /// Adds a strong edge between every pair of functions in a frequent
+  /// itemset (itemsets are cliques of co-invocation).
+  void AddStrongItemset(const mining::Itemset& itemset);
+  /// Adds one weak edge.
+  void AddWeakDependency(const mining::WeakDependency& dep);
+  /// Adds a raw edge (for tests/tools).
+  void AddEdge(DependencyEdge edge);
+
+  [[nodiscard]] std::size_t num_functions() const noexcept {
+    return num_functions_;
+  }
+  [[nodiscard]] const std::vector<DependencyEdge>& edges() const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] std::size_t num_strong_edges() const noexcept;
+  [[nodiscard]] std::size_t num_weak_edges() const noexcept;
+
+  /// Neighbors of `fn` (both directions).
+  [[nodiscard]] std::vector<FunctionId> Neighbors(FunctionId fn) const;
+
+  /// Connected components as dependency sets. Every function appears in
+  /// exactly one set; isolated functions become singleton sets.
+  [[nodiscard]] std::vector<DependencySet> ConnectedComponents() const;
+
+  /// Merges duplicate edges (same endpoints in either direction, same
+  /// kind), keeping the maximum weight. Mining emits one edge per
+  /// itemset pair, so popular pairs otherwise accumulate duplicates.
+  void Canonicalize();
+
+  /// Graphviz dot rendering (strong edges solid, weak edges dashed
+  /// arrows) — handy in examples and debugging.
+  [[nodiscard]] std::string ToDot(
+      const std::vector<std::string>* names = nullptr) const;
+
+ private:
+  std::size_t num_functions_;
+  std::vector<DependencyEdge> edges_;
+};
+
+/// Maps every function to the dependency set that contains it.
+/// Returned vector is indexed by FunctionId and holds set ids.
+[[nodiscard]] std::vector<std::uint32_t> FunctionToSetIndex(
+    const std::vector<DependencySet>& sets, std::size_t num_functions);
+
+}  // namespace defuse::graph

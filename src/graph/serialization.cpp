@@ -1,0 +1,162 @@
+#include "graph/serialization.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "common/csv.hpp"
+
+namespace defuse::graph {
+namespace {
+
+std::unordered_map<std::string_view, FunctionId> NameIndex(
+    const trace::WorkloadModel& model) {
+  std::unordered_map<std::string_view, FunctionId> index;
+  index.reserve(model.num_functions());
+  for (const auto& fn : model.functions()) index.emplace(fn.name, fn.id);
+  return index;
+}
+
+}  // namespace
+
+std::string WriteDependencySetsCsv(const std::vector<DependencySet>& sets,
+                                   const trace::WorkloadModel& model) {
+  std::string out = "set_id,function\n";
+  for (const auto& set : sets) {
+    for (const FunctionId fn : set.functions) {
+      out += std::to_string(set.id);
+      out += ',';
+      out += model.function(fn).name;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+Result<std::vector<DependencySet>> ReadDependencySetsCsv(
+    std::string_view buffer, const trace::WorkloadModel& model) {
+  const auto names = NameIndex(model);
+  // Preserve the file's set ids but re-densify afterwards.
+  std::unordered_map<std::uint64_t, std::vector<FunctionId>> by_id;
+  std::vector<bool> covered(model.num_functions(), false);
+
+  auto res = ForEachLine(
+      buffer, [&](std::size_t line_no, std::string_view line) -> Result<bool> {
+        if (line_no == 1) {
+          if (line != "set_id,function") {
+            return Error{ErrorCode::kParseError,
+                         "unexpected sets header: " + std::string{line}};
+          }
+          return true;
+        }
+        if (line.empty()) return true;
+        const auto fields = SplitCsvLine(line);
+        if (fields.size() != 2) {
+          return Error{ErrorCode::kParseError,
+                       "line " + std::to_string(line_no) +
+                           ": expected set_id,function"};
+        }
+        auto id = ParseU64(fields[0]);
+        if (!id.ok()) return id.error();
+        const auto it = names.find(fields[1]);
+        if (it == names.end()) {
+          return Error{ErrorCode::kNotFound,
+                       "unknown function '" + std::string{fields[1]} + "'"};
+        }
+        if (covered[it->second.value()]) {
+          return Error{ErrorCode::kInvalidArgument,
+                       "function '" + std::string{fields[1]} +
+                           "' appears in two sets"};
+        }
+        covered[it->second.value()] = true;
+        by_id[id.value()].push_back(it->second);
+        return true;
+      });
+  if (!res.ok()) return res.error();
+
+  // Densify in ascending original-id order, then append singletons for
+  // uncovered functions.
+  std::vector<std::pair<std::uint64_t, std::vector<FunctionId>>> ordered{
+      by_id.begin(), by_id.end()};
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<DependencySet> sets;
+  sets.reserve(ordered.size());
+  for (auto& [original_id, fns] : ordered) {
+    std::sort(fns.begin(), fns.end());
+    sets.push_back(
+        DependencySet{.id = static_cast<std::uint32_t>(sets.size()),
+                      .functions = std::move(fns)});
+  }
+  for (std::size_t f = 0; f < covered.size(); ++f) {
+    if (covered[f]) continue;
+    sets.push_back(DependencySet{
+        .id = static_cast<std::uint32_t>(sets.size()),
+        .functions = {FunctionId{static_cast<std::uint32_t>(f)}}});
+  }
+  return sets;
+}
+
+std::string WriteDependencyEdgesCsv(const DependencyGraph& graph,
+                                    const trace::WorkloadModel& model) {
+  std::string out = "a,b,kind,weight\n";
+  char buf[48];
+  for (const auto& e : graph.edges()) {
+    out += model.function(e.a).name;
+    out += ',';
+    out += model.function(e.b).name;
+    out += e.kind == EdgeKind::kStrong ? ",strong" : ",weak";
+    std::snprintf(buf, sizeof buf, ",%.6g\n", e.weight);
+    out += buf;
+  }
+  return out;
+}
+
+Result<DependencyGraph> ReadDependencyEdgesCsv(
+    std::string_view buffer, const trace::WorkloadModel& model) {
+  const auto names = NameIndex(model);
+  DependencyGraph graph{model.num_functions()};
+  auto res = ForEachLine(
+      buffer, [&](std::size_t line_no, std::string_view line) -> Result<bool> {
+        if (line_no == 1) {
+          if (line != "a,b,kind,weight") {
+            return Error{ErrorCode::kParseError,
+                         "unexpected edges header: " + std::string{line}};
+          }
+          return true;
+        }
+        if (line.empty()) return true;
+        const auto fields = SplitCsvLine(line);
+        if (fields.size() != 4) {
+          return Error{ErrorCode::kParseError,
+                       "line " + std::to_string(line_no) +
+                           ": expected a,b,kind,weight"};
+        }
+        const auto a = names.find(fields[0]);
+        const auto b = names.find(fields[1]);
+        if (a == names.end() || b == names.end()) {
+          return Error{ErrorCode::kNotFound,
+                       "unknown function on line " + std::to_string(line_no)};
+        }
+        EdgeKind kind;
+        if (fields[2] == "strong") {
+          kind = EdgeKind::kStrong;
+        } else if (fields[2] == "weak") {
+          kind = EdgeKind::kWeak;
+        } else {
+          return Error{ErrorCode::kParseError,
+                       "unknown edge kind '" + std::string{fields[2]} + "'"};
+        }
+        auto weight = ParseDouble(fields[3]);
+        if (!weight.ok()) return weight.error();
+        graph.AddEdge(DependencyEdge{.a = a->second,
+                                     .b = b->second,
+                                     .kind = kind,
+                                     .weight = weight.value()});
+        return true;
+      });
+  if (!res.ok()) return res.error();
+  return graph;
+}
+
+}  // namespace defuse::graph

@@ -1,0 +1,40 @@
+// On-disk formats for mined artifacts, so the mining daemon and the
+// scheduler can run as separate processes (paper §VII: the dependency
+// miner as a daily daemon feeding an online scheduler).
+//
+//   * dependency sets:  csv "set_id,function"  (one row per member)
+//   * dependency edges: csv "a,b,kind,weight"  (kind: strong|weak)
+//
+// Functions are identified by their model names (stable across runs),
+// not dense ids (which depend on load order).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "graph/dependency_graph.hpp"
+#include "trace/model.hpp"
+
+namespace defuse::graph {
+
+/// Serializes dependency sets (singleton sets included).
+[[nodiscard]] std::string WriteDependencySetsCsv(
+    const std::vector<DependencySet>& sets,
+    const trace::WorkloadModel& model);
+
+/// Parses dependency sets; function names must exist in `model`.
+/// Functions of the model not mentioned in the file are appended as
+/// singleton sets so the result always covers every function.
+[[nodiscard]] Result<std::vector<DependencySet>> ReadDependencySetsCsv(
+    std::string_view buffer, const trace::WorkloadModel& model);
+
+/// Serializes the edge list of a dependency graph.
+[[nodiscard]] std::string WriteDependencyEdgesCsv(
+    const DependencyGraph& graph, const trace::WorkloadModel& model);
+
+/// Parses an edge list back into a graph over `model`'s functions.
+[[nodiscard]] Result<DependencyGraph> ReadDependencyEdgesCsv(
+    std::string_view buffer, const trace::WorkloadModel& model);
+
+}  // namespace defuse::graph

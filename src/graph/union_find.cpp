@@ -1,0 +1,61 @@
+#include "graph/union_find.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace defuse::graph {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), size_(n, 1), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0u);
+}
+
+std::uint32_t UnionFind::Find(std::uint32_t x) noexcept {
+  assert(x < parent_.size());
+  std::uint32_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  // Path compression.
+  while (parent_[x] != root) {
+    const std::uint32_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(std::uint32_t a, std::uint32_t b) noexcept {
+  std::uint32_t ra = Find(a);
+  std::uint32_t rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_sets_;
+  return true;
+}
+
+bool UnionFind::Connected(std::uint32_t a, std::uint32_t b) noexcept {
+  return Find(a) == Find(b);
+}
+
+std::uint32_t UnionFind::SizeOf(std::uint32_t x) noexcept {
+  return size_[Find(x)];
+}
+
+std::vector<std::vector<std::uint32_t>> UnionFind::Components() {
+  std::vector<std::vector<std::uint32_t>> by_root(parent_.size());
+  for (std::uint32_t x = 0; x < parent_.size(); ++x) {
+    by_root[Find(x)].push_back(x);
+  }
+  std::vector<std::vector<std::uint32_t>> components;
+  components.reserve(num_sets_);
+  for (auto& members : by_root) {
+    if (!members.empty()) components.push_back(std::move(members));
+  }
+  // by_root is indexed by root, and each member list is built in
+  // ascending order, so components are already ordered by smallest member.
+  return components;
+}
+
+}  // namespace defuse::graph

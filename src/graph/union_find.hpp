@@ -1,0 +1,38 @@
+// Disjoint-set (union-find) with path compression and union by size —
+// the structure the paper uses to extract connected components (i.e.
+// dependency sets) from the function dependency graph (§IV.C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace defuse::graph {
+
+class UnionFind {
+ public:
+  /// n singleton elements 0..n-1.
+  explicit UnionFind(std::size_t n);
+
+  /// Representative of x's set (with path compression).
+  [[nodiscard]] std::uint32_t Find(std::uint32_t x) noexcept;
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool Union(std::uint32_t a, std::uint32_t b) noexcept;
+  /// True when a and b are in the same set.
+  [[nodiscard]] bool Connected(std::uint32_t a, std::uint32_t b) noexcept;
+  /// Size of x's set.
+  [[nodiscard]] std::uint32_t SizeOf(std::uint32_t x) noexcept;
+  /// Number of disjoint sets.
+  [[nodiscard]] std::size_t num_sets() const noexcept { return num_sets_; }
+  [[nodiscard]] std::size_t size() const noexcept { return parent_.size(); }
+
+  /// Groups all elements by set: returns the list of sets, each a sorted
+  /// list of member indices; sets ordered by their smallest member.
+  [[nodiscard]] std::vector<std::vector<std::uint32_t>> Components();
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t num_sets_;
+};
+
+}  // namespace defuse::graph

@@ -1,0 +1,128 @@
+#include "mining/cooccurrence.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace defuse::mining {
+
+CooccurrenceMatrix::CooccurrenceMatrix(std::vector<FunctionId> rows,
+                                       std::vector<FunctionId> cols)
+    : rows_(std::move(rows)),
+      cols_(std::move(cols)),
+      counts_(rows_.size() * cols_.size(), 0),
+      row_windows_(rows_.size(), 0),
+      col_windows_(cols_.size(), 0) {}
+
+void CooccurrenceMatrix::Accumulate(const trace::InvocationTrace& trace,
+                                    TimeRange range,
+                                    MinuteDelta window_minutes) {
+  assert(window_minutes >= 1);
+  // Active window sets per row/col function.
+  const auto windows_of = [&](FunctionId fn) {
+    std::vector<Minute> windows;
+    for (const auto& e : trace.SeriesInRange(fn, range)) {
+      const Minute w = (e.minute - range.begin) / window_minutes;
+      if (windows.empty() || windows.back() != w) windows.push_back(w);
+    }
+    return windows;
+  };
+
+  std::vector<std::vector<Minute>> row_sets(rows_.size());
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    row_sets[r] = windows_of(rows_[r]);
+    row_windows_[r] += row_sets[r].size();
+  }
+  std::vector<std::vector<Minute>> col_sets(cols_.size());
+  for (std::size_t c = 0; c < cols_.size(); ++c) {
+    col_sets[c] = windows_of(cols_[c]);
+    col_windows_[c] += col_sets[c].size();
+  }
+
+  // Sorted-list intersections; both sides are ascending by construction.
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (row_sets[r].empty()) continue;
+    for (std::size_t c = 0; c < cols_.size(); ++c) {
+      if (col_sets[c].empty()) continue;
+      std::uint64_t both = 0;
+      auto ri = row_sets[r].begin();
+      auto ci = col_sets[c].begin();
+      while (ri != row_sets[r].end() && ci != col_sets[c].end()) {
+        if (*ri < *ci) {
+          ++ri;
+        } else if (*ci < *ri) {
+          ++ci;
+        } else {
+          ++both;
+          ++ri;
+          ++ci;
+        }
+      }
+      counts_[r * cols_.size() + c] += both;
+    }
+  }
+
+  const MinuteDelta len = std::max<MinuteDelta>(range.length(), 0);
+  total_windows_ += static_cast<std::uint64_t>(
+      (len + window_minutes - 1) / window_minutes);
+}
+
+double CooccurrenceMatrix::Ppmi(std::size_t r, std::size_t c) const noexcept {
+  if (total_windows_ == 0) return 0.0;
+  const std::uint64_t joint = at(r, c);
+  if (joint == 0 || row_windows_[r] == 0 || col_windows_[c] == 0) return 0.0;
+  const auto n = static_cast<double>(total_windows_);
+  const double p_joint = static_cast<double>(joint) / n;
+  const double p_row = static_cast<double>(row_windows_[r]) / n;
+  const double p_col = static_cast<double>(col_windows_[c]) / n;
+  const double pmi = std::log2(p_joint / (p_row * p_col));
+  return pmi > 0.0 ? pmi : 0.0;
+}
+
+std::vector<WeakDependency> MineWeakDependencies(
+    const trace::InvocationTrace& trace, const trace::WorkloadModel& model,
+    UserId user, const std::vector<bool>& predictable, TimeRange range,
+    const PpmiConfig& config) {
+  std::vector<FunctionId> unpredictable_fns;
+  std::vector<FunctionId> predictable_fns;
+  for (const FunctionId fn : model.FunctionsOfUser(user)) {
+    if (predictable[fn.value()]) {
+      predictable_fns.push_back(fn);
+    } else {
+      unpredictable_fns.push_back(fn);
+    }
+  }
+  std::vector<WeakDependency> result;
+  if (unpredictable_fns.empty() || predictable_fns.empty()) return result;
+
+  CooccurrenceMatrix matrix{unpredictable_fns, predictable_fns};
+  matrix.Accumulate(trace, range, config.window_minutes);
+
+  // Per row: the top-k columns by PPMI (stable tie-break on column id).
+  std::vector<std::pair<double, std::size_t>> scored;
+  for (std::size_t r = 0; r < matrix.num_rows(); ++r) {
+    scored.clear();
+    for (std::size_t c = 0; c < matrix.num_cols(); ++c) {
+      if (matrix.at(r, c) < config.min_cooccurrences) continue;
+      const double ppmi = matrix.Ppmi(r, c);
+      if (ppmi > config.min_ppmi) scored.emplace_back(ppmi, c);
+    }
+    const std::size_t k = std::min(config.top_k, scored.size());
+    std::partial_sort(scored.begin(),
+                      scored.begin() + static_cast<std::ptrdiff_t>(k),
+                      scored.end(), [](const auto& a, const auto& b) {
+                        if (a.first != b.first) return a.first > b.first;
+                        return a.second < b.second;
+                      });
+    for (std::size_t i = 0; i < k; ++i) {
+      result.push_back(WeakDependency{.from = matrix.rows()[r],
+                                      .to = matrix.cols()[scored[i].second],
+                                      .ppmi = scored[i].first});
+    }
+  }
+  return result;
+}
+
+}  // namespace defuse::mining

@@ -1,0 +1,103 @@
+// Weak-dependency mining with positive point-wise mutual information
+// (paper §IV.B.3).
+//
+// For each client, a co-occurrence matrix C is built over the client's
+// *unpredictable* (rows) and *predictable* (columns) functions: C[u][p] is
+// the number of time windows in which both fire. Probabilities are
+// estimated from window frequencies, and
+//
+//     PMI(u, p)  = log2( P(u,p) / (P(u) * P(p)) )
+//     PPMI(u, p) = max(0, PMI(u, p))
+//
+// For each unpredictable function the top-k predictable functions by PPMI
+// (k = 1 in the paper's best configuration) become weak dependencies
+// u -> p.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "trace/invocation_trace.hpp"
+#include "trace/model.hpp"
+
+namespace defuse::mining {
+
+struct WeakDependency {
+  FunctionId from;  // unpredictable
+  FunctionId to;    // predictable
+  double ppmi = 0.0;
+
+  friend bool operator==(const WeakDependency&,
+                         const WeakDependency&) = default;
+};
+
+struct PpmiConfig {
+  /// Time-window width in minutes for co-occurrence counting (paper: 1).
+  MinuteDelta window_minutes = 1;
+  /// Keep the top-k predictable functions per unpredictable function.
+  std::size_t top_k = 1;
+  /// Require at least this many co-occurrences before trusting the PPMI
+  /// estimate (a single coincidental co-firing of two rare functions can
+  /// otherwise produce a huge PMI).
+  std::uint64_t min_cooccurrences = 2;
+  /// Only link pairs with PPMI strictly above this floor.
+  double min_ppmi = 0.0;
+};
+
+/// Dense co-occurrence counts between two function lists over one
+/// client's trace. Rows follow `rows` order, columns follow `cols`.
+class CooccurrenceMatrix {
+ public:
+  CooccurrenceMatrix(std::vector<FunctionId> rows,
+                     std::vector<FunctionId> cols);
+
+  /// Counts co-active windows from the trace (restricted to `range`).
+  void Accumulate(const trace::InvocationTrace& trace, TimeRange range,
+                  MinuteDelta window_minutes);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const noexcept { return cols_.size(); }
+  [[nodiscard]] std::uint64_t at(std::size_t r, std::size_t c) const noexcept {
+    return counts_[r * cols_.size() + c];
+  }
+  [[nodiscard]] std::uint64_t row_total(std::size_t r) const noexcept {
+    return row_windows_[r];
+  }
+  [[nodiscard]] std::uint64_t col_total(std::size_t c) const noexcept {
+    return col_windows_[c];
+  }
+  /// Number of windows in the counted range.
+  [[nodiscard]] std::uint64_t total_windows() const noexcept {
+    return total_windows_;
+  }
+  [[nodiscard]] const std::vector<FunctionId>& rows() const noexcept {
+    return rows_;
+  }
+  [[nodiscard]] const std::vector<FunctionId>& cols() const noexcept {
+    return cols_;
+  }
+
+  /// PPMI between row r and column c under window-frequency probability
+  /// estimates. 0 when either marginal is empty.
+  [[nodiscard]] double Ppmi(std::size_t r, std::size_t c) const noexcept;
+
+ private:
+  std::vector<FunctionId> rows_;
+  std::vector<FunctionId> cols_;
+  std::vector<std::uint64_t> counts_;       // row-major
+  std::vector<std::uint64_t> row_windows_;  // active windows per row fn
+  std::vector<std::uint64_t> col_windows_;  // active windows per col fn
+  std::uint64_t total_windows_ = 0;
+};
+
+/// Mines the weak dependencies of one client: unpredictable -> top-k
+/// predictable by PPMI. `predictable` is indexed by FunctionId.
+[[nodiscard]] std::vector<WeakDependency> MineWeakDependencies(
+    const trace::InvocationTrace& trace, const trace::WorkloadModel& model,
+    UserId user, const std::vector<bool>& predictable, TimeRange range,
+    const PpmiConfig& config = {});
+
+}  // namespace defuse::mining

@@ -1,0 +1,334 @@
+#include "mining/fpgrowth.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+namespace defuse::mining {
+namespace {
+
+// Items are remapped to dense ranks (0 = most frequent) for the duration
+// of the mining; kNoNode marks null links in the node arena.
+constexpr std::uint32_t kNoNode = ~0u;
+
+struct Node {
+  std::uint32_t item = 0;       // rank
+  std::uint64_t count = 0;
+  std::uint32_t parent = kNoNode;
+  std::uint32_t sibling = kNoNode;  // next node with the same item
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> children;  // item->node
+};
+
+/// An FP-tree over rank-encoded transactions.
+class FpTree {
+ public:
+  explicit FpTree(std::uint32_t num_items) : heads_(num_items, kNoNode) {
+    nodes_.push_back(Node{});  // root (item value unused)
+  }
+
+  /// Inserts one rank-sorted transaction with multiplicity `count`.
+  void Insert(std::span<const std::uint32_t> ranks, std::uint64_t count) {
+    std::uint32_t current = 0;
+    for (const std::uint32_t rank : ranks) {
+      std::uint32_t child = kNoNode;
+      for (const auto& [item, node] : nodes_[current].children) {
+        if (item == rank) {
+          child = node;
+          break;
+        }
+      }
+      if (child == kNoNode) {
+        child = static_cast<std::uint32_t>(nodes_.size());
+        nodes_.push_back(Node{.item = rank,
+                              .count = 0,
+                              .parent = current,
+                              .sibling = heads_[rank],
+                              .children = {}});
+        heads_[rank] = child;
+        nodes_[current].children.emplace_back(rank, child);
+      }
+      nodes_[child].count += count;
+      current = child;
+    }
+  }
+
+  [[nodiscard]] std::uint32_t num_items() const noexcept {
+    return static_cast<std::uint32_t>(heads_.size());
+  }
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] std::uint32_t head(std::uint32_t rank) const noexcept {
+    return heads_[rank];
+  }
+
+  /// True if the tree consists of a single downward path.
+  [[nodiscard]] bool IsSinglePath() const noexcept {
+    std::uint32_t current = 0;
+    while (true) {
+      const auto& children = nodes_[current].children;
+      if (children.empty()) return true;
+      if (children.size() > 1) return false;
+      current = children.front().second;
+    }
+  }
+
+  /// The (rank, count) chain of a single-path tree, top-down.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint64_t>>
+  SinglePath() const {
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> path;
+    std::uint32_t current = 0;
+    while (!nodes_[current].children.empty()) {
+      current = nodes_[current].children.front().second;
+      path.emplace_back(nodes_[current].item, nodes_[current].count);
+    }
+    return path;
+  }
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> heads_;
+};
+
+class Miner {
+ public:
+  Miner(const FpGrowthConfig& config, std::uint64_t min_support,
+        std::vector<FunctionId> rank_to_fn, std::vector<Itemset>& out)
+      : config_(config),
+        min_support_(min_support),
+        rank_to_fn_(std::move(rank_to_fn)),
+        out_(out) {}
+
+  void Mine(const FpTree& tree, std::vector<std::uint32_t>& suffix) {
+    if (out_.size() >= config_.max_itemsets) return;
+    if (tree.IsSinglePath()) {
+      EmitSinglePathCombinations(tree.SinglePath(), suffix);
+      return;
+    }
+    // Process items bottom-up (least frequent rank first).
+    for (std::uint32_t rank = tree.num_items(); rank-- > 0;) {
+      std::uint64_t support = 0;
+      for (std::uint32_t n = tree.head(rank); n != kNoNode;
+           n = tree.nodes()[n].sibling) {
+        support += tree.nodes()[n].count;
+      }
+      if (support < min_support_) continue;
+
+      suffix.push_back(rank);
+      Emit(suffix, support);
+      if (config_.max_itemset_size == 0 ||
+          suffix.size() < config_.max_itemset_size) {
+        // Conditional pattern base: prefix paths of every node of `rank`.
+        FpTree conditional{rank};  // only ranks < rank can appear above it
+        std::vector<std::uint32_t> path;
+        for (std::uint32_t n = tree.head(rank); n != kNoNode;
+             n = tree.nodes()[n].sibling) {
+          path.clear();
+          for (std::uint32_t p = tree.nodes()[n].parent; p != 0;
+               p = tree.nodes()[p].parent) {
+            path.push_back(tree.nodes()[p].item);
+          }
+          std::reverse(path.begin(), path.end());
+          if (!path.empty()) conditional.Insert(path, tree.nodes()[n].count);
+        }
+        Mine(conditional, suffix);
+      }
+      suffix.pop_back();
+      if (out_.size() >= config_.max_itemsets) return;
+    }
+  }
+
+ private:
+  /// All 2^k - 1 non-empty combinations of a single path, each supported
+  /// by the minimum count along its members, appended to the suffix.
+  void EmitSinglePathCombinations(
+      const std::vector<std::pair<std::uint32_t, std::uint64_t>>& path,
+      std::vector<std::uint32_t>& suffix) {
+    std::vector<std::uint32_t> chosen;
+    EnumeratePath(path, 0, ~std::uint64_t{0}, chosen, suffix);
+  }
+
+  void EnumeratePath(
+      const std::vector<std::pair<std::uint32_t, std::uint64_t>>& path,
+      std::size_t index, std::uint64_t min_count,
+      std::vector<std::uint32_t>& chosen, std::vector<std::uint32_t>& suffix) {
+    if (out_.size() >= config_.max_itemsets) return;
+    if (index == path.size()) {
+      // The empty combination (the suffix alone) is the caller's job.
+      if (!chosen.empty()) {
+        std::vector<std::uint32_t> items = suffix;
+        items.insert(items.end(), chosen.begin(), chosen.end());
+        Emit(items, min_count);
+      }
+      return;
+    }
+    const auto [item, count] = path[index];
+    // Include path[index]; every included item must itself be frequent,
+    // which makes the running minimum frequent too.
+    if (count >= min_support_ &&
+        (config_.max_itemset_size == 0 ||
+         suffix.size() + chosen.size() < config_.max_itemset_size)) {
+      chosen.push_back(item);
+      EnumeratePath(path, index + 1, std::min(min_count, count), chosen,
+                    suffix);
+      chosen.pop_back();
+    }
+    // Exclude path[index].
+    EnumeratePath(path, index + 1, min_count, chosen, suffix);
+  }
+
+  void Emit(std::span<const std::uint32_t> ranks, std::uint64_t support) {
+    if (ranks.size() < config_.min_itemset_size) return;
+    if (config_.max_itemset_size != 0 &&
+        ranks.size() > config_.max_itemset_size) {
+      return;
+    }
+    if (out_.size() >= config_.max_itemsets) return;
+    Itemset set;
+    set.support = support;
+    set.items.reserve(ranks.size());
+    for (const std::uint32_t r : ranks) set.items.push_back(rank_to_fn_[r]);
+    std::sort(set.items.begin(), set.items.end());
+    out_.push_back(std::move(set));
+  }
+
+  const FpGrowthConfig& config_;
+  std::uint64_t min_support_;
+  std::vector<FunctionId> rank_to_fn_;
+  std::vector<Itemset>& out_;
+};
+
+std::uint64_t ComputeMinSupport(std::size_t num_transactions,
+                                const FpGrowthConfig& config) {
+  const auto by_fraction = static_cast<std::uint64_t>(
+      std::ceil(config.min_support_fraction *
+                static_cast<double>(num_transactions)));
+  return std::max({by_fraction, config.min_support_count, std::uint64_t{1}});
+}
+
+}  // namespace
+
+std::vector<Itemset> MineFrequentItemsets(
+    const std::vector<Transaction>& transactions,
+    const FpGrowthConfig& config) {
+  std::vector<Itemset> out;
+  if (transactions.empty()) return out;
+  const std::uint64_t min_support = ComputeMinSupport(transactions.size(),
+                                                      config);
+
+  // Pass 1: item frequencies.
+  std::unordered_map<FunctionId, std::uint64_t> freq;
+  for (const Transaction& t : transactions) {
+    for (const FunctionId fn : t) ++freq[fn];
+  }
+
+  // Frequency-ordered ranks (rank 0 = most frequent; ties by id for
+  // determinism).
+  std::vector<std::pair<FunctionId, std::uint64_t>> frequent;
+  for (const auto& [fn, count] : freq) {
+    if (count >= min_support) frequent.emplace_back(fn, count);
+  }
+  if (frequent.empty()) return out;
+  std::sort(frequent.begin(), frequent.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  std::unordered_map<FunctionId, std::uint32_t> fn_to_rank;
+  std::vector<FunctionId> rank_to_fn;
+  rank_to_fn.reserve(frequent.size());
+  for (const auto& [fn, count] : frequent) {
+    fn_to_rank.emplace(fn, static_cast<std::uint32_t>(rank_to_fn.size()));
+    rank_to_fn.push_back(fn);
+  }
+
+  // Pass 2: build the FP-tree over rank-sorted, infrequent-item-free
+  // transactions.
+  FpTree tree{static_cast<std::uint32_t>(rank_to_fn.size())};
+  std::vector<std::uint32_t> ranks;
+  for (const Transaction& t : transactions) {
+    ranks.clear();
+    for (const FunctionId fn : t) {
+      if (const auto it = fn_to_rank.find(fn); it != fn_to_rank.end()) {
+        ranks.push_back(it->second);
+      }
+    }
+    if (ranks.empty()) continue;
+    std::sort(ranks.begin(), ranks.end());
+    tree.Insert(ranks, 1);
+  }
+
+  Miner miner{config, min_support, std::move(rank_to_fn), out};
+  std::vector<std::uint32_t> suffix;
+  miner.Mine(tree, suffix);
+  if (config.maximal_only) out = FilterMaximalItemsets(std::move(out));
+  return out;
+}
+
+std::vector<Itemset> FilterMaximalItemsets(std::vector<Itemset> itemsets) {
+  // Sort by descending size so any superset of a candidate precedes it.
+  std::sort(itemsets.begin(), itemsets.end(),
+            [](const Itemset& a, const Itemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() > b.items.size();
+              }
+              return a.items < b.items;
+            });
+  std::vector<Itemset> maximal;
+  for (auto& candidate : itemsets) {
+    const bool subsumed = std::any_of(
+        maximal.begin(), maximal.end(), [&](const Itemset& kept) {
+          return kept.items.size() > candidate.items.size() &&
+                 std::includes(kept.items.begin(), kept.items.end(),
+                               candidate.items.begin(),
+                               candidate.items.end());
+        });
+    if (!subsumed) maximal.push_back(std::move(candidate));
+  }
+  return maximal;
+}
+
+std::vector<Itemset> MineFrequentItemsetsBruteForce(
+    const std::vector<Transaction>& transactions,
+    const FpGrowthConfig& config) {
+  std::vector<Itemset> out;
+  if (transactions.empty()) return out;
+  const std::uint64_t min_support = ComputeMinSupport(transactions.size(),
+                                                      config);
+
+  std::vector<FunctionId> universe;
+  for (const Transaction& t : transactions) {
+    universe.insert(universe.end(), t.begin(), t.end());
+  }
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()),
+                 universe.end());
+  assert(universe.size() <= 20 && "brute force is for tiny inputs only");
+
+  const std::size_t n = universe.size();
+  for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << n); ++mask) {
+    std::vector<FunctionId> items;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::uint64_t{1} << i)) items.push_back(universe[i]);
+    }
+    if (items.size() < config.min_itemset_size) continue;
+    if (config.max_itemset_size != 0 &&
+        items.size() > config.max_itemset_size) {
+      continue;
+    }
+    std::uint64_t support = 0;
+    for (const Transaction& t : transactions) {
+      if (std::includes(t.begin(), t.end(), items.begin(), items.end())) {
+        ++support;
+      }
+    }
+    if (support >= min_support) {
+      out.push_back(Itemset{.items = std::move(items), .support = support});
+    }
+  }
+  return out;
+}
+
+}  // namespace defuse::mining

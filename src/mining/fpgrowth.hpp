@@ -1,0 +1,65 @@
+// FP-Growth frequent-itemset mining (Han, Pei, Yin & Mao, DMKD 2004).
+//
+// Used by Defuse to mine *strong dependencies*: itemsets of a client's
+// functions that co-occur in at least a `min_support` fraction of the
+// client's transactions (paper §IV.B.2; support θ = 0.2 in §V.A).
+//
+// Full algorithm: one counting pass, an FP-tree built over
+// frequency-ordered transactions, and recursive mining of conditional
+// FP-trees with the single-prefix-path shortcut. No candidate generation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "mining/transactions.hpp"
+
+namespace defuse::mining {
+
+struct Itemset {
+  std::vector<FunctionId> items;  // ascending id order
+  std::uint64_t support = 0;      // number of transactions containing it
+
+  friend bool operator==(const Itemset&, const Itemset&) = default;
+};
+
+struct FpGrowthConfig {
+  /// Relative support threshold over the transaction count (paper: 0.2).
+  double min_support_fraction = 0.2;
+  /// Absolute floor: an itemset seen fewer than this many times is never
+  /// frequent, regardless of the fraction (guards tiny transaction sets).
+  std::uint64_t min_support_count = 2;
+  /// 0 = unlimited itemset size.
+  std::size_t max_itemset_size = 0;
+  /// Only emit itemsets with at least this many items. Defuse needs
+  /// pairs-and-up: singletons carry no dependency information.
+  std::size_t min_itemset_size = 2;
+  /// Safety valve against pathological pattern explosions.
+  std::size_t max_itemsets = 1'000'000;
+  /// Keep only *maximal* frequent itemsets (no frequent superset in the
+  /// result). Defuse only needs pairwise connectivity for its dependency
+  /// graph, and every pair inside a maximal itemset is already implied —
+  /// filtering prunes the combinatorial subset tail without changing the
+  /// connected components.
+  bool maximal_only = false;
+};
+
+/// Filters a mined result down to its maximal itemsets (quadratic in the
+/// number of itemsets; adequate for per-user pattern counts).
+[[nodiscard]] std::vector<Itemset> FilterMaximalItemsets(
+    std::vector<Itemset> itemsets);
+
+/// Mines all frequent itemsets from the transactions. Output itemsets are
+/// each sorted by item id; their order in the vector is unspecified.
+[[nodiscard]] std::vector<Itemset> MineFrequentItemsets(
+    const std::vector<Transaction>& transactions,
+    const FpGrowthConfig& config = {});
+
+/// Reference miner: brute-force a-priori enumeration. Exponential; only
+/// for differential testing of MineFrequentItemsets on tiny inputs.
+[[nodiscard]] std::vector<Itemset> MineFrequentItemsetsBruteForce(
+    const std::vector<Transaction>& transactions,
+    const FpGrowthConfig& config = {});
+
+}  // namespace defuse::mining

@@ -1,0 +1,47 @@
+#include "mining/predictability.hpp"
+
+namespace defuse::mining {
+
+stats::Histogram BuildItHistogram(const trace::InvocationTrace& trace,
+                                  FunctionId fn, TimeRange range,
+                                  const PredictabilityConfig& config) {
+  stats::Histogram hist{config.histogram_bins, config.histogram_bin_width};
+  for (const MinuteDelta gap : trace.IdleTimes(fn, range)) hist.Add(gap);
+  return hist;
+}
+
+stats::Histogram BuildGroupItHistogram(const trace::InvocationTrace& trace,
+                                       std::span<const FunctionId> fns,
+                                       TimeRange range,
+                                       const PredictabilityConfig& config) {
+  stats::Histogram hist{config.histogram_bins, config.histogram_bin_width};
+  for (const MinuteDelta gap : trace.GroupIdleTimes(fns, range)) {
+    hist.Add(gap);
+  }
+  return hist;
+}
+
+bool IsPredictable(const stats::Histogram& hist,
+                   const PredictabilityConfig& config) {
+  if (hist.total() < config.min_observations) return false;
+  return hist.BinCountCv() > config.cv_threshold;
+}
+
+PredictabilityReport ClassifyFunctions(const trace::InvocationTrace& trace,
+                                       const trace::WorkloadModel& model,
+                                       TimeRange range,
+                                       const PredictabilityConfig& config) {
+  PredictabilityReport report;
+  const std::size_t n = model.num_functions();
+  report.predictable.resize(n, false);
+  report.cv.resize(n, 0.0);
+  for (std::size_t f = 0; f < n; ++f) {
+    const FunctionId fn{static_cast<std::uint32_t>(f)};
+    const auto hist = BuildItHistogram(trace, fn, range, config);
+    report.cv[f] = hist.BinCountCv();
+    report.predictable[f] = IsPredictable(hist, config);
+  }
+  return report;
+}
+
+}  // namespace defuse::mining

@@ -1,0 +1,57 @@
+// Predictability classification (paper §III.A.2, §IV.B.3).
+//
+// A function (or app, or dependency set) is *unpredictable* when the
+// coefficient of variation of its binned idle-time histogram is small:
+// idle times spread evenly over the bins mean there is no dominant
+// invocation period. The paper uses CV <= 5 as the threshold.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "stats/histogram.hpp"
+#include "trace/invocation_trace.hpp"
+#include "trace/model.hpp"
+
+namespace defuse::mining {
+
+struct PredictabilityConfig {
+  /// CV threshold: <= is unpredictable (paper §V.A: 5; Shahrad's default 2).
+  double cv_threshold = 5.0;
+  /// IT histogram shape (4 h of 1-minute bins, as in the paper).
+  std::size_t histogram_bins = 240;
+  MinuteDelta histogram_bin_width = 1;
+  /// A function with fewer than this many idle-time observations has no
+  /// usable histogram and is treated as unpredictable. Small counts also
+  /// make the bin-count CV unreliable (sparse histograms look peaked).
+  std::size_t min_observations = 10;
+};
+
+/// Builds the idle-time histogram of one function over `range`.
+[[nodiscard]] stats::Histogram BuildItHistogram(
+    const trace::InvocationTrace& trace, FunctionId fn, TimeRange range,
+    const PredictabilityConfig& config = {});
+
+/// Builds the idle-time histogram of a function group (app/dependency
+/// set): the group is active whenever any member is.
+[[nodiscard]] stats::Histogram BuildGroupItHistogram(
+    const trace::InvocationTrace& trace, std::span<const FunctionId> fns,
+    TimeRange range, const PredictabilityConfig& config = {});
+
+struct PredictabilityReport {
+  std::vector<bool> predictable;  // indexed by FunctionId
+  std::vector<double> cv;         // bin-count CV per function
+};
+
+/// Classifies every function of the model over `range`.
+[[nodiscard]] PredictabilityReport ClassifyFunctions(
+    const trace::InvocationTrace& trace, const trace::WorkloadModel& model,
+    TimeRange range, const PredictabilityConfig& config = {});
+
+/// True if a histogram passes the predictability test.
+[[nodiscard]] bool IsPredictable(const stats::Histogram& hist,
+                                 const PredictabilityConfig& config = {});
+
+}  // namespace defuse::mining

@@ -1,0 +1,76 @@
+#include "mining/transactions.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_set>
+
+namespace defuse::mining {
+
+std::vector<Transaction> BuildUserTransactions(
+    const trace::InvocationTrace& trace, const trace::WorkloadModel& model,
+    UserId user, TimeRange range, const TransactionConfig& config) {
+  assert(config.window_minutes >= 1);
+  // window index -> set of active functions. A map keeps the windows in
+  // time order without materializing the (mostly empty) dense range.
+  std::map<Minute, Transaction> windows;
+  for (const FunctionId fn : model.FunctionsOfUser(user)) {
+    for (const auto& e : trace.SeriesInRange(fn, range)) {
+      const Minute w = (e.minute - range.begin) / config.window_minutes;
+      windows[w].push_back(fn);
+    }
+  }
+  std::vector<Transaction> transactions;
+  transactions.reserve(windows.size());
+  for (auto& [w, items] : windows) {
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    if (items.size() >= config.min_items) {
+      transactions.push_back(std::move(items));
+    }
+  }
+  return transactions;
+}
+
+std::vector<UniverseWindow> SplitUniverse(std::vector<FunctionId> universe,
+                                          std::size_t window_size,
+                                          std::size_t stride, Rng& rng) {
+  assert(window_size >= 1);
+  assert(stride >= 1 && stride <= window_size);
+  rng.Shuffle(std::span{universe});
+  std::vector<UniverseWindow> result;
+  if (universe.empty()) return result;
+  if (universe.size() <= window_size) {
+    std::sort(universe.begin(), universe.end());
+    result.push_back(UniverseWindow{std::move(universe)});
+    return result;
+  }
+  for (std::size_t start = 0; start < universe.size(); start += stride) {
+    const std::size_t end = std::min(start + window_size, universe.size());
+    UniverseWindow window;
+    window.functions.assign(universe.begin() + static_cast<std::ptrdiff_t>(start),
+                            universe.begin() + static_cast<std::ptrdiff_t>(end));
+    std::sort(window.functions.begin(), window.functions.end());
+    result.push_back(std::move(window));
+    if (end == universe.size()) break;
+  }
+  return result;
+}
+
+std::vector<Transaction> ProjectTransactions(
+    const std::vector<Transaction>& transactions,
+    const UniverseWindow& window, std::size_t min_items) {
+  const std::unordered_set<FunctionId> members{window.functions.begin(),
+                                               window.functions.end()};
+  std::vector<Transaction> projected;
+  for (const Transaction& t : transactions) {
+    Transaction kept;
+    for (const FunctionId fn : t) {
+      if (members.contains(fn)) kept.push_back(fn);
+    }
+    if (kept.size() >= min_items) projected.push_back(std::move(kept));
+  }
+  return projected;
+}
+
+}  // namespace defuse::mining

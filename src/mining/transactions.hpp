@@ -1,0 +1,65 @@
+// Transaction building for dependency mining (paper §IV.B.2).
+//
+// For each client (user), the invocation records of all of her functions
+// are bucketed into non-overlapping time windows; the set of functions
+// with a non-zero invocation count in a window forms one transaction.
+// FP-Growth then mines frequent itemsets over these transactions.
+//
+// Two practical details follow the paper's experiment section (§V.A):
+//  * the time window is 1 minute (the trace granularity);
+//  * FP-Growth's memory explodes on very wide transactions, so the
+//    client's function universe is shuffled and split into overlapping
+//    windows of `universe_window` functions with stride `universe_stride`
+//    (paper: 20 / 10); transactions are projected onto each universe
+//    window and mined separately.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "trace/invocation_trace.hpp"
+#include "trace/model.hpp"
+
+namespace defuse::mining {
+
+/// A transaction: the distinct functions of one client active inside one
+/// time window, in ascending id order.
+using Transaction = std::vector<FunctionId>;
+
+struct TransactionConfig {
+  /// Time-window width in minutes (paper: 1).
+  MinuteDelta window_minutes = 1;
+  /// Skip transactions with fewer than this many functions: singleton
+  /// windows carry no co-invocation signal.
+  std::size_t min_items = 2;
+};
+
+/// Builds the transactions of one client over `range`.
+[[nodiscard]] std::vector<Transaction> BuildUserTransactions(
+    const trace::InvocationTrace& trace, const trace::WorkloadModel& model,
+    UserId user, TimeRange range, const TransactionConfig& config = {});
+
+/// A projection of a client's function universe (paper's shuffle +
+/// window/stride trick).
+struct UniverseWindow {
+  std::vector<FunctionId> functions;  // ascending
+};
+
+/// Shuffles `universe` with `rng` and splits it into windows of
+/// `window_size` with stride `stride` (paper: 20/10). The final window is
+/// kept even if short. Requires window_size >= 1, 1 <= stride <=
+/// window_size.
+[[nodiscard]] std::vector<UniverseWindow> SplitUniverse(
+    std::vector<FunctionId> universe, std::size_t window_size,
+    std::size_t stride, Rng& rng);
+
+/// Projects transactions onto a universe window, dropping any that end up
+/// with fewer than `min_items` functions.
+[[nodiscard]] std::vector<Transaction> ProjectTransactions(
+    const std::vector<Transaction>& transactions,
+    const UniverseWindow& window, std::size_t min_items = 2);
+
+}  // namespace defuse::mining

@@ -1,0 +1,339 @@
+#include "platform/platform.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <charconv>
+#include <span>
+#include <unordered_map>
+
+#include "graph/serialization.hpp"
+#include "trace/azure_csv.hpp"
+
+namespace defuse::platform {
+
+Platform::Platform(trace::WorkloadModel model, PlatformConfig config)
+    : model_(std::move(model)),
+      config_(config),
+      history_(model_.num_functions(), TimeRange{0, config.horizon}),
+      residency_(model_.num_functions()),
+      fn_invocations_(model_.num_functions(), 0),
+      fn_cold_(model_.num_functions(), 0),
+      next_remine_(config.remine_interval) {
+  assert(config_.horizon >= 1);
+  assert(config_.remine_interval >= 1);
+  assert(config_.mining_window >= 1);
+  // Bootstrap: every function is its own unit until the first re-mine.
+  units_ = std::make_unique<sim::UnitMap>(
+      sim::UnitMap::PerFunction(model_.num_functions()));
+  policy_ = std::make_unique<policy::HybridHistogramPolicy>(*units_,
+                                                            config_.policy);
+  unit_last_invoked_.assign(units_->num_units(), -1);
+  unit_cold_this_minute_.assign(units_->num_units(), false);
+}
+
+void Platform::MaybeRemine(Minute now) {
+  while (now >= next_remine_) {
+    RemineNow(next_remine_);
+    next_remine_ += config_.remine_interval;
+  }
+}
+
+void Platform::RemineNow(Minute now) {
+  history_.Finalize();
+  const TimeRange window{
+      std::max<Minute>(0, now - config_.mining_window), now};
+  const auto mining =
+      core::MineDependencies(history_, model_, window, config_.mining);
+  units_ = std::make_unique<sim::UnitMap>(
+      sim::UnitMap::FromDependencySets(mining.sets,
+                                       model_.num_functions()));
+  policy_ = std::make_unique<policy::HybridHistogramPolicy>(*units_,
+                                                            config_.policy);
+  // Seed the fresh per-set histograms from the same window. Residency
+  // windows are per function and survive untouched: nothing warm is
+  // evicted by a re-mine.
+  mining::PredictabilityConfig shape;
+  shape.histogram_bins = config_.policy.histogram_bins;
+  shape.histogram_bin_width = config_.policy.histogram_bin_width;
+  for (std::size_t u = 0; u < units_->num_units(); ++u) {
+    const UnitId unit{static_cast<std::uint32_t>(u)};
+    const auto hist = mining::BuildGroupItHistogram(
+        history_, units_->functions_of(unit), window, shape);
+    if (hist.total() > 0) policy_->SeedHistogram(unit, hist);
+  }
+  unit_last_invoked_.assign(units_->num_units(), -1);
+  unit_cold_this_minute_.assign(units_->num_units(), false);
+  ++stats_.remines;
+}
+
+void Platform::ApplyDecision(UnitId unit, Minute now) {
+  sim::UnitDecision decision = policy_->OnInvocation(unit, now);
+  if (decision.prewarm <= decision.linger) {
+    decision.keepalive = std::max(decision.linger,
+                                  decision.prewarm + decision.keepalive);
+    decision.prewarm = 0;
+  }
+  for (const FunctionId fn : units_->functions_of(unit)) {
+    Residency& r = residency_[fn.value()];
+    if (decision.prewarm == 0) {
+      r.warm_begin = now;
+      r.warm_end = now + std::max<MinuteDelta>(decision.keepalive, 1);
+      r.prewarm_begin = r.prewarm_end = 0;
+    } else {
+      r.warm_begin = now;
+      r.warm_end = now + std::max<MinuteDelta>(decision.linger, 1);
+      r.prewarm_begin = now + decision.prewarm;
+      r.prewarm_end = r.prewarm_begin +
+                      std::max<MinuteDelta>(decision.keepalive, 1);
+    }
+  }
+}
+
+InvocationOutcome Platform::Invoke(FunctionId fn, Minute now) {
+  assert(fn.value() < model_.num_functions());
+  assert(now >= last_now_ && "invocations must arrive in time order");
+  assert(now < config_.horizon);
+  last_now_ = now;
+  MaybeRemine(now);
+
+  history_.Add(fn, now);
+  ++fn_invocations_[fn.value()];
+  ++stats_.invocations;
+
+  const UnitId unit = units_->unit_of(fn);
+  InvocationOutcome outcome;
+  outcome.unit = unit;
+
+  // Unit-level warm/cold resolution, once per minute (as in the
+  // simulator): the first member invocation this minute decides, and
+  // members arriving later in the same minute share that resolution
+  // (they are part of the batch the cold load serves).
+  if (unit_last_invoked_[unit.value()] != now) {
+    const Minute prev = unit_last_invoked_[unit.value()];
+    outcome.cold = !residency_[fn.value()].ResidentAt(now);
+    if (prev >= 0) policy_->ObserveIdleTime(unit, now - prev);
+    unit_last_invoked_[unit.value()] = now;
+    unit_cold_this_minute_[unit.value()] = outcome.cold;
+    ApplyDecision(unit, now);
+  } else {
+    outcome.cold = unit_cold_this_minute_[unit.value()];
+  }
+  if (outcome.cold) {
+    ++fn_cold_[fn.value()];
+    ++stats_.cold_invocations;
+  }
+  return outcome;
+}
+
+namespace {
+
+constexpr std::string_view kStateHeader = "defuse-platform-state-v1";
+
+bool ParseI64Fields(std::string_view line, std::span<std::int64_t> out) {
+  std::size_t field = 0;
+  std::size_t pos = 0;
+  while (field < out.size()) {
+    const std::size_t comma = line.find(',', pos);
+    const std::string_view token =
+        line.substr(pos, comma == std::string_view::npos ? std::string_view::npos
+                                                         : comma - pos);
+    const auto [ptr, ec] = std::from_chars(
+        token.data(), token.data() + token.size(), out[field]);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) return false;
+    ++field;
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return field == out.size();
+}
+
+}  // namespace
+
+std::string Platform::SaveState() const {
+  std::string out{kStateHeader};
+  out += '\n';
+  out += "meta," + std::to_string(last_now_) + ',' +
+         std::to_string(next_remine_) + ',' +
+         std::to_string(stats_.invocations) + ',' +
+         std::to_string(stats_.cold_invocations) + ',' +
+         std::to_string(stats_.remines) + '\n';
+
+  // Dependency sets (reconstructed from the live unit map).
+  std::vector<graph::DependencySet> sets;
+  for (std::size_t u = 0; u < units_->num_units(); ++u) {
+    const auto fns =
+        units_->functions_of(UnitId{static_cast<std::uint32_t>(u)});
+    sets.push_back(graph::DependencySet{
+        .id = static_cast<std::uint32_t>(u),
+        .functions = {fns.begin(), fns.end()}});
+  }
+  out += "[sets]\n";
+  out += graph::WriteDependencySetsCsv(sets, model_);
+  out += "[histograms]\n";
+  out += policy_->SerializeHistograms();
+  out += "[residency]\n";
+  for (std::size_t f = 0; f < residency_.size(); ++f) {
+    const Residency& r = residency_[f];
+    if (r.warm_end == 0 && r.prewarm_end == 0) continue;
+    out += std::to_string(f) + ',' + std::to_string(r.warm_begin) + ',' +
+           std::to_string(r.warm_end) + ',' +
+           std::to_string(r.prewarm_begin) + ',' +
+           std::to_string(r.prewarm_end) + '\n';
+  }
+  out += "[unit_state]\n";
+  for (std::size_t u = 0; u < unit_last_invoked_.size(); ++u) {
+    if (unit_last_invoked_[u] < 0) continue;
+    out += std::to_string(u) + ',' + std::to_string(unit_last_invoked_[u]) +
+           ',' + (unit_cold_this_minute_[u] ? "1" : "0") + '\n';
+  }
+  out += "[fn_counters]\n";
+  for (std::size_t f = 0; f < fn_invocations_.size(); ++f) {
+    if (fn_invocations_[f] == 0) continue;
+    out += std::to_string(f) + ',' + std::to_string(fn_invocations_[f]) +
+           ',' + std::to_string(fn_cold_[f]) + '\n';
+  }
+  out += "[history]\n";
+  out += trace::WriteLongCsv(model_, history_);
+  return out;
+}
+
+bool Platform::LoadState(std::string_view text) {
+  enum class Section {
+    kMeta, kSets, kHistograms, kResidency, kUnitState, kFnCounters, kHistory
+  };
+  Section section = Section::kMeta;
+  std::string sets_buffer, histograms_buffer, history_buffer;
+  std::vector<std::string_view> residency_lines, unit_lines, counter_lines;
+  std::int64_t meta[5] = {0, 0, 0, 0, 0};
+  bool saw_header = false, saw_meta = false;
+
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!saw_header) {
+      if (line != kStateHeader) return false;
+      saw_header = true;
+      continue;
+    }
+    if (line == "[sets]") { section = Section::kSets; continue; }
+    if (line == "[histograms]") { section = Section::kHistograms; continue; }
+    if (line == "[residency]") { section = Section::kResidency; continue; }
+    if (line == "[unit_state]") { section = Section::kUnitState; continue; }
+    if (line == "[fn_counters]") { section = Section::kFnCounters; continue; }
+    if (line == "[history]") { section = Section::kHistory; continue; }
+    switch (section) {
+      case Section::kMeta: {
+        if (line.rfind("meta,", 0) != 0) return false;
+        if (!ParseI64Fields(line.substr(5), meta)) return false;
+        saw_meta = true;
+        break;
+      }
+      case Section::kSets: sets_buffer += line; sets_buffer += '\n'; break;
+      case Section::kHistograms:
+        histograms_buffer += line;
+        histograms_buffer += '\n';
+        break;
+      case Section::kResidency: residency_lines.push_back(line); break;
+      case Section::kUnitState: unit_lines.push_back(line); break;
+      case Section::kFnCounters: counter_lines.push_back(line); break;
+      case Section::kHistory:
+        history_buffer += line;
+        history_buffer += '\n';
+        break;
+    }
+  }
+  if (!saw_meta) return false;
+
+  // Rebuild units + policy from the persisted sets.
+  auto sets = graph::ReadDependencySetsCsv(sets_buffer, model_);
+  if (!sets.ok()) return false;
+  units_ = std::make_unique<sim::UnitMap>(sim::UnitMap::FromDependencySets(
+      sets.value(), model_.num_functions()));
+  policy_ = std::make_unique<policy::HybridHistogramPolicy>(*units_,
+                                                            config_.policy);
+  if (!policy_->LoadHistograms(histograms_buffer)) return false;
+
+  // History: the persisted trace only carries active functions; replay
+  // its rows into a fresh full-width trace.
+  auto history = trace::ReadLongCsv(history_buffer, config_.horizon);
+  history_ = trace::InvocationTrace{model_.num_functions(),
+                                    TimeRange{0, config_.horizon}};
+  if (history.ok()) {
+    // Match persisted functions back to the model by name.
+    std::unordered_map<std::string_view, FunctionId> names;
+    for (const auto& fn : model_.functions()) names.emplace(fn.name, fn.id);
+    for (const auto& fn : history.value().model.functions()) {
+      const auto it = names.find(fn.name);
+      if (it == names.end()) return false;
+      for (const auto& e : history.value().trace.series(fn.id)) {
+        history_.Add(it->second, e.minute, e.count);
+      }
+    }
+    history_.Finalize();
+  } else if (!history_buffer.empty() &&
+             history_buffer != "user,app,function,minute,count\n") {
+    return false;
+  }
+
+  residency_.assign(model_.num_functions(), Residency{});
+  for (const auto line : residency_lines) {
+    std::int64_t fields[5];
+    if (!ParseI64Fields(line, fields)) return false;
+    if (fields[0] < 0 ||
+        static_cast<std::size_t>(fields[0]) >= residency_.size()) {
+      return false;
+    }
+    residency_[static_cast<std::size_t>(fields[0])] =
+        Residency{.warm_begin = fields[1], .warm_end = fields[2],
+                  .prewarm_begin = fields[3], .prewarm_end = fields[4]};
+  }
+
+  unit_last_invoked_.assign(units_->num_units(), -1);
+  unit_cold_this_minute_.assign(units_->num_units(), false);
+  for (const auto line : unit_lines) {
+    std::int64_t fields[3];
+    if (!ParseI64Fields(line, fields)) return false;
+    if (fields[0] < 0 ||
+        static_cast<std::size_t>(fields[0]) >= unit_last_invoked_.size()) {
+      return false;
+    }
+    unit_last_invoked_[static_cast<std::size_t>(fields[0])] = fields[1];
+    unit_cold_this_minute_[static_cast<std::size_t>(fields[0])] =
+        fields[2] != 0;
+  }
+
+  fn_invocations_.assign(model_.num_functions(), 0);
+  fn_cold_.assign(model_.num_functions(), 0);
+  for (const auto line : counter_lines) {
+    std::int64_t fields[3];
+    if (!ParseI64Fields(line, fields)) return false;
+    if (fields[0] < 0 ||
+        static_cast<std::size_t>(fields[0]) >= fn_invocations_.size()) {
+      return false;
+    }
+    fn_invocations_[static_cast<std::size_t>(fields[0])] =
+        static_cast<std::uint64_t>(fields[1]);
+    fn_cold_[static_cast<std::size_t>(fields[0])] =
+        static_cast<std::uint64_t>(fields[2]);
+  }
+
+  last_now_ = meta[0];
+  next_remine_ = meta[1];
+  stats_.invocations = static_cast<std::uint64_t>(meta[2]);
+  stats_.cold_invocations = static_cast<std::uint64_t>(meta[3]);
+  stats_.remines = static_cast<std::uint64_t>(meta[4]);
+  return true;
+}
+
+std::size_t Platform::ResidentFunctions(Minute now) const {
+  std::size_t count = 0;
+  for (const Residency& r : residency_) {
+    if (r.ResidentAt(now)) ++count;
+  }
+  return count;
+}
+
+}  // namespace defuse::platform

@@ -1,0 +1,128 @@
+// Online FaaS platform engine — Defuse in its deployment form.
+//
+// The simulators replay a fixed trace; this engine is the shape a real
+// integration takes (paper §VII): invocations arrive one by one through
+// Invoke(), the dependency miner runs as a periodic background daemon
+// over a sliding history window, and the scheduler's dependency sets are
+// swapped live — *without* evicting what is already resident (unlike
+// core::RunAdaptive, whose epoch simulation restarts cold).
+//
+//   platform::Platform p{model, config};
+//   for (each request in arrival order) {
+//     auto outcome = p.Invoke(fn, minute);   // outcome.cold on miss
+//   }
+//
+// Residency is tracked per function as at most two half-open windows
+// (the active keep-alive window and a scheduled pre-warm window), which
+// a unit-level decision stamps onto every member of the invoked
+// dependency set. Invocations must arrive with non-decreasing minutes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/defuse.hpp"
+#include "policy/hybrid.hpp"
+#include "trace/invocation_trace.hpp"
+#include "trace/model.hpp"
+
+namespace defuse::platform {
+
+struct PlatformConfig {
+  /// Total operating horizon (bounds the internal history buffer).
+  MinuteDelta horizon = 30 * kMinutesPerDay;
+  /// Background re-mining cadence and window (paper §VII: daily).
+  MinuteDelta remine_interval = kMinutesPerDay;
+  MinuteDelta mining_window = 4 * kMinutesPerDay;
+  /// Until the first re-mine fires there are no mined sets; functions
+  /// are scheduled individually.
+  core::DefuseConfig mining;
+  policy::HybridConfig policy;
+};
+
+struct InvocationOutcome {
+  bool cold = false;
+  /// The dependency set the function currently belongs to.
+  UnitId unit;
+};
+
+struct PlatformStats {
+  std::uint64_t invocations = 0;
+  std::uint64_t cold_invocations = 0;
+  std::uint64_t remines = 0;
+
+  [[nodiscard]] double cold_fraction() const {
+    return invocations == 0 ? 0.0
+                            : static_cast<double>(cold_invocations) /
+                                  static_cast<double>(invocations);
+  }
+};
+
+class Platform {
+ public:
+  Platform(trace::WorkloadModel model, PlatformConfig config = {});
+
+  /// Serves one invocation. `now` must be >= the previous call's `now`.
+  InvocationOutcome Invoke(FunctionId fn, Minute now);
+
+  /// Number of functions resident at `now` (>= the last Invoke minute).
+  [[nodiscard]] std::size_t ResidentFunctions(Minute now) const;
+
+  [[nodiscard]] const PlatformStats& stats() const noexcept { return stats_; }
+  /// Per-function cold / total counters (indexed by FunctionId).
+  [[nodiscard]] const std::vector<std::uint64_t>& function_invocations()
+      const noexcept {
+    return fn_invocations_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& function_cold()
+      const noexcept {
+    return fn_cold_;
+  }
+  /// The current dependency sets (singletons until the first re-mine).
+  [[nodiscard]] const sim::UnitMap& units() const noexcept { return *units_; }
+  /// Forces a re-mine over [now - mining_window, now) immediately.
+  void RemineNow(Minute now);
+
+  /// Serializes the engine's full state (invocation history, dependency
+  /// sets, learned histograms, residency windows, counters) so a
+  /// scheduler daemon can restart without relearning. Restore with
+  /// LoadState on a Platform constructed with the same model and config.
+  [[nodiscard]] std::string SaveState() const;
+  /// Restores SaveState output. Returns false (state unspecified) on
+  /// malformed input or a model/config mismatch.
+  [[nodiscard]] bool LoadState(std::string_view text);
+
+ private:
+  struct Residency {
+    // Two half-open windows: the live keep-alive and a scheduled
+    // pre-warm. Generations are implicit: stamping a new decision
+    // overwrites both.
+    Minute warm_begin = 0, warm_end = 0;      // [begin, end)
+    Minute prewarm_begin = 0, prewarm_end = 0;
+
+    [[nodiscard]] bool ResidentAt(Minute t) const noexcept {
+      return (t >= warm_begin && t < warm_end) ||
+             (t >= prewarm_begin && t < prewarm_end);
+    }
+  };
+
+  void MaybeRemine(Minute now);
+  void ApplyDecision(UnitId unit, Minute now);
+
+  trace::WorkloadModel model_;
+  PlatformConfig config_;
+  trace::InvocationTrace history_;
+  std::unique_ptr<sim::UnitMap> units_;
+  std::unique_ptr<policy::HybridHistogramPolicy> policy_;
+  std::vector<Residency> residency_;        // per function
+  std::vector<Minute> unit_last_invoked_;   // per current unit
+  std::vector<bool> unit_cold_this_minute_;  // per current unit
+  std::vector<std::uint64_t> fn_invocations_;
+  std::vector<std::uint64_t> fn_cold_;
+  PlatformStats stats_;
+  Minute next_remine_;
+  Minute last_now_ = 0;
+};
+
+}  // namespace defuse::platform

@@ -1,0 +1,76 @@
+#include "policy/ar_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace defuse::policy {
+
+ArIdleTimeModel::ArIdleTimeModel(std::size_t window)
+    : ring_(std::max<std::size_t>(window, 4)),
+      window_(std::max<std::size_t>(window, 4)) {}
+
+void ArIdleTimeModel::Observe(MinuteDelta gap) {
+  ring_[next_] = static_cast<double>(gap);
+  next_ = (next_ + 1) % window_;
+  if (count_ < window_) ++count_;
+}
+
+std::vector<double> ArIdleTimeModel::Ordered() const {
+  std::vector<double> out;
+  out.reserve(count_);
+  if (count_ < window_) {
+    out.assign(ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(count_));
+  } else {
+    out.assign(ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+double ArIdleTimeModel::Mean() const noexcept {
+  if (count_ == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < count_; ++i) sum += ring_[i];
+  return sum / static_cast<double>(count_);
+}
+
+double ArIdleTimeModel::Phi() const noexcept {
+  if (!Ready()) return 0.0;
+  const auto gaps = Ordered();
+  const double mean = Mean();
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i + 1 < gaps.size(); ++i) {
+    num += (gaps[i] - mean) * (gaps[i + 1] - mean);
+    den += (gaps[i] - mean) * (gaps[i] - mean);
+  }
+  if (den <= 0.0) return 0.0;
+  return std::clamp(num / den, -0.95, 0.95);
+}
+
+double ArIdleTimeModel::PredictNext() const noexcept {
+  const double mean = Mean();
+  if (!Ready()) return mean;
+  const auto gaps = Ordered();
+  return mean + Phi() * (gaps.back() - mean);
+}
+
+double ArIdleTimeModel::ResidualStdDev() const noexcept {
+  if (!Ready()) return 0.0;
+  const auto gaps = Ordered();
+  const double mean = Mean();
+  const double phi = Phi();
+  double sq = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i + 1 < gaps.size(); ++i) {
+    const double predicted = mean + phi * (gaps[i] - mean);
+    const double residual = gaps[i + 1] - predicted;
+    sq += residual * residual;
+    ++n;
+  }
+  return n == 0 ? 0.0 : std::sqrt(sq / static_cast<double>(n));
+}
+
+}  // namespace defuse::policy

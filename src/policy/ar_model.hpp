@@ -1,0 +1,57 @@
+// AR(1) idle-time forecaster — the "time-series model" branch of the
+// hybrid histogram policy.
+//
+// Shahrad et al. (ATC'20) fall back to an ARIMA forecast of the next
+// idle time when a unit's histogram is not representative (most idle
+// times out of range). The Defuse paper kept that branch and noted its
+// randomness as a source of irreproducibility. We implement the
+// essential part deterministically: an AR(1) model
+//
+//     gap[t+1] ≈ mean + phi * (gap[t] - mean)
+//
+// fitted by least squares over a sliding window of recent idle times.
+// The fit is closed-form (lag-1 autocorrelation), cheap enough to run on
+// every invocation, and fully deterministic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace defuse::policy {
+
+class ArIdleTimeModel {
+ public:
+  /// Keeps the last `window` observations (>= 4 for a meaningful fit).
+  explicit ArIdleTimeModel(std::size_t window = 32);
+
+  void Observe(MinuteDelta gap);
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  /// True once enough observations exist for a fit.
+  [[nodiscard]] bool Ready() const noexcept { return count_ >= 4; }
+
+  /// Mean of the retained window.
+  [[nodiscard]] double Mean() const noexcept;
+  /// Fitted AR(1) coefficient (lag-1 autocorrelation), clamped to
+  /// [-0.95, 0.95] for stability. 0 until Ready().
+  [[nodiscard]] double Phi() const noexcept;
+  /// Forecast of the next idle gap given the last observation.
+  /// Falls back to the mean when not Ready().
+  [[nodiscard]] double PredictNext() const noexcept;
+  /// Root-mean-square one-step residual of the fit over the window
+  /// (the forecast's uncertainty; 0 until Ready()).
+  [[nodiscard]] double ResidualStdDev() const noexcept;
+
+ private:
+  /// Chronologically ordered window contents (oldest first).
+  [[nodiscard]] std::vector<double> Ordered() const;
+
+  std::vector<double> ring_;
+  std::size_t window_;
+  std::size_t next_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace defuse::policy

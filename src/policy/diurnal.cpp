@@ -1,0 +1,125 @@
+#include "policy/diurnal.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace defuse::policy {
+
+DiurnalPolicy::DiurnalPolicy(sim::UnitMap units, DiurnalConfig config)
+    : hybrid_(std::move(units), config.hybrid), config_(config) {
+  assert(kMinutesPerDay % config_.slot_minutes == 0);
+  const auto n = hybrid_.unit_map().num_units();
+  day_profile_.assign(n, std::vector<std::uint64_t>(NumSlots(), 0));
+  active_mask_.assign(n, std::vector<bool>(NumSlots(), false));
+  mask_valid_.assign(n, false);
+  is_diurnal_.assign(n, false);
+}
+
+void DiurnalPolicy::SeedDayProfile(UnitId unit, Minute invocation_minute) {
+  ++day_profile_[unit.value()][SlotOf(invocation_minute)];
+  mask_valid_[unit.value()] = false;
+}
+
+void DiurnalPolicy::ObserveIdleTime(UnitId unit, MinuteDelta gap) {
+  hybrid_.ObserveIdleTime(unit, gap);
+}
+
+void DiurnalPolicy::RefreshMask(UnitId unit) const {
+  if (mask_valid_[unit.value()]) return;
+  const auto& profile = day_profile_[unit.value()];
+  auto& mask = active_mask_[unit.value()];
+  const std::uint64_t total =
+      std::accumulate(profile.begin(), profile.end(), std::uint64_t{0});
+  std::fill(mask.begin(), mask.end(), false);
+  is_diurnal_[unit.value()] = false;
+  if (total >= config_.min_observations) {
+    // Take slots in descending count until `concentration` of the mass
+    // is covered; the unit is diurnal if that needs at most
+    // active_slot_fraction of the slots.
+    std::vector<std::size_t> order(profile.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return profile[a] > profile[b];
+    });
+    std::uint64_t covered = 0;
+    std::size_t used = 0;
+    for (const std::size_t slot : order) {
+      if (static_cast<double>(covered) >=
+          config_.concentration * static_cast<double>(total)) {
+        break;
+      }
+      if (profile[slot] == 0) break;
+      mask[slot] = true;
+      covered += profile[slot];
+      ++used;
+    }
+    is_diurnal_[unit.value()] =
+        static_cast<double>(covered) >=
+            config_.concentration * static_cast<double>(total) &&
+        static_cast<double>(used) <=
+            config_.active_slot_fraction *
+                static_cast<double>(profile.size());
+  }
+  mask_valid_[unit.value()] = true;
+}
+
+bool DiurnalPolicy::IsDiurnalUnit(UnitId unit) const {
+  RefreshMask(unit);
+  return is_diurnal_[unit.value()];
+}
+
+bool DiurnalPolicy::SlotActive(UnitId unit, Minute minute_of_day) const {
+  RefreshMask(unit);
+  return active_mask_[unit.value()][SlotOf(minute_of_day)];
+}
+
+sim::UnitDecision DiurnalPolicy::OnInvocation(UnitId unit, Minute now) {
+  SeedDayProfile(unit, now);  // the profile keeps learning online
+  if (!IsDiurnalUnit(unit)) return hybrid_.OnInvocation(unit, now);
+
+  const auto& mask = active_mask_[unit.value()];
+  const std::size_t slots = NumSlots();
+  const std::size_t current = SlotOf(now);
+
+  // Stay resident until the end of the current active run (or just the
+  // current slot when invoked in a nominally inactive one).
+  Minute resident_until =
+      (static_cast<Minute>(current) + 1) * config_.slot_minutes +
+      (now / kMinutesPerDay) * kMinutesPerDay;
+  std::size_t walk = current;
+  while (mask[(walk + 1) % slots] && walk - current < slots) {
+    ++walk;
+    resident_until += config_.slot_minutes;
+  }
+
+  // Find the next active slot after the residency ends.
+  std::size_t gap_slots = 0;
+  std::size_t probe = (walk + 1) % slots;
+  while (!mask[probe] && gap_slots <= slots) {
+    probe = (probe + 1) % slots;
+    ++gap_slots;
+  }
+
+  const MinuteDelta remaining_run =
+      std::max<MinuteDelta>(resident_until - now, 1);
+  sim::UnitDecision decision;
+  if (gap_slots == 0 || gap_slots > slots) {
+    // Degenerate mask (all slots active): plain keep-alive to run end.
+    decision.prewarm = 0;
+    decision.keepalive = remaining_run;
+    return decision;
+  }
+  // Linger through the rest of today's active run, evict across the
+  // inactive gap, and return `lead` minutes before the next active slot.
+  const MinuteDelta until_next =
+      remaining_run +
+      static_cast<MinuteDelta>(gap_slots) * config_.slot_minutes;
+  decision.linger = remaining_run;
+  decision.prewarm =
+      std::max<MinuteDelta>(until_next - config_.lead, remaining_run + 1);
+  decision.keepalive = config_.lead + config_.slot_minutes;
+  return decision;
+}
+
+}  // namespace defuse::policy

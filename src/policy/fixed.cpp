@@ -1,0 +1,4 @@
+#include "policy/fixed.hpp"
+
+// Header-only implementation; this TU anchors the vtable.
+namespace defuse::policy {}

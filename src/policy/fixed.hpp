@@ -1,0 +1,32 @@
+// Fixed keep-alive policy: the 10-minute keep-everything-warm baseline
+// used by production FaaS platforms (AWS Lambda-style) and as the
+// fallback branch for unpredictable units in the hybrid policy.
+#pragma once
+
+#include "sim/policy.hpp"
+
+namespace defuse::policy {
+
+class FixedKeepAlivePolicy final : public sim::SchedulingPolicy {
+ public:
+  FixedKeepAlivePolicy(sim::UnitMap units, MinuteDelta keepalive)
+      : units_(std::move(units)), keepalive_(keepalive) {}
+
+  [[nodiscard]] const sim::UnitMap& unit_map() const noexcept override {
+    return units_;
+  }
+  [[nodiscard]] sim::UnitDecision OnInvocation(UnitId /*unit*/,
+                                               Minute /*now*/) override {
+    return sim::UnitDecision{.prewarm = 0, .keepalive = keepalive_};
+  }
+  void ObserveIdleTime(UnitId /*unit*/, MinuteDelta /*gap*/) override {}
+  [[nodiscard]] const char* name() const noexcept override {
+    return "fixed-keepalive";
+  }
+
+ private:
+  sim::UnitMap units_;
+  MinuteDelta keepalive_;
+};
+
+}  // namespace defuse::policy

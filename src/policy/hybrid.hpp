@@ -1,0 +1,125 @@
+// Hybrid histogram scheduling policy (Shahrad et al., USENIX ATC'20),
+// the policy the paper uses both for its baselines (at application and
+// function granularity) and inside Defuse (at dependency-set granularity).
+//
+// Per scheduling unit the policy keeps a fixed-length idle-time (IT)
+// histogram, seeded from the training window and updated online. On each
+// invocation it decides:
+//
+//   * too few observations, or most idle times out of the histogram's
+//     range (the histogram is not "representative")    -> fixed
+//     keep-alive fallback. (Shahrad et al. use an ARIMA forecast here;
+//     the Defuse paper notes that branch's randomness and we substitute
+//     the fixed fallback — see DESIGN.md.)
+//   * bin-count CV <= cv_threshold (unpredictable unit) -> fixed
+//     keep-alive fallback (memthresh, 10 minutes).
+//   * otherwise (predictable)                           -> pre-warm at
+//     the histthresh-percentile lower edge of the IT histogram, keep
+//     alive until its (1 - histthresh)-percentile, with a safety margin.
+//
+// The amplification factor `a` (paper §V.C) scales the keep-alive time to
+// trade memory for cold starts.
+#pragma once
+
+#include <vector>
+
+#include "policy/ar_model.hpp"
+#include "sim/policy.hpp"
+#include "stats/histogram.hpp"
+
+namespace defuse::policy {
+
+struct HybridConfig {
+  /// CV threshold separating predictable from unpredictable units
+  /// (paper: cvthresh = 5).
+  double cv_threshold = 5.0;
+  /// Keep-alive for the fixed fallback (paper: memthresh = 10 minutes).
+  MinuteDelta fixed_keepalive = 10;
+  /// Percentile parameter (paper: histthresh = 0.05 -> 5th/95th).
+  double hist_threshold = 0.05;
+  /// Safety margin: the pre-warm is shrunk and the keep-alive grown by
+  /// this fraction (Shahrad et al. §5).
+  double margin = 0.10;
+  /// Keep-alive multiplier a (paper §V.C). Applied to both branches.
+  double amplification = 1.0;
+  /// Pre-warm windows shorter than this are not worth an unload/reload
+  /// cycle (each reload walks the container critical path); they are
+  /// folded into the keep-alive instead, keeping the unit resident.
+  MinuteDelta min_prewarm = 8;
+  /// Units whose IT histogram has more than this fraction of
+  /// out-of-bounds idle times are not representative -> fixed fallback.
+  double oob_threshold = 0.5;
+  /// Units with fewer IT observations than this use the fixed fallback.
+  /// Must be large enough that the bin-count CV is meaningful: with only
+  /// a handful of observations every histogram looks peaked (sparse bins
+  /// mimic periodicity) and the CV test misclassifies.
+  std::uint64_t min_observations = 20;
+  /// When the histogram is not representative (out-of-bounds fraction
+  /// above oob_threshold — idle times longer than the histogram range),
+  /// use an AR(1) forecast of the next idle time instead of the fixed
+  /// keep-alive. This is the time-series branch of Shahrad et al.
+  /// (ARIMA in the original), implemented deterministically.
+  bool use_ar_fallback = false;
+  /// The unit stays resident for +-ar_sigma_band one-step residual
+  /// standard deviations around the forecast.
+  double ar_sigma_band = 2.0;
+  /// Histogram shape (4 h of 1-minute bins, as in the papers).
+  std::size_t histogram_bins = 240;
+  MinuteDelta histogram_bin_width = 1;
+};
+
+class HybridHistogramPolicy final : public sim::SchedulingPolicy {
+ public:
+  HybridHistogramPolicy(sim::UnitMap units, HybridConfig config);
+
+  /// Seeds one unit's histogram from training idle times.
+  void SeedHistogram(UnitId unit, const stats::Histogram& training);
+
+  [[nodiscard]] const sim::UnitMap& unit_map() const noexcept override {
+    return units_;
+  }
+  [[nodiscard]] sim::UnitDecision OnInvocation(UnitId unit,
+                                               Minute now) override;
+  void ObserveIdleTime(UnitId unit, MinuteDelta gap) override;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "hybrid-histogram";
+  }
+
+  [[nodiscard]] const HybridConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const stats::Histogram& histogram(UnitId unit) const {
+    return histograms_[unit.value()];
+  }
+  /// The decision the policy would make right now (exposed for tests and
+  /// figure tooling).
+  [[nodiscard]] sim::UnitDecision DecisionFor(UnitId unit) const;
+  /// True if the unit currently takes the histogram (predictable) branch.
+  [[nodiscard]] bool IsPredictableUnit(UnitId unit) const;
+
+  /// True if the unit currently takes the AR(1) forecast branch.
+  [[nodiscard]] bool UsesArFallback(UnitId unit) const;
+
+  /// Serializes every unit's idle-time histogram ("unit_id,histogram"
+  /// CSV) so a scheduler daemon can persist its learned state across
+  /// restarts. AR-model windows are transient and not serialized.
+  [[nodiscard]] std::string SerializeHistograms() const;
+  /// Restores histograms from SerializeHistograms output. Unit ids must
+  /// fit the current unit map and histogram widths must match. Returns
+  /// false (leaving a partial load) on malformed input.
+  [[nodiscard]] bool LoadHistograms(std::string_view text);
+
+ private:
+  sim::UnitMap units_;
+  HybridConfig config_;
+  std::vector<stats::Histogram> histograms_;
+  /// Sliding AR(1) models, allocated only under use_ar_fallback.
+  std::vector<ArIdleTimeModel> ar_models_;
+  /// Decision cache, invalidated per unit by ObserveIdleTime.
+  mutable std::vector<sim::UnitDecision> cached_;
+  mutable std::vector<bool> cache_valid_;
+};
+
+/// Validates a config; returns an explanatory message for the first
+/// violated constraint, or nullptr when valid.
+[[nodiscard]] const char* ValidateHybridConfig(const HybridConfig& config);
+
+}  // namespace defuse::policy

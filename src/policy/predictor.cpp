@@ -1,0 +1,54 @@
+#include "policy/predictor.hpp"
+
+#include <algorithm>
+
+namespace defuse::policy {
+
+PeriodicityPredictorPolicy::PeriodicityPredictorPolicy(sim::UnitMap units,
+                                                       PredictorConfig config)
+    : hybrid_(std::move(units), config.hybrid), config_(config) {}
+
+void PeriodicityPredictorPolicy::SeedHistogram(
+    UnitId unit, const stats::Histogram& training) {
+  hybrid_.SeedHistogram(unit, training);
+}
+
+void PeriodicityPredictorPolicy::ObserveIdleTime(UnitId unit,
+                                                 MinuteDelta gap) {
+  hybrid_.ObserveIdleTime(unit, gap);
+}
+
+bool PeriodicityPredictorPolicy::IsPeriodicUnit(UnitId unit) const {
+  const stats::Histogram& hist = hybrid_.histogram(unit);
+  if (hist.total() < config_.hybrid.min_observations) return false;
+  if (hist.out_of_bounds_fraction() > config_.hybrid.oob_threshold) {
+    return false;
+  }
+  return hist.ModeMassFraction(1) >= config_.mode_threshold;
+}
+
+sim::UnitDecision PeriodicityPredictorPolicy::OnInvocation(UnitId unit,
+                                                           Minute now) {
+  if (!IsPeriodicUnit(unit)) return hybrid_.OnInvocation(unit, now);
+  const stats::Histogram& hist = hybrid_.histogram(unit);
+  const auto [mode_bin, mode_count] = hist.ModeBin();
+  // Next invocation predicted at last + mode (the bin's lower edge, plus
+  // up to bin_width-1); be resident from `lead` before the bin's start
+  // until `lag` after its end.
+  const MinuteDelta mode_start =
+      static_cast<MinuteDelta>(mode_bin) * hist.bin_width();
+  const MinuteDelta mode_end = mode_start + hist.bin_width();
+  sim::UnitDecision decision;
+  decision.prewarm = std::max<MinuteDelta>(mode_start - config_.lead, 0);
+  decision.keepalive =
+      std::max<MinuteDelta>(mode_end + config_.lag - decision.prewarm, 1);
+  // Below min_prewarm an unload/reload cycle is not worth it; stay
+  // resident (same rule as the hybrid policy).
+  if (decision.prewarm < config_.hybrid.min_prewarm) {
+    decision.keepalive += decision.prewarm;
+    decision.prewarm = 0;
+  }
+  return decision;
+}
+
+}  // namespace defuse::policy

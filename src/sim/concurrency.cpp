@@ -1,0 +1,214 @@
+#include "sim/concurrency.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace defuse::sim {
+namespace {
+
+struct UnitState {
+  Minute last_invocation = -1;
+  std::uint32_t generation = 0;
+};
+
+/// Warm-container pool of one function: unsorted expiry minutes
+/// (pools are small — bounded by the function's peak concurrency).
+struct Pool {
+  std::vector<Minute> expiries;
+};
+
+}  // namespace
+
+std::vector<double> ConcurrencyResult::FunctionColdStartRates(
+    const UnitMap& units) const {
+  std::vector<double> rates;
+  for (std::size_t f = 0; f < units.num_functions(); ++f) {
+    const UnitId unit =
+        units.unit_of(FunctionId{static_cast<std::uint32_t>(f)});
+    const auto events = unit_invocation_events[unit.value()];
+    if (events == 0) continue;
+    rates.push_back(static_cast<double>(unit_cold_events[unit.value()]) /
+                    static_cast<double>(events));
+  }
+  return rates;
+}
+
+double ConcurrencyResult::AverageResidentContainers() const {
+  if (resident_containers.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (const auto v : resident_containers) total += v;
+  return static_cast<double>(total) /
+         static_cast<double>(resident_containers.size());
+}
+
+double ConcurrencyResult::EventColdFraction() const {
+  return total_invocation_events == 0
+             ? 0.0
+             : static_cast<double>(total_cold_events) /
+                   static_cast<double>(total_invocation_events);
+}
+
+ConcurrencyResult SimulateConcurrent(const trace::InvocationTrace& trace,
+                                     TimeRange eval,
+                                     SchedulingPolicy& policy) {
+  const UnitMap& units = policy.unit_map();
+  assert(units.num_functions() == trace.num_functions());
+  const auto num_units = units.num_units();
+  const auto eval_len =
+      static_cast<std::size_t>(std::max<MinuteDelta>(eval.length(), 0));
+
+  ConcurrencyResult result;
+  result.eval_range = eval;
+  result.unit_invocation_events.assign(num_units, 0);
+  result.unit_cold_events.assign(num_units, 0);
+  result.resident_containers.assign(eval_len, 0);
+  result.spawned_containers.assign(eval_len, 0);
+
+  std::vector<UnitState> state(num_units);
+  std::vector<Pool> pools(units.num_functions());
+  std::uint64_t resident = 0;
+
+  // Expiry scan list: functions that may hold containers expiring at a
+  // given minute. Stale entries (container refreshed meanwhile) are
+  // harmless — the purge rechecks actual expiries.
+  std::vector<std::vector<std::uint32_t>> expiry_buckets(eval_len);
+  const auto note_expiry = [&](std::uint32_t fn, Minute when) {
+    const auto offset = static_cast<std::size_t>(when - eval.begin);
+    if (offset < eval_len) expiry_buckets[offset].push_back(fn);
+  };
+
+  // Pre-warm events at unit granularity, as in the base simulator.
+  struct PrewarmEvent {
+    std::uint32_t unit;
+    std::uint32_t generation;
+    MinuteDelta keepalive;
+  };
+  std::vector<std::vector<PrewarmEvent>> prewarm_buckets(eval_len);
+
+  const auto purge = [&](std::uint32_t fn, Minute now) {
+    auto& pool = pools[fn].expiries;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (pool[i] > now) {
+        pool[kept++] = pool[i];
+      } else {
+        --resident;
+      }
+    }
+    pool.resize(kept);
+  };
+
+  const auto index = trace.BuildMinuteIndex(eval);
+  std::vector<std::pair<std::uint32_t, Minute>> invoked_units;
+
+  for (std::size_t offset = 0; offset < eval_len; ++offset) {
+    const Minute now = eval.begin + static_cast<Minute>(offset);
+
+    // 1. Expire containers whose keep-alive elapsed (expiry <= now means
+    // the container did not survive into this minute).
+    {
+      auto& bucket = expiry_buckets[offset];
+      std::sort(bucket.begin(), bucket.end());
+      bucket.erase(std::unique(bucket.begin(), bucket.end()), bucket.end());
+      for (const std::uint32_t fn : bucket) purge(fn, now);
+      bucket.clear();
+      bucket.shrink_to_fit();
+    }
+
+    // 2. Unit pre-warms: spawn one container per member function.
+    for (const PrewarmEvent& event : prewarm_buckets[offset]) {
+      if (event.generation != state[event.unit].generation) continue;
+      const Minute expiry = now + std::max<MinuteDelta>(event.keepalive, 1);
+      for (const FunctionId fn : units.functions_of(UnitId{event.unit})) {
+        // One pre-warmed instance per function (skip if one is already
+        // warm — no point doubling up speculatively).
+        purge(fn.value(), now);
+        if (!pools[fn.value()].expiries.empty()) continue;
+        pools[fn.value()].expiries.push_back(expiry);
+        ++resident;
+        ++result.spawned_containers[offset];
+        note_expiry(fn.value(), expiry);
+      }
+    }
+    prewarm_buckets[offset].clear();
+    prewarm_buckets[offset].shrink_to_fit();
+
+    // 3. Invocations: count-aware warm/cold resolution per function, and
+    // a policy decision per invoked unit.
+    invoked_units.clear();
+    for (const auto& [fn, count] : index.at(now)) {
+      const UnitId unit = units.unit_of(fn);
+      UnitState& u = state[unit.value()];
+      if (u.last_invocation != now) {
+        invoked_units.emplace_back(unit.value(), u.last_invocation);
+        u.last_invocation = now;
+      }
+      result.unit_invocation_events[unit.value()] += count;
+      result.total_invocation_events += count;
+
+      purge(fn.value(), now);
+      auto& pool = pools[fn.value()].expiries;
+      const auto warm = static_cast<std::uint32_t>(pool.size());
+      const std::uint32_t cold = count > warm ? count - warm : 0;
+      result.unit_cold_events[unit.value()] += cold;
+      result.total_cold_events += cold;
+      result.spawned_containers[offset] += cold;
+      resident += cold;
+      // Placeholder expiries; step 4 refreshes the whole pool to the
+      // unit's fresh keep-alive decision.
+      pool.insert(pool.end(), cold, now + 1);
+    }
+
+    // 4. Decisions: refresh every used container of every member of an
+    // invoked unit to the unit's new keep-alive.
+    for (const auto& [unit_value, prev] : invoked_units) {
+      const UnitId unit{unit_value};
+      UnitState& u = state[unit_value];
+      if (prev >= 0) policy.ObserveIdleTime(unit, now - prev);
+      ++u.generation;
+      UnitDecision decision = policy.OnInvocation(unit, now);
+      if (decision.prewarm <= decision.linger) {
+        decision.keepalive = std::max(decision.linger,
+                                      decision.prewarm + decision.keepalive);
+        decision.prewarm = 0;
+      }
+      const MinuteDelta effective_keepalive =
+          decision.prewarm == 0 ? decision.keepalive : decision.linger;
+      const Minute expiry =
+          now + std::max<MinuteDelta>(effective_keepalive, 1);
+      // "Schedule the dependency set as a whole" (paper §IV.D): a unit
+      // invocation refreshes every member function's containers, and
+      // members with no live container get one — this is exactly the
+      // whole-app loading the paper criticizes when the unit is an
+      // application, and the whole-set loading Defuse performs.
+      for (const FunctionId fn : units.functions_of(unit)) {
+        purge(fn.value(), now);
+        auto& pool = pools[fn.value()].expiries;
+        if (pool.empty()) {
+          pool.push_back(expiry);
+          ++resident;
+          ++result.spawned_containers[offset];
+        } else {
+          for (auto& e : pool) e = expiry;
+        }
+        note_expiry(fn.value(), expiry);
+      }
+      if (decision.prewarm > 0) {
+        const auto offset_pw =
+            static_cast<std::size_t>(now + decision.prewarm - eval.begin);
+        if (offset_pw < eval_len) {
+          prewarm_buckets[offset_pw].push_back(
+              PrewarmEvent{.unit = unit_value,
+                           .generation = u.generation,
+                           .keepalive = decision.keepalive});
+        }
+      }
+    }
+
+    // 5. Memory sample.
+    result.resident_containers[offset] = resident;
+  }
+  return result;
+}
+
+}  // namespace defuse::sim

@@ -1,0 +1,72 @@
+#include "sim/metrics.hpp"
+
+#include "stats/descriptive.hpp"
+
+namespace defuse::sim {
+
+std::vector<double> SimulationResult::FunctionColdStartRates(
+    const UnitMap& units) const {
+  std::vector<double> rates;
+  rates.reserve(units.num_functions());
+  for (std::size_t f = 0; f < units.num_functions(); ++f) {
+    const UnitId unit = units.unit_of(FunctionId{static_cast<std::uint32_t>(f)});
+    const std::uint64_t invoked = unit_invoked_minutes[unit.value()];
+    if (invoked == 0) continue;
+    rates.push_back(static_cast<double>(unit_cold_minutes[unit.value()]) /
+                    static_cast<double>(invoked));
+  }
+  return rates;
+}
+
+double SimulationResult::AverageMemoryUsage() const {
+  if (loaded_functions.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (const auto v : loaded_functions) total += v;
+  return static_cast<double>(total) /
+         static_cast<double>(loaded_functions.size());
+}
+
+double SimulationResult::AverageWeightedMemory() const {
+  if (loaded_weight.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto v : loaded_weight) total += v;
+  return total / static_cast<double>(loaded_weight.size());
+}
+
+double SimulationResult::AverageLoadingFunctions() const {
+  if (loading_functions.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (const auto v : loading_functions) total += v;
+  return static_cast<double>(total) /
+         static_cast<double>(loading_functions.size());
+}
+
+double SimulationResult::ColdStartRatePercentile(const UnitMap& units,
+                                                 double q) const {
+  const auto rates = FunctionColdStartRates(units);
+  return stats::Percentile(rates, q);
+}
+
+stats::Ecdf SimulationResult::ColdStartRateEcdf(const UnitMap& units) const {
+  return stats::Ecdf{FunctionColdStartRates(units)};
+}
+
+double MeanLatencyMs(const SimulationResult& result,
+                     const LatencyModel& model) {
+  if (result.function_invocation_minutes == 0) return 0.0;
+  const double cold_fraction =
+      static_cast<double>(result.function_cold_minutes) /
+      static_cast<double>(result.function_invocation_minutes);
+  return model.warm_ms + cold_fraction * (model.cold_ms - model.warm_ms);
+}
+
+double LatencyPercentileMs(const SimulationResult& result, double q,
+                           const LatencyModel& model) {
+  if (result.function_invocation_minutes == 0) return 0.0;
+  const double cold_fraction =
+      static_cast<double>(result.function_cold_minutes) /
+      static_cast<double>(result.function_invocation_minutes);
+  return q <= 1.0 - cold_fraction ? model.warm_ms : model.cold_ms;
+}
+
+}  // namespace defuse::sim

@@ -1,0 +1,91 @@
+// Simulation outcome and the metrics of the paper's evaluation (§V.B):
+//   * function cold-start rate — a function inherits the cold-start rate
+//     of its scheduling unit (its dependency set under Defuse, its app
+//     under Hybrid-Application, itself under Hybrid-Function);
+//   * memory usage — number of loaded functions integrated over minutes;
+//   * scheduling overhead — number of function loads per minute.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/unit_map.hpp"
+#include "stats/ecdf.hpp"
+
+namespace defuse::sim {
+
+struct SimulationResult {
+  TimeRange eval_range;
+
+  /// Per unit: minutes in which the unit was invoked / of those, minutes
+  /// where it was not resident (cold starts).
+  std::vector<std::uint64_t> unit_invoked_minutes;
+  std::vector<std::uint64_t> unit_cold_minutes;
+
+  /// Per minute of eval_range: loaded functions at the end of the minute,
+  /// and functions newly loaded during the minute (cold + pre-warm loads).
+  std::vector<std::uint64_t> loaded_functions;
+  std::vector<std::uint64_t> loading_functions;
+
+  /// Total invocation events (function-minutes) and how many were cold.
+  std::uint64_t function_invocation_minutes = 0;
+  std::uint64_t function_cold_minutes = 0;
+
+  /// Units evicted to make room under SimulatorOptions::memory_limit.
+  std::uint64_t capacity_evictions = 0;
+
+  /// Weighted resident memory per minute; filled only when
+  /// SimulatorOptions::function_weights was supplied (else empty).
+  std::vector<double> loaded_weight;
+
+  /// --- derived metrics ---
+
+  /// Cold-start rate of every *invoked* function: its unit's cold
+  /// minutes / invoked minutes (functions never invoked in the window are
+  /// skipped, as they have no defined rate).
+  [[nodiscard]] std::vector<double> FunctionColdStartRates(
+      const UnitMap& units) const;
+
+  /// Mean number of loaded functions over the window (the paper's memory
+  /// usage proxy).
+  [[nodiscard]] double AverageMemoryUsage() const;
+
+  /// Mean *weighted* resident memory (0 when no weights were supplied).
+  [[nodiscard]] double AverageWeightedMemory() const;
+
+  /// Mean number of function loads per minute (the paper's overhead
+  /// proxy, Fig 9).
+  [[nodiscard]] double AverageLoadingFunctions() const;
+
+  /// q-th percentile of the function cold-start rate distribution
+  /// (Fig 7 uses q = 0.75).
+  [[nodiscard]] double ColdStartRatePercentile(const UnitMap& units,
+                                               double q) const;
+
+  /// ECDF of function cold-start rates (Figs 8a, 10a, 11a).
+  [[nodiscard]] stats::Ecdf ColdStartRateEcdf(const UnitMap& units) const;
+};
+
+/// Latency model for translating cold fractions into the client-facing
+/// numbers the paper's SLA motivation is about (§II: container
+/// initialization sits on the critical path of a cold request). Default
+/// values follow published cold/warm start measurements for
+/// container-based FaaS platforms (hundreds of ms to seconds cold,
+/// single-digit ms warm).
+struct LatencyModel {
+  double warm_ms = 5.0;
+  double cold_ms = 1500.0;
+};
+
+/// Mean invocation latency implied by the event-level cold fraction.
+[[nodiscard]] double MeanLatencyMs(const SimulationResult& result,
+                                   const LatencyModel& model = {});
+
+/// q-th percentile of the two-point invocation latency distribution:
+/// warm_ms until the warm mass is exhausted, cold_ms above it.
+[[nodiscard]] double LatencyPercentileMs(const SimulationResult& result,
+                                         double q,
+                                         const LatencyModel& model = {});
+
+}  // namespace defuse::sim

@@ -1,0 +1,57 @@
+// The scheduling-policy interface the simulator drives.
+//
+// A policy answers one question: when a unit has just been invoked at
+// minute t, how should its container be managed until its next
+// invocation? The answer is a (pre-warm, keep-alive, linger) triple
+// (paper §II, generalized):
+//
+//   pre-warm == 0:  stay loaded for `keepalive` minutes after t, then
+//                   evict (the classic fixed keep-alive shape);
+//   pre-warm  > 0:  stay loaded for `linger` minutes (default 1 — the
+//                   original two-phase shape), evict, re-load at
+//                   t + prewarm, stay until t + prewarm + keepalive.
+//
+// `linger` lets a policy express "remain resident through the rest of
+// the current busy period, then return just before the next one" (e.g.
+// the diurnal policy's overnight gap). pre-warm <= linger degenerates to
+// continuous residency.
+//
+// The simulator reports observed idle times back so histogram-based
+// policies can keep adapting online (paper §VII, "Adaptive Scheduling").
+#pragma once
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "sim/unit_map.hpp"
+
+namespace defuse::sim {
+
+struct UnitDecision {
+  MinuteDelta prewarm = 0;
+  MinuteDelta keepalive = 10;
+  MinuteDelta linger = 1;
+
+  friend constexpr bool operator==(const UnitDecision&,
+                                   const UnitDecision&) noexcept = default;
+};
+
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  /// The function->unit partition this policy schedules over.
+  [[nodiscard]] virtual const UnitMap& unit_map() const noexcept = 0;
+
+  /// Container-management decision for `unit`, which was invoked at `now`.
+  [[nodiscard]] virtual UnitDecision OnInvocation(UnitId unit,
+                                                  Minute now) = 0;
+
+  /// Reports the observed idle gap between two consecutive invocations of
+  /// `unit` (called before OnInvocation for the later of the two).
+  virtual void ObserveIdleTime(UnitId unit, MinuteDelta gap) = 0;
+
+  /// Human-readable policy name (figures, logs).
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+}  // namespace defuse::sim

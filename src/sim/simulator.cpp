@@ -1,0 +1,227 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <vector>
+
+namespace defuse::sim {
+namespace {
+
+struct UnitState {
+  bool loaded = false;
+  bool cold_this_minute = false;
+  Minute last_invocation = -1;
+  /// Scheduled events carry the generation they were issued under; a
+  /// fresh decision bumps it, invalidating anything still in flight.
+  std::uint32_t generation = 0;
+};
+
+enum class EventKind : std::uint8_t { kLoad, kEvict };
+
+struct ScheduledEvent {
+  std::uint32_t unit;
+  std::uint32_t generation;
+  EventKind kind;
+};
+
+}  // namespace
+
+SimulationResult Simulate(const trace::InvocationTrace& trace, TimeRange eval,
+                          SchedulingPolicy& policy,
+                          const SimulatorOptions& options) {
+  const UnitMap& units = policy.unit_map();
+  assert(units.num_functions() == trace.num_functions());
+  const auto num_units = units.num_units();
+  const auto eval_len =
+      static_cast<std::size_t>(std::max<MinuteDelta>(eval.length(), 0));
+
+  SimulationResult result;
+  result.eval_range = eval;
+  result.unit_invoked_minutes.assign(num_units, 0);
+  result.unit_cold_minutes.assign(num_units, 0);
+  result.loaded_functions.assign(eval_len, 0);
+  result.loading_functions.assign(eval_len, 0);
+
+  std::vector<UnitState> state(num_units);
+  // Event buckets indexed by minute offset. Events past the window are
+  // dropped: nothing after eval.end is accounted.
+  std::vector<std::vector<ScheduledEvent>> buckets(eval_len);
+  const auto schedule = [&](Minute when, ScheduledEvent event) {
+    assert(when > eval.begin);
+    const auto offset = static_cast<std::size_t>(when - eval.begin);
+    if (offset < eval_len) buckets[offset].push_back(event);
+  };
+
+  const auto index = trace.BuildMinuteIndex(eval);
+  std::uint64_t resident_functions = 0;
+  double resident_weight = 0.0;
+  // (unit, previous invocation minute) pairs, rebuilt each minute.
+  std::vector<std::pair<std::uint32_t, Minute>> invoked_units;
+
+  // Optional weighted-memory accounting (see SimulatorOptions).
+  const bool weighted = options.function_weights != nullptr;
+  std::vector<double> unit_weights;
+  if (weighted) {
+    assert(options.function_weights->size() == units.num_functions());
+    unit_weights.resize(num_units, 0.0);
+    for (std::size_t u = 0; u < num_units; ++u) {
+      for (const FunctionId fn :
+           units.functions_of(UnitId{static_cast<std::uint32_t>(u)})) {
+        unit_weights[u] += (*options.function_weights)[fn.value()];
+      }
+    }
+    result.loaded_weight.assign(eval_len, 0.0);
+  }
+
+  // LRU index over resident units (only maintained under a memory
+  // limit): ordered by (last invocation, unit id).
+  std::set<std::pair<Minute, std::uint32_t>> lru;
+  const bool limited = options.memory_limit > 0;
+
+  const auto do_load = [&](std::uint32_t unit, std::size_t offset) {
+    UnitState& u = state[unit];
+    if (u.loaded) return;
+    u.loaded = true;
+    const std::uint32_t size = units.unit_size(UnitId{unit});
+    resident_functions += size;
+    if (weighted) resident_weight += unit_weights[unit];
+    result.loading_functions[offset] += size;
+    if (limited) lru.emplace(u.last_invocation, unit);
+  };
+  const auto do_evict = [&](std::uint32_t unit) {
+    UnitState& u = state[unit];
+    if (!u.loaded) return;
+    u.loaded = false;
+    resident_functions -= units.unit_size(UnitId{unit});
+    if (weighted) resident_weight -= unit_weights[unit];
+    if (limited) lru.erase({u.last_invocation, unit});
+  };
+  // Evicts least-recently-invoked units until `incoming` more functions
+  // fit, never touching `protect` or units invoked at `now`.
+  const auto make_room = [&](std::uint32_t incoming, std::uint32_t protect,
+                             Minute now) {
+    if (!limited) return;
+    auto it = lru.begin();
+    while (resident_functions + incoming > options.memory_limit &&
+           it != lru.end()) {
+      const auto [last, victim] = *it;
+      if (victim == protect || last == now) {
+        ++it;  // in use this minute; not evictable
+        continue;
+      }
+      it = lru.erase(it);
+      UnitState& v = state[victim];
+      v.loaded = false;
+      ++v.generation;  // cancel the victim's scheduled events
+      resident_functions -= units.unit_size(UnitId{victim});
+      if (weighted) resident_weight -= unit_weights[victim];
+      ++result.capacity_evictions;
+    }
+  };
+
+  for (std::size_t offset = 0; offset < eval_len; ++offset) {
+    const Minute now = eval.begin + static_cast<Minute>(offset);
+
+    // 1. Scheduled events. Loads before evictions: the only same-minute
+    // (load, evict) collision under the scheduling rules below is a
+    // stale evict vs. a current load, and the stale one is discarded by
+    // its generation anyway — processing loads first keeps the invariant
+    // that a current load is never undone by an older decision.
+    auto& due = buckets[offset];
+    std::stable_sort(due.begin(), due.end(),
+                     [](const ScheduledEvent& a, const ScheduledEvent& b) {
+                       return a.kind < b.kind;  // kLoad < kEvict
+                     });
+    for (const ScheduledEvent& event : due) {
+      UnitState& u = state[event.unit];
+      if (event.generation != u.generation) continue;  // superseded
+      if (event.kind == EventKind::kLoad) {
+        if (!u.loaded) {
+          make_room(units.unit_size(UnitId{event.unit}), event.unit, now);
+          do_load(event.unit, offset);
+        }
+      } else {
+        do_evict(event.unit);
+      }
+    }
+    due.clear();
+    due.shrink_to_fit();
+
+    // 2. Invocations. The first function that touches a unit this minute
+    // resolves it (warm if resident, else a cold start that loads it);
+    // members arriving later in the same minute share that resolution.
+    invoked_units.clear();
+    for (const auto& [fn, count] : index.at(now)) {
+      const UnitId unit = units.unit_of(fn);
+      UnitState& u = state[unit.value()];
+      ++result.function_invocation_minutes;
+      if (u.last_invocation != now) {
+        const Minute prev = u.last_invocation;
+        u.cold_this_minute = !u.loaded;
+        ++result.unit_invoked_minutes[unit.value()];
+        if (u.cold_this_minute) {
+          ++result.unit_cold_minutes[unit.value()];
+          make_room(units.unit_size(unit), unit.value(), now);
+          do_load(unit.value(), offset);
+        }
+        // Refresh the LRU position before advancing last_invocation.
+        if (limited) {
+          lru.erase({u.last_invocation, unit.value()});
+          lru.insert({now, unit.value()});
+        }
+        u.last_invocation = now;
+        invoked_units.emplace_back(unit.value(), prev);
+      }
+      if (u.cold_this_minute) ++result.function_cold_minutes;
+    }
+
+    // 3. Fresh decisions for every unit invoked this minute.
+    for (const auto& [unit_value, prev] : invoked_units) {
+      const UnitId unit{unit_value};
+      UnitState& u = state[unit_value];
+      if (prev >= 0 && options.online_updates) {
+        policy.ObserveIdleTime(unit, now - prev);
+      }
+      ++u.generation;  // invalidate anything previously scheduled
+      UnitDecision decision = policy.OnInvocation(unit, now);
+      assert(decision.prewarm >= 0);
+      assert(decision.keepalive >= 0);
+      assert(decision.linger >= 1);
+      if (decision.prewarm <= decision.linger) {
+        // The pre-warm would land while the unit still lingers: that is
+        // continuous residency, with one fewer (fake) unload/reload.
+        decision.keepalive = std::max(decision.linger,
+                                      decision.prewarm + decision.keepalive);
+        decision.prewarm = 0;
+      }
+      if (decision.prewarm == 0) {
+        schedule(now + std::max<MinuteDelta>(decision.keepalive, 1),
+                 ScheduledEvent{.unit = unit_value,
+                                .generation = u.generation,
+                                .kind = EventKind::kEvict});
+      } else {
+        schedule(now + std::max<MinuteDelta>(decision.linger, 1),
+                 ScheduledEvent{.unit = unit_value,
+                                .generation = u.generation,
+                                .kind = EventKind::kEvict});
+        schedule(now + decision.prewarm,
+                 ScheduledEvent{.unit = unit_value,
+                                .generation = u.generation,
+                                .kind = EventKind::kLoad});
+        schedule(now + decision.prewarm +
+                     std::max<MinuteDelta>(decision.keepalive, 1),
+                 ScheduledEvent{.unit = unit_value,
+                                .generation = u.generation,
+                                .kind = EventKind::kEvict});
+      }
+    }
+
+    // 4. Memory sample at the end of the minute.
+    result.loaded_functions[offset] = resident_functions;
+    if (weighted) result.loaded_weight[offset] = resident_weight;
+  }
+  return result;
+}
+
+}  // namespace defuse::sim

@@ -1,0 +1,49 @@
+// Discrete-time FaaS platform simulator.
+//
+// Replays a minute-granularity invocation trace against a scheduling
+// policy and accounts cold starts, resident memory, and container loads —
+// the measurement harness behind every figure in the paper's evaluation.
+//
+// Semantics of one minute t (in order):
+//   1. scheduled events due at t fire: pre-warm loads, then evictions;
+//   2. every function invoked at t is resolved through its unit — if the
+//      unit is resident the invocation is warm, otherwise it is cold and
+//      the unit is loaded immediately;
+//   3. each invoked unit reports its idle gap to the policy and receives
+//      a fresh (pre-warm, keep-alive) decision that replaces any
+//      previously scheduled load/evict for that unit;
+//   4. the resident function count is sampled (memory usage of minute t).
+#pragma once
+
+#include "sim/metrics.hpp"
+#include "sim/policy.hpp"
+#include "trace/invocation_trace.hpp"
+
+namespace defuse::sim {
+
+struct SimulatorOptions {
+  /// If true, units keep adapting their histograms online from idle
+  /// times observed during the simulation (paper §VII); if false the
+  /// policy sees only what it was seeded with from the training window.
+  bool online_updates = true;
+  /// Hard cap on resident functions (0 = unlimited). When a load would
+  /// exceed the cap, least-recently-invoked resident units are evicted
+  /// first (units invoked in the current minute are protected). If
+  /// nothing evictable remains the load overcommits — an arriving
+  /// invocation is never rejected.
+  std::uint64_t memory_limit = 0;
+  /// Optional per-function memory weights (indexed by FunctionId). The
+  /// paper approximates memory by the resident-function *count* (the
+  /// dataset has no sizes); supplying weights additionally tracks a
+  /// weighted memory integral (SimulationResult::loaded_weight) so that
+  /// approximation can be ablated. Not owned; must outlive the call.
+  const std::vector<double>* function_weights = nullptr;
+};
+
+/// Runs `policy` over `eval` minutes of the trace.
+[[nodiscard]] SimulationResult Simulate(const trace::InvocationTrace& trace,
+                                        TimeRange eval,
+                                        SchedulingPolicy& policy,
+                                        const SimulatorOptions& options = {});
+
+}  // namespace defuse::sim

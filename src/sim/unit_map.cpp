@@ -1,0 +1,48 @@
+#include "sim/unit_map.hpp"
+
+#include <algorithm>
+
+namespace defuse::sim {
+
+UnitMap::UnitMap(std::vector<std::uint32_t> fn_to_unit)
+    : fn_to_unit_(std::move(fn_to_unit)) {
+  std::uint32_t max_unit = 0;
+  for (const auto u : fn_to_unit_) {
+    assert(u != ~0u && "every function must belong to a unit");
+    max_unit = std::max(max_unit, u);
+  }
+  unit_functions_.resize(fn_to_unit_.empty() ? 0 : max_unit + 1);
+  for (std::size_t f = 0; f < fn_to_unit_.size(); ++f) {
+    unit_functions_[fn_to_unit_[f]].push_back(
+        FunctionId{static_cast<std::uint32_t>(f)});
+  }
+#ifndef NDEBUG
+  for (const auto& fns : unit_functions_) {
+    assert(!fns.empty() && "unit ids must be dense");
+  }
+#endif
+}
+
+UnitMap UnitMap::PerFunction(std::size_t num_functions) {
+  std::vector<std::uint32_t> index(num_functions);
+  for (std::size_t f = 0; f < num_functions; ++f) {
+    index[f] = static_cast<std::uint32_t>(f);
+  }
+  return UnitMap{std::move(index)};
+}
+
+UnitMap UnitMap::PerApplication(const trace::WorkloadModel& model) {
+  std::vector<std::uint32_t> index(model.num_functions());
+  for (const auto& fn : model.functions()) {
+    index[fn.id.value()] = fn.app.value();
+  }
+  return UnitMap{std::move(index)};
+}
+
+UnitMap UnitMap::FromDependencySets(
+    const std::vector<graph::DependencySet>& sets,
+    std::size_t num_functions) {
+  return UnitMap{graph::FunctionToSetIndex(sets, num_functions)};
+}
+
+}  // namespace defuse::sim

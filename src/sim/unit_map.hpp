@@ -1,0 +1,64 @@
+// Scheduling units.
+//
+// A scheduling *unit* is what a policy loads into and evicts from memory
+// atomically. The three granularities evaluated in the paper are all unit
+// mappings over the same function set:
+//   * Hybrid-Function     — every function is its own unit;
+//   * Hybrid-Application  — every application is one unit;
+//   * Defuse              — every dependency set is one unit.
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "graph/dependency_graph.hpp"
+#include "trace/model.hpp"
+
+namespace defuse::sim {
+
+class UnitMap {
+ public:
+  /// Builds from an explicit function->unit index (values must be dense
+  /// 0-based unit ids).
+  explicit UnitMap(std::vector<std::uint32_t> fn_to_unit);
+
+  /// Every function is its own unit.
+  [[nodiscard]] static UnitMap PerFunction(std::size_t num_functions);
+  /// Every application is one unit.
+  [[nodiscard]] static UnitMap PerApplication(
+      const trace::WorkloadModel& model);
+  /// Every dependency set is one unit. The sets must cover all functions.
+  [[nodiscard]] static UnitMap FromDependencySets(
+      const std::vector<graph::DependencySet>& sets,
+      std::size_t num_functions);
+
+  [[nodiscard]] std::size_t num_units() const noexcept {
+    return unit_functions_.size();
+  }
+  [[nodiscard]] std::size_t num_functions() const noexcept {
+    return fn_to_unit_.size();
+  }
+  [[nodiscard]] UnitId unit_of(FunctionId fn) const noexcept {
+    assert(fn.value() < fn_to_unit_.size());
+    return UnitId{fn_to_unit_[fn.value()]};
+  }
+  [[nodiscard]] std::span<const FunctionId> functions_of(
+      UnitId unit) const noexcept {
+    assert(unit.value() < unit_functions_.size());
+    return unit_functions_[unit.value()];
+  }
+  /// The memory footprint proxy of a unit: its function count (the
+  /// dataset carries no per-function sizes; the paper uses the same
+  /// approximation).
+  [[nodiscard]] std::uint32_t unit_size(UnitId unit) const noexcept {
+    return static_cast<std::uint32_t>(functions_of(unit).size());
+  }
+
+ private:
+  std::vector<std::uint32_t> fn_to_unit_;
+  std::vector<std::vector<FunctionId>> unit_functions_;
+};
+
+}  // namespace defuse::sim

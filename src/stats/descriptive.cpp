@@ -1,0 +1,96 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace defuse::stats {
+
+double Mean(std::span<const double> samples) noexcept {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  return sum / static_cast<double>(samples.size());
+}
+
+double Variance(std::span<const double> samples) noexcept {
+  if (samples.empty()) return 0.0;
+  const double mean = Mean(samples);
+  double sq = 0.0;
+  for (const double s : samples) {
+    const double d = s - mean;
+    sq += d * d;
+  }
+  return sq / static_cast<double>(samples.size());
+}
+
+double StdDev(std::span<const double> samples) noexcept {
+  return std::sqrt(Variance(samples));
+}
+
+double CoefficientOfVariation(std::span<const double> samples) noexcept {
+  const double mean = Mean(samples);
+  if (mean == 0.0) return 0.0;
+  return StdDev(samples) / mean;
+}
+
+double PercentileSorted(std::span<const double> sorted, double q) noexcept {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double Percentile(std::span<const double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::vector<double> copy{samples.begin(), samples.end()};
+  std::sort(copy.begin(), copy.end());
+  return PercentileSorted(copy, q);
+}
+
+std::vector<double> BinnedDensity(std::span<const double> samples, double lo,
+                                  double hi, std::size_t bins) {
+  std::vector<double> density(bins, 0.0);
+  if (bins == 0 || samples.empty() || hi <= lo) return density;
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (const double s : samples) {
+    auto bin = static_cast<std::ptrdiff_t>((s - lo) / width);
+    bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                     static_cast<std::ptrdiff_t>(bins) - 1);
+    density[static_cast<std::size_t>(bin)] += 1.0;
+  }
+  for (auto& d : density) d /= static_cast<double>(samples.size());
+  return density;
+}
+
+double FractionBelow(std::span<const double> samples,
+                     double threshold) noexcept {
+  if (samples.empty()) return 0.0;
+  std::size_t below = 0;
+  for (const double s : samples) {
+    if (s < threshold) ++below;
+  }
+  return static_cast<double>(below) / static_cast<double>(samples.size());
+}
+
+Summary Summarize(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::vector<double> sorted{samples.begin(), samples.end()};
+  std::sort(sorted.begin(), sorted.end());
+  s.mean = Mean(samples);
+  s.stddev = StdDev(samples);
+  s.min = sorted.front();
+  s.p25 = PercentileSorted(sorted, 0.25);
+  s.median = PercentileSorted(sorted, 0.50);
+  s.p75 = PercentileSorted(sorted, 0.75);
+  s.p95 = PercentileSorted(sorted, 0.95);
+  s.max = sorted.back();
+  return s;
+}
+
+}  // namespace defuse::stats

@@ -1,0 +1,54 @@
+// Descriptive statistics over sample vectors: means, variances, sample
+// percentiles, and coefficient of variation. Used for figure generation
+// (CV histograms of Fig 3, 75th-percentile cold-start rates of Fig 7) and
+// throughout tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace defuse::stats {
+
+[[nodiscard]] double Mean(std::span<const double> samples) noexcept;
+/// Population variance (divides by n). 0 for fewer than 1 sample.
+[[nodiscard]] double Variance(std::span<const double> samples) noexcept;
+[[nodiscard]] double StdDev(std::span<const double> samples) noexcept;
+/// stddev / mean; 0 when the mean is 0.
+[[nodiscard]] double CoefficientOfVariation(
+    std::span<const double> samples) noexcept;
+
+/// Sample percentile with linear interpolation between closest ranks
+/// (the "linear" / type-7 estimator). q in [0, 1]. The input need not be
+/// sorted; an internal copy is sorted. Returns 0 for an empty span.
+[[nodiscard]] double Percentile(std::span<const double> samples, double q);
+
+/// Percentile over an already-sorted span (no copy).
+[[nodiscard]] double PercentileSorted(std::span<const double> sorted,
+                                      double q) noexcept;
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary Summarize(std::span<const double> samples);
+
+/// Normalized histogram of `samples` over [lo, hi) with `bins` equal
+/// bins: fractions summing to 1 over the included samples. Samples
+/// outside the range clamp to the boundary bins. Empty input or
+/// bins == 0 yields an all-zero (or empty) vector.
+[[nodiscard]] std::vector<double> BinnedDensity(
+    std::span<const double> samples, double lo, double hi, std::size_t bins);
+
+/// Fraction of samples strictly below `threshold` (0 for empty input).
+[[nodiscard]] double FractionBelow(std::span<const double> samples,
+                                   double threshold) noexcept;
+
+}  // namespace defuse::stats

@@ -1,0 +1,68 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace defuse::stats {
+
+Ecdf::Ecdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::At(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::Quantile(double q) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  if (q <= 0.0) return sorted_.front();
+  if (q >= 1.0) return sorted_.back();
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_.size()));
+  return sorted_[std::min(rank, sorted_.size() - 1)];
+}
+
+std::vector<std::pair<double, double>> Ecdf::Series(double lo, double hi,
+                                                    std::size_t points) const {
+  std::vector<std::pair<double, double>> series;
+  if (points == 0) return series;
+  series.reserve(points);
+  const double step = points > 1 ? (hi - lo) / static_cast<double>(points - 1)
+                                 : 0.0;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    series.emplace_back(x, At(x));
+  }
+  return series;
+}
+
+std::string RenderEcdfTable(
+    std::span<const std::pair<std::string, Ecdf>> curves, double lo,
+    double hi, std::size_t points) {
+  std::string out = "x";
+  for (const auto& [name, ecdf] : curves) {
+    out += ",";
+    out += name;
+  }
+  out += "\n";
+  char buf[64];
+  const double step =
+      points > 1 ? (hi - lo) / static_cast<double>(points - 1) : 0.0;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    std::snprintf(buf, sizeof buf, "%.4f", x);
+    out += buf;
+    for (const auto& [name, ecdf] : curves) {
+      std::snprintf(buf, sizeof buf, ",%.4f", ecdf.At(x));
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace defuse::stats

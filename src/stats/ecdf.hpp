@@ -1,0 +1,44 @@
+// Empirical cumulative distribution functions, used to reproduce the CDF
+// plots of Figures 8, 10, and 11 (function cold-start rate CDFs).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace defuse::stats {
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+  /// Builds from unsorted samples.
+  explicit Ecdf(std::span<const double> samples);
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return sorted_.empty(); }
+
+  /// Fraction of samples <= x. 0 for an empty ECDF.
+  [[nodiscard]] double At(double x) const noexcept;
+  /// Smallest sample value v with At(v) >= q (the q-quantile). q in [0,1].
+  [[nodiscard]] double Quantile(double q) const noexcept;
+  [[nodiscard]] const std::vector<double>& sorted_samples() const noexcept {
+    return sorted_;
+  }
+
+  /// Evaluates the ECDF at `points` evenly spaced x values across
+  /// [lo, hi]; returns (x, F(x)) rows — the series a plotting script
+  /// would consume.
+  [[nodiscard]] std::vector<std::pair<double, double>> Series(
+      double lo, double hi, std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Renders an ASCII table of several named ECDFs sampled on a common
+/// x-grid, one column per ECDF — used by the figure benches.
+[[nodiscard]] std::string RenderEcdfTable(
+    std::span<const std::pair<std::string, Ecdf>> curves, double lo,
+    double hi, std::size_t points);
+
+}  // namespace defuse::stats

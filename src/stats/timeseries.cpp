@@ -1,0 +1,56 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+
+#include "stats/descriptive.hpp"
+
+namespace defuse::stats {
+
+std::vector<double> Autocorrelation(std::span<const double> series,
+                                    std::size_t max_lag) {
+  if (series.empty()) return {};
+  max_lag = std::min(max_lag, series.size() - 1);
+  std::vector<double> acf(max_lag + 1, 0.0);
+  const double mean = Mean(series);
+  double variance = 0.0;
+  for (const double x : series) variance += (x - mean) * (x - mean);
+  if (variance <= 0.0) {
+    acf[0] = 0.0;
+    return acf;
+  }
+  for (std::size_t lag = 0; lag <= max_lag; ++lag) {
+    double covariance = 0.0;
+    for (std::size_t i = 0; i + lag < series.size(); ++i) {
+      covariance += (series[i] - mean) * (series[i + lag] - mean);
+    }
+    acf[lag] = covariance / variance;
+  }
+  return acf;
+}
+
+std::optional<PeriodEstimate> DominantPeriod(std::span<const double> series,
+                                             std::size_t min_lag,
+                                             std::size_t max_lag,
+                                             double min_strength) {
+  if (series.size() < 3 || min_lag < 1 || min_lag > max_lag) {
+    return std::nullopt;
+  }
+  const auto acf = Autocorrelation(series, std::min(max_lag + 1,
+                                                    series.size() - 1));
+  std::optional<PeriodEstimate> best;
+  for (std::size_t lag = std::max<std::size_t>(min_lag, 1);
+       lag < acf.size(); ++lag) {
+    const double value = acf[lag];
+    if (value < min_strength) continue;
+    // Local peak: at least as high as both neighbors (edges count).
+    const double left = lag > 0 ? acf[lag - 1] : -1.0;
+    const double right = lag + 1 < acf.size() ? acf[lag + 1] : -1.0;
+    if (value < left || value < right) continue;
+    if (!best || value > best->strength) {
+      best = PeriodEstimate{.period = lag, .strength = value};
+    }
+  }
+  return best;
+}
+
+}  // namespace defuse::stats

@@ -1,0 +1,36 @@
+// Time-series helpers: autocorrelation and dominant-period detection.
+//
+// Complements the histogram-based predictability test: the bin-count CV
+// looks at idle-time *values*, while the autocorrelation of a per-minute
+// activity series finds periodicity directly in time — useful both as an
+// analysis tool and as an alternative trigger for prediction-based
+// policies (§VII).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace defuse::stats {
+
+/// Sample autocorrelation of `series` for lags 0..max_lag (inclusive).
+/// acf[0] == 1 for any non-constant series; a constant (zero-variance)
+/// series yields all-zero acf beyond lag 0. max_lag is clamped to
+/// series.size() - 1.
+[[nodiscard]] std::vector<double> Autocorrelation(
+    std::span<const double> series, std::size_t max_lag);
+
+struct PeriodEstimate {
+  std::size_t period = 0;
+  double strength = 0.0;  // acf value at the period
+};
+
+/// The lag in [min_lag, max_lag] with the highest autocorrelation,
+/// provided it exceeds `min_strength` and is a *local* peak. Returns
+/// nullopt for aperiodic or too-short series.
+[[nodiscard]] std::optional<PeriodEstimate> DominantPeriod(
+    std::span<const double> series, std::size_t min_lag,
+    std::size_t max_lag, double min_strength = 0.3);
+
+}  // namespace defuse::stats

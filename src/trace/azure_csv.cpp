@@ -1,0 +1,198 @@
+#include "trace/azure_csv.hpp"
+
+#include <cstdio>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/csv.hpp"
+
+namespace defuse::trace {
+
+std::string WriteLongCsv(const WorkloadModel& model,
+                         const InvocationTrace& trace) {
+  std::string out = "user,app,function,minute,count\n";
+  char buf[64];
+  for (const auto& fn : model.functions()) {
+    const auto& app = model.app(fn.app);
+    const auto& user = model.user(fn.user);
+    for (const auto& e : trace.series(fn.id)) {
+      out += user.name;
+      out += ',';
+      out += app.name;
+      out += ',';
+      out += fn.name;
+      std::snprintf(buf, sizeof buf, ",%lld,%u\n",
+                    static_cast<long long>(e.minute), e.count);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+Result<LoadedTrace> ReadLongCsv(std::string_view buffer,
+                                MinuteDelta horizon_minutes) {
+  struct Row {
+    FunctionId fn;
+    Minute minute;
+    std::uint32_t count;
+  };
+  WorkloadModel model;
+  std::unordered_map<std::string, UserId> users;
+  std::unordered_map<std::string, AppId> apps;  // key: user|app
+  std::unordered_map<std::string, FunctionId> fns;  // key: user|app|fn
+  std::vector<Row> rows;
+  Minute max_minute = -1;
+
+  auto res = ForEachLine(buffer, [&](std::size_t line_no,
+                                     std::string_view line) -> Result<bool> {
+    if (line_no == 1) {
+      if (line != "user,app,function,minute,count") {
+        return Error{ErrorCode::kParseError,
+                     "unexpected long-csv header: " + std::string{line}};
+      }
+      return true;
+    }
+    if (line.empty()) return true;
+    const auto fields = SplitCsvLine(line);
+    if (fields.size() != 5) {
+      return Error{ErrorCode::kParseError,
+                   "line " + std::to_string(line_no) + ": expected 5 fields"};
+    }
+    const std::string user_name{fields[0]};
+    const std::string app_key = user_name + "|" + std::string{fields[1]};
+    const std::string fn_key = app_key + "|" + std::string{fields[2]};
+
+    auto [uit, user_added] = users.try_emplace(user_name, UserId::invalid());
+    if (user_added) uit->second = model.AddUser(user_name);
+    auto [ait, app_added] = apps.try_emplace(app_key, AppId::invalid());
+    if (app_added) ait->second = model.AddApp(uit->second,
+                                              std::string{fields[1]});
+    auto [fit, fn_added] = fns.try_emplace(fn_key, FunctionId::invalid());
+    if (fn_added) fit->second = model.AddFunction(ait->second,
+                                                  std::string{fields[2]});
+
+    auto minute = ParseU64(fields[3]);
+    if (!minute.ok()) return minute.error();
+    auto count = ParseU64(fields[4]);
+    if (!count.ok()) return count.error();
+    const auto m = static_cast<Minute>(minute.value());
+    max_minute = std::max(max_minute, m);
+    rows.push_back(Row{.fn = fit->second,
+                       .minute = m,
+                       .count = static_cast<std::uint32_t>(count.value())});
+    return true;
+  });
+  if (!res.ok()) return res.error();
+
+  const MinuteDelta horizon =
+      horizon_minutes > 0 ? horizon_minutes : max_minute + 1;
+  if (horizon <= max_minute) {
+    return Error{ErrorCode::kOutOfRange,
+                 "horizon shorter than the trace's last minute"};
+  }
+  InvocationTrace trace{model.num_functions(), TimeRange{0, horizon}};
+  for (const Row& row : rows) trace.Add(row.fn, row.minute, row.count);
+  trace.Finalize();
+  return LoadedTrace{.model = std::move(model), .trace = std::move(trace)};
+}
+
+std::string WriteAzureDayCsv(const WorkloadModel& model,
+                             const InvocationTrace& trace, Minute day) {
+  std::string out = "HashOwner,HashApp,HashFunction,Trigger";
+  for (int m = 1; m <= 1440; ++m) out += "," + std::to_string(m);
+  out += "\n";
+
+  const TimeRange day_range{day * kMinutesPerDay, (day + 1) * kMinutesPerDay};
+  std::vector<std::uint32_t> minute_counts(
+      static_cast<std::size_t>(kMinutesPerDay));
+  char buf[32];
+  for (const auto& fn : model.functions()) {
+    const auto events = trace.SeriesInRange(fn.id, day_range);
+    if (events.empty()) continue;
+    std::fill(minute_counts.begin(), minute_counts.end(), 0u);
+    for (const auto& e : events) {
+      minute_counts[static_cast<std::size_t>(e.minute - day_range.begin)] =
+          e.count;
+    }
+    out += model.user(fn.user).name;
+    out += ',';
+    out += model.app(fn.app).name;
+    out += ',';
+    out += fn.name;
+    out += ",synthetic";
+    for (const auto c : minute_counts) {
+      std::snprintf(buf, sizeof buf, ",%u", c);
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<LoadedTrace> ReadAzureDayCsvs(
+    const std::vector<std::string>& day_buffers) {
+  WorkloadModel model;
+  std::unordered_map<std::string, UserId> users;
+  std::unordered_map<std::string, AppId> apps;
+  std::unordered_map<std::string, FunctionId> fns;
+  struct Row {
+    FunctionId fn;
+    Minute minute;
+    std::uint32_t count;
+  };
+  std::vector<Row> rows;
+
+  for (std::size_t day = 0; day < day_buffers.size(); ++day) {
+    const Minute day_base = static_cast<Minute>(day) * kMinutesPerDay;
+    auto res = ForEachLine(
+        day_buffers[day],
+        [&](std::size_t line_no, std::string_view line) -> Result<bool> {
+          if (line_no == 1 || line.empty()) return true;  // header
+          const auto fields = SplitCsvLine(line);
+          if (fields.size() != 4 + 1440) {
+            return Error{ErrorCode::kParseError,
+                         "day " + std::to_string(day) + " line " +
+                             std::to_string(line_no) + ": expected 1444 fields, got " +
+                             std::to_string(fields.size())};
+          }
+          const std::string owner{fields[0]};
+          const std::string app_key = owner + "|" + std::string{fields[1]};
+          const std::string fn_key = app_key + "|" + std::string{fields[2]};
+          auto [uit, user_added] = users.try_emplace(owner, UserId::invalid());
+          if (user_added) uit->second = model.AddUser(owner);
+          auto [ait, app_added] = apps.try_emplace(app_key, AppId::invalid());
+          if (app_added) {
+            ait->second = model.AddApp(uit->second, std::string{fields[1]});
+          }
+          auto [fit, fn_added] = fns.try_emplace(fn_key, FunctionId::invalid());
+          if (fn_added) {
+            fit->second = model.AddFunction(ait->second, std::string{fields[2]});
+          }
+          for (std::size_t m = 0; m < 1440; ++m) {
+            const auto field = fields[4 + m];
+            if (field == "0") continue;
+            auto count = ParseU64(field);
+            if (!count.ok()) return count.error();
+            if (count.value() == 0) continue;
+            rows.push_back(
+                Row{.fn = fit->second,
+                    .minute = day_base + static_cast<Minute>(m),
+                    .count = static_cast<std::uint32_t>(count.value())});
+          }
+          return true;
+        });
+    if (!res.ok()) return res.error();
+  }
+
+  const MinuteDelta horizon =
+      static_cast<MinuteDelta>(day_buffers.size()) * kMinutesPerDay;
+  if (horizon == 0) {
+    return Error{ErrorCode::kInvalidArgument, "no day buffers supplied"};
+  }
+  InvocationTrace trace{model.num_functions(), TimeRange{0, horizon}};
+  for (const Row& row : rows) trace.Add(row.fn, row.minute, row.count);
+  trace.Finalize();
+  return LoadedTrace{.model = std::move(model), .trace = std::move(trace)};
+}
+
+}  // namespace defuse::trace

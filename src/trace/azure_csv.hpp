@@ -1,0 +1,54 @@
+// Trace serialization.
+//
+// Two on-disk formats:
+//
+//  1. *Long format* — our native interchange: a header line then one row
+//     per (function, minute) with columns
+//        user,app,function,minute,count
+//     where the first three are the entity names from the WorkloadModel.
+//     Compact to parse, convenient to diff, round-trips exactly.
+//
+//  2. *Azure daily format* — the schema of the Azure Public Dataset's
+//     invocations_per_function_md.anon.d{DD}.csv files:
+//        HashOwner,HashApp,HashFunction,Trigger,1,2,...,1440
+//     one file per day, one row per function, 1440 per-minute counts.
+//     Reading a set of daily files reconstructs a model + trace, so the
+//     real dataset can be dropped into every experiment unchanged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "trace/invocation_trace.hpp"
+#include "trace/model.hpp"
+
+namespace defuse::trace {
+
+struct LoadedTrace {
+  WorkloadModel model;
+  InvocationTrace trace;
+};
+
+/// Serializes a trace in long format.
+[[nodiscard]] std::string WriteLongCsv(const WorkloadModel& model,
+                                       const InvocationTrace& trace);
+
+/// Parses a long-format buffer. The horizon is [0, max minute + 1) unless
+/// `horizon_minutes` > 0 forces a wider range.
+[[nodiscard]] Result<LoadedTrace> ReadLongCsv(std::string_view buffer,
+                                              MinuteDelta horizon_minutes = 0);
+
+/// Serializes one day ([day*1440, (day+1)*1440)) in the Azure daily
+/// schema. Trigger column is emitted as "synthetic".
+[[nodiscard]] std::string WriteAzureDayCsv(const WorkloadModel& model,
+                                           const InvocationTrace& trace,
+                                           Minute day);
+
+/// Parses a sequence of Azure daily buffers (day 0, 1, ... in order).
+/// Functions/apps/owners are identified by their hash strings; rows for
+/// the same function across days are merged.
+[[nodiscard]] Result<LoadedTrace> ReadAzureDayCsvs(
+    const std::vector<std::string>& day_buffers);
+
+}  // namespace defuse::trace

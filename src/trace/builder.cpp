@@ -1,0 +1,134 @@
+#include "trace/builder.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace defuse::trace {
+
+void WorkloadBuilder::AddCall(FunctionId caller, FunctionId callee,
+                              double probability, MinuteDelta delay) {
+  assert(caller.value() < calls_.size());
+  assert(callee.value() < calls_.size());
+  assert(probability >= 0.0 && probability <= 1.0);
+  assert(delay >= 0);
+  calls_[caller.value()].push_back(
+      CallEdge{.callee = callee, .probability = probability, .delay = delay});
+}
+
+void WorkloadBuilder::AddPeriodicTrigger(FunctionId entry, MinuteDelta period,
+                                         Minute phase) {
+  assert(period >= 1);
+  Trigger t;
+  t.kind = Trigger::Kind::kPeriodic;
+  t.entry = entry;
+  t.period = period;
+  t.phase = phase;
+  triggers_.push_back(t);
+}
+
+void WorkloadBuilder::AddPoissonTrigger(FunctionId entry,
+                                        double mean_gap_minutes) {
+  assert(mean_gap_minutes > 0.0);
+  Trigger t;
+  t.kind = Trigger::Kind::kPoisson;
+  t.entry = entry;
+  t.mean_gap = mean_gap_minutes;
+  triggers_.push_back(t);
+}
+
+void WorkloadBuilder::AddDiurnalTrigger(FunctionId entry, Minute start_of_day,
+                                        MinuteDelta window,
+                                        double mean_gap_minutes) {
+  assert(start_of_day >= 0 && start_of_day < kMinutesPerDay);
+  assert(window >= 1);
+  assert(mean_gap_minutes > 0.0);
+  Trigger t;
+  t.kind = Trigger::Kind::kDiurnal;
+  t.entry = entry;
+  t.phase = start_of_day;
+  t.window = window;
+  t.mean_gap = mean_gap_minutes;
+  triggers_.push_back(t);
+}
+
+void WorkloadBuilder::AddManualInvocation(FunctionId fn, Minute minute,
+                                          std::uint32_t count) {
+  manual_.emplace_back(fn, std::make_pair(minute, count));
+}
+
+void WorkloadBuilder::Propagate(FunctionId root, Minute at,
+                                MinuteDelta horizon, InvocationTrace& trace,
+                                std::vector<Minute>& visited_stamp,
+                                std::uint64_t stamp) {
+  // Breadth-first over the call graph; every function fires at most once
+  // per root event (cycle-safe).
+  std::vector<std::pair<FunctionId, Minute>> queue;
+  queue.emplace_back(root, at);
+  visited_stamp[root.value()] = static_cast<Minute>(stamp);
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const auto [fn, t] = queue[head++];
+    if (t >= horizon) continue;
+    trace.Add(fn, t);
+    for (const CallEdge& edge : calls_[fn.value()]) {
+      if (visited_stamp[edge.callee.value()] ==
+          static_cast<Minute>(stamp)) {
+        continue;
+      }
+      if (!rng_.NextBernoulli(edge.probability)) continue;
+      visited_stamp[edge.callee.value()] = static_cast<Minute>(stamp);
+      queue.emplace_back(edge.callee, t + edge.delay);
+    }
+  }
+}
+
+LoadedTrace WorkloadBuilder::Build(MinuteDelta horizon) {
+  assert(horizon >= 1);
+  InvocationTrace trace{model_.num_functions(), TimeRange{0, horizon}};
+  std::vector<Minute> visited(model_.num_functions(), -1);
+  std::uint64_t stamp = 0;
+
+  for (const Trigger& trigger : triggers_) {
+    switch (trigger.kind) {
+      case Trigger::Kind::kPeriodic: {
+        for (Minute t = trigger.phase; t < horizon; t += trigger.period) {
+          if (t < 0) continue;
+          Propagate(trigger.entry, t, horizon, trace, visited, ++stamp);
+        }
+        break;
+      }
+      case Trigger::Kind::kPoisson: {
+        double t = trigger.mean_gap * rng_.NextExponential(1.0);
+        while (t < static_cast<double>(horizon)) {
+          Propagate(trigger.entry, static_cast<Minute>(t), horizon, trace,
+                    visited, ++stamp);
+          t += trigger.mean_gap * rng_.NextExponential(1.0);
+        }
+        break;
+      }
+      case Trigger::Kind::kDiurnal: {
+        for (Minute day = 0; day < horizon; day += kMinutesPerDay) {
+          double offset = trigger.mean_gap * rng_.NextExponential(1.0);
+          while (offset < static_cast<double>(trigger.window)) {
+            const Minute t =
+                day + trigger.phase + static_cast<Minute>(offset);
+            if (t < horizon) {
+              Propagate(trigger.entry, t, horizon, trace, visited, ++stamp);
+            }
+            offset += trigger.mean_gap * rng_.NextExponential(1.0);
+          }
+        }
+        break;
+      }
+    }
+  }
+  for (const auto& [fn, when_count] : manual_) {
+    if (when_count.first >= 0 && when_count.first < horizon) {
+      trace.Add(fn, when_count.first, when_count.second);
+    }
+  }
+  trace.Finalize();
+  return LoadedTrace{.model = model_, .trace = std::move(trace)};
+}
+
+}  // namespace defuse::trace

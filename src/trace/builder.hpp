@@ -1,0 +1,105 @@
+// Declarative application-workload builder.
+//
+// The synthetic generator (generator.hpp) produces statistically
+// Azure-like platforms; this builder produces *specific* applications —
+// the way the paper describes serverless-trainticket (§III.B): functions
+// wired into a call graph ("when a user books a ticket, preserve-ticket
+// invokes dispatch-seats and create-order"), driven by entry-point
+// triggers (timers, Poisson arrivals, diurnal sessions).
+//
+//   WorkloadBuilder b{seed};
+//   auto user = b.AddUser("shop");
+//   auto app  = b.AddApp(user, "booking");
+//   auto preserve = b.AddFunction(app, "preserve-ticket");
+//   auto dispatch = b.AddFunction(app, "dispatch-seats");
+//   b.AddCall(preserve, dispatch);              // always invoked along
+//   b.AddCall(preserve, notify, 0.8);           // 80% of the time
+//   b.AddPoissonTrigger(preserve, 25.0);        // bookings arrive
+//   auto workload = b.Build(14 * kMinutesPerDay);
+//
+// Calls propagate transitively through the graph (breadth-first, each
+// edge sampled independently); a function reached twice in one root
+// event is invoked once. Cycles are safe. An optional per-edge delay
+// shifts the callee's invocation by whole minutes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trace/azure_csv.hpp"
+#include "trace/invocation_trace.hpp"
+#include "trace/model.hpp"
+
+namespace defuse::trace {
+
+class WorkloadBuilder {
+ public:
+  explicit WorkloadBuilder(std::uint64_t seed) : rng_(seed) {}
+
+  UserId AddUser(std::string name) { return model_.AddUser(std::move(name)); }
+  AppId AddApp(UserId user, std::string name) {
+    return model_.AddApp(user, std::move(name));
+  }
+  FunctionId AddFunction(AppId app, std::string name) {
+    const FunctionId fn = model_.AddFunction(app, std::move(name));
+    calls_.emplace_back();
+    return fn;
+  }
+
+  /// When `caller` is invoked, `callee` is invoked with `probability`,
+  /// `delay` minutes later. Requires 0 <= probability <= 1, delay >= 0.
+  void AddCall(FunctionId caller, FunctionId callee, double probability = 1.0,
+               MinuteDelta delay = 0);
+
+  /// Timer trigger: `entry` fires every `period` minutes starting at
+  /// `phase`.
+  void AddPeriodicTrigger(FunctionId entry, MinuteDelta period,
+                          Minute phase = 0);
+  /// Memoryless arrivals with the given mean inter-arrival gap.
+  void AddPoissonTrigger(FunctionId entry, double mean_gap_minutes);
+  /// Poisson arrivals confined to a daily window
+  /// [start_of_day, start_of_day + window) (minutes within the day).
+  void AddDiurnalTrigger(FunctionId entry, Minute start_of_day,
+                         MinuteDelta window, double mean_gap_minutes);
+  /// A single hand-placed invocation (tests, replay stubs).
+  void AddManualInvocation(FunctionId fn, Minute minute,
+                           std::uint32_t count = 1);
+
+  /// Materializes the trace over [0, horizon): runs every trigger,
+  /// propagates calls, finalizes. The builder can be reused afterwards
+  /// (Build is deterministic per builder state + seed, but consecutive
+  /// Build calls consume the RNG stream).
+  [[nodiscard]] LoadedTrace Build(MinuteDelta horizon);
+
+  [[nodiscard]] const WorkloadModel& model() const noexcept { return model_; }
+
+ private:
+  struct CallEdge {
+    FunctionId callee;
+    double probability;
+    MinuteDelta delay;
+  };
+  struct Trigger {
+    enum class Kind { kPeriodic, kPoisson, kDiurnal } kind;
+    FunctionId entry;
+    MinuteDelta period = 0;   // periodic
+    Minute phase = 0;         // periodic / diurnal window start
+    double mean_gap = 0.0;    // poisson / diurnal
+    MinuteDelta window = 0;   // diurnal
+  };
+
+  void Propagate(FunctionId root, Minute at, MinuteDelta horizon,
+                 InvocationTrace& trace, std::vector<Minute>& visited_stamp,
+                 std::uint64_t stamp);
+
+  WorkloadModel model_;
+  std::vector<std::vector<CallEdge>> calls_;  // indexed by FunctionId
+  std::vector<Trigger> triggers_;
+  std::vector<std::pair<FunctionId, std::pair<Minute, std::uint32_t>>>
+      manual_;
+  Rng rng_;
+};
+
+}  // namespace defuse::trace

@@ -1,0 +1,172 @@
+// Synthetic Azure-like FaaS workload generator.
+//
+// The paper evaluates on the Azure Public Dataset (14 days of
+// minute-granularity invocation counts for 83k functions). That dataset is
+// not redistributable here, so this generator synthesizes a workload that
+// reproduces the statistical properties Defuse's mechanism depends on:
+//
+//   1. *Frequency skew* (paper Fig 2): within an app, a small "core group"
+//      of functions fires on every app trigger while many auxiliary
+//      functions fire only on a fraction of triggers, so most functions
+//      have low within-app invocation frequency.
+//   2. *Predictable vs unpredictable mix* (paper Fig 3): apps are driven
+//      by different trigger processes — periodic timers (peaked IT
+//      histogram, high bin-count CV ⇒ predictable), Poisson request
+//      arrivals and bursty ON/OFF sessions (flat IT histogram, low CV ⇒
+//      unpredictable), plus diurnal traffic.
+//   3. *Strong dependencies*: the core group of each app co-fires within
+//      the same minute — exactly the frequent itemsets FP-Growth should
+//      recover.
+//   4. *Weak dependencies*: some users run a periodic, predictable
+//      "common service" app; their unpredictable apps additionally ping a
+//      common-service function whenever they fire — the
+//      unpredictable→predictable links PPMI should recover.
+//
+// Entities get independent forked RNG streams so a workload is a pure
+// function of (config, seed) and insensitive to generation order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "trace/invocation_trace.hpp"
+#include "trace/model.hpp"
+
+namespace defuse::trace {
+
+enum class TriggerKind : std::uint8_t {
+  kPeriodic,  // timer-like, predictable
+  kPoisson,   // memoryless arrivals, unpredictable
+  kDiurnal,   // active only inside a daily window, Poisson within
+  kBursty,    // ON/OFF sessions, unpredictable
+};
+
+struct GeneratorConfig {
+  std::uint64_t seed = 42;
+  MinuteDelta horizon_minutes = 14 * kMinutesPerDay;
+
+  std::uint32_t num_users = 200;
+  /// Apps per user: 1 + Zipf(max_extra_apps_per_user, apps_zipf_s).
+  std::uint32_t max_extra_apps_per_user = 7;
+  double apps_zipf_s = 1.2;
+
+  /// An application is a collection of *workflows* — independent business
+  /// endpoints, each driven by its own trigger process. This is what
+  /// makes application-granularity scheduling wasteful (paper §III.A.1):
+  /// the whole app is loaded whenever any workflow fires.
+  /// Workflows per app: 1 + Zipf(max_extra_workflows_per_app, ...).
+  std::uint32_t max_extra_workflows_per_app = 4;
+  double workflows_zipf_s = 0.45;
+  /// Functions per workflow: min + Zipf(max - min + 1, functions_zipf_s).
+  std::uint32_t min_functions_per_workflow = 1;
+  std::uint32_t max_functions_per_workflow = 12;
+  double functions_zipf_s = 0.6;
+
+  /// Trigger mix (normalized internally).
+  double frac_periodic = 0.40;
+  double frac_poisson = 0.30;
+  double frac_diurnal = 0.15;
+  double frac_bursty = 0.15;
+
+  /// Periodic apps: period drawn uniformly from this menu (minutes).
+  std::vector<MinuteDelta> periods = {5, 10, 15, 30, 60, 120, 240};
+  /// Probability a periodic trigger is skipped / jittered by ±1 minute.
+  double periodic_skip_prob = 0.05;
+  double periodic_jitter_prob = 0.2;
+
+  /// Poisson apps: mean inter-arrival drawn log-uniformly from
+  /// [poisson_mean_gap_min, poisson_mean_gap_max] minutes.
+  double poisson_mean_gap_min = 5.0;
+  double poisson_mean_gap_max = 180.0;
+
+  /// Diurnal apps: daily active window length (minutes) and in-window
+  /// mean gap.
+  MinuteDelta diurnal_window_min = 4 * kMinutesPerHour;
+  MinuteDelta diurnal_window_max = 10 * kMinutesPerHour;
+  double diurnal_mean_gap = 20.0;
+
+  /// Bursty apps: exponential ON/OFF session lengths, dense triggers
+  /// inside ON.
+  double bursty_on_mean = 30.0;
+  double bursty_off_mean = 300.0;
+  double bursty_in_gap = 2.0;
+
+  /// Core group (strong dependency) size: 1 + Zipf(max_core_group,
+  /// core_zipf_s), capped by the workflow's function count.
+  std::uint32_t max_core_group = 4;
+  double core_zipf_s = 0.7;
+  /// Non-core functions of a workflow are either *branch* functions
+  /// (conditional paths taken on a good fraction of triggers — these are
+  /// the dependencies FP-Growth should still catch) or *rare* functions
+  /// (error handlers, cleanup jobs — genuinely infrequent, the memory
+  /// Hybrid-Application wastes). Tier probability ranges are uniform.
+  double branch_aux_fraction = 0.6;
+  double branch_prob_min = 0.25;
+  double branch_prob_max = 0.9;
+  double rare_prob_min = 0.02;
+  double rare_prob_max = 0.15;
+
+  /// Weak dependencies: fraction of users that run a periodic
+  /// common-service app; probability that an unpredictable workflow of
+  /// such a user is linked to a common-service function; probability the
+  /// linked function is pinged per trigger.
+  double frac_users_with_common_service = 0.5;
+  double weak_link_prob = 0.7;
+  double weak_ping_prob = 0.9;
+  /// Period of common-service apps (short ⇒ frequently invoked &
+  /// predictable).
+  MinuteDelta common_service_period = 10;
+  std::uint32_t common_service_functions = 3;
+
+  /// Invocation count per firing: 1 + Poisson(extra_invocations_mean).
+  double extra_invocations_mean = 0.3;
+
+  /// Per-function memory weights: lognormal with this sigma, normalized
+  /// to mean 1 (0 = all functions weigh 1, the paper's approximation).
+  /// Used only by the weighted-memory ablation.
+  double size_lognormal_sigma = 0.0;
+
+  /// Preset scales.
+  [[nodiscard]] static GeneratorConfig Tiny() {
+    GeneratorConfig c;
+    c.num_users = 12;
+    c.horizon_minutes = 4 * kMinutesPerDay;
+    return c;
+  }
+  [[nodiscard]] static GeneratorConfig Small() {
+    GeneratorConfig c;
+    c.num_users = 120;
+    return c;
+  }
+  [[nodiscard]] static GeneratorConfig Medium() {
+    GeneratorConfig c;
+    c.num_users = 400;
+    return c;
+  }
+};
+
+/// What the generator planted, for miner-recovery tests and examples.
+struct GroundTruth {
+  /// Core groups with >= 2 members (planted strong dependencies).
+  std::vector<std::vector<FunctionId>> strong_groups;
+  /// (unpredictable app function, common-service function) planted links.
+  std::vector<std::pair<FunctionId, FunctionId>> weak_links;
+  /// Trigger kind of the app each function belongs to.
+  std::vector<TriggerKind> function_trigger;
+};
+
+struct SyntheticWorkload {
+  WorkloadModel model;
+  InvocationTrace trace;
+  GroundTruth truth;
+  /// Per-function memory weights (mean ~1; all 1.0 when
+  /// size_lognormal_sigma == 0).
+  std::vector<double> function_weights;
+};
+
+/// Generates a full workload. Deterministic in `config` (incl. seed).
+[[nodiscard]] SyntheticWorkload GenerateWorkload(const GeneratorConfig& config);
+
+}  // namespace defuse::trace

@@ -1,0 +1,40 @@
+#include "trace/model.hpp"
+
+namespace defuse::trace {
+
+UserId WorkloadModel::AddUser(std::string name) {
+  const UserId id{static_cast<UserId::value_type>(users_.size())};
+  users_.push_back(UserInfo{.id = id, .name = std::move(name), .apps = {}});
+  return id;
+}
+
+AppId WorkloadModel::AddApp(UserId user, std::string name) {
+  assert(user.value() < users_.size());
+  const AppId id{static_cast<AppId::value_type>(apps_.size())};
+  apps_.push_back(
+      AppInfo{.id = id, .user = user, .name = std::move(name), .functions = {}});
+  users_[user.value()].apps.push_back(id);
+  return id;
+}
+
+FunctionId WorkloadModel::AddFunction(AppId app, std::string name) {
+  assert(app.value() < apps_.size());
+  const FunctionId id{static_cast<FunctionId::value_type>(functions_.size())};
+  functions_.push_back(FunctionInfo{.id = id,
+                                    .app = app,
+                                    .user = apps_[app.value()].user,
+                                    .name = std::move(name)});
+  apps_[app.value()].functions.push_back(id);
+  return id;
+}
+
+std::vector<FunctionId> WorkloadModel::FunctionsOfUser(UserId id) const {
+  std::vector<FunctionId> result;
+  for (const AppId app_id : user(id).apps) {
+    const auto& fns = app(app_id).functions;
+    result.insert(result.end(), fns.begin(), fns.end());
+  }
+  return result;
+}
+
+}  // namespace defuse::trace

@@ -1,0 +1,84 @@
+// Static structure of a FaaS workload: users own applications, and
+// applications are sets of serverless functions. Mirrors the entities of
+// the Azure Public Dataset (HashOwner / HashApp / HashFunction).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace defuse::trace {
+
+struct FunctionInfo {
+  FunctionId id;
+  AppId app;
+  UserId user;
+  std::string name;  // stable human-readable or hash name
+};
+
+struct AppInfo {
+  AppId id;
+  UserId user;
+  std::string name;
+  std::vector<FunctionId> functions;
+};
+
+struct UserInfo {
+  UserId id;
+  std::string name;
+  std::vector<AppId> apps;
+};
+
+/// The immutable directory of users, apps and functions for one trace.
+/// Built once (by the generator or a loader) via the Add* methods, then
+/// used read-only everywhere else.
+class WorkloadModel {
+ public:
+  /// Adds a user; returns its dense id.
+  UserId AddUser(std::string name);
+  /// Adds an app owned by `user`; returns its dense id.
+  AppId AddApp(UserId user, std::string name);
+  /// Adds a function inside `app`; returns its dense id.
+  FunctionId AddFunction(AppId app, std::string name);
+
+  [[nodiscard]] std::size_t num_users() const noexcept { return users_.size(); }
+  [[nodiscard]] std::size_t num_apps() const noexcept { return apps_.size(); }
+  [[nodiscard]] std::size_t num_functions() const noexcept {
+    return functions_.size();
+  }
+
+  [[nodiscard]] const UserInfo& user(UserId id) const noexcept {
+    assert(id.value() < users_.size());
+    return users_[id.value()];
+  }
+  [[nodiscard]] const AppInfo& app(AppId id) const noexcept {
+    assert(id.value() < apps_.size());
+    return apps_[id.value()];
+  }
+  [[nodiscard]] const FunctionInfo& function(FunctionId id) const noexcept {
+    assert(id.value() < functions_.size());
+    return functions_[id.value()];
+  }
+
+  [[nodiscard]] const std::vector<UserInfo>& users() const noexcept {
+    return users_;
+  }
+  [[nodiscard]] const std::vector<AppInfo>& apps() const noexcept {
+    return apps_;
+  }
+  [[nodiscard]] const std::vector<FunctionInfo>& functions() const noexcept {
+    return functions_;
+  }
+
+  /// All functions owned by a user, across all of their apps.
+  [[nodiscard]] std::vector<FunctionId> FunctionsOfUser(UserId id) const;
+
+ private:
+  std::vector<UserInfo> users_;
+  std::vector<AppInfo> apps_;
+  std::vector<FunctionInfo> functions_;
+};
+
+}  // namespace defuse::trace

@@ -1,0 +1,124 @@
+#include "trace/transform.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace defuse::trace {
+
+LoadedTrace FilterUsers(const WorkloadModel& model,
+                        const InvocationTrace& trace,
+                        std::span<const UserId> users) {
+  WorkloadModel out_model;
+  std::vector<FunctionId> old_to_new(model.num_functions(),
+                                     FunctionId::invalid());
+  // Deduplicate and keep a stable order.
+  std::vector<UserId> selected{users.begin(), users.end()};
+  std::sort(selected.begin(), selected.end());
+  selected.erase(std::unique(selected.begin(), selected.end()),
+                 selected.end());
+
+  for (const UserId old_user : selected) {
+    const auto& user = model.user(old_user);
+    const UserId new_user = out_model.AddUser(user.name);
+    for (const AppId old_app : user.apps) {
+      const auto& app = model.app(old_app);
+      const AppId new_app = out_model.AddApp(new_user, app.name);
+      for (const FunctionId old_fn : app.functions) {
+        old_to_new[old_fn.value()] =
+            out_model.AddFunction(new_app, model.function(old_fn).name);
+      }
+    }
+  }
+
+  InvocationTrace out_trace{out_model.num_functions(), trace.horizon()};
+  for (std::size_t f = 0; f < model.num_functions(); ++f) {
+    const FunctionId new_fn = old_to_new[f];
+    if (!new_fn.valid()) continue;
+    for (const auto& e :
+         trace.series(FunctionId{static_cast<std::uint32_t>(f)})) {
+      out_trace.Add(new_fn, e.minute, e.count);
+    }
+  }
+  out_trace.Finalize();
+  return LoadedTrace{.model = std::move(out_model),
+                     .trace = std::move(out_trace)};
+}
+
+LoadedTrace SampleUsers(const WorkloadModel& model,
+                        const InvocationTrace& trace, std::size_t count,
+                        Rng& rng) {
+  std::vector<UserId> all;
+  all.reserve(model.num_users());
+  for (const auto& user : model.users()) all.push_back(user.id);
+  if (count < all.size()) {
+    rng.Shuffle(std::span{all});
+    all.resize(count);
+  }
+  return FilterUsers(model, trace, all);
+}
+
+LoadedTrace SliceTime(const WorkloadModel& model,
+                      const InvocationTrace& trace, TimeRange range) {
+  WorkloadModel out_model = model;  // structure unchanged
+  const MinuteDelta length = std::max<MinuteDelta>(range.length(), 0);
+  InvocationTrace out_trace{model.num_functions(),
+                            TimeRange{0, std::max<MinuteDelta>(length, 1)}};
+  for (std::size_t f = 0; f < model.num_functions(); ++f) {
+    const FunctionId fn{static_cast<std::uint32_t>(f)};
+    for (const auto& e : trace.SeriesInRange(fn, range)) {
+      out_trace.Add(fn, e.minute - range.begin, e.count);
+    }
+  }
+  out_trace.Finalize();
+  return LoadedTrace{.model = std::move(out_model),
+                     .trace = std::move(out_trace)};
+}
+
+LoadedTrace Merge(const WorkloadModel& a_model,
+                  const InvocationTrace& a_trace,
+                  const WorkloadModel& b_model,
+                  const InvocationTrace& b_trace,
+                  const std::string& b_prefix) {
+  WorkloadModel out_model;
+  std::vector<FunctionId> a_map(a_model.num_functions());
+  std::vector<FunctionId> b_map(b_model.num_functions());
+
+  const auto copy_side = [&](const WorkloadModel& side,
+                             std::vector<FunctionId>& map,
+                             const std::string& prefix) {
+    for (const auto& user : side.users()) {
+      const UserId new_user = out_model.AddUser(prefix + user.name);
+      for (const AppId app_id : user.apps) {
+        const auto& app = side.app(app_id);
+        const AppId new_app = out_model.AddApp(new_user, prefix + app.name);
+        for (const FunctionId fn : app.functions) {
+          map[fn.value()] =
+              out_model.AddFunction(new_app, prefix + side.function(fn).name);
+        }
+      }
+    }
+  };
+  copy_side(a_model, a_map, "");
+  copy_side(b_model, b_map, b_prefix);
+
+  const TimeRange horizon{
+      0, std::max(a_trace.horizon().end, b_trace.horizon().end)};
+  InvocationTrace out_trace{out_model.num_functions(), horizon};
+  for (std::size_t f = 0; f < a_model.num_functions(); ++f) {
+    for (const auto& e :
+         a_trace.series(FunctionId{static_cast<std::uint32_t>(f)})) {
+      out_trace.Add(a_map[f], e.minute, e.count);
+    }
+  }
+  for (std::size_t f = 0; f < b_model.num_functions(); ++f) {
+    for (const auto& e :
+         b_trace.series(FunctionId{static_cast<std::uint32_t>(f)})) {
+      out_trace.Add(b_map[f], e.minute, e.count);
+    }
+  }
+  out_trace.Finalize();
+  return LoadedTrace{.model = std::move(out_model),
+                     .trace = std::move(out_trace)};
+}
+
+}  // namespace defuse::trace

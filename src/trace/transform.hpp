@@ -1,0 +1,46 @@
+// Trace transformations: user sampling, time slicing, and merging.
+//
+// The real Azure dataset is ~80k functions over 14 days; experimenting
+// at that scale is rarely necessary. These utilities carve smaller
+// workloads out of big traces (and paste workloads together) while
+// keeping ids dense and the model/trace pair consistent.
+#pragma once
+
+#include <span>
+
+#include "common/rng.hpp"
+#include "trace/azure_csv.hpp"
+#include "trace/invocation_trace.hpp"
+#include "trace/model.hpp"
+
+namespace defuse::trace {
+
+/// Restricts a workload to `users` (ids into `model`). The result has
+/// densely renumbered users/apps/functions; entity names are preserved.
+[[nodiscard]] LoadedTrace FilterUsers(const WorkloadModel& model,
+                                      const InvocationTrace& trace,
+                                      std::span<const UserId> users);
+
+/// Uniformly samples `count` users (without replacement) and filters to
+/// them. If count >= num_users, the whole workload is copied.
+[[nodiscard]] LoadedTrace SampleUsers(const WorkloadModel& model,
+                                      const InvocationTrace& trace,
+                                      std::size_t count, Rng& rng);
+
+/// Time-slices the trace to [range.begin, range.end), re-basing minutes
+/// so the result's horizon starts at 0. The model is copied unchanged
+/// (functions silent inside the slice simply have empty series).
+[[nodiscard]] LoadedTrace SliceTime(const WorkloadModel& model,
+                                    const InvocationTrace& trace,
+                                    TimeRange range);
+
+/// Merges two independent workloads into one platform view. User/app/
+/// function names from `b` are prefixed with `b_prefix` to avoid
+/// collisions. Horizon = max of the two.
+[[nodiscard]] LoadedTrace Merge(const WorkloadModel& a_model,
+                                const InvocationTrace& a_trace,
+                                const WorkloadModel& b_model,
+                                const InvocationTrace& b_trace,
+                                const std::string& b_prefix = "b-");
+
+}  // namespace defuse::trace

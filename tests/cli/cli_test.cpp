@@ -1,0 +1,296 @@
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace defuse::cli {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult RunDefuse(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  const int code = RunCli(args, out, err);
+  return CliResult{code, out.str(), err.str()};
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("defuse_cli_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    trace_path_ = (dir_ / "trace.csv").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Generates a small trace once per test that needs it.
+  void Generate() {
+    const auto r = RunDefuse({"generate", "--users", "8", "--days", "4", "--seed",
+                        "5", "--out", trace_path_});
+    ASSERT_EQ(r.code, 0) << r.err;
+  }
+
+  std::filesystem::path dir_;
+  std::string trace_path_;
+};
+
+TEST_F(CliTest, NoArgumentsPrintsUsageAndFails) {
+  const auto r = RunDefuse({});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, HelpSucceeds) {
+  const auto r = RunDefuse({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("generate"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  const auto r = RunDefuse({"frobnicate"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateWritesALoadableTrace) {
+  Generate();
+  ASSERT_TRUE(std::filesystem::exists(trace_path_));
+  const auto r = RunDefuse({"inspect", "--trace", trace_path_});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("8 users"), std::string::npos);
+  EXPECT_NE(r.out.find("frequency skew"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateRequiresOut) {
+  const auto r = RunDefuse({"generate", "--users", "5"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--out"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateRejectsNonPositiveUsers) {
+  const auto r =
+      RunDefuse({"generate", "--users", "0", "--out", trace_path_});
+  EXPECT_EQ(r.code, 1);
+}
+
+TEST_F(CliTest, GenerateAzureDirWritesDailyFiles) {
+  const auto azure_dir = (dir_ / "azure").string();
+  std::filesystem::create_directories(azure_dir);
+  const auto r = RunDefuse({"generate", "--users", "5", "--days", "2", "--out",
+                      trace_path_, "--azure-dir", azure_dir});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(std::filesystem::exists(
+      azure_dir + "/invocations_per_function_md.anon.d01.csv"));
+  EXPECT_TRUE(std::filesystem::exists(
+      azure_dir + "/invocations_per_function_md.anon.d02.csv"));
+}
+
+TEST_F(CliTest, InspectRequiresTrace) {
+  const auto r = RunDefuse({"inspect"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--trace"), std::string::npos);
+}
+
+TEST_F(CliTest, InspectMissingFileFails) {
+  const auto r = RunDefuse({"inspect", "--trace", (dir_ / "nope.csv").string()});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("io_error"), std::string::npos);
+}
+
+TEST_F(CliTest, MineWritesArtifacts) {
+  Generate();
+  const auto sets = (dir_ / "sets.csv").string();
+  const auto edges = (dir_ / "edges.csv").string();
+  const auto dot = (dir_ / "graph.dot").string();
+  const auto r = RunDefuse({"mine", "--trace", trace_path_, "--sets-out", sets,
+                      "--edges-out", edges, "--dot-out", dot});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("dependency sets"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(sets));
+  EXPECT_TRUE(std::filesystem::exists(edges));
+  EXPECT_TRUE(std::filesystem::exists(dot));
+  // The dot file is plausible Graphviz.
+  std::ifstream in{dot};
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line, "digraph dependencies {");
+}
+
+TEST_F(CliTest, MineRejectsConflictingAblationFlags) {
+  Generate();
+  const auto r = RunDefuse({"mine", "--trace", trace_path_, "--strong-only",
+                      "--weak-only"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("mutually exclusive"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateDefaultMethod) {
+  Generate();
+  const auto r = RunDefuse({"simulate", "--trace", trace_path_});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("method: Defuse"), std::string::npos);
+  EXPECT_NE(r.out.find("p75 function cold-start rate"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateEveryMethodName) {
+  Generate();
+  for (const char* method :
+       {"defuse", "strong-only", "weak-only", "hybrid-function",
+        "hybrid-application", "fixed"}) {
+    const auto r =
+        RunDefuse({"simulate", "--trace", trace_path_, "--method", method});
+    EXPECT_EQ(r.code, 0) << method << ": " << r.err;
+  }
+}
+
+TEST_F(CliTest, SimulateWithArFallbackRuns) {
+  Generate();
+  const auto r = RunDefuse({"simulate", "--trace", trace_path_,
+                            "--ar-fallback"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("p75 function cold-start rate"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateUnknownMethodFails) {
+  Generate();
+  const auto r =
+      RunDefuse({"simulate", "--trace", trace_path_, "--method", "magic"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown --method"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateWithPreMinedSets) {
+  Generate();
+  const auto sets = (dir_ / "sets.csv").string();
+  ASSERT_EQ(RunDefuse({"mine", "--trace", trace_path_, "--sets-out", sets}).code,
+            0);
+  const auto direct = RunDefuse({"simulate", "--trace", trace_path_});
+  const auto from_file =
+      RunDefuse({"simulate", "--trace", trace_path_, "--sets", sets});
+  ASSERT_EQ(from_file.code, 0) << from_file.err;
+  // Mining is deterministic, so the two paths must report the same p75.
+  const auto extract = [](const std::string& text) {
+    const auto pos = text.find("p75 function cold-start rate: ");
+    return text.substr(pos, text.find('\n', pos) - pos);
+  };
+  EXPECT_EQ(extract(direct.out), extract(from_file.out));
+}
+
+TEST_F(CliTest, SimulateTrainDaysValidation) {
+  Generate();
+  EXPECT_EQ(RunDefuse({"simulate", "--trace", trace_path_, "--train-days", "2"})
+                .code,
+            0);
+  EXPECT_EQ(RunDefuse({"simulate", "--trace", trace_path_, "--train-days", "99"})
+                .code,
+            1);
+}
+
+TEST_F(CliTest, SweepEmitsCsvRows) {
+  Generate();
+  const auto r =
+      RunDefuse({"sweep", "--trace", trace_path_, "--amplifications", "1,2"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("method,amplification"), std::string::npos);
+  EXPECT_NE(r.out.find("Defuse,1.00"), std::string::npos);
+  EXPECT_NE(r.out.find("Hybrid-Application,2.00"), std::string::npos);
+}
+
+TEST_F(CliTest, SweepRejectsBadAmplifications) {
+  Generate();
+  const auto r =
+      RunDefuse({"sweep", "--trace", trace_path_, "--amplifications", "1,zero"});
+  EXPECT_EQ(r.code, 1);
+}
+
+TEST_F(CliTest, FilterSampleUsers) {
+  Generate();
+  const auto out_path = (dir_ / "small.csv").string();
+  const auto r = RunDefuse({"filter", "--trace", trace_path_,
+                            "--sample-users", "3", "--out", out_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("3 users"), std::string::npos);
+  // The filtered trace is loadable.
+  EXPECT_EQ(RunDefuse({"inspect", "--trace", out_path}).code, 0);
+}
+
+TEST_F(CliTest, FilterFirstDays) {
+  Generate();
+  const auto out_path = (dir_ / "short.csv").string();
+  const auto r = RunDefuse({"filter", "--trace", trace_path_,
+                            "--first-days", "2", "--out", out_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("over 2 days"), std::string::npos);
+}
+
+TEST_F(CliTest, AdaptiveRunsEpochs) {
+  Generate();
+  const auto r = RunDefuse({"adaptive", "--trace", trace_path_,
+                            "--last-days", "2", "--epoch-days", "1",
+                            "--window-days", "2"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("epoch,mined_days"), std::string::npos);
+  EXPECT_NE(r.out.find("aggregate: p75"), std::string::npos);
+  // Two epochs: rows 0 and 1.
+  EXPECT_NE(r.out.find("\n0,"), std::string::npos);
+  EXPECT_NE(r.out.find("\n1,"), std::string::npos);
+}
+
+TEST_F(CliTest, AdaptiveRejectsBadEpochs) {
+  Generate();
+  const auto r = RunDefuse({"adaptive", "--trace", trace_path_,
+                            "--epoch-days", "0"});
+  EXPECT_EQ(r.code, 1);
+}
+
+TEST_F(CliTest, CompareRunsTheHeadlineComparison) {
+  Generate();
+  const auto r = RunDefuse({"compare", "--trace", trace_path_});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Defuse,"), std::string::npos);
+  EXPECT_NE(r.out.find("Hybrid-Application,1.00"), std::string::npos);
+  EXPECT_NE(r.out.find("Defuse vs Hybrid-Application"), std::string::npos);
+}
+
+TEST_F(CliTest, CompareRejectsBadBudgetFactor) {
+  Generate();
+  const auto r = RunDefuse({"compare", "--trace", trace_path_,
+                            "--budget-factor", "-1"});
+  EXPECT_EQ(r.code, 1);
+}
+
+TEST_F(CliTest, ReplayStreamsThroughTheOnlineEngine) {
+  Generate();
+  const auto r = RunDefuse({"replay", "--trace", trace_path_,
+                            "--remine-days", "1", "--window-days", "2"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("day,invocations,cold_fraction"), std::string::npos);
+  EXPECT_NE(r.out.find("re-mines"), std::string::npos);
+}
+
+TEST_F(CliTest, ReplayRejectsBadFlags) {
+  Generate();
+  EXPECT_EQ(RunDefuse({"replay", "--trace", trace_path_, "--remine-days",
+                       "0"})
+                .code,
+            1);
+}
+
+TEST_F(CliTest, FilterRequiresSomeOperation) {
+  Generate();
+  const auto r = RunDefuse({"filter", "--trace", trace_path_, "--out",
+                            (dir_ / "x.csv").string()});
+  EXPECT_EQ(r.code, 1);
+}
+
+}  // namespace
+}  // namespace defuse::cli

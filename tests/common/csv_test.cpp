@@ -1,0 +1,166 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace defuse {
+namespace {
+
+TEST(SplitCsvLine, SingleField) {
+  const auto fields = SplitCsvLine("hello");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "hello");
+}
+
+TEST(SplitCsvLine, MultipleFields) {
+  const auto fields = SplitCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitCsvLine, EmptyFieldsArePreserved) {
+  const auto fields = SplitCsvLine(",x,,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[1], "x");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(SplitCsvLine, EmptyLineIsOneEmptyField) {
+  const auto fields = SplitCsvLine("");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST(ParseU64, ParsesValidNumbers) {
+  EXPECT_EQ(ParseU64("0").value(), 0u);
+  EXPECT_EQ(ParseU64("42").value(), 42u);
+  EXPECT_EQ(ParseU64("18446744073709551615").value(),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseU64, RejectsGarbage) {
+  EXPECT_FALSE(ParseU64("").ok());
+  EXPECT_FALSE(ParseU64("abc").ok());
+  EXPECT_FALSE(ParseU64("12x").ok());
+  EXPECT_FALSE(ParseU64("-3").ok());
+  EXPECT_FALSE(ParseU64(" 7").ok());
+}
+
+TEST(ParseU64, ErrorCarriesParseCode) {
+  const auto result = ParseU64("nope");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kParseError);
+  EXPECT_NE(result.error().message.find("nope"), std::string::npos);
+}
+
+TEST(ParseDouble, ParsesValidNumbers) {
+  EXPECT_DOUBLE_EQ(ParseDouble("0.5").value(), 0.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-3").value(), -3.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("1e3").value(), 1000.0);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("x").ok());
+  EXPECT_FALSE(ParseDouble("1.5z").ok());
+}
+
+TEST(ForEachLine, VisitsEveryLine) {
+  std::vector<std::string> lines;
+  auto res = ForEachLine("a\nb\nc",
+                         [&](std::size_t, std::string_view line) -> Result<bool> {
+                           lines.emplace_back(line);
+                           return true;
+                         });
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value(), 3u);
+  EXPECT_EQ(lines, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ForEachLine, HandlesTrailingNewline) {
+  std::size_t count = 0;
+  auto res = ForEachLine("a\nb\n",
+                         [&](std::size_t, std::string_view) -> Result<bool> {
+                           ++count;
+                           return true;
+                         });
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(ForEachLine, StripsCarriageReturn) {
+  std::vector<std::string> lines;
+  auto res = ForEachLine("a\r\nb\r\n",
+                         [&](std::size_t, std::string_view line) -> Result<bool> {
+                           lines.emplace_back(line);
+                           return true;
+                         });
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(lines, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ForEachLine, LineNumbersAreOneBased) {
+  std::vector<std::size_t> numbers;
+  auto res = ForEachLine("x\ny",
+                         [&](std::size_t n, std::string_view) -> Result<bool> {
+                           numbers.push_back(n);
+                           return true;
+                         });
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(numbers, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(ForEachLine, PropagatesCallbackError) {
+  auto res = ForEachLine("a\nb\nc",
+                         [&](std::size_t n, std::string_view) -> Result<bool> {
+                           if (n == 2) {
+                             return Error{ErrorCode::kParseError, "bad line"};
+                           }
+                           return true;
+                         });
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.error().message, "bad line");
+}
+
+TEST(ForEachLine, EmptyBufferVisitsNothing) {
+  std::size_t count = 0;
+  auto res = ForEachLine("", [&](std::size_t, std::string_view) -> Result<bool> {
+    ++count;
+    return true;
+  });
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(FileIo, WriteThenReadRoundTrips) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "defuse_csv_test.txt").string();
+  const std::string content = "line1\nline2,with,commas\n";
+  ASSERT_TRUE(WriteFile(path, content).ok());
+  const auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), content);
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, ReadMissingFileErrors) {
+  const auto read = ReadFile("/nonexistent/definitely/missing.csv");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.error().code, ErrorCode::kIoError);
+}
+
+TEST(FileIo, WriteToInvalidPathErrors) {
+  const auto write = WriteFile("/nonexistent/dir/file.csv", "x");
+  ASSERT_FALSE(write.ok());
+  EXPECT_EQ(write.error().code, ErrorCode::kIoError);
+}
+
+}  // namespace
+}  // namespace defuse

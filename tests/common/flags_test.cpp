@@ -1,0 +1,97 @@
+#include "common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace defuse {
+namespace {
+
+FlagParser Parse(std::vector<std::string> tokens) {
+  return FlagParser{std::span<const std::string>{tokens}};
+}
+
+TEST(FlagParser, EqualsSyntax) {
+  const auto p = Parse({"--users=50", "--seed=7"});
+  EXPECT_EQ(p.GetOr("users", ""), "50");
+  EXPECT_EQ(p.GetOr("seed", ""), "7");
+}
+
+TEST(FlagParser, SpaceSyntax) {
+  const auto p = Parse({"--users", "50"});
+  EXPECT_EQ(p.GetOr("users", ""), "50");
+  EXPECT_TRUE(p.positional().empty());
+}
+
+TEST(FlagParser, BooleanFlag) {
+  const auto p = Parse({"--verbose", "--out=x"});
+  EXPECT_TRUE(p.Has("verbose"));
+  EXPECT_EQ(p.GetOr("verbose", ""), "true");
+  EXPECT_FALSE(p.Has("quiet"));
+}
+
+TEST(FlagParser, BooleanFollowedByFlagDoesNotConsumeIt) {
+  const auto p = Parse({"--verbose", "--users", "5"});
+  EXPECT_EQ(p.GetOr("verbose", ""), "true");
+  EXPECT_EQ(p.GetOr("users", ""), "5");
+}
+
+TEST(FlagParser, PositionalArguments) {
+  const auto p = Parse({"mine", "--support=0.2", "trace.csv"});
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "mine");
+  EXPECT_EQ(p.positional()[1], "trace.csv");
+}
+
+TEST(FlagParser, MissingFlagYieldsNullopt) {
+  const auto p = Parse({});
+  EXPECT_FALSE(p.Get("anything").has_value());
+  EXPECT_EQ(p.GetOr("anything", "fallback"), "fallback");
+}
+
+TEST(FlagParser, LastOccurrenceWins) {
+  const auto p = Parse({"--a=1", "--a=2"});
+  EXPECT_EQ(p.GetOr("a", ""), "2");
+}
+
+TEST(FlagParser, GetIntParsesAndDefaults) {
+  const auto p = Parse({"--n=42", "--neg=-7"});
+  EXPECT_EQ(p.GetInt("n", 0).value(), 42);
+  EXPECT_EQ(p.GetInt("neg", 0).value(), -7);
+  EXPECT_EQ(p.GetInt("missing", 13).value(), 13);
+}
+
+TEST(FlagParser, GetIntRejectsGarbage) {
+  const auto p = Parse({"--n=4x"});
+  const auto r = p.GetInt("n", 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("--n"), std::string::npos);
+}
+
+TEST(FlagParser, GetDoubleParsesAndDefaults) {
+  const auto p = Parse({"--support=0.25"});
+  EXPECT_DOUBLE_EQ(p.GetDouble("support", 0.0).value(), 0.25);
+  EXPECT_DOUBLE_EQ(p.GetDouble("missing", 1.5).value(), 1.5);
+  EXPECT_FALSE(Parse({"--x=abc"}).GetDouble("x", 0).ok());
+}
+
+TEST(FlagParser, EmptyValueViaEquals) {
+  const auto p = Parse({"--out="});
+  EXPECT_TRUE(p.Has("out"));
+  EXPECT_EQ(p.GetOr("out", "z"), "");
+}
+
+TEST(FlagParser, UnknownFlagsReportsUnlisted) {
+  const auto p = Parse({"--users=5", "--typo=1", "--users=6"});
+  const std::vector<std::string_view> known{"users", "seed"};
+  EXPECT_EQ(p.UnknownFlags(known), std::vector<std::string>{"typo"});
+}
+
+TEST(FlagParser, ArgcArgvConstructorSkipsProgramName) {
+  const char* argv[] = {"prog", "--a=1", "pos"};
+  const FlagParser p{3, argv};
+  EXPECT_EQ(p.GetOr("a", ""), "1");
+  ASSERT_EQ(p.positional().size(), 1u);
+  EXPECT_EQ(p.positional()[0], "pos");
+}
+
+}  // namespace
+}  // namespace defuse

@@ -1,0 +1,83 @@
+#include "common/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/time.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace defuse {
+namespace {
+
+TEST(Ids, DefaultConstructedIsInvalid) {
+  FunctionId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, FunctionId::invalid());
+}
+
+TEST(Ids, ExplicitValueIsValid) {
+  FunctionId id{7};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(Ids, MaxValueIsTheInvalidSentinel) {
+  FunctionId id{std::numeric_limits<std::uint32_t>::max()};
+  EXPECT_FALSE(id.valid());
+}
+
+TEST(Ids, ZeroIsAValidId) {
+  EXPECT_TRUE(FunctionId{0}.valid());
+}
+
+TEST(Ids, EqualityComparesValues) {
+  EXPECT_EQ(FunctionId{3}, FunctionId{3});
+  EXPECT_NE(FunctionId{3}, FunctionId{4});
+}
+
+TEST(Ids, OrderingFollowsValues) {
+  EXPECT_LT(FunctionId{1}, FunctionId{2});
+  EXPECT_GT(AppId{9}, AppId{0});
+  EXPECT_LE(UserId{5}, UserId{5});
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<FunctionId, AppId>);
+  static_assert(!std::is_same_v<AppId, UserId>);
+  static_assert(!std::is_convertible_v<FunctionId, AppId>);
+}
+
+TEST(Ids, HashableInUnorderedContainers) {
+  std::unordered_set<FunctionId> set;
+  set.insert(FunctionId{1});
+  set.insert(FunctionId{2});
+  set.insert(FunctionId{1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(FunctionId{2}));
+  EXPECT_FALSE(set.contains(FunctionId{3}));
+}
+
+TEST(Ids, StreamInsertionPrintsTheValue) {
+  std::ostringstream os;
+  os << FunctionId{42};
+  EXPECT_EQ(os.str(), "42");
+}
+
+TEST(TimeRange, ContainsIsHalfOpen) {
+  TimeRange r{10, 20};
+  EXPECT_FALSE(r.contains(9));
+  EXPECT_TRUE(r.contains(10));
+  EXPECT_TRUE(r.contains(19));
+  EXPECT_FALSE(r.contains(20));
+}
+
+TEST(TimeRange, LengthAndEmpty) {
+  EXPECT_EQ((TimeRange{5, 9}).length(), 4);
+  EXPECT_TRUE((TimeRange{5, 5}).empty());
+  EXPECT_TRUE((TimeRange{6, 5}).empty());
+  EXPECT_FALSE((TimeRange{0, 1}).empty());
+}
+
+}  // namespace
+}  // namespace defuse

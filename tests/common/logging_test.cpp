@@ -1,0 +1,46 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace defuse {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kWarn); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, DefaultLevelSuppressesInfo) {
+  // The macro's condition must not evaluate the streamed expression when
+  // the level is filtered out.
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  const auto count = [&] {
+    ++evaluations;
+    return "msg";
+  };
+  DEFUSE_LOG_INFO << count();
+  EXPECT_EQ(evaluations, 0);
+  DEFUSE_LOG_ERROR << count();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, OffSuppressesEverything) {
+  SetLogLevel(LogLevel::kOff);
+  int evaluations = 0;
+  DEFUSE_LOG_ERROR << [&] {
+    ++evaluations;
+    return "x";
+  }();
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace defuse

@@ -1,0 +1,60 @@
+#include "common/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace defuse {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Error{ErrorCode::kNotFound, "missing"};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kNotFound);
+  EXPECT_EQ(r.error().message, "missing");
+}
+
+TEST(Result, ValueOrReturnsFallbackOnError) {
+  Result<int> ok = 1;
+  Result<int> bad = Error{ErrorCode::kIoError, "x"};
+  EXPECT_EQ(ok.value_or(9), 1);
+  EXPECT_EQ(bad.value_or(9), 9);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string{"payload"};
+  ASSERT_TRUE(r.ok());
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(Result, MutableValueReference) {
+  Result<std::string> r = std::string{"a"};
+  r.value() += "b";
+  EXPECT_EQ(r.value(), "ab");
+}
+
+TEST(Error, ToStringIncludesCodeAndMessage) {
+  const Error e{ErrorCode::kParseError, "bad field"};
+  EXPECT_EQ(e.ToString(), "parse_error: bad field");
+}
+
+TEST(ErrorCodeName, CoversAllCodes) {
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kInvalidArgument), "invalid_argument");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kNotFound), "not_found");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kIoError), "io_error");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kParseError), "parse_error");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kOutOfRange), "out_of_range");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kFailedPrecondition),
+               "failed_precondition");
+}
+
+}  // namespace
+}  // namespace defuse

@@ -1,0 +1,246 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace defuse {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedProducesNonZeroOutput) {
+  Rng rng{0};
+  bool any_nonzero = false;
+  for (int i = 0; i < 10; ++i) any_nonzero |= rng.Next() != 0;
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent{7};
+  Rng a = parent.Fork(1);
+  Rng b = parent.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsDeterministicGivenParentState) {
+  Rng p1{7}, p2{7};
+  Rng a = p1.Fork(5);
+  Rng b = p2.Fork(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, SuccessiveForksWithSameIdDiffer) {
+  Rng parent{7};
+  Rng a = parent.Fork(5);
+  Rng b = parent.Fork(5);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng{11};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanIsOneHalf) {
+  Rng rng{13};
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowStaysInBounds) {
+  Rng rng{17};
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBelow(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng{19};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng{23};
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kN = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kN; ++i) ++counts[rng.NextBelow(kBound)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kN / kBound, 0.05 * kN / kBound);
+  }
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng{29};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.NextInRange(-1, 1);
+    EXPECT_GE(v, -1);
+    EXPECT_LE(v, 1);
+    saw_lo |= v == -1;
+    saw_hi |= v == 1;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng{31};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-0.5));
+    EXPECT_TRUE(rng.NextBernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliRateMatchesP) {
+  Rng rng{37};
+  constexpr int kN = 100000;
+  int hits = 0;
+  for (int i = 0; i < kN; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMomentsAreStandard) {
+  Rng rng{41};
+  constexpr int kN = 100000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng{43};
+  constexpr int kN = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.NextExponential(0.25);
+  EXPECT_NEAR(sum / kN, 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialIsNonNegative) {
+  Rng rng{47};
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.NextExponential(2.0), 0.0);
+}
+
+class RngPoissonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngPoissonTest, MeanAndVarianceMatch) {
+  const double mean = GetParam();
+  Rng rng{53};
+  constexpr int kN = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.NextPoisson(mean);
+    sum += x;
+    sq += x * x;
+  }
+  const double m = sum / kN;
+  const double var = sq / kN - m * m;
+  EXPECT_NEAR(m, mean, std::max(0.05, 0.03 * mean));
+  EXPECT_NEAR(var, mean, std::max(0.1, 0.1 * mean));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, RngPoissonTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 5.0, 20.0, 50.0,
+                                           200.0));
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng{59};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextPoisson(0.0), 0u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng{61};
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.Shuffle(std::span{shuffled});
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ShuffleOfEmptyAndSingleton) {
+  Rng rng{67};
+  std::vector<int> empty;
+  rng.Shuffle(std::span{empty});
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.Shuffle(std::span{one});
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(ZipfSampler, UniformWhenExponentZero) {
+  ZipfSampler zipf{4, 0.0};
+  for (std::uint64_t k = 0; k < 4; ++k) EXPECT_NEAR(zipf.Pmf(k), 0.25, 1e-12);
+}
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler zipf{100, 1.1};
+  double total = 0.0;
+  for (std::uint64_t k = 0; k < 100; ++k) total += zipf.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, PmfIsMonotoneDecreasing) {
+  ZipfSampler zipf{50, 0.9};
+  for (std::uint64_t k = 1; k < 50; ++k) {
+    EXPECT_LE(zipf.Pmf(k), zipf.Pmf(k - 1) + 1e-12);
+  }
+}
+
+TEST(ZipfSampler, SamplesMatchPmf) {
+  ZipfSampler zipf{5, 1.0};
+  Rng rng{71};
+  constexpr int kN = 200000;
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < kN; ++i) ++counts[zipf.Sample(rng)];
+  for (std::uint64_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / kN, zipf.Pmf(k), 0.01);
+  }
+}
+
+TEST(ZipfSampler, SingleElementAlwaysZero) {
+  ZipfSampler zipf{1, 2.0};
+  Rng rng{73};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace defuse

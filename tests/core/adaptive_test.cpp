@@ -1,0 +1,143 @@
+#include "core/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "stats/descriptive.hpp"
+#include "trace/generator.hpp"
+
+namespace defuse::core {
+namespace {
+
+TEST(RunAdaptive, SplitsTheSpanIntoEpochs) {
+  auto cfg = trace::GeneratorConfig::Tiny();
+  cfg.num_users = 10;
+  cfg.seed = 21;
+  const auto w = trace::GenerateWorkload(cfg);  // 4-day horizon
+  AdaptiveConfig adaptive;
+  adaptive.remine_interval = kMinutesPerDay;
+  adaptive.mining_window = 2 * kMinutesPerDay;
+  const auto result = RunAdaptive(w.model, w.trace,
+                                  TimeRange{2 * kMinutesPerDay,
+                                            4 * kMinutesPerDay},
+                                  adaptive);
+  ASSERT_EQ(result.epochs.size(), 2u);
+  EXPECT_EQ(result.epochs[0].simulated,
+            (TimeRange{2 * kMinutesPerDay, 3 * kMinutesPerDay}));
+  EXPECT_EQ(result.epochs[0].mined_from,
+            (TimeRange{0, 2 * kMinutesPerDay}));
+  EXPECT_EQ(result.epochs[1].mined_from,
+            (TimeRange{kMinutesPerDay, 3 * kMinutesPerDay}));
+}
+
+TEST(RunAdaptive, PartialFinalEpochIsClipped) {
+  auto cfg = trace::GeneratorConfig::Tiny();
+  cfg.num_users = 6;
+  cfg.seed = 22;
+  const auto w = trace::GenerateWorkload(cfg);
+  AdaptiveConfig adaptive;
+  adaptive.remine_interval = kMinutesPerDay;
+  const TimeRange span{2 * kMinutesPerDay,
+                       3 * kMinutesPerDay + kMinutesPerHour};
+  const auto result = RunAdaptive(w.model, w.trace, span, adaptive);
+  ASSERT_EQ(result.epochs.size(), 2u);
+  EXPECT_EQ(result.epochs[1].simulated.length(), kMinutesPerHour);
+}
+
+TEST(RunAdaptive, MiningWindowIsClippedAtTraceStart) {
+  auto cfg = trace::GeneratorConfig::Tiny();
+  cfg.num_users = 6;
+  cfg.seed = 23;
+  const auto w = trace::GenerateWorkload(cfg);
+  AdaptiveConfig adaptive;
+  adaptive.mining_window = 100 * kMinutesPerDay;  // longer than the trace
+  const auto result = RunAdaptive(
+      w.model, w.trace, TimeRange{kMinutesPerDay, 2 * kMinutesPerDay},
+      adaptive);
+  ASSERT_EQ(result.epochs.size(), 1u);
+  EXPECT_EQ(result.epochs[0].mined_from, (TimeRange{0, kMinutesPerDay}));
+}
+
+TEST(RunAdaptive, AggregateRatesCoverInvokedFunctions) {
+  auto cfg = trace::GeneratorConfig::Tiny();
+  cfg.num_users = 10;
+  cfg.seed = 24;
+  const auto w = trace::GenerateWorkload(cfg);
+  const TimeRange span{2 * kMinutesPerDay, 4 * kMinutesPerDay};
+  const auto result = RunAdaptive(w.model, w.trace, span, AdaptiveConfig{});
+  const auto rates = result.FunctionColdStartRates();
+  std::size_t invoked_functions = 0;
+  for (const auto& fn : w.model.functions()) {
+    if (w.trace.ActiveMinutes(fn.id, span) > 0) ++invoked_functions;
+  }
+  EXPECT_EQ(rates.size(), invoked_functions);
+  for (const double r : rates) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0 + 1e-9);
+  }
+  EXPECT_GT(result.AverageMemoryUsage(), 0.0);
+}
+
+TEST(RunAdaptive, AdaptsToAMidTraceDeployment) {
+  // The scenario of examples/adaptive_daemon.cpp in miniature: a new
+  // unpredictable workflow appears mid-trace, pinging a periodic common
+  // service. Daily re-mining links it; a static miner trained before the
+  // deployment cannot.
+  trace::WorkloadModel model;
+  const UserId user = model.AddUser("u");
+  const AppId sa = model.AddApp(user, "svc");
+  const FunctionId svc = model.AddFunction(sa, "svc-fn");
+  const AppId na = model.AddApp(user, "new");
+  const FunctionId new_fn = model.AddFunction(na, "new-fn");
+
+  const TimeRange horizon{0, 8 * kMinutesPerDay};
+  trace::InvocationTrace trace{2, horizon};
+  Rng rng{5};
+  for (Minute t = 0; t < horizon.end; t += 10) trace.Add(svc, t);
+  // New workflow exists only from day 4, pinging svc on each firing.
+  double t = 4.0 * kMinutesPerDay;
+  while (t < static_cast<double>(horizon.end)) {
+    trace.Add(new_fn, static_cast<Minute>(t));
+    trace.Add(svc, static_cast<Minute>(t));
+    t += 40.0 * rng.NextExponential(1.0);
+  }
+  trace.Finalize();
+
+  // Adaptive: simulate days 5..8 with daily re-mining.
+  const TimeRange span{5 * kMinutesPerDay, 8 * kMinutesPerDay};
+  const auto adaptive = RunAdaptive(model, trace, span, AdaptiveConfig{});
+
+  // Static: mined on days 0..4 (never saw new-fn).
+  const auto static_mining =
+      MineDependencies(trace, model, TimeRange{0, 4 * kMinutesPerDay});
+  const auto static_policy = MakeDefuseScheduler(
+      trace, static_mining, TimeRange{0, 4 * kMinutesPerDay});
+  const auto static_sim = sim::Simulate(trace, span, *static_policy);
+
+  const auto static_unit = static_policy->unit_map().unit_of(new_fn);
+  const double static_rate =
+      static_cast<double>(
+          static_sim.unit_cold_minutes[static_unit.value()]) /
+      static_cast<double>(
+          static_sim.unit_invoked_minutes[static_unit.value()]);
+
+  std::uint64_t invoked = 0, cold = 0;
+  for (const auto& epoch : adaptive.epochs) {
+    invoked += epoch.function_counts[new_fn.value()].first;
+    cold += epoch.function_counts[new_fn.value()].second;
+  }
+  ASSERT_GT(invoked, 0u);
+  const double adaptive_rate =
+      static_cast<double>(cold) / static_cast<double>(invoked);
+  EXPECT_LT(adaptive_rate, 0.3);
+  EXPECT_GT(static_rate, 0.6);
+}
+
+TEST(AdaptiveResult, EmptyResultIsWellBehaved) {
+  AdaptiveResult result;
+  EXPECT_TRUE(result.FunctionColdStartRates().empty());
+  EXPECT_DOUBLE_EQ(result.AverageMemoryUsage(), 0.0);
+}
+
+}  // namespace
+}  // namespace defuse::core

@@ -1,0 +1,93 @@
+// Golden full-pipeline regression test: one fixed seed, exact structural
+// expectations, bounded metric expectations. If an intentional algorithm
+// change shifts these numbers, update them deliberately — that is the
+// point of the test.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "trace/generator.hpp"
+
+namespace defuse::core {
+namespace {
+
+class GoldenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace::GeneratorConfig cfg;  // defaults, fixed seed
+    cfg.num_users = 40;
+    cfg.seed = 123456;
+    cfg.horizon_minutes = 7 * kMinutesPerDay;
+    workload_ = new trace::SyntheticWorkload{trace::GenerateWorkload(cfg)};
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    workload_ = nullptr;
+  }
+  static trace::SyntheticWorkload* workload_;
+};
+
+trace::SyntheticWorkload* GoldenTest::workload_ = nullptr;
+
+TEST_F(GoldenTest, WorkloadStructureIsStable) {
+  // The generator is specified to be a pure function of (config, seed);
+  // these exact counts pin that contract.
+  EXPECT_EQ(workload_->model.num_users(), 40u);
+  EXPECT_EQ(workload_->model.num_apps(), 119u);
+  EXPECT_EQ(workload_->model.num_functions(), 1040u);
+}
+
+TEST_F(GoldenTest, TrafficVolumeIsStable) {
+  const auto total =
+      workload_->trace.TotalInvocations(workload_->trace.horizon());
+  EXPECT_GT(total, 100000u);
+  EXPECT_LT(total, 3000000u);
+}
+
+TEST_F(GoldenTest, PipelineMetricsWithinExpectedBands) {
+  const auto [train, eval] = SplitTrainEval(workload_->trace.horizon());
+  ExperimentDriver driver{workload_->model, workload_->trace, train, eval};
+
+  const auto& mining = driver.MiningFor(Method::kDefuse);
+  // Coverage is exact; set counts may only drift with algorithm changes.
+  std::size_t covered = 0;
+  for (const auto& s : mining.sets) covered += s.functions.size();
+  EXPECT_EQ(covered, workload_->model.num_functions());
+  EXPECT_GT(mining.num_frequent_itemsets, 50u);
+  EXPECT_GT(mining.num_weak_dependencies, 20u);
+  EXPECT_LT(mining.sets.size(), workload_->model.num_functions());
+
+  const auto ha = driver.Run(Method::kHybridApplication, 1.0);
+  const auto hf = driver.Run(Method::kHybridFunction, 1.0);
+  // Best Defuse point inside HA's memory budget (the paper's comparison
+  // procedure) must beat HA on p75 — the headline, as a regression band.
+  MethodResult defuse = driver.Run(Method::kDefuse, 1.0);
+  for (const double a : {2.0, 3.0, 4.0, 6.0}) {
+    const auto r = driver.Run(Method::kDefuse, a);
+    if (r.avg_memory <= ha.avg_memory &&
+        r.p75_cold_start_rate < defuse.p75_cold_start_rate) {
+      defuse = r;
+    }
+  }
+  EXPECT_LT(defuse.p75_cold_start_rate, ha.p75_cold_start_rate);
+  EXPECT_LT(defuse.avg_memory, ha.avg_memory);
+  EXPECT_LT(defuse.p75_cold_start_rate, hf.p75_cold_start_rate);
+  EXPECT_LT(hf.avg_memory, defuse.avg_memory);
+  // Loose absolute bands (catch gross regressions, tolerate tuning).
+  EXPECT_GT(defuse.p75_cold_start_rate, 0.0);
+  EXPECT_LT(defuse.p75_cold_start_rate, 0.7);
+  EXPECT_GT(ha.p75_cold_start_rate, 0.1);
+}
+
+TEST_F(GoldenTest, RepeatRunsAreBitwiseIdentical) {
+  const auto [train, eval] = SplitTrainEval(workload_->trace.horizon());
+  ExperimentDriver d1{workload_->model, workload_->trace, train, eval};
+  ExperimentDriver d2{workload_->model, workload_->trace, train, eval};
+  const auto r1 = d1.Run(Method::kDefuse);
+  const auto r2 = d2.Run(Method::kDefuse);
+  EXPECT_EQ(r1.cold_start_rates, r2.cold_start_rates);
+  EXPECT_EQ(r1.loading_per_minute, r2.loading_per_minute);
+  EXPECT_DOUBLE_EQ(r1.avg_memory, r2.avg_memory);
+}
+
+}  // namespace
+}  // namespace defuse::core

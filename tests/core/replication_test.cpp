@@ -1,0 +1,71 @@
+#include "core/replication.hpp"
+
+#include <gtest/gtest.h>
+
+namespace defuse::core {
+namespace {
+
+trace::GeneratorConfig SmallConfig() {
+  auto cfg = trace::GeneratorConfig::Tiny();
+  cfg.num_users = 10;
+  return cfg;
+}
+
+TEST(RunReplicated, OneRunPerSeed) {
+  const std::vector<std::uint64_t> seeds{1, 2, 3};
+  const auto metrics =
+      RunReplicated(SmallConfig(), seeds, Method::kDefuse);
+  EXPECT_EQ(metrics.runs.size(), 3u);
+  EXPECT_EQ(metrics.p75_cold_start_rate.count, 3u);
+  EXPECT_EQ(metrics.avg_memory.count, 3u);
+}
+
+TEST(RunReplicated, SeedsActuallyVaryTheWorkload) {
+  const std::vector<std::uint64_t> seeds{1, 2};
+  const auto metrics =
+      RunReplicated(SmallConfig(), seeds, Method::kHybridFunction);
+  ASSERT_EQ(metrics.runs.size(), 2u);
+  EXPECT_NE(metrics.runs[0].avg_memory, metrics.runs[1].avg_memory);
+}
+
+TEST(RunReplicated, SameSeedListIsReproducible) {
+  const std::vector<std::uint64_t> seeds{7};
+  const auto a = RunReplicated(SmallConfig(), seeds, Method::kDefuse);
+  const auto b = RunReplicated(SmallConfig(), seeds, Method::kDefuse);
+  EXPECT_DOUBLE_EQ(a.runs[0].p75_cold_start_rate,
+                   b.runs[0].p75_cold_start_rate);
+  EXPECT_DOUBLE_EQ(a.runs[0].avg_memory, b.runs[0].avg_memory);
+}
+
+TEST(RunReplicated, SummariesMatchTheRuns) {
+  const std::vector<std::uint64_t> seeds{1, 2, 3};
+  const auto metrics =
+      RunReplicated(SmallConfig(), seeds, Method::kFixedKeepAlive);
+  double sum = 0.0;
+  for (const auto& run : metrics.runs) sum += run.avg_memory;
+  EXPECT_NEAR(metrics.avg_memory.mean, sum / 3.0, 1e-9);
+}
+
+TEST(DominatesOnColdStarts, TrueOnlyForStrictPerSeedDominance) {
+  ReplicatedMetrics a, b;
+  MethodResult ra, rb;
+  ra.p75_cold_start_rate = 0.2;
+  rb.p75_cold_start_rate = 0.5;
+  a.runs = {ra, ra};
+  b.runs = {rb, rb};
+  EXPECT_TRUE(DominatesOnColdStarts(a, b));
+  EXPECT_FALSE(DominatesOnColdStarts(b, a));
+  // A single tie breaks dominance.
+  b.runs[1].p75_cold_start_rate = 0.2;
+  EXPECT_FALSE(DominatesOnColdStarts(a, b));
+}
+
+TEST(DominatesOnColdStarts, MismatchedOrEmptyIsFalse) {
+  ReplicatedMetrics a, b;
+  EXPECT_FALSE(DominatesOnColdStarts(a, b));
+  a.runs.resize(1);
+  EXPECT_FALSE(DominatesOnColdStarts(a, b));
+}
+
+}  // namespace
+}  // namespace defuse::core

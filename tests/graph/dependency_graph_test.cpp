@@ -1,0 +1,179 @@
+#include "graph/dependency_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace defuse::graph {
+namespace {
+
+mining::Itemset Set(std::initializer_list<std::uint32_t> ids,
+                    std::uint64_t support) {
+  mining::Itemset s;
+  for (const auto id : ids) s.items.push_back(FunctionId{id});
+  s.support = support;
+  return s;
+}
+
+TEST(DependencyGraph, StartsWithNoEdges) {
+  DependencyGraph g{5};
+  EXPECT_EQ(g.num_functions(), 5u);
+  EXPECT_TRUE(g.edges().empty());
+  EXPECT_EQ(g.num_strong_edges(), 0u);
+  EXPECT_EQ(g.num_weak_edges(), 0u);
+}
+
+TEST(DependencyGraph, ItemsetBecomesAClique) {
+  DependencyGraph g{5};
+  g.AddStrongItemset(Set({0, 1, 2}, 9));
+  EXPECT_EQ(g.num_strong_edges(), 3u);  // C(3,2)
+  for (const auto& e : g.edges()) {
+    EXPECT_EQ(e.kind, EdgeKind::kStrong);
+    EXPECT_DOUBLE_EQ(e.weight, 9.0);
+  }
+}
+
+TEST(DependencyGraph, PairItemsetIsOneEdge) {
+  DependencyGraph g{5};
+  g.AddStrongItemset(Set({3, 4}, 2));
+  ASSERT_EQ(g.edges().size(), 1u);
+  EXPECT_EQ(g.edges()[0].a, FunctionId{3});
+  EXPECT_EQ(g.edges()[0].b, FunctionId{4});
+}
+
+TEST(DependencyGraph, WeakDependencyKeepsDirectionAndWeight) {
+  DependencyGraph g{5};
+  g.AddWeakDependency(
+      mining::WeakDependency{.from = FunctionId{2}, .to = FunctionId{0},
+                             .ppmi = 3.5});
+  ASSERT_EQ(g.num_weak_edges(), 1u);
+  EXPECT_EQ(g.edges()[0].a, FunctionId{2});
+  EXPECT_EQ(g.edges()[0].b, FunctionId{0});
+  EXPECT_DOUBLE_EQ(g.edges()[0].weight, 3.5);
+}
+
+TEST(DependencyGraph, NeighborsSpanBothDirections) {
+  DependencyGraph g{5};
+  g.AddStrongItemset(Set({0, 1}, 2));
+  g.AddWeakDependency(
+      mining::WeakDependency{.from = FunctionId{2}, .to = FunctionId{1}});
+  EXPECT_EQ(g.Neighbors(FunctionId{1}),
+            (std::vector<FunctionId>{FunctionId{0}, FunctionId{2}}));
+  EXPECT_EQ(g.Neighbors(FunctionId{3}), std::vector<FunctionId>{});
+}
+
+TEST(DependencyGraph, NeighborsAreDeduplicated) {
+  DependencyGraph g{5};
+  g.AddStrongItemset(Set({0, 1}, 2));
+  g.AddStrongItemset(Set({0, 1}, 3));  // same pair from another itemset
+  EXPECT_EQ(g.Neighbors(FunctionId{0}),
+            std::vector<FunctionId>{FunctionId{1}});
+}
+
+TEST(DependencyGraph, ConnectedComponentsCoverAllFunctions) {
+  DependencyGraph g{6};
+  g.AddStrongItemset(Set({0, 1}, 2));
+  g.AddWeakDependency(
+      mining::WeakDependency{.from = FunctionId{4}, .to = FunctionId{1}});
+  const auto sets = g.ConnectedComponents();
+  ASSERT_EQ(sets.size(), 4u);  // {0,1,4}, {2}, {3}, {5}
+  EXPECT_EQ(sets[0].functions,
+            (std::vector<FunctionId>{FunctionId{0}, FunctionId{1},
+                                     FunctionId{4}}));
+  EXPECT_EQ(sets[1].functions, std::vector<FunctionId>{FunctionId{2}});
+  // Set ids are dense and match positions.
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    EXPECT_EQ(sets[i].id, static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST(DependencyGraph, StrongAndWeakEdgesMergeComponents) {
+  DependencyGraph g{7};
+  g.AddStrongItemset(Set({0, 1, 2}, 5));
+  g.AddStrongItemset(Set({3, 4}, 5));
+  // A weak link joins the two strong cliques into one set.
+  g.AddWeakDependency(
+      mining::WeakDependency{.from = FunctionId{2}, .to = FunctionId{3}});
+  const auto sets = g.ConnectedComponents();
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_EQ(sets[0].functions.size(), 5u);
+}
+
+TEST(DependencyGraph, CanonicalizeMergesDuplicateStrongEdges) {
+  DependencyGraph g{4};
+  g.AddStrongItemset(Set({0, 1}, 2));
+  g.AddStrongItemset(Set({0, 1}, 7));  // duplicate pair, higher support
+  g.AddEdge(DependencyEdge{.a = FunctionId{1},
+                           .b = FunctionId{0},
+                           .kind = EdgeKind::kStrong,
+                           .weight = 4.0});  // reversed orientation
+  g.Canonicalize();
+  ASSERT_EQ(g.edges().size(), 1u);
+  EXPECT_EQ(g.edges()[0].a, FunctionId{0});
+  EXPECT_EQ(g.edges()[0].b, FunctionId{1});
+  EXPECT_DOUBLE_EQ(g.edges()[0].weight, 7.0);
+}
+
+TEST(DependencyGraph, CanonicalizeKeepsWeakDirections) {
+  DependencyGraph g{4};
+  g.AddWeakDependency(mining::WeakDependency{.from = FunctionId{0},
+                                             .to = FunctionId{1},
+                                             .ppmi = 1.0});
+  g.AddWeakDependency(mining::WeakDependency{.from = FunctionId{1},
+                                             .to = FunctionId{0},
+                                             .ppmi = 2.0});
+  g.Canonicalize();
+  // Opposite-direction weak edges are distinct relationships.
+  EXPECT_EQ(g.edges().size(), 2u);
+}
+
+TEST(DependencyGraph, CanonicalizePreservesComponents) {
+  DependencyGraph g{6};
+  g.AddStrongItemset(Set({0, 1, 2}, 3));
+  g.AddStrongItemset(Set({1, 2}, 5));
+  g.AddWeakDependency(mining::WeakDependency{.from = FunctionId{4},
+                                             .to = FunctionId{2}});
+  const auto before = g.ConnectedComponents();
+  g.Canonicalize();
+  const auto after = g.ConnectedComponents();
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].functions, after[i].functions);
+  }
+}
+
+TEST(FunctionToSetIndex, InvertsTheMapping) {
+  DependencyGraph g{5};
+  g.AddStrongItemset(Set({1, 3}, 2));
+  const auto sets = g.ConnectedComponents();
+  const auto index = FunctionToSetIndex(sets, 5);
+  ASSERT_EQ(index.size(), 5u);
+  EXPECT_EQ(index[1], index[3]);
+  EXPECT_NE(index[0], index[1]);
+  for (const auto& set : sets) {
+    for (const FunctionId fn : set.functions) {
+      EXPECT_EQ(index[fn.value()], set.id);
+    }
+  }
+}
+
+TEST(DependencyGraph, ToDotRendersEdgeStyles) {
+  DependencyGraph g{3};
+  g.AddStrongItemset(Set({0, 1}, 2));
+  g.AddWeakDependency(
+      mining::WeakDependency{.from = FunctionId{2}, .to = FunctionId{0}});
+  const std::string dot = g.ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("dir=none"), std::string::npos);   // strong
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // weak
+}
+
+TEST(DependencyGraph, ToDotUsesProvidedNames) {
+  DependencyGraph g{2};
+  g.AddStrongItemset(Set({0, 1}, 2));
+  const std::vector<std::string> names{"checkout", "pay"};
+  const std::string dot = g.ToDot(&names);
+  EXPECT_NE(dot.find("checkout"), std::string::npos);
+  EXPECT_NE(dot.find("pay"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace defuse::graph

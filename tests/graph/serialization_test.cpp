@@ -1,0 +1,138 @@
+#include "graph/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+namespace defuse::graph {
+namespace {
+
+struct Fixture {
+  trace::WorkloadModel model;
+  Fixture() {
+    const UserId u = model.AddUser("u");
+    const AppId a = model.AddApp(u, "a");
+    for (const char* name : {"checkout", "pay", "ship", "audit", "extra"}) {
+      model.AddFunction(a, name);
+    }
+  }
+};
+
+TEST(DependencySetsCsv, RoundTrips) {
+  Fixture fx;
+  std::vector<DependencySet> sets(3);
+  sets[0] = {.id = 0, .functions = {FunctionId{0}, FunctionId{2}}};
+  sets[1] = {.id = 1, .functions = {FunctionId{1}}};
+  sets[2] = {.id = 2, .functions = {FunctionId{3}, FunctionId{4}}};
+  const std::string csv = WriteDependencySetsCsv(sets, fx.model);
+  const auto loaded = ReadDependencySetsCsv(csv, fx.model);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().ToString();
+  ASSERT_EQ(loaded.value().size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(loaded.value()[i].functions, sets[i].functions);
+    EXPECT_EQ(loaded.value()[i].id, sets[i].id);
+  }
+}
+
+TEST(DependencySetsCsv, UncoveredFunctionsBecomeSingletons) {
+  Fixture fx;
+  const std::string csv =
+      "set_id,function\n"
+      "7,checkout\n"
+      "7,pay\n";
+  const auto loaded = ReadDependencySetsCsv(csv, fx.model);
+  ASSERT_TRUE(loaded.ok());
+  // One explicit set + three singleton completions.
+  ASSERT_EQ(loaded.value().size(), 4u);
+  EXPECT_EQ(loaded.value()[0].functions,
+            (std::vector<FunctionId>{FunctionId{0}, FunctionId{1}}));
+  std::size_t covered = 0;
+  for (const auto& s : loaded.value()) covered += s.functions.size();
+  EXPECT_EQ(covered, fx.model.num_functions());
+}
+
+TEST(DependencySetsCsv, RejectsUnknownFunction) {
+  Fixture fx;
+  const auto loaded =
+      ReadDependencySetsCsv("set_id,function\n0,nonexistent\n", fx.model);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, ErrorCode::kNotFound);
+}
+
+TEST(DependencySetsCsv, RejectsDuplicateMembership) {
+  Fixture fx;
+  const auto loaded = ReadDependencySetsCsv(
+      "set_id,function\n0,pay\n1,pay\n", fx.model);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(DependencySetsCsv, RejectsBadHeader) {
+  Fixture fx;
+  EXPECT_FALSE(ReadDependencySetsCsv("wrong\n", fx.model).ok());
+}
+
+TEST(DependencyEdgesCsv, RoundTrips) {
+  Fixture fx;
+  DependencyGraph graph{fx.model.num_functions()};
+  graph.AddEdge(DependencyEdge{.a = FunctionId{0},
+                               .b = FunctionId{1},
+                               .kind = EdgeKind::kStrong,
+                               .weight = 12.0});
+  graph.AddEdge(DependencyEdge{.a = FunctionId{3},
+                               .b = FunctionId{0},
+                               .kind = EdgeKind::kWeak,
+                               .weight = 2.5});
+  const std::string csv = WriteDependencyEdgesCsv(graph, fx.model);
+  const auto loaded = ReadDependencyEdgesCsv(csv, fx.model);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().ToString();
+  ASSERT_EQ(loaded.value().edges().size(), 2u);
+  EXPECT_EQ(loaded.value().edges()[0], graph.edges()[0]);
+  EXPECT_EQ(loaded.value().edges()[1], graph.edges()[1]);
+}
+
+TEST(DependencyEdgesCsv, RejectsUnknownKind) {
+  Fixture fx;
+  const auto loaded =
+      ReadDependencyEdgesCsv("a,b,kind,weight\npay,ship,odd,1\n", fx.model);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, ErrorCode::kParseError);
+}
+
+TEST(DependencyEdgesCsv, RejectsUnknownFunction) {
+  Fixture fx;
+  const auto loaded = ReadDependencyEdgesCsv(
+      "a,b,kind,weight\npay,ghost,strong,1\n", fx.model);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, ErrorCode::kNotFound);
+}
+
+TEST(DependencyCsv, MinedOutputRoundTripsThroughBothFormats) {
+  // Sets from a real mined graph survive a write/read cycle and produce
+  // the same connected components.
+  Fixture fx;
+  DependencyGraph graph{fx.model.num_functions()};
+  mining::Itemset itemset;
+  itemset.items = {FunctionId{0}, FunctionId{1}, FunctionId{2}};
+  itemset.support = 4;
+  graph.AddStrongItemset(itemset);
+  graph.AddWeakDependency(
+      mining::WeakDependency{.from = FunctionId{4}, .to = FunctionId{2},
+                             .ppmi = 1.5});
+
+  const auto loaded_graph = ReadDependencyEdgesCsv(
+      WriteDependencyEdgesCsv(graph, fx.model), fx.model);
+  ASSERT_TRUE(loaded_graph.ok());
+  const auto original_sets = graph.ConnectedComponents();
+  const auto loaded_sets = loaded_graph.value().ConnectedComponents();
+  ASSERT_EQ(original_sets.size(), loaded_sets.size());
+  for (std::size_t i = 0; i < original_sets.size(); ++i) {
+    EXPECT_EQ(original_sets[i].functions, loaded_sets[i].functions);
+  }
+
+  const auto reread = ReadDependencySetsCsv(
+      WriteDependencySetsCsv(original_sets, fx.model), fx.model);
+  ASSERT_TRUE(reread.ok());
+  ASSERT_EQ(reread.value().size(), original_sets.size());
+}
+
+}  // namespace
+}  // namespace defuse::graph

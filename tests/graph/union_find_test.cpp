@@ -1,0 +1,115 @@
+#include "graph/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace defuse::graph {
+namespace {
+
+TEST(UnionFind, StartsAsSingletons) {
+  UnionFind uf{5};
+  EXPECT_EQ(uf.num_sets(), 5u);
+  EXPECT_EQ(uf.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SizeOf(i), 1u);
+  }
+}
+
+TEST(UnionFind, UnionMergesSets) {
+  UnionFind uf{4};
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_EQ(uf.SizeOf(0), 2u);
+}
+
+TEST(UnionFind, UnionIsIdempotent) {
+  UnionFind uf{3};
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_EQ(uf.num_sets(), 2u);
+}
+
+TEST(UnionFind, ConnectivityIsTransitive) {
+  UnionFind uf{5};
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  uf.Union(3, 4);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_TRUE(uf.Connected(2, 0));
+  EXPECT_FALSE(uf.Connected(0, 3));
+  EXPECT_EQ(uf.SizeOf(2), 3u);
+  EXPECT_EQ(uf.SizeOf(4), 2u);
+}
+
+TEST(UnionFind, ChainedUnionsFormOneSet) {
+  constexpr std::uint32_t kN = 1000;
+  UnionFind uf{kN};
+  for (std::uint32_t i = 1; i < kN; ++i) uf.Union(i - 1, i);
+  EXPECT_EQ(uf.num_sets(), 1u);
+  EXPECT_EQ(uf.SizeOf(0), kN);
+  EXPECT_TRUE(uf.Connected(0, kN - 1));
+}
+
+TEST(UnionFind, ComponentsListsEverySetOnce) {
+  UnionFind uf{6};
+  uf.Union(0, 2);
+  uf.Union(2, 4);
+  uf.Union(1, 5);
+  const auto components = uf.Components();
+  ASSERT_EQ(components.size(), 3u);
+  EXPECT_EQ(components[0], (std::vector<std::uint32_t>{0, 2, 4}));
+  EXPECT_EQ(components[1], (std::vector<std::uint32_t>{1, 5}));
+  EXPECT_EQ(components[2], (std::vector<std::uint32_t>{3}));
+}
+
+TEST(UnionFind, ComponentsOfSingletonsAreOrdered) {
+  UnionFind uf{4};
+  const auto components = uf.Components();
+  ASSERT_EQ(components.size(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(components[i], std::vector<std::uint32_t>{i});
+  }
+}
+
+TEST(UnionFind, RandomUnionsInvariants) {
+  // Property: after any union sequence, (1) the sum of component sizes is
+  // n, (2) Connected agrees with component membership, (3) num_sets
+  // matches the component count.
+  Rng rng{4242};
+  constexpr std::uint32_t kN = 200;
+  UnionFind uf{kN};
+  for (int i = 0; i < 300; ++i) {
+    uf.Union(static_cast<std::uint32_t>(rng.NextBelow(kN)),
+             static_cast<std::uint32_t>(rng.NextBelow(kN)));
+  }
+  auto components = uf.Components();
+  EXPECT_EQ(components.size(), uf.num_sets());
+  std::size_t total = 0;
+  for (const auto& c : components) {
+    total += c.size();
+    for (const auto m : c) {
+      EXPECT_TRUE(uf.Connected(c.front(), m));
+      EXPECT_EQ(uf.SizeOf(m), c.size());
+    }
+  }
+  EXPECT_EQ(total, kN);
+}
+
+TEST(UnionFind, FindIsStableAcrossCalls) {
+  UnionFind uf{10};
+  uf.Union(3, 7);
+  const auto root = uf.Find(3);
+  EXPECT_EQ(uf.Find(7), root);
+  EXPECT_EQ(uf.Find(3), root);
+  EXPECT_EQ(uf.Find(7), root);
+}
+
+}  // namespace
+}  // namespace defuse::graph

@@ -1,0 +1,173 @@
+#include "mining/cooccurrence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace defuse::mining {
+namespace {
+
+constexpr TimeRange kRange{0, 1000};
+
+TEST(CooccurrenceMatrix, CountsJointWindows) {
+  trace::InvocationTrace t{2, kRange};
+  t.Add(FunctionId{0}, 10);
+  t.Add(FunctionId{1}, 10);
+  t.Add(FunctionId{0}, 20);
+  t.Add(FunctionId{1}, 30);
+  t.Finalize();
+  CooccurrenceMatrix m{{FunctionId{0}}, {FunctionId{1}}};
+  m.Accumulate(t, kRange, 1);
+  EXPECT_EQ(m.at(0, 0), 1u);
+  EXPECT_EQ(m.row_total(0), 2u);
+  EXPECT_EQ(m.col_total(0), 2u);
+  EXPECT_EQ(m.total_windows(), 1000u);
+}
+
+TEST(CooccurrenceMatrix, WindowWidthMergesMinutes) {
+  trace::InvocationTrace t{2, kRange};
+  t.Add(FunctionId{0}, 10);
+  t.Add(FunctionId{1}, 14);  // same 5-minute window
+  t.Finalize();
+  CooccurrenceMatrix m{{FunctionId{0}}, {FunctionId{1}}};
+  m.Accumulate(t, kRange, 5);
+  EXPECT_EQ(m.at(0, 0), 1u);
+  EXPECT_EQ(m.total_windows(), 200u);
+}
+
+TEST(CooccurrenceMatrix, PpmiPositiveForDependentPair) {
+  trace::InvocationTrace t{2, kRange};
+  // f0 and f1 always co-fire, 10 times out of 1000 windows:
+  // PMI = log2(0.01 / (0.01 * 0.01)) = log2(100) ~ 6.64.
+  for (Minute m = 0; m < 1000; m += 100) {
+    t.Add(FunctionId{0}, m);
+    t.Add(FunctionId{1}, m);
+  }
+  t.Finalize();
+  CooccurrenceMatrix m{{FunctionId{0}}, {FunctionId{1}}};
+  m.Accumulate(t, kRange, 1);
+  EXPECT_NEAR(m.Ppmi(0, 0), std::log2(100.0), 1e-9);
+}
+
+TEST(CooccurrenceMatrix, PpmiZeroWhenNeverTogether) {
+  trace::InvocationTrace t{2, kRange};
+  t.Add(FunctionId{0}, 10);
+  t.Add(FunctionId{1}, 20);
+  t.Finalize();
+  CooccurrenceMatrix m{{FunctionId{0}}, {FunctionId{1}}};
+  m.Accumulate(t, kRange, 1);
+  EXPECT_DOUBLE_EQ(m.Ppmi(0, 0), 0.0);
+}
+
+TEST(CooccurrenceMatrix, PpmiClampsNegativePmiToZero) {
+  trace::InvocationTrace t{2, kRange};
+  // f0 active in 500 windows, f1 in 500, together only once:
+  // PMI = log2((1/1000) / (0.5 * 0.5)) = log2(0.004) < 0 -> PPMI 0.
+  for (Minute m = 0; m < 1000; m += 2) t.Add(FunctionId{0}, m);
+  for (Minute m = 1; m < 1000; m += 2) t.Add(FunctionId{1}, m);
+  t.Add(FunctionId{1}, 0);  // one co-occurrence
+  t.Finalize();
+  CooccurrenceMatrix m{{FunctionId{0}}, {FunctionId{1}}};
+  m.Accumulate(t, kRange, 1);
+  EXPECT_DOUBLE_EQ(m.Ppmi(0, 0), 0.0);
+}
+
+struct WeakFixture {
+  trace::WorkloadModel model;
+  UserId user;
+  // f0: unpredictable; f1: predictable service; f2: predictable decoy.
+  WeakFixture() {
+    user = model.AddUser("u");
+    const AppId a0 = model.AddApp(user, "a0");
+    const AppId a1 = model.AddApp(user, "a1");
+    model.AddFunction(a0, "unpredictable");
+    model.AddFunction(a1, "service");
+    model.AddFunction(a1, "decoy");
+  }
+};
+
+TEST(MineWeakDependencies, FindsThePlantedLink) {
+  WeakFixture fx;
+  trace::InvocationTrace t{3, kRange};
+  // service + decoy: periodic every 10 minutes.
+  for (Minute m = 0; m < 1000; m += 10) {
+    t.Add(FunctionId{1}, m);
+    t.Add(FunctionId{2}, m);
+  }
+  // unpredictable fires at scattered minutes, each time pinging service
+  // (but not decoy) in the same minute (off the decoy's 10-grid).
+  for (Minute m : {13, 157, 311, 444, 617, 731, 888, 951}) {
+    t.Add(FunctionId{0}, m);
+    t.Add(FunctionId{1}, m);
+  }
+  t.Finalize();
+  const std::vector<bool> predictable{false, true, true};
+  const auto deps =
+      MineWeakDependencies(t, fx.model, fx.user, predictable, kRange);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0].from, FunctionId{0});
+  EXPECT_EQ(deps[0].to, FunctionId{1});
+  EXPECT_GT(deps[0].ppmi, 0.0);
+}
+
+TEST(MineWeakDependencies, TopKLimitsLinksPerFunction) {
+  WeakFixture fx;
+  trace::InvocationTrace t{3, kRange};
+  for (Minute m : {13, 157, 311, 444, 617}) {
+    t.Add(FunctionId{0}, m);
+    t.Add(FunctionId{1}, m);  // both services co-fire with f0
+    t.Add(FunctionId{2}, m);
+  }
+  t.Finalize();
+  const std::vector<bool> predictable{false, true, true};
+  PpmiConfig cfg;
+  cfg.top_k = 1;
+  auto deps = MineWeakDependencies(t, fx.model, fx.user, predictable, kRange,
+                                   cfg);
+  EXPECT_EQ(deps.size(), 1u);
+  cfg.top_k = 2;
+  deps = MineWeakDependencies(t, fx.model, fx.user, predictable, kRange, cfg);
+  EXPECT_EQ(deps.size(), 2u);
+}
+
+TEST(MineWeakDependencies, MinCooccurrenceFiltersCoincidences) {
+  WeakFixture fx;
+  trace::InvocationTrace t{3, kRange};
+  t.Add(FunctionId{0}, 13);
+  t.Add(FunctionId{1}, 13);  // single coincidence
+  t.Finalize();
+  const std::vector<bool> predictable{false, true, true};
+  PpmiConfig cfg;
+  cfg.min_cooccurrences = 2;
+  EXPECT_TRUE(MineWeakDependencies(t, fx.model, fx.user, predictable, kRange,
+                                   cfg)
+                  .empty());
+  cfg.min_cooccurrences = 1;
+  EXPECT_EQ(MineWeakDependencies(t, fx.model, fx.user, predictable, kRange,
+                                 cfg)
+                .size(),
+            1u);
+}
+
+TEST(MineWeakDependencies, NoPredictableFunctionsMeansNoLinks) {
+  WeakFixture fx;
+  trace::InvocationTrace t{3, kRange};
+  t.Add(FunctionId{0}, 10);
+  t.Finalize();
+  const std::vector<bool> predictable{false, false, false};
+  EXPECT_TRUE(
+      MineWeakDependencies(t, fx.model, fx.user, predictable, kRange).empty());
+}
+
+TEST(MineWeakDependencies, NoUnpredictableFunctionsMeansNoLinks) {
+  WeakFixture fx;
+  trace::InvocationTrace t{3, kRange};
+  t.Add(FunctionId{1}, 10);
+  t.Finalize();
+  const std::vector<bool> predictable{true, true, true};
+  EXPECT_TRUE(
+      MineWeakDependencies(t, fx.model, fx.user, predictable, kRange).empty());
+}
+
+}  // namespace
+}  // namespace defuse::mining

@@ -1,0 +1,264 @@
+#include "mining/fpgrowth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.hpp"
+
+namespace defuse::mining {
+namespace {
+
+Transaction T(std::initializer_list<std::uint32_t> ids) {
+  Transaction t;
+  for (const auto id : ids) t.push_back(FunctionId{id});
+  std::sort(t.begin(), t.end());
+  return t;
+}
+
+/// Canonical map form for order-insensitive comparison.
+std::map<std::vector<FunctionId>, std::uint64_t> Canon(
+    const std::vector<Itemset>& itemsets) {
+  std::map<std::vector<FunctionId>, std::uint64_t> out;
+  for (const auto& s : itemsets) {
+    auto [it, inserted] = out.emplace(s.items, s.support);
+    EXPECT_TRUE(inserted) << "duplicate itemset emitted";
+  }
+  return out;
+}
+
+TEST(FpGrowth, EmptyTransactionsYieldNothing) {
+  EXPECT_TRUE(MineFrequentItemsets({}).empty());
+}
+
+TEST(FpGrowth, NoFrequentPairsYieldNothing) {
+  // Each pair occurs once; min_support_count = 2 filters everything.
+  const std::vector<Transaction> txs{T({0, 1}), T({2, 3}), T({4, 5})};
+  EXPECT_TRUE(MineFrequentItemsets(txs).empty());
+}
+
+TEST(FpGrowth, FindsASimpleFrequentPair) {
+  const std::vector<Transaction> txs{T({0, 1}), T({0, 1}), T({0, 1}),
+                                     T({0, 2})};
+  FpGrowthConfig cfg;
+  cfg.min_support_fraction = 0.5;
+  const auto result = Canon(MineFrequentItemsets(txs, cfg));
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.at(T({0, 1})), 3u);
+}
+
+TEST(FpGrowth, ClassicTextbookExample) {
+  // Han et al. style example with known frequent itemsets at 40% support.
+  const std::vector<Transaction> txs{
+      T({1, 2, 5}), T({2, 4}), T({2, 3}), T({1, 2, 4}), T({1, 3}),
+      T({2, 3}),    T({1, 3}), T({1, 2, 3, 5}), T({1, 2, 3})};
+  FpGrowthConfig cfg;
+  cfg.min_support_fraction = 2.0 / 9.0;  // absolute support 2
+  const auto result = Canon(MineFrequentItemsets(txs, cfg));
+  // Expected frequent itemsets of size >= 2 (support):
+  EXPECT_EQ(result.at(T({1, 2})), 4u);
+  EXPECT_EQ(result.at(T({1, 3})), 4u);
+  EXPECT_EQ(result.at(T({2, 3})), 4u);
+  EXPECT_EQ(result.at(T({1, 5})), 2u);
+  EXPECT_EQ(result.at(T({2, 5})), 2u);
+  EXPECT_EQ(result.at(T({2, 4})), 2u);
+  EXPECT_EQ(result.at(T({1, 2, 3})), 2u);
+  EXPECT_EQ(result.at(T({1, 2, 5})), 2u);
+  EXPECT_EQ(result.size(), 8u);
+}
+
+TEST(FpGrowth, SupportsTriplesViaSinglePath) {
+  const std::vector<Transaction> txs{T({0, 1, 2}), T({0, 1, 2}),
+                                     T({0, 1, 2})};
+  FpGrowthConfig cfg;
+  cfg.min_support_fraction = 1.0;
+  const auto result = Canon(MineFrequentItemsets(txs, cfg));
+  EXPECT_EQ(result.at(T({0, 1})), 3u);
+  EXPECT_EQ(result.at(T({0, 2})), 3u);
+  EXPECT_EQ(result.at(T({1, 2})), 3u);
+  EXPECT_EQ(result.at(T({0, 1, 2})), 3u);
+  EXPECT_EQ(result.size(), 4u);
+}
+
+TEST(FpGrowth, MinItemsetSizeFiltersSingletons) {
+  const std::vector<Transaction> txs{T({0, 1}), T({0, 1})};
+  FpGrowthConfig cfg;
+  cfg.min_itemset_size = 1;
+  cfg.min_support_fraction = 1.0;
+  const auto result = Canon(MineFrequentItemsets(txs, cfg));
+  EXPECT_EQ(result.size(), 3u);  // {0}, {1}, {0,1}
+  EXPECT_EQ(result.at(T({0})), 2u);
+}
+
+TEST(FpGrowth, MaxItemsetSizeCapsOutput) {
+  const std::vector<Transaction> txs{T({0, 1, 2, 3}), T({0, 1, 2, 3})};
+  FpGrowthConfig cfg;
+  cfg.min_support_fraction = 1.0;
+  cfg.max_itemset_size = 2;
+  const auto result = MineFrequentItemsets(txs, cfg);
+  for (const auto& s : result) EXPECT_LE(s.items.size(), 2u);
+  EXPECT_EQ(result.size(), 6u);  // C(4,2) pairs
+}
+
+TEST(FpGrowth, MaxItemsetsIsAHardCap) {
+  const std::vector<Transaction> txs{T({0, 1, 2, 3, 4, 5}),
+                                     T({0, 1, 2, 3, 4, 5})};
+  FpGrowthConfig cfg;
+  cfg.min_support_fraction = 1.0;
+  cfg.max_itemsets = 5;
+  EXPECT_LE(MineFrequentItemsets(txs, cfg).size(), 5u);
+}
+
+TEST(FpGrowth, MinSupportCountFloorApplies) {
+  // Fraction alone would accept support 1 here.
+  const std::vector<Transaction> txs{T({0, 1})};
+  FpGrowthConfig cfg;
+  cfg.min_support_fraction = 0.1;
+  cfg.min_support_count = 2;
+  EXPECT_TRUE(MineFrequentItemsets(txs, cfg).empty());
+  cfg.min_support_count = 1;
+  EXPECT_EQ(MineFrequentItemsets(txs, cfg).size(), 1u);
+}
+
+TEST(FpGrowth, ItemsetsAreSortedById) {
+  const std::vector<Transaction> txs{T({9, 1, 5}), T({9, 1, 5})};
+  FpGrowthConfig cfg;
+  cfg.min_support_fraction = 1.0;
+  for (const auto& s : MineFrequentItemsets(txs, cfg)) {
+    EXPECT_TRUE(std::is_sorted(s.items.begin(), s.items.end()));
+  }
+}
+
+TEST(FpGrowthBruteForce, MatchesClassicExample) {
+  const std::vector<Transaction> txs{
+      T({1, 2, 5}), T({2, 4}), T({2, 3}), T({1, 2, 4}), T({1, 3}),
+      T({2, 3}),    T({1, 3}), T({1, 2, 3, 5}), T({1, 2, 3})};
+  FpGrowthConfig cfg;
+  cfg.min_support_fraction = 2.0 / 9.0;
+  EXPECT_EQ(Canon(MineFrequentItemsetsBruteForce(txs, cfg)),
+            Canon(MineFrequentItemsets(txs, cfg)));
+}
+
+/// Differential property test: FP-Growth must agree with brute force on
+/// random small transaction databases across support thresholds.
+class FpGrowthDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(FpGrowthDifferentialTest, AgreesWithBruteForce) {
+  const auto [seed, support] = GetParam();
+  Rng rng{seed};
+  const std::size_t universe = 8;
+  const std::size_t num_txs = 2 + rng.NextBelow(30);
+  std::vector<Transaction> txs;
+  for (std::size_t i = 0; i < num_txs; ++i) {
+    Transaction t;
+    for (std::uint32_t item = 0; item < universe; ++item) {
+      if (rng.NextBernoulli(0.4)) t.push_back(FunctionId{item});
+    }
+    if (t.size() >= 2) txs.push_back(std::move(t));
+  }
+  FpGrowthConfig cfg;
+  cfg.min_support_fraction = support;
+  EXPECT_EQ(Canon(MineFrequentItemsetsBruteForce(txs, cfg)),
+            Canon(MineFrequentItemsets(txs, cfg)))
+      << "seed=" << seed << " support=" << support
+      << " txs=" << txs.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDatabases, FpGrowthDifferentialTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                         12),
+                       ::testing::Values(0.1, 0.2, 0.4, 0.7)));
+
+TEST(FilterMaximalItemsets, KeepsOnlyUnsubsumedSets) {
+  std::vector<Itemset> itemsets{
+      {.items = T({0, 1}), .support = 5},
+      {.items = T({0, 1, 2}), .support = 3},
+      {.items = T({1, 2}), .support = 4},
+      {.items = T({3, 4}), .support = 2},
+  };
+  const auto maximal = FilterMaximalItemsets(itemsets);
+  const auto result = Canon(maximal);
+  EXPECT_EQ(result.size(), 2u);
+  EXPECT_TRUE(result.contains(T({0, 1, 2})));
+  EXPECT_TRUE(result.contains(T({3, 4})));
+}
+
+TEST(FilterMaximalItemsets, IdenticalSizeSetsAllSurvive) {
+  std::vector<Itemset> itemsets{
+      {.items = T({0, 1}), .support = 5},
+      {.items = T({2, 3}), .support = 5},
+  };
+  EXPECT_EQ(FilterMaximalItemsets(itemsets).size(), 2u);
+}
+
+TEST(FpGrowth, MaximalOnlyPreservesConnectivity) {
+  // The maximal filter must keep every frequent function connected to
+  // the same component: each kept maximal itemset spans the pairs its
+  // subsets would have contributed.
+  const std::vector<Transaction> txs{T({0, 1, 2}), T({0, 1, 2}),
+                                     T({0, 1, 2}), T({3, 4}), T({3, 4})};
+  FpGrowthConfig cfg;
+  cfg.min_support_fraction = 0.3;
+  cfg.maximal_only = true;
+  const auto result = Canon(MineFrequentItemsets(txs, cfg));
+  EXPECT_EQ(result.size(), 2u);
+  EXPECT_TRUE(result.contains(T({0, 1, 2})));
+  EXPECT_TRUE(result.contains(T({3, 4})));
+}
+
+TEST(FpGrowth, SupportMonotonicity) {
+  // Raising the threshold can only shrink the result set.
+  Rng rng{77};
+  std::vector<Transaction> txs;
+  for (int i = 0; i < 40; ++i) {
+    Transaction t;
+    for (std::uint32_t item = 0; item < 10; ++item) {
+      if (rng.NextBernoulli(0.35)) t.push_back(FunctionId{item});
+    }
+    if (t.size() >= 2) txs.push_back(std::move(t));
+  }
+  std::size_t prev = std::numeric_limits<std::size_t>::max();
+  for (const double support : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+    FpGrowthConfig cfg;
+    cfg.min_support_fraction = support;
+    const auto n = MineFrequentItemsets(txs, cfg).size();
+    EXPECT_LE(n, prev);
+    prev = n;
+  }
+}
+
+TEST(FpGrowth, EverySubsetOfAFrequentItemsetIsFrequent) {
+  // Apriori property check on FP-Growth output.
+  Rng rng{88};
+  std::vector<Transaction> txs;
+  for (int i = 0; i < 50; ++i) {
+    Transaction t;
+    for (std::uint32_t item = 0; item < 9; ++item) {
+      if (rng.NextBernoulli(0.45)) t.push_back(FunctionId{item});
+    }
+    if (t.size() >= 2) txs.push_back(std::move(t));
+  }
+  FpGrowthConfig cfg;
+  cfg.min_support_fraction = 0.2;
+  const auto result = Canon(MineFrequentItemsets(txs, cfg));
+  for (const auto& [items, support] : result) {
+    if (items.size() < 3) continue;
+    // Drop each element; the remaining pair+ must also be frequent with
+    // support >= the superset's.
+    for (std::size_t skip = 0; skip < items.size(); ++skip) {
+      std::vector<FunctionId> subset;
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i != skip) subset.push_back(items[i]);
+      }
+      const auto it = result.find(subset);
+      ASSERT_NE(it, result.end());
+      EXPECT_GE(it->second, support);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace defuse::mining

@@ -1,0 +1,119 @@
+#include "mining/predictability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace defuse::mining {
+namespace {
+
+constexpr TimeRange kRange{0, 10000};
+
+trace::InvocationTrace PeriodicTrace(MinuteDelta period,
+                                     std::size_t num_functions = 1) {
+  trace::InvocationTrace t{num_functions, kRange};
+  for (Minute m = 0; m < kRange.end; m += period) {
+    t.Add(FunctionId{0}, m);
+  }
+  t.Finalize();
+  return t;
+}
+
+TEST(BuildItHistogram, CountsGaps) {
+  auto t = PeriodicTrace(10);
+  const auto hist = BuildItHistogram(t, FunctionId{0}, kRange);
+  EXPECT_EQ(hist.total_in_range(), 999u);
+  EXPECT_EQ(hist.counts()[10], 999u);
+}
+
+TEST(BuildItHistogram, RespectsRange) {
+  auto t = PeriodicTrace(10);
+  const auto hist = BuildItHistogram(t, FunctionId{0}, TimeRange{0, 101});
+  EXPECT_EQ(hist.total(), 10u);
+}
+
+TEST(BuildGroupItHistogram, MergesGroupActivity) {
+  trace::InvocationTrace t{2, kRange};
+  // f0 fires at even hundreds, f1 at odd hundreds: the group fires every
+  // 100 minutes even though each function fires every 200.
+  for (Minute m = 0; m < kRange.end; m += 200) t.Add(FunctionId{0}, m);
+  for (Minute m = 100; m < kRange.end; m += 200) t.Add(FunctionId{1}, m);
+  t.Finalize();
+  const std::vector<FunctionId> group{FunctionId{0}, FunctionId{1}};
+  const auto hist = BuildGroupItHistogram(t, group, kRange);
+  EXPECT_EQ(hist.counts()[100], hist.total_in_range());
+}
+
+TEST(IsPredictable, PeriodicFunctionIsPredictable) {
+  auto t = PeriodicTrace(15);
+  const auto hist = BuildItHistogram(t, FunctionId{0}, kRange);
+  EXPECT_TRUE(IsPredictable(hist));
+}
+
+TEST(IsPredictable, UniformSpreadIsUnpredictable) {
+  // One observation in each bin: perfectly flat histogram, CV = 0.
+  stats::Histogram hist{240, 1};
+  for (MinuteDelta v = 0; v < 240; ++v) hist.Add(v);
+  EXPECT_FALSE(IsPredictable(hist));
+}
+
+TEST(IsPredictable, TooFewObservationsIsUnpredictable) {
+  stats::Histogram hist{240, 1};
+  hist.Add(10);  // a single peaked observation, but only one
+  PredictabilityConfig cfg;
+  cfg.min_observations = 2;
+  EXPECT_FALSE(IsPredictable(hist, cfg));
+  hist.Add(10);
+  EXPECT_TRUE(IsPredictable(hist, cfg));
+}
+
+TEST(IsPredictable, ThresholdIsConfigurable) {
+  stats::Histogram hist{16, 1};
+  hist.AddCount(3, 100);  // CV = sqrt(15) ~ 3.87
+  PredictabilityConfig strict;
+  strict.cv_threshold = 5.0;
+  EXPECT_FALSE(IsPredictable(hist, strict));
+  PredictabilityConfig loose;
+  loose.cv_threshold = 2.0;
+  EXPECT_TRUE(IsPredictable(hist, loose));
+}
+
+TEST(ClassifyFunctions, SeparatesPeriodicFromPoissonLike) {
+  trace::WorkloadModel model;
+  const UserId u = model.AddUser("u");
+  const AppId a = model.AddApp(u, "a");
+  model.AddFunction(a, "periodic");
+  model.AddFunction(a, "random");
+  model.AddFunction(a, "silent");
+
+  trace::InvocationTrace t{3, kRange};
+  for (Minute m = 0; m < kRange.end; m += 20) t.Add(FunctionId{0}, m);
+  // A deterministic "random-looking" spread: strides walking all residues.
+  Minute m = 0;
+  int k = 0;
+  while (m < kRange.end) {
+    t.Add(FunctionId{1}, m);
+    m += 1 + (k * 37) % 113;
+    ++k;
+  }
+  t.Finalize();
+
+  const auto report = ClassifyFunctions(t, model, kRange);
+  ASSERT_EQ(report.predictable.size(), 3u);
+  EXPECT_TRUE(report.predictable[0]);
+  EXPECT_FALSE(report.predictable[1]);
+  EXPECT_FALSE(report.predictable[2]);  // no data -> unpredictable
+  EXPECT_GT(report.cv[0], report.cv[1]);
+}
+
+TEST(ClassifyFunctions, CvValuesAreExposed) {
+  trace::WorkloadModel model;
+  const UserId u = model.AddUser("u");
+  const AppId a = model.AddApp(u, "a");
+  model.AddFunction(a, "f");
+  auto t = PeriodicTrace(10);
+  const auto report = ClassifyFunctions(t, model, kRange);
+  const auto hist = BuildItHistogram(t, FunctionId{0}, kRange);
+  EXPECT_DOUBLE_EQ(report.cv[0], hist.BinCountCv());
+}
+
+}  // namespace
+}  // namespace defuse::mining

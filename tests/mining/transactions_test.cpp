@@ -1,0 +1,196 @@
+#include "mining/transactions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace defuse::mining {
+namespace {
+
+/// user0 owns f0..f2 (app0); user1 owns f3 (app1).
+struct Fixture {
+  trace::WorkloadModel model;
+  UserId u0, u1;
+
+  Fixture() {
+    u0 = model.AddUser("u0");
+    u1 = model.AddUser("u1");
+    const AppId a0 = model.AddApp(u0, "a0");
+    const AppId a1 = model.AddApp(u1, "a1");
+    model.AddFunction(a0, "f0");
+    model.AddFunction(a0, "f1");
+    model.AddFunction(a0, "f2");
+    model.AddFunction(a1, "f3");
+  }
+};
+
+TEST(BuildUserTransactions, GroupsCoActiveFunctions) {
+  Fixture fx;
+  trace::InvocationTrace trace{4, TimeRange{0, 100}};
+  trace.Add(FunctionId{0}, 5);
+  trace.Add(FunctionId{1}, 5);
+  trace.Add(FunctionId{2}, 50);
+  trace.Add(FunctionId{0}, 50);
+  trace.Finalize();
+  const auto txs =
+      BuildUserTransactions(trace, fx.model, fx.u0, TimeRange{0, 100});
+  ASSERT_EQ(txs.size(), 2u);
+  EXPECT_EQ(txs[0], (Transaction{FunctionId{0}, FunctionId{1}}));
+  EXPECT_EQ(txs[1], (Transaction{FunctionId{0}, FunctionId{2}}));
+}
+
+TEST(BuildUserTransactions, SkipsSingletonWindows) {
+  Fixture fx;
+  trace::InvocationTrace trace{4, TimeRange{0, 100}};
+  trace.Add(FunctionId{0}, 5);
+  trace.Finalize();
+  EXPECT_TRUE(
+      BuildUserTransactions(trace, fx.model, fx.u0, TimeRange{0, 100}).empty());
+}
+
+TEST(BuildUserTransactions, MinItemsOneKeepsSingletons) {
+  Fixture fx;
+  trace::InvocationTrace trace{4, TimeRange{0, 100}};
+  trace.Add(FunctionId{0}, 5);
+  trace.Finalize();
+  TransactionConfig cfg;
+  cfg.min_items = 1;
+  const auto txs =
+      BuildUserTransactions(trace, fx.model, fx.u0, TimeRange{0, 100}, cfg);
+  ASSERT_EQ(txs.size(), 1u);
+  EXPECT_EQ(txs[0], (Transaction{FunctionId{0}}));
+}
+
+TEST(BuildUserTransactions, IgnoresOtherUsersFunctions) {
+  Fixture fx;
+  trace::InvocationTrace trace{4, TimeRange{0, 100}};
+  trace.Add(FunctionId{0}, 5);
+  trace.Add(FunctionId{3}, 5);  // user1's function, same minute
+  trace.Finalize();
+  EXPECT_TRUE(
+      BuildUserTransactions(trace, fx.model, fx.u0, TimeRange{0, 100}).empty());
+}
+
+TEST(BuildUserTransactions, WiderWindowsMergeMinutes) {
+  Fixture fx;
+  trace::InvocationTrace trace{4, TimeRange{0, 100}};
+  trace.Add(FunctionId{0}, 10);
+  trace.Add(FunctionId{1}, 14);  // same 5-minute window [10,15)
+  trace.Finalize();
+  TransactionConfig cfg;
+  cfg.window_minutes = 5;
+  const auto txs =
+      BuildUserTransactions(trace, fx.model, fx.u0, TimeRange{0, 100}, cfg);
+  ASSERT_EQ(txs.size(), 1u);
+  EXPECT_EQ(txs[0], (Transaction{FunctionId{0}, FunctionId{1}}));
+}
+
+TEST(BuildUserTransactions, RespectsRange) {
+  Fixture fx;
+  trace::InvocationTrace trace{4, TimeRange{0, 100}};
+  trace.Add(FunctionId{0}, 5);
+  trace.Add(FunctionId{1}, 5);
+  trace.Add(FunctionId{0}, 80);
+  trace.Add(FunctionId{1}, 80);
+  trace.Finalize();
+  const auto txs =
+      BuildUserTransactions(trace, fx.model, fx.u0, TimeRange{0, 50});
+  EXPECT_EQ(txs.size(), 1u);
+}
+
+TEST(BuildUserTransactions, DuplicateInvocationsInWindowAppearOnce) {
+  Fixture fx;
+  trace::InvocationTrace trace{4, TimeRange{0, 100}};
+  trace.Add(FunctionId{0}, 5, 10);
+  trace.Add(FunctionId{1}, 5, 3);
+  trace.Finalize();
+  const auto txs =
+      BuildUserTransactions(trace, fx.model, fx.u0, TimeRange{0, 100});
+  ASSERT_EQ(txs.size(), 1u);
+  EXPECT_EQ(txs[0].size(), 2u);
+}
+
+std::vector<FunctionId> MakeUniverse(std::uint32_t n) {
+  std::vector<FunctionId> fns;
+  for (std::uint32_t i = 0; i < n; ++i) fns.push_back(FunctionId{i});
+  return fns;
+}
+
+TEST(SplitUniverse, SmallUniverseIsOneWindow) {
+  Rng rng{1};
+  const auto windows = SplitUniverse(MakeUniverse(10), 20, 10, rng);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].functions.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(windows[0].functions.begin(),
+                             windows[0].functions.end()));
+}
+
+TEST(SplitUniverse, EmptyUniverse) {
+  Rng rng{1};
+  EXPECT_TRUE(SplitUniverse({}, 20, 10, rng).empty());
+}
+
+TEST(SplitUniverse, WindowsHaveExpectedSizesAndStride) {
+  Rng rng{2};
+  const auto windows = SplitUniverse(MakeUniverse(45), 20, 10, rng);
+  // Starts at 0, 10, 20, 30 (last one reaches the end: 30+15).
+  ASSERT_EQ(windows.size(), 4u);
+  EXPECT_EQ(windows[0].functions.size(), 20u);
+  EXPECT_EQ(windows[1].functions.size(), 20u);
+  EXPECT_EQ(windows[2].functions.size(), 20u);
+  EXPECT_EQ(windows[3].functions.size(), 15u);
+}
+
+TEST(SplitUniverse, EveryFunctionAppearsAtLeastOnce) {
+  Rng rng{3};
+  const auto universe = MakeUniverse(57);
+  const auto windows = SplitUniverse(universe, 20, 10, rng);
+  std::set<FunctionId> seen;
+  for (const auto& w : windows) {
+    seen.insert(w.functions.begin(), w.functions.end());
+  }
+  EXPECT_EQ(seen.size(), universe.size());
+}
+
+TEST(SplitUniverse, OverlapBetweenAdjacentWindows) {
+  Rng rng{4};
+  const auto windows = SplitUniverse(MakeUniverse(40), 20, 10, rng);
+  ASSERT_GE(windows.size(), 2u);
+  // Stride < window: adjacent windows share exactly window - stride fns.
+  std::vector<FunctionId> inter;
+  std::set_intersection(windows[0].functions.begin(),
+                        windows[0].functions.end(),
+                        windows[1].functions.begin(),
+                        windows[1].functions.end(),
+                        std::back_inserter(inter));
+  EXPECT_EQ(inter.size(), 10u);
+}
+
+TEST(SplitUniverse, ShuffleIsSeedDependent) {
+  Rng rng1{5}, rng2{6};
+  const auto w1 = SplitUniverse(MakeUniverse(40), 20, 10, rng1);
+  const auto w2 = SplitUniverse(MakeUniverse(40), 20, 10, rng2);
+  EXPECT_NE(w1[0].functions, w2[0].functions);
+}
+
+TEST(ProjectTransactions, KeepsOnlyWindowMembers) {
+  const std::vector<Transaction> txs{
+      {FunctionId{0}, FunctionId{1}, FunctionId{5}},
+      {FunctionId{1}, FunctionId{5}},
+      {FunctionId{0}, FunctionId{9}}};
+  UniverseWindow window{.functions = {FunctionId{0}, FunctionId{1}}};
+  const auto projected = ProjectTransactions(txs, window);
+  ASSERT_EQ(projected.size(), 1u);
+  EXPECT_EQ(projected[0], (Transaction{FunctionId{0}, FunctionId{1}}));
+}
+
+TEST(ProjectTransactions, MinItemsOneKeepsPartialMatches) {
+  const std::vector<Transaction> txs{{FunctionId{0}, FunctionId{5}}};
+  UniverseWindow window{.functions = {FunctionId{0}}};
+  EXPECT_EQ(ProjectTransactions(txs, window, 1).size(), 1u);
+  EXPECT_TRUE(ProjectTransactions(txs, window, 2).empty());
+}
+
+}  // namespace
+}  // namespace defuse::mining

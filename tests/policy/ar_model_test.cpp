@@ -1,0 +1,82 @@
+#include "policy/ar_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace defuse::policy {
+namespace {
+
+TEST(ArIdleTimeModel, NotReadyUntilFourObservations) {
+  ArIdleTimeModel model;
+  EXPECT_FALSE(model.Ready());
+  model.Observe(10);
+  model.Observe(10);
+  model.Observe(10);
+  EXPECT_FALSE(model.Ready());
+  model.Observe(10);
+  EXPECT_TRUE(model.Ready());
+}
+
+TEST(ArIdleTimeModel, MeanTracksObservations) {
+  ArIdleTimeModel model;
+  model.Observe(10);
+  model.Observe(20);
+  EXPECT_DOUBLE_EQ(model.Mean(), 15.0);
+}
+
+TEST(ArIdleTimeModel, ConstantSeriesPredictsTheConstant) {
+  ArIdleTimeModel model;
+  for (int i = 0; i < 10; ++i) model.Observe(42);
+  EXPECT_DOUBLE_EQ(model.PredictNext(), 42.0);
+  EXPECT_DOUBLE_EQ(model.ResidualStdDev(), 0.0);
+}
+
+TEST(ArIdleTimeModel, AlternatingSeriesHasNegativePhi) {
+  ArIdleTimeModel model;
+  for (int i = 0; i < 20; ++i) model.Observe(i % 2 == 0 ? 10 : 30);
+  EXPECT_LT(model.Phi(), -0.5);
+  // Last observation 30 -> next predicted near 10.
+  EXPECT_LT(model.PredictNext(), 20.0);
+}
+
+TEST(ArIdleTimeModel, TrendingSeriesHasPositivePhi) {
+  // A slow mean-reverting walk around 100 with persistence.
+  ArIdleTimeModel model{64};
+  double x = 100.0;
+  std::uint64_t s = 99;
+  for (int i = 0; i < 64; ++i) {
+    // Deterministic pseudo-noise.
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double noise = static_cast<double>((s >> 33) % 7) - 3.0;
+    x = 100.0 + 0.8 * (x - 100.0) + noise;
+    model.Observe(static_cast<MinuteDelta>(x));
+  }
+  EXPECT_GT(model.Phi(), 0.3);
+}
+
+TEST(ArIdleTimeModel, PhiIsClampedForStability) {
+  ArIdleTimeModel model;
+  // A perfectly correlated ramp would fit phi ~ 1; must be clamped.
+  for (int i = 0; i < 20; ++i) model.Observe(10 + i * 5);
+  EXPECT_LE(model.Phi(), 0.95);
+}
+
+TEST(ArIdleTimeModel, WindowSlidesOldObservationsOut) {
+  ArIdleTimeModel model{8};
+  for (int i = 0; i < 8; ++i) model.Observe(1000);
+  for (int i = 0; i < 8; ++i) model.Observe(10);
+  EXPECT_DOUBLE_EQ(model.Mean(), 10.0);
+}
+
+TEST(ArIdleTimeModel, ResidualReflectsNoise) {
+  ArIdleTimeModel noisy{32}, clean{32};
+  for (int i = 0; i < 32; ++i) {
+    clean.Observe(50);
+    noisy.Observe(i % 2 == 0 ? 20 : 80);
+  }
+  EXPECT_GT(noisy.ResidualStdDev(), clean.ResidualStdDev());
+}
+
+}  // namespace
+}  // namespace defuse::policy

@@ -1,0 +1,129 @@
+#include "policy/diurnal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace defuse::policy {
+namespace {
+
+DiurnalConfig TestConfig() {
+  DiurnalConfig cfg;
+  cfg.slot_minutes = 30;
+  cfg.min_observations = 30;
+  return cfg;
+}
+
+/// Office-hours trace: active 09:00-11:00 daily, one invocation per
+/// 5 minutes, for `days` days.
+trace::InvocationTrace OfficeHoursTrace(Minute days) {
+  trace::InvocationTrace t{1, TimeRange{0, days * kMinutesPerDay}};
+  for (Minute day = 0; day < days; ++day) {
+    for (Minute m = 9 * 60; m < 11 * 60; m += 5) {
+      t.Add(FunctionId{0}, day * kMinutesPerDay + m);
+    }
+  }
+  t.Finalize();
+  return t;
+}
+
+TEST(DiurnalPolicy, LearnsTheActiveWindow) {
+  DiurnalPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  const auto trace = OfficeHoursTrace(3);
+  for (const auto& e : trace.series(FunctionId{0})) {
+    policy.SeedDayProfile(UnitId{0}, e.minute);
+  }
+  EXPECT_TRUE(policy.IsDiurnalUnit(UnitId{0}));
+  EXPECT_TRUE(policy.SlotActive(UnitId{0}, 9 * 60 + 10));
+  EXPECT_TRUE(policy.SlotActive(UnitId{0}, 10 * 60 + 50));
+  EXPECT_FALSE(policy.SlotActive(UnitId{0}, 3 * 60));
+  EXPECT_FALSE(policy.SlotActive(UnitId{0}, 15 * 60));
+}
+
+TEST(DiurnalPolicy, TooFewObservationsDelegatesToHybrid) {
+  DiurnalPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  for (int i = 0; i < 5; ++i) {
+    policy.SeedDayProfile(UnitId{0}, 9 * 60 + i);
+  }
+  EXPECT_FALSE(policy.IsDiurnalUnit(UnitId{0}));
+  // Hybrid with no histogram -> fixed fallback.
+  EXPECT_EQ(policy.OnInvocation(UnitId{0}, 9 * 60).keepalive, 10);
+}
+
+TEST(DiurnalPolicy, SpreadActivityIsNotDiurnal) {
+  DiurnalPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  // Uniform activity around the clock.
+  for (Minute m = 0; m < kMinutesPerDay; m += 10) {
+    policy.SeedDayProfile(UnitId{0}, m);
+  }
+  EXPECT_FALSE(policy.IsDiurnalUnit(UnitId{0}));
+}
+
+TEST(DiurnalPolicy, DecisionLingersThroughTheRunAndPrewarmsTomorrow) {
+  DiurnalPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  const auto trace = OfficeHoursTrace(3);
+  for (const auto& e : trace.series(FunctionId{0})) {
+    policy.SeedDayProfile(UnitId{0}, e.minute);
+  }
+  // Invoked at 09:10 on some day: linger to 11:00, return ~08:55 next
+  // day.
+  const Minute now = 5 * kMinutesPerDay + 9 * 60 + 10;
+  const auto d = policy.OnInvocation(UnitId{0}, now);
+  EXPECT_EQ(d.linger, (11 * 60) - (9 * 60 + 10));
+  // 09:10 -> next day's 09:00 slot start is 1430 minutes away.
+  const MinuteDelta until_nine = kMinutesPerDay - 10;
+  EXPECT_EQ(d.prewarm, until_nine - TestConfig().lead);
+  EXPECT_EQ(d.keepalive, TestConfig().lead + TestConfig().slot_minutes);
+}
+
+TEST(DiurnalPolicy, EndToEndMorningsAreWarmAndNightsAreFree) {
+  constexpr Minute kDays = 8;
+  const auto trace = OfficeHoursTrace(kDays);
+  DiurnalPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  // Seed from the first 4 days, simulate the rest.
+  const TimeRange train{0, 4 * kMinutesPerDay};
+  for (const auto& e : trace.SeriesInRange(FunctionId{0}, train)) {
+    policy.SeedDayProfile(UnitId{0}, e.minute);
+  }
+  const TimeRange eval{4 * kMinutesPerDay, kDays * kMinutesPerDay};
+  const auto r = sim::Simulate(trace, eval, policy);
+  // First eval invocation is cold; every later morning is pre-warmed.
+  EXPECT_EQ(r.unit_cold_minutes[0], 1u);
+  // Residency is roughly the active window (+lead), not the whole day.
+  EXPECT_LT(r.AverageMemoryUsage(), 0.15);  // ~130 of 1440 minutes
+
+  // The hybrid histogram policy alone leaves every morning cold (the
+  // overnight gap exceeds its histogram) at similar memory.
+  HybridHistogramPolicy hybrid{sim::UnitMap::PerFunction(1),
+                               TestConfig().hybrid};
+  const auto hr = sim::Simulate(trace, eval, hybrid);
+  EXPECT_GE(hr.unit_cold_minutes[0], 4u);  // one per morning
+}
+
+TEST(DiurnalPolicy, OffHoursInvocationStillServed) {
+  DiurnalPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  const auto trace = OfficeHoursTrace(3);
+  for (const auto& e : trace.series(FunctionId{0})) {
+    policy.SeedDayProfile(UnitId{0}, e.minute);
+  }
+  // A 03:00 invocation gets a sane decision (linger through its slot,
+  // prewarm before the morning window).
+  const auto d = policy.OnInvocation(UnitId{0}, 3 * kMinutesPerDay + 180);
+  EXPECT_GE(d.linger, 1);
+  EXPECT_GT(d.prewarm, d.linger);
+  EXPECT_GE(d.keepalive, 1);
+}
+
+TEST(DiurnalPolicy, OnlineProfileUpdatesViaOnInvocation) {
+  DiurnalPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  // No seeding: feed invocations through OnInvocation only.
+  for (Minute day = 0; day < 5; ++day) {
+    for (Minute m = 600; m < 660; m += 5) {
+      (void)policy.OnInvocation(UnitId{0}, day * kMinutesPerDay + m);
+    }
+  }
+  EXPECT_TRUE(policy.IsDiurnalUnit(UnitId{0}));
+}
+
+}  // namespace
+}  // namespace defuse::policy

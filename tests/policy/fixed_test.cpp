@@ -1,0 +1,45 @@
+#include "policy/fixed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace defuse::policy {
+namespace {
+
+TEST(FixedKeepAlivePolicy, AlwaysReturnsTheConfiguredKeepAlive) {
+  FixedKeepAlivePolicy policy{sim::UnitMap::PerFunction(3), 10};
+  for (std::uint32_t u = 0; u < 3; ++u) {
+    const auto d = policy.OnInvocation(UnitId{u}, 57);
+    EXPECT_EQ(d.prewarm, 0);
+    EXPECT_EQ(d.keepalive, 10);
+  }
+}
+
+TEST(FixedKeepAlivePolicy, IgnoresIdleObservations) {
+  FixedKeepAlivePolicy policy{sim::UnitMap::PerFunction(1), 7};
+  policy.ObserveIdleTime(UnitId{0}, 100);
+  policy.ObserveIdleTime(UnitId{0}, 1);
+  const auto d = policy.OnInvocation(UnitId{0}, 0);
+  EXPECT_EQ(d.keepalive, 7);
+}
+
+TEST(FixedKeepAlivePolicy, NameIsStable) {
+  FixedKeepAlivePolicy policy{sim::UnitMap::PerFunction(1), 7};
+  EXPECT_STREQ(policy.name(), "fixed-keepalive");
+}
+
+TEST(FixedKeepAlivePolicy, EndToEndColdStartPattern) {
+  // 10-minute keep-alive over a 30-minute period: invocations at 0, 5,
+  // 20, 29 -> cold, warm, cold (gap 15), warm.
+  trace::InvocationTrace trace{1, TimeRange{0, 40}};
+  for (Minute m : {0, 5, 20, 29}) trace.Add(FunctionId{0}, m);
+  trace.Finalize();
+  FixedKeepAlivePolicy policy{sim::UnitMap::PerFunction(1), 10};
+  const auto r = sim::Simulate(trace, TimeRange{0, 40}, policy);
+  EXPECT_EQ(r.unit_invoked_minutes[0], 4u);
+  EXPECT_EQ(r.unit_cold_minutes[0], 2u);
+}
+
+}  // namespace
+}  // namespace defuse::policy

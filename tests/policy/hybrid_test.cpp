@@ -1,0 +1,299 @@
+#include "policy/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace defuse::policy {
+namespace {
+
+HybridConfig TestConfig() {
+  HybridConfig cfg;  // paper defaults: cv 5, memthresh 10, histthresh 0.05
+  return cfg;
+}
+
+stats::Histogram PeakedHistogram(MinuteDelta value, std::uint64_t count) {
+  stats::Histogram h{240, 1};
+  h.AddCount(value, count);
+  return h;
+}
+
+TEST(HybridConfig, DefaultsMatchThePaper) {
+  const HybridConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.cv_threshold, 5.0);
+  EXPECT_EQ(cfg.fixed_keepalive, 10);
+  EXPECT_DOUBLE_EQ(cfg.hist_threshold, 0.05);
+  EXPECT_DOUBLE_EQ(cfg.amplification, 1.0);
+  EXPECT_EQ(cfg.histogram_bins, 240u);
+}
+
+TEST(ValidateHybridConfig, AcceptsDefaults) {
+  EXPECT_EQ(ValidateHybridConfig(HybridConfig{}), nullptr);
+}
+
+TEST(ValidateHybridConfig, RejectsBadValues) {
+  HybridConfig cfg;
+  cfg.amplification = 0.0;
+  EXPECT_NE(ValidateHybridConfig(cfg), nullptr);
+  cfg = HybridConfig{};
+  cfg.hist_threshold = 0.7;
+  EXPECT_NE(ValidateHybridConfig(cfg), nullptr);
+  cfg = HybridConfig{};
+  cfg.margin = 1.5;
+  EXPECT_NE(ValidateHybridConfig(cfg), nullptr);
+  cfg = HybridConfig{};
+  cfg.fixed_keepalive = 0;
+  EXPECT_NE(ValidateHybridConfig(cfg), nullptr);
+  cfg = HybridConfig{};
+  cfg.histogram_bins = 0;
+  EXPECT_NE(ValidateHybridConfig(cfg), nullptr);
+}
+
+TEST(HybridHistogramPolicy, NoObservationsFallsBackToFixed) {
+  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  EXPECT_FALSE(policy.IsPredictableUnit(UnitId{0}));
+  const auto d = policy.DecisionFor(UnitId{0});
+  EXPECT_EQ(d.prewarm, 0);
+  EXPECT_EQ(d.keepalive, 10);
+}
+
+TEST(HybridHistogramPolicy, PeakedHistogramIsPredictable) {
+  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  policy.SeedHistogram(UnitId{0}, PeakedHistogram(30, 1000));
+  EXPECT_TRUE(policy.IsPredictableUnit(UnitId{0}));
+  const auto d = policy.DecisionFor(UnitId{0});
+  // 5th and 95th percentile both in bin 30: prewarm = floor(30 * 0.9),
+  // keepalive = ceil((31 - prewarm) * 1.1).
+  EXPECT_EQ(d.prewarm, 27);
+  EXPECT_EQ(d.keepalive, 5);
+}
+
+TEST(HybridHistogramPolicy, FlatHistogramIsUnpredictable) {
+  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  stats::Histogram flat{240, 1};
+  for (MinuteDelta v = 0; v < 240; ++v) flat.AddCount(v, 5);
+  policy.SeedHistogram(UnitId{0}, flat);
+  EXPECT_FALSE(policy.IsPredictableUnit(UnitId{0}));
+  EXPECT_EQ(policy.DecisionFor(UnitId{0}).keepalive, 10);
+}
+
+TEST(HybridHistogramPolicy, MostlyOutOfBoundsFallsBackToFixed) {
+  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  stats::Histogram h{240, 1};
+  h.AddCount(30, 10);
+  h.AddCount(1000, 20);  // 2/3 out of bounds
+  policy.SeedHistogram(UnitId{0}, h);
+  EXPECT_FALSE(policy.IsPredictableUnit(UnitId{0}));
+}
+
+TEST(HybridHistogramPolicy, AmplificationScalesKeepAliveOnly) {
+  auto cfg = TestConfig();
+  cfg.amplification = 3.0;
+  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(2), cfg};
+  policy.SeedHistogram(UnitId{0}, PeakedHistogram(30, 1000));
+  const auto predictable = policy.DecisionFor(UnitId{0});
+  EXPECT_EQ(predictable.prewarm, 27);    // unscaled
+  EXPECT_EQ(predictable.keepalive, 14);  // ceil(4.4 * 3) vs 5 unamplified
+  const auto fallback = policy.DecisionFor(UnitId{1});
+  EXPECT_EQ(fallback.keepalive, 30);  // 10 * 3
+}
+
+TEST(HybridHistogramPolicy, MarginWidensTheWindow) {
+  auto cfg = TestConfig();
+  cfg.margin = 0.0;
+  HybridHistogramPolicy no_margin{sim::UnitMap::PerFunction(1), cfg};
+  no_margin.SeedHistogram(UnitId{0}, PeakedHistogram(30, 1000));
+  cfg.margin = 0.2;
+  HybridHistogramPolicy with_margin{sim::UnitMap::PerFunction(1), cfg};
+  with_margin.SeedHistogram(UnitId{0}, PeakedHistogram(30, 1000));
+  EXPECT_LT(with_margin.DecisionFor(UnitId{0}).prewarm,
+            no_margin.DecisionFor(UnitId{0}).prewarm);
+  EXPECT_GT(with_margin.DecisionFor(UnitId{0}).keepalive,
+            no_margin.DecisionFor(UnitId{0}).keepalive);
+}
+
+TEST(HybridHistogramPolicy, HistThresholdControlsPercentiles) {
+  // Bimodal histogram: 10% at 10 minutes, 90% at 100.
+  stats::Histogram h{240, 1};
+  h.AddCount(10, 100);
+  h.AddCount(100, 900);
+  auto cfg = TestConfig();
+  cfg.margin = 0.0;
+  cfg.hist_threshold = 0.05;  // 5th pct is the low mode
+  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), cfg};
+  policy.SeedHistogram(UnitId{0}, h);
+  const auto d = policy.DecisionFor(UnitId{0});
+  EXPECT_EQ(d.prewarm, 10);
+  EXPECT_EQ(d.keepalive, 91);  // 101 - 10
+
+  cfg.hist_threshold = 0.2;  // 20th pct is already the high mode
+  HybridHistogramPolicy wider{sim::UnitMap::PerFunction(1), cfg};
+  wider.SeedHistogram(UnitId{0}, h);
+  EXPECT_EQ(wider.DecisionFor(UnitId{0}).prewarm, 100);
+}
+
+TEST(HybridHistogramPolicy, SmallPrewarmFoldsIntoKeepAlive) {
+  // A pre-warm window below min_prewarm is not worth an unload/reload
+  // cycle: the unit stays resident (prewarm 0) and the keep-alive covers
+  // the folded window.
+  auto cfg = TestConfig();
+  cfg.min_prewarm = 8;
+  cfg.margin = 0.0;
+  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), cfg};
+  policy.SeedHistogram(UnitId{0}, PeakedHistogram(6, 1000));
+  const auto d = policy.DecisionFor(UnitId{0});
+  EXPECT_EQ(d.prewarm, 0);
+  EXPECT_EQ(d.keepalive, 7);  // 7-minute window (upper edge) + folded 6...
+
+  // Just above the threshold: a real pre-warm cycle.
+  HybridHistogramPolicy longer{sim::UnitMap::PerFunction(1), cfg};
+  longer.SeedHistogram(UnitId{0}, PeakedHistogram(20, 1000));
+  EXPECT_EQ(longer.DecisionFor(UnitId{0}).prewarm, 20);
+}
+
+TEST(HybridHistogramPolicy, ObserveIdleTimeUpdatesTheHistogram) {
+  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  EXPECT_FALSE(policy.IsPredictableUnit(UnitId{0}));
+  for (int i = 0; i < 100; ++i) policy.ObserveIdleTime(UnitId{0}, 25);
+  EXPECT_TRUE(policy.IsPredictableUnit(UnitId{0}));
+  EXPECT_EQ(policy.histogram(UnitId{0}).total(), 100u);
+  EXPECT_GT(policy.DecisionFor(UnitId{0}).prewarm, 0);
+}
+
+TEST(HybridHistogramPolicy, DecisionCacheInvalidatesOnObservation) {
+  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  policy.SeedHistogram(UnitId{0}, PeakedHistogram(30, 1000));
+  const auto before = policy.DecisionFor(UnitId{0});
+  // Shift the mass: decisions must change.
+  for (int i = 0; i < 100000; ++i) policy.ObserveIdleTime(UnitId{0}, 120);
+  const auto after = policy.DecisionFor(UnitId{0});
+  EXPECT_NE(before, after);
+}
+
+TEST(HybridHistogramPolicy, OnInvocationMatchesDecisionFor) {
+  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  policy.SeedHistogram(UnitId{0}, PeakedHistogram(60, 500));
+  EXPECT_EQ(policy.OnInvocation(UnitId{0}, 1234), policy.DecisionFor(UnitId{0}));
+}
+
+TEST(HybridHistogramPolicy, ArFallbackHandlesOutOfRangeIdleTimes) {
+  // A unit with a stable 6-hour period: every gap lands out of the
+  // 4-hour histogram, so the histogram branch is blind. With the AR
+  // fallback the policy pre-warms near the forecast gap.
+  auto cfg = TestConfig();
+  cfg.use_ar_fallback = true;
+  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), cfg};
+  for (int i = 0; i < 10; ++i) policy.ObserveIdleTime(UnitId{0}, 360);
+  EXPECT_TRUE(policy.UsesArFallback(UnitId{0}));
+  const auto d = policy.DecisionFor(UnitId{0});
+  EXPECT_NEAR(static_cast<double>(d.prewarm), 359.0, 2.0);
+  EXPECT_LE(d.keepalive, 10);
+
+  // Without the flag the same unit falls back to the fixed keep-alive.
+  HybridHistogramPolicy plain{sim::UnitMap::PerFunction(1), TestConfig()};
+  for (int i = 0; i < 10; ++i) plain.ObserveIdleTime(UnitId{0}, 360);
+  EXPECT_FALSE(plain.UsesArFallback(UnitId{0}));
+  EXPECT_EQ(plain.DecisionFor(UnitId{0}).prewarm, 0);
+}
+
+TEST(HybridHistogramPolicy, ArFallbackNotUsedForInRangeHistograms) {
+  auto cfg = TestConfig();
+  cfg.use_ar_fallback = true;
+  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), cfg};
+  for (int i = 0; i < 50; ++i) policy.ObserveIdleTime(UnitId{0}, 30);
+  EXPECT_FALSE(policy.UsesArFallback(UnitId{0}));  // histogram covers it
+  EXPECT_TRUE(policy.IsPredictableUnit(UnitId{0}));
+}
+
+TEST(HybridHistogramPolicy, ArFallbackEndToEndBeatsFixedOnLongPeriods) {
+  // Strict 6-hour period, 60 cycles: fixed 10-minute keep-alive misses
+  // every invocation after the first; the AR branch pre-warms in time.
+  trace::InvocationTrace trace{1, TimeRange{0, 360 * 60}};
+  for (Minute m = 0; m < 360 * 60; m += 360) trace.Add(FunctionId{0}, m);
+  trace.Finalize();
+  auto cfg = TestConfig();
+  cfg.use_ar_fallback = true;
+  HybridHistogramPolicy with_ar{sim::UnitMap::PerFunction(1), cfg};
+  HybridHistogramPolicy without{sim::UnitMap::PerFunction(1), TestConfig()};
+  const auto eval = TimeRange{0, 360 * 60};
+  const auto a = sim::Simulate(trace, eval, with_ar);
+  const auto b = sim::Simulate(trace, eval, without);
+  EXPECT_LT(a.unit_cold_minutes[0], 10u);   // warms up after a few gaps
+  EXPECT_EQ(b.unit_cold_minutes[0], 60u);   // always cold
+  // And it does so with a fraction of always-on memory.
+  EXPECT_LT(a.AverageMemoryUsage(), 0.2);
+}
+
+TEST(HybridHistogramPolicy, HistogramStateRoundTripsAcrossRestart) {
+  // A daemon persists its learned histograms, restarts, reloads — and
+  // makes the same decisions.
+  HybridHistogramPolicy original{sim::UnitMap::PerFunction(3), TestConfig()};
+  original.SeedHistogram(UnitId{0}, PeakedHistogram(30, 1000));
+  for (int i = 0; i < 50; ++i) original.ObserveIdleTime(UnitId{2}, 90);
+  const std::string state = original.SerializeHistograms();
+
+  HybridHistogramPolicy restarted{sim::UnitMap::PerFunction(3),
+                                  TestConfig()};
+  ASSERT_TRUE(restarted.LoadHistograms(state));
+  for (std::uint32_t u = 0; u < 3; ++u) {
+    EXPECT_EQ(restarted.DecisionFor(UnitId{u}),
+              original.DecisionFor(UnitId{u}))
+        << "unit " << u;
+    EXPECT_EQ(restarted.histogram(UnitId{u}).total(),
+              original.histogram(UnitId{u}).total());
+  }
+}
+
+TEST(HybridHistogramPolicy, LoadHistogramsRejectsBadInput) {
+  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(2), TestConfig()};
+  EXPECT_FALSE(policy.LoadHistograms("wrong header\n"));
+  EXPECT_FALSE(policy.LoadHistograms("unit,histogram\n9,1|0|0:1\n"));
+  EXPECT_FALSE(policy.LoadHistograms("unit,histogram\nx,1|0|0:1\n"));
+}
+
+TEST(HybridHistogramPolicy, PeriodicWorkloadEndToEndIsMostlyWarm) {
+  // A strictly periodic function (period 30): after the training seed the
+  // policy pre-warms it, so evaluation sees almost no cold starts.
+  trace::InvocationTrace trace{1, TimeRange{0, 6000}};
+  for (Minute m = 0; m < 6000; m += 30) trace.Add(FunctionId{0}, m);
+  trace.Finalize();
+  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  stats::Histogram train{240, 1};
+  for (const auto gap : trace.IdleTimes(FunctionId{0}, TimeRange{0, 3000})) {
+    train.Add(gap);
+  }
+  policy.SeedHistogram(UnitId{0}, train);
+  const auto r = sim::Simulate(trace, TimeRange{3000, 6000}, policy);
+  EXPECT_EQ(r.unit_cold_minutes[0], 1u);  // only the very first
+  // And the pre-warm keeps memory far below always-on.
+  EXPECT_LT(r.AverageMemoryUsage(), 0.5);
+}
+
+TEST(HybridHistogramPolicy, UnpredictableWorkloadUsesFixedKeepAlive) {
+  // Idle times spread uniformly over 1..240: unpredictable, fixed 10-min
+  // keep-alive; gaps <= 9 are warm, others cold.
+  trace::InvocationTrace trace{1, TimeRange{0, 100000}};
+  Minute m = 0;
+  int k = 0;
+  std::uint64_t expected_warm = 0, total = 0;
+  Minute prev = -1;
+  while (m < 100000) {
+    trace.Add(FunctionId{0}, m);
+    if (prev >= 0) {
+      ++total;
+      if (m - prev < 10) ++expected_warm;
+    }
+    prev = m;
+    m += 1 + (k * 37) % 113;
+    ++k;
+  }
+  trace.Finalize();
+  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  const auto r = sim::Simulate(trace, TimeRange{0, 100000}, policy);
+  EXPECT_EQ(r.unit_invoked_minutes[0], total + 1);
+  EXPECT_EQ(r.unit_invoked_minutes[0] - r.unit_cold_minutes[0],
+            expected_warm);
+}
+
+}  // namespace
+}  // namespace defuse::policy

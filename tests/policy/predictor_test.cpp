@@ -1,0 +1,116 @@
+#include "policy/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace defuse::policy {
+namespace {
+
+PredictorConfig TestConfig() {
+  PredictorConfig cfg;
+  cfg.hybrid.min_prewarm = 5;
+  return cfg;
+}
+
+stats::Histogram PeakedHistogram(MinuteDelta value, std::uint64_t count) {
+  stats::Histogram h{240, 1};
+  h.AddCount(value, count);
+  return h;
+}
+
+TEST(PeriodicityPredictorPolicy, DominantModeTakesPredictionBranch) {
+  PeriodicityPredictorPolicy policy{sim::UnitMap::PerFunction(1),
+                                    TestConfig()};
+  policy.SeedHistogram(UnitId{0}, PeakedHistogram(30, 1000));
+  EXPECT_TRUE(policy.IsPeriodicUnit(UnitId{0}));
+  const auto d = policy.OnInvocation(UnitId{0}, 0);
+  // Mode bin 30 ([30,31)): prewarm at 30 - lead(2) = 28, alive until
+  // 31 + lag(2) = 33 -> keepalive 5.
+  EXPECT_EQ(d.prewarm, 28);
+  EXPECT_EQ(d.keepalive, 5);
+}
+
+TEST(PeriodicityPredictorPolicy, TightensResidencyVsHybrid) {
+  // Same histogram under plain hybrid: prewarm 27, keepalive ~5 — but
+  // for a *spread* periodic histogram the predictor's window is much
+  // tighter than the percentile span.
+  stats::Histogram spread{240, 1};
+  spread.AddCount(30, 800);   // dominant mode
+  spread.AddCount(60, 100);   // occasional double-gap
+  spread.AddCount(90, 100);
+  PeriodicityPredictorPolicy predictor{sim::UnitMap::PerFunction(1),
+                                       TestConfig()};
+  predictor.SeedHistogram(UnitId{0}, spread);
+  HybridHistogramPolicy hybrid{sim::UnitMap::PerFunction(1),
+                               TestConfig().hybrid};
+  hybrid.SeedHistogram(UnitId{0}, spread);
+  const auto p = predictor.OnInvocation(UnitId{0}, 0);
+  const auto h = hybrid.OnInvocation(UnitId{0}, 0);
+  EXPECT_LT(p.keepalive, h.keepalive);
+}
+
+TEST(PeriodicityPredictorPolicy, WeakModeFallsBackToHybrid) {
+  // Mass spread evenly across many bins: no dominant mode.
+  stats::Histogram flat{240, 1};
+  for (MinuteDelta v = 0; v < 240; v += 3) flat.AddCount(v, 10);
+  PeriodicityPredictorPolicy policy{sim::UnitMap::PerFunction(1),
+                                    TestConfig()};
+  policy.SeedHistogram(UnitId{0}, flat);
+  EXPECT_FALSE(policy.IsPeriodicUnit(UnitId{0}));
+  // Unpredictable flat histogram -> the hybrid fixed fallback.
+  EXPECT_EQ(policy.OnInvocation(UnitId{0}, 0).keepalive, 10);
+}
+
+TEST(PeriodicityPredictorPolicy, TooFewObservationsFallsBack) {
+  PeriodicityPredictorPolicy policy{sim::UnitMap::PerFunction(1),
+                                    TestConfig()};
+  policy.SeedHistogram(UnitId{0}, PeakedHistogram(30, 3));
+  EXPECT_FALSE(policy.IsPeriodicUnit(UnitId{0}));
+}
+
+TEST(PeriodicityPredictorPolicy, SmallModeFoldsIntoResidency) {
+  // Mode at 4 minutes: below min_prewarm, so no unload/reload cycle.
+  PeriodicityPredictorPolicy policy{sim::UnitMap::PerFunction(1),
+                                    TestConfig()};
+  policy.SeedHistogram(UnitId{0}, PeakedHistogram(4, 1000));
+  const auto d = policy.OnInvocation(UnitId{0}, 0);
+  EXPECT_EQ(d.prewarm, 0);
+  EXPECT_GE(d.keepalive, 5);  // covers the folded window
+}
+
+TEST(PeriodicityPredictorPolicy, ObservationsFlowToTheHistogram) {
+  PeriodicityPredictorPolicy policy{sim::UnitMap::PerFunction(1),
+                                    TestConfig()};
+  for (int i = 0; i < 100; ++i) policy.ObserveIdleTime(UnitId{0}, 42);
+  EXPECT_TRUE(policy.IsPeriodicUnit(UnitId{0}));
+  EXPECT_EQ(policy.hybrid().histogram(UnitId{0}).total(), 100u);
+}
+
+TEST(PeriodicityPredictorPolicy, PeriodicWorkloadIsWarmAndLean) {
+  // Strict period 30: both policies serve warm, but the predictor's
+  // residency (memory) is lower.
+  trace::InvocationTrace trace{1, TimeRange{0, 20000}};
+  for (Minute m = 0; m < 20000; m += 30) trace.Add(FunctionId{0}, m);
+  trace.Finalize();
+  const TimeRange train{0, 10000}, eval{10000, 20000};
+  stats::Histogram seed{240, 1};
+  for (const auto gap : trace.IdleTimes(FunctionId{0}, train)) seed.Add(gap);
+
+  PeriodicityPredictorPolicy predictor{sim::UnitMap::PerFunction(1),
+                                       TestConfig()};
+  predictor.SeedHistogram(UnitId{0}, seed);
+  const auto pr = sim::Simulate(trace, eval, predictor);
+
+  HybridHistogramPolicy hybrid{sim::UnitMap::PerFunction(1),
+                               TestConfig().hybrid};
+  hybrid.SeedHistogram(UnitId{0}, seed);
+  const auto hr = sim::Simulate(trace, eval, hybrid);
+
+  EXPECT_EQ(pr.unit_cold_minutes[0], 1u);  // first touch only
+  EXPECT_EQ(hr.unit_cold_minutes[0], 1u);
+  EXPECT_LE(pr.AverageMemoryUsage(), hr.AverageMemoryUsage());
+}
+
+}  // namespace
+}  // namespace defuse::policy

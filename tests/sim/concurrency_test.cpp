@@ -1,0 +1,180 @@
+#include "sim/concurrency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "policy/fixed.hpp"
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace defuse::sim {
+namespace {
+
+trace::InvocationTrace TraceOf(
+    std::size_t num_functions,
+    std::vector<std::tuple<std::uint32_t, Minute, std::uint32_t>> events,
+    Minute horizon = 200) {
+  trace::InvocationTrace t{num_functions, TimeRange{0, horizon}};
+  for (const auto& [fn, minute, count] : events) {
+    t.Add(FunctionId{fn}, minute, count);
+  }
+  t.Finalize();
+  return t;
+}
+
+TEST(Concurrency, SingleInvocationIsOneColdEvent) {
+  auto trace = TraceOf(1, {{0, 5, 1}});
+  policy::FixedKeepAlivePolicy policy{UnitMap::PerFunction(1), 10};
+  const auto r = SimulateConcurrent(trace, TimeRange{0, 200}, policy);
+  EXPECT_EQ(r.total_invocation_events, 1u);
+  EXPECT_EQ(r.total_cold_events, 1u);
+  EXPECT_EQ(r.resident_containers[5], 1u);
+  EXPECT_EQ(r.resident_containers[14], 1u);
+  EXPECT_EQ(r.resident_containers[15], 0u);
+}
+
+TEST(Concurrency, BurstSpawnsOneContainerPerConcurrentInvocation) {
+  auto trace = TraceOf(1, {{0, 5, 4}});
+  policy::FixedKeepAlivePolicy policy{UnitMap::PerFunction(1), 10};
+  const auto r = SimulateConcurrent(trace, TimeRange{0, 200}, policy);
+  EXPECT_EQ(r.total_invocation_events, 4u);
+  EXPECT_EQ(r.total_cold_events, 4u);
+  EXPECT_EQ(r.resident_containers[5], 4u);
+}
+
+TEST(Concurrency, WarmPoolAbsorbsRepeatBursts) {
+  auto trace = TraceOf(1, {{0, 5, 4}, {0, 10, 3}});
+  policy::FixedKeepAlivePolicy policy{UnitMap::PerFunction(1), 10};
+  const auto r = SimulateConcurrent(trace, TimeRange{0, 200}, policy);
+  // Second burst of 3 fits entirely in the 4 warm containers.
+  EXPECT_EQ(r.total_cold_events, 4u);
+  EXPECT_EQ(r.total_invocation_events, 7u);
+}
+
+TEST(Concurrency, GrowingBurstSpawnsOnlyTheDifference) {
+  auto trace = TraceOf(1, {{0, 5, 2}, {0, 10, 5}});
+  policy::FixedKeepAlivePolicy policy{UnitMap::PerFunction(1), 10};
+  const auto r = SimulateConcurrent(trace, TimeRange{0, 200}, policy);
+  EXPECT_EQ(r.total_cold_events, 2u + 3u);
+  EXPECT_EQ(r.resident_containers[10], 5u);
+}
+
+TEST(Concurrency, ContainersExpireIndividuallyAfterKeepAlive) {
+  auto trace = TraceOf(1, {{0, 5, 3}, {0, 30, 1}});
+  policy::FixedKeepAlivePolicy policy{UnitMap::PerFunction(1), 10};
+  const auto r = SimulateConcurrent(trace, TimeRange{0, 200}, policy);
+  EXPECT_EQ(r.resident_containers[14], 3u);
+  EXPECT_EQ(r.resident_containers[20], 0u);  // all expired
+  EXPECT_EQ(r.total_cold_events, 4u);        // the 30' one is cold again
+}
+
+TEST(Concurrency, UnitInvocationKeepsAllMembersWarm) {
+  // Functions 0,1 in one unit. Only 0 fires at 5; both get containers
+  // (whole-set loading); 1's invocation at 10 is then warm.
+  auto trace = TraceOf(2, {{0, 5, 1}, {1, 10, 1}});
+  policy::FixedKeepAlivePolicy policy{
+      UnitMap{std::vector<std::uint32_t>{0, 0}}, 10};
+  const auto r = SimulateConcurrent(trace, TimeRange{0, 200}, policy);
+  EXPECT_EQ(r.resident_containers[5], 2u);  // one per member
+  EXPECT_EQ(r.unit_cold_events[0], 1u);     // only fn0's spawn at 5
+  EXPECT_EQ(r.total_invocation_events, 2u);
+}
+
+TEST(Concurrency, PerFunctionUnitsDoNotCrossWarm) {
+  auto trace = TraceOf(2, {{0, 5, 1}, {1, 10, 1}});
+  policy::FixedKeepAlivePolicy policy{UnitMap::PerFunction(2), 10};
+  const auto r = SimulateConcurrent(trace, TimeRange{0, 200}, policy);
+  EXPECT_EQ(r.total_cold_events, 2u);
+}
+
+TEST(Concurrency, MatchesBasicSimulatorWhenCountsAreOne) {
+  // With unit counts of 1 everywhere and per-function units under a
+  // fixed keep-alive, event-level cold counts coincide with the basic
+  // simulator's cold minutes.
+  std::vector<std::tuple<std::uint32_t, Minute, std::uint32_t>> events;
+  for (Minute t = 0; t < 180; t += 7) {
+    events.emplace_back(static_cast<std::uint32_t>((t / 7) % 3), t, 1);
+  }
+  auto trace = TraceOf(3, events);
+  policy::FixedKeepAlivePolicy p1{UnitMap::PerFunction(3), 15};
+  policy::FixedKeepAlivePolicy p2{UnitMap::PerFunction(3), 15};
+  const auto concurrent = SimulateConcurrent(trace, TimeRange{0, 200}, p1);
+  const auto basic = Simulate(trace, TimeRange{0, 200}, p2);
+  for (std::size_t u = 0; u < 3; ++u) {
+    EXPECT_EQ(concurrent.unit_cold_events[u], basic.unit_cold_minutes[u])
+        << "unit " << u;
+    EXPECT_EQ(concurrent.unit_invocation_events[u],
+              basic.unit_invoked_minutes[u]);
+  }
+  EXPECT_EQ(concurrent.resident_containers, basic.loaded_functions);
+}
+
+/// Differential anchor: with all counts = 1 and per-function units under
+/// a fixed keep-alive, the container simulator must agree with the
+/// (independently verified) unit-residency simulator on random
+/// workloads.
+class ConcurrencyDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(ConcurrencyDifferentialTest, AgreesWithBaseSimulatorOnCountOne) {
+  const auto [seed, keepalive] = GetParam();
+  Rng rng{seed};
+  constexpr std::size_t kFunctions = 12;
+  trace::InvocationTrace trace{kFunctions, TimeRange{0, 500}};
+  for (std::uint32_t f = 0; f < kFunctions; ++f) {
+    Minute t = static_cast<Minute>(rng.NextBelow(30));
+    while (t < 500) {
+      trace.Add(FunctionId{f}, t);
+      t += 1 + static_cast<Minute>(rng.NextBelow(50));
+    }
+  }
+  trace.Finalize();
+  policy::FixedKeepAlivePolicy p1{UnitMap::PerFunction(kFunctions),
+                                  keepalive};
+  policy::FixedKeepAlivePolicy p2{UnitMap::PerFunction(kFunctions),
+                                  keepalive};
+  const auto concurrent = SimulateConcurrent(trace, TimeRange{0, 500}, p1);
+  const auto basic = Simulate(trace, TimeRange{0, 500}, p2);
+  for (std::size_t u = 0; u < kFunctions; ++u) {
+    EXPECT_EQ(concurrent.unit_cold_events[u], basic.unit_cold_minutes[u])
+        << "seed=" << seed << " ka=" << keepalive << " unit=" << u;
+  }
+  EXPECT_EQ(concurrent.resident_containers, basic.loaded_functions);
+  EXPECT_EQ(concurrent.spawned_containers, basic.loading_functions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, ConcurrencyDifferentialTest,
+    ::testing::Combine(::testing::Values(10, 11, 12, 13, 14),
+                       ::testing::Values(1, 5, 20)));
+
+TEST(Concurrency, FunctionColdStartRatesInheritUnitRates) {
+  auto trace = TraceOf(2, {{0, 5, 2}, {1, 5, 2}, {0, 8, 2}});
+  policy::FixedKeepAlivePolicy policy{
+      UnitMap{std::vector<std::uint32_t>{0, 0}}, 10};
+  const auto r = SimulateConcurrent(trace, TimeRange{0, 200}, policy);
+  const auto rates = r.FunctionColdStartRates(policy.unit_map());
+  ASSERT_EQ(rates.size(), 2u);
+  // 6 events, 4 cold spawns (2 + 2 at minute 5; minute 8 warm).
+  EXPECT_DOUBLE_EQ(rates[0], 4.0 / 6.0);
+  EXPECT_DOUBLE_EQ(rates[0], rates[1]);
+}
+
+TEST(Concurrency, EventColdFractionAndAverages) {
+  auto trace = TraceOf(1, {{0, 5, 2}}, 10);
+  policy::FixedKeepAlivePolicy policy{UnitMap::PerFunction(1), 3};
+  const auto r = SimulateConcurrent(trace, TimeRange{0, 10}, policy);
+  EXPECT_DOUBLE_EQ(r.EventColdFraction(), 1.0);
+  // Containers resident minutes 5,6,7 (2 each) -> avg 6/10.
+  EXPECT_DOUBLE_EQ(r.AverageResidentContainers(), 0.6);
+}
+
+TEST(Concurrency, EmptyEvalRange) {
+  auto trace = TraceOf(1, {{0, 5, 1}});
+  policy::FixedKeepAlivePolicy policy{UnitMap::PerFunction(1), 10};
+  const auto r = SimulateConcurrent(trace, TimeRange{50, 50}, policy);
+  EXPECT_EQ(r.total_invocation_events, 0u);
+  EXPECT_TRUE(r.resident_containers.empty());
+}
+
+}  // namespace
+}  // namespace defuse::sim

@@ -1,0 +1,142 @@
+// Differential test: the event-driven simulator against a brute-force
+// reference implementation for the fixed keep-alive policy, on random
+// workloads. The reference models residency directly minute-by-minute:
+//
+//   a unit invoked at t is resident for minutes [t, t + K) (sliding on
+//   each invocation); an invocation is warm iff the unit was already
+//   resident at that minute.
+//
+// Any disagreement in cold counts, memory integral, or load counts is a
+// simulator bug.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "policy/fixed.hpp"
+#include "sim/simulator.hpp"
+
+namespace defuse::sim {
+namespace {
+
+struct Reference {
+  std::vector<std::uint64_t> unit_cold;
+  std::vector<std::uint64_t> unit_invoked;
+  std::vector<std::uint64_t> loaded_per_minute;
+  std::vector<std::uint64_t> loads_per_minute;
+};
+
+/// O(units x minutes) direct computation.
+Reference SimulateReference(const trace::InvocationTrace& trace,
+                            const UnitMap& units, TimeRange eval,
+                            MinuteDelta keepalive) {
+  const std::size_t n = units.num_units();
+  const auto len = static_cast<std::size_t>(eval.length());
+  Reference ref;
+  ref.unit_cold.assign(n, 0);
+  ref.unit_invoked.assign(n, 0);
+  ref.loaded_per_minute.assign(len, 0);
+  ref.loads_per_minute.assign(len, 0);
+
+  // Per unit: the sorted minutes (within eval) at which it is invoked.
+  std::vector<std::vector<Minute>> invocations(n);
+  for (std::size_t f = 0; f < units.num_functions(); ++f) {
+    const FunctionId fn{static_cast<std::uint32_t>(f)};
+    const UnitId unit = units.unit_of(fn);
+    for (const auto& e : trace.SeriesInRange(fn, eval)) {
+      invocations[unit.value()].push_back(e.minute);
+    }
+  }
+  for (auto& list : invocations) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+
+  for (std::size_t u = 0; u < n; ++u) {
+    Minute resident_until = -1;  // exclusive
+    const auto size = units.unit_size(UnitId{static_cast<std::uint32_t>(u)});
+    Minute resident_from = -1;
+    const auto mark_resident = [&](Minute from, Minute until) {
+      for (Minute t = from; t < until && t < eval.end; ++t) {
+        if (t >= eval.begin) {
+          ref.loaded_per_minute[static_cast<std::size_t>(t - eval.begin)] +=
+              size;
+        }
+      }
+    };
+    for (const Minute t : invocations[u]) {
+      ++ref.unit_invoked[u];
+      const bool warm = t < resident_until;
+      if (!warm) {
+        ++ref.unit_cold[u];
+        ref.loads_per_minute[static_cast<std::size_t>(t - eval.begin)] +=
+            size;
+        // Close out the previous residency interval.
+        if (resident_from >= 0) mark_resident(resident_from, resident_until);
+        resident_from = t;
+      }
+      resident_until = t + std::max<MinuteDelta>(keepalive, 1);
+    }
+    if (resident_from >= 0) mark_resident(resident_from, resident_until);
+  }
+  return ref;
+}
+
+class DifferentialTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int, int>> {};
+
+TEST_P(DifferentialTest, MatchesReferenceOnRandomWorkloads) {
+  const auto [seed, keepalive, granularity] = GetParam();
+  Rng rng{seed};
+  constexpr std::size_t kFunctions = 24;
+  constexpr Minute kHorizon = 600;
+
+  trace::InvocationTrace trace{kFunctions, TimeRange{0, kHorizon}};
+  for (std::uint32_t f = 0; f < kFunctions; ++f) {
+    Minute t = static_cast<Minute>(rng.NextBelow(40));
+    while (t < kHorizon) {
+      trace.Add(FunctionId{f}, t);
+      t += 1 + static_cast<Minute>(rng.NextBelow(60));
+    }
+  }
+  trace.Finalize();
+
+  // Random unit partition: `granularity` controls how many functions
+  // share a unit.
+  std::vector<std::uint32_t> fn_to_unit(kFunctions);
+  const auto num_units = kFunctions / static_cast<std::size_t>(granularity);
+  for (std::size_t f = 0; f < kFunctions; ++f) {
+    fn_to_unit[f] = static_cast<std::uint32_t>(rng.NextBelow(num_units));
+  }
+  // Densify (every unit id must own at least one function).
+  std::map<std::uint32_t, std::uint32_t> dense;
+  for (auto& u : fn_to_unit) {
+    const auto [it, added] =
+        dense.emplace(u, static_cast<std::uint32_t>(dense.size()));
+    u = it->second;
+  }
+
+  const TimeRange eval{0, kHorizon};
+  policy::FixedKeepAlivePolicy policy{UnitMap{fn_to_unit}, keepalive};
+  const auto fast = Simulate(trace, eval, policy);
+  const auto ref = SimulateReference(trace, policy.unit_map(), eval,
+                                     keepalive);
+
+  ASSERT_EQ(fast.unit_cold_minutes.size(), ref.unit_cold.size());
+  for (std::size_t u = 0; u < ref.unit_cold.size(); ++u) {
+    EXPECT_EQ(fast.unit_cold_minutes[u], ref.unit_cold[u]) << "unit " << u;
+    EXPECT_EQ(fast.unit_invoked_minutes[u], ref.unit_invoked[u])
+        << "unit " << u;
+  }
+  EXPECT_EQ(fast.loaded_functions, ref.loaded_per_minute);
+  EXPECT_EQ(fast.loading_functions, ref.loads_per_minute);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, DifferentialTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6),
+                       ::testing::Values(1, 5, 10, 60),
+                       ::testing::Values(1, 3, 8)));
+
+}  // namespace
+}  // namespace defuse::sim

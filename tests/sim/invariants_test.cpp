@@ -1,0 +1,114 @@
+// Invariant fuzzing: random workloads driven through random-but-valid
+// policy decisions must never violate the simulator's accounting
+// invariants, with or without a memory cap.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace defuse::sim {
+namespace {
+
+/// Emits pseudo-random (pre-warm, keep-alive) decisions.
+class ChaosPolicy final : public SchedulingPolicy {
+ public:
+  ChaosPolicy(UnitMap units, std::uint64_t seed)
+      : units_(std::move(units)), rng_(seed) {}
+
+  [[nodiscard]] const UnitMap& unit_map() const noexcept override {
+    return units_;
+  }
+  [[nodiscard]] UnitDecision OnInvocation(UnitId, Minute) override {
+    UnitDecision d;
+    d.prewarm = static_cast<MinuteDelta>(rng_.NextBelow(40));
+    d.keepalive = static_cast<MinuteDelta>(rng_.NextBelow(60));
+    return d;
+  }
+  void ObserveIdleTime(UnitId, MinuteDelta) override {}
+  [[nodiscard]] const char* name() const noexcept override { return "chaos"; }
+
+ private:
+  UnitMap units_;
+  Rng rng_;
+};
+
+struct FuzzCase {
+  std::uint64_t seed;
+  std::uint64_t memory_limit;  // 0 = unlimited
+};
+
+class SimulatorInvariantsTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(SimulatorInvariantsTest, AccountingInvariantsHold) {
+  const auto [seed, memory_limit] = GetParam();
+  Rng rng{seed};
+  constexpr std::size_t kFunctions = 30;
+  constexpr Minute kHorizon = 800;
+
+  trace::InvocationTrace trace{kFunctions, TimeRange{0, kHorizon}};
+  std::uint64_t expected_fn_minutes = 0;
+  for (std::uint32_t f = 0; f < kFunctions; ++f) {
+    Minute t = static_cast<Minute>(rng.NextBelow(50));
+    while (t < kHorizon) {
+      trace.Add(FunctionId{f}, t, 1 + static_cast<std::uint32_t>(
+                                          rng.NextBelow(3)));
+      ++expected_fn_minutes;
+      t += 1 + static_cast<Minute>(rng.NextBelow(45));
+    }
+  }
+  trace.Finalize();
+
+  // Random partition into units.
+  std::vector<std::uint32_t> fn_to_unit(kFunctions);
+  for (auto& u : fn_to_unit) {
+    u = static_cast<std::uint32_t>(rng.NextBelow(10));
+  }
+  // Densify.
+  std::vector<std::int64_t> remap(10, -1);
+  std::uint32_t next = 0;
+  for (auto& u : fn_to_unit) {
+    if (remap[u] < 0) remap[u] = next++;
+    u = static_cast<std::uint32_t>(remap[u]);
+  }
+
+  ChaosPolicy policy{UnitMap{fn_to_unit}, seed ^ 0xabcd};
+  SimulatorOptions options;
+  options.memory_limit = memory_limit;
+  const auto r = Simulate(trace, TimeRange{0, kHorizon}, policy, options);
+
+  // (1) every function-minute event accounted exactly once;
+  EXPECT_EQ(r.function_invocation_minutes, expected_fn_minutes);
+  // (2) cold counts bounded by invocation counts, per unit and globally;
+  EXPECT_LE(r.function_cold_minutes, r.function_invocation_minutes);
+  std::uint64_t unit_invoked = 0;
+  for (std::size_t u = 0; u < r.unit_invoked_minutes.size(); ++u) {
+    EXPECT_LE(r.unit_cold_minutes[u], r.unit_invoked_minutes[u]);
+    unit_invoked += r.unit_invoked_minutes[u];
+  }
+  EXPECT_LE(unit_invoked, expected_fn_minutes);
+  // (3) memory samples bounded by the platform size (and the cap, when
+  // no same-minute overcommit is forced — bursts of distinct units can
+  // exceed the cap only transiently; the bound below is conservative);
+  for (const auto loaded : r.loaded_functions) {
+    EXPECT_LE(loaded, kFunctions);
+  }
+  // (4) rates derived from the counters are probabilities;
+  for (const double rate : r.FunctionColdStartRates(policy.unit_map())) {
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
+  }
+  // (5) loading events are nonzero iff something was ever cold/prewarmed.
+  std::uint64_t loads = 0;
+  for (const auto v : r.loading_functions) loads += v;
+  EXPECT_GE(loads, r.unit_cold_minutes[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, SimulatorInvariantsTest,
+    ::testing::Values(FuzzCase{101, 0}, FuzzCase{102, 0}, FuzzCase{103, 0},
+                      FuzzCase{104, 12}, FuzzCase{105, 12},
+                      FuzzCase{106, 5}, FuzzCase{107, 5}, FuzzCase{108, 2},
+                      FuzzCase{109, 30}, FuzzCase{110, 1}));
+
+}  // namespace
+}  // namespace defuse::sim

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hpp"
+
+namespace defuse::sim {
+namespace {
+
+SimulationResult ResultWith(std::uint64_t invocations, std::uint64_t cold) {
+  SimulationResult r;
+  r.function_invocation_minutes = invocations;
+  r.function_cold_minutes = cold;
+  return r;
+}
+
+TEST(Latency, AllWarmIsWarmLatency) {
+  const auto r = ResultWith(100, 0);
+  EXPECT_DOUBLE_EQ(MeanLatencyMs(r), 5.0);
+  EXPECT_DOUBLE_EQ(LatencyPercentileMs(r, 0.99), 5.0);
+}
+
+TEST(Latency, AllColdIsColdLatency) {
+  const auto r = ResultWith(100, 100);
+  EXPECT_DOUBLE_EQ(MeanLatencyMs(r), 1500.0);
+  EXPECT_DOUBLE_EQ(LatencyPercentileMs(r, 0.01), 1500.0);
+}
+
+TEST(Latency, MeanInterpolatesLinearly) {
+  const auto r = ResultWith(100, 10);
+  EXPECT_DOUBLE_EQ(MeanLatencyMs(r), 5.0 + 0.1 * 1495.0);
+}
+
+TEST(Latency, PercentileSwitchesAtTheWarmMass) {
+  const auto r = ResultWith(100, 10);  // 90% warm
+  EXPECT_DOUBLE_EQ(LatencyPercentileMs(r, 0.50), 5.0);
+  EXPECT_DOUBLE_EQ(LatencyPercentileMs(r, 0.90), 5.0);
+  EXPECT_DOUBLE_EQ(LatencyPercentileMs(r, 0.95), 1500.0);
+  EXPECT_DOUBLE_EQ(LatencyPercentileMs(r, 0.99), 1500.0);
+}
+
+TEST(Latency, CustomModelValues) {
+  const auto r = ResultWith(10, 5);
+  const LatencyModel model{.warm_ms = 1.0, .cold_ms = 11.0};
+  EXPECT_DOUBLE_EQ(MeanLatencyMs(r, model), 6.0);
+  EXPECT_DOUBLE_EQ(LatencyPercentileMs(r, 0.4, model), 1.0);
+  EXPECT_DOUBLE_EQ(LatencyPercentileMs(r, 0.6, model), 11.0);
+}
+
+TEST(Latency, EmptyResultIsZero) {
+  const auto r = ResultWith(0, 0);
+  EXPECT_DOUBLE_EQ(MeanLatencyMs(r), 0.0);
+  EXPECT_DOUBLE_EQ(LatencyPercentileMs(r, 0.99), 0.0);
+}
+
+}  // namespace
+}  // namespace defuse::sim

@@ -1,0 +1,117 @@
+// Tests for the hard memory cap + LRU capacity eviction extension
+// (SimulatorOptions::memory_limit).
+#include <gtest/gtest.h>
+
+#include "policy/fixed.hpp"
+#include "sim/simulator.hpp"
+
+namespace defuse::sim {
+namespace {
+
+trace::InvocationTrace TraceOf(std::size_t num_functions,
+                               std::vector<std::pair<std::uint32_t, Minute>>
+                                   events,
+                               Minute horizon = 200) {
+  trace::InvocationTrace t{num_functions, TimeRange{0, horizon}};
+  for (const auto& [fn, minute] : events) t.Add(FunctionId{fn}, minute);
+  t.Finalize();
+  return t;
+}
+
+SimulatorOptions Limited(std::uint64_t limit) {
+  SimulatorOptions o;
+  o.memory_limit = limit;
+  return o;
+}
+
+TEST(MemoryLimit, UnlimitedByDefault) {
+  auto trace = TraceOf(3, {{0, 5}, {1, 5}, {2, 5}});
+  policy::FixedKeepAlivePolicy policy{UnitMap::PerFunction(3), 100};
+  const auto r = Simulate(trace, TimeRange{0, 200}, policy);
+  EXPECT_EQ(r.capacity_evictions, 0u);
+  EXPECT_EQ(r.loaded_functions[10], 3u);
+}
+
+TEST(MemoryLimit, CapIsRespected) {
+  auto trace = TraceOf(3, {{0, 5}, {1, 10}, {2, 15}});
+  policy::FixedKeepAlivePolicy policy{UnitMap::PerFunction(3), 100};
+  const auto r = Simulate(trace, TimeRange{0, 200}, policy, Limited(2));
+  for (const auto loaded : r.loaded_functions) EXPECT_LE(loaded, 2u);
+  EXPECT_GT(r.capacity_evictions, 0u);
+}
+
+TEST(MemoryLimit, EvictsLeastRecentlyInvoked) {
+  // Units 0, 1 invoked at 5 and 10; at 15 unit 2 loads -> unit 0 (oldest)
+  // is evicted, unit 1 survives and is warm at 20.
+  auto trace = TraceOf(3, {{0, 5}, {1, 10}, {2, 15}, {1, 20}, {0, 25}});
+  policy::FixedKeepAlivePolicy policy{UnitMap::PerFunction(3), 100};
+  const auto r = Simulate(trace, TimeRange{0, 200}, policy, Limited(2));
+  EXPECT_EQ(r.unit_cold_minutes[1], 1u);  // warm at 20
+  EXPECT_EQ(r.unit_cold_minutes[0], 2u);  // evicted, cold again at 25
+}
+
+TEST(MemoryLimit, SameMinuteUnitsAreProtected) {
+  // Three units all invoked at minute 5 with capacity 2: the load of the
+  // third must not evict a unit invoked in the same minute... but
+  // capacity forces an overcommit instead.
+  auto trace = TraceOf(3, {{0, 5}, {1, 5}, {2, 5}});
+  policy::FixedKeepAlivePolicy policy{UnitMap::PerFunction(3), 100};
+  const auto r = Simulate(trace, TimeRange{0, 200}, policy, Limited(2));
+  // All three served (never rejected), so the peak overcommits to 3.
+  EXPECT_EQ(r.loaded_functions[5], 3u);
+  EXPECT_EQ(r.function_cold_minutes, 3u);
+}
+
+TEST(MemoryLimit, EvictedUnitsPendingEventsAreCancelled) {
+  // Unit 0's keep-alive would evict it at 105; it is capacity-evicted at
+  // 15 and re-invoked at 50 (cold), re-arming its keep-alive to 150. The
+  // stale evict must not fire at 105: unit 0 is still warm at 140.
+  auto trace = TraceOf(2, {{0, 5}, {1, 15}, {0, 50}, {0, 140}});
+  policy::FixedKeepAlivePolicy policy{UnitMap::PerFunction(2), 100};
+  const auto r = Simulate(trace, TimeRange{0, 200}, policy, Limited(1));
+  EXPECT_EQ(r.unit_cold_minutes[0], 2u);  // cold at 5 and 50, warm at 140
+}
+
+TEST(MemoryLimit, LargeUnitOvercommitsWhenNothingEvictable) {
+  // A 3-function unit with capacity 2: it must still load (overcommit).
+  auto trace = TraceOf(3, {{0, 5}});
+  policy::FixedKeepAlivePolicy policy{
+      UnitMap{std::vector<std::uint32_t>{0, 0, 0}}, 10};
+  const auto r = Simulate(trace, TimeRange{0, 50}, policy, Limited(2));
+  EXPECT_EQ(r.loaded_functions[5], 3u);
+  EXPECT_EQ(r.unit_cold_minutes[0], 1u);
+}
+
+TEST(MemoryLimit, TighterBudgetsMeanMoreColdStarts) {
+  // Monotone sanity on a rotating workload.
+  std::vector<std::pair<std::uint32_t, Minute>> events;
+  for (Minute t = 0; t < 180; ++t) {
+    events.emplace_back(static_cast<std::uint32_t>(t % 6), t);
+  }
+  auto trace = TraceOf(6, events);
+  std::uint64_t prev_cold = 0;
+  for (const std::uint64_t limit : {6u, 3u, 1u}) {
+    policy::FixedKeepAlivePolicy policy{UnitMap::PerFunction(6), 100};
+    const auto r = Simulate(trace, TimeRange{0, 200}, policy, Limited(limit));
+    EXPECT_GE(r.function_cold_minutes, prev_cold) << "limit=" << limit;
+    prev_cold = r.function_cold_minutes;
+  }
+}
+
+TEST(MemoryLimit, CapacityEvictionKeepsAccountingConsistent) {
+  // Loaded-function counts never go negative / leak across many
+  // evictions.
+  std::vector<std::pair<std::uint32_t, Minute>> events;
+  for (Minute t = 0; t < 150; ++t) {
+    events.emplace_back(static_cast<std::uint32_t>((t * 7) % 10), t);
+  }
+  auto trace = TraceOf(10, events);
+  policy::FixedKeepAlivePolicy policy{UnitMap::PerFunction(10), 30};
+  const auto r = Simulate(trace, TimeRange{0, 200}, policy, Limited(4));
+  for (const auto loaded : r.loaded_functions) EXPECT_LE(loaded, 4u);
+  // After the last keep-alive expires everything is unloaded.
+  EXPECT_EQ(r.loaded_functions.back(), 0u);
+}
+
+}  // namespace
+}  // namespace defuse::sim

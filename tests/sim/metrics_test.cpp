@@ -1,0 +1,72 @@
+// Direct tests of SimulationResult's derived metrics (most behaviour is
+// also covered end-to-end through the simulator tests).
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hpp"
+
+namespace defuse::sim {
+namespace {
+
+/// Two units over three functions: unit 0 = {f0, f1}, unit 1 = {f2}.
+UnitMap TwoUnits() { return UnitMap{std::vector<std::uint32_t>{0, 0, 1}}; }
+
+SimulationResult MakeResult() {
+  SimulationResult r;
+  r.eval_range = TimeRange{0, 4};
+  r.unit_invoked_minutes = {4, 2};
+  r.unit_cold_minutes = {1, 2};
+  r.loaded_functions = {2, 3, 3, 0};
+  r.loading_functions = {2, 1, 0, 0};
+  r.function_invocation_minutes = 6;
+  r.function_cold_minutes = 3;
+  return r;
+}
+
+TEST(Metrics, FunctionRatesInheritUnitRates) {
+  const auto r = MakeResult();
+  const auto rates = r.FunctionColdStartRates(TwoUnits());
+  ASSERT_EQ(rates.size(), 3u);
+  EXPECT_DOUBLE_EQ(rates[0], 0.25);
+  EXPECT_DOUBLE_EQ(rates[1], 0.25);
+  EXPECT_DOUBLE_EQ(rates[2], 1.0);
+}
+
+TEST(Metrics, UninvokedUnitsAreSkipped) {
+  auto r = MakeResult();
+  r.unit_invoked_minutes[1] = 0;
+  const auto rates = r.FunctionColdStartRates(TwoUnits());
+  EXPECT_EQ(rates.size(), 2u);  // f2's unit never invoked
+}
+
+TEST(Metrics, AveragesOverTheWindow) {
+  const auto r = MakeResult();
+  EXPECT_DOUBLE_EQ(r.AverageMemoryUsage(), (2 + 3 + 3 + 0) / 4.0);
+  EXPECT_DOUBLE_EQ(r.AverageLoadingFunctions(), 3.0 / 4.0);
+}
+
+TEST(Metrics, EmptyResultAveragesAreZero) {
+  SimulationResult r;
+  EXPECT_DOUBLE_EQ(r.AverageMemoryUsage(), 0.0);
+  EXPECT_DOUBLE_EQ(r.AverageLoadingFunctions(), 0.0);
+  EXPECT_DOUBLE_EQ(r.AverageWeightedMemory(), 0.0);
+}
+
+TEST(Metrics, PercentileAndEcdfAgree) {
+  const auto r = MakeResult();
+  const auto units = TwoUnits();
+  const auto ecdf = r.ColdStartRateEcdf(units);
+  EXPECT_EQ(ecdf.size(), 3u);
+  // 2 of 3 rates are 0.25.
+  EXPECT_DOUBLE_EQ(ecdf.At(0.25), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(r.ColdStartRatePercentile(units, 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(r.ColdStartRatePercentile(units, 1.0), 1.0);
+}
+
+TEST(Metrics, WeightedAverageUsesLoadedWeight) {
+  SimulationResult r;
+  r.loaded_weight = {1.5, 2.5, 0.0, 4.0};
+  EXPECT_DOUBLE_EQ(r.AverageWeightedMemory(), 2.0);
+}
+
+}  // namespace
+}  // namespace defuse::sim

@@ -1,0 +1,311 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace defuse::sim {
+namespace {
+
+/// Test policy: returns a fixed decision (optionally per unit) and
+/// records every observed idle time.
+class ScriptedPolicy final : public SchedulingPolicy {
+ public:
+  ScriptedPolicy(UnitMap units, UnitDecision decision)
+      : units_(std::move(units)),
+        decisions_(units_.num_units(), decision) {}
+
+  void SetDecision(UnitId unit, UnitDecision decision) {
+    decisions_[unit.value()] = decision;
+  }
+
+  [[nodiscard]] const UnitMap& unit_map() const noexcept override {
+    return units_;
+  }
+  [[nodiscard]] UnitDecision OnInvocation(UnitId unit, Minute) override {
+    return decisions_[unit.value()];
+  }
+  void ObserveIdleTime(UnitId unit, MinuteDelta gap) override {
+    observed.emplace_back(unit.value(), gap);
+  }
+  [[nodiscard]] const char* name() const noexcept override {
+    return "scripted";
+  }
+
+  std::vector<std::pair<std::uint32_t, MinuteDelta>> observed;
+
+ private:
+  UnitMap units_;
+  std::vector<UnitDecision> decisions_;
+};
+
+trace::InvocationTrace TraceOf(std::size_t num_functions,
+                               std::vector<std::pair<std::uint32_t, Minute>>
+                                   events,
+                               Minute horizon = 100) {
+  trace::InvocationTrace t{num_functions, TimeRange{0, horizon}};
+  for (const auto& [fn, minute] : events) t.Add(FunctionId{fn}, minute);
+  t.Finalize();
+  return t;
+}
+
+TEST(Simulator, FirstInvocationIsCold) {
+  auto trace = TraceOf(1, {{0, 5}});
+  ScriptedPolicy policy{UnitMap::PerFunction(1), {.prewarm = 0, .keepalive = 10}};
+  const auto r = Simulate(trace, TimeRange{0, 100}, policy);
+  EXPECT_EQ(r.unit_invoked_minutes[0], 1u);
+  EXPECT_EQ(r.unit_cold_minutes[0], 1u);
+  EXPECT_EQ(r.function_invocation_minutes, 1u);
+  EXPECT_EQ(r.function_cold_minutes, 1u);
+}
+
+TEST(Simulator, WithinKeepAliveIsWarm) {
+  auto trace = TraceOf(1, {{0, 5}, {0, 14}});  // gap 9 < keepalive 10
+  ScriptedPolicy policy{UnitMap::PerFunction(1), {.prewarm = 0, .keepalive = 10}};
+  const auto r = Simulate(trace, TimeRange{0, 100}, policy);
+  EXPECT_EQ(r.unit_invoked_minutes[0], 2u);
+  EXPECT_EQ(r.unit_cold_minutes[0], 1u);  // only the first
+}
+
+TEST(Simulator, GapEqualToKeepAliveIsCold) {
+  // Residency is [t, t+keepalive): the eviction fires at the start of
+  // minute t+keepalive, before invocations.
+  auto trace = TraceOf(1, {{0, 5}, {0, 15}});
+  ScriptedPolicy policy{UnitMap::PerFunction(1), {.prewarm = 0, .keepalive = 10}};
+  const auto r = Simulate(trace, TimeRange{0, 100}, policy);
+  EXPECT_EQ(r.unit_cold_minutes[0], 2u);
+}
+
+TEST(Simulator, KeepAliveSlidesOnEachInvocation) {
+  // Invocations at 5, 10, 15: each within 10 of the previous, so only
+  // the first is cold; the unit stays resident until 15 + 10 = 25.
+  auto trace = TraceOf(1, {{0, 5}, {0, 10}, {0, 15}, {0, 24}});
+  ScriptedPolicy policy{UnitMap::PerFunction(1), {.prewarm = 0, .keepalive = 10}};
+  const auto r = Simulate(trace, TimeRange{0, 100}, policy);
+  EXPECT_EQ(r.unit_invoked_minutes[0], 4u);
+  EXPECT_EQ(r.unit_cold_minutes[0], 1u);
+}
+
+TEST(Simulator, StaleEvictionDoesNotFire) {
+  // Without generation tracking, the eviction scheduled at 5+10=15 would
+  // unload the unit even though the invocation at 10 re-armed it to 20.
+  auto trace = TraceOf(1, {{0, 5}, {0, 10}, {0, 16}});
+  ScriptedPolicy policy{UnitMap::PerFunction(1), {.prewarm = 0, .keepalive = 10}};
+  const auto r = Simulate(trace, TimeRange{0, 100}, policy);
+  EXPECT_EQ(r.unit_cold_minutes[0], 1u);
+}
+
+TEST(Simulator, MemoryAccountingTracksResidency) {
+  auto trace = TraceOf(1, {{0, 5}});
+  ScriptedPolicy policy{UnitMap::PerFunction(1), {.prewarm = 0, .keepalive = 3}};
+  const auto r = Simulate(trace, TimeRange{0, 12}, policy);
+  // Resident minutes: 5, 6, 7 (evicted at start of minute 8).
+  const std::vector<std::uint64_t> expected{0, 0, 0, 0, 0, 1, 1, 1,
+                                            0, 0, 0, 0};
+  EXPECT_EQ(r.loaded_functions, expected);
+  EXPECT_NEAR(r.AverageMemoryUsage(), 3.0 / 12.0, 1e-12);
+}
+
+TEST(Simulator, LoadingFunctionsCountsColdLoads) {
+  auto trace = TraceOf(1, {{0, 5}, {0, 50}});
+  ScriptedPolicy policy{UnitMap::PerFunction(1), {.prewarm = 0, .keepalive = 3}};
+  const auto r = Simulate(trace, TimeRange{0, 100}, policy);
+  EXPECT_EQ(r.loading_functions[5], 1u);
+  EXPECT_EQ(r.loading_functions[50], 1u);
+  EXPECT_EQ(r.AverageLoadingFunctions(), 2.0 / 100.0);
+}
+
+TEST(Simulator, PrewarmLoadsBeforeTheNextInvocation) {
+  // Decision (prewarm 10, keepalive 5) and a 12-minute period: evicted at
+  // 6, re-loaded at 15, so the invocation at 17 is warm.
+  auto trace = TraceOf(1, {{0, 5}, {0, 17}});
+  ScriptedPolicy policy{UnitMap::PerFunction(1),
+                        {.prewarm = 10, .keepalive = 5}};
+  const auto r = Simulate(trace, TimeRange{0, 100}, policy);
+  EXPECT_EQ(r.unit_cold_minutes[0], 1u);
+  // Residency: minute 5 (invocation), then 15..19 (prewarm window refreshed
+  // at 17): loaded at 15, invocation 17 re-decides -> evict 18, load 27.
+  EXPECT_EQ(r.loaded_functions[5], 1u);
+  EXPECT_EQ(r.loaded_functions[6], 0u);   // evicted after the minute
+  EXPECT_EQ(r.loaded_functions[14], 0u);
+  EXPECT_EQ(r.loaded_functions[15], 1u);  // pre-warm load
+  EXPECT_EQ(r.loaded_functions[16], 1u);
+  EXPECT_EQ(r.loaded_functions[17], 1u);  // warm invocation, then evict at 18
+  EXPECT_EQ(r.loaded_functions[18], 0u);
+  // The pre-warm load is charged to the loading counter.
+  EXPECT_EQ(r.loading_functions[15], 1u);
+}
+
+TEST(Simulator, PrewarmTooLateIsCold) {
+  auto trace = TraceOf(1, {{0, 5}, {0, 12}});  // next fires before 5+10
+  ScriptedPolicy policy{UnitMap::PerFunction(1),
+                        {.prewarm = 10, .keepalive = 5}};
+  const auto r = Simulate(trace, TimeRange{0, 100}, policy);
+  EXPECT_EQ(r.unit_cold_minutes[0], 2u);
+}
+
+TEST(Simulator, LingerKeepsResidencyBeforeThePrewarmGap) {
+  // (prewarm 20, keepalive 5, linger 10): resident [t, t+10), gap,
+  // resident [t+20, t+25).
+  auto trace = TraceOf(1, {{0, 5}});
+  ScriptedPolicy policy{UnitMap::PerFunction(1),
+                        {.prewarm = 20, .keepalive = 5, .linger = 10}};
+  const auto r = Simulate(trace, TimeRange{0, 40}, policy);
+  EXPECT_EQ(r.loaded_functions[5], 1u);
+  EXPECT_EQ(r.loaded_functions[14], 1u);  // still lingering
+  EXPECT_EQ(r.loaded_functions[15], 0u);  // linger over
+  EXPECT_EQ(r.loaded_functions[24], 0u);
+  EXPECT_EQ(r.loaded_functions[25], 1u);  // pre-warm landed
+  EXPECT_EQ(r.loaded_functions[29], 1u);
+  EXPECT_EQ(r.loaded_functions[30], 0u);
+}
+
+TEST(Simulator, LingerCoveringThePrewarmFoldsToContinuous) {
+  // prewarm <= linger: continuous residency, one load only.
+  auto trace = TraceOf(1, {{0, 5}});
+  ScriptedPolicy policy{UnitMap::PerFunction(1),
+                        {.prewarm = 8, .keepalive = 4, .linger = 10}};
+  const auto r = Simulate(trace, TimeRange{0, 40}, policy);
+  // Folded keep-alive = max(linger, prewarm + keepalive) = 12.
+  EXPECT_EQ(r.loaded_functions[16], 1u);
+  EXPECT_EQ(r.loaded_functions[17], 0u);
+  std::uint64_t loads = 0;
+  for (const auto v : r.loading_functions) loads += v;
+  EXPECT_EQ(loads, 1u);
+}
+
+TEST(Simulator, WarmInvocationDuringLingerIsWarm) {
+  auto trace = TraceOf(1, {{0, 5}, {0, 12}});
+  ScriptedPolicy policy{UnitMap::PerFunction(1),
+                        {.prewarm = 30, .keepalive = 5, .linger = 10}};
+  const auto r = Simulate(trace, TimeRange{0, 60}, policy);
+  EXPECT_EQ(r.unit_cold_minutes[0], 1u);  // 12 is inside [5, 15)
+}
+
+TEST(Simulator, PrewarmOfOneMinuteFoldsIntoKeepAlive) {
+  // prewarm <= 1 must behave like continuous residency, not an
+  // evict-and-reload, and must not emit an extra load event.
+  auto trace = TraceOf(1, {{0, 5}, {0, 7}});
+  ScriptedPolicy policy{UnitMap::PerFunction(1),
+                        {.prewarm = 1, .keepalive = 2}};
+  const auto r = Simulate(trace, TimeRange{0, 100}, policy);
+  EXPECT_EQ(r.unit_cold_minutes[0], 1u);  // 7 - 5 = 2 < 1 + 2
+  std::uint64_t total_loads = 0;
+  for (const auto v : r.loading_functions) total_loads += v;
+  EXPECT_EQ(total_loads, 1u);
+}
+
+TEST(Simulator, UnitGranularitySharesResidency) {
+  // Functions 0 and 1 form one unit: 0's invocation keeps 1 warm.
+  auto trace = TraceOf(2, {{0, 5}, {1, 8}});
+  ScriptedPolicy policy{UnitMap{std::vector<std::uint32_t>{0, 0}},
+                        {.prewarm = 0, .keepalive = 10}};
+  const auto r = Simulate(trace, TimeRange{0, 100}, policy);
+  EXPECT_EQ(r.unit_invoked_minutes[0], 2u);
+  EXPECT_EQ(r.unit_cold_minutes[0], 1u);
+  // Unit size 2: the cold load loads both functions.
+  EXPECT_EQ(r.loading_functions[5], 2u);
+  EXPECT_EQ(r.loaded_functions[5], 2u);
+}
+
+TEST(Simulator, SameMinuteSameUnitIsOneUnitEvent) {
+  auto trace = TraceOf(2, {{0, 5}, {1, 5}});
+  ScriptedPolicy policy{UnitMap{std::vector<std::uint32_t>{0, 0}},
+                        {.prewarm = 0, .keepalive = 10}};
+  const auto r = Simulate(trace, TimeRange{0, 100}, policy);
+  EXPECT_EQ(r.unit_invoked_minutes[0], 1u);
+  EXPECT_EQ(r.unit_cold_minutes[0], 1u);
+  // Both function events share the unit's cold resolution.
+  EXPECT_EQ(r.function_invocation_minutes, 2u);
+  EXPECT_EQ(r.function_cold_minutes, 2u);
+}
+
+TEST(Simulator, SameMinuteDifferentUnitsAreIndependent) {
+  auto trace = TraceOf(2, {{0, 5}, {1, 5}});
+  ScriptedPolicy policy{UnitMap::PerFunction(2), {.prewarm = 0, .keepalive = 5}};
+  const auto r = Simulate(trace, TimeRange{0, 100}, policy);
+  EXPECT_EQ(r.unit_cold_minutes[0], 1u);
+  EXPECT_EQ(r.unit_cold_minutes[1], 1u);
+  EXPECT_EQ(r.loaded_functions[5], 2u);
+}
+
+TEST(Simulator, ObserveIdleTimeReportsGaps) {
+  auto trace = TraceOf(1, {{0, 5}, {0, 9}, {0, 30}});
+  ScriptedPolicy policy{UnitMap::PerFunction(1), {.prewarm = 0, .keepalive = 2}};
+  (void)Simulate(trace, TimeRange{0, 100}, policy);
+  ASSERT_EQ(policy.observed.size(), 2u);
+  EXPECT_EQ(policy.observed[0], (std::pair<std::uint32_t, MinuteDelta>{0, 4}));
+  EXPECT_EQ(policy.observed[1], (std::pair<std::uint32_t, MinuteDelta>{0, 21}));
+}
+
+TEST(Simulator, OnlineUpdatesCanBeDisabled) {
+  auto trace = TraceOf(1, {{0, 5}, {0, 9}});
+  ScriptedPolicy policy{UnitMap::PerFunction(1), {.prewarm = 0, .keepalive = 2}};
+  SimulatorOptions options;
+  options.online_updates = false;
+  (void)Simulate(trace, TimeRange{0, 100}, policy, options);
+  EXPECT_TRUE(policy.observed.empty());
+}
+
+TEST(Simulator, EvalRangeOffsetsAreRespected) {
+  // Events before eval.begin must not count.
+  auto trace = TraceOf(1, {{0, 5}, {0, 55}}, 100);
+  ScriptedPolicy policy{UnitMap::PerFunction(1), {.prewarm = 0, .keepalive = 5}};
+  const auto r = Simulate(trace, TimeRange{50, 100}, policy);
+  EXPECT_EQ(r.unit_invoked_minutes[0], 1u);
+  EXPECT_EQ(r.loaded_functions.size(), 50u);
+  EXPECT_EQ(r.loaded_functions[5], 1u);  // minute 55, offset 5
+}
+
+TEST(Simulator, EmptyEvalRange) {
+  auto trace = TraceOf(1, {{0, 5}});
+  ScriptedPolicy policy{UnitMap::PerFunction(1), {.prewarm = 0, .keepalive = 5}};
+  const auto r = Simulate(trace, TimeRange{50, 50}, policy);
+  EXPECT_TRUE(r.loaded_functions.empty());
+  EXPECT_EQ(r.function_invocation_minutes, 0u);
+}
+
+TEST(Simulator, ZeroKeepAliveStillServesTheCurrentMinute) {
+  auto trace = TraceOf(2, {{0, 5}, {1, 5}});
+  ScriptedPolicy policy{UnitMap{std::vector<std::uint32_t>{0, 0}},
+                        {.prewarm = 0, .keepalive = 0}};
+  const auto r = Simulate(trace, TimeRange{0, 10}, policy);
+  EXPECT_EQ(r.function_cold_minutes, 2u);  // one unit resolution, shared
+  EXPECT_EQ(r.loaded_functions[5], 2u);    // resident during minute 5
+  EXPECT_EQ(r.loaded_functions[6], 0u);    // evicted right after
+}
+
+TEST(Simulator, ColdStartRateMetricsPropagate) {
+  auto trace = TraceOf(2, {{0, 5}, {0, 8}, {1, 5}, {1, 30}});
+  ScriptedPolicy policy{UnitMap::PerFunction(2), {.prewarm = 0, .keepalive = 10}};
+  const auto r = Simulate(trace, TimeRange{0, 100}, policy);
+  const auto rates = r.FunctionColdStartRates(policy.unit_map());
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0], 0.5);  // cold at 5, warm at 8
+  EXPECT_DOUBLE_EQ(rates[1], 1.0);  // cold at 5 and at 30
+  EXPECT_DOUBLE_EQ(r.ColdStartRatePercentile(policy.unit_map(), 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(r.ColdStartRatePercentile(policy.unit_map(), 1.0), 1.0);
+}
+
+TEST(Simulator, UninvokedFunctionsHaveNoRate) {
+  auto trace = TraceOf(3, {{0, 5}});
+  ScriptedPolicy policy{UnitMap::PerFunction(3), {.prewarm = 0, .keepalive = 5}};
+  const auto r = Simulate(trace, TimeRange{0, 100}, policy);
+  EXPECT_EQ(r.FunctionColdStartRates(policy.unit_map()).size(), 1u);
+}
+
+TEST(Simulator, SharedUnitRateInheritedByAllMembers) {
+  // Functions 0,1 in one unit; only 0 is ever invoked. Function 1 still
+  // has no rate (it never fired), but if both fire they share the unit's.
+  auto trace = TraceOf(2, {{0, 5}, {1, 8}});
+  ScriptedPolicy policy{UnitMap{std::vector<std::uint32_t>{0, 0}},
+                        {.prewarm = 0, .keepalive = 10}};
+  const auto r = Simulate(trace, TimeRange{0, 100}, policy);
+  const auto rates = r.FunctionColdStartRates(policy.unit_map());
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0], 0.5);
+  EXPECT_DOUBLE_EQ(rates[1], 0.5);  // inherits the unit's rate
+}
+
+}  // namespace
+}  // namespace defuse::sim

@@ -1,0 +1,58 @@
+#include "sim/unit_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace defuse::sim {
+namespace {
+
+TEST(UnitMap, PerFunctionIsIdentity) {
+  const auto units = UnitMap::PerFunction(4);
+  EXPECT_EQ(units.num_units(), 4u);
+  EXPECT_EQ(units.num_functions(), 4u);
+  for (std::uint32_t f = 0; f < 4; ++f) {
+    EXPECT_EQ(units.unit_of(FunctionId{f}).value(), f);
+    EXPECT_EQ(units.unit_size(UnitId{f}), 1u);
+    ASSERT_EQ(units.functions_of(UnitId{f}).size(), 1u);
+    EXPECT_EQ(units.functions_of(UnitId{f})[0], FunctionId{f});
+  }
+}
+
+TEST(UnitMap, PerApplicationGroupsByApp) {
+  trace::WorkloadModel model;
+  const UserId u = model.AddUser("u");
+  const AppId a0 = model.AddApp(u, "a0");
+  const AppId a1 = model.AddApp(u, "a1");
+  model.AddFunction(a0, "f0");
+  model.AddFunction(a1, "f1");
+  model.AddFunction(a0, "f2");
+  const auto units = UnitMap::PerApplication(model);
+  EXPECT_EQ(units.num_units(), 2u);
+  EXPECT_EQ(units.unit_of(FunctionId{0}), units.unit_of(FunctionId{2}));
+  EXPECT_NE(units.unit_of(FunctionId{0}), units.unit_of(FunctionId{1}));
+  EXPECT_EQ(units.unit_size(units.unit_of(FunctionId{0})), 2u);
+}
+
+TEST(UnitMap, FromDependencySets) {
+  std::vector<graph::DependencySet> sets(2);
+  sets[0].id = 0;
+  sets[0].functions = {FunctionId{0}, FunctionId{2}};
+  sets[1].id = 1;
+  sets[1].functions = {FunctionId{1}};
+  const auto units = UnitMap::FromDependencySets(sets, 3);
+  EXPECT_EQ(units.num_units(), 2u);
+  EXPECT_EQ(units.unit_of(FunctionId{0}).value(), 0u);
+  EXPECT_EQ(units.unit_of(FunctionId{2}).value(), 0u);
+  EXPECT_EQ(units.unit_of(FunctionId{1}).value(), 1u);
+  EXPECT_EQ(units.unit_size(UnitId{0}), 2u);
+}
+
+TEST(UnitMap, ExplicitIndexConstruction) {
+  const UnitMap units{std::vector<std::uint32_t>{1, 0, 1}};
+  EXPECT_EQ(units.num_units(), 2u);
+  const auto fns = units.functions_of(UnitId{1});
+  EXPECT_EQ(std::vector<FunctionId>(fns.begin(), fns.end()),
+            (std::vector<FunctionId>{FunctionId{0}, FunctionId{2}}));
+}
+
+}  // namespace
+}  // namespace defuse::sim

@@ -1,0 +1,86 @@
+// Tests for weighted-memory accounting
+// (SimulatorOptions::function_weights).
+#include <gtest/gtest.h>
+
+#include "policy/fixed.hpp"
+#include "sim/simulator.hpp"
+
+namespace defuse::sim {
+namespace {
+
+trace::InvocationTrace TwoFunctionTrace() {
+  trace::InvocationTrace t{2, TimeRange{0, 50}};
+  t.Add(FunctionId{0}, 5);
+  t.Add(FunctionId{1}, 20);
+  t.Finalize();
+  return t;
+}
+
+TEST(WeightedMemory, DisabledByDefault) {
+  auto trace = TwoFunctionTrace();
+  policy::FixedKeepAlivePolicy policy{UnitMap::PerFunction(2), 10};
+  const auto r = Simulate(trace, TimeRange{0, 50}, policy);
+  EXPECT_TRUE(r.loaded_weight.empty());
+  EXPECT_DOUBLE_EQ(r.AverageWeightedMemory(), 0.0);
+}
+
+TEST(WeightedMemory, TracksPerMinuteWeight) {
+  auto trace = TwoFunctionTrace();
+  const std::vector<double> weights{2.0, 0.5};
+  policy::FixedKeepAlivePolicy policy{UnitMap::PerFunction(2), 10};
+  SimulatorOptions options;
+  options.function_weights = &weights;
+  const auto r = Simulate(trace, TimeRange{0, 50}, policy, options);
+  ASSERT_EQ(r.loaded_weight.size(), 50u);
+  EXPECT_DOUBLE_EQ(r.loaded_weight[5], 2.0);    // fn0 resident
+  EXPECT_DOUBLE_EQ(r.loaded_weight[14], 2.0);   // still within keep-alive
+  EXPECT_DOUBLE_EQ(r.loaded_weight[15], 0.0);   // evicted
+  EXPECT_DOUBLE_EQ(r.loaded_weight[20], 0.5);   // fn1 resident
+  EXPECT_DOUBLE_EQ(r.loaded_weight[40], 0.0);
+}
+
+TEST(WeightedMemory, UnitWeightIsTheSumOfMembers) {
+  trace::InvocationTrace trace{2, TimeRange{0, 30}};
+  trace.Add(FunctionId{0}, 5);
+  trace.Finalize();
+  const std::vector<double> weights{1.5, 2.5};
+  policy::FixedKeepAlivePolicy policy{
+      UnitMap{std::vector<std::uint32_t>{0, 0}}, 10};
+  SimulatorOptions options;
+  options.function_weights = &weights;
+  const auto r = Simulate(trace, TimeRange{0, 30}, policy, options);
+  EXPECT_DOUBLE_EQ(r.loaded_weight[5], 4.0);  // both functions load
+}
+
+TEST(WeightedMemory, UnitWeightsEqualCountsWhenAllOnes) {
+  auto trace = TwoFunctionTrace();
+  const std::vector<double> weights{1.0, 1.0};
+  policy::FixedKeepAlivePolicy policy{UnitMap::PerFunction(2), 10};
+  SimulatorOptions options;
+  options.function_weights = &weights;
+  const auto r = Simulate(trace, TimeRange{0, 50}, policy, options);
+  for (std::size_t m = 0; m < 50; ++m) {
+    EXPECT_DOUBLE_EQ(r.loaded_weight[m],
+                     static_cast<double>(r.loaded_functions[m]));
+  }
+  EXPECT_DOUBLE_EQ(r.AverageWeightedMemory(), r.AverageMemoryUsage());
+}
+
+TEST(WeightedMemory, CapacityEvictionUpdatesWeight) {
+  trace::InvocationTrace trace{2, TimeRange{0, 60}};
+  trace.Add(FunctionId{0}, 5);
+  trace.Add(FunctionId{1}, 10);
+  trace.Finalize();
+  const std::vector<double> weights{3.0, 1.0};
+  policy::FixedKeepAlivePolicy policy{UnitMap::PerFunction(2), 50};
+  SimulatorOptions options;
+  options.function_weights = &weights;
+  options.memory_limit = 1;  // unit 0 is evicted when unit 1 loads
+  const auto r = Simulate(trace, TimeRange{0, 60}, policy, options);
+  EXPECT_DOUBLE_EQ(r.loaded_weight[5], 3.0);
+  EXPECT_DOUBLE_EQ(r.loaded_weight[10], 1.0);  // 0 evicted, 1 resident
+  EXPECT_GT(r.capacity_evictions, 0u);
+}
+
+}  // namespace
+}  // namespace defuse::sim

@@ -1,0 +1,153 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace defuse::stats {
+namespace {
+
+TEST(Descriptive, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(Descriptive, MeanBasic) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+}
+
+TEST(Descriptive, VarianceIsPopulationVariance) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Variance(v), 4.0);  // classic example
+  EXPECT_DOUBLE_EQ(StdDev(v), 2.0);
+}
+
+TEST(Descriptive, VarianceOfConstantIsZero) {
+  const std::vector<double> v{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(Variance(v), 0.0);
+}
+
+TEST(Descriptive, CoefficientOfVariation) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(CoefficientOfVariation(v), 2.0 / 5.0);
+}
+
+TEST(Descriptive, CvOfZeroMeanIsZero) {
+  const std::vector<double> v{-1.0, 1.0};
+  EXPECT_DOUBLE_EQ(CoefficientOfVariation(v), 0.0);
+}
+
+TEST(Descriptive, PercentileOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0);
+}
+
+TEST(Descriptive, PercentileOfSingleton) {
+  const std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 7.0);
+}
+
+TEST(Descriptive, PercentileInterpolatesLinearly) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(Descriptive, PercentileDoesNotRequireSortedInput) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 2.5);
+}
+
+TEST(Descriptive, PercentileSortedMatchesPercentile) {
+  const std::vector<double> sorted{0.0, 1.0, 2.0, 3.0, 10.0};
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(PercentileSorted(sorted, q), Percentile(sorted, q));
+  }
+}
+
+TEST(Descriptive, PercentileClampsOutOfRangeQ) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 2.0), 2.0);
+}
+
+TEST(Descriptive, SummaryOfEmpty) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Descriptive, SummaryFields) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  const Summary s = Summarize(v);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.median, 50.5, 0.01);
+  EXPECT_NEAR(s.p25, 25.75, 0.01);
+  EXPECT_NEAR(s.p75, 75.25, 0.01);
+  EXPECT_NEAR(s.p95, 95.05, 0.01);
+}
+
+TEST(BinnedDensity, FractionsSumToOne) {
+  const std::vector<double> v{0.1, 0.2, 0.3, 0.9};
+  const auto density = BinnedDensity(v, 0.0, 1.0, 10);
+  ASSERT_EQ(density.size(), 10u);
+  double total = 0.0;
+  for (const double d : density) total += d;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(density[1], 0.25);  // 0.1
+  EXPECT_DOUBLE_EQ(density[9], 0.25);  // 0.9
+}
+
+TEST(BinnedDensity, OutOfRangeSamplesClampToBoundaryBins) {
+  const std::vector<double> v{-5.0, 5.0};
+  const auto density = BinnedDensity(v, 0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(density[0], 0.5);
+  EXPECT_DOUBLE_EQ(density[3], 0.5);
+}
+
+TEST(BinnedDensity, DegenerateInputs) {
+  EXPECT_TRUE(BinnedDensity({}, 0, 1, 0).empty());
+  const auto empty_samples = BinnedDensity({}, 0, 1, 3);
+  for (const double d : empty_samples) EXPECT_DOUBLE_EQ(d, 0.0);
+  const std::vector<double> v{0.5};
+  const auto bad_range = BinnedDensity(v, 1.0, 0.0, 3);
+  for (const double d : bad_range) EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(FractionBelow, CountsStrictlyBelow) {
+  const std::vector<double> v{0.1, 0.25, 0.3};
+  EXPECT_DOUBLE_EQ(FractionBelow(v, 0.25), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(FractionBelow(v, 0.31), 1.0);
+  EXPECT_DOUBLE_EQ(FractionBelow(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(FractionBelow({}, 1.0), 0.0);
+}
+
+// Percentile is monotone in q.
+class PercentileMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotoneTest, MonotoneInQ) {
+  std::vector<double> v;
+  // Deterministic pseudo-random-ish values.
+  for (int i = 0; i < GetParam(); ++i) {
+    v.push_back(static_cast<double>((i * 7919) % 997));
+  }
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double p = Percentile(v, q);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PercentileMonotoneTest,
+                         ::testing::Values(1, 2, 3, 10, 101, 1000));
+
+}  // namespace
+}  // namespace defuse::stats

@@ -1,0 +1,88 @@
+#include "stats/ecdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace defuse::stats {
+namespace {
+
+TEST(Ecdf, EmptyIsZeroEverywhere) {
+  Ecdf ecdf;
+  EXPECT_TRUE(ecdf.empty());
+  EXPECT_DOUBLE_EQ(ecdf.At(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(0.5), 0.0);
+}
+
+TEST(Ecdf, AtCountsFractionLeq) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  Ecdf ecdf{v};
+  EXPECT_DOUBLE_EQ(ecdf.At(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.At(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf.At(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf.At(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.At(99.0), 1.0);
+}
+
+TEST(Ecdf, HandlesDuplicates) {
+  const std::vector<double> v{1.0, 1.0, 1.0, 2.0};
+  Ecdf ecdf{v};
+  EXPECT_DOUBLE_EQ(ecdf.At(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf.At(1.5), 0.75);
+}
+
+TEST(Ecdf, SortsUnsortedInput) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  Ecdf ecdf{v};
+  EXPECT_EQ(ecdf.sorted_samples(), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(Ecdf, QuantileInverseOfAt) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(static_cast<double>(i));
+  Ecdf ecdf{v};
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(1.0), 99.0);
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(0.5), 50.0);
+}
+
+TEST(Ecdf, SeriesCoversRange) {
+  const std::vector<double> v{0.0, 1.0};
+  Ecdf ecdf{v};
+  const auto series = ecdf.Series(0.0, 1.0, 5);
+  ASSERT_EQ(series.size(), 5u);
+  EXPECT_DOUBLE_EQ(series.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(series.back().first, 1.0);
+  EXPECT_DOUBLE_EQ(series.front().second, 0.5);
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(Ecdf, SeriesZeroPointsIsEmpty) {
+  Ecdf ecdf{std::vector<double>{1.0}};
+  EXPECT_TRUE(ecdf.Series(0, 1, 0).empty());
+}
+
+TEST(Ecdf, SeriesIsMonotone) {
+  const std::vector<double> v{0.1, 0.4, 0.4, 0.9};
+  Ecdf ecdf{v};
+  const auto series = ecdf.Series(0.0, 1.0, 21);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].second, series[i - 1].second);
+  }
+}
+
+TEST(RenderEcdfTable, EmitsHeaderAndRows) {
+  std::vector<std::pair<std::string, Ecdf>> curves;
+  curves.emplace_back("a", Ecdf{std::vector<double>{0.0}});
+  curves.emplace_back("b", Ecdf{std::vector<double>{1.0}});
+  const std::string table = RenderEcdfTable(curves, 0.0, 1.0, 3);
+  EXPECT_NE(table.find("x,a,b"), std::string::npos);
+  // At x=0: a has all mass <= 0 (1.0), b none (0.0).
+  EXPECT_NE(table.find("0.0000,1.0000,0.0000"), std::string::npos);
+  // At x=1 both are 1.
+  EXPECT_NE(table.find("1.0000,1.0000,1.0000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace defuse::stats

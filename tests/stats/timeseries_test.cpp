@@ -1,0 +1,97 @@
+#include "stats/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace defuse::stats {
+namespace {
+
+std::vector<double> Impulses(std::size_t length, std::size_t period) {
+  std::vector<double> s(length, 0.0);
+  for (std::size_t i = 0; i < length; i += period) s[i] = 1.0;
+  return s;
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  const std::vector<double> s{1.0, 3.0, 2.0, 5.0, 4.0};
+  const auto acf = Autocorrelation(s, 2);
+  ASSERT_EQ(acf.size(), 3u);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+}
+
+TEST(Autocorrelation, ConstantSeriesHasNoStructure) {
+  const std::vector<double> s(50, 7.0);
+  const auto acf = Autocorrelation(s, 5);
+  for (const double a : acf) EXPECT_DOUBLE_EQ(a, 0.0);
+}
+
+TEST(Autocorrelation, EmptySeries) {
+  EXPECT_TRUE(Autocorrelation({}, 5).empty());
+}
+
+TEST(Autocorrelation, MaxLagClampsToSeriesLength) {
+  const std::vector<double> s{1.0, 2.0, 1.0};
+  EXPECT_EQ(Autocorrelation(s, 100).size(), 3u);
+}
+
+TEST(Autocorrelation, PeriodicImpulsesPeakAtThePeriod) {
+  const auto s = Impulses(300, 10);
+  const auto acf = Autocorrelation(s, 25);
+  EXPECT_GT(acf[10], 0.8);
+  EXPECT_GT(acf[20], 0.6);
+  EXPECT_LT(acf[5], 0.2);
+}
+
+TEST(Autocorrelation, SineWaveCorrelatesAtItsPeriod) {
+  std::vector<double> s;
+  constexpr std::size_t kPeriod = 24;
+  for (std::size_t i = 0; i < 480; ++i) {
+    s.push_back(std::sin(2.0 * std::numbers::pi * static_cast<double>(i) /
+                         kPeriod));
+  }
+  const auto acf = Autocorrelation(s, 40);
+  EXPECT_GT(acf[kPeriod], 0.9);
+  EXPECT_LT(acf[kPeriod / 2], -0.8);  // anti-phase
+}
+
+TEST(DominantPeriod, FindsTheImpulsePeriod) {
+  const auto s = Impulses(400, 15);
+  const auto estimate = DominantPeriod(s, 2, 60);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_EQ(estimate->period, 15u);
+  EXPECT_GT(estimate->strength, 0.7);
+}
+
+TEST(DominantPeriod, RejectsAperiodicSeries) {
+  // Deterministic pseudo-noise.
+  std::vector<double> s;
+  std::uint64_t x = 7;
+  for (int i = 0; i < 400; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    s.push_back(static_cast<double>((x >> 33) % 100));
+  }
+  const auto estimate = DominantPeriod(s, 2, 60, 0.3);
+  EXPECT_FALSE(estimate.has_value());
+}
+
+TEST(DominantPeriod, RespectsTheLagRange) {
+  const auto s = Impulses(400, 15);
+  // Period 15 excluded by the range; its harmonic at 30 is found.
+  const auto estimate = DominantPeriod(s, 20, 60);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_EQ(estimate->period, 30u);
+}
+
+TEST(DominantPeriod, DegenerateInputs) {
+  EXPECT_FALSE(DominantPeriod({}, 1, 10).has_value());
+  const std::vector<double> tiny{1.0, 2.0};
+  EXPECT_FALSE(DominantPeriod(tiny, 1, 10).has_value());
+  const auto s = Impulses(100, 10);
+  EXPECT_FALSE(DominantPeriod(s, 20, 10).has_value());  // min > max
+}
+
+}  // namespace
+}  // namespace defuse::stats

@@ -1,0 +1,168 @@
+#include "trace/azure_csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/generator.hpp"
+
+namespace defuse::trace {
+namespace {
+
+/// A small hand-built workload for exact-content assertions.
+LoadedTrace MakeTinyWorkload() {
+  WorkloadModel model;
+  const UserId u = model.AddUser("alice");
+  const AppId a = model.AddApp(u, "shop");
+  const FunctionId f0 = model.AddFunction(a, "checkout");
+  const FunctionId f1 = model.AddFunction(a, "pay");
+  InvocationTrace trace{2, TimeRange{0, 2 * kMinutesPerDay}};
+  trace.Add(f0, 0, 3);
+  trace.Add(f0, 100, 1);
+  trace.Add(f1, 100, 2);
+  trace.Add(f1, kMinutesPerDay + 5, 1);  // second day
+  trace.Finalize();
+  return LoadedTrace{.model = std::move(model), .trace = std::move(trace)};
+}
+
+TEST(LongCsv, RoundTripsExactly) {
+  const auto original = MakeTinyWorkload();
+  const std::string csv = WriteLongCsv(original.model, original.trace);
+  const auto loaded = ReadLongCsv(csv, 2 * kMinutesPerDay);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().ToString();
+  const auto& lt = loaded.value();
+  ASSERT_EQ(lt.model.num_functions(), 2u);
+  EXPECT_EQ(lt.model.num_users(), 1u);
+  EXPECT_EQ(lt.model.num_apps(), 1u);
+  for (std::uint32_t f = 0; f < 2; ++f) {
+    const FunctionId fn{f};
+    const auto a = original.trace.series(fn);
+    const auto b = lt.trace.series(fn);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(LongCsv, HeaderIsStable) {
+  const auto w = MakeTinyWorkload();
+  const std::string csv = WriteLongCsv(w.model, w.trace);
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "user,app,function,minute,count");
+}
+
+TEST(LongCsv, DefaultHorizonIsLastMinutePlusOne) {
+  const auto w = MakeTinyWorkload();
+  const auto loaded = ReadLongCsv(WriteLongCsv(w.model, w.trace));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().trace.horizon().end, kMinutesPerDay + 6);
+}
+
+TEST(LongCsv, RejectsBadHeader) {
+  const auto loaded = ReadLongCsv("wrong,header\n");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, ErrorCode::kParseError);
+}
+
+TEST(LongCsv, RejectsShortRows) {
+  const auto loaded =
+      ReadLongCsv("user,app,function,minute,count\nu,a,f,3\n");
+  ASSERT_FALSE(loaded.ok());
+}
+
+TEST(LongCsv, RejectsNonNumericMinute) {
+  const auto loaded =
+      ReadLongCsv("user,app,function,minute,count\nu,a,f,xyz,1\n");
+  ASSERT_FALSE(loaded.ok());
+}
+
+TEST(LongCsv, RejectsHorizonShorterThanTrace) {
+  const auto w = MakeTinyWorkload();
+  const auto loaded = ReadLongCsv(WriteLongCsv(w.model, w.trace), 100);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, ErrorCode::kOutOfRange);
+}
+
+TEST(LongCsv, SameFunctionNameInDifferentAppsStaysDistinct) {
+  const std::string csv =
+      "user,app,function,minute,count\n"
+      "u,a1,f,1,1\n"
+      "u,a2,f,2,1\n";
+  const auto loaded = ReadLongCsv(csv);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().model.num_functions(), 2u);
+  EXPECT_EQ(loaded.value().model.num_apps(), 2u);
+}
+
+TEST(AzureCsv, DayFileHasHeaderAnd1444Columns) {
+  const auto w = MakeTinyWorkload();
+  const std::string day0 = WriteAzureDayCsv(w.model, w.trace, 0);
+  const auto header_end = day0.find('\n');
+  const std::string_view header{day0.data(), header_end};
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','), 1443);
+  EXPECT_EQ(header.substr(0, 34), "HashOwner,HashApp,HashFunction,Tri");
+}
+
+TEST(AzureCsv, SilentFunctionsAreOmittedFromTheDay) {
+  const auto w = MakeTinyWorkload();
+  // Day 1 has only one active function ("pay").
+  const std::string day1 = WriteAzureDayCsv(w.model, w.trace, 1);
+  EXPECT_EQ(std::count(day1.begin(), day1.end(), '\n'), 2);  // header + 1 row
+  EXPECT_NE(day1.find("pay"), std::string::npos);
+  EXPECT_EQ(day1.find("checkout"), std::string::npos);
+}
+
+TEST(AzureCsv, RoundTripsThroughDailyFiles) {
+  const auto original = MakeTinyWorkload();
+  const std::vector<std::string> days{
+      WriteAzureDayCsv(original.model, original.trace, 0),
+      WriteAzureDayCsv(original.model, original.trace, 1)};
+  const auto loaded = ReadAzureDayCsvs(days);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().ToString();
+  const auto& lt = loaded.value();
+  ASSERT_EQ(lt.model.num_functions(), 2u);
+  EXPECT_EQ(lt.trace.horizon().end, 2 * kMinutesPerDay);
+  // Map by function name: ids may be permuted.
+  for (const auto& fn : lt.model.functions()) {
+    FunctionId orig_id = FunctionId::invalid();
+    for (const auto& ofn : original.model.functions()) {
+      if (ofn.name == fn.name) orig_id = ofn.id;
+    }
+    ASSERT_TRUE(orig_id.valid());
+    const auto a = original.trace.series(orig_id);
+    const auto b = lt.trace.series(fn.id);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(AzureCsv, EmptyDayListIsAnError) {
+  const auto loaded = ReadAzureDayCsvs({});
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(AzureCsv, RejectsWrongColumnCount) {
+  const auto loaded = ReadAzureDayCsvs({"h\nu,a,f,trigger,1,2,3\n"});
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, ErrorCode::kParseError);
+}
+
+TEST(GeneratedWorkloadCsv, LongRoundTripOnSynthetic) {
+  auto cfg = GeneratorConfig::Tiny();
+  cfg.seed = 5;
+  const auto w = GenerateWorkload(cfg);
+  const auto loaded = ReadLongCsv(WriteLongCsv(w.model, w.trace),
+                                  cfg.horizon_minutes);
+  ASSERT_TRUE(loaded.ok());
+  // The long format carries only functions with at least one event;
+  // functions that never fired are (by design) not representable.
+  std::size_t active_functions = 0;
+  for (const auto& fn : w.model.functions()) {
+    if (!w.trace.series(fn.id).empty()) ++active_functions;
+  }
+  EXPECT_EQ(loaded.value().model.num_functions(), active_functions);
+  EXPECT_EQ(loaded.value().trace.TotalInvocations(w.trace.horizon()),
+            w.trace.TotalInvocations(w.trace.horizon()));
+}
+
+}  // namespace
+}  // namespace defuse::trace

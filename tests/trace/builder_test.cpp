@@ -1,0 +1,169 @@
+#include "trace/builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace defuse::trace {
+namespace {
+
+struct Chain {
+  WorkloadBuilder builder{123};
+  FunctionId a, b, c;
+  Chain() {
+    const UserId u = builder.AddUser("u");
+    const AppId app = builder.AddApp(u, "app");
+    a = builder.AddFunction(app, "a");
+    b = builder.AddFunction(app, "b");
+    c = builder.AddFunction(app, "c");
+  }
+};
+
+TEST(WorkloadBuilder, PeriodicTriggerFiresOnSchedule) {
+  Chain fx;
+  fx.builder.AddPeriodicTrigger(fx.a, 10);
+  const auto w = fx.builder.Build(100);
+  const auto s = w.trace.series(fx.a);
+  ASSERT_EQ(s.size(), 10u);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s[i].minute, static_cast<Minute>(i * 10));
+  }
+}
+
+TEST(WorkloadBuilder, PeriodicPhaseOffsetsTheSchedule) {
+  Chain fx;
+  fx.builder.AddPeriodicTrigger(fx.a, 10, 7);
+  const auto w = fx.builder.Build(30);
+  const auto s = w.trace.series(fx.a);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].minute, 7);
+  EXPECT_EQ(s[1].minute, 17);
+}
+
+TEST(WorkloadBuilder, CertainCallsPropagateTransitively) {
+  Chain fx;
+  fx.builder.AddCall(fx.a, fx.b);
+  fx.builder.AddCall(fx.b, fx.c);
+  fx.builder.AddPeriodicTrigger(fx.a, 20);
+  const auto w = fx.builder.Build(200);
+  EXPECT_EQ(w.trace.ActiveMinutes(fx.a, w.trace.horizon()),
+            w.trace.ActiveMinutes(fx.b, w.trace.horizon()));
+  EXPECT_EQ(w.trace.ActiveMinutes(fx.a, w.trace.horizon()),
+            w.trace.ActiveMinutes(fx.c, w.trace.horizon()));
+}
+
+TEST(WorkloadBuilder, ProbabilisticCallsFireProportionally) {
+  Chain fx;
+  fx.builder.AddCall(fx.a, fx.b, 0.3);
+  fx.builder.AddPeriodicTrigger(fx.a, 1);
+  const auto w = fx.builder.Build(20000);
+  const double ratio =
+      static_cast<double>(w.trace.ActiveMinutes(fx.b, w.trace.horizon())) /
+      static_cast<double>(w.trace.ActiveMinutes(fx.a, w.trace.horizon()));
+  EXPECT_NEAR(ratio, 0.3, 0.02);
+}
+
+TEST(WorkloadBuilder, ZeroProbabilityNeverFires) {
+  Chain fx;
+  fx.builder.AddCall(fx.a, fx.b, 0.0);
+  fx.builder.AddPeriodicTrigger(fx.a, 5);
+  const auto w = fx.builder.Build(1000);
+  EXPECT_EQ(w.trace.ActiveMinutes(fx.b, w.trace.horizon()), 0u);
+}
+
+TEST(WorkloadBuilder, CallDelaysShiftTheCallee) {
+  Chain fx;
+  fx.builder.AddCall(fx.a, fx.b, 1.0, 3);
+  fx.builder.AddManualInvocation(fx.a, 10);
+  // Manual invocations do not propagate; trigger the chain instead.
+  fx.builder.AddPeriodicTrigger(fx.a, 50, 20);
+  const auto w = fx.builder.Build(60);
+  const auto sb = w.trace.series(fx.b);
+  ASSERT_EQ(sb.size(), 1u);
+  EXPECT_EQ(sb[0].minute, 23);
+}
+
+TEST(WorkloadBuilder, CyclesAreSafe) {
+  Chain fx;
+  fx.builder.AddCall(fx.a, fx.b);
+  fx.builder.AddCall(fx.b, fx.c);
+  fx.builder.AddCall(fx.c, fx.a);  // cycle
+  fx.builder.AddPeriodicTrigger(fx.a, 10);
+  const auto w = fx.builder.Build(100);
+  // Each root event invokes each function exactly once.
+  EXPECT_EQ(w.trace.ActiveMinutes(fx.a, w.trace.horizon()), 10u);
+  EXPECT_EQ(w.trace.ActiveMinutes(fx.b, w.trace.horizon()), 10u);
+  EXPECT_EQ(w.trace.ActiveMinutes(fx.c, w.trace.horizon()), 10u);
+  for (const auto& e : w.trace.series(fx.a)) EXPECT_EQ(e.count, 1u);
+}
+
+TEST(WorkloadBuilder, DiamondInvokesSharedCalleeOnce) {
+  Chain fx;
+  // a -> b, a -> c, b -> c: c reached twice per event, fires once.
+  fx.builder.AddCall(fx.a, fx.b);
+  fx.builder.AddCall(fx.a, fx.c);
+  fx.builder.AddCall(fx.b, fx.c);
+  fx.builder.AddPeriodicTrigger(fx.a, 10);
+  const auto w = fx.builder.Build(100);
+  for (const auto& e : w.trace.series(fx.c)) EXPECT_EQ(e.count, 1u);
+  EXPECT_EQ(w.trace.ActiveMinutes(fx.c, w.trace.horizon()), 10u);
+}
+
+TEST(WorkloadBuilder, PoissonTriggerMeanGapIsRespected) {
+  Chain fx;
+  fx.builder.AddPoissonTrigger(fx.a, 20.0);
+  const auto w = fx.builder.Build(100000);
+  const auto n = w.trace.ActiveMinutes(fx.a, w.trace.horizon());
+  EXPECT_NEAR(static_cast<double>(n), 5000.0, 350.0);
+}
+
+TEST(WorkloadBuilder, DiurnalTriggerStaysInWindow) {
+  Chain fx;
+  fx.builder.AddDiurnalTrigger(fx.a, 600, 120, 5.0);  // 10:00-12:00 daily
+  const auto w = fx.builder.Build(5 * kMinutesPerDay);
+  for (const auto& e : w.trace.series(fx.a)) {
+    const Minute in_day = e.minute % kMinutesPerDay;
+    EXPECT_GE(in_day, 600);
+    EXPECT_LT(in_day, 720);
+  }
+  EXPECT_GT(w.trace.ActiveMinutes(fx.a, w.trace.horizon()), 50u);
+}
+
+TEST(WorkloadBuilder, ManualInvocationsLandVerbatim) {
+  Chain fx;
+  fx.builder.AddManualInvocation(fx.b, 42, 3);
+  fx.builder.AddManualInvocation(fx.b, 999999, 1);  // outside the horizon
+  const auto w = fx.builder.Build(100);
+  const auto s = w.trace.series(fx.b);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], (InvocationEvent{42, 3}));
+}
+
+TEST(WorkloadBuilder, BuildIsDeterministicPerSeed) {
+  const auto make = [](std::uint64_t seed) {
+    WorkloadBuilder b{seed};
+    const UserId u = b.AddUser("u");
+    const AppId app = b.AddApp(u, "app");
+    const FunctionId a = b.AddFunction(app, "a");
+    const FunctionId c = b.AddFunction(app, "c");
+    b.AddCall(a, c, 0.5);
+    b.AddPoissonTrigger(a, 15.0);
+    return b.Build(5000);
+  };
+  const auto w1 = make(9);
+  const auto w2 = make(9);
+  const auto w3 = make(10);
+  EXPECT_EQ(w1.trace.TotalInvocations(w1.trace.horizon()),
+            w2.trace.TotalInvocations(w2.trace.horizon()));
+  EXPECT_NE(w1.trace.TotalInvocations(w1.trace.horizon()),
+            w3.trace.TotalInvocations(w3.trace.horizon()));
+}
+
+TEST(WorkloadBuilder, ModelIsSharedWithTheTrace) {
+  Chain fx;
+  fx.builder.AddPeriodicTrigger(fx.a, 10);
+  const auto w = fx.builder.Build(100);
+  EXPECT_EQ(w.model.num_functions(), 3u);
+  EXPECT_EQ(w.model.function(fx.a).name, "a");
+}
+
+}  // namespace
+}  // namespace defuse::trace

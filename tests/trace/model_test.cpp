@@ -1,0 +1,78 @@
+#include "trace/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace defuse::trace {
+namespace {
+
+TEST(WorkloadModel, StartsEmpty) {
+  WorkloadModel model;
+  EXPECT_EQ(model.num_users(), 0u);
+  EXPECT_EQ(model.num_apps(), 0u);
+  EXPECT_EQ(model.num_functions(), 0u);
+}
+
+TEST(WorkloadModel, AddUserAssignsDenseIds) {
+  WorkloadModel model;
+  EXPECT_EQ(model.AddUser("u0").value(), 0u);
+  EXPECT_EQ(model.AddUser("u1").value(), 1u);
+  EXPECT_EQ(model.user(UserId{1}).name, "u1");
+}
+
+TEST(WorkloadModel, AddAppLinksToUser) {
+  WorkloadModel model;
+  const UserId u = model.AddUser("u");
+  const AppId a = model.AddApp(u, "a");
+  EXPECT_EQ(model.app(a).user, u);
+  ASSERT_EQ(model.user(u).apps.size(), 1u);
+  EXPECT_EQ(model.user(u).apps[0], a);
+}
+
+TEST(WorkloadModel, AddFunctionLinksToAppAndUser) {
+  WorkloadModel model;
+  const UserId u = model.AddUser("u");
+  const AppId a = model.AddApp(u, "a");
+  const FunctionId f = model.AddFunction(a, "f");
+  EXPECT_EQ(model.function(f).app, a);
+  EXPECT_EQ(model.function(f).user, u);
+  ASSERT_EQ(model.app(a).functions.size(), 1u);
+  EXPECT_EQ(model.app(a).functions[0], f);
+}
+
+TEST(WorkloadModel, FunctionsOfUserSpansApps) {
+  WorkloadModel model;
+  const UserId u0 = model.AddUser("u0");
+  const UserId u1 = model.AddUser("u1");
+  const AppId a0 = model.AddApp(u0, "a0");
+  const AppId a1 = model.AddApp(u0, "a1");
+  const AppId b0 = model.AddApp(u1, "b0");
+  const FunctionId f0 = model.AddFunction(a0, "f0");
+  const FunctionId f1 = model.AddFunction(a1, "f1");
+  const FunctionId f2 = model.AddFunction(a1, "f2");
+  const FunctionId g0 = model.AddFunction(b0, "g0");
+
+  EXPECT_EQ(model.FunctionsOfUser(u0),
+            (std::vector<FunctionId>{f0, f1, f2}));
+  EXPECT_EQ(model.FunctionsOfUser(u1), (std::vector<FunctionId>{g0}));
+}
+
+TEST(WorkloadModel, FunctionsOfUserWithNoAppsIsEmpty) {
+  WorkloadModel model;
+  const UserId u = model.AddUser("u");
+  EXPECT_TRUE(model.FunctionsOfUser(u).empty());
+}
+
+TEST(WorkloadModel, IdsIndexTheVectors) {
+  WorkloadModel model;
+  const UserId u = model.AddUser("u");
+  const AppId a = model.AddApp(u, "a");
+  for (int i = 0; i < 5; ++i) {
+    model.AddFunction(a, "f" + std::to_string(i));
+  }
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(model.functions()[i].id, FunctionId{i});
+  }
+}
+
+}  // namespace
+}  // namespace defuse::trace

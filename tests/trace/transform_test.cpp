@@ -1,0 +1,162 @@
+#include "trace/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hpp"
+
+namespace defuse::trace {
+namespace {
+
+SyntheticWorkload TinyWorkload(std::uint64_t seed = 61) {
+  auto cfg = GeneratorConfig::Tiny();
+  cfg.num_users = 8;
+  cfg.seed = seed;
+  return GenerateWorkload(cfg);
+}
+
+TEST(FilterUsers, KeepsOnlySelectedUsersEntities) {
+  const auto w = TinyWorkload();
+  const std::vector<UserId> keep{UserId{1}, UserId{3}};
+  const auto filtered = FilterUsers(w.model, w.trace, keep);
+  EXPECT_EQ(filtered.model.num_users(), 2u);
+  const std::size_t expected_functions =
+      w.model.FunctionsOfUser(UserId{1}).size() +
+      w.model.FunctionsOfUser(UserId{3}).size();
+  EXPECT_EQ(filtered.model.num_functions(), expected_functions);
+  // Names survive the renumbering.
+  EXPECT_EQ(filtered.model.user(UserId{0}).name, w.model.user(UserId{1}).name);
+}
+
+TEST(FilterUsers, PreservesInvocationSeries) {
+  const auto w = TinyWorkload();
+  const std::vector<UserId> keep{UserId{2}};
+  const auto filtered = FilterUsers(w.model, w.trace, keep);
+  // Match by function name and compare series exactly.
+  for (const auto& new_fn : filtered.model.functions()) {
+    FunctionId old_id = FunctionId::invalid();
+    for (const auto& old_fn : w.model.functions()) {
+      if (old_fn.name == new_fn.name) old_id = old_fn.id;
+    }
+    ASSERT_TRUE(old_id.valid());
+    const auto a = w.trace.series(old_id);
+    const auto b = filtered.trace.series(new_fn.id);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(FilterUsers, DuplicatesInSelectionAreIgnored) {
+  const auto w = TinyWorkload();
+  const std::vector<UserId> keep{UserId{0}, UserId{0}, UserId{0}};
+  const auto filtered = FilterUsers(w.model, w.trace, keep);
+  EXPECT_EQ(filtered.model.num_users(), 1u);
+}
+
+TEST(FilterUsers, EmptySelectionYieldsEmptyWorkload) {
+  const auto w = TinyWorkload();
+  const auto filtered = FilterUsers(w.model, w.trace, {});
+  EXPECT_EQ(filtered.model.num_users(), 0u);
+  EXPECT_EQ(filtered.model.num_functions(), 0u);
+}
+
+TEST(SampleUsers, SamplesTheRequestedCount) {
+  const auto w = TinyWorkload();
+  Rng rng{9};
+  const auto sampled = SampleUsers(w.model, w.trace, 3, rng);
+  EXPECT_EQ(sampled.model.num_users(), 3u);
+}
+
+TEST(SampleUsers, OversampleKeepsEverything) {
+  const auto w = TinyWorkload();
+  Rng rng{9};
+  const auto sampled = SampleUsers(w.model, w.trace, 1000, rng);
+  EXPECT_EQ(sampled.model.num_users(), w.model.num_users());
+  EXPECT_EQ(sampled.trace.TotalInvocations(sampled.trace.horizon()),
+            w.trace.TotalInvocations(w.trace.horizon()));
+}
+
+TEST(SampleUsers, DifferentSeedsDifferentSamples) {
+  const auto w = TinyWorkload();
+  Rng rng1{1}, rng2{2};
+  const auto a = SampleUsers(w.model, w.trace, 4, rng1);
+  const auto b = SampleUsers(w.model, w.trace, 4, rng2);
+  std::vector<std::string> names_a, names_b;
+  for (const auto& u : a.model.users()) names_a.push_back(u.name);
+  for (const auto& u : b.model.users()) names_b.push_back(u.name);
+  EXPECT_NE(names_a, names_b);
+}
+
+TEST(SliceTime, RebasesMinutesToZero) {
+  const auto w = TinyWorkload();
+  const TimeRange slice{kMinutesPerDay, 2 * kMinutesPerDay};
+  const auto sliced = SliceTime(w.model, w.trace, slice);
+  EXPECT_EQ(sliced.trace.horizon(), (TimeRange{0, kMinutesPerDay}));
+  EXPECT_EQ(sliced.trace.TotalInvocations(sliced.trace.horizon()),
+            w.trace.TotalInvocations(slice));
+  EXPECT_EQ(sliced.model.num_functions(), w.model.num_functions());
+}
+
+TEST(SliceTime, SeriesShiftExactly) {
+  WorkloadModel model;
+  const UserId u = model.AddUser("u");
+  const AppId a = model.AddApp(u, "a");
+  const FunctionId f = model.AddFunction(a, "f");
+  InvocationTrace trace{1, TimeRange{0, 100}};
+  trace.Add(f, 30, 2);
+  trace.Add(f, 70, 1);
+  trace.Finalize();
+  const auto sliced = SliceTime(model, trace, TimeRange{25, 75});
+  const auto s = sliced.trace.series(f);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], (InvocationEvent{5, 2}));
+  EXPECT_EQ(s[1], (InvocationEvent{45, 1}));
+}
+
+TEST(Merge, CombinesDisjointWorkloads) {
+  const auto a = TinyWorkload(61);
+  const auto b = TinyWorkload(62);
+  const auto merged = Merge(a.model, a.trace, b.model, b.trace, "x-");
+  EXPECT_EQ(merged.model.num_users(),
+            a.model.num_users() + b.model.num_users());
+  EXPECT_EQ(merged.model.num_functions(),
+            a.model.num_functions() + b.model.num_functions());
+  EXPECT_EQ(merged.trace.TotalInvocations(merged.trace.horizon()),
+            a.trace.TotalInvocations(a.trace.horizon()) +
+                b.trace.TotalInvocations(b.trace.horizon()));
+}
+
+TEST(Merge, PrefixesSecondWorkloadNames) {
+  const auto a = TinyWorkload(61);
+  const auto b = TinyWorkload(62);
+  const auto merged = Merge(a.model, a.trace, b.model, b.trace, "x-");
+  std::size_t prefixed = 0;
+  for (const auto& user : merged.model.users()) {
+    if (user.name.rfind("x-", 0) == 0) ++prefixed;
+  }
+  EXPECT_EQ(prefixed, b.model.num_users());
+}
+
+TEST(Merge, HorizonIsTheMax) {
+  const auto a = TinyWorkload();
+  auto cfg = GeneratorConfig::Tiny();
+  cfg.horizon_minutes = 6 * kMinutesPerDay;
+  cfg.num_users = 4;
+  const auto b = GenerateWorkload(cfg);
+  const auto merged = Merge(a.model, a.trace, b.model, b.trace);
+  EXPECT_EQ(merged.trace.horizon().end, 6 * kMinutesPerDay);
+}
+
+TEST(RoundTrip, FilteredWorkloadSurvivesCsv) {
+  const auto w = TinyWorkload();
+  Rng rng{3};
+  const auto sampled = SampleUsers(w.model, w.trace, 3, rng);
+  const auto loaded = ReadLongCsv(
+      WriteLongCsv(sampled.model, sampled.trace),
+      sampled.trace.horizon().end);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().trace.TotalInvocations(loaded.value().trace.horizon()),
+            sampled.trace.TotalInvocations(sampled.trace.horizon()));
+}
+
+}  // namespace
+}  // namespace defuse::trace
