@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_budget"
+  "../bench/bench_budget.pdb"
+  "CMakeFiles/bench_budget.dir/budget.cpp.o"
+  "CMakeFiles/bench_budget.dir/budget.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

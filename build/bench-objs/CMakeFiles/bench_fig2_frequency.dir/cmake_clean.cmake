@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_frequency"
+  "../bench/bench_fig2_frequency.pdb"
+  "CMakeFiles/bench_fig2_frequency.dir/fig2_frequency.cpp.o"
+  "CMakeFiles/bench_fig2_frequency.dir/fig2_frequency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_overhead"
+  "../bench/bench_fig9_overhead.pdb"
+  "CMakeFiles/bench_fig9_overhead.dir/fig9_overhead.cpp.o"
+  "CMakeFiles/bench_fig9_overhead.dir/fig9_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

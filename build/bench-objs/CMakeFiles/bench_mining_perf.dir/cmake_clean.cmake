@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mining_perf"
+  "../bench/bench_mining_perf.pdb"
+  "CMakeFiles/bench_mining_perf.dir/mining_perf.cpp.o"
+  "CMakeFiles/bench_mining_perf.dir/mining_perf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mining_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

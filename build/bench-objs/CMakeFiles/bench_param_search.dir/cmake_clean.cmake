@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_param_search"
+  "../bench/bench_param_search.pdb"
+  "CMakeFiles/bench_param_search.dir/param_search.cpp.o"
+  "CMakeFiles/bench_param_search.dir/param_search.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_param_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

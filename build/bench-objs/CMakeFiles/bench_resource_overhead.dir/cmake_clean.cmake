@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_resource_overhead"
+  "../bench/bench_resource_overhead.pdb"
+  "CMakeFiles/bench_resource_overhead.dir/resource_overhead.cpp.o"
+  "CMakeFiles/bench_resource_overhead.dir/resource_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resource_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_weighted_memory"
+  "../bench/bench_weighted_memory.pdb"
+  "CMakeFiles/bench_weighted_memory.dir/weighted_memory.cpp.o"
+  "CMakeFiles/bench_weighted_memory.dir/weighted_memory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weighted_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defuse_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/defuse_bench_common.dir/bench_common.cpp.o.d"
+  "libdefuse_bench_common.a"
+  "libdefuse_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defuse_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

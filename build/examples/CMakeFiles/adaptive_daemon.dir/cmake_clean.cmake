@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_daemon.dir/adaptive_daemon.cpp.o"
+  "CMakeFiles/adaptive_daemon.dir/adaptive_daemon.cpp.o.d"
+  "adaptive_daemon"
+  "adaptive_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/azure_dataset.dir/azure_dataset.cpp.o"
+  "CMakeFiles/azure_dataset.dir/azure_dataset.cpp.o.d"
+  "azure_dataset"
+  "azure_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/azure_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

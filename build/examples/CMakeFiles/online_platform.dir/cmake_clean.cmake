@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_platform.dir/online_platform.cpp.o"
+  "CMakeFiles/online_platform.dir/online_platform.cpp.o.d"
+  "online_platform"
+  "online_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

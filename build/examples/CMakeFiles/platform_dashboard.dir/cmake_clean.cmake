@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_dashboard.dir/platform_dashboard.cpp.o"
+  "CMakeFiles/platform_dashboard.dir/platform_dashboard.cpp.o.d"
+  "platform_dashboard"
+  "platform_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trainticket.dir/trainticket.cpp.o"
+  "CMakeFiles/trainticket.dir/trainticket.cpp.o.d"
+  "trainticket"
+  "trainticket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trainticket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

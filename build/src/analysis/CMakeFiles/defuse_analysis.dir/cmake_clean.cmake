@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defuse_analysis.dir/analysis.cpp.o"
+  "CMakeFiles/defuse_analysis.dir/analysis.cpp.o.d"
+  "libdefuse_analysis.a"
+  "libdefuse_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defuse_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defuse_cli.dir/main.cpp.o"
+  "CMakeFiles/defuse_cli.dir/main.cpp.o.d"
+  "defuse"
+  "defuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defuse_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

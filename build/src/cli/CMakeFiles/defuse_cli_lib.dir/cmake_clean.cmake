@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defuse_cli_lib.dir/cli.cpp.o"
+  "CMakeFiles/defuse_cli_lib.dir/cli.cpp.o.d"
+  "libdefuse_cli_lib.a"
+  "libdefuse_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defuse_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdefuse_cli_lib.a"
+)

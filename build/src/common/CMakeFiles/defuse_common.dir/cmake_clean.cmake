@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defuse_common.dir/csv.cpp.o"
+  "CMakeFiles/defuse_common.dir/csv.cpp.o.d"
+  "CMakeFiles/defuse_common.dir/flags.cpp.o"
+  "CMakeFiles/defuse_common.dir/flags.cpp.o.d"
+  "CMakeFiles/defuse_common.dir/logging.cpp.o"
+  "CMakeFiles/defuse_common.dir/logging.cpp.o.d"
+  "CMakeFiles/defuse_common.dir/rng.cpp.o"
+  "CMakeFiles/defuse_common.dir/rng.cpp.o.d"
+  "libdefuse_common.a"
+  "libdefuse_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defuse_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

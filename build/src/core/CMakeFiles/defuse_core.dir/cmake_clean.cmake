@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defuse_core.dir/adaptive.cpp.o"
+  "CMakeFiles/defuse_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/defuse_core.dir/defuse.cpp.o"
+  "CMakeFiles/defuse_core.dir/defuse.cpp.o.d"
+  "CMakeFiles/defuse_core.dir/experiment.cpp.o"
+  "CMakeFiles/defuse_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/defuse_core.dir/replication.cpp.o"
+  "CMakeFiles/defuse_core.dir/replication.cpp.o.d"
+  "libdefuse_core.a"
+  "libdefuse_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defuse_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

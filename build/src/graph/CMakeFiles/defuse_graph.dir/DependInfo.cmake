@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dependency_graph.cpp" "src/graph/CMakeFiles/defuse_graph.dir/dependency_graph.cpp.o" "gcc" "src/graph/CMakeFiles/defuse_graph.dir/dependency_graph.cpp.o.d"
+  "/root/repo/src/graph/serialization.cpp" "src/graph/CMakeFiles/defuse_graph.dir/serialization.cpp.o" "gcc" "src/graph/CMakeFiles/defuse_graph.dir/serialization.cpp.o.d"
+  "/root/repo/src/graph/union_find.cpp" "src/graph/CMakeFiles/defuse_graph.dir/union_find.cpp.o" "gcc" "src/graph/CMakeFiles/defuse_graph.dir/union_find.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/defuse_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/defuse_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/defuse_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/defuse_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

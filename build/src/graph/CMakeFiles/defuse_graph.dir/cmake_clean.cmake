@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defuse_graph.dir/dependency_graph.cpp.o"
+  "CMakeFiles/defuse_graph.dir/dependency_graph.cpp.o.d"
+  "CMakeFiles/defuse_graph.dir/serialization.cpp.o"
+  "CMakeFiles/defuse_graph.dir/serialization.cpp.o.d"
+  "CMakeFiles/defuse_graph.dir/union_find.cpp.o"
+  "CMakeFiles/defuse_graph.dir/union_find.cpp.o.d"
+  "libdefuse_graph.a"
+  "libdefuse_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defuse_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mining/cooccurrence.cpp" "src/mining/CMakeFiles/defuse_mining.dir/cooccurrence.cpp.o" "gcc" "src/mining/CMakeFiles/defuse_mining.dir/cooccurrence.cpp.o.d"
+  "/root/repo/src/mining/fpgrowth.cpp" "src/mining/CMakeFiles/defuse_mining.dir/fpgrowth.cpp.o" "gcc" "src/mining/CMakeFiles/defuse_mining.dir/fpgrowth.cpp.o.d"
+  "/root/repo/src/mining/predictability.cpp" "src/mining/CMakeFiles/defuse_mining.dir/predictability.cpp.o" "gcc" "src/mining/CMakeFiles/defuse_mining.dir/predictability.cpp.o.d"
+  "/root/repo/src/mining/transactions.cpp" "src/mining/CMakeFiles/defuse_mining.dir/transactions.cpp.o" "gcc" "src/mining/CMakeFiles/defuse_mining.dir/transactions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/defuse_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/defuse_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/defuse_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defuse_mining.dir/cooccurrence.cpp.o"
+  "CMakeFiles/defuse_mining.dir/cooccurrence.cpp.o.d"
+  "CMakeFiles/defuse_mining.dir/fpgrowth.cpp.o"
+  "CMakeFiles/defuse_mining.dir/fpgrowth.cpp.o.d"
+  "CMakeFiles/defuse_mining.dir/predictability.cpp.o"
+  "CMakeFiles/defuse_mining.dir/predictability.cpp.o.d"
+  "CMakeFiles/defuse_mining.dir/transactions.cpp.o"
+  "CMakeFiles/defuse_mining.dir/transactions.cpp.o.d"
+  "libdefuse_mining.a"
+  "libdefuse_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defuse_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defuse_platform.dir/platform.cpp.o"
+  "CMakeFiles/defuse_platform.dir/platform.cpp.o.d"
+  "libdefuse_platform.a"
+  "libdefuse_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defuse_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

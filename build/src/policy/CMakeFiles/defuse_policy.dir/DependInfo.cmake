@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/ar_model.cpp" "src/policy/CMakeFiles/defuse_policy.dir/ar_model.cpp.o" "gcc" "src/policy/CMakeFiles/defuse_policy.dir/ar_model.cpp.o.d"
+  "/root/repo/src/policy/diurnal.cpp" "src/policy/CMakeFiles/defuse_policy.dir/diurnal.cpp.o" "gcc" "src/policy/CMakeFiles/defuse_policy.dir/diurnal.cpp.o.d"
+  "/root/repo/src/policy/fixed.cpp" "src/policy/CMakeFiles/defuse_policy.dir/fixed.cpp.o" "gcc" "src/policy/CMakeFiles/defuse_policy.dir/fixed.cpp.o.d"
+  "/root/repo/src/policy/hybrid.cpp" "src/policy/CMakeFiles/defuse_policy.dir/hybrid.cpp.o" "gcc" "src/policy/CMakeFiles/defuse_policy.dir/hybrid.cpp.o.d"
+  "/root/repo/src/policy/predictor.cpp" "src/policy/CMakeFiles/defuse_policy.dir/predictor.cpp.o" "gcc" "src/policy/CMakeFiles/defuse_policy.dir/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/defuse_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/defuse_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/defuse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/defuse_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/defuse_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/defuse_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

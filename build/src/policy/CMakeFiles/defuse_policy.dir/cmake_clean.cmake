@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defuse_policy.dir/ar_model.cpp.o"
+  "CMakeFiles/defuse_policy.dir/ar_model.cpp.o.d"
+  "CMakeFiles/defuse_policy.dir/diurnal.cpp.o"
+  "CMakeFiles/defuse_policy.dir/diurnal.cpp.o.d"
+  "CMakeFiles/defuse_policy.dir/fixed.cpp.o"
+  "CMakeFiles/defuse_policy.dir/fixed.cpp.o.d"
+  "CMakeFiles/defuse_policy.dir/hybrid.cpp.o"
+  "CMakeFiles/defuse_policy.dir/hybrid.cpp.o.d"
+  "CMakeFiles/defuse_policy.dir/predictor.cpp.o"
+  "CMakeFiles/defuse_policy.dir/predictor.cpp.o.d"
+  "libdefuse_policy.a"
+  "libdefuse_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defuse_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defuse_sim.dir/concurrency.cpp.o"
+  "CMakeFiles/defuse_sim.dir/concurrency.cpp.o.d"
+  "CMakeFiles/defuse_sim.dir/metrics.cpp.o"
+  "CMakeFiles/defuse_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/defuse_sim.dir/simulator.cpp.o"
+  "CMakeFiles/defuse_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/defuse_sim.dir/unit_map.cpp.o"
+  "CMakeFiles/defuse_sim.dir/unit_map.cpp.o.d"
+  "libdefuse_sim.a"
+  "libdefuse_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defuse_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

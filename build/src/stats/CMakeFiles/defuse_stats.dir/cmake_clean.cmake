@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defuse_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/defuse_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/defuse_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/defuse_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/defuse_stats.dir/histogram.cpp.o"
+  "CMakeFiles/defuse_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/defuse_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/defuse_stats.dir/timeseries.cpp.o.d"
+  "libdefuse_stats.a"
+  "libdefuse_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defuse_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

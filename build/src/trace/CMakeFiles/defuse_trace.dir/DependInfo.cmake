@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/azure_csv.cpp" "src/trace/CMakeFiles/defuse_trace.dir/azure_csv.cpp.o" "gcc" "src/trace/CMakeFiles/defuse_trace.dir/azure_csv.cpp.o.d"
+  "/root/repo/src/trace/builder.cpp" "src/trace/CMakeFiles/defuse_trace.dir/builder.cpp.o" "gcc" "src/trace/CMakeFiles/defuse_trace.dir/builder.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/defuse_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/defuse_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/invocation_trace.cpp" "src/trace/CMakeFiles/defuse_trace.dir/invocation_trace.cpp.o" "gcc" "src/trace/CMakeFiles/defuse_trace.dir/invocation_trace.cpp.o.d"
+  "/root/repo/src/trace/model.cpp" "src/trace/CMakeFiles/defuse_trace.dir/model.cpp.o" "gcc" "src/trace/CMakeFiles/defuse_trace.dir/model.cpp.o.d"
+  "/root/repo/src/trace/transform.cpp" "src/trace/CMakeFiles/defuse_trace.dir/transform.cpp.o" "gcc" "src/trace/CMakeFiles/defuse_trace.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/defuse_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/defuse_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defuse_trace.dir/azure_csv.cpp.o"
+  "CMakeFiles/defuse_trace.dir/azure_csv.cpp.o.d"
+  "CMakeFiles/defuse_trace.dir/builder.cpp.o"
+  "CMakeFiles/defuse_trace.dir/builder.cpp.o.d"
+  "CMakeFiles/defuse_trace.dir/generator.cpp.o"
+  "CMakeFiles/defuse_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/defuse_trace.dir/invocation_trace.cpp.o"
+  "CMakeFiles/defuse_trace.dir/invocation_trace.cpp.o.d"
+  "CMakeFiles/defuse_trace.dir/model.cpp.o"
+  "CMakeFiles/defuse_trace.dir/model.cpp.o.d"
+  "CMakeFiles/defuse_trace.dir/transform.cpp.o"
+  "CMakeFiles/defuse_trace.dir/transform.cpp.o.d"
+  "libdefuse_trace.a"
+  "libdefuse_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defuse_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

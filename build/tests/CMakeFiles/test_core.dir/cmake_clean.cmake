@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/adaptive_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/adaptive_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/defuse_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/defuse_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/experiment_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/experiment_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/golden_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/golden_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/replication_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/replication_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/robustness_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/robustness_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

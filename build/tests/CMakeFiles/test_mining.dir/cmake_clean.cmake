@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mining.dir/mining/cooccurrence_test.cpp.o"
+  "CMakeFiles/test_mining.dir/mining/cooccurrence_test.cpp.o.d"
+  "CMakeFiles/test_mining.dir/mining/fpgrowth_test.cpp.o"
+  "CMakeFiles/test_mining.dir/mining/fpgrowth_test.cpp.o.d"
+  "CMakeFiles/test_mining.dir/mining/predictability_test.cpp.o"
+  "CMakeFiles/test_mining.dir/mining/predictability_test.cpp.o.d"
+  "CMakeFiles/test_mining.dir/mining/transactions_test.cpp.o"
+  "CMakeFiles/test_mining.dir/mining/transactions_test.cpp.o.d"
+  "test_mining"
+  "test_mining.pdb"
+  "test_mining[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy.dir/policy/ar_model_test.cpp.o"
+  "CMakeFiles/test_policy.dir/policy/ar_model_test.cpp.o.d"
+  "CMakeFiles/test_policy.dir/policy/diurnal_test.cpp.o"
+  "CMakeFiles/test_policy.dir/policy/diurnal_test.cpp.o.d"
+  "CMakeFiles/test_policy.dir/policy/fixed_test.cpp.o"
+  "CMakeFiles/test_policy.dir/policy/fixed_test.cpp.o.d"
+  "CMakeFiles/test_policy.dir/policy/hybrid_test.cpp.o"
+  "CMakeFiles/test_policy.dir/policy/hybrid_test.cpp.o.d"
+  "CMakeFiles/test_policy.dir/policy/predictor_test.cpp.o"
+  "CMakeFiles/test_policy.dir/policy/predictor_test.cpp.o.d"
+  "test_policy"
+  "test_policy.pdb"
+  "test_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

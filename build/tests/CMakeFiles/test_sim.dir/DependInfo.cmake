@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/concurrency_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/concurrency_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/concurrency_test.cpp.o.d"
+  "/root/repo/tests/sim/differential_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/differential_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/differential_test.cpp.o.d"
+  "/root/repo/tests/sim/invariants_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/invariants_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/invariants_test.cpp.o.d"
+  "/root/repo/tests/sim/latency_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/latency_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/latency_test.cpp.o.d"
+  "/root/repo/tests/sim/memory_limit_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/memory_limit_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/memory_limit_test.cpp.o.d"
+  "/root/repo/tests/sim/metrics_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/metrics_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/simulator_test.cpp.o.d"
+  "/root/repo/tests/sim/unit_map_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/unit_map_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/unit_map_test.cpp.o.d"
+  "/root/repo/tests/sim/weighted_memory_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/weighted_memory_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/weighted_memory_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/defuse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/defuse_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/defuse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/defuse_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/defuse_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/defuse_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/defuse_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/defuse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

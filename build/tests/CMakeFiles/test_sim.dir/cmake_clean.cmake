@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/concurrency_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/concurrency_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/differential_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/differential_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/invariants_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/invariants_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/latency_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/latency_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/memory_limit_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/memory_limit_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/metrics_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/metrics_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/simulator_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/simulator_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/unit_map_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/unit_map_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/weighted_memory_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/weighted_memory_test.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/azure_csv_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/azure_csv_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/builder_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/builder_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/generator_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/generator_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/invocation_trace_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/invocation_trace_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/model_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/model_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/transform_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/transform_test.cpp.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
