@@ -1,0 +1,124 @@
+// Extension — fault injection must be free when unused.
+//
+// The platform engine carries a nullable FaultInjector hook on its
+// re-mine and pre-warm paths. This bench verifies the two contracts the
+// chaos harness makes:
+//
+//   1. Zero-cost when off: streaming the workload through a Platform
+//      with a disabled injector attached is within 2% of the same run
+//      with no injector at all (asserted; non-zero exit on violation),
+//      and both produce bit-identical stats.
+//   2. Graceful when on: a run under an aggressive fault profile (half
+//      of re-mines fail, a third of pre-warm spawns fail) completes with
+//      consistent books, printed for inspection.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "faults/injector.hpp"
+#include "platform/platform.hpp"
+#include "trace/generator.hpp"
+
+using namespace defuse;
+
+namespace {
+
+struct RunResult {
+  double seconds = 0.0;
+  platform::PlatformStats stats;
+};
+
+RunResult Stream(const trace::SyntheticWorkload& w,
+                 const trace::MinuteIndex& index, Minute horizon,
+                 faults::FaultInjector* injector) {
+  platform::PlatformConfig config;
+  config.horizon = horizon;
+  platform::Platform engine{w.model, config};
+  engine.set_fault_injector(injector);
+  const auto start = std::chrono::steady_clock::now();
+  for (Minute t = 0; t < horizon; ++t) {
+    for (const auto& [fn, count] : index.at(t)) {
+      (void)engine.Invoke(fn, t);
+    }
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return RunResult{
+      .seconds = std::chrono::duration<double>(stop - start).count(),
+      .stats = engine.stats()};
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Extension chaos",
+                     "fault-injection hook overhead and degraded-mode run");
+  auto cfg = trace::GeneratorConfig::Small();
+  cfg.horizon_minutes = 6 * kMinutesPerDay;
+  const auto w = trace::GenerateWorkload(cfg);
+  const Minute horizon = w.trace.horizon().end;
+  const auto index = w.trace.BuildMinuteIndex(w.trace.horizon());
+
+  // Interleave repetitions so drift hits both variants equally; keep the
+  // best (least-noisy) time of each.
+  constexpr int kReps = 5;
+  double best_bare = 1e300, best_attached = 1e300;
+  platform::PlatformStats bare_stats, attached_stats;
+  faults::FaultInjector disabled;  // default-constructed: off
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto bare = Stream(w, index, horizon, nullptr);
+    const auto attached = Stream(w, index, horizon, &disabled);
+    best_bare = std::min(best_bare, bare.seconds);
+    best_attached = std::min(best_attached, attached.seconds);
+    bare_stats = bare.stats;
+    attached_stats = attached.stats;
+  }
+  const double overhead = best_attached / best_bare - 1.0;
+  std::printf("\nvariant,best_seconds,invocations,cold_fraction\n");
+  std::printf("no_injector,%.4f,%llu,%.4f\n", best_bare,
+              static_cast<unsigned long long>(bare_stats.invocations),
+              bare_stats.cold_fraction());
+  std::printf("disabled_injector,%.4f,%llu,%.4f\n", best_attached,
+              static_cast<unsigned long long>(attached_stats.invocations),
+              attached_stats.cold_fraction());
+  std::printf("overhead,%.2f%%\n", overhead * 100.0);
+
+  if (!(bare_stats == attached_stats)) {
+    std::fprintf(stderr,
+                 "FAIL: disabled injector changed the run's statistics\n");
+    return 1;
+  }
+  if (overhead >= 0.02) {
+    std::fprintf(stderr,
+                 "FAIL: disabled-injector overhead %.2f%% exceeds the 2%% "
+                 "budget\n",
+                 overhead * 100.0);
+    return 1;
+  }
+
+  // Degraded-mode demonstration under an aggressive profile.
+  faults::FaultProfile profile;
+  profile.remine_failure_fraction = 0.5;
+  profile.prewarm_spawn_failure_fraction = 0.33;
+  faults::FaultInjector injector{2024, profile};
+  const auto chaotic = Stream(w, index, horizon, &injector);
+  std::printf("\nchaos profile: remine_fail=0.5 prewarm_fail=0.33\n");
+  std::printf(
+      "remines=%llu degraded=%llu stale_minutes=%lld spawn_failures=%llu "
+      "abandoned=%llu cold_fraction=%.4f\n",
+      static_cast<unsigned long long>(chaotic.stats.remines),
+      static_cast<unsigned long long>(chaotic.stats.degraded_remines),
+      static_cast<long long>(chaotic.stats.stale_graph_minutes),
+      static_cast<unsigned long long>(chaotic.stats.prewarm_spawn_failures),
+      static_cast<unsigned long long>(chaotic.stats.prewarm_spawns_abandoned),
+      chaotic.stats.cold_fraction());
+
+  bench::PrintHeadline(
+      "disabled-injector overhead " +
+      std::to_string(overhead * 100.0).substr(0, 5) +
+      "% (< 2% budget); chaotic run stayed up with " +
+      std::to_string(chaotic.stats.degraded_remines) +
+      " degraded re-mines serving stale-but-safe sets");
+  return 0;
+}

@@ -32,6 +32,17 @@ Result<std::uint64_t> ParseU64(std::string_view field) {
   return value;
 }
 
+Result<std::int64_t> ParseI64(std::string_view field) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    return Error{ErrorCode::kParseError,
+                 "expected integer, got '" + std::string{field} + "'"};
+  }
+  return value;
+}
+
 Result<double> ParseDouble(std::string_view field) {
   double value = 0.0;
   const auto [ptr, ec] =

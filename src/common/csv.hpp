@@ -18,6 +18,9 @@ namespace defuse {
 /// Parses a non-negative integer field. Rejects empty/garbage input.
 [[nodiscard]] Result<std::uint64_t> ParseU64(std::string_view field);
 
+/// Parses a signed integer field. Rejects empty/garbage input.
+[[nodiscard]] Result<std::int64_t> ParseI64(std::string_view field);
+
 /// Parses a double field.
 [[nodiscard]] Result<double> ParseDouble(std::string_view field);
 

@@ -2,7 +2,9 @@
 // validation) in a codebase that otherwise avoids exceptions on hot paths.
 #pragma once
 
-#include <cassert>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <variant>
@@ -16,7 +18,13 @@ enum class ErrorCode {
   kParseError,
   kOutOfRange,
   kFailedPrecondition,
+  kResourceExhausted,
+  kDeadlineExceeded,
 };
+
+/// Number of distinct ErrorCode values (sized for per-code tally arrays,
+/// e.g. trace::ParseReport). Keep in sync with the enum above.
+inline constexpr std::size_t kNumErrorCodes = 8;
 
 [[nodiscard]] constexpr const char* ErrorCodeName(ErrorCode code) noexcept {
   switch (code) {
@@ -26,6 +34,8 @@ enum class ErrorCode {
     case ErrorCode::kParseError: return "parse_error";
     case ErrorCode::kOutOfRange: return "out_of_range";
     case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
   }
   return "unknown";
 }
@@ -38,6 +48,26 @@ struct Error {
     return std::string{ErrorCodeName(code)} + ": " + message;
   }
 };
+
+namespace internal {
+
+/// Aborts with a diagnostic in every build mode. Reading the wrong
+/// variant alternative is UB; an assert would compile out under NDEBUG
+/// and turn a programming error into silent memory corruption in release
+/// builds, so wrong-state access is fatal unconditionally.
+[[noreturn]] inline void ResultAccessAbort(const char* what,
+                                           const Error* error) {
+  if (error != nullptr) {
+    std::fprintf(stderr, "defuse: fatal: %s: %s\n", what,
+                 error->ToString().c_str());
+  } else {
+    std::fprintf(stderr, "defuse: fatal: %s\n", what);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
 
 /// Either a value or an Error. Intentionally tiny: exactly the surface the
 /// trace loaders and config validators need.
@@ -53,28 +83,42 @@ class Result {
   explicit operator bool() const noexcept { return ok(); }
 
   [[nodiscard]] T& value() & {
-    assert(ok());
+    CheckHoldsValue();
     return std::get<T>(state_);
   }
   [[nodiscard]] const T& value() const& {
-    assert(ok());
+    CheckHoldsValue();
     return std::get<T>(state_);
   }
   [[nodiscard]] T&& value() && {
-    assert(ok());
+    CheckHoldsValue();
     return std::get<T>(std::move(state_));
   }
 
   [[nodiscard]] const Error& error() const& {
-    assert(!ok());
+    if (ok()) {
+      internal::ResultAccessAbort("Result::error() called on an ok Result",
+                                  nullptr);
+    }
     return std::get<Error>(state_);
   }
 
   [[nodiscard]] T value_or(T fallback) const& {
     return ok() ? std::get<T>(state_) : std::move(fallback);
   }
+  /// Rvalue overload: moves the held value out (works for move-only T).
+  [[nodiscard]] T value_or(T fallback) && {
+    return ok() ? std::get<T>(std::move(state_)) : std::move(fallback);
+  }
 
  private:
+  void CheckHoldsValue() const {
+    if (!ok()) {
+      internal::ResultAccessAbort("Result::value() called on an error Result",
+                                  &std::get<Error>(state_));
+    }
+  }
+
   std::variant<T, Error> state_;
 };
 

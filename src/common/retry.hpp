@@ -1,0 +1,66 @@
+// Bounded retry with deterministic exponential backoff.
+//
+// No wall clock and no real sleeping: the caller supplies both the
+// operation and the "sleep", so simulated-time components (the platform
+// engine's pre-warm spawner) and real I/O can share one policy. This
+// keeps the repo-wide determinism invariant: given the same sequence of
+// try outcomes, the helper always produces the same attempt count and
+// backoff schedule.
+#pragma once
+
+#include <algorithm>
+
+#include "common/time.hpp"
+
+namespace defuse {
+
+struct RetryPolicy {
+  /// Total tries, including the first (3 = one try + two retries). >= 1
+  /// (smaller values are treated as 1).
+  int max_attempts = 3;
+  /// Backoff before the first retry, in caller-defined clock units
+  /// (minutes for the platform engine).
+  MinuteDelta initial_backoff = 1;
+  /// Growth factor applied after every retry (2.0 gives 1, 2, 4, ...).
+  double backoff_multiplier = 2.0;
+  /// Per-step backoff ceiling.
+  MinuteDelta max_backoff = 60;
+};
+
+struct RetryOutcome {
+  bool succeeded = false;
+  /// Tries actually made (1 on first-try success).
+  int attempts = 0;
+  /// Sum of backoff delays slept between tries.
+  MinuteDelta total_backoff = 0;
+};
+
+/// Runs `try_once` (returning bool, true = success) up to
+/// `policy.max_attempts` times, calling `sleep(delay)` between failed
+/// tries. The clock is whatever the caller makes of `sleep`: advance a
+/// simulated minute counter, block a thread, or nothing at all.
+template <typename TryFn, typename SleepFn>
+RetryOutcome RetryWithBackoff(const RetryPolicy& policy, TryFn&& try_once,
+                              SleepFn&& sleep) {
+  RetryOutcome outcome;
+  const int max_attempts = std::max(policy.max_attempts, 1);
+  MinuteDelta backoff =
+      std::min(std::max<MinuteDelta>(policy.initial_backoff, 0),
+               policy.max_backoff);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    outcome.attempts = attempt;
+    if (try_once()) {
+      outcome.succeeded = true;
+      return outcome;
+    }
+    if (attempt == max_attempts) break;
+    sleep(backoff);
+    outcome.total_backoff += backoff;
+    const auto grown = static_cast<MinuteDelta>(
+        static_cast<double>(backoff) * policy.backoff_multiplier);
+    backoff = std::min(policy.max_backoff, std::max(grown, backoff));
+  }
+  return outcome;
+}
+
+}  // namespace defuse

@@ -1,6 +1,9 @@
 #include "core/adaptive.hpp"
 
 #include <algorithm>
+#include <optional>
+
+#include "common/logging.hpp"
 
 namespace defuse::core {
 
@@ -35,12 +38,27 @@ double AdaptiveResult::AverageMemoryUsage() const {
                             static_cast<double>(minutes);
 }
 
+std::size_t AdaptiveResult::DegradedEpochs() const {
+  std::size_t n = 0;
+  for (const auto& epoch : epochs) n += epoch.degraded ? 1 : 0;
+  return n;
+}
+
+MinuteDelta AdaptiveResult::StaleGraphMinutes() const {
+  MinuteDelta total = 0;
+  for (const auto& epoch : epochs) total += epoch.stale_graph_minutes;
+  return total;
+}
+
 AdaptiveResult RunAdaptive(const trace::WorkloadModel& model,
                            const trace::InvocationTrace& trace,
                            TimeRange span, const AdaptiveConfig& config) {
   assert(config.remine_interval > 0);
   assert(config.mining_window > 0);
   AdaptiveResult result;
+  // Last successfully mined dependency sets, carried across epochs so a
+  // degraded epoch can keep serving stale-but-safe sets.
+  std::optional<std::vector<graph::DependencySet>> last_good;
   for (Minute epoch_start = span.begin; epoch_start < span.end;
        epoch_start += config.remine_interval) {
     AdaptiveEpoch epoch;
@@ -57,11 +75,57 @@ AdaptiveResult RunAdaptive(const trace::WorkloadModel& model,
                                    trace.horizon().begin};
     }
 
-    const auto mining =
-        MineDependencies(trace, model, epoch.mined_from, config.mining);
-    epoch.dependency_sets = mining.sets.size();
-    const auto policy = MakeDefuseScheduler(trace, mining, epoch.mined_from,
-                                            config.policy);
+    // Degradation ladder. An injected fault kills the whole re-mine; a
+    // blown transaction budget first retries weak-deps-only (cheap: no
+    // FP-Growth pass) before giving up on a fresh graph entirely.
+    DefuseConfig mining_config = config.mining;
+    bool mine_fresh = true;
+    if (config.fault_injector != nullptr &&
+        config.fault_injector->ShouldFail(faults::FaultSite::kRemine)) {
+      DEFUSE_LOG_WARN << "adaptive: injected mining failure at epoch "
+                      << epoch.simulated.begin
+                      << "; keeping previous dependency sets";
+      epoch.degraded = true;
+      mine_fresh = false;
+    } else if (config.max_mining_transactions > 0 &&
+               EstimateMiningTransactions(trace, epoch.mined_from) >
+                   config.max_mining_transactions) {
+      epoch.degraded = true;
+      if (mining_config.use_strong && mining_config.use_weak) {
+        DEFUSE_LOG_WARN << "adaptive: mining budget exceeded at epoch "
+                        << epoch.simulated.begin
+                        << "; degrading to weak-deps-only";
+        mining_config.use_strong = false;
+      } else {
+        DEFUSE_LOG_WARN << "adaptive: mining budget exceeded at epoch "
+                        << epoch.simulated.begin
+                        << "; keeping previous dependency sets";
+        mine_fresh = false;
+      }
+    }
+
+    std::unique_ptr<policy::HybridHistogramPolicy> policy;
+    if (mine_fresh) {
+      auto mining =
+          MineDependencies(trace, model, epoch.mined_from, mining_config);
+      epoch.dependency_sets = mining.sets.size();
+      policy = MakeDefuseScheduler(trace, mining, epoch.mined_from,
+                                   config.policy);
+      last_good = std::move(mining.sets);
+    } else {
+      // Stale-but-safe: the previous epoch's sets, re-seeded from this
+      // epoch's window; singletons when no prior graph exists.
+      epoch.stale_graph_minutes = epoch.simulated.length();
+      if (last_good.has_value()) {
+        epoch.dependency_sets = last_good->size();
+        policy = MakeSetScheduler(trace, *last_good, epoch.mined_from,
+                                  config.policy);
+      } else {
+        epoch.dependency_sets = model.num_functions();
+        policy = MakeHybridFunctionScheduler(trace, model, epoch.mined_from,
+                                             config.policy);
+      }
+    }
     epoch.sim = sim::Simulate(trace, epoch.simulated, *policy);
 
     const auto& units = policy->unit_map();

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/defuse.hpp"
+#include "faults/injector.hpp"
 #include "sim/simulator.hpp"
 
 namespace defuse::core {
@@ -27,12 +28,26 @@ struct AdaptiveConfig {
   MinuteDelta mining_window = 4 * kMinutesPerDay;
   DefuseConfig mining;
   policy::HybridConfig policy;
+  /// Mining degradation budget: an epoch whose window holds more active
+  /// (function, minute) cells than this (EstimateMiningTransactions) is
+  /// not mined at full strength — it drops to weak-deps-only, or to the
+  /// previous epoch's sets when weak mining is off too. 0 = unlimited.
+  std::uint64_t max_mining_transactions = 0;
+  /// Optional deterministic fault injector (chaos testing). Not owned;
+  /// nullptr (the default) disables every fault branch.
+  faults::FaultInjector* fault_injector = nullptr;
 };
 
 struct AdaptiveEpoch {
   TimeRange mined_from;
   TimeRange simulated;
   std::size_t dependency_sets = 0;
+  /// True when this epoch did not get a full-strength fresh mine: an
+  /// injected mining failure or a blown transaction budget.
+  bool degraded = false;
+  /// Simulated minutes of this epoch served by a carried-over stale
+  /// graph (or the singleton fallback when no prior graph existed).
+  MinuteDelta stale_graph_minutes = 0;
   sim::SimulationResult sim;
   /// Per-function (invoked minutes, cold minutes) under this epoch's
   /// unit map, indexed by FunctionId.
@@ -47,6 +62,10 @@ struct AdaptiveResult {
   [[nodiscard]] std::vector<double> FunctionColdStartRates() const;
   /// Mean resident functions over all simulated minutes.
   [[nodiscard]] double AverageMemoryUsage() const;
+  /// Number of epochs that ran degraded, and the total simulated minutes
+  /// served by a stale graph.
+  [[nodiscard]] std::size_t DegradedEpochs() const;
+  [[nodiscard]] MinuteDelta StaleGraphMinutes() const;
 };
 
 /// Runs the adaptive loop over `span`. Each epoch covers

@@ -44,6 +44,16 @@ const char* ValidateDefuseConfig(const DefuseConfig& config) {
   return nullptr;
 }
 
+std::uint64_t EstimateMiningTransactions(const trace::InvocationTrace& trace,
+                                         TimeRange window) {
+  std::uint64_t cells = 0;
+  for (std::size_t f = 0; f < trace.num_functions(); ++f) {
+    cells += trace.ActiveMinutes(FunctionId{static_cast<std::uint32_t>(f)},
+                                 window);
+  }
+  return cells;
+}
+
 MiningOutput MineDependencies(const trace::InvocationTrace& trace,
                               const trace::WorkloadModel& model,
                               TimeRange train, const DefuseConfig& config) {

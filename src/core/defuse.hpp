@@ -84,6 +84,14 @@ struct MiningOutput {
 /// constraint, or nullptr when valid.
 [[nodiscard]] const char* ValidateDefuseConfig(const DefuseConfig& config);
 
+/// Cheap upper-bound proxy for the miner's workload over `window`: the
+/// number of active (function, minute) cells, which is the number of
+/// transaction entries the FP-Growth transaction builder will emit.
+/// Degradation budgets (platform::PlatformConfig::max_mining_transactions,
+/// AdaptiveConfig::max_mining_transactions) compare against this.
+[[nodiscard]] std::uint64_t EstimateMiningTransactions(
+    const trace::InvocationTrace& trace, TimeRange window);
+
 /// Stage 1 + 2 of the pipeline: mines dependencies from the training
 /// window of the trace and extracts dependency sets.
 [[nodiscard]] MiningOutput MineDependencies(

@@ -1,0 +1,150 @@
+#include "faults/injector.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace defuse::faults {
+
+FaultInjector::FaultInjector(std::uint64_t seed, const FaultProfile& profile)
+    : enabled_(profile.any()), seed_(seed), profile_(profile) {}
+
+std::uint64_t FaultInjector::NextDraw(FaultSite site) noexcept {
+  const auto idx = static_cast<std::size_t>(site);
+  // Key the draw on (seed, site, sequence) through two SplitMix64 steps:
+  // one mixes the site salt into the seed, the next mixes the sequence
+  // number, so neighbouring sequence numbers decorrelate fully.
+  std::uint64_t state =
+      seed_ + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(idx) + 1);
+  (void)SplitMix64(state);
+  state += sequence_[idx]++;
+  return SplitMix64(state);
+}
+
+double FaultInjector::NextUnit(FaultSite site) noexcept {
+  // 53 high-quality mantissa bits, same construction as Rng::NextDouble.
+  return static_cast<double>(NextDraw(site) >> 11) * 0x1.0p-53;
+}
+
+double FaultInjector::FractionFor(FaultSite site) const noexcept {
+  switch (site) {
+    case FaultSite::kRemine: return profile_.remine_failure_fraction;
+    case FaultSite::kPrewarmSpawn:
+      return profile_.prewarm_spawn_failure_fraction;
+    case FaultSite::kTraceRow: return profile_.malformed_row_fraction;
+    case FaultSite::kTraceTruncate: return profile_.truncate_probability;
+  }
+  return 0.0;
+}
+
+bool FaultInjector::ShouldFail(FaultSite site) {
+  if (!enabled_) return false;
+  const auto idx = static_cast<std::size_t>(site);
+  ++decisions_[idx];
+  const bool fail = NextUnit(site) < FractionFor(site);
+  if (fail) ++injected_[idx];
+  return fail;
+}
+
+Error FaultInjector::MiningFailure() const {
+  const auto idx = static_cast<std::size_t>(FaultSite::kRemine);
+  if (injected_[idx] % 2 == 1) {
+    return Error{ErrorCode::kResourceExhausted,
+                 "injected fault: FP-Growth transaction budget exhausted"};
+  }
+  return Error{ErrorCode::kDeadlineExceeded,
+               "injected fault: mining deadline exceeded"};
+}
+
+void FaultInjector::Reset() noexcept {
+  sequence_.fill(0);
+  decisions_.fill(0);
+  injected_.fill(0);
+}
+
+std::string FaultInjector::CorruptCsv(std::string_view csv,
+                                      std::size_t header_lines) {
+  if (!enabled_) return std::string{csv};
+
+  // Split into lines (without trailing '\n'); remember whether the
+  // buffer ended in a newline so clean inputs round-trip unchanged.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t eol = csv.find('\n', pos);
+    if (eol == std::string_view::npos) eol = csv.size();
+    lines.emplace_back(csv.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  const bool trailing_newline = !csv.empty() && csv.back() == '\n';
+
+  const auto record = [&](FaultSite site, bool applied) {
+    const auto idx = static_cast<std::size_t>(site);
+    ++decisions_[idx];
+    if (applied) ++injected_[idx];
+    return applied;
+  };
+
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string line = lines[i];
+    const bool is_data = i >= header_lines && !line.empty();
+    if (is_data && record(FaultSite::kTraceRow,
+                          NextUnit(FaultSite::kTraceRow) <
+                              profile_.malformed_row_fraction)) {
+      // Three mangle variants, chosen deterministically.
+      switch (NextDraw(FaultSite::kTraceRow) % 3) {
+        case 0: {  // drop the last field
+          const std::size_t comma = line.rfind(',');
+          if (comma != std::string::npos) line.resize(comma);
+          break;
+        }
+        case 1: {  // replace the last digit with garbage
+          const std::size_t digit = line.find_last_of("0123456789");
+          if (digit != std::string::npos) line[digit] = '?';
+          break;
+        }
+        default:  // append a spurious extra field
+          line += ",999";
+          break;
+      }
+    }
+    out.push_back(line);
+    if (is_data && record(FaultSite::kTraceRow,
+                          NextUnit(FaultSite::kTraceRow) <
+                              profile_.duplicate_row_fraction)) {
+      out.push_back(line);
+    }
+  }
+
+  // Adjacent-row swaps (out-of-order minutes for sorted long CSVs).
+  for (std::size_t i = header_lines; i + 1 < out.size(); ++i) {
+    if (record(FaultSite::kTraceRow, NextUnit(FaultSite::kTraceRow) <
+                                         profile_.reorder_row_fraction)) {
+      std::swap(out[i], out[i + 1]);
+      ++i;  // do not re-swap the row we just moved forward
+    }
+  }
+
+  std::string result;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    result += out[i];
+    if (i + 1 < out.size() || trailing_newline) result += '\n';
+  }
+
+  if (record(FaultSite::kTraceTruncate, NextUnit(FaultSite::kTraceTruncate) <
+                                            profile_.truncate_probability) &&
+      !result.empty()) {
+    // Cut inside the last non-empty line, leaving a torn final row.
+    const std::size_t keep =
+        result.size() - 1 -
+        NextDraw(FaultSite::kTraceTruncate) %
+            std::max<std::size_t>(out.empty() ? 1 : out.back().size(), 1);
+    result.resize(std::max<std::size_t>(keep, 1));
+  }
+  return result;
+}
+
+}  // namespace defuse::faults

@@ -1,0 +1,141 @@
+// Deterministic fault injection for chaos-testing the online platform
+// and the trace ingestion path.
+//
+// Design rules:
+//
+//   * Faults are *configuration*, not ambient randomness. A FaultInjector
+//     is seeded once; every decision site draws from its own SplitMix64
+//     stream keyed by (seed, site, per-site sequence number), so a given
+//     (seed, profile, workload) triple replays bit-identically no matter
+//     what else runs in the process.
+//   * Everything is off by default. Components hold a nullable
+//     FaultInjector* and guard every injection branch with
+//     `injector && injector->enabled()`; with no injector attached the
+//     hot path pays one predictable never-taken branch (bench/chaos.cpp
+//     asserts the attached-but-disabled overhead is within noise).
+//   * The injector also keeps exact per-site draw/injection counters so
+//     tests can assert accounting identities such as
+//     `stats.degraded_remines == injector.injected(kRemine)`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+
+namespace defuse::faults {
+
+enum class FaultSite : std::size_t {
+  /// Dependency re-mining: simulated FP-Growth budget exhaustion or
+  /// mining deadline exceeded.
+  kRemine = 0,
+  /// Container spawn for a scheduled pre-warm window (each bounded-retry
+  /// attempt draws again).
+  kPrewarmSpawn = 1,
+  /// Trace ingestion: per-row corruption (malformed / duplicated /
+  /// reordered rows in CorruptCsv).
+  kTraceRow = 2,
+  /// Trace ingestion: whole-buffer truncation in CorruptCsv.
+  kTraceTruncate = 3,
+};
+inline constexpr std::size_t kNumFaultSites = 4;
+
+[[nodiscard]] constexpr const char* FaultSiteName(FaultSite site) noexcept {
+  switch (site) {
+    case FaultSite::kRemine: return "remine";
+    case FaultSite::kPrewarmSpawn: return "prewarm_spawn";
+    case FaultSite::kTraceRow: return "trace_row";
+    case FaultSite::kTraceTruncate: return "trace_truncate";
+  }
+  return "unknown";
+}
+
+/// Per-site fault fractions. All zero (the default) means disabled.
+struct FaultProfile {
+  /// Fraction of re-mines that fail (simulated FP-Growth budget
+  /// exhaustion / mining deadline exceeded, alternating).
+  double remine_failure_fraction = 0.0;
+  /// Fraction of pre-warm container spawn attempts that fail.
+  double prewarm_spawn_failure_fraction = 0.0;
+
+  // CorruptCsv knobs (trace corruption):
+  /// Fraction of data rows mangled (field dropped, digit replaced with
+  /// garbage, or spurious extra field).
+  double malformed_row_fraction = 0.0;
+  /// Fraction of data rows emitted twice.
+  double duplicate_row_fraction = 0.0;
+  /// Fraction of adjacent data-row pairs swapped (out-of-order minutes).
+  double reorder_row_fraction = 0.0;
+  /// Probability that the corrupted buffer is truncated mid-row.
+  double truncate_probability = 0.0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return remine_failure_fraction > 0 || prewarm_spawn_failure_fraction > 0 ||
+           malformed_row_fraction > 0 || duplicate_row_fraction > 0 ||
+           reorder_row_fraction > 0 || truncate_probability > 0;
+  }
+};
+
+class FaultInjector {
+ public:
+  /// A default-constructed injector is disabled: every ShouldFail is
+  /// false, no counters move, and no draws are consumed.
+  FaultInjector() = default;
+  FaultInjector(std::uint64_t seed, const FaultProfile& profile);
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] const FaultProfile& profile() const noexcept {
+    return profile_;
+  }
+
+  /// Draws the next fault decision for `site`. Deterministic in
+  /// (seed, site, number of prior draws at that site). Disabled
+  /// injectors return false without consuming a draw.
+  [[nodiscard]] bool ShouldFail(FaultSite site);
+
+  /// Decisions drawn / faults injected at `site` so far.
+  [[nodiscard]] std::uint64_t decisions(FaultSite site) const noexcept {
+    return decisions_[static_cast<std::size_t>(site)];
+  }
+  [[nodiscard]] std::uint64_t injected(FaultSite site) const noexcept {
+    return injected_[static_cast<std::size_t>(site)];
+  }
+
+  /// The error a failed re-mine reports. Alternates between resource
+  /// exhaustion (blown FP-Growth budget) and deadline exceeded so both
+  /// degraded paths get exercised.
+  [[nodiscard]] Error MiningFailure() const;
+
+  /// Rewinds every per-site stream and counter to the freshly
+  /// constructed state (same seed => same replay).
+  void Reset() noexcept;
+
+  /// Deterministically corrupts a line-based CSV buffer, leaving the
+  /// first `header_lines` lines intact: malformed rows, duplicated rows,
+  /// adjacent-row swaps (out-of-order minutes), and optional mid-row
+  /// truncation of the tail. Draws come from the kTraceRow /
+  /// kTraceTruncate streams; each applied corruption counts as an
+  /// injected fault at its site. A disabled injector returns the buffer
+  /// unchanged.
+  [[nodiscard]] std::string CorruptCsv(std::string_view csv,
+                                       std::size_t header_lines = 1);
+
+ private:
+  /// Next raw 64-bit draw for `site` (advances the site's sequence).
+  std::uint64_t NextDraw(FaultSite site) noexcept;
+  /// Next uniform double in [0, 1) for `site`.
+  double NextUnit(FaultSite site) noexcept;
+  [[nodiscard]] double FractionFor(FaultSite site) const noexcept;
+
+  bool enabled_ = false;
+  std::uint64_t seed_ = 0;
+  FaultProfile profile_{};
+  std::array<std::uint64_t, kNumFaultSites> sequence_{};
+  std::array<std::uint64_t, kNumFaultSites> decisions_{};
+  std::array<std::uint64_t, kNumFaultSites> injected_{};
+};
+
+}  // namespace defuse::faults

@@ -6,6 +6,7 @@
 #include <span>
 #include <unordered_map>
 
+#include "common/logging.hpp"
 #include "graph/serialization.hpp"
 #include "trace/azure_csv.hpp"
 
@@ -38,12 +39,51 @@ void Platform::MaybeRemine(Minute now) {
   }
 }
 
+void Platform::KeepStaleGraph() {
+  // Stale-but-safe: units_, policy_, and the per-unit invocation state
+  // keep serving untouched (bootstrap singletons when no re-mine has
+  // succeeded yet). Only the books move.
+  ++stats_.remines;
+  ++stats_.degraded_remines;
+  stats_.stale_graph_minutes += config_.remine_interval;
+}
+
 void Platform::RemineNow(Minute now) {
   history_.Finalize();
   const TimeRange window{
       std::max<Minute>(0, now - config_.mining_window), now};
+
+  // Degradation ladder. An injected fault (simulated FP-Growth budget
+  // exhaustion / mining deadline exceeded) kills the whole re-mine; a
+  // blown transaction budget first retries weak-deps-only (no FP-Growth
+  // pass) before giving up on a fresh graph entirely.
+  core::DefuseConfig mining_config = config_.mining;
+  if (fault_injector_ != nullptr &&
+      fault_injector_->ShouldFail(faults::FaultSite::kRemine)) {
+    DEFUSE_LOG_WARN << "platform: re-mine at minute " << now << " failed ("
+                    << fault_injector_->MiningFailure().ToString()
+                    << "); keeping previous dependency sets";
+    KeepStaleGraph();
+    return;
+  }
+  if (config_.max_mining_transactions > 0 &&
+      core::EstimateMiningTransactions(history_, window) >
+          config_.max_mining_transactions) {
+    if (mining_config.use_strong && mining_config.use_weak) {
+      DEFUSE_LOG_WARN << "platform: mining budget exceeded at minute " << now
+                      << "; degrading to weak-deps-only";
+      mining_config.use_strong = false;
+      ++stats_.degraded_remines;  // fresh graph, but not full strength
+    } else {
+      DEFUSE_LOG_WARN << "platform: mining budget exceeded at minute " << now
+                      << "; keeping previous dependency sets";
+      KeepStaleGraph();
+      return;
+    }
+  }
+
   const auto mining =
-      core::MineDependencies(history_, model_, window, config_.mining);
+      core::MineDependencies(history_, model_, window, mining_config);
   units_ = std::make_unique<sim::UnitMap>(
       sim::UnitMap::FromDependencySets(mining.sets,
                                        model_.num_functions()));
@@ -73,6 +113,30 @@ void Platform::ApplyDecision(UnitId unit, Minute now) {
                                   decision.prewarm + decision.keepalive);
     decision.prewarm = 0;
   }
+
+  // A pre-warm window needs a fresh container spawned at prewarm_begin
+  // (the warm window's container is already running, so only the
+  // speculative spawn can fail). Spawn failures are retried with bounded
+  // backoff; each backoff minute pushes the window later, and exhausting
+  // the retry budget abandons the window — the unit just risks a cold
+  // start at its next invocation, it never crashes.
+  MinuteDelta spawn_delay = 0;
+  bool spawn_ok = true;
+  if (decision.prewarm > 0 && fault_injector_ != nullptr) {
+    const RetryOutcome outcome = RetryWithBackoff(
+        config_.prewarm_retry,
+        [&] {
+          return !fault_injector_->ShouldFail(faults::FaultSite::kPrewarmSpawn);
+        },
+        [&](MinuteDelta backoff) { spawn_delay += backoff; });
+    stats_.prewarm_spawn_failures += static_cast<std::uint64_t>(
+        outcome.attempts - (outcome.succeeded ? 1 : 0));
+    if (!outcome.succeeded) {
+      spawn_ok = false;
+      ++stats_.prewarm_spawns_abandoned;
+    }
+  }
+
   for (const FunctionId fn : units_->functions_of(unit)) {
     Residency& r = residency_[fn.value()];
     if (decision.prewarm == 0) {
@@ -82,9 +146,13 @@ void Platform::ApplyDecision(UnitId unit, Minute now) {
     } else {
       r.warm_begin = now;
       r.warm_end = now + std::max<MinuteDelta>(decision.linger, 1);
-      r.prewarm_begin = now + decision.prewarm;
-      r.prewarm_end = r.prewarm_begin +
-                      std::max<MinuteDelta>(decision.keepalive, 1);
+      if (spawn_ok) {
+        r.prewarm_begin = now + decision.prewarm + spawn_delay;
+        r.prewarm_end = r.prewarm_begin +
+                        std::max<MinuteDelta>(decision.keepalive, 1);
+      } else {
+        r.prewarm_begin = r.prewarm_end = 0;
+      }
     }
   }
 }
@@ -127,7 +195,10 @@ InvocationOutcome Platform::Invoke(FunctionId fn, Minute now) {
 
 namespace {
 
-constexpr std::string_view kStateHeader = "defuse-platform-state-v1";
+// v2 widened the meta line from 5 to 9 fields (degradation counters);
+// v1 states are still accepted, their new counters default to zero.
+constexpr std::string_view kStateHeader = "defuse-platform-state-v2";
+constexpr std::string_view kStateHeaderV1 = "defuse-platform-state-v1";
 
 bool ParseI64Fields(std::string_view line, std::span<std::int64_t> out) {
   std::size_t field = 0;
@@ -156,7 +227,11 @@ std::string Platform::SaveState() const {
          std::to_string(next_remine_) + ',' +
          std::to_string(stats_.invocations) + ',' +
          std::to_string(stats_.cold_invocations) + ',' +
-         std::to_string(stats_.remines) + '\n';
+         std::to_string(stats_.remines) + ',' +
+         std::to_string(stats_.degraded_remines) + ',' +
+         std::to_string(stats_.stale_graph_minutes) + ',' +
+         std::to_string(stats_.prewarm_spawn_failures) + ',' +
+         std::to_string(stats_.prewarm_spawns_abandoned) + '\n';
 
   // Dependency sets (reconstructed from the live unit map).
   std::vector<graph::DependencySet> sets;
@@ -204,8 +279,9 @@ bool Platform::LoadState(std::string_view text) {
   Section section = Section::kMeta;
   std::string sets_buffer, histograms_buffer, history_buffer;
   std::vector<std::string_view> residency_lines, unit_lines, counter_lines;
-  std::int64_t meta[5] = {0, 0, 0, 0, 0};
+  std::int64_t meta[9] = {0, 0, 0, 0, 0, 0, 0, 0, 0};
   bool saw_header = false, saw_meta = false;
+  std::size_t meta_fields = 9;
 
   std::size_t pos = 0;
   while (pos < text.size()) {
@@ -214,7 +290,11 @@ bool Platform::LoadState(std::string_view text) {
     const std::string_view line = text.substr(pos, eol - pos);
     pos = eol + 1;
     if (!saw_header) {
-      if (line != kStateHeader) return false;
+      if (line == kStateHeaderV1) {
+        meta_fields = 5;  // pre-degradation-counter layout
+      } else if (line != kStateHeader) {
+        return false;
+      }
       saw_header = true;
       continue;
     }
@@ -227,7 +307,10 @@ bool Platform::LoadState(std::string_view text) {
     switch (section) {
       case Section::kMeta: {
         if (line.rfind("meta,", 0) != 0) return false;
-        if (!ParseI64Fields(line.substr(5), meta)) return false;
+        if (!ParseI64Fields(line.substr(5),
+                            std::span<std::int64_t>{meta, meta_fields})) {
+          return false;
+        }
         saw_meta = true;
         break;
       }
@@ -325,6 +408,10 @@ bool Platform::LoadState(std::string_view text) {
   stats_.invocations = static_cast<std::uint64_t>(meta[2]);
   stats_.cold_invocations = static_cast<std::uint64_t>(meta[3]);
   stats_.remines = static_cast<std::uint64_t>(meta[4]);
+  stats_.degraded_remines = static_cast<std::uint64_t>(meta[5]);
+  stats_.stale_graph_minutes = meta[6];
+  stats_.prewarm_spawn_failures = static_cast<std::uint64_t>(meta[7]);
+  stats_.prewarm_spawns_abandoned = static_cast<std::uint64_t>(meta[8]);
   return true;
 }
 

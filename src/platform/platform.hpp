@@ -22,7 +22,9 @@
 #include <memory>
 #include <vector>
 
+#include "common/retry.hpp"
 #include "core/defuse.hpp"
+#include "faults/injector.hpp"
 #include "policy/hybrid.hpp"
 #include "trace/invocation_trace.hpp"
 #include "trace/model.hpp"
@@ -39,6 +41,14 @@ struct PlatformConfig {
   /// are scheduled individually.
   core::DefuseConfig mining;
   policy::HybridConfig policy;
+  /// Mining degradation budget: a re-mine whose window holds more active
+  /// (function, minute) cells than this (core::EstimateMiningTransactions)
+  /// degrades to weak-deps-only, or keeps the previous sets when weak
+  /// mining is off too. 0 = unlimited.
+  std::uint64_t max_mining_transactions = 0;
+  /// Bounded retry for the pre-warm container spawn path (only exercised
+  /// when a fault injector makes spawns fail).
+  RetryPolicy prewarm_retry;
 };
 
 struct InvocationOutcome {
@@ -50,13 +60,28 @@ struct InvocationOutcome {
 struct PlatformStats {
   std::uint64_t invocations = 0;
   std::uint64_t cold_invocations = 0;
+  /// Re-mine attempts (scheduled + forced), degraded ones included.
   std::uint64_t remines = 0;
+  /// Re-mines that did not produce a full-strength fresh graph: injected
+  /// mining failures and blown transaction budgets. Subset of `remines`.
+  std::uint64_t degraded_remines = 0;
+  /// Scheduled cadence minutes served by a stale graph: every re-mine
+  /// that kept the previous sets adds one `remine_interval`.
+  MinuteDelta stale_graph_minutes = 0;
+  /// Pre-warm container spawn attempts that failed (each retry that
+  /// fails counts once).
+  std::uint64_t prewarm_spawn_failures = 0;
+  /// Pre-warm windows abandoned after exhausting the spawn retry budget.
+  std::uint64_t prewarm_spawns_abandoned = 0;
 
   [[nodiscard]] double cold_fraction() const {
     return invocations == 0 ? 0.0
                             : static_cast<double>(cold_invocations) /
                                   static_cast<double>(invocations);
   }
+
+  friend bool operator==(const PlatformStats&,
+                         const PlatformStats&) noexcept = default;
 };
 
 class Platform {
@@ -84,6 +109,16 @@ class Platform {
   /// Forces a re-mine over [now - mining_window, now) immediately.
   void RemineNow(Minute now);
 
+  /// Attaches (or detaches, with nullptr) a fault injector. Not owned;
+  /// must outlive the platform. With none attached — or a disabled one —
+  /// behavior is bit-identical to a fault-free run.
+  void set_fault_injector(faults::FaultInjector* injector) noexcept {
+    fault_injector_ = injector;
+  }
+  [[nodiscard]] faults::FaultInjector* fault_injector() const noexcept {
+    return fault_injector_;
+  }
+
   /// Serializes the engine's full state (invocation history, dependency
   /// sets, learned histograms, residency windows, counters) so a
   /// scheduler daemon can restart without relearning. Restore with
@@ -109,6 +144,8 @@ class Platform {
 
   void MaybeRemine(Minute now);
   void ApplyDecision(UnitId unit, Minute now);
+  /// Books a degraded re-mine that keeps the previous sets serving.
+  void KeepStaleGraph();
 
   trace::WorkloadModel model_;
   PlatformConfig config_;
@@ -123,6 +160,7 @@ class Platform {
   PlatformStats stats_;
   Minute next_remine_;
   Minute last_now_ = 0;
+  faults::FaultInjector* fault_injector_ = nullptr;  // not owned
 };
 
 }  // namespace defuse::platform

@@ -1,12 +1,27 @@
 #include "trace/azure_csv.hpp"
 
 #include <cstdio>
+#include <limits>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/csv.hpp"
 
 namespace defuse::trace {
+
+namespace {
+
+/// Dedup key for a (function, minute) cell. Minutes fit comfortably in
+/// 40 bits (that is ~2 million years of trace).
+[[nodiscard]] std::uint64_t CellKey(FunctionId fn, Minute minute) noexcept {
+  return (static_cast<std::uint64_t>(fn.value()) << 40) ^
+         static_cast<std::uint64_t>(minute);
+}
+
+constexpr std::uint64_t kMaxCount = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
 
 std::string WriteLongCsv(const WorkloadModel& model,
                          const InvocationTrace& trace) {
@@ -30,38 +45,84 @@ std::string WriteLongCsv(const WorkloadModel& model,
 }
 
 Result<LoadedTrace> ReadLongCsv(std::string_view buffer,
-                                MinuteDelta horizon_minutes) {
+                                MinuteDelta horizon_minutes, ParseMode mode,
+                                ParseReport* report) {
   struct Row {
     FunctionId fn;
     Minute minute;
     std::uint32_t count;
   };
+  ParseReport local_report;
+  ParseReport& rep = report != nullptr ? *report : local_report;
+  rep = ParseReport{};
+  const bool lenient = mode == ParseMode::kLenient;
+
   WorkloadModel model;
   std::unordered_map<std::string, UserId> users;
   std::unordered_map<std::string, AppId> apps;  // key: user|app
   std::unordered_map<std::string, FunctionId> fns;  // key: user|app|fn
+  std::unordered_set<std::uint64_t> seen_cells;
   std::vector<Row> rows;
   Minute max_minute = -1;
+  bool saw_header = false;
+
+  // Lenient mode skips-and-counts where strict mode fails the load.
+  const auto reject = [&](ErrorCode code, std::string message) -> Result<bool> {
+    if (!lenient) return Error{code, std::move(message)};
+    rep.Count(code);
+    ++rep.rows_skipped;
+    return true;
+  };
 
   auto res = ForEachLine(buffer, [&](std::size_t line_no,
                                      std::string_view line) -> Result<bool> {
     if (line_no == 1) {
-      if (line != "user,app,function,minute,count") {
-        return Error{ErrorCode::kParseError,
-                     "unexpected long-csv header: " + std::string{line}};
+      if (line == "user,app,function,minute,count") {
+        saw_header = true;
+        return true;
       }
-      return true;
+      return reject(ErrorCode::kParseError,
+                    "unexpected long-csv header: " + std::string{line});
     }
     if (line.empty()) return true;
+    ++rep.data_rows;
     const auto fields = SplitCsvLine(line);
     if (fields.size() != 5) {
-      return Error{ErrorCode::kParseError,
-                   "line " + std::to_string(line_no) + ": expected 5 fields"};
+      return reject(ErrorCode::kParseError,
+                    "line " + std::to_string(line_no) + ": expected 5 fields");
     }
+
+    // Validate the numeric fields before interning entities, so a
+    // rejected row does not leave a phantom function in the model.
+    auto minute = ParseI64(fields[3]);
+    if (!minute.ok()) return reject(minute.error().code, minute.error().message);
+    if (minute.value() < 0) {
+      return reject(ErrorCode::kOutOfRange,
+                    "line " + std::to_string(line_no) + ": negative minute");
+    }
+    auto count = ParseU64(fields[4]);
+    if (!count.ok()) return reject(count.error().code, count.error().message);
+    std::uint64_t count_value = count.value();
+    if (count_value > kMaxCount) {
+      if (!lenient) {
+        return Error{ErrorCode::kOutOfRange,
+                     "line " + std::to_string(line_no) +
+                         ": count overflows uint32"};
+      }
+      rep.Count(ErrorCode::kOutOfRange);
+      ++rep.values_clamped;
+      count_value = kMaxCount;
+    }
+    const auto m = static_cast<Minute>(minute.value());
+    if (lenient && horizon_minutes > 0 && m >= horizon_minutes) {
+      rep.Count(ErrorCode::kOutOfRange);
+      ++rep.rows_skipped;
+      return true;
+    }
+
     const std::string user_name{fields[0]};
     const std::string app_key = user_name + "|" + std::string{fields[1]};
     const std::string fn_key = app_key + "|" + std::string{fields[2]};
-
     auto [uit, user_added] = users.try_emplace(user_name, UserId::invalid());
     if (user_added) uit->second = model.AddUser(user_name);
     auto [ait, app_added] = apps.try_emplace(app_key, AppId::invalid());
@@ -71,18 +132,27 @@ Result<LoadedTrace> ReadLongCsv(std::string_view buffer,
     if (fn_added) fit->second = model.AddFunction(ait->second,
                                                   std::string{fields[2]});
 
-    auto minute = ParseU64(fields[3]);
-    if (!minute.ok()) return minute.error();
-    auto count = ParseU64(fields[4]);
-    if (!count.ok()) return count.error();
-    const auto m = static_cast<Minute>(minute.value());
+    if (!seen_cells.insert(CellKey(fit->second, m)).second) {
+      if (!lenient) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "line " + std::to_string(line_no) +
+                         ": duplicate (function, minute) row"};
+      }
+      rep.Count(ErrorCode::kInvalidArgument);
+      ++rep.duplicate_rows;
+      return true;  // keep the first occurrence
+    }
     max_minute = std::max(max_minute, m);
     rows.push_back(Row{.fn = fit->second,
                        .minute = m,
-                       .count = static_cast<std::uint32_t>(count.value())});
+                       .count = static_cast<std::uint32_t>(count_value)});
     return true;
   });
   if (!res.ok()) return res.error();
+  if (!saw_header && !lenient) {
+    return Error{ErrorCode::kParseError,
+                 "empty long-csv buffer (missing header)"};
+  }
 
   const MinuteDelta horizon =
       horizon_minutes > 0 ? horizon_minutes : max_minute + 1;
@@ -130,7 +200,13 @@ std::string WriteAzureDayCsv(const WorkloadModel& model,
 }
 
 Result<LoadedTrace> ReadAzureDayCsvs(
-    const std::vector<std::string>& day_buffers) {
+    const std::vector<std::string>& day_buffers, ParseMode mode,
+    ParseReport* report) {
+  ParseReport local_report;
+  ParseReport& rep = report != nullptr ? *report : local_report;
+  rep = ParseReport{};
+  const bool lenient = mode == ParseMode::kLenient;
+
   WorkloadModel model;
   std::unordered_map<std::string, UserId> users;
   std::unordered_map<std::string, AppId> apps;
@@ -144,16 +220,24 @@ Result<LoadedTrace> ReadAzureDayCsvs(
 
   for (std::size_t day = 0; day < day_buffers.size(); ++day) {
     const Minute day_base = static_cast<Minute>(day) * kMinutesPerDay;
+    std::unordered_set<std::uint64_t> seen_today;  // (function, day) dedup
     auto res = ForEachLine(
         day_buffers[day],
         [&](std::size_t line_no, std::string_view line) -> Result<bool> {
           if (line_no == 1 || line.empty()) return true;  // header
+          ++rep.data_rows;
           const auto fields = SplitCsvLine(line);
           if (fields.size() != 4 + 1440) {
-            return Error{ErrorCode::kParseError,
-                         "day " + std::to_string(day) + " line " +
-                             std::to_string(line_no) + ": expected 1444 fields, got " +
-                             std::to_string(fields.size())};
+            if (!lenient) {
+              return Error{ErrorCode::kParseError,
+                           "day " + std::to_string(day) + " line " +
+                               std::to_string(line_no) +
+                               ": expected 1444 fields, got " +
+                               std::to_string(fields.size())};
+            }
+            rep.Count(ErrorCode::kParseError);
+            ++rep.rows_skipped;
+            return true;
           }
           const std::string owner{fields[0]};
           const std::string app_key = owner + "|" + std::string{fields[1]};
@@ -168,16 +252,43 @@ Result<LoadedTrace> ReadAzureDayCsvs(
           if (fn_added) {
             fit->second = model.AddFunction(ait->second, std::string{fields[2]});
           }
+          if (!seen_today.insert(fit->second.value()).second) {
+            if (!lenient) {
+              return Error{ErrorCode::kInvalidArgument,
+                           "day " + std::to_string(day) + " line " +
+                               std::to_string(line_no) +
+                               ": duplicate function row"};
+            }
+            rep.Count(ErrorCode::kInvalidArgument);
+            ++rep.duplicate_rows;
+            return true;  // keep the first occurrence
+          }
           for (std::size_t m = 0; m < 1440; ++m) {
             const auto field = fields[4 + m];
             if (field == "0") continue;
             auto count = ParseU64(field);
-            if (!count.ok()) return count.error();
-            if (count.value() == 0) continue;
+            if (!count.ok()) {
+              if (!lenient) return count.error();
+              rep.Count(ErrorCode::kParseError);
+              continue;  // drop the torn cell, keep the row
+            }
+            std::uint64_t count_value = count.value();
+            if (count_value == 0) continue;
+            if (count_value > kMaxCount) {
+              if (!lenient) {
+                return Error{ErrorCode::kOutOfRange,
+                             "day " + std::to_string(day) + " line " +
+                                 std::to_string(line_no) +
+                                 ": count overflows uint32"};
+              }
+              rep.Count(ErrorCode::kOutOfRange);
+              ++rep.values_clamped;
+              count_value = kMaxCount;
+            }
             rows.push_back(
                 Row{.fn = fit->second,
                     .minute = day_base + static_cast<Minute>(m),
-                    .count = static_cast<std::uint32_t>(count.value())});
+                    .count = static_cast<std::uint32_t>(count_value)});
           }
           return true;
         });

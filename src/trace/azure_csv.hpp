@@ -16,6 +16,7 @@
 //     real dataset can be dropped into every experiment unchanged.
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -30,14 +31,54 @@ struct LoadedTrace {
   InvocationTrace trace;
 };
 
+/// Ingestion strictness. Strict (the default) errors the whole load on
+/// the first anomaly — right for trusted, machine-written files. Lenient
+/// skips or repairs anomalous rows, keeps loading, and tallies every
+/// incident into a ParseReport — right for month-long production traces
+/// where a handful of torn or duplicated rows must not discard a day of
+/// data.
+enum class ParseMode { kStrict, kLenient };
+
+/// Accounting from a lenient parse. Strict parses that succeed leave all
+/// counters zero.
+struct ParseReport {
+  /// Non-header, non-empty lines examined.
+  std::uint64_t data_rows = 0;
+  /// Rows dropped entirely (malformed, out of horizon, negative minute).
+  std::uint64_t rows_skipped = 0;
+  /// Count values clamped to the uint32 range (row kept).
+  std::uint64_t values_clamped = 0;
+  /// Duplicate (function, minute) — or (function, day) for Azure daily
+  /// files — rows dropped, keeping the first occurrence.
+  std::uint64_t duplicate_rows = 0;
+  /// Per-ErrorCode anomaly tallies (indexed by ErrorCode).
+  std::array<std::uint64_t, kNumErrorCodes> code_counts{};
+
+  void Count(ErrorCode code) noexcept {
+    ++code_counts[static_cast<std::size_t>(code)];
+  }
+  [[nodiscard]] std::uint64_t count(ErrorCode code) const noexcept {
+    return code_counts[static_cast<std::size_t>(code)];
+  }
+  [[nodiscard]] std::uint64_t total_anomalies() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto c : code_counts) total += c;
+    return total;
+  }
+  [[nodiscard]] bool clean() const noexcept { return total_anomalies() == 0; }
+};
+
 /// Serializes a trace in long format.
 [[nodiscard]] std::string WriteLongCsv(const WorkloadModel& model,
                                        const InvocationTrace& trace);
 
 /// Parses a long-format buffer. The horizon is [0, max minute + 1) unless
-/// `horizon_minutes` > 0 forces a wider range.
-[[nodiscard]] Result<LoadedTrace> ReadLongCsv(std::string_view buffer,
-                                              MinuteDelta horizon_minutes = 0);
+/// `horizon_minutes` > 0 forces a wider range. In lenient mode anomalous
+/// rows are skipped/repaired and tallied into `report` (if non-null)
+/// instead of failing the load; rows past a forced horizon are dropped.
+[[nodiscard]] Result<LoadedTrace> ReadLongCsv(
+    std::string_view buffer, MinuteDelta horizon_minutes = 0,
+    ParseMode mode = ParseMode::kStrict, ParseReport* report = nullptr);
 
 /// Serializes one day ([day*1440, (day+1)*1440)) in the Azure daily
 /// schema. Trigger column is emitted as "synthetic".
@@ -47,8 +88,10 @@ struct LoadedTrace {
 
 /// Parses a sequence of Azure daily buffers (day 0, 1, ... in order).
 /// Functions/apps/owners are identified by their hash strings; rows for
-/// the same function across days are merged.
+/// the same function across days are merged. In lenient mode anomalous
+/// rows/cells are skipped or clamped and tallied into `report`.
 [[nodiscard]] Result<LoadedTrace> ReadAzureDayCsvs(
-    const std::vector<std::string>& day_buffers);
+    const std::vector<std::string>& day_buffers,
+    ParseMode mode = ParseMode::kStrict, ParseReport* report = nullptr);
 
 }  // namespace defuse::trace

@@ -28,6 +28,26 @@ TEST(Result, ValueOrReturnsFallbackOnError) {
   EXPECT_EQ(bad.value_or(9), 9);
 }
 
+TEST(Result, RvalueValueOrMovesHeldValue) {
+  Result<std::string> ok = std::string{"held"};
+  EXPECT_EQ(std::move(ok).value_or("fallback"), "held");
+  Result<std::string> bad = Error{ErrorCode::kIoError, "x"};
+  EXPECT_EQ(std::move(bad).value_or("fallback"), "fallback");
+}
+
+TEST(ResultDeathTest, ValueOnErrorAbortsInAllBuildModes) {
+  // Satellite fix: value() on an error Result used to be assert-only,
+  // which is UB under NDEBUG. It must now hard-abort everywhere, with
+  // the held error on stderr.
+  Result<int> bad = Error{ErrorCode::kNotFound, "missing thing"};
+  EXPECT_DEATH((void)bad.value(), "missing thing");
+}
+
+TEST(ResultDeathTest, ErrorOnOkResultAborts) {
+  Result<int> ok = 7;
+  EXPECT_DEATH((void)ok.error(), "called on an ok Result");
+}
+
 TEST(Result, MoveOutValue) {
   Result<std::string> r = std::string{"payload"};
   ASSERT_TRUE(r.ok());
@@ -54,6 +74,10 @@ TEST(ErrorCodeName, CoversAllCodes) {
   EXPECT_STREQ(ErrorCodeName(ErrorCode::kOutOfRange), "out_of_range");
   EXPECT_STREQ(ErrorCodeName(ErrorCode::kFailedPrecondition),
                "failed_precondition");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kResourceExhausted),
+               "resource_exhausted");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kDeadlineExceeded),
+               "deadline_exceeded");
 }
 
 }  // namespace

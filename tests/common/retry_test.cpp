@@ -1,0 +1,97 @@
+#include "common/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace defuse {
+namespace {
+
+/// A try-function that fails the first `failures` calls.
+struct FlakyOp {
+  int failures;
+  int calls = 0;
+  bool operator()() { return ++calls > failures; }
+};
+
+TEST(Retry, FirstTrySuccessSleepsNever) {
+  std::vector<MinuteDelta> sleeps;
+  FlakyOp op{0};
+  const auto outcome = RetryWithBackoff(
+      RetryPolicy{}, op, [&](MinuteDelta d) { sleeps.push_back(d); });
+  EXPECT_TRUE(outcome.succeeded);
+  EXPECT_EQ(outcome.attempts, 1);
+  EXPECT_EQ(outcome.total_backoff, 0);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(Retry, ExponentialBackoffSchedule) {
+  std::vector<MinuteDelta> sleeps;
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff = 1;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = 60;
+  FlakyOp op{3};
+  const auto outcome = RetryWithBackoff(
+      policy, op, [&](MinuteDelta d) { sleeps.push_back(d); });
+  EXPECT_TRUE(outcome.succeeded);
+  EXPECT_EQ(outcome.attempts, 4);
+  EXPECT_EQ(sleeps, (std::vector<MinuteDelta>{1, 2, 4}));
+  EXPECT_EQ(outcome.total_backoff, 7);
+}
+
+TEST(Retry, BackoffIsCappedAtMax) {
+  std::vector<MinuteDelta> sleeps;
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff = 10;
+  policy.backoff_multiplier = 3.0;
+  policy.max_backoff = 45;
+  FlakyOp op{100};  // never succeeds
+  const auto outcome = RetryWithBackoff(
+      policy, op, [&](MinuteDelta d) { sleeps.push_back(d); });
+  EXPECT_FALSE(outcome.succeeded);
+  EXPECT_EQ(outcome.attempts, 5);
+  EXPECT_EQ(sleeps, (std::vector<MinuteDelta>{10, 30, 45, 45}));
+  EXPECT_EQ(outcome.total_backoff, 130);
+}
+
+TEST(Retry, ExhaustionDoesNotSleepAfterLastAttempt) {
+  int sleep_calls = 0;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  FlakyOp op{100};
+  const auto outcome =
+      RetryWithBackoff(policy, op, [&](MinuteDelta) { ++sleep_calls; });
+  EXPECT_FALSE(outcome.succeeded);
+  EXPECT_EQ(outcome.attempts, 3);
+  EXPECT_EQ(op.calls, 3);
+  EXPECT_EQ(sleep_calls, 2);  // only between tries
+}
+
+TEST(Retry, NonPositiveMaxAttemptsStillTriesOnce) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  FlakyOp op{0};
+  const auto outcome =
+      RetryWithBackoff(policy, op, [](MinuteDelta) {});
+  EXPECT_TRUE(outcome.succeeded);
+  EXPECT_EQ(outcome.attempts, 1);
+}
+
+TEST(Retry, DeterministicAcrossRuns) {
+  const auto run = [] {
+    std::vector<MinuteDelta> sleeps;
+    RetryPolicy policy;
+    policy.max_attempts = 6;
+    FlakyOp op{100};
+    (void)RetryWithBackoff(policy, op,
+                           [&](MinuteDelta d) { sleeps.push_back(d); });
+    return sleeps;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace defuse

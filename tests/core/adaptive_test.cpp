@@ -137,6 +137,138 @@ TEST(AdaptiveResult, EmptyResultIsWellBehaved) {
   AdaptiveResult result;
   EXPECT_TRUE(result.FunctionColdStartRates().empty());
   EXPECT_DOUBLE_EQ(result.AverageMemoryUsage(), 0.0);
+  EXPECT_EQ(result.DegradedEpochs(), 0u);
+  EXPECT_EQ(result.StaleGraphMinutes(), 0);
+}
+
+TEST(RunAdaptive, FaultFreeRunHasNoDegradedEpochs) {
+  auto cfg = trace::GeneratorConfig::Tiny();
+  cfg.num_users = 6;
+  cfg.seed = 25;
+  const auto w = trace::GenerateWorkload(cfg);
+  const auto result =
+      RunAdaptive(w.model, w.trace,
+                  TimeRange{2 * kMinutesPerDay, 4 * kMinutesPerDay},
+                  AdaptiveConfig{});
+  EXPECT_EQ(result.DegradedEpochs(), 0u);
+  EXPECT_EQ(result.StaleGraphMinutes(), 0);
+  for (const auto& epoch : result.epochs) EXPECT_FALSE(epoch.degraded);
+}
+
+TEST(RunAdaptive, InjectedMiningFailuresDegradeExactlyThoseEpochs) {
+  auto cfg = trace::GeneratorConfig::Tiny();
+  cfg.num_users = 10;
+  cfg.seed = 26;
+  const auto w = trace::GenerateWorkload(cfg);
+  faults::FaultProfile profile;
+  profile.remine_failure_fraction = 1.0;  // every epoch's mine fails
+  faults::FaultInjector injector{0, profile};
+  AdaptiveConfig adaptive;
+  adaptive.fault_injector = &injector;
+  const TimeRange span{2 * kMinutesPerDay, 4 * kMinutesPerDay};
+  const auto result = RunAdaptive(w.model, w.trace, span, adaptive);
+  ASSERT_EQ(result.epochs.size(), 2u);
+  EXPECT_EQ(result.DegradedEpochs(),
+            injector.injected(faults::FaultSite::kRemine));
+  EXPECT_EQ(result.DegradedEpochs(), 2u);
+  // Each degraded epoch serves its whole simulated range stale.
+  EXPECT_EQ(result.StaleGraphMinutes(), span.length());
+  // No prior graph ever succeeded: the fallback is singleton sets.
+  for (const auto& epoch : result.epochs) {
+    EXPECT_TRUE(epoch.degraded);
+    EXPECT_EQ(epoch.dependency_sets, w.model.num_functions());
+    EXPECT_EQ(epoch.stale_graph_minutes, epoch.simulated.length());
+  }
+  // Rates stay well-formed under full degradation.
+  for (const double r : result.FunctionColdStartRates()) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0 + 1e-9);
+  }
+}
+
+TEST(RunAdaptive, DegradedEpochReusesLastGoodSets) {
+  auto cfg = trace::GeneratorConfig::Tiny();
+  cfg.num_users = 10;
+  cfg.seed = 27;
+  const auto w = trace::GenerateWorkload(cfg);
+  const TimeRange span{kMinutesPerDay, 4 * kMinutesPerDay};  // 3 epochs
+
+  // Baseline: which sets does epoch 0 mine?
+  const auto baseline = RunAdaptive(w.model, w.trace, span, AdaptiveConfig{});
+  ASSERT_EQ(baseline.epochs.size(), 3u);
+
+  // Fail only the second re-mine: epoch 1 must reuse epoch 0's set count
+  // while epochs 0 and 2 mine fresh.
+  faults::FaultProfile profile;
+  profile.remine_failure_fraction = 0.5;
+  // Find a seed whose injected pattern over 3 draws is (ok, fail, ok).
+  std::uint64_t chosen_seed = 0;
+  bool found = false;
+  for (std::uint64_t seed = 0; seed < 64 && !found; ++seed) {
+    faults::FaultInjector probe{seed, profile};
+    const bool a = probe.ShouldFail(faults::FaultSite::kRemine);
+    const bool b = probe.ShouldFail(faults::FaultSite::kRemine);
+    const bool c = probe.ShouldFail(faults::FaultSite::kRemine);
+    if (!a && b && !c) {
+      chosen_seed = seed;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  faults::FaultInjector injector{chosen_seed, profile};
+  AdaptiveConfig adaptive;
+  adaptive.fault_injector = &injector;
+  const auto result = RunAdaptive(w.model, w.trace, span, adaptive);
+  ASSERT_EQ(result.epochs.size(), 3u);
+  EXPECT_FALSE(result.epochs[0].degraded);
+  EXPECT_TRUE(result.epochs[1].degraded);
+  EXPECT_FALSE(result.epochs[2].degraded);
+  EXPECT_EQ(result.DegradedEpochs(), 1u);
+  // The stale epoch serves the previous epoch's sets.
+  EXPECT_EQ(result.epochs[1].dependency_sets,
+            baseline.epochs[0].dependency_sets);
+  EXPECT_EQ(result.epochs[1].stale_graph_minutes, kMinutesPerDay);
+  EXPECT_EQ(result.epochs[2].stale_graph_minutes, 0);
+}
+
+TEST(RunAdaptive, TransactionBudgetFallsBackToWeakOnly) {
+  auto cfg = trace::GeneratorConfig::Tiny();
+  cfg.num_users = 10;
+  cfg.seed = 28;
+  const auto w = trace::GenerateWorkload(cfg);
+  const TimeRange span{2 * kMinutesPerDay, 4 * kMinutesPerDay};
+  AdaptiveConfig adaptive;
+  adaptive.max_mining_transactions = 1;  // every window blows the budget
+  const auto result = RunAdaptive(w.model, w.trace, span, adaptive);
+  // strong+weak defaults: the epochs degrade to weak-only, which still
+  // mines a fresh graph — degraded, but zero stale minutes.
+  EXPECT_EQ(result.DegradedEpochs(), result.epochs.size());
+  EXPECT_EQ(result.StaleGraphMinutes(), 0);
+
+  // With weak mining off too there is no fallback rung: the epochs keep
+  // the previous sets (here: none, so singletons) and count stale time.
+  AdaptiveConfig strict = adaptive;
+  strict.mining.use_weak = false;
+  const auto stale = RunAdaptive(w.model, w.trace, span, strict);
+  EXPECT_EQ(stale.DegradedEpochs(), stale.epochs.size());
+  EXPECT_EQ(stale.StaleGraphMinutes(), span.length());
+}
+
+TEST(EstimateMiningTransactions, CountsActiveCells) {
+  trace::WorkloadModel model;
+  const UserId u = model.AddUser("u");
+  const AppId a = model.AddApp(u, "a");
+  const FunctionId f0 = model.AddFunction(a, "f0");
+  const FunctionId f1 = model.AddFunction(a, "f1");
+  trace::InvocationTrace trace{2, TimeRange{0, 100}};
+  trace.Add(f0, 1, 5);   // one active cell (count does not matter)
+  trace.Add(f0, 2, 1);
+  trace.Add(f1, 2, 1);
+  trace.Add(f1, 50, 1);
+  trace.Finalize();
+  EXPECT_EQ(EstimateMiningTransactions(trace, TimeRange{0, 100}), 4u);
+  EXPECT_EQ(EstimateMiningTransactions(trace, TimeRange{0, 10}), 3u);
+  EXPECT_EQ(EstimateMiningTransactions(trace, TimeRange{60, 100}), 0u);
 }
 
 }  // namespace

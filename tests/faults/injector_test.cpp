@@ -1,0 +1,172 @@
+#include "faults/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace defuse::faults {
+namespace {
+
+FaultProfile AllOn() {
+  FaultProfile p;
+  p.remine_failure_fraction = 0.5;
+  p.prewarm_spawn_failure_fraction = 0.5;
+  p.malformed_row_fraction = 0.5;
+  p.duplicate_row_fraction = 0.5;
+  p.reorder_row_fraction = 0.5;
+  p.truncate_probability = 0.5;
+  return p;
+}
+
+constexpr std::string_view kCsv =
+    "user,app,function,minute,count\n"
+    "u0,a0,f0,0,1\n"
+    "u0,a0,f0,1,2\n"
+    "u0,a0,f1,0,3\n"
+    "u0,a0,f1,2,1\n";
+
+TEST(FaultInjector, DefaultConstructedIsDisabled) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_FALSE(injector.ShouldFail(FaultSite::kRemine));
+  EXPECT_EQ(injector.decisions(FaultSite::kRemine), 0u);
+  EXPECT_EQ(injector.injected(FaultSite::kRemine), 0u);
+}
+
+TEST(FaultInjector, AllZeroProfileIsDisabled) {
+  FaultInjector injector{42, FaultProfile{}};
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_FALSE(injector.ShouldFail(FaultSite::kPrewarmSpawn));
+  EXPECT_EQ(injector.decisions(FaultSite::kPrewarmSpawn), 0u);
+}
+
+TEST(FaultInjector, DisabledCorruptCsvIsIdentity) {
+  FaultInjector injector;
+  EXPECT_EQ(injector.CorruptCsv(kCsv), kCsv);
+  EXPECT_EQ(injector.decisions(FaultSite::kTraceRow), 0u);
+  EXPECT_EQ(injector.decisions(FaultSite::kTraceTruncate), 0u);
+}
+
+TEST(FaultInjector, FractionOneAlwaysFails) {
+  FaultProfile p;
+  p.remine_failure_fraction = 1.0;
+  FaultInjector injector{7, p};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(injector.ShouldFail(FaultSite::kRemine));
+  }
+  EXPECT_EQ(injector.decisions(FaultSite::kRemine), 100u);
+  EXPECT_EQ(injector.injected(FaultSite::kRemine), 100u);
+}
+
+TEST(FaultInjector, FractionZeroSiteNeverFailsButCounts) {
+  FaultProfile p;
+  p.remine_failure_fraction = 1.0;  // enables the injector
+  FaultInjector injector{7, p};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(injector.ShouldFail(FaultSite::kPrewarmSpawn));
+  }
+  EXPECT_EQ(injector.decisions(FaultSite::kPrewarmSpawn), 50u);
+  EXPECT_EQ(injector.injected(FaultSite::kPrewarmSpawn), 0u);
+}
+
+TEST(FaultInjector, EmpiricalRateTracksFraction) {
+  FaultProfile p;
+  p.remine_failure_fraction = 0.3;
+  FaultInjector injector{123, p};
+  const int draws = 20000;
+  int fails = 0;
+  for (int i = 0; i < draws; ++i) {
+    if (injector.ShouldFail(FaultSite::kRemine)) ++fails;
+  }
+  const double rate = static_cast<double>(fails) / draws;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(FaultInjector, SameSeedReplaysIdentically) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    FaultInjector a{seed, AllOn()};
+    FaultInjector b{seed, AllOn()};
+    for (int i = 0; i < 200; ++i) {
+      const auto site = static_cast<FaultSite>(i % 2);
+      EXPECT_EQ(a.ShouldFail(site), b.ShouldFail(site));
+    }
+    EXPECT_EQ(a.CorruptCsv(kCsv), b.CorruptCsv(kCsv));
+  }
+}
+
+TEST(FaultInjector, SitesDrawIndependentStreams) {
+  // Interleaving draws at another site must not perturb a site's own
+  // decision sequence.
+  FaultInjector pure{9, AllOn()};
+  FaultInjector interleaved{9, AllOn()};
+  std::vector<bool> a, b;
+  for (int i = 0; i < 100; ++i) a.push_back(pure.ShouldFail(FaultSite::kRemine));
+  for (int i = 0; i < 100; ++i) {
+    (void)interleaved.ShouldFail(FaultSite::kPrewarmSpawn);
+    b.push_back(interleaved.ShouldFail(FaultSite::kRemine));
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(FaultInjector, ResetRewindsTheReplay) {
+  FaultInjector injector{11, AllOn()};
+  std::vector<bool> first;
+  for (int i = 0; i < 64; ++i) {
+    first.push_back(injector.ShouldFail(FaultSite::kRemine));
+  }
+  injector.Reset();
+  EXPECT_EQ(injector.decisions(FaultSite::kRemine), 0u);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(injector.ShouldFail(FaultSite::kRemine), first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(FaultInjector, MiningFailureAlternatesBothDegradedCodes) {
+  FaultProfile p;
+  p.remine_failure_fraction = 1.0;
+  FaultInjector injector{3, p};
+  bool saw_exhausted = false, saw_deadline = false;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(injector.ShouldFail(FaultSite::kRemine));
+    const Error e = injector.MiningFailure();
+    saw_exhausted |= e.code == ErrorCode::kResourceExhausted;
+    saw_deadline |= e.code == ErrorCode::kDeadlineExceeded;
+  }
+  EXPECT_TRUE(saw_exhausted);
+  EXPECT_TRUE(saw_deadline);
+}
+
+TEST(FaultInjector, CorruptCsvPreservesHeaderLine) {
+  FaultProfile p;
+  p.malformed_row_fraction = 1.0;
+  FaultInjector injector{5, p};
+  const std::string corrupted = injector.CorruptCsv(kCsv);
+  EXPECT_EQ(corrupted.rfind("user,app,function,minute,count\n", 0), 0u);
+  EXPECT_GT(injector.injected(FaultSite::kTraceRow), 0u);
+  EXPECT_NE(corrupted, kCsv);
+}
+
+TEST(FaultInjector, CorruptCsvDuplicatesRows) {
+  FaultProfile p;
+  p.duplicate_row_fraction = 1.0;
+  FaultInjector injector{5, p};
+  const std::string corrupted = injector.CorruptCsv(kCsv);
+  // 1 header + 4 data rows, each duplicated once.
+  std::size_t newlines = 0;
+  for (const char c : corrupted) newlines += c == '\n' ? 1u : 0u;
+  EXPECT_EQ(newlines, 9u);
+}
+
+TEST(FaultInjector, CorruptCsvTruncatesTail) {
+  FaultProfile p;
+  p.truncate_probability = 1.0;
+  FaultInjector injector{5, p};
+  const std::string corrupted = injector.CorruptCsv(kCsv);
+  EXPECT_LT(corrupted.size(), kCsv.size());
+  EXPECT_FALSE(corrupted.empty());
+  EXPECT_EQ(injector.injected(FaultSite::kTraceTruncate), 1u);
+}
+
+}  // namespace
+}  // namespace defuse::faults

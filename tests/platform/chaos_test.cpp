@@ -1,0 +1,290 @@
+// Chaos tests: the online platform under deterministic fault injection.
+//
+// The invariants here are the PR's acceptance criteria: under any seed
+// the platform never crashes, its counters stay consistent, a failed
+// re-mine leaves the previous dependency sets serving, and the whole run
+// is bit-identical given (seed, profile) — while a disabled injector is
+// bit-identical to no injector at all.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "faults/injector.hpp"
+#include "platform/platform.hpp"
+
+namespace defuse::platform {
+namespace {
+
+/// One user, three functions: a 60-min strict periodic (drives pre-warm
+/// decisions), a 10-min periodic (stays in keep-alive territory), and a
+/// bursty checkout that co-fires with the 10-min one (mines into a set).
+struct Fixture {
+  trace::WorkloadModel model;
+  FunctionId slow, fast, bursty;
+  Fixture() {
+    const UserId u = model.AddUser("u");
+    const AppId a = model.AddApp(u, "app");
+    slow = model.AddFunction(a, "slow60");
+    fast = model.AddFunction(a, "fast10");
+    bursty = model.AddFunction(a, "bursty");
+  }
+};
+
+PlatformConfig ChaosConfig() {
+  PlatformConfig cfg;
+  cfg.horizon = 10 * kMinutesPerDay;
+  cfg.remine_interval = kMinutesPerDay;
+  return cfg;
+}
+
+/// Drives `days` of the fixture workload. Deterministic in `seed`.
+void Drive(Platform& p, const Fixture& fx, Minute days, std::uint64_t seed) {
+  Rng rng{seed};
+  Minute bursty_next = 17;
+  for (Minute t = 0; t < days * kMinutesPerDay; ++t) {
+    if (t % 60 == 0) (void)p.Invoke(fx.slow, t);
+    if (t % 10 == 3) (void)p.Invoke(fx.fast, t);
+    if (t == bursty_next) {
+      (void)p.Invoke(fx.bursty, t);
+      (void)p.Invoke(fx.fast, t);
+      bursty_next += 20 + static_cast<Minute>(rng.NextBelow(80));
+    }
+  }
+}
+
+faults::FaultProfile ChaosProfile() {
+  faults::FaultProfile profile;
+  profile.remine_failure_fraction = 0.5;
+  profile.prewarm_spawn_failure_fraction = 0.3;
+  return profile;
+}
+
+TEST(Chaos, InvariantsHoldForSeedsZeroThroughNine) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Fixture fx;
+    faults::FaultInjector injector{seed, ChaosProfile()};
+    Platform p{fx.model, ChaosConfig()};
+    p.set_fault_injector(&injector);
+    Drive(p, fx, 8, seed);
+
+    const PlatformStats& stats = p.stats();
+    EXPECT_GE(stats.cold_fraction(), 0.0) << "seed " << seed;
+    EXPECT_LE(stats.cold_fraction(), 1.0) << "seed " << seed;
+    EXPECT_LE(stats.cold_invocations, stats.invocations) << "seed " << seed;
+    EXPECT_LE(stats.degraded_remines, stats.remines) << "seed " << seed;
+
+    // Exact fault accounting: every injected mining failure became one
+    // degraded re-mine serving one stale cadence interval (no budget is
+    // configured, so there is no other degradation source), and every
+    // injected spawn failure is booked.
+    EXPECT_EQ(stats.degraded_remines,
+              injector.injected(faults::FaultSite::kRemine))
+        << "seed " << seed;
+    EXPECT_EQ(stats.stale_graph_minutes,
+              static_cast<MinuteDelta>(stats.degraded_remines) *
+                  ChaosConfig().remine_interval)
+        << "seed " << seed;
+    EXPECT_EQ(stats.prewarm_spawn_failures,
+              injector.injected(faults::FaultSite::kPrewarmSpawn))
+        << "seed " << seed;
+
+    // Per-function counters stay consistent with the totals.
+    std::uint64_t fn_total = 0, fn_cold = 0;
+    for (const auto v : p.function_invocations()) fn_total += v;
+    for (const auto v : p.function_cold()) fn_cold += v;
+    EXPECT_EQ(fn_total, stats.invocations) << "seed " << seed;
+    EXPECT_EQ(fn_cold, stats.cold_invocations) << "seed " << seed;
+  }
+}
+
+TEST(Chaos, CountersAreMonotonicOverTime) {
+  Fixture fx;
+  faults::FaultInjector injector{4, ChaosProfile()};
+  Platform p{fx.model, ChaosConfig()};
+  p.set_fault_injector(&injector);
+  PlatformStats prev = p.stats();
+  Rng rng{4};
+  Minute bursty_next = 17;
+  for (Minute t = 0; t < 6 * kMinutesPerDay; ++t) {
+    if (t % 60 == 0) (void)p.Invoke(fx.slow, t);
+    if (t % 10 == 3) (void)p.Invoke(fx.fast, t);
+    if (t == bursty_next) {
+      (void)p.Invoke(fx.bursty, t);
+      bursty_next += 20 + static_cast<Minute>(rng.NextBelow(80));
+    }
+    if (t % 200 == 0) {
+      const PlatformStats& now = p.stats();
+      EXPECT_GE(now.invocations, prev.invocations);
+      EXPECT_GE(now.cold_invocations, prev.cold_invocations);
+      EXPECT_GE(now.remines, prev.remines);
+      EXPECT_GE(now.degraded_remines, prev.degraded_remines);
+      EXPECT_GE(now.stale_graph_minutes, prev.stale_graph_minutes);
+      EXPECT_GE(now.prewarm_spawn_failures, prev.prewarm_spawn_failures);
+      EXPECT_GE(now.prewarm_spawns_abandoned, prev.prewarm_spawns_abandoned);
+      prev = now;
+    }
+  }
+}
+
+TEST(Chaos, FailedRemineKeepsPreviousSetsServing) {
+  // Every re-mine fails: the platform must keep the bootstrap singleton
+  // sets for the whole run and never regroup, while staying up.
+  Fixture fx;
+  faults::FaultProfile profile;
+  profile.remine_failure_fraction = 1.0;
+  faults::FaultInjector injector{1, profile};
+  Platform p{fx.model, ChaosConfig()};
+  p.set_fault_injector(&injector);
+  Drive(p, fx, 6, 1);
+
+  EXPECT_GE(p.stats().remines, 5u);
+  EXPECT_EQ(p.stats().degraded_remines, p.stats().remines);
+  EXPECT_EQ(p.stats().stale_graph_minutes,
+            static_cast<MinuteDelta>(p.stats().remines) * kMinutesPerDay);
+  // Still the bootstrap singletons: one unit per function.
+  EXPECT_EQ(p.units().num_units(), fx.model.num_functions());
+  EXPECT_NE(p.units().unit_of(fx.bursty), p.units().unit_of(fx.fast));
+  EXPECT_GT(p.stats().invocations, 0u);
+}
+
+TEST(Chaos, HalfFailedReminesStillEventuallyGroup) {
+  // With re-mines failing half the time, the surviving ones must still
+  // mine bursty+fast into one dependency set.
+  Fixture fx;
+  faults::FaultProfile profile;
+  profile.remine_failure_fraction = 0.5;
+  faults::FaultInjector injector{2, profile};
+  Platform p{fx.model, ChaosConfig()};
+  p.set_fault_injector(&injector);
+  Drive(p, fx, 8, 2);
+  ASSERT_GT(p.stats().remines, p.stats().degraded_remines);
+  EXPECT_EQ(p.units().unit_of(fx.bursty), p.units().unit_of(fx.fast));
+}
+
+TEST(Chaos, PrewarmSpawnRetryExhaustionAbandonsTheWindow) {
+  Fixture fx;
+  faults::FaultProfile profile;
+  profile.prewarm_spawn_failure_fraction = 1.0;
+  faults::FaultInjector injector{3, profile};
+  auto cfg = ChaosConfig();
+  cfg.prewarm_retry.max_attempts = 3;
+  Platform p{fx.model, cfg};
+  p.set_fault_injector(&injector);
+  Drive(p, fx, 8, 3);
+
+  // The 60-min periodic function must have produced pre-warm decisions,
+  // every spawn attempt failed, and every window was abandoned after
+  // exactly max_attempts tries.
+  ASSERT_GT(p.stats().prewarm_spawns_abandoned, 0u);
+  EXPECT_EQ(p.stats().prewarm_spawn_failures,
+            p.stats().prewarm_spawns_abandoned * 3u);
+  EXPECT_EQ(p.stats().prewarm_spawn_failures,
+            injector.injected(faults::FaultSite::kPrewarmSpawn));
+}
+
+TEST(Chaos, MiningBudgetDegradesToWeakOnlyWithoutStaleness) {
+  Fixture fx;
+  auto cfg = ChaosConfig();
+  cfg.max_mining_transactions = 1;  // every window blows the budget
+  Platform p{fx.model, cfg};
+  Drive(p, fx, 6, 5);
+  ASSERT_GT(p.stats().remines, 0u);
+  // strong+weak config: the ladder's first rung is weak-only, which is
+  // degraded but still a fresh graph — no stale minutes.
+  EXPECT_EQ(p.stats().degraded_remines, p.stats().remines);
+  EXPECT_EQ(p.stats().stale_graph_minutes, 0);
+  // Weak mining alone still groups the co-firing pair.
+  EXPECT_EQ(p.units().unit_of(fx.bursty), p.units().unit_of(fx.fast));
+}
+
+TEST(Chaos, MiningBudgetWithWeakOffKeepsStaleSets) {
+  Fixture fx;
+  auto cfg = ChaosConfig();
+  cfg.max_mining_transactions = 1;
+  cfg.mining.use_weak = false;  // no weak-only rung left
+  Platform p{fx.model, cfg};
+  Drive(p, fx, 6, 5);
+  ASSERT_GT(p.stats().remines, 0u);
+  EXPECT_EQ(p.stats().degraded_remines, p.stats().remines);
+  EXPECT_EQ(p.stats().stale_graph_minutes,
+            static_cast<MinuteDelta>(p.stats().remines) * kMinutesPerDay);
+  EXPECT_EQ(p.units().num_units(), fx.model.num_functions());
+}
+
+TEST(Chaos, SameSeedAndProfileIsBitIdentical) {
+  Fixture fx;
+  const auto run = [&fx](std::uint64_t seed) {
+    faults::FaultInjector injector{seed, ChaosProfile()};
+    Platform p{fx.model, ChaosConfig()};
+    p.set_fault_injector(&injector);
+    Drive(p, fx, 6, 9);
+    return std::pair<PlatformStats, std::string>{p.stats(), p.SaveState()};
+  };
+  const auto [stats_a, state_a] = run(6);
+  const auto [stats_b, state_b] = run(6);
+  EXPECT_EQ(stats_a, stats_b);
+  EXPECT_EQ(state_a, state_b);
+  // A different seed gives a different fault schedule (sanity that the
+  // seed actually matters).
+  const auto [stats_c, state_c] = run(7);
+  (void)stats_c;
+  EXPECT_NE(state_a, state_c);
+}
+
+TEST(Chaos, DisabledInjectorIsBitIdenticalToNoInjector) {
+  Fixture fx;
+  Platform bare{fx.model, ChaosConfig()};
+  Drive(bare, fx, 6, 9);
+
+  faults::FaultInjector disabled;  // default-constructed: off
+  Platform attached{fx.model, ChaosConfig()};
+  attached.set_fault_injector(&disabled);
+  Drive(attached, fx, 6, 9);
+
+  EXPECT_EQ(bare.stats(), attached.stats());
+  EXPECT_EQ(bare.SaveState(), attached.SaveState());
+  EXPECT_EQ(disabled.decisions(faults::FaultSite::kRemine), 0u);
+  EXPECT_EQ(disabled.decisions(faults::FaultSite::kPrewarmSpawn), 0u);
+}
+
+TEST(Chaos, SaveStateCarriesDegradationCountersAcrossRestart) {
+  Fixture fx;
+  faults::FaultInjector injector{8, ChaosProfile()};
+  Platform original{fx.model, ChaosConfig()};
+  original.set_fault_injector(&injector);
+  Drive(original, fx, 6, 8);
+  ASSERT_GT(original.stats().degraded_remines, 0u);
+
+  Platform restored{fx.model, ChaosConfig()};
+  ASSERT_TRUE(restored.LoadState(original.SaveState()));
+  EXPECT_EQ(restored.stats(), original.stats());
+}
+
+TEST(Chaos, LoadStateAcceptsLegacyV1Header) {
+  // A v1 state (5 meta fields, no degradation counters) must still load,
+  // with the new counters defaulting to zero.
+  Fixture fx;
+  Platform p{fx.model, ChaosConfig()};
+  const std::string v2 = p.SaveState();
+  ASSERT_EQ(v2.rfind("defuse-platform-state-v2\n", 0), 0u);
+  const std::size_t meta_start = v2.find("meta,");
+  const std::size_t meta_end = v2.find('\n', meta_start);
+  ASSERT_NE(meta_start, std::string::npos);
+  // Rebuild as v1: old header, meta truncated to its first 5 fields.
+  std::string meta = v2.substr(meta_start, meta_end - meta_start);
+  std::size_t commas = 0, cut = std::string::npos;
+  for (std::size_t i = 0; i < meta.size(); ++i) {
+    if (meta[i] == ',' && ++commas == 6) { cut = i; break; }
+  }
+  ASSERT_NE(cut, std::string::npos);
+  const std::string v1 = "defuse-platform-state-v1\n" + meta.substr(0, cut) +
+                         v2.substr(meta_end);
+  Platform q{fx.model, ChaosConfig()};
+  EXPECT_TRUE(q.LoadState(v1));
+  EXPECT_EQ(q.stats().degraded_remines, 0u);
+  EXPECT_EQ(q.stats().stale_graph_minutes, 0);
+}
+
+}  // namespace
+}  // namespace defuse::platform

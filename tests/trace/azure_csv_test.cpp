@@ -146,6 +146,187 @@ TEST(AzureCsv, RejectsWrongColumnCount) {
   EXPECT_EQ(loaded.error().code, ErrorCode::kParseError);
 }
 
+// ---------------------------------------------------------------------
+// Malformed-input behavior, table-driven: every case lists what strict
+// mode must reject and what lenient mode must skip/repair while keeping
+// the load alive.
+
+struct MalformedCase {
+  const char* name;
+  const char* csv;
+  // Strict expectations.
+  bool strict_ok;
+  ErrorCode strict_code;  // meaningful when !strict_ok
+  // Lenient expectations.
+  std::uint64_t rows_skipped;
+  std::uint64_t values_clamped;
+  std::uint64_t duplicate_rows;
+  std::size_t functions;  // surviving functions in the lenient model
+};
+
+constexpr MalformedCase kLongCsvCases[] = {
+    {"empty buffer", "",
+     false, ErrorCode::kParseError, 0, 0, 0, 0},
+    {"header only", "user,app,function,minute,count\n",
+     true, ErrorCode::kParseError, 0, 0, 0, 0},
+    {"wrong column count",
+     "user,app,function,minute,count\nu,a,f,3\nu,a,g,4,1\n",
+     false, ErrorCode::kParseError, 1, 0, 0, 1},
+    {"too many columns",
+     "user,app,function,minute,count\nu,a,f,3,1,9\nu,a,g,4,1\n",
+     false, ErrorCode::kParseError, 1, 0, 0, 1},
+    {"non-numeric count",
+     "user,app,function,minute,count\nu,a,f,3,x\nu,a,g,4,1\n",
+     false, ErrorCode::kParseError, 1, 0, 0, 1},
+    {"non-numeric minute",
+     "user,app,function,minute,count\nu,a,f,?,1\nu,a,g,4,1\n",
+     false, ErrorCode::kParseError, 1, 0, 0, 1},
+    {"negative minute",
+     "user,app,function,minute,count\nu,a,f,-2,1\nu,a,g,4,1\n",
+     false, ErrorCode::kOutOfRange, 1, 0, 0, 1},
+    {"count overflows uint32",
+     "user,app,function,minute,count\nu,a,f,3,99999999999\n",
+     false, ErrorCode::kOutOfRange, 0, 1, 0, 1},
+    {"duplicate (function, minute) row",
+     "user,app,function,minute,count\nu,a,f,3,1\nu,a,f,3,2\n",
+     false, ErrorCode::kInvalidArgument, 0, 0, 1, 1},
+    {"truncated final row",
+     "user,app,function,minute,count\nu,a,f,3,1\nu,a,g,4",
+     false, ErrorCode::kParseError, 1, 0, 0, 1},
+};
+
+TEST(LongCsvMalformed, StrictModeRejectsEachCase) {
+  for (const auto& c : kLongCsvCases) {
+    const auto loaded = ReadLongCsv(c.csv);
+    if (c.strict_ok) {
+      EXPECT_TRUE(loaded.ok()) << c.name;
+      continue;
+    }
+    ASSERT_FALSE(loaded.ok()) << c.name;
+    EXPECT_EQ(loaded.error().code, c.strict_code) << c.name;
+  }
+}
+
+TEST(LongCsvMalformed, LenientModeSkipsCountsAndKeepsLoading) {
+  for (const auto& c : kLongCsvCases) {
+    ParseReport report;
+    const auto loaded =
+        ReadLongCsv(c.csv, 0, ParseMode::kLenient, &report);
+    ASSERT_TRUE(loaded.ok()) << c.name << ": "
+                             << (loaded.ok() ? "" : loaded.error().ToString());
+    EXPECT_EQ(report.rows_skipped, c.rows_skipped) << c.name;
+    EXPECT_EQ(report.values_clamped, c.values_clamped) << c.name;
+    EXPECT_EQ(report.duplicate_rows, c.duplicate_rows) << c.name;
+    EXPECT_EQ(loaded.value().model.num_functions(), c.functions) << c.name;
+  }
+}
+
+TEST(LongCsvLenient, ReportTalliesPerErrorCode) {
+  const std::string csv =
+      "user,app,function,minute,count\n"
+      "u,a,f,1,1\n"
+      "u,a,f,bad,1\n"       // parse error
+      "u,a,f,-1,1\n"        // out of range
+      "u,a,f,1,2\n"         // duplicate
+      "u,a,g,2,99999999999\n";  // clamped
+  ParseReport report;
+  const auto loaded = ReadLongCsv(csv, 0, ParseMode::kLenient, &report);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(report.data_rows, 5u);
+  EXPECT_EQ(report.count(ErrorCode::kParseError), 1u);
+  EXPECT_EQ(report.count(ErrorCode::kOutOfRange), 2u);  // negative + clamp
+  EXPECT_EQ(report.count(ErrorCode::kInvalidArgument), 1u);
+  EXPECT_EQ(report.total_anomalies(), 4u);
+  EXPECT_FALSE(report.clean());
+  // Duplicate keeps the FIRST occurrence.
+  const auto& lt = loaded.value();
+  ASSERT_EQ(lt.model.num_functions(), 2u);
+  EXPECT_EQ(lt.trace.series(FunctionId{0})[0].count, 1u);
+  // The clamped row survives with the max representable count.
+  EXPECT_EQ(lt.trace.series(FunctionId{1})[0].count, 4294967295u);
+}
+
+TEST(LongCsvLenient, CleanInputLeavesReportClean) {
+  const auto w = MakeTinyWorkload();
+  ParseReport report;
+  const auto loaded = ReadLongCsv(WriteLongCsv(w.model, w.trace), 0,
+                                  ParseMode::kLenient, &report);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.rows_skipped, 0u);
+}
+
+TEST(LongCsvLenient, RejectedRowsLeaveNoPhantomFunctions) {
+  // The malformed row names a function that appears nowhere else; the
+  // lenient model must not contain it.
+  const std::string csv =
+      "user,app,function,minute,count\n"
+      "u,a,ghost,bad,1\n"
+      "u,a,real,1,1\n";
+  const auto loaded = ReadLongCsv(csv, 0, ParseMode::kLenient);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().model.num_functions(), 1u);
+  EXPECT_EQ(loaded.value().model.functions()[0].name, "real");
+}
+
+TEST(LongCsvLenient, RowsPastForcedHorizonAreDropped) {
+  const std::string csv =
+      "user,app,function,minute,count\n"
+      "u,a,f,1,1\n"
+      "u,a,f,500,1\n";
+  ParseReport report;
+  const auto loaded = ReadLongCsv(csv, 100, ParseMode::kLenient, &report);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(report.rows_skipped, 1u);
+  EXPECT_EQ(loaded.value().trace.horizon().end, 100);
+}
+
+TEST(AzureCsvLenient, SkipsWrongColumnCountRows) {
+  const auto w = MakeTinyWorkload();
+  std::string day0 = WriteAzureDayCsv(w.model, w.trace, 0);
+  day0 += "short,row,with,few,columns\n";
+  ParseReport report;
+  const auto loaded =
+      ReadAzureDayCsvs({day0}, ParseMode::kLenient, &report);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(report.rows_skipped, 1u);
+  EXPECT_EQ(report.count(ErrorCode::kParseError), 1u);
+  EXPECT_EQ(loaded.value().model.num_functions(), 2u);
+}
+
+TEST(AzureCsvLenient, DuplicateFunctionRowKeepsFirst) {
+  const auto w = MakeTinyWorkload();
+  std::string day0 = WriteAzureDayCsv(w.model, w.trace, 0);
+  // Append a duplicate of the first data row with different counts.
+  const std::size_t first = day0.find('\n') + 1;
+  std::string dup = day0.substr(first, day0.find('\n', first) + 1 - first);
+  day0 += dup;
+  ParseReport report;
+  const auto loaded =
+      ReadAzureDayCsvs({day0}, ParseMode::kLenient, &report);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(report.duplicate_rows, 1u);
+}
+
+TEST(AzureCsvLenient, TornCellIsDroppedRowSurvives) {
+  std::string day0 = "header\nowner,app,fn,trigger";
+  for (int m = 0; m < 1440; ++m) {
+    day0 += (m == 7) ? ",x" : (m % 9 == 0 ? ",2" : ",0");
+  }
+  day0 += "\n";
+  ParseReport report;
+  const auto loaded =
+      ReadAzureDayCsvs({day0}, ParseMode::kLenient, &report);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(report.count(ErrorCode::kParseError), 1u);
+  EXPECT_EQ(loaded.value().model.num_functions(), 1u);
+  EXPECT_GT(loaded.value().trace.TotalInvocations(
+                loaded.value().trace.horizon()),
+            0u);
+  // Strict mode fails the same buffer.
+  EXPECT_FALSE(ReadAzureDayCsvs({day0}).ok());
+}
+
 TEST(GeneratedWorkloadCsv, LongRoundTripOnSynthetic) {
   auto cfg = GeneratorConfig::Tiny();
   cfg.seed = 5;
