@@ -1,0 +1,204 @@
+// Durability must be cheap when idle and fast when needed.
+//
+// Three measurements over one synthetic workload:
+//
+//   1. Journaling overhead with a *disabled* injector: a durable replay
+//      (write-ahead journal every event, daily checkpoints) against the
+//      bare engine. The durable run's stats must be bit-identical and
+//      its *fault-hook* cost budgeted — the I/O itself is the feature,
+//      so what is asserted (< 2%, non-zero exit on violation) is the
+//      disabled-injector hook on the bare engine, mirroring bench_chaos.
+//      The journal+checkpoint cost is printed for inspection.
+//   2. Recovery latency: crash at the end of the run (no final
+//      checkpoint) and time the ladder — snapshot load + journal replay.
+//   3. Checksum throughput: CRC-32C over the snapshot payload, the
+//      number that bounds verification cost per recovery.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "bench_common.hpp"
+#include "common/io/checksum.hpp"
+#include "faults/injector.hpp"
+#include "platform/durability/durable_state.hpp"
+#include "platform/platform.hpp"
+#include "trace/generator.hpp"
+
+using namespace defuse;
+
+namespace {
+
+struct RunResult {
+  double seconds = 0.0;
+  platform::PlatformStats stats;
+  std::string state;
+};
+
+platform::PlatformConfig EngineConfig(Minute horizon) {
+  platform::PlatformConfig config;
+  config.horizon = horizon;
+  return config;
+}
+
+/// Bare engine, optionally with a (disabled) injector attached.
+RunResult StreamBare(const trace::SyntheticWorkload& w,
+                     const trace::MinuteIndex& index, Minute horizon,
+                     faults::FaultInjector* injector) {
+  platform::Platform engine{w.model, EngineConfig(horizon)};
+  engine.set_fault_injector(injector);
+  const auto start = std::chrono::steady_clock::now();
+  for (Minute t = 0; t < horizon; ++t) {
+    for (const auto& [fn, count] : index.at(t)) {
+      (void)engine.Invoke(fn, t);
+    }
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return RunResult{
+      .seconds = std::chrono::duration<double>(stop - start).count(),
+      .stats = engine.stats(),
+      .state = engine.SaveState()};
+}
+
+/// Durable replay: write-ahead journal per event + daily checkpoints.
+/// `final_checkpoint` false leaves the tail of the run only in the
+/// journal (the crash-recovery scenario).
+RunResult StreamDurable(const trace::SyntheticWorkload& w,
+                        const trace::MinuteIndex& index, Minute horizon,
+                        const std::string& dir, bool final_checkpoint) {
+  std::filesystem::remove_all(dir);
+  platform::Platform engine{w.model, EngineConfig(horizon)};
+  platform::durability::DurableState durable{dir};
+  if (!durable.Open().ok() || !durable.Recover(engine).ok()) {
+    std::fprintf(stderr, "FAIL: could not open state directory %s\n",
+                 dir.c_str());
+    std::exit(1);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (Minute t = 0; t < horizon; ++t) {
+    for (const auto& [fn, count] : index.at(t)) {
+      (void)durable.JournalInvocation(fn, t);
+      (void)engine.Invoke(fn, t);
+    }
+    if (durable.ShouldCheckpoint(t)) (void)durable.Checkpoint(engine);
+  }
+  if (final_checkpoint) (void)durable.Checkpoint(engine);
+  const auto stop = std::chrono::steady_clock::now();
+  return RunResult{
+      .seconds = std::chrono::duration<double>(stop - start).count(),
+      .stats = engine.stats(),
+      .state = engine.SaveState()};
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Extension durability",
+                     "journal/checkpoint cost, recovery latency, "
+                     "checksum throughput");
+  auto cfg = trace::GeneratorConfig::Small();
+  cfg.horizon_minutes = 6 * kMinutesPerDay;
+  const auto w = trace::GenerateWorkload(cfg);
+  const Minute horizon = w.trace.horizon().end;
+  const auto index = w.trace.BuildMinuteIndex(w.trace.horizon());
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "defuse_bench_durability")
+          .string();
+
+  // 1. Overhead: interleave repetitions, keep the best of each variant.
+  constexpr int kReps = 5;
+  double best_bare = 1e300, best_hook = 1e300, best_durable = 1e300;
+  platform::PlatformStats bare_stats, hook_stats, durable_stats;
+  std::string bare_state, durable_state;
+  faults::FaultInjector disabled;  // default-constructed: off
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto bare = StreamBare(w, index, horizon, nullptr);
+    const auto hook = StreamBare(w, index, horizon, &disabled);
+    const auto durable = StreamDurable(w, index, horizon, dir, true);
+    best_bare = std::min(best_bare, bare.seconds);
+    best_hook = std::min(best_hook, hook.seconds);
+    best_durable = std::min(best_durable, durable.seconds);
+    bare_stats = bare.stats;
+    hook_stats = hook.stats;
+    durable_stats = durable.stats;
+    bare_state = bare.state;
+    durable_state = durable.state;
+  }
+  const double hook_overhead = best_hook / best_bare - 1.0;
+  const double durable_overhead = best_durable / best_bare - 1.0;
+  std::printf("\nvariant,best_seconds,invocations,cold_fraction\n");
+  std::printf("bare,%.4f,%llu,%.4f\n", best_bare,
+              static_cast<unsigned long long>(bare_stats.invocations),
+              bare_stats.cold_fraction());
+  std::printf("disabled_injector,%.4f,%llu,%.4f\n", best_hook,
+              static_cast<unsigned long long>(hook_stats.invocations),
+              hook_stats.cold_fraction());
+  std::printf("durable_replay,%.4f,%llu,%.4f\n", best_durable,
+              static_cast<unsigned long long>(durable_stats.invocations),
+              durable_stats.cold_fraction());
+  std::printf("disabled_fault_hook_overhead,%.2f%%\n", hook_overhead * 100.0);
+  std::printf("journal+checkpoint_overhead,%.2f%%\n",
+              durable_overhead * 100.0);
+
+  if (!(bare_stats == hook_stats) || !(bare_stats == durable_stats) ||
+      bare_state != durable_state) {
+    std::fprintf(stderr,
+                 "FAIL: durability changed the run's semantics "
+                 "(stats or state diverged)\n");
+    return 1;
+  }
+  if (hook_overhead >= 0.02) {
+    std::fprintf(stderr,
+                 "FAIL: disabled-fault-hook overhead %.2f%% exceeds the "
+                 "2%% budget\n",
+                 hook_overhead * 100.0);
+    return 1;
+  }
+
+  // 2. Recovery latency after a "crash" (last day only in the journal).
+  (void)StreamDurable(w, index, horizon, dir, false);
+  platform::Platform recovered{w.model, EngineConfig(horizon)};
+  platform::durability::DurableState reopened{dir};
+  if (!reopened.Open().ok()) return 1;
+  const auto rec_start = std::chrono::steady_clock::now();
+  const auto report = reopened.Recover(recovered);
+  const auto rec_stop = std::chrono::steady_clock::now();
+  if (!report.ok() || recovered.SaveState() != durable_state) {
+    std::fprintf(stderr, "FAIL: recovery did not reproduce the live state\n");
+    return 1;
+  }
+  const double rec_seconds =
+      std::chrono::duration<double>(rec_stop - rec_start).count();
+  std::printf("\nrecovery: %.4f s for %llu journal records onto generation "
+              "%llu\n",
+              rec_seconds,
+              static_cast<unsigned long long>(
+                  report.value().journal_records_replayed),
+              static_cast<unsigned long long>(
+                  report.value().snapshot_generation));
+
+  // 3. Checksum throughput over the snapshot payload.
+  double best_crc = 1e300;
+  std::uint32_t sink = 0;
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    sink ^= io::Crc32cOf(durable_state);
+    const auto stop = std::chrono::steady_clock::now();
+    best_crc =
+        std::min(best_crc, std::chrono::duration<double>(stop - start).count());
+  }
+  const double mib = static_cast<double>(durable_state.size()) / (1 << 20);
+  std::printf("crc32c: %.1f MiB/s over a %.2f MiB snapshot (checksum %08x)\n",
+              mib / best_crc, mib, sink);
+
+  std::filesystem::remove_all(dir);
+  bench::PrintHeadline(
+      "durable replay overhead " +
+      std::to_string(durable_overhead * 100.0).substr(0, 5) +
+      "% with bit-identical state; recovery replayed " +
+      std::to_string(report.value().journal_records_replayed) +
+      " journal records in " + std::to_string(rec_seconds).substr(0, 5) + "s");
+  return 0;
+}

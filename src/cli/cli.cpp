@@ -7,6 +7,8 @@
 #include "analysis/analysis.hpp"
 #include "common/csv.hpp"
 #include "core/adaptive.hpp"
+#include "platform/durability/durable_state.hpp"
+#include "platform/durability/recovery.hpp"
 #include "platform/platform.hpp"
 #include "common/flags.hpp"
 #include "core/experiment.hpp"
@@ -55,6 +57,17 @@ commands:
              (live re-mining, residency carry-over)
              --trace FILE (required)   --remine-days N (1)
              --window-days N (4)
+             --state-dir DIR    durable mode: recover + resume, journal
+                                every invocation, checkpoint on cadence
+             --checkpoint-days N (1)
+  recover    run the crash-recovery ladder over a state directory and
+             report which rung restored the platform
+             --state-dir DIR (required)   --trace FILE (required)
+             --remine-days N (1)  --window-days N (4)
+             exit 2 when corruption had to be repaired or skipped
+  fsck       verify a state directory's snapshots and journals without
+             repairing anything
+             --state-dir DIR (required)   exit 2 on corruption
   compare    the paper's headline comparison on this trace: Defuse vs
              Hybrid-Function vs Hybrid-Application at restricted memory
              --trace FILE (required)   --train-days N (all but 2)
@@ -261,17 +274,21 @@ int CmdMine(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   out << multi << " multi-function sets; largest has " << largest
       << " functions\n";
 
+  // Artifacts that cross the miner/scheduler process boundary carry a
+  // checksum trailer; the readers verify it transparently.
   if (const auto path = flags.Get("sets-out")) {
-    if (!WriteOrReport(*path, graph::WriteDependencySetsCsv(mining.sets,
-                                                            bundle->model),
+    if (!WriteOrReport(*path,
+                       graph::WriteDependencySetsCsvChecksummed(mining.sets,
+                                                                bundle->model),
                        err)) {
       return 2;
     }
     out << "wrote dependency sets to " << *path << "\n";
   }
   if (const auto path = flags.Get("edges-out")) {
-    if (!WriteOrReport(*path, graph::WriteDependencyEdgesCsv(mining.graph,
-                                                             bundle->model),
+    if (!WriteOrReport(*path,
+                       graph::WriteDependencyEdgesCsvChecksummed(
+                           mining.graph, bundle->model),
                        err)) {
       return 2;
     }
@@ -547,14 +564,42 @@ int CmdCompare(const FlagParser& flags, std::ostream& out,
   return 0;
 }
 
+void PrintRecoveryReport(const platform::durability::RecoveryReport& report,
+                         std::ostream& out) {
+  out << "recovery: rung "
+      << platform::durability::RecoveryRungName(report.rung)
+      << ", base generation " << report.snapshot_generation << ", "
+      << report.journal_records_replayed << " journal records replayed";
+  if (report.snapshots_rejected > 0) {
+    out << ", " << report.snapshots_rejected << " snapshots rejected";
+  }
+  if (report.journal_records_rejected > 0) {
+    out << ", " << report.journal_records_rejected
+        << " journal records dropped";
+  }
+  if (report.journal_truncated) {
+    out << ", " << report.journal_bytes_dropped << " torn bytes truncated";
+  }
+  out << "\n";
+  for (const auto& note : report.notes) out << "  note: " << note << "\n";
+}
+
+bool SawCorruption(const platform::durability::RecoveryReport& report) {
+  return report.snapshots_rejected > 0 ||
+         report.journal_records_rejected > 0 || report.journal_truncated;
+}
+
 int CmdReplay(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   const auto bundle = LoadTrace(flags, err);
   if (!bundle) return 1;
   const auto remine_days = flags.GetInt("remine-days", 1);
   const auto window_days = flags.GetInt("window-days", 4);
-  if (!remine_days.ok() || !window_days.ok() || remine_days.value() < 1 ||
-      window_days.value() < 1) {
-    err << "error: --remine-days/--window-days must be positive integers\n";
+  const auto checkpoint_days = flags.GetInt("checkpoint-days", 1);
+  if (!remine_days.ok() || !window_days.ok() || !checkpoint_days.ok() ||
+      remine_days.value() < 1 || window_days.value() < 1 ||
+      checkpoint_days.value() < 1) {
+    err << "error: --remine-days/--window-days/--checkpoint-days must be "
+           "positive integers\n";
     return 1;
   }
 
@@ -564,15 +609,63 @@ int CmdReplay(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   config.mining_window = window_days.value() * kMinutesPerDay;
   platform::Platform engine{bundle->model, config};
 
+  // Durable mode: recover whatever a previous (possibly crashed) replay
+  // left in the state directory, resume after its last applied minute,
+  // and journal + checkpoint from there on.
+  std::optional<platform::durability::DurableState> durable;
+  Minute start = 0;
+  if (const auto dir = flags.Get("state-dir")) {
+    platform::durability::DurableState::Options options;
+    options.checkpoint_interval = checkpoint_days.value() * kMinutesPerDay;
+    durable.emplace(*dir, options);
+    if (const auto opened = durable->Open(); !opened.ok()) {
+      err << "error: " << opened.error().ToString() << "\n";
+      return 2;
+    }
+    auto recovered = durable->Recover(engine);
+    if (!recovered.ok()) {
+      err << "error: " << recovered.error().ToString() << "\n";
+      return 2;
+    }
+    PrintRecoveryReport(recovered.value(), out);
+    if (engine.stats().invocations > 0) {
+      // Minute-granular resume: the boundary minute may have been
+      // partially applied, so it is not replayed again.
+      start = engine.last_invocation_minute() + 1;
+    }
+    if (start >= bundle->trace.horizon().end) {
+      out << "trace already fully replayed (resume minute " << start
+          << " past horizon)\n";
+      return 0;
+    }
+    if (start > 0) out << "resuming at minute " << start << "\n";
+  }
+
   const auto index = bundle->trace.BuildMinuteIndex(bundle->trace.horizon());
   std::uint64_t day_invocations = 0, day_cold = 0;
-  Minute day = 0;
+  std::uint64_t journal_failures = 0;
+  Minute day = start / kMinutesPerDay;
   out << "day,invocations,cold_fraction,dependency_sets\n";
-  for (Minute t = 0; t < bundle->trace.horizon().end; ++t) {
+  for (Minute t = start; t < bundle->trace.horizon().end; ++t) {
     for (const auto& [fn, count] : index.at(t)) {
+      if (durable) {
+        // Write-ahead: the event becomes durable before it is applied.
+        // A failed append degrades this event to lossy (it will not
+        // survive a crash) but never stops the replay.
+        if (const auto logged = durable->JournalInvocation(fn, t);
+            !logged.ok()) {
+          ++journal_failures;
+        }
+      }
       const auto outcome = engine.Invoke(fn, t);
       ++day_invocations;
       day_cold += outcome.cold ? 1 : 0;
+    }
+    if (durable && durable->ShouldCheckpoint(t)) {
+      if (const auto saved = durable->Checkpoint(engine); !saved.ok()) {
+        err << "warning: checkpoint failed: " << saved.error().ToString()
+            << "\n";
+      }
     }
     if ((t + 1) % kMinutesPerDay == 0 ||
         t + 1 == bundle->trace.horizon().end) {
@@ -593,7 +686,67 @@ int CmdReplay(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   out << "total: " << engine.stats().invocations << " invocations, cold "
       << engine.stats().cold_fraction() << ", " << engine.stats().remines
       << " re-mines\n";
+  if (durable) {
+    if (const auto saved = durable->Checkpoint(engine); !saved.ok()) {
+      err << "warning: final checkpoint failed: " << saved.error().ToString()
+          << "\n";
+    } else {
+      out << "state saved: generation " << durable->generation() << " in "
+          << durable->dir() << "\n";
+    }
+    if (journal_failures > 0) {
+      err << "warning: " << journal_failures
+          << " journal appends failed (those events were lossy)\n";
+    }
+  }
   return 0;
+}
+
+int CmdRecover(const FlagParser& flags, std::ostream& out,
+               std::ostream& err) {
+  const auto dir = flags.Get("state-dir");
+  if (!dir) {
+    err << "error: --state-dir is required\n";
+    return 1;
+  }
+  const auto bundle = LoadTrace(flags, err);
+  if (!bundle) return 1;
+  const auto remine_days = flags.GetInt("remine-days", 1);
+  const auto window_days = flags.GetInt("window-days", 4);
+  if (!remine_days.ok() || !window_days.ok() || remine_days.value() < 1 ||
+      window_days.value() < 1) {
+    err << "error: --remine-days/--window-days must be positive integers\n";
+    return 1;
+  }
+
+  // The platform must be rebuilt with the exact model + config the
+  // state was saved under (the replay defaults, unless overridden).
+  platform::PlatformConfig config;
+  config.horizon = bundle->trace.horizon().end;
+  config.remine_interval = remine_days.value() * kMinutesPerDay;
+  config.mining_window = window_days.value() * kMinutesPerDay;
+  platform::Platform engine{bundle->model, config};
+
+  const platform::durability::RecoveryManager manager{*dir};
+  const auto report = manager.Recover(engine);
+  PrintRecoveryReport(report, out);
+  out << "recovered state: " << engine.stats().invocations
+      << " invocations, cold " << engine.stats().cold_fraction() << ", "
+      << engine.units().num_units() << " dependency sets, last minute "
+      << engine.last_invocation_minute() << "\n";
+  return SawCorruption(report) ? 2 : 0;
+}
+
+int CmdFsck(const FlagParser& flags, std::ostream& out, std::ostream& err) {
+  const auto dir = flags.Get("state-dir");
+  if (!dir) {
+    err << "error: --state-dir is required\n";
+    return 1;
+  }
+  const platform::durability::RecoveryManager manager{*dir};
+  const auto report = manager.Fsck();
+  out << report.Render();
+  return report.healthy ? 0 : 2;
 }
 
 }  // namespace
@@ -614,6 +767,8 @@ int RunCli(std::span<const std::string> args, std::ostream& out,
   if (command == "filter") return CmdFilter(flags, out, err);
   if (command == "adaptive") return CmdAdaptive(flags, out, err);
   if (command == "replay") return CmdReplay(flags, out, err);
+  if (command == "recover") return CmdRecover(flags, out, err);
+  if (command == "fsck") return CmdFsck(flags, out, err);
   if (command == "compare") return CmdCompare(flags, out, err);
   err << "error: unknown command '" << command << "'\n" << kUsage;
   return 1;

@@ -1,0 +1,129 @@
+#include "common/io/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace defuse::io {
+namespace {
+
+Error Errno(const std::string& what, const std::string& path) {
+  return Error{ErrorCode::kIoError,
+               what + " " + path + ": " + std::strerror(errno)};
+}
+
+/// Writes all of `content` to `fd` (plain write loop).
+bool WriteAll(int fd, std::string_view content) {
+  std::size_t done = 0;
+  while (done < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + done, content.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// fsyncs the directory containing `path` so the rename itself is
+/// durable. Best-effort: some filesystems refuse dir fsync.
+void SyncParentDir(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path{path}.parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  (void)::close(fd);
+}
+
+}  // namespace
+
+std::string AtomicTempPath(const std::string& path) { return path + ".tmp"; }
+
+Result<bool> AtomicWriteFile(const std::string& path, std::string_view content,
+                             faults::FaultInjector* injector) {
+  const std::string tmp = AtomicTempPath(path);
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("cannot open temp file", tmp);
+
+  // Injected crash mid-write: a deterministic prefix lands, nothing is
+  // published, and the partial temp file stays behind as crash debris.
+  if (injector != nullptr &&
+      injector->ShouldFail(faults::FaultSite::kSnapshotTornWrite)) {
+    const std::size_t prefix =
+        content.empty()
+            ? 0
+            : injector->DrawShape(faults::FaultSite::kSnapshotTornWrite) %
+                  content.size();
+    (void)WriteAll(fd, content.substr(0, prefix));
+    (void)::close(fd);
+    return Error{ErrorCode::kIoError,
+                 "injected torn write (crash mid-write) on " + tmp};
+  }
+
+  if (!WriteAll(fd, content)) {
+    const Error err = Errno("write failure on", tmp);
+    (void)::close(fd);
+    return err;
+  }
+  if (::fsync(fd) != 0) {
+    const Error err = Errno("fsync failure on", tmp);
+    (void)::close(fd);
+    return err;
+  }
+  if (::close(fd) != 0) return Errno("close failure on", tmp);
+
+  if (injector != nullptr &&
+      injector->ShouldFail(faults::FaultSite::kSnapshotRename)) {
+    return Error{ErrorCode::kIoError,
+                 "injected rename failure publishing " + path};
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Errno("rename failure publishing", path);
+  }
+  SyncParentDir(path);
+  return true;
+}
+
+Result<std::string> ReadFileWithFaults(const std::string& path,
+                                       faults::FaultInjector* injector) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Error{ErrorCode::kNotFound, "no such file: " + path};
+    }
+    return Errno("cannot open file for read", path);
+  }
+  std::string buffer;
+  char chunk[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Error err = Errno("read failure on", path);
+      (void)::close(fd);
+      return err;
+    }
+    if (n == 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  (void)::close(fd);
+
+  if (!buffer.empty() && injector != nullptr &&
+      injector->ShouldFail(faults::FaultSite::kStateReadBitFlip)) {
+    const std::uint64_t bit =
+        injector->DrawShape(faults::FaultSite::kStateReadBitFlip) %
+        (static_cast<std::uint64_t>(buffer.size()) * 8);
+    buffer[static_cast<std::size_t>(bit / 8)] =
+        static_cast<char>(buffer[static_cast<std::size_t>(bit / 8)] ^
+                          (1 << (bit % 8)));
+  }
+  return buffer;
+}
+
+}  // namespace defuse::io

@@ -1,0 +1,47 @@
+// Crash-safe file writes for durable scheduler state.
+//
+// The contract the durability layer builds on: after AtomicWriteFile
+// returns, either the destination holds the complete new content (all
+// bytes fsynced before the rename published them) or it is untouched —
+// never a torn mixture. The temp-write / fsync / rename / dir-fsync
+// dance is the standard POSIX recipe; every step can be made to fail by
+// the attached faults::FaultInjector so the chaos suite can prove the
+// "or it is untouched" half:
+//
+//   * kSnapshotTornWrite — simulated crash mid-write: a prefix of the
+//     bytes lands in the temp file, the rename never happens, and the
+//     call errors. The destination is untouched; the partial temp file
+//     is left behind for fsck to find, exactly like a real crash.
+//   * kSnapshotRename — the temp file is complete and synced but the
+//     publish rename fails (ENOSPC on the directory, power cut between
+//     sync and rename).
+//   * kStateReadBitFlip (ReadFileWithFaults) — one bit of the returned
+//     buffer flips, modelling media corruption the caller's checksum
+//     must catch.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+#include "faults/injector.hpp"
+
+namespace defuse::io {
+
+/// The temp path AtomicWriteFile stages through ("<path>.tmp"); exposed
+/// so fsck can recognize crash debris.
+[[nodiscard]] std::string AtomicTempPath(const std::string& path);
+
+/// Writes `content` to `path` atomically: temp file + fsync + rename +
+/// parent-directory fsync. On any error (real or injected) the
+/// destination keeps its previous content (or stays absent).
+[[nodiscard]] Result<bool> AtomicWriteFile(
+    const std::string& path, std::string_view content,
+    faults::FaultInjector* injector = nullptr);
+
+/// Reads a whole file, with the kStateReadBitFlip fault site applied to
+/// the returned buffer (one deterministic bit flip per injected fault).
+[[nodiscard]] Result<std::string> ReadFileWithFaults(
+    const std::string& path, faults::FaultInjector* injector = nullptr);
+
+}  // namespace defuse::io

@@ -1,0 +1,135 @@
+#include "common/io/checksum.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace defuse::io {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82f63b78u;  // reflected CRC-32C
+
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+};
+
+constexpr Tables MakeTables() {
+  Tables tb{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1u) != 0 ? kPoly : 0u);
+    }
+    tb.t[0][i] = crc;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    for (std::size_t s = 1; s < 8; ++s) {
+      tb.t[s][i] = (tb.t[s - 1][i] >> 8) ^ tb.t[0][tb.t[s - 1][i] & 0xffu];
+    }
+  }
+  return tb;
+}
+
+constexpr Tables kTables = MakeTables();
+
+}  // namespace
+
+void Crc32c::Update(const void* data, std::size_t size) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = state_;
+  // Slice-by-8 over the bulk, explicit byte composition so the result is
+  // identical on big- and little-endian hosts.
+  while (size >= 8) {
+    crc ^= static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+    crc = kTables.t[7][crc & 0xffu] ^ kTables.t[6][(crc >> 8) & 0xffu] ^
+          kTables.t[5][(crc >> 16) & 0xffu] ^ kTables.t[4][crc >> 24] ^
+          kTables.t[3][p[4]] ^ kTables.t[2][p[5]] ^ kTables.t[1][p[6]] ^
+          kTables.t[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xffu];
+  }
+  state_ = crc;
+}
+
+void Crc32c::Update(std::string_view data) noexcept {
+  Update(data.data(), data.size());
+}
+
+std::uint32_t Crc32cOf(std::string_view data) noexcept {
+  Crc32c crc;
+  crc.Update(data);
+  return crc.value();
+}
+
+std::string Crc32cHex(std::uint32_t crc) {
+  char buf[9];
+  std::snprintf(buf, sizeof buf, "%08x", crc);
+  return std::string{buf};
+}
+
+Result<std::uint32_t> ParseCrc32cHex(std::string_view hex) {
+  if (hex.size() != 8) {
+    return Error{ErrorCode::kParseError,
+                 "checksum must be 8 hex digits, got '" + std::string{hex} +
+                     "'"};
+  }
+  std::uint32_t value = 0;
+  for (const char c : hex) {
+    std::uint32_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint32_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<std::uint32_t>(c - 'A') + 10;
+    } else {
+      return Error{ErrorCode::kParseError,
+                   "bad checksum digit in '" + std::string{hex} + "'"};
+    }
+    value = (value << 4) | digit;
+  }
+  return value;
+}
+
+std::string ChecksumTrailer(std::string_view payload) {
+  return std::string{kChecksumTrailerPrefix} + Crc32cHex(Crc32cOf(payload)) +
+         '\n';
+}
+
+bool HasChecksumTrailer(std::string_view buffer) noexcept {
+  // The trailer is the final line: "...\n#crc32c=XXXXXXXX\n" (or the
+  // whole buffer, for an empty payload).
+  if (buffer.empty() || buffer.back() != '\n') return false;
+  const std::string_view body = buffer.substr(0, buffer.size() - 1);
+  const std::size_t line_start = body.rfind('\n') + 1;  // 0 when no '\n'
+  const std::string_view line = body.substr(line_start);
+  return line.size() == kChecksumTrailerPrefix.size() + 8 &&
+         line.substr(0, kChecksumTrailerPrefix.size()) ==
+             kChecksumTrailerPrefix;
+}
+
+Result<std::string_view> VerifyAndStripChecksumTrailer(
+    std::string_view buffer) {
+  if (!HasChecksumTrailer(buffer)) return buffer;
+  const std::size_t trailer_len = kChecksumTrailerPrefix.size() + 8 + 1;
+  const std::string_view payload =
+      buffer.substr(0, buffer.size() - trailer_len);
+  const std::string_view hex = buffer.substr(
+      buffer.size() - 9, 8);  // 8 digits before the final newline
+  const auto expected = ParseCrc32cHex(hex);
+  if (!expected.ok()) return expected.error();
+  const std::uint32_t actual = Crc32cOf(payload);
+  if (actual != expected.value()) {
+    return Error{ErrorCode::kDataLoss,
+                 "checksum trailer mismatch: file says " + std::string{hex} +
+                     ", payload is " + Crc32cHex(actual)};
+  }
+  return payload;
+}
+
+}  // namespace defuse::io

@@ -1,0 +1,68 @@
+// CRC32C (Castagnoli) checksumming for durable state files.
+//
+// Every byte the scheduler persists (snapshots, journal records, mined
+// artifacts) is covered by a CRC so recovery can tell a torn or
+// bit-rotted file from a good one instead of loading garbage. CRC-32C is
+// the iSCSI/ext4 polynomial: guaranteed detection of all single-bit
+// errors and all bursts shorter than 32 bits, which is exactly the
+// torn-write / bit-flip failure model in DESIGN.md §6. The
+// implementation is endian-independent slice-by-8 table lookup — no
+// hardware intrinsics, so checksums are bit-identical on every platform
+// the deterministic replay contract covers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+
+namespace defuse::io {
+
+/// Incremental CRC-32C. `value()` may be read at any point; `Update` can
+/// continue afterwards (reading does not finalize the state).
+class Crc32c {
+ public:
+  void Update(std::string_view data) noexcept;
+  void Update(const void* data, std::size_t size) noexcept;
+  [[nodiscard]] std::uint32_t value() const noexcept {
+    return state_ ^ 0xffffffffu;
+  }
+  void Reset() noexcept { state_ = 0xffffffffu; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+/// One-shot CRC-32C of a buffer.
+[[nodiscard]] std::uint32_t Crc32cOf(std::string_view data) noexcept;
+
+/// Fixed-width lowercase hex rendering ("deadbeef") used in file headers.
+[[nodiscard]] std::string Crc32cHex(std::uint32_t crc);
+
+/// Parses the 8-hex-digit output of Crc32cHex.
+[[nodiscard]] Result<std::uint32_t> ParseCrc32cHex(std::string_view hex);
+
+// ---------------------------------------------------------------------
+// Checksum trailer for line-oriented artifact files.
+//
+// A trailer is one final line "#crc32c=XXXXXXXX\n" covering every byte
+// before it. Readers that predate the trailer see a comment-looking
+// line; our readers verify and strip it, so mined-artifact CSVs can be
+// self-verifying without a format break.
+
+inline constexpr std::string_view kChecksumTrailerPrefix = "#crc32c=";
+
+/// The trailer line (with newline) for `payload`.
+[[nodiscard]] std::string ChecksumTrailer(std::string_view payload);
+
+/// True if the buffer's final line is a checksum trailer.
+[[nodiscard]] bool HasChecksumTrailer(std::string_view buffer) noexcept;
+
+/// Verifies a trailing checksum line and returns the payload without it.
+/// Buffers with no trailer are returned unchanged (trailers are opt-in);
+/// a trailer that is present but wrong is an error (kDataLoss).
+[[nodiscard]] Result<std::string_view> VerifyAndStripChecksumTrailer(
+    std::string_view buffer);
+
+}  // namespace defuse::io

@@ -1,0 +1,62 @@
+#include "common/io/framed.hpp"
+
+#include <charconv>
+
+#include "common/io/checksum.hpp"
+
+namespace defuse::io {
+
+void AppendFrame(std::string& out, std::string_view payload) {
+  out += "f ";
+  out += std::to_string(payload.size());
+  out += ' ';
+  out += Crc32cHex(Crc32cOf(payload));
+  out += '\n';
+  out += payload;
+  out += '\n';
+}
+
+std::string EncodeFrame(std::string_view payload) {
+  std::string out;
+  AppendFrame(out, payload);
+  return out;
+}
+
+FrameScan ScanFrames(std::string_view buffer) noexcept {
+  FrameScan scan;
+  std::size_t pos = 0;
+  while (pos < buffer.size()) {
+    // Header line: "f <len> <crc8>\n".
+    const std::size_t eol = buffer.find('\n', pos);
+    if (eol == std::string_view::npos) break;
+    const std::string_view header = buffer.substr(pos, eol - pos);
+    if (header.size() < 2 + 1 + 1 + 8 || header.substr(0, 2) != "f ") break;
+    const std::size_t sep = header.rfind(' ');
+    if (sep < 2 || sep + 9 != header.size()) break;
+    const std::string_view len_text = header.substr(2, sep - 2);
+    std::uint64_t len = 0;
+    const auto [ptr, ec] = std::from_chars(
+        len_text.data(), len_text.data() + len_text.size(), len);
+    if (ec != std::errc{} || ptr != len_text.data() + len_text.size()) break;
+    const auto crc = ParseCrc32cHex(header.substr(sep + 1));
+    if (!crc.ok()) break;
+
+    // Payload + terminating newline must fit entirely.
+    const std::size_t payload_begin = eol + 1;
+    if (len > buffer.size() - payload_begin ||
+        buffer.size() - payload_begin - len < 1) {
+      break;
+    }
+    const std::string_view payload = buffer.substr(payload_begin, len);
+    if (buffer[payload_begin + len] != '\n') break;
+    if (Crc32cOf(payload) != crc.value()) break;
+
+    scan.records.push_back(payload);
+    pos = payload_begin + len + 1;
+    scan.valid_bytes = pos;
+  }
+  scan.torn_tail = scan.valid_bytes < buffer.size();
+  return scan;
+}
+
+}  // namespace defuse::io

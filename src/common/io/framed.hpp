@@ -1,0 +1,45 @@
+// Self-verifying framed record format for append-only files.
+//
+// A frame is one record wrapped in a header that makes torn tails
+// detectable without trusting anything after the tear:
+//
+//   f <payload-length> <crc32c-hex>\n
+//   <payload bytes>\n
+//
+// The checksum covers the payload only; the length is authoritative, so
+// payloads may themselves contain newlines or 'f ' prefixes. ScanFrames
+// walks a buffer frame by frame and stops at the first frame that does
+// not parse or verify — everything after a tear is untrusted, because a
+// partially written length/checksum header could otherwise direct the
+// reader to swallow garbage. The scan reports the byte length of the
+// intact prefix so recovery can truncate the torn tail in place and
+// resume appending.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace defuse::io {
+
+/// Appends one framed record to `out`.
+void AppendFrame(std::string& out, std::string_view payload);
+
+/// A framed record rendered standalone (what AppendFrame would add).
+[[nodiscard]] std::string EncodeFrame(std::string_view payload);
+
+struct FrameScan {
+  /// Intact payloads, in order (views into the scanned buffer).
+  std::vector<std::string_view> records;
+  /// Byte length of the intact prefix (frame boundaries only).
+  std::size_t valid_bytes = 0;
+  /// True when bytes follow the intact prefix (torn or corrupt tail).
+  bool torn_tail = false;
+};
+
+/// Walks `buffer` frame by frame, stopping at the first frame that fails
+/// to parse or checksum. Never throws, never reads past the buffer.
+[[nodiscard]] FrameScan ScanFrames(std::string_view buffer) noexcept;
+
+}  // namespace defuse::io

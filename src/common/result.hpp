@@ -20,11 +20,15 @@ enum class ErrorCode {
   kFailedPrecondition,
   kResourceExhausted,
   kDeadlineExceeded,
+  /// Persisted bytes fail their checksum or framing: torn write, bit
+  /// rot, truncation. Distinct from kIoError (the OS refused the
+  /// operation) — the operation worked but the data is not trustworthy.
+  kDataLoss,
 };
 
 /// Number of distinct ErrorCode values (sized for per-code tally arrays,
 /// e.g. trace::ParseReport). Keep in sync with the enum above.
-inline constexpr std::size_t kNumErrorCodes = 8;
+inline constexpr std::size_t kNumErrorCodes = 9;
 
 [[nodiscard]] constexpr const char* ErrorCodeName(ErrorCode code) noexcept {
   switch (code) {
@@ -36,6 +40,7 @@ inline constexpr std::size_t kNumErrorCodes = 8;
     case ErrorCode::kFailedPrecondition: return "failed_precondition";
     case ErrorCode::kResourceExhausted: return "resource_exhausted";
     case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kDataLoss: return "data_loss";
   }
   return "unknown";
 }

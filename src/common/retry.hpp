@@ -9,7 +9,9 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 
+#include "common/rng.hpp"
 #include "common/time.hpp"
 
 namespace defuse {
@@ -25,6 +27,15 @@ struct RetryPolicy {
   double backoff_multiplier = 2.0;
   /// Per-step backoff ceiling.
   MinuteDelta max_backoff = 60;
+  /// Deterministic jitter: each slept delay is the exponential schedule
+  /// scaled by a factor drawn uniformly from [1 - jitter, 1 + jitter],
+  /// using a SplitMix64 stream seeded by `jitter_seed` — so a replay
+  /// with the same policy sleeps the same delays bit-identically, while
+  /// distinct seeds (one per retrying component) decorrelate their
+  /// schedules. 0 (the default) disables jitter entirely; the growth
+  /// schedule itself is never jittered, only the slept delay.
+  double jitter = 0.0;
+  std::uint64_t jitter_seed = 0;
 };
 
 struct RetryOutcome {
@@ -44,6 +55,8 @@ RetryOutcome RetryWithBackoff(const RetryPolicy& policy, TryFn&& try_once,
                               SleepFn&& sleep) {
   RetryOutcome outcome;
   const int max_attempts = std::max(policy.max_attempts, 1);
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  std::uint64_t jitter_state = policy.jitter_seed;
   MinuteDelta backoff =
       std::min(std::max<MinuteDelta>(policy.initial_backoff, 0),
                policy.max_backoff);
@@ -54,8 +67,20 @@ RetryOutcome RetryWithBackoff(const RetryPolicy& policy, TryFn&& try_once,
       return outcome;
     }
     if (attempt == max_attempts) break;
-    sleep(backoff);
-    outcome.total_backoff += backoff;
+    MinuteDelta delay = backoff;
+    if (jitter > 0.0) {
+      // 53 mantissa bits of the SplitMix64 draw, same construction as
+      // Rng::NextDouble, for a uniform factor in [1 - j, 1 + j).
+      const double unit =
+          static_cast<double>(SplitMix64(jitter_state) >> 11) * 0x1.0p-53;
+      const double factor = 1.0 - jitter + 2.0 * jitter * unit;
+      delay = std::clamp<MinuteDelta>(
+          static_cast<MinuteDelta>(
+              std::llround(static_cast<double>(backoff) * factor)),
+          0, policy.max_backoff);
+    }
+    sleep(delay);
+    outcome.total_backoff += delay;
     const auto grown = static_cast<MinuteDelta>(
         static_cast<double>(backoff) * policy.backoff_multiplier);
     backoff = std::min(policy.max_backoff, std::max(grown, backoff));

@@ -34,8 +34,21 @@ double FaultInjector::FractionFor(FaultSite site) const noexcept {
       return profile_.prewarm_spawn_failure_fraction;
     case FaultSite::kTraceRow: return profile_.malformed_row_fraction;
     case FaultSite::kTraceTruncate: return profile_.truncate_probability;
+    case FaultSite::kSnapshotTornWrite:
+      return profile_.snapshot_torn_write_fraction;
+    case FaultSite::kSnapshotRename:
+      return profile_.snapshot_rename_failure_fraction;
+    case FaultSite::kJournalShortWrite:
+      return profile_.journal_short_write_fraction;
+    case FaultSite::kStateReadBitFlip:
+      return profile_.state_read_bit_flip_fraction;
   }
   return 0.0;
+}
+
+std::uint64_t FaultInjector::DrawShape(FaultSite site) noexcept {
+  if (!enabled_) return 0;
+  return NextDraw(site);
 }
 
 bool FaultInjector::ShouldFail(FaultSite site) {

@@ -39,8 +39,20 @@ enum class FaultSite : std::size_t {
   kTraceRow = 2,
   /// Trace ingestion: whole-buffer truncation in CorruptCsv.
   kTraceTruncate = 3,
+  /// Durable state: crash mid-write of a snapshot temp file — only a
+  /// prefix of the bytes land and the rename never happens.
+  kSnapshotTornWrite = 4,
+  /// Durable state: the snapshot temp file is fully written and synced
+  /// but the publishing rename fails.
+  kSnapshotRename = 5,
+  /// Durable state: crash mid-append to the write-ahead journal — a
+  /// prefix of the framed record lands as a torn tail.
+  kJournalShortWrite = 6,
+  /// Durable state: a single bit flips in a state file read back from
+  /// disk (media corruption the checksum must catch).
+  kStateReadBitFlip = 7,
 };
-inline constexpr std::size_t kNumFaultSites = 4;
+inline constexpr std::size_t kNumFaultSites = 8;
 
 [[nodiscard]] constexpr const char* FaultSiteName(FaultSite site) noexcept {
   switch (site) {
@@ -48,6 +60,10 @@ inline constexpr std::size_t kNumFaultSites = 4;
     case FaultSite::kPrewarmSpawn: return "prewarm_spawn";
     case FaultSite::kTraceRow: return "trace_row";
     case FaultSite::kTraceTruncate: return "trace_truncate";
+    case FaultSite::kSnapshotTornWrite: return "snapshot_torn_write";
+    case FaultSite::kSnapshotRename: return "snapshot_rename";
+    case FaultSite::kJournalShortWrite: return "journal_short_write";
+    case FaultSite::kStateReadBitFlip: return "state_read_bit_flip";
   }
   return "unknown";
 }
@@ -71,10 +87,26 @@ struct FaultProfile {
   /// Probability that the corrupted buffer is truncated mid-row.
   double truncate_probability = 0.0;
 
+  // Durable-state knobs (snapshot / journal crash consistency):
+  /// Fraction of snapshot writes that crash mid-write (partial temp
+  /// file, no rename).
+  double snapshot_torn_write_fraction = 0.0;
+  /// Fraction of snapshot publishes whose rename fails after a fully
+  /// synced temp write.
+  double snapshot_rename_failure_fraction = 0.0;
+  /// Fraction of journal appends that crash mid-record (torn tail).
+  double journal_short_write_fraction = 0.0;
+  /// Fraction of state-file reads with one flipped bit.
+  double state_read_bit_flip_fraction = 0.0;
+
   [[nodiscard]] bool any() const noexcept {
     return remine_failure_fraction > 0 || prewarm_spawn_failure_fraction > 0 ||
            malformed_row_fraction > 0 || duplicate_row_fraction > 0 ||
-           reorder_row_fraction > 0 || truncate_probability > 0;
+           reorder_row_fraction > 0 || truncate_probability > 0 ||
+           snapshot_torn_write_fraction > 0 ||
+           snapshot_rename_failure_fraction > 0 ||
+           journal_short_write_fraction > 0 ||
+           state_read_bit_flip_fraction > 0;
   }
 };
 
@@ -95,6 +127,12 @@ class FaultInjector {
   /// (seed, site, number of prior draws at that site). Disabled
   /// injectors return false without consuming a draw.
   [[nodiscard]] bool ShouldFail(FaultSite site);
+
+  /// Auxiliary shaping draw for a fault that was already decided at
+  /// `site` (torn-write prefix length, bit position, ...). Advances the
+  /// site's stream but is not a decision: counters do not move. Disabled
+  /// injectors return 0 without consuming a draw.
+  [[nodiscard]] std::uint64_t DrawShape(FaultSite site) noexcept;
 
   /// Decisions drawn / faults injected at `site` so far.
   [[nodiscard]] std::uint64_t decisions(FaultSite site) const noexcept {

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/csv.hpp"
+#include "common/io/checksum.hpp"
 
 namespace defuse::graph {
 namespace {
@@ -33,8 +34,19 @@ std::string WriteDependencySetsCsv(const std::vector<DependencySet>& sets,
   return out;
 }
 
+std::string WriteDependencySetsCsvChecksummed(
+    const std::vector<DependencySet>& sets,
+    const trace::WorkloadModel& model) {
+  std::string out = WriteDependencySetsCsv(sets, model);
+  out += io::ChecksumTrailer(out);
+  return out;
+}
+
 Result<std::vector<DependencySet>> ReadDependencySetsCsv(
     std::string_view buffer, const trace::WorkloadModel& model) {
+  const auto verified = io::VerifyAndStripChecksumTrailer(buffer);
+  if (!verified.ok()) return verified.error();
+  buffer = verified.value();
   const auto names = NameIndex(model);
   // Preserve the file's set ids but re-densify afterwards.
   std::unordered_map<std::uint64_t, std::vector<FunctionId>> by_id;
@@ -112,8 +124,18 @@ std::string WriteDependencyEdgesCsv(const DependencyGraph& graph,
   return out;
 }
 
+std::string WriteDependencyEdgesCsvChecksummed(
+    const DependencyGraph& graph, const trace::WorkloadModel& model) {
+  std::string out = WriteDependencyEdgesCsv(graph, model);
+  out += io::ChecksumTrailer(out);
+  return out;
+}
+
 Result<DependencyGraph> ReadDependencyEdgesCsv(
     std::string_view buffer, const trace::WorkloadModel& model) {
+  const auto verified = io::VerifyAndStripChecksumTrailer(buffer);
+  if (!verified.ok()) return verified.error();
+  buffer = verified.value();
   const auto names = NameIndex(model);
   DependencyGraph graph{model.num_functions()};
   auto res = ForEachLine(

@@ -23,6 +23,15 @@ namespace defuse::graph {
     const std::vector<DependencySet>& sets,
     const trace::WorkloadModel& model);
 
+/// WriteDependencySetsCsv plus a trailing "#crc32c=<hex>" integrity
+/// line (common/io/checksum.hpp), for artifacts handed between the
+/// miner daemon and the scheduler. Both readers verify and strip the
+/// trailer automatically when present (kDataLoss on mismatch);
+/// trailer-less files keep parsing as before.
+[[nodiscard]] std::string WriteDependencySetsCsvChecksummed(
+    const std::vector<DependencySet>& sets,
+    const trace::WorkloadModel& model);
+
 /// Parses dependency sets; function names must exist in `model`.
 /// Functions of the model not mentioned in the file are appended as
 /// singleton sets so the result always covers every function.
@@ -31,6 +40,11 @@ namespace defuse::graph {
 
 /// Serializes the edge list of a dependency graph.
 [[nodiscard]] std::string WriteDependencyEdgesCsv(
+    const DependencyGraph& graph, const trace::WorkloadModel& model);
+
+/// WriteDependencyEdgesCsv with the "#crc32c=<hex>" integrity trailer
+/// (see WriteDependencySetsCsvChecksummed).
+[[nodiscard]] std::string WriteDependencyEdgesCsvChecksummed(
     const DependencyGraph& graph, const trace::WorkloadModel& model);
 
 /// Parses an edge list back into a graph over `model`'s functions.

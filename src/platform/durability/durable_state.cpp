@@ -1,0 +1,85 @@
+#include "platform/durability/durable_state.hpp"
+
+#include "common/logging.hpp"
+
+namespace defuse::platform::durability {
+namespace {
+
+StateJournal::Options JournalOptions(const DurableState::Options& options) {
+  StateJournal::Options out;
+  out.sync_every_append = options.sync_every_append;
+  out.injector = options.store.injector;
+  return out;
+}
+
+}  // namespace
+
+DurableState::DurableState(std::string dir)
+    : DurableState(std::move(dir), Options{}) {}
+
+DurableState::DurableState(std::string dir, Options options)
+    : options_(options),
+      store_(dir, options.store),
+      journal_(std::move(dir), JournalOptions(options)) {}
+
+Result<bool> DurableState::Open() { return store_.Open(); }
+
+Result<RecoveryReport> DurableState::Recover(Platform& p) {
+  const RecoveryManager manager{store_.dir(), options_.store.injector};
+  RecoveryReport report = manager.Recover(p);
+  // Resume the recovered generation's journal for appending: recovery
+  // truncated everything replay could not use, so new appends extend the
+  // exact record sequence a future recovery will replay.
+  auto resumed = journal_.ResumeGeneration(report.snapshot_generation);
+  if (!resumed.ok()) return resumed.error();
+  next_checkpoint_ =
+      p.last_invocation_minute() + options_.checkpoint_interval;
+  return report;
+}
+
+Result<bool> DurableState::Append(const JournalRecord& record) {
+  const std::uint64_t before = journal_.size_bytes();
+  auto first = journal_.Append(record);
+  if (first.ok()) return first;
+  // Heal: drop whatever prefix of the frame landed, then retry once.
+  auto healed = journal_.TruncateTo(before);
+  if (!healed.ok()) return healed;
+  auto second = journal_.Append(record);
+  if (!second.ok()) {
+    // Leave the file healed even when the retry tore again.
+    (void)journal_.TruncateTo(before);
+  }
+  return second;
+}
+
+Result<bool> DurableState::JournalInvocation(FunctionId fn, Minute now) {
+  return Append(JournalRecord::Invocation(fn, now));
+}
+
+Result<bool> DurableState::JournalForcedRemine(Minute now) {
+  return Append(JournalRecord::ForcedRemine(now));
+}
+
+Result<bool> DurableState::JournalHeartbeat(Minute now) {
+  return Append(JournalRecord::Heartbeat(now));
+}
+
+Result<bool> DurableState::Checkpoint(const Platform& p) {
+  next_checkpoint_ =
+      p.last_invocation_minute() + options_.checkpoint_interval;
+  auto gen = store_.Write(p.SaveState());
+  if (!gen.ok()) {
+    DEFUSE_LOG_WARN << "durability: checkpoint failed, journaling continues "
+                       "against generation "
+                    << journal_.generation() << ": "
+                    << gen.error().ToString();
+    return gen.error();
+  }
+  // The snapshot supersedes the old journal's contents, so no sync is
+  // owed to it; rotation just starts the new generation's empty file.
+  return journal_.StartGeneration(gen.value());
+}
+
+Result<bool> DurableState::Sync() { return journal_.Sync(); }
+
+}  // namespace defuse::platform::durability

@@ -1,0 +1,114 @@
+// One-stop durability coordinator for a live Platform.
+//
+// DurableState owns the snapshot store and the write-ahead journal for
+// one state directory and keeps them consistent:
+//
+//   platform::durability::DurableState durable{dir};
+//   durable.Open();
+//   auto report = durable.Recover(p);          // ladder + resume journal
+//   for (each request) {
+//     if (!durable.JournalInvocation(fn, now).ok()) { /* crash/degrade */ }
+//     p.Invoke(fn, now);                       // write-ahead: log first
+//     if (durable.ShouldCheckpoint(now)) (void)durable.Checkpoint(p);
+//   }
+//   (void)durable.Checkpoint(p);               // final snapshot
+//
+// Events are journaled write-ahead (log, then apply): a crash between
+// the two replays the logged event on recovery, a crash before the log
+// recovers to the pre-event state — never anything partial. A journal
+// append that fails mid-write is healed (truncate back to the pre-append
+// size) and retried once before the error is surfaced. A checkpoint
+// writes the snapshot atomically and only rotates the journal after the
+// snapshot succeeded, so the previous generation's snapshot + journal
+// stay the recovery source until the new generation is fully durable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/time.hpp"
+#include "platform/durability/journal.hpp"
+#include "platform/durability/recovery.hpp"
+#include "platform/durability/snapshot_store.hpp"
+#include "platform/platform.hpp"
+
+namespace defuse::platform::durability {
+
+class DurableState {
+ public:
+  struct Options {
+    /// Snapshot retention + write retry + the shared fault hook (the
+    /// injector is forwarded to the journal and recovery too).
+    SnapshotStore::Options store;
+    /// Minutes between automatic checkpoints (paper cadence: daily,
+    /// matching the re-mine interval).
+    MinuteDelta checkpoint_interval = kMinutesPerDay;
+    /// fsync the journal after every append (see StateJournal::Options).
+    bool sync_every_append = false;
+  };
+
+  // Two overloads instead of `Options options = {}` (GCC 12 nested
+  // default-argument limitation; see snapshot_store.hpp).
+  explicit DurableState(std::string dir);
+  DurableState(std::string dir, Options options);
+
+  /// Creates the state directory if needed and scans existing
+  /// generations. Call before Recover().
+  [[nodiscard]] Result<bool> Open();
+
+  /// Runs the recovery ladder into `p` (freshly constructed), truncates
+  /// unusable journal tails, and reopens the journal for appending
+  /// exactly where replay stopped.
+  [[nodiscard]] Result<RecoveryReport> Recover(Platform& p);
+
+  /// Write-ahead hooks: call each BEFORE applying the event to the
+  /// platform. On error the event is NOT durable (the torn tail has
+  /// already been healed where possible); the caller chooses between
+  /// treating it as a crash and degrading to lossy journaling.
+  [[nodiscard]] Result<bool> JournalInvocation(FunctionId fn, Minute now);
+  [[nodiscard]] Result<bool> JournalForcedRemine(Minute now);
+  [[nodiscard]] Result<bool> JournalHeartbeat(Minute now);
+
+  /// True once `now` reached the next checkpoint due time.
+  [[nodiscard]] bool ShouldCheckpoint(Minute now) const noexcept {
+    return now >= next_checkpoint_;
+  }
+
+  /// Snapshots `p` as the next generation and, on success, rotates the
+  /// journal to the new generation. On failure the previous generation
+  /// (snapshot + still-open journal) remains the recovery source; the
+  /// next due time advances either way so a persistently failing store
+  /// does not turn every event into a snapshot attempt.
+  [[nodiscard]] Result<bool> Checkpoint(const Platform& p);
+
+  /// Forces buffered journal appends to storage.
+  [[nodiscard]] Result<bool> Sync();
+
+  [[nodiscard]] const std::string& dir() const noexcept {
+    return store_.dir();
+  }
+  /// Generation the open journal (and the snapshot under it) belongs to.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return journal_.generation();
+  }
+  [[nodiscard]] Minute next_checkpoint() const noexcept {
+    return next_checkpoint_;
+  }
+  [[nodiscard]] const SnapshotStore& store() const noexcept { return store_; }
+  [[nodiscard]] const StateJournal& journal() const noexcept {
+    return journal_;
+  }
+
+ private:
+  /// Append with one heal-and-retry round on an injected/real torn
+  /// write.
+  [[nodiscard]] Result<bool> Append(const JournalRecord& record);
+
+  Options options_;
+  SnapshotStore store_;
+  StateJournal journal_;
+  Minute next_checkpoint_ = 0;
+};
+
+}  // namespace defuse::platform::durability

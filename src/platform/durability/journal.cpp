@@ -1,0 +1,215 @@
+#include "platform/durability/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/csv.hpp"
+#include "common/io/atomic_file.hpp"
+#include "common/io/framed.hpp"
+
+namespace defuse::platform::durability {
+namespace {
+
+Error Errno(const std::string& what, const std::string& path) {
+  return Error{ErrorCode::kIoError,
+               what + " " + path + ": " + std::strerror(errno)};
+}
+
+bool WriteAll(int fd, std::string_view content) {
+  std::size_t done = 0;
+  while (done < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + done, content.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeJournalRecord(const JournalRecord& record) {
+  switch (record.type) {
+    case JournalRecordType::kInvocation:
+      return "i," + std::to_string(record.fn.value()) + ',' +
+             std::to_string(record.minute);
+    case JournalRecordType::kForcedRemine:
+      return "r," + std::to_string(record.minute);
+    case JournalRecordType::kHeartbeat:
+      return "h," + std::to_string(record.minute);
+  }
+  return {};
+}
+
+Result<JournalRecord> DecodeJournalRecord(std::string_view payload) {
+  const auto fields = SplitCsvLine(payload);
+  const auto minute_at = [&](std::size_t idx) -> Result<Minute> {
+    auto value = ParseI64(fields[idx]);
+    if (!value.ok()) return value.error();
+    if (value.value() < 0) {
+      return Error{ErrorCode::kOutOfRange, "negative journal minute"};
+    }
+    return value.value();
+  };
+  if (fields.empty() || fields[0].size() != 1) {
+    return Error{ErrorCode::kParseError,
+                 "bad journal record '" + std::string{payload} + "'"};
+  }
+  switch (fields[0][0]) {
+    case 'i': {
+      if (fields.size() != 3) break;
+      const auto fn = ParseU64(fields[1]);
+      if (!fn.ok()) return fn.error();
+      if (fn.value() >= FunctionId::invalid().value()) {
+        return Error{ErrorCode::kOutOfRange, "journal function id overflow"};
+      }
+      const auto minute = minute_at(2);
+      if (!minute.ok()) return minute.error();
+      return JournalRecord::Invocation(
+          FunctionId{static_cast<std::uint32_t>(fn.value())}, minute.value());
+    }
+    case 'r': {
+      if (fields.size() != 2) break;
+      const auto minute = minute_at(1);
+      if (!minute.ok()) return minute.error();
+      return JournalRecord::ForcedRemine(minute.value());
+    }
+    case 'h': {
+      if (fields.size() != 2) break;
+      const auto minute = minute_at(1);
+      if (!minute.ok()) return minute.error();
+      return JournalRecord::Heartbeat(minute.value());
+    }
+    default:
+      break;
+  }
+  return Error{ErrorCode::kParseError,
+               "bad journal record '" + std::string{payload} + "'"};
+}
+
+std::string JournalPath(const std::string& dir, std::uint64_t gen) {
+  char name[48];
+  std::snprintf(name, sizeof name, "journal-%010llu.wal",
+                static_cast<unsigned long long>(gen));
+  return dir + "/" + name;
+}
+
+StateJournal::StateJournal(std::string dir)
+    : StateJournal(std::move(dir), Options{}) {}
+
+StateJournal::StateJournal(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options) {}
+
+StateJournal::~StateJournal() { Close(); }
+
+Result<bool> StateJournal::OpenFile(std::uint64_t gen, bool truncate) {
+  Close();
+  const std::string path = JournalPath(dir_, gen);
+  const int flags =
+      O_WRONLY | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0);
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) return Errno("cannot open journal", path);
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  size_bytes_ = end < 0 ? 0 : static_cast<std::uint64_t>(end);
+  generation_ = gen;
+  records_appended_ = 0;
+  return true;
+}
+
+Result<bool> StateJournal::StartGeneration(std::uint64_t gen) {
+  return OpenFile(gen, /*truncate=*/true);
+}
+
+Result<bool> StateJournal::ResumeGeneration(std::uint64_t gen) {
+  return OpenFile(gen, /*truncate=*/false);
+}
+
+Result<bool> StateJournal::Append(const JournalRecord& record) {
+  if (fd_ < 0) {
+    return Error{ErrorCode::kFailedPrecondition, "journal is not open"};
+  }
+  const std::string frame = io::EncodeFrame(EncodeJournalRecord(record));
+  const std::string path = JournalPath(dir_, generation_);
+
+  // Injected crash mid-append: a prefix of the frame lands as a torn
+  // tail (exactly what a kill -9 between write() calls leaves behind).
+  if (options_.injector != nullptr &&
+      options_.injector->ShouldFail(faults::FaultSite::kJournalShortWrite)) {
+    const std::size_t prefix =
+        options_.injector->DrawShape(faults::FaultSite::kJournalShortWrite) %
+        frame.size();
+    (void)WriteAll(fd_, std::string_view{frame}.substr(0, prefix));
+    size_bytes_ += prefix;
+    return Error{ErrorCode::kIoError,
+                 "injected short write (crash mid-append) on " + path};
+  }
+
+  if (!WriteAll(fd_, frame)) return Errno("append failure on", path);
+  size_bytes_ += frame.size();
+  ++records_appended_;
+  if (options_.sync_every_append) return Sync();
+  return true;
+}
+
+Result<bool> StateJournal::TruncateTo(std::uint64_t size) {
+  if (fd_ < 0) {
+    return Error{ErrorCode::kFailedPrecondition, "journal is not open"};
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Errno("truncate failure on", JournalPath(dir_, generation_));
+  }
+  size_bytes_ = size;
+  return true;
+}
+
+Result<bool> StateJournal::Sync() {
+  if (fd_ < 0) {
+    return Error{ErrorCode::kFailedPrecondition, "journal is not open"};
+  }
+  if (::fsync(fd_) != 0) {
+    return Errno("fsync failure on", JournalPath(dir_, generation_));
+  }
+  return true;
+}
+
+void StateJournal::Close() {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<StateJournal::Scan> StateJournal::Read(
+    const std::string& dir, std::uint64_t gen,
+    faults::FaultInjector* injector) {
+  auto buffer = io::ReadFileWithFaults(JournalPath(dir, gen), injector);
+  if (!buffer.ok()) return buffer.error();
+
+  Scan scan;
+  const io::FrameScan frames = io::ScanFrames(buffer.value());
+  scan.valid_bytes = frames.valid_bytes;
+  for (const auto payload : frames.records) {
+    auto record = DecodeJournalRecord(payload);
+    if (!record.ok()) {
+      // A frame that checksums but does not decode marks the end of the
+      // trusted prefix just like a torn frame: nothing after it can be
+      // assumed to be in sequence.
+      scan.valid_bytes =
+          scan.record_ends.empty() ? 0 : scan.record_ends.back();
+      break;
+    }
+    scan.records.push_back(record.value());
+    scan.record_ends.push_back(static_cast<std::uint64_t>(
+        payload.data() + payload.size() + 1 - buffer.value().data()));
+  }
+  scan.torn_bytes = buffer.value().size() - scan.valid_bytes;
+  return scan;
+}
+
+}  // namespace defuse::platform::durability

@@ -1,0 +1,154 @@
+// Write-ahead journal of platform events between snapshots.
+//
+// A journal file journal-<G>.wal holds the framed, checksummed records
+// (common/io/framed.hpp) of everything that changed the platform since
+// snapshot generation G was taken (G = 0 is the implicit empty state, so
+// a journal can exist before the first snapshot). Replaying snapshot G
+// then journal G reproduces the live state bit-for-bit, because the
+// platform is a deterministic function of (model, config, event
+// sequence):
+//
+//   i,<fn>,<minute>    one Invoke(fn, minute) was applied
+//   r,<minute>         a forced RemineNow(minute) was applied
+//   h,<minute>         minute advanced with no invocation (AdvanceTo)
+//
+// Scheduled re-mines need no record: Invoke/AdvanceTo replay re-fires
+// them at the same minutes deterministically. The determinism caveat:
+// replay re-executes mining, so injected mining faults (chaos profiles
+// with remine_failure_fraction > 0) are not reproduced — degradation
+// *counters* travel in snapshots, and the crash-consistency contract is
+// stated for deterministic mining (see DESIGN.md).
+//
+// Appends go through a kJournalShortWrite fault site: an injected short
+// write leaves a torn tail exactly like a real crash mid-append, which
+// ScanFrames later detects and RecoveryManager truncates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/time.hpp"
+#include "faults/injector.hpp"
+
+namespace defuse::platform::durability {
+
+enum class JournalRecordType { kInvocation, kForcedRemine, kHeartbeat };
+
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kInvocation;
+  FunctionId fn{0};  // kInvocation only
+  Minute minute = 0;
+
+  [[nodiscard]] static JournalRecord Invocation(FunctionId fn, Minute minute) {
+    return JournalRecord{JournalRecordType::kInvocation, fn, minute};
+  }
+  [[nodiscard]] static JournalRecord ForcedRemine(Minute minute) {
+    return JournalRecord{JournalRecordType::kForcedRemine, FunctionId{0},
+                         minute};
+  }
+  [[nodiscard]] static JournalRecord Heartbeat(Minute minute) {
+    return JournalRecord{JournalRecordType::kHeartbeat, FunctionId{0}, minute};
+  }
+
+  friend bool operator==(const JournalRecord&,
+                         const JournalRecord&) noexcept = default;
+};
+
+/// Record payload text (without framing) / its inverse.
+[[nodiscard]] std::string EncodeJournalRecord(const JournalRecord& record);
+[[nodiscard]] Result<JournalRecord> DecodeJournalRecord(
+    std::string_view payload);
+
+/// journal-<gen>.wal path under `dir` (zero-padded like snapshots).
+[[nodiscard]] std::string JournalPath(const std::string& dir,
+                                      std::uint64_t gen);
+
+/// Append-side handle on one generation's journal file.
+class StateJournal {
+ public:
+  struct Options {
+    /// fsync after every append. Off by default: the crash-consistency
+    /// guarantee is then "pre- or post-write as of the OS flush", which
+    /// matches FaaS schedulers that can afford to lose the last buffered
+    /// records but never to load a torn state.
+    bool sync_every_append = false;
+    /// Fault hook for appends and reads. Not owned; may be null.
+    faults::FaultInjector* injector = nullptr;
+  };
+
+  // Two overloads instead of `Options options = {}` (GCC 12 nested
+  // default-argument limitation; see snapshot_store.hpp).
+  explicit StateJournal(std::string dir);
+  StateJournal(std::string dir, Options options);
+  ~StateJournal();
+  StateJournal(const StateJournal&) = delete;
+  StateJournal& operator=(const StateJournal&) = delete;
+
+  /// Opens generation `gen`'s journal truncated to empty (the snapshot
+  /// for `gen` has just been written; history restarts from it).
+  [[nodiscard]] Result<bool> StartGeneration(std::uint64_t gen);
+  /// Opens generation `gen`'s journal for appending after existing
+  /// records (recovery has already truncated any torn tail).
+  [[nodiscard]] Result<bool> ResumeGeneration(std::uint64_t gen);
+
+  /// Appends one framed record. An injected short write leaves a torn
+  /// tail on disk and errors; the caller decides between crashing (chaos
+  /// tests) and healing (DurableState truncates back and retries).
+  [[nodiscard]] Result<bool> Append(const JournalRecord& record);
+
+  /// Truncates the file back to `size` bytes (heal after a failed
+  /// append; `size` must be the pre-append size).
+  [[nodiscard]] Result<bool> TruncateTo(std::uint64_t size);
+
+  /// Forces buffered appends to storage.
+  [[nodiscard]] Result<bool> Sync();
+  void Close();
+
+  [[nodiscard]] bool open() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+  /// Current file size in bytes (all successful appends).
+  [[nodiscard]] std::uint64_t size_bytes() const noexcept {
+    return size_bytes_;
+  }
+  [[nodiscard]] std::uint64_t records_appended() const noexcept {
+    return records_appended_;
+  }
+
+  struct Scan {
+    std::vector<JournalRecord> records;
+    /// File offset just past each record's frame (parallel to
+    /// `records`), so a caller rejecting records[i] can truncate the
+    /// file to record_ends[i - 1] and resume appending cleanly.
+    std::vector<std::uint64_t> record_ends;
+    /// Bytes of intact frames from the start of the file.
+    std::uint64_t valid_bytes = 0;
+    /// Bytes after the intact prefix (torn or corrupt).
+    std::uint64_t torn_bytes = 0;
+    [[nodiscard]] bool torn() const noexcept { return torn_bytes > 0; }
+  };
+
+  /// Reads and decodes generation `gen`'s journal in `dir`, stopping at
+  /// the first torn frame or undecodable record. kNotFound when the
+  /// file does not exist.
+  [[nodiscard]] static Result<Scan> Read(
+      const std::string& dir, std::uint64_t gen,
+      faults::FaultInjector* injector = nullptr);
+
+ private:
+  [[nodiscard]] Result<bool> OpenFile(std::uint64_t gen, bool truncate);
+
+  std::string dir_;
+  Options options_;
+  int fd_ = -1;
+  std::uint64_t generation_ = 0;
+  std::uint64_t size_bytes_ = 0;
+  std::uint64_t records_appended_ = 0;
+};
+
+}  // namespace defuse::platform::durability

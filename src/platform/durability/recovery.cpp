@@ -1,0 +1,270 @@
+#include "platform/durability/recovery.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <filesystem>
+#include <string_view>
+#include <system_error>
+
+#include "platform/durability/journal.hpp"
+#include "platform/durability/snapshot_store.hpp"
+
+namespace defuse::platform::durability {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// "<prefix><digits><suffix>" → generation.
+bool ParseGeneration(std::string_view name, std::string_view prefix,
+                     std::string_view suffix, std::uint64_t& gen) {
+  if (name.size() <= prefix.size() + suffix.size() ||
+      name.substr(0, prefix.size()) != prefix ||
+      name.substr(name.size() - suffix.size()) != suffix) {
+    return false;
+  }
+  const std::string_view digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), gen);
+  return ec == std::errc{} && ptr == digits.data() + digits.size();
+}
+
+}  // namespace
+
+const char* RecoveryRungName(RecoveryRung rung) noexcept {
+  switch (rung) {
+    case RecoveryRung::kSnapshotPlusJournal:
+      return "snapshot_plus_journal";
+    case RecoveryRung::kSnapshotOnly:
+      return "snapshot_only";
+    case RecoveryRung::kOlderSnapshot:
+      return "older_snapshot";
+    case RecoveryRung::kEmptyState:
+      return "empty_state";
+  }
+  return "unknown";
+}
+
+RecoveryManager::RecoveryManager(std::string dir,
+                                 faults::FaultInjector* injector)
+    : dir_(std::move(dir)), injector_(injector) {}
+
+RecoveryReport RecoveryManager::Recover(Platform& p) const {
+  RecoveryReport report;
+  SnapshotStore::Options store_options;
+  store_options.injector = injector_;
+  const SnapshotStore store{dir_, store_options};
+  const auto snapshots = store.List();
+  const std::uint64_t newest =
+      snapshots.empty() ? 0 : snapshots.back().generation;
+
+  std::uint64_t base = 0;
+  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+    auto payload = store.ReadVerified(it->generation);
+    if (!payload.ok()) {
+      ++report.snapshots_rejected;
+      report.notes.push_back("snapshot " + std::to_string(it->generation) +
+                             " rejected: " + payload.error().ToString());
+      continue;
+    }
+    if (!p.LoadState(payload.value())) {
+      // LoadState leaves p untouched on failure, so falling through to
+      // the next candidate is safe.
+      ++report.snapshots_rejected;
+      report.notes.push_back(
+          "snapshot " + std::to_string(it->generation) +
+          " rejected: verified but state restore failed (model/config "
+          "mismatch?)");
+      continue;
+    }
+    base = it->generation;
+    break;
+  }
+  report.snapshot_generation = base;
+  if (base == 0 && !snapshots.empty()) {
+    report.notes.push_back(
+        "no snapshot restored; recovering from the empty state");
+  }
+
+  ReplayJournal(p, base, report);
+
+  if (base == 0) {
+    report.rung = RecoveryRung::kEmptyState;
+  } else if (base < newest) {
+    report.rung = RecoveryRung::kOlderSnapshot;
+  } else {
+    report.rung = report.journal_records_replayed > 0
+                      ? RecoveryRung::kSnapshotPlusJournal
+                      : RecoveryRung::kSnapshotOnly;
+  }
+  return report;
+}
+
+void RecoveryManager::ReplayJournal(Platform& p, std::uint64_t gen,
+                                    RecoveryReport& report) const {
+  auto scan = StateJournal::Read(dir_, gen, injector_);
+  if (!scan.ok()) {
+    if (scan.error().code != ErrorCode::kNotFound) {
+      report.notes.push_back("journal " + std::to_string(gen) +
+                             " unreadable: " + scan.error().ToString());
+    }
+    return;
+  }
+
+  const std::uint64_t file_bytes =
+      scan.value().valid_bytes + scan.value().torn_bytes;
+  std::uint64_t kept_bytes = 0;
+  const std::size_t total = scan.value().records.size();
+  for (std::size_t i = 0; i < total; ++i) {
+    const JournalRecord& r = scan.value().records[i];
+    const auto minute_ok = [&](bool monotonic) {
+      return r.minute >= 0 && r.minute < p.config().horizon &&
+             (!monotonic || r.minute >= p.last_invocation_minute());
+    };
+    bool ok = false;
+    switch (r.type) {
+      case JournalRecordType::kInvocation:
+        ok = r.fn.value() < p.function_invocations().size() && minute_ok(true);
+        if (ok) (void)p.Invoke(r.fn, r.minute);
+        break;
+      case JournalRecordType::kForcedRemine:
+        // A live forced re-mine does not advance the clock; neither does
+        // replaying one (see journal.hpp on determinism).
+        ok = minute_ok(false);
+        if (ok) p.RemineNow(r.minute);
+        break;
+      case JournalRecordType::kHeartbeat:
+        ok = minute_ok(true);
+        if (ok) p.AdvanceTo(r.minute);
+        break;
+    }
+    if (!ok) {
+      report.journal_records_rejected =
+          static_cast<std::uint64_t>(total - i);
+      report.notes.push_back(
+          "journal " + std::to_string(gen) + " record " + std::to_string(i) +
+          " ('" + EncodeJournalRecord(r) +
+          "') invalid against the recovered state; dropping it and " +
+          std::to_string(total - i - 1) + " records after it");
+      break;
+    }
+    ++report.journal_records_replayed;
+    kept_bytes = scan.value().record_ends[i];
+  }
+
+  if (file_bytes > kept_bytes) {
+    report.journal_bytes_dropped = file_bytes - kept_bytes;
+    std::error_code ec;
+    fs::resize_file(JournalPath(dir_, gen), kept_bytes, ec);
+    if (ec) {
+      report.notes.push_back("journal " + std::to_string(gen) +
+                             ": failed to truncate unusable tail: " +
+                             ec.message());
+    } else {
+      report.journal_truncated = true;
+      report.notes.push_back(
+          "journal " + std::to_string(gen) + ": truncated " +
+          std::to_string(report.journal_bytes_dropped) +
+          " bytes of torn/invalid tail");
+    }
+  }
+}
+
+FsckReport RecoveryManager::Fsck() const {
+  FsckReport report;
+  SnapshotStore::Options store_options;
+  store_options.injector = injector_;
+  const SnapshotStore store{dir_, store_options};
+
+  for (const auto& info : store.List()) {
+    FsckReport::FileCheck check;
+    check.generation = info.generation;
+    check.path = info.path;
+    auto payload = store.ReadVerified(info.generation);
+    check.ok = payload.ok();
+    check.detail = check.ok
+                       ? std::to_string(payload.value().size()) +
+                             " byte payload"
+                       : payload.error().ToString();
+    if (check.ok) {
+      report.usable_generation =
+          std::max(report.usable_generation, info.generation);
+    }
+    report.snapshots.push_back(std::move(check));
+  }
+
+  std::vector<std::uint64_t> journal_gens;
+  std::error_code ec;
+  fs::directory_iterator it{dir_, ec};
+  if (!ec) {
+    for (const auto& entry : it) {
+      const std::string name = entry.path().filename().string();
+      std::uint64_t gen = 0;
+      if (ParseGeneration(name, "journal-", ".wal", gen)) {
+        journal_gens.push_back(gen);
+      } else if (ParseGeneration(name, "snapshot-", ".snap", gen) &&
+                 gen > 0) {
+        // Verified above through the store.
+      } else {
+        report.stray_files.push_back(entry.path().string());
+      }
+    }
+  }
+  std::sort(journal_gens.begin(), journal_gens.end());
+  for (const std::uint64_t gen : journal_gens) {
+    FsckReport::FileCheck check;
+    check.generation = gen;
+    check.path = JournalPath(dir_, gen);
+    auto scan = StateJournal::Read(dir_, gen, injector_);
+    if (!scan.ok()) {
+      check.ok = false;
+      check.detail = scan.error().ToString();
+    } else if (scan.value().torn()) {
+      check.ok = false;
+      check.detail = std::to_string(scan.value().records.size()) +
+                     " intact records, then " +
+                     std::to_string(scan.value().torn_bytes) +
+                     " torn/corrupt tail bytes";
+    } else {
+      check.ok = true;
+      check.detail = std::to_string(scan.value().records.size()) + " records";
+    }
+    report.journals.push_back(std::move(check));
+  }
+
+  std::sort(report.stray_files.begin(), report.stray_files.end());
+  const auto all_ok = [](const std::vector<FsckReport::FileCheck>& checks) {
+    return std::all_of(checks.begin(), checks.end(),
+                       [](const FsckReport::FileCheck& c) { return c.ok; });
+  };
+  report.healthy = all_ok(report.snapshots) && all_ok(report.journals) &&
+                   report.stray_files.empty();
+  return report;
+}
+
+std::string FsckReport::Render() const {
+  std::string out;
+  const auto render_checks = [&out](const char* kind,
+                                    const std::vector<FileCheck>& checks) {
+    for (const FileCheck& c : checks) {
+      out += kind;
+      out += ' ' + std::to_string(c.generation) + ": ";
+      out += c.ok ? "ok (" : "BAD (";
+      out += c.detail;
+      out += ")\n";
+    }
+  };
+  render_checks("snapshot", snapshots);
+  render_checks("journal", journals);
+  for (const std::string& stray : stray_files) {
+    out += "stray: " + stray + '\n';
+  }
+  if (snapshots.empty() && journals.empty() && stray_files.empty()) {
+    out += "state directory is empty\n";
+  }
+  out += "usable generation: " + std::to_string(usable_generation) + '\n';
+  out += healthy ? "status: healthy\n" : "status: CORRUPT\n";
+  return out;
+}
+
+}  // namespace defuse::platform::durability

@@ -1,0 +1,123 @@
+// Crash recovery for the platform engine's durable state.
+//
+// RecoveryManager walks the recovery ladder over a state directory of
+// snapshots (snapshot_store.hpp) and write-ahead journals (journal.hpp):
+//
+//   1. newest verifying snapshot + its journal's intact record prefix
+//   2. newest verifying snapshot alone (journal absent or empty)
+//   3. an older snapshot, when every newer one fails verification
+//   4. the empty state (generation 0) — nothing on disk is usable
+//
+// Every decision is booked in the RecoveryReport: which rung served,
+// how many snapshot candidates were rejected, how many journal records
+// replayed or were dropped, and whether a torn journal tail was
+// truncated on disk. Recovery is idempotent — running it twice in a row
+// lands on the same state and the second run finds nothing to repair.
+//
+// Fsck() is the read-only sibling: it verifies every snapshot and
+// journal in the directory and reports what recovery *would* use,
+// without repairing anything (the CLI `fsck` verb).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/injector.hpp"
+#include "platform/platform.hpp"
+
+namespace defuse::platform::durability {
+
+/// Which rung of the ladder produced the recovered state.
+enum class RecoveryRung {
+  kSnapshotPlusJournal,  // newest snapshot + >=1 replayed journal record
+  kSnapshotOnly,         // newest snapshot, no journal records to replay
+  kOlderSnapshot,        // fell past >=1 corrupt newer snapshot
+  kEmptyState,           // no usable snapshot; generation-0 base
+};
+
+[[nodiscard]] const char* RecoveryRungName(RecoveryRung rung) noexcept;
+
+struct RecoveryReport {
+  RecoveryRung rung = RecoveryRung::kEmptyState;
+  /// Base generation the recovered state is built on (0 = empty state).
+  std::uint64_t snapshot_generation = 0;
+  /// Snapshot candidates rejected before the base was found (failed
+  /// checksum/header verification or state restore).
+  std::uint64_t snapshots_rejected = 0;
+  std::uint64_t journal_records_replayed = 0;
+  /// Records that decoded but failed validation against the recovered
+  /// state (wrong function id, time regression); they and everything
+  /// after them are dropped.
+  std::uint64_t journal_records_rejected = 0;
+  /// Bytes removed from the journal's tail (torn frames + rejected
+  /// records) by on-disk truncation.
+  std::uint64_t journal_bytes_dropped = 0;
+  bool journal_truncated = false;
+  /// Human-readable trail of every non-clean decision.
+  std::vector<std::string> notes;
+
+  /// True when the first-choice rung served with nothing rejected,
+  /// dropped, or repaired.
+  [[nodiscard]] bool clean() const noexcept {
+    return (rung == RecoveryRung::kSnapshotPlusJournal ||
+            rung == RecoveryRung::kSnapshotOnly) &&
+           snapshots_rejected == 0 && journal_records_rejected == 0 &&
+           !journal_truncated;
+  }
+};
+
+struct FsckReport {
+  struct FileCheck {
+    std::uint64_t generation = 0;
+    std::string path;
+    bool ok = false;
+    /// "1234 byte payload" / "42 records" on ok, the failure otherwise.
+    std::string detail;
+  };
+  /// Ascending by generation; every snapshot fully verified.
+  std::vector<FileCheck> snapshots;
+  /// Ascending by generation; ok means no torn tail, all records decode.
+  std::vector<FileCheck> journals;
+  /// Files in the state directory that are neither snapshots nor
+  /// journals (crash-debris temp files and the like).
+  std::vector<std::string> stray_files;
+  /// Newest verifying snapshot generation (0 = recovery would start
+  /// from the empty state).
+  std::uint64_t usable_generation = 0;
+  /// Every file verifies and nothing is stray.
+  bool healthy = true;
+
+  /// Multi-line human-readable rendering (the CLI `fsck` output).
+  [[nodiscard]] std::string Render() const;
+};
+
+class RecoveryManager {
+ public:
+  /// `injector` hooks the read path (kStateReadBitFlip); not owned, may
+  /// be null.
+  explicit RecoveryManager(std::string dir,
+                           faults::FaultInjector* injector = nullptr);
+
+  /// Recovers `p` from the state directory. `p` must be freshly
+  /// constructed with the model and config the state was saved under:
+  /// the generation-0 rung is "leave it as constructed", and a rejected
+  /// snapshot's failed LoadState leaves it untouched by contract.
+  /// Torn or invalid journal tails are truncated on disk so a journal
+  /// resumed for appending starts exactly where replay stopped.
+  RecoveryReport Recover(Platform& p) const;
+
+  /// Read-only structural audit of the state directory.
+  [[nodiscard]] FsckReport Fsck() const;
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+ private:
+  void ReplayJournal(Platform& p, std::uint64_t gen,
+                     RecoveryReport& report) const;
+
+  std::string dir_;
+  faults::FaultInjector* injector_ = nullptr;  // not owned
+};
+
+}  // namespace defuse::platform::durability

@@ -1,0 +1,249 @@
+#include "platform/durability/snapshot_store.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "common/io/atomic_file.hpp"
+#include "common/io/checksum.hpp"
+#include "common/logging.hpp"
+#include "platform/durability/journal.hpp"
+
+namespace defuse::platform::durability {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kHeaderMagic = "defuse-snapshot-v1";
+constexpr std::string_view kSnapshotPrefix = "snapshot-";
+constexpr std::string_view kSnapshotSuffix = ".snap";
+
+/// Parses "snapshot-NNNNNNNNNN.snap" → generation; 0 when not a
+/// snapshot file name.
+std::uint64_t GenerationFromName(std::string_view name) {
+  if (name.size() <= kSnapshotPrefix.size() + kSnapshotSuffix.size() ||
+      name.substr(0, kSnapshotPrefix.size()) != kSnapshotPrefix ||
+      name.substr(name.size() - kSnapshotSuffix.size()) != kSnapshotSuffix) {
+    return 0;
+  }
+  const std::string_view digits = name.substr(
+      kSnapshotPrefix.size(),
+      name.size() - kSnapshotPrefix.size() - kSnapshotSuffix.size());
+  std::uint64_t gen = 0;
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), gen);
+  if (ec != std::errc{} || ptr != digits.data() + digits.size()) return 0;
+  return gen;
+}
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(std::string dir)
+    : SnapshotStore(std::move(dir), Options{}) {}
+
+SnapshotStore::SnapshotStore(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options) {
+  if (options_.retain == 0) options_.retain = 1;
+}
+
+Result<bool> SnapshotStore::Open() {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return Error{ErrorCode::kIoError,
+                 "cannot create state directory " + dir_ + ": " + ec.message()};
+  }
+  latest_generation_ = 0;
+  for (const auto& info : List()) {
+    latest_generation_ = std::max(latest_generation_, info.generation);
+  }
+  return true;
+}
+
+std::string SnapshotStore::SnapshotPath(const std::string& dir,
+                                        std::uint64_t gen) {
+  char name[48];
+  std::snprintf(name, sizeof name, "snapshot-%010llu.snap",
+                static_cast<unsigned long long>(gen));
+  return dir + "/" + name;
+}
+
+std::string SnapshotStore::EncodeSnapshotFile(std::uint64_t gen,
+                                              std::string_view payload) {
+  std::string out{kHeaderMagic};
+  out += ' ';
+  out += std::to_string(gen);
+  out += ' ';
+  out += std::to_string(payload.size());
+  out += ' ';
+  out += io::Crc32cHex(io::Crc32cOf(payload));
+  out += '\n';
+  out += payload;
+  return out;
+}
+
+Result<std::string> SnapshotStore::DecodeSnapshotFile(
+    std::string_view file, std::uint64_t expected_gen) {
+  const std::size_t eol = file.find('\n');
+  if (eol == std::string_view::npos) {
+    return Error{ErrorCode::kDataLoss, "snapshot header line missing"};
+  }
+  const std::string_view header = file.substr(0, eol);
+  // "defuse-snapshot-v1 <gen> <size> <crc8>"
+  std::string_view rest = header;
+  const auto take_token = [&rest]() -> std::string_view {
+    const std::size_t space = rest.find(' ');
+    const std::string_view token =
+        rest.substr(0, space == std::string_view::npos ? rest.size() : space);
+    rest.remove_prefix(space == std::string_view::npos ? rest.size()
+                                                       : space + 1);
+    return token;
+  };
+  if (take_token() != kHeaderMagic) {
+    return Error{ErrorCode::kDataLoss,
+                 "bad snapshot magic in header '" + std::string{header} + "'"};
+  }
+  const auto parse_u64 = [](std::string_view token,
+                            std::uint64_t& out) -> bool {
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), out);
+    return ec == std::errc{} && ptr == token.data() + token.size();
+  };
+  std::uint64_t gen = 0, size = 0;
+  if (!parse_u64(take_token(), gen) || !parse_u64(take_token(), size)) {
+    return Error{ErrorCode::kDataLoss,
+                 "unparseable snapshot header '" + std::string{header} + "'"};
+  }
+  const auto crc = io::ParseCrc32cHex(take_token());
+  if (!crc.ok() || !rest.empty()) {
+    return Error{ErrorCode::kDataLoss,
+                 "unparseable snapshot header '" + std::string{header} + "'"};
+  }
+  if (gen != expected_gen) {
+    return Error{ErrorCode::kDataLoss,
+                 "snapshot header claims generation " + std::to_string(gen) +
+                     ", file name says " + std::to_string(expected_gen)};
+  }
+  const std::string_view payload = file.substr(eol + 1);
+  if (payload.size() != size) {
+    return Error{ErrorCode::kDataLoss,
+                 "snapshot payload is " + std::to_string(payload.size()) +
+                     " bytes, header promises " + std::to_string(size)};
+  }
+  const std::uint32_t actual = io::Crc32cOf(payload);
+  if (actual != crc.value()) {
+    return Error{ErrorCode::kDataLoss,
+                 "snapshot checksum mismatch: header " +
+                     io::Crc32cHex(crc.value()) + ", payload " +
+                     io::Crc32cHex(actual)};
+  }
+  return std::string{payload};
+}
+
+Result<std::uint64_t> SnapshotStore::Write(std::string_view payload) {
+  const std::uint64_t gen = latest_generation_ + 1;
+  const std::string path = SnapshotPath(dir_, gen);
+  const std::string file = EncodeSnapshotFile(gen, payload);
+
+  Error last_error{ErrorCode::kIoError, "snapshot write never attempted"};
+  const RetryOutcome outcome = RetryWithBackoff(
+      options_.write_retry,
+      [&] {
+        const auto written = io::AtomicWriteFile(path, file, options_.injector);
+        if (!written.ok()) {
+          last_error = written.error();
+          return false;
+        }
+        return true;
+      },
+      // No wall clock to sleep on: the backoff schedule (with its
+      // deterministic jitter) only spaces out real storage in
+      // deployments; here each delay is just accounted.
+      [](MinuteDelta) {});
+  if (!outcome.succeeded) {
+    DEFUSE_LOG_WARN << "durability: snapshot generation " << gen
+                    << " failed after " << outcome.attempts
+                    << " attempts: " << last_error.ToString();
+    return last_error;
+  }
+  latest_generation_ = gen;
+
+  // Prune: keep the newest `retain` generations (their journals ride
+  // along), drop everything older plus any stale temp debris.
+  auto snapshots = List();
+  if (snapshots.size() > options_.retain) {
+    for (std::size_t i = 0; i + options_.retain < snapshots.size(); ++i) {
+      std::error_code ec;
+      fs::remove(snapshots[i].path, ec);
+      fs::remove(io::AtomicTempPath(snapshots[i].path), ec);
+      fs::remove(JournalPath(dir_, snapshots[i].generation), ec);
+    }
+  }
+  // Journals below the oldest retained snapshot are superseded too —
+  // notably journal-0, written before the first snapshot ever existed.
+  if (!snapshots.empty()) {
+    const std::size_t oldest_kept_index =
+        snapshots.size() > options_.retain ? snapshots.size() - options_.retain
+                                           : 0;
+    const std::uint64_t oldest_kept =
+        snapshots[oldest_kept_index].generation;
+    std::error_code iter_ec;
+    for (const auto& entry : fs::directory_iterator{dir_, iter_ec}) {
+      const std::string name = entry.path().filename().string();
+      constexpr std::string_view prefix = "journal-";
+      constexpr std::string_view suffix = ".wal";
+      if (name.size() <= prefix.size() + suffix.size() ||
+          name.compare(0, prefix.size(), prefix) != 0 ||
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+              0) {
+        continue;
+      }
+      const std::string_view digits{
+          name.data() + prefix.size(),
+          name.size() - prefix.size() - suffix.size()};
+      std::uint64_t journal_gen = 0;
+      const auto [ptr, parse_ec] = std::from_chars(
+          digits.data(), digits.data() + digits.size(), journal_gen);
+      if (parse_ec != std::errc{} ||
+          ptr != digits.data() + digits.size()) {
+        continue;
+      }
+      if (journal_gen < oldest_kept) {
+        std::error_code ec;
+        fs::remove(entry.path(), ec);
+      }
+    }
+  }
+  std::error_code ec;
+  fs::remove(io::AtomicTempPath(path), ec);
+  return gen;
+}
+
+std::vector<SnapshotInfo> SnapshotStore::List() const {
+  std::vector<SnapshotInfo> out;
+  std::error_code ec;
+  fs::directory_iterator it{dir_, ec};
+  if (ec) return out;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    const std::uint64_t gen = GenerationFromName(name);
+    if (gen == 0) continue;
+    out.push_back(SnapshotInfo{gen, entry.path().string()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SnapshotInfo& a, const SnapshotInfo& b) {
+              return a.generation < b.generation;
+            });
+  return out;
+}
+
+Result<std::string> SnapshotStore::ReadVerified(std::uint64_t gen) const {
+  auto file = io::ReadFileWithFaults(SnapshotPath(dir_, gen),
+                                     options_.injector);
+  if (!file.ok()) return file.error();
+  return DecodeSnapshotFile(file.value(), gen);
+}
+
+}  // namespace defuse::platform::durability

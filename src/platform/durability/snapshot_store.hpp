@@ -1,0 +1,108 @@
+// Versioned, self-verifying snapshots of the platform engine's state.
+//
+// A snapshot file holds one Platform::SaveState() payload behind a
+// header that makes it self-describing and self-verifying:
+//
+//   defuse-snapshot-v1 <generation> <payload-bytes> <crc32c-hex>\n
+//   <payload>
+//
+// Generations are monotonically increasing integers carried in the file
+// name (snapshot-0000000007.snap), so "newest" is decided by name alone
+// and a reader never has to trust a corrupt file's own header to order
+// candidates. Writes are atomic (common/io: temp + fsync + rename) and
+// retried under a jittered deterministic backoff; pruning always keeps
+// `retain` generations so the last-good copy survives a corrupted
+// newest. The matching write-ahead journal for generation G is
+// journal-<G>.wal (see journal.hpp); generation 0 is the implicit empty
+// state a fresh platform starts from, so journal-0 can exist without any
+// snapshot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/retry.hpp"
+#include "faults/injector.hpp"
+
+namespace defuse::platform::durability {
+
+struct SnapshotInfo {
+  std::uint64_t generation = 0;
+  std::string path;
+};
+
+class SnapshotStore {
+ public:
+  struct Options {
+    /// Snapshot generations kept after a successful write (>= 1). The
+    /// previous generation is the recovery ladder's "older snapshot"
+    /// rung, so 2 is the safe default.
+    std::size_t retain = 2;
+    /// Retry policy for the atomic snapshot write. Jitter here is the
+    /// textbook use: many platform shards checkpointing on the same
+    /// cadence must not hammer shared storage in lockstep.
+    RetryPolicy write_retry{.max_attempts = 3,
+                            .initial_backoff = 1,
+                            .backoff_multiplier = 2.0,
+                            .max_backoff = 60,
+                            .jitter = 0.5,
+                            .jitter_seed = 0x5eed50badULL};
+    /// Fault hook for writes and reads. Not owned; may be null.
+    faults::FaultInjector* injector = nullptr;
+  };
+
+  // Two overloads instead of `Options options = {}`: GCC 12 cannot
+  // value-initialize a nested class with member initializers in a
+  // default argument of the enclosing class.
+  explicit SnapshotStore(std::string dir);
+  SnapshotStore(std::string dir, Options options);
+
+  /// Creates the state directory (parents included) if absent and scans
+  /// it for the latest existing generation.
+  [[nodiscard]] Result<bool> Open();
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  /// Highest generation present on disk (0 = none). Maintained by
+  /// Open() and Write(); corrupt files still count for numbering so a
+  /// rewrite never reuses a generation.
+  [[nodiscard]] std::uint64_t latest_generation() const noexcept {
+    return latest_generation_;
+  }
+
+  /// Writes `payload` as the next generation, atomically, with retries.
+  /// On success prunes to `retain` generations (snapshots, their
+  /// journals, and any crash-debris temp files of pruned generations)
+  /// and returns the new generation. On failure the previous newest
+  /// snapshot is untouched and still newest.
+  [[nodiscard]] Result<std::uint64_t> Write(std::string_view payload);
+
+  /// Generations present on disk, ascending by generation. Purely
+  /// name-based; no content verification.
+  [[nodiscard]] std::vector<SnapshotInfo> List() const;
+
+  /// Reads generation `gen` and verifies header framing + checksum.
+  /// Returns the payload, or kNotFound / kDataLoss.
+  [[nodiscard]] Result<std::string> ReadVerified(std::uint64_t gen) const;
+
+  /// File paths for generation `gen` in `dir`.
+  [[nodiscard]] static std::string SnapshotPath(const std::string& dir,
+                                                std::uint64_t gen);
+
+  /// Renders the snapshot file content (header + payload) for `gen`.
+  [[nodiscard]] static std::string EncodeSnapshotFile(std::uint64_t gen,
+                                                      std::string_view payload);
+  /// Verifies header + checksum of a snapshot file buffer; returns the
+  /// payload on success. `expected_gen` guards against renamed files.
+  [[nodiscard]] static Result<std::string> DecodeSnapshotFile(
+      std::string_view file, std::uint64_t expected_gen);
+
+ private:
+  std::string dir_;
+  Options options_;
+  std::uint64_t latest_generation_ = 0;
+};
+
+}  // namespace defuse::platform::durability

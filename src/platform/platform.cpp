@@ -157,6 +157,13 @@ void Platform::ApplyDecision(UnitId unit, Minute now) {
   }
 }
 
+void Platform::AdvanceTo(Minute now) {
+  assert(now >= last_now_ && "time must not run backwards");
+  assert(now < config_.horizon);
+  last_now_ = now;
+  MaybeRemine(now);
+}
+
 InvocationOutcome Platform::Invoke(FunctionId fn, Minute now) {
   assert(fn.value() < model_.num_functions());
   assert(now >= last_now_ && "invocations must arrive in time order");
@@ -330,20 +337,25 @@ bool Platform::LoadState(std::string_view text) {
   }
   if (!saw_meta) return false;
 
-  // Rebuild units + policy from the persisted sets.
+  // Stage everything below into locals: nothing live is touched until
+  // every section has validated, then the whole staging area commits in
+  // one step. A LoadState that returns false therefore leaves the
+  // platform exactly as it was — which is what lets the recovery ladder
+  // try a corrupt snapshot and then fall through to an older one on the
+  // same instance.
   auto sets = graph::ReadDependencySetsCsv(sets_buffer, model_);
   if (!sets.ok()) return false;
-  units_ = std::make_unique<sim::UnitMap>(sim::UnitMap::FromDependencySets(
-      sets.value(), model_.num_functions()));
-  policy_ = std::make_unique<policy::HybridHistogramPolicy>(*units_,
-                                                            config_.policy);
-  if (!policy_->LoadHistograms(histograms_buffer)) return false;
+  auto staged_units = std::make_unique<sim::UnitMap>(
+      sim::UnitMap::FromDependencySets(sets.value(), model_.num_functions()));
+  auto staged_policy = std::make_unique<policy::HybridHistogramPolicy>(
+      *staged_units, config_.policy);
+  if (!staged_policy->LoadHistograms(histograms_buffer)) return false;
 
   // History: the persisted trace only carries active functions; replay
   // its rows into a fresh full-width trace.
   auto history = trace::ReadLongCsv(history_buffer, config_.horizon);
-  history_ = trace::InvocationTrace{model_.num_functions(),
-                                    TimeRange{0, config_.horizon}};
+  trace::InvocationTrace staged_history{model_.num_functions(),
+                                        TimeRange{0, config_.horizon}};
   if (history.ok()) {
     // Match persisted functions back to the model by name.
     std::unordered_map<std::string_view, FunctionId> names;
@@ -352,57 +364,65 @@ bool Platform::LoadState(std::string_view text) {
       const auto it = names.find(fn.name);
       if (it == names.end()) return false;
       for (const auto& e : history.value().trace.series(fn.id)) {
-        history_.Add(it->second, e.minute, e.count);
+        staged_history.Add(it->second, e.minute, e.count);
       }
     }
-    history_.Finalize();
+    staged_history.Finalize();
   } else if (!history_buffer.empty() &&
              history_buffer != "user,app,function,minute,count\n") {
     return false;
   }
 
-  residency_.assign(model_.num_functions(), Residency{});
+  std::vector<Residency> staged_residency(model_.num_functions());
   for (const auto line : residency_lines) {
     std::int64_t fields[5];
     if (!ParseI64Fields(line, fields)) return false;
     if (fields[0] < 0 ||
-        static_cast<std::size_t>(fields[0]) >= residency_.size()) {
+        static_cast<std::size_t>(fields[0]) >= staged_residency.size()) {
       return false;
     }
-    residency_[static_cast<std::size_t>(fields[0])] =
+    staged_residency[static_cast<std::size_t>(fields[0])] =
         Residency{.warm_begin = fields[1], .warm_end = fields[2],
                   .prewarm_begin = fields[3], .prewarm_end = fields[4]};
   }
 
-  unit_last_invoked_.assign(units_->num_units(), -1);
-  unit_cold_this_minute_.assign(units_->num_units(), false);
+  std::vector<Minute> staged_unit_last(staged_units->num_units(), -1);
+  std::vector<bool> staged_unit_cold(staged_units->num_units(), false);
   for (const auto line : unit_lines) {
     std::int64_t fields[3];
     if (!ParseI64Fields(line, fields)) return false;
     if (fields[0] < 0 ||
-        static_cast<std::size_t>(fields[0]) >= unit_last_invoked_.size()) {
+        static_cast<std::size_t>(fields[0]) >= staged_unit_last.size()) {
       return false;
     }
-    unit_last_invoked_[static_cast<std::size_t>(fields[0])] = fields[1];
-    unit_cold_this_minute_[static_cast<std::size_t>(fields[0])] =
-        fields[2] != 0;
+    staged_unit_last[static_cast<std::size_t>(fields[0])] = fields[1];
+    staged_unit_cold[static_cast<std::size_t>(fields[0])] = fields[2] != 0;
   }
 
-  fn_invocations_.assign(model_.num_functions(), 0);
-  fn_cold_.assign(model_.num_functions(), 0);
+  std::vector<std::uint64_t> staged_fn_invocations(model_.num_functions(), 0);
+  std::vector<std::uint64_t> staged_fn_cold(model_.num_functions(), 0);
   for (const auto line : counter_lines) {
     std::int64_t fields[3];
     if (!ParseI64Fields(line, fields)) return false;
     if (fields[0] < 0 ||
-        static_cast<std::size_t>(fields[0]) >= fn_invocations_.size()) {
+        static_cast<std::size_t>(fields[0]) >= staged_fn_invocations.size()) {
       return false;
     }
-    fn_invocations_[static_cast<std::size_t>(fields[0])] =
+    staged_fn_invocations[static_cast<std::size_t>(fields[0])] =
         static_cast<std::uint64_t>(fields[1]);
-    fn_cold_[static_cast<std::size_t>(fields[0])] =
+    staged_fn_cold[static_cast<std::size_t>(fields[0])] =
         static_cast<std::uint64_t>(fields[2]);
   }
 
+  // Commit point: all sections accepted, swap the staging area in.
+  units_ = std::move(staged_units);
+  policy_ = std::move(staged_policy);
+  history_ = std::move(staged_history);
+  residency_ = std::move(staged_residency);
+  unit_last_invoked_ = std::move(staged_unit_last);
+  unit_cold_this_minute_ = std::move(staged_unit_cold);
+  fn_invocations_ = std::move(staged_fn_invocations);
+  fn_cold_ = std::move(staged_fn_cold);
   last_now_ = meta[0];
   next_remine_ = meta[1];
   stats_.invocations = static_cast<std::uint64_t>(meta[2]);

@@ -91,10 +91,22 @@ class Platform {
   /// Serves one invocation. `now` must be >= the previous call's `now`.
   InvocationOutcome Invoke(FunctionId fn, Minute now);
 
+  /// Advances the clock to `now` without an invocation, firing any
+  /// scheduled re-mines that fall due. Same monotonic contract as
+  /// Invoke; replaying the same heartbeat is deterministic.
+  void AdvanceTo(Minute now);
+
   /// Number of functions resident at `now` (>= the last Invoke minute).
   [[nodiscard]] std::size_t ResidentFunctions(Minute now) const;
 
   [[nodiscard]] const PlatformStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const PlatformConfig& config() const noexcept {
+    return config_;
+  }
+  /// Minute of the most recent Invoke/AdvanceTo (0 before the first).
+  [[nodiscard]] Minute last_invocation_minute() const noexcept {
+    return last_now_;
+  }
   /// Per-function cold / total counters (indexed by FunctionId).
   [[nodiscard]] const std::vector<std::uint64_t>& function_invocations()
       const noexcept {
@@ -124,8 +136,12 @@ class Platform {
   /// scheduler daemon can restart without relearning. Restore with
   /// LoadState on a Platform constructed with the same model and config.
   [[nodiscard]] std::string SaveState() const;
-  /// Restores SaveState output. Returns false (state unspecified) on
-  /// malformed input or a model/config mismatch.
+  /// Restores SaveState output. Returns false on malformed input or a
+  /// model/config mismatch — and in that case the platform's live state
+  /// is left exactly as it was (every section is parsed and validated
+  /// into a staging area first, then committed in one step), so a
+  /// recovery ladder can fall through to an older snapshot on the same
+  /// instance.
   [[nodiscard]] bool LoadState(std::string_view text);
 
  private:

@@ -285,6 +285,91 @@ TEST_F(CliTest, ReplayRejectsBadFlags) {
             1);
 }
 
+TEST_F(CliTest, FsckRequiresStateDir) {
+  const auto r = RunDefuse({"fsck"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--state-dir"), std::string::npos);
+}
+
+TEST_F(CliTest, FsckOnEmptyDirectoryIsHealthy) {
+  const auto state_dir = (dir_ / "state").string();
+  std::filesystem::create_directories(state_dir);
+  const auto r = RunDefuse({"fsck", "--state-dir", state_dir});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("status: healthy"), std::string::npos);
+}
+
+TEST_F(CliTest, RecoverRequiresStateDirAndTrace) {
+  EXPECT_EQ(RunDefuse({"recover"}).code, 1);
+  Generate();
+  EXPECT_EQ(RunDefuse({"recover", "--trace", trace_path_}).code, 1);
+}
+
+TEST_F(CliTest, DurableReplayFsckAndRecoverRoundTrip) {
+  Generate();
+  const auto state_dir = (dir_ / "state").string();
+  const auto replay =
+      RunDefuse({"replay", "--trace", trace_path_, "--state-dir", state_dir,
+                 "--checkpoint-days", "1"});
+  ASSERT_EQ(replay.code, 0) << replay.err;
+  EXPECT_NE(replay.out.find("recovery: rung empty_state"), std::string::npos);
+  EXPECT_NE(replay.out.find("state saved: generation"), std::string::npos);
+
+  // The state directory the replay left behind verifies clean...
+  const auto fsck = RunDefuse({"fsck", "--state-dir", state_dir});
+  EXPECT_EQ(fsck.code, 0) << fsck.out;
+  EXPECT_NE(fsck.out.find("status: healthy"), std::string::npos);
+
+  // ...and recovers without repairs.
+  const auto recover = RunDefuse(
+      {"recover", "--state-dir", state_dir, "--trace", trace_path_});
+  EXPECT_EQ(recover.code, 0) << recover.out;
+  EXPECT_NE(recover.out.find("recovered state:"), std::string::npos);
+
+  // A second durable replay resumes after the last applied minute
+  // instead of redoing the whole trace (or exits immediately when the
+  // final trace minute was already applied).
+  const auto resume =
+      RunDefuse({"replay", "--trace", trace_path_, "--state-dir", state_dir});
+  EXPECT_EQ(resume.code, 0) << resume.err;
+  const bool resumed =
+      resume.out.find("trace already fully replayed") != std::string::npos ||
+      resume.out.find("resuming at minute") != std::string::npos;
+  EXPECT_TRUE(resumed) << resume.out;
+}
+
+TEST_F(CliTest, FsckFlagsACorruptSnapshot) {
+  Generate();
+  const auto state_dir = (dir_ / "state").string();
+  ASSERT_EQ(RunDefuse({"replay", "--trace", trace_path_, "--state-dir",
+                       state_dir})
+                .code,
+            0);
+  // Corrupt the newest snapshot in place.
+  std::string newest;
+  for (const auto& entry : std::filesystem::directory_iterator{state_dir}) {
+    const auto name = entry.path().filename().string();
+    if (name.rfind("snapshot-", 0) == 0 && name > newest) {
+      newest = name;
+    }
+  }
+  ASSERT_FALSE(newest.empty());
+  {
+    std::fstream f{state_dir + "/" + newest,
+                   std::ios::in | std::ios::out | std::ios::binary};
+    f.seekp(-2, std::ios::end);
+    f.put('~');
+  }
+  const auto fsck = RunDefuse({"fsck", "--state-dir", state_dir});
+  EXPECT_EQ(fsck.code, 2);
+  EXPECT_NE(fsck.out.find("status: CORRUPT"), std::string::npos);
+
+  // Recover falls down the ladder and reports the repair via exit 2.
+  const auto recover = RunDefuse(
+      {"recover", "--state-dir", state_dir, "--trace", trace_path_});
+  EXPECT_EQ(recover.code, 2) << recover.out;
+}
+
 TEST_F(CliTest, FilterRequiresSomeOperation) {
   Generate();
   const auto r = RunDefuse({"filter", "--trace", trace_path_, "--out",

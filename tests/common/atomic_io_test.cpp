@@ -1,0 +1,194 @@
+// Atomic-write and framed-record contracts, including the injected
+// crash modes the durability layer recovers from: after any failure the
+// destination is either the complete old content or the complete new
+// content, never a torn mixture.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/io/atomic_file.hpp"
+#include "common/io/framed.hpp"
+#include "faults/injector.hpp"
+
+namespace defuse::io {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::string_literals;
+
+class AtomicIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           ("defuse_io_test_" + std::to_string(::getpid()) + "_" +
+            info->name());
+    fs::create_directories(dir_);
+    path_ = (dir_ / "file.dat").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string ReadBack(const std::string& path) {
+    std::ifstream in{path, std::ios::binary};
+    return std::string{std::istreambuf_iterator<char>{in},
+                       std::istreambuf_iterator<char>{}};
+  }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+TEST_F(AtomicIoTest, WriteThenReadRoundTrips) {
+  const std::string content = "hello\0world\nbinary ok"s;
+  ASSERT_TRUE(AtomicWriteFile(path_, content).ok());
+  EXPECT_EQ(ReadBack(path_), content);
+  // No temp debris after a clean write.
+  EXPECT_FALSE(fs::exists(AtomicTempPath(path_)));
+}
+
+TEST_F(AtomicIoTest, OverwriteReplacesWholeContent) {
+  ASSERT_TRUE(AtomicWriteFile(path_, "first version, longer").ok());
+  ASSERT_TRUE(AtomicWriteFile(path_, "second").ok());
+  EXPECT_EQ(ReadBack(path_), "second");
+}
+
+TEST_F(AtomicIoTest, TornWriteLeavesDestinationAbsent) {
+  faults::FaultProfile profile;
+  profile.snapshot_torn_write_fraction = 1.0;
+  faults::FaultInjector injector{1, profile};
+  const auto r = AtomicWriteFile(path_, "never published", &injector);
+  ASSERT_FALSE(r.ok());
+  EXPECT_FALSE(fs::exists(path_));
+  // The crash leaves partial temp debris behind, like a real power cut.
+  EXPECT_TRUE(fs::exists(AtomicTempPath(path_)));
+  EXPECT_EQ(injector.injected(faults::FaultSite::kSnapshotTornWrite), 1u);
+}
+
+TEST_F(AtomicIoTest, TornWriteLeavesOldContentIntact) {
+  ASSERT_TRUE(AtomicWriteFile(path_, "old content").ok());
+  faults::FaultProfile profile;
+  profile.snapshot_torn_write_fraction = 1.0;
+  faults::FaultInjector injector{2, profile};
+  ASSERT_FALSE(AtomicWriteFile(path_, "new content", &injector).ok());
+  EXPECT_EQ(ReadBack(path_), "old content");
+}
+
+TEST_F(AtomicIoTest, RenameFailureLeavesOldContentIntact) {
+  ASSERT_TRUE(AtomicWriteFile(path_, "old content").ok());
+  faults::FaultProfile profile;
+  profile.snapshot_rename_failure_fraction = 1.0;
+  faults::FaultInjector injector{3, profile};
+  ASSERT_FALSE(AtomicWriteFile(path_, "new content", &injector).ok());
+  EXPECT_EQ(ReadBack(path_), "old content");
+  EXPECT_EQ(injector.injected(faults::FaultSite::kSnapshotRename), 1u);
+}
+
+TEST_F(AtomicIoTest, DisabledInjectorInjectsNothing) {
+  faults::FaultInjector disabled;  // default-constructed: off
+  ASSERT_TRUE(AtomicWriteFile(path_, "content", &disabled).ok());
+  EXPECT_EQ(disabled.decisions(faults::FaultSite::kSnapshotTornWrite), 0u);
+  EXPECT_EQ(disabled.decisions(faults::FaultSite::kSnapshotRename), 0u);
+}
+
+TEST_F(AtomicIoTest, ReadMissingFileIsNotFound) {
+  const auto r = ReadFileWithFaults((dir_ / "absent").string());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kNotFound);
+}
+
+TEST_F(AtomicIoTest, BitFlipReadCorruptsExactlyOneBit) {
+  const std::string content(256, 'x');
+  ASSERT_TRUE(AtomicWriteFile(path_, content).ok());
+  faults::FaultProfile profile;
+  profile.state_read_bit_flip_fraction = 1.0;
+  faults::FaultInjector injector{4, profile};
+  const auto r = ReadFileWithFaults(path_, &injector);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), content.size());
+  int flipped_bits = 0;
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    unsigned diff = static_cast<unsigned char>(r.value()[i]) ^
+                    static_cast<unsigned char>(content[i]);
+    while (diff != 0) {
+      flipped_bits += static_cast<int>(diff & 1u);
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(flipped_bits, 1);
+  EXPECT_EQ(injector.injected(faults::FaultSite::kStateReadBitFlip), 1u);
+  // On disk the file is still pristine: only the returned buffer rots.
+  EXPECT_EQ(ReadBack(path_), content);
+}
+
+TEST(Framed, AppendScanRoundTrips) {
+  std::string buffer;
+  AppendFrame(buffer, "first");
+  AppendFrame(buffer, "");
+  AppendFrame(buffer, "line\nwith\nnewlines");
+  AppendFrame(buffer, "f 3 looks-like-a-header");
+  const FrameScan scan = ScanFrames(buffer);
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.valid_bytes, buffer.size());
+  ASSERT_EQ(scan.records.size(), 4u);
+  EXPECT_EQ(scan.records[0], "first");
+  EXPECT_EQ(scan.records[1], "");
+  EXPECT_EQ(scan.records[2], "line\nwith\nnewlines");
+  EXPECT_EQ(scan.records[3], "f 3 looks-like-a-header");
+}
+
+TEST(Framed, EncodeFrameMatchesAppendFrame) {
+  std::string appended;
+  AppendFrame(appended, "payload");
+  EXPECT_EQ(EncodeFrame("payload"), appended);
+}
+
+TEST(Framed, TornTailStopsAtLastIntactFrame) {
+  std::string buffer;
+  AppendFrame(buffer, "alpha");
+  AppendFrame(buffer, "beta");
+  const std::size_t intact = buffer.size();
+  std::string torn = buffer + EncodeFrame("gamma");
+  torn.resize(torn.size() - 3);  // crash mid-append
+  const FrameScan scan = ScanFrames(torn);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_EQ(scan.valid_bytes, intact);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[1], "beta");
+}
+
+TEST(Framed, CorruptPayloadByteInvalidatesTheFrameAndTheTail) {
+  std::string buffer;
+  AppendFrame(buffer, "alpha");
+  const std::size_t intact = buffer.size();
+  AppendFrame(buffer, "beta");
+  AppendFrame(buffer, "gamma");
+  // Flip a byte inside "beta"'s payload: its checksum fails, and gamma
+  // after it is untrusted even though it would verify.
+  buffer[intact + EncodeFrame("beta").find("beta")] = 'B';
+  const FrameScan scan = ScanFrames(buffer);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_EQ(scan.valid_bytes, intact);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0], "alpha");
+}
+
+TEST(Framed, GarbageBufferYieldsNothing) {
+  const FrameScan scan = ScanFrames("not a frame at all");
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_EQ(scan.valid_bytes, 0u);
+  EXPECT_TRUE(scan.records.empty());
+}
+
+TEST(Framed, EmptyBufferIsCleanlyEmpty) {
+  const FrameScan scan = ScanFrames("");
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.valid_bytes, 0u);
+  EXPECT_TRUE(scan.records.empty());
+}
+
+}  // namespace
+}  // namespace defuse::io

@@ -1,0 +1,104 @@
+// CRC-32C known-answer vectors (RFC 3720 / iSCSI test patterns) plus the
+// checksum-trailer contract for line-oriented artifact files.
+#include "common/io/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace defuse::io {
+namespace {
+
+TEST(Crc32c, KnownAnswerVectors) {
+  // Canonical check value for CRC-32C.
+  EXPECT_EQ(Crc32cOf("123456789"), 0xe3069283u);
+  EXPECT_EQ(Crc32cOf(""), 0x00000000u);
+  EXPECT_EQ(Crc32cOf("a"), 0xc1d04330u);
+  EXPECT_EQ(Crc32cOf("The quick brown fox jumps over the lazy dog"),
+            0x22620404u);
+  // 32 bytes of zeros — iSCSI test pattern from RFC 3720 §B.4.
+  EXPECT_EQ(Crc32cOf(std::string(32, '\0')), 0x8a9136aau);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  const std::string data = "The quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Crc32c crc;
+    crc.Update(data.substr(0, split));
+    crc.Update(data.substr(split));
+    EXPECT_EQ(crc.value(), Crc32cOf(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32c, ValueDoesNotFinalizeState) {
+  Crc32c crc;
+  crc.Update("1234");
+  (void)crc.value();
+  crc.Update("56789");
+  EXPECT_EQ(crc.value(), 0xe3069283u);
+}
+
+TEST(Crc32c, ResetStartsOver) {
+  Crc32c crc;
+  crc.Update("garbage");
+  crc.Reset();
+  crc.Update("123456789");
+  EXPECT_EQ(crc.value(), 0xe3069283u);
+}
+
+TEST(Crc32c, SingleBitErrorsAreDetected) {
+  const std::string data = "defuse snapshot payload";
+  const std::uint32_t good = Crc32cOf(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = data;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32cOf(flipped), good)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32cHex, RoundTrips) {
+  EXPECT_EQ(Crc32cHex(0xe3069283u), "e3069283");
+  EXPECT_EQ(Crc32cHex(0u), "00000000");
+  const auto parsed = ParseCrc32cHex("e3069283");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), 0xe3069283u);
+}
+
+TEST(Crc32cHex, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(ParseCrc32cHex("").ok());
+  EXPECT_FALSE(ParseCrc32cHex("e306928").ok());     // too short
+  EXPECT_FALSE(ParseCrc32cHex("e30692831").ok());   // too long
+  EXPECT_FALSE(ParseCrc32cHex("e30692gx").ok());    // non-hex
+}
+
+TEST(ChecksumTrailer, RoundTrips) {
+  std::string csv = "a,b\n1,2\n";
+  csv += ChecksumTrailer(csv);
+  ASSERT_TRUE(HasChecksumTrailer(csv));
+  const auto stripped = VerifyAndStripChecksumTrailer(csv);
+  ASSERT_TRUE(stripped.ok());
+  EXPECT_EQ(stripped.value(), "a,b\n1,2\n");
+}
+
+TEST(ChecksumTrailer, MismatchIsDataLoss) {
+  std::string csv = "a,b\n1,2\n";
+  csv += ChecksumTrailer(csv);
+  csv[2] = 'c';  // corrupt a payload byte after sealing
+  const auto stripped = VerifyAndStripChecksumTrailer(csv);
+  ASSERT_FALSE(stripped.ok());
+  EXPECT_EQ(stripped.error().code, ErrorCode::kDataLoss);
+}
+
+TEST(ChecksumTrailer, TrailerlessBufferPassesThroughUnchanged) {
+  const std::string csv = "a,b\n1,2\n";
+  EXPECT_FALSE(HasChecksumTrailer(csv));
+  const auto stripped = VerifyAndStripChecksumTrailer(csv);
+  ASSERT_TRUE(stripped.ok());
+  EXPECT_EQ(stripped.value(), csv);
+}
+
+}  // namespace
+}  // namespace defuse::io

@@ -80,6 +80,60 @@ TEST(Retry, NonPositiveMaxAttemptsStillTriesOnce) {
   EXPECT_EQ(outcome.attempts, 1);
 }
 
+RetryPolicy JitterPolicy(std::uint64_t seed) {
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_backoff = 4;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = 60;
+  policy.jitter = 0.5;
+  policy.jitter_seed = seed;
+  return policy;
+}
+
+std::vector<MinuteDelta> JitteredSleeps(const RetryPolicy& policy) {
+  std::vector<MinuteDelta> sleeps;
+  FlakyOp op{100};  // never succeeds
+  (void)RetryWithBackoff(policy, op,
+                         [&](MinuteDelta d) { sleeps.push_back(d); });
+  return sleeps;
+}
+
+TEST(Retry, JitterIsDeterministicInTheSeed) {
+  EXPECT_EQ(JitteredSleeps(JitterPolicy(42)), JitteredSleeps(JitterPolicy(42)));
+}
+
+TEST(Retry, DistinctSeedsDecorrelateSchedules) {
+  EXPECT_NE(JitteredSleeps(JitterPolicy(1)), JitteredSleeps(JitterPolicy(2)));
+}
+
+TEST(Retry, ZeroJitterKeepsTheLegacySchedule) {
+  RetryPolicy policy = JitterPolicy(7);
+  policy.jitter = 0.0;
+  EXPECT_EQ(JitteredSleeps(policy),
+            (std::vector<MinuteDelta>{4, 8, 16, 32, 60, 60, 60}));
+}
+
+TEST(Retry, JitteredDelaysStayWithinBounds) {
+  // Each slept delay must sit in [1-j, 1+j] times the unjittered
+  // schedule (rounded), clamped to max_backoff; the growth schedule
+  // itself is never jittered.
+  const RetryPolicy policy = JitterPolicy(9);
+  const std::vector<MinuteDelta> base{4, 8, 16, 32, 60, 60, 60};
+  const auto sleeps = JitteredSleeps(policy);
+  ASSERT_EQ(sleeps.size(), base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const auto lo = static_cast<MinuteDelta>(
+        static_cast<double>(base[i]) * (1.0 - policy.jitter) - 1.0);
+    const auto hi = std::min<MinuteDelta>(
+        policy.max_backoff,
+        static_cast<MinuteDelta>(
+            static_cast<double>(base[i]) * (1.0 + policy.jitter) + 1.0));
+    EXPECT_GE(sleeps[i], lo) << "step " << i;
+    EXPECT_LE(sleeps[i], hi) << "step " << i;
+  }
+}
+
 TEST(Retry, DeterministicAcrossRuns) {
   const auto run = [] {
     std::vector<MinuteDelta> sleeps;

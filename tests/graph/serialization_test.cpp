@@ -134,5 +134,44 @@ TEST(DependencyCsv, MinedOutputRoundTripsThroughBothFormats) {
   ASSERT_EQ(reread.value().size(), original_sets.size());
 }
 
+TEST(DependencyCsv, ChecksummedWritesRoundTrip) {
+  Fixture fx;
+  std::vector<DependencySet> sets(2);
+  sets[0] = {.id = 0, .functions = {FunctionId{0}, FunctionId{1}}};
+  sets[1] = {.id = 1,
+             .functions = {FunctionId{2}, FunctionId{3}, FunctionId{4}}};
+  const std::string sets_csv =
+      WriteDependencySetsCsvChecksummed(sets, fx.model);
+  const auto loaded_sets = ReadDependencySetsCsv(sets_csv, fx.model);
+  ASSERT_TRUE(loaded_sets.ok()) << loaded_sets.error().ToString();
+  EXPECT_EQ(loaded_sets.value().size(), 2u);
+
+  DependencyGraph graph{fx.model.num_functions()};
+  graph.AddEdge(DependencyEdge{.a = FunctionId{0},
+                               .b = FunctionId{1},
+                               .kind = EdgeKind::kStrong,
+                               .weight = 3.0});
+  const std::string edges_csv =
+      WriteDependencyEdgesCsvChecksummed(graph, fx.model);
+  const auto loaded_edges = ReadDependencyEdgesCsv(edges_csv, fx.model);
+  ASSERT_TRUE(loaded_edges.ok()) << loaded_edges.error().ToString();
+  EXPECT_EQ(loaded_edges.value().edges().size(), 1u);
+}
+
+TEST(DependencyCsv, CorruptedChecksummedFileIsDataLoss) {
+  Fixture fx;
+  std::vector<DependencySet> sets(1);
+  sets[0] = {.id = 0, .functions = {FunctionId{0}}};
+  std::string csv = WriteDependencySetsCsvChecksummed(sets, fx.model);
+  // Mangle one payload byte after sealing: the reader must refuse the
+  // whole artifact instead of parsing a silently corrupted row.
+  const std::size_t pos = csv.find("checkout");
+  ASSERT_NE(pos, std::string::npos);
+  csv[pos + 1] = 'X';
+  const auto loaded = ReadDependencySetsCsv(csv, fx.model);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, ErrorCode::kDataLoss);
+}
+
 }  // namespace
 }  // namespace defuse::graph

@@ -215,6 +215,41 @@ TEST(Platform, LoadStateRejectsGarbage) {
   EXPECT_FALSE(p.LoadState("defuse-platform-state-v1\nmeta,x\n"));
 }
 
+TEST(Platform, FailedLoadLeavesLiveStateUntouched) {
+  // Regression: LoadState used to mutate sections in place as it parsed,
+  // so a state that broke halfway through left a franken-state behind.
+  // Every section now parses into a staging area that commits in one
+  // step, making a failed load a no-op.
+  Fixture fx;
+  Platform donor{fx.model, TestConfig()};
+  for (Minute t = 0; t < 2 * kMinutesPerDay; t += 10) {
+    (void)donor.Invoke(fx.svc, t);
+    if (t % 30 == 0) (void)donor.Invoke(fx.fe, t);
+  }
+  const std::string good = donor.SaveState();
+
+  // A warm platform with different live state than the donor.
+  Platform warm{fx.model, TestConfig()};
+  for (Minute t = 0; t < kMinutesPerDay; t += 25) {
+    (void)warm.Invoke(fx.fe, t);
+  }
+  const std::string before = warm.SaveState();
+  ASSERT_NE(before, good);
+
+  // The front half of `good` parses fine; the load must fail deep into
+  // the later sections and still leave `warm` untouched.
+  ASSERT_FALSE(warm.LoadState(good.substr(0, good.size() * 4 / 5)));
+  EXPECT_EQ(warm.SaveState(), before);
+  std::string mangled = good;
+  mangled.replace(mangled.size() - 4, 3, "x,y");
+  ASSERT_FALSE(warm.LoadState(mangled));
+  EXPECT_EQ(warm.SaveState(), before);
+
+  // The platform stays fully usable: a good load still lands cleanly.
+  ASSERT_TRUE(warm.LoadState(good));
+  EXPECT_EQ(warm.SaveState(), good);
+}
+
 TEST(Platform, SaveStateOfFreshPlatformLoads) {
   Fixture fx;
   Platform a{fx.model, TestConfig()};

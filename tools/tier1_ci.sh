@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# The tier-1 gate, as one command:
+#
+#   tools/tier1_ci.sh [build-dir]                # default: build-ci
+#
+#   1. configure + build everything
+#   2. run the full ctest suite (tier-1 correctness)
+#   3. run the durability/chaos suites in isolation (`ctest -L
+#      durability`) so a fault-injection regression is named, not buried
+#   4. run the ASan+UBSan chaos pass (tools/tier1_sanitize.sh)
+#
+# Any step failing fails the script (set -e), which is the CI contract:
+# green means buildable, correct, crash-safe, and sanitizer-clean.
+set -eu
+
+BUILD_DIR="${1:-build-ci}"
+SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+
+echo "== configure + build =="
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j
+
+echo "== tier-1 tests =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+
+echo "== durability suite (ctest -L durability) =="
+ctest --test-dir "$BUILD_DIR" -L durability --output-on-failure -j \
+  "$(nproc 2>/dev/null || echo 4)"
+
+echo "== sanitized chaos pass =="
+"$SRC_DIR/tools/tier1_sanitize.sh" "$BUILD_DIR-asan"
+
+echo "tier-1 CI: PASS"

@@ -19,9 +19,9 @@ cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
   -DDEFUSE_BUILD_BENCHMARKS=OFF \
   -DDEFUSE_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j \
-  --target test_faults test_platform test_trace test_common test_core
+  --target test_faults test_platform test_durability test_trace test_common test_core
 
-for t in test_faults test_platform test_trace test_common test_core; do
+for t in test_faults test_platform test_durability test_trace test_common test_core; do
   echo "== $t (ASan+UBSan) =="
   "$BUILD_DIR/tests/$t"
 done
