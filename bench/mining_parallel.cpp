@@ -1,0 +1,152 @@
+// Parallel mining speedup: core::MineDependencies with the sharded
+// fan-out at 1/2/4/8 threads against the serial path, on the standard
+// one-day bench workload. Two claims are checked, not just timed:
+//   1. every thread count produces a BIT-IDENTICAL MiningOutput (the
+//      deterministic-merge contract of DESIGN.md §8), and
+//   2. the wall-clock speedup scales with the machine's cores.
+// Results also land machine-readable in BENCH_mining.json so CI can
+// trend them.
+//
+// Environment overrides: DEFUSE_BENCH_USERS (400), DEFUSE_BENCH_SEED
+// (777), DEFUSE_BENCH_MINE_REPS (3).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/defuse.hpp"
+#include "trace/generator.hpp"
+
+using namespace defuse;
+
+namespace {
+
+long EnvLong(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+double BestOfReps(int reps, const std::function<void()>& run) {
+  double best_ms = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto begin = std::chrono::steady_clock::now();
+    run();
+    const auto end = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(end - begin).count();
+    if (ms < best_ms) best_ms = ms;
+  }
+  return best_ms;
+}
+
+bool Identical(const core::MiningOutput& a, const core::MiningOutput& b) {
+  if (a.graph.edges() != b.graph.edges()) return false;
+  if (a.num_frequent_itemsets != b.num_frequent_itemsets) return false;
+  if (a.num_weak_dependencies != b.num_weak_dependencies) return false;
+  if (a.predictability.predictable != b.predictability.predictable ||
+      a.predictability.cv != b.predictability.cv) {
+    return false;
+  }
+  if (a.sets.size() != b.sets.size()) return false;
+  for (std::size_t s = 0; s < a.sets.size(); ++s) {
+    if (a.sets[s].functions != b.sets[s].functions) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Parallel mining",
+                     "sharded MineDependencies: speedup + bit-identity");
+
+  trace::GeneratorConfig cfg;
+  cfg.num_users =
+      static_cast<std::uint32_t>(EnvLong("DEFUSE_BENCH_USERS", 400));
+  cfg.seed = static_cast<std::uint64_t>(EnvLong("DEFUSE_BENCH_SEED", 777));
+  cfg.horizon_minutes = kMinutesPerDay;
+  const auto w = trace::GenerateWorkload(cfg);
+  const TimeRange train = w.trace.horizon();
+  const int reps = static_cast<int>(EnvLong("DEFUSE_BENCH_MINE_REPS", 3));
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  std::printf("# one-day workload: %u users, %zu functions; best of %d "
+              "reps; hardware_concurrency=%u\n",
+              cfg.num_users, w.model.num_functions(), reps, cores);
+
+  const auto serial =
+      core::MineDependencies(w.trace, w.model, train).value();
+  const double serial_ms = BestOfReps(reps, [&] {
+    (void)core::MineDependencies(w.trace, w.model, train).value();
+  });
+
+  struct Row {
+    std::size_t threads;
+    double ms;
+    bool identical;
+  };
+  std::vector<Row> rows;
+  bool all_identical = true;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    core::DefuseConfig config;
+    config.parallel.num_threads = threads;
+    const auto parallel =
+        core::MineDependencies(w.trace, w.model, train, config).value();
+    const bool identical = Identical(serial, parallel);
+    all_identical = all_identical && identical;
+    const double ms = BestOfReps(reps, [&] {
+      (void)core::MineDependencies(w.trace, w.model, train, config).value();
+    });
+    rows.push_back(Row{threads, ms, identical});
+  }
+
+  std::printf("\nthreads,time_ms,speedup_vs_serial,bit_identical\n");
+  std::printf("serial,%.1f,1.00,yes\n", serial_ms);
+  for (const auto& row : rows) {
+    std::printf("%zu,%.1f,%.2f,%s\n", row.threads, row.ms,
+                serial_ms / row.ms, row.identical ? "yes" : "no");
+  }
+  bench::PrintHeadline(
+      "4-thread speedup " +
+      std::to_string(serial_ms / rows[2].ms).substr(0, 4) + "x on " +
+      std::to_string(cores) + " cores; outputs " +
+      (all_identical ? "bit-identical" : "DIVERGED"));
+
+  // Machine-readable mirror for CI trending.
+  std::string json = "{\n";
+  json += "  \"functions\": " + std::to_string(w.model.num_functions()) +
+          ",\n";
+  json += "  \"users\": " + std::to_string(cfg.num_users) + ",\n";
+  json += "  \"hardware_concurrency\": " + std::to_string(cores) + ",\n";
+  json += "  \"reps\": " + std::to_string(reps) + ",\n";
+  json += "  \"serial_ms\": " + std::to_string(serial_ms) + ",\n";
+  json += "  \"bit_identical\": ";
+  json += all_identical ? "true" : "false";
+  json += ",\n  \"threads\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    json += "    {\"threads\": " + std::to_string(rows[i].threads) +
+            ", \"ms\": " + std::to_string(rows[i].ms) +
+            ", \"speedup\": " + std::to_string(serial_ms / rows[i].ms) +
+            "}";
+    json += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  std::FILE* out = std::fopen("BENCH_mining.json", "w");
+  if (out != nullptr) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("# wrote BENCH_mining.json\n");
+  } else {
+    std::fprintf(stderr, "warning: could not write BENCH_mining.json\n");
+  }
+
+  // Bit-identity is a hard failure; slow hardware is not.
+  return all_identical ? 0 : 1;
+}

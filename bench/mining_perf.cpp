@@ -25,7 +25,7 @@ void BM_FullDependencyMining(benchmark::State& state) {
   const auto w = MakeOneDayWorkload(static_cast<std::uint32_t>(state.range(0)));
   const TimeRange train = w.trace.horizon();
   for (auto _ : state) {
-    const auto mining = core::MineDependencies(w.trace, w.model, train);
+    const auto mining = core::MineDependencies(w.trace, w.model, train).value();
     benchmark::DoNotOptimize(mining.sets.size());
   }
   state.counters["functions"] =
@@ -43,7 +43,7 @@ void BM_StrongMiningOnly(benchmark::State& state) {
   core::DefuseConfig cfg;
   cfg.use_weak = false;
   for (auto _ : state) {
-    const auto mining = core::MineDependencies(w.trace, w.model, train, cfg);
+    const auto mining = core::MineDependencies(w.trace, w.model, train, cfg).value();
     benchmark::DoNotOptimize(mining.num_frequent_itemsets);
   }
   state.counters["functions"] =
@@ -57,7 +57,7 @@ void BM_WeakMiningOnly(benchmark::State& state) {
   core::DefuseConfig cfg;
   cfg.use_strong = false;
   for (auto _ : state) {
-    const auto mining = core::MineDependencies(w.trace, w.model, train, cfg);
+    const auto mining = core::MineDependencies(w.trace, w.model, train, cfg).value();
     benchmark::DoNotOptimize(mining.num_weak_dependencies);
   }
   state.counters["functions"] =

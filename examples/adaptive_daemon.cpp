@@ -97,7 +97,7 @@ int main() {
   // --- adaptive: every day, re-mine on the last 4 days -----------------
   const TimeRange static_train{0, 4 * kMinutesPerDay};
   const auto static_mining = core::MineDependencies(trace, model,
-                                                    static_train);
+                                                    static_train).value();
 
   std::printf("day  checkout-path cold-start rate     sets containing the\n");
   std::printf("     static-miner   daily-daemon       active checkout fns\n");
@@ -107,7 +107,7 @@ int main() {
                               (day + 1) * kMinutesPerDay};
     const TimeRange window{std::max<Minute>(0, (day - 4)) * kMinutesPerDay,
                            day * kMinutesPerDay};
-    const auto adaptive_mining = core::MineDependencies(trace, model, window);
+    const auto adaptive_mining = core::MineDependencies(trace, model, window).value();
 
     // The workflow that is actually live on this day.
     const FunctionId fe = day < kDeployDay ? legacy0 : new0;

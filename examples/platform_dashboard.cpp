@@ -55,7 +55,7 @@ int main() {
               static_cast<long long>(eval.length() / kMinutesPerHour));
 
   const auto mining =
-      core::MineDependencies(workload.trace, workload.model, train);
+      core::MineDependencies(workload.trace, workload.model, train).value();
   const auto defuse_policy =
       core::MakeDefuseScheduler(workload.trace, mining, train);
   const auto defuse =

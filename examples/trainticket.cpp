@@ -68,7 +68,7 @@ int main() {
   // Mine on days 0-11, inspect the recovered graph.
   const auto [train, eval] = core::SplitTrainEval(workload.trace.horizon());
   const auto mining =
-      core::MineDependencies(workload.trace, workload.model, train);
+      core::MineDependencies(workload.trace, workload.model, train).value();
 
   std::printf("\nrecovered dependency graph (Graphviz):\n");
   std::vector<std::string> names;

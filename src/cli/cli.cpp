@@ -34,6 +34,7 @@ commands:
              --trace FILE (required)   --train-days N (all but 2)
              --support S (0.2)  --topk K (1)  --cv-threshold C (5)
              --strong-only | --weak-only
+             --mine-threads N (0 = serial; any N is bit-identical)
              --sets-out FILE  --edges-out FILE  --dot-out FILE
   simulate   replay the tail of a trace under a scheduling method
              --trace FILE (required)   --train-days N (all but 2)
@@ -53,10 +54,11 @@ commands:
   adaptive   simulate the daily re-mining daemon over the trace tail
              --trace FILE (required)   --last-days N (2)
              --epoch-days N (1)        --window-days N (4)
+             --mine-threads N (0 = serial)
   replay     stream the whole trace through the online platform engine
              (live re-mining, residency carry-over)
              --trace FILE (required)   --remine-days N (1)
-             --window-days N (4)
+             --window-days N (4)       --mine-threads N (0 = serial)
              --state-dir DIR    durable mode: recover + resume, journal
                                 every invocation, checkpoint on cadence
              --checkpoint-days N (1)
@@ -132,6 +134,19 @@ std::optional<TraceBundle> LoadTrace(const FlagParser& flags,
                      .eval = eval};
 }
 
+/// Shared by mine/adaptive/replay: the --mine-threads fan-out width.
+/// Any value yields a bit-identical graph; only wall-clock changes.
+bool MineThreadsFromFlags(const FlagParser& flags, std::ostream& err,
+                          mining::ParallelMineConfig& parallel) {
+  const auto threads = flags.GetInt("mine-threads", 0);
+  if (!threads.ok() || threads.value() < 0) {
+    err << "error: --mine-threads must be a non-negative integer\n";
+    return false;
+  }
+  parallel.num_threads = static_cast<std::size_t>(threads.value());
+  return true;
+}
+
 core::DefuseConfig MiningConfigFromFlags(const FlagParser& flags,
                                          std::ostream& err, bool& ok) {
   core::DefuseConfig config;
@@ -159,6 +174,7 @@ core::DefuseConfig MiningConfigFromFlags(const FlagParser& flags,
     err << "error: --strong-only and --weak-only are mutually exclusive\n";
     ok = false;
   }
+  if (!MineThreadsFromFlags(flags, err, config.parallel)) ok = false;
   return config;
 }
 
@@ -256,9 +272,13 @@ int CmdMine(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   const auto config = MiningConfigFromFlags(flags, err, config_ok);
   if (!config_ok) return 1;
 
-  const auto mining =
-      core::MineDependencies(bundle->trace, bundle->model, bundle->train,
-                             config);
+  auto mined = core::MineDependencies(bundle->trace, bundle->model,
+                                      bundle->train, config);
+  if (!mined.ok()) {
+    err << "error: " << mined.error().ToString() << "\n";
+    return 1;
+  }
+  const auto mining = std::move(mined).value();
   out << "mined " << mining.num_frequent_itemsets << " frequent itemsets, "
       << mining.num_weak_dependencies << " weak dependencies; "
       << mining.graph.num_strong_edges() << " strong + "
@@ -485,6 +505,7 @@ int CmdAdaptive(const FlagParser& flags, std::ostream& out,
   core::AdaptiveConfig config;
   config.remine_interval = epoch_days.value() * kMinutesPerDay;
   config.mining_window = window_days.value() * kMinutesPerDay;
+  if (!MineThreadsFromFlags(flags, err, config.mining.parallel)) return 1;
   const auto result =
       core::RunAdaptive(bundle->model, bundle->trace,
                         TimeRange{span_begin, horizon.end}, config);
@@ -607,6 +628,7 @@ int CmdReplay(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   config.horizon = bundle->trace.horizon().end;
   config.remine_interval = remine_days.value() * kMinutesPerDay;
   config.mining_window = window_days.value() * kMinutesPerDay;
+  if (!MineThreadsFromFlags(flags, err, config.mining.parallel)) return 1;
   platform::Platform engine{bundle->model, config};
 
   // Durable mode: recover whatever a previous (possibly crashed) replay
@@ -725,6 +747,7 @@ int CmdRecover(const FlagParser& flags, std::ostream& out,
   config.horizon = bundle->trace.horizon().end;
   config.remine_interval = remine_days.value() * kMinutesPerDay;
   config.mining_window = window_days.value() * kMinutesPerDay;
+  if (!MineThreadsFromFlags(flags, err, config.mining.parallel)) return 1;
   platform::Platform engine{bundle->model, config};
 
   const platform::durability::RecoveryManager manager{*dir};

@@ -1,0 +1,97 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace defuse {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = std::max<std::size_t>(num_threads, 1);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    stop_ = true;
+  }
+  ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::DefaultThreads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    queue_.push_back(std::move(task));
+  }
+  ready_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain-before-exit: stop_ only ends the loop once the queue is
+      // empty, so every submitted future is eventually satisfied.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t workers =
+      pool == nullptr ? 1 : std::min(pool->num_threads(), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Dynamic single-index claims: mining tasks are coarse and uneven (a
+  // heavy user costs orders of magnitude more than an idle one), so
+  // static chunking would straggle. The claim counter is the only shared
+  // mutable state; each body(i) owns slot i exclusively.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  std::vector<std::future<void>> done;
+  done.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    done.push_back(pool->Submit([next, n, &body] {
+      for (;;) {
+        const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        body(i);
+      }
+    }));
+  }
+  // A task exception — e.g. bad_alloc inside FP-Growth — must surface on
+  // the calling thread, but only after EVERY worker has finished: body
+  // and the claim counter are borrowed by all of them, so unwinding
+  // while one still runs would dangle the caller's closure.
+  std::exception_ptr first_error;
+  for (auto& future : done) {
+    try {
+      future.get();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace defuse

@@ -1,0 +1,82 @@
+// A small fixed-size thread pool: one task queue, N workers, futures.
+//
+// Built for the parallel mining pipeline (core::MineDependencies), whose
+// unit of work is "one user's FP-Growth + PPMI pass". The pool is
+// intentionally minimal — no work stealing, no priorities, no external
+// dependencies — because mining tasks are coarse (micro- to milliseconds
+// each) and the pool itself is never on the per-invocation serving path.
+//
+// Determinism contract: the pool schedules tasks in an unspecified order
+// across threads, so callers that need reproducible output must make
+// every task write only to its own pre-allocated slot and do any
+// order-sensitive reduction on the calling thread afterwards.
+// ParallelFor below is shaped exactly for that slot-per-index pattern.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace defuse {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  /// Drains the queue, then joins every worker. Tasks still queued at
+  /// destruction time are executed, not dropped, so futures never dangle.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueues a callable; the returned future yields its result (or
+  /// rethrows its exception) once a worker has run it.
+  template <typename F>
+  [[nodiscard]] std::future<std::invoke_result_t<F>> Submit(F&& task) {
+    using R = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> future = packaged->get_future();
+    Enqueue([packaged] { (*packaged)(); });
+    return future;
+  }
+
+  /// Number of worker threads a mining pool should default to when the
+  /// caller asks for "all cores": hardware_concurrency with a floor of 1.
+  [[nodiscard]] static std::size_t DefaultThreads() noexcept;
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  bool stop_ = false;
+};
+
+/// Runs body(i) for every i in [0, n). With a null pool (or a single
+/// worker, or a trivially small n) the loop runs inline on the calling
+/// thread in index order; otherwise indices are claimed dynamically by
+/// the pool's workers. Blocks until every index has completed and
+/// rethrows the first task exception, if any. `body` must tolerate
+/// concurrent invocations on distinct indices — the slot-per-index
+/// pattern (body(i) writes only to slot i) is the intended use and is
+/// what keeps parallel results bit-identical to the serial loop.
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace defuse

@@ -105,13 +105,26 @@ AdaptiveResult RunAdaptive(const trace::WorkloadModel& model,
     }
 
     std::unique_ptr<policy::HybridHistogramPolicy> policy;
+    std::optional<MiningOutput> fresh;
     if (mine_fresh) {
-      auto mining =
+      auto mined =
           MineDependencies(trace, model, epoch.mined_from, mining_config);
-      epoch.dependency_sets = mining.sets.size();
-      policy = MakeDefuseScheduler(trace, mining, epoch.mined_from,
+      if (mined.ok()) {
+        fresh = std::move(mined).value();
+      } else {
+        DEFUSE_LOG_WARN << "adaptive: mining rejected config at epoch "
+                        << epoch.simulated.begin << " ("
+                        << mined.error().message
+                        << "); keeping previous dependency sets";
+        epoch.degraded = true;
+        mine_fresh = false;
+      }
+    }
+    if (fresh.has_value()) {
+      epoch.dependency_sets = fresh->sets.size();
+      policy = MakeDefuseScheduler(trace, *fresh, epoch.mined_from,
                                    config.policy);
-      last_good = std::move(mining.sets);
+      last_good = std::move(fresh->sets);
     } else {
       // Stale-but-safe: the previous epoch's sets, re-seeded from this
       // epoch's window; singletons when no prior graph exists.

@@ -1,9 +1,12 @@
 #include "core/defuse.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <string>
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace defuse::core {
 namespace {
@@ -54,9 +57,23 @@ std::uint64_t EstimateMiningTransactions(const trace::InvocationTrace& trace,
   return cells;
 }
 
-MiningOutput MineDependencies(const trace::InvocationTrace& trace,
-                              const trace::WorkloadModel& model,
-                              TimeRange train, const DefuseConfig& config) {
+Result<MiningOutput> MineDependencies(const trace::InvocationTrace& trace,
+                                      const trace::WorkloadModel& model,
+                                      TimeRange train,
+                                      const DefuseConfig& config) {
+  if (const char* violation = ValidateDefuseConfig(config)) {
+    return Error{ErrorCode::kInvalidArgument,
+                 std::string{"MineDependencies: "} + violation};
+  }
+
+  // One pool for the whole call; nullptr keeps every stage inline, so the
+  // serial path is the parallel path with the fan-out compiled away.
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (config.parallel.enabled()) {
+    owned_pool = std::make_unique<ThreadPool>(config.parallel.num_threads);
+  }
+  ThreadPool* pool = owned_pool.get();
+
   graph::DependencyGraph graph{model.num_functions()};
   MiningOutput output{.graph = std::move(graph),
                       .sets = {},
@@ -66,45 +83,88 @@ MiningOutput MineDependencies(const trace::InvocationTrace& trace,
 
   // Predictability is needed by weak mining; it is also part of the
   // output because the scheduling stage reuses the classification.
+  // Sharded by function; each worker owns its function's slots.
   output.predictability = mining::ClassifyFunctions(
-      trace, model, train, config.MakePredictabilityConfig());
+      trace, model, train, config.MakePredictabilityConfig(), pool);
 
-  Rng rng{config.mining_seed};
   const auto transaction_config = config.MakeTransactionConfig();
   const auto fpgrowth_config = config.MakeFpGrowthConfig();
   const auto ppmi_config = config.MakePpmiConfig();
 
-  for (const auto& user : model.users()) {
+  // The mining fan-out shards by user (the paper mines each client
+  // independently, §IV.B.2). Workers write only their own user's shard;
+  // everything order-sensitive — the shared universe-shuffle RNG stream
+  // and the graph merge — stays on this thread, in user-id order, so the
+  // output is bit-identical to the serial path at any thread count.
+  const auto& users = model.users();
+  const std::size_t num_users = users.size();
+  struct UserShard {
+    std::vector<mining::Transaction> transactions;
+    std::vector<mining::UniverseWindow> windows;
+    std::vector<mining::Itemset> itemsets;
+    std::vector<mining::WeakDependency> weak;
+  };
+  std::vector<UserShard> shards(num_users);
+
+  // Stage 1 (parallel): per-user transaction building. RNG-free.
+  if (config.use_strong) {
+    ParallelFor(pool, num_users, [&](std::size_t u) {
+      shards[u].transactions = mining::BuildUserTransactions(
+          trace, model, users[u].id, train, transaction_config);
+    });
+  }
+
+  // Stage 2 (serial, user order): universe shuffles. The shared mining
+  // seed's stream must be consumed exactly as the serial loop did — one
+  // shuffle per user with non-empty transactions, in user-id order.
+  Rng rng{config.mining_seed};
+  if (config.use_strong) {
+    for (std::size_t u = 0; u < num_users; ++u) {
+      if (shards[u].transactions.empty()) continue;
+      auto windows = mining::SplitUniverse(model.FunctionsOfUser(users[u].id),
+                                           config.universe_window,
+                                           config.universe_stride, rng);
+      // Unreachable after ValidateDefuseConfig, but propagate anyway.
+      if (!windows.ok()) return windows.error();
+      shards[u].windows = std::move(windows).value();
+    }
+  }
+
+  // Stage 3 (parallel): FP-Growth over each user's universe windows and
+  // PPMI weak mining. Reads are shared and immutable (trace, model,
+  // predictability); writes hit only the user's own shard.
+  ParallelFor(pool, num_users, [&](std::size_t u) {
+    UserShard& shard = shards[u];
     if (config.use_strong) {
-      // Strong dependencies: frequent itemsets over the user's
-      // transactions, mined per universe window (paper §V.A).
-      const auto transactions = mining::BuildUserTransactions(
-          trace, model, user.id, train, transaction_config);
-      if (!transactions.empty()) {
-        auto universe = model.FunctionsOfUser(user.id);
-        const auto windows =
-            mining::SplitUniverse(std::move(universe), config.universe_window,
-                                  config.universe_stride, rng);
-        for (const auto& window : windows) {
-          const auto projected =
-              mining::ProjectTransactions(transactions, window);
-          if (projected.empty()) continue;
-          const auto itemsets =
-              mining::MineFrequentItemsets(projected, fpgrowth_config);
-          for (const auto& itemset : itemsets) {
-            output.graph.AddStrongItemset(itemset);
-          }
-          output.num_frequent_itemsets += itemsets.size();
-        }
+      for (const auto& window : shard.windows) {
+        const auto projected =
+            mining::ProjectTransactions(shard.transactions, window);
+        if (projected.empty()) continue;
+        auto itemsets = mining::MineFrequentItemsets(projected, fpgrowth_config);
+        shard.itemsets.insert(shard.itemsets.end(),
+                              std::make_move_iterator(itemsets.begin()),
+                              std::make_move_iterator(itemsets.end()));
       }
     }
     if (config.use_weak) {
-      const auto weak = mining::MineWeakDependencies(
-          trace, model, user.id, output.predictability.predictable, train,
+      shard.weak = mining::MineWeakDependencies(
+          trace, model, users[u].id, output.predictability.predictable, train,
           ppmi_config);
-      for (const auto& dep : weak) output.graph.AddWeakDependency(dep);
-      output.num_weak_dependencies += weak.size();
     }
+  });
+
+  // Stage 4 (serial, user order): deterministic merge. Edges land in the
+  // same order as the serial loop inserted them; Canonicalize then fully
+  // sorts and dedupes, so equal edge multisets give equal graphs.
+  for (std::size_t u = 0; u < num_users; ++u) {
+    for (const auto& itemset : shards[u].itemsets) {
+      output.graph.AddStrongItemset(itemset);
+    }
+    output.num_frequent_itemsets += shards[u].itemsets.size();
+    for (const auto& dep : shards[u].weak) {
+      output.graph.AddWeakDependency(dep);
+    }
+    output.num_weak_dependencies += shards[u].weak.size();
   }
 
   output.graph.Canonicalize();
@@ -113,7 +173,11 @@ MiningOutput MineDependencies(const trace::InvocationTrace& trace,
                   << " frequent itemsets, " << output.num_weak_dependencies
                   << " weak dependencies, " << output.sets.size()
                   << " dependency sets over " << model.num_functions()
-                  << " functions";
+                  << " functions"
+                  << (pool != nullptr
+                          ? " (" + std::to_string(pool->num_threads()) +
+                                " mining threads)"
+                          : "");
   return output;
 }
 

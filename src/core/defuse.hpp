@@ -14,10 +14,12 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/result.hpp"
 #include "common/time.hpp"
 #include "graph/dependency_graph.hpp"
 #include "mining/cooccurrence.hpp"
 #include "mining/fpgrowth.hpp"
+#include "mining/parallel.hpp"
 #include "mining/predictability.hpp"
 #include "mining/transactions.hpp"
 #include "policy/hybrid.hpp"
@@ -47,6 +49,10 @@ struct DefuseConfig {
   std::size_t top_k = 1;
   /// CV threshold for the predictable/unpredictable split (paper: 5).
   double cv_threshold = 5.0;
+
+  /// Parallel mining fan-out (see mining/parallel.hpp). Defaults to
+  /// serial; any thread count produces a bit-identical MiningOutput.
+  mining::ParallelMineConfig parallel;
 
   mining::PpmiConfig MakePpmiConfig() const {
     mining::PpmiConfig c;
@@ -93,8 +99,11 @@ struct MiningOutput {
     const trace::InvocationTrace& trace, TimeRange window);
 
 /// Stage 1 + 2 of the pipeline: mines dependencies from the training
-/// window of the trace and extracts dependency sets.
-[[nodiscard]] MiningOutput MineDependencies(
+/// window of the trace and extracts dependency sets. Returns
+/// kInvalidArgument when the config fails ValidateDefuseConfig instead
+/// of mining garbage (a stride wider than the universe window, say,
+/// silently drops functions from every FP-Growth pass).
+[[nodiscard]] Result<MiningOutput> MineDependencies(
     const trace::InvocationTrace& trace, const trace::WorkloadModel& model,
     TimeRange train, const DefuseConfig& config = {});
 

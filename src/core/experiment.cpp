@@ -84,7 +84,7 @@ const MiningOutput& ExperimentDriver::MiningFor(Method method) {
       break;
   }
   if (!slot->has_value()) {
-    *slot = MineDependencies(trace_, model_, train_, config);
+    *slot = MineDependencies(trace_, model_, train_, config).value();
   }
   return **slot;
 }

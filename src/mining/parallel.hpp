@@ -1,0 +1,29 @@
+// Configuration for the parallel sharded mining pipeline.
+//
+// The unit of parallelism is one user: transaction building, per-window
+// FP-Growth, and PPMI weak-dependency mining shard cleanly by user
+// because the paper mines each client's functions independently
+// (§IV.B.2). Predictability classification shards by function the same
+// way. The only cross-user state — the universe-shuffle RNG stream — is
+// consumed on the coordinating thread in user-id order, and all per-user
+// results are merged back in user-id order, so the mined dependency
+// graph is bit-identical to the serial path for every (seed, thread
+// count) combination. See DESIGN.md §8.
+#pragma once
+
+#include <cstddef>
+
+namespace defuse::mining {
+
+struct ParallelMineConfig {
+  /// Worker threads for the mining fan-out. 0 and 1 both mean "serial":
+  /// run everything inline on the calling thread with no pool at all —
+  /// the default, so goldens and single-threaded deployments are
+  /// untouched. Values above 1 spawn a fixed-size ThreadPool for the
+  /// duration of one MineDependencies call.
+  std::size_t num_threads = 0;
+
+  [[nodiscard]] bool enabled() const noexcept { return num_threads > 1; }
+};
+
+}  // namespace defuse::mining

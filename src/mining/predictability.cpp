@@ -31,16 +31,27 @@ PredictabilityReport ClassifyFunctions(const trace::InvocationTrace& trace,
                                        const trace::WorkloadModel& model,
                                        TimeRange range,
                                        const PredictabilityConfig& config) {
+  return ClassifyFunctions(trace, model, range, config, nullptr);
+}
+
+PredictabilityReport ClassifyFunctions(const trace::InvocationTrace& trace,
+                                       const trace::WorkloadModel& model,
+                                       TimeRange range,
+                                       const PredictabilityConfig& config,
+                                       ThreadPool* pool) {
   PredictabilityReport report;
   const std::size_t n = model.num_functions();
-  report.predictable.resize(n, false);
   report.cv.resize(n, 0.0);
-  for (std::size_t f = 0; f < n; ++f) {
+  // vector<bool> packs bits, so concurrent writes to adjacent slots race
+  // on the shared byte; stage into one byte per function instead.
+  std::vector<char> predictable(n, 0);
+  ParallelFor(pool, n, [&](std::size_t f) {
     const FunctionId fn{static_cast<std::uint32_t>(f)};
     const auto hist = BuildItHistogram(trace, fn, range, config);
     report.cv[f] = hist.BinCountCv();
-    report.predictable[f] = IsPredictable(hist, config);
-  }
+    predictable[f] = IsPredictable(hist, config) ? 1 : 0;
+  });
+  report.predictable.assign(predictable.begin(), predictable.end());
   return report;
 }
 

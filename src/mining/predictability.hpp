@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/thread_pool.hpp"
 #include "common/time.hpp"
 #include "stats/histogram.hpp"
 #include "trace/invocation_trace.hpp"
@@ -49,6 +50,13 @@ struct PredictabilityReport {
 [[nodiscard]] PredictabilityReport ClassifyFunctions(
     const trace::InvocationTrace& trace, const trace::WorkloadModel& model,
     TimeRange range, const PredictabilityConfig& config = {});
+
+/// Same, sharded by function over `pool` (nullptr = serial). Each worker
+/// writes only its own function's slots, so the report is bit-identical
+/// to the serial overload regardless of thread count.
+[[nodiscard]] PredictabilityReport ClassifyFunctions(
+    const trace::InvocationTrace& trace, const trace::WorkloadModel& model,
+    TimeRange range, const PredictabilityConfig& config, ThreadPool* pool);
 
 /// True if a histogram passes the predictability test.
 [[nodiscard]] bool IsPredictable(const stats::Histogram& hist,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <string>
 #include <unordered_set>
 
 namespace defuse::mining {
@@ -32,11 +33,24 @@ std::vector<Transaction> BuildUserTransactions(
   return transactions;
 }
 
-std::vector<UniverseWindow> SplitUniverse(std::vector<FunctionId> universe,
-                                          std::size_t window_size,
-                                          std::size_t stride, Rng& rng) {
-  assert(window_size >= 1);
-  assert(stride >= 1 && stride <= window_size);
+Result<std::vector<UniverseWindow>> SplitUniverse(
+    std::vector<FunctionId> universe, std::size_t window_size,
+    std::size_t stride, Rng& rng) {
+  // A release-build misconfiguration here must not pass silently: with
+  // stride > window_size every split drops the functions between
+  // consecutive windows, and they never reach FP-Growth at all.
+  if (window_size < 1) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "SplitUniverse: window_size must be >= 1"};
+  }
+  if (stride < 1 || stride > window_size) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "SplitUniverse: stride " + std::to_string(stride) +
+                     " must be in [1, window_size=" +
+                     std::to_string(window_size) +
+                     "]; a wider stride silently drops functions from "
+                     "every split"};
+  }
   rng.Shuffle(std::span{universe});
   std::vector<UniverseWindow> result;
   if (universe.empty()) return result;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/result.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "trace/invocation_trace.hpp"
@@ -50,9 +51,13 @@ struct UniverseWindow {
 
 /// Shuffles `universe` with `rng` and splits it into windows of
 /// `window_size` with stride `stride` (paper: 20/10). The final window is
-/// kept even if short. Requires window_size >= 1, 1 <= stride <=
-/// window_size.
-[[nodiscard]] std::vector<UniverseWindow> SplitUniverse(
+/// kept even if short. Returns kInvalidArgument when window_size < 1 or
+/// stride is outside [1, window_size]: a stride wider than the window
+/// would silently drop the functions between consecutive windows from
+/// every split (they would never enter any FP-Growth pass), so the bad
+/// config is rejected instead of being "handled". On success, every
+/// input function appears in at least one window.
+[[nodiscard]] Result<std::vector<UniverseWindow>> SplitUniverse(
     std::vector<FunctionId> universe, std::size_t window_size,
     std::size_t stride, Rng& rng);
 

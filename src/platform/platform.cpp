@@ -33,10 +33,27 @@ Platform::Platform(trace::WorkloadModel model, PlatformConfig config)
 }
 
 void Platform::MaybeRemine(Minute now) {
-  while (now >= next_remine_) {
-    RemineNow(next_remine_);
-    next_remine_ += config_.remine_interval;
+  if (now < next_remine_) return;
+  // Collapse every boundary that fell due while time was not advancing
+  // (daemon offline, long invocation gap) into ONE re-mine at the latest
+  // due boundary. Firing a full re-mine per elapsed interval would burn
+  // a mining pass per offline day just to overwrite each result with the
+  // next — and each pass would see the same history anyway. In the
+  // normal cadence (one boundary due) this is exactly the old behavior.
+  const std::uint64_t skipped = static_cast<std::uint64_t>(
+      (now - next_remine_) / config_.remine_interval);
+  const Minute due =
+      next_remine_ +
+      static_cast<Minute>(skipped) * config_.remine_interval;
+  if (skipped > 0) {
+    stats_.catchup_remines_skipped += skipped;
+    DEFUSE_LOG_WARN << "platform: " << skipped
+                    << " re-mine boundaries elapsed unserved before minute "
+                    << now << "; collapsing into one catch-up re-mine at "
+                    << due;
   }
+  RemineNow(due);
+  next_remine_ = due + config_.remine_interval;
 }
 
 void Platform::KeepStaleGraph() {
@@ -82,8 +99,15 @@ void Platform::RemineNow(Minute now) {
     }
   }
 
-  const auto mining =
-      core::MineDependencies(history_, model_, window, mining_config);
+  auto mined = core::MineDependencies(history_, model_, window, mining_config);
+  if (!mined.ok()) {
+    DEFUSE_LOG_WARN << "platform: re-mine at minute " << now << " rejected ("
+                    << mined.error().ToString()
+                    << "); keeping previous dependency sets";
+    KeepStaleGraph();
+    return;
+  }
+  const auto mining = std::move(mined).value();
   units_ = std::make_unique<sim::UnitMap>(
       sim::UnitMap::FromDependencySets(mining.sets,
                                        model_.num_functions()));
@@ -203,8 +227,10 @@ InvocationOutcome Platform::Invoke(FunctionId fn, Minute now) {
 namespace {
 
 // v2 widened the meta line from 5 to 9 fields (degradation counters);
-// v1 states are still accepted, their new counters default to zero.
-constexpr std::string_view kStateHeader = "defuse-platform-state-v2";
+// v3 appends a 10th (catch-up re-mine skips). Older states are still
+// accepted, their missing counters default to zero.
+constexpr std::string_view kStateHeader = "defuse-platform-state-v3";
+constexpr std::string_view kStateHeaderV2 = "defuse-platform-state-v2";
 constexpr std::string_view kStateHeaderV1 = "defuse-platform-state-v1";
 
 bool ParseI64Fields(std::string_view line, std::span<std::int64_t> out) {
@@ -238,7 +264,8 @@ std::string Platform::SaveState() const {
          std::to_string(stats_.degraded_remines) + ',' +
          std::to_string(stats_.stale_graph_minutes) + ',' +
          std::to_string(stats_.prewarm_spawn_failures) + ',' +
-         std::to_string(stats_.prewarm_spawns_abandoned) + '\n';
+         std::to_string(stats_.prewarm_spawns_abandoned) + ',' +
+         std::to_string(stats_.catchup_remines_skipped) + '\n';
 
   // Dependency sets (reconstructed from the live unit map).
   std::vector<graph::DependencySet> sets;
@@ -286,9 +313,9 @@ bool Platform::LoadState(std::string_view text) {
   Section section = Section::kMeta;
   std::string sets_buffer, histograms_buffer, history_buffer;
   std::vector<std::string_view> residency_lines, unit_lines, counter_lines;
-  std::int64_t meta[9] = {0, 0, 0, 0, 0, 0, 0, 0, 0};
+  std::int64_t meta[10] = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
   bool saw_header = false, saw_meta = false;
-  std::size_t meta_fields = 9;
+  std::size_t meta_fields = 10;
 
   std::size_t pos = 0;
   while (pos < text.size()) {
@@ -299,6 +326,8 @@ bool Platform::LoadState(std::string_view text) {
     if (!saw_header) {
       if (line == kStateHeaderV1) {
         meta_fields = 5;  // pre-degradation-counter layout
+      } else if (line == kStateHeaderV2) {
+        meta_fields = 9;  // pre-catch-up-counter layout
       } else if (line != kStateHeader) {
         return false;
       }
@@ -432,6 +461,7 @@ bool Platform::LoadState(std::string_view text) {
   stats_.stale_graph_minutes = meta[6];
   stats_.prewarm_spawn_failures = static_cast<std::uint64_t>(meta[7]);
   stats_.prewarm_spawns_abandoned = static_cast<std::uint64_t>(meta[8]);
+  stats_.catchup_remines_skipped = static_cast<std::uint64_t>(meta[9]);
   return true;
 }
 

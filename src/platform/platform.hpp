@@ -73,6 +73,12 @@ struct PlatformStats {
   std::uint64_t prewarm_spawn_failures = 0;
   /// Pre-warm windows abandoned after exhausting the spawn retry budget.
   std::uint64_t prewarm_spawns_abandoned = 0;
+  /// Scheduled re-mine boundaries that fell due while the platform was
+  /// not advancing (daemon offline, long gap between invocations) and
+  /// were collapsed into the single catch-up re-mine that fired when
+  /// time resumed. Each skipped boundary counts once; the catch-up
+  /// re-mine itself counts in `remines` as usual.
+  std::uint64_t catchup_remines_skipped = 0;
 
   [[nodiscard]] double cold_fraction() const {
     return invocations == 0 ? 0.0

@@ -1,8 +1,11 @@
 #include "stats/histogram.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+
+#include "common/logging.hpp"
 
 namespace defuse::stats {
 
@@ -16,7 +19,20 @@ void Histogram::Add(MinuteDelta value) noexcept { AddCount(value, 1); }
 
 void Histogram::AddCount(MinuteDelta value, std::uint64_t count) noexcept {
   if (count == 0) return;
-  if (value < 0) value = 0;
+  if (value < 0) {
+    // A negative idle time means the feeding clock ran backwards. The
+    // old behavior clamped it into bin 0 — indistinguishable from a
+    // real immediate re-invocation, silently dragging the pre-warm
+    // percentile toward zero. Quarantine it instead.
+    negative_count_ += count;
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      DEFUSE_LOG_WARN << "histogram: negative value " << value
+                      << " quarantined (clock skew in the feeding trace?); "
+                         "further occurrences are counted silently";
+    }
+    return;
+  }
   const auto bin = static_cast<std::size_t>(value / bin_width_);
   if (bin >= counts_.size()) {
     out_of_bounds_ += count;
@@ -34,12 +50,14 @@ void Histogram::Merge(const Histogram& other) {
   }
   total_in_range_ += other.total_in_range_;
   out_of_bounds_ += other.out_of_bounds_;
+  negative_count_ += other.negative_count_;
 }
 
 void Histogram::Clear() noexcept {
   for (auto& c : counts_) c = 0;
   total_in_range_ = 0;
   out_of_bounds_ = 0;
+  negative_count_ = 0;
 }
 
 double Histogram::out_of_bounds_fraction() const noexcept {
@@ -107,6 +125,8 @@ std::string Histogram::Serialize() const {
   out += '|';
   out += std::to_string(out_of_bounds_);
   out += '|';
+  out += std::to_string(negative_count_);
+  out += '|';
   bool first = true;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     if (counts_[i] == 0) continue;
@@ -135,15 +155,25 @@ bool Histogram::Deserialize(std::string_view text) {
   if (p1 == std::string_view::npos) return false;
   const std::size_t p2 = text.find('|', p1 + 1);
   if (p2 == std::string_view::npos) return false;
-  std::uint64_t width = 0, oob = 0;
+  // Three pipes = current "width|oob|neg|bins" form; two pipes = the
+  // pre-negative-counter "width|oob|bins" form (bins hold only digits,
+  // ':' and ',', so the pipe count is unambiguous).
+  const std::size_t p3 = text.find('|', p2 + 1);
+  std::uint64_t width = 0, oob = 0, neg = 0;
   if (!parse_u64(text.substr(0, p1), width) || width == 0 ||
       static_cast<MinuteDelta>(width) != bin_width_) {
     return false;
   }
   if (!parse_u64(text.substr(p1 + 1, p2 - p1 - 1), oob)) return false;
+  if (p3 != std::string_view::npos &&
+      !parse_u64(text.substr(p2 + 1, p3 - p2 - 1), neg)) {
+    return false;
+  }
   out_of_bounds_ = oob;
+  negative_count_ = neg;
 
-  std::string_view bins = text.substr(p2 + 1);
+  std::string_view bins = text.substr(
+      (p3 == std::string_view::npos ? p2 : p3) + 1);
   while (!bins.empty()) {
     const std::size_t comma = bins.find(',');
     const std::string_view entry = bins.substr(0, comma);

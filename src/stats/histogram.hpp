@@ -39,8 +39,13 @@ class Histogram {
     return Histogram{240, 1};
   }
 
-  /// Records one observation. Negative values are clamped to bin 0;
-  /// values past the range increment the out-of-bounds counter.
+  /// Records one observation. Negative values never reach a bin: an idle
+  /// time below zero means the feeding clock ran backwards, and folding
+  /// it into bin 0 would masquerade as "invoked again immediately" and
+  /// bias the pre-warm percentile low. They are tallied in a separate
+  /// negative counter (surfaced by negative_count() and Serialize) and a
+  /// one-shot process-wide warning is logged. Values past the range
+  /// increment the out-of-bounds counter.
   void Add(MinuteDelta value) noexcept;
   /// Records `count` identical observations.
   void AddCount(MinuteDelta value, std::uint64_t count) noexcept;
@@ -59,6 +64,11 @@ class Histogram {
   /// Observations past the last bin.
   [[nodiscard]] std::uint64_t out_of_bounds() const noexcept {
     return out_of_bounds_;
+  }
+  /// Observations with a negative value (clock-skew artifacts). Excluded
+  /// from every bin, percentile, CV, and from total().
+  [[nodiscard]] std::uint64_t negative_count() const noexcept {
+    return negative_count_;
   }
   [[nodiscard]] std::uint64_t total() const noexcept {
     return total_in_range_ + out_of_bounds_;
@@ -92,12 +102,14 @@ class Histogram {
   /// Mean of in-range observations using bin mid-points. 0 if empty.
   [[nodiscard]] double MeanValue() const noexcept;
 
-  /// Compact single-line text form: "bin_width|oob|i:c,i:c,..." with
+  /// Compact single-line text form: "bin_width|oob|neg|i:c,i:c,..." with
   /// only non-zero bins listed. Round-trips via Deserialize.
   [[nodiscard]] std::string Serialize() const;
   /// Parses Serialize() output. The histogram shape (num_bins) comes
   /// from the caller; serialized bins past it are counted out-of-bounds.
-  /// Returns false on malformed input (the histogram is left cleared).
+  /// Also accepts the pre-negative-counter two-pipe form
+  /// "bin_width|oob|bins" (negative count defaults to zero). Returns
+  /// false on malformed input (the histogram is left cleared).
   [[nodiscard]] bool Deserialize(std::string_view text);
 
   /// The most-populated bin: (bin index, count). For an empty histogram
@@ -115,6 +127,7 @@ class Histogram {
   MinuteDelta bin_width_;
   std::uint64_t total_in_range_ = 0;
   std::uint64_t out_of_bounds_ = 0;
+  std::uint64_t negative_count_ = 0;
 };
 
 }  // namespace defuse::stats

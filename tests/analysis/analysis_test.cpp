@@ -123,7 +123,7 @@ TEST(BreakdownByTriggerKind, DefuseRescuesUnpredictableFunctions) {
   const auto w = trace::GenerateWorkload(cfg);
   const auto [train, eval] = core::SplitTrainEval(w.trace.horizon());
 
-  const auto mining = core::MineDependencies(w.trace, w.model, train);
+  const auto mining = core::MineDependencies(w.trace, w.model, train).value();
   const auto defuse_policy = core::MakeDefuseScheduler(w.trace, mining, train);
   const auto defuse_sim = sim::Simulate(w.trace, eval, *defuse_policy);
   const auto defuse = BreakdownByTriggerKind(w.truth, defuse_sim,

@@ -1,0 +1,109 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace defuse {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool{4};
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SubmitReturnsTaskValue) {
+  ThreadPool pool{2};
+  auto f = pool.Submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  // Every future submitted before destruction must be satisfied, even
+  // when the pool is torn down while the queue is still deep.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool{2};
+    for (int i = 0; i < 200; ++i) {
+      (void)pool.Submit([&counter] { ++counter; });
+    }
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool{0};
+  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool{2};
+  auto f = pool.Submit([]() -> int { throw std::runtime_error{"boom"}; });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ParallelFor, NullPoolRunsInlineInIndexOrder) {
+  std::vector<std::size_t> order;
+  ParallelFor(nullptr, 5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool{4};
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(&pool, kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, SlotWritesAreDeterministic) {
+  // The slot-per-index contract: with each body(i) writing only slot i,
+  // the result must not depend on the thread count.
+  constexpr std::size_t kN = 500;
+  const auto run = [&](std::size_t threads) {
+    std::vector<std::uint64_t> out(kN, 0);
+    ThreadPool pool{threads};
+    ParallelFor(threads <= 1 ? nullptr : &pool, kN,
+                [&](std::size_t i) { out[i] = i * i + 1; });
+    return out;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(4));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoop) {
+  ThreadPool pool{2};
+  bool ran = false;
+  ParallelFor(&pool, 0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, ExceptionInBodySurfacesOnCaller) {
+  ThreadPool pool{4};
+  EXPECT_THROW(ParallelFor(&pool, 100,
+                           [&](std::size_t i) {
+                             if (i == 37) throw std::runtime_error{"boom"};
+                           }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace defuse

@@ -109,7 +109,7 @@ TEST(RunAdaptive, AdaptsToAMidTraceDeployment) {
 
   // Static: mined on days 0..4 (never saw new-fn).
   const auto static_mining =
-      MineDependencies(trace, model, TimeRange{0, 4 * kMinutesPerDay});
+      MineDependencies(trace, model, TimeRange{0, 4 * kMinutesPerDay}).value();
   const auto static_policy = MakeDefuseScheduler(
       trace, static_mining, TimeRange{0, 4 * kMinutesPerDay});
   const auto static_sim = sim::Simulate(trace, span, *static_policy);

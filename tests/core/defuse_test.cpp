@@ -20,7 +20,7 @@ trace::SyntheticWorkload TestWorkload() {
 TEST(MineDependencies, ProducesSetsCoveringAllFunctions) {
   const auto w = TestWorkload();
   const auto [train, eval] = SplitTrainEval(w.trace.horizon());
-  const auto mining = MineDependencies(w.trace, w.model, train);
+  const auto mining = MineDependencies(w.trace, w.model, train).value();
   std::size_t covered = 0;
   for (const auto& set : mining.sets) covered += set.functions.size();
   EXPECT_EQ(covered, w.model.num_functions());
@@ -31,7 +31,7 @@ TEST(MineDependencies, ProducesSetsCoveringAllFunctions) {
 TEST(MineDependencies, DependencySetsNeverCrossUsers) {
   const auto w = TestWorkload();
   const auto [train, eval] = SplitTrainEval(w.trace.horizon());
-  const auto mining = MineDependencies(w.trace, w.model, train);
+  const auto mining = MineDependencies(w.trace, w.model, train).value();
   for (const auto& set : mining.sets) {
     const UserId user = w.model.function(set.functions.front()).user;
     for (const FunctionId fn : set.functions) {
@@ -49,7 +49,7 @@ TEST(MineDependencies, DependencySetsNeverCrossUsers) {
 std::pair<std::size_t, std::size_t> GroupRecovery(
     const trace::SyntheticWorkload& w, TimeRange train,
     const DefuseConfig& config) {
-  const auto mining = MineDependencies(w.trace, w.model, train, config);
+  const auto mining = MineDependencies(w.trace, w.model, train, config).value();
   const auto fn_to_set =
       graph::FunctionToSetIndex(mining.sets, w.model.num_functions());
   std::size_t eligible_groups = 0, recovered = 0;
@@ -104,7 +104,7 @@ TEST(MineDependencies, WindowingLosesOnlyAModestFractionOfGroups) {
 TEST(MineDependencies, RecoversManyPlantedWeakLinks) {
   const auto w = TestWorkload();
   const auto [train, eval] = SplitTrainEval(w.trace.horizon());
-  const auto mining = MineDependencies(w.trace, w.model, train);
+  const auto mining = MineDependencies(w.trace, w.model, train).value();
   const auto fn_to_set =
       graph::FunctionToSetIndex(mining.sets, w.model.num_functions());
 
@@ -124,7 +124,7 @@ TEST(MineDependencies, StrongOnlyHasNoWeakEdges) {
   const auto [train, eval] = SplitTrainEval(w.trace.horizon());
   DefuseConfig cfg;
   cfg.use_weak = false;
-  const auto mining = MineDependencies(w.trace, w.model, train, cfg);
+  const auto mining = MineDependencies(w.trace, w.model, train, cfg).value();
   EXPECT_EQ(mining.num_weak_dependencies, 0u);
   EXPECT_EQ(mining.graph.num_weak_edges(), 0u);
   EXPECT_GT(mining.graph.num_strong_edges(), 0u);
@@ -135,7 +135,7 @@ TEST(MineDependencies, WeakOnlyHasNoStrongEdges) {
   const auto [train, eval] = SplitTrainEval(w.trace.horizon());
   DefuseConfig cfg;
   cfg.use_strong = false;
-  const auto mining = MineDependencies(w.trace, w.model, train, cfg);
+  const auto mining = MineDependencies(w.trace, w.model, train, cfg).value();
   EXPECT_EQ(mining.num_frequent_itemsets, 0u);
   EXPECT_EQ(mining.graph.num_strong_edges(), 0u);
   EXPECT_GT(mining.graph.num_weak_edges(), 0u);
@@ -148,8 +148,8 @@ TEST(MineDependencies, CombinedGraphHasFewerOrEqualSets) {
   const auto [train, eval] = SplitTrainEval(w.trace.horizon());
   DefuseConfig strong_only;
   strong_only.use_weak = false;
-  const auto strong = MineDependencies(w.trace, w.model, train, strong_only);
-  const auto both = MineDependencies(w.trace, w.model, train);
+  const auto strong = MineDependencies(w.trace, w.model, train, strong_only).value();
+  const auto both = MineDependencies(w.trace, w.model, train).value();
   EXPECT_LE(both.sets.size(), strong.sets.size());
 }
 
@@ -162,16 +162,16 @@ TEST(MineDependencies, HigherSupportYieldsFewerStrongEdges) {
   DefuseConfig strict;
   strict.support = 0.6;
   strict.use_weak = false;
-  const auto a = MineDependencies(w.trace, w.model, train, loose);
-  const auto b = MineDependencies(w.trace, w.model, train, strict);
+  const auto a = MineDependencies(w.trace, w.model, train, loose).value();
+  const auto b = MineDependencies(w.trace, w.model, train, strict).value();
   EXPECT_GE(a.num_frequent_itemsets, b.num_frequent_itemsets);
 }
 
 TEST(MineDependencies, IsDeterministic) {
   const auto w = TestWorkload();
   const auto [train, eval] = SplitTrainEval(w.trace.horizon());
-  const auto a = MineDependencies(w.trace, w.model, train);
-  const auto b = MineDependencies(w.trace, w.model, train);
+  const auto a = MineDependencies(w.trace, w.model, train).value();
+  const auto b = MineDependencies(w.trace, w.model, train).value();
   ASSERT_EQ(a.sets.size(), b.sets.size());
   for (std::size_t i = 0; i < a.sets.size(); ++i) {
     EXPECT_EQ(a.sets[i].functions, b.sets[i].functions);
@@ -181,7 +181,7 @@ TEST(MineDependencies, IsDeterministic) {
 TEST(MakeDefuseScheduler, SeedsHistogramsFromTraining) {
   const auto w = TestWorkload();
   const auto [train, eval] = SplitTrainEval(w.trace.horizon());
-  const auto mining = MineDependencies(w.trace, w.model, train);
+  const auto mining = MineDependencies(w.trace, w.model, train).value();
   const auto policy = MakeDefuseScheduler(w.trace, mining, train);
   EXPECT_EQ(policy->unit_map().num_units(), mining.sets.size());
   // At least one active unit must have a seeded histogram.

@@ -20,7 +20,7 @@ TEST(Robustness, CompletelySilentWorkload) {
   trace::InvocationTrace trace{2, TimeRange{0, 1000}};
   trace.Finalize();
 
-  const auto mining = MineDependencies(trace, model, TimeRange{0, 500});
+  const auto mining = MineDependencies(trace, model, TimeRange{0, 500}).value();
   EXPECT_EQ(mining.num_frequent_itemsets, 0u);
   EXPECT_EQ(mining.num_weak_dependencies, 0u);
   EXPECT_EQ(mining.sets.size(), 2u);  // singletons
@@ -68,7 +68,7 @@ TEST(Robustness, EverythingFiresEveryMinute) {
   }
   trace.Finalize();
 
-  const auto mining = MineDependencies(trace, model, TimeRange{0, 1000});
+  const auto mining = MineDependencies(trace, model, TimeRange{0, 1000}).value();
   // All functions co-fire constantly -> one big strong component.
   EXPECT_EQ(mining.sets.size(), 1u);
   EXPECT_EQ(mining.sets[0].functions.size(), kN);
@@ -90,7 +90,7 @@ TEST(Robustness, TrainWindowEmpty) {
   trace.Add(f, 50);
   trace.Finalize();
   // Degenerate training range.
-  const auto mining = MineDependencies(trace, model, TimeRange{0, 0});
+  const auto mining = MineDependencies(trace, model, TimeRange{0, 0}).value();
   EXPECT_EQ(mining.sets.size(), 1u);
   ExperimentDriver driver{model, trace, TimeRange{0, 0}, TimeRange{0, 100}};
   const auto r = driver.Run(Method::kDefuse);
@@ -116,7 +116,7 @@ TEST(Robustness, ManyUsersOneFunctionEach) {
     trace = std::move(t);
   }
   // No possible dependencies (one function per user).
-  const auto mining = MineDependencies(trace, model, TimeRange{0, 2000});
+  const auto mining = MineDependencies(trace, model, TimeRange{0, 2000}).value();
   EXPECT_EQ(mining.graph.edges().size(), 0u);
   EXPECT_EQ(mining.sets.size(), model.num_functions());
   ExperimentDriver driver{model, trace, TimeRange{0, 2000},

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 namespace defuse::mining {
 namespace {
@@ -119,7 +120,7 @@ std::vector<FunctionId> MakeUniverse(std::uint32_t n) {
 
 TEST(SplitUniverse, SmallUniverseIsOneWindow) {
   Rng rng{1};
-  const auto windows = SplitUniverse(MakeUniverse(10), 20, 10, rng);
+  const auto windows = SplitUniverse(MakeUniverse(10), 20, 10, rng).value();
   ASSERT_EQ(windows.size(), 1u);
   EXPECT_EQ(windows[0].functions.size(), 10u);
   EXPECT_TRUE(std::is_sorted(windows[0].functions.begin(),
@@ -128,12 +129,12 @@ TEST(SplitUniverse, SmallUniverseIsOneWindow) {
 
 TEST(SplitUniverse, EmptyUniverse) {
   Rng rng{1};
-  EXPECT_TRUE(SplitUniverse({}, 20, 10, rng).empty());
+  EXPECT_TRUE(SplitUniverse({}, 20, 10, rng).value().empty());
 }
 
 TEST(SplitUniverse, WindowsHaveExpectedSizesAndStride) {
   Rng rng{2};
-  const auto windows = SplitUniverse(MakeUniverse(45), 20, 10, rng);
+  const auto windows = SplitUniverse(MakeUniverse(45), 20, 10, rng).value();
   // Starts at 0, 10, 20, 30 (last one reaches the end: 30+15).
   ASSERT_EQ(windows.size(), 4u);
   EXPECT_EQ(windows[0].functions.size(), 20u);
@@ -145,7 +146,7 @@ TEST(SplitUniverse, WindowsHaveExpectedSizesAndStride) {
 TEST(SplitUniverse, EveryFunctionAppearsAtLeastOnce) {
   Rng rng{3};
   const auto universe = MakeUniverse(57);
-  const auto windows = SplitUniverse(universe, 20, 10, rng);
+  const auto windows = SplitUniverse(universe, 20, 10, rng).value();
   std::set<FunctionId> seen;
   for (const auto& w : windows) {
     seen.insert(w.functions.begin(), w.functions.end());
@@ -155,7 +156,7 @@ TEST(SplitUniverse, EveryFunctionAppearsAtLeastOnce) {
 
 TEST(SplitUniverse, OverlapBetweenAdjacentWindows) {
   Rng rng{4};
-  const auto windows = SplitUniverse(MakeUniverse(40), 20, 10, rng);
+  const auto windows = SplitUniverse(MakeUniverse(40), 20, 10, rng).value();
   ASSERT_GE(windows.size(), 2u);
   // Stride < window: adjacent windows share exactly window - stride fns.
   std::vector<FunctionId> inter;
@@ -167,10 +168,44 @@ TEST(SplitUniverse, OverlapBetweenAdjacentWindows) {
   EXPECT_EQ(inter.size(), 10u);
 }
 
+// Regression: stride > window_size used to be only an assert, so release
+// builds silently dropped the functions between consecutive windows from
+// every split. It must be a hard kInvalidArgument now.
+TEST(SplitUniverse, RejectsStrideWiderThanWindow) {
+  Rng rng{7};
+  const auto result = SplitUniverse(MakeUniverse(45), 10, 11, rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(SplitUniverse, RejectsZeroStrideAndZeroWindow) {
+  Rng rng{8};
+  EXPECT_FALSE(SplitUniverse(MakeUniverse(5), 10, 0, rng).ok());
+  EXPECT_FALSE(SplitUniverse(MakeUniverse(5), 0, 1, rng).ok());
+}
+
+// The property the rejected configs would violate: with any accepted
+// (window, stride) pair, no function is lost by the split.
+TEST(SplitUniverse, AcceptedConfigsCoverEveryFunction) {
+  for (const auto& [window, stride] :
+       {std::pair<std::size_t, std::size_t>{20, 10}, {20, 20}, {7, 3},
+        {3, 1}, {1, 1}}) {
+    Rng rng{9};
+    const auto universe = MakeUniverse(45);
+    const auto windows = SplitUniverse(universe, window, stride, rng).value();
+    std::set<FunctionId> seen;
+    for (const auto& w : windows) {
+      seen.insert(w.functions.begin(), w.functions.end());
+    }
+    EXPECT_EQ(seen.size(), universe.size())
+        << "window=" << window << " stride=" << stride;
+  }
+}
+
 TEST(SplitUniverse, ShuffleIsSeedDependent) {
   Rng rng1{5}, rng2{6};
-  const auto w1 = SplitUniverse(MakeUniverse(40), 20, 10, rng1);
-  const auto w2 = SplitUniverse(MakeUniverse(40), 20, 10, rng2);
+  const auto w1 = SplitUniverse(MakeUniverse(40), 20, 10, rng1).value();
+  const auto w2 = SplitUniverse(MakeUniverse(40), 20, 10, rng2).value();
   EXPECT_NE(w1[0].functions, w2[0].functions);
 }
 

@@ -261,29 +261,77 @@ TEST(Chaos, SaveStateCarriesDegradationCountersAcrossRestart) {
   EXPECT_EQ(restored.stats(), original.stats());
 }
 
+// Parallel mining inside the live platform must not perturb anything:
+// the engine with --mine-threads style fan-out is bit-identical to the
+// serial engine, fault injection and all, and run-twice is stable.
+TEST(Chaos, ParallelMiningIsBitIdenticalUnderFaults) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Fixture fx;
+    auto parallel_cfg = ChaosConfig();
+    parallel_cfg.mining.parallel.num_threads = 4;
+
+    faults::FaultInjector serial_injector{seed, ChaosProfile()};
+    Platform serial{fx.model, ChaosConfig()};
+    serial.set_fault_injector(&serial_injector);
+    Drive(serial, fx, 6, seed);
+
+    faults::FaultInjector parallel_injector{seed, ChaosProfile()};
+    Platform parallel{fx.model, parallel_cfg};
+    parallel.set_fault_injector(&parallel_injector);
+    Drive(parallel, fx, 6, seed);
+
+    EXPECT_EQ(serial.stats(), parallel.stats()) << "seed " << seed;
+    EXPECT_EQ(serial.SaveState(), parallel.SaveState()) << "seed " << seed;
+
+    faults::FaultInjector again_injector{seed, ChaosProfile()};
+    Platform again{fx.model, parallel_cfg};
+    again.set_fault_injector(&again_injector);
+    Drive(again, fx, 6, seed);
+    EXPECT_EQ(parallel.SaveState(), again.SaveState()) << "seed " << seed;
+  }
+}
+
+// Rebuilds a current-format state as an older version: swaps the header
+// and truncates the meta line to `fields` fields.
+std::string DowngradeState(const std::string& current, const char* header,
+                           std::size_t fields) {
+  const std::size_t meta_start = current.find("meta,");
+  const std::size_t meta_end = current.find('\n', meta_start);
+  EXPECT_NE(meta_start, std::string::npos);
+  std::string meta = current.substr(meta_start, meta_end - meta_start);
+  std::size_t commas = 0, cut = std::string::npos;
+  for (std::size_t i = 0; i < meta.size(); ++i) {
+    if (meta[i] == ',' && ++commas == fields + 1) { cut = i; break; }
+  }
+  EXPECT_NE(cut, std::string::npos);
+  return std::string{header} + "\n" + meta.substr(0, cut) +
+         current.substr(meta_end);
+}
+
 TEST(Chaos, LoadStateAcceptsLegacyV1Header) {
   // A v1 state (5 meta fields, no degradation counters) must still load,
   // with the new counters defaulting to zero.
   Fixture fx;
   Platform p{fx.model, ChaosConfig()};
-  const std::string v2 = p.SaveState();
-  ASSERT_EQ(v2.rfind("defuse-platform-state-v2\n", 0), 0u);
-  const std::size_t meta_start = v2.find("meta,");
-  const std::size_t meta_end = v2.find('\n', meta_start);
-  ASSERT_NE(meta_start, std::string::npos);
-  // Rebuild as v1: old header, meta truncated to its first 5 fields.
-  std::string meta = v2.substr(meta_start, meta_end - meta_start);
-  std::size_t commas = 0, cut = std::string::npos;
-  for (std::size_t i = 0; i < meta.size(); ++i) {
-    if (meta[i] == ',' && ++commas == 6) { cut = i; break; }
-  }
-  ASSERT_NE(cut, std::string::npos);
-  const std::string v1 = "defuse-platform-state-v1\n" + meta.substr(0, cut) +
-                         v2.substr(meta_end);
+  const std::string current = p.SaveState();
+  ASSERT_EQ(current.rfind("defuse-platform-state-v3\n", 0), 0u);
+  const std::string v1 =
+      DowngradeState(current, "defuse-platform-state-v1", 5);
   Platform q{fx.model, ChaosConfig()};
   EXPECT_TRUE(q.LoadState(v1));
   EXPECT_EQ(q.stats().degraded_remines, 0u);
   EXPECT_EQ(q.stats().stale_graph_minutes, 0);
+}
+
+TEST(Chaos, LoadStateAcceptsLegacyV2Header) {
+  // A v2 state (9 meta fields, no catch-up counter) must still load.
+  Fixture fx;
+  Platform p{fx.model, ChaosConfig()};
+  const std::string v2 =
+      DowngradeState(p.SaveState(), "defuse-platform-state-v2", 9);
+  Platform q{fx.model, ChaosConfig()};
+  EXPECT_TRUE(q.LoadState(v2));
+  EXPECT_EQ(q.stats().catchup_remines_skipped, 0u);
 }
 
 }  // namespace

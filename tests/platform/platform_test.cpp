@@ -72,8 +72,38 @@ TEST(Platform, RemineFiresOnSchedule) {
   (void)p.Invoke(fx.svc, 0);
   (void)p.Invoke(fx.svc, kMinutesPerDay + 5);
   EXPECT_EQ(p.stats().remines, 1u);
+  EXPECT_EQ(p.stats().catchup_remines_skipped, 0u);
+  // Two boundaries elapsed unserved: ONE catch-up re-mine fires (at the
+  // latest boundary), the other is booked as skipped — not re-mined.
   (void)p.Invoke(fx.svc, 3 * kMinutesPerDay + 5);
-  EXPECT_EQ(p.stats().remines, 3u);  // one per elapsed boundary
+  EXPECT_EQ(p.stats().remines, 2u);
+  EXPECT_EQ(p.stats().catchup_remines_skipped, 1u);
+  // Cadence resumes from the caught-up boundary.
+  (void)p.Invoke(fx.svc, 4 * kMinutesPerDay + 5);
+  EXPECT_EQ(p.stats().remines, 3u);
+  EXPECT_EQ(p.stats().catchup_remines_skipped, 1u);
+}
+
+// Regression: MaybeRemine used to loop `while (now >= next_remine_)`,
+// firing one full mining pass per elapsed interval after an offline gap
+// — a week of downtime meant seven back-to-back re-mines, six of whose
+// results were immediately overwritten. A multi-day gap must cost
+// exactly one re-mine.
+TEST(Platform, OfflineGapCollapsesToOneCatchUpRemine) {
+  Fixture fx;
+  auto cfg = TestConfig();
+  cfg.remine_interval = kMinutesPerDay;
+  cfg.horizon = 30 * kMinutesPerDay;
+  Platform p{fx.model, cfg};
+  (void)p.Invoke(fx.svc, 0);
+  // The daemon comes back after nine days of silence.
+  (void)p.Invoke(fx.svc, 9 * kMinutesPerDay + 1);
+  EXPECT_EQ(p.stats().remines, 1u);
+  EXPECT_EQ(p.stats().catchup_remines_skipped, 8u);
+  // AdvanceTo heartbeats hit the same collapsed path.
+  p.AdvanceTo(12 * kMinutesPerDay);
+  EXPECT_EQ(p.stats().remines, 2u);
+  EXPECT_EQ(p.stats().catchup_remines_skipped, 10u);
 }
 
 TEST(Platform, RemineGroupsDependentFunctions) {

@@ -50,10 +50,61 @@ TEST(Histogram, ValuesPastRangeAreOutOfBounds) {
   EXPECT_DOUBLE_EQ(h.out_of_bounds_fraction(), 1.0);
 }
 
-TEST(Histogram, NegativeValuesClampToBinZero) {
+// Regression: negative idle times (clock skew in the feeding trace) used
+// to be clamped into bin 0, indistinguishable from a real immediate
+// re-invocation — dragging the pre-warm percentile toward zero. They are
+// quarantined in their own counter now and touch no bin or percentile.
+TEST(Histogram, NegativeValuesAreQuarantinedNotClamped) {
   Histogram h{10, 1};
   h.Add(-5);
+  h.AddCount(-1, 3);
+  EXPECT_EQ(h.counts()[0], 0u);
+  EXPECT_EQ(h.negative_count(), 4u);
+  EXPECT_EQ(h.total_in_range(), 0u);
+  EXPECT_EQ(h.total(), 0u);  // negatives are not observations
+}
+
+TEST(Histogram, NegativeValuesDoNotMovePercentilesOrCv) {
+  Histogram clean{10, 1}, skewed{10, 1};
+  for (MinuteDelta v : {4, 4, 5, 6}) {
+    clean.Add(v);
+    skewed.Add(v);
+  }
+  skewed.AddCount(-3, 100);
+  EXPECT_EQ(skewed.Percentile(0.05), clean.Percentile(0.05));
+  EXPECT_DOUBLE_EQ(skewed.BinCountCv(), clean.BinCountCv());
+  EXPECT_EQ(skewed.negative_count(), 100u);
+}
+
+TEST(Histogram, MergeAndClearCarryNegativeCount) {
+  Histogram a{5, 1}, b{5, 1};
+  a.Add(-1);
+  b.AddCount(-2, 2);
+  a.Merge(b);
+  EXPECT_EQ(a.negative_count(), 3u);
+  a.Clear();
+  EXPECT_EQ(a.negative_count(), 0u);
+}
+
+TEST(Histogram, SerializeRoundTripsNegativeCount) {
+  Histogram h{10, 1};
+  h.Add(2);
+  h.AddCount(-7, 5);
+  Histogram loaded{10, 1};
+  ASSERT_TRUE(loaded.Deserialize(h.Serialize()));
+  EXPECT_EQ(loaded.negative_count(), 5u);
+  EXPECT_EQ(loaded.counts()[2], 1u);
+}
+
+// States written before the negative counter existed use the two-pipe
+// "width|oob|bins" form; they must still load (negatives default to 0).
+TEST(Histogram, DeserializeAcceptsPreNegativeCounterFormat) {
+  Histogram h{10, 1};
+  ASSERT_TRUE(h.Deserialize("1|2|0:1,3:4"));
+  EXPECT_EQ(h.out_of_bounds(), 2u);
+  EXPECT_EQ(h.negative_count(), 0u);
   EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[3], 4u);
 }
 
 TEST(Histogram, AddCountAccumulates) {

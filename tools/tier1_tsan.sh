@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Builds the test suite with ThreadSanitizer and runs the suites that
+# exercise the parallel mining fan-out (plus the platform/durability
+# suites that drive it through re-mines).
+#
+#   tools/tier1_tsan.sh [build-dir]          # default: build-tsan
+#
+# TSan is the enforcement half of the determinism contract: the
+# differential tests prove parallel output is bit-identical to serial,
+# and a clean TSan run proves that is not luck (no data race decided the
+# bits). Uses the same -DDEFUSE_SANITIZE cache option as
+# tier1_sanitize.sh; thread and address sanitizers are mutually
+# exclusive, hence the separate build tree.
+set -eu
+
+BUILD_DIR="${1:-build-tsan}"
+SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
+  -DDEFUSE_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDEFUSE_BUILD_BENCHMARKS=OFF \
+  -DDEFUSE_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j \
+  --target test_common test_mining test_core test_platform test_durability
+
+for t in test_common test_mining test_core test_platform test_durability; do
+  echo "== $t (TSan) =="
+  "$BUILD_DIR/tests/$t"
+done
+echo "TSan parallel-mining suite: PASS"
