@@ -1,0 +1,179 @@
+// Serving-layer latency: a closed-loop load generator over the loopback
+// transport, measuring per-invoke round-trip latency through the full
+// stack (protocol encode -> frame -> ServerCore -> PlatformServer ->
+// Platform) while background re-mining is idle vs in flight.
+//
+// The claim under test is the point of async off-path re-mining: when a
+// re-mine boundary crosses, invocations keep flowing at near-idle
+// latency because mining runs on the background pool — the p99 of
+// invokes issued while a mine is in flight must stay within 2x the idle
+// p99 (the one adoption invoke that swaps the mined sets in is included
+// in the in-flight class; that IS the on-path cost of the design).
+// Results land machine-readable in BENCH_serving.json so CI can trend
+// them; the 2x self-check only gates the exit code when enough
+// in-flight samples were observed to make the percentile meaningful.
+//
+// Environment overrides: DEFUSE_BENCH_USERS (300), DEFUSE_BENCH_SEED
+// (777), DEFUSE_BENCH_DAYS (4).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "net/loopback.hpp"
+#include "net/server_core.hpp"
+#include "platform/platform.hpp"
+#include "server/client.hpp"
+#include "server/platform_server.hpp"
+#include "trace/generator.hpp"
+
+using namespace defuse;
+
+namespace {
+
+long EnvLong(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+double Percentile(std::vector<double>& sorted_in_place, double q) {
+  if (sorted_in_place.empty()) return 0.0;
+  std::sort(sorted_in_place.begin(), sorted_in_place.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_in_place.size() - 1));
+  return sorted_in_place[idx];
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Serving latency",
+                     "loopback closed loop: invoke p50/p99, re-mine idle "
+                     "vs in flight");
+
+  trace::GeneratorConfig cfg;
+  cfg.num_users =
+      static_cast<std::uint32_t>(EnvLong("DEFUSE_BENCH_USERS", 300));
+  cfg.seed = static_cast<std::uint64_t>(EnvLong("DEFUSE_BENCH_SEED", 777));
+  cfg.horizon_minutes = EnvLong("DEFUSE_BENCH_DAYS", 4) * kMinutesPerDay;
+  const auto w = trace::GenerateWorkload(cfg);
+
+  platform::PlatformConfig pcfg;
+  pcfg.horizon = cfg.horizon_minutes;
+  pcfg.remine_interval = kMinutesPerDay;
+  pcfg.async_remine = true;  // the subject under test
+  platform::Platform p{w.model, pcfg};
+
+  server::PlatformServer handler{p};
+  net::ServerCore core{handler};
+  net::LoopbackServer loopback{core};
+  auto channel = loopback.Connect();
+  if (!channel.ok()) {
+    std::fprintf(stderr, "error: loopback connect failed\n");
+    return 1;
+  }
+  server::Client client{std::move(channel).value()};
+
+  std::printf("# %u users, %zu functions, %lld-day trace, re-mine every "
+              "day (async)\n",
+              cfg.num_users, w.model.num_functions(),
+              static_cast<long long>(cfg.horizon_minutes / kMinutesPerDay));
+
+  std::vector<double> idle_us, inflight_us;
+  const auto index = w.trace.BuildMinuteIndex(w.trace.horizon());
+  const auto wall_begin = std::chrono::steady_clock::now();
+  std::uint64_t failures = 0;
+  for (Minute t = 0; t < w.trace.horizon().end; ++t) {
+    for (const auto& [fn, count] : index.at(t)) {
+      const bool in_flight = p.remine_in_flight();
+      const auto begin = std::chrono::steady_clock::now();
+      const auto outcome = client.Invoke(fn, t);
+      const auto end = std::chrono::steady_clock::now();
+      if (!outcome.ok()) {
+        ++failures;
+        continue;
+      }
+      const double us =
+          std::chrono::duration<double, std::micro>(end - begin).count();
+      (in_flight ? inflight_us : idle_us).push_back(us);
+    }
+  }
+  p.FinishPendingRemine();
+  const auto wall_end = std::chrono::steady_clock::now();
+  const double wall_s =
+      std::chrono::duration<double>(wall_end - wall_begin).count();
+
+  const std::uint64_t total = p.stats().invocations;
+  const double throughput =
+      wall_s > 0 ? static_cast<double>(total) / wall_s : 0.0;
+  const double idle_p50 = Percentile(idle_us, 0.50);
+  const double idle_p99 = Percentile(idle_us, 0.99);
+  const double inflight_p50 = Percentile(inflight_us, 0.50);
+  const double inflight_p99 = Percentile(inflight_us, 0.99);
+  const double ratio_p99 =
+      idle_p99 > 0 && !inflight_us.empty() ? inflight_p99 / idle_p99 : 0.0;
+  const auto& books = p.async_remine_books();
+
+  std::printf("\nclass,samples,p50_us,p99_us\n");
+  std::printf("idle,%zu,%.1f,%.1f\n", idle_us.size(), idle_p50, idle_p99);
+  std::printf("remine_in_flight,%zu,%.1f,%.1f\n", inflight_us.size(),
+              inflight_p50, inflight_p99);
+  std::printf("# %llu invocations in %.2fs (%.0f/s); %llu re-mines "
+              "(%llu async started, %llu swapped); %llu failures\n",
+              static_cast<unsigned long long>(total), wall_s, throughput,
+              static_cast<unsigned long long>(p.stats().remines),
+              static_cast<unsigned long long>(books.started),
+              static_cast<unsigned long long>(books.swapped),
+              static_cast<unsigned long long>(failures));
+
+  // Enough in-flight samples for a p99 to mean anything?
+  const bool enough_samples = inflight_us.size() >= 100;
+  const bool within_bound = ratio_p99 <= 2.0;
+  if (enough_samples) {
+    bench::PrintHeadline(
+        "in-flight p99 " + std::to_string(ratio_p99).substr(0, 4) +
+        "x idle p99 (bound 2.0x): " + (within_bound ? "PASS" : "FAIL"));
+  } else {
+    bench::PrintHeadline("only " + std::to_string(inflight_us.size()) +
+                         " in-flight samples; 2x bound not evaluated");
+  }
+
+  std::string json = "{\n";
+  json += "  \"users\": " + std::to_string(cfg.num_users) + ",\n";
+  json += "  \"functions\": " + std::to_string(w.model.num_functions()) +
+          ",\n";
+  json += "  \"invocations\": " + std::to_string(total) + ",\n";
+  json += "  \"throughput_per_s\": " + std::to_string(throughput) + ",\n";
+  json += "  \"idle_samples\": " + std::to_string(idle_us.size()) + ",\n";
+  json += "  \"idle_p50_us\": " + std::to_string(idle_p50) + ",\n";
+  json += "  \"idle_p99_us\": " + std::to_string(idle_p99) + ",\n";
+  json += "  \"inflight_samples\": " + std::to_string(inflight_us.size()) +
+          ",\n";
+  json += "  \"inflight_p50_us\": " + std::to_string(inflight_p50) + ",\n";
+  json += "  \"inflight_p99_us\": " + std::to_string(inflight_p99) + ",\n";
+  json += "  \"p99_ratio\": " + std::to_string(ratio_p99) + ",\n";
+  json += "  \"remines\": " + std::to_string(p.stats().remines) + ",\n";
+  json += "  \"async_started\": " + std::to_string(books.started) + ",\n";
+  json += "  \"failures\": " + std::to_string(failures) + "\n";
+  json += "}\n";
+  std::FILE* out = std::fopen("BENCH_serving.json", "w");
+  if (out != nullptr) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("# wrote BENCH_serving.json\n");
+  } else {
+    std::fprintf(stderr, "warning: could not write BENCH_serving.json\n");
+  }
+
+  // The latency bound is the acceptance criterion; sample starvation on
+  // a very fast machine is not a failure.
+  if (failures > 0) return 1;
+  return (!enough_samples || within_bound) ? 0 : 1;
+}

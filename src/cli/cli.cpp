@@ -5,8 +5,13 @@
 #include <vector>
 
 #include "analysis/analysis.hpp"
+#include "cli/shutdown.hpp"
 #include "common/csv.hpp"
 #include "core/adaptive.hpp"
+#include "net/server_core.hpp"
+#include "net/socket.hpp"
+#include "server/client.hpp"
+#include "server/platform_server.hpp"
 #include "platform/durability/durable_state.hpp"
 #include "platform/durability/recovery.hpp"
 #include "platform/platform.hpp"
@@ -70,6 +75,19 @@ commands:
   fsck       verify a state directory's snapshots and journals without
              repairing anything
              --state-dir DIR (required)   exit 2 on corruption
+  serve      run the platform engine as a network daemon (framed binary
+             protocol over TCP; SIGINT/SIGTERM drains and checkpoints)
+             --trace FILE (required; defines the function model)
+             --host H (127.0.0.1)  --port P (0 = ephemeral, printed)
+             --remine-days N (1)   --window-days N (4)
+             --mine-threads N (0 = serial)
+             --async-remine     mine off-path; invokes flow during mining
+             --state-dir DIR    durable mode (journal + checkpoints)
+             --checkpoint-days N (1)
+  drive      stream a trace into a running serve daemon and print the
+             same per-day lines as replay
+             --trace FILE (required)  --host H (127.0.0.1)
+             --port P (required)
   compare    the paper's headline comparison on this trace: Defuse vs
              Hybrid-Function vs Hybrid-Application at restricted memory
              --trace FILE (required)   --train-days N (all but 2)
@@ -663,12 +681,26 @@ int CmdReplay(const FlagParser& flags, std::ostream& out, std::ostream& err) {
     if (start > 0) out << "resuming at minute " << start << "\n";
   }
 
+  // Durable replays are resumable, so SIGINT/SIGTERM can stop cleanly:
+  // finish the current minute, take a final checkpoint, exit 0. A later
+  // run recovers and resumes where this one stopped.
+  if (durable) {
+    ResetShutdownFlag();
+    InstallShutdownSignalHandlers();
+  }
+
   const auto index = bundle->trace.BuildMinuteIndex(bundle->trace.horizon());
   std::uint64_t day_invocations = 0, day_cold = 0;
   std::uint64_t journal_failures = 0;
   Minute day = start / kMinutesPerDay;
+  bool interrupted = false;
   out << "day,invocations,cold_fraction,dependency_sets\n";
   for (Minute t = start; t < bundle->trace.horizon().end; ++t) {
+    if (durable && ShutdownRequested()) {
+      out << "shutdown requested; stopping before minute " << t << "\n";
+      interrupted = true;
+      break;
+    }
     for (const auto& [fn, count] : index.at(t)) {
       if (durable) {
         // Write-ahead: the event becomes durable before it is applied.
@@ -708,6 +740,10 @@ int CmdReplay(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   out << "total: " << engine.stats().invocations << " invocations, cold "
       << engine.stats().cold_fraction() << ", " << engine.stats().remines
       << " re-mines\n";
+  if (interrupted) {
+    out << "interrupted: state checkpointed for resume; rerun the same "
+           "command to continue\n";
+  }
   if (durable) {
     if (const auto saved = durable->Checkpoint(engine); !saved.ok()) {
       err << "warning: final checkpoint failed: " << saved.error().ToString()
@@ -772,6 +808,164 @@ int CmdFsck(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   return report.healthy ? 0 : 2;
 }
 
+int CmdServe(const FlagParser& flags, std::ostream& out, std::ostream& err) {
+  const auto bundle = LoadTrace(flags, err);
+  if (!bundle) return 1;
+  const auto remine_days = flags.GetInt("remine-days", 1);
+  const auto window_days = flags.GetInt("window-days", 4);
+  const auto checkpoint_days = flags.GetInt("checkpoint-days", 1);
+  const auto port = flags.GetInt("port", 0);
+  if (!remine_days.ok() || !window_days.ok() || !checkpoint_days.ok() ||
+      remine_days.value() < 1 || window_days.value() < 1 ||
+      checkpoint_days.value() < 1) {
+    err << "error: --remine-days/--window-days/--checkpoint-days must be "
+           "positive integers\n";
+    return 1;
+  }
+  if (!port.ok() || port.value() < 0 || port.value() > 65535) {
+    err << "error: --port must be in [0, 65535]\n";
+    return 1;
+  }
+
+  platform::PlatformConfig config;
+  config.horizon = bundle->trace.horizon().end;
+  config.remine_interval = remine_days.value() * kMinutesPerDay;
+  config.mining_window = window_days.value() * kMinutesPerDay;
+  config.async_remine = flags.Has("async-remine");
+  if (!MineThreadsFromFlags(flags, err, config.mining.parallel)) return 1;
+  platform::Platform engine{bundle->model, config};
+
+  std::optional<platform::durability::DurableState> durable;
+  if (const auto dir = flags.Get("state-dir")) {
+    platform::durability::DurableState::Options options;
+    options.checkpoint_interval = checkpoint_days.value() * kMinutesPerDay;
+    durable.emplace(*dir, options);
+    if (const auto opened = durable->Open(); !opened.ok()) {
+      err << "error: " << opened.error().ToString() << "\n";
+      return 2;
+    }
+    auto recovered = durable->Recover(engine);
+    if (!recovered.ok()) {
+      err << "error: " << recovered.error().ToString() << "\n";
+      return 2;
+    }
+    PrintRecoveryReport(recovered.value(), out);
+  }
+
+  server::PlatformServer::Options handler_options;
+  handler_options.durable = durable ? &*durable : nullptr;
+  server::PlatformServer handler{engine, handler_options};
+  net::ServerCore core{handler};
+  net::SocketServer::Options socket_options;
+  socket_options.host = flags.GetOr("host", "127.0.0.1");
+  socket_options.port = static_cast<std::uint16_t>(port.value());
+  net::SocketServer sock{core, socket_options};
+  if (const auto listening = sock.Listen(); !listening.ok()) {
+    err << "error: " << listening.error().ToString() << "\n";
+    return 2;
+  }
+  out << "serving " << bundle->model.num_functions() << " functions on "
+      << socket_options.host << ":" << sock.port()
+      << (config.async_remine ? " (async re-mining)" : "")
+      << (durable ? " (durable)" : "") << "\n";
+  out.flush();
+
+  ResetShutdownFlag();
+  InstallShutdownSignalHandlers();
+  while (!ShutdownRequested()) {
+    if (const auto polled = sock.PollOnce(200); !polled.ok()) {
+      err << "error: " << polled.error().ToString() << "\n";
+      break;
+    }
+  }
+
+  // Drain: stop accepting, reject new requests, flush what is buffered
+  // (bounded — a peer that never reads cannot hold shutdown hostage),
+  // finish any background re-mine, take the final checkpoint.
+  out << "shutting down: draining " << core.open_connections()
+      << " connections\n";
+  sock.StopAccepting();
+  core.BeginDrain();
+  for (int i = 0; i < 100 && !(core.idle() && sock.flushed()); ++i) {
+    if (const auto polled = sock.PollOnce(20); !polled.ok()) break;
+  }
+  if (const auto drained = handler.Drain(); !drained.ok()) {
+    err << "warning: final checkpoint failed: " << drained.error().ToString()
+        << "\n";
+  }
+  sock.CloseAll();
+  const auto& stats = engine.stats();
+  out << "served " << core.stats().requests_handled << " requests ("
+      << core.stats().requests_shed << " shed); " << stats.invocations
+      << " invocations, cold " << stats.cold_fraction() << ", "
+      << stats.remines << " re-mines\n";
+  if (handler.journal_failures() > 0) {
+    err << "warning: " << handler.journal_failures()
+        << " journal appends failed (those events were lossy)\n";
+  }
+  return 0;
+}
+
+int CmdDrive(const FlagParser& flags, std::ostream& out, std::ostream& err) {
+  const auto bundle = LoadTrace(flags, err);
+  if (!bundle) return 1;
+  const auto port = flags.GetInt("port", 0);
+  if (!port.ok() || port.value() <= 0 || port.value() > 65535) {
+    err << "error: --port is required (the port serve printed)\n";
+    return 1;
+  }
+  auto channel = net::SocketChannel::Connect(
+      flags.GetOr("host", "127.0.0.1"),
+      static_cast<std::uint16_t>(port.value()));
+  if (!channel.ok()) {
+    err << "error: " << channel.error().ToString() << "\n";
+    return 2;
+  }
+  server::Client client{std::move(channel).value()};
+
+  // Same minute-index walk as replay, so the per-day lines of a driven
+  // daemon are byte-comparable with a local replay of the same trace.
+  const auto index = bundle->trace.BuildMinuteIndex(bundle->trace.horizon());
+  std::uint64_t day_invocations = 0, day_cold = 0;
+  Minute day = 0;
+  out << "day,invocations,cold_fraction\n";
+  for (Minute t = 0; t < bundle->trace.horizon().end; ++t) {
+    for (const auto& [fn, count] : index.at(t)) {
+      const auto outcome = client.Invoke(fn, t);
+      if (!outcome.ok()) {
+        err << "error: invoke(" << fn.value() << ", " << t
+            << ") failed: " << outcome.error().ToString() << "\n";
+        return 2;
+      }
+      ++day_invocations;
+      day_cold += outcome.value().cold ? 1u : 0u;
+    }
+    if ((t + 1) % kMinutesPerDay == 0 ||
+        t + 1 == bundle->trace.horizon().end) {
+      char line[96];
+      std::snprintf(line, sizeof line, "%lld,%llu,%.4f\n",
+                    static_cast<long long>(day),
+                    static_cast<unsigned long long>(day_invocations),
+                    day_invocations == 0
+                        ? 0.0
+                        : static_cast<double>(day_cold) /
+                              static_cast<double>(day_invocations));
+      out << line;
+      day_invocations = day_cold = 0;
+      ++day;
+    }
+  }
+  const auto stats = client.Stats();
+  if (!stats.ok()) {
+    err << "error: stats failed: " << stats.error().ToString() << "\n";
+    return 2;
+  }
+  out << "server total: " << stats.value().stats.invocations
+      << " invocations, cold " << stats.value().stats.cold_fraction() << ", "
+      << stats.value().stats.remines << " re-mines\n";
+  return 0;
+}
+
 }  // namespace
 
 int RunCli(std::span<const std::string> args, std::ostream& out,
@@ -792,6 +986,8 @@ int RunCli(std::span<const std::string> args, std::ostream& out,
   if (command == "replay") return CmdReplay(flags, out, err);
   if (command == "recover") return CmdRecover(flags, out, err);
   if (command == "fsck") return CmdFsck(flags, out, err);
+  if (command == "serve") return CmdServe(flags, out, err);
+  if (command == "drive") return CmdDrive(flags, out, err);
   if (command == "compare") return CmdCompare(flags, out, err);
   err << "error: unknown command '" << command << "'\n" << kUsage;
   return 1;

@@ -1,0 +1,29 @@
+#include "cli/shutdown.hpp"
+
+#include <csignal>
+
+namespace defuse::cli {
+namespace {
+
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void OnShutdownSignal(int) { g_shutdown_requested = 1; }
+
+}  // namespace
+
+void InstallShutdownSignalHandlers() {
+  struct sigaction action{};
+  action.sa_handler = OnShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt blocking poll/read
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+bool ShutdownRequested() noexcept { return g_shutdown_requested != 0; }
+
+void RequestShutdown() noexcept { g_shutdown_requested = 1; }
+
+void ResetShutdownFlag() noexcept { g_shutdown_requested = 0; }
+
+}  // namespace defuse::cli

@@ -1,0 +1,28 @@
+// Graceful-shutdown flag for the long-running CLI verbs.
+//
+// `defuse serve` and durable `defuse replay` install handlers for
+// SIGINT/SIGTERM that set a process-wide flag; the verb's main loop
+// polls it between iterations and exits through its normal drain path
+// (stop accepting, flush, final checkpoint) instead of dying mid-write.
+// The handler itself only flips a sig_atomic_t — everything else happens
+// on the main thread, so the drain logic is testable without signals via
+// RequestShutdown().
+#pragma once
+
+namespace defuse::cli {
+
+/// Routes SIGINT and SIGTERM to the shutdown flag (without SA_RESTART,
+/// so a blocking poll() returns EINTR and the loop re-checks promptly).
+/// Idempotent.
+void InstallShutdownSignalHandlers();
+
+[[nodiscard]] bool ShutdownRequested() noexcept;
+
+/// What the signal handler does, callable directly from tests.
+void RequestShutdown() noexcept;
+
+/// Clears the flag. Call at verb entry: the flag is process-wide, and
+/// in-process callers (tests) run many verbs per process.
+void ResetShutdownFlag() noexcept;
+
+}  // namespace defuse::cli

@@ -42,6 +42,10 @@ double FaultInjector::FractionFor(FaultSite site) const noexcept {
       return profile_.journal_short_write_fraction;
     case FaultSite::kStateReadBitFlip:
       return profile_.state_read_bit_flip_fraction;
+    case FaultSite::kNetAccept: return profile_.net_accept_failure_fraction;
+    case FaultSite::kNetShortRead: return profile_.net_short_read_fraction;
+    case FaultSite::kNetShortWrite: return profile_.net_short_write_fraction;
+    case FaultSite::kNetReset: return profile_.net_reset_fraction;
   }
   return 0.0;
 }

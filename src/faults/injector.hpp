@@ -51,8 +51,20 @@ enum class FaultSite : std::size_t {
   /// Durable state: a single bit flips in a state file read back from
   /// disk (media corruption the checksum must catch).
   kStateReadBitFlip = 7,
+  /// Network: an incoming connection fails to accept (fd exhaustion,
+  /// listener backlog overflow).
+  kNetAccept = 8,
+  /// Network: a read delivers only a prefix of the bytes in flight, so
+  /// frame decoding must resume mid-frame on the next read.
+  kNetShortRead = 9,
+  /// Network: a write accepts only a prefix of the buffer (kernel send
+  /// buffer full); the caller must retry the remainder.
+  kNetShortWrite = 10,
+  /// Network: the peer connection resets mid-stream (RST); everything
+  /// buffered for that connection is gone.
+  kNetReset = 11,
 };
-inline constexpr std::size_t kNumFaultSites = 8;
+inline constexpr std::size_t kNumFaultSites = 12;
 
 [[nodiscard]] constexpr const char* FaultSiteName(FaultSite site) noexcept {
   switch (site) {
@@ -64,6 +76,10 @@ inline constexpr std::size_t kNumFaultSites = 8;
     case FaultSite::kSnapshotRename: return "snapshot_rename";
     case FaultSite::kJournalShortWrite: return "journal_short_write";
     case FaultSite::kStateReadBitFlip: return "state_read_bit_flip";
+    case FaultSite::kNetAccept: return "net_accept";
+    case FaultSite::kNetShortRead: return "net_short_read";
+    case FaultSite::kNetShortWrite: return "net_short_write";
+    case FaultSite::kNetReset: return "net_reset";
   }
   return "unknown";
 }
@@ -99,6 +115,16 @@ struct FaultProfile {
   /// Fraction of state-file reads with one flipped bit.
   double state_read_bit_flip_fraction = 0.0;
 
+  // Network knobs (serving path, see src/net/):
+  /// Fraction of incoming connections whose accept fails.
+  double net_accept_failure_fraction = 0.0;
+  /// Fraction of reads that deliver only a prefix of the pending bytes.
+  double net_short_read_fraction = 0.0;
+  /// Fraction of writes that accept only a prefix of the buffer.
+  double net_short_write_fraction = 0.0;
+  /// Fraction of transfer steps at which the connection resets.
+  double net_reset_fraction = 0.0;
+
   [[nodiscard]] bool any() const noexcept {
     return remine_failure_fraction > 0 || prewarm_spawn_failure_fraction > 0 ||
            malformed_row_fraction > 0 || duplicate_row_fraction > 0 ||
@@ -106,7 +132,9 @@ struct FaultProfile {
            snapshot_torn_write_fraction > 0 ||
            snapshot_rename_failure_fraction > 0 ||
            journal_short_write_fraction > 0 ||
-           state_read_bit_flip_fraction > 0;
+           state_read_bit_flip_fraction > 0 ||
+           net_accept_failure_fraction > 0 || net_short_read_fraction > 0 ||
+           net_short_write_fraction > 0 || net_reset_fraction > 0;
   }
 };
 

@@ -1,0 +1,99 @@
+#include "net/frame_decoder.hpp"
+
+#include <charconv>
+
+#include "common/io/checksum.hpp"
+
+namespace defuse::net {
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  if (corrupt_) return;  // the stream is already condemned
+  buffer_.append(bytes);
+}
+
+void FrameDecoder::Reset() {
+  buffer_.clear();
+  pos_ = 0;
+  corrupt_ = false;
+  error_ = Error{};
+}
+
+FrameDecoder::State FrameDecoder::Corrupt(ErrorCode code,
+                                          std::string message) {
+  corrupt_ = true;
+  error_ = Error{code, std::move(message)};
+  return State::kCorrupt;
+}
+
+void FrameDecoder::Compact() {
+  // Amortized O(1): only shift once the dead prefix dominates.
+  if (pos_ > 4096 && pos_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+FrameDecoder::State FrameDecoder::Next(std::string& payload) {
+  if (corrupt_) return State::kCorrupt;
+
+  const std::string_view view =
+      std::string_view{buffer_}.substr(pos_);
+  // Header line: "f <len> <crc8>\n".
+  const std::size_t eol = view.find('\n');
+  if (eol == std::string_view::npos) {
+    if (view.size() > limits_.max_header_bytes) {
+      return Corrupt(ErrorCode::kDataLoss,
+                     "frame header exceeds " +
+                         std::to_string(limits_.max_header_bytes) +
+                         " bytes without a newline");
+    }
+    return State::kNeedMore;
+  }
+  const std::string_view header = view.substr(0, eol);
+  if (header.size() > limits_.max_header_bytes) {
+    return Corrupt(ErrorCode::kDataLoss, "frame header too long");
+  }
+  if (header.size() < 2 + 1 + 1 + 8 || header.substr(0, 2) != "f ") {
+    return Corrupt(ErrorCode::kDataLoss, "malformed frame header");
+  }
+  const std::size_t sep = header.rfind(' ');
+  if (sep < 2 || sep + 9 != header.size()) {
+    return Corrupt(ErrorCode::kDataLoss, "malformed frame header");
+  }
+  const std::string_view len_text = header.substr(2, sep - 2);
+  std::uint64_t len = 0;
+  const auto [ptr, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size()) {
+    return Corrupt(ErrorCode::kDataLoss, "malformed frame length");
+  }
+  const auto crc = io::ParseCrc32cHex(header.substr(sep + 1));
+  if (!crc.ok()) {
+    return Corrupt(ErrorCode::kDataLoss, "malformed frame checksum");
+  }
+  if (len > limits_.max_payload_bytes) {
+    return Corrupt(ErrorCode::kResourceExhausted,
+                   "frame payload of " + std::to_string(len) +
+                       " bytes exceeds the " +
+                       std::to_string(limits_.max_payload_bytes) +
+                       "-byte limit");
+  }
+
+  // Wait until payload plus its terminating newline are fully buffered.
+  const std::size_t payload_begin = eol + 1;
+  if (view.size() - payload_begin < len + 1) return State::kNeedMore;
+  const std::string_view body = view.substr(payload_begin, len);
+  if (view[payload_begin + len] != '\n') {
+    return Corrupt(ErrorCode::kDataLoss, "missing frame terminator");
+  }
+  if (io::Crc32cOf(body) != crc.value()) {
+    return Corrupt(ErrorCode::kDataLoss, "frame checksum mismatch");
+  }
+
+  payload.assign(body);
+  pos_ += payload_begin + len + 1;
+  Compact();
+  return State::kFrame;
+}
+
+}  // namespace defuse::net

@@ -1,0 +1,83 @@
+// Incremental decoder for the CRC32C-framed wire format.
+//
+// The serving layer's wire protocol reuses the framed record format of
+// common/io/framed (header "f <payload-length> <crc32c-hex>\n", then the
+// payload and a terminating newline): the length prefix is authoritative
+// so payloads are arbitrary binary, and the checksum makes a torn or
+// bit-flipped frame detectable before a single payload byte is trusted.
+// io::ScanFrames walks a *complete* buffer; a network connection instead
+// delivers bytes in arbitrary chunks, so this decoder keeps partial
+// frames across Feed() calls and surfaces exactly three outcomes per
+// Next(): a complete verified frame, "need more bytes", or "corrupt" —
+// the stream can never be resynchronized after a bad header because a
+// mangled length field could direct the reader to swallow garbage, so
+// corruption is terminal for the connection.
+//
+// Bounds: the header line and the payload are both length-capped, so a
+// hostile or bit-flipped length field cannot make the decoder buffer
+// unbounded memory. Every violation is reported as an Error with the
+// code a server would shed the connection with (kResourceExhausted for
+// blown bounds, kDataLoss for framing/checksum violations).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+
+namespace defuse::net {
+
+struct FrameDecoderLimits {
+  /// Largest payload a single frame may carry.
+  std::size_t max_payload_bytes = 1u << 20;
+  /// Largest header line ("f <len> <crc8>") the decoder will buffer
+  /// before declaring the stream corrupt. Generous: the longest valid
+  /// header is 2 + 20 + 1 + 8 bytes.
+  std::size_t max_header_bytes = 64;
+};
+
+class FrameDecoder {
+ public:
+  enum class State {
+    kFrame,     ///< One complete, checksum-verified payload was produced.
+    kNeedMore,  ///< No complete frame buffered yet; Feed() more bytes.
+    kCorrupt,   ///< Framing/checksum violation; the stream is unusable.
+  };
+
+  FrameDecoder() = default;
+  explicit FrameDecoder(FrameDecoderLimits limits) : limits_(limits) {}
+
+  /// Appends stream bytes. Cheap; no parsing happens until Next().
+  void Feed(std::string_view bytes);
+
+  /// Extracts the next complete frame into `payload` (overwritten).
+  /// After kCorrupt every further call returns kCorrupt; last_error()
+  /// names the violation.
+  [[nodiscard]] State Next(std::string& payload);
+
+  [[nodiscard]] const Error& last_error() const noexcept { return error_; }
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept {
+    return buffer_.size() - pos_;
+  }
+  [[nodiscard]] const FrameDecoderLimits& limits() const noexcept {
+    return limits_;
+  }
+
+  /// Drops all buffered bytes and clears a corrupt state (used when a
+  /// connection is reset and a fresh stream begins).
+  void Reset();
+
+ private:
+  [[nodiscard]] State Corrupt(ErrorCode code, std::string message);
+  /// Drops consumed bytes once they dominate the buffer.
+  void Compact();
+
+  FrameDecoderLimits limits_{};
+  std::string buffer_;
+  std::size_t pos_ = 0;  // first unconsumed byte
+  bool corrupt_ = false;
+  Error error_{};
+};
+
+}  // namespace defuse::net

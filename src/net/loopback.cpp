@@ -1,0 +1,112 @@
+#include "net/loopback.hpp"
+
+#include <algorithm>
+
+namespace defuse::net {
+namespace {
+
+class LoopbackChannel final : public ClientChannel {
+ public:
+  LoopbackChannel(ServerCore& core, ServerCore::ConnId id,
+                  faults::FaultInjector* injector)
+      : core_(core), id_(id), injector_(injector) {}
+
+  ~LoopbackChannel() override { Close(); }
+
+  Result<std::size_t> Write(std::string_view bytes) override {
+    if (!open_) {
+      return Error{ErrorCode::kIoError, "loopback connection is closed"};
+    }
+    if (FireReset()) {
+      return Error{ErrorCode::kIoError, "connection reset by fault"};
+    }
+    if (bytes.empty()) return std::size_t{0};
+
+    std::size_t accepted = bytes.size();
+    if (injector_ != nullptr && injector_->enabled() && accepted > 1 &&
+        injector_->ShouldFail(faults::FaultSite::kNetShortWrite)) {
+      accepted = 1 + static_cast<std::size_t>(
+                         injector_->DrawShape(faults::FaultSite::kNetShortWrite) %
+                         (accepted - 1));
+    }
+    if (!condemned_ && !core_.OnBytes(id_, bytes.substr(0, accepted))) {
+      // The server condemned the connection (protocol error or shed
+      // overflow). Like a socket whose peer has closed, writes still
+      // "succeed" locally; the close surfaces on read once the error
+      // response has been delivered.
+      condemned_ = true;
+    }
+    return accepted;
+  }
+
+  Result<std::size_t> Read(std::string& out, std::size_t max) override {
+    if (!open_) {
+      return Error{ErrorCode::kIoError, "loopback connection is closed"};
+    }
+    if (FireReset()) {
+      return Error{ErrorCode::kIoError, "connection reset by fault"};
+    }
+    const std::string_view pending = core_.PendingOutput(id_);
+    if (pending.empty()) {
+      if (condemned_) {
+        CloseInternal();
+        return Error{ErrorCode::kIoError, "connection closed by server"};
+      }
+      // A blocking socket would wait here; in the synchronous loopback
+      // the server has already produced every byte it ever will for the
+      // requests sent, so an empty buffer is a protocol misuse.
+      return Error{ErrorCode::kFailedPrecondition,
+                   "no response pending on loopback connection"};
+    }
+    std::size_t n = std::min(pending.size(), max);
+    if (injector_ != nullptr && injector_->enabled() && n > 1 &&
+        injector_->ShouldFail(faults::FaultSite::kNetShortRead)) {
+      n = 1 + static_cast<std::size_t>(
+                  injector_->DrawShape(faults::FaultSite::kNetShortRead) %
+                  (n - 1));
+    }
+    out.append(pending.substr(0, n));
+    core_.ConsumeOutput(id_, n);
+    return n;
+  }
+
+  void Close() override { CloseInternal(); }
+
+ private:
+  /// Draws the reset fault; on fire both sides drop the connection.
+  bool FireReset() {
+    if (injector_ == nullptr || !injector_->enabled()) return false;
+    if (!injector_->ShouldFail(faults::FaultSite::kNetReset)) return false;
+    CloseInternal();
+    return true;
+  }
+
+  void CloseInternal() {
+    if (!open_) return;
+    open_ = false;
+    core_.OnClose(id_);
+  }
+
+  ServerCore& core_;
+  ServerCore::ConnId id_;
+  faults::FaultInjector* injector_;
+  bool open_ = true;
+  bool condemned_ = false;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ClientChannel>> LoopbackServer::Connect() {
+  if (core_.draining()) {
+    return Error{ErrorCode::kResourceExhausted,
+                 "server is draining; not accepting connections"};
+  }
+  if (injector_ != nullptr && injector_->enabled() &&
+      injector_->ShouldFail(faults::FaultSite::kNetAccept)) {
+    return Error{ErrorCode::kResourceExhausted, "injected accept failure"};
+  }
+  return std::unique_ptr<ClientChannel>{
+      new LoopbackChannel{core_, core_.OnAccept(), injector_}};
+}
+
+}  // namespace defuse::net

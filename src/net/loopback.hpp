@@ -1,0 +1,47 @@
+// In-process loopback transport: the deterministic twin of the socket
+// transport.
+//
+// A LoopbackServer wraps a ServerCore; Connect() returns a ClientChannel
+// whose Write()/Read() synchronously pump bytes through the core on the
+// calling thread. No sockets, no kernel buffers, no scheduling — a
+// request/response exchange is a pure function of the bytes sent, so
+// protocol and server tests replay bit-identically and the suite can
+// prove byte-equality between the serve path and the offline replay.
+//
+// The fault injector hooks give the chaos suite the network failure
+// model on the same deterministic terms as every other fault site:
+//   * kNetAccept      — Connect() fails;
+//   * kNetShortWrite  — Write() accepts only a prefix;
+//   * kNetShortRead   — Read() delivers only a prefix;
+//   * kNetReset       — the connection resets mid-call; both sides drop
+//                       everything buffered for it.
+//
+// Channels borrow the server; they must not outlive it.
+#pragma once
+
+#include <memory>
+
+#include "faults/injector.hpp"
+#include "net/server_core.hpp"
+#include "net/transport.hpp"
+
+namespace defuse::net {
+
+class LoopbackServer {
+ public:
+  explicit LoopbackServer(ServerCore& core,
+                          faults::FaultInjector* injector = nullptr)
+      : core_(core), injector_(injector) {}
+
+  /// Opens a connection. Fails (kResourceExhausted) when the kNetAccept
+  /// fault fires or the core is draining.
+  [[nodiscard]] Result<std::unique_ptr<ClientChannel>> Connect();
+
+  [[nodiscard]] ServerCore& core() noexcept { return core_; }
+
+ private:
+  ServerCore& core_;
+  faults::FaultInjector* injector_;  // not owned, may be null
+};
+
+}  // namespace defuse::net

@@ -1,0 +1,109 @@
+#include "net/server_core.hpp"
+
+#include "common/io/framed.hpp"
+#include "common/logging.hpp"
+
+namespace defuse::net {
+
+ServerCore::ServerCore(RequestHandler& handler, ServerLimits limits)
+    : handler_(handler), limits_(limits) {}
+
+ServerCore::ConnId ServerCore::OnAccept() {
+  const ConnId id = next_id_++;
+  Conn conn;
+  conn.decoder = FrameDecoder{FrameDecoderLimits{
+      .max_payload_bytes = limits_.max_frame_payload,
+      .max_header_bytes = 64}};
+  conns_.emplace(id, std::move(conn));
+  ++stats_.connections_accepted;
+  return id;
+}
+
+void ServerCore::QueueResponse(Conn& conn, std::string_view payload) {
+  io::AppendFrame(conn.out, payload);
+}
+
+bool ServerCore::OnBytes(ConnId id, std::string_view bytes) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return false;
+  Conn& conn = it->second;
+  if (conn.condemned) return false;
+
+  conn.decoder.Feed(bytes);
+  std::string request;
+  for (;;) {
+    const FrameDecoder::State state = conn.decoder.Next(request);
+    if (state == FrameDecoder::State::kNeedMore) break;
+    if (state == FrameDecoder::State::kCorrupt) {
+      // One error response naming the violation, then close: after a
+      // bad header the stream cannot be trusted to frame anything.
+      ++stats_.protocol_errors;
+      QueueResponse(conn, handler_.EncodeTransportError(
+                              conn.decoder.last_error()));
+      conn.condemned = true;
+      DEFUSE_LOG_WARN << "net: connection " << id << " condemned: "
+                      << conn.decoder.last_error().ToString();
+      return false;
+    }
+
+    const std::size_t backlog = conn.out.size() - conn.out_pos;
+    if (draining_) {
+      ++stats_.requests_rejected_draining;
+      QueueResponse(conn, handler_.EncodeTransportError(Error{
+                              ErrorCode::kFailedPrecondition,
+                              "server is draining"}));
+    } else if (backlog > limits_.max_write_buffer) {
+      // Slow reader: shed without running the handler. Error responses
+      // grow the backlog too, so a reader that never drains eventually
+      // crosses the hard 2x bound and the connection closes.
+      ++stats_.requests_shed;
+      QueueResponse(conn, handler_.EncodeTransportError(Error{
+                              ErrorCode::kResourceExhausted,
+                              "connection write buffer full"}));
+      if (conn.out.size() - conn.out_pos > 2 * limits_.max_write_buffer) {
+        conn.condemned = true;
+        DEFUSE_LOG_WARN << "net: connection " << id
+                        << " condemned: write buffer past hard limit";
+        return false;
+      }
+    } else {
+      ++stats_.requests_handled;
+      QueueResponse(conn, handler_.HandleRequest(request));
+    }
+  }
+  return true;
+}
+
+std::string_view ServerCore::PendingOutput(ConnId id) const {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return {};
+  const Conn& conn = it->second;
+  return std::string_view{conn.out}.substr(conn.out_pos);
+}
+
+void ServerCore::ConsumeOutput(ConnId id, std::size_t n) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  conn.out_pos += n;
+  if (conn.out_pos >= conn.out.size()) {
+    conn.out.clear();
+    conn.out_pos = 0;
+  } else if (conn.out_pos > 4096 && conn.out_pos * 2 >= conn.out.size()) {
+    conn.out.erase(0, conn.out_pos);
+    conn.out_pos = 0;
+  }
+}
+
+void ServerCore::OnClose(ConnId id) {
+  if (conns_.erase(id) > 0) ++stats_.connections_closed;
+}
+
+bool ServerCore::idle() const noexcept {
+  for (const auto& [id, conn] : conns_) {
+    if (conn.out.size() > conn.out_pos) return false;
+  }
+  return true;
+}
+
+}  // namespace defuse::net

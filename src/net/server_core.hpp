@@ -1,0 +1,130 @@
+// Transport-agnostic connection state machines for the serving layer.
+//
+// ServerCore owns everything between "bytes arrived on connection N" and
+// "bytes to write on connection N": incremental frame decoding, request
+// dispatch into a RequestHandler, response framing, and the bounded
+// buffers that implement backpressure. Both transports (poll-based
+// sockets in production, the synchronous loopback in tests) are thin
+// byte pumps around it, so every protocol rule is enforced — and tested
+// — in exactly one place.
+//
+// Backpressure rules (DESIGN.md §10):
+//   * A request frame larger than max_frame_payload condemns the
+//     connection: one kResourceExhausted error response, then close.
+//   * When a connection's un-drained output exceeds max_write_buffer
+//     (a slow reader), further requests are shed — the handler is not
+//     invoked and a kResourceExhausted error response is queued instead.
+//     Shedding is bounded too: past 2x the limit the connection closes.
+//   * During drain (graceful shutdown) new requests are rejected with
+//     kFailedPrecondition; buffered responses still flush.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/result.hpp"
+#include "net/frame_decoder.hpp"
+
+namespace defuse::net {
+
+/// The application half the core dispatches into. Implementations must
+/// never throw; every failure is an encoded error response.
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+  /// Handles one decoded request payload, returning the response
+  /// payload (which the core frames onto the wire).
+  [[nodiscard]] virtual std::string HandleRequest(
+      std::string_view request) = 0;
+  /// Encodes a transport-level error (shed, oversized frame, draining)
+  /// in the same response format HandleRequest uses, so clients decode
+  /// one shape.
+  [[nodiscard]] virtual std::string EncodeTransportError(
+      const Error& error) = 0;
+};
+
+struct ServerLimits {
+  /// Largest request/response payload a frame may carry.
+  std::size_t max_frame_payload = 1u << 20;
+  /// High-water mark for a connection's un-drained output; beyond it
+  /// requests are shed with kResourceExhausted.
+  std::size_t max_write_buffer = 1u << 20;
+};
+
+struct ServerCoreStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t requests_handled = 0;
+  /// Requests refused under backpressure (handler never ran).
+  std::uint64_t requests_shed = 0;
+  /// Requests refused because the core was draining.
+  std::uint64_t requests_rejected_draining = 0;
+  /// Connections condemned by a framing/checksum/bounds violation.
+  std::uint64_t protocol_errors = 0;
+};
+
+class ServerCore {
+ public:
+  using ConnId = std::uint64_t;
+
+  explicit ServerCore(RequestHandler& handler, ServerLimits limits = {});
+
+  /// Registers a new connection and returns its id.
+  [[nodiscard]] ConnId OnAccept();
+
+  /// Feeds bytes read from connection `id`. Decodes and dispatches every
+  /// complete frame. Returns false when the connection must be closed
+  /// after its pending output flushes (protocol error or shed overflow);
+  /// the caller still drains PendingOutput first.
+  [[nodiscard]] bool OnBytes(ConnId id, std::string_view bytes);
+
+  /// Un-drained response bytes of `id` (empty for unknown connections).
+  [[nodiscard]] std::string_view PendingOutput(ConnId id) const;
+  /// Marks `n` bytes of PendingOutput as written to the transport.
+  void ConsumeOutput(ConnId id, std::size_t n);
+  [[nodiscard]] bool HasPendingOutput(ConnId id) const {
+    return !PendingOutput(id).empty();
+  }
+
+  /// Forgets connection `id` (transport saw EOF/reset or finished the
+  /// condemned-connection flush).
+  void OnClose(ConnId id);
+
+  /// Graceful shutdown: new requests are rejected, buffered responses
+  /// still flush. The caller additionally stops accepting.
+  void BeginDrain() noexcept { draining_ = true; }
+  [[nodiscard]] bool draining() const noexcept { return draining_; }
+  /// True when no connection has un-drained output (drain can finish).
+  [[nodiscard]] bool idle() const noexcept;
+
+  [[nodiscard]] std::size_t open_connections() const noexcept {
+    return conns_.size();
+  }
+  [[nodiscard]] const ServerCoreStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const ServerLimits& limits() const noexcept {
+    return limits_;
+  }
+
+ private:
+  struct Conn {
+    FrameDecoder decoder;
+    std::string out;
+    std::size_t out_pos = 0;  // first unwritten byte of `out`
+    bool condemned = false;   // close after the output flushes
+  };
+
+  void QueueResponse(Conn& conn, std::string_view payload);
+
+  RequestHandler& handler_;
+  ServerLimits limits_;
+  std::unordered_map<ConnId, Conn> conns_;
+  ConnId next_id_ = 1;
+  bool draining_ = false;
+  ServerCoreStats stats_;
+};
+
+}  // namespace defuse::net

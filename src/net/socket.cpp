@@ -1,0 +1,277 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace defuse::net {
+namespace {
+
+Error Errno(std::string_view what) {
+  return Error{ErrorCode::kIoError,
+               std::string{what} + ": " + std::strerror(errno)};
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(ServerCore& core)
+    : SocketServer(core, Options{}) {}
+
+SocketServer::SocketServer(ServerCore& core, Options options)
+    : core_(core), options_(std::move(options)) {}
+
+SocketServer::~SocketServer() { CloseAll(); }
+
+Result<bool> SocketServer::Listen() {
+  if (listen_fd_ >= 0) {
+    return Error{ErrorCode::kFailedPrecondition, "already listening"};
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Error{ErrorCode::kInvalidArgument,
+                 "not an IPv4 address: " + options_.host};
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Error err = Errno("bind " + options_.host);
+    ::close(fd);
+    return err;
+  }
+  if (::listen(fd, options_.backlog) != 0) {
+    const Error err = Errno("listen");
+    ::close(fd);
+    return err;
+  }
+  if (!SetNonBlocking(fd)) {
+    const Error err = Errno("fcntl(O_NONBLOCK)");
+    ::close(fd);
+    return err;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const Error err = Errno("getsockname");
+    ::close(fd);
+    return err;
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  return true;
+}
+
+Result<int> SocketServer::PollOnce(int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(conns_.size() + 1);
+  if (listen_fd_ >= 0) {
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+  }
+  for (const auto& [fd, conn] : conns_) {
+    short events = 0;
+    // A condemned connection is flush-only: stop reading so a peer that
+    // keeps sending cannot grow state we have already decided to drop.
+    if (!conn.close_after_flush) events |= POLLIN;
+    if (core_.HasPendingOutput(conn.id)) events |= POLLOUT;
+    fds.push_back(pollfd{fd, events, 0});
+  }
+  if (fds.empty()) return 0;
+
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return 0;  // signal (e.g. SIGINT) — caller decides
+    return Errno("poll");
+  }
+  if (ready == 0) return 0;
+
+  int touched = 0;
+  for (const pollfd& p : fds) {
+    if (p.revents == 0) continue;
+    if (p.fd == listen_fd_) {
+      AcceptReady();
+      ++touched;
+      continue;
+    }
+    // The map may have lost this fd already (closed by an earlier event
+    // in the same iteration); re-check before each step.
+    if (conns_.find(p.fd) == conns_.end()) continue;
+    ++touched;
+    if ((p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+        (p.revents & POLLIN) == 0) {
+      CloseConn(p.fd);
+      continue;
+    }
+    if ((p.revents & POLLIN) != 0 && !ReadReady(p.fd)) continue;
+    if ((p.revents & POLLOUT) != 0) WriteReady(p.fd);
+  }
+  return touched;
+}
+
+void SocketServer::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        DEFUSE_LOG_WARN << "net: accept failed: " << std::strerror(errno);
+      }
+      return;
+    }
+    if (!SetNonBlocking(fd)) {
+      DEFUSE_LOG_WARN << "net: fcntl(O_NONBLOCK) failed on accepted socket";
+      ::close(fd);
+      continue;
+    }
+    Conn conn;
+    conn.id = core_.OnAccept();
+    conns_.emplace(fd, conn);
+  }
+}
+
+bool SocketServer::ReadReady(int fd) {
+  Conn& conn = conns_.at(fd);
+  char buf[64 * 1024];
+  const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+  if (n == 0) {  // orderly EOF from the peer
+    CloseConn(fd);
+    return false;
+  }
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return true;
+    CloseConn(fd);
+    return false;
+  }
+  if (!core_.OnBytes(conn.id, std::string_view{buf,
+                                               static_cast<std::size_t>(n)})) {
+    conn.close_after_flush = true;
+    if (!core_.HasPendingOutput(conn.id)) {
+      CloseConn(fd);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SocketServer::WriteReady(int fd) {
+  Conn& conn = conns_.at(fd);
+  const std::string_view pending = core_.PendingOutput(conn.id);
+  if (!pending.empty()) {
+    const ssize_t n = ::send(fd, pending.data(), pending.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        return true;
+      }
+      CloseConn(fd);
+      return false;
+    }
+    core_.ConsumeOutput(conn.id, static_cast<std::size_t>(n));
+  }
+  if (conn.close_after_flush && !core_.HasPendingOutput(conn.id)) {
+    CloseConn(fd);
+    return false;
+  }
+  return true;
+}
+
+void SocketServer::CloseConn(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  core_.OnClose(it->second.id);
+  conns_.erase(it);
+  ::close(fd);
+}
+
+void SocketServer::StopAccepting() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void SocketServer::CloseAll() {
+  StopAccepting();
+  for (const auto& [fd, conn] : conns_) {
+    core_.OnClose(conn.id);
+    ::close(fd);
+  }
+  conns_.clear();
+}
+
+bool SocketServer::flushed() const noexcept {
+  for (const auto& [fd, conn] : conns_) {
+    if (core_.HasPendingOutput(conn.id)) return false;
+  }
+  return true;
+}
+
+Result<std::unique_ptr<ClientChannel>> SocketChannel::Connect(
+    const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Error{ErrorCode::kInvalidArgument, "not an IPv4 address: " + host};
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Error err = Errno("connect " + host);
+    ::close(fd);
+    return err;
+  }
+  return std::unique_ptr<ClientChannel>{new SocketChannel{fd}};
+}
+
+SocketChannel::~SocketChannel() { Close(); }
+
+Result<std::size_t> SocketChannel::Write(std::string_view bytes) {
+  if (fd_ < 0) return Error{ErrorCode::kIoError, "socket is closed"};
+  for (;;) {
+    const ssize_t n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno != EINTR) return Errno("send");
+  }
+}
+
+Result<std::size_t> SocketChannel::Read(std::string& out, std::size_t max) {
+  if (fd_ < 0) return Error{ErrorCode::kIoError, "socket is closed"};
+  std::vector<char> buf(std::min<std::size_t>(max, 64 * 1024));
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n > 0) {
+      out.append(buf.data(), static_cast<std::size_t>(n));
+      return static_cast<std::size_t>(n);
+    }
+    if (n == 0) return Error{ErrorCode::kIoError, "connection closed by peer"};
+    if (errno != EINTR) return Errno("recv");
+  }
+}
+
+void SocketChannel::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace defuse::net

@@ -1,0 +1,105 @@
+// Poll-based TCP transport: the production twin of the loopback.
+//
+// SocketServer pumps bytes between nonblocking IPv4 sockets and a
+// ServerCore. It owns no protocol logic — framing, dispatch and
+// backpressure all live in the core — so the socket layer is a level-
+// triggered poll loop: accept when the listener is readable, feed the
+// core when a connection is readable, flush PendingOutput when it is
+// writable, close when the peer hangs up or the core condemns the
+// connection and its output has flushed.
+//
+// The loop is single-threaded and driven by PollOnce(), so the caller
+// (the `defuse serve` verb) decides the cadence and can interleave
+// shutdown checks between iterations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.hpp"
+#include "net/server_core.hpp"
+#include "net/transport.hpp"
+
+namespace defuse::net {
+
+class SocketServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = let the kernel pick (reported by port())
+    int backlog = 16;
+  };
+
+  // Two overloads instead of `Options options = {}` (GCC 12 nested
+  // default-argument limitation; see snapshot_store.hpp).
+  explicit SocketServer(ServerCore& core);
+  SocketServer(ServerCore& core, Options options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds and listens. After success port() reports the bound port.
+  [[nodiscard]] Result<bool> Listen();
+
+  /// Runs one poll iteration: accepts, reads, dispatches, flushes.
+  /// Returns the number of connections touched. `timeout_ms` bounds the
+  /// wait when nothing is ready (0 = return immediately, -1 = block).
+  [[nodiscard]] Result<int> PollOnce(int timeout_ms);
+
+  /// Closes the listening socket; established connections keep flowing.
+  void StopAccepting();
+
+  /// Closes every socket (listener included) and forgets all
+  /// connections. Used for final teardown after drain.
+  void CloseAll();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool accepting() const noexcept { return listen_fd_ >= 0; }
+  [[nodiscard]] std::size_t open_connections() const noexcept {
+    return conns_.size();
+  }
+  /// True when no connection has un-flushed output (drain can finish).
+  [[nodiscard]] bool flushed() const noexcept;
+
+ private:
+  struct Conn {
+    ServerCore::ConnId id = 0;
+    bool close_after_flush = false;  // core condemned it; flush then close
+  };
+
+  void AcceptReady();
+  /// Reads once from `fd`; returns false when the connection was closed.
+  bool ReadReady(int fd);
+  /// Flushes pending output to `fd`; returns false when it was closed.
+  bool WriteReady(int fd);
+  void CloseConn(int fd);
+
+  ServerCore& core_;
+  Options options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::unordered_map<int, Conn> conns_;  // keyed by fd
+};
+
+/// Blocking client channel over a TCP connection.
+class SocketChannel final : public ClientChannel {
+ public:
+  /// Connects to host:port; blocks until established or refused.
+  [[nodiscard]] static Result<std::unique_ptr<ClientChannel>> Connect(
+      const std::string& host, std::uint16_t port);
+
+  ~SocketChannel() override;
+
+  Result<std::size_t> Write(std::string_view bytes) override;
+  Result<std::size_t> Read(std::string& out, std::size_t max) override;
+  void Close() override;
+
+ private:
+  explicit SocketChannel(int fd) : fd_(fd) {}
+  int fd_;
+};
+
+}  // namespace defuse::net

@@ -1,0 +1,56 @@
+// Transport interface of the serving layer.
+//
+// The server side is split so that every protocol decision is testable
+// without a socket:
+//
+//   bytes in ──> ServerCore (framing, dispatch, backpressure) ──> bytes out
+//                     ▲                                   │
+//        SocketServer │ poll loop            LoopbackServer │ synchronous
+//        (production) │                      (tests, bench) │ pump
+//
+// A ClientChannel is the client half: a byte stream to one server
+// connection. The socket implementation blocks on the kernel; the
+// loopback implementation moves bytes in-process and synchronously runs
+// the server core, so a request/response exchange over loopback is a
+// deterministic pure function of (requests, fault seed).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+
+namespace defuse::net {
+
+class ClientChannel {
+ public:
+  virtual ~ClientChannel() = default;
+
+  /// Writes a prefix of `bytes`; returns how many were accepted (>= 1),
+  /// or an error once the connection is closed or reset. Callers loop
+  /// until the full buffer is accepted (short writes are normal — the
+  /// kernel send buffer, or an injected kNetShortWrite fault).
+  [[nodiscard]] virtual Result<std::size_t> Write(std::string_view bytes) = 0;
+
+  /// Appends up to `max` response bytes to `out`, blocking until at
+  /// least one byte is available. An error means the connection is gone
+  /// (EOF, reset) or — loopback only — that the server owes no bytes,
+  /// which a correct request/response client never hits.
+  [[nodiscard]] virtual Result<std::size_t> Read(std::string& out,
+                                                 std::size_t max) = 0;
+
+  virtual void Close() = 0;
+
+  /// Convenience: loops Write until all of `bytes` is on the wire.
+  [[nodiscard]] Result<bool> WriteAll(std::string_view bytes) {
+    while (!bytes.empty()) {
+      auto wrote = Write(bytes);
+      if (!wrote.ok()) return wrote.error();
+      bytes.remove_prefix(wrote.value());
+    }
+    return true;
+  }
+};
+
+}  // namespace defuse::net

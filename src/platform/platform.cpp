@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <charconv>
+#include <chrono>
 #include <span>
 #include <unordered_map>
 
@@ -33,7 +34,21 @@ Platform::Platform(trace::WorkloadModel model, PlatformConfig config)
 }
 
 void Platform::MaybeRemine(Minute now) {
+  // Adopt a finished background re-mine before anything else, so the
+  // freshest graph decides this invocation when the miner has already
+  // landed.
+  PollAsyncRemine(/*wait=*/false);
   if (now < next_remine_) return;
+  if (remine_future_.valid()) {
+    // A background re-mine is still running; defer this boundary. Once
+    // the result swaps in, the normal catch-up collapse below serves
+    // every boundary that queued up behind it with one re-mine.
+    if (next_remine_ != last_deferred_boundary_) {
+      last_deferred_boundary_ = next_remine_;
+      ++async_books_.boundaries_deferred;
+    }
+    return;
+  }
   // Collapse every boundary that fell due while time was not advancing
   // (daemon offline, long invocation gap) into ONE re-mine at the latest
   // due boundary. Firing a full re-mine per elapsed interval would burn
@@ -66,6 +81,10 @@ void Platform::KeepStaleGraph() {
 }
 
 void Platform::RemineNow(Minute now) {
+  // Never stack re-mines: adopt any in-flight background result first,
+  // so the fault/budget draws below happen in submission order — the
+  // property that keeps seeded chaos runs reproducible.
+  PollAsyncRemine(/*wait=*/true);
   history_.Finalize();
   const TimeRange window{
       std::max<Minute>(0, now - config_.mining_window), now};
@@ -73,7 +92,8 @@ void Platform::RemineNow(Minute now) {
   // Degradation ladder. An injected fault (simulated FP-Growth budget
   // exhaustion / mining deadline exceeded) kills the whole re-mine; a
   // blown transaction budget first retries weak-deps-only (no FP-Growth
-  // pass) before giving up on a fresh graph entirely.
+  // pass) before giving up on a fresh graph entirely. Drawn on the
+  // calling thread in both serial and async mode, before any snapshot.
   core::DefuseConfig mining_config = config_.mining;
   if (fault_injector_ != nullptr &&
       fault_injector_->ShouldFail(faults::FaultSite::kRemine)) {
@@ -99,35 +119,111 @@ void Platform::RemineNow(Minute now) {
     }
   }
 
-  auto mined = core::MineDependencies(history_, model_, window, mining_config);
-  if (!mined.ok()) {
-    DEFUSE_LOG_WARN << "platform: re-mine at minute " << now << " rejected ("
-                    << mined.error().ToString()
-                    << "); keeping previous dependency sets";
-    KeepStaleGraph();
+  if (config_.async_remine) {
+    StartAsyncRemine(window, mining_config);
     return;
   }
+  AdoptMinedSwap(MineWindow(history_, window, mining_config));
+}
+
+Platform::MinedSwap Platform::MineWindow(
+    const trace::InvocationTrace& history, TimeRange window,
+    const core::DefuseConfig& mining_config) const {
+  MinedSwap swap;
+  auto mined = core::MineDependencies(history, model_, window, mining_config);
+  if (!mined.ok()) {
+    DEFUSE_LOG_WARN << "platform: re-mine at minute " << window.end
+                    << " rejected (" << mined.error().ToString()
+                    << "); keeping previous dependency sets";
+    return swap;
+  }
   const auto mining = std::move(mined).value();
-  units_ = std::make_unique<sim::UnitMap>(
+  swap.units = std::make_unique<sim::UnitMap>(
       sim::UnitMap::FromDependencySets(mining.sets,
                                        model_.num_functions()));
-  policy_ = std::make_unique<policy::HybridHistogramPolicy>(*units_,
-                                                            config_.policy);
-  // Seed the fresh per-set histograms from the same window. Residency
-  // windows are per function and survive untouched: nothing warm is
-  // evicted by a re-mine.
+  // Seed histograms for the fresh per-set units from the same window.
   mining::PredictabilityConfig shape;
   shape.histogram_bins = config_.policy.histogram_bins;
   shape.histogram_bin_width = config_.policy.histogram_bin_width;
-  for (std::size_t u = 0; u < units_->num_units(); ++u) {
+  swap.histograms.reserve(swap.units->num_units());
+  for (std::size_t u = 0; u < swap.units->num_units(); ++u) {
     const UnitId unit{static_cast<std::uint32_t>(u)};
-    const auto hist = mining::BuildGroupItHistogram(
-        history_, units_->functions_of(unit), window, shape);
-    if (hist.total() > 0) policy_->SeedHistogram(unit, hist);
+    swap.histograms.push_back(mining::BuildGroupItHistogram(
+        history, swap.units->functions_of(unit), window, shape));
+  }
+  swap.mined_ok = true;
+  return swap;
+}
+
+void Platform::AdoptMinedSwap(MinedSwap swap) {
+  if (!swap.mined_ok) {
+    KeepStaleGraph();
+    return;
+  }
+  units_ = std::move(swap.units);
+  policy_ = std::make_unique<policy::HybridHistogramPolicy>(*units_,
+                                                            config_.policy);
+  // Residency windows are per function and survive untouched: nothing
+  // warm is evicted by a re-mine.
+  for (std::size_t u = 0; u < units_->num_units(); ++u) {
+    if (swap.histograms[u].total() > 0) {
+      policy_->SeedHistogram(UnitId{static_cast<std::uint32_t>(u)},
+                             swap.histograms[u]);
+    }
   }
   unit_last_invoked_.assign(units_->num_units(), -1);
   unit_cold_this_minute_.assign(units_->num_units(), false);
   ++stats_.remines;
+}
+
+trace::InvocationTrace Platform::SnapshotHistory(Minute end) const {
+  trace::InvocationTrace snapshot{model_.num_functions(),
+                                  TimeRange{0, config_.horizon}};
+  const TimeRange range{0, end};
+  for (std::size_t f = 0; f < model_.num_functions(); ++f) {
+    const FunctionId fn{static_cast<std::uint32_t>(f)};
+    for (const auto& e : history_.SeriesInRange(fn, range)) {
+      snapshot.Add(fn, e.minute, e.count);
+    }
+  }
+  snapshot.Finalize();
+  return snapshot;
+}
+
+void Platform::StartAsyncRemine(TimeRange window,
+                                core::DefuseConfig mining_config) {
+  if (remine_pool_ == nullptr) {
+    remine_pool_ = std::make_unique<ThreadPool>(1);
+  }
+  ++async_books_.started;
+  // Arrivals are monotonic, so every event the serial re-mine would see
+  // in [window.begin, window.end) is already in history_; the snapshot
+  // taken here is exactly the serial miner's view and the mined sets
+  // come out bit-identical. The task reads only the snapshot (owned by
+  // the closure) plus model_/config_, which never change after
+  // construction; remine_pool_ is the last member, so destruction joins
+  // the task before either is torn down.
+  remine_future_ = remine_pool_->Submit(
+      [this, snapshot = SnapshotHistory(window.end), window,
+       mining_config]() -> MinedSwap {
+        return MineWindow(snapshot, window, mining_config);
+      });
+}
+
+void Platform::PollAsyncRemine(bool wait) {
+  if (!remine_future_.valid()) return;
+  if (!wait && remine_future_.wait_for(std::chrono::seconds{0}) !=
+                   std::future_status::ready) {
+    return;
+  }
+  MinedSwap swap = remine_future_.get();  // invalidates the future
+  const bool ok = swap.mined_ok;
+  AdoptMinedSwap(std::move(swap));
+  if (ok) {
+    ++async_books_.swapped;
+  } else {
+    ++async_books_.kept_stale;
+  }
 }
 
 void Platform::ApplyDecision(UnitId unit, Minute now) {
@@ -443,7 +539,10 @@ bool Platform::LoadState(std::string_view text) {
         static_cast<std::uint64_t>(fields[2]);
   }
 
-  // Commit point: all sections accepted, swap the staging area in.
+  // Commit point: all sections accepted, swap the staging area in. A
+  // background re-mine computed over the pre-load history must not swap
+  // over the restored state later — wait it out and discard the result.
+  if (remine_future_.valid()) (void)remine_future_.get();
   units_ = std::move(staged_units);
   policy_ = std::move(staged_policy);
   history_ = std::move(staged_history);

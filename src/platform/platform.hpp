@@ -19,13 +19,16 @@
 #pragma once
 
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <vector>
 
 #include "common/retry.hpp"
+#include "common/thread_pool.hpp"
 #include "core/defuse.hpp"
 #include "faults/injector.hpp"
 #include "policy/hybrid.hpp"
+#include "stats/histogram.hpp"
 #include "trace/invocation_trace.hpp"
 #include "trace/model.hpp"
 
@@ -49,6 +52,16 @@ struct PlatformConfig {
   /// Bounded retry for the pre-warm container spawn path (only exercised
   /// when a fault injector makes spawns fail).
   RetryPolicy prewarm_retry;
+  /// Run re-mines off-path on a background thread: RemineNow snapshots
+  /// the history window, mines it on a dedicated worker, and the result
+  /// swaps in atomically at a later Invoke/AdvanceTo — invocations keep
+  /// flowing while the miner runs. Because arrivals are monotonic, the
+  /// snapshot holds exactly the events a serial re-mine at the same
+  /// boundary would see, so the *mined dependency sets* are bit-identical
+  /// to serial mode; scheduling stats can differ (invocations served
+  /// between submit and swap are decided under the previous sets). Off
+  /// by default: serial mode keeps golden replays bit-identical.
+  bool async_remine = false;
 };
 
 struct InvocationOutcome {
@@ -124,8 +137,42 @@ class Platform {
   }
   /// The current dependency sets (singletons until the first re-mine).
   [[nodiscard]] const sim::UnitMap& units() const noexcept { return *units_; }
-  /// Forces a re-mine over [now - mining_window, now) immediately.
+  /// Forces a re-mine over [now - mining_window, now). In serial mode
+  /// (the default) it completes before returning; with
+  /// `config.async_remine` it is submitted to the background worker and
+  /// the fresh sets swap in at a later Invoke/AdvanceTo (any re-mine
+  /// already in flight is adopted first, so forced re-mines never pile
+  /// up).
   void RemineNow(Minute now);
+
+  /// True while a background re-mine is running (always false in serial
+  /// mode).
+  [[nodiscard]] bool remine_in_flight() const noexcept {
+    return remine_future_.valid();
+  }
+  /// Blocks until any in-flight background re-mine has completed and
+  /// swaps its result in. A deterministic barrier for tests and the
+  /// drain path; no-op when nothing is in flight.
+  void FinishPendingRemine() { PollAsyncRemine(/*wait=*/true); }
+
+  /// Background re-mine bookkeeping. Deliberately NOT part of
+  /// PlatformStats (and not persisted): it describes *how* re-mines ran,
+  /// not what the scheduler did, and keeping it out preserves the v3
+  /// state format.
+  struct AsyncRemineBooks {
+    /// Re-mines submitted to the background worker.
+    std::uint64_t started = 0;
+    /// Background results adopted as a fresh graph.
+    std::uint64_t swapped = 0;
+    /// Background mines that failed; the previous sets were kept.
+    std::uint64_t kept_stale = 0;
+    /// Scheduled boundaries that fell due while a background re-mine was
+    /// still running and were deferred to the catch-up logic.
+    std::uint64_t boundaries_deferred = 0;
+  };
+  [[nodiscard]] const AsyncRemineBooks& async_remine_books() const noexcept {
+    return async_books_;
+  }
 
   /// Attaches (or detaches, with nullptr) a fault injector. Not owned;
   /// must outlive the platform. With none attached — or a disabled one —
@@ -164,10 +211,34 @@ class Platform {
     }
   };
 
+  /// Result of mining one window, ready to swap into the live scheduler.
+  /// Built either inline (serial mode) or on the background worker.
+  struct MinedSwap {
+    bool mined_ok = false;
+    std::unique_ptr<sim::UnitMap> units;          // engaged when mined_ok
+    std::vector<stats::Histogram> histograms;     // per unit, same order
+  };
+
   void MaybeRemine(Minute now);
   void ApplyDecision(UnitId unit, Minute now);
   /// Books a degraded re-mine that keeps the previous sets serving.
   void KeepStaleGraph();
+  /// Mines `window` of `history` into a swappable result. Pure with
+  /// respect to mutable platform state (reads only model_ and config_),
+  /// so it is safe on the background worker while invokes flow.
+  [[nodiscard]] MinedSwap MineWindow(const trace::InvocationTrace& history,
+                                     TimeRange window,
+                                     const core::DefuseConfig& mining) const;
+  /// Installs a mined result as the live scheduler (or books a stale
+  /// graph when mining failed). Platform thread only.
+  void AdoptMinedSwap(MinedSwap swap);
+  /// Copies the events of [0, end) into a standalone trace the
+  /// background miner can read while history_ keeps growing.
+  [[nodiscard]] trace::InvocationTrace SnapshotHistory(Minute end) const;
+  /// Submits a background re-mine of `window`.
+  void StartAsyncRemine(TimeRange window, core::DefuseConfig mining);
+  /// Adopts a finished background re-mine; with `wait` blocks for it.
+  void PollAsyncRemine(bool wait);
 
   trace::WorkloadModel model_;
   PlatformConfig config_;
@@ -183,6 +254,15 @@ class Platform {
   Minute next_remine_;
   Minute last_now_ = 0;
   faults::FaultInjector* fault_injector_ = nullptr;  // not owned
+  AsyncRemineBooks async_books_;
+  /// Boundary currently deferred behind an in-flight re-mine (so each
+  /// deferral is booked once, not once per invocation).
+  Minute last_deferred_boundary_ = -1;
+  std::future<MinedSwap> remine_future_;
+  /// Lazily created on the first async re-mine. Declared last so its
+  /// destructor joins the worker before any member the task reads
+  /// (model_, config_) is torn down.
+  std::unique_ptr<ThreadPool> remine_pool_;
 };
 
 }  // namespace defuse::platform

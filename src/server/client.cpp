@@ -1,0 +1,90 @@
+#include "server/client.hpp"
+
+#include <utility>
+
+#include "common/io/framed.hpp"
+
+namespace defuse::server {
+
+Client::Client(std::unique_ptr<net::ClientChannel> channel)
+    : channel_(std::move(channel)),
+      decoder_(net::FrameDecoderLimits{
+          // Responses are asymmetric: requests fit the server's 1MB
+          // frame bound, but a Snapshot reply carries a whole SaveState
+          // blob (megabytes on real workloads). Still bounded, so a
+          // byzantine server cannot make the client buffer unbounded
+          // memory.
+          .max_payload_bytes = kMaxReplyPayloadBytes,
+          .max_header_bytes = 64}) {}
+
+Result<std::string> Client::RoundTrip(std::string_view request) {
+  if (dead_) {
+    return Error{ErrorCode::kFailedPrecondition,
+                 "connection is dead; reconnect"};
+  }
+  std::string framed;
+  io::AppendFrame(framed, request);
+  if (auto wrote = channel_->WriteAll(framed); !wrote.ok()) {
+    dead_ = true;
+    return wrote.error();
+  }
+  std::string payload;
+  for (;;) {
+    switch (decoder_.Next(payload)) {
+      case net::FrameDecoder::State::kFrame:
+        return payload;
+      case net::FrameDecoder::State::kCorrupt:
+        dead_ = true;
+        return decoder_.last_error();
+      case net::FrameDecoder::State::kNeedMore:
+        break;
+    }
+    std::string chunk;
+    auto n = channel_->Read(chunk, 64 * 1024);
+    if (!n.ok()) {
+      dead_ = true;
+      return n.error();
+    }
+    decoder_.Feed(chunk);
+  }
+}
+
+Result<std::string> Client::OkBody(std::string_view request) {
+  auto payload = RoundTrip(request);
+  if (!payload.ok()) return payload.error();
+  auto body = DecodeReplyStatus(payload.value());
+  if (!body.ok()) return body.error();
+  return std::string{body.value()};
+}
+
+Result<InvokeReply> Client::Invoke(FunctionId fn, Minute now) {
+  auto body = OkBody(EncodeRequest(InvokeRequest{fn, now}));
+  if (!body.ok()) return body.error();
+  return DecodeInvokeReplyBody(body.value());
+}
+
+Result<bool> Client::AdvanceTo(Minute now) {
+  auto body = OkBody(EncodeRequest(AdvanceToRequest{now}));
+  if (!body.ok()) return body.error();
+  return DecodeAdvanceToReplyBody(body.value());
+}
+
+Result<StatsReply> Client::Stats() {
+  auto body = OkBody(EncodeRequest(StatsRequest{}));
+  if (!body.ok()) return body.error();
+  return DecodeStatsReplyBody(body.value());
+}
+
+Result<RemineReply> Client::RemineNow(Minute now) {
+  auto body = OkBody(EncodeRequest(RemineNowRequest{now}));
+  if (!body.ok()) return body.error();
+  return DecodeRemineReplyBody(body.value());
+}
+
+Result<SnapshotReply> Client::Snapshot() {
+  auto body = OkBody(EncodeRequest(SnapshotRequest{}));
+  if (!body.ok()) return body.error();
+  return DecodeSnapshotReplyBody(body.value());
+}
+
+}  // namespace defuse::server

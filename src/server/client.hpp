@@ -1,0 +1,50 @@
+// Client library for the serving-layer protocol.
+//
+// A Client owns one ClientChannel (socket or loopback) and speaks the
+// request/response protocol over it: frame the encoded request, write it
+// fully, read until one response frame decodes, decode the typed reply.
+// Remote errors (the server replied with an error status) and transport
+// errors (connection reset, corrupt frame) both surface as the Result's
+// Error; `connection_dead()` distinguishes them — after a transport
+// error the channel is unusable and the caller reconnects, while after a
+// remote error the connection keeps working.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+#include "net/frame_decoder.hpp"
+#include "net/transport.hpp"
+#include "server/protocol.hpp"
+
+namespace defuse::server {
+
+class Client {
+ public:
+  explicit Client(std::unique_ptr<net::ClientChannel> channel);
+
+  [[nodiscard]] Result<InvokeReply> Invoke(FunctionId fn, Minute now);
+  [[nodiscard]] Result<bool> AdvanceTo(Minute now);
+  [[nodiscard]] Result<StatsReply> Stats();
+  [[nodiscard]] Result<RemineReply> RemineNow(Minute now);
+  [[nodiscard]] Result<SnapshotReply> Snapshot();
+
+  /// True after a transport-level failure (write/read error, corrupt
+  /// response frame): the connection is gone and every further call
+  /// fails fast. Remote error replies do NOT set this.
+  [[nodiscard]] bool connection_dead() const noexcept { return dead_; }
+
+ private:
+  /// Sends one framed request payload and returns the response payload.
+  [[nodiscard]] Result<std::string> RoundTrip(std::string_view request);
+  /// RoundTrip + status split, shared by every typed call.
+  [[nodiscard]] Result<std::string> OkBody(std::string_view request);
+
+  std::unique_ptr<net::ClientChannel> channel_;
+  net::FrameDecoder decoder_;
+  bool dead_ = false;
+};
+
+}  // namespace defuse::server

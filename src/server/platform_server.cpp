@@ -1,0 +1,122 @@
+#include "server/platform_server.hpp"
+
+#include <string>
+
+#include "common/logging.hpp"
+
+namespace defuse::server {
+
+PlatformServer::PlatformServer(platform::Platform& platform)
+    : PlatformServer(platform, Options{}) {}
+
+PlatformServer::PlatformServer(platform::Platform& platform, Options options)
+    : platform_(platform), options_(options) {}
+
+std::string PlatformServer::EncodeTransportError(const Error& error) {
+  return EncodeErrorReply(error);
+}
+
+std::string PlatformServer::HandleRequest(std::string_view request) {
+  auto decoded = DecodeRequest(request);
+  if (!decoded.ok()) {
+    return EncodeErrorReply(decoded.error());
+  }
+  return Handle(decoded.value());
+}
+
+std::string PlatformServer::CheckClock(Minute now) const {
+  if (now < platform_.last_invocation_minute()) {
+    return EncodeErrorReply(Error{
+        ErrorCode::kInvalidArgument,
+        "minute " + std::to_string(now) + " is before the platform clock " +
+            std::to_string(platform_.last_invocation_minute())});
+  }
+  if (now < 0 || now >= platform_.config().horizon) {
+    return EncodeErrorReply(Error{
+        ErrorCode::kInvalidArgument,
+        "minute " + std::to_string(now) + " is outside the horizon [0, " +
+            std::to_string(platform_.config().horizon) + ")"});
+  }
+  return {};
+}
+
+void PlatformServer::Journal(const Result<bool>& append) {
+  if (!append.ok()) {
+    ++journal_failures_;
+    DEFUSE_LOG_WARN << "serve: journal append failed (degrading to lossy "
+                       "journaling): "
+                    << append.error().ToString();
+  }
+}
+
+void PlatformServer::MaybeCheckpoint(Minute now) {
+  if (options_.durable == nullptr || !options_.auto_checkpoint) return;
+  if (!options_.durable->ShouldCheckpoint(now)) return;
+  if (auto cp = options_.durable->Checkpoint(platform_); !cp.ok()) {
+    DEFUSE_LOG_WARN << "serve: checkpoint failed: " << cp.error().ToString();
+  }
+}
+
+std::string PlatformServer::Handle(const Request& request) {
+  switch (request.type) {
+    case RequestType::kInvoke: {
+      const InvokeRequest& r = *request.invoke;
+      if (r.function.value() >= platform_.function_invocations().size()) {
+        return EncodeErrorReply(Error{
+            ErrorCode::kInvalidArgument,
+            "function " + std::to_string(r.function.value()) +
+                " out of range (model has " +
+                std::to_string(platform_.function_invocations().size()) +
+                " functions)"});
+      }
+      if (std::string err = CheckClock(r.now); !err.empty()) return err;
+      if (options_.durable != nullptr) {
+        Journal(options_.durable->JournalInvocation(r.function, r.now));
+      }
+      const platform::InvocationOutcome outcome =
+          platform_.Invoke(r.function, r.now);
+      MaybeCheckpoint(r.now);
+      return EncodeOkReply(InvokeReply{outcome.cold, outcome.unit});
+    }
+    case RequestType::kAdvanceTo: {
+      const AdvanceToRequest& r = *request.advance_to;
+      if (std::string err = CheckClock(r.now); !err.empty()) return err;
+      if (options_.durable != nullptr) {
+        Journal(options_.durable->JournalHeartbeat(r.now));
+      }
+      platform_.AdvanceTo(r.now);
+      MaybeCheckpoint(r.now);
+      return EncodeOkAdvanceToReply();
+    }
+    case RequestType::kStats:
+      return EncodeOkReply(StatsReply{platform_.stats()});
+    case RequestType::kRemineNow: {
+      const RemineNowRequest& r = *request.remine_now;
+      if (std::string err = CheckClock(r.now); !err.empty()) return err;
+      if (platform_.remine_in_flight()) {
+        return EncodeOkReply(RemineReply{RemineMode::kAlreadyInFlight});
+      }
+      if (options_.durable != nullptr) {
+        Journal(options_.durable->JournalForcedRemine(r.now));
+      }
+      platform_.RemineNow(r.now);
+      return EncodeOkReply(RemineReply{platform_.remine_in_flight()
+                                           ? RemineMode::kStartedAsync
+                                           : RemineMode::kCompleted});
+    }
+    case RequestType::kSnapshot:
+      return EncodeOkReply(SnapshotReply{platform_.SaveState()});
+  }
+  return EncodeErrorReply(
+      Error{ErrorCode::kInvalidArgument, "unhandled request type"});
+}
+
+Result<bool> PlatformServer::Drain() {
+  platform_.FinishPendingRemine();
+  if (options_.durable != nullptr) {
+    return options_.durable->Checkpoint(platform_);
+  }
+  return true;
+}
+
+}  // namespace defuse::server

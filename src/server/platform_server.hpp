@@ -1,0 +1,72 @@
+// Application half of the `defuse serve` daemon.
+//
+// PlatformServer implements net::RequestHandler by decoding protocol
+// requests, pre-validating them (the Platform's contracts — in-bounds
+// function ids, monotonic minutes, within-horizon clocks — are asserts,
+// so the server rejects violations with kInvalidArgument replies before
+// they reach the engine), applying them to a platform::Platform, and
+// encoding replies. In durable mode every state-changing request is
+// journaled write-ahead through DurableState, exactly like the offline
+// `replay --state-dir` loop, so a daemon crash recovers through the same
+// ladder.
+//
+// The handler is transport-agnostic and single-threaded by contract: it
+// runs on whichever thread pumps the ServerCore (the poll loop for
+// sockets, the caller for loopback). Async re-mining concurrency lives
+// inside Platform, not here.
+#pragma once
+
+#include <cstdint>
+
+#include "net/server_core.hpp"
+#include "platform/durability/durable_state.hpp"
+#include "platform/platform.hpp"
+#include "server/protocol.hpp"
+
+namespace defuse::server {
+
+class PlatformServer final : public net::RequestHandler {
+ public:
+  struct Options {
+    /// Optional durability coordinator (not owned; already Open()ed and
+    /// Recover()ed by the caller). When set, Invoke/AdvanceTo/RemineNow
+    /// journal write-ahead and Drain() writes a final checkpoint.
+    platform::durability::DurableState* durable = nullptr;
+    /// Checkpoint automatically when DurableState says one is due.
+    bool auto_checkpoint = true;
+  };
+
+  // Two overloads instead of `Options options = {}` (GCC 12 nested
+  // default-argument limitation; see snapshot_store.hpp).
+  explicit PlatformServer(platform::Platform& platform);
+  PlatformServer(platform::Platform& platform, Options options);
+
+  [[nodiscard]] std::string HandleRequest(std::string_view request) override;
+  [[nodiscard]] std::string EncodeTransportError(const Error& error) override;
+
+  /// Graceful-shutdown hook: waits out any in-flight background re-mine
+  /// so its result is not lost, then (durable mode) writes a final
+  /// checkpoint. Idempotent.
+  [[nodiscard]] Result<bool> Drain();
+
+  /// Write-ahead journal appends that failed (the events were still
+  /// applied — the daemon degrades to lossy journaling rather than
+  /// refusing traffic, mirroring replay --state-dir).
+  [[nodiscard]] std::uint64_t journal_failures() const noexcept {
+    return journal_failures_;
+  }
+
+ private:
+  [[nodiscard]] std::string Handle(const Request& request);
+  /// Validates the monotonic-clock and horizon contracts shared by every
+  /// timestamped request; returns a non-empty error reply on violation.
+  [[nodiscard]] std::string CheckClock(Minute now) const;
+  void Journal(const Result<bool>& append);
+  void MaybeCheckpoint(Minute now);
+
+  platform::Platform& platform_;
+  Options options_;
+  std::uint64_t journal_failures_ = 0;
+};
+
+}  // namespace defuse::server

@@ -1,0 +1,330 @@
+#include "server/protocol.hpp"
+
+#include <cstddef>
+
+namespace defuse::server {
+namespace {
+
+// -- little-endian byte packing --------------------------------------------
+
+void PutU8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutI64(std::string& out, std::int64_t v) {
+  PutU64(out, static_cast<std::uint64_t>(v));
+}
+
+void PutString(std::string& out, std::string_view s) {
+  PutU32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Bounds-checked little-endian reader over one payload. Every Take
+/// fails (kParseError) instead of reading past the end, and Done()
+/// rejects trailing garbage so a corrupted-but-checksum-valid payload
+/// cannot silently decode.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] Result<std::uint8_t> TakeU8() {
+    if (data_.size() - pos_ < 1) return Short("u8");
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  [[nodiscard]] Result<std::uint32_t> TakeU32() {
+    if (data_.size() - pos_ < 4) return Short("u32");
+    std::uint32_t v = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  [[nodiscard]] Result<std::uint64_t> TakeU64() {
+    if (data_.size() - pos_ < 8) return Short("u64");
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  [[nodiscard]] Result<std::int64_t> TakeI64() {
+    auto v = TakeU64();
+    if (!v.ok()) return v.error();
+    return static_cast<std::int64_t>(v.value());
+  }
+
+  [[nodiscard]] Result<std::string_view> TakeString() {
+    auto len = TakeU32();
+    if (!len.ok()) return len.error();
+    if (data_.size() - pos_ < len.value()) return Short("string body");
+    const std::string_view s = data_.substr(pos_, len.value());
+    pos_ += len.value();
+    return s;
+  }
+
+  /// Succeeds only when the payload was consumed exactly.
+  [[nodiscard]] Result<bool> Done() const {
+    if (pos_ != data_.size()) {
+      return Error{ErrorCode::kParseError,
+                   "trailing bytes after message body"};
+    }
+    return true;
+  }
+
+ private:
+  [[nodiscard]] Error Short(std::string_view what) const {
+    return Error{ErrorCode::kParseError,
+                 "message truncated reading " + std::string{what}};
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+constexpr std::uint8_t kStatusOk = 0;
+
+}  // namespace
+
+// ---- Requests -------------------------------------------------------------
+
+std::string EncodeRequest(const InvokeRequest& r) {
+  std::string out;
+  PutU8(out, static_cast<std::uint8_t>(RequestType::kInvoke));
+  PutU32(out, r.function.value());
+  PutI64(out, r.now);
+  return out;
+}
+
+std::string EncodeRequest(const AdvanceToRequest& r) {
+  std::string out;
+  PutU8(out, static_cast<std::uint8_t>(RequestType::kAdvanceTo));
+  PutI64(out, r.now);
+  return out;
+}
+
+std::string EncodeRequest(const StatsRequest&) {
+  std::string out;
+  PutU8(out, static_cast<std::uint8_t>(RequestType::kStats));
+  return out;
+}
+
+std::string EncodeRequest(const RemineNowRequest& r) {
+  std::string out;
+  PutU8(out, static_cast<std::uint8_t>(RequestType::kRemineNow));
+  PutI64(out, r.now);
+  return out;
+}
+
+std::string EncodeRequest(const SnapshotRequest&) {
+  std::string out;
+  PutU8(out, static_cast<std::uint8_t>(RequestType::kSnapshot));
+  return out;
+}
+
+Result<Request> DecodeRequest(std::string_view payload) {
+  Reader r{payload};
+  auto type = r.TakeU8();
+  if (!type.ok()) return type.error();
+  Request req;
+  switch (type.value()) {
+    case static_cast<std::uint8_t>(RequestType::kInvoke): {
+      req.type = RequestType::kInvoke;
+      auto fn = r.TakeU32();
+      if (!fn.ok()) return fn.error();
+      auto now = r.TakeI64();
+      if (!now.ok()) return now.error();
+      req.invoke = InvokeRequest{FunctionId{fn.value()}, now.value()};
+      break;
+    }
+    case static_cast<std::uint8_t>(RequestType::kAdvanceTo): {
+      req.type = RequestType::kAdvanceTo;
+      auto now = r.TakeI64();
+      if (!now.ok()) return now.error();
+      req.advance_to = AdvanceToRequest{now.value()};
+      break;
+    }
+    case static_cast<std::uint8_t>(RequestType::kStats):
+      req.type = RequestType::kStats;
+      break;
+    case static_cast<std::uint8_t>(RequestType::kRemineNow): {
+      req.type = RequestType::kRemineNow;
+      auto now = r.TakeI64();
+      if (!now.ok()) return now.error();
+      req.remine_now = RemineNowRequest{now.value()};
+      break;
+    }
+    case static_cast<std::uint8_t>(RequestType::kSnapshot):
+      req.type = RequestType::kSnapshot;
+      break;
+    default:
+      return Error{ErrorCode::kParseError,
+                   "unknown request type " + std::to_string(type.value())};
+  }
+  if (auto done = r.Done(); !done.ok()) return done.error();
+  return req;
+}
+
+// ---- Replies --------------------------------------------------------------
+
+std::string EncodeOkReply(const InvokeReply& r) {
+  std::string out;
+  PutU8(out, kStatusOk);
+  PutU8(out, r.cold ? 1 : 0);
+  PutU32(out, r.unit.value());
+  return out;
+}
+
+std::string EncodeOkAdvanceToReply() {
+  std::string out;
+  PutU8(out, kStatusOk);
+  return out;
+}
+
+std::string EncodeOkReply(const StatsReply& r) {
+  std::string out;
+  PutU8(out, kStatusOk);
+  PutU64(out, r.stats.invocations);
+  PutU64(out, r.stats.cold_invocations);
+  PutU64(out, r.stats.remines);
+  PutU64(out, r.stats.degraded_remines);
+  PutI64(out, r.stats.stale_graph_minutes);
+  PutU64(out, r.stats.prewarm_spawn_failures);
+  PutU64(out, r.stats.prewarm_spawns_abandoned);
+  PutU64(out, r.stats.catchup_remines_skipped);
+  return out;
+}
+
+std::string EncodeOkReply(const RemineReply& r) {
+  std::string out;
+  PutU8(out, kStatusOk);
+  PutU8(out, static_cast<std::uint8_t>(r.mode));
+  return out;
+}
+
+std::string EncodeOkReply(const SnapshotReply& r) {
+  std::string out;
+  PutU8(out, kStatusOk);
+  PutString(out, r.state);
+  return out;
+}
+
+std::string EncodeErrorReply(const Error& error) {
+  std::string out;
+  PutU8(out, static_cast<std::uint8_t>(static_cast<int>(error.code) + 1));
+  PutString(out, error.message);
+  return out;
+}
+
+Result<std::string_view> DecodeReplyStatus(std::string_view payload) {
+  Reader r{payload};
+  auto status = r.TakeU8();
+  if (!status.ok()) return status.error();
+  if (status.value() == kStatusOk) {
+    return payload.substr(1);
+  }
+  const int code_index = static_cast<int>(status.value()) - 1;
+  if (code_index >= static_cast<int>(kNumErrorCodes)) {
+    return Error{ErrorCode::kParseError,
+                 "unknown error status " + std::to_string(status.value())};
+  }
+  auto message = r.TakeString();
+  if (!message.ok()) return message.error();
+  if (auto done = r.Done(); !done.ok()) return done.error();
+  return Error{static_cast<ErrorCode>(code_index),
+               std::string{message.value()}};
+}
+
+Result<InvokeReply> DecodeInvokeReplyBody(std::string_view body) {
+  Reader r{body};
+  auto cold = r.TakeU8();
+  if (!cold.ok()) return cold.error();
+  if (cold.value() > 1) {
+    return Error{ErrorCode::kParseError, "invoke reply cold flag not 0/1"};
+  }
+  auto unit = r.TakeU32();
+  if (!unit.ok()) return unit.error();
+  if (auto done = r.Done(); !done.ok()) return done.error();
+  return InvokeReply{cold.value() == 1, UnitId{unit.value()}};
+}
+
+Result<bool> DecodeAdvanceToReplyBody(std::string_view body) {
+  Reader r{body};
+  if (auto done = r.Done(); !done.ok()) return done.error();
+  return true;
+}
+
+Result<StatsReply> DecodeStatsReplyBody(std::string_view body) {
+  Reader r{body};
+  StatsReply reply;
+  auto invocations = r.TakeU64();
+  if (!invocations.ok()) return invocations.error();
+  auto cold = r.TakeU64();
+  if (!cold.ok()) return cold.error();
+  auto remines = r.TakeU64();
+  if (!remines.ok()) return remines.error();
+  auto degraded = r.TakeU64();
+  if (!degraded.ok()) return degraded.error();
+  auto stale = r.TakeI64();
+  if (!stale.ok()) return stale.error();
+  auto spawn_failures = r.TakeU64();
+  if (!spawn_failures.ok()) return spawn_failures.error();
+  auto spawns_abandoned = r.TakeU64();
+  if (!spawns_abandoned.ok()) return spawns_abandoned.error();
+  auto catchup_skipped = r.TakeU64();
+  if (!catchup_skipped.ok()) return catchup_skipped.error();
+  if (auto done = r.Done(); !done.ok()) return done.error();
+  reply.stats.invocations = invocations.value();
+  reply.stats.cold_invocations = cold.value();
+  reply.stats.remines = remines.value();
+  reply.stats.degraded_remines = degraded.value();
+  reply.stats.stale_graph_minutes = stale.value();
+  reply.stats.prewarm_spawn_failures = spawn_failures.value();
+  reply.stats.prewarm_spawns_abandoned = spawns_abandoned.value();
+  reply.stats.catchup_remines_skipped = catchup_skipped.value();
+  return reply;
+}
+
+Result<RemineReply> DecodeRemineReplyBody(std::string_view body) {
+  Reader r{body};
+  auto mode = r.TakeU8();
+  if (!mode.ok()) return mode.error();
+  if (mode.value() >
+      static_cast<std::uint8_t>(RemineMode::kAlreadyInFlight)) {
+    return Error{ErrorCode::kParseError,
+                 "unknown remine mode " + std::to_string(mode.value())};
+  }
+  if (auto done = r.Done(); !done.ok()) return done.error();
+  return RemineReply{static_cast<RemineMode>(mode.value())};
+}
+
+Result<SnapshotReply> DecodeSnapshotReplyBody(std::string_view body) {
+  Reader r{body};
+  auto state = r.TakeString();
+  if (!state.ok()) return state.error();
+  if (auto done = r.Done(); !done.ok()) return done.error();
+  return SnapshotReply{std::string{state.value()}};
+}
+
+}  // namespace defuse::server

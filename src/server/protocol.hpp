@@ -1,0 +1,137 @@
+// Wire protocol of the serving layer (DESIGN.md §10).
+//
+// Every message travels as the payload of one checksummed frame
+// (common/io/framed): `f <len> <crc32c>\n<payload>\n`. The payload is a
+// little-endian binary encoding — explicit byte packing, no struct
+// casts, so the format is identical across platforms and every decode
+// is bounds-checked.
+//
+// Request payload:   u8 type, then the type-specific body
+//   kInvoke    = 1:  u32 function, i64 minute
+//   kAdvanceTo = 2:  i64 minute
+//   kStats     = 3:  (empty)
+//   kRemineNow = 4:  i64 minute
+//   kSnapshot  = 5:  (empty)
+//
+// Reply payload:     u8 status, then the status-specific body
+//   status 0 (ok):   the request-specific reply body below
+//   status e > 0:    the error body — e is ErrorCode+1, then
+//                    u32 message-length, message bytes
+//
+// Ok reply bodies:
+//   Invoke:    u8 cold (0/1), u32 unit
+//   AdvanceTo: (empty)
+//   Stats:     the 8 PlatformStats counters, fixed width, in
+//              declaration order (u64 x4, i64, u64 x3)
+//   RemineNow: u8 mode (kCompleted / kStartedAsync / kAlreadyInFlight)
+//   Snapshot:  u32 length, then the Platform::SaveState() text
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/time.hpp"
+#include "platform/platform.hpp"
+
+namespace defuse::server {
+
+/// Frame bound for REPLY payloads on the client side. Asymmetric on
+/// purpose: requests fit the server's 1MB default, but a Snapshot reply
+/// carries a whole Platform::SaveState() blob, which is megabytes on
+/// realistic workloads. Bounded so a byzantine server cannot make a
+/// client buffer unbounded memory.
+inline constexpr std::size_t kMaxReplyPayloadBytes = 64u << 20;
+
+enum class RequestType : std::uint8_t {
+  kInvoke = 1,
+  kAdvanceTo = 2,
+  kStats = 3,
+  kRemineNow = 4,
+  kSnapshot = 5,
+};
+
+struct InvokeRequest {
+  FunctionId function;
+  Minute now = 0;
+};
+struct AdvanceToRequest {
+  Minute now = 0;
+};
+struct StatsRequest {};
+struct RemineNowRequest {
+  Minute now = 0;
+};
+struct SnapshotRequest {};
+
+/// A decoded request: exactly one of the optionals is engaged.
+struct Request {
+  RequestType type = RequestType::kStats;
+  std::optional<InvokeRequest> invoke;
+  std::optional<AdvanceToRequest> advance_to;
+  std::optional<RemineNowRequest> remine_now;
+};
+
+enum class RemineMode : std::uint8_t {
+  /// The re-mine ran to completion before the reply (serial mode).
+  kCompleted = 0,
+  /// The re-mine was handed to the background pool; invokes keep
+  /// flowing and the sets swap at a later platform call.
+  kStartedAsync = 1,
+  /// A background re-mine was already running; no new one started.
+  kAlreadyInFlight = 2,
+};
+
+struct InvokeReply {
+  bool cold = false;
+  UnitId unit;
+};
+struct StatsReply {
+  platform::PlatformStats stats;
+};
+struct RemineReply {
+  RemineMode mode = RemineMode::kCompleted;
+};
+struct SnapshotReply {
+  std::string state;
+};
+
+// ---- Encoding -------------------------------------------------------------
+
+[[nodiscard]] std::string EncodeRequest(const InvokeRequest& r);
+[[nodiscard]] std::string EncodeRequest(const AdvanceToRequest& r);
+[[nodiscard]] std::string EncodeRequest(const StatsRequest& r);
+[[nodiscard]] std::string EncodeRequest(const RemineNowRequest& r);
+[[nodiscard]] std::string EncodeRequest(const SnapshotRequest& r);
+
+[[nodiscard]] std::string EncodeOkReply(const InvokeReply& r);
+[[nodiscard]] std::string EncodeOkAdvanceToReply();
+[[nodiscard]] std::string EncodeOkReply(const StatsReply& r);
+[[nodiscard]] std::string EncodeOkReply(const RemineReply& r);
+[[nodiscard]] std::string EncodeOkReply(const SnapshotReply& r);
+[[nodiscard]] std::string EncodeErrorReply(const Error& error);
+
+// ---- Decoding -------------------------------------------------------------
+// Every decoder rejects short, oversized, or trailing-garbage payloads
+// with kParseError; no decoder reads past the payload it was given.
+
+[[nodiscard]] Result<Request> DecodeRequest(std::string_view payload);
+
+/// Splits a reply payload into ok-body or error. On success the view is
+/// the request-specific reply body (status byte stripped). An
+/// error-status reply decodes into the Error it carries; a malformed
+/// payload decodes into kParseError — callers see both as `!ok()`.
+[[nodiscard]] Result<std::string_view> DecodeReplyStatus(
+    std::string_view payload);
+[[nodiscard]] Result<InvokeReply> DecodeInvokeReplyBody(std::string_view body);
+[[nodiscard]] Result<bool> DecodeAdvanceToReplyBody(std::string_view body);
+[[nodiscard]] Result<StatsReply> DecodeStatsReplyBody(std::string_view body);
+[[nodiscard]] Result<RemineReply> DecodeRemineReplyBody(std::string_view body);
+[[nodiscard]] Result<SnapshotReply> DecodeSnapshotReplyBody(
+    std::string_view body);
+
+}  // namespace defuse::server

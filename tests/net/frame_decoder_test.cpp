@@ -1,0 +1,267 @@
+// Frame-decoder fuzz table: the serving layer trusts FrameDecoder to
+// turn an adversarial byte stream into either verified payloads or a
+// terminal corrupt state — never a wrong payload, never an over-read.
+//
+// The tables below cover the failure modes a network peer can produce:
+// truncation at every byte boundary, a single flipped bit anywhere in
+// the stream, oversized/zero-length frames, header floods, and plain
+// garbage. Every case must either reproduce the original frames exactly
+// (as a prefix) or stop cleanly — and the suite runs under the same
+// ASan/UBSan flags as the rest of tier 1, so an over-read would abort.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/io/framed.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "net/frame_decoder.hpp"
+
+namespace defuse::net {
+namespace {
+
+/// Payloads chosen to attack the framing: embedded newlines, embedded
+/// "f " pseudo-headers, empty, binary with NUL and 0xff bytes.
+std::vector<std::string> HostilePayloads() {
+  std::vector<std::string> payloads;
+  payloads.emplace_back("hello");
+  payloads.emplace_back("");  // zero-length frame is legal
+  payloads.emplace_back("line1\nline2\n");
+  payloads.emplace_back("f 12 deadbeef\nnot a frame\n");
+  std::string binary;
+  for (int i = 0; i < 64; ++i) {
+    binary.push_back(static_cast<char>(i * 5 % 256));
+  }
+  binary.push_back('\0');
+  binary.push_back(static_cast<char>(0xff));
+  payloads.push_back(binary);
+  payloads.emplace_back("tail");
+  return payloads;
+}
+
+std::string EncodeAll(const std::vector<std::string>& payloads) {
+  std::string wire;
+  for (const auto& p : payloads) io::AppendFrame(wire, p);
+  return wire;
+}
+
+/// Feeds `wire` in chunks drawn from `rng` and returns every decoded
+/// frame. Fails the test if the decoder ever reports corruption.
+std::vector<std::string> DecodeChunked(std::string_view wire, Rng& rng) {
+  FrameDecoder decoder;
+  std::vector<std::string> frames;
+  std::string payload;
+  std::size_t pos = 0;
+  while (pos < wire.size()) {
+    const std::size_t chunk = 1 + rng.NextBelow(7);
+    const std::size_t n = std::min(chunk, wire.size() - pos);
+    decoder.Feed(wire.substr(pos, n));
+    pos += n;
+    for (;;) {
+      const FrameDecoder::State state = decoder.Next(payload);
+      if (state == FrameDecoder::State::kFrame) {
+        frames.push_back(payload);
+        continue;
+      }
+      EXPECT_EQ(state, FrameDecoder::State::kNeedMore)
+          << decoder.last_error().message;
+      break;
+    }
+  }
+  return frames;
+}
+
+TEST(FrameDecoder, ChunkedRoundTripMatchesScanFramesForManySeeds) {
+  const std::vector<std::string> payloads = HostilePayloads();
+  const std::string wire = EncodeAll(payloads);
+  // The whole-buffer scanner is the reference implementation.
+  const io::FrameScan scan = io::ScanFrames(wire);
+  ASSERT_FALSE(scan.torn_tail);
+  ASSERT_EQ(scan.records.size(), payloads.size());
+
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    Rng rng{seed};
+    const std::vector<std::string> frames = DecodeChunked(wire, rng);
+    ASSERT_EQ(frames.size(), payloads.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+      EXPECT_EQ(frames[i], payloads[i]) << "seed " << seed << " frame " << i;
+    }
+  }
+}
+
+TEST(FrameDecoder, SingleByteFeedsDecodeEveryFrame) {
+  const std::vector<std::string> payloads = HostilePayloads();
+  const std::string wire = EncodeAll(payloads);
+  FrameDecoder decoder;
+  std::vector<std::string> frames;
+  std::string payload;
+  for (char byte : wire) {
+    decoder.Feed(std::string_view{&byte, 1});
+    while (decoder.Next(payload) == FrameDecoder::State::kFrame) {
+      frames.push_back(payload);
+    }
+  }
+  ASSERT_EQ(frames.size(), payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(frames[i], payloads[i]);
+  }
+}
+
+// Truncation table: for EVERY strict prefix of a valid multi-frame
+// stream, a fresh decoder must produce exactly the frames that are
+// complete within the prefix and then ask for more — never a wrong
+// frame, never corruption, never a read past the prefix.
+TEST(FrameDecoder, TruncationAtEveryPrefixIsClean) {
+  const std::vector<std::string> payloads = HostilePayloads();
+  const std::string wire = EncodeAll(payloads);
+
+  // Frame boundaries, so we know how many frames each prefix holds.
+  std::vector<std::size_t> ends;
+  {
+    std::string partial;
+    for (const auto& p : payloads) {
+      io::AppendFrame(partial, p);
+      ends.push_back(partial.size());
+    }
+  }
+
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    // Copy the prefix into an exactly-sized buffer so ASan catches any
+    // read past the truncation point.
+    const std::string prefix{wire.substr(0, cut)};
+    std::size_t expect_frames = 0;
+    while (expect_frames < ends.size() && ends[expect_frames] <= cut) {
+      ++expect_frames;
+    }
+
+    FrameDecoder decoder;
+    decoder.Feed(prefix);
+    std::string payload;
+    std::size_t got = 0;
+    FrameDecoder::State state;
+    while ((state = decoder.Next(payload)) == FrameDecoder::State::kFrame) {
+      ASSERT_LT(got, payloads.size()) << "cut " << cut;
+      EXPECT_EQ(payload, payloads[got]) << "cut " << cut;
+      ++got;
+    }
+    EXPECT_EQ(state, FrameDecoder::State::kNeedMore)
+        << "cut " << cut << ": " << decoder.last_error().message;
+    EXPECT_EQ(got, expect_frames) << "cut " << cut;
+  }
+}
+
+// Bit-flip table: flipping ANY single bit of the stream must never
+// produce a frame that differs from the originals. The CRC32C covers
+// every payload bit; the header and terminators are syntax-checked; so
+// each run yields a prefix of the original frames and then either
+// corruption or a stall (a flipped length digit can legally make the
+// decoder wait for bytes that will never come). A handful of header
+// flips are semantically neutral — hex parsing accepts both cases, so
+// 'a'^0x20 = 'A' decodes the same frame — which is why the invariant is
+// "never a WRONG frame", not "the flipped frame never decodes".
+TEST(FrameDecoder, EverySingleBitFlipIsContained) {
+  std::vector<std::string> payloads;
+  payloads.emplace_back("alpha\n");
+  payloads.emplace_back("bravo bravo");
+  payloads.emplace_back("");
+  payloads.emplace_back("charlie\0delta", 13);
+  const std::string wire = EncodeAll(payloads);
+
+  for (std::size_t bit = 0; bit < wire.size() * 8; ++bit) {
+    std::string flipped = wire;
+    flipped[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>(flipped[bit / 8]) ^ (1u << (bit % 8)));
+
+    FrameDecoder decoder;
+    decoder.Feed(flipped);
+    std::string payload;
+    std::size_t got = 0;
+    FrameDecoder::State state;
+    while ((state = decoder.Next(payload)) == FrameDecoder::State::kFrame) {
+      ASSERT_LT(got, payloads.size()) << "bit " << bit;
+      ASSERT_EQ(payload, payloads[got])
+          << "bit " << bit << " produced a frame that never existed";
+      ++got;
+    }
+    if (state == FrameDecoder::State::kCorrupt) {
+      const ErrorCode code = decoder.last_error().code;
+      EXPECT_TRUE(code == ErrorCode::kDataLoss ||
+                  code == ErrorCode::kResourceExhausted)
+          << "bit " << bit << ": " << decoder.last_error().message;
+    } else {
+      EXPECT_EQ(state, FrameDecoder::State::kNeedMore) << "bit " << bit;
+    }
+  }
+}
+
+TEST(FrameDecoder, ZeroLengthFrameRoundTrips) {
+  FrameDecoder decoder;
+  decoder.Feed(io::EncodeFrame(""));
+  std::string payload{"sentinel"};
+  ASSERT_EQ(decoder.Next(payload), FrameDecoder::State::kFrame);
+  EXPECT_TRUE(payload.empty());
+  EXPECT_EQ(decoder.Next(payload), FrameDecoder::State::kNeedMore);
+}
+
+TEST(FrameDecoder, OversizedPayloadIsResourceExhaustedBeforeBuffering) {
+  FrameDecoderLimits limits;
+  limits.max_payload_bytes = 32;
+  FrameDecoder decoder{limits};
+  // Only the header needs to arrive: the decoder must reject from the
+  // declared length alone instead of buffering a gigabyte first.
+  decoder.Feed("f 1048576 00000000\n");
+  std::string payload;
+  ASSERT_EQ(decoder.Next(payload), FrameDecoder::State::kCorrupt);
+  EXPECT_EQ(decoder.last_error().code, ErrorCode::kResourceExhausted);
+}
+
+TEST(FrameDecoder, HeaderFloodWithoutNewlineIsCorrupt) {
+  FrameDecoder decoder;
+  decoder.Feed(std::string(200, 'f'));  // no newline within max_header_bytes
+  std::string payload;
+  ASSERT_EQ(decoder.Next(payload), FrameDecoder::State::kCorrupt);
+  EXPECT_EQ(decoder.last_error().code, ErrorCode::kDataLoss);
+}
+
+TEST(FrameDecoder, GarbageIsCorruptNotCrash) {
+  FrameDecoder decoder;
+  decoder.Feed("GET / HTTP/1.1\r\nHost: example\r\n\r\n");
+  std::string payload;
+  EXPECT_EQ(decoder.Next(payload), FrameDecoder::State::kCorrupt);
+  EXPECT_EQ(decoder.last_error().code, ErrorCode::kDataLoss);
+}
+
+TEST(FrameDecoder, CorruptIsTerminalUntilReset) {
+  FrameDecoder decoder;
+  decoder.Feed("garbage\n");
+  std::string payload;
+  ASSERT_EQ(decoder.Next(payload), FrameDecoder::State::kCorrupt);
+
+  // Feeding a perfectly valid frame afterwards must not resurrect the
+  // stream: a mangled length field means nothing downstream is trusted.
+  decoder.Feed(io::EncodeFrame("valid"));
+  EXPECT_EQ(decoder.Next(payload), FrameDecoder::State::kCorrupt);
+
+  decoder.Reset();
+  decoder.Feed(io::EncodeFrame("fresh"));
+  ASSERT_EQ(decoder.Next(payload), FrameDecoder::State::kFrame);
+  EXPECT_EQ(payload, "fresh");
+}
+
+TEST(FrameDecoder, LongStreamStaysCompact) {
+  FrameDecoder decoder;
+  std::string payload;
+  std::string frame = io::EncodeFrame(std::string(100, 'x'));
+  for (int i = 0; i < 1000; ++i) {
+    decoder.Feed(frame);
+    ASSERT_EQ(decoder.Next(payload), FrameDecoder::State::kFrame);
+  }
+  // Everything consumed: the internal buffer must not have retained the
+  // ~120KB of history (compaction is in place).
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace defuse::net

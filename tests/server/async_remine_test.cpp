@@ -1,0 +1,205 @@
+// Async off-path re-mining: the background mine must change WHEN mining
+// cost is paid, never WHAT is mined.
+//
+// The determinism argument (platform.hpp): arrivals are monotonic, the
+// mine window ends at the boundary, and the history snapshot is taken
+// at submit time — so every invocation the background thread cannot see
+// is at a minute >= window.end and excluded from a serial mine of the
+// same window too. Mined dependency sets are therefore bit-identical to
+// a serial twin; only the minute at which the swap lands (and hence
+// which invocations still ran on the old sets) differs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/serialization.hpp"
+#include "net/loopback.hpp"
+#include "net/server_core.hpp"
+#include "platform/platform.hpp"
+#include "server/client.hpp"
+#include "server/platform_server.hpp"
+
+namespace defuse::platform {
+namespace {
+
+struct Fixture {
+  trace::WorkloadModel model;
+  FunctionId slow, fast, bursty;
+  Fixture() {
+    const UserId u = model.AddUser("u");
+    const AppId a = model.AddApp(u, "app");
+    slow = model.AddFunction(a, "slow60");
+    fast = model.AddFunction(a, "fast10");
+    bursty = model.AddFunction(a, "bursty");
+  }
+};
+
+PlatformConfig Config(bool async) {
+  PlatformConfig cfg;
+  cfg.horizon = 10 * kMinutesPerDay;
+  cfg.remine_interval = kMinutesPerDay;
+  cfg.async_remine = async;
+  return cfg;
+}
+
+/// Same deterministic workload as the chaos suite: a strict periodic, a
+/// fast periodic, and a bursty function that co-fires with the fast one
+/// (so mining has a real set to find).
+void DriveMinute(Platform& p, const Fixture& fx, Minute t, Minute& bursty_next,
+                 Rng& rng) {
+  if (t % 60 == 0) (void)p.Invoke(fx.slow, t);
+  if (t % 10 == 3) (void)p.Invoke(fx.fast, t);
+  if (t == bursty_next) {
+    (void)p.Invoke(fx.bursty, t);
+    (void)p.Invoke(fx.fast, t);
+    bursty_next += 20 + static_cast<Minute>(rng.NextBelow(80));
+  }
+}
+
+std::string SetsCsv(const Platform& p, const trace::WorkloadModel& model) {
+  std::vector<graph::DependencySet> sets;
+  for (std::size_t unit = 0; unit < p.units().num_units(); ++unit) {
+    graph::DependencySet set;
+    set.id = static_cast<std::uint32_t>(unit);
+    const auto fns =
+        p.units().functions_of(UnitId{static_cast<std::uint32_t>(unit)});
+    set.functions.assign(fns.begin(), fns.end());
+    sets.push_back(std::move(set));
+  }
+  return graph::WriteDependencySetsCsvChecksummed(sets, model);
+}
+
+TEST(AsyncRemine, MinedSetsAreBitIdenticalToSerialTwin) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Fixture fx;
+    Platform serial{fx.model, Config(false)};
+    Platform async{fx.model, Config(true)};
+
+    Rng rng_serial{seed}, rng_async{seed};
+    Minute next_serial = 17, next_async = 17;
+    for (Minute t = 0; t < 6 * kMinutesPerDay; ++t) {
+      DriveMinute(serial, fx, t, next_serial, rng_serial);
+      DriveMinute(async, fx, t, next_async, rng_async);
+      // Barrier right after each minute: the swap lands at the same
+      // boundary as the serial twin's synchronous mine, so the two
+      // platforms cross every re-mine in lockstep.
+      if (async.remine_in_flight()) async.FinishPendingRemine();
+    }
+
+    EXPECT_EQ(SetsCsv(async, fx.model), SetsCsv(serial, fx.model))
+        << "seed " << seed;
+    EXPECT_EQ(async.stats().remines, serial.stats().remines)
+        << "seed " << seed;
+    EXPECT_GT(async.stats().remines, 0u) << "seed " << seed;
+
+    const auto& books = async.async_remine_books();
+    EXPECT_EQ(books.started, async.stats().remines) << "seed " << seed;
+    EXPECT_EQ(books.swapped, books.started) << "seed " << seed;
+    EXPECT_EQ(books.kept_stale, 0u) << "seed " << seed;
+  }
+}
+
+TEST(AsyncRemine, BarrieredRunsAreRepeatable) {
+  auto run = [] {
+    Fixture fx;
+    Platform p{fx.model, Config(true)};
+    Rng rng{7};
+    Minute bursty_next = 17;
+    for (Minute t = 0; t < 4 * kMinutesPerDay; ++t) {
+      DriveMinute(p, fx, t, bursty_next, rng);
+      if (p.remine_in_flight()) p.FinishPendingRemine();
+    }
+    return std::pair{SetsCsv(p, fx.model), p.SaveState()};
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+}
+
+TEST(AsyncRemine, InvocationsFlowWhileAMineIsInFlight) {
+  Fixture fx;
+  Platform p{fx.model, Config(true)};
+  Rng rng{3};
+  Minute bursty_next = 17;
+  bool saw_in_flight = false;
+  std::uint64_t invokes_during_flight = 0;
+  for (Minute t = 0; t < 5 * kMinutesPerDay; ++t) {
+    DriveMinute(p, fx, t, bursty_next, rng);
+    if (p.remine_in_flight()) {
+      saw_in_flight = true;
+      // The platform accepts traffic while the miner works: this very
+      // call runs on the serving thread with the future outstanding.
+      const auto outcome = p.Invoke(fx.fast, t);
+      (void)outcome;
+      ++invokes_during_flight;
+    }
+  }
+  p.FinishPendingRemine();
+  EXPECT_TRUE(saw_in_flight);
+  EXPECT_GT(invokes_during_flight, 0u);
+  const auto& books = p.async_remine_books();
+  EXPECT_EQ(books.swapped + books.kept_stale, books.started);
+  EXPECT_EQ(p.stats().remines, books.swapped);
+  EXPECT_GT(p.stats().invocations, 0u);
+}
+
+TEST(AsyncRemine, LoadStateDiscardsAnInFlightMine) {
+  Fixture fx;
+  Platform p{fx.model, Config(true)};
+  Rng rng{11};
+  Minute bursty_next = 17;
+  for (Minute t = 0; t < kMinutesPerDay; ++t) {
+    DriveMinute(p, fx, t, bursty_next, rng);
+  }
+  p.FinishPendingRemine();
+  const std::string saved = p.SaveState();
+
+  // Keep driving and force a mine so one is (briefly) in flight, then
+  // restore the earlier snapshot while the future is outstanding.
+  for (Minute t = kMinutesPerDay; t < kMinutesPerDay + 200; ++t) {
+    DriveMinute(p, fx, t, bursty_next, rng);
+  }
+  p.RemineNow(kMinutesPerDay + 200);
+  ASSERT_TRUE(p.LoadState(saved));
+
+  // The discarded mine must not have clobbered the restored state.
+  EXPECT_EQ(p.SaveState(), saved);
+}
+
+TEST(AsyncRemine, ServerReportsAsyncModesOverTheWire) {
+  Fixture fx;
+  Platform p{fx.model, Config(true)};
+  server::PlatformServer handler{p};
+  net::ServerCore core{handler};
+  net::LoopbackServer loopback{core};
+  auto channel = loopback.Connect();
+  ASSERT_TRUE(channel.ok());
+  server::Client client{std::move(channel).value()};
+
+  Rng rng{5};
+  Minute bursty_next = 17;
+  for (Minute t = 0; t < 120; ++t) {
+    DriveMinute(p, fx, t, bursty_next, rng);
+  }
+
+  auto first = client.RemineNow(Minute{200});
+  ASSERT_TRUE(first.ok()) << first.error().message;
+  EXPECT_EQ(first.value().mode, server::RemineMode::kStartedAsync);
+
+  // A second force while the first may still be in flight: either the
+  // server observes it (kAlreadyInFlight) or the mine already landed
+  // and a fresh one starts. Both are legal; completion is not.
+  auto second = client.RemineNow(Minute{201});
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second.value().mode, server::RemineMode::kCompleted);
+
+  p.FinishPendingRemine();
+  EXPECT_GT(p.stats().remines, 0u);
+}
+
+}  // namespace
+}  // namespace defuse::platform

@@ -1,0 +1,258 @@
+// Wire-protocol codec: every request and reply round-trips bit-exactly,
+// and every malformed payload — truncated, padded, or carrying unknown
+// enum values — is rejected with kParseError instead of decoding into
+// something plausible. The framing layer already guarantees payload
+// integrity (CRC32C), so these tables are about *semantic* validation:
+// a checksum-valid payload from a newer/buggy peer must still fail
+// closed.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "server/protocol.hpp"
+
+namespace defuse::server {
+namespace {
+
+// ---- request round-trips ---------------------------------------------------
+
+TEST(Protocol, InvokeRequestRoundTrips) {
+  const std::string wire =
+      EncodeRequest(InvokeRequest{FunctionId{41}, Minute{123456}});
+  auto decoded = DecodeRequest(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  ASSERT_EQ(decoded.value().type, RequestType::kInvoke);
+  ASSERT_TRUE(decoded.value().invoke.has_value());
+  EXPECT_EQ(decoded.value().invoke->function.value(), 41u);
+  EXPECT_EQ(decoded.value().invoke->now, 123456);
+}
+
+TEST(Protocol, AdvanceToRequestRoundTrips) {
+  const std::string wire = EncodeRequest(AdvanceToRequest{Minute{9999}});
+  auto decoded = DecodeRequest(wire);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().type, RequestType::kAdvanceTo);
+  ASSERT_TRUE(decoded.value().advance_to.has_value());
+  EXPECT_EQ(decoded.value().advance_to->now, 9999);
+}
+
+TEST(Protocol, StatsRequestRoundTrips) {
+  auto decoded = DecodeRequest(EncodeRequest(StatsRequest{}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().type, RequestType::kStats);
+}
+
+TEST(Protocol, RemineNowRequestRoundTrips) {
+  auto decoded = DecodeRequest(EncodeRequest(RemineNowRequest{Minute{777}}));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().type, RequestType::kRemineNow);
+  ASSERT_TRUE(decoded.value().remine_now.has_value());
+  EXPECT_EQ(decoded.value().remine_now->now, 777);
+}
+
+TEST(Protocol, SnapshotRequestRoundTrips) {
+  auto decoded = DecodeRequest(EncodeRequest(SnapshotRequest{}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().type, RequestType::kSnapshot);
+}
+
+// ---- reply round-trips -----------------------------------------------------
+
+/// Strips the status byte via DecodeReplyStatus, asserting ok status.
+std::string_view OkBody(std::string_view reply) {
+  auto body = DecodeReplyStatus(reply);
+  EXPECT_TRUE(body.ok()) << body.error().message;
+  return body.ok() ? body.value() : std::string_view{};
+}
+
+TEST(Protocol, InvokeReplyRoundTrips) {
+  for (bool cold : {false, true}) {
+    const std::string wire =
+        EncodeOkReply(InvokeReply{cold, UnitId{0xdeadbeef}});
+    auto decoded = DecodeInvokeReplyBody(OkBody(wire));
+    ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+    EXPECT_EQ(decoded.value().cold, cold);
+    EXPECT_EQ(decoded.value().unit.value(), 0xdeadbeefu);
+  }
+}
+
+TEST(Protocol, AdvanceToReplyRoundTrips) {
+  auto decoded = DecodeAdvanceToReplyBody(OkBody(EncodeOkAdvanceToReply()));
+  EXPECT_TRUE(decoded.ok());
+}
+
+TEST(Protocol, StatsReplyRoundTripsEveryFieldDistinctly) {
+  // Distinct values per field so a swapped pair cannot round-trip.
+  StatsReply reply;
+  reply.stats.invocations = 1'000'001;
+  reply.stats.cold_invocations = 2002;
+  reply.stats.remines = 33;
+  reply.stats.degraded_remines = 4;
+  reply.stats.stale_graph_minutes = -5;  // signed field: sign survives
+  reply.stats.prewarm_spawn_failures = 66;
+  reply.stats.prewarm_spawns_abandoned = 7;
+  reply.stats.catchup_remines_skipped = 888;
+
+  auto decoded = DecodeStatsReplyBody(OkBody(EncodeOkReply(reply)));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value().stats, reply.stats);
+}
+
+TEST(Protocol, RemineReplyRoundTripsEveryMode) {
+  for (auto mode : {RemineMode::kCompleted, RemineMode::kStartedAsync,
+                    RemineMode::kAlreadyInFlight}) {
+    auto decoded = DecodeRemineReplyBody(OkBody(EncodeOkReply(
+        RemineReply{mode})));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().mode, mode);
+  }
+}
+
+TEST(Protocol, SnapshotReplyCarriesArbitraryBinaryState) {
+  std::string state = "line1\nline2\n";
+  state.push_back('\0');
+  state += "binary\xff tail";
+  auto decoded =
+      DecodeSnapshotReplyBody(OkBody(EncodeOkReply(SnapshotReply{state})));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().state, state);
+}
+
+TEST(Protocol, ErrorReplyRoundTripsEveryCode) {
+  for (std::size_t i = 0; i < kNumErrorCodes; ++i) {
+    const Error error{static_cast<ErrorCode>(i),
+                      "message for code " + std::to_string(i)};
+    auto decoded = DecodeReplyStatus(EncodeErrorReply(error));
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error().code, error.code);
+    EXPECT_EQ(decoded.error().message, error.message);
+  }
+}
+
+// ---- rejection tables ------------------------------------------------------
+
+TEST(Protocol, EveryRequestTruncationIsRejected) {
+  const std::vector<std::string> wires = {
+      EncodeRequest(InvokeRequest{FunctionId{7}, Minute{8}}),
+      EncodeRequest(AdvanceToRequest{Minute{9}}),
+      EncodeRequest(StatsRequest{}),
+      EncodeRequest(RemineNowRequest{Minute{10}}),
+      EncodeRequest(SnapshotRequest{}),
+  };
+  for (const auto& wire : wires) {
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+      auto decoded = DecodeRequest(wire.substr(0, cut));
+      ASSERT_FALSE(decoded.ok()) << "cut " << cut;
+      EXPECT_EQ(decoded.error().code, ErrorCode::kParseError);
+    }
+  }
+}
+
+TEST(Protocol, TrailingGarbageOnRequestsIsRejected) {
+  const std::vector<std::string> wires = {
+      EncodeRequest(InvokeRequest{FunctionId{7}, Minute{8}}),
+      EncodeRequest(StatsRequest{}),
+  };
+  for (const auto& wire : wires) {
+    auto decoded = DecodeRequest(wire + "x");
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error().code, ErrorCode::kParseError);
+  }
+}
+
+// The caller always knows which body decoder to use (from the request
+// it sent), so each truncation only needs to fail under the MATCHING
+// decoder — a truncated Invoke body decoding under, say, the Remine
+// decoder is irrelevant, not a violation.
+TEST(Protocol, EveryReplyTruncationIsRejected) {
+  struct Case {
+    std::string wire;
+    bool (*decodes)(std::string_view body);
+  };
+  const std::vector<Case> cases = {
+      {EncodeOkReply(InvokeReply{true, UnitId{3}}),
+       [](std::string_view b) { return DecodeInvokeReplyBody(b).ok(); }},
+      {EncodeOkReply(StatsReply{}),
+       [](std::string_view b) { return DecodeStatsReplyBody(b).ok(); }},
+      {EncodeOkReply(RemineReply{RemineMode::kCompleted}),
+       [](std::string_view b) { return DecodeRemineReplyBody(b).ok(); }},
+      {EncodeOkReply(SnapshotReply{"state"}),
+       [](std::string_view b) { return DecodeSnapshotReplyBody(b).ok(); }},
+  };
+  for (const auto& c : cases) {
+    for (std::size_t cut = 0; cut < c.wire.size(); ++cut) {
+      // DecodeReplyStatus returns a view into its input, so the prefix
+      // must outlive the decode call below.
+      const std::string prefix = c.wire.substr(0, cut);
+      auto status = DecodeReplyStatus(prefix);
+      if (!status.ok()) continue;  // truncated to nothing
+      EXPECT_FALSE(c.decodes(status.value())) << "cut " << cut;
+    }
+  }
+  // Error replies: every strict prefix must fail DecodeReplyStatus
+  // itself (the message string is length-prefixed).
+  const std::string err =
+      EncodeErrorReply(Error{ErrorCode::kInvalidArgument, "bad"});
+  for (std::size_t cut = 1; cut < err.size(); ++cut) {
+    auto status = DecodeReplyStatus(err.substr(0, cut));
+    EXPECT_FALSE(status.ok()) << "cut " << cut;
+    if (!status.ok()) {
+      EXPECT_EQ(status.error().code, ErrorCode::kParseError) << "cut " << cut;
+    }
+  }
+}
+
+TEST(Protocol, UnknownRequestTypeIsRejected) {
+  std::string wire;
+  wire.push_back('\x2a');  // type 42 does not exist
+  auto decoded = DecodeRequest(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, ErrorCode::kParseError);
+}
+
+TEST(Protocol, UnknownErrorStatusIsRejected) {
+  std::string wire;
+  wire.push_back(static_cast<char>(kNumErrorCodes + 1));
+  auto decoded = DecodeReplyStatus(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, ErrorCode::kParseError);
+}
+
+TEST(Protocol, UnknownRemineModeIsRejected) {
+  std::string body;
+  body.push_back('\x07');
+  auto decoded = DecodeRemineReplyBody(body);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, ErrorCode::kParseError);
+}
+
+TEST(Protocol, InvokeReplyColdFlagMustBeBoolean) {
+  std::string body;
+  body.push_back('\x02');  // cold flag 2
+  body.append(4, '\0');    // unit id 0
+  auto decoded = DecodeInvokeReplyBody(body);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, ErrorCode::kParseError);
+}
+
+TEST(Protocol, SnapshotLengthPrefixCannotOverrunBody) {
+  // Claim a 1GB string but provide 4 bytes: the decoder must fail on
+  // bounds, not read past the buffer (ASan guards the suite).
+  std::string wire;
+  wire.push_back('\0');  // ok status
+  const std::uint32_t claimed = 1u << 30;
+  for (int i = 0; i < 4; ++i) {
+    wire.push_back(static_cast<char>((claimed >> (8 * i)) & 0xff));
+  }
+  wire += "body";
+  auto status = DecodeReplyStatus(wire);
+  ASSERT_TRUE(status.ok());
+  auto decoded = DecodeSnapshotReplyBody(status.value());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, ErrorCode::kParseError);
+}
+
+}  // namespace
+}  // namespace defuse::server

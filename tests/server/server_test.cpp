@@ -1,0 +1,310 @@
+// PlatformServer: the determinism bridge and the request-validation
+// contract.
+//
+// The bridge is this PR's acceptance criterion: for seeds 0..9, pushing
+// a generated trace through the full serving stack (protocol encode →
+// frame → ServerCore → PlatformServer → Platform) must be bit-equivalent
+// to calling Platform::Invoke directly — identical per-invocation
+// outcomes, byte-identical PlatformStats over the wire, byte-identical
+// SaveState() snapshots, and a byte-identical dependency-set CSV. The
+// serving layer adds transport, not semantics.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/serialization.hpp"
+#include "net/loopback.hpp"
+#include "net/server_core.hpp"
+#include "platform/durability/durable_state.hpp"
+#include "platform/platform.hpp"
+#include "server/client.hpp"
+#include "server/platform_server.hpp"
+#include "trace/generator.hpp"
+
+namespace defuse::server {
+namespace {
+
+platform::PlatformConfig BridgeConfig(MinuteDelta horizon) {
+  platform::PlatformConfig cfg;
+  cfg.horizon = horizon;
+  cfg.remine_interval = kMinutesPerDay;
+  return cfg;
+}
+
+/// The platform's current dependency sets, serialized exactly as the
+/// miner daemon would hand them to a scheduler.
+std::string SetsCsv(const platform::Platform& p,
+                    const trace::WorkloadModel& model) {
+  std::vector<graph::DependencySet> sets;
+  for (std::size_t unit = 0; unit < p.units().num_units(); ++unit) {
+    graph::DependencySet set;
+    set.id = static_cast<std::uint32_t>(unit);
+    const auto fns = p.units().functions_of(
+        UnitId{static_cast<std::uint32_t>(unit)});
+    set.functions.assign(fns.begin(), fns.end());
+    sets.push_back(std::move(set));
+  }
+  return graph::WriteDependencySetsCsvChecksummed(sets, model);
+}
+
+/// One served platform: loopback stack wired up around a Platform.
+struct Served {
+  platform::Platform platform;
+  PlatformServer handler;
+  net::ServerCore core;
+  net::LoopbackServer loopback;
+
+  Served(const trace::WorkloadModel& model,
+         const platform::PlatformConfig& cfg)
+      : platform(model, cfg),
+        handler(platform),
+        core(handler),
+        loopback(core) {}
+
+  [[nodiscard]] Client Connect() {
+    auto channel = loopback.Connect();
+    EXPECT_TRUE(channel.ok());
+    return Client{std::move(channel).value()};
+  }
+};
+
+TEST(ServerBridge, ServedTraceIsBitIdenticalToDirectReplayForTenSeeds) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto gen = trace::GeneratorConfig::Tiny();
+    gen.seed = seed;
+    const auto workload = trace::GenerateWorkload(gen);
+    const auto cfg = BridgeConfig(gen.horizon_minutes);
+
+    platform::Platform direct{workload.model, cfg};
+    Served served{workload.model, cfg};
+    Client client = served.Connect();
+
+    const auto index =
+        workload.trace.BuildMinuteIndex(workload.trace.horizon());
+    for (Minute t = 0; t < workload.trace.horizon().end; ++t) {
+      for (const auto& [fn, count] : index.at(t)) {
+        const auto want = direct.Invoke(fn, t);
+        const auto got = client.Invoke(fn, t);
+        ASSERT_TRUE(got.ok())
+            << "seed " << seed << " t " << t << ": " << got.error().message;
+        ASSERT_EQ(got.value().cold, want.cold) << "seed " << seed << " t "
+                                               << t;
+        ASSERT_EQ(got.value().unit.value(), want.unit.value())
+            << "seed " << seed << " t " << t;
+      }
+    }
+
+    // Stats over the wire == direct stats, field for field.
+    const auto stats = client.Stats();
+    ASSERT_TRUE(stats.ok()) << stats.error().message;
+    EXPECT_EQ(stats.value().stats, direct.stats()) << "seed " << seed;
+    EXPECT_GT(stats.value().stats.invocations, 0u) << "seed " << seed;
+    EXPECT_GT(stats.value().stats.remines, 0u) << "seed " << seed;
+
+    // Snapshot over the wire == direct SaveState, byte for byte.
+    const auto snapshot = client.Snapshot();
+    ASSERT_TRUE(snapshot.ok()) << snapshot.error().message;
+    EXPECT_EQ(snapshot.value().state, direct.SaveState()) << "seed " << seed;
+
+    // Mined dependency sets, serialized, byte for byte.
+    EXPECT_EQ(SetsCsv(served.platform, workload.model),
+              SetsCsv(direct, workload.model))
+        << "seed " << seed;
+
+    // The wire snapshot restores into a fresh platform losslessly.
+    platform::Platform restored{workload.model, cfg};
+    ASSERT_TRUE(restored.LoadState(snapshot.value().state))
+        << "seed " << seed;
+    EXPECT_EQ(restored.SaveState(), snapshot.value().state)
+        << "seed " << seed;
+  }
+}
+
+TEST(ServerBridge, AdvanceToMatchesDirectHeartbeats) {
+  auto gen = trace::GeneratorConfig::Tiny();
+  const auto workload = trace::GenerateWorkload(gen);
+  const auto cfg = BridgeConfig(gen.horizon_minutes);
+
+  platform::Platform direct{workload.model, cfg};
+  Served served{workload.model, cfg};
+  Client client = served.Connect();
+
+  // Sparse traffic with explicit heartbeats over the gaps.
+  const FunctionId fn{0};
+  for (Minute t = 0; t < 3 * kMinutesPerDay; t += 97) {
+    (void)direct.Invoke(fn, t);
+    auto got = client.Invoke(fn, t);
+    ASSERT_TRUE(got.ok());
+    const Minute beat = t + 48;
+    direct.AdvanceTo(beat);
+    ASSERT_TRUE(client.AdvanceTo(beat).ok());
+  }
+  const auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().stats, direct.stats());
+}
+
+// ---- request validation ----------------------------------------------------
+
+struct ValidationFixture : ::testing::Test {
+  trace::WorkloadModel model;
+  FunctionId fn{0};
+  void SetUp() override {
+    const UserId u = model.AddUser("u");
+    const AppId a = model.AddApp(u, "app");
+    fn = model.AddFunction(a, "f");
+  }
+};
+
+TEST_F(ValidationFixture, OutOfRangeFunctionIsRejectedWithoutSideEffects) {
+  Served served{model, BridgeConfig(kMinutesPerDay)};
+  Client client = served.Connect();
+
+  auto bad = client.Invoke(FunctionId{99}, Minute{0});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_FALSE(client.connection_dead());  // remote error, conn survives
+  EXPECT_EQ(served.platform.stats().invocations, 0u);
+
+  // The connection keeps working for valid requests.
+  auto good = client.Invoke(fn, Minute{0});
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(served.platform.stats().invocations, 1u);
+}
+
+TEST_F(ValidationFixture, ClockRegressionIsRejected) {
+  Served served{model, BridgeConfig(kMinutesPerDay)};
+  Client client = served.Connect();
+  ASSERT_TRUE(client.Invoke(fn, Minute{100}).ok());
+
+  auto back = client.Invoke(fn, Minute{50});
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.error().code, ErrorCode::kInvalidArgument);
+  auto beat = client.AdvanceTo(Minute{50});
+  ASSERT_FALSE(beat.ok());
+  EXPECT_EQ(beat.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(served.platform.stats().invocations, 1u);
+}
+
+TEST_F(ValidationFixture, OutOfHorizonClocksAreRejected) {
+  Served served{model, BridgeConfig(kMinutesPerDay)};
+  Client client = served.Connect();
+
+  auto negative = client.Invoke(fn, Minute{-1});
+  ASSERT_FALSE(negative.ok());
+  EXPECT_EQ(negative.error().code, ErrorCode::kInvalidArgument);
+
+  auto past = client.Invoke(fn, kMinutesPerDay);
+  ASSERT_FALSE(past.ok());
+  EXPECT_EQ(past.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(served.platform.stats().invocations, 0u);
+}
+
+TEST_F(ValidationFixture, RemineNowCompletesSeriallyByDefault) {
+  Served served{model, BridgeConfig(kMinutesPerDay)};
+  Client client = served.Connect();
+  ASSERT_TRUE(client.Invoke(fn, Minute{0}).ok());
+
+  auto remine = client.RemineNow(Minute{10});
+  ASSERT_TRUE(remine.ok()) << remine.error().message;
+  EXPECT_EQ(remine.value().mode, RemineMode::kCompleted);
+  EXPECT_EQ(served.platform.stats().remines, 1u);
+}
+
+// ---- durable serving -------------------------------------------------------
+
+TEST(ServerDurability, ServedTrafficSurvivesCrashAndRecovery) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "defuse_server_durability_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  trace::WorkloadModel model;
+  const UserId u = model.AddUser("u");
+  const AppId a = model.AddApp(u, "app");
+  const FunctionId f0 = model.AddFunction(a, "f0");
+  const FunctionId f1 = model.AddFunction(a, "f1");
+  const auto cfg = BridgeConfig(2 * kMinutesPerDay);
+
+  std::string crashed_state;
+  {
+    platform::Platform p{model, cfg};
+    platform::durability::DurableState durable{(dir / "state").string()};
+    ASSERT_TRUE(durable.Open().ok());
+    ASSERT_TRUE(durable.Recover(p).ok());
+
+    PlatformServer::Options options;
+    options.durable = &durable;
+    PlatformServer handler{p, options};
+    net::ServerCore core{handler};
+    net::LoopbackServer loopback{core};
+    auto channel = loopback.Connect();
+    ASSERT_TRUE(channel.ok());
+    Client client{std::move(channel).value()};
+
+    for (Minute t = 0; t < 300; t += 3) {
+      ASSERT_TRUE(client.Invoke(f0, t).ok());
+      if (t % 30 == 0) {
+        ASSERT_TRUE(client.Invoke(f1, t).ok());
+      }
+    }
+    EXPECT_EQ(handler.journal_failures(), 0u);
+    crashed_state = p.SaveState();
+    // No Drain(), no final checkpoint: the "daemon" dies here and the
+    // journal alone must carry the traffic.
+  }
+
+  platform::Platform recovered{model, cfg};
+  platform::durability::DurableState durable{(dir / "state").string()};
+  ASSERT_TRUE(durable.Open().ok());
+  auto report = durable.Recover(recovered);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_EQ(recovered.SaveState(), crashed_state);
+
+  fs::remove_all(dir);
+}
+
+TEST(ServerDurability, DrainWritesAFinalCheckpoint) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "defuse_server_drain_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  trace::WorkloadModel model;
+  const UserId u = model.AddUser("u");
+  const AppId a = model.AddApp(u, "app");
+  const FunctionId fn = model.AddFunction(a, "f");
+  const auto cfg = BridgeConfig(kMinutesPerDay);
+
+  platform::Platform p{model, cfg};
+  platform::durability::DurableState durable{(dir / "state").string()};
+  ASSERT_TRUE(durable.Open().ok());
+  ASSERT_TRUE(durable.Recover(p).ok());
+
+  PlatformServer::Options options;
+  options.durable = &durable;
+  PlatformServer handler{p, options};
+  net::ServerCore core{handler};
+  net::LoopbackServer loopback{core};
+  auto channel = loopback.Connect();
+  ASSERT_TRUE(channel.ok());
+  Client client{std::move(channel).value()};
+  ASSERT_TRUE(client.Invoke(fn, Minute{5}).ok());
+
+  const std::uint64_t before = durable.generation();
+  auto drained = handler.Drain();
+  ASSERT_TRUE(drained.ok()) << drained.error().message;
+  EXPECT_GT(durable.generation(), before);
+  // Idempotent: a second drain is harmless.
+  EXPECT_TRUE(handler.Drain().ok());
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace defuse::server

@@ -7,7 +7,10 @@
 #   2. run the full ctest suite (tier-1 correctness)
 #   3. run the durability/chaos suites in isolation (`ctest -L
 #      durability`) so a fault-injection regression is named, not buried
-#   4. run the ASan+UBSan chaos pass (tools/tier1_sanitize.sh)
+#   4. run the serving suite in isolation (`ctest -L serving`): wire
+#      protocol, transports, the replay<->serve determinism bridge,
+#      async re-mining, network chaos
+#   5. run the ASan+UBSan chaos pass (tools/tier1_sanitize.sh)
 #
 # Any step failing fails the script (set -e), which is the CI contract:
 # green means buildable, correct, crash-safe, and sanitizer-clean.
@@ -25,6 +28,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || ech
 
 echo "== durability suite (ctest -L durability) =="
 ctest --test-dir "$BUILD_DIR" -L durability --output-on-failure -j \
+  "$(nproc 2>/dev/null || echo 4)"
+
+echo "== serving suite (ctest -L serving) =="
+ctest --test-dir "$BUILD_DIR" -L serving --output-on-failure -j \
   "$(nproc 2>/dev/null || echo 4)"
 
 echo "== sanitized chaos pass =="

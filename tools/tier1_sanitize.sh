@@ -1,6 +1,9 @@
 #!/usr/bin/env sh
 # Builds the test suite with ASan+UBSan and runs the fault/chaos suites
-# (plus the ingestion and platform tests they lean on) instrumented.
+# (plus the ingestion and platform tests they lean on) instrumented,
+# and the serving suite whose frame-decoder fuzz table (truncations,
+# bit flips, oversize, garbage) is only meaningful if decoding never
+# over-reads.
 #
 #   tools/tier1_sanitize.sh [build-dir]          # default: build-asan
 #
@@ -19,9 +22,11 @@ cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
   -DDEFUSE_BUILD_BENCHMARKS=OFF \
   -DDEFUSE_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j \
-  --target test_faults test_platform test_durability test_trace test_common test_core
+  --target test_faults test_platform test_durability test_trace test_common \
+  test_core test_serving
 
-for t in test_faults test_platform test_durability test_trace test_common test_core; do
+for t in test_faults test_platform test_durability test_trace test_common \
+    test_core test_serving; do
   echo "== $t (ASan+UBSan) =="
   "$BUILD_DIR/tests/$t"
 done

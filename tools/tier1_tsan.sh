@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Builds the test suite with ThreadSanitizer and runs the suites that
 # exercise the parallel mining fan-out (plus the platform/durability
-# suites that drive it through re-mines).
+# suites that drive it through re-mines, and the serving suite whose
+# async off-path re-mining hands mined state between threads).
 #
 #   tools/tier1_tsan.sh [build-dir]          # default: build-tsan
 #
@@ -21,10 +22,15 @@ cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDEFUSE_BUILD_BENCHMARKS=OFF \
   -DDEFUSE_BUILD_EXAMPLES=OFF
+# test_serving rides along because the server loop with async off-path
+# re-mining is the one place a background thread mutates state the
+# serving thread later adopts (the future handoff in Platform).
 cmake --build "$BUILD_DIR" -j \
-  --target test_common test_mining test_core test_platform test_durability
+  --target test_common test_mining test_core test_platform \
+  test_durability test_serving
 
-for t in test_common test_mining test_core test_platform test_durability; do
+for t in test_common test_mining test_core test_platform test_durability \
+    test_serving; do
   echo "== $t (TSan) =="
   "$BUILD_DIR/tests/$t"
 done
