@@ -1,0 +1,998 @@
+#include "analysis/lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/csv.hpp"
+
+namespace defuse::analysis::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- rule table -----------------------------------------------------------
+
+constexpr std::array<RuleInfo, kNumRules> kRules{{
+    {"DL001", "no-wall-clock",
+     "wall-clock read in a deterministic layer: output would depend on "
+     "when the code runs, breaking bit-identical replay",
+     "derive time from the simulated Minute stream passed in by the "
+     "caller; if a real clock is unavoidable, take it at the boundary "
+     "and pass it down"},
+    {"DL002", "no-ambient-randomness",
+     "ambient randomness in a deterministic layer: draws are not "
+     "replayable from a seed",
+     "draw from a seeded common/rng.hpp SplitMix64 stream owned by the "
+     "caller instead"},
+    {"DL003", "no-env-read",
+     "environment read in a deterministic layer: behavior would vary "
+     "with the invoking shell",
+     "read configuration at the CLI boundary and pass it down as a "
+     "config struct"},
+    {"DL004", "sorted-at-boundary",
+     "unordered-container iteration on a serialization/merge path: hash "
+     "order differs across libstdc++ versions, seeds, and processes",
+     "iterate a sorted copy (ordered boundary), or justify with "
+     "`// defuse-lint: sorted-at-boundary <why hash order cannot "
+     "escape>` on or above the line"},
+    {"DL005", "fault-site-tested",
+     "fault site registered in faults/injector but never referenced by "
+     "a test: the injection branch is dead weight with no chaos "
+     "coverage",
+     "exercise the site from a chaos test (reference its FaultSite "
+     "enumerator or its FaultProfile knob)"},
+    {"DL006", "checked-result-value",
+     "naked Result .value() without a preceding ok() check in the same "
+     "scope: aborts the process on an error Result",
+     "guard with `if (!r.ok())` (or value_or) between the binding and "
+     "the access"},
+}};
+
+constexpr std::size_t kDL001 = 0;
+constexpr std::size_t kDL002 = 1;
+constexpr std::size_t kDL003 = 2;
+constexpr std::size_t kDL004 = 3;
+constexpr std::size_t kDL005 = 4;
+constexpr std::size_t kDL006 = 5;
+
+[[nodiscard]] bool IsIdentChar(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+// ---- file model -----------------------------------------------------------
+
+/// One scanned file: raw lines (for suppression comments) and
+/// code lines with comments removed and string/char literal contents
+/// blanked (for token analysis).
+struct FileText {
+  std::string path;  ///< Relative to the lint root, '/'-separated.
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+};
+
+[[nodiscard]] std::vector<std::string> SplitLines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      if (start < text.size()) lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// Strips // and /* */ comments and blanks out the contents of string
+/// and character literals, preserving line lengths and positions so
+/// finding columns line up with the raw text.
+[[nodiscard]] std::vector<std::string> StripCommentsAndStrings(
+    const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  bool in_block_comment = false;
+  for (const std::string& line : raw) {
+    std::string stripped(line.size(), ' ');
+    bool in_string = false;
+    bool in_char = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      if (in_block_comment) {
+        if (c == '*' && next == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+        continue;
+      }
+      if (in_string) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          in_string = false;
+          stripped[i] = '"';
+        }
+        continue;
+      }
+      if (in_char) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          in_char = false;
+          stripped[i] = '\'';
+        }
+        continue;
+      }
+      if (c == '/' && next == '/') break;  // rest of line is a comment
+      if (c == '/' && next == '*') {
+        in_block_comment = true;
+        ++i;
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+        stripped[i] = '"';
+        continue;
+      }
+      // Digit separators ('): only treat ' as a char literal opener when
+      // not sandwiched between identifier characters (e.g. 64u << 20).
+      if (c == '\'' && !(i > 0 && IsIdentChar(line[i - 1]) &&
+                         IsIdentChar(next))) {
+        in_char = true;
+        stripped[i] = '\'';
+        continue;
+      }
+      stripped[i] = c;
+    }
+    out.push_back(std::move(stripped));
+  }
+  return out;
+}
+
+/// True when `token` occurs in `line` with non-identifier characters on
+/// both sides (only edges that are identifier characters are checked, so
+/// tokens like "std::rand" and "srand(" work).
+[[nodiscard]] bool ContainsToken(std::string_view line,
+                                 std::string_view token) noexcept {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(token.front()) ||
+                         !IsIdentChar(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !IsIdentChar(token.back()) ||
+                          !IsIdentChar(line[end]);
+    if (left_ok && right_ok) return true;
+    ++pos;
+  }
+  return false;
+}
+
+[[nodiscard]] std::string_view TrimView(std::string_view s) noexcept {
+  while (!s.empty() &&
+         std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[nodiscard]] bool IsPreprocessorLine(std::string_view code_line) noexcept {
+  const std::string_view t = TrimView(code_line);
+  return !t.empty() && t.front() == '#';
+}
+
+// ---- suppression directives ----------------------------------------------
+
+/// `// defuse-lint: suppress(DL00x) <reason>` silences findings of that
+/// rule on its own line and the next; `// defuse-lint: sorted-at-boundary
+/// <reason>` is the DL004-specific justification, honored on its own line
+/// and up to two lines below (so a comment above a loop or above a
+/// sorted-copy construction covers it).
+struct Directives {
+  std::vector<std::vector<std::string>> suppressed_ids;  // per raw line
+  std::vector<bool> sorted_at_boundary;                  // per raw line
+};
+
+[[nodiscard]] Directives ParseDirectives(const std::vector<std::string>& raw) {
+  Directives d;
+  d.suppressed_ids.resize(raw.size());
+  d.sorted_at_boundary.resize(raw.size(), false);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const std::string& line = raw[i];
+    const std::size_t comment = line.find("//");
+    if (comment == std::string::npos) continue;
+    const std::string_view tail = std::string_view{line}.substr(comment);
+    const std::size_t marker = tail.find("defuse-lint:");
+    if (marker == std::string_view::npos) continue;
+    std::string_view body = TrimView(tail.substr(marker + 12));
+    if (body.rfind("sorted-at-boundary", 0) == 0) {
+      d.sorted_at_boundary[i] = true;
+      continue;
+    }
+    if (body.rfind("suppress(", 0) == 0) {
+      const std::size_t close = body.find(')');
+      if (close == std::string_view::npos) continue;
+      std::string_view ids = body.substr(9, close - 9);
+      while (!ids.empty()) {
+        const std::size_t comma = ids.find(',');
+        const std::string_view id =
+            TrimView(comma == std::string_view::npos ? ids
+                                                     : ids.substr(0, comma));
+        if (!id.empty()) d.suppressed_ids[i].emplace_back(id);
+        if (comma == std::string_view::npos) break;
+        ids.remove_prefix(comma + 1);
+      }
+    }
+  }
+  // A sorted-at-boundary directive on its own comment line covers the
+  // statement that follows it: extend through consecutive comment lines
+  // and then the next statement's continuation lines (bounded, up to
+  // the line carrying the statement-terminating ';').
+  for (std::size_t i = raw.size(); i-- > 0;) {
+    if (!d.sorted_at_boundary[i]) continue;
+    constexpr std::size_t kMaxSpan = 8;
+    for (std::size_t j = i + 1; j < raw.size() && j <= i + kMaxSpan; ++j) {
+      if (d.sorted_at_boundary[j]) break;
+      d.sorted_at_boundary[j] = true;
+      const std::string_view t = TrimView(raw[j]);
+      const bool comment_only = t.rfind("//", 0) == 0;
+      if (!comment_only && t.find(';') != std::string_view::npos) break;
+    }
+  }
+  return d;
+}
+
+/// Is a finding of `rule_id` at 0-based line `line` silenced?
+[[nodiscard]] bool IsSuppressed(const Directives& d, std::size_t line,
+                                std::string_view rule_id) noexcept {
+  for (std::size_t back = 0; back <= 1 && back <= line; ++back) {
+    for (const std::string& id : d.suppressed_ids[line - back]) {
+      if (id == rule_id) return true;
+    }
+  }
+  return false;
+}
+
+[[nodiscard]] bool HasBoundaryJustification(const Directives& d,
+                                            std::size_t line) noexcept {
+  for (std::size_t back = 0; back <= 2 && back <= line; ++back) {
+    if (d.sorted_at_boundary[line - back]) return true;
+  }
+  return false;
+}
+
+// ---- lexical helpers ------------------------------------------------------
+
+/// Walks left from `end` (exclusive) over an expression suffix:
+/// identifiers, `::`, `.`, `->`, and balanced ()/[] groups. Returns the
+/// start index of the receiver expression.
+[[nodiscard]] std::size_t ReceiverStart(std::string_view s,
+                                        std::size_t end) noexcept {
+  std::size_t i = end;
+  bool expect_component = true;  // next (leftward) token must be a value
+  while (i > 0) {
+    const char c = s[i - 1];
+    if (expect_component) {
+      if (c == ')' || c == ']') {
+        int depth = 0;
+        std::size_t j = i;
+        while (j > 0) {
+          const char d = s[j - 1];
+          if (d == ')' || d == ']') ++depth;
+          if (d == '(' || d == '[') --depth;
+          --j;
+          if (depth == 0) break;
+        }
+        if (depth != 0) return i;  // unbalanced: stop
+        i = j;
+        // A call/index may itself be preceded by its callee name.
+        if (i > 0 && IsIdentChar(s[i - 1])) continue;
+        expect_component = false;
+        continue;
+      }
+      if (IsIdentChar(c)) {
+        while (i > 0 && IsIdentChar(s[i - 1])) --i;
+        expect_component = false;
+        continue;
+      }
+      return i;
+    }
+    // After a component: only connectors extend the receiver leftward.
+    if (c == '.') {
+      --i;
+      expect_component = true;
+      continue;
+    }
+    if (i >= 2 && s[i - 2] == '-' && c == '>') {
+      i -= 2;
+      expect_component = true;
+      continue;
+    }
+    if (i >= 2 && s[i - 2] == ':' && c == ':') {
+      i -= 2;
+      expect_component = true;
+      continue;
+    }
+    return i;
+  }
+  return i;
+}
+
+/// Last identifier in an expression like `io::Verify(x)` -> "Verify",
+/// `r.TakeU32` -> "TakeU32", `freq` -> "freq". Empty when none.
+[[nodiscard]] std::string_view LastIdentifier(std::string_view expr) noexcept {
+  const std::size_t paren = expr.find('(');
+  if (paren != std::string_view::npos) expr = expr.substr(0, paren);
+  std::size_t end = expr.size();
+  while (end > 0 && !IsIdentChar(expr[end - 1])) --end;
+  std::size_t start = end;
+  while (start > 0 && IsIdentChar(expr[start - 1])) --start;
+  return expr.substr(start, end - start);
+}
+
+/// Finds `name` in `line` as a whole expression component (identifier
+/// boundaries on both sides; `name` may contain `.`/`->`).
+[[nodiscard]] bool ContainsExpr(std::string_view line,
+                                std::string_view name) noexcept {
+  std::size_t pos = 0;
+  while ((pos = line.find(name, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    const std::size_t end = pos + name.size();
+    const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) return true;
+    ++pos;
+  }
+  return false;
+}
+
+// ---- Result<>-returning-function harvest (DL006) --------------------------
+
+/// Scans one code line (plus an optional continuation) for
+/// `Result<...> Name(` / `Result<...> Class::Name(` declarations and
+/// returns the declared function names. Also recognizes
+/// `Result<...> var = ...;` declarations via `out_result_vars`.
+void HarvestResultDecls(std::string_view line, std::string_view next_line,
+                        std::unordered_set<std::string>* out_functions,
+                        std::vector<std::string>* out_result_vars) {
+  std::size_t pos = 0;
+  while ((pos = line.find("Result<", pos)) != std::string_view::npos) {
+    if (pos > 0 && IsIdentChar(line[pos - 1])) {  // e.g. LintResult<
+      pos += 7;
+      continue;
+    }
+    // Find the matching '>' for the template argument list.
+    int depth = 0;
+    std::size_t i = pos + 6;  // at '<'
+    for (; i < line.size(); ++i) {
+      if (line[i] == '<') ++depth;
+      if (line[i] == '>') {
+        --depth;
+        if (depth == 0) break;
+      }
+    }
+    if (depth != 0) return;  // spills to the next line; skip
+    std::size_t j = i + 1;
+    auto skip_ws = [&](std::string_view s, std::size_t k) {
+      while (k < s.size() &&
+             (s[k] == ' ' || s[k] == '\t' || s[k] == '&' || s[k] == '*')) {
+        ++k;
+      }
+      return k;
+    };
+    j = skip_ws(line, j);
+    std::string_view decl_line = line;
+    if (j >= line.size() && !next_line.empty()) {
+      // `Result<T>` ended the line; the declarator starts the next one.
+      decl_line = next_line;
+      j = skip_ws(next_line, 0);
+    }
+    // Read an identifier chain: Name, ns::Name, Class::Name.
+    std::size_t name_start = j;
+    std::string_view last;
+    while (j < decl_line.size()) {
+      if (IsIdentChar(decl_line[j])) {
+        const std::size_t s = j;
+        while (j < decl_line.size() && IsIdentChar(decl_line[j])) ++j;
+        last = decl_line.substr(s, j - s);
+        continue;
+      }
+      if (j + 1 < decl_line.size() && decl_line[j] == ':' &&
+          decl_line[j + 1] == ':') {
+        j += 2;
+        continue;
+      }
+      break;
+    }
+    if (!last.empty() && j < decl_line.size()) {
+      if (decl_line[j] == '(') {
+        out_functions->emplace(last);
+      } else if (out_result_vars != nullptr &&
+                 name_start > 0) {  // `Result<T> var = ...` / `Result<T> var;`
+        const std::string_view rest = TrimView(decl_line.substr(j));
+        if (!rest.empty() && (rest.front() == '=' || rest.front() == ';' ||
+                              rest.front() == '{')) {
+          out_result_vars->emplace_back(last);
+        }
+      }
+    }
+    pos = i + 1;
+  }
+}
+
+// ---- unordered-container name harvest (DL004) -----------------------------
+
+void HarvestUnorderedNames(const std::vector<std::string>& code,
+                           std::unordered_set<std::string>* names) {
+  for (const std::string& line : code) {
+    std::size_t pos = 0;
+    while ((pos = line.find("unordered_", pos)) != std::string::npos) {
+      if (pos > 0 && IsIdentChar(line[pos - 1])) {
+        pos += 10;
+        continue;
+      }
+      const std::size_t angle = line.find('<', pos);
+      if (angle == std::string::npos) break;
+      const std::string_view kind =
+          std::string_view{line}.substr(pos, angle - pos);
+      if (kind != "unordered_map" && kind != "unordered_set" &&
+          kind != "unordered_multimap" && kind != "unordered_multiset") {
+        pos = angle;
+        continue;
+      }
+      int depth = 0;
+      std::size_t i = angle;
+      for (; i < line.size(); ++i) {
+        if (line[i] == '<') ++depth;
+        if (line[i] == '>') {
+          --depth;
+          if (depth == 0) break;
+        }
+      }
+      if (depth != 0) break;  // multi-line declaration: next line handles it
+      std::size_t j = i + 1;
+      while (j < line.size() &&
+             (line[j] == ' ' || line[j] == '&' || line[j] == '*')) {
+        ++j;
+      }
+      const std::size_t s = j;
+      while (j < line.size() && IsIdentChar(line[j])) ++j;
+      if (j > s) names->emplace(line.substr(s, j - s));
+      pos = i + 1;
+    }
+  }
+}
+
+// ---- path helpers ---------------------------------------------------------
+
+[[nodiscard]] bool PathUnderAny(std::string_view rel,
+                                const std::vector<std::string>& prefixes) {
+  for (const std::string& p : prefixes) {
+    if (rel.size() >= p.size() && rel.compare(0, p.size(), p) == 0 &&
+        (rel.size() == p.size() || rel[p.size()] == '/')) {
+      return true;
+    }
+  }
+  return false;
+}
+
+[[nodiscard]] bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+/// Relative '/'-separated path of `p` under `root`.
+[[nodiscard]] std::string RelPath(const fs::path& root, const fs::path& p) {
+  return p.lexically_relative(root).generic_string();
+}
+
+// ---- the linter -----------------------------------------------------------
+
+class Linter {
+ public:
+  explicit Linter(const LintConfig& config) : config_(config) {}
+
+  [[nodiscard]] Result<LintReport> Run() {
+    auto files = LoadFiles();
+    if (!files.ok()) return files.error();
+    HarvestGlobals(files.value());
+    for (const FileText& file : files.value()) {
+      LintFile(file);
+    }
+    auto registry = LintFaultRegistry();
+    if (!registry.ok()) return registry.error();
+    std::sort(report_.findings.begin(), report_.findings.end(),
+              [](const Finding& a, const Finding& b) {
+                if (a.file != b.file) return a.file < b.file;
+                if (a.line != b.line) return a.line < b.line;
+                return a.rule_id < b.rule_id;
+              });
+    return std::move(report_);
+  }
+
+ private:
+  // Loads every source file under the scan dirs, sorted by path for
+  // deterministic traversal and output.
+  [[nodiscard]] Result<std::vector<FileText>> LoadFiles() {
+    const fs::path root{config_.root};
+    std::vector<fs::path> paths;
+    for (const std::string& dir : config_.scan_dirs) {
+      const fs::path base = root / dir;
+      std::error_code ec;
+      if (!fs::is_directory(base, ec)) continue;
+      for (fs::recursive_directory_iterator it{base, ec}, end;
+           it != end && !ec; it.increment(ec)) {
+        if (it->is_regular_file() && IsSourceFile(it->path())) {
+          paths.push_back(it->path());
+        }
+      }
+      if (ec) {
+        return Error{ErrorCode::kIoError,
+                     "walking " + base.string() + ": " + ec.message()};
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+    std::vector<FileText> files;
+    files.reserve(paths.size());
+    for (const fs::path& p : paths) {
+      auto text = ReadFile(p.string());
+      if (!text.ok()) return text.error();
+      FileText file;
+      file.path = RelPath(root, p);
+      file.raw = SplitLines(text.value());
+      file.code = StripCommentsAndStrings(file.raw);
+      report_.stats.lines_scanned += file.raw.size();
+      files.push_back(std::move(file));
+    }
+    report_.stats.files_scanned = files.size();
+    return files;
+  }
+
+  // Cross-file harvest: names of Result<>-returning functions (DL006
+  // receivers) and, per file path, the unordered-container names
+  // declared there (so a .cpp can see its header's members).
+  void HarvestGlobals(const std::vector<FileText>& files) {
+    for (const FileText& file : files) {
+      for (std::size_t i = 0; i < file.code.size(); ++i) {
+        const std::string_view next =
+            i + 1 < file.code.size() ? std::string_view{file.code[i + 1]}
+                                     : std::string_view{};
+        HarvestResultDecls(file.code[i], next, &result_functions_, nullptr);
+      }
+      auto& names = unordered_names_by_file_[file.path];
+      HarvestUnorderedNames(file.code, &names);
+    }
+  }
+
+  void Emit(const FileText& file, std::size_t line_index, std::size_t rule,
+            std::string message) {
+    const Directives& d = directives_;
+    if (IsSuppressed(d, line_index, kRules[rule].id)) {
+      ++report_.stats.suppressions_honored;
+      return;
+    }
+    ++report_.stats.findings_per_rule[rule];
+    report_.findings.push_back(Finding{file.path, line_index + 1,
+                                       kRules[rule].id, std::move(message),
+                                       kRules[rule].fixit});
+  }
+
+  void LintFile(const FileText& file) {
+    directives_ = ParseDirectives(file.raw);
+    const bool deterministic =
+        PathUnderAny(file.path, config_.deterministic_layers);
+    const bool boundary = PathUnderAny(file.path, config_.boundary_paths);
+    if (deterministic) CheckDeterminismTokens(file);
+    if (boundary) CheckUnorderedIteration(file);
+    CheckResultValueUse(file);
+  }
+
+  // DL001/DL002/DL003: forbidden tokens in deterministic layers.
+  void CheckDeterminismTokens(const FileText& file) {
+    struct TokenRule {
+      std::size_t rule;
+      std::string_view token;
+      std::string_view what;
+    };
+    static constexpr TokenRule kTokens[] = {
+        {kDL001, "system_clock", "std::chrono::system_clock"},
+        {kDL001, "steady_clock", "std::chrono::steady_clock"},
+        {kDL001, "high_resolution_clock", "std::chrono::high_resolution_clock"},
+        {kDL001, "gettimeofday", "gettimeofday()"},
+        {kDL001, "clock_gettime", "clock_gettime()"},
+        {kDL001, "timespec_get", "timespec_get()"},
+        {kDL001, "localtime", "localtime()"},
+        {kDL001, "gmtime", "gmtime()"},
+        {kDL001, "std::time(", "std::time()"},
+        {kDL001, "time(nullptr", "time(nullptr)"},
+        {kDL001, "time(NULL", "time(NULL)"},
+        {kDL002, "std::rand", "std::rand()"},
+        {kDL002, "rand(", "rand()"},
+        {kDL002, "srand", "srand()"},
+        {kDL002, "random_device", "std::random_device"},
+        {kDL003, "getenv", "getenv()"},
+        {kDL003, "secure_getenv", "secure_getenv()"},
+        {kDL003, "setenv", "setenv()"},
+        {kDL003, "putenv", "putenv()"},
+    };
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+      const std::string& line = file.code[i];
+      if (IsPreprocessorLine(line)) continue;
+      for (const TokenRule& t : kTokens) {
+        if (ContainsToken(line, t.token)) {
+          Emit(file, i, t.rule,
+               std::string{t.what} + " in deterministic layer");
+          break;  // one finding per line is enough
+        }
+      }
+    }
+  }
+
+  // DL004: iteration over a hash-ordered container on a boundary path.
+  void CheckUnorderedIteration(const FileText& file) {
+    // Names visible to this file: its own plus its sibling header's.
+    std::unordered_set<std::string> names =
+        unordered_names_by_file_[file.path];
+    if (file.path.size() > 4 &&
+        file.path.compare(file.path.size() - 4, 4, ".cpp") == 0) {
+      const std::string sibling =
+          file.path.substr(0, file.path.size() - 4) + ".hpp";
+      const auto it = unordered_names_by_file_.find(sibling);
+      if (it != unordered_names_by_file_.end()) {
+        names.insert(it->second.begin(), it->second.end());
+      }
+    }
+    if (names.empty()) return;
+
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+      const std::string& line = file.code[i];
+      bool flagged = false;
+      // (a) range-for over an unordered container.
+      std::size_t fpos = 0;
+      while (!flagged &&
+             (fpos = line.find("for", fpos)) != std::string::npos) {
+        const bool word =
+            (fpos == 0 || !IsIdentChar(line[fpos - 1])) &&
+            (fpos + 3 >= line.size() || !IsIdentChar(line[fpos + 3]));
+        if (!word) {
+          fpos += 3;
+          continue;
+        }
+        const std::size_t open = line.find('(', fpos);
+        if (open == std::string::npos) break;
+        // The range-for ':' at paren depth 1 that is not part of '::'.
+        int depth = 0;
+        std::size_t colon = std::string::npos;
+        std::size_t close = std::string::npos;
+        for (std::size_t j = open; j < line.size(); ++j) {
+          if (line[j] == '(') ++depth;
+          if (line[j] == ')') {
+            --depth;
+            if (depth == 0) {
+              close = j;
+              break;
+            }
+          }
+          if (line[j] == ':' && depth == 1 &&
+              (j == 0 || line[j - 1] != ':') &&
+              (j + 1 >= line.size() || line[j + 1] != ':')) {
+            colon = j;
+          }
+        }
+        if (colon != std::string::npos) {
+          const std::size_t seq_end =
+              close == std::string::npos ? line.size() : close;
+          const std::string_view seq = TrimView(
+              std::string_view{line}.substr(colon + 1, seq_end - colon - 1));
+          const std::string_view base = LastIdentifier(seq);
+          if (!base.empty() && names.count(std::string{base}) > 0) {
+            FlagUnordered(file, i, base, "range-for");
+            flagged = true;
+          }
+        }
+        fpos += 3;
+      }
+      // (b) explicit iterator walk: NAME.begin() (catches sorted-copy
+      // constructions, which must carry the justification).
+      std::size_t bpos = 0;
+      while (!flagged &&
+             (bpos = line.find(".begin()", bpos)) != std::string::npos) {
+        const std::size_t start = ReceiverStart(line, bpos);
+        const std::string_view base =
+            LastIdentifier(std::string_view{line}.substr(start, bpos - start));
+        if (!base.empty() && names.count(std::string{base}) > 0) {
+          FlagUnordered(file, i, base, "iterator walk");
+          flagged = true;
+        }
+        bpos += 8;
+      }
+    }
+  }
+
+  void FlagUnordered(const FileText& file, std::size_t line_index,
+                     std::string_view container, std::string_view how) {
+    if (HasBoundaryJustification(directives_, line_index)) {
+      ++report_.stats.suppressions_honored;
+      return;
+    }
+    Emit(file, line_index, kDL004,
+         "hash-order " + std::string{how} + " over unordered container '" +
+             std::string{container} + "' on a serialization/merge path");
+  }
+
+  // DL006: `.value()` on a provable Result without a preceding ok()
+  // check in the lexical window since its binding.
+  void CheckResultValueUse(const FileText& file) {
+    // Result-typed local declarations per line, for provability.
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+      const std::string& line = file.code[i];
+      std::size_t pos = 0;
+      while ((pos = line.find(".value()", pos)) != std::string::npos) {
+        const std::size_t start = ReceiverStart(file.code[i], pos);
+        std::string receiver{
+            TrimView(std::string_view{line}.substr(start, pos - start))};
+        // `std::move(x).value()` checks x.
+        if (receiver.rfind("std::move(", 0) == 0 && receiver.back() == ')') {
+          receiver = receiver.substr(10, receiver.size() - 11);
+        }
+        if (receiver.empty()) {
+          pos += 8;
+          continue;
+        }
+        if (receiver.back() == ')') {
+          // Direct call: Fn(...).value(). A temporary can never have
+          // been ok()-checked.
+          const std::string_view callee = LastIdentifier(receiver);
+          if (!callee.empty() &&
+              result_functions_.count(std::string{callee}) > 0) {
+            Emit(file, i, kDL006,
+                 "naked .value() on the temporary Result returned by '" +
+                     std::string{callee} + "'");
+          }
+        } else {
+          CheckVariableValueUse(file, i, receiver);
+        }
+        pos += 8;
+      }
+    }
+  }
+
+  void CheckVariableValueUse(const FileText& file, std::size_t use_line,
+                             const std::string& receiver) {
+    // Find the nearest binding above: `receiver = Fn(...)` with Fn a
+    // Result-returning function, or a `Result<T> receiver` declaration.
+    constexpr std::size_t kMaxLookback = 300;
+    const std::size_t first =
+        use_line >= kMaxLookback ? use_line - kMaxLookback : 0;
+    std::size_t binding_line = std::string::npos;
+    for (std::size_t i = use_line + 1; i-- > first;) {
+      const std::string& line = file.code[i];
+      if (!ContainsExpr(line, receiver)) continue;
+      // Declaration form: `Result<T> receiver ...` on this line.
+      std::unordered_set<std::string> fns;
+      std::vector<std::string> vars;
+      HarvestResultDecls(line, {}, &fns, &vars);
+      if (std::find(vars.begin(), vars.end(), receiver) != vars.end()) {
+        binding_line = i;
+        break;
+      }
+      // Assignment form: `receiver = Fn(...)` / `auto receiver = Fn(...)`.
+      const std::size_t rpos = line.find(receiver);
+      std::size_t after = rpos + receiver.size();
+      while (after < line.size() && line[after] == ' ') ++after;
+      if (after < line.size() && line[after] == '=' &&
+          (after + 1 >= line.size() || line[after + 1] != '=')) {
+        const std::string_view rhs =
+            TrimView(std::string_view{line}.substr(after + 1));
+        const std::size_t call = rhs.find('(');
+        if (call != std::string_view::npos) {
+          const std::string_view callee = LastIdentifier(rhs.substr(0, call + 1));
+          if (!callee.empty() &&
+              result_functions_.count(std::string{callee}) > 0) {
+            binding_line = i;
+            break;
+          }
+        }
+        // Bound to something else (id.value(), a literal, ...): the
+        // receiver is not provably a Result — stop looking further up.
+        return;
+      }
+    }
+    if (binding_line == std::string::npos) return;  // not provably a Result
+    for (std::size_t i = binding_line; i <= use_line; ++i) {
+      if (HasOkCheck(file.code[i], receiver)) return;
+    }
+    Emit(file, use_line, kDL006,
+         "naked .value() on Result '" + receiver +
+             "' bound at line " + std::to_string(binding_line + 1) +
+             " with no ok() check in between");
+  }
+
+  [[nodiscard]] static bool HasOkCheck(std::string_view line,
+                                       std::string_view receiver) noexcept {
+    std::size_t pos = 0;
+    while ((pos = line.find(receiver, pos)) != std::string_view::npos) {
+      const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+      const std::size_t end = pos + receiver.size();
+      if (left_ok) {
+        // r.ok( / r->ok(
+        if (line.compare(end, 4, ".ok(") == 0 ||
+            line.compare(end, 5, "->ok(") == 0) {
+          return true;
+        }
+        // Boolean contexts: (!r) ... (r) / (r ? / if (!r ... — but only
+        // when the '(' opens a condition, not a call's argument list:
+        // `std::move(r).value()` and `consume(r)` must not count as
+        // checks, so a '(' directly preceded by an identifier char is
+        // excluded.
+        const bool bang = pos > 0 && line[pos - 1] == '!';
+        const std::size_t paren =
+            bang ? (pos >= 2 ? pos - 2 : std::string_view::npos)
+                 : (pos >= 1 ? pos - 1 : std::string_view::npos);
+        const bool paren_before =
+            paren != std::string_view::npos && line[paren] == '(' &&
+            (paren == 0 || !IsIdentChar(line[paren - 1]));
+        const bool closes = end < line.size() &&
+                            (line[end] == ')' || line[end] == ' ');
+        if (paren_before && closes) return true;
+      }
+      ++pos;
+    }
+    return false;
+  }
+
+  // DL005: every registered fault-site name appears in at least one test.
+  [[nodiscard]] Result<bool> LintFaultRegistry() {
+    if (config_.fault_registry.empty()) return true;
+    const fs::path root{config_.root};
+    const fs::path reg_path = root / config_.fault_registry;
+    std::error_code ec;
+    if (!fs::exists(reg_path, ec)) return true;  // nothing to check
+    auto text = ReadFile(reg_path.string());
+    if (!text.ok()) return text.error();
+
+    // Collect (line, enumerator, wire name) from the FaultSiteName
+    // switch: `case FaultSite::kX: return "x";`.
+    struct Site {
+      std::size_t line;
+      std::string enumerator;
+      std::string name;
+    };
+    std::vector<Site> sites;
+    const std::vector<std::string> raw = SplitLines(text.value());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      const std::string& line = raw[i];
+      const std::size_t case_pos = line.find("case FaultSite::");
+      if (case_pos == std::string::npos) continue;
+      std::size_t j = case_pos + 16;
+      const std::size_t s = j;
+      while (j < line.size() && IsIdentChar(line[j])) ++j;
+      const std::string enumerator = line.substr(s, j - s);
+      const std::size_t q1 = line.find('"', j);
+      if (q1 == std::string::npos) continue;
+      const std::size_t q2 = line.find('"', q1 + 1);
+      if (q2 == std::string::npos) continue;
+      sites.push_back(Site{i, enumerator, line.substr(q1 + 1, q2 - q1 - 1)});
+    }
+    if (sites.empty()) return true;
+
+    // One concatenated haystack of every test file.
+    std::string tests;
+    const fs::path tests_root = root / config_.tests_dir;
+    if (fs::is_directory(tests_root, ec)) {
+      std::vector<fs::path> paths;
+      for (fs::recursive_directory_iterator it{tests_root, ec}, end;
+           it != end && !ec; it.increment(ec)) {
+        if (it->is_regular_file() && IsSourceFile(it->path())) {
+          paths.push_back(it->path());
+        }
+      }
+      std::sort(paths.begin(), paths.end());
+      for (const fs::path& p : paths) {
+        auto t = ReadFile(p.string());
+        if (!t.ok()) return t.error();
+        tests += t.value();
+        tests += '\n';
+      }
+    }
+
+    FileText reg;
+    reg.path = RelPath(root, reg_path);
+    reg.raw = raw;
+    directives_ = ParseDirectives(reg.raw);
+    for (const Site& site : sites) {
+      // The enumerator must appear as a whole token; the wire name also
+      // counts as a plain substring because FaultProfile knobs are
+      // named after their site ("net_accept_failure_fraction" is a
+      // genuine reference to site "net_accept").
+      if (ContainsToken(tests, site.enumerator) ||
+          tests.find(site.name) != std::string::npos) {
+        continue;
+      }
+      Emit(reg, site.line, kDL005,
+           "fault site \"" + site.name + "\" (FaultSite::" + site.enumerator +
+               ") is not referenced by any test under " + config_.tests_dir +
+               "/");
+    }
+    return true;
+  }
+
+  LintConfig config_;
+  LintReport report_;
+  Directives directives_;
+  std::unordered_set<std::string> result_functions_;
+  std::unordered_map<std::string, std::unordered_set<std::string>>
+      unordered_names_by_file_;
+};
+
+}  // namespace
+
+const std::array<RuleInfo, kNumRules>& Rules() noexcept { return kRules; }
+
+const RuleInfo* FindRule(std::string_view id) noexcept {
+  for (const RuleInfo& r : kRules) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+Result<LintReport> RunLint(const LintConfig& config) {
+  if (config.root.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "LintConfig::root is empty"};
+  }
+  std::error_code ec;
+  if (!fs::is_directory(fs::path{config.root}, ec)) {
+    return Error{ErrorCode::kNotFound,
+                 "lint root is not a directory: " + config.root};
+  }
+  Linter linter{config};
+  return linter.Run();
+}
+
+std::string FormatFinding(const Finding& f) {
+  std::string out = f.file;
+  out += ':';
+  out += std::to_string(f.line);
+  out += ": [";
+  out += f.rule_id;
+  out += "] ";
+  out += f.message;
+  return out;
+}
+
+std::string ReportJson(const LintReport& report, double elapsed_seconds) {
+  std::string out = "{\n  \"bench\": \"lint\",\n";
+  out += "  \"files_scanned\": " +
+         std::to_string(report.stats.files_scanned) + ",\n";
+  out += "  \"lines_scanned\": " +
+         std::to_string(report.stats.lines_scanned) + ",\n";
+  out += "  \"suppressions_honored\": " +
+         std::to_string(report.stats.suppressions_honored) + ",\n";
+  out += "  \"total_findings\": " + std::to_string(report.findings.size()) +
+         ",\n  \"findings\": {";
+  for (std::size_t i = 0; i < kNumRules; ++i) {
+    if (i > 0) out += ',';
+    out += "\n    \"";
+    out += kRules[i].id;
+    out += "\": " + std::to_string(report.stats.findings_per_rule[i]);
+  }
+  out += "\n  },\n";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6f", elapsed_seconds);
+  out += "  \"elapsed_seconds\": ";
+  out += buf;
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace defuse::analysis::lint

@@ -1,0 +1,109 @@
+// defuse-lint: a project-specific static-analysis pass (DESIGN.md §11).
+//
+// Every major subsystem stakes its correctness on bit-identical
+// determinism: the differential suites replay seeds 0-9, but a scheduler
+// bug introduced by a wall-clock read or hash-order iteration only
+// surfaces under traffic shapes no fixed seed set covers. defuse-lint
+// forbids the *sources* of nondeterminism at lint time, as table-driven
+// rules over the source tree:
+//
+//   DL001  no wall-clock reads in deterministic layers
+//   DL002  no ambient randomness (std::rand / random_device) in
+//          deterministic layers
+//   DL003  no environment reads (getenv) in deterministic layers
+//   DL004  no unordered-container iteration on serialization/merge
+//          paths without a `// defuse-lint: sorted-at-boundary` note
+//   DL005  every fault site registered in faults/injector must be
+//          referenced by at least one test
+//   DL006  no naked Result `.value()` without a preceding ok() check
+//          in the same scope
+//
+// Findings are emitted as `file:line: [DL00x] message` so they are
+// clickable in CI logs. Each rule carries a fix-it hint and honors the
+// suppression syntax `// defuse-lint: suppress(DL00x) <reason>` on the
+// finding line or the line above. The analysis is lexical (comment- and
+// string-aware, brace-free): it trades completeness for zero build-time
+// dependencies and deterministic, sub-second runs over the whole tree.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace defuse::analysis::lint {
+
+inline constexpr std::size_t kNumRules = 6;
+
+struct RuleInfo {
+  std::string_view id;       ///< "DL001" ... "DL006".
+  std::string_view name;     ///< Short kebab-case rule name.
+  std::string_view summary;  ///< One-line rationale.
+  std::string_view fixit;    ///< How to fix (or legitimately suppress).
+};
+
+/// The rule table, in rule-id order.
+[[nodiscard]] const std::array<RuleInfo, kNumRules>& Rules() noexcept;
+
+/// Looks a rule up by id ("DL004"); nullptr when unknown.
+[[nodiscard]] const RuleInfo* FindRule(std::string_view id) noexcept;
+
+struct Finding {
+  std::string file;  ///< Path relative to LintConfig::root.
+  std::size_t line = 0;
+  std::string_view rule_id;
+  std::string message;
+  std::string_view fixit;
+};
+
+struct LintStats {
+  std::size_t files_scanned = 0;
+  std::size_t lines_scanned = 0;
+  /// Finding counts indexed like Rules().
+  std::array<std::size_t, kNumRules> findings_per_rule{};
+  /// Would-be findings silenced by an explicit suppression/justification.
+  std::size_t suppressions_honored = 0;
+};
+
+struct LintConfig {
+  /// Repository root; all other paths are relative to it.
+  std::string root;
+  /// Directories to scan for DL001-DL004/DL006 (.cpp/.hpp/.h).
+  std::vector<std::string> scan_dirs{"src"};
+  /// Layers that must stay free of wall-clock/rand/getenv (DL001-003).
+  std::vector<std::string> deterministic_layers{
+      "src/mining", "src/graph", "src/policy", "src/sim", "src/stats"};
+  /// Paths whose files sit on serialization or merge boundaries: hash
+  /// order escaping into output here is a determinism bug (DL004).
+  std::vector<std::string> boundary_paths{
+      "src/mining", "src/graph",    "src/policy", "src/sim",
+      "src/stats",  "src/platform", "src/server", "src/trace"};
+  /// File registering fault-site names (DL005); empty disables DL005.
+  std::string fault_registry = "src/faults/injector.hpp";
+  /// Directory whose files count as "tests" for DL005 references.
+  std::string tests_dir = "tests";
+};
+
+struct LintReport {
+  /// Sorted by (file, line, rule id).
+  std::vector<Finding> findings;
+  LintStats stats;
+};
+
+/// Walks the tree under `config.root` and returns every finding. Only
+/// I/O failures are errors; findings are data, not failure.
+[[nodiscard]] Result<LintReport> RunLint(const LintConfig& config);
+
+/// `file:line: [DL00x] message`.
+[[nodiscard]] std::string FormatFinding(const Finding& f);
+
+/// BENCH_lint.json payload: per-rule finding counts, scan volume, and
+/// wall runtime (measured by the caller — the library itself never
+/// reads a clock, so it stays admissible in deterministic layers).
+[[nodiscard]] std::string ReportJson(const LintReport& report,
+                                     double elapsed_seconds);
+
+}  // namespace defuse::analysis::lint

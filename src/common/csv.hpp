@@ -34,7 +34,7 @@ namespace defuse {
 /// Iterates lines of a buffer (skipping a trailing empty line), calling
 /// fn(line_number, line). Stops early and returns the error if fn errors.
 template <typename Fn>
-Result<std::size_t> ForEachLine(std::string_view buffer, Fn&& fn) {
+[[nodiscard]] Result<std::size_t> ForEachLine(std::string_view buffer, Fn&& fn) {
   std::size_t line_number = 0;
   std::size_t pos = 0;
   while (pos < buffer.size()) {

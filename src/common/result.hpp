@@ -76,8 +76,14 @@ namespace internal {
 
 /// Either a value or an Error. Intentionally tiny: exactly the surface the
 /// trace loaders and config validators need.
+///
+/// The class itself is [[nodiscard]]: discarding any function's returned
+/// Result silently drops an error path, so every such call site warns
+/// (and fails the -Werror core build) without each API needing its own
+/// annotation. Declarations still carry [[nodiscard]] individually as
+/// documentation of repo style.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : state_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
   Result(Error error) : state_(std::move(error)) {}        // NOLINT(google-explicit-constructor)

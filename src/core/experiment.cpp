@@ -1,5 +1,8 @@
 #include "core/experiment.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "policy/diurnal.hpp"
 #include "policy/fixed.hpp"
 #include "policy/predictor.hpp"
@@ -84,7 +87,17 @@ const MiningOutput& ExperimentDriver::MiningFor(Method method) {
       break;
   }
   if (!slot->has_value()) {
-    *slot = MineDependencies(trace_, model_, train_, config).value();
+    auto mined = MineDependencies(trace_, model_, train_, config);
+    if (!mined.ok()) {
+      // MineDependencies rejects only malformed configs (e.g. stride >
+      // window). The driver owns its DefuseConfig, so this is a caller
+      // bug — fail hard, but with the mining error attached instead of
+      // the context-free abort a naked value() would produce.
+      std::fprintf(stderr, "experiment: mining failed for %s: %s\n",
+                   MethodName(method), mined.error().ToString().c_str());
+      std::abort();
+    }
+    *slot = std::move(mined).value();
   }
   return **slot;
 }

@@ -88,6 +88,9 @@ Result<std::vector<DependencySet>> ReadDependencySetsCsv(
 
   // Densify in ascending original-id order, then append singletons for
   // uncovered functions.
+  // defuse-lint: sorted-at-boundary — the hash-order copy is fully
+  // re-sorted by original set id (and each member list by function id)
+  // before anything reads it, so no hash order reaches the output.
   std::vector<std::pair<std::uint64_t, std::vector<FunctionId>>> ordered{
       by_id.begin(), by_id.end()};
   std::sort(ordered.begin(), ordered.end(),

@@ -1,10 +1,13 @@
 #include "mining/cooccurrence.hpp"
 
+// Sort-at-boundary audit note: this file intentionally holds no
+// unordered containers. Window sets are sorted vectors by construction
+// (SeriesInRange yields ascending minutes) and the co-occurrence
+// intersection walks two ascending lists, so every merge here is
+// deterministic without an ordering boundary.
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <unordered_map>
-#include <unordered_set>
 
 namespace defuse::mining {
 

@@ -227,6 +227,9 @@ std::vector<Itemset> MineFrequentItemsets(
   // Frequency-ordered ranks (rank 0 = most frequent; ties by id for
   // determinism).
   std::vector<std::pair<FunctionId, std::uint64_t>> frequent;
+  // defuse-lint: sorted-at-boundary — the hash-order walk only filters;
+  // `frequent` is fully re-sorted below (count desc, id asc) before
+  // ranks are assigned, so no hash order reaches the mined itemsets.
   for (const auto& [fn, count] : freq) {
     if (count >= min_support) frequent.emplace_back(fn, count);
   }

@@ -13,7 +13,7 @@ class LoopbackChannel final : public ClientChannel {
 
   ~LoopbackChannel() override { Close(); }
 
-  Result<std::size_t> Write(std::string_view bytes) override {
+  [[nodiscard]] Result<std::size_t> Write(std::string_view bytes) override {
     if (!open_) {
       return Error{ErrorCode::kIoError, "loopback connection is closed"};
     }
@@ -39,7 +39,7 @@ class LoopbackChannel final : public ClientChannel {
     return accepted;
   }
 
-  Result<std::size_t> Read(std::string& out, std::size_t max) override {
+  [[nodiscard]] Result<std::size_t> Read(std::string& out, std::size_t max) override {
     if (!open_) {
       return Error{ErrorCode::kIoError, "loopback connection is closed"};
     }

@@ -93,8 +93,9 @@ class SocketChannel final : public ClientChannel {
 
   ~SocketChannel() override;
 
-  Result<std::size_t> Write(std::string_view bytes) override;
-  Result<std::size_t> Read(std::string& out, std::size_t max) override;
+  [[nodiscard]] Result<std::size_t> Write(std::string_view bytes) override;
+  [[nodiscard]] Result<std::size_t> Read(std::string& out,
+                                         std::size_t max) override;
   void Close() override;
 
  private:

@@ -482,7 +482,10 @@ bool Platform::LoadState(std::string_view text) {
   trace::InvocationTrace staged_history{model_.num_functions(),
                                         TimeRange{0, config_.horizon}};
   if (history.ok()) {
-    // Match persisted functions back to the model by name.
+    // Match persisted functions back to the model by name. Sort-at-
+    // boundary audit: this map is probed (find) only, never iterated —
+    // replay order comes from the model's function vector, so hash
+    // order cannot reach the staged trace.
     std::unordered_map<std::string_view, FunctionId> names;
     for (const auto& fn : model_.functions()) names.emplace(fn.name, fn.id);
     for (const auto& fn : history.value().model.functions()) {

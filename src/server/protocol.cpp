@@ -28,6 +28,14 @@ void PutI64(std::string& out, std::int64_t v) {
 }
 
 void PutString(std::string& out, std::string_view s) {
+  // The length prefix is a u32. Both callers bound their input far
+  // below that (snapshot replies against kMaxSnapshotStateBytes, error
+  // messages against kMaxErrorMessageBytes); the clamp is a backstop
+  // that keeps the prefix and the appended bytes consistent. The
+  // previous unchecked cast wrote `size mod 2^32` as the prefix while
+  // appending every byte, desynchronizing the frame for 4GiB inputs.
+  constexpr std::size_t kMax = 0xffffffffu;
+  if (s.size() > kMax) s = s.substr(0, kMax);
   PutU32(out, static_cast<std::uint32_t>(s.size()));
   out.append(s);
 }
@@ -224,6 +232,16 @@ std::string EncodeOkReply(const RemineReply& r) {
 }
 
 std::string EncodeOkReply(const SnapshotReply& r) {
+  // A state blob that cannot fit the reply frame must become a visible
+  // error, not an over-limit frame the client rejects as byzantine (or,
+  // before the PutString fix, a silently corrupted one).
+  if (r.state.size() > kMaxSnapshotStateBytes) {
+    return EncodeErrorReply(
+        Error{ErrorCode::kResourceExhausted,
+              "snapshot state (" + std::to_string(r.state.size()) +
+                  " bytes) exceeds the reply frame bound (" +
+                  std::to_string(kMaxSnapshotStateBytes) + ")"});
+  }
   std::string out;
   PutU8(out, kStatusOk);
   PutString(out, r.state);
@@ -233,7 +251,15 @@ std::string EncodeOkReply(const SnapshotReply& r) {
 std::string EncodeErrorReply(const Error& error) {
   std::string out;
   PutU8(out, static_cast<std::uint8_t>(static_cast<int>(error.code) + 1));
-  PutString(out, error.message);
+  std::string_view message = error.message;
+  if (message.size() > kMaxErrorMessageBytes) {
+    static constexpr std::string_view kMarker = "...[truncated]";
+    std::string capped{message.substr(0, kMaxErrorMessageBytes)};
+    capped += kMarker;
+    PutString(out, capped);
+    return out;
+  }
+  PutString(out, message);
   return out;
 }
 

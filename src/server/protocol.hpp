@@ -47,6 +47,16 @@ namespace defuse::server {
 /// client buffer unbounded memory.
 inline constexpr std::size_t kMaxReplyPayloadBytes = 64u << 20;
 
+/// Largest string a Snapshot reply can carry and still fit the reply
+/// frame: one status byte and the u32 length prefix come off the top.
+inline constexpr std::size_t kMaxSnapshotStateBytes =
+    kMaxReplyPayloadBytes - 1 - 4;
+
+/// Error messages echo request content (parse errors quote the input),
+/// so they are capped independently of the reply bound; longer messages
+/// are truncated with a marker rather than rejected.
+inline constexpr std::size_t kMaxErrorMessageBytes = 4096;
+
 enum class RequestType : std::uint8_t {
   kInvoke = 1,
   kAdvanceTo = 2,

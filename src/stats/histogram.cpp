@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.hpp"
 
@@ -145,9 +146,15 @@ bool Histogram::Deserialize(std::string_view text) {
                             std::uint64_t& value) noexcept {
     value = 0;
     if (field.empty()) return false;
+    constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
     for (const char c : field) {
       if (c < '0' || c > '9') return false;
-      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+      const auto digit = static_cast<std::uint64_t>(c - '0');
+      // Overflow must be a parse failure: an unchecked `value*10+digit`
+      // wraps, so a corrupted bin index like 2^64+1 would silently land
+      // in bin 1 instead of rejecting the snapshot.
+      if (value > (kMax - digit) / 10) return false;
+      value = value * 10 + digit;
     }
     return true;
   };

@@ -1,0 +1,6 @@
+// Fixture: time comes in through the simulated minute stream.
+namespace defuse::sim {
+
+long NowMinutes(long simulated_minute) { return simulated_minute; }
+
+}  // namespace defuse::sim

@@ -1,0 +1,11 @@
+// Fixture: wall-clock read inside a deterministic layer (sim/).
+#include <chrono>
+
+namespace defuse::sim {
+
+long NowMinutes() {
+  const auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count();
+}
+
+}  // namespace defuse::sim

@@ -1,0 +1,12 @@
+// Fixture: same read, carrying an explicit suppression.
+#include <chrono>
+
+namespace defuse::sim {
+
+long NowMinutes() {
+  // defuse-lint: suppress(DL001) boundary probe, result never feeds state
+  const auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count();
+}
+
+}  // namespace defuse::sim

@@ -1,0 +1,8 @@
+// Fixture: the draw comes from a caller-seeded stream.
+#include <cstdint>
+
+namespace defuse::mining {
+
+int DrawJitter(std::uint64_t draw) { return static_cast<int>(draw % 7); }
+
+}  // namespace defuse::mining

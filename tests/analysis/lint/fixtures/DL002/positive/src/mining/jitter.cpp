@@ -1,0 +1,8 @@
+// Fixture: ambient randomness inside a deterministic layer (mining/).
+#include <cstdlib>
+
+namespace defuse::mining {
+
+int DrawJitter() { return std::rand() % 7; }
+
+}  // namespace defuse::mining

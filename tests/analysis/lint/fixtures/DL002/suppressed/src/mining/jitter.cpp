@@ -1,0 +1,10 @@
+// Fixture: same draw, explicitly suppressed.
+#include <cstdlib>
+
+namespace defuse::mining {
+
+int DrawJitter() {
+  return std::rand() % 7;  // defuse-lint: suppress(DL002) fixture only
+}
+
+}  // namespace defuse::mining

@@ -1,0 +1,10 @@
+// Fixture: configuration arrives as a struct from the CLI boundary.
+namespace defuse::policy {
+
+struct Knobs {
+  int keepalive_minutes = 10;
+};
+
+int KeepAliveMinutes(const Knobs& knobs) { return knobs.keepalive_minutes; }
+
+}  // namespace defuse::policy

@@ -1,0 +1,11 @@
+// Fixture: environment read inside a deterministic layer (policy/).
+#include <cstdlib>
+
+namespace defuse::policy {
+
+int KeepAliveMinutes() {
+  const char* v = std::getenv("DEFUSE_KEEPALIVE");
+  return v != nullptr ? 99 : 10;
+}
+
+}  // namespace defuse::policy

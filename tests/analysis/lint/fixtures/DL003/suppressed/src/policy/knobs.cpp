@@ -1,0 +1,12 @@
+// Fixture: same read, explicitly suppressed.
+#include <cstdlib>
+
+namespace defuse::policy {
+
+int KeepAliveMinutes() {
+  // defuse-lint: suppress(DL003) fixture only
+  const char* v = std::getenv("DEFUSE_KEEPALIVE");
+  return v != nullptr ? 99 : 10;
+}
+
+}  // namespace defuse::policy

@@ -1,0 +1,18 @@
+// Fixture: the ordered boundary is the container itself.
+#include <map>
+#include <string>
+
+namespace defuse::graph {
+
+std::string WriteCsv(const std::map<int, int>& sets) {
+  std::string out;
+  for (const auto& [id, fn] : sets) {
+    out += std::to_string(id);
+    out += ',';
+    out += std::to_string(fn);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace defuse::graph

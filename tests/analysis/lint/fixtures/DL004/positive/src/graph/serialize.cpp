@@ -1,0 +1,18 @@
+// Fixture: hash-order range-for feeding a serializer.
+#include <string>
+#include <unordered_map>
+
+namespace defuse::graph {
+
+std::string WriteCsv(const std::unordered_map<int, int>& sets) {
+  std::string out;
+  for (const auto& [id, fn] : sets) {
+    out += std::to_string(id);
+    out += ',';
+    out += std::to_string(fn);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace defuse::graph

@@ -1,0 +1,27 @@
+// Fixture: the walk carries the sorted-at-boundary justification.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace defuse::graph {
+
+std::string WriteCsv(const std::unordered_map<int, int>& sets) {
+  std::vector<std::pair<int, int>> rows;
+  // defuse-lint: sorted-at-boundary — rows are fully re-sorted by id
+  // before serialization, so hash order cannot reach the output.
+  for (const auto& [id, fn] : sets) {
+    rows.emplace_back(id, fn);
+  }
+  std::sort(rows.begin(), rows.end());
+  std::string out;
+  for (const auto& [id, fn] : rows) {
+    out += std::to_string(id);
+    out += ',';
+    out += std::to_string(fn);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace defuse::graph

@@ -1,0 +1,16 @@
+// Fixture fault registry, mirroring src/faults/injector.hpp.
+#pragma once
+
+namespace defuse::faults {
+
+enum class FaultSite { kAlpha = 0, kBeta = 1 };
+
+constexpr const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kAlpha: return "alpha";
+    case FaultSite::kBeta: return "beta";
+  }
+  return "unknown";
+}
+
+}  // namespace defuse::faults

@@ -1,0 +1,8 @@
+// Fixture test: exercises both sites.
+#include "faults/injector.hpp"
+
+int main() {
+  const auto a = defuse::faults::FaultSite::kAlpha;
+  const auto b = defuse::faults::FaultSite::kBeta;
+  return static_cast<int>(a) + static_cast<int>(b);
+}

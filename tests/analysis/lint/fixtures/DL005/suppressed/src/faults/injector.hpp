@@ -1,0 +1,17 @@
+// Fixture fault registry, mirroring src/faults/injector.hpp.
+#pragma once
+
+namespace defuse::faults {
+
+enum class FaultSite { kAlpha = 0, kBeta = 1 };
+
+constexpr const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kAlpha: return "alpha";
+    // defuse-lint: suppress(DL005) covered by the external harness
+    case FaultSite::kBeta: return "beta";
+  }
+  return "unknown";
+}
+
+}  // namespace defuse::faults

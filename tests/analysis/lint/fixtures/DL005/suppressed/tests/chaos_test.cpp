@@ -1,0 +1,6 @@
+// Fixture test: exercises only the first site (kAlpha).
+#include "faults/injector.hpp"
+
+int main() {
+  return static_cast<int>(defuse::faults::FaultSite::kAlpha);
+}

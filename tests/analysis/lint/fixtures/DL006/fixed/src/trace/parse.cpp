@@ -1,0 +1,19 @@
+// Fixture: every access is guarded (or defaulted).
+#include "common/result.hpp"
+
+namespace defuse::trace {
+
+Result<int> ParseCount(int raw) {
+  if (raw < 0) return Error{ErrorCode::kParseError, "negative"};
+  return raw;
+}
+
+int CountOf(int raw) {
+  auto parsed = ParseCount(raw);
+  if (!parsed.ok()) return 0;
+  return parsed.value();
+}
+
+int CountOfInline(int raw) { return ParseCount(raw).value_or(0); }
+
+}  // namespace defuse::trace

@@ -1,0 +1,25 @@
+// Fixture: .value() without ok() checks — variable, temporary, and the
+// std::move(var) form (a call's parentheses must not read as a boolean
+// `(r)` check).
+#include "common/result.hpp"
+
+namespace defuse::trace {
+
+Result<int> ParseCount(int raw) {
+  if (raw < 0) return Error{ErrorCode::kParseError, "negative"};
+  return raw;
+}
+
+int CountOf(int raw) {
+  auto parsed = ParseCount(raw);
+  return parsed.value();
+}
+
+int CountOfInline(int raw) { return ParseCount(raw).value(); }
+
+int CountOfMoved(int raw) {
+  auto parsed = ParseCount(raw);
+  return std::move(parsed).value();
+}
+
+}  // namespace defuse::trace

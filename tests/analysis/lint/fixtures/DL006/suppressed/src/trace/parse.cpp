@@ -1,0 +1,21 @@
+// Fixture: the same accesses, explicitly suppressed.
+#include "common/result.hpp"
+
+namespace defuse::trace {
+
+Result<int> ParseCount(int raw) {
+  if (raw < 0) return Error{ErrorCode::kParseError, "negative"};
+  return raw;
+}
+
+int CountOf(int raw) {
+  auto parsed = ParseCount(raw);
+  // defuse-lint: suppress(DL006) raw is validated by the caller
+  return parsed.value();
+}
+
+int CountOfInline(int raw) {
+  return ParseCount(raw).value();  // defuse-lint: suppress(DL006) ditto
+}
+
+}  // namespace defuse::trace

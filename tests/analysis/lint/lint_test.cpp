@@ -1,0 +1,194 @@
+// Table-driven coverage for the defuse-lint rule set.
+//
+// Each rule ID has a fixture mini-repo under fixtures/<RULE>/ in three
+// variants:
+//   positive/   the rule must fire, with an exact expected finding list;
+//   suppressed/ the same code carrying the documented suppression syntax,
+//               which must silence the rule *and* be counted as honored;
+//   fixed/      the idiomatic repair, which must be silent with zero
+//               suppressions (proving the fix, not a suppression, is what
+//               silenced it).
+//
+// A final self-check lints the real repository tree and asserts zero
+// findings, so the tree cannot merge with a violation and the fixtures
+// cannot drift from the rules actually shipped.
+
+#include "analysis/lint/lint.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace defuse::analysis::lint {
+namespace {
+
+#ifndef DEFUSE_LINT_FIXTURES
+#error "build must define DEFUSE_LINT_FIXTURES"
+#endif
+#ifndef DEFUSE_REPO_ROOT
+#error "build must define DEFUSE_REPO_ROOT"
+#endif
+
+struct ExpectedFinding {
+  std::string file;
+  std::size_t line;
+  std::string rule_id;
+};
+
+struct FixtureCase {
+  std::string rule_id;   // which rule the fixture exercises
+  std::string variant;   // positive | suppressed | fixed
+  std::vector<ExpectedFinding> expected;  // exact findings, sorted
+  bool expect_suppressions;  // suppressed variants must honor >= 1
+};
+
+std::vector<FixtureCase> Cases() {
+  return {
+      {"DL001", "positive", {{"src/sim/clock.cpp", 7, "DL001"}}, false},
+      {"DL001", "suppressed", {}, true},
+      {"DL001", "fixed", {}, false},
+
+      {"DL002", "positive", {{"src/mining/jitter.cpp", 6, "DL002"}}, false},
+      {"DL002", "suppressed", {}, true},
+      {"DL002", "fixed", {}, false},
+
+      {"DL003", "positive", {{"src/policy/knobs.cpp", 7, "DL003"}}, false},
+      {"DL003", "suppressed", {}, true},
+      {"DL003", "fixed", {}, false},
+
+      {"DL004", "positive", {{"src/graph/serialize.cpp", 9, "DL004"}}, false},
+      {"DL004", "suppressed", {}, true},
+      {"DL004", "fixed", {}, false},
+
+      {"DL005", "positive",
+       {{"src/faults/injector.hpp", 11, "DL005"}}, false},
+      {"DL005", "suppressed", {}, true},
+      {"DL005", "fixed", {}, false},
+
+      {"DL006", "positive",
+       {{"src/trace/parse.cpp", 15, "DL006"},
+        {"src/trace/parse.cpp", 18, "DL006"},
+        {"src/trace/parse.cpp", 22, "DL006"}},
+       false},
+      {"DL006", "suppressed", {}, true},
+      {"DL006", "fixed", {}, false},
+  };
+}
+
+LintReport MustLint(const std::string& root) {
+  LintConfig config;
+  config.root = root;
+  auto report = RunLint(config);
+  EXPECT_TRUE(report.ok()) << (report.ok() ? "" : report.error().ToString());
+  return std::move(report).value_or(LintReport{});
+}
+
+std::vector<ExpectedFinding> Observed(const LintReport& report) {
+  std::vector<ExpectedFinding> out;
+  out.reserve(report.findings.size());
+  for (const Finding& f : report.findings) {
+    out.push_back(ExpectedFinding{f.file, f.line, std::string{f.rule_id}});
+  }
+  const auto key = [](const ExpectedFinding& e) {
+    return std::tuple{e.file, e.line, e.rule_id};
+  };
+  std::sort(out.begin(), out.end(),
+            [&](const auto& a, const auto& b) { return key(a) < key(b); });
+  return out;
+}
+
+std::string Describe(const std::vector<ExpectedFinding>& findings) {
+  std::string out;
+  for (const auto& f : findings) {
+    out += "  " + f.file + ":" + std::to_string(f.line) + ": [" + f.rule_id +
+           "]\n";
+  }
+  return out.empty() ? "  (none)\n" : out;
+}
+
+TEST(LintRuleTable, HasSixDocumentedRules) {
+  const auto& rules = Rules();
+  ASSERT_EQ(rules.size(), 6u);
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(rules[i].id, "DL00" + std::to_string(i + 1));
+    EXPECT_FALSE(rules[i].name.empty());
+    EXPECT_FALSE(rules[i].summary.empty());
+    EXPECT_FALSE(rules[i].fixit.empty());
+  }
+  EXPECT_NE(FindRule("DL001"), nullptr);
+  EXPECT_NE(FindRule("DL006"), nullptr);
+  EXPECT_EQ(FindRule("DL999"), nullptr);
+}
+
+TEST(LintFixtures, EveryRuleFiresAndEverySuppressionSilences) {
+  for (const FixtureCase& c : Cases()) {
+    SCOPED_TRACE(c.rule_id + "/" + c.variant);
+    const std::string root =
+        std::string{DEFUSE_LINT_FIXTURES} + "/" + c.rule_id + "/" + c.variant;
+    const LintReport report = MustLint(root);
+    ASSERT_GT(report.stats.files_scanned, 0u)
+        << "fixture tree missing or empty: " << root;
+
+    auto observed = Observed(report);
+    auto expected = c.expected;
+    const auto key = [](const ExpectedFinding& e) {
+      return std::tuple{e.file, e.line, e.rule_id};
+    };
+    std::sort(expected.begin(), expected.end(),
+              [&](const auto& a, const auto& b) { return key(a) < key(b); });
+
+    bool same = observed.size() == expected.size();
+    for (std::size_t i = 0; same && i < observed.size(); ++i) {
+      same = key(observed[i]) == key(expected[i]);
+    }
+    EXPECT_TRUE(same) << "expected findings:\n"
+                      << Describe(expected) << "observed findings:\n"
+                      << Describe(observed);
+
+    if (c.expect_suppressions) {
+      EXPECT_GE(report.stats.suppressions_honored, 1u)
+          << "suppressed variant silenced the rule without the suppression "
+             "being honored (the code is accidentally clean)";
+    } else if (c.variant == "fixed") {
+      EXPECT_EQ(report.stats.suppressions_honored, 0u)
+          << "fixed variant must be clean without suppressions";
+    }
+  }
+}
+
+TEST(LintFixtures, PositiveFindingsCarryFixits) {
+  const std::string root = std::string{DEFUSE_LINT_FIXTURES} + "/DL001/positive";
+  const LintReport report = MustLint(root);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_FALSE(report.findings[0].fixit.empty());
+  const std::string formatted = FormatFinding(report.findings[0]);
+  EXPECT_NE(formatted.find("src/sim/clock.cpp:7:"), std::string::npos)
+      << formatted;
+  EXPECT_NE(formatted.find("[DL001]"), std::string::npos) << formatted;
+}
+
+TEST(LintFixtures, ReportJsonContainsPerRuleCounts) {
+  const std::string root = std::string{DEFUSE_LINT_FIXTURES} + "/DL002/positive";
+  const LintReport report = MustLint(root);
+  const std::string json = ReportJson(report, 0.25);
+  EXPECT_NE(json.find("\"DL002\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"total_findings\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"elapsed_seconds\": 0.25"), std::string::npos) << json;
+}
+
+// The tree itself must be lint-clean: this is the merge gate the fixtures
+// exist to protect. If this fails, either fix the violation or add a
+// justified suppression at the flagged site.
+TEST(LintSelfCheck, RepositoryTreeIsClean) {
+  const LintReport report = MustLint(DEFUSE_REPO_ROOT);
+  EXPECT_GT(report.stats.files_scanned, 50u);
+  EXPECT_TRUE(report.findings.empty())
+      << "repository lint findings:\n" << Describe(Observed(report));
+}
+
+}  // namespace
+}  // namespace defuse::analysis::lint

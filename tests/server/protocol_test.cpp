@@ -254,5 +254,45 @@ TEST(Protocol, SnapshotLengthPrefixCannotOverrunBody) {
   EXPECT_EQ(decoded.error().code, ErrorCode::kParseError);
 }
 
+// ---- encode-side bounds (regressions for the length-math audit) ------------
+
+TEST(Protocol, OversizedSnapshotStateBecomesResourceExhaustedError) {
+  // A state blob one byte past the reply-frame bound must encode as a
+  // visible error reply, not an over-limit ok frame the client rejects
+  // (or — before PutString's clamp — a frame whose u32 length prefix
+  // disagrees with its body for multi-GiB blobs).
+  SnapshotReply reply;
+  reply.state.assign(kMaxSnapshotStateBytes + 1, 'x');
+  const std::string wire = EncodeOkReply(reply);
+  EXPECT_LE(wire.size(), kMaxReplyPayloadBytes);
+  auto status = DecodeReplyStatus(wire);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, ErrorCode::kResourceExhausted);
+}
+
+TEST(Protocol, SnapshotStateAtTheBoundStillEncodesOk) {
+  SnapshotReply reply;
+  reply.state.assign(kMaxSnapshotStateBytes, 'x');
+  const std::string wire = EncodeOkReply(reply);
+  EXPECT_EQ(wire.size(), kMaxReplyPayloadBytes);
+  auto decoded = DecodeSnapshotReplyBody(OkBody(wire));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().state.size(), kMaxSnapshotStateBytes);
+}
+
+TEST(Protocol, OverlongErrorMessageIsTruncatedButStillDecodes) {
+  // Error messages quote request content, so an attacker-sized message
+  // must not produce an unbounded (or desynchronized) reply frame.
+  Error error{ErrorCode::kParseError,
+              std::string(kMaxErrorMessageBytes + 500, 'm')};
+  const std::string wire = EncodeErrorReply(error);
+  EXPECT_LE(wire.size(), 1 + 4 + kMaxErrorMessageBytes + 32);
+  auto status = DecodeReplyStatus(wire);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, ErrorCode::kParseError);
+  EXPECT_NE(status.error().message.find("[truncated]"), std::string::npos);
+  EXPECT_EQ(status.error().message.compare(0, 8, "mmmmmmmm"), 0);
+}
+
 }  // namespace
 }  // namespace defuse::server

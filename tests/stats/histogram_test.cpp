@@ -107,6 +107,26 @@ TEST(Histogram, DeserializeAcceptsPreNegativeCounterFormat) {
   EXPECT_EQ(h.counts()[3], 4u);
 }
 
+// Regression for the -Wconversion/overflow audit: a serialized bin
+// index of 2^64+1 used to wrap the unchecked `value*10+digit` parse to
+// 1 and silently land its count in bin 1. Arithmetic overflow in any
+// numeric field must reject the whole snapshot instead.
+TEST(Histogram, DeserializeRejectsOverflowingNumbers) {
+  Histogram h{10, 1};
+  // 2^64 + 1 == 18446744073709551617: wraps to 1 without the check.
+  EXPECT_FALSE(h.Deserialize("1|0|0|18446744073709551617:5"));
+  EXPECT_EQ(h.counts()[1], 0u);
+  EXPECT_EQ(h.total_in_range(), 0u);
+  // Overflowing count field.
+  EXPECT_FALSE(h.Deserialize("1|0|0|2:99999999999999999999"));
+  // Overflowing out-of-bounds header field.
+  EXPECT_FALSE(h.Deserialize("1|18446744073709551616|0|2:1"));
+  // The u64 maximum itself still parses (boundary, not overflow).
+  EXPECT_TRUE(h.Deserialize("1|18446744073709551615|0|2:1"));
+  EXPECT_EQ(h.out_of_bounds(), 18446744073709551615ull);
+  EXPECT_EQ(h.counts()[2], 1u);
+}
+
 TEST(Histogram, AddCountAccumulates) {
   Histogram h{10, 1};
   h.AddCount(2, 7);

@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Checks formatting of *changed* C++ files against .clang-format:
+#
+#   tools/format_check.sh [base-ref]             # default: HEAD
+#
+# Compares the working tree (plus index) to base-ref and runs
+# `clang-format --dry-run --Werror` on each changed .cpp/.hpp/.h/.cc.
+# Deliberately scoped to the diff: the tree predates the config, and a
+# mass reformat would destroy blame history — files adopt the format as
+# they are touched. Skips (with a notice) when clang-format is not
+# installed, so minimal containers stay green while CI images with the
+# toolchain enforce it.
+set -eu
+
+BASE_REF="${1:-HEAD}"
+SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+cd "$SRC_DIR"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "clang-format not installed: skipping (config: .clang-format)"
+  exit 0
+fi
+
+CHANGED="$(git diff --name-only --diff-filter=ACMR "$BASE_REF" -- \
+  '*.cpp' '*.hpp' '*.h' '*.cc')"
+if [ -z "$CHANGED" ]; then
+  echo "format check: no changed C++ files vs $BASE_REF"
+  exit 0
+fi
+
+STATUS=0
+for f in $CHANGED; do
+  [ -f "$f" ] || continue
+  if ! clang-format --style=file --dry-run --Werror "$f"; then
+    STATUS=1
+  fi
+done
+
+if [ "$STATUS" -ne 0 ]; then
+  echo "format check: FAIL (run: clang-format -i <file>)"
+  exit 1
+fi
+echo "format check: PASS"

@@ -1,0 +1,89 @@
+// defuse_lint — command-line driver for the project's static-analysis
+// pass (src/analysis/lint, DESIGN.md §11).
+//
+//   defuse_lint [--root DIR] [--json FILE] [--list-rules] [--quiet]
+//
+// Exit status: 0 = lint-clean, 1 = findings, 2 = usage or I/O error.
+// Findings print as `file:line: [DL00x] message` (clickable in CI),
+// followed by the rule's fix-it hint. `--json FILE` additionally writes
+// the BENCH_lint.json payload: per-rule counts, scan volume, runtime.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "analysis/lint/lint.hpp"
+#include "common/io/atomic_file.hpp"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: defuse_lint [--root DIR] [--json FILE] "
+               "[--list-rules] [--quiet]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace defuse;
+  analysis::lint::LintConfig config;
+  config.root = ".";
+  std::string json_path;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      config.root = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : analysis::lint::Rules()) {
+        std::printf("%s  %-24s %s\n", std::string{rule.id}.c_str(),
+                    std::string{rule.name}.c_str(),
+                    std::string{rule.summary}.c_str());
+      }
+      return 0;
+    } else {
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto report = analysis::lint::RunLint(config);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (!report.ok()) {
+    std::fprintf(stderr, "defuse_lint: %s\n",
+                 report.error().ToString().c_str());
+    return 2;
+  }
+
+  const auto& r = report.value();
+  if (!quiet) {
+    for (const auto& f : r.findings) {
+      std::printf("%s\n    fix-it: %s\n",
+                  analysis::lint::FormatFinding(f).c_str(),
+                  std::string{f.fixit}.c_str());
+    }
+    std::printf(
+        "defuse_lint: %zu finding(s) in %zu file(s) (%zu lines, "
+        "%zu suppression(s) honored, %.3fs)\n",
+        r.findings.size(), r.stats.files_scanned, r.stats.lines_scanned,
+        r.stats.suppressions_honored, elapsed);
+  }
+
+  if (!json_path.empty()) {
+    const auto wrote = io::AtomicWriteFile(
+        json_path, analysis::lint::ReportJson(r, elapsed));
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "defuse_lint: writing %s: %s\n", json_path.c_str(),
+                   wrote.error().ToString().c_str());
+      return 2;
+    }
+  }
+  return r.findings.empty() ? 0 : 1;
+}

@@ -10,10 +10,13 @@
 #   4. run the serving suite in isolation (`ctest -L serving`): wire
 #      protocol, transports, the replay<->serve determinism bridge,
 #      async re-mining, network chaos
-#   5. run the ASan+UBSan chaos pass (tools/tier1_sanitize.sh)
+#   5. run the static-analysis gate (tools/tier1_lint.sh): defuse-lint
+#      must report zero findings, plus clang-tidy when installed
+#   6. run the ASan+UBSan chaos pass (tools/tier1_sanitize.sh)
 #
 # Any step failing fails the script (set -e), which is the CI contract:
-# green means buildable, correct, crash-safe, and sanitizer-clean.
+# green means buildable, correct, crash-safe, lint-clean, and
+# sanitizer-clean.
 set -eu
 
 BUILD_DIR="${1:-build-ci}"
@@ -33,6 +36,9 @@ ctest --test-dir "$BUILD_DIR" -L durability --output-on-failure -j \
 echo "== serving suite (ctest -L serving) =="
 ctest --test-dir "$BUILD_DIR" -L serving --output-on-failure -j \
   "$(nproc 2>/dev/null || echo 4)"
+
+echo "== static analysis (tools/tier1_lint.sh) =="
+"$SRC_DIR/tools/tier1_lint.sh" "$BUILD_DIR"
 
 echo "== sanitized chaos pass =="
 "$SRC_DIR/tools/tier1_sanitize.sh" "$BUILD_DIR-asan"
