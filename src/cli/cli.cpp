@@ -84,10 +84,18 @@ commands:
              --async-remine     mine off-path; invokes flow during mining
              --state-dir DIR    durable mode (journal + checkpoints)
              --checkpoint-days N (1)
+             --queue-bound N (256)  admission queue depth; overflow
+                                sheds newest-from-heaviest with advice
+             --idempotency-window N (1024)  replies cached per request
+                                id for exactly-once retries (0 = off)
   drive      stream a trace into a running serve daemon and print the
              same per-day lines as replay
              --trace FILE (required)  --host H (127.0.0.1)
              --port P (required)
+  health     probe a running serve daemon's readiness (control plane:
+             answered even while the daemon drains or is overloaded)
+             --host H (127.0.0.1)  --port P (required)
+             exit 0 when ready, 2 when unreachable or not ready
   compare    the paper's headline comparison on this trace: Defuse vs
              Hybrid-Function vs Hybrid-Application at restricted memory
              --trace FILE (required)   --train-days N (all but 2)
@@ -826,6 +834,16 @@ int CmdServe(const FlagParser& flags, std::ostream& out, std::ostream& err) {
     err << "error: --port must be in [0, 65535]\n";
     return 1;
   }
+  const auto queue_bound = flags.GetInt("queue-bound", 256);
+  const auto idempotency_window = flags.GetInt("idempotency-window", 1024);
+  if (!queue_bound.ok() || queue_bound.value() < 1) {
+    err << "error: --queue-bound must be a positive integer\n";
+    return 1;
+  }
+  if (!idempotency_window.ok() || idempotency_window.value() < 0) {
+    err << "error: --idempotency-window must be a non-negative integer\n";
+    return 1;
+  }
 
   platform::PlatformConfig config;
   config.horizon = bundle->trace.horizon().end;
@@ -854,8 +872,13 @@ int CmdServe(const FlagParser& flags, std::ostream& out, std::ostream& err) {
 
   server::PlatformServer::Options handler_options;
   handler_options.durable = durable ? &*durable : nullptr;
+  handler_options.idempotency_window =
+      static_cast<std::size_t>(idempotency_window.value());
   server::PlatformServer handler{engine, handler_options};
-  net::ServerCore core{handler};
+  net::ServerLimits limits;
+  limits.max_queue_depth = static_cast<std::size_t>(queue_bound.value());
+  net::ServerCore core{handler, limits};
+  handler.set_core(&core);
   net::SocketServer::Options socket_options;
   socket_options.host = flags.GetOr("host", "127.0.0.1");
   socket_options.port = static_cast<std::uint16_t>(port.value());
@@ -896,7 +919,11 @@ int CmdServe(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   sock.CloseAll();
   const auto& stats = engine.stats();
   out << "served " << core.stats().requests_handled << " requests ("
-      << core.stats().requests_shed << " shed); " << stats.invocations
+      << core.stats().requests_shed << " backpressure-shed, "
+      << core.stats().requests_shed_overflow << " overflow-shed, "
+      << core.stats().requests_expired + handler.deadline_rejections()
+      << " deadline-expired, " << handler.duplicates_served()
+      << " duplicates replayed); " << stats.invocations
       << " invocations, cold " << stats.cold_fraction() << ", "
       << stats.remines << " re-mines\n";
   if (handler.journal_failures() > 0) {
@@ -966,6 +993,43 @@ int CmdDrive(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+int CmdHealth(const FlagParser& flags, std::ostream& out, std::ostream& err) {
+  const auto port = flags.GetInt("port", 0);
+  if (!port.ok() || port.value() <= 0 || port.value() > 65535) {
+    err << "error: --port is required (the port serve printed)\n";
+    return 1;
+  }
+  auto channel = net::SocketChannel::Connect(
+      flags.GetOr("host", "127.0.0.1"),
+      static_cast<std::uint16_t>(port.value()));
+  if (!channel.ok()) {
+    err << "error: " << channel.error().ToString() << "\n";
+    return 2;
+  }
+  server::Client client{std::move(channel).value()};
+  const auto hello = client.Hello();
+  if (!hello.ok()) {
+    err << "error: hello failed: " << hello.error().ToString() << "\n";
+    return 2;
+  }
+  const auto health = client.Health();
+  if (!health.ok()) {
+    err << "error: health probe failed: " << health.error().ToString()
+        << "\n";
+    return 2;
+  }
+  const auto& h = health.value();
+  out << "ready: " << (h.ready ? "yes" : "no") << "\n"
+      << "draining: " << (h.draining ? "yes" : "no") << "\n"
+      << "remine in flight: " << (h.remine_in_flight ? "yes" : "no") << "\n"
+      << "degraded graph: " << (h.degraded_graph ? "yes" : "no") << "\n"
+      << "queue depth: " << h.queue_depth << "\n"
+      << "idempotency entries: " << h.idempotency_entries << "\n"
+      << "stale graph minutes: " << h.stale_graph_minutes << "\n"
+      << "clock minute: " << h.clock_minute << "\n";
+  return h.ready ? 0 : 2;
+}
+
 }  // namespace
 
 int RunCli(std::span<const std::string> args, std::ostream& out,
@@ -988,6 +1052,7 @@ int RunCli(std::span<const std::string> args, std::ostream& out,
   if (command == "fsck") return CmdFsck(flags, out, err);
   if (command == "serve") return CmdServe(flags, out, err);
   if (command == "drive") return CmdDrive(flags, out, err);
+  if (command == "health") return CmdHealth(flags, out, err);
   if (command == "compare") return CmdCompare(flags, out, err);
   err << "error: unknown command '" << command << "'\n" << kUsage;
   return 1;

@@ -46,6 +46,9 @@ double FaultInjector::FractionFor(FaultSite site) const noexcept {
     case FaultSite::kNetShortRead: return profile_.net_short_read_fraction;
     case FaultSite::kNetShortWrite: return profile_.net_short_write_fraction;
     case FaultSite::kNetReset: return profile_.net_reset_fraction;
+    case FaultSite::kNetStall: return profile_.net_stall_fraction;
+    case FaultSite::kQueueOverflow: return profile_.queue_overflow_fraction;
+    case FaultSite::kDeadlineSkew: return profile_.deadline_skew_fraction;
   }
   return 0.0;
 }

@@ -63,8 +63,19 @@ enum class FaultSite : std::size_t {
   /// Network: the peer connection resets mid-stream (RST); everything
   /// buffered for that connection is gone.
   kNetReset = 11,
+  /// Network: a read stalls past the caller's patience and the
+  /// connection is abandoned. Unlike kNetReset this fires only on the
+  /// reply path: the request WAS applied server-side, so a retry of the
+  /// same request id must be deduplicated, not re-applied.
+  kNetStall = 12,
+  /// Admission control: the bounded work queue reports overflow even
+  /// though real depth is below the bound, forcing the shed path.
+  kQueueOverflow = 13,
+  /// Admission control: the server clock runs ahead of the client's, so
+  /// the effective deadline tightens by a few minutes at check time.
+  kDeadlineSkew = 14,
 };
-inline constexpr std::size_t kNumFaultSites = 12;
+inline constexpr std::size_t kNumFaultSites = 15;
 
 [[nodiscard]] constexpr const char* FaultSiteName(FaultSite site) noexcept {
   switch (site) {
@@ -80,6 +91,9 @@ inline constexpr std::size_t kNumFaultSites = 12;
     case FaultSite::kNetShortRead: return "net_short_read";
     case FaultSite::kNetShortWrite: return "net_short_write";
     case FaultSite::kNetReset: return "net_reset";
+    case FaultSite::kNetStall: return "net_stall";
+    case FaultSite::kQueueOverflow: return "queue_overflow";
+    case FaultSite::kDeadlineSkew: return "deadline_skew";
   }
   return "unknown";
 }
@@ -124,6 +138,17 @@ struct FaultProfile {
   double net_short_write_fraction = 0.0;
   /// Fraction of transfer steps at which the connection resets.
   double net_reset_fraction = 0.0;
+  /// Fraction of reply reads that stall until the caller gives up (the
+  /// request was applied; only the reply is lost).
+  double net_stall_fraction = 0.0;
+
+  // Admission-control knobs (serving path, see src/net/server_core.cpp):
+  /// Fraction of admissions at which the work queue spuriously reports
+  /// overflow, exercising the shed-with-retry-advice path.
+  double queue_overflow_fraction = 0.0;
+  /// Fraction of deadline checks run under simulated clock skew (the
+  /// effective deadline tightens by a drawn number of minutes).
+  double deadline_skew_fraction = 0.0;
 
   [[nodiscard]] bool any() const noexcept {
     return remine_failure_fraction > 0 || prewarm_spawn_failure_fraction > 0 ||
@@ -134,7 +159,9 @@ struct FaultProfile {
            journal_short_write_fraction > 0 ||
            state_read_bit_flip_fraction > 0 ||
            net_accept_failure_fraction > 0 || net_short_read_fraction > 0 ||
-           net_short_write_fraction > 0 || net_reset_fraction > 0;
+           net_short_write_fraction > 0 || net_reset_fraction > 0 ||
+           net_stall_fraction > 0 || queue_overflow_fraction > 0 ||
+           deadline_skew_fraction > 0;
   }
 };
 

@@ -36,6 +36,12 @@ class LoopbackChannel final : public ClientChannel {
       // response has been delivered.
       condemned_ = true;
     }
+    // Synchronous transport: execute admitted work now, so a Read after
+    // this Write sees the reply — the pre-admission contract.
+    core_.PumpQueue();
+    // Overflow shedding can condemn *this* connection while reading a
+    // different one; pick the verdict up here.
+    if (core_.IsCondemned(id_)) condemned_ = true;
     return accepted;
   }
 
@@ -45,6 +51,17 @@ class LoopbackChannel final : public ClientChannel {
     }
     if (FireReset()) {
       return Error{ErrorCode::kIoError, "connection reset by fault"};
+    }
+    if (injector_ != nullptr && injector_->enabled() &&
+        injector_->ShouldFail(faults::FaultSite::kNetStall)) {
+      // Reply-path stall: by Read time the synchronous server has
+      // already applied every request this channel wrote, so only the
+      // reply is lost. The caller abandons the connection; a retry of
+      // the same request id MUST be served from the idempotency window,
+      // never re-applied.
+      CloseInternal();
+      return Error{ErrorCode::kDeadlineExceeded,
+                   "injected net stall: reply abandoned"};
     }
     const std::string_view pending = core_.PendingOutput(id_);
     if (pending.empty()) {

@@ -15,6 +15,9 @@
 //   * kNetShortRead   — Read() delivers only a prefix;
 //   * kNetReset       — the connection resets mid-call; both sides drop
 //                       everything buffered for it.
+//   * kNetStall       — Read() abandons the reply after the request was
+//                       applied server-side (the fault that makes the
+//                       idempotency window load-bearing).
 //
 // Channels borrow the server; they must not outlive it.
 #pragma once

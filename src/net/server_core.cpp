@@ -1,5 +1,7 @@
 #include "net/server_core.hpp"
 
+#include <algorithm>
+
 #include "common/io/framed.hpp"
 #include "common/logging.hpp"
 
@@ -7,6 +9,10 @@ namespace defuse::net {
 
 ServerCore::ServerCore(RequestHandler& handler, ServerLimits limits)
     : handler_(handler), limits_(limits) {}
+
+ServerCore::ServerCore(RequestHandler& handler, ServerLimits limits,
+                       faults::FaultInjector* injector)
+    : handler_(handler), limits_(limits), injector_(injector) {}
 
 ServerCore::ConnId ServerCore::OnAccept() {
   const ConnId id = next_id_++;
@@ -21,6 +27,107 @@ ServerCore::ConnId ServerCore::OnAccept() {
 
 void ServerCore::QueueResponse(Conn& conn, std::string_view payload) {
   io::AppendFrame(conn.out, payload);
+}
+
+Minute ServerCore::EffectiveDeadline(Minute deadline) {
+  if (deadline < 0) return deadline;
+  if (injector_ && injector_->enabled() &&
+      injector_->ShouldFail(faults::FaultSite::kDeadlineSkew)) {
+    // Simulated clock skew: the server's clock runs ahead, so the
+    // deadline tightens by a drawn 1..16 minutes (never below expiry).
+    const auto skew = static_cast<Minute>(
+        1 + injector_->DrawShape(faults::FaultSite::kDeadlineSkew) % 16);
+    return deadline >= skew ? deadline - skew : 0;
+  }
+  return deadline;
+}
+
+void ServerCore::ShedOne(ConnId victim_conn) {
+  ++stats_.requests_shed_overflow;
+  const auto it = conns_.find(victim_conn);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  QueueResponse(
+      conn, handler_.EncodeRetryableError(
+                Error{ErrorCode::kResourceExhausted,
+                      "admission queue full; request shed, retry later"},
+                limits_.shed_retry_after));
+  ++conn.sheds;
+  if (conn.sheds > limits_.max_conn_sheds && !conn.condemned) {
+    conn.condemned = true;
+    ++stats_.connections_condemned_abusive;
+    DEFUSE_LOG_WARN << "net: connection " << victim_conn
+                    << " condemned: shed " << conn.sheds
+                    << " times (abusive under overload)";
+  }
+}
+
+bool ServerCore::Admit(ConnId id, Conn& conn, std::string_view payload,
+                       const RequestEnvelope& envelope) {
+  // Expired deadline: reject without execution. Checked against the
+  // handler's clock, optionally tightened by injected skew.
+  const Minute deadline = EffectiveDeadline(envelope.deadline);
+  if (deadline >= 0 && deadline < handler_.ClockMinute()) {
+    ++stats_.requests_expired;
+    QueueResponse(conn, handler_.EncodeTransportError(Error{
+                            ErrorCode::kDeadlineExceeded,
+                            "deadline expired before admission"}));
+    return !conn.condemned;
+  }
+
+  const bool overflow =
+      queue_.size() >= limits_.max_queue_depth ||
+      (injector_ && injector_->enabled() &&
+       injector_->ShouldFail(faults::FaultSite::kQueueOverflow));
+  if (!overflow) {
+    queue_.push_back(Pending{id, std::string{payload}, envelope.deadline});
+    stats_.max_queue_depth_seen =
+        std::max<std::uint64_t>(stats_.max_queue_depth_seen, queue_.size());
+    return !conn.condemned;
+  }
+
+  // Overflow: shed newest-from-heaviest. Per-connection counts are
+  // computed by scanning the queue (deterministic order — never the
+  // conns_ map) with the incoming request counted toward its own
+  // connection. If the incoming connection is heaviest, the incoming
+  // request itself is the victim; otherwise the most recently admitted
+  // entry of the heaviest connection is evicted and the incoming
+  // request takes its place.
+  std::uint64_t incoming_count = 1;  // the incoming request itself
+  for (const Pending& p : queue_) {
+    if (p.conn == id) ++incoming_count;
+  }
+  // The heaviest connection and its count, scanning newest-first so the
+  // victim index is found in the same pass. Ties prefer the incoming
+  // connection (shedding the newcomer is the gentler outcome), then the
+  // connection owning the newest queued request.
+  std::uint64_t heaviest_count = incoming_count;
+  std::size_t victim_index = queue_.size();  // sentinel: incoming is victim
+  for (std::size_t back = queue_.size(); back > 0; --back) {
+    const Pending& p = queue_[back - 1];
+    if (p.conn == id) continue;
+    std::uint64_t count = 0;
+    for (const Pending& q : queue_) {
+      if (q.conn == p.conn) ++count;
+    }
+    if (count > heaviest_count) {
+      heaviest_count = count;
+      victim_index = back - 1;
+    }
+  }
+
+  if (victim_index == queue_.size()) {
+    // The incoming request is the victim: reply on its own connection.
+    ShedOne(id);
+    return !conn.condemned;
+  }
+  const ConnId evicted_conn = queue_[victim_index].conn;
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(victim_index));
+  ShedOne(evicted_conn);
+  queue_.push_back(Pending{id, std::string{payload}, envelope.deadline});
+  stats_.max_queue_depth_seen =
+      std::max<std::uint64_t>(stats_.max_queue_depth_seen, queue_.size());
+  return !conn.condemned;
 }
 
 bool ServerCore::OnBytes(ConnId id, std::string_view bytes) {
@@ -47,11 +154,18 @@ bool ServerCore::OnBytes(ConnId id, std::string_view bytes) {
     }
 
     const std::size_t backlog = conn.out.size() - conn.out_pos;
-    if (draining_) {
+    // Control-plane probes are answered even while draining: a health
+    // prober exists precisely to observe "draining" from the outside.
+    const std::optional<RequestEnvelope> peeked =
+        draining_ ? handler_.InspectRequest(request) : std::nullopt;
+    if (draining_ && (!peeked.has_value() || !peeked->control)) {
       ++stats_.requests_rejected_draining;
       QueueResponse(conn, handler_.EncodeTransportError(Error{
                               ErrorCode::kFailedPrecondition,
                               "server is draining"}));
+    } else if (draining_) {
+      ++stats_.requests_handled;
+      QueueResponse(conn, handler_.HandleRequest(request));
     } else if (backlog > limits_.max_write_buffer) {
       // Slow reader: shed without running the handler. Error responses
       // grow the backlog too, so a reader that never drains eventually
@@ -67,11 +181,56 @@ bool ServerCore::OnBytes(ConnId id, std::string_view bytes) {
         return false;
       }
     } else {
-      ++stats_.requests_handled;
-      QueueResponse(conn, handler_.HandleRequest(request));
+      const std::optional<RequestEnvelope> envelope =
+          handler_.InspectRequest(request);
+      if (!envelope.has_value()) {
+        // Envelope-less (or malformed — HandleRequest owns the error):
+        // dispatch inline, the pre-admission behavior.
+        ++stats_.requests_handled;
+        QueueResponse(conn, handler_.HandleRequest(request));
+      } else if (envelope->control) {
+        // Control plane bypasses the queue: probes answer even when the
+        // server is overloaded — that is when their answer matters.
+        ++stats_.requests_handled;
+        QueueResponse(conn, handler_.HandleRequest(request));
+      } else if (envelope->request_id != 0 &&
+                 handler_.HasCachedReply(envelope->request_id)) {
+        // Duplicate of an applied request: serve the cached reply now.
+        // Running it through admission could shed it, turning one slow
+        // reply into a retry storm. The cache lookup deliberately
+        // precedes the deadline check — the side effect already exists,
+        // so the retry must see it even if its deadline has passed.
+        ++stats_.duplicate_fast_paths;
+        ++stats_.requests_handled;
+        QueueResponse(conn, handler_.HandleRequest(request));
+      } else {
+        if (!Admit(id, conn, request, *envelope)) return false;
+      }
     }
   }
-  return true;
+  return !conn.condemned;
+}
+
+void ServerCore::PumpQueue() {
+  while (!queue_.empty()) {
+    Pending pending = std::move(queue_.front());
+    queue_.pop_front();
+    const auto it = conns_.find(pending.conn);
+    if (it == conns_.end() || it->second.condemned) continue;
+    Conn& conn = it->second;
+    // Queue residency consumed deadline: re-check at dispatch so a
+    // reply is never issued for work that started past its deadline.
+    if (pending.deadline >= 0 &&
+        pending.deadline < handler_.ClockMinute()) {
+      ++stats_.requests_expired;
+      QueueResponse(conn, handler_.EncodeTransportError(Error{
+                              ErrorCode::kDeadlineExceeded,
+                              "deadline expired while queued"}));
+      continue;
+    }
+    ++stats_.requests_handled;
+    QueueResponse(conn, handler_.HandleRequest(pending.payload));
+  }
 }
 
 std::string_view ServerCore::PendingOutput(ConnId id) const {
@@ -95,11 +254,21 @@ void ServerCore::ConsumeOutput(ConnId id, std::size_t n) {
   }
 }
 
+bool ServerCore::IsCondemned(ConnId id) const {
+  const auto it = conns_.find(id);
+  return it != conns_.end() && it->second.condemned;
+}
+
 void ServerCore::OnClose(ConnId id) {
   if (conns_.erase(id) > 0) ++stats_.connections_closed;
+  // Queued work for a gone connection would execute side effects nobody
+  // can observe; drop it here rather than at dispatch so queue_depth()
+  // reflects real load.
+  std::erase_if(queue_, [id](const Pending& p) { return p.conn == id; });
 }
 
 bool ServerCore::idle() const noexcept {
+  if (!queue_.empty()) return false;
   for (const auto& [id, conn] : conns_) {
     if (conn.out.size() > conn.out_pos) return false;
   }

@@ -1,12 +1,12 @@
 // Transport-agnostic connection state machines for the serving layer.
 //
 // ServerCore owns everything between "bytes arrived on connection N" and
-// "bytes to write on connection N": incremental frame decoding, request
-// dispatch into a RequestHandler, response framing, and the bounded
-// buffers that implement backpressure. Both transports (poll-based
-// sockets in production, the synchronous loopback in tests) are thin
-// byte pumps around it, so every protocol rule is enforced — and tested
-// — in exactly one place.
+// "bytes to write on connection N": incremental frame decoding, deadline-
+// aware admission control, request dispatch into a RequestHandler,
+// response framing, and the bounded buffers that implement backpressure.
+// Both transports (poll-based sockets in production, the synchronous
+// loopback in tests) are thin byte pumps around it, so every protocol
+// rule is enforced — and tested — in exactly one place.
 //
 // Backpressure rules (DESIGN.md §10):
 //   * A request frame larger than max_frame_payload condemns the
@@ -17,17 +17,52 @@
 //     Shedding is bounded too: past 2x the limit the connection closes.
 //   * During drain (graceful shutdown) new requests are rejected with
 //     kFailedPrecondition; buffered responses still flush.
+//
+// Admission rules (DESIGN.md §12):
+//   * Each decoded frame the handler can envelope (InspectRequest) joins
+//     a bounded work queue instead of executing inline; the transport
+//     drains the queue with PumpQueue() once per event-loop turn, so no
+//     single connection's burst monopolizes a turn.
+//   * Control-plane requests (health probes, hellos) and duplicate
+//     request ids with a cached reply bypass the queue entirely: probes
+//     must answer while the server is overloaded, and duplicates must
+//     never be shed into a retry storm.
+//   * A request whose deadline already passed the handler's clock is
+//     rejected (kDeadlineExceeded) without execution — at admission and
+//     again at dispatch, because queue residency consumes deadline.
+//   * Queue overflow sheds newest-from-heaviest-connection: the victim
+//     is the most recently admitted request of the connection with the
+//     most queued requests (the incoming request itself when its own
+//     connection is heaviest). The victim's reply is kResourceExhausted
+//     with retry-after advice; a connection shed more than max_conn_sheds
+//     times is condemned as abusive.
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
 #include "common/result.hpp"
+#include "common/time.hpp"
+#include "faults/injector.hpp"
 #include "net/frame_decoder.hpp"
 
 namespace defuse::net {
+
+/// What admission control needs to know about a request without (and
+/// before) fully decoding it.
+struct RequestEnvelope {
+  /// Client-assigned idempotency key; 0 = none.
+  std::uint64_t request_id = 0;
+  /// Absolute platform minute the reply is due by; -1 = no deadline.
+  Minute deadline = -1;
+  /// Control-plane requests (health, hello) bypass the admission queue
+  /// so probes keep answering under overload.
+  bool control = false;
+};
 
 /// The application half the core dispatches into. Implementations must
 /// never throw; every failure is an encoded error response.
@@ -43,6 +78,29 @@ class RequestHandler {
   /// one shape.
   [[nodiscard]] virtual std::string EncodeTransportError(
       const Error& error) = 0;
+  /// Peeks the admission envelope out of a raw request payload.
+  /// Returning nullopt opts the request out of admission control: it is
+  /// dispatched inline, exactly as before protocol v2 (the default, so
+  /// envelope-less handlers — echo servers, tests — work unchanged;
+  /// malformed payloads also take this path and fail in HandleRequest,
+  /// which owns the error message).
+  [[nodiscard]] virtual std::optional<RequestEnvelope> InspectRequest(
+      std::string_view /*request*/) {
+    return std::nullopt;
+  }
+  /// Encodes a shed with structured retry advice. Defaults to the plain
+  /// transport error for handlers whose wire format carries no advice.
+  [[nodiscard]] virtual std::string EncodeRetryableError(
+      const Error& error, MinuteDelta /*retry_after*/) {
+    return EncodeTransportError(error);
+  }
+  /// True when `request_id` has a cached reply (idempotency window hit):
+  /// the core then bypasses admission so duplicates are never shed.
+  [[nodiscard]] virtual bool HasCachedReply(std::uint64_t /*request_id*/) {
+    return false;
+  }
+  /// The clock deadlines are checked against (platform virtual minutes).
+  [[nodiscard]] virtual Minute ClockMinute() { return 0; }
 };
 
 struct ServerLimits {
@@ -51,18 +109,39 @@ struct ServerLimits {
   /// High-water mark for a connection's un-drained output; beyond it
   /// requests are shed with kResourceExhausted.
   std::size_t max_write_buffer = 1u << 20;
+  /// Admission queue bound: requests admitted but not yet executed.
+  std::size_t max_queue_depth = 256;
+  /// Retry-after advice attached to overflow sheds (platform minutes).
+  MinuteDelta shed_retry_after = 1;
+  /// A connection shed more than this many times is condemned as
+  /// abusive (hard close after its buffered replies flush).
+  std::uint64_t max_conn_sheds = 64;
 };
 
 struct ServerCoreStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_closed = 0;
   std::uint64_t requests_handled = 0;
-  /// Requests refused under backpressure (handler never ran).
+  /// Requests refused under write-buffer backpressure (handler never
+  /// ran).
   std::uint64_t requests_shed = 0;
+  /// Requests shed by admission-queue overflow (newest-from-heaviest).
+  std::uint64_t requests_shed_overflow = 0;
+  /// Requests rejected because their deadline had already expired (at
+  /// admission or at dispatch).
+  std::uint64_t requests_expired = 0;
+  /// Requests that bypassed admission because their request id already
+  /// had a cached reply.
+  std::uint64_t duplicate_fast_paths = 0;
   /// Requests refused because the core was draining.
   std::uint64_t requests_rejected_draining = 0;
   /// Connections condemned by a framing/checksum/bounds violation.
   std::uint64_t protocol_errors = 0;
+  /// Connections condemned for being shed more than max_conn_sheds
+  /// times (abusive under overload).
+  std::uint64_t connections_condemned_abusive = 0;
+  /// High-water mark of the admission queue.
+  std::uint64_t max_queue_depth_seen = 0;
 };
 
 class ServerCore {
@@ -70,15 +149,28 @@ class ServerCore {
   using ConnId = std::uint64_t;
 
   explicit ServerCore(RequestHandler& handler, ServerLimits limits = {});
+  /// As above, plus a fault injector for the admission-control sites
+  /// (kQueueOverflow, kDeadlineSkew). May be null / disabled.
+  ServerCore(RequestHandler& handler, ServerLimits limits,
+             faults::FaultInjector* injector);
 
   /// Registers a new connection and returns its id.
   [[nodiscard]] ConnId OnAccept();
 
-  /// Feeds bytes read from connection `id`. Decodes and dispatches every
-  /// complete frame. Returns false when the connection must be closed
-  /// after its pending output flushes (protocol error or shed overflow);
-  /// the caller still drains PendingOutput first.
+  /// Feeds bytes read from connection `id`. Decodes every complete
+  /// frame and either dispatches it (control plane, duplicates,
+  /// envelope-less) or admits it to the work queue. Returns false when
+  /// the connection must be closed after its pending output flushes
+  /// (protocol error or shed overflow); the caller still drains
+  /// PendingOutput first. Overflow sheds may condemn a *different*
+  /// connection than `id` — transports must also poll IsCondemned.
   [[nodiscard]] bool OnBytes(ConnId id, std::string_view bytes);
+
+  /// Executes every queued request (re-checking deadlines at dispatch).
+  /// Transports call this once per event-loop turn, after feeding all
+  /// ready connections, so queued work is interleaved fairly rather
+  /// than executed inline per read.
+  void PumpQueue();
 
   /// Un-drained response bytes of `id` (empty for unknown connections).
   [[nodiscard]] std::string_view PendingOutput(ConnId id) const;
@@ -88,19 +180,28 @@ class ServerCore {
     return !PendingOutput(id).empty();
   }
 
+  /// True when `id` must be closed once its output flushes. Overflow
+  /// shedding can condemn connections other than the one currently
+  /// being read, so transports sweep this between turns.
+  [[nodiscard]] bool IsCondemned(ConnId id) const;
+
   /// Forgets connection `id` (transport saw EOF/reset or finished the
-  /// condemned-connection flush).
+  /// condemned-connection flush). Its queued requests are dropped.
   void OnClose(ConnId id);
 
   /// Graceful shutdown: new requests are rejected, buffered responses
   /// still flush. The caller additionally stops accepting.
   void BeginDrain() noexcept { draining_ = true; }
   [[nodiscard]] bool draining() const noexcept { return draining_; }
-  /// True when no connection has un-drained output (drain can finish).
+  /// True when the work queue is empty and no connection has un-drained
+  /// output (drain can finish).
   [[nodiscard]] bool idle() const noexcept;
 
   [[nodiscard]] std::size_t open_connections() const noexcept {
     return conns_.size();
+  }
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return queue_.size();
   }
   [[nodiscard]] const ServerCoreStats& stats() const noexcept {
     return stats_;
@@ -115,13 +216,33 @@ class ServerCore {
     std::string out;
     std::size_t out_pos = 0;  // first unwritten byte of `out`
     bool condemned = false;   // close after the output flushes
+    std::uint64_t sheds = 0;  // overflow sheds charged to this conn
+  };
+
+  /// One admitted-but-not-yet-executed request.
+  struct Pending {
+    ConnId conn = 0;
+    std::string payload;
+    Minute deadline = -1;
   };
 
   void QueueResponse(Conn& conn, std::string_view payload);
+  /// Admits one enveloped request, shedding newest-from-heaviest on
+  /// overflow. Returns false when `id` itself was condemned.
+  [[nodiscard]] bool Admit(ConnId id, Conn& conn, std::string_view payload,
+                           const RequestEnvelope& envelope);
+  /// Charges one overflow shed to `victim_conn`, queues the advice
+  /// reply, and condemns the connection past max_conn_sheds.
+  void ShedOne(ConnId victim_conn);
+  /// The deadline after injected clock skew (kDeadlineSkew), expressed
+  /// against the handler clock.
+  [[nodiscard]] Minute EffectiveDeadline(Minute deadline);
 
   RequestHandler& handler_;
   ServerLimits limits_;
+  faults::FaultInjector* injector_ = nullptr;
   std::unordered_map<ConnId, Conn> conns_;
+  std::deque<Pending> queue_;
   ConnId next_id_ = 1;
   bool draining_ = false;
   ServerCoreStats stats_;

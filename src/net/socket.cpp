@@ -101,10 +101,9 @@ Result<int> SocketServer::PollOnce(int timeout_ms) {
     if (errno == EINTR) return 0;  // signal (e.g. SIGINT) — caller decides
     return Errno("poll");
   }
-  if (ready == 0) return 0;
-
   int touched = 0;
   for (const pollfd& p : fds) {
+    if (ready == 0) break;
     if (p.revents == 0) continue;
     if (p.fd == listen_fd_) {
       AcceptReady();
@@ -123,6 +122,20 @@ Result<int> SocketServer::PollOnce(int timeout_ms) {
     if ((p.revents & POLLIN) != 0 && !ReadReady(p.fd)) continue;
     if ((p.revents & POLLOUT) != 0) WriteReady(p.fd);
   }
+
+  // One admission-queue drain per event-loop turn: every connection fed
+  // above gets its queued work executed before the next poll, and no
+  // single connection's burst runs inline ahead of the others.
+  core_.PumpQueue();
+  // Overflow shedding may have condemned connections other than the one
+  // being read (newest-from-heaviest); sweep them into flush-then-close.
+  std::vector<int> doomed;
+  for (auto& [fd, conn] : conns_) {
+    if (conn.close_after_flush || !core_.IsCondemned(conn.id)) continue;
+    conn.close_after_flush = true;
+    if (!core_.HasPendingOutput(conn.id)) doomed.push_back(fd);
+  }
+  for (const int fd : doomed) CloseConn(fd);
   return touched;
 }
 

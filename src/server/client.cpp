@@ -50,41 +50,126 @@ Result<std::string> Client::RoundTrip(std::string_view request) {
 }
 
 Result<std::string> Client::OkBody(std::string_view request) {
+  last_retry_after_ = kNoRetryAfter;
   auto payload = RoundTrip(request);
   if (!payload.ok()) return payload.error();
-  auto body = DecodeReplyStatus(payload.value());
-  if (!body.ok()) return body.error();
-  return std::string{body.value()};
+  auto decoded = DecodeReply(payload.value());
+  if (!decoded.ok()) return decoded.error();
+  if (!decoded.value().ok) {
+    last_retry_after_ = decoded.value().retry_after;
+    return decoded.value().error;
+  }
+  return std::string{decoded.value().body};
 }
 
-Result<InvokeReply> Client::Invoke(FunctionId fn, Minute now) {
-  auto body = OkBody(EncodeRequest(InvokeRequest{fn, now}));
+Result<InvokeReply> Client::Invoke(FunctionId fn, Minute now,
+                                   const RequestHeader& header) {
+  auto body = OkBody(EncodeRequest(InvokeRequest{fn, now}, header));
   if (!body.ok()) return body.error();
   return DecodeInvokeReplyBody(body.value());
 }
 
-Result<bool> Client::AdvanceTo(Minute now) {
-  auto body = OkBody(EncodeRequest(AdvanceToRequest{now}));
+Result<bool> Client::AdvanceTo(Minute now, const RequestHeader& header) {
+  auto body = OkBody(EncodeRequest(AdvanceToRequest{now}, header));
   if (!body.ok()) return body.error();
   return DecodeAdvanceToReplyBody(body.value());
 }
 
-Result<StatsReply> Client::Stats() {
-  auto body = OkBody(EncodeRequest(StatsRequest{}));
+Result<StatsReply> Client::Stats(const RequestHeader& header) {
+  auto body = OkBody(EncodeRequest(StatsRequest{}, header));
   if (!body.ok()) return body.error();
   return DecodeStatsReplyBody(body.value());
 }
 
-Result<RemineReply> Client::RemineNow(Minute now) {
-  auto body = OkBody(EncodeRequest(RemineNowRequest{now}));
+Result<RemineReply> Client::RemineNow(Minute now, const RequestHeader& header) {
+  auto body = OkBody(EncodeRequest(RemineNowRequest{now}, header));
   if (!body.ok()) return body.error();
   return DecodeRemineReplyBody(body.value());
 }
 
-Result<SnapshotReply> Client::Snapshot() {
-  auto body = OkBody(EncodeRequest(SnapshotRequest{}));
+Result<SnapshotReply> Client::Snapshot(const RequestHeader& header) {
+  auto body = OkBody(EncodeRequest(SnapshotRequest{}, header));
   if (!body.ok()) return body.error();
   return DecodeSnapshotReplyBody(body.value());
+}
+
+Result<HelloReply> Client::Hello() {
+  auto body = OkBody(EncodeRequest(HelloRequest{kProtocolVersion}));
+  if (!body.ok()) return body.error();
+  return DecodeHelloReplyBody(body.value());
+}
+
+Result<HealthReply> Client::Health() {
+  auto body = OkBody(EncodeRequest(HealthRequest{}));
+  if (!body.ok()) return body.error();
+  return DecodeHealthReplyBody(body.value());
+}
+
+// ---- RetryingClient --------------------------------------------------------
+
+RetryingClient::RetryingClient(Connector connector, RetryPolicy policy,
+                               SleepFn sleep)
+    : connector_(std::move(connector)),
+      policy_(policy),
+      sleep_(std::move(sleep)) {}
+
+bool RetryingClient::EnsureConnected() {
+  if (client_ != nullptr && !client_->connection_dead()) return true;
+  client_.reset();
+  auto channel = connector_();
+  if (!channel.ok()) return false;
+  client_ = std::make_unique<Client>(std::move(channel).value());
+  // Any connect after the first is a reconnect — `client_` being null
+  // here says nothing, since Call() drops the dead client eagerly.
+  if (ever_connected_) ++stats_.reconnects;
+  ever_connected_ = true;
+  return true;
+}
+
+Result<InvokeReply> RetryingClient::Invoke(FunctionId fn, Minute now,
+                                           Minute deadline) {
+  return Call<InvokeReply>(
+      NextRequestId(), deadline,
+      [fn, now](Client& client, const RequestHeader& header) {
+        return client.Invoke(fn, now, header);
+      });
+}
+
+Result<bool> RetryingClient::AdvanceTo(Minute now, Minute deadline) {
+  return Call<bool>(NextRequestId(), deadline,
+                    [now](Client& client, const RequestHeader& header) {
+                      return client.AdvanceTo(now, header);
+                    });
+}
+
+Result<StatsReply> RetryingClient::Stats() {
+  // Read-only: naturally idempotent, no id needed (and the server would
+  // not cache it anyway).
+  return Call<StatsReply>(kNoRequestId, kNoDeadline,
+                          [](Client& client, const RequestHeader& header) {
+                            return client.Stats(header);
+                          });
+}
+
+Result<RemineReply> RetryingClient::RemineNow(Minute now, Minute deadline) {
+  return Call<RemineReply>(NextRequestId(), deadline,
+                           [now](Client& client, const RequestHeader& header) {
+                             return client.RemineNow(now, header);
+                           });
+}
+
+Result<SnapshotReply> RetryingClient::Snapshot() {
+  return Call<SnapshotReply>(kNoRequestId, kNoDeadline,
+                             [](Client& client, const RequestHeader& header) {
+                               return client.Snapshot(header);
+                             });
+}
+
+Result<HealthReply> RetryingClient::Health() {
+  return Call<HealthReply>(kNoRequestId, kNoDeadline,
+                           [](Client& client, const RequestHeader&) {
+                             return client.Health();
+                           });
 }
 
 }  // namespace defuse::server

@@ -8,13 +8,32 @@
 // Error; `connection_dead()` distinguishes them — after a transport
 // error the channel is unusable and the caller reconnects, while after a
 // remote error the connection keeps working.
+//
+// Every typed call takes an optional RequestHeader carrying the v2
+// resilience fields (request id for idempotent dedup, deadline in
+// platform minutes); the default header opts out of both, matching the
+// pre-v2 behavior bit for bit. The plain Client never assigns request
+// ids itself: two independent Clients both counting from 1 would alias
+// each other's idempotency keys and be served one another's cached
+// replies. Id assignment belongs to RetryingClient, which owns a key
+// space for exactly the operations it retries.
+//
+// RetryingClient wraps connect-and-retry policy around the raw Client:
+// it reconnects through a Connector after transport errors, retries
+// sheds (kResourceExhausted) honoring the server's retry-after advice,
+// reuses the SAME request id across retries of one logical operation
+// (the exactly-once contract), and never retries terminal remote errors
+// such as kDeadlineExceeded or kInvalidArgument.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 
 #include "common/result.hpp"
+#include "common/retry.hpp"
 #include "net/frame_decoder.hpp"
 #include "net/transport.hpp"
 #include "server/protocol.hpp"
@@ -25,26 +44,148 @@ class Client {
  public:
   explicit Client(std::unique_ptr<net::ClientChannel> channel);
 
-  [[nodiscard]] Result<InvokeReply> Invoke(FunctionId fn, Minute now);
-  [[nodiscard]] Result<bool> AdvanceTo(Minute now);
-  [[nodiscard]] Result<StatsReply> Stats();
-  [[nodiscard]] Result<RemineReply> RemineNow(Minute now);
-  [[nodiscard]] Result<SnapshotReply> Snapshot();
+  [[nodiscard]] Result<InvokeReply> Invoke(FunctionId fn, Minute now,
+                                           const RequestHeader& header = {});
+  [[nodiscard]] Result<bool> AdvanceTo(Minute now,
+                                       const RequestHeader& header = {});
+  [[nodiscard]] Result<StatsReply> Stats(const RequestHeader& header = {});
+  [[nodiscard]] Result<RemineReply> RemineNow(Minute now,
+                                              const RequestHeader& header = {});
+  [[nodiscard]] Result<SnapshotReply> Snapshot(
+      const RequestHeader& header = {});
+  /// Version handshake: ok iff the server speaks kProtocolVersion.
+  [[nodiscard]] Result<HelloReply> Hello();
+  /// Readiness probe (control plane: answered even under overload).
+  [[nodiscard]] Result<HealthReply> Health();
 
   /// True after a transport-level failure (write/read error, corrupt
   /// response frame): the connection is gone and every further call
   /// fails fast. Remote error replies do NOT set this.
   [[nodiscard]] bool connection_dead() const noexcept { return dead_; }
 
+  /// Retry-after advice attached to the most recent error reply
+  /// (kNoRetryAfter when the last reply was ok or carried none).
+  [[nodiscard]] MinuteDelta last_retry_after() const noexcept {
+    return last_retry_after_;
+  }
+
  private:
   /// Sends one framed request payload and returns the response payload.
   [[nodiscard]] Result<std::string> RoundTrip(std::string_view request);
-  /// RoundTrip + status split, shared by every typed call.
+  /// RoundTrip + status split, shared by every typed call. Captures
+  /// retry advice off error replies.
   [[nodiscard]] Result<std::string> OkBody(std::string_view request);
 
   std::unique_ptr<net::ClientChannel> channel_;
   net::FrameDecoder decoder_;
   bool dead_ = false;
+  MinuteDelta last_retry_after_ = kNoRetryAfter;
+};
+
+/// Counters a RetryingClient keeps about its own effort.
+struct RetryingClientStats {
+  /// Individual tries, including first attempts.
+  std::uint64_t attempts = 0;
+  /// Reconnects performed after a transport-level failure.
+  std::uint64_t reconnects = 0;
+  /// Shed replies (kResourceExhausted) observed and retried.
+  std::uint64_t sheds_observed = 0;
+  /// Sleeps where the server's retry-after advice exceeded (and so
+  /// replaced) the policy's own backoff delay.
+  std::uint64_t retry_after_honored = 0;
+  /// Logical operations that exhausted every attempt.
+  std::uint64_t gave_up = 0;
+};
+
+class RetryingClient {
+ public:
+  /// Opens a fresh channel to the server; called once up front and again
+  /// after every transport-level failure.
+  using Connector =
+      std::function<Result<std::unique_ptr<net::ClientChannel>>()>;
+  /// Observes each backoff delay (tests advance virtual clocks here;
+  /// production may block). Null = no-op.
+  using SleepFn = std::function<void(MinuteDelta)>;
+
+  explicit RetryingClient(Connector connector, RetryPolicy policy = {},
+                          SleepFn sleep = nullptr);
+
+  /// Each call is one logical operation: a fresh request id is assigned
+  /// (state-changing calls only) and reused across every retry, so the
+  /// server's idempotency window collapses duplicates. `deadline` rides
+  /// in the request header.
+  [[nodiscard]] Result<InvokeReply> Invoke(FunctionId fn, Minute now,
+                                           Minute deadline = kNoDeadline);
+  [[nodiscard]] Result<bool> AdvanceTo(Minute now,
+                                       Minute deadline = kNoDeadline);
+  [[nodiscard]] Result<StatsReply> Stats();
+  [[nodiscard]] Result<RemineReply> RemineNow(Minute now,
+                                              Minute deadline = kNoDeadline);
+  [[nodiscard]] Result<SnapshotReply> Snapshot();
+  [[nodiscard]] Result<HealthReply> Health();
+
+  [[nodiscard]] const RetryingClientStats& retry_stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  /// True when a live connection exists (reconnecting if needed).
+  [[nodiscard]] bool EnsureConnected();
+
+  /// Runs `op` under the retry policy. Retried: connect failures,
+  /// transport deaths, sheds (honoring retry-after advice). Terminal:
+  /// success and every other remote error.
+  template <typename T, typename Op>
+  [[nodiscard]] Result<T> Call(std::uint64_t request_id, Minute deadline,
+                               Op&& op) {
+    const RequestHeader header{request_id, deadline};
+    Result<T> result = Error{ErrorCode::kIoError, "no attempt made"};
+    const auto outcome = RetryWithBackoff(
+        policy_,
+        [&]() -> bool {
+          ++stats_.attempts;
+          if (!EnsureConnected()) return false;  // retry the connect
+          result = op(*client_, header);
+          if (result.ok()) return true;
+          if (client_->connection_dead()) {
+            client_.reset();  // reconnect on the next try, SAME id
+            return false;
+          }
+          if (result.error().code == ErrorCode::kResourceExhausted) {
+            ++stats_.sheds_observed;
+            pending_advice_ = client_->last_retry_after();
+            return false;  // shed: back off and retry, SAME id
+          }
+          return true;  // terminal remote error: done, do not retry
+        },
+        [&](MinuteDelta delay) {
+          const MinuteDelta advice = pending_advice_;
+          pending_advice_ = kNoRetryAfter;
+          if (advice > delay) {
+            delay = advice;
+            ++stats_.retry_after_honored;
+          }
+          if (sleep_) sleep_(delay);
+        });
+    if (!outcome.succeeded && !result.ok()) ++stats_.gave_up;
+    return result;
+  }
+
+  /// The next idempotency key. Never reset — the key space must stay
+  /// unique across reconnects, or a late duplicate of operation A could
+  /// be mistaken for operation B.
+  [[nodiscard]] std::uint64_t NextRequestId() noexcept {
+    return next_request_id_++;
+  }
+
+  Connector connector_;
+  RetryPolicy policy_;
+  SleepFn sleep_;
+  std::unique_ptr<Client> client_;
+  bool ever_connected_ = false;
+  std::uint64_t next_request_id_ = 1;
+  MinuteDelta pending_advice_ = kNoRetryAfter;
+  RetryingClientStats stats_;
 };
 
 }  // namespace defuse::server

@@ -5,6 +5,23 @@
 #include "common/logging.hpp"
 
 namespace defuse::server {
+namespace {
+
+/// Requests that mutate the platform — the only ones whose replies the
+/// idempotency window must cache (read-only requests are naturally
+/// idempotent, and caching their replies would serve stale data).
+[[nodiscard]] bool IsStateChanging(RequestType type) noexcept {
+  return type == RequestType::kInvoke || type == RequestType::kAdvanceTo ||
+         type == RequestType::kRemineNow;
+}
+
+/// Control-plane requests are exempt from deadline enforcement: a health
+/// probe exists to be answered, especially when the data plane is late.
+[[nodiscard]] bool IsControlPlane(RequestType type) noexcept {
+  return type == RequestType::kHello || type == RequestType::kHealth;
+}
+
+}  // namespace
 
 PlatformServer::PlatformServer(platform::Platform& platform)
     : PlatformServer(platform, Options{}) {}
@@ -16,12 +33,84 @@ std::string PlatformServer::EncodeTransportError(const Error& error) {
   return EncodeErrorReply(error);
 }
 
+std::string PlatformServer::EncodeRetryableError(const Error& error,
+                                                 MinuteDelta retry_after) {
+  return EncodeErrorReply(error, retry_after);
+}
+
+std::optional<net::RequestEnvelope> PlatformServer::InspectRequest(
+    std::string_view request) {
+  const auto peeked = PeekRequestHeader(request);
+  // Malformed prefix: opt out of admission so the full decode in
+  // HandleRequest produces the error reply (it owns the message).
+  if (!peeked.ok()) return std::nullopt;
+  net::RequestEnvelope envelope;
+  envelope.request_id = peeked.value().header.request_id;
+  envelope.deadline = peeked.value().header.deadline;
+  envelope.control = IsControlPlane(peeked.value().type);
+  return envelope;
+}
+
+bool PlatformServer::HasCachedReply(std::uint64_t request_id) {
+  return idem_cache_.find(request_id) != idem_cache_.end();
+}
+
+Minute PlatformServer::ClockMinute() {
+  return platform_.last_invocation_minute();
+}
+
+void PlatformServer::Remember(std::uint64_t request_id,
+                              const std::string& reply) {
+  if (options_.idempotency_window == 0) return;
+  while (idem_order_.size() >= options_.idempotency_window) {
+    idem_cache_.erase(idem_order_.front());
+    idem_order_.pop_front();
+  }
+  idem_order_.push_back(request_id);
+  idem_cache_.emplace(request_id, reply);
+}
+
 std::string PlatformServer::HandleRequest(std::string_view request) {
   auto decoded = DecodeRequest(request);
   if (!decoded.ok()) {
     return EncodeErrorReply(decoded.error());
   }
-  return Handle(decoded.value());
+  const Request& req = decoded.value();
+
+  // Idempotency window first — before deadline enforcement. A cached
+  // reply means the side effect already exists; the retrying client
+  // must learn its outcome even if the deadline has since passed,
+  // otherwise "applied but reported expired" breaks exactly-once.
+  if (req.header.request_id != kNoRequestId) {
+    if (const auto it = idem_cache_.find(req.header.request_id);
+        it != idem_cache_.end()) {
+      ++duplicates_served_;
+      return it->second;
+    }
+  }
+
+  if (req.header.deadline != kNoDeadline && !IsControlPlane(req.type)) {
+    // Timestamped requests expire against their own minute (the virtual
+    // clock the reply would be issued at); the rest against the
+    // platform clock. Rejections are NOT cached: nothing was applied.
+    Minute at = platform_.last_invocation_minute();
+    if (req.type == RequestType::kInvoke) at = req.invoke->now;
+    if (req.type == RequestType::kAdvanceTo) at = req.advance_to->now;
+    if (req.type == RequestType::kRemineNow) at = req.remine_now->now;
+    if (req.header.deadline < at) {
+      ++deadline_rejections_;
+      return EncodeErrorReply(
+          Error{ErrorCode::kDeadlineExceeded,
+                "deadline " + std::to_string(req.header.deadline) +
+                    " expired at minute " + std::to_string(at)});
+    }
+  }
+
+  std::string reply = Handle(req);
+  if (req.header.request_id != kNoRequestId && IsStateChanging(req.type)) {
+    Remember(req.header.request_id, reply);
+  }
+  return reply;
 }
 
 std::string PlatformServer::CheckClock(Minute now) const {
@@ -106,6 +195,30 @@ std::string PlatformServer::Handle(const Request& request) {
     }
     case RequestType::kSnapshot:
       return EncodeOkReply(SnapshotReply{platform_.SaveState()});
+    case RequestType::kHello: {
+      const HelloRequest& r = *request.hello;
+      if (r.version != kProtocolVersion) {
+        return EncodeErrorReply(Error{
+            ErrorCode::kInvalidArgument,
+            "protocol version mismatch: client speaks v" +
+                std::to_string(r.version) + ", this server speaks v" +
+                std::to_string(kProtocolVersion)});
+      }
+      return EncodeOkReply(HelloReply{kProtocolVersion});
+    }
+    case RequestType::kHealth: {
+      HealthReply reply;
+      reply.draining = core_ != nullptr && core_->draining();
+      reply.ready = options_.recovered && !reply.draining;
+      reply.remine_in_flight = platform_.remine_in_flight();
+      const platform::PlatformStats stats = platform_.stats();
+      reply.degraded_graph = stats.degraded_remines > 0;
+      reply.stale_graph_minutes = stats.stale_graph_minutes;
+      reply.queue_depth = core_ != nullptr ? core_->queue_depth() : 0;
+      reply.idempotency_entries = idem_order_.size();
+      reply.clock_minute = platform_.last_invocation_minute();
+      return EncodeOkReply(reply);
+    }
   }
   return EncodeErrorReply(
       Error{ErrorCode::kInvalidArgument, "unhandled request type"});

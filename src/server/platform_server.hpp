@@ -10,6 +10,23 @@
 // `replay --state-dir` loop, so a daemon crash recovers through the same
 // ladder.
 //
+// Request-resilience duties (DESIGN.md §12):
+//   * Idempotency window — the last `idempotency_window` replies to
+//     state-changing requests that carried a request id are cached, so a
+//     retry of an applied request replays the stored reply instead of
+//     re-applying the side effect. The lookup precedes every other
+//     check, including deadlines: once the side effect exists, the
+//     client must learn about it. FIFO eviction bounds memory; the
+//     window must exceed the number of concurrently retried operations
+//     (a sequential client needs exactly 1).
+//   * Deadline enforcement — a data-plane request whose deadline
+//     precedes its own minute (timestamped requests) or the platform
+//     clock (the rest) is rejected kDeadlineExceeded without touching
+//     the engine. Deadline rejections are never cached: nothing was
+//     applied, so a retry with more headroom may legitimately succeed.
+//   * Health — kHealth reports readiness for the future shard router
+//     without touching the data plane.
+//
 // The handler is transport-agnostic and single-threaded by contract: it
 // runs on whichever thread pumps the ServerCore (the poll loop for
 // sockets, the caller for loopback). Async re-mining concurrency lives
@@ -17,6 +34,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
 
 #include "net/server_core.hpp"
 #include "platform/durability/durable_state.hpp"
@@ -34,6 +54,12 @@ class PlatformServer final : public net::RequestHandler {
     platform::durability::DurableState* durable = nullptr;
     /// Checkpoint automatically when DurableState says one is due.
     bool auto_checkpoint = true;
+    /// Idempotency window: replies cached per request id, FIFO-evicted.
+    /// 0 disables deduplication entirely.
+    std::size_t idempotency_window = 1024;
+    /// Whether recovery completed (health readiness). Callers that serve
+    /// without recovering durable state leave this true.
+    bool recovered = true;
   };
 
   // Two overloads instead of `Options options = {}` (GCC 12 nested
@@ -43,6 +69,16 @@ class PlatformServer final : public net::RequestHandler {
 
   [[nodiscard]] std::string HandleRequest(std::string_view request) override;
   [[nodiscard]] std::string EncodeTransportError(const Error& error) override;
+  [[nodiscard]] std::string EncodeRetryableError(
+      const Error& error, MinuteDelta retry_after) override;
+  [[nodiscard]] std::optional<net::RequestEnvelope> InspectRequest(
+      std::string_view request) override;
+  [[nodiscard]] bool HasCachedReply(std::uint64_t request_id) override;
+  [[nodiscard]] Minute ClockMinute() override;
+
+  /// Lets kHealth report queue depth and drain state. Optional (the
+  /// handler works without it); not owned, must outlive the handler.
+  void set_core(const net::ServerCore* core) noexcept { core_ = core; }
 
   /// Graceful-shutdown hook: waits out any in-flight background re-mine
   /// so its result is not lost, then (durable mode) writes a final
@@ -55,18 +91,39 @@ class PlatformServer final : public net::RequestHandler {
   [[nodiscard]] std::uint64_t journal_failures() const noexcept {
     return journal_failures_;
   }
+  /// Requests answered from the idempotency window (no re-apply).
+  [[nodiscard]] std::uint64_t duplicates_served() const noexcept {
+    return duplicates_served_;
+  }
+  /// Data-plane requests rejected for an expired deadline.
+  [[nodiscard]] std::uint64_t deadline_rejections() const noexcept {
+    return deadline_rejections_;
+  }
+  [[nodiscard]] std::size_t idempotency_entries() const noexcept {
+    return idem_order_.size();
+  }
 
  private:
   [[nodiscard]] std::string Handle(const Request& request);
   /// Validates the monotonic-clock and horizon contracts shared by every
   /// timestamped request; returns a non-empty error reply on violation.
   [[nodiscard]] std::string CheckClock(Minute now) const;
+  /// Stores `reply` under `request_id`, FIFO-evicting past the window.
+  void Remember(std::uint64_t request_id, const std::string& reply);
   void Journal(const Result<bool>& append);
   void MaybeCheckpoint(Minute now);
 
   platform::Platform& platform_;
   Options options_;
+  const net::ServerCore* core_ = nullptr;  // not owned, may be null
+  // Request id -> cached reply. Lookup/insert/erase-by-key only (no
+  // iteration: src/server is a determinism boundary); idem_order_ is
+  // the FIFO eviction order.
+  std::unordered_map<std::uint64_t, std::string> idem_cache_;
+  std::deque<std::uint64_t> idem_order_;
   std::uint64_t journal_failures_ = 0;
+  std::uint64_t duplicates_served_ = 0;
+  std::uint64_t deadline_rejections_ = 0;
 };
 
 }  // namespace defuse::server

@@ -113,52 +113,127 @@ class Reader {
 
 constexpr std::uint8_t kStatusOk = 0;
 
+/// The v1 request-type range (1..5). A first byte in it means the peer
+/// speaks the previous protocol generation; name both versions instead
+/// of letting the header decode as garbage.
+[[nodiscard]] bool LooksLikeV1Request(std::uint8_t first) noexcept {
+  return first >= 1 && first <= 5;
+}
+
+std::string RequestPrefix(RequestType type, const RequestHeader& header) {
+  std::string out;
+  PutU8(out, kVersionMagic);
+  PutU8(out, static_cast<std::uint8_t>(type));
+  PutU64(out, header.request_id);
+  PutI64(out, header.deadline);
+  return out;
+}
+
+/// Shared by DecodeRequest and PeekRequestHeader: consumes the magic,
+/// type, and header through `r`, validating version and header bounds.
+Result<PeekedRequest> TakePrefix(Reader& r) {
+  auto magic = r.TakeU8();
+  if (!magic.ok()) return magic.error();
+  if (magic.value() != kVersionMagic) {
+    if (LooksLikeV1Request(magic.value())) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "protocol version mismatch: peer sent a v1 request "
+                   "(type " +
+                       std::to_string(magic.value()) +
+                       "), this server speaks v" +
+                       std::to_string(kProtocolVersion) +
+                       "; upgrade the client"};
+    }
+    return Error{ErrorCode::kParseError,
+                 "unknown protocol version byte " +
+                     std::to_string(magic.value()) + " (v" +
+                     std::to_string(kProtocolVersion) + " requests start 0x" +
+                     "d2)"};
+  }
+  auto type = r.TakeU8();
+  if (!type.ok()) return type.error();
+  if (type.value() < static_cast<std::uint8_t>(RequestType::kInvoke) ||
+      type.value() > static_cast<std::uint8_t>(RequestType::kHealth)) {
+    return Error{ErrorCode::kParseError,
+                 "unknown request type " + std::to_string(type.value())};
+  }
+  PeekedRequest peeked;
+  peeked.type = static_cast<RequestType>(type.value());
+  auto rid = r.TakeU64();
+  if (!rid.ok()) return rid.error();
+  if (rid.value() == kReservedRequestId) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "request id 0xffffffffffffffff is reserved"};
+  }
+  auto deadline = r.TakeI64();
+  if (!deadline.ok()) return deadline.error();
+  if (deadline.value() < kNoDeadline) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "absurd deadline " + std::to_string(deadline.value()) +
+                     " (must be a platform minute >= 0, or -1 for none)"};
+  }
+  peeked.header.request_id = rid.value();
+  peeked.header.deadline = deadline.value();
+  return peeked;
+}
+
 }  // namespace
 
 // ---- Requests -------------------------------------------------------------
 
-std::string EncodeRequest(const InvokeRequest& r) {
-  std::string out;
-  PutU8(out, static_cast<std::uint8_t>(RequestType::kInvoke));
+std::string EncodeRequest(const InvokeRequest& r, const RequestHeader& header) {
+  std::string out = RequestPrefix(RequestType::kInvoke, header);
   PutU32(out, r.function.value());
   PutI64(out, r.now);
   return out;
 }
 
-std::string EncodeRequest(const AdvanceToRequest& r) {
-  std::string out;
-  PutU8(out, static_cast<std::uint8_t>(RequestType::kAdvanceTo));
+std::string EncodeRequest(const AdvanceToRequest& r,
+                          const RequestHeader& header) {
+  std::string out = RequestPrefix(RequestType::kAdvanceTo, header);
   PutI64(out, r.now);
   return out;
 }
 
-std::string EncodeRequest(const StatsRequest&) {
-  std::string out;
-  PutU8(out, static_cast<std::uint8_t>(RequestType::kStats));
-  return out;
+std::string EncodeRequest(const StatsRequest&, const RequestHeader& header) {
+  return RequestPrefix(RequestType::kStats, header);
 }
 
-std::string EncodeRequest(const RemineNowRequest& r) {
-  std::string out;
-  PutU8(out, static_cast<std::uint8_t>(RequestType::kRemineNow));
+std::string EncodeRequest(const RemineNowRequest& r,
+                          const RequestHeader& header) {
+  std::string out = RequestPrefix(RequestType::kRemineNow, header);
   PutI64(out, r.now);
   return out;
 }
 
-std::string EncodeRequest(const SnapshotRequest&) {
-  std::string out;
-  PutU8(out, static_cast<std::uint8_t>(RequestType::kSnapshot));
+std::string EncodeRequest(const SnapshotRequest&, const RequestHeader& header) {
+  return RequestPrefix(RequestType::kSnapshot, header);
+}
+
+std::string EncodeRequest(const HelloRequest& r, const RequestHeader& header) {
+  std::string out = RequestPrefix(RequestType::kHello, header);
+  PutU32(out, r.version);
   return out;
+}
+
+std::string EncodeRequest(const HealthRequest&, const RequestHeader& header) {
+  return RequestPrefix(RequestType::kHealth, header);
+}
+
+Result<PeekedRequest> PeekRequestHeader(std::string_view payload) {
+  Reader r{payload};
+  return TakePrefix(r);  // the body (if any) is deliberately not touched
 }
 
 Result<Request> DecodeRequest(std::string_view payload) {
   Reader r{payload};
-  auto type = r.TakeU8();
-  if (!type.ok()) return type.error();
+  auto prefix = TakePrefix(r);
+  if (!prefix.ok()) return prefix.error();
   Request req;
-  switch (type.value()) {
-    case static_cast<std::uint8_t>(RequestType::kInvoke): {
-      req.type = RequestType::kInvoke;
+  req.type = prefix.value().type;
+  req.header = prefix.value().header;
+  switch (req.type) {
+    case RequestType::kInvoke: {
       auto fn = r.TakeU32();
       if (!fn.ok()) return fn.error();
       auto now = r.TakeI64();
@@ -166,29 +241,30 @@ Result<Request> DecodeRequest(std::string_view payload) {
       req.invoke = InvokeRequest{FunctionId{fn.value()}, now.value()};
       break;
     }
-    case static_cast<std::uint8_t>(RequestType::kAdvanceTo): {
-      req.type = RequestType::kAdvanceTo;
+    case RequestType::kAdvanceTo: {
       auto now = r.TakeI64();
       if (!now.ok()) return now.error();
       req.advance_to = AdvanceToRequest{now.value()};
       break;
     }
-    case static_cast<std::uint8_t>(RequestType::kStats):
-      req.type = RequestType::kStats;
+    case RequestType::kStats:
       break;
-    case static_cast<std::uint8_t>(RequestType::kRemineNow): {
-      req.type = RequestType::kRemineNow;
+    case RequestType::kRemineNow: {
       auto now = r.TakeI64();
       if (!now.ok()) return now.error();
       req.remine_now = RemineNowRequest{now.value()};
       break;
     }
-    case static_cast<std::uint8_t>(RequestType::kSnapshot):
-      req.type = RequestType::kSnapshot;
+    case RequestType::kSnapshot:
       break;
-    default:
-      return Error{ErrorCode::kParseError,
-                   "unknown request type " + std::to_string(type.value())};
+    case RequestType::kHello: {
+      auto version = r.TakeU32();
+      if (!version.ok()) return version.error();
+      req.hello = HelloRequest{version.value()};
+      break;
+    }
+    case RequestType::kHealth:
+      break;
   }
   if (auto done = r.Done(); !done.ok()) return done.error();
   return req;
@@ -248,9 +324,35 @@ std::string EncodeOkReply(const SnapshotReply& r) {
   return out;
 }
 
+std::string EncodeOkReply(const HelloReply& r) {
+  std::string out;
+  PutU8(out, kStatusOk);
+  PutU32(out, r.version);
+  return out;
+}
+
+std::string EncodeOkReply(const HealthReply& r) {
+  std::string out;
+  PutU8(out, kStatusOk);
+  PutU8(out, r.ready ? 1 : 0);
+  PutU8(out, r.draining ? 1 : 0);
+  PutU8(out, r.remine_in_flight ? 1 : 0);
+  PutU8(out, r.degraded_graph ? 1 : 0);
+  PutU64(out, r.queue_depth);
+  PutU64(out, r.idempotency_entries);
+  PutI64(out, r.stale_graph_minutes);
+  PutI64(out, r.clock_minute);
+  return out;
+}
+
 std::string EncodeErrorReply(const Error& error) {
+  return EncodeErrorReply(error, kNoRetryAfter);
+}
+
+std::string EncodeErrorReply(const Error& error, MinuteDelta retry_after) {
   std::string out;
   PutU8(out, static_cast<std::uint8_t>(static_cast<int>(error.code) + 1));
+  PutI64(out, retry_after);
   std::string_view message = error.message;
   if (message.size() > kMaxErrorMessageBytes) {
     static constexpr std::string_view kMarker = "...[truncated]";
@@ -263,23 +365,43 @@ std::string EncodeErrorReply(const Error& error) {
   return out;
 }
 
-Result<std::string_view> DecodeReplyStatus(std::string_view payload) {
+Result<DecodedReply> DecodeReply(std::string_view payload) {
   Reader r{payload};
   auto status = r.TakeU8();
   if (!status.ok()) return status.error();
+  DecodedReply reply;
   if (status.value() == kStatusOk) {
-    return payload.substr(1);
+    reply.ok = true;
+    reply.body = payload.substr(1);
+    return reply;
   }
   const int code_index = static_cast<int>(status.value()) - 1;
   if (code_index >= static_cast<int>(kNumErrorCodes)) {
     return Error{ErrorCode::kParseError,
                  "unknown error status " + std::to_string(status.value())};
   }
+  auto retry_after = r.TakeI64();
+  if (!retry_after.ok()) return retry_after.error();
+  if (retry_after.value() < kNoRetryAfter) {
+    return Error{ErrorCode::kParseError,
+                 "absurd retry-after advice " +
+                     std::to_string(retry_after.value())};
+  }
   auto message = r.TakeString();
   if (!message.ok()) return message.error();
   if (auto done = r.Done(); !done.ok()) return done.error();
-  return Error{static_cast<ErrorCode>(code_index),
-               std::string{message.value()}};
+  reply.ok = false;
+  reply.error = Error{static_cast<ErrorCode>(code_index),
+                      std::string{message.value()}};
+  reply.retry_after = retry_after.value();
+  return reply;
+}
+
+Result<std::string_view> DecodeReplyStatus(std::string_view payload) {
+  auto decoded = DecodeReply(payload);
+  if (!decoded.ok()) return decoded.error();
+  if (!decoded.value().ok) return decoded.value().error;
+  return decoded.value().body;
 }
 
 Result<InvokeReply> DecodeInvokeReplyBody(std::string_view body) {
@@ -351,6 +473,46 @@ Result<SnapshotReply> DecodeSnapshotReplyBody(std::string_view body) {
   if (!state.ok()) return state.error();
   if (auto done = r.Done(); !done.ok()) return done.error();
   return SnapshotReply{std::string{state.value()}};
+}
+
+Result<HelloReply> DecodeHelloReplyBody(std::string_view body) {
+  Reader r{body};
+  auto version = r.TakeU32();
+  if (!version.ok()) return version.error();
+  if (auto done = r.Done(); !done.ok()) return done.error();
+  return HelloReply{version.value()};
+}
+
+Result<HealthReply> DecodeHealthReplyBody(std::string_view body) {
+  Reader r{body};
+  HealthReply reply;
+  std::uint8_t flags[4] = {};
+  for (auto* flag : {&flags[0], &flags[1], &flags[2], &flags[3]}) {
+    auto v = r.TakeU8();
+    if (!v.ok()) return v.error();
+    if (v.value() > 1) {
+      return Error{ErrorCode::kParseError, "health reply flag not 0/1"};
+    }
+    *flag = v.value();
+  }
+  auto queue_depth = r.TakeU64();
+  if (!queue_depth.ok()) return queue_depth.error();
+  auto idem = r.TakeU64();
+  if (!idem.ok()) return idem.error();
+  auto stale = r.TakeI64();
+  if (!stale.ok()) return stale.error();
+  auto clock = r.TakeI64();
+  if (!clock.ok()) return clock.error();
+  if (auto done = r.Done(); !done.ok()) return done.error();
+  reply.ready = flags[0] == 1;
+  reply.draining = flags[1] == 1;
+  reply.remine_in_flight = flags[2] == 1;
+  reply.degraded_graph = flags[3] == 1;
+  reply.queue_depth = queue_depth.value();
+  reply.idempotency_entries = idem.value();
+  reply.stale_graph_minutes = stale.value();
+  reply.clock_minute = clock.value();
+  return reply;
 }
 
 }  // namespace defuse::server

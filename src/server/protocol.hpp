@@ -1,4 +1,4 @@
-// Wire protocol of the serving layer (DESIGN.md §10).
+// Wire protocol of the serving layer, version 2 (DESIGN.md §10, §12).
 //
 // Every message travels as the payload of one checksummed frame
 // (common/io/framed): `f <len> <crc32c>\n<payload>\n`. The payload is a
@@ -6,17 +6,34 @@
 // casts, so the format is identical across platforms and every decode
 // is bounds-checked.
 //
-// Request payload:   u8 type, then the type-specific body
-//   kInvoke    = 1:  u32 function, i64 minute
-//   kAdvanceTo = 2:  i64 minute
-//   kStats     = 3:  (empty)
-//   kRemineNow = 4:  i64 minute
-//   kSnapshot  = 5:  (empty)
+// Request payload (v2): a fixed header, then the type-specific body
+//   u8  0xD2          version magic (kVersionMagic). 0xD2 collides with
+//                     no v1 request-type byte (1..5), so a v1 request
+//                     hitting a v2 server is recognized and rejected
+//                     with a kInvalidArgument naming both versions
+//                     instead of mis-decoding.
+//   u8  type          request type (1..7)
+//   u64 request_id    client-assigned idempotency key. 0 = unassigned
+//                     (no dedup); the all-ones value is reserved and
+//                     rejected. Retries of one logical operation MUST
+//                     reuse the id; distinct operations MUST NOT.
+//   i64 deadline      absolute platform minute by which the reply must
+//                     be issued; -1 = no deadline; < -1 rejected.
+//   then the body:
+//     kInvoke    = 1:  u32 function, i64 minute
+//     kAdvanceTo = 2:  i64 minute
+//     kStats     = 3:  (empty)
+//     kRemineNow = 4:  i64 minute
+//     kSnapshot  = 5:  (empty)
+//     kHello     = 6:  u32 client protocol version
+//     kHealth    = 7:  (empty)
 //
 // Reply payload:     u8 status, then the status-specific body
 //   status 0 (ok):   the request-specific reply body below
 //   status e > 0:    the error body — e is ErrorCode+1, then
-//                    u32 message-length, message bytes
+//                    i64 retry-after advice in platform minutes (-1 =
+//                    none; >= 0 on sheds: retry after that many
+//                    minutes), u32 message-length, message bytes
 //
 // Ok reply bodies:
 //   Invoke:    u8 cold (0/1), u32 unit
@@ -25,6 +42,11 @@
 //              declaration order (u64 x4, i64, u64 x3)
 //   RemineNow: u8 mode (kCompleted / kStartedAsync / kAlreadyInFlight)
 //   Snapshot:  u32 length, then the Platform::SaveState() text
+//   Hello:     u32 server protocol version
+//   Health:    u8 ready, u8 draining, u8 remine_in_flight,
+//              u8 degraded_graph (all 0/1), u64 queue_depth,
+//              u64 idempotency_entries, i64 stale_graph_minutes,
+//              i64 clock_minute
 #pragma once
 
 #include <cstddef>
@@ -39,6 +61,27 @@
 #include "platform/platform.hpp"
 
 namespace defuse::server {
+
+/// The protocol generation this codec speaks. Hello carries it both
+/// ways; DecodeRequest rejects anything else by name.
+inline constexpr std::uint32_t kProtocolVersion = 2;
+
+/// First payload byte of every v2 request. Chosen to collide with no v1
+/// request-type byte so cross-version traffic fails with a clear error.
+inline constexpr std::uint8_t kVersionMagic = 0xD2;
+
+/// Deadline sentinel: the request never expires.
+inline constexpr Minute kNoDeadline = -1;
+
+/// Request-id sentinel: no idempotency key; the server never dedups.
+inline constexpr std::uint64_t kNoRequestId = 0;
+
+/// Reserved (rejected) request id, kept out of the assignable space so
+/// a memset-to-ones buffer cannot masquerade as a valid key.
+inline constexpr std::uint64_t kReservedRequestId = ~std::uint64_t{0};
+
+/// Retry-advice sentinel in error replies: no advice attached.
+inline constexpr MinuteDelta kNoRetryAfter = -1;
 
 /// Frame bound for REPLY payloads on the client side. Asymmetric on
 /// purpose: requests fit the server's 1MB default, but a Snapshot reply
@@ -63,6 +106,14 @@ enum class RequestType : std::uint8_t {
   kStats = 3,
   kRemineNow = 4,
   kSnapshot = 5,
+  kHello = 6,
+  kHealth = 7,
+};
+
+/// The per-request resilience header every v2 request carries.
+struct RequestHeader {
+  std::uint64_t request_id = kNoRequestId;
+  Minute deadline = kNoDeadline;
 };
 
 struct InvokeRequest {
@@ -77,13 +128,20 @@ struct RemineNowRequest {
   Minute now = 0;
 };
 struct SnapshotRequest {};
+struct HelloRequest {
+  std::uint32_t version = kProtocolVersion;
+};
+struct HealthRequest {};
 
-/// A decoded request: exactly one of the optionals is engaged.
+/// A decoded request: exactly one of the optionals matching `type` is
+/// engaged (body-less types engage none).
 struct Request {
   RequestType type = RequestType::kStats;
+  RequestHeader header;
   std::optional<InvokeRequest> invoke;
   std::optional<AdvanceToRequest> advance_to;
   std::optional<RemineNowRequest> remine_now;
+  std::optional<HelloRequest> hello;
 };
 
 enum class RemineMode : std::uint8_t {
@@ -109,32 +167,99 @@ struct RemineReply {
 struct SnapshotReply {
   std::string state;
 };
+struct HelloReply {
+  std::uint32_t version = kProtocolVersion;
+};
+/// Readiness for the (future) shard router: whether this daemon should
+/// receive traffic, and why not if it should not.
+struct HealthReply {
+  /// Recovery complete and not draining: the daemon accepts traffic.
+  bool ready = false;
+  bool draining = false;
+  /// A background re-mine is in flight (the graph is being refreshed).
+  bool remine_in_flight = false;
+  /// At least one re-mine degraded (the platform runs on stale books).
+  bool degraded_graph = false;
+  /// Requests admitted but not yet executed.
+  std::uint64_t queue_depth = 0;
+  /// Request-id -> reply entries currently held in the dedup window.
+  std::uint64_t idempotency_entries = 0;
+  MinuteDelta stale_graph_minutes = 0;
+  /// The platform's virtual clock, so probers can reason about deadline
+  /// headroom without a separate Stats call.
+  Minute clock_minute = 0;
+
+  friend bool operator==(const HealthReply&, const HealthReply&) = default;
+};
 
 // ---- Encoding -------------------------------------------------------------
+// Each request encoder takes the resilience header; the default header
+// (no id, no deadline) keeps fire-and-forget callers one-liners.
 
-[[nodiscard]] std::string EncodeRequest(const InvokeRequest& r);
-[[nodiscard]] std::string EncodeRequest(const AdvanceToRequest& r);
-[[nodiscard]] std::string EncodeRequest(const StatsRequest& r);
-[[nodiscard]] std::string EncodeRequest(const RemineNowRequest& r);
-[[nodiscard]] std::string EncodeRequest(const SnapshotRequest& r);
+[[nodiscard]] std::string EncodeRequest(const InvokeRequest& r,
+                                        const RequestHeader& header = {});
+[[nodiscard]] std::string EncodeRequest(const AdvanceToRequest& r,
+                                        const RequestHeader& header = {});
+[[nodiscard]] std::string EncodeRequest(const StatsRequest& r,
+                                        const RequestHeader& header = {});
+[[nodiscard]] std::string EncodeRequest(const RemineNowRequest& r,
+                                        const RequestHeader& header = {});
+[[nodiscard]] std::string EncodeRequest(const SnapshotRequest& r,
+                                        const RequestHeader& header = {});
+[[nodiscard]] std::string EncodeRequest(const HelloRequest& r,
+                                        const RequestHeader& header = {});
+[[nodiscard]] std::string EncodeRequest(const HealthRequest& r,
+                                        const RequestHeader& header = {});
 
 [[nodiscard]] std::string EncodeOkReply(const InvokeReply& r);
 [[nodiscard]] std::string EncodeOkAdvanceToReply();
 [[nodiscard]] std::string EncodeOkReply(const StatsReply& r);
 [[nodiscard]] std::string EncodeOkReply(const RemineReply& r);
 [[nodiscard]] std::string EncodeOkReply(const SnapshotReply& r);
+[[nodiscard]] std::string EncodeOkReply(const HelloReply& r);
+[[nodiscard]] std::string EncodeOkReply(const HealthReply& r);
 [[nodiscard]] std::string EncodeErrorReply(const Error& error);
+/// Error reply carrying structured retry advice (the kRetryAfter hint a
+/// shed attaches so clients back off for a principled interval).
+[[nodiscard]] std::string EncodeErrorReply(const Error& error,
+                                           MinuteDelta retry_after);
 
 // ---- Decoding -------------------------------------------------------------
 // Every decoder rejects short, oversized, or trailing-garbage payloads
 // with kParseError; no decoder reads past the payload it was given.
+// Well-formed-but-absurd header values (reserved request id, deadline
+// below the sentinel) and cross-version traffic are rejected with
+// kInvalidArgument instead, so peers can tell "resend correctly" from
+// "your bytes are garbage".
 
 [[nodiscard]] Result<Request> DecodeRequest(std::string_view payload);
 
-/// Splits a reply payload into ok-body or error. On success the view is
-/// the request-specific reply body (status byte stripped). An
-/// error-status reply decodes into the Error it carries; a malformed
-/// payload decodes into kParseError — callers see both as `!ok()`.
+/// The fixed prefix of a request, decoded without touching the body.
+/// This is what admission control needs (identity, deadline, whether
+/// the type is a control-plane probe) at a fraction of a full decode.
+struct PeekedRequest {
+  RequestType type = RequestType::kStats;
+  RequestHeader header;
+};
+[[nodiscard]] Result<PeekedRequest> PeekRequestHeader(
+    std::string_view payload);
+
+/// A reply split into its status envelope. Parse failures surface as
+/// the Result's error; an application error (error-status reply) is a
+/// successful decode with `ok == false` so the retry advice survives.
+struct DecodedReply {
+  bool ok = false;
+  /// Engaged when ok: the request-specific reply body (status stripped).
+  std::string_view body;
+  /// Engaged when !ok: the error the server sent.
+  Error error;
+  MinuteDelta retry_after = kNoRetryAfter;
+};
+[[nodiscard]] Result<DecodedReply> DecodeReply(std::string_view payload);
+
+/// Compatibility wrapper over DecodeReply: ok body on success, the
+/// carried Error otherwise (retry advice dropped) — callers see both
+/// decode failure and error replies as `!ok()`.
 [[nodiscard]] Result<std::string_view> DecodeReplyStatus(
     std::string_view payload);
 [[nodiscard]] Result<InvokeReply> DecodeInvokeReplyBody(std::string_view body);
@@ -143,5 +268,7 @@ struct SnapshotReply {
 [[nodiscard]] Result<RemineReply> DecodeRemineReplyBody(std::string_view body);
 [[nodiscard]] Result<SnapshotReply> DecodeSnapshotReplyBody(
     std::string_view body);
+[[nodiscard]] Result<HelloReply> DecodeHelloReplyBody(std::string_view body);
+[[nodiscard]] Result<HealthReply> DecodeHealthReplyBody(std::string_view body);
 
 }  // namespace defuse::server

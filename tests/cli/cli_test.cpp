@@ -377,5 +377,29 @@ TEST_F(CliTest, FilterRequiresSomeOperation) {
   EXPECT_EQ(r.code, 1);
 }
 
+TEST_F(CliTest, HealthRequiresPort) {
+  const auto r = RunDefuse({"health"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--port"), std::string::npos);
+}
+
+TEST_F(CliTest, HealthAgainstNothingFailsAsUnreachable) {
+  // Port 1 is privileged and never runs a defuse daemon.
+  const auto r = RunDefuse({"health", "--port", "1"});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST_F(CliTest, ServeRejectsBadResilienceFlags) {
+  Generate();
+  const auto queue = RunDefuse(
+      {"serve", "--trace", trace_path_, "--queue-bound", "0"});
+  EXPECT_EQ(queue.code, 1);
+  EXPECT_NE(queue.err.find("--queue-bound"), std::string::npos);
+  const auto window = RunDefuse(
+      {"serve", "--trace", trace_path_, "--idempotency-window", "-1"});
+  EXPECT_EQ(window.code, 1);
+  EXPECT_NE(window.err.find("--idempotency-window"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace defuse::cli

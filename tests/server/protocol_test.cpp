@@ -58,6 +58,52 @@ TEST(Protocol, SnapshotRequestRoundTrips) {
   EXPECT_EQ(decoded.value().type, RequestType::kSnapshot);
 }
 
+TEST(Protocol, HelloRequestRoundTrips) {
+  auto decoded = DecodeRequest(EncodeRequest(HelloRequest{2}));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().type, RequestType::kHello);
+  ASSERT_TRUE(decoded.value().hello.has_value());
+  EXPECT_EQ(decoded.value().hello->version, 2u);
+}
+
+TEST(Protocol, HealthRequestRoundTrips) {
+  auto decoded = DecodeRequest(EncodeRequest(HealthRequest{}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().type, RequestType::kHealth);
+}
+
+TEST(Protocol, RequestHeaderRoundTripsOnEveryType) {
+  const RequestHeader header{0x0123456789abcdefULL, Minute{424242}};
+  const std::vector<std::string> wires = {
+      EncodeRequest(InvokeRequest{FunctionId{7}, Minute{8}}, header),
+      EncodeRequest(AdvanceToRequest{Minute{9}}, header),
+      EncodeRequest(StatsRequest{}, header),
+      EncodeRequest(RemineNowRequest{Minute{10}}, header),
+      EncodeRequest(SnapshotRequest{}, header),
+      EncodeRequest(HelloRequest{}, header),
+      EncodeRequest(HealthRequest{}, header),
+  };
+  for (const auto& wire : wires) {
+    auto decoded = DecodeRequest(wire);
+    ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+    EXPECT_EQ(decoded.value().header.request_id, header.request_id);
+    EXPECT_EQ(decoded.value().header.deadline, header.deadline);
+    // The cheap peek agrees with the full decode.
+    auto peeked = PeekRequestHeader(wire);
+    ASSERT_TRUE(peeked.ok());
+    EXPECT_EQ(peeked.value().type, decoded.value().type);
+    EXPECT_EQ(peeked.value().header.request_id, header.request_id);
+    EXPECT_EQ(peeked.value().header.deadline, header.deadline);
+  }
+}
+
+TEST(Protocol, DefaultHeaderIsNoIdNoDeadline) {
+  auto decoded = DecodeRequest(EncodeRequest(StatsRequest{}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().header.request_id, kNoRequestId);
+  EXPECT_EQ(decoded.value().header.deadline, kNoDeadline);
+}
+
 // ---- reply round-trips -----------------------------------------------------
 
 /// Strips the status byte via DecodeReplyStatus, asserting ok status.
@@ -131,17 +177,79 @@ TEST(Protocol, ErrorReplyRoundTripsEveryCode) {
   }
 }
 
+TEST(Protocol, HelloReplyRoundTrips) {
+  auto decoded = DecodeHelloReplyBody(OkBody(EncodeOkReply(HelloReply{2})));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().version, 2u);
+}
+
+TEST(Protocol, HealthReplyRoundTripsEveryFieldDistinctly) {
+  HealthReply reply;
+  reply.ready = true;
+  reply.draining = false;
+  reply.remine_in_flight = true;
+  reply.degraded_graph = false;
+  reply.queue_depth = 17;
+  reply.idempotency_entries = 1024;
+  reply.stale_graph_minutes = -3;  // signed: sign survives
+  reply.clock_minute = 86400;
+  auto decoded = DecodeHealthReplyBody(OkBody(EncodeOkReply(reply)));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value(), reply);
+}
+
+TEST(Protocol, HealthReplyFlagsMustBeBoolean) {
+  const std::string wire = EncodeOkReply(HealthReply{});
+  // Each of the four leading flag bytes, set to 2, must fail closed.
+  for (std::size_t flag = 0; flag < 4; ++flag) {
+    std::string body{OkBody(wire)};
+    body[flag] = '\x02';
+    auto decoded = DecodeHealthReplyBody(body);
+    ASSERT_FALSE(decoded.ok()) << "flag " << flag;
+    EXPECT_EQ(decoded.error().code, ErrorCode::kParseError);
+  }
+}
+
+TEST(Protocol, RetryAdviceRoundTripsOnErrorReplies) {
+  const Error shed{ErrorCode::kResourceExhausted, "queue full"};
+  auto decoded = DecodeReply(EncodeErrorReply(shed, MinuteDelta{5}));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  ASSERT_FALSE(decoded.value().ok);
+  EXPECT_EQ(decoded.value().error.code, shed.code);
+  EXPECT_EQ(decoded.value().error.message, shed.message);
+  EXPECT_EQ(decoded.value().retry_after, 5);
+  // The one-argument overload means "no advice".
+  auto none = DecodeReply(EncodeErrorReply(shed));
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none.value().retry_after, kNoRetryAfter);
+}
+
+TEST(Protocol, AbsurdRetryAdviceIsRejected) {
+  auto decoded = DecodeReply(EncodeErrorReply(
+      Error{ErrorCode::kResourceExhausted, "x"}, MinuteDelta{-17}));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, ErrorCode::kParseError);
+}
+
 // ---- rejection tables ------------------------------------------------------
 
-TEST(Protocol, EveryRequestTruncationIsRejected) {
-  const std::vector<std::string> wires = {
-      EncodeRequest(InvokeRequest{FunctionId{7}, Minute{8}}),
-      EncodeRequest(AdvanceToRequest{Minute{9}}),
-      EncodeRequest(StatsRequest{}),
-      EncodeRequest(RemineNowRequest{Minute{10}}),
-      EncodeRequest(SnapshotRequest{}),
+/// Every request type's wire, with a non-default header so every v2
+/// header byte is present in the fuzz tables below.
+std::vector<std::string> AllRequestWires() {
+  const RequestHeader header{77, Minute{12345}};
+  return {
+      EncodeRequest(InvokeRequest{FunctionId{7}, Minute{8}}, header),
+      EncodeRequest(AdvanceToRequest{Minute{9}}, header),
+      EncodeRequest(StatsRequest{}, header),
+      EncodeRequest(RemineNowRequest{Minute{10}}, header),
+      EncodeRequest(SnapshotRequest{}, header),
+      EncodeRequest(HelloRequest{}, header),
+      EncodeRequest(HealthRequest{}, header),
   };
-  for (const auto& wire : wires) {
+}
+
+TEST(Protocol, EveryRequestTruncationIsRejected) {
+  for (const auto& wire : AllRequestWires()) {
     for (std::size_t cut = 0; cut < wire.size(); ++cut) {
       auto decoded = DecodeRequest(wire.substr(0, cut));
       ASSERT_FALSE(decoded.ok()) << "cut " << cut;
@@ -151,14 +259,77 @@ TEST(Protocol, EveryRequestTruncationIsRejected) {
 }
 
 TEST(Protocol, TrailingGarbageOnRequestsIsRejected) {
-  const std::vector<std::string> wires = {
-      EncodeRequest(InvokeRequest{FunctionId{7}, Minute{8}}),
-      EncodeRequest(StatsRequest{}),
-  };
-  for (const auto& wire : wires) {
+  for (const auto& wire : AllRequestWires()) {
     auto decoded = DecodeRequest(wire + "x");
     ASSERT_FALSE(decoded.ok());
     EXPECT_EQ(decoded.error().code, ErrorCode::kParseError);
+  }
+}
+
+TEST(Protocol, EveryRequestSingleBitFlipIsContained) {
+  // Flip every bit of every request wire. The decode must stay
+  // contained: either a clean rejection or a successful decode of a
+  // well-formed request (a flipped deadline/function bit can still be
+  // valid) — never a crash or out-of-bounds read (ASan guards the
+  // suite). Flips that land in the magic or type byte must reject.
+  for (const auto& wire : AllRequestWires()) {
+    for (std::size_t bit = 0; bit < wire.size() * 8; ++bit) {
+      std::string flipped = wire;
+      flipped[bit / 8] = static_cast<char>(
+          static_cast<unsigned char>(flipped[bit / 8]) ^ (1u << (bit % 8)));
+      auto decoded = DecodeRequest(flipped);
+      if (bit / 8 == 0) {
+        // No single-bit flip of the magic byte is another valid version
+        // byte, so byte-0 flips always reject. (Type-byte flips may
+        // legally land on another type with the same body size —
+        // Stats <-> Health — which is fine: the CRC layer owns bit-flip
+        // *detection*; this table only proves containment.)
+        ASSERT_FALSE(decoded.ok()) << "bit " << bit;
+      }
+      if (!decoded.ok()) {
+        EXPECT_TRUE(decoded.error().code == ErrorCode::kParseError ||
+                    decoded.error().code == ErrorCode::kInvalidArgument)
+            << "bit " << bit << ": " << decoded.error().message;
+      }
+    }
+  }
+}
+
+TEST(Protocol, V1RequestAgainstV2DecoderNamesBothVersions) {
+  // A v1 request began directly with the type byte (1..5). Each must be
+  // recognized as cross-version traffic, not mis-decoded or reported as
+  // mere garbage.
+  for (std::uint8_t v1_type = 1; v1_type <= 5; ++v1_type) {
+    std::string wire;
+    wire.push_back(static_cast<char>(v1_type));
+    wire.append(12, '\0');  // a plausible v1 body
+    auto decoded = DecodeRequest(wire);
+    ASSERT_FALSE(decoded.ok()) << "v1 type " << int{v1_type};
+    EXPECT_EQ(decoded.error().code, ErrorCode::kInvalidArgument);
+    EXPECT_NE(decoded.error().message.find("v1"), std::string::npos);
+    EXPECT_NE(decoded.error().message.find("v2"), std::string::npos);
+  }
+}
+
+TEST(Protocol, ReservedRequestIdIsRejected) {
+  const std::string wire = EncodeRequest(
+      StatsRequest{}, RequestHeader{kReservedRequestId, kNoDeadline});
+  auto decoded = DecodeRequest(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, ErrorCode::kInvalidArgument);
+  auto peeked = PeekRequestHeader(wire);
+  EXPECT_FALSE(peeked.ok());
+}
+
+TEST(Protocol, AbsurdDeadlineIsRejected) {
+  for (Minute deadline : {Minute{-2}, Minute{-1'000'000}}) {
+    const std::string wire =
+        EncodeRequest(StatsRequest{}, RequestHeader{0, deadline});
+    auto decoded = DecodeRequest(wire);
+    ASSERT_FALSE(decoded.ok()) << "deadline " << deadline;
+    EXPECT_EQ(decoded.error().code, ErrorCode::kInvalidArgument);
+    auto peeked = PeekRequestHeader(wire);
+    EXPECT_FALSE(peeked.ok());
   }
 }
 
@@ -180,6 +351,10 @@ TEST(Protocol, EveryReplyTruncationIsRejected) {
        [](std::string_view b) { return DecodeRemineReplyBody(b).ok(); }},
       {EncodeOkReply(SnapshotReply{"state"}),
        [](std::string_view b) { return DecodeSnapshotReplyBody(b).ok(); }},
+      {EncodeOkReply(HelloReply{2}),
+       [](std::string_view b) { return DecodeHelloReplyBody(b).ok(); }},
+      {EncodeOkReply(HealthReply{true, false, true, false, 9, 8, 7, 6}),
+       [](std::string_view b) { return DecodeHealthReplyBody(b).ok(); }},
   };
   for (const auto& c : cases) {
     for (std::size_t cut = 0; cut < c.wire.size(); ++cut) {

@@ -1,0 +1,452 @@
+// Request-resilience layer: deadline propagation, admission control,
+// overflow shedding with retry advice, the idempotency window, health
+// probes, and exactly-once effects for a retrying client over
+// at-least-once delivery (DESIGN.md §12).
+//
+// The fault sites exercised here are the serving-path trio added with
+// this layer: net_stall (reply lost after the request applied —
+// FaultSite::kNetStall), queue_overflow (spurious admission overflow —
+// FaultSite::kQueueOverflow), and deadline_skew (server clock ahead —
+// FaultSite::kDeadlineSkew), alongside the established net_reset /
+// net_short_write connection faults.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/io/framed.hpp"
+#include "faults/injector.hpp"
+#include "net/frame_decoder.hpp"
+#include "net/loopback.hpp"
+#include "net/server_core.hpp"
+#include "platform/platform.hpp"
+#include "server/client.hpp"
+#include "server/platform_server.hpp"
+#include "trace/generator.hpp"
+
+namespace defuse::server {
+namespace {
+
+platform::PlatformConfig TestConfig(MinuteDelta horizon) {
+  platform::PlatformConfig cfg;
+  cfg.horizon = horizon;
+  cfg.remine_interval = kMinutesPerDay;
+  return cfg;
+}
+
+/// A served platform whose pieces are individually reachable.
+struct Served {
+  trace::SyntheticWorkload workload;
+  platform::Platform platform;
+  PlatformServer handler;
+  net::ServerCore core;
+  net::LoopbackServer loopback;
+
+  explicit Served(std::uint64_t seed, net::ServerLimits limits = {},
+                  faults::FaultInjector* injector = nullptr,
+                  PlatformServer::Options options = {})
+      : workload(trace::GenerateWorkload(Gen(seed))),
+        platform(workload.model, TestConfig(Gen(seed).horizon_minutes)),
+        handler(platform, options),
+        core(handler, limits, injector),
+        loopback(core, injector) {
+    handler.set_core(&core);
+  }
+
+  static trace::GeneratorConfig Gen(std::uint64_t seed) {
+    auto gen = trace::GeneratorConfig::Tiny();
+    gen.seed = seed;
+    return gen;
+  }
+
+  [[nodiscard]] Client Connect() {
+    auto channel = loopback.Connect();
+    EXPECT_TRUE(channel.ok());
+    return Client{std::move(channel).value()};
+  }
+};
+
+/// Frames one encoded request payload for direct core.OnBytes feeding.
+std::string Framed(std::string_view payload) {
+  std::string out;
+  io::AppendFrame(out, payload);
+  return out;
+}
+
+/// Decodes every complete reply frame buffered for `id`.
+std::vector<std::string> DrainReplies(net::ServerCore& core,
+                                      net::ServerCore::ConnId id) {
+  net::FrameDecoder decoder;
+  decoder.Feed(core.PendingOutput(id));
+  core.ConsumeOutput(id, core.PendingOutput(id).size());
+  std::vector<std::string> replies;
+  std::string payload;
+  while (decoder.Next(payload) == net::FrameDecoder::State::kFrame) {
+    replies.push_back(payload);
+  }
+  return replies;
+}
+
+// ---- protocol hello --------------------------------------------------------
+
+TEST(Resilience, HelloHandshakeSucceedsOnMatchingVersion) {
+  Served served{0};
+  Client client = served.Connect();
+  auto hello = client.Hello();
+  ASSERT_TRUE(hello.ok()) << hello.error().message;
+  EXPECT_EQ(hello.value().version, kProtocolVersion);
+}
+
+TEST(Resilience, VersionMismatchNamesBothVersions) {
+  Served served{0};
+  // A v2 hello announcing v1: rejected by the handler, naming both.
+  Client client = served.Connect();
+  auto body = DecodeReply(
+      [&] {
+        const auto a = served.core.OnAccept();
+        EXPECT_TRUE(
+            served.core.OnBytes(a, Framed(EncodeRequest(HelloRequest{1}))));
+        served.core.PumpQueue();
+        auto replies = DrainReplies(served.core, a);
+        EXPECT_EQ(replies.size(), 1u);
+        return replies.empty() ? std::string{} : replies.front();
+      }());
+  ASSERT_TRUE(body.ok());
+  ASSERT_FALSE(body.value().ok);
+  EXPECT_EQ(body.value().error.code, ErrorCode::kInvalidArgument);
+  EXPECT_NE(body.value().error.message.find("v1"), std::string::npos);
+  EXPECT_NE(body.value().error.message.find("v2"), std::string::npos);
+
+  // A raw v1 request (payload begins with the old type byte): rejected
+  // at decode with both versions named, not garbage-decoded.
+  const auto conn = served.core.OnAccept();
+  std::string v1_wire;
+  v1_wire.push_back('\x01');  // v1 kInvoke
+  v1_wire.append(12, '\0');
+  EXPECT_TRUE(served.core.OnBytes(conn, Framed(v1_wire)));
+  served.core.PumpQueue();
+  const auto replies = DrainReplies(served.core, conn);
+  ASSERT_EQ(replies.size(), 1u);
+  auto decoded = DecodeReply(replies.front());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_FALSE(decoded.value().ok);
+  EXPECT_EQ(decoded.value().error.code, ErrorCode::kInvalidArgument);
+  EXPECT_NE(decoded.value().error.message.find("v1"), std::string::npos);
+  EXPECT_NE(decoded.value().error.message.find("v2"), std::string::npos);
+}
+
+// ---- health ----------------------------------------------------------------
+
+TEST(Resilience, HealthReportsReadinessAndDrain) {
+  Served served{0};
+  Client client = served.Connect();
+
+  auto health = client.Health();
+  ASSERT_TRUE(health.ok()) << health.error().message;
+  EXPECT_TRUE(health.value().ready);
+  EXPECT_FALSE(health.value().draining);
+  EXPECT_EQ(health.value().queue_depth, 0u);
+  EXPECT_EQ(health.value().idempotency_entries, 0u);
+  EXPECT_EQ(health.value().clock_minute, 0);
+
+  // State-changing traffic moves the clock and the idempotency window.
+  auto invoke =
+      client.Invoke(FunctionId{0}, Minute{30}, RequestHeader{11, kNoDeadline});
+  ASSERT_TRUE(invoke.ok()) << invoke.error().message;
+  health = client.Health();
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value().clock_minute, 30);
+  EXPECT_EQ(health.value().idempotency_entries, 1u);
+
+  // Draining: probes still answer (control plane), but report not-ready.
+  served.core.BeginDrain();
+  health = client.Health();
+  ASSERT_TRUE(health.ok()) << health.error().message;
+  EXPECT_TRUE(health.value().draining);
+  EXPECT_FALSE(health.value().ready);
+}
+
+// ---- deadlines -------------------------------------------------------------
+
+TEST(Resilience, ExpiredDeadlineIsRejectedWithoutExecution) {
+  Served served{0};
+  Client client = served.Connect();
+  ASSERT_TRUE(client.Invoke(FunctionId{0}, Minute{100}).ok());
+  const auto invocations_before = served.platform.stats().invocations;
+
+  // Expired against the platform clock (100) at admission.
+  auto admission = client.Invoke(FunctionId{0}, Minute{120},
+                                 RequestHeader{kNoRequestId, Minute{90}});
+  ASSERT_FALSE(admission.ok());
+  EXPECT_EQ(admission.error().code, ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(served.core.stats().requests_expired, 1u);
+
+  // Alive at admission but expired against the request's own minute:
+  // the reply would be issued at minute 120, past deadline 110.
+  auto handler_side = client.Invoke(FunctionId{0}, Minute{120},
+                                    RequestHeader{kNoRequestId, Minute{110}});
+  ASSERT_FALSE(handler_side.ok());
+  EXPECT_EQ(handler_side.error().code, ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(served.handler.deadline_rejections(), 1u);
+
+  // Neither rejection executed anything.
+  EXPECT_EQ(served.platform.stats().invocations, invocations_before);
+
+  // A deadline with headroom sails through.
+  auto ok = client.Invoke(FunctionId{0}, Minute{120},
+                          RequestHeader{kNoRequestId, Minute{400}});
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST(Resilience, DeadlineExpiresWhileQueued) {
+  Served served{0};
+  const auto conn = served.core.OnAccept();
+  // Two requests in one byte burst: the first advances the clock to
+  // minute 200 when pumped; the second was admitted while the clock was
+  // still 0 but its deadline (50) is long dead by its dispatch.
+  std::string burst = Framed(EncodeRequest(InvokeRequest{FunctionId{0}, 200}));
+  burst += Framed(EncodeRequest(InvokeRequest{FunctionId{0}, 200},
+                                RequestHeader{kNoRequestId, Minute{50}}));
+  ASSERT_TRUE(served.core.OnBytes(conn, burst));
+  EXPECT_EQ(served.core.queue_depth(), 2u);
+  served.core.PumpQueue();
+  const auto replies = DrainReplies(served.core, conn);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_TRUE(DecodeReply(replies[0]).value().ok);
+  auto second = DecodeReply(replies[1]);
+  ASSERT_TRUE(second.ok());
+  ASSERT_FALSE(second.value().ok);
+  EXPECT_EQ(second.value().error.code, ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(served.core.stats().requests_expired, 1u);
+  EXPECT_EQ(served.platform.stats().invocations, 1u);
+}
+
+TEST(Resilience, DeadlineSkewTightensAdmission) {
+  // With deadline_skew_fraction = 1 every admission tightens the
+  // deadline by a drawn 1..16 minutes. Deadlines with < 17 minutes of
+  // headroom sometimes expire; deadlines with >= 17 never do.
+  faults::FaultProfile profile;
+  profile.deadline_skew_fraction = 1.0;
+  faults::FaultInjector injector{3, profile};
+  Served served{0, net::ServerLimits{}, &injector};
+  Client client = served.Connect();
+  ASSERT_TRUE(client.Invoke(FunctionId{0}, Minute{100}).ok());
+
+  std::uint64_t expired = 0;
+  for (int i = 0; i < 32; ++i) {
+    // 8 minutes of headroom against the clock: expires iff skew > 8.
+    auto r = client.Invoke(FunctionId{0}, Minute{100},
+                           RequestHeader{kNoRequestId, Minute{108}});
+    if (!r.ok()) {
+      EXPECT_EQ(r.error().code, ErrorCode::kDeadlineExceeded);
+      ++expired;
+    }
+  }
+  EXPECT_GT(expired, 0u);
+  EXPECT_LT(expired, 32u);
+  EXPECT_EQ(served.core.stats().requests_expired, expired);
+
+  // Past the maximum skew (16), a deadline never tightens into expiry.
+  for (int i = 0; i < 8; ++i) {
+    auto r = client.Invoke(FunctionId{0}, Minute{100},
+                           RequestHeader{kNoRequestId, Minute{117}});
+    EXPECT_TRUE(r.ok()) << r.error().message;
+  }
+}
+
+// ---- admission queue -------------------------------------------------------
+
+TEST(Resilience, OverflowShedsNewestFromHeaviestConnection) {
+  net::ServerLimits limits;
+  limits.max_queue_depth = 2;
+  Served served{0, limits};
+  const auto heavy = served.core.OnAccept();
+  const auto light = served.core.OnAccept();
+
+  // The heavy connection fills the queue in one burst.
+  std::string burst = Framed(EncodeRequest(InvokeRequest{FunctionId{0}, 10}));
+  burst += Framed(EncodeRequest(InvokeRequest{FunctionId{0}, 20}));
+  ASSERT_TRUE(served.core.OnBytes(heavy, burst));
+  EXPECT_EQ(served.core.queue_depth(), 2u);
+
+  // The light connection's request overflows the queue; the victim is
+  // the heavy connection's newest entry, not the light newcomer.
+  ASSERT_TRUE(served.core.OnBytes(
+      light, Framed(EncodeRequest(InvokeRequest{FunctionId{0}, 15}))));
+  EXPECT_EQ(served.core.queue_depth(), 2u);
+  EXPECT_EQ(served.core.stats().requests_shed_overflow, 1u);
+
+  // The heavy connection got the shed reply (with retry advice).
+  {
+    const auto replies = DrainReplies(served.core, heavy);
+    ASSERT_EQ(replies.size(), 1u);
+    auto shed = DecodeReply(replies.front());
+    ASSERT_TRUE(shed.ok());
+    ASSERT_FALSE(shed.value().ok);
+    EXPECT_EQ(shed.value().error.code, ErrorCode::kResourceExhausted);
+    EXPECT_EQ(shed.value().retry_after, served.core.limits().shed_retry_after);
+  }
+
+  served.core.PumpQueue();
+  // The light connection's request survived and executed: minute 10
+  // (heavy's oldest) then 15 (light) both applied.
+  const auto light_replies = DrainReplies(served.core, light);
+  ASSERT_EQ(light_replies.size(), 1u);
+  EXPECT_TRUE(DecodeReply(light_replies.front()).value().ok);
+  EXPECT_EQ(served.platform.stats().invocations, 2u);
+}
+
+TEST(Resilience, InjectedQueueOverflowShedsWithRetryAdvice) {
+  faults::FaultProfile profile;
+  profile.queue_overflow_fraction = 1.0;
+  faults::FaultInjector injector{5, profile};
+  Served served{0, net::ServerLimits{}, &injector};
+  Client client = served.Connect();
+  auto r = client.Invoke(FunctionId{0}, Minute{1});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kResourceExhausted);
+  EXPECT_EQ(client.last_retry_after(), served.core.limits().shed_retry_after);
+  EXPECT_EQ(served.core.stats().requests_shed_overflow, 1u);
+  EXPECT_FALSE(client.connection_dead());
+  EXPECT_EQ(injector.injected(faults::FaultSite::kQueueOverflow), 1u);
+}
+
+TEST(Resilience, AbusiveConnectionIsCondemnedAfterRepeatedSheds) {
+  faults::FaultProfile profile;
+  profile.queue_overflow_fraction = 1.0;
+  faults::FaultInjector injector{5, profile};
+  net::ServerLimits limits;
+  limits.max_conn_sheds = 2;
+  Served served{0, limits, &injector};
+  Client client = served.Connect();
+
+  // Sheds 1 and 2 are tolerated; shed 3 crosses max_conn_sheds and
+  // condemns the connection (the reply still flushes first).
+  for (int i = 0; i < 3; ++i) {
+    auto r = client.Invoke(FunctionId{0}, Minute{1});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::kResourceExhausted) << "shed " << i;
+  }
+  EXPECT_EQ(served.core.stats().connections_condemned_abusive, 1u);
+
+  // The condemned connection is gone: the next call dies in transport.
+  auto dead = client.Invoke(FunctionId{0}, Minute{1});
+  ASSERT_FALSE(dead.ok());
+  EXPECT_TRUE(client.connection_dead());
+}
+
+// ---- idempotency window ----------------------------------------------------
+
+TEST(Resilience, NetStallRetryIsServedFromIdempotencyWindow) {
+  // The stall fault loses the reply AFTER the server applied the
+  // request — the exact scenario the idempotency window exists for.
+  faults::FaultProfile stall;
+  stall.net_stall_fraction = 1.0;
+  faults::FaultInjector injector{7, stall};
+  Served served{0};
+  net::LoopbackServer faulty{served.core, &injector};
+
+  auto channel = faulty.Connect();
+  ASSERT_TRUE(channel.ok());
+  Client victim{std::move(channel).value()};
+  const RequestHeader op{42, kNoDeadline};
+  auto lost = victim.Invoke(FunctionId{0}, Minute{9}, op);
+  ASSERT_FALSE(lost.ok());
+  EXPECT_TRUE(victim.connection_dead());
+  EXPECT_EQ(injector.injected(faults::FaultSite::kNetStall), 1u);
+  // The request WAS applied even though the client never heard back.
+  EXPECT_EQ(served.platform.stats().invocations, 1u);
+
+  // Reconnect (fault-free) and retry with the SAME request id: the
+  // cached reply is replayed; the platform does not re-apply.
+  Client retry = served.Connect();
+  auto replayed = retry.Invoke(FunctionId{0}, Minute{9}, op);
+  ASSERT_TRUE(replayed.ok()) << replayed.error().message;
+  EXPECT_EQ(served.platform.stats().invocations, 1u);
+  EXPECT_EQ(served.handler.duplicates_served(), 1u);
+}
+
+TEST(Resilience, IdempotencyWindowEvictsFifoAtTheBound) {
+  PlatformServer::Options options;
+  options.idempotency_window = 2;
+  Served served{0, net::ServerLimits{}, nullptr, options};
+  Client client = served.Connect();
+
+  for (std::uint64_t rid = 1; rid <= 3; ++rid) {
+    ASSERT_TRUE(
+        client.Invoke(FunctionId{0}, Minute{5}, RequestHeader{rid}).ok());
+  }
+  EXPECT_EQ(served.platform.stats().invocations, 3u);
+  EXPECT_EQ(served.handler.idempotency_entries(), 2u);
+
+  // rid 2 is still in the window: replayed, not re-applied — and it
+  // takes the core's duplicate fast path past admission.
+  ASSERT_TRUE(client.Invoke(FunctionId{0}, Minute{5}, RequestHeader{2}).ok());
+  EXPECT_EQ(served.platform.stats().invocations, 3u);
+  EXPECT_EQ(served.handler.duplicates_served(), 1u);
+  EXPECT_GE(served.core.stats().duplicate_fast_paths, 1u);
+
+  // rid 1 was evicted (FIFO): a retry re-applies. This is the
+  // documented eviction bound — the window must exceed the number of
+  // concurrently retried operations.
+  ASSERT_TRUE(client.Invoke(FunctionId{0}, Minute{5}, RequestHeader{1}).ok());
+  EXPECT_EQ(served.platform.stats().invocations, 4u);
+}
+
+// ---- exactly-once over at-least-once (the satellite acceptance test) -------
+
+TEST(Resilience, RetryingClientIsExactlyOnceUnderConnectionFaultsTenSeeds) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    faults::FaultProfile profile;
+    profile.net_reset_fraction = 0.03;
+    profile.net_short_write_fraction = 0.15;
+    profile.net_stall_fraction = 0.03;
+    faults::FaultInjector injector{seed, profile};
+
+    Served faulted{seed, net::ServerLimits{}, &injector};
+    platform::Platform direct{faulted.workload.model,
+                              TestConfig(Served::Gen(seed).horizon_minutes)};
+
+    RetryPolicy policy;
+    policy.max_attempts = 64;
+    policy.initial_backoff = 0;
+    RetryingClient client{[&faulted] { return faulted.loopback.Connect(); },
+                          policy};
+
+    const auto index = faulted.workload.trace.BuildMinuteIndex(
+        faulted.workload.trace.horizon());
+    std::uint64_t ops = 0;
+    for (Minute t = 0; t < faulted.workload.trace.horizon().end; ++t) {
+      for (const auto& [fn, count] : index.at(t)) {
+        const auto want = direct.Invoke(fn, t);
+        const auto got = client.Invoke(fn, t);
+        ASSERT_TRUE(got.ok())
+            << "seed " << seed << " t " << t << ": " << got.error().message;
+        ASSERT_EQ(got.value().cold, want.cold) << "seed " << seed;
+        ASSERT_EQ(got.value().unit.value(), want.unit.value())
+            << "seed " << seed;
+        ++ops;
+      }
+    }
+
+    // Exactly-once: despite resets, stalls, and reconnects, the served
+    // platform applied each operation exactly once — its stats are
+    // bit-identical to the fault-free direct drive, and its state
+    // byte-identical.
+    const auto stats = client.Stats();
+    ASSERT_TRUE(stats.ok()) << stats.error().message;
+    EXPECT_EQ(stats.value().stats, direct.stats()) << "seed " << seed;
+    EXPECT_EQ(stats.value().stats.invocations, ops) << "seed " << seed;
+    const auto snapshot = client.Snapshot();
+    ASSERT_TRUE(snapshot.ok());
+    EXPECT_EQ(snapshot.value().state, direct.SaveState()) << "seed " << seed;
+
+    // The run must actually have exercised the fault machinery.
+    EXPECT_GT(client.retry_stats().attempts, ops) << "seed " << seed;
+    EXPECT_GT(client.retry_stats().reconnects, 0u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace defuse::server

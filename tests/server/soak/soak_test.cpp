@@ -1,0 +1,350 @@
+// Deterministic chaos soak for the serving stack (the ISSUE-6 gate).
+//
+// Ten seeds of bursty generated traffic are driven through the full
+// loopback serving stack — RetryingClient, admission queue, idempotency
+// window, deadline enforcement — while the fault injector fires every
+// serving-path site at once: connection resets (FaultSite::kNetReset),
+// short reads/writes, accept failures, lost replies after the request
+// applied (net_stall / FaultSite::kNetStall), spurious admission
+// overflow (queue_overflow / FaultSite::kQueueOverflow), and server
+// clock skew that tightens deadlines (deadline_skew /
+// FaultSite::kDeadlineSkew).
+//
+// The soak asserts the resilience contract end to end:
+//   * exactly-once — despite retries over at-least-once delivery, the
+//     served platform's stats are bit-identical and its state
+//     byte-identical to a fault-free Platform fed only the acked ops;
+//   * no reply after deadline — every acked op's deadline is still
+//     ahead of the server clock that produced the reply;
+//   * clean failure — the only error a well-behaved client ever sees is
+//     kDeadlineExceeded, and the retry budget is never exhausted;
+//   * determinism — a whole soak is a pure function of its seed;
+//   * crash recovery — a daemon killed mid-soak (no drain, no final
+//     checkpoint) recovers byte-identically from its journal and
+//     finishes the soak as if never interrupted.
+//
+// When DEFUSE_SOAK_JSON names a path, the ten-seed soak writes its
+// aggregate shed/retry/dedup counters there (tools/tier1_soak.sh turns
+// that into BENCH_soak.json).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "faults/injector.hpp"
+#include "net/loopback.hpp"
+#include "net/server_core.hpp"
+#include "platform/durability/durable_state.hpp"
+#include "platform/platform.hpp"
+#include "server/client.hpp"
+#include "server/platform_server.hpp"
+#include "trace/generator.hpp"
+
+namespace defuse::server {
+namespace {
+
+platform::PlatformConfig SoakConfig(MinuteDelta horizon) {
+  platform::PlatformConfig cfg;
+  cfg.horizon = horizon;
+  cfg.remine_interval = kMinutesPerDay;
+  return cfg;
+}
+
+trace::GeneratorConfig Gen(std::uint64_t seed) {
+  auto gen = trace::GeneratorConfig::Tiny();
+  gen.seed = seed;
+  return gen;
+}
+
+/// Every serving-path fault site at once. Fractions are calibrated so a
+/// Tiny workload (thousands of ops) hits each site many times per seed
+/// while the retry budget (64 attempts, sheds excluded from the power
+/// analysis) keeps the chance of spurious give-up negligible.
+faults::FaultProfile SoakProfile() {
+  faults::FaultProfile profile;
+  profile.net_accept_failure_fraction = 0.05;
+  profile.net_short_read_fraction = 0.1;
+  profile.net_short_write_fraction = 0.1;
+  profile.net_reset_fraction = 0.02;
+  profile.net_stall_fraction = 0.02;
+  profile.queue_overflow_fraction = 0.05;
+  profile.deadline_skew_fraction = 0.1;
+  return profile;
+}
+
+RetryPolicy SoakPolicy() {
+  RetryPolicy policy;
+  policy.max_attempts = 64;
+  policy.initial_backoff = 0;
+  return policy;
+}
+
+/// Deadline mix: most ops carry none, every third a generous deadline
+/// (past the maximum injected skew of 16 minutes — may never expire),
+/// every seventh a tight one (2 minutes of headroom — expires whenever
+/// skew fires with a draw above it). Deterministic in the op ordinal.
+Minute DeadlineFor(std::uint64_t ordinal, Minute t) {
+  if (ordinal % 7 == 0) return t + 2;
+  if (ordinal % 3 == 0) return t + 100;
+  return kNoDeadline;
+}
+
+/// One seed's outcome, compared across runs for determinism.
+struct SoakTally {
+  std::uint64_t ops = 0;        ///< logical operations issued
+  std::uint64_t acked = 0;      ///< ops the client saw succeed
+  std::uint64_t expired = 0;    ///< ops rejected kDeadlineExceeded
+  std::uint64_t attempts = 0;   ///< tries including retries
+  std::uint64_t reconnects = 0;
+  std::uint64_t sheds = 0;      ///< shed replies observed and retried
+  std::uint64_t dedup = 0;      ///< replies served from the window
+  std::uint64_t core_sheds = 0;
+  std::uint64_t core_expired = 0;  ///< admission + handler rejections
+  platform::PlatformStats stats;
+  std::string final_state;
+
+  friend bool operator==(const SoakTally&, const SoakTally&) = default;
+
+  SoakTally& operator+=(const SoakTally& other) {
+    ops += other.ops;
+    acked += other.acked;
+    expired += other.expired;
+    attempts += other.attempts;
+    reconnects += other.reconnects;
+    sheds += other.sheds;
+    dedup += other.dedup;
+    core_sheds += other.core_sheds;
+    core_expired += other.core_expired;
+    return *this;
+  }
+};
+
+/// The full serving stack over one platform, loopback-connected.
+struct Stack {
+  platform::Platform platform;
+  PlatformServer handler;
+  net::ServerCore core;
+  net::LoopbackServer loopback;
+
+  Stack(const trace::WorkloadModel& model, MinuteDelta horizon,
+        faults::FaultInjector* injector, PlatformServer::Options options)
+      : platform(model, SoakConfig(horizon)),
+        handler(platform, options),
+        core(handler, net::ServerLimits{}, injector),
+        loopback(core, injector) {
+    handler.set_core(&core);
+  }
+};
+
+/// One chaotic soak; deterministic in `seed`. The reference platform is
+/// fed exactly the acked ops, so exactly-once shows up as bit-identical
+/// stats and byte-identical state.
+SoakTally RunSoak(std::uint64_t seed) {
+  const auto gen = Gen(seed);
+  const trace::SyntheticWorkload workload = trace::GenerateWorkload(gen);
+  faults::FaultInjector injector{seed, SoakProfile()};
+  Stack stack{workload.model, gen.horizon_minutes, &injector, {}};
+  platform::Platform ref{workload.model, SoakConfig(gen.horizon_minutes)};
+
+  RetryingClient client{[&stack] { return stack.loopback.Connect(); },
+                        SoakPolicy()};
+
+  SoakTally tally;
+  const auto index =
+      workload.trace.BuildMinuteIndex(workload.trace.horizon());
+  for (Minute t = 0; t < workload.trace.horizon().end; ++t) {
+    for (const auto& [fn, count] : index.at(t)) {
+      (void)count;
+      ++tally.ops;
+      const Minute deadline = DeadlineFor(tally.ops, t);
+      const auto got = client.Invoke(fn, t, deadline);
+      if (got.ok()) {
+        // No reply after deadline: the server clock that produced this
+        // reply must not have passed the op's deadline.
+        if (deadline != kNoDeadline) {
+          EXPECT_GE(deadline, stack.handler.ClockMinute())
+              << "seed " << seed << " t " << t;
+        }
+        const auto want = ref.Invoke(fn, t);
+        EXPECT_EQ(got.value().cold, want.cold) << "seed " << seed;
+        EXPECT_EQ(got.value().unit.value(), want.unit.value())
+            << "seed " << seed;
+        ++tally.acked;
+      } else {
+        // The only legitimate terminal error: a deadline expired before
+        // the op was admitted or dispatched — and then the op must not
+        // have executed (the exactly-once comparison below catches any
+        // violation, because ref never applies it).
+        EXPECT_EQ(got.error().code, ErrorCode::kDeadlineExceeded)
+            << "seed " << seed << " t " << t << ": " << got.error().message;
+        ++tally.expired;
+      }
+    }
+  }
+
+  const auto stats = client.Stats();
+  EXPECT_TRUE(stats.ok()) << stats.error().message;
+  if (stats.ok()) tally.stats = stats.value().stats;
+  EXPECT_EQ(tally.stats, ref.stats()) << "seed " << seed;
+  EXPECT_EQ(tally.stats.invocations, tally.acked) << "seed " << seed;
+
+  const auto snapshot = client.Snapshot();
+  EXPECT_TRUE(snapshot.ok());
+  if (snapshot.ok()) tally.final_state = snapshot.value().state;
+  EXPECT_EQ(tally.final_state, ref.SaveState()) << "seed " << seed;
+
+  EXPECT_EQ(client.retry_stats().gave_up, 0u) << "seed " << seed;
+  tally.attempts = client.retry_stats().attempts;
+  tally.reconnects = client.retry_stats().reconnects;
+  tally.sheds = client.retry_stats().sheds_observed;
+  tally.dedup = stack.handler.duplicates_served();
+  tally.core_sheds = stack.core.stats().requests_shed_overflow;
+  tally.core_expired = stack.core.stats().requests_expired +
+                       stack.handler.deadline_rejections();
+  return tally;
+}
+
+void WriteSoakJson(const char* path, const SoakTally& total,
+                   std::uint64_t seeds) {
+  std::ofstream out{path};
+  out << "{\n"
+      << "  \"seeds\": " << seeds << ",\n"
+      << "  \"ops\": " << total.ops << ",\n"
+      << "  \"acked\": " << total.acked << ",\n"
+      << "  \"expired\": " << total.expired << ",\n"
+      << "  \"attempts\": " << total.attempts << ",\n"
+      << "  \"reconnects\": " << total.reconnects << ",\n"
+      << "  \"sheds_retried\": " << total.sheds << ",\n"
+      << "  \"duplicates_served\": " << total.dedup << ",\n"
+      << "  \"core_sheds\": " << total.core_sheds << ",\n"
+      << "  \"core_expired\": " << total.core_expired << "\n"
+      << "}\n";
+}
+
+// ---- the gate --------------------------------------------------------------
+
+TEST(Soak, ChaosSoakHoldsInvariantsForSeedsZeroThroughNine) {
+  SoakTally total;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    total += RunSoak(seed);
+  }
+
+  // The soak must actually have exercised every resilience mechanism:
+  // retries beyond first attempts, reconnects after transport deaths,
+  // sheds retried with advice, duplicates collapsed by the idempotency
+  // window, and deadline rejections from skewed admission.
+  EXPECT_GT(total.acked, 0u);
+  EXPECT_GT(total.attempts, total.ops);
+  EXPECT_GT(total.reconnects, 0u);
+  EXPECT_GT(total.sheds, 0u);
+  EXPECT_GT(total.core_sheds, 0u);
+  EXPECT_GT(total.dedup, 0u);
+  EXPECT_GT(total.expired, 0u);
+  EXPECT_GT(total.core_expired, 0u);
+
+  if (const char* path = std::getenv("DEFUSE_SOAK_JSON")) {
+    WriteSoakJson(path, total, 10);
+  }
+}
+
+TEST(Soak, SoakIsBitIdenticalForTheSameSeed) {
+  const SoakTally first = RunSoak(0);
+  const SoakTally second = RunSoak(0);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Soak, CrashMidSoakRecoversAndFinishesByteIdentical) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "defuse_soak_crash_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  const std::uint64_t seed = 4;
+  const auto gen = Gen(seed);
+  const trace::SyntheticWorkload workload = trace::GenerateWorkload(gen);
+  const auto index =
+      workload.trace.BuildMinuteIndex(workload.trace.horizon());
+  const Minute half = workload.trace.horizon().end / 2;
+  // Network faults only: the journal itself stays reliable, so recovery
+  // is exact. Deadline-free ops keep the first half fully acked — the
+  // crash lands between logical operations, never inside one.
+  faults::FaultInjector injector{seed, SoakProfile()};
+
+  platform::Platform ref{workload.model, SoakConfig(gen.horizon_minutes)};
+  std::string ref_at_crash;
+
+  {
+    platform::Platform p{workload.model, SoakConfig(gen.horizon_minutes)};
+    platform::durability::DurableState durable{(dir / "state").string()};
+    ASSERT_TRUE(durable.Open().ok());
+    ASSERT_TRUE(durable.Recover(p).ok());
+    PlatformServer::Options options;
+    options.durable = &durable;
+    PlatformServer handler{p, options};
+    net::ServerCore core{handler, net::ServerLimits{}, &injector};
+    net::LoopbackServer loopback{core, &injector};
+    handler.set_core(&core);
+    RetryingClient client{[&loopback] { return loopback.Connect(); },
+                          SoakPolicy()};
+
+    for (Minute t = 0; t < half; ++t) {
+      for (const auto& [fn, count] : index.at(t)) {
+        (void)count;
+        const auto got = client.Invoke(fn, t);
+        ASSERT_TRUE(got.ok()) << "t " << t << ": " << got.error().message;
+        (void)ref.Invoke(fn, t);
+      }
+    }
+    EXPECT_EQ(handler.journal_failures(), 0u);
+    ref_at_crash = ref.SaveState();
+    EXPECT_EQ(p.SaveState(), ref_at_crash);
+    // Crash here: no Drain(), no final checkpoint. The write-ahead
+    // journal alone must carry the first half of the soak.
+  }
+
+  platform::Platform recovered{workload.model,
+                               SoakConfig(gen.horizon_minutes)};
+  platform::durability::DurableState durable{(dir / "state").string()};
+  ASSERT_TRUE(durable.Open().ok());
+  const auto report = durable.Recover(recovered);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_EQ(recovered.SaveState(), ref_at_crash);
+
+  {
+    PlatformServer::Options options;
+    options.durable = &durable;
+    PlatformServer handler{recovered, options};
+    net::ServerCore core{handler, net::ServerLimits{}, &injector};
+    net::LoopbackServer loopback{core, &injector};
+    handler.set_core(&core);
+    RetryingClient client{[&loopback] { return loopback.Connect(); },
+                          SoakPolicy()};
+
+    for (Minute t = half; t < workload.trace.horizon().end; ++t) {
+      for (const auto& [fn, count] : index.at(t)) {
+        (void)count;
+        const auto got = client.Invoke(fn, t);
+        ASSERT_TRUE(got.ok()) << "t " << t << ": " << got.error().message;
+        (void)ref.Invoke(fn, t);
+      }
+    }
+
+    // The recovered daemon finished the soak byte-identically to a
+    // platform that was never interrupted.
+    const auto snapshot = client.Snapshot();
+    ASSERT_TRUE(snapshot.ok()) << snapshot.error().message;
+    EXPECT_EQ(snapshot.value().state, ref.SaveState());
+    const auto stats = client.Stats();
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats.value().stats, ref.stats());
+  }
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace defuse::server

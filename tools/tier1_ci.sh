@@ -10,9 +10,12 @@
 #   4. run the serving suite in isolation (`ctest -L serving`): wire
 #      protocol, transports, the replay<->serve determinism bridge,
 #      async re-mining, network chaos
-#   5. run the static-analysis gate (tools/tier1_lint.sh): defuse-lint
+#   5. run the chaos soak gate (tools/tier1_soak.sh): seeds 0-9 of
+#      retrying traffic under injected faults, time-bounded, counters
+#      to BENCH_soak.json
+#   6. run the static-analysis gate (tools/tier1_lint.sh): defuse-lint
 #      must report zero findings, plus clang-tidy when installed
-#   6. run the ASan+UBSan chaos pass (tools/tier1_sanitize.sh)
+#   7. run the ASan+UBSan chaos pass (tools/tier1_sanitize.sh)
 #
 # Any step failing fails the script (set -e), which is the CI contract:
 # green means buildable, correct, crash-safe, lint-clean, and
@@ -24,7 +27,7 @@ SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 
 echo "== configure + build =="
 cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)"
 
 echo "== tier-1 tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
@@ -36,6 +39,9 @@ ctest --test-dir "$BUILD_DIR" -L durability --output-on-failure -j \
 echo "== serving suite (ctest -L serving) =="
 ctest --test-dir "$BUILD_DIR" -L serving --output-on-failure -j \
   "$(nproc 2>/dev/null || echo 4)"
+
+echo "== chaos soak gate (tools/tier1_soak.sh) =="
+"$SRC_DIR/tools/tier1_soak.sh" "$BUILD_DIR"
 
 echo "== static analysis (tools/tier1_lint.sh) =="
 "$SRC_DIR/tools/tier1_lint.sh" "$BUILD_DIR"

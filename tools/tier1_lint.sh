@@ -21,7 +21,7 @@ SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 echo "== configure + build defuse_lint =="
 cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
-cmake --build "$BUILD_DIR" -j --target defuse_lint
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)" --target defuse_lint
 
 echo "== defuse-lint =="
 "$BUILD_DIR/tools/defuse_lint" --root "$SRC_DIR" \

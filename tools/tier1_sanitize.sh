@@ -21,7 +21,7 @@ cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDEFUSE_BUILD_BENCHMARKS=OFF \
   -DDEFUSE_BUILD_EXAMPLES=OFF
-cmake --build "$BUILD_DIR" -j \
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)" \
   --target test_faults test_platform test_durability test_trace test_common \
   test_core test_serving
 

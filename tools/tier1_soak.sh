@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# The chaos-soak leg of the tier-1 gate:
+#
+#   tools/tier1_soak.sh [build-dir]              # default: build-ci
+#
+# Runs the `soak`-labelled ctest suite — ten seeds of bursty traffic
+# through the full serving stack under injected resets, stalls, queue
+# overflow, and deadline skew, plus the determinism and crash-recovery
+# legs — with a hard 60-second per-test timeout so the leg stays
+# time-bounded. The soak is deterministic (pure function of its seeds),
+# so a timeout or failure here is a regression, not flake.
+#
+# The ten-seed soak writes its aggregate shed/retry/dedup counters to
+# $DEFUSE_SOAK_JSON; this script points that at BENCH_soak.json inside
+# the build directory and echoes it so CI logs carry the counters.
+set -eu
+
+BUILD_DIR="${1:-build-ci}"
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "error: build directory '$BUILD_DIR' does not exist" >&2
+  exit 1
+fi
+JSON_OUT="$(CDPATH= cd -- "$BUILD_DIR" && pwd)/BENCH_soak.json"
+
+DEFUSE_SOAK_JSON="$JSON_OUT" ctest --test-dir "$BUILD_DIR" -L soak \
+  --output-on-failure --timeout 60
+
+echo "== soak counters ($JSON_OUT) =="
+cat "$JSON_OUT"
