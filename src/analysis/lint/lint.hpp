@@ -79,8 +79,8 @@ struct LintConfig {
   /// Paths whose files sit on serialization or merge boundaries: hash
   /// order escaping into output here is a determinism bug (DL004).
   std::vector<std::string> boundary_paths{
-      "src/mining", "src/graph",    "src/policy", "src/sim",
-      "src/stats",  "src/platform", "src/server", "src/trace"};
+      "src/mining", "src/graph",  "src/policy", "src/sim",   "src/stats",
+      "src/platform", "src/server", "src/trace",  "src/router"};
   /// File registering fault-site names (DL005); empty disables DL005.
   std::string fault_registry = "src/faults/injector.hpp";
   /// Directory whose files count as "tests" for DL005 references.

@@ -15,6 +15,11 @@
 #include "platform/durability/durable_state.hpp"
 #include "platform/durability/recovery.hpp"
 #include "platform/platform.hpp"
+#include "router/hash_ring.hpp"
+#include "router/shard_host.hpp"
+#include "router/shard_router.hpp"
+#include "router/state_merge.hpp"
+#include "router/supervisor.hpp"
 #include "common/flags.hpp"
 #include "core/experiment.hpp"
 #include "graph/serialization.hpp"
@@ -88,6 +93,16 @@ commands:
                                 sheds newest-from-heaviest with advice
              --idempotency-window N (1024)  replies cached per request
                                 id for exactly-once retries (0 = off)
+             --shards N (1)     multi-shard tier: N platform shards
+                                behind a consistent-hash router, each
+                                with its own journal (state-dir/shard-K),
+                                supervised restart on crash
+             --vnodes N (64)    ring vnodes per shard
+             --probe-threshold N (3)  lost probes before a shard is
+                                declared down and restarted
+  route      print the consistent-hash user->shard table, socket-free
+             --trace FILE (required)  --shards N (required)
+             --vnodes N (64)   --user NAME  look up one user
   drive      stream a trace into a running serve daemon and print the
              same per-day lines as replay
              --trace FILE (required)  --host H (127.0.0.1)
@@ -95,7 +110,10 @@ commands:
   health     probe a running serve daemon's readiness (control plane:
              answered even while the daemon drains or is overloaded)
              --host H (127.0.0.1)  --port P (required)
-             exit 0 when ready, 2 when unreachable or not ready
+             --json  machine-readable report on stdout
+             exit 0 when ready, 2 when unreachable or not ready (the
+             failing conditions — draining / degraded-graph /
+             stale-graph / recovering — are listed either way)
   compare    the paper's headline comparison on this trace: Defuse vs
              Hybrid-Function vs Hybrid-Application at restricted memory
              --trace FILE (required)   --train-days N (all but 2)
@@ -816,6 +834,170 @@ int CmdFsck(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   return report.healthy ? 0 : 2;
 }
 
+/// The multi-shard serve path: N ShardHosts (each its own platform,
+/// journal directory, admission queue, idempotency window) behind one
+/// ShardRouter + ShardSupervisor, all served out of a single socket
+/// listener. The supervisor ticks once per poll-loop iteration, so a
+/// crashed shard is detected and restarted within one poll interval.
+int ServeSharded(const TraceBundle& bundle,
+                 const platform::PlatformConfig& config,
+                 const FlagParser& flags, std::size_t num_shards,
+                 const net::ServerLimits& limits,
+                 std::size_t idempotency_window, Minute checkpoint_interval,
+                 std::ostream& out, std::ostream& err) {
+  const auto vnodes = flags.GetInt("vnodes", 64);
+  const auto probe_threshold = flags.GetInt("probe-threshold", 3);
+  const auto port = flags.GetInt("port", 0);
+  if (!vnodes.ok() || vnodes.value() < 1) {
+    err << "error: --vnodes must be a positive integer\n";
+    return 1;
+  }
+  if (!probe_threshold.ok() || probe_threshold.value() < 1) {
+    err << "error: --probe-threshold must be a positive integer\n";
+    return 1;
+  }
+
+  const auto state_dir = flags.Get("state-dir");
+  std::vector<std::unique_ptr<router::ShardHost>> hosts;
+  std::vector<router::ShardHost*> shard_ptrs;
+  hosts.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    router::ShardHost::Options options;
+    options.platform = config;
+    options.handler.idempotency_window = idempotency_window;
+    options.limits = limits;
+    if (state_dir) {
+      options.state_dir = *state_dir + "/shard-" + std::to_string(i);
+      options.durable.checkpoint_interval = checkpoint_interval;
+    }
+    hosts.push_back(
+        std::make_unique<router::ShardHost>(bundle.model, options));
+    auto started = hosts.back()->Start();
+    if (!started.ok()) {
+      err << "error: shard " << i
+          << " failed to start: " << started.error().ToString() << "\n";
+      return 2;
+    }
+    if (state_dir) {
+      out << "shard " << i << " ";
+      PrintRecoveryReport(started.value(), out);
+    }
+    shard_ptrs.push_back(hosts.back().get());
+  }
+
+  router::ShardRouterOptions router_options;
+  router_options.vnodes_per_shard =
+      static_cast<std::size_t>(vnodes.value());
+  router::ShardRouter router{bundle.model, shard_ptrs, router_options};
+  router::SupervisorOptions supervisor_options;
+  supervisor_options.probe_loss_threshold =
+      static_cast<std::uint32_t>(probe_threshold.value());
+  router::ShardSupervisor supervisor{router, supervisor_options};
+
+  net::ServerCore core{router, limits};
+  net::SocketServer::Options socket_options;
+  socket_options.host = flags.GetOr("host", "127.0.0.1");
+  socket_options.port = static_cast<std::uint16_t>(port.value());
+  net::SocketServer sock{core, socket_options};
+  if (const auto listening = sock.Listen(); !listening.ok()) {
+    err << "error: " << listening.error().ToString() << "\n";
+    return 2;
+  }
+  out << "serving " << bundle.model.num_functions() << " functions on "
+      << socket_options.host << ":" << sock.port() << " across "
+      << num_shards << " shards (" << vnodes.value() << " vnodes each"
+      << (config.async_remine ? ", async re-mining" : "")
+      << (state_dir ? ", durable" : "") << ")\n";
+  out.flush();
+
+  ResetShutdownFlag();
+  InstallShutdownSignalHandlers();
+  while (!ShutdownRequested()) {
+    if (const auto polled = sock.PollOnce(200); !polled.ok()) {
+      err << "error: " << polled.error().ToString() << "\n";
+      break;
+    }
+    supervisor.Tick();
+  }
+
+  out << "shutting down: draining " << core.open_connections()
+      << " connections\n";
+  sock.StopAccepting();
+  core.BeginDrain();
+  for (int i = 0; i < 100 && !(core.idle() && sock.flushed()); ++i) {
+    if (const auto polled = sock.PollOnce(20); !polled.ok()) break;
+  }
+  std::vector<platform::PlatformStats> shard_stats;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    if (!hosts[i]->alive()) continue;  // down and unrecovered: journaled
+    if (const auto drained = hosts[i]->handler().Drain(); !drained.ok()) {
+      err << "warning: shard " << i << " final checkpoint failed: "
+          << drained.error().ToString() << "\n";
+    }
+    shard_stats.push_back(hosts[i]->platform().stats());
+  }
+  sock.CloseAll();
+
+  const platform::PlatformStats stats =
+      router::MergeShardStats(shard_stats);
+  const router::ShardRouterBooks& books = router.books();
+  out << "served " << core.stats().requests_handled << " requests ("
+      << books.forwarded << " forwarded, " << books.broadcasts
+      << " broadcasts, " << books.unavailable_rejections
+      << " shard-unavailable); " << stats.invocations
+      << " invocations, cold " << stats.cold_fraction() << ", "
+      << stats.remines << " re-mines\n";
+  if (supervisor.books().restarts > 0 ||
+      supervisor.books().downs_detected > 0) {
+    out << "supervisor: " << supervisor.books().downs_detected
+        << " shard deaths detected, " << supervisor.books().restarts
+        << " restarts, " << supervisor.books().restart_failures
+        << " restart failures\n";
+  }
+  return 0;
+}
+
+int CmdRoute(const FlagParser& flags, std::ostream& out, std::ostream& err) {
+  const auto bundle = LoadTrace(flags, err);
+  if (!bundle) return 1;
+  const auto shards = flags.GetInt("shards", 0);
+  const auto vnodes = flags.GetInt("vnodes", 64);
+  if (!shards.ok() || shards.value() < 1) {
+    err << "error: --shards is required (a positive integer)\n";
+    return 1;
+  }
+  if (!vnodes.ok() || vnodes.value() < 1) {
+    err << "error: --vnodes must be a positive integer\n";
+    return 1;
+  }
+  const router::HashRing ring{static_cast<std::size_t>(shards.value()),
+                              static_cast<std::size_t>(vnodes.value())};
+  if (const auto name = flags.Get("user")) {
+    for (const auto& user : bundle->model.users()) {
+      if (user.name == *name) {
+        out << "user " << user.name << " -> shard "
+            << ring.ShardForUser(user.id) << "\n";
+        return 0;
+      }
+    }
+    err << "error: no user named '" << *name << "' in the trace\n";
+    return 1;
+  }
+  std::vector<std::size_t> users_per(ring.num_shards(), 0);
+  std::vector<std::size_t> functions_per(ring.num_shards(), 0);
+  for (const auto& user : bundle->model.users()) {
+    ++users_per[ring.ShardForUser(user.id)];
+  }
+  for (const auto& fn : bundle->model.functions()) {
+    ++functions_per[ring.ShardForUser(fn.user)];
+  }
+  out << "shard,users,functions\n";
+  for (std::size_t s = 0; s < ring.num_shards(); ++s) {
+    out << s << "," << users_per[s] << "," << functions_per[s] << "\n";
+  }
+  return 0;
+}
+
 int CmdServe(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   const auto bundle = LoadTrace(flags, err);
   if (!bundle) return 1;
@@ -851,6 +1033,21 @@ int CmdServe(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   config.mining_window = window_days.value() * kMinutesPerDay;
   config.async_remine = flags.Has("async-remine");
   if (!MineThreadsFromFlags(flags, err, config.mining.parallel)) return 1;
+
+  net::ServerLimits limits;
+  limits.max_queue_depth = static_cast<std::size_t>(queue_bound.value());
+  const auto shards = flags.GetInt("shards", 1);
+  if (!shards.ok() || shards.value() < 1) {
+    err << "error: --shards must be a positive integer\n";
+    return 1;
+  }
+  if (shards.value() > 1) {
+    return ServeSharded(*bundle, config, flags,
+                        static_cast<std::size_t>(shards.value()), limits,
+                        static_cast<std::size_t>(idempotency_window.value()),
+                        checkpoint_days.value() * kMinutesPerDay, out, err);
+  }
+
   platform::Platform engine{bundle->model, config};
 
   std::optional<platform::durability::DurableState> durable;
@@ -875,8 +1072,6 @@ int CmdServe(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   handler_options.idempotency_window =
       static_cast<std::size_t>(idempotency_window.value());
   server::PlatformServer handler{engine, handler_options};
-  net::ServerLimits limits;
-  limits.max_queue_depth = static_cast<std::size_t>(queue_bound.value());
   net::ServerCore core{handler, limits};
   handler.set_core(&core);
   net::SocketServer::Options socket_options;
@@ -1019,14 +1214,42 @@ int CmdHealth(const FlagParser& flags, std::ostream& out, std::ostream& err) {
     return 2;
   }
   const auto& h = health.value();
-  out << "ready: " << (h.ready ? "yes" : "no") << "\n"
-      << "draining: " << (h.draining ? "yes" : "no") << "\n"
-      << "remine in flight: " << (h.remine_in_flight ? "yes" : "no") << "\n"
-      << "degraded graph: " << (h.degraded_graph ? "yes" : "no") << "\n"
-      << "queue depth: " << h.queue_depth << "\n"
-      << "idempotency entries: " << h.idempotency_entries << "\n"
-      << "stale graph minutes: " << h.stale_graph_minutes << "\n"
-      << "clock minute: " << h.clock_minute << "\n";
+  // Named conditions a prober alerts on. "recovering" is the residual
+  // not-ready cause: the daemon is up but recovery has not completed
+  // and no drain is in progress.
+  std::vector<std::string> conditions;
+  if (h.draining) conditions.push_back("draining");
+  if (h.degraded_graph) conditions.push_back("degraded-graph");
+  if (h.stale_graph_minutes > 0) conditions.push_back("stale-graph");
+  if (!h.ready && !h.draining) conditions.push_back("recovering");
+  if (flags.Has("json")) {
+    out << "{\"ready\":" << (h.ready ? "true" : "false")
+        << ",\"draining\":" << (h.draining ? "true" : "false")
+        << ",\"remine_in_flight\":" << (h.remine_in_flight ? "true" : "false")
+        << ",\"degraded_graph\":" << (h.degraded_graph ? "true" : "false")
+        << ",\"queue_depth\":" << h.queue_depth
+        << ",\"idempotency_entries\":" << h.idempotency_entries
+        << ",\"stale_graph_minutes\":" << h.stale_graph_minutes
+        << ",\"clock_minute\":" << h.clock_minute << ",\"conditions\":[";
+    for (std::size_t i = 0; i < conditions.size(); ++i) {
+      out << (i > 0 ? "," : "") << "\"" << conditions[i] << "\"";
+    }
+    out << "]}\n";
+  } else {
+    out << "ready: " << (h.ready ? "yes" : "no") << "\n"
+        << "draining: " << (h.draining ? "yes" : "no") << "\n"
+        << "remine in flight: " << (h.remine_in_flight ? "yes" : "no") << "\n"
+        << "degraded graph: " << (h.degraded_graph ? "yes" : "no") << "\n"
+        << "queue depth: " << h.queue_depth << "\n"
+        << "idempotency entries: " << h.idempotency_entries << "\n"
+        << "stale graph minutes: " << h.stale_graph_minutes << "\n"
+        << "clock minute: " << h.clock_minute << "\n";
+    if (!conditions.empty()) {
+      out << "conditions:";
+      for (const auto& c : conditions) out << " " << c;
+      out << "\n";
+    }
+  }
   return h.ready ? 0 : 2;
 }
 
@@ -1051,6 +1274,7 @@ int RunCli(std::span<const std::string> args, std::ostream& out,
   if (command == "recover") return CmdRecover(flags, out, err);
   if (command == "fsck") return CmdFsck(flags, out, err);
   if (command == "serve") return CmdServe(flags, out, err);
+  if (command == "route") return CmdRoute(flags, out, err);
   if (command == "drive") return CmdDrive(flags, out, err);
   if (command == "health") return CmdHealth(flags, out, err);
   if (command == "compare") return CmdCompare(flags, out, err);

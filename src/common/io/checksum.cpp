@@ -85,9 +85,11 @@ Result<std::uint32_t> ParseCrc32cHex(std::string_view hex) {
       digit = static_cast<std::uint32_t>(c - '0');
     } else if (c >= 'a' && c <= 'f') {
       digit = static_cast<std::uint32_t>(c - 'a') + 10;
-    } else if (c >= 'A' && c <= 'F') {
-      digit = static_cast<std::uint32_t>(c - 'A') + 10;
     } else {
+      // Strictly lowercase: Crc32cHex never emits 'A'-'F', and accepting
+      // them would make some single-bit flips of a frame header parse to
+      // the same checksum (0x20 toggles case), defeating corruption
+      // detection on the wire.
       return Error{ErrorCode::kParseError,
                    "bad checksum digit in '" + std::string{hex} + "'"};
     }

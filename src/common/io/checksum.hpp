@@ -40,7 +40,9 @@ class Crc32c {
 /// Fixed-width lowercase hex rendering ("deadbeef") used in file headers.
 [[nodiscard]] std::string Crc32cHex(std::uint32_t crc);
 
-/// Parses the 8-hex-digit output of Crc32cHex.
+/// Parses the 8-hex-digit output of Crc32cHex. Strictly lowercase — a
+/// case-folding parser would let a single bit flip (0x20) of a header
+/// byte slip through checksum verification.
 [[nodiscard]] Result<std::uint32_t> ParseCrc32cHex(std::string_view hex);
 
 // ---------------------------------------------------------------------

@@ -24,11 +24,18 @@ enum class ErrorCode {
   /// rot, truncation. Distinct from kIoError (the OS refused the
   /// operation) — the operation worked but the data is not trustworthy.
   kDataLoss,
+  /// The backend responsible for this key is down or recovering and the
+  /// request was not attempted. Distinct from kResourceExhausted (the
+  /// backend is up but shedding load): retrying elsewhere cannot help —
+  /// the caller should wait out the attached retry-after advice while a
+  /// supervisor restarts the shard. Appended last: the wire encoding is
+  /// code+1, so existing encodings are stable.
+  kUnavailable,
 };
 
 /// Number of distinct ErrorCode values (sized for per-code tally arrays,
 /// e.g. trace::ParseReport). Keep in sync with the enum above.
-inline constexpr std::size_t kNumErrorCodes = 9;
+inline constexpr std::size_t kNumErrorCodes = 10;
 
 [[nodiscard]] constexpr const char* ErrorCodeName(ErrorCode code) noexcept {
   switch (code) {
@@ -41,6 +48,7 @@ inline constexpr std::size_t kNumErrorCodes = 9;
     case ErrorCode::kResourceExhausted: return "resource_exhausted";
     case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
     case ErrorCode::kDataLoss: return "data_loss";
+    case ErrorCode::kUnavailable: return "unavailable";
   }
   return "unknown";
 }

@@ -114,13 +114,20 @@ Result<MiningOutput> MineDependencies(const trace::InvocationTrace& trace,
     });
   }
 
-  // Stage 2 (serial, user order): universe shuffles. The shared mining
-  // seed's stream must be consumed exactly as the serial loop did — one
-  // shuffle per user with non-empty transactions, in user-id order.
-  Rng rng{config.mining_seed};
+  // Stage 2 (serial, user order): universe shuffles. Each user's stream
+  // is derived from (mining_seed, user id) alone — never from a shared
+  // stream position — so one user's mined sets cannot depend on which
+  // OTHER users had traffic. That per-client independence is what the
+  // paper's per-user mining promises (§IV.B) and what lets a sharded
+  // miner tier reproduce the single-daemon output byte for byte.
   if (config.use_strong) {
     for (std::size_t u = 0; u < num_users; ++u) {
       if (shards[u].transactions.empty()) continue;
+      std::uint64_t stream = config.mining_seed ^
+                             (0x9e3779b97f4a7c15ULL *
+                              (static_cast<std::uint64_t>(users[u].id.value()) +
+                               1));
+      Rng rng{SplitMix64(stream)};
       auto windows = mining::SplitUniverse(model.FunctionsOfUser(users[u].id),
                                            config.universe_window,
                                            config.universe_stride, rng);

@@ -49,6 +49,9 @@ double FaultInjector::FractionFor(FaultSite site) const noexcept {
     case FaultSite::kNetStall: return profile_.net_stall_fraction;
     case FaultSite::kQueueOverflow: return profile_.queue_overflow_fraction;
     case FaultSite::kDeadlineSkew: return profile_.deadline_skew_fraction;
+    case FaultSite::kShardCrash: return profile_.shard_crash_fraction;
+    case FaultSite::kHandoffTorn: return profile_.handoff_torn_fraction;
+    case FaultSite::kProbeLoss: return profile_.probe_loss_fraction;
   }
   return 0.0;
 }

@@ -74,8 +74,20 @@ enum class FaultSite : std::size_t {
   /// Admission control: the server clock runs ahead of the client's, so
   /// the effective deadline tightens by a few minutes at check time.
   kDeadlineSkew = 14,
+  /// Shard tier: the target platform shard crashes right before a
+  /// forwarded request reaches it — in-memory state (idempotency window
+  /// included) is gone, the durable journal survives, and every open
+  /// connection into the shard resets.
+  kShardCrash = 15,
+  /// Shard tier: a live handoff's state transfer is torn mid-stream
+  /// (truncated snapshot blob / interrupted recovery); the destination
+  /// must reject the partial state and the source stays authoritative.
+  kHandoffTorn = 16,
+  /// Shard tier: a supervisor health probe is lost in flight. The shard
+  /// may be perfectly healthy — only repeated losses may condemn it.
+  kProbeLoss = 17,
 };
-inline constexpr std::size_t kNumFaultSites = 15;
+inline constexpr std::size_t kNumFaultSites = 18;
 
 [[nodiscard]] constexpr const char* FaultSiteName(FaultSite site) noexcept {
   switch (site) {
@@ -94,6 +106,9 @@ inline constexpr std::size_t kNumFaultSites = 15;
     case FaultSite::kNetStall: return "net_stall";
     case FaultSite::kQueueOverflow: return "queue_overflow";
     case FaultSite::kDeadlineSkew: return "deadline_skew";
+    case FaultSite::kShardCrash: return "shard_crash";
+    case FaultSite::kHandoffTorn: return "handoff_torn";
+    case FaultSite::kProbeLoss: return "probe_loss";
   }
   return "unknown";
 }
@@ -150,6 +165,15 @@ struct FaultProfile {
   /// effective deadline tightens by a drawn number of minutes).
   double deadline_skew_fraction = 0.0;
 
+  // Shard-tier knobs (router / supervisor, see src/router/):
+  /// Fraction of forwarded data-plane requests at which the target shard
+  /// crashes before the request reaches it.
+  double shard_crash_fraction = 0.0;
+  /// Fraction of handoff state transfers torn mid-stream.
+  double handoff_torn_fraction = 0.0;
+  /// Fraction of supervisor health probes lost in flight.
+  double probe_loss_fraction = 0.0;
+
   [[nodiscard]] bool any() const noexcept {
     return remine_failure_fraction > 0 || prewarm_spawn_failure_fraction > 0 ||
            malformed_row_fraction > 0 || duplicate_row_fraction > 0 ||
@@ -161,7 +185,8 @@ struct FaultProfile {
            net_accept_failure_fraction > 0 || net_short_read_fraction > 0 ||
            net_short_write_fraction > 0 || net_reset_fraction > 0 ||
            net_stall_fraction > 0 || queue_overflow_fraction > 0 ||
-           deadline_skew_fraction > 0;
+           deadline_skew_fraction > 0 || shard_crash_fraction > 0 ||
+           handoff_torn_fraction > 0 || probe_loss_fraction > 0;
   }
 };
 

@@ -53,8 +53,13 @@ std::vector<std::vector<std::uint32_t>> UnionFind::Components() {
   for (auto& members : by_root) {
     if (!members.empty()) components.push_back(std::move(members));
   }
-  // by_root is indexed by root, and each member list is built in
-  // ascending order, so components are already ordered by smallest member.
+  // Each member list is built in ascending order, but by_root is indexed
+  // by ROOT, and union-by-size roots are not the smallest members. Order
+  // by smallest member so component numbering is a pure function of the
+  // partition — independent of the union sequence that produced it
+  // (required for sharded mining to renumber identically on merge).
+  std::sort(components.begin(), components.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
   return components;
 }
 

@@ -1,0 +1,111 @@
+#include "router/handoff.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace defuse::router {
+namespace {
+
+/// Applies the kHandoffTorn fault to the state blob in transfer:
+/// truncation at a drawn offset strictly inside the blob, the way a
+/// connection dropped mid-stream leaves a prefix.
+[[nodiscard]] std::string Transfer(std::string state,
+                                   faults::FaultInjector* injector) {
+  if (injector == nullptr || state.empty() ||
+      !injector->ShouldFail(faults::FaultSite::kHandoffTorn)) {
+    return state;
+  }
+  const std::size_t cut = injector->DrawShape(faults::FaultSite::kHandoffTorn) %
+                          state.size();
+  state.resize(cut);
+  return state;
+}
+
+}  // namespace
+
+Result<HandoffReport> HandoffShard(ShardRouter& router, std::size_t shard,
+                                   ShardHost& destination,
+                                   const HandoffOptions& options) {
+  if (shard >= router.num_shards()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "shard " + std::to_string(shard) + " out of range (" +
+                     std::to_string(router.num_shards()) + " shards)"};
+  }
+  ShardHost* source = router.shard_host(shard);
+  if (!source->alive()) {
+    return Error{ErrorCode::kFailedPrecondition,
+                 "shard " + std::to_string(shard) +
+                     " is crashed; restart it (supervisor) before a "
+                     "handoff, or just point the router at the "
+                     "replacement"};
+  }
+
+  // 1. DRAIN. Out of rotation first, so no new op lands on the source
+  // between the final checkpoint and the snapshot.
+  router.MarkDown(shard);
+  if (auto drained = source->handler().Drain(); !drained.ok()) {
+    // The source is still authoritative (nothing moved); put it back.
+    router.Reattach(shard);
+    return Error{ErrorCode::kIoError,
+                 "drain of shard " + std::to_string(shard) +
+                     " failed: " + drained.error().message};
+  }
+
+  // 2. SNAPSHOT: quiesced state + the idempotency window, FIFO order.
+  HandoffReport report;
+  std::string state = source->platform().SaveState();
+  const auto window = source->handler().ExportIdempotency();
+  report.state_bytes = state.size();
+  report.idempotency_entries = window.size();
+
+  // 3. TRANSFER (the tear point).
+  const std::string received = Transfer(std::move(state), options.injector);
+
+  // 4. RE-ADMIT on the destination — or abort back to the source. An
+  // already-running destination (a warm spare, or one left started by a
+  // previously aborted handoff) is fine: the transferred state replaces
+  // whatever it held.
+  if (!destination.alive()) {
+    auto started = destination.Start();
+    if (!started.ok()) {
+      router.Reattach(shard);
+      return Error{ErrorCode::kFailedPrecondition,
+                   "handoff destination failed to start: " +
+                       started.error().message};
+    }
+    report.destination_recovery = started.value().rung;
+  }
+  if (!destination.platform().LoadState(received)) {
+    // Torn (or otherwise corrupt) transfer: the destination refuses it
+    // wholesale — LoadState parses into a staging area and commits in
+    // one step, so the destination is untouched. The source re-admits
+    // unchanged; the aborted handoff was a no-op.
+    router.Reattach(shard);
+    report.completed = false;
+    report.abort_reason =
+        "transferred state rejected by destination (torn at " +
+        std::to_string(received.size()) + " of " +
+        std::to_string(report.state_bytes) + " bytes)";
+    DEFUSE_LOG_WARN << "handoff: shard " << shard
+                    << " aborted: " << report.abort_reason;
+    return report;
+  }
+  destination.handler().ImportIdempotency(window);
+  if (destination.durable() != nullptr) {
+    // Make the migration durable on the DESTINATION's directory before
+    // it takes traffic: a crash right after the swap must recover the
+    // handed-off state, not the fresh-start empty state.
+    if (auto cp = destination.durable()->Checkpoint(destination.platform());
+        !cp.ok()) {
+      DEFUSE_LOG_WARN << "handoff: destination checkpoint failed "
+                         "(serving anyway, journal covers new ops): "
+                      << cp.error().ToString();
+    }
+  }
+  router.ReplaceShard(shard, &destination);
+  report.completed = true;
+  return report;
+}
+
+}  // namespace defuse::router

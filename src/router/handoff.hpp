@@ -1,0 +1,76 @@
+// Live drain/handoff: migrating one shard's users to a replacement
+// backend without losing an acknowledged operation.
+//
+// Protocol (DESIGN.md §13):
+//   1. DRAIN    — the shard leaves the router's rotation (MarkDown);
+//                 its users fail fast with kUnavailable + retry-after
+//                 and their retries queue up behind the migration. The
+//                 handler drains: pending re-mine finished, final
+//                 checkpoint written (durable shards).
+//   2. SNAPSHOT — the quiesced platform serializes (SaveState) and the
+//                 idempotency window exports in FIFO order. The window
+//                 travels WITH the state: a retry of an op the source
+//                 acked before the drain must replay its cached reply
+//                 on the destination, not re-apply — that is the
+//                 exactly-once contract across the migration.
+//   3. TRANSFER — the bytes cross to the destination. The kHandoffTorn
+//                 fault site tears the state blob mid-transfer
+//                 (truncation at a drawn offset), modeling a dropped
+//                 connection.
+//   4. RE-ADMIT — the destination loads the state, imports the window,
+//                 checkpoints (so the handoff is durable on ITS
+//                 directory), and replaces the source in the router. On
+//                 a torn transfer the destination refuses the corrupt
+//                 state, the SOURCE is re-admitted unchanged, and the
+//                 report says aborted — a failed handoff is a no-op,
+//                 never a half-migration.
+//
+// The caller owns both hosts throughout; a completed handoff leaves the
+// source alive but out of rotation (retire it with Crash() or keep it
+// as a warm standby).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/result.hpp"
+#include "faults/injector.hpp"
+#include "router/shard_host.hpp"
+#include "router/shard_router.hpp"
+
+namespace defuse::router {
+
+struct HandoffOptions {
+  /// Fault hook for kHandoffTorn (drawn once per transfer). Not owned;
+  /// may be null.
+  faults::FaultInjector* injector = nullptr;
+};
+
+struct HandoffReport {
+  /// True: the destination serves the shard. False: the transfer was
+  /// torn, the source was re-admitted, nothing changed.
+  bool completed = false;
+  /// Why the handoff aborted (empty when completed).
+  std::string abort_reason;
+  /// Size of the transferred state blob (pre-tear).
+  std::size_t state_bytes = 0;
+  /// Idempotency entries carried across.
+  std::size_t idempotency_entries = 0;
+  /// Which recovery rung the destination started from (fresh
+  /// directories recover empty).
+  platform::durability::RecoveryRung destination_recovery =
+      platform::durability::RecoveryRung::kEmptyState;
+};
+
+/// Migrates `shard` from its current host to `destination` through the
+/// drain -> snapshot -> transfer -> re-admit protocol above.
+/// `destination` may be un-started (it is Start()ed here) but must be
+/// built over the same workload model. Errors (as opposed to a torn
+/// transfer, which ABORTS cleanly) are precondition failures: shard
+/// index out of range, source not alive, destination failed to start.
+[[nodiscard]] Result<HandoffReport> HandoffShard(ShardRouter& router,
+                                                 std::size_t shard,
+                                                 ShardHost& destination,
+                                                 const HandoffOptions& options);
+
+}  // namespace defuse::router

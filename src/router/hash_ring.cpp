@@ -1,0 +1,56 @@
+#include "router/hash_ring.hpp"
+
+#include <algorithm>
+
+namespace defuse::router {
+
+namespace {
+
+/// SplitMix64 finalizer: fixed constants, identical on every platform.
+[[nodiscard]] std::uint64_t Mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Domain-separated hashes: a vnode point and a user key must never
+/// collide structurally even when their raw values coincide.
+[[nodiscard]] std::uint64_t VnodeHash(std::uint64_t shard,
+                                      std::uint64_t vnode) noexcept {
+  return Mix(Mix(shard * 2 + 1) ^ Mix(vnode * 2));
+}
+
+[[nodiscard]] std::uint64_t UserHash(std::uint32_t user) noexcept {
+  return Mix(0x5e44c0ffee1234a7ULL ^ Mix(user));
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t num_shards, std::size_t vnodes_per_shard)
+    : num_shards_(std::max<std::size_t>(1, num_shards)),
+      vnodes_(std::max<std::size_t>(1, vnodes_per_shard)) {
+  points_.reserve(num_shards_ * vnodes_);
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    for (std::size_t v = 0; v < vnodes_; ++v) {
+      points_.push_back(Point{VnodeHash(s, v), static_cast<std::uint32_t>(s)});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              if (a.hash != b.hash) return a.hash < b.hash;
+              return a.shard < b.shard;
+            });
+}
+
+std::size_t HashRing::ShardForUser(UserId user) const noexcept {
+  const std::uint64_t h = UserHash(user.value());
+  auto it = std::lower_bound(points_.begin(), points_.end(), h,
+                             [](const Point& p, std::uint64_t key) {
+                               return p.hash < key;
+                             });
+  if (it == points_.end()) it = points_.begin();  // wrap past the top
+  return it->shard;
+}
+
+}  // namespace defuse::router

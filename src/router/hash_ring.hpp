@@ -1,0 +1,53 @@
+// Consistent-hash ring mapping users onto shards.
+//
+// Placement must be a pure function of (user id, shard count, vnodes):
+// the determinism bridge re-derives it in tests, the CLI `route` verb
+// prints it for operators, and a router restart must route every user
+// exactly where its durable state lives. So the ring hashes with the
+// same SplitMix64 finalizer the fault injector uses — fixed constants,
+// no std::hash (whose result is implementation-defined) and no
+// process-local salt.
+//
+// Each shard projects `vnodes_per_shard` points onto the u64 ring; a
+// user maps to the owner of the first point at or after its own hash
+// (wrapping). Virtual nodes keep the per-shard load spread even and —
+// the classic consistent-hashing property — confine the fallout of
+// changing N to the users whose arcs moved.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace defuse::router {
+
+class HashRing {
+ public:
+  /// `num_shards` >= 1; `vnodes_per_shard` >= 1 (both clamped up to 1).
+  HashRing(std::size_t num_shards, std::size_t vnodes_per_shard = 64);
+
+  [[nodiscard]] std::size_t ShardForUser(UserId user) const noexcept;
+
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return num_shards_;
+  }
+  [[nodiscard]] std::size_t vnodes_per_shard() const noexcept {
+    return vnodes_;
+  }
+
+ private:
+  struct Point {
+    std::uint64_t hash = 0;
+    std::uint32_t shard = 0;
+  };
+
+  std::size_t num_shards_;
+  std::size_t vnodes_;
+  /// Sorted by (hash, shard): the shard tiebreak makes even a hash
+  /// collision between two shards' vnodes deterministic.
+  std::vector<Point> points_;
+};
+
+}  // namespace defuse::router

@@ -1,0 +1,143 @@
+#include "router/shard_host.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace defuse::router {
+
+// The whole serving stack of one shard incarnation. Members are
+// declared in dependency order (platform before handler before core
+// before loopback) so destruction tears down borrowers first.
+struct ShardHost::Stack {
+  Stack(const trace::WorkloadModel& model,
+        const platform::PlatformConfig& config)
+      : platform(model, config) {}
+
+  bool crashed = false;
+  platform::Platform platform;
+  std::optional<platform::durability::DurableState> durable;
+  std::optional<server::PlatformServer> handler;
+  std::optional<net::ServerCore> core;
+  std::optional<net::LoopbackServer> loopback;
+};
+
+namespace {
+
+[[nodiscard]] Error ShardDead() {
+  return Error{ErrorCode::kUnavailable, "shard crashed: connection reset"};
+}
+
+/// Channel proxy that keeps the Stack alive (shared_ptr) and fails every
+/// operation once the Stack is crashed, without touching the inner
+/// loopback channel — whose ServerCore may be logically dead.
+class GuardedChannel final : public net::ClientChannel {
+ public:
+  GuardedChannel(std::shared_ptr<ShardHost::Stack> stack,
+                 std::unique_ptr<net::ClientChannel> inner)
+      : stack_(std::move(stack)), inner_(std::move(inner)) {}
+
+  [[nodiscard]] Result<std::size_t> Write(std::string_view bytes) override {
+    if (stack_->crashed) return ShardDead();
+    return inner_->Write(bytes);
+  }
+
+  [[nodiscard]] Result<std::size_t> Read(std::string& out,
+                                         std::size_t max) override {
+    if (stack_->crashed) return ShardDead();
+    return inner_->Read(out, max);
+  }
+
+  void Close() override {
+    if (!stack_->crashed) inner_->Close();
+  }
+
+ private:
+  std::shared_ptr<ShardHost::Stack> stack_;
+  std::unique_ptr<net::ClientChannel> inner_;
+};
+
+}  // namespace
+
+ShardHost::ShardHost(const trace::WorkloadModel& model, Options options)
+    : model_(model), options_(std::move(options)) {}
+
+ShardHost::~ShardHost() = default;
+
+Result<platform::durability::RecoveryReport> ShardHost::Start() {
+  if (stack_ && !stack_->crashed) {
+    return Error{ErrorCode::kFailedPrecondition, "shard already running"};
+  }
+  auto stack = std::make_shared<Stack>(model_, options_.platform);
+  platform::durability::RecoveryReport report;
+  server::PlatformServer::Options handler_options = options_.handler;
+  handler_options.durable = nullptr;
+  if (!options_.state_dir.empty()) {
+    stack->durable.emplace(options_.state_dir, options_.durable);
+    if (const auto opened = stack->durable->Open(); !opened.ok()) {
+      return opened.error();
+    }
+    auto recovered = stack->durable->Recover(stack->platform);
+    if (!recovered.ok()) return recovered.error();
+    report = std::move(recovered).value();
+    handler_options.durable = &*stack->durable;
+  }
+  stack->handler.emplace(stack->platform, handler_options);
+  stack->core.emplace(*stack->handler, options_.limits, options_.injector);
+  stack->handler->set_core(&*stack->core);
+  stack->loopback.emplace(*stack->core, options_.injector);
+  stack_ = std::move(stack);
+  ++incarnation_;
+  return report;
+}
+
+Result<std::unique_ptr<net::ClientChannel>> ShardHost::Connect() {
+  if (!stack_ || stack_->crashed) {
+    return Error{ErrorCode::kUnavailable, "shard down: connection refused"};
+  }
+  auto channel = stack_->loopback->Connect();
+  if (!channel.ok()) return channel.error();
+  return std::unique_ptr<net::ClientChannel>{std::make_unique<GuardedChannel>(
+      stack_, std::move(channel).value())};
+}
+
+void ShardHost::Crash() {
+  if (!stack_ || stack_->crashed) return;
+  pre_crash_state_ = stack_->platform.SaveState();
+  stack_->crashed = true;
+  // Drop our reference: the Stack lives on (inert) only as long as
+  // outstanding channels hold it. Destruction joins any in-flight
+  // background re-mine; its result is discarded with the stack, exactly
+  // like a process death would discard it.
+  stack_.reset();
+}
+
+Result<platform::durability::RecoveryReport> ShardHost::Restart() {
+  Crash();
+  return Start();
+}
+
+bool ShardHost::alive() const noexcept {
+  return stack_ != nullptr && !stack_->crashed;
+}
+
+platform::Platform& ShardHost::platform() {
+  assert(alive());
+  return stack_->platform;
+}
+
+server::PlatformServer& ShardHost::handler() {
+  assert(alive());
+  return *stack_->handler;
+}
+
+net::ServerCore& ShardHost::core() {
+  assert(alive());
+  return *stack_->core;
+}
+
+platform::durability::DurableState* ShardHost::durable() {
+  assert(alive());
+  return stack_->durable ? &*stack_->durable : nullptr;
+}
+
+}  // namespace defuse::router

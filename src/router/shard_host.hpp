@@ -1,0 +1,122 @@
+// One platform shard, hosted in-process behind the loopback transport.
+//
+// A ShardHost owns the full single-daemon serving stack — a
+// platform::Platform over the complete workload model, an optional
+// DurableState on the shard's own state directory, a PlatformServer
+// (its own idempotency window), a ServerCore (its own admission queue),
+// and a LoopbackServer — as one replaceable unit called the Stack. The
+// ShardRouter talks to it only through ClientChannels, exactly as it
+// would talk to a remote process.
+//
+// Crash semantics are the point. Crash() marks the live Stack dead in
+// place: every channel already handed out fails its next operation as a
+// connection reset, Connect() refuses like a dead listener, and the
+// in-memory state — idempotency window included — is unreachable from
+// then on. Only the durable directory survives, which is exactly the
+// contract a kill -9 gives a real shard. Restart() builds a fresh Stack
+// and recovers it through the PR-2 ladder (snapshot + journal ->
+// snapshot-only -> older snapshot -> empty), so supervised recovery in
+// tests exercises the same code a crashed daemon would.
+//
+// Channels hold the Stack via shared_ptr: a crashed Stack stays
+// allocated (inert, every call failing) until the last channel drops it,
+// so no channel ever dangles into freed memory. Single-threaded by
+// contract, like the rest of the loopback serving stack.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/result.hpp"
+#include "faults/injector.hpp"
+#include "net/loopback.hpp"
+#include "net/server_core.hpp"
+#include "net/transport.hpp"
+#include "platform/durability/durable_state.hpp"
+#include "platform/platform.hpp"
+#include "server/platform_server.hpp"
+#include "trace/model.hpp"
+
+namespace defuse::router {
+
+class ShardHost {
+ public:
+  struct Options {
+    platform::PlatformConfig platform;
+    /// Handler options; `durable` is overwritten by the host (it wires
+    /// its own DurableState when `state_dir` is set).
+    server::PlatformServer::Options handler;
+    net::ServerLimits limits;
+    /// Durable state directory; empty = in-memory shard (no journal, a
+    /// crash loses everything — only tests that want that use it).
+    std::string state_dir;
+    platform::durability::DurableState::Options durable;
+    /// Forwarded to the shard's ServerCore and LoopbackServer (admission
+    /// and network fault sites). Not owned; may be null.
+    faults::FaultInjector* injector = nullptr;
+  };
+
+  ShardHost(const trace::WorkloadModel& model, Options options);
+  ~ShardHost();
+
+  ShardHost(const ShardHost&) = delete;
+  ShardHost& operator=(const ShardHost&) = delete;
+
+  /// Builds the first Stack. Durable shards run the recovery ladder (a
+  /// fresh directory recovers empty); the report says which rung served.
+  [[nodiscard]] Result<platform::durability::RecoveryReport> Start();
+
+  /// A channel into the shard's loopback listener. Fails kUnavailable
+  /// when the shard is crashed or was never started.
+  [[nodiscard]] Result<std::unique_ptr<net::ClientChannel>> Connect();
+
+  /// Kill -9: the Stack dies in place. In-memory state (idempotency
+  /// window, admission queue, un-checkpointed platform deltas beyond the
+  /// journal) is gone; open channels reset; the durable directory
+  /// survives. Idempotent. Stashes the platform's final SaveState first
+  /// as the recovery oracle tests compare against — the write-ahead
+  /// journal must reproduce it byte for byte.
+  void Crash();
+
+  /// Crash (if still alive) + Start: supervised restart through the
+  /// recovery ladder.
+  [[nodiscard]] Result<platform::durability::RecoveryReport> Restart();
+
+  [[nodiscard]] bool alive() const noexcept;
+  /// Stacks built so far (0 before Start, +1 per Start/Restart).
+  [[nodiscard]] std::uint64_t incarnation() const noexcept {
+    return incarnation_;
+  }
+  /// SaveState captured at the most recent Crash() (empty before any).
+  [[nodiscard]] const std::string& pre_crash_state() const noexcept {
+    return pre_crash_state_;
+  }
+
+  // Live-stack accessors; callers must check alive() first (they abort
+  // on a dead shard — reaching into a crashed stack is a test bug).
+  [[nodiscard]] platform::Platform& platform();
+  [[nodiscard]] server::PlatformServer& handler();
+  [[nodiscard]] net::ServerCore& core();
+  [[nodiscard]] platform::durability::DurableState* durable();
+
+  [[nodiscard]] const trace::WorkloadModel& model() const noexcept {
+    return model_;
+  }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  /// One shard incarnation's serving stack. Opaque outside the .cpp;
+  /// declared here (not in the private section) so the channel proxy can
+  /// name it.
+  struct Stack;
+
+ private:
+  const trace::WorkloadModel& model_;
+  Options options_;
+  std::shared_ptr<Stack> stack_;
+  std::uint64_t incarnation_ = 0;
+  std::string pre_crash_state_;
+};
+
+}  // namespace defuse::router

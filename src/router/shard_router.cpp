@@ -1,0 +1,368 @@
+#include "router/shard_router.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "router/state_merge.hpp"
+
+namespace defuse::router {
+namespace {
+
+/// Mirrors the shard-side exemption: probes and handshakes are answered
+/// even when the data plane is refusing traffic.
+[[nodiscard]] bool IsControlPlane(server::RequestType type) noexcept {
+  return type == server::RequestType::kHello ||
+         type == server::RequestType::kHealth;
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(const trace::WorkloadModel& model,
+                         std::vector<ShardHost*> shards,
+                         ShardRouterOptions options)
+    : model_(model),
+      options_(options),
+      ring_(shards.size(), options.vnodes_per_shard) {
+  lanes_.reserve(shards.size());
+  for (ShardHost* host : shards) {
+    Lane lane;
+    lane.host = host;
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+std::string ShardRouter::EncodeTransportError(const Error& error) {
+  return server::EncodeErrorReply(error);
+}
+
+std::string ShardRouter::EncodeRetryableError(const Error& error,
+                                              MinuteDelta retry_after) {
+  return server::EncodeErrorReply(error, retry_after);
+}
+
+std::optional<net::RequestEnvelope> ShardRouter::InspectRequest(
+    std::string_view request) {
+  const auto peeked = server::PeekRequestHeader(request);
+  if (!peeked.ok()) return std::nullopt;
+  net::RequestEnvelope envelope;
+  envelope.request_id = peeked.value().header.request_id;
+  envelope.deadline = peeked.value().header.deadline;
+  envelope.control = IsControlPlane(peeked.value().type);
+  return envelope;
+}
+
+Minute ShardRouter::ClockMinute() { return clock_; }
+
+std::size_t ShardRouter::ShardForFunction(FunctionId fn) const {
+  return ring_.ShardForUser(model_.function(fn).user);
+}
+
+std::vector<std::size_t> ShardRouter::FunctionOwners() const {
+  std::vector<std::size_t> owners(model_.num_functions());
+  for (std::size_t f = 0; f < owners.size(); ++f) {
+    owners[f] = ShardForFunction(FunctionId{static_cast<std::uint32_t>(f)});
+  }
+  return owners;
+}
+
+bool ShardRouter::IsUp(std::size_t shard) const { return lanes_[shard].up; }
+
+void ShardRouter::MarkDown(std::size_t shard) {
+  lanes_[shard].up = false;
+  lanes_[shard].client.reset();
+}
+
+void ShardRouter::Reattach(std::size_t shard) {
+  lanes_[shard].up = true;
+  lanes_[shard].client.reset();
+}
+
+void ShardRouter::ReplaceShard(std::size_t shard, ShardHost* replacement) {
+  lanes_[shard].host = replacement;
+  lanes_[shard].client.reset();
+  lanes_[shard].up = true;
+}
+
+ShardHost* ShardRouter::shard_host(std::size_t shard) const {
+  return lanes_[shard].host;
+}
+
+void ShardRouter::OverrideConnectorForTest(std::size_t shard,
+                                           Connector connector) {
+  lanes_[shard].connector = std::move(connector);
+  lanes_[shard].client.reset();
+}
+
+server::Client* ShardRouter::LaneClient(std::size_t shard) {
+  Lane& lane = lanes_[shard];
+  if (!lane.up) return nullptr;
+  if (lane.client != nullptr && !lane.client->connection_dead()) {
+    return lane.client.get();
+  }
+  lane.client.reset();
+  auto channel = lane.connector ? lane.connector() : lane.host->Connect();
+  if (!channel.ok()) {
+    // Connection refused is how a crashed shard looks from outside; the
+    // lane goes down immediately rather than waiting for probe timeouts.
+    ++books_.shard_transport_errors;
+    MarkDown(shard);
+    return nullptr;
+  }
+  lane.client = std::make_unique<server::Client>(std::move(channel).value());
+  return lane.client.get();
+}
+
+Result<std::string> ShardRouter::ForwardToShard(std::size_t shard,
+                                                std::string_view request) {
+  server::Client* client = LaneClient(shard);
+  if (client == nullptr) {
+    return Error{ErrorCode::kUnavailable,
+                 "shard " + std::to_string(shard) + " is down"};
+  }
+  auto reply = client->Forward(request);
+  if (!reply.ok()) {
+    ++books_.shard_transport_errors;
+    MarkDown(shard);
+    return Error{ErrorCode::kUnavailable,
+                 "shard " + std::to_string(shard) +
+                     " connection failed: " + reply.error().message};
+  }
+  // The reply is CRC-clean (framing) but must also parse as a protocol
+  // reply before it may be forwarded verbatim: a byzantine or truncated
+  // shard reply condemns the lane, it never reaches the client dressed
+  // as a well-formed answer.
+  if (auto decoded = server::DecodeReply(reply.value()); !decoded.ok()) {
+    ++books_.corrupt_shard_replies;
+    MarkDown(shard);
+    return Error{ErrorCode::kUnavailable,
+                 "shard " + std::to_string(shard) +
+                     " returned a malformed reply: " +
+                     decoded.error().message};
+  }
+  return reply;
+}
+
+bool ShardRouter::MaybeInjectCrash(std::size_t shard) {
+  if (options_.injector == nullptr || !lanes_[shard].up) return false;
+  if (!options_.injector->ShouldFail(faults::FaultSite::kShardCrash)) {
+    return false;
+  }
+  // Drawn BEFORE the forward, so every crash lands on a clean operation
+  // boundary: the shard either journaled-and-acked an op or never saw
+  // it — there is no journaled-but-unacked limbo for recovery to
+  // double-apply.
+  lanes_[shard].host->Crash();
+  MarkDown(shard);
+  ++books_.crashes_injected;
+  return true;
+}
+
+std::string ShardRouter::UnavailableReply(std::size_t shard) {
+  ++books_.unavailable_rejections;
+  return server::EncodeErrorReply(
+      Error{ErrorCode::kUnavailable,
+            "shard " + std::to_string(shard) +
+                " is down or recovering; retry after the advised interval"},
+      options_.unavailable_retry_after);
+}
+
+std::string ShardRouter::HandleRequest(std::string_view request) {
+  auto decoded = server::DecodeRequest(request);
+  if (!decoded.ok()) {
+    return server::EncodeErrorReply(decoded.error());
+  }
+  const server::Request& req = decoded.value();
+  switch (req.type) {
+    case server::RequestType::kInvoke:
+      return HandleInvoke(req, request);
+    case server::RequestType::kAdvanceTo:
+    case server::RequestType::kRemineNow:
+      return HandleBroadcast(req, request);
+    case server::RequestType::kStats:
+      return HandleStats(request);
+    case server::RequestType::kSnapshot:
+      return HandleSnapshot(request);
+    case server::RequestType::kHello: {
+      if (req.hello->version != server::kProtocolVersion) {
+        return server::EncodeErrorReply(Error{
+            ErrorCode::kInvalidArgument,
+            "protocol version mismatch: client speaks v" +
+                std::to_string(req.hello->version) +
+                ", this router speaks v" +
+                std::to_string(server::kProtocolVersion)});
+      }
+      return server::EncodeOkReply(
+          server::HelloReply{server::kProtocolVersion});
+    }
+    case server::RequestType::kHealth:
+      return HandleHealth();
+  }
+  return server::EncodeErrorReply(
+      Error{ErrorCode::kInvalidArgument, "unhandled request type"});
+}
+
+std::string ShardRouter::HandleInvoke(const server::Request& request,
+                                      std::string_view raw) {
+  const server::InvokeRequest& r = *request.invoke;
+  if (r.function.value() >= model_.num_functions()) {
+    return server::EncodeErrorReply(
+        Error{ErrorCode::kInvalidArgument,
+              "function " + std::to_string(r.function.value()) +
+                  " out of range (model has " +
+                  std::to_string(model_.num_functions()) + " functions)"});
+  }
+  const std::size_t shard = ShardForFunction(r.function);
+  if (MaybeInjectCrash(shard) || !lanes_[shard].up) {
+    return UnavailableReply(shard);
+  }
+  auto reply = ForwardToShard(shard, raw);
+  if (!reply.ok()) {
+    ++books_.unavailable_rejections;
+    return server::EncodeErrorReply(reply.error(),
+                                    options_.unavailable_retry_after);
+  }
+  ++books_.forwarded;
+  clock_ = std::max(clock_, r.now);
+  return std::move(reply).value();
+}
+
+std::string ShardRouter::HandleBroadcast(const server::Request& request,
+                                         std::string_view raw) {
+  ++books_.broadcasts;
+  const Minute now = request.type == server::RequestType::kAdvanceTo
+                         ? request.advance_to->now
+                         : request.remine_now->now;
+  std::vector<std::string> ok_replies;
+  std::string error_reply;
+  for (std::size_t shard = 0; shard < lanes_.size(); ++shard) {
+    if (!lanes_[shard].up || MaybeInjectCrash(shard)) {
+      ++books_.broadcast_skips_down;
+      continue;
+    }
+    auto reply = ForwardToShard(shard, raw);
+    if (!reply.ok()) {
+      // The lane is already marked down; the clock still reached every
+      // other shard — broadcasts have skip-down, not all-or-nothing,
+      // semantics (the shard re-joins the clock after recovery).
+      ++books_.broadcast_skips_down;
+      continue;
+    }
+    const auto decoded = server::DecodeReply(reply.value());
+    if (!decoded.ok()) continue;  // unreachable: ForwardToShard validated
+    if (!decoded.value().ok && error_reply.empty()) {
+      // A shard REJECTED the request (bad minute, expired deadline).
+      // Shards run in lockstep, so the first rejection speaks for all;
+      // its reply is forwarded verbatim, advice and all.
+      error_reply = std::move(reply).value();
+      continue;
+    }
+    ok_replies.push_back(std::move(reply).value());
+  }
+  if (!error_reply.empty()) return error_reply;
+  if (ok_replies.empty()) {
+    ++books_.unavailable_rejections;
+    return server::EncodeErrorReply(
+        Error{ErrorCode::kUnavailable, "no shard is up"},
+        options_.unavailable_retry_after);
+  }
+  clock_ = std::max(clock_, now);
+  if (request.type == server::RequestType::kAdvanceTo) {
+    return server::EncodeOkAdvanceToReply();
+  }
+  // RemineNow: report the most-in-progress mode across shards
+  // (kAlreadyInFlight > kStartedAsync > kCompleted), so a caller that
+  // polls sees async work as long as ANY shard still mines.
+  server::RemineMode mode = server::RemineMode::kCompleted;
+  for (const std::string& reply : ok_replies) {
+    const auto decoded = server::DecodeReply(reply);
+    if (!decoded.ok()) continue;
+    const auto body = server::DecodeRemineReplyBody(decoded.value().body);
+    if (body.ok() &&
+        static_cast<std::uint8_t>(body.value().mode) >
+            static_cast<std::uint8_t>(mode)) {
+      mode = body.value().mode;
+    }
+  }
+  return server::EncodeOkReply(server::RemineReply{mode});
+}
+
+std::string ShardRouter::HandleStats(std::string_view raw) {
+  ++books_.fanouts;
+  std::vector<platform::PlatformStats> stats;
+  stats.reserve(lanes_.size());
+  for (std::size_t shard = 0; shard < lanes_.size(); ++shard) {
+    if (!lanes_[shard].up) return UnavailableReply(shard);
+    auto reply = ForwardToShard(shard, raw);
+    if (!reply.ok()) return UnavailableReply(shard);
+    const auto decoded = server::DecodeReply(reply.value());
+    if (!decoded.ok()) return server::EncodeErrorReply(decoded.error());
+    if (!decoded.value().ok) return std::move(reply).value();
+    const auto body = server::DecodeStatsReplyBody(decoded.value().body);
+    if (!body.ok()) return server::EncodeErrorReply(body.error());
+    stats.push_back(body.value().stats);
+  }
+  return server::EncodeOkReply(server::StatsReply{MergeShardStats(stats)});
+}
+
+std::string ShardRouter::HandleSnapshot(std::string_view raw) {
+  ++books_.fanouts;
+  std::vector<std::string> states;
+  states.reserve(lanes_.size());
+  for (std::size_t shard = 0; shard < lanes_.size(); ++shard) {
+    if (!lanes_[shard].up) return UnavailableReply(shard);
+    auto reply = ForwardToShard(shard, raw);
+    if (!reply.ok()) return UnavailableReply(shard);
+    const auto decoded = server::DecodeReply(reply.value());
+    if (!decoded.ok()) return server::EncodeErrorReply(decoded.error());
+    if (!decoded.value().ok) return std::move(reply).value();
+    auto body = server::DecodeSnapshotReplyBody(decoded.value().body);
+    if (!body.ok()) return server::EncodeErrorReply(body.error());
+    states.push_back(std::move(body).value().state);
+  }
+  auto merged = MergeShardStates(model_, states, FunctionOwners());
+  if (!merged.ok()) return server::EncodeErrorReply(merged.error());
+  return server::EncodeOkReply(
+      server::SnapshotReply{std::move(merged).value()});
+}
+
+std::string ShardRouter::HandleHealth() {
+  ++books_.fanouts;
+  server::HealthReply aggregate;
+  aggregate.ready = true;
+  const std::string probe = server::EncodeRequest(server::HealthRequest{});
+  for (std::size_t shard = 0; shard < lanes_.size(); ++shard) {
+    if (!lanes_[shard].up) {
+      aggregate.ready = false;
+      continue;
+    }
+    auto reply = ForwardToShard(shard, probe);
+    if (!reply.ok()) {
+      aggregate.ready = false;
+      continue;
+    }
+    const auto decoded = server::DecodeReply(reply.value());
+    if (!decoded.ok() || !decoded.value().ok) {
+      aggregate.ready = false;
+      continue;
+    }
+    const auto body = server::DecodeHealthReplyBody(decoded.value().body);
+    if (!body.ok()) {
+      aggregate.ready = false;
+      continue;
+    }
+    const server::HealthReply& h = body.value();
+    aggregate.ready = aggregate.ready && h.ready;
+    aggregate.draining = aggregate.draining || h.draining;
+    aggregate.remine_in_flight = aggregate.remine_in_flight ||
+                                 h.remine_in_flight;
+    aggregate.degraded_graph = aggregate.degraded_graph || h.degraded_graph;
+    aggregate.queue_depth += h.queue_depth;
+    aggregate.idempotency_entries += h.idempotency_entries;
+    aggregate.stale_graph_minutes =
+        std::max(aggregate.stale_graph_minutes, h.stale_graph_minutes);
+    aggregate.clock_minute = std::max(aggregate.clock_minute, h.clock_minute);
+  }
+  return server::EncodeOkReply(aggregate);
+}
+
+}  // namespace defuse::router

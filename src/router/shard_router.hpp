@@ -1,0 +1,168 @@
+// The routing tier: one net::RequestHandler fronting N platform shards.
+//
+// A ShardRouter terminates the v2 wire protocol exactly like a single
+// PlatformServer would — same framing, same header, same error shapes —
+// and forwards each request over per-shard server::Client lanes:
+//
+//   * kInvoke routes by the invoked function's USER through the
+//     consistent-hash ring (mining is per-user, so a user's whole
+//     dependency neighborhood lives on one shard) and the request bytes
+//     are forwarded verbatim: the client's request id reaches the
+//     owning shard unchanged, which is what keeps the shard's
+//     idempotency window authoritative end to end. The router itself
+//     caches nothing — a routing tier that cached replies would have to
+//     carry its own window through every handoff.
+//   * kAdvanceTo / kRemineNow broadcast to every UP shard: the platform
+//     clock is a tier-wide heartbeat, and keeping shard clocks in
+//     lockstep is what makes per-shard re-mine cadences (and therefore
+//     the determinism bridge) line up. Down shards are skipped — they
+//     re-join the clock at their next heartbeat after recovery.
+//   * kStats / kSnapshot fan out to ALL shards and merge
+//     (state_merge.hpp); a down shard fails the whole read with
+//     kUnavailable rather than serving silently partial numbers.
+//   * kHealth aggregates and ALWAYS answers (control plane): ready only
+//     when every shard is ready, queue depths summed, clocks maxed.
+//   * kHello answers locally; the router speaks the same version.
+//
+// Failure isolation: a lane whose transport dies (reset, corrupt reply
+// frame, refused connect) marks only that shard down; its users fail
+// fast with kUnavailable + retry-after advice while every other shard
+// keeps serving untouched. The supervisor restarts the shard and
+// Reattach()es it. The kShardCrash fault site injects exactly that
+// death on the forwarding edge.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "net/server_core.hpp"
+#include "router/hash_ring.hpp"
+#include "router/shard_host.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "trace/model.hpp"
+
+namespace defuse::router {
+
+struct ShardRouterOptions {
+  std::size_t vnodes_per_shard = 64;
+  /// Retry-after advice attached to kUnavailable rejections (platform
+  /// minutes): how long the router expects a supervised restart to take.
+  MinuteDelta unavailable_retry_after = 1;
+  /// Fault hook for kShardCrash (drawn once per data-plane forward).
+  /// Not owned; may be null.
+  faults::FaultInjector* injector = nullptr;
+};
+
+struct ShardRouterBooks {
+  /// Data-plane requests forwarded to their owning shard (kInvoke).
+  std::uint64_t forwarded = 0;
+  /// Clock/re-mine broadcasts fanned out (kAdvanceTo, kRemineNow).
+  std::uint64_t broadcasts = 0;
+  /// Read fan-outs merged (kStats, kSnapshot, kHealth).
+  std::uint64_t fanouts = 0;
+  /// Requests failed fast with kUnavailable because their shard was
+  /// down (or a fan-out found a down shard).
+  std::uint64_t unavailable_rejections = 0;
+  /// Lane transport failures that marked a shard down.
+  std::uint64_t shard_transport_errors = 0;
+  /// Shard replies that did not decode as protocol replies (byzantine
+  /// or corrupted past the CRC); the lane is condemned like a reset.
+  std::uint64_t corrupt_shard_replies = 0;
+  /// kShardCrash faults fired on the forwarding edge.
+  std::uint64_t crashes_injected = 0;
+  /// Broadcast legs skipped because the shard was down.
+  std::uint64_t broadcast_skips_down = 0;
+};
+
+class ShardRouter final : public net::RequestHandler {
+ public:
+  /// `shards` are borrowed; they must outlive the router. Every shard
+  /// must already be Start()ed before traffic arrives.
+  ShardRouter(const trace::WorkloadModel& model,
+              std::vector<ShardHost*> shards, ShardRouterOptions options);
+
+  [[nodiscard]] std::string HandleRequest(std::string_view request) override;
+  [[nodiscard]] std::string EncodeTransportError(const Error& error) override;
+  [[nodiscard]] std::string EncodeRetryableError(
+      const Error& error, MinuteDelta retry_after) override;
+  [[nodiscard]] std::optional<net::RequestEnvelope> InspectRequest(
+      std::string_view request) override;
+  [[nodiscard]] Minute ClockMinute() override;
+  // HasCachedReply stays false: deduplication is the owning shard's job.
+
+  [[nodiscard]] const HashRing& ring() const noexcept { return ring_; }
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return lanes_.size();
+  }
+  [[nodiscard]] std::size_t ShardForUser(UserId user) const noexcept {
+    return ring_.ShardForUser(user);
+  }
+  [[nodiscard]] std::size_t ShardForFunction(FunctionId fn) const;
+  /// The full routing table (function index -> shard), as state_merge
+  /// wants it.
+  [[nodiscard]] std::vector<std::size_t> FunctionOwners() const;
+
+  [[nodiscard]] bool IsUp(std::size_t shard) const;
+  /// Takes `shard` out of rotation: its users fail fast kUnavailable.
+  void MarkDown(std::size_t shard);
+  /// Readmits `shard` after a restart (the lane reconnects lazily).
+  void Reattach(std::size_t shard);
+  /// Swaps the backend serving `shard` (handoff destination) and
+  /// readmits it. The old host keeps its state; the caller owns both.
+  void ReplaceShard(std::size_t shard, ShardHost* replacement);
+  [[nodiscard]] ShardHost* shard_host(std::size_t shard) const;
+
+  using Connector =
+      std::function<Result<std::unique_ptr<net::ClientChannel>>()>;
+  /// Test hook: lane channels for `shard` come from `connector` instead
+  /// of ShardHost::Connect — the forwarding fuzz suite interposes
+  /// corrupting channels here.
+  void OverrideConnectorForTest(std::size_t shard, Connector connector);
+
+  [[nodiscard]] const ShardRouterBooks& books() const noexcept {
+    return books_;
+  }
+
+ private:
+  struct Lane {
+    ShardHost* host = nullptr;
+    std::unique_ptr<server::Client> client;  // lazy; dropped on failure
+    Connector connector;                     // test override, may be null
+    bool up = true;
+  };
+
+  /// The lane's client, (re)connecting if needed; null marks it down.
+  [[nodiscard]] server::Client* LaneClient(std::size_t shard);
+  /// Forwards raw request bytes on one lane. A transport failure or a
+  /// non-protocol reply marks the shard down and returns an error.
+  [[nodiscard]] Result<std::string> ForwardToShard(std::size_t shard,
+                                                   std::string_view request);
+  /// Fires the kShardCrash site for a data-plane forward to `shard`;
+  /// true when the shard just died under the request.
+  [[nodiscard]] bool MaybeInjectCrash(std::size_t shard);
+  [[nodiscard]] std::string UnavailableReply(std::size_t shard);
+
+  [[nodiscard]] std::string HandleInvoke(const server::Request& request,
+                                         std::string_view raw);
+  [[nodiscard]] std::string HandleBroadcast(const server::Request& request,
+                                            std::string_view raw);
+  [[nodiscard]] std::string HandleStats(std::string_view raw);
+  [[nodiscard]] std::string HandleSnapshot(std::string_view raw);
+  [[nodiscard]] std::string HandleHealth();
+
+  const trace::WorkloadModel& model_;
+  ShardRouterOptions options_;
+  HashRing ring_;
+  std::vector<Lane> lanes_;
+  Minute clock_ = 0;
+  ShardRouterBooks books_;
+};
+
+}  // namespace defuse::router

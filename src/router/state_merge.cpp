@@ -1,0 +1,435 @@
+#include "router/state_merge.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/csv.hpp"
+
+namespace defuse::router {
+
+namespace {
+
+constexpr std::string_view kStateHeader = "defuse-platform-state-v3";
+constexpr std::uint32_t kNoUnit = ~std::uint32_t{0};
+
+/// Function-name -> dense id. Lookup only, never iterated: no hash
+/// order can reach the merged output.
+[[nodiscard]] std::unordered_map<std::string_view, std::uint32_t> NameIndex(
+    const trace::WorkloadModel& model) {
+  std::unordered_map<std::string_view, std::uint32_t> index;
+  index.reserve(model.num_functions());
+  for (const auto& fn : model.functions()) index.emplace(fn.name, fn.id.value());
+  return index;
+}
+
+/// One shard's SaveState, exploded into per-function / per-unit rows so
+/// the merge can select verbatim lines by owner.
+struct ShardState {
+  /// last_now, next_remine, then the 8 stats counters in declaration
+  /// order — exactly the SaveState meta line.
+  std::array<std::int64_t, 10> meta{};
+  /// Shard-local unit id -> sorted member function indexes.
+  std::vector<std::vector<std::uint32_t>> sets;
+  /// Function index -> shard-local unit id (kNoUnit when the shard's
+  /// sets never mention it — impossible for a well-formed SaveState).
+  std::vector<std::uint32_t> unit_of;
+  std::vector<std::string> histogram_of;   // unit -> serialized payload
+  std::vector<std::string> residency_of;   // fn -> verbatim line
+  std::vector<std::string> unit_state_of;  // unit -> payload after "u,"
+  std::vector<std::string> counters_of;    // fn -> verbatim line
+  std::vector<std::string> history_of;     // fn -> verbatim lines + '\n'
+};
+
+[[nodiscard]] Result<ShardState> ParseShardState(
+    std::string_view text, const trace::WorkloadModel& model,
+    const std::unordered_map<std::string_view, std::uint32_t>& names,
+    std::size_t shard) {
+  enum class Section {
+    kMeta, kSets, kHistograms, kResidency, kUnitState, kFnCounters, kHistory
+  };
+  const auto fail = [shard](const std::string& what) -> Error {
+    return Error{ErrorCode::kParseError,
+                 "shard " + std::to_string(shard) + " state: " + what};
+  };
+  ShardState state;
+  state.unit_of.assign(model.num_functions(), kNoUnit);
+  state.residency_of.resize(model.num_functions());
+  state.counters_of.resize(model.num_functions());
+  state.history_of.resize(model.num_functions());
+
+  Section section = Section::kMeta;
+  bool saw_header = false, saw_meta = false;
+  bool skipped_hist_header = false, skipped_history_header = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!saw_header) {
+      if (line != kStateHeader) {
+        return fail("expected " + std::string{kStateHeader} + " header");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (line == "[sets]") { section = Section::kSets; continue; }
+    if (line == "[histograms]") { section = Section::kHistograms; continue; }
+    if (line == "[residency]") { section = Section::kResidency; continue; }
+    if (line == "[unit_state]") { section = Section::kUnitState; continue; }
+    if (line == "[fn_counters]") { section = Section::kFnCounters; continue; }
+    if (line == "[history]") { section = Section::kHistory; continue; }
+    if (line.empty()) continue;
+    switch (section) {
+      case Section::kMeta: {
+        if (line.rfind("meta,", 0) != 0) return fail("missing meta line");
+        std::string_view rest = line.substr(5);
+        for (std::size_t field = 0; field < state.meta.size(); ++field) {
+          const std::size_t comma = rest.find(',');
+          const auto value = ParseI64(rest.substr(0, comma));
+          if (!value.ok()) return fail("bad meta field");
+          state.meta[field] = value.value();
+          if (comma == std::string_view::npos) {
+            if (field + 1 != state.meta.size()) return fail("short meta line");
+            break;
+          }
+          rest.remove_prefix(comma + 1);
+        }
+        saw_meta = true;
+        break;
+      }
+      case Section::kSets: {
+        if (line == "set_id,function") break;  // section header
+        const std::size_t comma = line.find(',');
+        if (comma == std::string_view::npos) return fail("bad sets row");
+        const auto id = ParseU64(line.substr(0, comma));
+        if (!id.ok()) return fail("bad set id");
+        const auto it = names.find(line.substr(comma + 1));
+        if (it == names.end()) {
+          return fail("unknown function '" + std::string{line.substr(comma + 1)} +
+                      "' in sets");
+        }
+        if (id.value() >= model.num_functions()) return fail("set id out of range");
+        const auto unit = static_cast<std::uint32_t>(id.value());
+        if (state.sets.size() <= unit) state.sets.resize(unit + 1);
+        state.sets[unit].push_back(it->second);
+        if (state.unit_of[it->second] != kNoUnit) {
+          return fail("function in two sets");
+        }
+        state.unit_of[it->second] = unit;
+        break;
+      }
+      case Section::kHistograms: {
+        if (!skipped_hist_header && line == "unit,histogram") {
+          skipped_hist_header = true;
+          break;
+        }
+        const std::size_t comma = line.find(',');
+        if (comma == std::string_view::npos) return fail("bad histogram row");
+        const auto unit = ParseU64(line.substr(0, comma));
+        if (!unit.ok() || unit.value() >= model.num_functions()) {
+          return fail("bad histogram unit");
+        }
+        if (state.histogram_of.size() <= unit.value()) {
+          state.histogram_of.resize(unit.value() + 1);
+        }
+        state.histogram_of[unit.value()] = std::string{line.substr(comma + 1)};
+        break;
+      }
+      case Section::kResidency: {
+        const std::size_t comma = line.find(',');
+        if (comma == std::string_view::npos) return fail("bad residency row");
+        const auto fn = ParseU64(line.substr(0, comma));
+        if (!fn.ok() || fn.value() >= model.num_functions()) {
+          return fail("bad residency function");
+        }
+        state.residency_of[fn.value()] = std::string{line};
+        break;
+      }
+      case Section::kUnitState: {
+        const std::size_t comma = line.find(',');
+        if (comma == std::string_view::npos) return fail("bad unit_state row");
+        const auto unit = ParseU64(line.substr(0, comma));
+        if (!unit.ok() || unit.value() >= model.num_functions()) {
+          return fail("bad unit_state unit");
+        }
+        if (state.unit_state_of.size() <= unit.value()) {
+          state.unit_state_of.resize(unit.value() + 1);
+        }
+        state.unit_state_of[unit.value()] = std::string{line.substr(comma + 1)};
+        break;
+      }
+      case Section::kFnCounters: {
+        const std::size_t comma = line.find(',');
+        if (comma == std::string_view::npos) return fail("bad fn_counters row");
+        const auto fn = ParseU64(line.substr(0, comma));
+        if (!fn.ok() || fn.value() >= model.num_functions()) {
+          return fail("bad fn_counters function");
+        }
+        state.counters_of[fn.value()] = std::string{line};
+        break;
+      }
+      case Section::kHistory: {
+        if (!skipped_history_header && line == "user,app,function,minute,count") {
+          skipped_history_header = true;
+          break;
+        }
+        const auto fields = SplitCsvLine(line);
+        if (fields.size() != 5) return fail("bad history row");
+        const auto it = names.find(fields[2]);
+        if (it == names.end()) {
+          return fail("unknown function '" + std::string{fields[2]} +
+                      "' in history");
+        }
+        state.history_of[it->second] += line;
+        state.history_of[it->second] += '\n';
+        break;
+      }
+    }
+  }
+  if (!saw_meta) return fail("missing meta line");
+  for (auto& set : state.sets) std::sort(set.begin(), set.end());
+  return state;
+}
+
+/// The dense unit renumbering shared by the SaveState and CSV merges:
+/// scanning functions in ascending index order and emitting each not-
+/// yet-placed function's owner-shard set reproduces ConnectedComponents'
+/// smallest-member ordering. Returns merged unit -> (owner shard,
+/// owner-local unit id).
+[[nodiscard]] Result<std::vector<std::pair<std::size_t, std::uint32_t>>>
+MergeUnits(const trace::WorkloadModel& model,
+           const std::vector<ShardState>& shards,
+           const std::vector<std::size_t>& fn_owner) {
+  std::vector<std::pair<std::size_t, std::uint32_t>> merged;
+  std::vector<bool> placed(model.num_functions(), false);
+  for (std::uint32_t f = 0; f < model.num_functions(); ++f) {
+    if (placed[f]) continue;
+    const std::size_t owner = fn_owner[f];
+    const std::uint32_t unit = shards[owner].unit_of[f];
+    if (unit == kNoUnit) {
+      return Error{ErrorCode::kDataLoss,
+                   "shard " + std::to_string(owner) +
+                       " state covers no set for function " +
+                       std::to_string(f)};
+    }
+    const auto& members = shards[owner].sets[unit];
+    for (const std::uint32_t g : members) {
+      if (placed[g] || fn_owner[g] != owner) {
+        return Error{ErrorCode::kDataLoss,
+                     "user partition violated: function " + std::to_string(g) +
+                         " mined into a set on shard " + std::to_string(owner) +
+                         " which does not own it"};
+      }
+      placed[g] = true;
+      // A non-singleton set must be the owner's alone: every other
+      // shard never saw these functions in a transaction.
+      if (members.size() > 1) {
+        for (std::size_t t = 0; t < shards.size(); ++t) {
+          if (t == owner) continue;
+          const std::uint32_t tu = shards[t].unit_of[g];
+          if (tu != kNoUnit && shards[t].sets[tu].size() > 1) {
+            return Error{ErrorCode::kDataLoss,
+                         "function " + std::to_string(g) +
+                             " is in non-singleton sets on two shards"};
+          }
+        }
+      }
+    }
+    merged.emplace_back(owner, unit);
+  }
+  return merged;
+}
+
+}  // namespace
+
+platform::PlatformStats MergeShardStats(
+    const std::vector<platform::PlatformStats>& shard_stats) {
+  platform::PlatformStats merged;
+  for (const auto& s : shard_stats) {
+    merged.invocations += s.invocations;
+    merged.cold_invocations += s.cold_invocations;
+    merged.prewarm_spawn_failures += s.prewarm_spawn_failures;
+    merged.prewarm_spawns_abandoned += s.prewarm_spawns_abandoned;
+    merged.remines = std::max(merged.remines, s.remines);
+    merged.degraded_remines = std::max(merged.degraded_remines, s.degraded_remines);
+    merged.stale_graph_minutes =
+        std::max(merged.stale_graph_minutes, s.stale_graph_minutes);
+    merged.catchup_remines_skipped =
+        std::max(merged.catchup_remines_skipped, s.catchup_remines_skipped);
+  }
+  return merged;
+}
+
+Result<std::string> MergeShardStates(const trace::WorkloadModel& model,
+                                     const std::vector<std::string>& states,
+                                     const std::vector<std::size_t>& fn_owner) {
+  if (states.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "no shard states to merge"};
+  }
+  if (fn_owner.size() != model.num_functions()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "fn_owner does not cover the model"};
+  }
+  for (const std::size_t owner : fn_owner) {
+    if (owner >= states.size()) {
+      return Error{ErrorCode::kInvalidArgument, "fn_owner shard out of range"};
+    }
+  }
+  const auto names = NameIndex(model);
+  std::vector<ShardState> shards;
+  shards.reserve(states.size());
+  for (std::size_t s = 0; s < states.size(); ++s) {
+    auto parsed = ParseShardState(states[s], model, names, s);
+    if (!parsed.ok()) return parsed.error();
+    shards.push_back(std::move(parsed).value());
+  }
+  // Traffic may only have landed on owners.
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    for (std::uint32_t f = 0; f < model.num_functions(); ++f) {
+      if (!shards[s].counters_of[f].empty() && fn_owner[f] != s) {
+        return Error{ErrorCode::kDataLoss,
+                     "user partition violated: shard " + std::to_string(s) +
+                         " served function " + std::to_string(f) +
+                         " it does not own"};
+      }
+    }
+  }
+
+  auto merged_units = MergeUnits(model, shards, fn_owner);
+  if (!merged_units.ok()) return merged_units.error();
+  const auto& units = merged_units.value();
+
+  // Meta: clocks and cadence counters take max, traffic counters sum
+  // (indexes: 0 last_now, 1 next_remine, 2 invocations, 3 cold,
+  // 4 remines, 5 degraded, 6 stale, 7 spawn_failures, 8 abandoned,
+  // 9 catchup_skipped).
+  std::array<std::int64_t, 10> meta{};
+  constexpr std::array<bool, 10> kSums = {false, false, true, true, false,
+                                          false, false, true, true, false};
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    for (std::size_t field = 0; field < meta.size(); ++field) {
+      if (kSums[field]) {
+        meta[field] += shards[i].meta[field];
+      } else if (i == 0 || shards[i].meta[field] > meta[field]) {
+        meta[field] = shards[i].meta[field];
+      }
+    }
+  }
+
+  std::string out{kStateHeader};
+  out += "\nmeta";
+  for (const std::int64_t field : meta) {
+    out += ',';
+    out += std::to_string(field);
+  }
+  out += '\n';
+
+  out += "[sets]\nset_id,function\n";
+  for (std::size_t m = 0; m < units.size(); ++m) {
+    const auto& [owner, unit] = units[m];
+    for (const std::uint32_t f : shards[owner].sets[unit]) {
+      out += std::to_string(m);
+      out += ',';
+      out += model.function(FunctionId{f}).name;
+      out += '\n';
+    }
+  }
+
+  out += "[histograms]\nunit,histogram\n";
+  for (std::size_t m = 0; m < units.size(); ++m) {
+    const auto& [owner, unit] = units[m];
+    const auto& histograms = shards[owner].histogram_of;
+    if (unit < histograms.size() && !histograms[unit].empty()) {
+      out += std::to_string(m);
+      out += ',';
+      out += histograms[unit];
+      out += '\n';
+    }
+  }
+
+  out += "[residency]\n";
+  for (std::uint32_t f = 0; f < model.num_functions(); ++f) {
+    const std::string& line = shards[fn_owner[f]].residency_of[f];
+    if (!line.empty()) {
+      out += line;
+      out += '\n';
+    }
+  }
+
+  out += "[unit_state]\n";
+  for (std::size_t m = 0; m < units.size(); ++m) {
+    const auto& [owner, unit] = units[m];
+    const auto& unit_states = shards[owner].unit_state_of;
+    if (unit < unit_states.size() && !unit_states[unit].empty()) {
+      out += std::to_string(m);
+      out += ',';
+      out += unit_states[unit];
+      out += '\n';
+    }
+  }
+
+  out += "[fn_counters]\n";
+  for (std::uint32_t f = 0; f < model.num_functions(); ++f) {
+    const std::string& line = shards[fn_owner[f]].counters_of[f];
+    if (!line.empty()) {
+      out += line;
+      out += '\n';
+    }
+  }
+
+  out += "[history]\nuser,app,function,minute,count\n";
+  for (const auto& fn : model.functions()) {
+    out += shards[fn_owner[fn.id.value()]].history_of[fn.id.value()];
+  }
+  return out;
+}
+
+Result<std::string> MergeDependencySetCsvs(
+    const trace::WorkloadModel& model, const std::vector<std::string>& csvs,
+    const std::vector<std::size_t>& fn_owner) {
+  if (csvs.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "no shard CSVs to merge"};
+  }
+  if (fn_owner.size() != model.num_functions()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "fn_owner does not cover the model"};
+  }
+  for (const std::size_t owner : fn_owner) {
+    if (owner >= csvs.size()) {
+      return Error{ErrorCode::kInvalidArgument, "fn_owner shard out of range"};
+    }
+  }
+  const auto names = NameIndex(model);
+  // Reuse the SaveState sets parser by wrapping each CSV body in a
+  // minimal state envelope.
+  std::vector<ShardState> shards;
+  shards.reserve(csvs.size());
+  for (std::size_t s = 0; s < csvs.size(); ++s) {
+    std::string wrapped{kStateHeader};
+    wrapped += "\nmeta,0,0,0,0,0,0,0,0,0,0\n[sets]\n";
+    wrapped += csvs[s];
+    auto parsed = ParseShardState(wrapped, model, names, s);
+    if (!parsed.ok()) return parsed.error();
+    shards.push_back(std::move(parsed).value());
+  }
+  auto merged_units = MergeUnits(model, shards, fn_owner);
+  if (!merged_units.ok()) return merged_units.error();
+  const auto& units = merged_units.value();
+  std::string out = "set_id,function\n";
+  for (std::size_t m = 0; m < units.size(); ++m) {
+    const auto& [owner, unit] = units[m];
+    for (const std::uint32_t f : shards[owner].sets[unit]) {
+      out += std::to_string(m);
+      out += ',';
+      out += model.function(FunctionId{f}).name;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace defuse::router

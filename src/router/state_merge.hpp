@@ -1,0 +1,61 @@
+// Deterministic cross-shard state merging.
+//
+// The determinism bridge's contract is byte-identity: a sharded tier
+// driven in lockstep with a single-shard daemon must produce the SAME
+// bytes for PlatformStats, Platform::SaveState(), and the dependency-set
+// CSV. That is only possible because Defuse's mining is strictly
+// per-user (transactions, FP-Growth, and PPMI weak deps all shard by
+// user — see mining/parallel.hpp): a shard's mined sets for its own
+// users are bit-identical to the single daemon's, and every function it
+// does not own stays an untouched singleton with zero history, zero
+// counters, and an empty histogram. Merging is therefore selection, not
+// arithmetic — each function's rows come verbatim from the one shard
+// that owns its user — plus a dense renumbering of units that reproduces
+// ConnectedComponents' smallest-member ordering exactly.
+//
+// Stats counters merge by kind:
+//   * traffic counters (invocations, cold_invocations,
+//     prewarm_spawn_failures, prewarm_spawns_abandoned): SUM — each
+//     shard saw a disjoint slice of the traffic;
+//   * cadence counters (remines, degraded_remines, stale_graph_minutes,
+//     catchup_remines_skipped) and the clocks (last_now, next_remine):
+//     MAX — every shard crosses the same re-mine boundaries, so under
+//     lockstep the values agree and max is the identity; after a shard
+//     was down, max reports the tier's most advanced view instead of
+//     double-counting shared cadence events.
+//
+// `fn_owner` is the routing table (function index -> shard index, as the
+// router derives it from the hash ring; FunctionOwners() in
+// shard_router.hpp). The merge validates it: traffic or a mined
+// non-singleton set on a non-owner shard means the user partition was
+// violated and the merge fails kDataLoss rather than guessing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "platform/platform.hpp"
+#include "trace/model.hpp"
+
+namespace defuse::router {
+
+/// Merges per-shard PlatformStats by the counter-kind rules above.
+[[nodiscard]] platform::PlatformStats MergeShardStats(
+    const std::vector<platform::PlatformStats>& shard_stats);
+
+/// Merges per-shard Platform::SaveState() blobs into the byte-identical
+/// single-platform SaveState. `states[s]` is shard s's blob; `fn_owner`
+/// maps every function index to its owning shard.
+[[nodiscard]] Result<std::string> MergeShardStates(
+    const trace::WorkloadModel& model, const std::vector<std::string>& states,
+    const std::vector<std::size_t>& fn_owner);
+
+/// Merges per-shard WriteDependencySetsCsv bodies (unchecksummed) into
+/// the byte-identical single-platform CSV body.
+[[nodiscard]] Result<std::string> MergeDependencySetCsvs(
+    const trace::WorkloadModel& model, const std::vector<std::string>& csvs,
+    const std::vector<std::size_t>& fn_owner);
+
+}  // namespace defuse::router

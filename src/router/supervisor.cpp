@@ -1,0 +1,112 @@
+#include "router/supervisor.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "server/client.hpp"
+
+namespace defuse::router {
+
+const char* ShardConditionName(ShardCondition c) noexcept {
+  switch (c) {
+    case ShardCondition::kUp:
+      return "up";
+    case ShardCondition::kSuspect:
+      return "suspect";
+    case ShardCondition::kDown:
+      return "down";
+  }
+  return "?";
+}
+
+ShardSupervisor::ShardSupervisor(ShardRouter& router,
+                                 SupervisorOptions options)
+    : router_(router),
+      options_(options),
+      watches_(router.num_shards()) {}
+
+void ShardSupervisor::Tick() {
+  ++books_.ticks;
+  for (std::size_t shard = 0; shard < watches_.size(); ++shard) {
+    Observe(shard);
+    if (watches_[shard].condition == ShardCondition::kDown) {
+      Restart(shard);
+    }
+  }
+}
+
+void ShardSupervisor::Transition(std::size_t shard, ShardCondition next) {
+  Watch& watch = watches_[shard];
+  if (watch.condition == next) return;
+  if (next == ShardCondition::kSuspect) ++books_.suspects;
+  if (next == ShardCondition::kDown) ++books_.downs_detected;
+  DEFUSE_LOG_INFO << "supervisor: shard " << shard << " "
+                  << ShardConditionName(watch.condition) << " -> "
+                  << ShardConditionName(next);
+  watch.condition = next;
+}
+
+void ShardSupervisor::Observe(std::size_t shard) {
+  Watch& watch = watches_[shard];
+  // Channel 1: the router already condemned the lane (transport reset
+  // or corrupt reply mid-forward). Believe it without probing.
+  if (!router_.IsUp(shard)) {
+    Transition(shard, ShardCondition::kDown);
+    return;
+  }
+  // Channel 3 precondition: the probe itself may be lost in flight.
+  if (options_.injector != nullptr &&
+      options_.injector->ShouldFail(faults::FaultSite::kProbeLoss)) {
+    ++books_.probes_lost;
+    ++watch.missed_probes;
+    if (watch.missed_probes >= options_.probe_loss_threshold) {
+      // The shard may well be healthy — only its probes are dying. The
+      // restart is still safe (durable shards recover byte-identically
+      // from the journal); what it costs is an availability window.
+      router_.MarkDown(shard);
+      Transition(shard, ShardCondition::kDown);
+    } else {
+      Transition(shard, ShardCondition::kSuspect);
+    }
+    return;
+  }
+  // Probe on a fresh channel, not the router's forwarding lane: a probe
+  // must never perturb data-plane connection state.
+  ++books_.probes_sent;
+  auto channel = router_.shard_host(shard)->Connect();
+  if (!channel.ok()) {
+    // Channel 2: connect refused — the shard process is gone. No
+    // threshold; down immediately.
+    router_.MarkDown(shard);
+    Transition(shard, ShardCondition::kDown);
+    return;
+  }
+  server::Client probe{std::move(channel).value()};
+  if (!probe.Health().ok()) {
+    router_.MarkDown(shard);
+    Transition(shard, ShardCondition::kDown);
+    return;
+  }
+  watch.missed_probes = 0;
+  Transition(shard, ShardCondition::kUp);
+}
+
+void ShardSupervisor::Restart(std::size_t shard) {
+  Watch& watch = watches_[shard];
+  auto report = router_.shard_host(shard)->Restart();
+  if (!report.ok()) {
+    ++books_.restart_failures;
+    DEFUSE_LOG_WARN << "supervisor: shard " << shard
+                    << " restart failed (will retry): "
+                    << report.error().ToString();
+    return;
+  }
+  watch.last_recovery = std::move(report).value();
+  watch.missed_probes = 0;
+  router_.Reattach(shard);
+  ++books_.restarts;
+  Transition(shard, ShardCondition::kUp);
+}
+
+}  // namespace defuse::router

@@ -1,0 +1,126 @@
+// Supervised recovery for the multi-shard serving tier.
+//
+// A ShardSupervisor watches every shard behind a ShardRouter and drives
+// a small per-shard state machine:
+//
+//            probe lost                 misses >= threshold,
+//            (kProbeLoss)               connect refused, or lane
+//       +-------------------+           already marked down
+//   kUp | -----> kSuspect --+--------> kDown -----> (restart) ----> kUp
+//    ^  |                   |                          |
+//    +--+<------------------+                          | restart
+//       probe answered                                 v failed
+//                                                  stays kDown,
+//                                                  retried next tick
+//
+// Detection runs on three channels, deliberately distinct:
+//   1. The router's own lane state — a transport reset or corrupt reply
+//      during forwarding marks the lane down; the supervisor sees it on
+//      the next tick without sending anything.
+//   2. Connect-refused — a probe that cannot even open a channel means
+//      the shard is dead (a crashed ShardHost refuses like a dead
+//      listener); down immediately, no threshold.
+//   3. Missed health probes — the kProbeLoss fault site models dropped
+//      probe packets against a live shard. One miss makes the shard
+//      suspect; `probe_loss_threshold` consecutive misses make it down.
+//      This channel can condemn a HEALTHY shard (the probes were lost,
+//      not the shard) — restarting one is safe because durable shards
+//      recover byte-identically from their journal; the exposure is
+//      availability (a needless restart window), never state.
+//
+// A down shard is restarted in the same tick through the PR-2 recovery
+// ladder (ShardHost::Restart) and re-admitted to the router on success.
+// While it is down the router fails its users fast with kUnavailable —
+// the supervisor never blocks the serving path.
+//
+// Single-threaded like the rest of the loopback tier: Tick() is called
+// from the daemon's poll loop (or a test's retry SleepFn), never
+// concurrently with request handling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "faults/injector.hpp"
+#include "platform/durability/recovery.hpp"
+#include "router/shard_router.hpp"
+
+namespace defuse::router {
+
+enum class ShardCondition : std::uint8_t {
+  kUp = 0,
+  /// Probes are going unanswered but the miss count is below threshold.
+  kSuspect = 1,
+  /// Declared dead; the router fails its users fast until restart.
+  kDown = 2,
+};
+
+[[nodiscard]] const char* ShardConditionName(ShardCondition c) noexcept;
+
+struct SupervisorOptions {
+  /// Consecutive lost probes before a suspect shard is declared down.
+  std::uint32_t probe_loss_threshold = 3;
+  /// Fault hook for kProbeLoss (drawn once per probe). Not owned; may
+  /// be null.
+  faults::FaultInjector* injector = nullptr;
+};
+
+struct SupervisorBooks {
+  std::uint64_t ticks = 0;
+  std::uint64_t probes_sent = 0;
+  /// Probes dropped by the kProbeLoss site (never reached the shard).
+  std::uint64_t probes_lost = 0;
+  /// kUp -> kSuspect transitions.
+  std::uint64_t suspects = 0;
+  /// Transitions into kDown, by any detection channel.
+  std::uint64_t downs_detected = 0;
+  /// Successful restarts (shard re-admitted to the router).
+  std::uint64_t restarts = 0;
+  /// Restart attempts whose recovery ladder failed; retried next tick.
+  std::uint64_t restart_failures = 0;
+};
+
+class ShardSupervisor {
+ public:
+  /// Borrows the router (and through it the shard hosts); both must
+  /// outlive the supervisor.
+  ShardSupervisor(ShardRouter& router, SupervisorOptions options);
+
+  /// One supervision round over every shard: probe, advance the state
+  /// machine, restart whatever is down, re-admit what recovered.
+  void Tick();
+
+  [[nodiscard]] ShardCondition condition(std::size_t shard) const {
+    return watches_[shard].condition;
+  }
+  /// The recovery report of `shard`'s most recent supervised restart
+  /// (empty before any).
+  [[nodiscard]] const std::optional<platform::durability::RecoveryReport>&
+  last_recovery(std::size_t shard) const {
+    return watches_[shard].last_recovery;
+  }
+  [[nodiscard]] const SupervisorBooks& books() const noexcept {
+    return books_;
+  }
+
+ private:
+  struct Watch {
+    ShardCondition condition = ShardCondition::kUp;
+    std::uint32_t missed_probes = 0;
+    std::optional<platform::durability::RecoveryReport> last_recovery;
+  };
+
+  /// Advances one shard's detection state machine (no restarts here).
+  void Observe(std::size_t shard);
+  /// Restarts one down shard through the recovery ladder.
+  void Restart(std::size_t shard);
+  void Transition(std::size_t shard, ShardCondition next);
+
+  ShardRouter& router_;
+  SupervisorOptions options_;
+  std::vector<Watch> watches_;
+  SupervisorBooks books_;
+};
+
+}  // namespace defuse::router

@@ -105,6 +105,10 @@ Result<HealthReply> Client::Health() {
   return DecodeHealthReplyBody(body.value());
 }
 
+Result<std::string> Client::Forward(std::string_view request_payload) {
+  return RoundTrip(request_payload);
+}
+
 // ---- RetryingClient --------------------------------------------------------
 
 RetryingClient::RetryingClient(Connector connector, RetryPolicy policy,
@@ -113,7 +117,7 @@ RetryingClient::RetryingClient(Connector connector, RetryPolicy policy,
       policy_(policy),
       sleep_(std::move(sleep)) {}
 
-bool RetryingClient::EnsureConnected() {
+bool RetryingClient::EnsureConnected(RetryingClientStats& delta) {
   if (client_ != nullptr && !client_->connection_dead()) return true;
   client_.reset();
   auto channel = connector_();
@@ -121,7 +125,7 @@ bool RetryingClient::EnsureConnected() {
   client_ = std::make_unique<Client>(std::move(channel).value());
   // Any connect after the first is a reconnect — `client_` being null
   // here says nothing, since Call() drops the dead client eagerly.
-  if (ever_connected_) ++stats_.reconnects;
+  if (ever_connected_) delta.reconnects = 1;
   ever_connected_ = true;
   return true;
 }

@@ -20,10 +20,11 @@
 //
 // RetryingClient wraps connect-and-retry policy around the raw Client:
 // it reconnects through a Connector after transport errors, retries
-// sheds (kResourceExhausted) honoring the server's retry-after advice,
-// reuses the SAME request id across retries of one logical operation
-// (the exactly-once contract), and never retries terminal remote errors
-// such as kDeadlineExceeded or kInvalidArgument.
+// sheds (kResourceExhausted) and shard outages (kUnavailable) honoring
+// the server's retry-after advice, reuses the SAME request id across
+// retries of one logical operation (the exactly-once contract), and
+// never retries terminal remote errors such as kDeadlineExceeded or
+// kInvalidArgument.
 #pragma once
 
 #include <cstdint>
@@ -58,6 +59,14 @@ class Client {
   /// Readiness probe (control plane: answered even under overload).
   [[nodiscard]] Result<HealthReply> Health();
 
+  /// Raw pass-through round trip for the shard router: sends an
+  /// already-encoded request payload and returns the reply payload
+  /// verbatim — CRC-verified by the framing but NOT decoded, so the
+  /// router can forward a shard's reply bytes to its client unchanged.
+  /// Transport errors (write/read failure, corrupt frame) kill the
+  /// connection exactly like the typed calls.
+  [[nodiscard]] Result<std::string> Forward(std::string_view request_payload);
+
   /// True after a transport-level failure (write/read error, corrupt
   /// response frame): the connection is gone and every further call
   /// fails fast. Remote error replies do NOT set this.
@@ -82,7 +91,12 @@ class Client {
   MinuteDelta last_retry_after_ = kNoRetryAfter;
 };
 
-/// Counters a RetryingClient keeps about its own effort.
+/// Counters a RetryingClient keeps about its own effort. Also the
+/// staging type for one attempt's deltas: counters for an attempt are
+/// committed together when the attempt resolves, never piecemeal, so a
+/// snapshot taken mid-retry (from a SleepFn, a supervisor tick, or the
+/// failover bench) is always coherent — `attempts` only ever counts
+/// tries whose outcome counters have landed too.
 struct RetryingClientStats {
   /// Individual tries, including first attempts.
   std::uint64_t attempts = 0;
@@ -90,11 +104,16 @@ struct RetryingClientStats {
   std::uint64_t reconnects = 0;
   /// Shed replies (kResourceExhausted) observed and retried.
   std::uint64_t sheds_observed = 0;
+  /// Shard-outage replies (kUnavailable) observed and retried.
+  std::uint64_t unavailable_observed = 0;
   /// Sleeps where the server's retry-after advice exceeded (and so
   /// replaced) the policy's own backoff delay.
   std::uint64_t retry_after_honored = 0;
   /// Logical operations that exhausted every attempt.
   std::uint64_t gave_up = 0;
+
+  friend bool operator==(const RetryingClientStats&,
+                         const RetryingClientStats&) noexcept = default;
 };
 
 class RetryingClient {
@@ -124,17 +143,33 @@ class RetryingClient {
   [[nodiscard]] Result<SnapshotReply> Snapshot();
   [[nodiscard]] Result<HealthReply> Health();
 
+  /// Coherent counter snapshot, safe to read mid-retry (see
+  /// RetryingClientStats). The router failover tests and bench_serving
+  /// diff two of these around a fault window.
+  [[nodiscard]] RetryingClientStats Books() const noexcept { return stats_; }
+
   [[nodiscard]] const RetryingClientStats& retry_stats() const noexcept {
     return stats_;
   }
 
  private:
   /// True when a live connection exists (reconnecting if needed).
-  [[nodiscard]] bool EnsureConnected();
+  /// Books a performed reconnect into `delta`, not into stats_ — the
+  /// attempt in progress commits it.
+  [[nodiscard]] bool EnsureConnected(RetryingClientStats& delta);
+
+  /// Folds one resolved attempt's deltas into the books in a single
+  /// step (the mid-retry coherence contract of Books()).
+  void CommitAttempt(const RetryingClientStats& delta) noexcept {
+    stats_.attempts += delta.attempts;
+    stats_.reconnects += delta.reconnects;
+    stats_.sheds_observed += delta.sheds_observed;
+    stats_.unavailable_observed += delta.unavailable_observed;
+  }
 
   /// Runs `op` under the retry policy. Retried: connect failures,
-  /// transport deaths, sheds (honoring retry-after advice). Terminal:
-  /// success and every other remote error.
+  /// transport deaths, sheds and shard outages (honoring retry-after
+  /// advice). Terminal: success and every other remote error.
   template <typename T, typename Op>
   [[nodiscard]] Result<T> Call(std::uint64_t request_id, Minute deadline,
                                Op&& op) {
@@ -143,20 +178,32 @@ class RetryingClient {
     const auto outcome = RetryWithBackoff(
         policy_,
         [&]() -> bool {
-          ++stats_.attempts;
-          if (!EnsureConnected()) return false;  // retry the connect
-          result = op(*client_, header);
-          if (result.ok()) return true;
-          if (client_->connection_dead()) {
-            client_.reset();  // reconnect on the next try, SAME id
-            return false;
+          RetryingClientStats delta;
+          delta.attempts = 1;
+          bool terminal = false;
+          if (!EnsureConnected(delta)) {
+            terminal = false;  // retry the connect
+          } else {
+            result = op(*client_, header);
+            if (result.ok()) {
+              terminal = true;
+            } else if (client_->connection_dead()) {
+              client_.reset();  // reconnect on the next try, SAME id
+              terminal = false;
+            } else if (result.error().code == ErrorCode::kResourceExhausted) {
+              delta.sheds_observed = 1;
+              pending_advice_ = client_->last_retry_after();
+              terminal = false;  // shed: back off and retry, SAME id
+            } else if (result.error().code == ErrorCode::kUnavailable) {
+              delta.unavailable_observed = 1;
+              pending_advice_ = client_->last_retry_after();
+              terminal = false;  // shard down: wait out recovery, SAME id
+            } else {
+              terminal = true;  // terminal remote error: do not retry
+            }
           }
-          if (result.error().code == ErrorCode::kResourceExhausted) {
-            ++stats_.sheds_observed;
-            pending_advice_ = client_->last_retry_after();
-            return false;  // shed: back off and retry, SAME id
-          }
-          return true;  // terminal remote error: done, do not retry
+          CommitAttempt(delta);
+          return terminal;
         },
         [&](MinuteDelta delay) {
           const MinuteDelta advice = pending_advice_;

@@ -70,6 +70,29 @@ void PlatformServer::Remember(std::uint64_t request_id,
   idem_cache_.emplace(request_id, reply);
 }
 
+std::vector<std::pair<std::uint64_t, std::string>>
+PlatformServer::ExportIdempotency() const {
+  std::vector<std::pair<std::uint64_t, std::string>> entries;
+  entries.reserve(idem_order_.size());
+  for (const std::uint64_t id : idem_order_) {
+    const auto it = idem_cache_.find(id);
+    if (it != idem_cache_.end()) entries.emplace_back(id, it->second);
+  }
+  return entries;
+}
+
+void PlatformServer::ImportIdempotency(
+    const std::vector<std::pair<std::uint64_t, std::string>>& entries) {
+  for (const auto& [id, reply] : entries) {
+    const auto it = idem_cache_.find(id);
+    if (it != idem_cache_.end()) {
+      it->second = reply;  // refresh in place, keep the FIFO position
+      continue;
+    }
+    Remember(id, reply);
+  }
+}
+
 std::string PlatformServer::HandleRequest(std::string_view request) {
   auto decoded = DecodeRequest(request);
   if (!decoded.ok()) {

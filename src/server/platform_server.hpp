@@ -37,6 +37,8 @@
 #include <deque>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "net/server_core.hpp"
 #include "platform/durability/durable_state.hpp"
@@ -102,6 +104,20 @@ class PlatformServer final : public net::RequestHandler {
   [[nodiscard]] std::size_t idempotency_entries() const noexcept {
     return idem_order_.size();
   }
+
+  /// The idempotency window in FIFO order (oldest first), ready to
+  /// carry across a live shard handoff: replaying it into the
+  /// replacement keeps a retry of an already-acked in-flight op
+  /// exactly-once on the other side of the migration.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::string>>
+  ExportIdempotency() const;
+
+  /// Replays an exported window into this handler's cache in order,
+  /// subject to its own window bound (the newest entries win when the
+  /// bound is smaller than the export). An id already present is
+  /// refreshed rather than duplicated.
+  void ImportIdempotency(
+      const std::vector<std::pair<std::uint64_t, std::string>>& entries);
 
  private:
   [[nodiscard]] std::string Handle(const Request& request);

@@ -72,6 +72,10 @@ TEST(Crc32cHex, ParseRejectsMalformedInput) {
   EXPECT_FALSE(ParseCrc32cHex("e306928").ok());     // too short
   EXPECT_FALSE(ParseCrc32cHex("e30692831").ok());   // too long
   EXPECT_FALSE(ParseCrc32cHex("e30692gx").ok());    // non-hex
+  // Uppercase is rejected by design: the encoder emits lowercase only,
+  // and case-folding would make 'a'<->'A' bit flips (0x20) undetectable.
+  EXPECT_FALSE(ParseCrc32cHex("E3069283").ok());
+  EXPECT_FALSE(ParseCrc32cHex("e306928A").ok());
 }
 
 TEST(ChecksumTrailer, RoundTrips) {

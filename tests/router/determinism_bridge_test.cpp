@@ -1,0 +1,166 @@
+// The sharded determinism bridge — this PR's acceptance criterion: a
+// tier of N shards driven in lockstep through the router must be
+// bit-equivalent to one single-shard daemon for N in {1, 2, 4} over
+// seeds 0..9 — identical per-invocation outcomes, byte-identical merged
+// PlatformStats and SaveState over the wire, and a byte-identical
+// merged dependency-set CSV. Sharding adds placement, not semantics.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "router/state_merge.hpp"
+#include "sharded_tier.hpp"
+#include "trace/generator.hpp"
+
+namespace defuse::router {
+namespace {
+
+platform::PlatformConfig BridgeConfig(MinuteDelta horizon) {
+  platform::PlatformConfig cfg;
+  cfg.horizon = horizon;
+  cfg.remine_interval = kMinutesPerDay;
+  return cfg;
+}
+
+/// Two days of Tiny traffic: crosses two re-mine boundaries, stays fast
+/// enough to sweep 10 seeds x 3 shard counts.
+trace::GeneratorConfig Gen(std::uint64_t seed) {
+  auto gen = trace::GeneratorConfig::Tiny();
+  gen.seed = seed;
+  gen.horizon_minutes = 2 * kMinutesPerDay;
+  return gen;
+}
+
+// A unit id is a shard-LOCAL dense coordinate: a shard numbers the
+// functions it does not own as singletons, so raw ids shift between
+// tier shapes. The unit's canonical identity — what the merged snapshot
+// and CSV renumber by — is its smallest member function.
+struct Outcome {
+  bool cold = false;
+  std::uint32_t canonical_fn = 0;
+};
+
+std::uint32_t CanonicalUnit(const platform::Platform& p, UnitId unit) {
+  return p.units().functions_of(unit).front().value();
+}
+
+TEST(ShardDeterminismBridge, ShardedTierMatchesSingleDaemonByteForByte) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto gen = Gen(seed);
+    const auto workload = trace::GenerateWorkload(gen);
+    const auto cfg = BridgeConfig(gen.horizon_minutes);
+    const auto index =
+        workload.trace.BuildMinuteIndex(workload.trace.horizon());
+    const Minute end = workload.trace.horizon().end;
+
+    // The single-daemon oracle, driven once: per-minute heartbeat, then
+    // that minute's invocations.
+    platform::Platform direct{workload.model, cfg};
+    std::vector<Outcome> outcomes;
+    for (Minute t = 0; t < end; ++t) {
+      direct.AdvanceTo(t);
+      for (const auto& [fn, count] : index.at(t)) {
+        (void)count;
+        const auto got = direct.Invoke(fn, t);
+        outcomes.push_back(
+            Outcome{got.cold, CanonicalUnit(direct, got.unit)});
+      }
+    }
+    const std::string direct_state = direct.SaveState();
+    const std::string direct_csv = SetsCsvPlain(direct, workload.model);
+
+    for (const std::size_t num_shards : {1u, 2u, 4u}) {
+      ShardedTier tier{workload.model, cfg, num_shards};
+      server::Client client = tier.Connect();
+      std::size_t op = 0;
+      for (Minute t = 0; t < end; ++t) {
+        ASSERT_TRUE(client.AdvanceTo(t).ok())
+            << "seed " << seed << " shards " << num_shards << " t " << t;
+        for (const auto& [fn, count] : index.at(t)) {
+          (void)count;
+          const auto got = client.Invoke(fn, t);
+          ASSERT_TRUE(got.ok()) << "seed " << seed << " shards "
+                                << num_shards << " t " << t << ": "
+                                << got.error().message;
+          ASSERT_EQ(got.value().cold, outcomes[op].cold)
+              << "seed " << seed << " shards " << num_shards << " op " << op;
+          auto& owner = *tier.hosts[tier.router->ShardForFunction(fn)];
+          ASSERT_EQ(CanonicalUnit(owner.platform(), got.value().unit),
+                    outcomes[op].canonical_fn)
+              << "seed " << seed << " shards " << num_shards << " op " << op;
+          ++op;
+        }
+      }
+      ASSERT_EQ(op, outcomes.size());
+
+      // Merged stats over the wire == the single daemon's, field for
+      // field; merged snapshot byte for byte.
+      const auto stats = client.Stats();
+      ASSERT_TRUE(stats.ok()) << stats.error().message;
+      EXPECT_EQ(stats.value().stats, direct.stats())
+          << "seed " << seed << " shards " << num_shards;
+
+      const auto snapshot = client.Snapshot();
+      ASSERT_TRUE(snapshot.ok()) << snapshot.error().message;
+      EXPECT_EQ(snapshot.value().state, direct_state)
+          << "seed " << seed << " shards " << num_shards;
+
+      // The merged snapshot is a real snapshot: it restores into a
+      // fresh single platform losslessly.
+      platform::Platform restored{workload.model, cfg};
+      ASSERT_TRUE(restored.LoadState(snapshot.value().state))
+          << "seed " << seed << " shards " << num_shards;
+      EXPECT_EQ(restored.SaveState(), direct_state);
+
+      // Dependency-set CSVs merge byte-identically too (the artifact a
+      // sharded miner tier hands the scheduler).
+      std::vector<std::string> csvs;
+      for (const auto& host : tier.hosts) {
+        csvs.push_back(SetsCsvPlain(host->platform(), workload.model));
+      }
+      const auto merged_csv = MergeDependencySetCsvs(
+          workload.model, csvs, tier.router->FunctionOwners());
+      ASSERT_TRUE(merged_csv.ok())
+          << "seed " << seed << " shards " << num_shards << ": "
+          << merged_csv.error().message;
+      EXPECT_EQ(merged_csv.value(), direct_csv)
+          << "seed " << seed << " shards " << num_shards;
+    }
+  }
+}
+
+TEST(ShardDeterminismBridge, ReroutedSnapshotReloadsIntoADifferentTierShape) {
+  // A tier's merged snapshot is placement-free: reload it into a tier
+  // with a DIFFERENT shard count via the single-platform restore path
+  // and the books still read identically.
+  const auto gen = Gen(3);
+  const auto workload = trace::GenerateWorkload(gen);
+  const auto cfg = BridgeConfig(gen.horizon_minutes);
+  const auto index = workload.trace.BuildMinuteIndex(workload.trace.horizon());
+
+  ShardedTier tier{workload.model, cfg, 2};
+  server::Client client = tier.Connect();
+  for (Minute t = 0; t < kMinutesPerDay; ++t) {
+    ASSERT_TRUE(client.AdvanceTo(t).ok());
+    for (const auto& [fn, count] : index.at(t)) {
+      (void)count;
+      ASSERT_TRUE(client.Invoke(fn, t).ok());
+    }
+  }
+  const auto snapshot = client.Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+
+  platform::Platform restored{workload.model, cfg};
+  ASSERT_TRUE(restored.LoadState(snapshot.value().state));
+  const auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(restored.stats(), stats.value().stats);
+}
+
+}  // namespace
+}  // namespace defuse::router

@@ -1,0 +1,201 @@
+// Live drain/handoff: drain -> snapshot -> transfer -> re-admit, the
+// exactly-once contract across the migration (the idempotency window
+// travels WITH the state), and the torn-transfer abort that leaves the
+// tier exactly as it was.
+#include "router/handoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "faults/injector.hpp"
+#include "platform/platform.hpp"
+#include "server/protocol.hpp"
+#include "sharded_tier.hpp"
+
+namespace defuse::router {
+namespace {
+
+namespace fs = std::filesystem;
+
+platform::PlatformConfig HandoffConfig() {
+  platform::PlatformConfig cfg;
+  cfg.horizon = 2 * kMinutesPerDay;
+  cfg.remine_interval = kMinutesPerDay;
+  return cfg;
+}
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& name)
+      : path(fs::temp_directory_path() / name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+ShardHost::Options DurableHostOptions(const platform::PlatformConfig& cfg,
+                                      const fs::path& state_dir) {
+  ShardHost::Options options;
+  options.platform = cfg;
+  options.state_dir = state_dir.string();
+  return options;
+}
+
+TEST(Handoff, CompletedHandoffMovesStateAndTraffic) {
+  const auto model = GridModel(6, 1);
+  const auto cfg = HandoffConfig();
+  TempDir dir{"defuse_handoff_move_test"};
+  ShardedTier tier{model, cfg, 2, dir.path.string()};
+  server::Client client = tier.Connect();
+
+  for (std::uint32_t f = 0; f < model.num_functions(); ++f) {
+    ASSERT_TRUE(client.Invoke(FunctionId{f}, Minute{0}).ok());
+  }
+  const std::size_t shard = tier.router->ShardForFunction(FunctionId{0});
+  ShardHost* source = tier.router->shard_host(shard);
+  const std::string before = source->platform().SaveState();
+  const std::uint64_t source_invocations =
+      source->platform().stats().invocations;
+
+  ShardHost destination{model, DurableHostOptions(cfg, dir.path / "spare")};
+  const auto report = HandoffShard(*tier.router, shard, destination, {});
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_TRUE(report.value().completed);
+  EXPECT_TRUE(report.value().abort_reason.empty());
+  EXPECT_GT(report.value().state_bytes, 0u);
+
+  // The destination now IS the shard, byte for byte.
+  EXPECT_EQ(tier.router->shard_host(shard), &destination);
+  EXPECT_TRUE(tier.router->IsUp(shard));
+  EXPECT_EQ(destination.platform().SaveState(), before);
+
+  // Traffic resumes against the destination; the source (still alive,
+  // out of rotation) sees none of it.
+  ASSERT_TRUE(client.Invoke(FunctionId{0}, Minute{1}).ok());
+  EXPECT_EQ(destination.platform().stats().invocations,
+            source_invocations + 1);
+  EXPECT_EQ(source->platform().stats().invocations, source_invocations);
+}
+
+TEST(Handoff, RetryAfterHandoffReplaysTheCachedReplyExactlyOnce) {
+  const auto model = GridModel(6, 1);
+  const auto cfg = HandoffConfig();
+  TempDir dir{"defuse_handoff_dedup_test"};
+  ShardedTier tier{model, cfg, 2, dir.path.string()};
+  server::Client client = tier.Connect();
+
+  // An acked op with an idempotency key, captured byte for byte.
+  const std::size_t shard = tier.router->ShardForFunction(FunctionId{0});
+  const server::RequestHeader header{0xFEED0001u, server::kNoDeadline};
+  const std::string request = server::EncodeRequest(
+      server::InvokeRequest{FunctionId{0}, Minute{0}}, header);
+  const auto first = client.Forward(request);
+  ASSERT_TRUE(first.ok()) << first.error().message;
+  {
+    const auto decoded = server::DecodeReply(first.value());
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_TRUE(decoded.value().ok);
+  }
+  const std::uint64_t applied_once =
+      tier.router->shard_host(shard)->platform().stats().invocations;
+
+  ShardHost destination{model, DurableHostOptions(cfg, dir.path / "spare")};
+  const auto report = HandoffShard(*tier.router, shard, destination, {});
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report.value().completed);
+  EXPECT_GT(report.value().idempotency_entries, 0u);
+
+  // A retry of the pre-handoff op replays the SOURCE's cached reply
+  // from the DESTINATION's window — byte-identical, side effect not
+  // re-applied.
+  const auto retry = client.Forward(request);
+  ASSERT_TRUE(retry.ok()) << retry.error().message;
+  EXPECT_EQ(retry.value(), first.value());
+  EXPECT_EQ(destination.platform().stats().invocations, applied_once);
+  EXPECT_EQ(destination.handler().duplicates_served(), 1u);
+}
+
+TEST(Handoff, TornTransferAbortsToTheUnchangedSource) {
+  const auto model = GridModel(6, 1);
+  const auto cfg = HandoffConfig();
+  TempDir dir{"defuse_handoff_torn_test"};
+  ShardedTier tier{model, cfg, 2, dir.path.string()};
+  server::Client client = tier.Connect();
+
+  for (std::uint32_t f = 0; f < model.num_functions(); ++f) {
+    ASSERT_TRUE(client.Invoke(FunctionId{f}, Minute{0}).ok());
+  }
+  const std::size_t shard = tier.router->ShardForFunction(FunctionId{0});
+  ShardHost* source = tier.router->shard_host(shard);
+  const std::string before = source->platform().SaveState();
+
+  faults::FaultProfile profile;
+  profile.handoff_torn_fraction = 1.0;
+  faults::FaultInjector injector{11, profile};
+  HandoffOptions options;
+  options.injector = &injector;
+
+  ShardHost destination{model, DurableHostOptions(cfg, dir.path / "spare")};
+  const auto report = HandoffShard(*tier.router, shard, destination, options);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_FALSE(report.value().completed);
+  EXPECT_FALSE(report.value().abort_reason.empty());
+
+  // The aborted handoff was a no-op: the source still IS the shard, its
+  // state untouched, and it serves its users again.
+  EXPECT_EQ(tier.router->shard_host(shard), source);
+  EXPECT_TRUE(tier.router->IsUp(shard));
+  EXPECT_EQ(source->platform().SaveState(), before);
+  ASSERT_TRUE(client.Invoke(FunctionId{0}, Minute{1}).ok());
+}
+
+TEST(Handoff, DestinationCrashAfterHandoffRecoversTheHandedState) {
+  const auto model = GridModel(6, 1);
+  const auto cfg = HandoffConfig();
+  TempDir dir{"defuse_handoff_durable_test"};
+  ShardedTier tier{model, cfg, 2, dir.path.string()};
+  server::Client client = tier.Connect();
+
+  for (std::uint32_t f = 0; f < model.num_functions(); ++f) {
+    ASSERT_TRUE(client.Invoke(FunctionId{f}, Minute{0}).ok());
+  }
+  const std::size_t shard = tier.router->ShardForFunction(FunctionId{0});
+  const std::string handed = tier.router->shard_host(shard)->platform()
+                                 .SaveState();
+
+  ShardHost destination{model, DurableHostOptions(cfg, dir.path / "spare")};
+  const auto report = HandoffShard(*tier.router, shard, destination, {});
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report.value().completed);
+
+  // The handoff checkpointed on the DESTINATION's directory: a crash
+  // right after the swap recovers the handed-off state, not empty.
+  destination.Crash();
+  const auto restarted = destination.Restart();
+  ASSERT_TRUE(restarted.ok()) << restarted.error().message;
+  EXPECT_EQ(destination.platform().SaveState(), handed);
+}
+
+TEST(Handoff, PreconditionFailuresAreErrorsNotAborts) {
+  const auto model = GridModel(4, 1);
+  const auto cfg = HandoffConfig();
+  TempDir dir{"defuse_handoff_precondition_test"};
+  ShardedTier tier{model, cfg, 2, dir.path.string()};
+  ShardHost destination{model, DurableHostOptions(cfg, dir.path / "spare")};
+
+  const auto out_of_range = HandoffShard(*tier.router, 9, destination, {});
+  ASSERT_FALSE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.error().code, ErrorCode::kInvalidArgument);
+
+  tier.hosts[0]->Crash();
+  const auto crashed_source = HandoffShard(*tier.router, 0, destination, {});
+  ASSERT_FALSE(crashed_source.ok());
+  EXPECT_EQ(crashed_source.error().code, ErrorCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace defuse::router

@@ -1,0 +1,90 @@
+// HashRing: placement must be a pure function of (user, shard count,
+// vnodes) — the determinism bridge, the CLI `route` verb, and router
+// restarts all re-derive it independently and must agree.
+#include "router/hash_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace defuse::router {
+namespace {
+
+constexpr std::size_t kUsers = 512;
+
+std::vector<std::size_t> MapAll(const HashRing& ring) {
+  std::vector<std::size_t> owner(kUsers);
+  for (std::uint32_t u = 0; u < kUsers; ++u) {
+    owner[u] = ring.ShardForUser(UserId{u});
+  }
+  return owner;
+}
+
+TEST(HashRing, PlacementIsAPureFunctionOfItsInputs) {
+  const HashRing a{4, 64};
+  const HashRing b{4, 64};
+  EXPECT_EQ(MapAll(a), MapAll(b));
+}
+
+TEST(HashRing, SingleShardOwnsEveryUser) {
+  const HashRing ring{1, 64};
+  for (std::uint32_t u = 0; u < kUsers; ++u) {
+    EXPECT_EQ(ring.ShardForUser(UserId{u}), 0u);
+  }
+}
+
+TEST(HashRing, DegenerateParametersClampUpToOne) {
+  const HashRing ring{0, 0};
+  EXPECT_EQ(ring.num_shards(), 1u);
+  EXPECT_EQ(ring.vnodes_per_shard(), 1u);
+  EXPECT_EQ(ring.ShardForUser(UserId{7}), 0u);
+}
+
+TEST(HashRing, EveryShardOwnsAReasonableSliceOfUsers) {
+  const HashRing ring{4, 64};
+  std::vector<std::size_t> count(4, 0);
+  for (const std::size_t owner : MapAll(ring)) {
+    ASSERT_LT(owner, 4u);
+    ++count[owner];
+  }
+  // 64 vnodes keep the spread well away from empty or dominant shards;
+  // the bound is loose on purpose (this is a smoke test of balance, not
+  // a distribution proof).
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_GT(count[s], kUsers / 16) << "shard " << s;
+    EXPECT_LT(count[s], kUsers / 2) << "shard " << s;
+  }
+}
+
+TEST(HashRing, AddingAShardOnlyMovesUsersOntoTheNewShard) {
+  const HashRing before{4, 64};
+  const HashRing after{5, 64};
+  std::size_t moved = 0;
+  for (std::uint32_t u = 0; u < kUsers; ++u) {
+    const std::size_t was = before.ShardForUser(UserId{u});
+    const std::size_t now = after.ShardForUser(UserId{u});
+    if (was != now) {
+      // The classic consistent-hashing property: growing the ring only
+      // claims arcs for the NEW shard; nobody shuffles between
+      // survivors.
+      EXPECT_EQ(now, 4u) << "user " << u << " moved " << was << " -> " << now;
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(moved, kUsers / 2);
+}
+
+TEST(HashRing, MoreVnodesChangesPlacementDeterministically) {
+  const HashRing sparse{4, 8};
+  const HashRing dense{4, 256};
+  // Not asserting WHICH users move — only that both rings answer, in
+  // range, and reproducibly.
+  EXPECT_EQ(MapAll(sparse), MapAll(HashRing{4, 8}));
+  EXPECT_EQ(MapAll(dense), MapAll(HashRing{4, 256}));
+}
+
+}  // namespace
+}  // namespace defuse::router

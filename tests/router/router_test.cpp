@@ -1,0 +1,240 @@
+// ShardRouter: routing by user, lockstep broadcasts, merged reads,
+// aggregated health, and — the point of the tier — failure isolation:
+// one dead shard inconveniences exactly its own users.
+#include "router/shard_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/injector.hpp"
+#include "platform/platform.hpp"
+#include "server/protocol.hpp"
+#include "sharded_tier.hpp"
+
+namespace defuse::router {
+namespace {
+
+platform::PlatformConfig RouterConfig() {
+  platform::PlatformConfig cfg;
+  cfg.horizon = 2 * kMinutesPerDay;
+  cfg.remine_interval = kMinutesPerDay;
+  return cfg;
+}
+
+TEST(ShardRouter, InvokeLandsOnExactlyTheOwningShard) {
+  const auto model = GridModel(8, 2);
+  ShardedTier tier{model, RouterConfig(), 3};
+  server::Client client = tier.Connect();
+
+  std::vector<std::uint64_t> expected(3, 0);
+  for (std::uint32_t f = 0; f < model.num_functions(); ++f) {
+    ++expected[tier.router->ShardForFunction(FunctionId{f})];
+    ASSERT_TRUE(client.Invoke(FunctionId{f}, Minute{0}).ok());
+  }
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(tier.hosts[s]->platform().stats().invocations, expected[s])
+        << "shard " << s;
+  }
+  EXPECT_EQ(tier.router->books().forwarded, model.num_functions());
+  // Routing agrees with the ring at every layer.
+  for (std::uint32_t f = 0; f < model.num_functions(); ++f) {
+    EXPECT_EQ(tier.router->ShardForFunction(FunctionId{f}),
+              tier.router->ShardForUser(model.function(FunctionId{f}).user));
+  }
+}
+
+TEST(ShardRouter, FunctionOwnersIsTheRingProjectedOverTheModel) {
+  const auto model = GridModel(5, 3);
+  ShardedTier tier{model, RouterConfig(), 4};
+  const auto owners = tier.router->FunctionOwners();
+  ASSERT_EQ(owners.size(), model.num_functions());
+  for (std::uint32_t f = 0; f < model.num_functions(); ++f) {
+    EXPECT_EQ(owners[f], tier.router->ShardForFunction(FunctionId{f}));
+  }
+}
+
+TEST(ShardRouter, BroadcastAdvancesEveryShardClockInLockstep) {
+  const auto model = GridModel(4, 1);
+  ShardedTier tier{model, RouterConfig(), 3};
+  server::Client client = tier.Connect();
+
+  ASSERT_TRUE(client.AdvanceTo(Minute{42}).ok());
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(tier.hosts[s]->platform().last_invocation_minute(), 42)
+        << "shard " << s;
+  }
+  EXPECT_EQ(tier.router->books().broadcasts, 1u);
+
+  // A shard-side rejection (clock regression) is forwarded verbatim.
+  auto back = client.AdvanceTo(Minute{7});
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(ShardRouter, RemineBroadcastCompletesOnEveryShard) {
+  const auto model = GridModel(4, 1);
+  ShardedTier tier{model, RouterConfig(), 2};
+  server::Client client = tier.Connect();
+  for (std::uint32_t f = 0; f < model.num_functions(); ++f) {
+    ASSERT_TRUE(client.Invoke(FunctionId{f}, Minute{0}).ok());
+  }
+
+  auto remine = client.RemineNow(Minute{10});
+  ASSERT_TRUE(remine.ok()) << remine.error().message;
+  EXPECT_EQ(remine.value().mode, server::RemineMode::kCompleted);
+  for (std::size_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(tier.hosts[s]->platform().stats().remines, 1u) << "shard " << s;
+  }
+}
+
+TEST(ShardRouter, StatsAndSnapshotMergeToTheSingleDaemonView) {
+  const auto model = GridModel(6, 2);
+  const auto cfg = RouterConfig();
+  ShardedTier tier{model, cfg, 3};
+  server::Client client = tier.Connect();
+  platform::Platform direct{model, cfg};
+
+  for (Minute t = 0; t < 200; t += 10) {
+    ASSERT_TRUE(client.AdvanceTo(t).ok());
+    direct.AdvanceTo(t);
+    for (std::uint32_t f = 0; f < model.num_functions(); f += 2) {
+      ASSERT_TRUE(client.Invoke(FunctionId{f}, t).ok());
+      (void)direct.Invoke(FunctionId{f}, t);
+    }
+  }
+
+  const auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.error().message;
+  EXPECT_EQ(stats.value().stats, direct.stats());
+
+  const auto snapshot = client.Snapshot();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.error().message;
+  EXPECT_EQ(snapshot.value().state, direct.SaveState());
+
+  // The merged snapshot restores losslessly into a fresh platform.
+  platform::Platform restored{model, cfg};
+  ASSERT_TRUE(restored.LoadState(snapshot.value().state));
+  EXPECT_EQ(restored.SaveState(), snapshot.value().state);
+}
+
+TEST(ShardRouter, HelloSpeaksTheProtocolVersion) {
+  const auto model = GridModel(2, 1);
+  ShardedTier tier{model, RouterConfig(), 2};
+  server::Client client = tier.Connect();
+  const auto hello = client.Hello();
+  ASSERT_TRUE(hello.ok()) << hello.error().message;
+  EXPECT_EQ(hello.value().version, server::kProtocolVersion);
+}
+
+TEST(ShardRouter, HealthAggregatesAcrossShards) {
+  const auto model = GridModel(4, 1);
+  ShardedTier tier{model, RouterConfig(), 2};
+  server::Client client = tier.Connect();
+  ASSERT_TRUE(client.AdvanceTo(Minute{30}).ok());
+
+  auto health = client.Health();
+  ASSERT_TRUE(health.ok()) << health.error().message;
+  EXPECT_TRUE(health.value().ready);
+  EXPECT_EQ(health.value().clock_minute, 30);
+
+  // Health is control plane: it answers even with a shard dead — as
+  // not-ready, so the prober learns the tier is degraded.
+  tier.hosts[0]->Crash();
+  tier.router->MarkDown(0);
+  health = client.Health();
+  ASSERT_TRUE(health.ok()) << health.error().message;
+  EXPECT_FALSE(health.value().ready);
+}
+
+TEST(ShardRouter, DeadShardFailsFastForItsUsersOnly) {
+  const auto model = GridModel(8, 1);
+  ShardedTier tier{model, RouterConfig(), 3};
+  server::Client client = tier.Connect();
+
+  const std::size_t victim = tier.router->ShardForFunction(FunctionId{0});
+  tier.hosts[victim]->Crash();
+
+  // First request for the victim's user discovers the corpse: the
+  // connect is refused, the lane goes down, the client gets
+  // kUnavailable with retry-after advice.
+  auto dead = client.Invoke(FunctionId{0}, Minute{0});
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.error().code, ErrorCode::kUnavailable);
+  EXPECT_EQ(client.last_retry_after(), 1);
+  EXPECT_FALSE(client.connection_dead());  // client<->router link survives
+  EXPECT_FALSE(tier.router->IsUp(victim));
+  EXPECT_GT(tier.router->books().unavailable_rejections, 0u);
+
+  // Every OTHER shard's users are untouched.
+  for (std::uint32_t f = 0; f < model.num_functions(); ++f) {
+    const std::size_t owner = tier.router->ShardForFunction(FunctionId{f});
+    if (owner == victim) continue;
+    ASSERT_TRUE(client.Invoke(FunctionId{f}, Minute{0}).ok()) << "fn " << f;
+    EXPECT_TRUE(tier.router->IsUp(owner));
+  }
+
+  // Merged reads refuse to serve silently partial numbers.
+  auto stats = client.Stats();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.error().code, ErrorCode::kUnavailable);
+  auto snapshot = client.Snapshot();
+  ASSERT_FALSE(snapshot.ok());
+  EXPECT_EQ(snapshot.error().code, ErrorCode::kUnavailable);
+
+  // Broadcasts skip the corpse and keep the survivors in lockstep.
+  ASSERT_TRUE(client.AdvanceTo(Minute{5}).ok());
+  EXPECT_GT(tier.router->books().broadcast_skips_down, 0u);
+}
+
+TEST(ShardRouter, InjectedCrashKillsTheTargetShardUnderTheRequest) {
+  const auto model = GridModel(6, 1);
+  faults::FaultProfile profile;
+  profile.shard_crash_fraction = 1.0;
+  faults::FaultInjector injector{7, profile};
+  ShardedTier tier{model, RouterConfig(), 2, std::string{}, &injector};
+  server::Client client = tier.Connect();
+
+  const std::size_t victim = tier.router->ShardForFunction(FunctionId{0});
+  auto got = client.Invoke(FunctionId{0}, Minute{0});
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.error().code, ErrorCode::kUnavailable);
+  EXPECT_FALSE(tier.hosts[victim]->alive());
+  EXPECT_FALSE(tier.router->IsUp(victim));
+  EXPECT_EQ(tier.router->books().crashes_injected, 1u);
+  // The crash never reached the shard as a half-applied op.
+  const std::size_t other = victim == 0 ? 1 : 0;
+  EXPECT_TRUE(tier.hosts[other]->alive());
+  EXPECT_EQ(tier.hosts[other]->platform().stats().invocations, 0u);
+}
+
+TEST(ShardRouter, OutOfRangeFunctionIsRejectedAtTheRouter) {
+  const auto model = GridModel(2, 1);
+  ShardedTier tier{model, RouterConfig(), 2};
+  server::Client client = tier.Connect();
+  auto bad = client.Invoke(FunctionId{999}, Minute{0});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(tier.hosts[0]->platform().stats().invocations, 0u);
+  EXPECT_EQ(tier.hosts[1]->platform().stats().invocations, 0u);
+}
+
+TEST(ShardRouter, ReattachRestoresAMarkedDownLane) {
+  const auto model = GridModel(4, 1);
+  ShardedTier tier{model, RouterConfig(), 2};
+  server::Client client = tier.Connect();
+
+  tier.router->MarkDown(0);
+  EXPECT_FALSE(tier.router->IsUp(0));
+  tier.router->Reattach(0);
+  EXPECT_TRUE(tier.router->IsUp(0));
+  for (std::uint32_t f = 0; f < model.num_functions(); ++f) {
+    ASSERT_TRUE(client.Invoke(FunctionId{f}, Minute{0}).ok());
+  }
+}
+
+}  // namespace
+}  // namespace defuse::router

@@ -1,0 +1,106 @@
+// Shared fixture for the multi-shard router suite: N ShardHosts behind
+// one ShardRouter, terminated by a loopback listener exactly as a
+// production socket daemon terminates the v2 protocol. Tests reach the
+// tier three ways, mirroring production surfaces: a server::Client over
+// loopback (the normal path), ShardRouter::HandleRequest directly (the
+// fuzz harness), and the per-shard Platform accessors (oracles).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "faults/injector.hpp"
+#include "graph/serialization.hpp"
+#include "net/loopback.hpp"
+#include "net/server_core.hpp"
+#include "platform/platform.hpp"
+#include "router/shard_host.hpp"
+#include "router/shard_router.hpp"
+#include "server/client.hpp"
+#include "trace/model.hpp"
+
+namespace defuse::router {
+
+/// A handmade model with `num_users` users of one app and
+/// `fns_per_user` functions each: function ids are dense, and function
+/// f belongs to user f / fns_per_user — owner arithmetic stays obvious
+/// in assertions.
+[[nodiscard]] inline trace::WorkloadModel GridModel(std::size_t num_users,
+                                                    std::size_t fns_per_user) {
+  trace::WorkloadModel model;
+  for (std::size_t u = 0; u < num_users; ++u) {
+    const UserId user = model.AddUser("user" + std::to_string(u));
+    const AppId app = model.AddApp(user, "app" + std::to_string(u));
+    for (std::size_t f = 0; f < fns_per_user; ++f) {
+      (void)model.AddFunction(app, "fn" + std::to_string(u) + "_" +
+                                       std::to_string(f));
+    }
+  }
+  return model;
+}
+
+/// The platform's current dependency sets as the plain (unchecksummed)
+/// CSV body — the format MergeDependencySetCsvs consumes and produces.
+[[nodiscard]] inline std::string SetsCsvPlain(
+    const platform::Platform& p, const trace::WorkloadModel& model) {
+  std::vector<graph::DependencySet> sets;
+  for (std::size_t unit = 0; unit < p.units().num_units(); ++unit) {
+    graph::DependencySet set;
+    set.id = static_cast<std::uint32_t>(unit);
+    const auto fns =
+        p.units().functions_of(UnitId{static_cast<std::uint32_t>(unit)});
+    set.functions.assign(fns.begin(), fns.end());
+    sets.push_back(std::move(set));
+  }
+  return graph::WriteDependencySetsCsv(sets, model);
+}
+
+/// N platform shards behind one router, loopback-terminated.
+struct ShardedTier {
+  std::vector<std::unique_ptr<ShardHost>> hosts;
+  std::optional<ShardRouter> router;
+  std::optional<net::ServerCore> core;
+  std::optional<net::LoopbackServer> loopback;
+
+  /// `state_root` empty = in-memory shards; otherwise shard s journals
+  /// under `<state_root>/shard-<s>`. `router_injector` feeds the
+  /// router's kShardCrash site only (shard-internal sites stay off).
+  ShardedTier(const trace::WorkloadModel& model,
+              const platform::PlatformConfig& cfg, std::size_t num_shards,
+              const std::string& state_root = std::string{},
+              faults::FaultInjector* router_injector = nullptr) {
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      ShardHost::Options options;
+      options.platform = cfg;
+      if (!state_root.empty()) {
+        options.state_dir = state_root + "/shard-" + std::to_string(s);
+      }
+      hosts.push_back(std::make_unique<ShardHost>(model, options));
+      auto started = hosts.back()->Start();
+      EXPECT_TRUE(started.ok())
+          << "shard " << s << ": " << started.error().message;
+    }
+    std::vector<ShardHost*> borrowed;
+    borrowed.reserve(hosts.size());
+    for (const auto& host : hosts) borrowed.push_back(host.get());
+    ShardRouterOptions router_options;
+    router_options.injector = router_injector;
+    router.emplace(model, std::move(borrowed), router_options);
+    core.emplace(*router);
+    loopback.emplace(*core);
+  }
+
+  [[nodiscard]] server::Client Connect() {
+    auto channel = loopback->Connect();
+    EXPECT_TRUE(channel.ok()) << channel.error().message;
+    return server::Client{std::move(channel).value()};
+  }
+};
+
+}  // namespace defuse::router

@@ -1,0 +1,142 @@
+// Cross-shard merge: counter-kind rules for stats, byte-identity for
+// state and dependency-set CSVs, and the ownership validation that
+// turns a violated user partition into kDataLoss instead of a guess.
+#include "router/state_merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "sharded_tier.hpp"
+#include "trace/model.hpp"
+
+namespace defuse::router {
+namespace {
+
+platform::PlatformConfig SmallConfig() {
+  platform::PlatformConfig cfg;
+  cfg.horizon = 2 * kMinutesPerDay;
+  cfg.remine_interval = kMinutesPerDay;
+  return cfg;
+}
+
+TEST(MergeShardStats, SumsTrafficCountersAndMaxesCadenceCounters) {
+  platform::PlatformStats a;
+  a.invocations = 10;
+  a.cold_invocations = 4;
+  a.prewarm_spawn_failures = 2;
+  a.prewarm_spawns_abandoned = 1;
+  a.remines = 3;
+  a.degraded_remines = 1;
+  a.stale_graph_minutes = 40;
+  a.catchup_remines_skipped = 2;
+  platform::PlatformStats b;
+  b.invocations = 7;
+  b.cold_invocations = 5;
+  b.prewarm_spawn_failures = 1;
+  b.prewarm_spawns_abandoned = 0;
+  b.remines = 3;
+  b.degraded_remines = 2;
+  b.stale_graph_minutes = 10;
+  b.catchup_remines_skipped = 0;
+
+  const auto merged = MergeShardStats({a, b});
+  EXPECT_EQ(merged.invocations, 17u);
+  EXPECT_EQ(merged.cold_invocations, 9u);
+  EXPECT_EQ(merged.prewarm_spawn_failures, 3u);
+  EXPECT_EQ(merged.prewarm_spawns_abandoned, 1u);
+  EXPECT_EQ(merged.remines, 3u);
+  EXPECT_EQ(merged.degraded_remines, 2u);
+  EXPECT_EQ(merged.stale_graph_minutes, 40);
+  EXPECT_EQ(merged.catchup_remines_skipped, 2u);
+}
+
+TEST(MergeShardStats, EmptyInputIsAZeroedStats) {
+  EXPECT_EQ(MergeShardStats({}), platform::PlatformStats{});
+}
+
+TEST(MergeShardStates, SingleShardMergeIsTheIdentity) {
+  const auto model = GridModel(3, 2);
+  platform::Platform p{model, SmallConfig()};
+  for (std::uint32_t f = 0; f < model.num_functions(); ++f) {
+    (void)p.Invoke(FunctionId{f}, Minute{5});
+  }
+  const std::string state = p.SaveState();
+  const std::vector<std::size_t> owners(model.num_functions(), 0);
+
+  const auto merged = MergeShardStates(model, {state}, owners);
+  ASSERT_TRUE(merged.ok()) << merged.error().message;
+  EXPECT_EQ(merged.value(), state);
+}
+
+TEST(MergeShardStates, TwoShardsMergeToTheSingleDaemonBytes) {
+  const auto model = GridModel(4, 2);
+  const auto cfg = SmallConfig();
+  // Owner table: users 0-1 on shard 0, users 2-3 on shard 1.
+  std::vector<std::size_t> owners(model.num_functions());
+  for (std::uint32_t f = 0; f < model.num_functions(); ++f) {
+    owners[f] = model.function(FunctionId{f}).user.value() < 2 ? 0 : 1;
+  }
+
+  platform::Platform whole{model, cfg};
+  platform::Platform shard0{model, cfg};
+  platform::Platform shard1{model, cfg};
+  for (Minute t = 0; t < kMinutesPerDay + 10; t += 5) {
+    whole.AdvanceTo(t);
+    shard0.AdvanceTo(t);
+    shard1.AdvanceTo(t);
+    for (std::uint32_t f = 0; f < model.num_functions(); ++f) {
+      if (t % 15 != 0 && f % 2 == 1) continue;  // some traffic shape
+      (void)whole.Invoke(FunctionId{f}, t);
+      platform::Platform& owner = owners[f] == 0 ? shard0 : shard1;
+      (void)owner.Invoke(FunctionId{f}, t);
+    }
+  }
+
+  const auto merged =
+      MergeShardStates(model, {shard0.SaveState(), shard1.SaveState()}, owners);
+  ASSERT_TRUE(merged.ok()) << merged.error().message;
+  EXPECT_EQ(merged.value(), whole.SaveState());
+
+  const auto stats = MergeShardStats({shard0.stats(), shard1.stats()});
+  EXPECT_EQ(stats, whole.stats());
+
+  const auto csv = MergeDependencySetCsvs(
+      model, {SetsCsvPlain(shard0, model), SetsCsvPlain(shard1, model)},
+      owners);
+  ASSERT_TRUE(csv.ok()) << csv.error().message;
+  EXPECT_EQ(csv.value(), SetsCsvPlain(whole, model));
+}
+
+TEST(MergeShardStates, TrafficOnANonOwnerShardFailsDataLoss) {
+  const auto model = GridModel(2, 1);
+  const auto cfg = SmallConfig();
+  platform::Platform shard0{model, cfg};
+  platform::Platform shard1{model, cfg};
+  // Function 0 is owned by shard 0 per the table, but shard 1 saw its
+  // traffic: the user partition was violated and a merge that guessed
+  // would silently lose or double-count history.
+  (void)shard0.Invoke(FunctionId{0}, Minute{1});
+  (void)shard1.Invoke(FunctionId{0}, Minute{1});
+  const std::vector<std::size_t> owners{0, 1};
+
+  const auto merged =
+      MergeShardStates(model, {shard0.SaveState(), shard1.SaveState()}, owners);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.error().code, ErrorCode::kDataLoss);
+}
+
+TEST(MergeShardStates, ShardCountMismatchedOwnerTableIsRejected) {
+  const auto model = GridModel(2, 1);
+  platform::Platform p{model, SmallConfig()};
+  // Owner table points at shard 3; only one state blob was provided.
+  const std::vector<std::size_t> owners{3, 3};
+  const auto merged = MergeShardStates(model, {p.SaveState()}, owners);
+  EXPECT_FALSE(merged.ok());
+}
+
+}  // namespace
+}  // namespace defuse::router

@@ -1,0 +1,193 @@
+// ShardSupervisor: the three detection channels, the
+// suspect->down threshold walk, and supervised restart through the
+// recovery ladder — with the byte-identity oracle a durable shard must
+// satisfy after every restart.
+#include "router/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "faults/injector.hpp"
+#include "platform/platform.hpp"
+#include "sharded_tier.hpp"
+
+namespace defuse::router {
+namespace {
+
+namespace fs = std::filesystem;
+
+platform::PlatformConfig SupervisorConfig() {
+  platform::PlatformConfig cfg;
+  cfg.horizon = 2 * kMinutesPerDay;
+  cfg.remine_interval = kMinutesPerDay;
+  return cfg;
+}
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& name)
+      : path(fs::temp_directory_path() / name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+TEST(ShardSupervisor, HealthyTierTicksQuietly) {
+  const auto model = GridModel(4, 1);
+  ShardedTier tier{model, SupervisorConfig(), 2};
+  ShardSupervisor supervisor{*tier.router, {}};
+
+  supervisor.Tick();
+  supervisor.Tick();
+  EXPECT_EQ(supervisor.condition(0), ShardCondition::kUp);
+  EXPECT_EQ(supervisor.condition(1), ShardCondition::kUp);
+  EXPECT_EQ(supervisor.books().ticks, 2u);
+  EXPECT_EQ(supervisor.books().probes_sent, 4u);
+  EXPECT_EQ(supervisor.books().downs_detected, 0u);
+  EXPECT_EQ(supervisor.books().restarts, 0u);
+}
+
+TEST(ShardSupervisor, LaneFailureIsBelievedWithoutProbing) {
+  const auto model = GridModel(6, 1);
+  TempDir dir{"defuse_supervisor_lane_test"};
+  ShardedTier tier{model, SupervisorConfig(), 2, dir.path.string()};
+  server::Client client = tier.Connect();
+  ShardSupervisor supervisor{*tier.router, {}};
+
+  for (std::uint32_t f = 0; f < model.num_functions(); ++f) {
+    ASSERT_TRUE(client.Invoke(FunctionId{f}, Minute{0}).ok());
+  }
+  const std::size_t victim = tier.router->ShardForFunction(FunctionId{0});
+  tier.hosts[victim]->Crash();
+  // The router discovers the death mid-forward and condemns the lane.
+  ASSERT_FALSE(client.Invoke(FunctionId{0}, Minute{1}).ok());
+  ASSERT_FALSE(tier.router->IsUp(victim));
+
+  // One tick: detection via channel 1 (the lane), restart, re-admit.
+  supervisor.Tick();
+  EXPECT_EQ(supervisor.condition(victim), ShardCondition::kUp);
+  EXPECT_TRUE(tier.router->IsUp(victim));
+  EXPECT_EQ(supervisor.books().downs_detected, 1u);
+  EXPECT_EQ(supervisor.books().restarts, 1u);
+  ASSERT_TRUE(supervisor.last_recovery(victim).has_value());
+
+  // The journal reproduced the pre-crash platform byte for byte.
+  EXPECT_EQ(tier.hosts[victim]->platform().SaveState(),
+            tier.hosts[victim]->pre_crash_state());
+  EXPECT_EQ(tier.hosts[victim]->incarnation(), 2u);
+
+  // And the shard serves again.
+  ASSERT_TRUE(client.Invoke(FunctionId{0}, Minute{2}).ok());
+}
+
+TEST(ShardSupervisor, ConnectRefusedDetectsASilentCorpseImmediately) {
+  const auto model = GridModel(4, 1);
+  TempDir dir{"defuse_supervisor_refused_test"};
+  ShardedTier tier{model, SupervisorConfig(), 2, dir.path.string()};
+  server::Client client = tier.Connect();
+  ASSERT_TRUE(client.AdvanceTo(Minute{3}).ok());
+  ShardSupervisor supervisor{*tier.router, {}};
+
+  // Crash WITHOUT routing any traffic at it: the lane still believes
+  // the shard is up, so only the probe (channel 2) can notice.
+  tier.hosts[1]->Crash();
+  ASSERT_TRUE(tier.router->IsUp(1));
+
+  supervisor.Tick();
+  EXPECT_EQ(supervisor.condition(1), ShardCondition::kUp);  // restarted
+  EXPECT_EQ(supervisor.books().downs_detected, 1u);
+  EXPECT_EQ(supervisor.books().restarts, 1u);
+  EXPECT_TRUE(tier.router->IsUp(1));
+  EXPECT_EQ(tier.hosts[1]->platform().SaveState(),
+            tier.hosts[1]->pre_crash_state());
+}
+
+TEST(ShardSupervisor, ProbeLossWalksSuspectToDownAtThreshold) {
+  const auto model = GridModel(4, 1);
+  TempDir dir{"defuse_supervisor_probeloss_test"};
+  ShardedTier tier{model, SupervisorConfig(), 1, dir.path.string()};
+  server::Client client = tier.Connect();
+  ASSERT_TRUE(client.Invoke(FunctionId{0}, Minute{0}).ok());
+  const std::string before = tier.hosts[0]->platform().SaveState();
+
+  faults::FaultProfile profile;
+  profile.probe_loss_fraction = 1.0;  // every probe vanishes in flight
+  faults::FaultInjector injector{3, profile};
+  SupervisorOptions options;
+  options.probe_loss_threshold = 3;
+  options.injector = &injector;
+  ShardSupervisor supervisor{*tier.router, options};
+
+  supervisor.Tick();  // miss 1
+  EXPECT_EQ(supervisor.condition(0), ShardCondition::kSuspect);
+  EXPECT_EQ(supervisor.books().suspects, 1u);
+  EXPECT_EQ(supervisor.books().downs_detected, 0u);
+
+  supervisor.Tick();  // miss 2: still below threshold
+  EXPECT_EQ(supervisor.condition(0), ShardCondition::kSuspect);
+
+  supervisor.Tick();  // miss 3: down, restarted in the same tick
+  EXPECT_EQ(supervisor.condition(0), ShardCondition::kUp);
+  EXPECT_EQ(supervisor.books().probes_lost, 3u);
+  EXPECT_EQ(supervisor.books().downs_detected, 1u);
+  EXPECT_EQ(supervisor.books().restarts, 1u);
+
+  // The shard was HEALTHY — only its probes were dying. The needless
+  // restart is the accepted cost, and it must be state-safe: the
+  // durable shard recovered byte-identically.
+  EXPECT_EQ(tier.hosts[0]->platform().SaveState(), before);
+  ASSERT_TRUE(client.Invoke(FunctionId{0}, Minute{1}).ok());
+}
+
+TEST(ShardSupervisor, MissCounterStartsOverAfterARestart) {
+  const auto model = GridModel(4, 1);
+  ShardedTier tier{model, SupervisorConfig(), 1};
+
+  faults::FaultProfile profile;
+  profile.probe_loss_fraction = 1.0;
+  faults::FaultInjector injector{3, profile};
+  SupervisorOptions options;
+  options.probe_loss_threshold = 2;
+  options.injector = &injector;
+  ShardSupervisor supervisor{*tier.router, options};
+
+  supervisor.Tick();  // miss 1: suspect
+  ASSERT_EQ(supervisor.condition(0), ShardCondition::kSuspect);
+  supervisor.Tick();  // miss 2: down, restarted same tick
+  ASSERT_EQ(supervisor.condition(0), ShardCondition::kUp);
+  ASSERT_EQ(supervisor.books().restarts, 1u);
+
+  // The restart zeroed the miss counter: the next lost probe makes the
+  // shard SUSPECT again, not instantly down.
+  supervisor.Tick();  // miss 1 of the new walk
+  EXPECT_EQ(supervisor.condition(0), ShardCondition::kSuspect);
+  EXPECT_EQ(supervisor.books().downs_detected, 1u);
+  EXPECT_EQ(supervisor.books().suspects, 2u);
+  EXPECT_EQ(supervisor.books().probes_lost, 3u);
+}
+
+TEST(ShardSupervisor, CrashedInMemoryShardRestartsEmptyByContract) {
+  const auto model = GridModel(4, 1);
+  ShardedTier tier{model, SupervisorConfig(), 2};
+  ShardSupervisor supervisor{*tier.router, {}};
+
+  server::Client client = tier.Connect();
+  const std::size_t victim = tier.router->ShardForFunction(FunctionId{0});
+  ASSERT_TRUE(client.Invoke(FunctionId{0}, Minute{0}).ok());
+  tier.hosts[victim]->Crash();
+  ASSERT_FALSE(client.Invoke(FunctionId{0}, Minute{1}).ok());
+
+  supervisor.Tick();
+  EXPECT_EQ(supervisor.books().restart_failures, 0u);
+  EXPECT_EQ(supervisor.books().restarts, 1u);
+  // In-memory crash: the restart recovers EMPTY (nothing was durable) —
+  // that is the documented contract of state_dir-less shards.
+  EXPECT_EQ(tier.hosts[victim]->platform().stats().invocations, 0u);
+}
+
+}  // namespace
+}  // namespace defuse::router

@@ -10,12 +10,15 @@
 #   4. run the serving suite in isolation (`ctest -L serving`): wire
 #      protocol, transports, the replay<->serve determinism bridge,
 #      async re-mining, network chaos
-#   5. run the chaos soak gate (tools/tier1_soak.sh): seeds 0-9 of
-#      retrying traffic under injected faults, time-bounded, counters
-#      to BENCH_soak.json
-#   6. run the static-analysis gate (tools/tier1_lint.sh): defuse-lint
+#   5. run the multi-shard suite in isolation (`ctest -L shard`): hash
+#      ring, router failure isolation, supervised recovery, live
+#      drain/handoff, the sharded determinism bridge, router-leg fuzz
+#   6. run the chaos soak gate (tools/tier1_soak.sh): seeds 0-9 of
+#      retrying traffic under injected faults — including the
+#      shard-kill soak — time-bounded, counters to BENCH_soak.json
+#   7. run the static-analysis gate (tools/tier1_lint.sh): defuse-lint
 #      must report zero findings, plus clang-tidy when installed
-#   7. run the ASan+UBSan chaos pass (tools/tier1_sanitize.sh)
+#   8. run the ASan+UBSan chaos pass (tools/tier1_sanitize.sh)
 #
 # Any step failing fails the script (set -e), which is the CI contract:
 # green means buildable, correct, crash-safe, lint-clean, and
@@ -38,6 +41,10 @@ ctest --test-dir "$BUILD_DIR" -L durability --output-on-failure -j \
 
 echo "== serving suite (ctest -L serving) =="
 ctest --test-dir "$BUILD_DIR" -L serving --output-on-failure -j \
+  "$(nproc 2>/dev/null || echo 4)"
+
+echo "== multi-shard suite (ctest -L shard) =="
+ctest --test-dir "$BUILD_DIR" -L shard --output-on-failure -j \
   "$(nproc 2>/dev/null || echo 4)"
 
 echo "== chaos soak gate (tools/tier1_soak.sh) =="

@@ -6,13 +6,19 @@
 # Runs the `soak`-labelled ctest suite — ten seeds of bursty traffic
 # through the full serving stack under injected resets, stalls, queue
 # overflow, and deadline skew, plus the determinism and crash-recovery
-# legs — with a hard 60-second per-test timeout so the leg stays
-# time-bounded. The soak is deterministic (pure function of its seeds),
-# so a timeout or failure here is a regression, not flake.
+# legs, plus the shard-kill soak (ten seeds through a 3-shard tier while
+# injected crashes kill shards under live requests, with a supervised
+# restart and a mid-soak handoff per seed) — with a hard 120-second
+# per-test timeout so the leg stays time-bounded. The soak is
+# deterministic (pure function of its seeds), so a timeout or failure
+# here is a regression, not flake.
 #
-# The ten-seed soak writes its aggregate shed/retry/dedup counters to
-# $DEFUSE_SOAK_JSON; this script points that at BENCH_soak.json inside
-# the build directory and echoes it so CI logs carry the counters.
+# The serving soak writes its aggregate shed/retry/dedup counters to
+# $DEFUSE_SOAK_JSON and the shard-kill soak writes its
+# crash/restart/handoff counters to $DEFUSE_SHARD_SOAK_JSON; this
+# script points those at per-leg files inside the build directory,
+# merges them into BENCH_soak.json, and echoes the result so CI logs
+# carry the counters.
 set -eu
 
 BUILD_DIR="${1:-build-ci}"
@@ -20,10 +26,21 @@ if [ ! -d "$BUILD_DIR" ]; then
   echo "error: build directory '$BUILD_DIR' does not exist" >&2
   exit 1
 fi
-JSON_OUT="$(CDPATH= cd -- "$BUILD_DIR" && pwd)/BENCH_soak.json"
+ABS_BUILD="$(CDPATH= cd -- "$BUILD_DIR" && pwd)"
+SERVING_JSON="$ABS_BUILD/BENCH_soak_serving.json"
+SHARD_JSON="$ABS_BUILD/BENCH_soak_shard.json"
+JSON_OUT="$ABS_BUILD/BENCH_soak.json"
 
-DEFUSE_SOAK_JSON="$JSON_OUT" ctest --test-dir "$BUILD_DIR" -L soak \
-  --output-on-failure --timeout 60
+DEFUSE_SOAK_JSON="$SERVING_JSON" DEFUSE_SHARD_SOAK_JSON="$SHARD_JSON" \
+  ctest --test-dir "$BUILD_DIR" -L soak --output-on-failure --timeout 120
+
+{
+  printf '{"serving":'
+  cat "$SERVING_JSON"
+  printf ',"shard_kill":'
+  cat "$SHARD_JSON"
+  printf '}\n'
+} >"$JSON_OUT"
 
 echo "== soak counters ($JSON_OUT) =="
 cat "$JSON_OUT"

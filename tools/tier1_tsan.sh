@@ -25,13 +25,21 @@ cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
 # test_serving rides along because the server loop with async off-path
 # re-mining is the one place a background thread mutates state the
 # serving thread later adopts (the future handoff in Platform).
+# test_router rides along for the multi-shard tier: supervisor-driven
+# restarts and live handoffs move whole platform states between hosts
+# while each shard's async re-mining thread may be in flight.
 cmake --build "$BUILD_DIR" -j \
   --target test_common test_mining test_core test_platform \
-  test_durability test_serving
+  test_durability test_serving test_router
 
 for t in test_common test_mining test_core test_platform test_durability \
     test_serving; do
   echo "== $t (TSan) =="
   "$BUILD_DIR/tests/$t"
 done
+# The supervisor-restart and handoff suites are the shard tier's
+# cross-thread surface; the fuzz/bridge suites ride in the same binary.
+echo "== test_router (TSan: supervisor restart + handoff) =="
+"$BUILD_DIR/tests/test_router" \
+  --gtest_filter='ShardSupervisor*:Handoff*:ShardRouter*:RouterForwardingFuzz*'
 echo "TSan parallel-mining suite: PASS"
