@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
+#include <vector>
 
 namespace defuse::bench {
 namespace {
@@ -14,7 +16,102 @@ long EnvLong(const char* name, long fallback) {
   return (end != nullptr && *end == '\0') ? parsed : fallback;
 }
 
+std::size_t SkipWs(const std::string& text, std::size_t i) {
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\n' ||
+                             text[i] == '\r' || text[i] == '\t')) {
+    ++i;
+  }
+  return i;
+}
+
+/// Index of the '}' closing the object whose '{' is at `pos`, or npos.
+/// Skips string literals so braces inside them do not count.
+std::size_t BalancedObjectEnd(const std::string& text, std::size_t pos) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = pos; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      ++depth;
+    } else if (c == '}' && --depth == 0) {
+      return i;
+    }
+  }
+  return std::string::npos;
+}
+
+/// Parses a flat `{"key": {...}, ...}` into (key, object text) pairs.
+/// Any deviation yields an empty list — the caller then rewrites the
+/// file from scratch rather than guessing at a foreign layout.
+std::vector<std::pair<std::string, std::string>> ParseSections(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::string>> sections;
+  std::size_t i = SkipWs(text, 0);
+  if (i >= text.size() || text[i] != '{') return {};
+  i = SkipWs(text, i + 1);
+  while (i < text.size() && text[i] != '}') {
+    if (text[i] != '"') return {};
+    const std::size_t key_end = text.find('"', i + 1);
+    if (key_end == std::string::npos) return {};
+    std::string key = text.substr(i + 1, key_end - i - 1);
+    i = SkipWs(text, key_end + 1);
+    if (i >= text.size() || text[i] != ':') return {};
+    i = SkipWs(text, i + 1);
+    if (i >= text.size() || text[i] != '{') return {};
+    const std::size_t obj_end = BalancedObjectEnd(text, i);
+    if (obj_end == std::string::npos) return {};
+    sections.emplace_back(std::move(key), text.substr(i, obj_end - i + 1));
+    i = SkipWs(text, obj_end + 1);
+    if (i < text.size() && text[i] == ',') i = SkipWs(text, i + 1);
+  }
+  return i < text.size() ? sections : decltype(sections){};
+}
+
 }  // namespace
+
+bool MergeJsonSection(const std::string& path, const std::string& section,
+                      const std::string& object_json) {
+  std::string existing;
+  if (std::FILE* in = std::fopen(path.c_str(), "rb")) {
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, in)) > 0) {
+      existing.append(buf, n);
+    }
+    std::fclose(in);
+  }
+  auto sections = ParseSections(existing);
+  bool replaced = false;
+  for (auto& [key, body] : sections) {
+    if (key == section) {
+      body = object_json;
+      replaced = true;
+    }
+  }
+  if (!replaced) sections.emplace_back(section, object_json);
+
+  std::string out = "{\n";
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    out += "  \"" + sections[s].first + "\": " + sections[s].second;
+    out += s + 1 < sections.size() ? ",\n" : "\n";
+  }
+  out += "}\n";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::fputs(out.c_str(), file);
+  std::fclose(file);
+  return true;
+}
 
 BenchWorkload MakeStandardWorkload() {
   trace::GeneratorConfig cfg;

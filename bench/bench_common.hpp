@@ -45,4 +45,14 @@ void PrintHeadline(const std::string& text);
 [[nodiscard]] core::MethodResult RunWithinBudget(
     core::ExperimentDriver& driver, core::Method method, double budget);
 
+/// Replaces (or appends) one top-level `"section": { ... }` entry in a
+/// JSON file shaped as a flat object-of-objects — the convention that
+/// lets several bench binaries share one trendable file (BENCH_mining.json
+/// holds a "parallel" and a "delta" section) without clobbering each
+/// other. A file that does not parse as that shape is rewritten with just
+/// the given section. Returns false when the file cannot be written.
+[[nodiscard]] bool MergeJsonSection(const std::string& path,
+                                    const std::string& section,
+                                    const std::string& object_json);
+
 }  // namespace defuse::bench

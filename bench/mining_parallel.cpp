@@ -119,30 +119,28 @@ int main() {
       std::to_string(cores) + " cores; outputs " +
       (all_identical ? "bit-identical" : "DIVERGED"));
 
-  // Machine-readable mirror for CI trending.
+  // Machine-readable mirror for CI trending; the file is shared with
+  // bench_mining_delta, so each binary owns one section.
   std::string json = "{\n";
-  json += "  \"functions\": " + std::to_string(w.model.num_functions()) +
+  json += "    \"functions\": " + std::to_string(w.model.num_functions()) +
           ",\n";
-  json += "  \"users\": " + std::to_string(cfg.num_users) + ",\n";
-  json += "  \"hardware_concurrency\": " + std::to_string(cores) + ",\n";
-  json += "  \"reps\": " + std::to_string(reps) + ",\n";
-  json += "  \"serial_ms\": " + std::to_string(serial_ms) + ",\n";
-  json += "  \"bit_identical\": ";
+  json += "    \"users\": " + std::to_string(cfg.num_users) + ",\n";
+  json += "    \"hardware_concurrency\": " + std::to_string(cores) + ",\n";
+  json += "    \"reps\": " + std::to_string(reps) + ",\n";
+  json += "    \"serial_ms\": " + std::to_string(serial_ms) + ",\n";
+  json += "    \"bit_identical\": ";
   json += all_identical ? "true" : "false";
-  json += ",\n  \"threads\": [\n";
+  json += ",\n    \"threads\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    json += "    {\"threads\": " + std::to_string(rows[i].threads) +
+    json += "      {\"threads\": " + std::to_string(rows[i].threads) +
             ", \"ms\": " + std::to_string(rows[i].ms) +
             ", \"speedup\": " + std::to_string(serial_ms / rows[i].ms) +
             "}";
     json += i + 1 < rows.size() ? ",\n" : "\n";
   }
-  json += "  ]\n}\n";
-  std::FILE* out = std::fopen("BENCH_mining.json", "w");
-  if (out != nullptr) {
-    std::fputs(json.c_str(), out);
-    std::fclose(out);
-    std::printf("# wrote BENCH_mining.json\n");
+  json += "    ]\n  }";
+  if (bench::MergeJsonSection("BENCH_mining.json", "parallel", json)) {
+    std::printf("# wrote BENCH_mining.json (parallel section)\n");
   } else {
     std::fprintf(stderr, "warning: could not write BENCH_mining.json\n");
   }

@@ -69,6 +69,10 @@ commands:
              (live re-mining, residency carry-over)
              --trace FILE (required)   --remine-days N (1)
              --window-days N (4)       --mine-threads N (0 = serial)
+             --delta-mine       incremental re-mining from streaming
+                                accumulators (bit-identical results)
+             --full-rebuild-every N (8)  anchor every Nth delta re-mine
+                                with a full rebuild (0 = never)
              --state-dir DIR    durable mode: recover + resume, journal
                                 every invocation, checkpoint on cadence
              --checkpoint-days N (1)
@@ -76,6 +80,7 @@ commands:
              report which rung restored the platform
              --state-dir DIR (required)   --trace FILE (required)
              --remine-days N (1)  --window-days N (4)
+             --delta-mine  --full-rebuild-every N (8)
              exit 2 when corruption had to be repaired or skipped
   fsck       verify a state directory's snapshots and journals without
              repairing anything
@@ -86,6 +91,8 @@ commands:
              --host H (127.0.0.1)  --port P (0 = ephemeral, printed)
              --remine-days N (1)   --window-days N (4)
              --mine-threads N (0 = serial)
+             --delta-mine       incremental re-mining (bit-identical)
+             --full-rebuild-every N (8)  anchor cadence (0 = never)
              --async-remine     mine off-path; invokes flow during mining
              --state-dir DIR    durable mode (journal + checkpoints)
              --checkpoint-days N (1)
@@ -188,6 +195,27 @@ bool MineThreadsFromFlags(const FlagParser& flags, std::ostream& err,
     return false;
   }
   parallel.num_threads = static_cast<std::size_t>(threads.value());
+  return true;
+}
+
+/// Shared by replay/recover/serve: --delta-mine switches the platform's
+/// periodic re-mining to the streaming-accumulator path (bit-identical
+/// mined sets, O(new events) cost) and --full-rebuild-every N sets the
+/// full-rebuild anchor cadence (every Nth mine; 0 = never).
+bool DeltaMineFromFlags(const FlagParser& flags, std::ostream& err,
+                        mining::DeltaMineConfig& delta) {
+  delta.enabled = flags.Has("delta-mine");
+  const auto every = flags.GetInt(
+      "full-rebuild-every", static_cast<std::int64_t>(delta.full_rebuild_every));
+  if (!every.ok() || every.value() < 0) {
+    err << "error: --full-rebuild-every must be a non-negative integer\n";
+    return false;
+  }
+  if (!delta.enabled && flags.Has("full-rebuild-every")) {
+    err << "error: --full-rebuild-every requires --delta-mine\n";
+    return false;
+  }
+  delta.full_rebuild_every = static_cast<std::uint32_t>(every.value());
   return true;
 }
 
@@ -673,6 +701,7 @@ int CmdReplay(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   config.remine_interval = remine_days.value() * kMinutesPerDay;
   config.mining_window = window_days.value() * kMinutesPerDay;
   if (!MineThreadsFromFlags(flags, err, config.mining.parallel)) return 1;
+  if (!DeltaMineFromFlags(flags, err, config.mining.delta)) return 1;
   platform::Platform engine{bundle->model, config};
 
   // Durable mode: recover whatever a previous (possibly crashed) replay
@@ -766,6 +795,11 @@ int CmdReplay(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   out << "total: " << engine.stats().invocations << " invocations, cold "
       << engine.stats().cold_fraction() << ", " << engine.stats().remines
       << " re-mines\n";
+  if (const auto* acc = engine.delta_accumulator()) {
+    out << "delta mining: " << acc->books().delta_mines << " delta mines, "
+        << acc->books().full_rebuilds << " full rebuilds, "
+        << acc->books().aborted_deltas << " rolled back\n";
+  }
   if (interrupted) {
     out << "interrupted: state checkpointed for resume; rerun the same "
            "command to continue\n";
@@ -810,6 +844,7 @@ int CmdRecover(const FlagParser& flags, std::ostream& out,
   config.remine_interval = remine_days.value() * kMinutesPerDay;
   config.mining_window = window_days.value() * kMinutesPerDay;
   if (!MineThreadsFromFlags(flags, err, config.mining.parallel)) return 1;
+  if (!DeltaMineFromFlags(flags, err, config.mining.delta)) return 1;
   platform::Platform engine{bundle->model, config};
 
   const platform::durability::RecoveryManager manager{*dir};
@@ -1033,6 +1068,7 @@ int CmdServe(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   config.mining_window = window_days.value() * kMinutesPerDay;
   config.async_remine = flags.Has("async-remine");
   if (!MineThreadsFromFlags(flags, err, config.mining.parallel)) return 1;
+  if (!DeltaMineFromFlags(flags, err, config.mining.delta)) return 1;
 
   net::ServerLimits limits;
   limits.max_queue_depth = static_cast<std::size_t>(queue_bound.value());
@@ -1121,6 +1157,11 @@ int CmdServe(const FlagParser& flags, std::ostream& out, std::ostream& err) {
       << " duplicates replayed); " << stats.invocations
       << " invocations, cold " << stats.cold_fraction() << ", "
       << stats.remines << " re-mines\n";
+  if (const auto* acc = engine.delta_accumulator()) {
+    out << "delta mining: " << acc->books().delta_mines << " delta mines, "
+        << acc->books().full_rebuilds << " full rebuilds, "
+        << acc->books().aborted_deltas << " rolled back\n";
+  }
   if (handler.journal_failures() > 0) {
     err << "warning: " << handler.journal_failures()
         << " journal appends failed (those events were lossy)\n";

@@ -61,6 +61,13 @@ Result<MiningOutput> MineDependencies(const trace::InvocationTrace& trace,
                                       const trace::WorkloadModel& model,
                                       TimeRange train,
                                       const DefuseConfig& config) {
+  return MineDependencies(trace, model, train, config, nullptr);
+}
+
+Result<MiningOutput> MineDependencies(
+    const trace::InvocationTrace& trace, const trace::WorkloadModel& model,
+    TimeRange train, const DefuseConfig& config,
+    const mining::DeltaMiningInput* delta_input) {
   if (const char* violation = ValidateDefuseConfig(config)) {
     return Error{ErrorCode::kInvalidArgument,
                  std::string{"MineDependencies: "} + violation};
@@ -106,11 +113,22 @@ Result<MiningOutput> MineDependencies(const trace::InvocationTrace& trace,
   };
   std::vector<UserShard> shards(num_users);
 
-  // Stage 1 (parallel): per-user transaction building. RNG-free.
+  // Stage 1 (parallel): per-user transaction building. RNG-free. The
+  // delta fast path serves the transactions from the streaming CanTrees
+  // instead; their export is multiset-equal to the built list, and every
+  // consumer downstream (projection, FP-Growth) is a pure function of
+  // the transaction multiset, so the mined output is bit-identical.
+  const bool delta_transactions =
+      delta_input != nullptr && delta_input->has_transactions;
   if (config.use_strong) {
     ParallelFor(pool, num_users, [&](std::size_t u) {
-      shards[u].transactions = mining::BuildUserTransactions(
-          trace, model, users[u].id, train, transaction_config);
+      if (delta_transactions) {
+        shards[u].transactions =
+            delta_input->transactions[users[u].id.value()];
+      } else {
+        shards[u].transactions = mining::BuildUserTransactions(
+            trace, model, users[u].id, train, transaction_config);
+      }
     });
   }
 
@@ -154,9 +172,34 @@ Result<MiningOutput> MineDependencies(const trace::InvocationTrace& trace,
       }
     }
     if (config.use_weak) {
-      shard.weak = mining::MineWeakDependencies(
-          trace, model, users[u].id, output.predictability.predictable, train,
-          ppmi_config);
+      if (delta_input != nullptr && delta_input->has_cooc) {
+        // Delta fast path: load the streaming counts into the matrix and
+        // run the shared scoring stage. The counts are exactly what
+        // Accumulate would have produced, so the PPMI doubles match bit
+        // for bit.
+        std::vector<FunctionId> unpredictable_fns;
+        std::vector<FunctionId> predictable_fns;
+        for (const FunctionId fn : model.FunctionsOfUser(users[u].id)) {
+          if (output.predictability.predictable[fn.value()]) {
+            predictable_fns.push_back(fn);
+          } else {
+            unpredictable_fns.push_back(fn);
+          }
+        }
+        if (!unpredictable_fns.empty() && !predictable_fns.empty()) {
+          mining::CooccurrenceMatrix matrix{std::move(unpredictable_fns),
+                                            std::move(predictable_fns)};
+          const auto& counts = delta_input->cooc[users[u].id.value()];
+          matrix.LoadAccumulated(counts.active, counts.pairs,
+                                 delta_input->total_windows);
+          shard.weak = mining::MineWeakDependenciesFromMatrix(matrix,
+                                                              ppmi_config);
+        }
+      } else {
+        shard.weak = mining::MineWeakDependencies(
+            trace, model, users[u].id, output.predictability.predictable,
+            train, ppmi_config);
+      }
     }
   });
 

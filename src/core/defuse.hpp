@@ -18,6 +18,7 @@
 #include "common/time.hpp"
 #include "graph/dependency_graph.hpp"
 #include "mining/cooccurrence.hpp"
+#include "mining/delta.hpp"
 #include "mining/fpgrowth.hpp"
 #include "mining/parallel.hpp"
 #include "mining/predictability.hpp"
@@ -53,6 +54,11 @@ struct DefuseConfig {
   /// Parallel mining fan-out (see mining/parallel.hpp). Defaults to
   /// serial; any thread count produces a bit-identical MiningOutput.
   mining::ParallelMineConfig parallel;
+
+  /// Incremental re-mining (see mining/delta.hpp). Defaults to off; when
+  /// on, the platform feeds streaming accumulators and every mine is
+  /// bit-identical to a full rebuild over the same window.
+  mining::DeltaMineConfig delta;
 
   mining::PpmiConfig MakePpmiConfig() const {
     mining::PpmiConfig c;
@@ -106,6 +112,18 @@ struct MiningOutput {
 [[nodiscard]] Result<MiningOutput> MineDependencies(
     const trace::InvocationTrace& trace, const trace::WorkloadModel& model,
     TimeRange train, const DefuseConfig& config = {});
+
+/// Delta-mining entry point: identical to MineDependencies, but when
+/// `delta_input` carries pre-accumulated transactions / co-occurrence
+/// counts for `train`, the per-user transaction build and the weak-mining
+/// trace scan are served from the accumulators instead of re-scanning
+/// `trace`. The output is bit-identical either way (the accumulators are
+/// exact); passing nullptr or an input with both fast-path flags false is
+/// exactly the plain overload.
+[[nodiscard]] Result<MiningOutput> MineDependencies(
+    const trace::InvocationTrace& trace, const trace::WorkloadModel& model,
+    TimeRange train, const DefuseConfig& config,
+    const mining::DeltaMiningInput* delta_input);
 
 /// Stage 3: builds the dependency-set-granularity scheduler, with every
 /// set's idle-time histogram seeded from the training window.

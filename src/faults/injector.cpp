@@ -52,6 +52,10 @@ double FaultInjector::FractionFor(FaultSite site) const noexcept {
     case FaultSite::kShardCrash: return profile_.shard_crash_fraction;
     case FaultSite::kHandoffTorn: return profile_.handoff_torn_fraction;
     case FaultSite::kProbeLoss: return profile_.probe_loss_fraction;
+    case FaultSite::kDeltaWindowSkew:
+      return profile_.delta_window_skew_fraction;
+    case FaultSite::kDeltaSnapshotTorn:
+      return profile_.delta_snapshot_torn_fraction;
   }
   return 0.0;
 }

@@ -86,8 +86,18 @@ enum class FaultSite : std::size_t {
   /// Shard tier: a supervisor health probe is lost in flight. The shard
   /// may be perfectly healthy — only repeated losses may condemn it.
   kProbeLoss = 17,
+  /// Delta mining: the streaming accumulator's boundary has drifted from
+  /// the platform's mine boundary (window skew). Recovered by rebuilding
+  /// the accumulators from the live history and anchoring this mine as a
+  /// full rebuild — output stays bit-identical, cost is O(full) once.
+  kDeltaWindowSkew = 18,
+  /// Delta mining: a checkpoint's accumulator section is torn mid-write.
+  /// The platform body of the snapshot stays intact; recovery must
+  /// reject the partial section wholesale and rebuild from the restored
+  /// history, never resume from a half-parsed accumulator.
+  kDeltaSnapshotTorn = 19,
 };
-inline constexpr std::size_t kNumFaultSites = 18;
+inline constexpr std::size_t kNumFaultSites = 20;
 
 [[nodiscard]] constexpr const char* FaultSiteName(FaultSite site) noexcept {
   switch (site) {
@@ -109,6 +119,8 @@ inline constexpr std::size_t kNumFaultSites = 18;
     case FaultSite::kShardCrash: return "shard_crash";
     case FaultSite::kHandoffTorn: return "handoff_torn";
     case FaultSite::kProbeLoss: return "probe_loss";
+    case FaultSite::kDeltaWindowSkew: return "delta_window_skew";
+    case FaultSite::kDeltaSnapshotTorn: return "delta_snapshot_torn";
   }
   return "unknown";
 }
@@ -174,6 +186,15 @@ struct FaultProfile {
   /// Fraction of supervisor health probes lost in flight.
   double probe_loss_fraction = 0.0;
 
+  // Delta-mining knobs (streaming re-mine accumulators, see
+  // src/mining/delta.hpp):
+  /// Fraction of delta re-mines at which the accumulator window is
+  /// declared skewed, forcing a rebuild-from-history anchor.
+  double delta_window_skew_fraction = 0.0;
+  /// Fraction of durable checkpoints whose accumulator section is torn
+  /// mid-write.
+  double delta_snapshot_torn_fraction = 0.0;
+
   [[nodiscard]] bool any() const noexcept {
     return remine_failure_fraction > 0 || prewarm_spawn_failure_fraction > 0 ||
            malformed_row_fraction > 0 || duplicate_row_fraction > 0 ||
@@ -186,7 +207,9 @@ struct FaultProfile {
            net_short_write_fraction > 0 || net_reset_fraction > 0 ||
            net_stall_fraction > 0 || queue_overflow_fraction > 0 ||
            deadline_skew_fraction > 0 || shard_crash_fraction > 0 ||
-           handoff_torn_fraction > 0 || probe_loss_fraction > 0;
+           handoff_torn_fraction > 0 || probe_loss_fraction > 0 ||
+           delta_window_skew_fraction > 0 ||
+           delta_snapshot_torn_fraction > 0;
   }
 };
 

@@ -72,6 +72,43 @@ void CooccurrenceMatrix::Accumulate(const trace::InvocationTrace& trace,
       (len + window_minutes - 1) / window_minutes);
 }
 
+void CooccurrenceMatrix::LoadAccumulated(
+    std::span<const std::pair<std::uint32_t, std::uint64_t>> active,
+    std::span<const std::pair<std::pair<std::uint32_t, std::uint32_t>,
+                              std::uint64_t>>
+        pairs,
+    std::uint64_t total_windows) {
+  const auto active_of = [&](FunctionId fn) -> std::uint64_t {
+    const auto it = std::lower_bound(
+        active.begin(), active.end(), fn.value(),
+        [](const auto& entry, std::uint32_t v) { return entry.first < v; });
+    return (it != active.end() && it->first == fn.value()) ? it->second : 0;
+  };
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    row_windows_[r] += active_of(rows_[r]);
+  }
+  for (std::size_t c = 0; c < cols_.size(); ++c) {
+    col_windows_[c] += active_of(cols_[c]);
+  }
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t c = 0; c < cols_.size(); ++c) {
+      // NOT std::minmax: it would return a pair of references into the
+      // two .value() temporaries, dangling by the lookup below.
+      const std::uint32_t rv = rows_[r].value();
+      const std::uint32_t cv = cols_[c].value();
+      const std::pair<std::uint32_t, std::uint32_t> key{std::min(rv, cv),
+                                                        std::max(rv, cv)};
+      const auto it = std::lower_bound(
+          pairs.begin(), pairs.end(), key,
+          [](const auto& entry, const auto& k) { return entry.first < k; });
+      if (it != pairs.end() && it->first == key) {
+        counts_[r * cols_.size() + c] += it->second;
+      }
+    }
+  }
+  total_windows_ += total_windows;
+}
+
 double CooccurrenceMatrix::Ppmi(std::size_t r, std::size_t c) const noexcept {
   if (total_windows_ == 0) return 0.0;
   const std::uint64_t joint = at(r, c);
@@ -102,7 +139,12 @@ std::vector<WeakDependency> MineWeakDependencies(
 
   CooccurrenceMatrix matrix{unpredictable_fns, predictable_fns};
   matrix.Accumulate(trace, range, config.window_minutes);
+  return MineWeakDependenciesFromMatrix(matrix, config);
+}
 
+std::vector<WeakDependency> MineWeakDependenciesFromMatrix(
+    const CooccurrenceMatrix& matrix, const PpmiConfig& config) {
+  std::vector<WeakDependency> result;
   // Per row: the top-k columns by PPMI (stable tie-break on column id).
   std::vector<std::pair<double, std::size_t>> scored;
   for (std::size_t r = 0; r < matrix.num_rows(); ++r) {

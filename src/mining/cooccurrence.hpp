@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -58,6 +59,19 @@ class CooccurrenceMatrix {
   void Accumulate(const trace::InvocationTrace& trace, TimeRange range,
                   MinuteDelta window_minutes);
 
+  /// Loads pre-accumulated counts (the delta-mining fast path): `active`
+  /// maps fn id -> active windows, `pairs` maps (a, b) with a < b ->
+  /// co-active windows; both sorted by key. Functions absent from
+  /// `active`/`pairs` count zero. Produces exactly the integers
+  /// Accumulate would have counted at window_minutes == 1, so Ppmi() is
+  /// bit-identical.
+  void LoadAccumulated(
+      std::span<const std::pair<std::uint32_t, std::uint64_t>> active,
+      std::span<const std::pair<std::pair<std::uint32_t, std::uint32_t>,
+                                std::uint64_t>>
+          pairs,
+      std::uint64_t total_windows);
+
   [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
   [[nodiscard]] std::size_t num_cols() const noexcept { return cols_.size(); }
   [[nodiscard]] std::uint64_t at(std::size_t r, std::size_t c) const noexcept {
@@ -99,5 +113,11 @@ class CooccurrenceMatrix {
     const trace::InvocationTrace& trace, const trace::WorkloadModel& model,
     UserId user, const std::vector<bool>& predictable, TimeRange range,
     const PpmiConfig& config = {});
+
+/// The PPMI top-k scoring stage over an already-accumulated matrix.
+/// MineWeakDependencies is exactly: build matrix, Accumulate, this. The
+/// delta-mining path loads streaming counts into the matrix instead.
+[[nodiscard]] std::vector<WeakDependency> MineWeakDependenciesFromMatrix(
+    const CooccurrenceMatrix& matrix, const PpmiConfig& config = {});
 
 }  // namespace defuse::mining

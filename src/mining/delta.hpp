@@ -1,0 +1,249 @@
+// Incremental (delta) re-mining: streaming accumulators that ingest only
+// the events since the last mine boundary, so a periodic re-mine costs
+// O(new data) instead of O(full history).
+//
+// Three layers, each exact (never approximate):
+//
+//   * An event store — per-function sorted (minute, count) runs covering
+//     [store_begin, ingest watermark). Appends are O(1) amortized
+//     (arrivals are monotonic), eviction drops the prefix a sliding
+//     mining window can never revisit, and MaterializeWindow() yields a
+//     standalone trace holding exactly the window's events. This is the
+//     universal fallback: mining the materialized window through the
+//     unchanged pipeline is bit-identical to mining the full history
+//     restricted to the same window, at any window_minutes.
+//   * Per-user co-occurrence accumulators — pair counts and per-function
+//     active-minute counts, maintained as minutes seal. At
+//     window_minutes == 1 (the paper's trace granularity and the
+//     default) the PPMI co-occurrence matrix is an exact integer
+//     function of these counts, so weak mining skips the trace scan.
+//   * Per-user incremental FP-trees (CanTree) — canonical ascending-id
+//     prefix trees over the user's per-minute transactions, supporting
+//     Insert and exact Remove. Exported transactions are multiset-equal
+//     to BuildUserTransactions over the window, and FP-Growth's output
+//     is a pure function of that multiset (count-ordered header tables),
+//     so strong mining is bit-identical too.
+//
+// A periodic full rebuild (DeltaMineConfig::full_rebuild_every) is the
+// correctness anchor: every Nth committed mine discards the derived
+// structures and rebuilds them from the live history, so incremental
+// drift — were a bug ever to introduce any — cannot compound.
+//
+// Rollback-on-degrade invariant: the accumulator advances its boundary
+// only when a mine is adopted (Commit). A degraded re-mine that keeps
+// the last-good dependency sets calls Abandon(), which leaves every
+// accumulator at the last-good boundary — the next mine folds the
+// abandoned window's events into its own delta, so a half-ingested
+// delta can never poison a later mine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "mining/transactions.hpp"
+#include "trace/invocation_trace.hpp"
+#include "trace/model.hpp"
+
+namespace defuse::mining {
+
+struct DeltaMineConfig {
+  /// Maintain streaming accumulators and mine deltas instead of
+  /// re-scanning the full history snapshot at every boundary.
+  bool enabled = false;
+  /// Every Nth committed mine is a full rebuild from the live history
+  /// (the correctness anchor). 1 = every mine, 0 = never anchor.
+  std::uint32_t full_rebuild_every = 8;
+
+  friend bool operator==(const DeltaMineConfig&,
+                         const DeltaMineConfig&) noexcept = default;
+};
+
+/// Canonical-order FP-tree (a CanTree): every path lists items in
+/// ascending FunctionId order, so the tree shape is independent of
+/// insertion order and an exact Remove is possible — the properties a
+/// *streaming* frequent-itemset accumulator needs. Children are kept in
+/// a std::map for deterministic export order (src/mining is a
+/// determinism boundary).
+class CanTree {
+ public:
+  CanTree() : nodes_(1) {}
+
+  /// Inserts one ascending-id transaction with multiplicity `count`.
+  void Insert(const Transaction& t, std::uint32_t count = 1);
+  /// Exact inverse of Insert. Returns false (and changes nothing) if the
+  /// tree does not hold `count` copies of `t`.
+  bool Remove(const Transaction& t, std::uint32_t count = 1);
+  /// Appends every stored transaction, expanded to its multiplicity, in
+  /// lexicographic item order. The result is multiset-equal to the
+  /// insert/remove history.
+  void Export(std::vector<Transaction>& out) const;
+  /// Total stored multiplicity.
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+  void Clear();
+
+ private:
+  struct Node {
+    std::uint32_t terminal = 0;  // multiplicity of transactions ending here
+    // Child item id -> node index. Deterministic iteration order is what
+    // makes Export reproducible.
+    std::map<std::uint32_t, std::uint32_t> children;
+  };
+  void ExportFrom(std::uint32_t node, Transaction& prefix,
+                  std::vector<Transaction>& out) const;
+
+  std::vector<Node> nodes_;  // nodes_[0] is the root
+  std::uint64_t size_ = 0;
+};
+
+/// Pre-accumulated per-user mining input handed to MineDependencies by
+/// the delta path. Vectors are indexed in model.users() order. Empty
+/// flags fall back to the trace-scanning pipeline (still correct — the
+/// trace handed alongside is the materialized window).
+struct DeltaMiningInput {
+  /// Per user: transactions multiset-equal to BuildUserTransactions over
+  /// the window (exported from the incremental FP-trees).
+  std::vector<std::vector<Transaction>> transactions;
+  bool has_transactions = false;
+
+  /// Per user: sorted (fn id, active minutes) and ((a, b) with a < b,
+  /// co-active minutes) counts over the window, exact at
+  /// window_minutes == 1.
+  struct UserCounts {
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> active;
+    std::vector<std::pair<std::pair<std::uint32_t, std::uint32_t>,
+                          std::uint64_t>>
+        pairs;
+  };
+  std::vector<UserCounts> cooc;
+  /// Number of co-occurrence windows in the range (== window length at
+  /// window_minutes == 1).
+  std::uint64_t total_windows = 0;
+  bool has_cooc = false;
+};
+
+/// The streaming re-mine state of one platform: event store + per-user
+/// derived accumulators + boundary bookkeeping. Single-threaded by
+/// contract (the platform thread); the async re-mine path hands the
+/// worker a self-contained MaterializeWindow()/BuildInput() copy, never
+/// the accumulator itself.
+class DeltaAccumulator {
+ public:
+  /// `model` is borrowed and must outlive the accumulator.
+  DeltaAccumulator(const trace::WorkloadModel& model, DeltaMineConfig config,
+                   MinuteDelta window_minutes);
+
+  /// Appends one invocation event. Minutes must be non-decreasing (the
+  /// platform's own Invoke contract).
+  void Ingest(FunctionId fn, Minute minute, std::uint32_t count = 1);
+
+  /// Folds every stored minute < `end` into the derived accumulators
+  /// (pair counts, active counts, FP-trees). Idempotent per minute.
+  void SealTo(Minute end);
+  /// Drops sealed minutes < `begin` from the derived accumulators and
+  /// trims the event store. Only minutes a sliding window can never
+  /// revisit may be evicted; `begin` must be <= the sealed watermark.
+  void EvictTo(Minute begin);
+
+  /// A standalone trace holding exactly the stored events inside
+  /// `window`, over `horizon` (the platform's history horizon).
+  [[nodiscard]] trace::InvocationTrace MaterializeWindow(
+      TimeRange window, TimeRange horizon) const;
+
+  /// Exports the pre-accumulated mining input for `window`. Requires
+  /// SealTo(window.end) and EvictTo(window.begin) to have run. At
+  /// window_minutes != 1 the fast-path flags stay false (callers mine
+  /// the materialized window through the standard pipeline instead).
+  [[nodiscard]] DeltaMiningInput BuildInput(TimeRange window) const;
+
+  /// True when the next mine must run as a full-rebuild anchor.
+  [[nodiscard]] bool FullRebuildDue() const noexcept {
+    return config_.full_rebuild_every > 0 &&
+           commits_since_anchor_ + 1 >= config_.full_rebuild_every;
+  }
+
+  /// Discards everything and re-ingests `trace`'s events at minutes >=
+  /// `begin` (derived structures empty, to be sealed by the next mine).
+  /// Used by the full-rebuild anchor, by delta-window-skew recovery, and
+  /// when a restored snapshot carries no usable accumulator section.
+  void RebuildFromTrace(const trace::InvocationTrace& trace, Minute begin);
+
+  /// Books an adopted mine at `boundary`; `anchored` marks a full
+  /// rebuild (resets the anchor cadence).
+  void Commit(Minute boundary, bool anchored);
+  /// Books a degraded mine that kept the previous sets: the accumulator
+  /// stays at the last-good boundary (nothing was evicted or advanced),
+  /// so the next mine folds this window's events into its own delta.
+  void Abandon();
+
+  /// Serializes store + boundary state (not the derived structures —
+  /// they re-derive in O(window) on load, which is what lets recovery
+  /// resume mid-delta without replaying full history). Ends with an
+  /// "end" sentinel line so a torn write is detectable.
+  [[nodiscard]] std::string Serialize() const;
+  /// Restores Serialize() output; re-derives the sealed span. Returns
+  /// false (state unchanged) on any malformed or truncated input.
+  [[nodiscard]] bool Deserialize(std::string_view text);
+
+  /// Delta bookkeeping. Like Platform::AsyncRemineBooks, deliberately
+  /// not persisted: it describes how mines ran, not what the scheduler
+  /// did, which keeps SaveState byte-identical with delta on or off.
+  struct Books {
+    /// Committed mines served from the streaming accumulators.
+    std::uint64_t delta_mines = 0;
+    /// Committed full-rebuild anchors (cadence or skew recovery).
+    std::uint64_t full_rebuilds = 0;
+    /// Degraded mines rolled back to the last-good boundary.
+    std::uint64_t aborted_deltas = 0;
+    /// Accumulator rebuilds forced by an injected delta-window skew.
+    std::uint64_t skew_rebuilds = 0;
+    /// Snapshot [delta] sections rejected on load (torn/corrupt), each
+    /// recovered by rebuilding from the restored history.
+    std::uint64_t torn_snapshot_loads = 0;
+  };
+  [[nodiscard]] const Books& books() const noexcept { return books_; }
+  [[nodiscard]] Books& books() noexcept { return books_; }
+
+  [[nodiscard]] Minute store_begin() const noexcept { return store_begin_; }
+  [[nodiscard]] Minute sealed_end() const noexcept { return sealed_end_; }
+  /// Boundary of the last adopted mine (-1 before the first).
+  [[nodiscard]] Minute last_good() const noexcept { return last_good_; }
+  [[nodiscard]] std::uint64_t stored_events() const noexcept;
+  [[nodiscard]] const DeltaMineConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct UserAcc {
+    CanTree tree;
+    /// (a, b) with a < b -> co-active sealed minutes.
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> pairs;
+    /// fn id -> active sealed minutes.
+    std::map<std::uint32_t, std::uint64_t> active;
+  };
+
+  /// Applies (sign = +1) or reverts (sign = -1) the per-minute
+  /// transactions of [span.begin, span.end) to the derived accumulators.
+  void ApplySpan(TimeRange span, int sign);
+  void ResetDerived();
+
+  const trace::WorkloadModel* model_;
+  DeltaMineConfig config_;
+  MinuteDelta window_minutes_;
+  /// Per-function sorted coalesced (minute, count) runs.
+  std::vector<std::vector<trace::InvocationEvent>> runs_;
+  std::vector<UserAcc> users_;
+  Minute store_begin_ = 0;
+  Minute sealed_end_ = 0;
+  Minute last_good_ = -1;
+  Minute ingest_watermark_ = 0;
+  std::uint32_t commits_since_anchor_ = 0;
+  Books books_;
+};
+
+}  // namespace defuse::mining

@@ -67,7 +67,11 @@ Result<bool> DurableState::JournalHeartbeat(Minute now) {
 Result<bool> DurableState::Checkpoint(const Platform& p) {
   next_checkpoint_ =
       p.last_invocation_minute() + options_.checkpoint_interval;
-  auto gen = store_.Write(p.SaveState());
+  // The durable form carries the delta-mining accumulator section (v4)
+  // when delta mining is on, so recovery resumes mid-delta instead of
+  // replaying full history; with delta off it is SaveState, byte for
+  // byte.
+  auto gen = store_.Write(p.SaveDurableState());
   if (!gen.ok()) {
     DEFUSE_LOG_WARN << "durability: checkpoint failed, journaling continues "
                        "against generation "

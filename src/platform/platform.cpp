@@ -6,6 +6,7 @@
 #include <chrono>
 #include <span>
 #include <unordered_map>
+#include <utility>
 
 #include "common/logging.hpp"
 #include "graph/serialization.hpp"
@@ -31,6 +32,10 @@ Platform::Platform(trace::WorkloadModel model, PlatformConfig config)
                                                             config_.policy);
   unit_last_invoked_.assign(units_->num_units(), -1);
   unit_cold_this_minute_.assign(units_->num_units(), false);
+  if (config_.mining.delta.enabled) {
+    delta_ = std::make_unique<mining::DeltaAccumulator>(
+        model_, config_.mining.delta, config_.mining.window_minutes);
+  }
 }
 
 void Platform::MaybeRemine(Minute now) {
@@ -67,17 +72,22 @@ void Platform::MaybeRemine(Minute now) {
                     << now << "; collapsing into one catch-up re-mine at "
                     << due;
   }
+  // The collapsed catch-up serves 1 + skipped cadence intervals with one
+  // mine; should that mine degrade, ALL of them ran on the stale graph,
+  // so the interval count rides along to KeepStaleGraph.
+  pending_catchup_intervals_ = skipped + 1;
   RemineNow(due);
   next_remine_ = due + config_.remine_interval;
 }
 
-void Platform::KeepStaleGraph() {
+void Platform::KeepStaleGraph(std::uint64_t intervals) {
   // Stale-but-safe: units_, policy_, and the per-unit invocation state
   // keep serving untouched (bootstrap singletons when no re-mine has
   // succeeded yet). Only the books move.
   ++stats_.remines;
   ++stats_.degraded_remines;
-  stats_.stale_graph_minutes += config_.remine_interval;
+  stats_.stale_graph_minutes +=
+      static_cast<MinuteDelta>(intervals) * config_.remine_interval;
 }
 
 void Platform::RemineNow(Minute now) {
@@ -88,19 +98,25 @@ void Platform::RemineNow(Minute now) {
   history_.Finalize();
   const TimeRange window{
       std::max<Minute>(0, now - config_.mining_window), now};
+  const std::uint64_t intervals =
+      std::exchange(pending_catchup_intervals_, std::uint64_t{1});
 
   // Degradation ladder. An injected fault (simulated FP-Growth budget
   // exhaustion / mining deadline exceeded) kills the whole re-mine; a
   // blown transaction budget first retries weak-deps-only (no FP-Growth
   // pass) before giving up on a fresh graph entirely. Drawn on the
-  // calling thread in both serial and async mode, before any snapshot.
+  // calling thread in both serial and async mode, before any snapshot —
+  // and before any delta-accumulator mutation, which is what makes the
+  // rollback-on-degrade invariant hold trivially on this path: a kept
+  // stale graph leaves the accumulators at the last-good boundary.
   core::DefuseConfig mining_config = config_.mining;
   if (fault_injector_ != nullptr &&
       fault_injector_->ShouldFail(faults::FaultSite::kRemine)) {
     DEFUSE_LOG_WARN << "platform: re-mine at minute " << now << " failed ("
                     << fault_injector_->MiningFailure().ToString()
                     << "); keeping previous dependency sets";
-    KeepStaleGraph();
+    KeepStaleGraph(intervals);
+    if (delta_ != nullptr) delta_->Abandon();
     return;
   }
   if (config_.max_mining_transactions > 0 &&
@@ -114,23 +130,75 @@ void Platform::RemineNow(Minute now) {
     } else {
       DEFUSE_LOG_WARN << "platform: mining budget exceeded at minute " << now
                       << "; keeping previous dependency sets";
-      KeepStaleGraph();
+      KeepStaleGraph(intervals);
+      if (delta_ != nullptr) delta_->Abandon();
       return;
     }
   }
 
-  if (config_.async_remine) {
-    StartAsyncRemine(window, mining_config);
+  if (delta_ == nullptr) {
+    if (config_.async_remine) {
+      StartAsyncRemine(window, mining_config, SnapshotHistory(window.end),
+                       mining::DeltaMiningInput{}, intervals,
+                       /*anchored=*/false);
+      return;
+    }
+    MinedSwap swap = MineWindow(history_, window, mining_config, nullptr);
+    swap.window = window;
+    swap.catchup_intervals = intervals;
+    AdoptMinedSwap(std::move(swap));
     return;
   }
-  AdoptMinedSwap(MineWindow(history_, window, mining_config));
+
+  // Delta path. An injected window skew (accumulator boundary drifted
+  // from the platform's mine boundary) is recovered, not served: the
+  // accumulator is rebuilt from the live history and the mine runs as a
+  // full-rebuild anchor — bit-identical output, O(full) cost this once.
+  bool anchored = delta_->FullRebuildDue();
+  if (fault_injector_ != nullptr &&
+      fault_injector_->ShouldFail(faults::FaultSite::kDeltaWindowSkew)) {
+    DEFUSE_LOG_WARN << "platform: delta-mine window skew injected at minute "
+                    << now << "; rebuilding accumulators from history";
+    ++delta_->books().skew_rebuilds;
+    anchored = true;
+  }
+  mining::DeltaMiningInput input;
+  if (anchored) {
+    delta_->RebuildFromTrace(history_, window.begin);
+  } else {
+    // Seal the new events, evict what the window slid past, and export
+    // the accumulated input. Eviction before the mine is safe even if
+    // the mine later degrades: boundaries are monotonic, so no future
+    // window can reach below this window.begin.
+    delta_->SealTo(window.end);
+    delta_->EvictTo(window.begin);
+    input = delta_->BuildInput(window);
+  }
+  trace::InvocationTrace window_trace =
+      delta_->MaterializeWindow(window, TimeRange{0, config_.horizon});
+  if (config_.async_remine) {
+    StartAsyncRemine(window, mining_config, std::move(window_trace),
+                     std::move(input), intervals, anchored);
+    return;
+  }
+  MinedSwap swap = MineWindow(
+      window_trace, window, mining_config,
+      (input.has_transactions || input.has_cooc) ? &input : nullptr);
+  swap.window = window;
+  swap.catchup_intervals = intervals;
+  swap.delta = true;
+  swap.anchored = anchored;
+  AdoptMinedSwap(std::move(swap));
 }
 
 Platform::MinedSwap Platform::MineWindow(
     const trace::InvocationTrace& history, TimeRange window,
-    const core::DefuseConfig& mining_config) const {
+    const core::DefuseConfig& mining_config,
+    const mining::DeltaMiningInput* delta_input) const {
   MinedSwap swap;
-  auto mined = core::MineDependencies(history, model_, window, mining_config);
+  auto mined =
+      core::MineDependencies(history, model_, window, mining_config,
+                             delta_input);
   if (!mined.ok()) {
     DEFUSE_LOG_WARN << "platform: re-mine at minute " << window.end
                     << " rejected (" << mined.error().ToString()
@@ -157,7 +225,11 @@ Platform::MinedSwap Platform::MineWindow(
 
 void Platform::AdoptMinedSwap(MinedSwap swap) {
   if (!swap.mined_ok) {
-    KeepStaleGraph();
+    KeepStaleGraph(swap.catchup_intervals);
+    // Roll the accumulators back to the last-good boundary: nothing
+    // committed, so the next mine folds this window's events into its
+    // own delta instead of building on a half-adopted one.
+    if (swap.delta && delta_ != nullptr) delta_->Abandon();
     return;
   }
   units_ = std::move(swap.units);
@@ -174,6 +246,9 @@ void Platform::AdoptMinedSwap(MinedSwap swap) {
   unit_last_invoked_.assign(units_->num_units(), -1);
   unit_cold_this_minute_.assign(units_->num_units(), false);
   ++stats_.remines;
+  if (swap.delta && delta_ != nullptr) {
+    delta_->Commit(swap.window.end, swap.anchored);
+  }
 }
 
 trace::InvocationTrace Platform::SnapshotHistory(Minute end) const {
@@ -191,22 +266,38 @@ trace::InvocationTrace Platform::SnapshotHistory(Minute end) const {
 }
 
 void Platform::StartAsyncRemine(TimeRange window,
-                                core::DefuseConfig mining_config) {
+                                core::DefuseConfig mining_config,
+                                trace::InvocationTrace snapshot,
+                                mining::DeltaMiningInput delta_input,
+                                std::uint64_t catchup_intervals,
+                                bool anchored) {
   if (remine_pool_ == nullptr) {
     remine_pool_ = std::make_unique<ThreadPool>(1);
   }
   ++async_books_.started;
+  const bool is_delta = delta_ != nullptr;
   // Arrivals are monotonic, so every event the serial re-mine would see
-  // in [window.begin, window.end) is already in history_; the snapshot
-  // taken here is exactly the serial miner's view and the mined sets
-  // come out bit-identical. The task reads only the snapshot (owned by
-  // the closure) plus model_/config_, which never change after
-  // construction; remine_pool_ is the last member, so destruction joins
-  // the task before either is torn down.
+  // in [window.begin, window.end) is already captured in `snapshot` (the
+  // full history in snapshot mode, the accumulator's window in delta
+  // mode); either way the background miner's view is exactly the serial
+  // miner's and the mined sets come out bit-identical. The task reads
+  // only closure-owned state plus model_/config_, which never change
+  // after construction; remine_pool_ is the last member, so destruction
+  // joins the task before either is torn down. In delta mode the
+  // accumulator itself stays on the platform thread — only this
+  // self-contained copy crosses; Commit/Abandon happen at adoption.
   remine_future_ = remine_pool_->Submit(
-      [this, snapshot = SnapshotHistory(window.end), window,
-       mining_config]() -> MinedSwap {
-        return MineWindow(snapshot, window, mining_config);
+      [this, snapshot = std::move(snapshot), window, mining_config,
+       input = std::move(delta_input), catchup_intervals, is_delta,
+       anchored]() -> MinedSwap {
+        MinedSwap swap = MineWindow(
+            snapshot, window, mining_config,
+            (input.has_transactions || input.has_cooc) ? &input : nullptr);
+        swap.window = window;
+        swap.catchup_intervals = catchup_intervals;
+        swap.delta = is_delta;
+        swap.anchored = anchored;
+        return swap;
       });
 }
 
@@ -292,6 +383,7 @@ InvocationOutcome Platform::Invoke(FunctionId fn, Minute now) {
   MaybeRemine(now);
 
   history_.Add(fn, now);
+  if (delta_ != nullptr) delta_->Ingest(fn, now);
   ++fn_invocations_[fn.value()];
   ++stats_.invocations;
 
@@ -323,9 +415,15 @@ InvocationOutcome Platform::Invoke(FunctionId fn, Minute now) {
 namespace {
 
 // v2 widened the meta line from 5 to 9 fields (degradation counters);
-// v3 appends a 10th (catch-up re-mine skips). Older states are still
-// accepted, their missing counters default to zero.
+// v3 appends a 10th (catch-up re-mine skips); v4 keeps the v3 layout and
+// appends a trailing [delta] section holding the streaming-accumulator
+// snapshot. Older states are still accepted, their missing counters
+// default to zero and a missing [delta] section rebuilds from history.
+// SaveState always emits v3 — the v4 form is the durable-checkpoint
+// shape only (SaveDurableState), so snapshots served over the wire stay
+// byte-identical with delta mining on or off.
 constexpr std::string_view kStateHeader = "defuse-platform-state-v3";
+constexpr std::string_view kStateHeaderV4 = "defuse-platform-state-v4";
 constexpr std::string_view kStateHeaderV2 = "defuse-platform-state-v2";
 constexpr std::string_view kStateHeaderV1 = "defuse-platform-state-v1";
 
@@ -402,12 +500,32 @@ std::string Platform::SaveState() const {
   return out;
 }
 
+std::string Platform::SaveDurableState() const {
+  if (delta_ == nullptr) return SaveState();
+  std::string out = SaveState();
+  // Same byte length, so the v3 body needs no re-layout.
+  static_assert(kStateHeader.size() == kStateHeaderV4.size());
+  out.replace(0, kStateHeaderV4.size(), kStateHeaderV4);
+  out += "[delta]\n";
+  std::string payload = delta_->Serialize();
+  if (fault_injector_ != nullptr &&
+      fault_injector_->ShouldFail(faults::FaultSite::kDeltaSnapshotTorn)) {
+    // Torn accumulator write: cut the section mid-line. The platform
+    // body above stays intact, so LoadState accepts the snapshot and
+    // rebuilds the accumulator from the restored history.
+    payload.resize(payload.size() / 2);
+  }
+  out += payload;
+  return out;
+}
+
 bool Platform::LoadState(std::string_view text) {
   enum class Section {
-    kMeta, kSets, kHistograms, kResidency, kUnitState, kFnCounters, kHistory
+    kMeta, kSets, kHistograms, kResidency, kUnitState, kFnCounters, kHistory,
+    kDelta
   };
   Section section = Section::kMeta;
-  std::string sets_buffer, histograms_buffer, history_buffer;
+  std::string sets_buffer, histograms_buffer, history_buffer, delta_buffer;
   std::vector<std::string_view> residency_lines, unit_lines, counter_lines;
   std::int64_t meta[10] = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
   bool saw_header = false, saw_meta = false;
@@ -424,12 +542,13 @@ bool Platform::LoadState(std::string_view text) {
         meta_fields = 5;  // pre-degradation-counter layout
       } else if (line == kStateHeaderV2) {
         meta_fields = 9;  // pre-catch-up-counter layout
-      } else if (line != kStateHeader) {
+      } else if (line != kStateHeader && line != kStateHeaderV4) {
         return false;
       }
       saw_header = true;
       continue;
     }
+    if (line == "[delta]") { section = Section::kDelta; continue; }
     if (line == "[sets]") { section = Section::kSets; continue; }
     if (line == "[histograms]") { section = Section::kHistograms; continue; }
     if (line == "[residency]") { section = Section::kResidency; continue; }
@@ -457,6 +576,10 @@ bool Platform::LoadState(std::string_view text) {
       case Section::kHistory:
         history_buffer += line;
         history_buffer += '\n';
+        break;
+      case Section::kDelta:
+        delta_buffer += line;
+        delta_buffer += '\n';
         break;
     }
   }
@@ -564,7 +687,35 @@ bool Platform::LoadState(std::string_view text) {
   stats_.prewarm_spawn_failures = static_cast<std::uint64_t>(meta[7]);
   stats_.prewarm_spawns_abandoned = static_cast<std::uint64_t>(meta[8]);
   stats_.catchup_remines_skipped = static_cast<std::uint64_t>(meta[9]);
+  // Accumulators always re-sync to the restored history: a serialized
+  // [delta] section restores mid-delta state directly; anything else —
+  // no section (v1-v3), a torn or corrupt one (rejected wholesale by
+  // Deserialize, never half-applied) — rebuilds from the history just
+  // committed. Quarantined histogram samples ride in the [histograms]
+  // section above, untouched by either path, so no accumulator recovery
+  // can silently drop them.
+  if (delta_ != nullptr) {
+    if (delta_buffer.empty() || !delta_->Deserialize(delta_buffer)) {
+      if (!delta_buffer.empty()) {
+        ++delta_->books().torn_snapshot_loads;
+        DEFUSE_LOG_WARN << "platform: delta accumulator snapshot torn or "
+                           "corrupt; rebuilding from restored history";
+      }
+      ResetDeltaFromHistory();
+    }
+  }
   return true;
+}
+
+void Platform::ResetDeltaFromHistory() {
+  // Cover every minute the next mine's window can reach: the next
+  // boundary fires at >= next_remine_, so its window begins at >=
+  // next_remine_ - mining_window (EvictTo trims any excess). The clamp
+  // to last_now_ keeps the monotonic-ingest contract when the cadence
+  // outruns the window (remine_interval > mining_window).
+  const Minute begin = std::max<Minute>(
+      0, std::min(next_remine_ - config_.mining_window, last_now_));
+  delta_->RebuildFromTrace(history_, begin);
 }
 
 std::size_t Platform::ResidentFunctions(Minute now) const {

@@ -174,6 +174,15 @@ class Platform {
     return async_books_;
   }
 
+  /// Delta-mining bookkeeping (nullptr when `config.mining.delta` is
+  /// off). Like AsyncRemineBooks, not part of PlatformStats and not
+  /// persisted: stats and SaveState stay byte-identical with delta
+  /// mining on or off.
+  [[nodiscard]] const mining::DeltaAccumulator* delta_accumulator()
+      const noexcept {
+    return delta_.get();
+  }
+
   /// Attaches (or detaches, with nullptr) a fault injector. Not owned;
   /// must outlive the platform. With none attached — or a disabled one —
   /// behavior is bit-identical to a fault-free run.
@@ -189,12 +198,20 @@ class Platform {
   /// scheduler daemon can restart without relearning. Restore with
   /// LoadState on a Platform constructed with the same model and config.
   [[nodiscard]] std::string SaveState() const;
-  /// Restores SaveState output. Returns false on malformed input or a
-  /// model/config mismatch — and in that case the platform's live state
-  /// is left exactly as it was (every section is parsed and validated
-  /// into a staging area first, then committed in one step), so a
-  /// recovery ladder can fall through to an older snapshot on the same
-  /// instance.
+  /// SaveState plus, when delta mining is on, the streaming-accumulator
+  /// section under a v4 header — the checkpoint form DurableState writes,
+  /// so recovery resumes mid-delta without replaying full history. With
+  /// delta mining off this IS SaveState (v3), byte for byte.
+  [[nodiscard]] std::string SaveDurableState() const;
+  /// Restores SaveState/SaveDurableState output (v1-v4). Returns false on
+  /// malformed input or a model/config mismatch — and in that case the
+  /// platform's live state is left exactly as it was (every section is
+  /// parsed and validated into a staging area first, then committed in
+  /// one step), so a recovery ladder can fall through to an older
+  /// snapshot on the same instance. A v4 accumulator section that is torn
+  /// or corrupt does NOT fail the load: the platform state is accepted
+  /// and the accumulator is rebuilt from the restored history (booked in
+  /// DeltaAccumulator::Books::torn_snapshot_loads).
   [[nodiscard]] bool LoadState(std::string_view text);
 
  private:
@@ -217,28 +234,53 @@ class Platform {
     bool mined_ok = false;
     std::unique_ptr<sim::UnitMap> units;          // engaged when mined_ok
     std::vector<stats::Histogram> histograms;     // per unit, same order
+    /// Boundary bookkeeping carried from submit to adoption (the async
+    /// path adopts at a later Invoke, so it cannot read live members).
+    TimeRange window{0, 0};
+    /// Cadence intervals this mine covers: 1 normally, 1 + skipped for a
+    /// collapsed catch-up — a failure must book ALL covered intervals as
+    /// stale, not one.
+    std::uint64_t catchup_intervals = 1;
+    /// Whether the delta accumulator took part (drives Commit/Abandon).
+    bool delta = false;
+    /// Whether this mine was a full-rebuild anchor.
+    bool anchored = false;
   };
 
   void MaybeRemine(Minute now);
   void ApplyDecision(UnitId unit, Minute now);
-  /// Books a degraded re-mine that keeps the previous sets serving.
-  void KeepStaleGraph();
-  /// Mines `window` of `history` into a swappable result. Pure with
+  /// Books a degraded re-mine that keeps the previous sets serving for
+  /// `intervals` scheduled cadence intervals (1 normally; a collapsed
+  /// catch-up re-mine covers 1 + skipped boundaries).
+  void KeepStaleGraph(std::uint64_t intervals);
+  /// Mines `window` of `history` into a swappable result; `delta_input`
+  /// (may be nullptr) carries pre-accumulated mining input. Pure with
   /// respect to mutable platform state (reads only model_ and config_),
   /// so it is safe on the background worker while invokes flow.
-  [[nodiscard]] MinedSwap MineWindow(const trace::InvocationTrace& history,
-                                     TimeRange window,
-                                     const core::DefuseConfig& mining) const;
+  [[nodiscard]] MinedSwap MineWindow(
+      const trace::InvocationTrace& history, TimeRange window,
+      const core::DefuseConfig& mining,
+      const mining::DeltaMiningInput* delta_input) const;
   /// Installs a mined result as the live scheduler (or books a stale
-  /// graph when mining failed). Platform thread only.
+  /// graph when mining failed). Commits/rolls back the delta accumulator
+  /// per the swap's tags. Platform thread only.
   void AdoptMinedSwap(MinedSwap swap);
   /// Copies the events of [0, end) into a standalone trace the
   /// background miner can read while history_ keeps growing.
   [[nodiscard]] trace::InvocationTrace SnapshotHistory(Minute end) const;
-  /// Submits a background re-mine of `window`.
-  void StartAsyncRemine(TimeRange window, core::DefuseConfig mining);
+  /// Submits a background re-mine of `window`. `snapshot` holds the
+  /// events the miner reads (full history in snapshot mode, just the
+  /// window in delta mode) and `delta_input` the pre-accumulated input
+  /// (has_* flags false when unused).
+  void StartAsyncRemine(TimeRange window, core::DefuseConfig mining,
+                        trace::InvocationTrace snapshot,
+                        mining::DeltaMiningInput delta_input,
+                        std::uint64_t catchup_intervals, bool anchored);
   /// Adopts a finished background re-mine; with `wait` blocks for it.
   void PollAsyncRemine(bool wait);
+  /// Rebuilds the delta accumulator from the (restored) history so the
+  /// next mine runs as a full-rebuild anchor.
+  void ResetDeltaFromHistory();
 
   trace::WorkloadModel model_;
   PlatformConfig config_;
@@ -255,6 +297,11 @@ class Platform {
   Minute last_now_ = 0;
   faults::FaultInjector* fault_injector_ = nullptr;  // not owned
   AsyncRemineBooks async_books_;
+  /// Streaming re-mine accumulators; engaged iff config.mining.delta.
+  std::unique_ptr<mining::DeltaAccumulator> delta_;
+  /// Cadence intervals the next RemineNow covers (set by MaybeRemine's
+  /// catch-up collapse, consumed by RemineNow; 1 otherwise).
+  std::uint64_t pending_catchup_intervals_ = 1;
   /// Boundary currently deferred behind an in-flight re-mine (so each
   /// deferral is booked once, not once per invocation).
   Minute last_deferred_boundary_ = -1;

@@ -137,6 +137,40 @@ TEST(FaultInjector, MiningFailureAlternatesBothDegradedCodes) {
   EXPECT_TRUE(saw_deadline);
 }
 
+TEST(FaultInjector, DeltaMiningSitesAreRegisteredAndIndependent) {
+  EXPECT_STREQ(FaultSiteName(FaultSite::kDeltaWindowSkew),
+               "delta_window_skew");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kDeltaSnapshotTorn),
+               "delta_snapshot_torn");
+
+  // Each new site has its own knob and its own draw stream: enabling the
+  // delta sites must not perturb the kRemine sequence (the property the
+  // delta differential suite leans on when comparing a delta platform
+  // against a full-rebuild twin under the same seed).
+  FaultProfile base;
+  base.remine_failure_fraction = 0.5;
+  FaultProfile with_delta = base;
+  with_delta.delta_window_skew_fraction = 1.0;
+  with_delta.delta_snapshot_torn_fraction = 1.0;
+  EXPECT_TRUE(FaultInjector(3, with_delta).enabled());
+  FaultInjector pure{3, base};
+  FaultInjector mixed{3, with_delta};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(mixed.ShouldFail(FaultSite::kDeltaWindowSkew));
+    EXPECT_TRUE(mixed.ShouldFail(FaultSite::kDeltaSnapshotTorn));
+    EXPECT_EQ(pure.ShouldFail(FaultSite::kRemine),
+              mixed.ShouldFail(FaultSite::kRemine))
+        << i;
+  }
+  EXPECT_EQ(mixed.injected(FaultSite::kDeltaWindowSkew), 100u);
+  EXPECT_EQ(mixed.injected(FaultSite::kDeltaSnapshotTorn), 100u);
+
+  // A profile with only the delta knobs set still enables the injector.
+  FaultProfile only_delta;
+  only_delta.delta_snapshot_torn_fraction = 0.5;
+  EXPECT_TRUE(FaultInjector(1, only_delta).enabled());
+}
+
 TEST(FaultInjector, CorruptCsvPreservesHeaderLine) {
   FaultProfile p;
   p.malformed_row_fraction = 1.0;

@@ -1,0 +1,511 @@
+// The delta-mining differential suite — this PR's acceptance criterion:
+// a platform re-mining incrementally from streaming accumulators must be
+// BIT-IDENTICAL to its full-rebuild twin at every mine boundary, across
+// serial and async serving, seeds 0-9 — plus the re-mine accounting
+// sweep: catch-up collapse folds every skipped interval into one delta,
+// degraded re-mines roll the accumulators back to the last-good
+// boundary, and the v4 durable snapshot resumes mid-delta (or rebuilds
+// when its [delta] section is torn).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "faults/injector.hpp"
+#include "platform/platform.hpp"
+#include "trace/generator.hpp"
+
+namespace defuse::platform {
+namespace {
+
+PlatformConfig DeltaConfig(MinuteDelta horizon, bool delta,
+                           bool async = false) {
+  PlatformConfig cfg;
+  cfg.horizon = horizon;
+  // Eight boundaries over two generated days, with a window short enough
+  // that it slides (so eviction runs) and an anchor cadence short enough
+  // that the sweep crosses both delta mines and full rebuilds.
+  cfg.remine_interval = 480;
+  cfg.mining_window = 720;
+  cfg.async_remine = async;
+  cfg.mining.delta.enabled = delta;
+  cfg.mining.delta.full_rebuild_every = 3;
+  return cfg;
+}
+
+trace::GeneratorConfig Gen(std::uint64_t seed) {
+  auto gen = trace::GeneratorConfig::Tiny();
+  gen.seed = seed;
+  gen.horizon_minutes = 2 * kMinutesPerDay;
+  return gen;
+}
+
+/// Drives `delta` and `full` through the same generated workload in
+/// lockstep and asserts byte-identical SaveState at every mine boundary
+/// and at the end. With `async`, a barrier right after the boundary
+/// fires (before the minute's invocations) pins the swap to the same
+/// minute on both platforms — without it, the delta miner's much
+/// shorter run adopts mid-minute while the full miner is still working,
+/// and the comparison would race on wall-clock.
+void AssertLockstepIdentity(std::uint64_t seed, bool async) {
+  const auto gen = Gen(seed);
+  const auto workload = trace::GenerateWorkload(gen);
+  const auto index =
+      workload.trace.BuildMinuteIndex(workload.trace.horizon());
+  const Minute end = workload.trace.horizon().end;
+
+  Platform full{workload.model, DeltaConfig(gen.horizon_minutes, false, async)};
+  Platform delta{workload.model, DeltaConfig(gen.horizon_minutes, true, async)};
+  ASSERT_EQ(full.delta_accumulator(), nullptr);
+  ASSERT_NE(delta.delta_accumulator(), nullptr);
+
+  std::uint64_t boundaries = 0;
+  for (Minute t = 0; t < end; ++t) {
+    full.AdvanceTo(t);
+    delta.AdvanceTo(t);
+    if (async) {
+      if (full.remine_in_flight()) full.FinishPendingRemine();
+      if (delta.remine_in_flight()) delta.FinishPendingRemine();
+    }
+    for (const auto& [fn, count] : index.at(t)) {
+      (void)count;
+      const auto a = full.Invoke(fn, t);
+      const auto b = delta.Invoke(fn, t);
+      ASSERT_EQ(a.cold, b.cold)
+          << "seed " << seed << " t " << t << " fn " << fn.value();
+    }
+    if (full.stats().remines > boundaries) {
+      boundaries = full.stats().remines;
+      ASSERT_EQ(delta.stats().remines, boundaries) << "seed " << seed;
+      ASSERT_EQ(delta.SaveState(), full.SaveState())
+          << "seed " << seed << " diverged at boundary " << boundaries
+          << " (minute " << t << ")";
+    }
+  }
+  ASSERT_GE(boundaries, 4u) << "seed " << seed;
+  EXPECT_EQ(delta.stats(), full.stats()) << "seed " << seed;
+  EXPECT_EQ(delta.SaveState(), full.SaveState()) << "seed " << seed;
+
+  // The sweep crossed both kinds of committed mine, and the books add up
+  // to exactly the adopted re-mines.
+  const auto& books = delta.delta_accumulator()->books();
+  EXPECT_GT(books.delta_mines, 0u) << "seed " << seed;
+  EXPECT_GT(books.full_rebuilds, 0u) << "seed " << seed;
+  EXPECT_EQ(books.delta_mines + books.full_rebuilds, delta.stats().remines)
+      << "seed " << seed;
+  EXPECT_EQ(books.aborted_deltas, 0u) << "seed " << seed;
+}
+
+TEST(DeltaDifferential, SerialMatchesFullRebuildAtEveryBoundary) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    AssertLockstepIdentity(seed, /*async=*/false);
+  }
+}
+
+TEST(DeltaDifferential, AsyncMatchesFullRebuildAtEveryBoundary) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    AssertLockstepIdentity(seed, /*async=*/true);
+  }
+}
+
+TEST(DeltaDifferential, NonUnitWindowMinutesFallbackStaysIdentical) {
+  // window_minutes != 1 disables the accumulator fast paths; the delta
+  // platform mines the materialized window through the standard pipeline
+  // and must still match the full twin byte for byte.
+  const auto gen = Gen(2);
+  const auto workload = trace::GenerateWorkload(gen);
+  const auto index =
+      workload.trace.BuildMinuteIndex(workload.trace.horizon());
+  auto full_cfg = DeltaConfig(gen.horizon_minutes, false);
+  auto delta_cfg = DeltaConfig(gen.horizon_minutes, true);
+  full_cfg.mining.window_minutes = 2;
+  delta_cfg.mining.window_minutes = 2;
+  Platform full{workload.model, full_cfg};
+  Platform delta{workload.model, delta_cfg};
+  for (Minute t = 0; t < workload.trace.horizon().end; ++t) {
+    full.AdvanceTo(t);
+    delta.AdvanceTo(t);
+    for (const auto& [fn, count] : index.at(t)) {
+      (void)count;
+      ASSERT_EQ(full.Invoke(fn, t).cold, delta.Invoke(fn, t).cold) << t;
+    }
+  }
+  EXPECT_GT(full.stats().remines, 0u);
+  EXPECT_EQ(delta.SaveState(), full.SaveState());
+}
+
+/// One user, a periodic service plus a checkout that pings it — the
+/// accounting tests need a workload whose events are cheap to replay
+/// across multi-day gaps.
+struct Fixture {
+  trace::WorkloadModel model;
+  FunctionId svc, fe;
+  Fixture() {
+    const UserId u = model.AddUser("u");
+    const AppId sa = model.AddApp(u, "svc-app");
+    svc = model.AddFunction(sa, "svc");
+    const AppId ca = model.AddApp(u, "checkout");
+    fe = model.AddFunction(ca, "fe");
+  }
+};
+
+PlatformConfig GapConfig(bool delta) {
+  PlatformConfig cfg;
+  cfg.horizon = 30 * kMinutesPerDay;
+  cfg.remine_interval = kMinutesPerDay;
+  cfg.mining.delta.enabled = delta;
+  return cfg;
+}
+
+// Satellite regression: a multi-day offline gap must collapse into ONE
+// delta re-mine that folds every skipped interval — the accumulator
+// advances straight to the collapsed boundary, and the books match it.
+TEST(DeltaAccounting, OfflineGapCollapsesIntoOneDelta) {
+  Fixture fx;
+  Platform p{fx.model, GapConfig(true)};
+  for (Minute t = 0; t < kMinutesPerDay; t += 10) (void)p.Invoke(fx.svc, t);
+  // Nine days of silence: boundaries 1..9 fall due together.
+  const Minute resume = 9 * kMinutesPerDay + 1;
+  (void)p.Invoke(fx.svc, resume);
+  EXPECT_EQ(p.stats().remines, 1u);
+  EXPECT_EQ(p.stats().catchup_remines_skipped, 8u);
+  EXPECT_EQ(p.stats().degraded_remines, 0u);
+  EXPECT_EQ(p.stats().stale_graph_minutes, 0);
+
+  const auto* acc = p.delta_accumulator();
+  ASSERT_NE(acc, nullptr);
+  // The one catch-up mine committed at the collapsed boundary (day 9),
+  // its window slid past the gap, and nothing was abandoned.
+  EXPECT_EQ(acc->last_good(), 9 * kMinutesPerDay);
+  EXPECT_EQ(acc->sealed_end(), 9 * kMinutesPerDay);
+  EXPECT_EQ(acc->store_begin(),
+            9 * kMinutesPerDay - GapConfig(true).mining_window);
+  EXPECT_EQ(acc->books().delta_mines + acc->books().full_rebuilds, 1u);
+  EXPECT_EQ(acc->books().aborted_deltas, 0u);
+
+  // Cadence resumes from the collapsed boundary.
+  (void)p.Invoke(fx.svc, 10 * kMinutesPerDay + 1);
+  EXPECT_EQ(p.stats().remines, 2u);
+  EXPECT_EQ(p.stats().catchup_remines_skipped, 8u);
+  EXPECT_EQ(acc->last_good(), 10 * kMinutesPerDay);
+}
+
+// Satellite regression: when the collapsed catch-up mine DEGRADES, every
+// folded interval ran on the stale graph — stale_graph_minutes must book
+// all of them, not just one, and the accumulator rolls back.
+TEST(DeltaAccounting, DegradedCatchupBooksEverySkippedInterval) {
+  for (const bool delta : {false, true}) {
+    Fixture fx;
+    faults::FaultProfile profile;
+    profile.remine_failure_fraction = 1.0;
+    faults::FaultInjector injector{7, profile};
+    Platform p{fx.model, GapConfig(delta)};
+    p.set_fault_injector(&injector);
+    for (Minute t = 0; t < kMinutesPerDay; t += 10) (void)p.Invoke(fx.svc, t);
+    (void)p.Invoke(fx.svc, 9 * kMinutesPerDay + 1);
+
+    EXPECT_EQ(p.stats().remines, 1u) << "delta " << delta;
+    EXPECT_EQ(p.stats().degraded_remines, 1u) << "delta " << delta;
+    EXPECT_EQ(p.stats().catchup_remines_skipped, 8u) << "delta " << delta;
+    // The one degraded mine served nine cadence intervals stale.
+    EXPECT_EQ(p.stats().stale_graph_minutes, 9 * kMinutesPerDay)
+        << "delta " << delta;
+    if (delta) {
+      const auto* acc = p.delta_accumulator();
+      ASSERT_NE(acc, nullptr);
+      EXPECT_EQ(acc->books().aborted_deltas, 1u);
+      EXPECT_EQ(acc->last_good(), -1);  // nothing ever adopted
+    }
+  }
+}
+
+// Satellite regression: under injected mining failures the delta
+// platform must keep the last-good sets AND roll its accumulators back,
+// staying byte-identical to the full-rebuild twin under the same draws.
+TEST(DeltaAccounting, DegradedReminesRollBackAndStayIdentical) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto gen = Gen(seed);
+    const auto workload = trace::GenerateWorkload(gen);
+    const auto index =
+        workload.trace.BuildMinuteIndex(workload.trace.horizon());
+    faults::FaultProfile profile;
+    profile.remine_failure_fraction = 0.5;
+    faults::FaultInjector full_inj{seed, profile};
+    faults::FaultInjector delta_inj{seed, profile};
+    Platform full{workload.model, DeltaConfig(gen.horizon_minutes, false)};
+    Platform delta{workload.model, DeltaConfig(gen.horizon_minutes, true)};
+    full.set_fault_injector(&full_inj);
+    delta.set_fault_injector(&delta_inj);
+
+    for (Minute t = 0; t < workload.trace.horizon().end; ++t) {
+      full.AdvanceTo(t);
+      delta.AdvanceTo(t);
+      for (const auto& [fn, count] : index.at(t)) {
+        (void)count;
+        ASSERT_EQ(full.Invoke(fn, t).cold, delta.Invoke(fn, t).cold)
+            << "seed " << seed << " t " << t;
+      }
+    }
+
+    EXPECT_EQ(delta.SaveState(), full.SaveState()) << "seed " << seed;
+    EXPECT_EQ(delta.stats(), full.stats()) << "seed " << seed;
+    // Exact rollback accounting: every injected kRemine fault became one
+    // degraded re-mine and one abandoned delta; every adopted mine is a
+    // committed delta or anchor. The kDeltaWindowSkew site draws on its
+    // own stream (fraction 0 here), so kRemine draws match the twin's.
+    EXPECT_GT(delta.stats().degraded_remines, 0u) << "seed " << seed;
+    EXPECT_EQ(delta.stats().degraded_remines,
+              delta_inj.injected(faults::FaultSite::kRemine))
+        << "seed " << seed;
+    const auto& books = delta.delta_accumulator()->books();
+    EXPECT_EQ(books.aborted_deltas, delta.stats().degraded_remines)
+        << "seed " << seed;
+    EXPECT_EQ(books.delta_mines + books.full_rebuilds,
+              delta.stats().remines - delta.stats().degraded_remines)
+        << "seed " << seed;
+  }
+}
+
+// An injected accumulator/window skew is recovered by rebuilding from
+// history and anchoring — output stays byte-identical to the fault-free
+// full twin, only the delta books show the recovery.
+TEST(DeltaAccounting, WindowSkewRecoversByAnchoredRebuild) {
+  const auto gen = Gen(4);
+  const auto workload = trace::GenerateWorkload(gen);
+  const auto index =
+      workload.trace.BuildMinuteIndex(workload.trace.horizon());
+  faults::FaultProfile profile;
+  profile.delta_window_skew_fraction = 1.0;
+  faults::FaultInjector injector{4, profile};
+  Platform full{workload.model, DeltaConfig(gen.horizon_minutes, false)};
+  Platform delta{workload.model, DeltaConfig(gen.horizon_minutes, true)};
+  delta.set_fault_injector(&injector);
+
+  for (Minute t = 0; t < workload.trace.horizon().end; ++t) {
+    full.AdvanceTo(t);
+    delta.AdvanceTo(t);
+    for (const auto& [fn, count] : index.at(t)) {
+      (void)count;
+      ASSERT_EQ(full.Invoke(fn, t).cold, delta.Invoke(fn, t).cold) << t;
+    }
+  }
+  EXPECT_EQ(delta.SaveState(), full.SaveState());
+  const auto& books = delta.delta_accumulator()->books();
+  EXPECT_GT(delta.stats().remines, 0u);
+  // Every boundary drew a skew: every mine ran as an anchored rebuild.
+  EXPECT_EQ(books.skew_rebuilds, delta.stats().remines);
+  EXPECT_EQ(books.full_rebuilds, delta.stats().remines);
+  EXPECT_EQ(books.delta_mines, 0u);
+}
+
+TEST(DeltaDurable, V4SnapshotResumesMidDelta) {
+  const auto gen = Gen(5);
+  const auto workload = trace::GenerateWorkload(gen);
+  const auto index =
+      workload.trace.BuildMinuteIndex(workload.trace.horizon());
+  const auto cfg = DeltaConfig(gen.horizon_minutes, true);
+  Platform original{workload.model, cfg};
+
+  // Stop mid-delta: past two boundaries, with an unsealed ingest tail.
+  const Minute cut = 2 * cfg.remine_interval + 200;
+  for (Minute t = 0; t < cut; ++t) {
+    original.AdvanceTo(t);
+    for (const auto& [fn, count] : index.at(t)) {
+      (void)count;
+      (void)original.Invoke(fn, t);
+    }
+  }
+  ASSERT_EQ(original.stats().remines, 2u);
+  const std::string durable = original.SaveDurableState();
+  // The durable form is exactly the v3 snapshot under a v4 header plus
+  // the [delta] tail — the wire snapshot itself is unchanged by delta
+  // mining.
+  const std::string plain = original.SaveState();
+  std::string expected = plain;
+  expected.replace(0, std::string{"defuse-platform-state-v3"}.size(),
+                   "defuse-platform-state-v4");
+  expected += "[delta]\n";
+  expected += original.delta_accumulator()->Serialize();
+  EXPECT_EQ(durable, expected);
+
+  Platform restored{workload.model, cfg};
+  ASSERT_TRUE(restored.LoadState(durable));
+  EXPECT_EQ(restored.SaveState(), plain);
+  ASSERT_NE(restored.delta_accumulator(), nullptr);
+  // Mid-delta resume, not a rebuild: the accumulator state round-trips
+  // byte for byte and nothing was booked as torn.
+  EXPECT_EQ(restored.delta_accumulator()->Serialize(),
+            original.delta_accumulator()->Serialize());
+  EXPECT_EQ(restored.delta_accumulator()->books().torn_snapshot_loads, 0u);
+
+  // Driven forward in lockstep, the twins stay byte-identical through
+  // the remaining boundaries.
+  for (Minute t = cut; t < workload.trace.horizon().end; ++t) {
+    original.AdvanceTo(t);
+    restored.AdvanceTo(t);
+    for (const auto& [fn, count] : index.at(t)) {
+      (void)count;
+      ASSERT_EQ(original.Invoke(fn, t).cold, restored.Invoke(fn, t).cold)
+          << t;
+    }
+  }
+  EXPECT_GT(original.stats().remines, 2u);
+  EXPECT_EQ(restored.SaveState(), original.SaveState());
+  EXPECT_EQ(restored.delta_accumulator()->Serialize(),
+            original.delta_accumulator()->Serialize());
+}
+
+TEST(DeltaDurable, TornDeltaSectionRebuildsFromHistory) {
+  const auto gen = Gen(6);
+  const auto workload = trace::GenerateWorkload(gen);
+  const auto index =
+      workload.trace.BuildMinuteIndex(workload.trace.horizon());
+  const auto cfg = DeltaConfig(gen.horizon_minutes, true);
+  Platform original{workload.model, cfg};
+  const Minute cut = 2 * cfg.remine_interval + 200;
+  for (Minute t = 0; t < cut; ++t) {
+    original.AdvanceTo(t);
+    for (const auto& [fn, count] : index.at(t)) {
+      (void)count;
+      (void)original.Invoke(fn, t);
+    }
+  }
+
+  faults::FaultProfile profile;
+  profile.delta_snapshot_torn_fraction = 1.0;
+  faults::FaultInjector injector{3, profile};
+  original.set_fault_injector(&injector);
+  const std::string torn = original.SaveDurableState();
+  original.set_fault_injector(nullptr);
+  EXPECT_EQ(injector.injected(faults::FaultSite::kDeltaSnapshotTorn), 1u);
+  ASSERT_NE(torn, original.SaveDurableState());
+
+  // The platform body is intact, so the snapshot loads; the torn [delta]
+  // tail is booked and the accumulator rebuilt from the restored history.
+  Platform restored{workload.model, cfg};
+  ASSERT_TRUE(restored.LoadState(torn));
+  EXPECT_EQ(restored.SaveState(), original.SaveState());
+  ASSERT_NE(restored.delta_accumulator(), nullptr);
+  EXPECT_EQ(restored.delta_accumulator()->books().torn_snapshot_loads, 1u);
+
+  // The rebuilt accumulator is exact: both twins mine identically from
+  // here on.
+  for (Minute t = cut; t < workload.trace.horizon().end; ++t) {
+    original.AdvanceTo(t);
+    restored.AdvanceTo(t);
+    for (const auto& [fn, count] : index.at(t)) {
+      (void)count;
+      ASSERT_EQ(original.Invoke(fn, t).cold, restored.Invoke(fn, t).cold)
+          << t;
+    }
+  }
+  EXPECT_GT(original.stats().remines, 2u);
+  EXPECT_EQ(restored.SaveState(), original.SaveState());
+}
+
+TEST(DeltaDurable, PlainV3LoadsIntoADeltaPlatform) {
+  // Back-compat: a delta-off snapshot (no [delta] section) restores into
+  // a delta-on platform, which rebuilds its accumulator from the
+  // restored history and keeps mining bit-identically to the full twin.
+  const auto gen = Gen(7);
+  const auto workload = trace::GenerateWorkload(gen);
+  const auto index =
+      workload.trace.BuildMinuteIndex(workload.trace.horizon());
+  Platform full{workload.model, DeltaConfig(gen.horizon_minutes, false)};
+  const Minute cut = 2 * DeltaConfig(gen.horizon_minutes, false).remine_interval + 100;
+  for (Minute t = 0; t < cut; ++t) {
+    full.AdvanceTo(t);
+    for (const auto& [fn, count] : index.at(t)) {
+      (void)count;
+      (void)full.Invoke(fn, t);
+    }
+  }
+  const std::string v3 = full.SaveState();
+
+  Platform delta{workload.model, DeltaConfig(gen.horizon_minutes, true)};
+  ASSERT_TRUE(delta.LoadState(v3));
+  EXPECT_EQ(delta.SaveState(), v3);
+  // A missing section is not "torn" — no corruption is booked.
+  ASSERT_NE(delta.delta_accumulator(), nullptr);
+  EXPECT_EQ(delta.delta_accumulator()->books().torn_snapshot_loads, 0u);
+
+  for (Minute t = cut; t < workload.trace.horizon().end; ++t) {
+    full.AdvanceTo(t);
+    delta.AdvanceTo(t);
+    for (const auto& [fn, count] : index.at(t)) {
+      (void)count;
+      ASSERT_EQ(full.Invoke(fn, t).cold, delta.Invoke(fn, t).cold) << t;
+    }
+  }
+  EXPECT_EQ(delta.SaveState(), full.SaveState());
+
+  // And the reverse: a delta platform's durable (v4) snapshot loads into
+  // a delta-OFF platform, which simply ignores the [delta] tail.
+  const std::string v4 = delta.SaveDurableState();
+  Platform off{workload.model, DeltaConfig(gen.horizon_minutes, false)};
+  ASSERT_TRUE(off.LoadState(v4));
+  EXPECT_EQ(off.SaveState(), full.SaveState());
+}
+
+// Satellite sweep: the histogram quarantine (negative-idle counter) and
+// the overflow-rejecting histogram parser must survive the new durable
+// snapshot path — a [delta] tail does not soften [histograms]
+// validation, and quarantined counts round-trip through v4.
+TEST(DeltaDurable, HistogramGuardsSurviveTheDurablePath) {
+  const auto gen = Gen(8);
+  const auto workload = trace::GenerateWorkload(gen);
+  const auto index =
+      workload.trace.BuildMinuteIndex(workload.trace.horizon());
+  const auto cfg = DeltaConfig(gen.horizon_minutes, true);
+  Platform original{workload.model, cfg};
+  for (Minute t = 0; t < 2 * cfg.remine_interval + 100; ++t) {
+    original.AdvanceTo(t);
+    for (const auto& [fn, count] : index.at(t)) {
+      (void)count;
+      (void)original.Invoke(fn, t);
+    }
+  }
+  const std::string durable = original.SaveDurableState();
+
+  // Locate the first serialized histogram's "width|oob|neg|" fields.
+  const std::size_t section = durable.find("[histograms]\n");
+  ASSERT_NE(section, std::string::npos);
+  const std::size_t p1 = durable.find('|', section);
+  ASSERT_NE(p1, std::string::npos);
+  const std::size_t p2 = durable.find('|', p1 + 1);
+  const std::size_t p3 = durable.find('|', p2 + 1);
+  ASSERT_NE(p3, std::string::npos);
+
+  struct Case {
+    const char* name;
+    std::size_t begin, end;   // field to replace (exclusive of the pipes)
+    const char* replacement;
+    bool loads;
+  };
+  const std::vector<Case> cases{
+      // A quarantined negative-idle count is DATA: it must load and
+      // round-trip, not be rejected or zeroed by the v4 path.
+      {"quarantined count survives", p2 + 1, p3, "7", true},
+      // PR 5's overflow rejection: a 2^64-overflowing counter would wrap
+      // into a small value if parsed unchecked — must reject the load.
+      {"oob overflow rejected", p1 + 1, p2, "18446744073709551616", false},
+      {"neg overflow rejected", p2 + 1, p3, "18446744073709551616", false},
+      {"garbage neg rejected", p2 + 1, p3, "x", false},
+  };
+  for (const auto& c : cases) {
+    std::string mangled = durable;
+    mangled.replace(c.begin, c.end - c.begin, c.replacement);
+    Platform victim{workload.model, cfg};
+    ASSERT_EQ(victim.LoadState(mangled), c.loads) << c.name;
+    if (!c.loads) continue;
+    // The quarantined count rides every later snapshot, durable or not.
+    EXPECT_NE(victim.SaveState().find("|7|"), std::string::npos) << c.name;
+    EXPECT_NE(victim.SaveDurableState().find("|7|"), std::string::npos)
+        << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace defuse::platform

@@ -134,6 +134,84 @@ TEST(ShardDeterminismBridge, ShardedTierMatchesSingleDaemonByteForByte) {
   }
 }
 
+TEST(ShardDeterminismBridge, DeltaMiningTierMatchesFullRebuildOracle) {
+  // Delta re-mining sweep: every shard maintains its own streaming
+  // accumulators, yet the tier must stay bit-equivalent to a SINGLE
+  // full-rebuild daemon — merged stats field for field, merged SaveState
+  // and dependency-set CSV byte for byte — for N in {1, 2, 4} over seeds
+  // 0..9. A short cadence + sliding window + anchor-every-3 crosses
+  // delta mines, evictions, and full-rebuild anchors in every run.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto gen = Gen(seed);
+    const auto workload = trace::GenerateWorkload(gen);
+    auto cfg = BridgeConfig(gen.horizon_minutes);
+    cfg.remine_interval = 480;
+    cfg.mining_window = 720;
+    const auto index =
+        workload.trace.BuildMinuteIndex(workload.trace.horizon());
+    const Minute end = workload.trace.horizon().end;
+
+    // The oracle re-mines the classic way: full pipeline over the
+    // history snapshot at every boundary.
+    platform::Platform direct{workload.model, cfg};
+    for (Minute t = 0; t < end; ++t) {
+      direct.AdvanceTo(t);
+      for (const auto& [fn, count] : index.at(t)) {
+        (void)count;
+        (void)direct.Invoke(fn, t);
+      }
+    }
+    ASSERT_GE(direct.stats().remines, 4u) << "seed " << seed;
+    const std::string direct_state = direct.SaveState();
+    const std::string direct_csv = SetsCsvPlain(direct, workload.model);
+
+    auto delta_cfg = cfg;
+    delta_cfg.mining.delta.enabled = true;
+    delta_cfg.mining.delta.full_rebuild_every = 3;
+    for (const std::size_t num_shards : {1u, 2u, 4u}) {
+      ShardedTier tier{workload.model, delta_cfg, num_shards};
+      server::Client client = tier.Connect();
+      for (Minute t = 0; t < end; ++t) {
+        ASSERT_TRUE(client.AdvanceTo(t).ok())
+            << "seed " << seed << " shards " << num_shards << " t " << t;
+        for (const auto& [fn, count] : index.at(t)) {
+          (void)count;
+          ASSERT_TRUE(client.Invoke(fn, t).ok())
+              << "seed " << seed << " shards " << num_shards << " t " << t;
+        }
+      }
+
+      const auto stats = client.Stats();
+      ASSERT_TRUE(stats.ok()) << stats.error().message;
+      EXPECT_EQ(stats.value().stats, direct.stats())
+          << "seed " << seed << " shards " << num_shards;
+
+      const auto snapshot = client.Snapshot();
+      ASSERT_TRUE(snapshot.ok()) << snapshot.error().message;
+      EXPECT_EQ(snapshot.value().state, direct_state)
+          << "seed " << seed << " shards " << num_shards;
+
+      std::vector<std::string> csvs;
+      for (const auto& host : tier.hosts) {
+        // Each shard really mined incrementally (first mines are deltas,
+        // anchors only on the every-3 cadence).
+        const auto* acc = host->platform().delta_accumulator();
+        ASSERT_NE(acc, nullptr) << "seed " << seed;
+        EXPECT_GT(acc->books().delta_mines, 0u)
+            << "seed " << seed << " shards " << num_shards;
+        csvs.push_back(SetsCsvPlain(host->platform(), workload.model));
+      }
+      const auto merged_csv = MergeDependencySetCsvs(
+          workload.model, csvs, tier.router->FunctionOwners());
+      ASSERT_TRUE(merged_csv.ok())
+          << "seed " << seed << " shards " << num_shards << ": "
+          << merged_csv.error().message;
+      EXPECT_EQ(merged_csv.value(), direct_csv)
+          << "seed " << seed << " shards " << num_shards;
+    }
+  }
+}
+
 TEST(ShardDeterminismBridge, ReroutedSnapshotReloadsIntoADifferentTierShape) {
   // A tier's merged snapshot is placement-free: reload it into a tier
   // with a DIFFERENT shard count via the single-platform restore path

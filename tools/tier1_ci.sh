@@ -13,12 +13,15 @@
 #   5. run the multi-shard suite in isolation (`ctest -L shard`): hash
 #      ring, router failure isolation, supervised recovery, live
 #      drain/handoff, the sharded determinism bridge, router-leg fuzz
-#   6. run the chaos soak gate (tools/tier1_soak.sh): seeds 0-9 of
+#   6. run the delta-mining suite in isolation (`ctest -L delta`): the
+#      streaming-accumulator layers and the differential suite proving
+#      incremental == full rebuild bit-identically at every boundary
+#   7. run the chaos soak gate (tools/tier1_soak.sh): seeds 0-9 of
 #      retrying traffic under injected faults — including the
 #      shard-kill soak — time-bounded, counters to BENCH_soak.json
-#   7. run the static-analysis gate (tools/tier1_lint.sh): defuse-lint
+#   8. run the static-analysis gate (tools/tier1_lint.sh): defuse-lint
 #      must report zero findings, plus clang-tidy when installed
-#   8. run the ASan+UBSan chaos pass (tools/tier1_sanitize.sh)
+#   9. run the ASan+UBSan chaos pass (tools/tier1_sanitize.sh)
 #
 # Any step failing fails the script (set -e), which is the CI contract:
 # green means buildable, correct, crash-safe, lint-clean, and
@@ -45,6 +48,10 @@ ctest --test-dir "$BUILD_DIR" -L serving --output-on-failure -j \
 
 echo "== multi-shard suite (ctest -L shard) =="
 ctest --test-dir "$BUILD_DIR" -L shard --output-on-failure -j \
+  "$(nproc 2>/dev/null || echo 4)"
+
+echo "== delta-mining suite (ctest -L delta) =="
+ctest --test-dir "$BUILD_DIR" -L delta --output-on-failure -j \
   "$(nproc 2>/dev/null || echo 4)"
 
 echo "== chaos soak gate (tools/tier1_soak.sh) =="

@@ -28,12 +28,16 @@ cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
 # test_router rides along for the multi-shard tier: supervisor-driven
 # restarts and live handoffs move whole platform states between hosts
 # while each shard's async re-mining thread may be in flight.
+# test_delta rides along for the accumulator handoff: the async delta
+# path hands the worker a self-contained MaterializeWindow/BuildInput
+# copy, and the differential suite drives that handoff at every
+# boundary.
 cmake --build "$BUILD_DIR" -j \
   --target test_common test_mining test_core test_platform \
-  test_durability test_serving test_router
+  test_durability test_serving test_router test_delta
 
 for t in test_common test_mining test_core test_platform test_durability \
-    test_serving; do
+    test_serving test_delta; do
   echo "== $t (TSan) =="
   "$BUILD_DIR/tests/$t"
 done
