@@ -2,29 +2,28 @@
 // dependency sets (paper §VII: "our method is compatible with arbitrary
 // scheduling policies").
 //
-// Same dependency sets, five per-unit policies:
-//   * hybrid histogram (the paper's choice),
-//   * hybrid + deterministic AR(1) fallback (the ARIMA branch of
+// Same mined dependencies, five policies built through the arena
+// registry (src/arena/registry.hpp) from their spec strings:
+//   * hybrid:set — hybrid histogram over dependency sets (the paper's
+//     choice),
+//   * ar — hybrid + deterministic AR(1) fallback (the ARIMA branch of
 //     Shahrad et al., for idle times beyond the histogram range),
-//   * periodicity predictor (tight residency windows around the
-//     predicted next invocation),
-//   * diurnal-aware (time-of-day profiles: linger through the active
-//     window, pre-warm before tomorrow's),
-//   * 10-minute fixed keep-alive (what production platforms do).
+//   * predictor — periodicity predictor (tight residency windows around
+//     the predicted next invocation),
+//   * diurnal — diurnal-aware (time-of-day profiles: linger through the
+//     active window, pre-warm before tomorrow's),
+//   * fixed — 10-minute fixed keep-alive (what production platforms do).
 //
 // Expected shape: the predictor matches the hybrid's cold-start rate on
 // periodic sets at less memory; the AR fallback and the diurnal profile
 // cut cold starts for the long-idle-time tail; fixed keep-alive is
 // strictly worse on both axes for predictable traffic.
 #include <cstdio>
-#include <memory>
+#include <vector>
 
+#include "arena/registry.hpp"
 #include "bench_common.hpp"
-#include "policy/diurnal.hpp"
-#include "policy/fixed.hpp"
-#include "policy/predictor.hpp"
 #include "sim/simulator.hpp"
-#include "stats/descriptive.hpp"
 
 using namespace defuse;
 
@@ -35,73 +34,43 @@ struct Row {
   double p75, memory, loads;
 };
 
-Row Evaluate(const char* name, sim::SchedulingPolicy& policy,
-             const trace::InvocationTrace& trace, TimeRange eval) {
-  const auto r = sim::Simulate(trace, eval, policy);
-  return Row{name, r.ColdStartRatePercentile(policy.unit_map(), 0.75),
-             r.AverageMemoryUsage(), r.AverageLoadingFunctions()};
-}
-
 }  // namespace
 
 int main() {
   bench::PrintHeader(
       "Extension ablation",
-      "per-unit policies over the same Defuse dependency sets");
+      "registry-built per-unit policies over the same mined dependencies");
   auto bw = bench::MakeStandardWorkload();
   const auto& mining = bw.driver->MiningFor(core::Method::kDefuse);
   const auto& trace = bw.workload.trace;
 
+  const arena::PolicyBuildContext context{.model = &bw.workload.model,
+                                          .trace = &trace,
+                                          .train = bw.train,
+                                          .mining = &mining};
+  struct Spec {
+    const char* spec;
+    const char* label;
+  };
+  const Spec kSpecs[] = {{"hybrid:set", "hybrid-histogram"},
+                         {"ar", "hybrid+AR-fallback"},
+                         {"predictor", "periodicity-predictor"},
+                         {"diurnal", "diurnal-aware"},
+                         {"fixed:keepalive=10", "fixed-10min"}};
+
   std::printf("\npolicy,p75_cold_start_rate,avg_memory,avg_loads_per_minute\n");
   std::vector<Row> rows;
-  {
-    auto policy = core::MakeDefuseScheduler(trace, mining, bw.train);
-    rows.push_back(Evaluate("hybrid-histogram", *policy, trace, bw.eval));
-  }
-  {
-    policy::HybridConfig config;
-    config.use_ar_fallback = true;
-    auto policy = core::MakeDefuseScheduler(trace, mining, bw.train, config);
-    rows.push_back(Evaluate("hybrid+AR-fallback", *policy, trace, bw.eval));
-  }
-  {
-    policy::PredictorConfig config;
-    policy::PeriodicityPredictorPolicy policy{
-        sim::UnitMap::FromDependencySets(mining.sets, trace.num_functions()),
-        config};
-    for (std::size_t u = 0; u < policy.unit_map().num_units(); ++u) {
-      const UnitId unit{static_cast<std::uint32_t>(u)};
-      const auto hist = mining::BuildGroupItHistogram(
-          trace, policy.unit_map().functions_of(unit), bw.train);
-      if (hist.total() > 0) policy.SeedHistogram(unit, hist);
+  for (const auto& s : kSpecs) {
+    auto policy = arena::PolicyRegistry::Builtin().Build(context, s.spec);
+    if (!policy.ok()) {
+      std::fprintf(stderr, "build %s failed: %s\n", s.spec,
+                   policy.error().message.c_str());
+      return 1;
     }
+    const auto r = sim::Simulate(trace, bw.eval, *policy.value());
     rows.push_back(
-        Evaluate("periodicity-predictor", *&policy, trace, bw.eval));
-  }
-  {
-    policy::DiurnalConfig config;
-    policy::DiurnalPolicy policy{
-        sim::UnitMap::FromDependencySets(mining.sets, trace.num_functions()),
-        config};
-    // Seed both the IT histograms and the day profiles from training.
-    for (std::size_t u = 0; u < policy.unit_map().num_units(); ++u) {
-      const UnitId unit{static_cast<std::uint32_t>(u)};
-      const auto hist = mining::BuildGroupItHistogram(
-          trace, policy.unit_map().functions_of(unit), bw.train);
-      if (hist.total() > 0) policy.SeedHistogram(unit, hist);
-      for (const FunctionId fn : policy.unit_map().functions_of(unit)) {
-        for (const auto& e : trace.SeriesInRange(fn, bw.train)) {
-          policy.SeedDayProfile(unit, e.minute);
-        }
-      }
-    }
-    rows.push_back(Evaluate("diurnal-aware", policy, trace, bw.eval));
-  }
-  {
-    policy::FixedKeepAlivePolicy policy{
-        sim::UnitMap::FromDependencySets(mining.sets, trace.num_functions()),
-        10};
-    rows.push_back(Evaluate("fixed-10min", policy, trace, bw.eval));
+        Row{s.label, r.ColdStartRatePercentile(policy.value()->unit_map(), 0.75),
+            r.AverageMemoryUsage(), r.AverageLoadingFunctions()});
   }
   for (const auto& row : rows) {
     std::printf("%s,%.3f,%.1f,%.2f\n", row.name, row.p75, row.memory,

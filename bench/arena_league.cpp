@@ -1,0 +1,96 @@
+// Policy×scenario league table — every registered scheduling policy
+// against every named workload scenario (see src/arena/).
+//
+// Unlike the figure benches, which evaluate on the single standard
+// workload, the league sweeps the scenario matrix: Azure-shaped,
+// Huawei-style bursty/diurnal, extreme-skew, and a memoryless Poisson
+// control. The table makes the trade-off surface visible — e.g. the
+// hybrid histogram's advantage collapses on flat_poisson (nothing to
+// predict), while hiku's pull-based pre-warming only pays off where the
+// dependency graph is dense.
+//
+// Environment overrides (all optional):
+//   DEFUSE_BENCH_USERS   per-scenario user count   (default 120)
+//   DEFUSE_BENCH_SEED    scenario seed             (default 2024)
+//   DEFUSE_BENCH_DAYS    horizon in days           (default 7)
+//
+// Output: the CSV league table on stdout, and the same table as a
+// "league" section in BENCH_arena.json (bench::MergeJsonSection).
+#include <cstdio>
+#include <cstdlib>
+
+#include "arena/league.hpp"
+#include "bench_common.hpp"
+
+using namespace defuse;
+
+namespace {
+
+long EnvLong(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Policy arena",
+                     "league table over the policy×scenario matrix");
+
+  arena::LeagueConfig config;
+  config.policies = {"fixed",        "hybrid:set",
+                     "hybrid:function", "hybrid:application",
+                     "diurnal",      "predictor",
+                     "ar",           "spes:tier=balanced",
+                     "hiku",         "forecast"};
+  config.scenarios = {"azure_like", "huawei_bursty", "huawei_diurnal",
+                      "skew_extreme", "flat_poisson"};
+  config.seed = static_cast<std::uint64_t>(EnvLong("DEFUSE_BENCH_SEED", 2024));
+  config.num_users =
+      static_cast<std::uint32_t>(EnvLong("DEFUSE_BENCH_USERS", 120));
+  config.horizon_minutes = EnvLong("DEFUSE_BENCH_DAYS", 7) * kMinutesPerDay;
+  std::printf("# %zu policies x %zu scenarios, %u users, %lld days, seed %llu\n",
+              config.policies.size(), config.scenarios.size(),
+              config.num_users,
+              static_cast<long long>(config.horizon_minutes / kMinutesPerDay),
+              static_cast<unsigned long long>(config.seed));
+
+  auto table = arena::RunLeague(config);
+  if (!table.ok()) {
+    std::fprintf(stderr, "league failed: %s\n",
+                 table.error().message.c_str());
+    return 1;
+  }
+  std::fputs(arena::RenderLeagueCsv(table.value()).c_str(), stdout);
+
+  // Headline: best p75 cold-start rate per scenario.
+  const auto& cells = table.value().cells;
+  std::string headline = "best p75 cold rate per scenario:";
+  for (const auto& scenario : config.scenarios) {
+    const arena::LeagueCell* best = nullptr;
+    for (const auto& cell : cells) {
+      if (cell.scenario != scenario) continue;
+      if (best == nullptr || cell.p75_cold_rate < best->p75_cold_rate) {
+        best = &cell;
+      }
+    }
+    if (best != nullptr) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf, " %s=%s(%.3f)", scenario.c_str(),
+                    best->policy.c_str(), best->p75_cold_rate);
+      headline += buf;
+    }
+  }
+  bench::PrintHeadline(headline);
+
+  if (!bench::MergeJsonSection("BENCH_arena.json", "league",
+                               arena::LeagueTableJson(table.value()))) {
+    std::fprintf(stderr, "failed to write BENCH_arena.json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_arena.json\n");
+  return 0;
+}

@@ -75,12 +75,13 @@ struct LintConfig {
   std::vector<std::string> scan_dirs{"src"};
   /// Layers that must stay free of wall-clock/rand/getenv (DL001-003).
   std::vector<std::string> deterministic_layers{
-      "src/mining", "src/graph", "src/policy", "src/sim", "src/stats"};
+      "src/mining", "src/graph", "src/policy",
+      "src/sim",    "src/stats", "src/arena"};
   /// Paths whose files sit on serialization or merge boundaries: hash
   /// order escaping into output here is a determinism bug (DL004).
   std::vector<std::string> boundary_paths{
-      "src/mining", "src/graph",  "src/policy", "src/sim",   "src/stats",
-      "src/platform", "src/server", "src/trace",  "src/router"};
+      "src/mining",   "src/graph",  "src/policy", "src/sim",    "src/stats",
+      "src/platform", "src/server", "src/trace",  "src/router", "src/arena"};
   /// File registering fault-site names (DL005); empty disables DL005.
   std::string fault_registry = "src/faults/injector.hpp";
   /// Directory whose files count as "tests" for DL005 references.

@@ -1,0 +1,81 @@
+// The policy×scenario league: every policy spec simulated against every
+// scenario spec, one metrics row per cell.
+//
+// A league run is deterministic end to end: scenarios are pure
+// functions of (spec, seed), mining is deterministic, registry
+// factories are deterministic, and the simulator is deterministic —
+// the arena test suite pins reruns bit-identical for seeds 0–9.
+//
+// Per-cell metrics (the league table columns):
+//   * event_cold_fraction   — cold invocation events / all events;
+//   * p75_cold_rate         — 75th percentile of per-function cold-start
+//     rates (the paper's Fig 7 headline statistic);
+//   * avg_memory            — mean resident functions (memory proxy);
+//   * wasted_memory_minutes — resident function-minutes in excess of
+//     invoked function-minutes: what keep-alive paid for nothing;
+//   * p99_cold_latency_ms   — 99th-percentile latency under the
+//     two-point warm/cold latency model (cold latency proxy);
+//   * avg_loads_per_minute  — scheduler overhead (Fig 9 proxy).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arena/registry.hpp"
+#include "arena/scenarios.hpp"
+#include "common/result.hpp"
+#include "core/defuse.hpp"
+#include "sim/simulator.hpp"
+
+namespace defuse::arena {
+
+struct LeagueConfig {
+  /// Policy specs (e.g. "hybrid:set", "spes:tier=cost").
+  std::vector<std::string> policies;
+  /// Scenario specs (e.g. "azure_like", "huawei_bursty:users=100").
+  std::vector<std::string> scenarios;
+  std::uint64_t seed = 42;
+  /// Scale overrides applied to every scenario (0 = leave the scenario's
+  /// own scale; spec-level users=/days= take precedence over these).
+  std::uint32_t num_users = 0;
+  MinuteDelta horizon_minutes = 0;
+  /// Mining configuration shared by every dependency-guided policy.
+  core::DefuseConfig mining;
+  sim::SimulatorOptions sim_options;
+};
+
+struct LeagueCell {
+  std::string policy;    // the spec string
+  std::string scenario;  // the spec string
+  std::string policy_name;  // SchedulingPolicy::name()
+  std::size_t num_units = 0;
+  std::uint64_t invocation_minutes = 0;
+  double event_cold_fraction = 0.0;
+  double p75_cold_rate = 0.0;
+  double avg_memory = 0.0;
+  double wasted_memory_minutes = 0.0;
+  double p99_cold_latency_ms = 0.0;
+  double avg_loads_per_minute = 0.0;
+  std::uint64_t triggered_prewarms = 0;
+};
+
+struct LeagueTable {
+  /// Scenario-major, policy-minor — the cross-product order of the
+  /// config's spec lists.
+  std::vector<LeagueCell> cells;
+};
+
+/// Runs the full cross product. All specs are validated up front, so a
+/// typo fails fast instead of after the first scenario's mining run.
+/// kInvalidArgument names the offending spec token.
+[[nodiscard]] Result<LeagueTable> RunLeague(const LeagueConfig& config);
+
+/// CSV rendering (header + one row per cell), for the CLI `arena` verb.
+[[nodiscard]] std::string RenderLeagueCsv(const LeagueTable& table);
+
+/// Flat JSON object keyed "policy|scenario", one metrics object per
+/// cell — the shape bench::MergeJsonSection expects for a section.
+[[nodiscard]] std::string LeagueTableJson(const LeagueTable& table);
+
+}  // namespace defuse::arena

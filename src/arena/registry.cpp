@@ -1,0 +1,357 @@
+#include "arena/registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "mining/predictability.hpp"
+#include "policy/diurnal.hpp"
+#include "policy/fixed.hpp"
+#include "policy/forecast_slot.hpp"
+#include "policy/hiku.hpp"
+#include "policy/hybrid.hpp"
+#include "policy/predictor.hpp"
+#include "policy/spes.hpp"
+
+namespace defuse::arena {
+namespace {
+
+[[nodiscard]] Error MissingMining(const std::string& name) {
+  return Error{.code = ErrorCode::kFailedPrecondition,
+               .message = "policy '" + name +
+                          "' needs mined dependencies (PolicyBuildContext::"
+                          "mining is null)"};
+}
+
+/// Seeds a policy's per-unit idle-time histograms from the training
+/// window — the exact procedure core::MakeDefuseScheduler and the
+/// experiment driver use, so registry-built policies match them.
+template <typename Policy>
+void SeedUnitHistograms(Policy& policy, std::size_t histogram_bins,
+                        MinuteDelta histogram_bin_width,
+                        const trace::InvocationTrace& trace, TimeRange train) {
+  mining::PredictabilityConfig shape;
+  shape.histogram_bins = histogram_bins;
+  shape.histogram_bin_width = histogram_bin_width;
+  for (std::size_t u = 0; u < policy.unit_map().num_units(); ++u) {
+    const UnitId unit{static_cast<std::uint32_t>(u)};
+    const auto hist = mining::BuildGroupItHistogram(
+        trace, policy.unit_map().functions_of(unit), train, shape);
+    if (hist.total() > 0) policy.SeedHistogram(unit, hist);
+  }
+}
+
+[[nodiscard]] ParamInfo AmpParam() {
+  return ParamInfo{.key = "amp",
+                   .type = ParamType::kDouble,
+                   .description = "keep-alive amplification factor a",
+                   .min_value = 0.1,
+                   .max_value = 20.0,
+                   .default_value = "1"};
+}
+
+[[nodiscard]] std::vector<PolicyEntry> BuildEntries() {
+  std::vector<PolicyEntry> entries;
+
+  entries.push_back(PolicyEntry{
+      .name = "ar",
+      .description = "hybrid at dependency-set granularity with the AR(1) "
+                     "idle-time forecast branch enabled",
+      .needs_mining = true,
+      .params = {ParamInfo{.key = "band",
+                           .type = ParamType::kDouble,
+                           .description =
+                               "residency half-width in residual sigmas",
+                           .min_value = 0.25,
+                           .max_value = 10.0,
+                           .default_value = "2"},
+                 AmpParam()},
+      .factory = [](const PolicyBuildContext& ctx, const SpecValues& values)
+          -> Result<std::unique_ptr<sim::SchedulingPolicy>> {
+        if (ctx.mining == nullptr) return MissingMining("ar");
+        policy::HybridConfig config;
+        config.use_ar_fallback = true;
+        config.ar_sigma_band = values.GetDouble("band");
+        config.amplification = values.GetDouble("amp");
+        return std::unique_ptr<sim::SchedulingPolicy>{core::MakeDefuseScheduler(
+            *ctx.trace, *ctx.mining, ctx.train, config)};
+      }});
+
+  entries.push_back(PolicyEntry{
+      .name = "diurnal",
+      .description = "day-profile residency over dependency sets, hybrid "
+                     "fallback for units without daily rhythm",
+      .needs_mining = true,
+      .params = {AmpParam()},
+      .factory = [](const PolicyBuildContext& ctx, const SpecValues& values)
+          -> Result<std::unique_ptr<sim::SchedulingPolicy>> {
+        if (ctx.mining == nullptr) return MissingMining("diurnal");
+        policy::DiurnalConfig config;
+        config.hybrid.amplification = values.GetDouble("amp");
+        auto diurnal = std::make_unique<policy::DiurnalPolicy>(
+            sim::UnitMap::FromDependencySets(ctx.mining->sets,
+                                             ctx.model->num_functions()),
+            config);
+        SeedUnitHistograms(*diurnal, config.hybrid.histogram_bins,
+                           config.hybrid.histogram_bin_width, *ctx.trace,
+                           ctx.train);
+        for (std::size_t u = 0; u < diurnal->unit_map().num_units(); ++u) {
+          const UnitId unit{static_cast<std::uint32_t>(u)};
+          for (const FunctionId fn : diurnal->unit_map().functions_of(unit)) {
+            for (const auto& e : ctx.trace->SeriesInRange(fn, ctx.train)) {
+              diurnal->SeedDayProfile(unit, e.minute);
+            }
+          }
+        }
+        return std::unique_ptr<sim::SchedulingPolicy>{std::move(diurnal)};
+      }});
+
+  entries.push_back(PolicyEntry{
+      .name = "fixed",
+      .description = "fixed keep-alive per function (the production "
+                     "10-minute baseline)",
+      .needs_mining = false,
+      .params = {ParamInfo{.key = "keepalive",
+                           .type = ParamType::kInt,
+                           .description = "keep-alive minutes",
+                           .min_value = 1,
+                           .max_value = 1440,
+                           .default_value = "10"}},
+      .factory = [](const PolicyBuildContext& ctx, const SpecValues& values)
+          -> Result<std::unique_ptr<sim::SchedulingPolicy>> {
+        return std::unique_ptr<sim::SchedulingPolicy>{
+            std::make_unique<policy::FixedKeepAlivePolicy>(
+                sim::UnitMap::PerFunction(ctx.model->num_functions()),
+                static_cast<MinuteDelta>(values.GetInt("keepalive")))};
+      }});
+
+  entries.push_back(PolicyEntry{
+      .name = "forecast",
+      .description = "pluggable idle-time forecaster slot over dependency "
+                     "sets (AR(1) occupant; swap in a learned model later)",
+      .needs_mining = true,
+      .params = {ParamInfo{.key = "band",
+                           .type = ParamType::kDouble,
+                           .description =
+                               "residency half-width in uncertainty units",
+                           .min_value = 0.25,
+                           .max_value = 10.0,
+                           .default_value = "2"},
+                 ParamInfo{.key = "warm",
+                           .type = ParamType::kInt,
+                           .description =
+                               "keep-alive minutes until the model is ready",
+                           .min_value = 1,
+                           .max_value = 240,
+                           .default_value = "10"}},
+      .factory = [](const PolicyBuildContext& ctx, const SpecValues& values)
+          -> Result<std::unique_ptr<sim::SchedulingPolicy>> {
+        if (ctx.mining == nullptr) return MissingMining("forecast");
+        policy::ForecastSlotConfig config;
+        config.sigma_band = values.GetDouble("band");
+        config.fixed_keepalive =
+            static_cast<MinuteDelta>(values.GetInt("warm"));
+        return std::unique_ptr<sim::SchedulingPolicy>{
+            std::make_unique<policy::ForecastSlotPolicy>(
+                sim::UnitMap::FromDependencySets(ctx.mining->sets,
+                                                 ctx.model->num_functions()),
+                [] { return std::make_unique<policy::ArForecaster>(); },
+                config)};
+      }});
+
+  entries.push_back(PolicyEntry{
+      .name = "hiku",
+      .description = "pull-based: no speculative residency, pre-warms only "
+                     "dependency-graph successors of each invocation",
+      .needs_mining = true,
+      .params = {ParamInfo{.key = "delay",
+                           .type = ParamType::kInt,
+                           .description =
+                               "minutes between trigger and target load",
+                           .min_value = 1,
+                           .max_value = 60,
+                           .default_value = "1"},
+                 ParamInfo{.key = "window",
+                           .type = ParamType::kInt,
+                           .description =
+                               "triggered target residency minutes",
+                           .min_value = 1,
+                           .max_value = 240,
+                           .default_value = "5"},
+                 ParamInfo{.key = "self",
+                           .type = ParamType::kInt,
+                           .description =
+                               "invoked unit's own linger minutes",
+                           .min_value = 1,
+                           .max_value = 240,
+                           .default_value = "1"}},
+      .factory = [](const PolicyBuildContext& ctx, const SpecValues& values)
+          -> Result<std::unique_ptr<sim::SchedulingPolicy>> {
+        if (ctx.mining == nullptr) return MissingMining("hiku");
+        policy::HikuConfig config;
+        config.trigger_delay = static_cast<MinuteDelta>(values.GetInt("delay"));
+        config.trigger_keepalive =
+            static_cast<MinuteDelta>(values.GetInt("window"));
+        config.self_keepalive =
+            static_cast<MinuteDelta>(values.GetInt("self"));
+        // Function granularity: the mined graph's edges *are* the
+        // function-level trigger edges (dependency sets would swallow
+        // every edge into a single unit and leave nothing to trigger).
+        return std::unique_ptr<sim::SchedulingPolicy>{
+            std::make_unique<policy::HikuPullPolicy>(
+                sim::UnitMap::PerFunction(ctx.model->num_functions()),
+                ctx.mining->graph, config)};
+      }});
+
+  entries.push_back(PolicyEntry{
+      .name = "hybrid",
+      .description = "hybrid histogram policy (Shahrad et al.); variant "
+                     "picks the unit granularity: set (Defuse), function "
+                     "(fine), application (coarse)",
+      .needs_mining = false,  // only the `set` variant needs mining
+      .params = {ParamInfo{.key = "variant",
+                           .type = ParamType::kEnum,
+                           .description = "unit granularity",
+                           .choices = {"set", "function", "application",
+                                       "fine", "coarse", "app"},
+                           .default_value = "set"},
+                 AmpParam()},
+      .factory = [](const PolicyBuildContext& ctx, const SpecValues& values)
+          -> Result<std::unique_ptr<sim::SchedulingPolicy>> {
+        policy::HybridConfig config;
+        config.amplification = values.GetDouble("amp");
+        const std::string& variant = values.GetEnum("variant");
+        if (variant == "set") {
+          if (ctx.mining == nullptr) return MissingMining("hybrid:set");
+          return std::unique_ptr<sim::SchedulingPolicy>{
+              core::MakeDefuseScheduler(*ctx.trace, *ctx.mining, ctx.train,
+                                        config)};
+        }
+        if (variant == "function" || variant == "fine") {
+          return std::unique_ptr<sim::SchedulingPolicy>{
+              core::MakeHybridFunctionScheduler(*ctx.trace, *ctx.model,
+                                                ctx.train, config)};
+        }
+        return std::unique_ptr<sim::SchedulingPolicy>{
+            core::MakeHybridApplicationScheduler(*ctx.trace, *ctx.model,
+                                                 ctx.train, config)};
+      }});
+
+  entries.push_back(PolicyEntry{
+      .name = "predictor",
+      .description = "periodicity predictor over dependency sets: tight "
+                     "residency around the predicted next invocation",
+      .needs_mining = true,
+      .params = {AmpParam()},
+      .factory = [](const PolicyBuildContext& ctx, const SpecValues& values)
+          -> Result<std::unique_ptr<sim::SchedulingPolicy>> {
+        if (ctx.mining == nullptr) return MissingMining("predictor");
+        policy::PredictorConfig config;
+        config.hybrid.amplification = values.GetDouble("amp");
+        auto predictor = std::make_unique<policy::PeriodicityPredictorPolicy>(
+            sim::UnitMap::FromDependencySets(ctx.mining->sets,
+                                             ctx.model->num_functions()),
+            config);
+        SeedUnitHistograms(*predictor, config.hybrid.histogram_bins,
+                           config.hybrid.histogram_bin_width, *ctx.trace,
+                           ctx.train);
+        return std::unique_ptr<sim::SchedulingPolicy>{std::move(predictor)};
+      }});
+
+  entries.push_back(PolicyEntry{
+      .name = "spes",
+      .description = "SPES-style cost/latency trade-off tiers per function "
+                     "(tier scales residency aggressiveness)",
+      .needs_mining = false,
+      .params = {ParamInfo{.key = "tier",
+                           .type = ParamType::kEnum,
+                           .description = "trade-off tier",
+                           .choices = {"latency", "balanced", "cost"},
+                           .default_value = "balanced"}},
+      .factory = [](const PolicyBuildContext& ctx, const SpecValues& values)
+          -> Result<std::unique_ptr<sim::SchedulingPolicy>> {
+        policy::SpesConfig config;
+        const std::string& tier = values.GetEnum("tier");
+        config.tier = tier == "latency"  ? policy::SpesTier::kLatency
+                      : tier == "cost"   ? policy::SpesTier::kCost
+                                         : policy::SpesTier::kBalanced;
+        auto spes = std::make_unique<policy::SpesTieredPolicy>(
+            sim::UnitMap::PerFunction(ctx.model->num_functions()), config);
+        SeedUnitHistograms(*spes, config.histogram_bins,
+                           config.histogram_bin_width, *ctx.trace, ctx.train);
+        return std::unique_ptr<sim::SchedulingPolicy>{std::move(spes)};
+      }});
+
+  std::sort(entries.begin(), entries.end(),
+            [](const PolicyEntry& a, const PolicyEntry& b) {
+              return a.name < b.name;
+            });
+  return entries;
+}
+
+}  // namespace
+
+const PolicyRegistry& PolicyRegistry::Builtin() {
+  static const PolicyRegistry registry = [] {
+    PolicyRegistry r;
+    r.entries_ = BuildEntries();
+    return r;
+  }();
+  return registry;
+}
+
+const PolicyEntry* PolicyRegistry::Find(std::string_view name) const {
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [name](const PolicyEntry& e) { return e.name == name; });
+  return it == entries_.end() ? nullptr : &*it;
+}
+
+Result<ResolvedPolicySpec> PolicyRegistry::Resolve(
+    std::string_view spec_text) const {
+  auto parsed = ParseSpec(spec_text);
+  if (!parsed.ok()) return parsed.error();
+  ResolvedPolicySpec resolved;
+  resolved.spec = std::move(parsed).value();
+  resolved.entry = Find(resolved.spec.name);
+  if (resolved.entry == nullptr) {
+    std::string known;
+    for (const PolicyEntry& e : entries_) {
+      if (!known.empty()) known += ", ";
+      known += e.name;
+    }
+    return Error{.code = ErrorCode::kInvalidArgument,
+                 .message = "unknown policy '" + resolved.spec.name +
+                            "' (known: " + known + ")"};
+  }
+  auto values = ResolveSpec(resolved.spec, resolved.entry->params);
+  if (!values.ok()) return values.error();
+  resolved.values = std::move(values).value();
+  return resolved;
+}
+
+Result<std::unique_ptr<sim::SchedulingPolicy>> PolicyRegistry::Build(
+    const PolicyBuildContext& context, std::string_view spec_text) const {
+  if (context.model == nullptr || context.trace == nullptr) {
+    return Error{.code = ErrorCode::kFailedPrecondition,
+                 .message = "PolicyBuildContext needs model and trace"};
+  }
+  auto resolved = Resolve(spec_text);
+  if (!resolved.ok()) return resolved.error();
+  const ResolvedPolicySpec& r = resolved.value();
+  return r.entry->factory(context, r.values);
+}
+
+Result<bool> PolicyRegistry::Register(PolicyEntry entry) {
+  if (Find(entry.name) != nullptr) {
+    return Error{.code = ErrorCode::kInvalidArgument,
+                 .message = "policy '" + entry.name + "' already registered"};
+  }
+  entries_.push_back(std::move(entry));
+  std::sort(entries_.begin(), entries_.end(),
+            [](const PolicyEntry& a, const PolicyEntry& b) {
+              return a.name < b.name;
+            });
+  return true;
+}
+
+}  // namespace defuse::arena

@@ -1,0 +1,109 @@
+#include "arena/scenarios.hpp"
+
+#include <algorithm>
+
+namespace defuse::arena {
+namespace {
+
+/// Both knobs default to 0 = "use the scenario's own scale".
+[[nodiscard]] std::vector<ParamInfo> ScaleParams() {
+  return {ParamInfo{.key = "users",
+                    .type = ParamType::kInt,
+                    .description = "user count (0 = scenario default)",
+                    .min_value = 0,
+                    .max_value = 1000000,
+                    .default_value = "0"},
+          ParamInfo{.key = "days",
+                    .type = ParamType::kInt,
+                    .description = "horizon in days (0 = scenario default)",
+                    .min_value = 0,
+                    .max_value = 365,
+                    .default_value = "0"}};
+}
+
+[[nodiscard]] std::vector<ScenarioEntry> BuildEntries() {
+  std::vector<ScenarioEntry> entries;
+  entries.push_back(ScenarioEntry{
+      .name = "azure_like",
+      .description = "Azure-trace-shaped default: 40/30/15/15 periodic/"
+                     "poisson/diurnal/bursty trigger mix",
+      .kind = trace::ScenarioKind::kAzureLike,
+      .params = ScaleParams()});
+  entries.push_back(ScenarioEntry{
+      .name = "flat_poisson",
+      .description = "memoryless control: every workflow Poisson over a "
+                     "narrow gap range, nothing to predict",
+      .kind = trace::ScenarioKind::kFlatPoisson,
+      .params = ScaleParams()});
+  entries.push_back(ScenarioEntry{
+      .name = "huawei_bursty",
+      .description = "Huawei-style sub-minute ON/OFF bursts: short dense "
+                     "sessions, heavy per-firing fan-out",
+      .kind = trace::ScenarioKind::kHuaweiBursty,
+      .params = ScaleParams()});
+  entries.push_back(ScenarioEntry{
+      .name = "huawei_diurnal",
+      .description = "strong day/night cycles: most apps fire only inside "
+                     "long daily windows, densely while active",
+      .kind = trace::ScenarioKind::kHuaweiDiurnal,
+      .params = ScaleParams()});
+  entries.push_back(ScenarioEntry{
+      .name = "skew_extreme",
+      .description = "extreme Zipfian skew: a small head takes almost all "
+                     "traffic over a long rare-function tail",
+      .kind = trace::ScenarioKind::kSkewExtreme,
+      .params = ScaleParams()});
+  std::sort(entries.begin(), entries.end(),
+            [](const ScenarioEntry& a, const ScenarioEntry& b) {
+              return a.name < b.name;
+            });
+  return entries;
+}
+
+}  // namespace
+
+const ScenarioRegistry& ScenarioRegistry::Builtin() {
+  static const ScenarioRegistry registry = [] {
+    ScenarioRegistry r;
+    r.entries_ = BuildEntries();
+    return r;
+  }();
+  return registry;
+}
+
+const ScenarioEntry* ScenarioRegistry::Find(std::string_view name) const {
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [name](const ScenarioEntry& e) { return e.name == name; });
+  return it == entries_.end() ? nullptr : &*it;
+}
+
+Result<trace::ScenarioSpec> ScenarioRegistry::Resolve(
+    std::string_view spec_text, std::uint64_t seed) const {
+  auto parsed = ParseSpec(spec_text);
+  if (!parsed.ok()) return parsed.error();
+  const ParsedSpec& spec = parsed.value();
+  const ScenarioEntry* entry = Find(spec.name);
+  if (entry == nullptr) {
+    std::string known;
+    for (const ScenarioEntry& e : entries_) {
+      if (!known.empty()) known += ", ";
+      known += e.name;
+    }
+    return Error{.code = ErrorCode::kInvalidArgument,
+                 .message = "unknown scenario '" + spec.name +
+                            "' (known: " + known + ")"};
+  }
+  auto values = ResolveSpec(spec, entry->params);
+  if (!values.ok()) return values.error();
+  const SpecValues& v = values.value();
+  trace::ScenarioSpec out;
+  out.kind = entry->kind;
+  out.seed = seed;
+  out.num_users = static_cast<std::uint32_t>(v.GetInt("users"));
+  out.horizon_minutes =
+      static_cast<MinuteDelta>(v.GetInt("days")) * kMinutesPerDay;
+  return out;
+}
+
+}  // namespace defuse::arena

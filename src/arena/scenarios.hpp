@@ -1,0 +1,46 @@
+// The scenario side of the arena: named workload presets behind the
+// same spec grammar as policies (`huawei_bursty`,
+// `skew_extreme:users=500,days=7`). A scenario spec resolves to a
+// trace::ScenarioSpec — a pure description; the workload itself is a
+// deterministic function of (spec, seed) via trace::GenerateScenario.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arena/spec.hpp"
+#include "common/result.hpp"
+#include "trace/generator.hpp"
+
+namespace defuse::arena {
+
+struct ScenarioEntry {
+  std::string name;
+  std::string description;
+  trace::ScenarioKind kind = trace::ScenarioKind::kAzureLike;
+  std::vector<ParamInfo> params;
+};
+
+class ScenarioRegistry {
+ public:
+  [[nodiscard]] static const ScenarioRegistry& Builtin();
+
+  /// Entries sorted by name.
+  [[nodiscard]] const std::vector<ScenarioEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] const ScenarioEntry* Find(std::string_view name) const;
+
+  /// Parses + schema-checks a scenario spec and stamps `seed` into the
+  /// result. kInvalidArgument (naming the offending token) on grammar
+  /// errors, unknown scenarios, or bad parameters.
+  [[nodiscard]] Result<trace::ScenarioSpec> Resolve(std::string_view spec_text,
+                                                    std::uint64_t seed) const;
+
+ private:
+  std::vector<ScenarioEntry> entries_;
+};
+
+}  // namespace defuse::arena

@@ -1,0 +1,291 @@
+#include "arena/spec.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace defuse::arena {
+namespace {
+
+[[nodiscard]] bool IsNameChar(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+         c == '-';
+}
+
+[[nodiscard]] bool IsValueChar(char c) noexcept {
+  return IsNameChar(c) || (c >= 'A' && c <= 'Z') || c == '.' || c == '+';
+}
+
+[[nodiscard]] bool ValidName(std::string_view s) noexcept {
+  return !s.empty() && std::all_of(s.begin(), s.end(), IsNameChar);
+}
+
+[[nodiscard]] bool ValidValue(std::string_view s) noexcept {
+  return !s.empty() && std::all_of(s.begin(), s.end(), IsValueChar);
+}
+
+[[nodiscard]] Error Invalid(std::string message) {
+  return Error{.code = ErrorCode::kInvalidArgument,
+               .message = std::move(message)};
+}
+
+/// Strict whole-string numeric parses (strtod/strtoll accept trailing
+/// garbage on their own).
+[[nodiscard]] bool ParseDouble(const std::string& text, double& out) {
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return errno == 0 && end != nullptr && *end == '\0' && end != text.c_str();
+}
+
+[[nodiscard]] bool ParseInt(const std::string& text, std::int64_t& out) {
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtoll(text.c_str(), &end, 10);
+  return errno == 0 && end != nullptr && *end == '\0' && end != text.c_str();
+}
+
+[[nodiscard]] std::string FormatNumber(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(static_cast<std::int64_t>(v)));
+  } else {
+    std::snprintf(buf, sizeof buf, "%g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+Result<ParsedSpec> ParseSpec(std::string_view text) {
+  if (text.empty()) return Invalid("empty spec");
+  ParsedSpec spec;
+  const std::size_t colon = text.find(':');
+  const std::string_view name = text.substr(0, colon);
+  if (!ValidName(name)) {
+    return Invalid("spec '" + std::string{text} + "': invalid name '" +
+                   std::string{name} + "' (want lowercase [a-z0-9_-])");
+  }
+  spec.name = std::string{name};
+  if (colon == std::string_view::npos) return spec;
+
+  std::string_view rest = text.substr(colon + 1);
+  if (rest.empty()) {
+    return Invalid("spec '" + std::string{text} +
+                   "': empty parameter list after ':'");
+  }
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view token = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (token.empty()) {
+      return Invalid("spec '" + std::string{text} + "': empty token");
+    }
+    const std::size_t eq = token.find('=');
+    std::string key;
+    std::string value;
+    if (eq == std::string_view::npos) {
+      // Bare word: sugar for variant=<word>.
+      if (!ValidValue(token)) {
+        return Invalid("spec '" + std::string{text} + "': invalid token '" +
+                       std::string{token} + "'");
+      }
+      key = "variant";
+      value = std::string{token};
+    } else {
+      key = std::string{token.substr(0, eq)};
+      value = std::string{token.substr(eq + 1)};
+      if (!ValidName(key) || !ValidValue(value)) {
+        return Invalid("spec '" + std::string{text} + "': malformed token '" +
+                       std::string{token} + "' (want key=value)");
+      }
+    }
+    for (const auto& [seen_key, seen_value] : spec.params) {
+      if (seen_key == key) {
+        return Invalid("spec '" + std::string{text} + "': duplicate key '" +
+                       key + "' in token '" + std::string{token} + "'");
+      }
+    }
+    spec.params.emplace_back(std::move(key), std::move(value));
+  }
+  return spec;
+}
+
+Result<SpecValues> ResolveSpec(const ParsedSpec& spec,
+                               const std::vector<ParamInfo>& schema) {
+  SpecValues values;
+  values.entries_.reserve(schema.size());
+
+  for (const auto& [key, value] : spec.params) {
+    const auto it =
+        std::find_if(schema.begin(), schema.end(),
+                     [&key = key](const ParamInfo& p) { return p.key == key; });
+    if (it == schema.end()) {
+      std::string known;
+      for (const ParamInfo& p : schema) {
+        if (!known.empty()) known += ", ";
+        known += p.key;
+      }
+      return Invalid("spec '" + spec.name + "': unknown parameter '" + key +
+                     "'" + (known.empty() ? " (takes no parameters)"
+                                          : " (known: " + known + ")"));
+    }
+    SpecValues::Entry entry;
+    entry.key = key;
+    entry.type = it->type;
+    entry.text = value;
+    entry.explicit_value = true;
+    switch (it->type) {
+      case ParamType::kInt: {
+        if (!ParseInt(value, entry.integer)) {
+          return Invalid("spec '" + spec.name + "': parameter '" + key +
+                         "=" + value + "' is not an integer");
+        }
+        const double v = static_cast<double>(entry.integer);
+        if (v < it->min_value || v > it->max_value) {
+          return Invalid("spec '" + spec.name + "': parameter '" + key + "=" +
+                         value + "' out of range [" +
+                         FormatNumber(it->min_value) + ", " +
+                         FormatNumber(it->max_value) + "]");
+        }
+        entry.number = v;
+        break;
+      }
+      case ParamType::kDouble: {
+        if (!ParseDouble(value, entry.number)) {
+          return Invalid("spec '" + spec.name + "': parameter '" + key + "=" +
+                         value + "' is not a number");
+        }
+        if (entry.number < it->min_value || entry.number > it->max_value) {
+          return Invalid("spec '" + spec.name + "': parameter '" + key + "=" +
+                         value + "' out of range [" +
+                         FormatNumber(it->min_value) + ", " +
+                         FormatNumber(it->max_value) + "]");
+        }
+        entry.integer = static_cast<std::int64_t>(entry.number);
+        break;
+      }
+      case ParamType::kEnum: {
+        if (std::find(it->choices.begin(), it->choices.end(), value) ==
+            it->choices.end()) {
+          std::string choices;
+          for (const std::string& c : it->choices) {
+            if (!choices.empty()) choices += ", ";
+            choices += c;
+          }
+          return Invalid("spec '" + spec.name + "': parameter '" + key + "=" +
+                         value + "' is not a valid choice (want one of: " +
+                         choices + ")");
+        }
+        break;
+      }
+    }
+    values.entries_.push_back(std::move(entry));
+  }
+
+  // Fill defaults for everything the spec left out. Schema defaults are
+  // authored in-tree, so a malformed one is a programming error: abort
+  // loudly rather than propagate a half-resolved bag.
+  for (const ParamInfo& p : schema) {
+    const bool present = std::any_of(
+        values.entries_.begin(), values.entries_.end(),
+        [&p](const SpecValues::Entry& e) { return e.key == p.key; });
+    if (present) continue;
+    SpecValues::Entry entry;
+    entry.key = p.key;
+    entry.type = p.type;
+    entry.text = p.default_value;
+    entry.explicit_value = false;
+    bool ok = true;
+    switch (p.type) {
+      case ParamType::kInt:
+        ok = ParseInt(p.default_value, entry.integer);
+        entry.number = static_cast<double>(entry.integer);
+        break;
+      case ParamType::kDouble:
+        ok = ParseDouble(p.default_value, entry.number);
+        entry.integer = static_cast<std::int64_t>(entry.number);
+        break;
+      case ParamType::kEnum:
+        ok = std::find(p.choices.begin(), p.choices.end(), p.default_value) !=
+             p.choices.end();
+        break;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "defuse: fatal: schema default '%s=%s' malformed\n",
+                   p.key.c_str(), p.default_value.c_str());
+      std::abort();
+    }
+    values.entries_.push_back(std::move(entry));
+  }
+
+  std::sort(values.entries_.begin(), values.entries_.end(),
+            [](const SpecValues::Entry& a, const SpecValues::Entry& b) {
+              return a.key < b.key;
+            });
+  return values;
+}
+
+const SpecValues::Entry& SpecValues::Lookup(std::string_view key,
+                                            ParamType expected) const {
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [key](const Entry& e) { return e.key == key; });
+  if (it == entries_.end() || it->type != expected) {
+    // Factories are authored against their own schema; a miss is a
+    // programming error, not user input.
+    std::fprintf(stderr, "defuse: fatal: spec value lookup '%.*s' %s\n",
+                 static_cast<int>(key.size()), key.data(),
+                 it == entries_.end() ? "missing" : "has the wrong type");
+    std::abort();
+  }
+  return *it;
+}
+
+std::int64_t SpecValues::GetInt(std::string_view key) const {
+  return Lookup(key, ParamType::kInt).integer;
+}
+
+double SpecValues::GetDouble(std::string_view key) const {
+  return Lookup(key, ParamType::kDouble).number;
+}
+
+const std::string& SpecValues::GetEnum(std::string_view key) const {
+  return Lookup(key, ParamType::kEnum).text;
+}
+
+bool SpecValues::WasExplicit(std::string_view key) const {
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [key](const Entry& e) { return e.key == key; });
+  return it != entries_.end() && it->explicit_value;
+}
+
+std::string DescribeParam(const ParamInfo& info) {
+  std::string out = info.key;
+  out += "=<";
+  switch (info.type) {
+    case ParamType::kInt:
+      out += "int [" + FormatNumber(info.min_value) + ", " +
+             FormatNumber(info.max_value) + "]";
+      break;
+    case ParamType::kDouble:
+      out += "double [" + FormatNumber(info.min_value) + ", " +
+             FormatNumber(info.max_value) + "]";
+      break;
+    case ParamType::kEnum: {
+      for (std::size_t i = 0; i < info.choices.size(); ++i) {
+        if (i > 0) out += "|";
+        out += info.choices[i];
+      }
+      break;
+    }
+  }
+  out += ", default " + info.default_value + ">";
+  return out;
+}
+
+}  // namespace defuse::arena

@@ -1,0 +1,98 @@
+// Spec strings: the arena's tiny configuration grammar.
+//
+// Policies and scenarios are addressed by compact specs on the CLI and
+// in bench configs:
+//
+//   spec    :=  name [ ':' token ( ',' token )* ]
+//   token   :=  key '=' value
+//             | value                (sugar for  variant=value)
+//
+// e.g. `fixed`, `hybrid:coarse`, `spes:tier=balanced`,
+// `hiku:delay=1,window=5`. Names and keys are lowercase
+// [a-z0-9_-]; values additionally allow digits, '.', '+' and '-'.
+//
+// A registry entry publishes its parameter schema as ParamInfo rows;
+// ResolveSpec checks a parsed spec against the schema (unknown keys,
+// duplicates, type errors, out-of-range values all reject with
+// kInvalidArgument naming the offending token) and fills defaults,
+// yielding a SpecValues bag the factory reads with typed getters.
+// Everything here is pure string processing — deterministic by
+// construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace defuse::arena {
+
+enum class ParamType : std::uint8_t { kInt, kDouble, kEnum };
+
+/// One parameter a registry entry accepts.
+struct ParamInfo {
+  std::string key;
+  ParamType type = ParamType::kDouble;
+  std::string description;
+  /// Inclusive numeric range (kInt / kDouble).
+  double min_value = 0.0;
+  double max_value = 0.0;
+  /// Accepted values (kEnum). The first choice is not special.
+  std::vector<std::string> choices = {};
+  /// Textual default, applied when the spec omits the key.
+  std::string default_value;
+};
+
+/// A spec split into name + (key, value) pairs, in spec order, with the
+/// bare-word `variant=` sugar already expanded.
+struct ParsedSpec {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> params;
+};
+
+/// Parses the grammar above. Rejects empty names/tokens, malformed
+/// charset, and duplicate keys with kInvalidArgument naming the token.
+[[nodiscard]] Result<ParsedSpec> ParseSpec(std::string_view text);
+
+/// A resolved parameter bag: every schema key present exactly once,
+/// either from the spec or from its default.
+class [[nodiscard]] SpecValues {
+ public:
+  [[nodiscard]] std::int64_t GetInt(std::string_view key) const;
+  [[nodiscard]] double GetDouble(std::string_view key) const;
+  [[nodiscard]] const std::string& GetEnum(std::string_view key) const;
+  /// True when the spec set the key explicitly (vs. the default).
+  [[nodiscard]] bool WasExplicit(std::string_view key) const;
+
+ private:
+  friend Result<SpecValues> ResolveSpec(const ParsedSpec& spec,
+                                        const std::vector<ParamInfo>& schema);
+  struct Entry {
+    std::string key;
+    ParamType type;
+    std::string text;       // enum value / original token text
+    double number = 0.0;    // kDouble (and kInt, as a convenience)
+    std::int64_t integer = 0;
+    bool explicit_value = false;
+  };
+  /// Sorted by key.
+  std::vector<Entry> entries_;
+
+  [[nodiscard]] const Entry& Lookup(std::string_view key,
+                                    ParamType expected) const;
+};
+
+/// Validates `spec`'s parameters against `schema` and fills defaults.
+/// kInvalidArgument on unknown keys, type mismatches, or out-of-range
+/// values — the message names the offending token.
+[[nodiscard]] Result<SpecValues> ResolveSpec(
+    const ParsedSpec& spec, const std::vector<ParamInfo>& schema);
+
+/// Renders a schema row for `defuse policies` / `defuse scenarios`:
+/// "key=<int [1,60], default 5>"-style.
+[[nodiscard]] std::string DescribeParam(const ParamInfo& info);
+
+}  // namespace defuse::arena

@@ -5,6 +5,9 @@
 #include <vector>
 
 #include "analysis/analysis.hpp"
+#include "arena/league.hpp"
+#include "arena/registry.hpp"
+#include "arena/scenarios.hpp"
 #include "cli/shutdown.hpp"
 #include "common/csv.hpp"
 #include "core/adaptive.hpp"
@@ -38,6 +41,10 @@ commands:
              --users N (120)  --days N (14)  --seed N (42)
              --out FILE       long-format CSV (required)
              --azure-dir DIR  additionally write Azure daily files
+             --scenario SPEC  named workload preset (see `defuse
+                              scenarios`), e.g. huawei_bursty or
+                              skew_extreme:users=500; --users/--days
+                              override the preset's scale when given
   inspect    characterize a trace (frequency skew, predictability)
              --trace FILE (required)
   mine       mine dependencies, write sets / edges / Graphviz
@@ -54,6 +61,18 @@ commands:
              --amplification A (1.0)
              --ar-fallback  enable the AR(1) time-series branch
              --sets FILE  use pre-mined dependency sets
+             --policy SPEC  build the scheduler through the policy
+                            registry instead of --method (see `defuse
+                            policies`), e.g. spes:tier=cost or hiku
+  arena      policy x scenario league table (CSV on stdout)
+             --policies "a,b,..."   policy specs (default: the full
+                                    built-in roster)
+             --scenarios "x,y,..."  scenario specs (default: all named
+                                    scenarios)
+             --seed N (42)  --users N  --days N  scenario scale
+             --out FILE     also write the CSV to a file
+  policies   list registered scheduling policies and their param schemas
+  scenarios  list named workload scenarios and their param schemas
   sweep      fig-7 style table: p75 cold rate vs memory for 3 methods
              --trace FILE (required)   --train-days N (all but 2)
              --amplifications "0.5,1,2,4" (1,2,4)
@@ -292,10 +311,29 @@ int CmdGenerate(const FlagParser& flags, std::ostream& out,
   }
 
   trace::GeneratorConfig config;
-  config.num_users = static_cast<std::uint32_t>(users.value());
-  config.horizon_minutes = days.value() * kMinutesPerDay;
-  config.seed = static_cast<std::uint64_t>(seed.value());
+  if (const auto scenario = flags.Get("scenario")) {
+    auto resolved = arena::ScenarioRegistry::Builtin().Resolve(
+        *scenario, static_cast<std::uint64_t>(seed.value()));
+    if (!resolved.ok()) {
+      err << "error: " << resolved.error().ToString() << "\n";
+      return 1;
+    }
+    trace::ScenarioSpec spec = std::move(resolved).value();
+    // Explicit --users/--days win over the preset's scale.
+    if (flags.Has("users")) {
+      spec.num_users = static_cast<std::uint32_t>(users.value());
+    }
+    if (flags.Has("days")) {
+      spec.horizon_minutes = days.value() * kMinutesPerDay;
+    }
+    config = trace::MakeScenarioConfig(spec);
+  } else {
+    config.num_users = static_cast<std::uint32_t>(users.value());
+    config.horizon_minutes = days.value() * kMinutesPerDay;
+    config.seed = static_cast<std::uint64_t>(seed.value());
+  }
   const auto workload = trace::GenerateWorkload(config);
+  const Minute horizon_days = config.horizon_minutes / kMinutesPerDay;
 
   if (!WriteOrReport(*out_path,
                      trace::WriteLongCsv(workload.model, workload.trace),
@@ -306,10 +344,10 @@ int CmdGenerate(const FlagParser& flags, std::ostream& out,
       << " users, " << workload.model.num_apps() << " apps, "
       << workload.model.num_functions() << " functions, "
       << workload.trace.TotalInvocations(workload.trace.horizon())
-      << " invocations over " << days.value() << " days\n";
+      << " invocations over " << horizon_days << " days\n";
 
   if (const auto dir = flags.Get("azure-dir")) {
-    for (Minute day = 0; day < days.value(); ++day) {
+    for (Minute day = 0; day < horizon_days; ++day) {
       char name[64];
       std::snprintf(name, sizeof name,
                     "/invocations_per_function_md.anon.d%02lld.csv",
@@ -321,7 +359,7 @@ int CmdGenerate(const FlagParser& flags, std::ostream& out,
         return 2;
       }
     }
-    out << "wrote " << days.value() << " Azure daily files under " << *dir
+    out << "wrote " << horizon_days << " Azure daily files under " << *dir
         << "\n";
   }
   return 0;
@@ -419,6 +457,59 @@ int CmdSimulate(const FlagParser& flags, std::ostream& out,
   if (!amplification.ok()) {
     err << "error: " << amplification.error().ToString() << "\n";
     return 1;
+  }
+
+  // Arena path: build the scheduler from a registry policy spec.
+  if (const auto policy_spec = flags.Get("policy")) {
+    if (flags.Has("method") || flags.Has("sets")) {
+      err << "error: --policy is exclusive with --method/--sets\n";
+      return 1;
+    }
+    const arena::PolicyRegistry& registry = arena::PolicyRegistry::Builtin();
+    auto resolved = registry.Resolve(*policy_spec);
+    if (!resolved.ok()) {
+      err << "error: " << resolved.error().ToString() << "\n";
+      return 1;
+    }
+    auto mined = core::MineDependencies(bundle->trace, bundle->model,
+                                        bundle->train, core::DefuseConfig{});
+    if (!mined.ok()) {
+      err << "error: " << mined.error().ToString() << "\n";
+      return 1;
+    }
+    const core::MiningOutput mining = std::move(mined).value();
+    arena::PolicyBuildContext context;
+    context.model = &bundle->model;
+    context.trace = &bundle->trace;
+    context.train = bundle->train;
+    context.mining = &mining;
+    auto built = registry.Build(context, *policy_spec);
+    if (!built.ok()) {
+      err << "error: " << built.error().ToString() << "\n";
+      return 1;
+    }
+    const auto policy = std::move(built).value();
+    const auto sim = sim::Simulate(bundle->trace, bundle->eval, *policy);
+    const auto rates = sim.FunctionColdStartRates(policy->unit_map());
+    out << "policy: " << *policy_spec << " (" << policy->name() << ")\n"
+        << "scheduling units: " << policy->unit_map().num_units() << "\n"
+        << "functions with invocations: " << rates.size() << "\n"
+        << "p75 function cold-start rate: "
+        << sim.ColdStartRatePercentile(policy->unit_map(), 0.75) << "\n"
+        << "mean function cold-start rate: " << stats::Mean(rates) << "\n"
+        << "cold fraction of invocation events: "
+        << (sim.function_invocation_minutes == 0
+                ? 0.0
+                : static_cast<double>(sim.function_cold_minutes) /
+                      static_cast<double>(sim.function_invocation_minutes))
+        << "\n"
+        << "avg memory (loaded functions): " << sim.AverageMemoryUsage()
+        << "\n"
+        << "avg loads per minute: " << sim.AverageLoadingFunctions() << "\n";
+    if (sim.triggered_prewarms > 0) {
+      out << "triggered pre-warms: " << sim.triggered_prewarms << "\n";
+    }
+    return 0;
   }
 
   // Pre-mined sets path: bypass the driver and run the set scheduler.
@@ -654,6 +745,103 @@ int CmdCompare(const FlagParser& flags, std::ostream& out,
                 100.0 * (defuse.avg_memory / ha.avg_memory - 1.0),
                 100.0 * (defuse.avg_loading / ha.avg_loading - 1.0));
   out << headline;
+  return 0;
+}
+
+int CmdPolicies(std::ostream& out) {
+  out << "registered scheduling policies (spec: name[:key=value,...], a "
+         "bare word means variant=<word>):\n";
+  for (const auto& entry : arena::PolicyRegistry::Builtin().entries()) {
+    out << "  " << entry.name << "  " << entry.description << "\n";
+    for (const auto& param : entry.params) {
+      out << "      " << arena::DescribeParam(param) << "  "
+          << param.description << "\n";
+    }
+    if (entry.needs_mining) {
+      out << "      (needs mined dependencies)\n";
+    }
+  }
+  return 0;
+}
+
+int CmdScenarios(std::ostream& out) {
+  out << "named workload scenarios (spec: name[:key=value,...]; each is a "
+         "pure function of spec and seed):\n";
+  for (const auto& entry : arena::ScenarioRegistry::Builtin().entries()) {
+    out << "  " << entry.name << "  " << entry.description << "\n";
+    for (const auto& param : entry.params) {
+      out << "      " << arena::DescribeParam(param) << "  "
+          << param.description << "\n";
+    }
+  }
+  return 0;
+}
+
+/// Splits a comma-separated spec list ("hybrid:set,spes:tier=cost").
+std::vector<std::string> SplitSpecList(const std::string& text) {
+  std::vector<std::string> specs;
+  std::istringstream stream{text};
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    // Spec parameters also use ',' — but list entries never start with
+    // 'key=' because names come first, so re-join tokens that contain
+    // '=' but no leading name, i.e. tokens following a ':' spec whose
+    // parameter list was split. Heuristic: a token containing '=' or a
+    // bare variant word belongs to the previous spec when that spec has
+    // an unfinished ':' tail.
+    if (!specs.empty()) {
+      const std::string& prev = specs.back();
+      const bool prev_has_params = prev.find(':') != std::string::npos;
+      const bool looks_like_param = token.find('=') != std::string::npos;
+      if (prev_has_params && looks_like_param) {
+        specs.back() += "," + token;
+        continue;
+      }
+    }
+    if (!token.empty()) specs.push_back(token);
+  }
+  return specs;
+}
+
+int CmdArena(const FlagParser& flags, std::ostream& out, std::ostream& err) {
+  const auto seed = flags.GetInt("seed", 42);
+  const auto users = flags.GetInt("users", 0);
+  const auto days = flags.GetInt("days", 0);
+  if (!seed.ok() || !users.ok() || !days.ok() || users.value() < 0 ||
+      days.value() < 0) {
+    err << "error: malformed numeric flag\n";
+    return 1;
+  }
+
+  arena::LeagueConfig config;
+  config.seed = static_cast<std::uint64_t>(seed.value());
+  config.num_users = static_cast<std::uint32_t>(users.value());
+  config.horizon_minutes = days.value() * kMinutesPerDay;
+  if (flags.Has("policies")) {
+    config.policies = SplitSpecList(flags.GetOr("policies", ""));
+  } else {
+    config.policies = {"fixed",   "hybrid:set", "hybrid:function",
+                       "hybrid:application", "diurnal", "predictor",
+                       "ar",      "spes:tier=balanced", "hiku", "forecast"};
+  }
+  if (flags.Has("scenarios")) {
+    config.scenarios = SplitSpecList(flags.GetOr("scenarios", ""));
+  } else {
+    for (const auto& entry : arena::ScenarioRegistry::Builtin().entries()) {
+      config.scenarios.push_back(entry.name);
+    }
+  }
+
+  auto table = arena::RunLeague(config);
+  if (!table.ok()) {
+    err << "error: " << table.error().ToString() << "\n";
+    return 1;
+  }
+  const std::string csv = arena::RenderLeagueCsv(table.value());
+  out << csv;
+  if (const auto path = flags.Get("out")) {
+    if (!WriteOrReport(*path, csv, err)) return 2;
+  }
   return 0;
 }
 
@@ -1319,6 +1507,9 @@ int RunCli(std::span<const std::string> args, std::ostream& out,
   if (command == "drive") return CmdDrive(flags, out, err);
   if (command == "health") return CmdHealth(flags, out, err);
   if (command == "compare") return CmdCompare(flags, out, err);
+  if (command == "arena") return CmdArena(flags, out, err);
+  if (command == "policies") return CmdPolicies(out);
+  if (command == "scenarios") return CmdScenarios(out);
   err << "error: unknown command '" << command << "'\n" << kUsage;
   return 1;
 }

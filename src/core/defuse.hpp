@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "common/result.hpp"
 #include "common/time.hpp"
@@ -59,6 +60,12 @@ struct DefuseConfig {
   /// on, the platform feeds streaming accumulators and every mine is
   /// bit-identical to a full rebuild over the same window.
   mining::DeltaMineConfig delta;
+
+  /// Arena policy spec (see arena::PolicyRegistry), e.g. "hybrid:set" or
+  /// "spes:tier=cost". Empty = the classic fixed method selection; when
+  /// set, CLI simulation paths build the scheduler through the registry
+  /// instead.
+  std::string policy_spec;
 
   mining::PpmiConfig MakePpmiConfig() const {
     mining::PpmiConfig c;

@@ -1,0 +1,59 @@
+#include "policy/forecast_slot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace defuse::policy {
+
+ForecastSlotPolicy::ForecastSlotPolicy(sim::UnitMap units,
+                                       const ForecasterFactory& factory,
+                                       ForecastSlotConfig config)
+    : units_(std::move(units)), config_(config) {
+  forecasters_.reserve(units_.num_units());
+  for (std::size_t u = 0; u < units_.num_units(); ++u) {
+    forecasters_.push_back(factory());
+  }
+}
+
+void ForecastSlotPolicy::ObserveIdleTime(UnitId unit, MinuteDelta gap) {
+  forecasters_[unit.value()]->Observe(gap);
+}
+
+sim::UnitDecision ForecastSlotPolicy::DecisionFor(UnitId unit) const {
+  const IdleForecaster& fc = *forecasters_[unit.value()];
+  sim::UnitDecision decision;
+  if (!fc.Ready()) {
+    decision.prewarm = 0;
+    decision.keepalive = config_.fixed_keepalive;
+    return decision;
+  }
+  // Cover [forecast - band, forecast + band]; a band below one minute is
+  // widened to one so the window is never degenerate.
+  const double predicted = fc.PredictNext();
+  const double band =
+      std::max(config_.sigma_band * fc.Uncertainty(), 1.0);
+  decision.prewarm = std::max<MinuteDelta>(
+      static_cast<MinuteDelta>(std::floor(predicted - band)), 0);
+  decision.keepalive = std::max<MinuteDelta>(
+      static_cast<MinuteDelta>(std::ceil(2.0 * band)), 1);
+  if (decision.prewarm < config_.min_prewarm) {
+    decision.keepalive += decision.prewarm;
+    decision.prewarm = 0;
+  }
+  return decision;
+}
+
+sim::UnitDecision ForecastSlotPolicy::OnInvocation(UnitId unit,
+                                                   Minute /*now*/) {
+  return DecisionFor(unit);
+}
+
+const char* ValidateForecastSlotConfig(const ForecastSlotConfig& config) {
+  if (config.fixed_keepalive < 1) return "fixed_keepalive must be >= 1";
+  if (config.sigma_band <= 0) return "sigma_band must be > 0";
+  if (config.min_prewarm < 0) return "min_prewarm must be >= 0";
+  return nullptr;
+}
+
+}  // namespace defuse::policy

@@ -1,0 +1,109 @@
+// ForecastSlot: a scheduling policy parameterized by a pluggable
+// idle-time forecaster.
+//
+// The hybrid policy hard-wires its time-series branch to the AR(1)
+// model. This adapter lifts that branch into its own policy with the
+// forecaster behind an interface, so a learned model (gradient-boosted,
+// transformer-distilled, whatever lands later) can drop into the slot
+// without touching scheduling code: implement IdleForecaster, hand a
+// factory to ForecastSlotPolicy, done. The decision shape is the
+// forecast band: stay resident (or pre-warm into) the window
+// [forecast - band * uncertainty, forecast + band * uncertainty].
+//
+// Determinism contract: a forecaster must be a pure function of its
+// observation sequence (no clocks, no RNG) — the arena's lint rules
+// enforce this for in-tree implementations.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "policy/ar_model.hpp"
+#include "sim/policy.hpp"
+
+namespace defuse::policy {
+
+/// One unit's idle-time forecaster. Observations arrive in invocation
+/// order; PredictNext/Uncertainty must be pure functions of them.
+class IdleForecaster {
+ public:
+  virtual ~IdleForecaster() = default;
+
+  virtual void Observe(MinuteDelta gap) = 0;
+  /// True once the model has enough observations to forecast.
+  [[nodiscard]] virtual bool Ready() const = 0;
+  /// Forecast of the next idle gap (minutes).
+  [[nodiscard]] virtual double PredictNext() const = 0;
+  /// One-step forecast uncertainty (minutes, >= 0).
+  [[nodiscard]] virtual double Uncertainty() const = 0;
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+/// The default slot occupant: the repo's deterministic AR(1) model.
+class ArForecaster final : public IdleForecaster {
+ public:
+  explicit ArForecaster(std::size_t window = 32) : model_(window) {}
+
+  void Observe(MinuteDelta gap) override { model_.Observe(gap); }
+  [[nodiscard]] bool Ready() const override { return model_.Ready(); }
+  [[nodiscard]] double PredictNext() const override {
+    return model_.PredictNext();
+  }
+  [[nodiscard]] double Uncertainty() const override {
+    return model_.ResidualStdDev();
+  }
+  [[nodiscard]] const char* name() const noexcept override { return "ar1"; }
+
+ private:
+  ArIdleTimeModel model_;
+};
+
+using ForecasterFactory = std::function<std::unique_ptr<IdleForecaster>()>;
+
+struct ForecastSlotConfig {
+  /// Keep-alive until the unit's forecaster is Ready().
+  MinuteDelta fixed_keepalive = 10;
+  /// Residency window half-width, in forecaster uncertainty units.
+  double sigma_band = 2.0;
+  /// Pre-warm windows shorter than this fold into the keep-alive.
+  MinuteDelta min_prewarm = 8;
+};
+
+class ForecastSlotPolicy final : public sim::SchedulingPolicy {
+ public:
+  /// `factory` builds one forecaster per unit at construction.
+  ForecastSlotPolicy(sim::UnitMap units, const ForecasterFactory& factory,
+                     ForecastSlotConfig config);
+
+  [[nodiscard]] const sim::UnitMap& unit_map() const noexcept override {
+    return units_;
+  }
+  [[nodiscard]] sim::UnitDecision OnInvocation(UnitId unit,
+                                               Minute now) override;
+  void ObserveIdleTime(UnitId unit, MinuteDelta gap) override;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "forecast-slot";
+  }
+
+  [[nodiscard]] const ForecastSlotConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const IdleForecaster& forecaster(UnitId unit) const {
+    return *forecasters_[unit.value()];
+  }
+  /// The decision the policy would make right now (tests, tooling).
+  [[nodiscard]] sim::UnitDecision DecisionFor(UnitId unit) const;
+
+ private:
+  sim::UnitMap units_;
+  ForecastSlotConfig config_;
+  std::vector<std::unique_ptr<IdleForecaster>> forecasters_;
+};
+
+/// Validates a config; returns an explanatory message for the first
+/// violated constraint, or nullptr when valid.
+[[nodiscard]] const char* ValidateForecastSlotConfig(
+    const ForecastSlotConfig& config);
+
+}  // namespace defuse::policy

@@ -1,0 +1,79 @@
+#include "policy/hiku.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace defuse::policy {
+
+HikuPullPolicy::HikuPullPolicy(sim::UnitMap units,
+                               const graph::DependencyGraph& graph,
+                               HikuConfig config)
+    : units_(std::move(units)), config_(config) {
+  const std::size_t num_units = units_.num_units();
+  // Collect unit-level directed trigger edges: strong edges fire both
+  // ways (co-invocation has no direction), weak edges only from the
+  // unpredictable source toward the predictable target.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> unit_edges;
+  for (const graph::DependencyEdge& edge : graph.edges()) {
+    const std::uint32_t ua = units_.unit_of(edge.a).value();
+    const std::uint32_t ub = units_.unit_of(edge.b).value();
+    if (ua == ub) continue;
+    unit_edges.emplace_back(ua, ub);
+    if (edge.kind == graph::EdgeKind::kStrong) unit_edges.emplace_back(ub, ua);
+  }
+  std::sort(unit_edges.begin(), unit_edges.end());
+  unit_edges.erase(std::unique(unit_edges.begin(), unit_edges.end()),
+                   unit_edges.end());
+
+  successor_offsets_.assign(num_units + 1, 0);
+  successor_ids_.reserve(unit_edges.size());
+  std::size_t next = 0;
+  for (std::size_t u = 0; u < num_units; ++u) {
+    successor_offsets_[u] = successor_ids_.size();
+    while (next < unit_edges.size() && unit_edges[next].first == u) {
+      successor_ids_.push_back(unit_edges[next].second);
+      ++next;
+    }
+  }
+  successor_offsets_[num_units] = successor_ids_.size();
+}
+
+sim::UnitDecision HikuPullPolicy::OnInvocation(UnitId /*unit*/,
+                                               Minute /*now*/) {
+  // No speculative residency: linger only long enough to absorb a
+  // same-burst re-invocation.
+  return sim::UnitDecision{.prewarm = 0,
+                           .keepalive = config_.self_keepalive,
+                           .linger = 1};
+}
+
+void HikuPullPolicy::CollectTriggeredPrewarms(
+    UnitId invoked, Minute /*now*/, std::vector<sim::PrewarmRequest>& out) {
+  const std::size_t u = invoked.value();
+  for (std::size_t i = successor_offsets_[u]; i < successor_offsets_[u + 1];
+       ++i) {
+    out.push_back(sim::PrewarmRequest{.unit = UnitId{successor_ids_[i]},
+                                      .delay = config_.trigger_delay,
+                                      .keepalive = config_.trigger_keepalive});
+  }
+}
+
+std::vector<UnitId> HikuPullPolicy::SuccessorsOf(UnitId unit) const {
+  std::vector<UnitId> out;
+  const std::size_t u = unit.value();
+  out.reserve(successor_offsets_[u + 1] - successor_offsets_[u]);
+  for (std::size_t i = successor_offsets_[u]; i < successor_offsets_[u + 1];
+       ++i) {
+    out.push_back(UnitId{successor_ids_[i]});
+  }
+  return out;
+}
+
+const char* ValidateHikuConfig(const HikuConfig& config) {
+  if (config.self_keepalive < 1) return "self_keepalive must be >= 1";
+  if (config.trigger_delay < 1) return "trigger_delay must be >= 1";
+  if (config.trigger_keepalive < 1) return "trigger_keepalive must be >= 1";
+  return nullptr;
+}
+
+}  // namespace defuse::policy

@@ -1,0 +1,77 @@
+// Hiku-style pull-based pre-warm policy (after Hiku, arXiv:2502.15534).
+//
+// Hiku inverts keep-alive scheduling: instead of holding containers
+// resident against a predicted future, it keeps (almost) nothing warm
+// speculatively and *pulls* containers up only when an upstream signal
+// says an invocation is imminent. Here the signal is the mined
+// dependency graph: when unit U is invoked, every unit downstream of U
+// — units sharing a strong (co-invocation) edge, or reachable over a
+// weak (unpredictable -> predictable) edge in its direction — is
+// pre-warmed for a short trigger window. The invoked unit itself only
+// lingers `self_keepalive` minutes (default 1: long enough to absorb a
+// same-burst re-invocation, nothing more).
+//
+// The unit-level trigger graph is projected once from the function-level
+// dependency graph at construction (strong edges both directions, weak
+// edges source->target only, self-loops dropped, successors sorted and
+// deduplicated), so the per-invocation work is a sorted-vector lookup.
+// The policy is stateless beyond that projection — fully deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/dependency_graph.hpp"
+#include "sim/policy.hpp"
+
+namespace defuse::policy {
+
+struct HikuConfig {
+  /// Residency of the invoked unit itself after an invocation.
+  MinuteDelta self_keepalive = 1;
+  /// Triggered pre-warms load the target this many minutes after the
+  /// triggering invocation (>= 1; at minute granularity a same-minute
+  /// pre-warm cannot beat its trigger).
+  MinuteDelta trigger_delay = 1;
+  /// How long a triggered target stays resident after its load.
+  MinuteDelta trigger_keepalive = 5;
+};
+
+class HikuPullPolicy final : public sim::SchedulingPolicy {
+ public:
+  /// Projects `graph` (function-level) onto `units` to build the
+  /// unit-level trigger adjacency.
+  HikuPullPolicy(sim::UnitMap units, const graph::DependencyGraph& graph,
+                 HikuConfig config);
+
+  [[nodiscard]] const sim::UnitMap& unit_map() const noexcept override {
+    return units_;
+  }
+  [[nodiscard]] sim::UnitDecision OnInvocation(UnitId unit,
+                                               Minute now) override;
+  void ObserveIdleTime(UnitId /*unit*/, MinuteDelta /*gap*/) override {}
+  void CollectTriggeredPrewarms(UnitId invoked, Minute now,
+                                std::vector<sim::PrewarmRequest>& out) override;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "hiku-pull";
+  }
+
+  [[nodiscard]] const HikuConfig& config() const noexcept { return config_; }
+  /// Units pre-warmed when `unit` is invoked (sorted, deduplicated).
+  [[nodiscard]] std::vector<UnitId> SuccessorsOf(UnitId unit) const;
+
+ private:
+  sim::UnitMap units_;
+  HikuConfig config_;
+  /// CSR-shaped successor lists: successors of unit u are
+  /// successor_ids_[successor_offsets_[u] .. successor_offsets_[u+1]).
+  std::vector<std::size_t> successor_offsets_;
+  std::vector<std::uint32_t> successor_ids_;
+};
+
+/// Validates a config; returns an explanatory message for the first
+/// violated constraint, or nullptr when valid.
+[[nodiscard]] const char* ValidateHikuConfig(const HikuConfig& config);
+
+}  // namespace defuse::policy

@@ -1,0 +1,111 @@
+#include "policy/spes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace defuse::policy {
+
+SpesTierParams ParamsForTier(SpesTier tier) noexcept {
+  // The trade-off table: latency buys cold-start coverage with memory,
+  // cost does the reverse, balanced matches the hybrid policy's classic
+  // 5th/95th split.
+  switch (tier) {
+    case SpesTier::kLatency:
+      return SpesTierParams{
+          .keepalive_scale = 2.0, .tail_percentile = 0.02, .margin = 0.25};
+    case SpesTier::kCost:
+      return SpesTierParams{
+          .keepalive_scale = 0.5, .tail_percentile = 0.10, .margin = 0.05};
+    case SpesTier::kBalanced:
+      break;
+  }
+  return SpesTierParams{
+      .keepalive_scale = 1.0, .tail_percentile = 0.05, .margin = 0.10};
+}
+
+SpesTieredPolicy::SpesTieredPolicy(sim::UnitMap units, SpesConfig config)
+    : units_(std::move(units)),
+      config_(config),
+      tier_params_(ParamsForTier(config.tier)) {
+  histograms_.reserve(units_.num_units());
+  for (std::size_t u = 0; u < units_.num_units(); ++u) {
+    histograms_.emplace_back(config_.histogram_bins,
+                             config_.histogram_bin_width);
+  }
+}
+
+void SpesTieredPolicy::SeedHistogram(UnitId unit,
+                                     const stats::Histogram& training) {
+  histograms_[unit.value()].Merge(training);
+}
+
+void SpesTieredPolicy::ObserveIdleTime(UnitId unit, MinuteDelta gap) {
+  histograms_[unit.value()].Add(gap);
+}
+
+const char* SpesTieredPolicy::name() const noexcept {
+  switch (config_.tier) {
+    case SpesTier::kLatency:
+      return "spes-latency";
+    case SpesTier::kCost:
+      return "spes-cost";
+    case SpesTier::kBalanced:
+      break;
+  }
+  return "spes-balanced";
+}
+
+sim::UnitDecision SpesTieredPolicy::DecisionFor(UnitId unit) const {
+  const stats::Histogram& hist = histograms_[unit.value()];
+  const double scale = tier_params_.keepalive_scale;
+
+  sim::UnitDecision decision;
+  const bool representative =
+      hist.total() >= config_.min_observations &&
+      hist.out_of_bounds_fraction() <= config_.oob_threshold;
+  if (!representative || hist.BinCountCv() <= config_.cv_threshold) {
+    // Flat or under-observed: fixed keep-alive, tier-scaled.
+    decision.prewarm = 0;
+    decision.keepalive = std::max<MinuteDelta>(
+        1, static_cast<MinuteDelta>(std::llround(
+               static_cast<double>(config_.base_keepalive) * scale)));
+    return decision;
+  }
+
+  // Peaked: pre-warm at the tier's lower tail edge, keep alive across
+  // the tier-selected percentile span, scaled by the tier's resource
+  // knob and widened by its margin.
+  const MinuteDelta low = hist.PercentileLowerEdge(tier_params_.tail_percentile);
+  const MinuteDelta high = hist.Percentile(1.0 - tier_params_.tail_percentile);
+  const auto prewarm = static_cast<MinuteDelta>(
+      std::floor(static_cast<double>(low) * (1.0 - tier_params_.margin)));
+  const double span = static_cast<double>(high - prewarm);
+  const auto keepalive = static_cast<MinuteDelta>(
+      std::ceil(span * (1.0 + tier_params_.margin) * scale));
+  decision.prewarm = std::max<MinuteDelta>(prewarm, 0);
+  decision.keepalive = std::max<MinuteDelta>(keepalive, 1);
+  if (decision.prewarm < config_.min_prewarm) {
+    decision.keepalive += decision.prewarm;
+    decision.prewarm = 0;
+  }
+  return decision;
+}
+
+sim::UnitDecision SpesTieredPolicy::OnInvocation(UnitId unit,
+                                                 Minute /*now*/) {
+  return DecisionFor(unit);
+}
+
+const char* ValidateSpesConfig(const SpesConfig& config) {
+  if (config.cv_threshold < 0) return "cv_threshold must be >= 0";
+  if (config.base_keepalive < 1) return "base_keepalive must be >= 1";
+  if (config.min_prewarm < 0) return "min_prewarm must be >= 0";
+  if (config.oob_threshold < 0 || config.oob_threshold > 1) {
+    return "oob_threshold must be in [0, 1]";
+  }
+  if (config.histogram_bins == 0) return "histogram_bins must be > 0";
+  if (config.histogram_bin_width < 1) return "histogram_bin_width must be >= 1";
+  return nullptr;
+}
+
+}  // namespace defuse::policy

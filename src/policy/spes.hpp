@@ -1,0 +1,89 @@
+// SPES-style tiered pre-warm policy (after SPES, arXiv:2403.17574).
+//
+// SPES frames container scheduling as an explicit cost/latency trade-off:
+// the operator picks a tier, and the scheduler derives per-function
+// pre-warm windows whose aggressiveness matches it. We reproduce that
+// shape over the repo's unit abstraction: every unit keeps an idle-time
+// histogram (seeded from training, updated online), and a tier table maps
+// the chosen tier to
+//
+//   * keepalive_scale — multiplier on every residency span (the resource
+//     knob: the latency tier holds containers ~2x longer, the cost tier
+//     ~0.5x);
+//   * tail_percentile — how much of the idle-time tail the pre-warm
+//     window must cover (latency covers the 2nd..98th percentile span,
+//     cost only the 10th..90th);
+//   * margin — the early-arrive/late-leave safety fraction.
+//
+// Units whose histogram is peaked (bin-count CV above cv_threshold) get a
+// two-phase (pre-warm, keep-alive) window over the tier-selected
+// percentile span; flat or under-observed units fall back to a fixed
+// keep-alive scaled by the tier. The result is deterministic: same
+// observations, same tier -> same decisions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/policy.hpp"
+#include "stats/histogram.hpp"
+
+namespace defuse::policy {
+
+enum class SpesTier : std::uint8_t { kLatency, kBalanced, kCost };
+
+/// The tier's derived decision parameters (see the table in spes.cpp).
+struct SpesTierParams {
+  double keepalive_scale;
+  double tail_percentile;
+  double margin;
+};
+
+[[nodiscard]] SpesTierParams ParamsForTier(SpesTier tier) noexcept;
+
+struct SpesConfig {
+  SpesTier tier = SpesTier::kBalanced;
+  /// Predictability split, same statistic as the hybrid policy.
+  double cv_threshold = 5.0;
+  /// Base keep-alive for flat/under-observed units, before tier scaling.
+  MinuteDelta base_keepalive = 10;
+  /// Pre-warm windows shorter than this fold into the keep-alive.
+  MinuteDelta min_prewarm = 8;
+  /// Histogram-representativeness gates (as in the hybrid policy).
+  double oob_threshold = 0.5;
+  std::uint64_t min_observations = 20;
+  std::size_t histogram_bins = 240;
+  MinuteDelta histogram_bin_width = 1;
+};
+
+class SpesTieredPolicy final : public sim::SchedulingPolicy {
+ public:
+  SpesTieredPolicy(sim::UnitMap units, SpesConfig config);
+
+  /// Seeds one unit's histogram from training idle times.
+  void SeedHistogram(UnitId unit, const stats::Histogram& training);
+
+  [[nodiscard]] const sim::UnitMap& unit_map() const noexcept override {
+    return units_;
+  }
+  [[nodiscard]] sim::UnitDecision OnInvocation(UnitId unit,
+                                               Minute now) override;
+  void ObserveIdleTime(UnitId unit, MinuteDelta gap) override;
+  [[nodiscard]] const char* name() const noexcept override;
+
+  [[nodiscard]] const SpesConfig& config() const noexcept { return config_; }
+  /// The decision the policy would make right now (tests, tooling).
+  [[nodiscard]] sim::UnitDecision DecisionFor(UnitId unit) const;
+
+ private:
+  sim::UnitMap units_;
+  SpesConfig config_;
+  SpesTierParams tier_params_;
+  std::vector<stats::Histogram> histograms_;
+};
+
+/// Validates a config; returns an explanatory message for the first
+/// violated constraint, or nullptr when valid.
+[[nodiscard]] const char* ValidateSpesConfig(const SpesConfig& config);
+
+}  // namespace defuse::policy

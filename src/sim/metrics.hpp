@@ -35,6 +35,10 @@ struct SimulationResult {
   /// Units evicted to make room under SimulatorOptions::memory_limit.
   std::uint64_t capacity_evictions = 0;
 
+  /// Cross-unit pre-warm windows applied on behalf of pull-based
+  /// policies (SchedulingPolicy::CollectTriggeredPrewarms).
+  std::uint64_t triggered_prewarms = 0;
+
   /// Weighted resident memory per minute; filled only when
   /// SimulatorOptions::function_weights was supplied (else empty).
   std::vector<double> loaded_weight;

@@ -20,6 +20,8 @@
 // policies can keep adapting online (paper §VII, "Adaptive Scheduling").
 #pragma once
 
+#include <vector>
+
 #include "common/ids.hpp"
 #include "common/time.hpp"
 #include "sim/unit_map.hpp"
@@ -33,6 +35,16 @@ struct UnitDecision {
 
   friend constexpr bool operator==(const UnitDecision&,
                                    const UnitDecision&) noexcept = default;
+};
+
+/// A cross-unit pre-warm requested by a policy when some *other* unit was
+/// invoked (e.g. a dependency-graph successor under a pull-based policy).
+/// The target unit is loaded `delay` minutes after the triggering
+/// invocation and stays resident for `keepalive` minutes after the load.
+struct PrewarmRequest {
+  UnitId unit;
+  MinuteDelta delay = 1;
+  MinuteDelta keepalive = 5;
 };
 
 class SchedulingPolicy {
@@ -49,6 +61,16 @@ class SchedulingPolicy {
   /// Reports the observed idle gap between two consecutive invocations of
   /// `unit` (called before OnInvocation for the later of the two).
   virtual void ObserveIdleTime(UnitId unit, MinuteDelta gap) = 0;
+
+  /// Appends cross-unit pre-warms triggered by the invocation of
+  /// `invoked` at `now` (the invoked unit's own residency is governed by
+  /// OnInvocation). The simulator ignores requests whose target was
+  /// itself invoked this minute and clamps delay to >= 1 (at minute
+  /// granularity a same-minute pre-warm cannot beat the invocation that
+  /// triggered it). Default: no triggered pre-warms.
+  virtual void CollectTriggeredPrewarms(UnitId /*invoked*/, Minute /*now*/,
+                                        std::vector<PrewarmRequest>& /*out*/) {
+  }
 
   /// Human-readable policy name (figures, logs).
   [[nodiscard]] virtual const char* name() const noexcept = 0;

@@ -15,6 +15,9 @@ struct UnitState {
   /// Scheduled events carry the generation they were issued under; a
   /// fresh decision bumps it, invalidating anything still in flight.
   std::uint32_t generation = 0;
+  /// Latest scheduled eviction minute under the current generation
+  /// (-1: none). Triggered pre-warms only apply when they extend it.
+  Minute horizon = -1;
 };
 
 enum class EventKind : std::uint8_t { kLoad, kEvict };
@@ -58,6 +61,9 @@ SimulationResult Simulate(const trace::InvocationTrace& trace, TimeRange eval,
   double resident_weight = 0.0;
   // (unit, previous invocation minute) pairs, rebuilt each minute.
   std::vector<std::pair<std::uint32_t, Minute>> invoked_units;
+  // Cross-unit pre-warm requests collected this minute, rebuilt each
+  // minute (pull-based policies; empty for everything else).
+  std::vector<PrewarmRequest> triggered;
 
   // Optional weighted-memory accounting (see SimulatorOptions).
   const bool weighted = options.function_weights != nullptr;
@@ -114,6 +120,7 @@ SimulationResult Simulate(const trace::InvocationTrace& trace, TimeRange eval,
       UnitState& v = state[victim];
       v.loaded = false;
       ++v.generation;  // cancel the victim's scheduled events
+      v.horizon = -1;
       resident_functions -= units.unit_size(UnitId{victim});
       if (weighted) resident_weight -= unit_weights[victim];
       ++result.capacity_evictions;
@@ -196,10 +203,10 @@ SimulationResult Simulate(const trace::InvocationTrace& trace, TimeRange eval,
         decision.prewarm = 0;
       }
       if (decision.prewarm == 0) {
-        schedule(now + std::max<MinuteDelta>(decision.keepalive, 1),
-                 ScheduledEvent{.unit = unit_value,
-                                .generation = u.generation,
-                                .kind = EventKind::kEvict});
+        u.horizon = now + std::max<MinuteDelta>(decision.keepalive, 1);
+        schedule(u.horizon, ScheduledEvent{.unit = unit_value,
+                                           .generation = u.generation,
+                                           .kind = EventKind::kEvict});
       } else {
         schedule(now + std::max<MinuteDelta>(decision.linger, 1),
                  ScheduledEvent{.unit = unit_value,
@@ -209,11 +216,57 @@ SimulationResult Simulate(const trace::InvocationTrace& trace, TimeRange eval,
                  ScheduledEvent{.unit = unit_value,
                                 .generation = u.generation,
                                 .kind = EventKind::kLoad});
-        schedule(now + decision.prewarm +
-                     std::max<MinuteDelta>(decision.keepalive, 1),
-                 ScheduledEvent{.unit = unit_value,
-                                .generation = u.generation,
-                                .kind = EventKind::kEvict});
+        u.horizon = now + decision.prewarm +
+                    std::max<MinuteDelta>(decision.keepalive, 1);
+        schedule(u.horizon, ScheduledEvent{.unit = unit_value,
+                                           .generation = u.generation,
+                                           .kind = EventKind::kEvict});
+      }
+    }
+
+    // 3b. Cross-unit pre-warms triggered by this minute's invocations
+    // (pull-based policies). Requests are aggregated per target —
+    // earliest load, latest eviction — and applied only when they
+    // extend the target's residency horizon; applying one supersedes
+    // the target's in-flight schedule, exactly like a fresh decision.
+    triggered.clear();
+    for (const auto& [unit_value, prev] : invoked_units) {
+      (void)prev;
+      policy.CollectTriggeredPrewarms(UnitId{unit_value}, now, triggered);
+    }
+    if (!triggered.empty()) {
+      std::stable_sort(triggered.begin(), triggered.end(),
+                       [](const PrewarmRequest& a, const PrewarmRequest& b) {
+                         return a.unit.value() < b.unit.value();
+                       });
+      std::size_t i = 0;
+      while (i < triggered.size()) {
+        const std::uint32_t target = triggered[i].unit.value();
+        MinuteDelta delay = std::max<MinuteDelta>(triggered[i].delay, 1);
+        Minute end =
+            now + delay + std::max<MinuteDelta>(triggered[i].keepalive, 1);
+        for (++i; i < triggered.size() && triggered[i].unit.value() == target;
+             ++i) {
+          const auto d = std::max<MinuteDelta>(triggered[i].delay, 1);
+          delay = std::min(delay, d);
+          end = std::max(
+              end, now + d + std::max<MinuteDelta>(triggered[i].keepalive, 1));
+        }
+        assert(target < num_units);
+        UnitState& v = state[target];
+        if (v.last_invocation == now) continue;  // own decision governs
+        if (v.horizon >= end) continue;          // already resident longer
+        ++v.generation;  // supersede the target's in-flight schedule
+        if (!v.loaded) {
+          schedule(now + delay, ScheduledEvent{.unit = target,
+                                               .generation = v.generation,
+                                               .kind = EventKind::kLoad});
+        }
+        v.horizon = end;
+        schedule(end, ScheduledEvent{.unit = target,
+                                     .generation = v.generation,
+                                     .kind = EventKind::kEvict});
+        ++result.triggered_prewarms;
       }
     }
 

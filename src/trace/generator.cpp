@@ -102,8 +102,8 @@ SyntheticWorkload GenerateWorkload(const GeneratorConfig& cfg) {
   assert(cfg.num_users > 0);
   assert(cfg.horizon_minutes > 0);
   assert(!cfg.periods.empty());
-  assert(cfg.min_functions_per_app >= 1);
-  assert(cfg.max_functions_per_app >= cfg.min_functions_per_app);
+  assert(cfg.min_functions_per_workflow >= 1);
+  assert(cfg.max_functions_per_workflow >= cfg.min_functions_per_workflow);
 
   Rng root{cfg.seed};
   WorkloadModel model;
@@ -258,6 +258,75 @@ SyntheticWorkload GenerateWorkload(const GeneratorConfig& cfg) {
                            .trace = std::move(trace),
                            .truth = std::move(truth),
                            .function_weights = std::move(weights)};
+}
+
+GeneratorConfig MakeScenarioConfig(const ScenarioSpec& spec) {
+  GeneratorConfig cfg;
+  switch (spec.kind) {
+    case ScenarioKind::kAzureLike:
+      // The generator defaults: the Azure-trace-shaped mix documented on
+      // GeneratorConfig.
+      break;
+    case ScenarioKind::kHuaweiBursty:
+      // Sub-minute ON/OFF bursts dominate: short dense sessions, short
+      // off periods, heavy per-firing fan-out. At minute granularity a
+      // sub-minute gap is in-burst co-firing, so bursty_in_gap < 1
+      // combined with extra invocations per firing models it.
+      cfg.frac_periodic = 0.10;
+      cfg.frac_poisson = 0.15;
+      cfg.frac_diurnal = 0.05;
+      cfg.frac_bursty = 0.70;
+      cfg.bursty_on_mean = 8.0;
+      cfg.bursty_off_mean = 90.0;
+      cfg.bursty_in_gap = 0.8;
+      cfg.extra_invocations_mean = 1.5;
+      break;
+    case ScenarioKind::kHuaweiDiurnal:
+      // Strong day/night cycles: most apps fire only inside long daily
+      // windows, densely while active.
+      cfg.frac_periodic = 0.15;
+      cfg.frac_poisson = 0.10;
+      cfg.frac_diurnal = 0.65;
+      cfg.frac_bursty = 0.10;
+      cfg.diurnal_window_min = 8 * kMinutesPerHour;
+      cfg.diurnal_window_max = 14 * kMinutesPerHour;
+      cfg.diurnal_mean_gap = 8.0;
+      break;
+    case ScenarioKind::kSkewExtreme:
+      // Extreme per-function skew: steeper Zipf everywhere, a long cold
+      // tail of rarely-taken branches, and arrival gaps spread over two
+      // extra octaves so head and tail functions differ by orders of
+      // magnitude.
+      cfg.apps_zipf_s = 2.0;
+      cfg.workflows_zipf_s = 1.4;
+      cfg.functions_zipf_s = 1.6;
+      cfg.max_functions_per_workflow = 20;
+      cfg.poisson_mean_gap_min = 2.0;
+      cfg.poisson_mean_gap_max = 720.0;
+      cfg.branch_aux_fraction = 0.3;
+      cfg.rare_prob_min = 0.005;
+      cfg.rare_prob_max = 0.05;
+      break;
+    case ScenarioKind::kFlatPoisson:
+      // Memoryless control: every workflow is Poisson over a narrow gap
+      // range — nothing for a histogram or forecaster to latch onto.
+      cfg.frac_periodic = 0.0;
+      cfg.frac_poisson = 1.0;
+      cfg.frac_diurnal = 0.0;
+      cfg.frac_bursty = 0.0;
+      cfg.poisson_mean_gap_min = 10.0;
+      cfg.poisson_mean_gap_max = 40.0;
+      cfg.frac_users_with_common_service = 0.0;
+      break;
+  }
+  cfg.seed = spec.seed;
+  if (spec.num_users > 0) cfg.num_users = spec.num_users;
+  if (spec.horizon_minutes > 0) cfg.horizon_minutes = spec.horizon_minutes;
+  return cfg;
+}
+
+SyntheticWorkload GenerateScenario(const ScenarioSpec& spec) {
+  return GenerateWorkload(MakeScenarioConfig(spec));
 }
 
 }  // namespace defuse::trace

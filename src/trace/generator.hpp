@@ -169,4 +169,42 @@ struct SyntheticWorkload {
 /// Generates a full workload. Deterministic in `config` (incl. seed).
 [[nodiscard]] SyntheticWorkload GenerateWorkload(const GeneratorConfig& config);
 
+/// Named workload scenarios for the policy×scenario arena. Each preset is
+/// a pure function of (spec, seed): same spec, same workload, bit for bit.
+///
+///   * kAzureLike    — the generator defaults above (Azure-trace shaped:
+///     40/30/15/15 periodic/poisson/diurnal/bursty mix);
+///   * kHuaweiBursty — dominated by short ON/OFF sessions with sub-minute
+///     in-burst gaps and heavier per-firing fan-out, after the burst
+///     behavior characterized for Huawei's platform in "Serverless Cold
+///     Starts and Where to Find Them" (arXiv:2410.06145);
+///   * kHuaweiDiurnal — strong day/night cycles: most apps only fire
+///     inside long daily windows, with dense in-window traffic;
+///   * kSkewExtreme  — extreme per-function skew: steeper Zipf app/
+///     function sizing, wider log-uniform arrival gaps, rarer aux
+///     functions, so a small head takes almost all traffic;
+///   * kFlatPoisson  — memoryless control: every workflow is Poisson
+///     with a narrow gap range — no structure for a predictor to find.
+enum class ScenarioKind : std::uint8_t {
+  kAzureLike,
+  kHuaweiBursty,
+  kHuaweiDiurnal,
+  kSkewExtreme,
+  kFlatPoisson,
+};
+
+struct ScenarioSpec {
+  ScenarioKind kind = ScenarioKind::kAzureLike;
+  std::uint64_t seed = 42;
+  /// 0 = the scenario's default scale.
+  std::uint32_t num_users = 0;
+  MinuteDelta horizon_minutes = 0;
+};
+
+/// Expands a scenario spec into a full generator config (pure).
+[[nodiscard]] GeneratorConfig MakeScenarioConfig(const ScenarioSpec& spec);
+
+/// Convenience: MakeScenarioConfig + GenerateWorkload.
+[[nodiscard]] SyntheticWorkload GenerateScenario(const ScenarioSpec& spec);
+
 }  // namespace defuse::trace

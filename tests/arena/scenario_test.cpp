@@ -1,0 +1,109 @@
+// Scenario matrix: every preset is a pure deterministic function of
+// (spec, seed), scale overrides apply, and the presets are actually
+// distinct workload shapes.
+#include "arena/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "trace/generator.hpp"
+
+namespace defuse::arena {
+namespace {
+
+/// FNV-1a over every (function, minute, count) event of the trace — a
+/// cheap bit-identity fingerprint.
+std::uint64_t TraceFingerprint(const trace::InvocationTrace& trace) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (std::size_t fn = 0; fn < trace.num_functions(); ++fn) {
+    for (const auto& e : trace.SeriesInRange(FunctionId{
+             static_cast<std::uint32_t>(fn)}, trace.horizon())) {
+      mix(fn);
+      mix(static_cast<std::uint64_t>(e.minute));
+      mix(e.count);
+    }
+  }
+  return h;
+}
+
+TEST(ScenarioRegistry, ListsEveryPresetSorted) {
+  const auto& entries = ScenarioRegistry::Builtin().entries();
+  ASSERT_EQ(entries.size(), 5u);
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].name, entries[i].name);
+  }
+  for (const char* name : {"azure_like", "flat_poisson", "huawei_bursty",
+                           "huawei_diurnal", "skew_extreme"}) {
+    EXPECT_NE(ScenarioRegistry::Builtin().Find(name), nullptr) << name;
+  }
+}
+
+TEST(ScenarioRegistry, GenerationIsDeterministicPerSeed) {
+  for (const auto& entry : ScenarioRegistry::Builtin().entries()) {
+    for (std::uint64_t seed : {0ull, 3ull, 9ull}) {
+      auto spec = ScenarioRegistry::Builtin().Resolve(
+          entry.name + ":users=4,days=2", seed);
+      ASSERT_TRUE(spec.ok()) << entry.name;
+      const auto a = trace::GenerateScenario(spec.value());
+      const auto b = trace::GenerateScenario(spec.value());
+      EXPECT_EQ(TraceFingerprint(a.trace), TraceFingerprint(b.trace))
+          << entry.name << " seed " << seed;
+      EXPECT_EQ(a.trace.TotalInvocations(a.trace.horizon()),
+                b.trace.TotalInvocations(b.trace.horizon()));
+    }
+  }
+}
+
+TEST(ScenarioRegistry, SeedChangesTheWorkload) {
+  auto s0 = ScenarioRegistry::Builtin().Resolve("azure_like:users=4,days=2", 0);
+  auto s1 = ScenarioRegistry::Builtin().Resolve("azure_like:users=4,days=2", 1);
+  ASSERT_TRUE(s0.ok());
+  ASSERT_TRUE(s1.ok());
+  EXPECT_NE(TraceFingerprint(trace::GenerateScenario(s0.value()).trace),
+            TraceFingerprint(trace::GenerateScenario(s1.value()).trace));
+}
+
+TEST(ScenarioRegistry, PresetsAreDistinctShapes) {
+  std::vector<std::uint64_t> fingerprints;
+  for (const auto& entry : ScenarioRegistry::Builtin().entries()) {
+    auto spec = ScenarioRegistry::Builtin().Resolve(
+        entry.name + ":users=4,days=2", 42);
+    ASSERT_TRUE(spec.ok()) << entry.name;
+    fingerprints.push_back(
+        TraceFingerprint(trace::GenerateScenario(spec.value()).trace));
+  }
+  for (std::size_t i = 0; i < fingerprints.size(); ++i) {
+    for (std::size_t j = i + 1; j < fingerprints.size(); ++j) {
+      EXPECT_NE(fingerprints[i], fingerprints[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(ScenarioRegistry, ScaleOverridesApply) {
+  auto spec =
+      ScenarioRegistry::Builtin().Resolve("huawei_bursty:users=3,days=2", 5);
+  ASSERT_TRUE(spec.ok());
+  const auto w = trace::GenerateScenario(spec.value());
+  EXPECT_EQ(w.model.num_users(), 3u);
+  EXPECT_EQ(w.trace.horizon().length(), 2 * kMinutesPerDay);
+}
+
+TEST(ScenarioRegistry, DefaultScaleIsScenarioOwn) {
+  auto spec = ScenarioRegistry::Builtin().Resolve("flat_poisson", 5);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().num_users, 0u);
+  EXPECT_EQ(spec.value().horizon_minutes, 0);
+  const auto cfg = trace::MakeScenarioConfig(spec.value());
+  EXPECT_GT(cfg.num_users, 0u);
+  EXPECT_GT(cfg.horizon_minutes, 0);
+}
+
+}  // namespace
+}  // namespace defuse::arena

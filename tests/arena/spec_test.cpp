@@ -1,0 +1,154 @@
+// Spec grammar and schema resolution: the good cases, and a
+// table-driven sweep of malformed specs — every rejection must be
+// kInvalidArgument and must name the offending token.
+#include "arena/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arena/registry.hpp"
+#include "arena/scenarios.hpp"
+
+namespace defuse::arena {
+namespace {
+
+TEST(ParseSpec, NameOnly) {
+  const auto r = ParseSpec("fixed");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().name, "fixed");
+  EXPECT_TRUE(r.value().params.empty());
+}
+
+TEST(ParseSpec, BareWordIsVariantSugar) {
+  const auto r = ParseSpec("hybrid:coarse");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().params.size(), 1u);
+  EXPECT_EQ(r.value().params[0].first, "variant");
+  EXPECT_EQ(r.value().params[0].second, "coarse");
+}
+
+TEST(ParseSpec, KeyValueList) {
+  const auto r = ParseSpec("hiku:delay=2,window=7");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().params.size(), 2u);
+  EXPECT_EQ(r.value().params[0], (std::pair<std::string, std::string>{
+                                     "delay", "2"}));
+  EXPECT_EQ(r.value().params[1], (std::pair<std::string, std::string>{
+                                     "window", "7"}));
+}
+
+struct BadSpec {
+  const char* spec;
+  /// Every rejection must mention this token in its message.
+  const char* token;
+};
+
+/// Pure grammar failures (ParseSpec).
+TEST(ParseSpec, MalformedSpecsRejectNamingTheToken) {
+  const BadSpec kBad[] = {
+      {"", "empty"},
+      {":", "invalid name"},
+      {"Fixed", "Fixed"},              // uppercase name
+      {"fi xed", "fi xed"},            // space in name
+      {"fixed:", "empty parameter list"},
+      {"fixed:,", "empty token"},
+      {"fixed:keepalive=5,,", "empty token"},
+      {"fixed:=5", "=5"},              // empty key
+      {"fixed:keepalive=", "keepalive="},  // empty value
+      {"fixed:keep alive=5", "keep alive=5"},
+      {"fixed:a=1=2", "a=1=2"},        // second '='
+      {"hybrid:variant=set,variant=app", "variant"},  // duplicate key
+      {"hiku:delay=1,delay=2", "delay"},
+  };
+  for (const auto& bad : kBad) {
+    const auto r = ParseSpec(bad.spec);
+    ASSERT_FALSE(r.ok()) << "spec '" << bad.spec << "' parsed";
+    EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument) << bad.spec;
+    EXPECT_NE(r.error().message.find(bad.token), std::string::npos)
+        << "spec '" << bad.spec << "' error does not name '" << bad.token
+        << "': " << r.error().message;
+  }
+}
+
+/// Schema failures through the policy registry (unknown names, unknown
+/// params, type errors, out-of-range values, bad enum choices).
+TEST(PolicyRegistry, MalformedSpecsRejectNamingTheToken) {
+  const BadSpec kBad[] = {
+      {"nosuch", "nosuch"},
+      {"fixed:bogus=1", "bogus"},
+      {"fixed:keepalive=0", "keepalive=0"},      // below range
+      {"fixed:keepalive=1441", "keepalive=1441"},  // above range
+      {"fixed:keepalive=abc", "keepalive=abc"},  // not an int
+      {"fixed:keepalive=2.5", "keepalive=2.5"},  // int param, double value
+      {"ar:band=0.1", "band=0.1"},               // below double range
+      {"ar:band=xyz", "band=xyz"},               // not a double
+      {"hybrid:variant=bogus", "variant=bogus"},  // bad enum choice
+      {"hybrid:nope", "variant=nope"},            // bad bare-word variant
+      {"spes:tier=warm", "tier=warm"},
+  };
+  const auto& registry = PolicyRegistry::Builtin();
+  for (const auto& bad : kBad) {
+    const auto r = registry.Resolve(bad.spec);
+    ASSERT_FALSE(r.ok()) << "spec '" << bad.spec << "' resolved";
+    EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument) << bad.spec;
+    EXPECT_NE(r.error().message.find(bad.token), std::string::npos)
+        << "spec '" << bad.spec << "' error does not name '" << bad.token
+        << "': " << r.error().message;
+  }
+}
+
+TEST(ScenarioRegistry, MalformedSpecsReject) {
+  const BadSpec kBad[] = {
+      {"mars_colony", "mars_colony"},
+      {"azure_like:users=-1", "users=-1"},
+      {"azure_like:days=366", "days=366"},
+      {"azure_like:users=3,users=4", "users"},
+  };
+  const auto& registry = ScenarioRegistry::Builtin();
+  for (const auto& bad : kBad) {
+    const auto r = registry.Resolve(bad.spec, 1);
+    ASSERT_FALSE(r.ok()) << "spec '" << bad.spec << "' resolved";
+    EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument) << bad.spec;
+    EXPECT_NE(r.error().message.find(bad.token), std::string::npos)
+        << "spec '" << bad.spec << "' error does not name '" << bad.token
+        << "': " << r.error().message;
+  }
+}
+
+TEST(ResolveSpec, FillsDefaultsAndMarksExplicit) {
+  const auto& registry = PolicyRegistry::Builtin();
+  const auto r = registry.Resolve("fixed:keepalive=25");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().values.GetInt("keepalive"), 25);
+  EXPECT_TRUE(r.value().values.WasExplicit("keepalive"));
+
+  const auto d = registry.Resolve("fixed");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().values.GetInt("keepalive"), 10);
+  EXPECT_FALSE(d.value().values.WasExplicit("keepalive"));
+}
+
+TEST(ResolveSpec, EnumDefaultsApply) {
+  const auto& registry = PolicyRegistry::Builtin();
+  const auto r = registry.Resolve("hybrid");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().values.GetEnum("variant"), "set");
+  const auto c = registry.Resolve("hybrid:coarse");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value().values.GetEnum("variant"), "coarse");
+}
+
+TEST(DescribeParam, RendersRangeAndDefault) {
+  ParamInfo info;
+  info.key = "keepalive";
+  info.type = ParamType::kInt;
+  info.min_value = 1;
+  info.max_value = 1440;
+  info.default_value = "10";
+  const auto text = DescribeParam(info);
+  EXPECT_NE(text.find("keepalive"), std::string::npos);
+  EXPECT_NE(text.find("1440"), std::string::npos);
+  EXPECT_NE(text.find("10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace defuse::arena

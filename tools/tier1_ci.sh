@@ -16,12 +16,15 @@
 #   6. run the delta-mining suite in isolation (`ctest -L delta`): the
 #      streaming-accumulator layers and the differential suite proving
 #      incremental == full rebuild bit-identically at every boundary
-#   7. run the chaos soak gate (tools/tier1_soak.sh): seeds 0-9 of
+#   7. run the policy-arena suite in isolation (`ctest -L arena`):
+#      spec-grammar rejection sweep, registry-vs-direct construction
+#      byte-identity, scenario determinism, league rerun bit-identity
+#   8. run the chaos soak gate (tools/tier1_soak.sh): seeds 0-9 of
 #      retrying traffic under injected faults — including the
 #      shard-kill soak — time-bounded, counters to BENCH_soak.json
-#   8. run the static-analysis gate (tools/tier1_lint.sh): defuse-lint
+#   9. run the static-analysis gate (tools/tier1_lint.sh): defuse-lint
 #      must report zero findings, plus clang-tidy when installed
-#   9. run the ASan+UBSan chaos pass (tools/tier1_sanitize.sh)
+#  10. run the ASan+UBSan chaos pass (tools/tier1_sanitize.sh)
 #
 # Any step failing fails the script (set -e), which is the CI contract:
 # green means buildable, correct, crash-safe, lint-clean, and
@@ -52,6 +55,10 @@ ctest --test-dir "$BUILD_DIR" -L shard --output-on-failure -j \
 
 echo "== delta-mining suite (ctest -L delta) =="
 ctest --test-dir "$BUILD_DIR" -L delta --output-on-failure -j \
+  "$(nproc 2>/dev/null || echo 4)"
+
+echo "== policy-arena suite (ctest -L arena) =="
+ctest --test-dir "$BUILD_DIR" -L arena --output-on-failure -j \
   "$(nproc 2>/dev/null || echo 4)"
 
 echo "== chaos soak gate (tools/tier1_soak.sh) =="
