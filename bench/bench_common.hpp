@@ -11,10 +11,15 @@
 //   DEFUSE_BENCH_DAYS    trace length in days       (default 14)
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 
+#include "core/defuse.hpp"
 #include "core/experiment.hpp"
+#include "mining/delta.hpp"
 #include "trace/generator.hpp"
 
 namespace defuse::bench {
@@ -28,6 +33,22 @@ struct BenchWorkload {
 
 /// Builds the standard bench workload (reads the env overrides).
 [[nodiscard]] BenchWorkload MakeStandardWorkload();
+
+/// MineDependencies with a fail-fast ok() check. Bench inputs are
+/// known-good synthetic traces, so a mining error is a harness bug:
+/// abort with the message instead of timing garbage into a figure.
+[[nodiscard]] inline core::MiningOutput MustMine(
+    const trace::InvocationTrace& trace, const trace::WorkloadModel& model,
+    TimeRange train, const core::DefuseConfig& config = {},
+    const mining::DeltaMiningInput* delta_input = nullptr) {
+  auto mined = core::MineDependencies(trace, model, train, config, delta_input);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "bench: MineDependencies failed: %s\n",
+                 mined.error().ToString().c_str());
+    std::abort();
+  }
+  return std::move(mined).value();
+}
 
 /// Prints the figure banner.
 void PrintHeader(const std::string& figure, const std::string& what);

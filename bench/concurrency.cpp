@@ -28,7 +28,7 @@ int main() {
   };
   std::vector<Row> rows;
   const auto evaluate = [&](const char* name,
-                            std::unique_ptr<sim::SchedulingPolicy> policy,
+                            std::unique_ptr<policy::SchedulingPolicy> policy,
                             double amplification) {
     (void)amplification;
     const auto r = sim::SimulateConcurrent(trace, bw.eval, *policy);

@@ -97,7 +97,7 @@ BENCHMARK(BM_UnionFind)->Arg(10000)->Arg(100000)
     ->Unit(benchmark::kMicrosecond);
 
 void BM_HistogramDecision(benchmark::State& state) {
-  policy::HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), {}};
+  policy::HybridHistogramPolicy policy{graph::UnitMap::PerFunction(1), {}};
   Rng rng{17};
   for (int i = 0; i < 1000; ++i) {
     policy.ObserveIdleTime(UnitId{0},
@@ -118,7 +118,7 @@ void BM_SimulatorDay(benchmark::State& state) {
   cfg.horizon_minutes = 2 * kMinutesPerDay;
   const auto w = trace::GenerateWorkload(cfg);
   policy::HybridHistogramPolicy policy{
-      sim::UnitMap::PerFunction(w.model.num_functions()), {}};
+      graph::UnitMap::PerFunction(w.model.num_functions()), {}};
   for (auto _ : state) {
     const auto r = sim::Simulate(w.trace, TimeRange{kMinutesPerDay,
                                                     2 * kMinutesPerDay},

@@ -109,10 +109,9 @@ int main() {
     const Minute end = day * kMinutesPerDay;
     const TimeRange window{0, end};
 
-    const auto full =
-        core::MineDependencies(w.trace, w.model, window, config).value();
+    const auto full = bench::MustMine(w.trace, w.model, window, config);
     const double full_ms = BestOfReps(reps, [&] {
-      (void)core::MineDependencies(w.trace, w.model, window, config).value();
+      (void)bench::MustMine(w.trace, w.model, window, config);
     });
 
     // The delta path, end to end and split in two: the streaming
@@ -130,8 +129,7 @@ int main() {
     const auto materialized = acc.MaterializeWindow(window, w.trace.horizon());
     const auto input = acc.BuildInput(window);
     const auto delta =
-        core::MineDependencies(materialized, w.model, window, config, &input)
-            .value();
+        bench::MustMine(materialized, w.model, window, config, &input);
     const auto end_tp = std::chrono::steady_clock::now();
     const double accumulate_ms =
         std::chrono::duration<double, std::milli>(sealed_tp - begin_tp)

@@ -81,10 +81,9 @@ int main() {
               "reps; hardware_concurrency=%u\n",
               cfg.num_users, w.model.num_functions(), reps, cores);
 
-  const auto serial =
-      core::MineDependencies(w.trace, w.model, train).value();
+  const auto serial = bench::MustMine(w.trace, w.model, train);
   const double serial_ms = BestOfReps(reps, [&] {
-    (void)core::MineDependencies(w.trace, w.model, train).value();
+    (void)bench::MustMine(w.trace, w.model, train);
   });
 
   struct Row {
@@ -97,12 +96,11 @@ int main() {
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     core::DefuseConfig config;
     config.parallel.num_threads = threads;
-    const auto parallel =
-        core::MineDependencies(w.trace, w.model, train, config).value();
+    const auto parallel = bench::MustMine(w.trace, w.model, train, config);
     const bool identical = Identical(serial, parallel);
     all_identical = all_identical && identical;
     const double ms = BestOfReps(reps, [&] {
-      (void)core::MineDependencies(w.trace, w.model, train, config).value();
+      (void)bench::MustMine(w.trace, w.model, train, config);
     });
     rows.push_back(Row{threads, ms, identical});
   }

@@ -6,6 +6,7 @@
 // argument can be checked on this machine.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/defuse.hpp"
 #include "trace/generator.hpp"
 
@@ -25,7 +26,7 @@ void BM_FullDependencyMining(benchmark::State& state) {
   const auto w = MakeOneDayWorkload(static_cast<std::uint32_t>(state.range(0)));
   const TimeRange train = w.trace.horizon();
   for (auto _ : state) {
-    const auto mining = core::MineDependencies(w.trace, w.model, train).value();
+    const auto mining = bench::MustMine(w.trace, w.model, train);
     benchmark::DoNotOptimize(mining.sets.size());
   }
   state.counters["functions"] =
@@ -43,7 +44,7 @@ void BM_StrongMiningOnly(benchmark::State& state) {
   core::DefuseConfig cfg;
   cfg.use_weak = false;
   for (auto _ : state) {
-    const auto mining = core::MineDependencies(w.trace, w.model, train, cfg).value();
+    const auto mining = bench::MustMine(w.trace, w.model, train, cfg);
     benchmark::DoNotOptimize(mining.num_frequent_itemsets);
   }
   state.counters["functions"] =
@@ -57,7 +58,7 @@ void BM_WeakMiningOnly(benchmark::State& state) {
   core::DefuseConfig cfg;
   cfg.use_strong = false;
   for (auto _ : state) {
-    const auto mining = core::MineDependencies(w.trace, w.model, train, cfg).value();
+    const auto mining = bench::MustMine(w.trace, w.model, train, cfg);
     benchmark::DoNotOptimize(mining.num_weak_dependencies);
   }
   state.counters["functions"] =

@@ -62,7 +62,7 @@ int main() {
       sim::SimulateConcurrent(workload.trace, eval, *defuse_policy);
 
   policy::FixedKeepAlivePolicy fixed_policy{
-      sim::UnitMap::PerFunction(workload.model.num_functions()), 10};
+      graph::UnitMap::PerFunction(workload.model.num_functions()), 10};
   const auto fixed =
       sim::SimulateConcurrent(workload.trace, eval, fixed_policy);
 

@@ -91,7 +91,7 @@ int main() {
   for (const auto method :
        {core::Method::kDefuse, core::Method::kHybridFunction,
         core::Method::kHybridApplication}) {
-    std::unique_ptr<sim::SchedulingPolicy> policy;
+    std::unique_ptr<policy::SchedulingPolicy> policy;
     switch (method) {
       case core::Method::kDefuse:
         policy = core::MakeDefuseScheduler(workload.trace, mining, train);

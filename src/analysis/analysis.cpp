@@ -101,7 +101,7 @@ WorkloadReport AnalyzeWorkload(const WorkloadModel& model,
 
 TriggerKindBreakdown BreakdownByTriggerKind(
     const trace::GroundTruth& truth, const sim::SimulationResult& result,
-    const sim::UnitMap& units) {
+    const graph::UnitMap& units) {
   TriggerKindBreakdown breakdown;
   std::array<double, 4> totals{};
   for (std::size_t f = 0; f < truth.function_trigger.size(); ++f) {

@@ -85,7 +85,7 @@ struct TriggerKindBreakdown {
 
 [[nodiscard]] TriggerKindBreakdown BreakdownByTriggerKind(
     const trace::GroundTruth& truth, const sim::SimulationResult& result,
-    const sim::UnitMap& units);
+    const graph::UnitMap& units);
 
 /// Daily-rhythm detection via autocorrelation of the function's hourly
 /// activity series: true when the series has a dominant period of ~24

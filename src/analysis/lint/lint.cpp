@@ -4,6 +4,9 @@
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
+#include <functional>
+#include <map>
+#include <set>
 #include <system_error>
 #include <unordered_map>
 #include <unordered_set>
@@ -51,6 +54,27 @@ constexpr std::array<RuleInfo, kNumRules> kRules{{
      "scope: aborts the process on an error Result",
      "guard with `if (!r.ok())` (or value_or) between the binding and "
      "the access"},
+    {"DL007", "layer-dag",
+     "include edge that climbs the layer DAG: a lower layer reaching "
+     "into a higher one couples the foundation to its consumers and "
+     "invites dependency cycles",
+     "invert the dependency: move the shared type down, or pass a "
+     "callback/primitive across the boundary (see DESIGN.md §16 for "
+     "the declared layer order)"},
+    {"DL008", "guarded-by-adjacent",
+     "synchronization primitive with no adjacent GUARDED_BY-annotated "
+     "field set: nothing states what the lock protects, so clang's "
+     "-Wthread-safety (and the next maintainer) cannot check it",
+     "declare the protected fields GUARDED_BY(the_mutex) right next to "
+     "it (common/annotations.hpp), or justify with `// defuse-lint: "
+     "suppress(DL008) <reason>` for lock-free protocols"},
+    {"DL009", "no-blocking-under-lock",
+     "blocking call while lexically holding a lock: serializes every "
+     "contender behind disk/network latency and risks deadlock with "
+     "the re-mine worker",
+     "move the blocking work outside the critical section (snapshot "
+     "under the lock, write after release), or justify with "
+     "`// defuse-lint: lock-free-handoff <reason>`"},
 }};
 
 constexpr std::size_t kDL001 = 0;
@@ -59,21 +83,162 @@ constexpr std::size_t kDL003 = 2;
 constexpr std::size_t kDL004 = 3;
 constexpr std::size_t kDL005 = 4;
 constexpr std::size_t kDL006 = 5;
+constexpr std::size_t kDL007 = 6;
+constexpr std::size_t kDL008 = 7;
+constexpr std::size_t kDL009 = 8;
+
+[[nodiscard]] std::size_t RuleIndexOf(std::string_view id) noexcept {
+  for (std::size_t i = 0; i < kNumRules; ++i) {
+    if (kRules[i].id == id) return i;
+  }
+  return kNumRules;
+}
 
 [[nodiscard]] bool IsIdentChar(char c) noexcept {
   return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
          (c >= '0' && c <= '9') || c == '_';
 }
 
+[[nodiscard]] std::string_view TrimView(std::string_view s) noexcept {
+  while (!s.empty() &&
+         std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// ---- suppression directives ----------------------------------------------
+
+/// `suppress(DL00x) <reason>` (after the `defuse-lint:` marker) silences
+/// findings of that rule on its own line and the next;
+/// `sorted-at-boundary <reason>` is the DL004-specific justification and
+/// `lock-free-handoff <reason>` the DL009 one, each honored on its own
+/// line and up to two lines below (so a comment above a loop or above a
+/// multi-line statement covers it). A directive with no reason text is
+/// recorded in `empty_reason` instead of taking effect.
+struct Directives {
+  std::vector<std::vector<std::string>> suppressed_ids;  // per raw line
+  std::vector<bool> sorted_at_boundary;                  // per raw line
+  std::vector<bool> lock_free_handoff;                   // per raw line
+  struct EmptyReason {
+    std::size_t line;       // 0-based
+    std::string rule_id;    // the rule the bare directive targeted
+    std::string directive;  // "suppress(DL00x)" / "sorted-at-boundary" / ...
+  };
+  std::vector<EmptyReason> empty_reason;
+};
+
+/// Extends a per-line justification marker downward over consecutive
+/// comment lines and the next statement's continuation lines (bounded,
+/// up to the line carrying the statement-terminating ';').
+void ExtendJustificationDown(const std::vector<std::string>& raw,
+                             std::vector<bool>* marks) {
+  std::vector<bool>& m = *marks;
+  for (std::size_t i = raw.size(); i-- > 0;) {
+    if (!m[i]) continue;
+    constexpr std::size_t kMaxSpan = 8;
+    for (std::size_t j = i + 1; j < raw.size() && j <= i + kMaxSpan; ++j) {
+      if (m[j]) break;
+      m[j] = true;
+      const std::string_view t = TrimView(raw[j]);
+      const bool comment_only = t.rfind("//", 0) == 0;
+      if (!comment_only && t.find(';') != std::string_view::npos) break;
+    }
+  }
+}
+
+[[nodiscard]] Directives ParseDirectives(const std::vector<std::string>& raw) {
+  Directives d;
+  d.suppressed_ids.resize(raw.size());
+  d.sorted_at_boundary.resize(raw.size(), false);
+  d.lock_free_handoff.resize(raw.size(), false);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const std::string& line = raw[i];
+    const std::size_t comment = line.find("//");
+    if (comment == std::string::npos) continue;
+    const std::string_view tail = std::string_view{line}.substr(comment);
+    const std::size_t marker = tail.find("defuse-lint:");
+    if (marker == std::string_view::npos) continue;
+    std::string_view body = TrimView(tail.substr(marker + 12));
+    if (body.rfind("sorted-at-boundary", 0) == 0) {
+      if (TrimView(body.substr(18)).empty()) {
+        d.empty_reason.push_back({i, "DL004", "sorted-at-boundary"});
+      } else {
+        d.sorted_at_boundary[i] = true;
+      }
+      continue;
+    }
+    if (body.rfind("lock-free-handoff", 0) == 0) {
+      if (TrimView(body.substr(17)).empty()) {
+        d.empty_reason.push_back({i, "DL009", "lock-free-handoff"});
+      } else {
+        d.lock_free_handoff[i] = true;
+      }
+      continue;
+    }
+    if (body.rfind("suppress(", 0) == 0) {
+      const std::size_t close = body.find(')');
+      if (close == std::string_view::npos) continue;
+      std::string_view ids = body.substr(9, close - 9);
+      const bool has_reason = !TrimView(body.substr(close + 1)).empty();
+      while (!ids.empty()) {
+        const std::size_t comma = ids.find(',');
+        const std::string_view id =
+            TrimView(comma == std::string_view::npos ? ids
+                                                     : ids.substr(0, comma));
+        if (!id.empty()) {
+          if (has_reason) {
+            d.suppressed_ids[i].emplace_back(id);
+          } else {
+            d.empty_reason.push_back(
+                {i, std::string{id}, "suppress(" + std::string{id} + ")"});
+          }
+        }
+        if (comma == std::string_view::npos) break;
+        ids.remove_prefix(comma + 1);
+      }
+    }
+  }
+  ExtendJustificationDown(raw, &d.sorted_at_boundary);
+  ExtendJustificationDown(raw, &d.lock_free_handoff);
+  return d;
+}
+
+/// Is a finding of `rule_id` at 0-based line `line` silenced?
+[[nodiscard]] bool IsSuppressed(const Directives& d, std::size_t line,
+                                std::string_view rule_id) noexcept {
+  for (std::size_t back = 0; back <= 1 && back <= line; ++back) {
+    for (const std::string& id : d.suppressed_ids[line - back]) {
+      if (id == rule_id) return true;
+    }
+  }
+  return false;
+}
+
+[[nodiscard]] bool HasJustification(const std::vector<bool>& marks,
+                                    std::size_t line) noexcept {
+  for (std::size_t back = 0; back <= 2 && back <= line; ++back) {
+    if (marks[line - back]) return true;
+  }
+  return false;
+}
+
 // ---- file model -----------------------------------------------------------
 
-/// One scanned file: raw lines (for suppression comments) and
-/// code lines with comments removed and string/char literal contents
-/// blanked (for token analysis).
+/// One scanned file: raw lines (for suppression comments and include
+/// paths), code lines with comments removed and string/char literal
+/// contents blanked (for token analysis), and the parsed directives —
+/// all built exactly once at load time and shared by every rule.
 struct FileText {
   std::string path;  ///< Relative to the lint root, '/'-separated.
+  bool under_src = false;
   std::vector<std::string> raw;
   std::vector<std::string> code;
+  Directives directives;
 };
 
 [[nodiscard]] std::vector<std::string> SplitLines(std::string_view text) {
@@ -175,101 +340,9 @@ struct FileText {
   return false;
 }
 
-[[nodiscard]] std::string_view TrimView(std::string_view s) noexcept {
-  while (!s.empty() &&
-         std::isspace(static_cast<unsigned char>(s.front())) != 0) {
-    s.remove_prefix(1);
-  }
-  while (!s.empty() &&
-         std::isspace(static_cast<unsigned char>(s.back())) != 0) {
-    s.remove_suffix(1);
-  }
-  return s;
-}
-
 [[nodiscard]] bool IsPreprocessorLine(std::string_view code_line) noexcept {
   const std::string_view t = TrimView(code_line);
   return !t.empty() && t.front() == '#';
-}
-
-// ---- suppression directives ----------------------------------------------
-
-/// `// defuse-lint: suppress(DL00x) <reason>` silences findings of that
-/// rule on its own line and the next; `// defuse-lint: sorted-at-boundary
-/// <reason>` is the DL004-specific justification, honored on its own line
-/// and up to two lines below (so a comment above a loop or above a
-/// sorted-copy construction covers it).
-struct Directives {
-  std::vector<std::vector<std::string>> suppressed_ids;  // per raw line
-  std::vector<bool> sorted_at_boundary;                  // per raw line
-};
-
-[[nodiscard]] Directives ParseDirectives(const std::vector<std::string>& raw) {
-  Directives d;
-  d.suppressed_ids.resize(raw.size());
-  d.sorted_at_boundary.resize(raw.size(), false);
-  for (std::size_t i = 0; i < raw.size(); ++i) {
-    const std::string& line = raw[i];
-    const std::size_t comment = line.find("//");
-    if (comment == std::string::npos) continue;
-    const std::string_view tail = std::string_view{line}.substr(comment);
-    const std::size_t marker = tail.find("defuse-lint:");
-    if (marker == std::string_view::npos) continue;
-    std::string_view body = TrimView(tail.substr(marker + 12));
-    if (body.rfind("sorted-at-boundary", 0) == 0) {
-      d.sorted_at_boundary[i] = true;
-      continue;
-    }
-    if (body.rfind("suppress(", 0) == 0) {
-      const std::size_t close = body.find(')');
-      if (close == std::string_view::npos) continue;
-      std::string_view ids = body.substr(9, close - 9);
-      while (!ids.empty()) {
-        const std::size_t comma = ids.find(',');
-        const std::string_view id =
-            TrimView(comma == std::string_view::npos ? ids
-                                                     : ids.substr(0, comma));
-        if (!id.empty()) d.suppressed_ids[i].emplace_back(id);
-        if (comma == std::string_view::npos) break;
-        ids.remove_prefix(comma + 1);
-      }
-    }
-  }
-  // A sorted-at-boundary directive on its own comment line covers the
-  // statement that follows it: extend through consecutive comment lines
-  // and then the next statement's continuation lines (bounded, up to
-  // the line carrying the statement-terminating ';').
-  for (std::size_t i = raw.size(); i-- > 0;) {
-    if (!d.sorted_at_boundary[i]) continue;
-    constexpr std::size_t kMaxSpan = 8;
-    for (std::size_t j = i + 1; j < raw.size() && j <= i + kMaxSpan; ++j) {
-      if (d.sorted_at_boundary[j]) break;
-      d.sorted_at_boundary[j] = true;
-      const std::string_view t = TrimView(raw[j]);
-      const bool comment_only = t.rfind("//", 0) == 0;
-      if (!comment_only && t.find(';') != std::string_view::npos) break;
-    }
-  }
-  return d;
-}
-
-/// Is a finding of `rule_id` at 0-based line `line` silenced?
-[[nodiscard]] bool IsSuppressed(const Directives& d, std::size_t line,
-                                std::string_view rule_id) noexcept {
-  for (std::size_t back = 0; back <= 1 && back <= line; ++back) {
-    for (const std::string& id : d.suppressed_ids[line - back]) {
-      if (id == rule_id) return true;
-    }
-  }
-  return false;
-}
-
-[[nodiscard]] bool HasBoundaryJustification(const Directives& d,
-                                            std::size_t line) noexcept {
-  for (std::size_t back = 0; back <= 2 && back <= line; ++back) {
-    if (d.sorted_at_boundary[line - back]) return true;
-  }
-  return false;
 }
 
 // ---- lexical helpers ------------------------------------------------------
@@ -354,6 +427,55 @@ struct Directives {
     ++pos;
   }
   return false;
+}
+
+/// Skips leading declaration qualifiers (`static`, `const`, ...) and
+/// returns what follows — the head most declarations start their type at.
+[[nodiscard]] std::string_view StripDeclQualifiers(
+    std::string_view head) noexcept {
+  constexpr std::string_view kQualifiers[] = {
+      "static", "volatile", "mutable", "inline", "constexpr",
+      "thread_local", "const", "extern"};
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    head = TrimView(head);
+    for (const std::string_view q : kQualifiers) {
+      if (head.size() > q.size() && head.rfind(q, 0) == 0 &&
+          !IsIdentChar(head[q.size()])) {
+        head.remove_prefix(q.size());
+        progressed = true;
+        break;
+      }
+    }
+  }
+  return head;
+}
+
+/// If `head` starts with type token `type` (identifier boundary after
+/// it; template arguments allowed and skipped), returns the remainder
+/// after the type. Otherwise npos-like: nullopt via bool.
+[[nodiscard]] bool ConsumeType(std::string_view head, std::string_view type,
+                               std::string_view* rest) noexcept {
+  if (head.rfind(type, 0) != 0) return false;
+  std::size_t i = type.size();
+  if (i < head.size() && IsIdentChar(head[i])) return false;  // longer ident
+  if (i < head.size() && head[i] == '<') {
+    int depth = 0;
+    for (; i < head.size(); ++i) {
+      if (head[i] == '<') ++depth;
+      if (head[i] == '>') {
+        --depth;
+        if (depth == 0) {
+          ++i;
+          break;
+        }
+      }
+    }
+    if (depth != 0) return false;  // template args spill to the next line
+  }
+  *rest = head.substr(i);
+  return true;
 }
 
 // ---- Result<>-returning-function harvest (DL006) --------------------------
@@ -473,6 +595,47 @@ void HarvestUnorderedNames(const std::vector<std::string>& code,
   }
 }
 
+// ---- future-variable harvest (DL009) --------------------------------------
+
+/// Collects names declared as std::future / std::shared_future (or bound
+/// to a ThreadPool Submit call), whose .get() blocks until the async
+/// task finishes.
+void HarvestFutureNames(const std::vector<std::string>& code,
+                        std::unordered_set<std::string>* names) {
+  for (const std::string& line : code) {
+    for (const std::string_view type :
+         {std::string_view{"std::future"}, std::string_view{"std::shared_future"}}) {
+      std::size_t pos = 0;
+      while ((pos = line.find(type, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+        std::string_view rest;
+        if (left_ok &&
+            ConsumeType(std::string_view{line}.substr(pos), type, &rest)) {
+          rest = TrimView(rest);
+          while (!rest.empty() && (rest.front() == '&' || rest.front() == '*')) {
+            rest = TrimView(rest.substr(1));
+          }
+          std::size_t j = 0;
+          while (j < rest.size() && IsIdentChar(rest[j])) ++j;
+          if (j > 0) names->emplace(rest.substr(0, j));
+        }
+        pos += type.size();
+      }
+    }
+    // `x = pool->Submit(...)`: the future came out of the thread pool.
+    const std::size_t submit = line.find("Submit(");
+    if (submit != std::string::npos) {
+      const std::size_t eq = line.rfind('=', submit);
+      if (eq != std::string::npos && (eq + 1 >= line.size() ||
+                                      line[eq + 1] != '=')) {
+        const std::string_view lhs =
+            LastIdentifier(std::string_view{line}.substr(0, eq));
+        if (!lhs.empty()) names->emplace(lhs);
+      }
+    }
+  }
+}
+
 // ---- path helpers ---------------------------------------------------------
 
 [[nodiscard]] bool PathUnderAny(std::string_view rel,
@@ -496,21 +659,58 @@ void HarvestUnorderedNames(const std::vector<std::string>& code,
   return p.lexically_relative(root).generic_string();
 }
 
+/// "src/common/io/atomic_file.hpp" -> "common" (empty when not under
+/// `src_dir` or directly inside it).
+[[nodiscard]] std::string ModuleOf(std::string_view rel,
+                                   const std::string& src_dir) {
+  if (rel.size() <= src_dir.size() + 1 ||
+      rel.compare(0, src_dir.size(), src_dir) != 0 ||
+      rel[src_dir.size()] != '/') {
+    return {};
+  }
+  const std::string_view tail = rel.substr(src_dir.size() + 1);
+  const std::size_t slash = tail.find('/');
+  if (slash == std::string_view::npos) return {};  // file directly in src/
+  return std::string{tail.substr(0, slash)};
+}
+
 // ---- the linter -----------------------------------------------------------
+
+/// Everything the rules read, loaded from disk exactly once per build:
+/// scan files (tokenized + directives), the concatenated test haystack
+/// for DL005, and the fault-registry file.
+struct FileIndex {
+  std::vector<FileText> scan_files;
+  std::string test_haystack;
+  FileText registry;  ///< Empty path when absent/disabled.
+};
 
 class Linter {
  public:
   explicit Linter(const LintConfig& config) : config_(config) {}
 
   [[nodiscard]] Result<LintReport> Run() {
-    auto files = LoadFiles();
-    if (!files.ok()) return files.error();
-    HarvestGlobals(files.value());
-    for (const FileText& file : files.value()) {
-      LintFile(file);
+    // Rule families, each reading only the shared index. Under
+    // reload_per_rule every family after the first gets a freshly
+    // re-read index — the self-check asserts both modes emit
+    // byte-identical findings.
+    using Family = void (Linter::*)();
+    constexpr Family kFamilies[] = {
+        &Linter::LintEmptyReasonDirectives, &Linter::LintDeterminismTokens,
+        &Linter::LintUnorderedIteration,    &Linter::LintResultValueUse,
+        &Linter::LintModuleGraph,           &Linter::LintGuardedByAdjacency,
+        &Linter::LintBlockingUnderLock,     &Linter::LintFaultRegistry,
+    };
+    bool first = true;
+    for (const Family family : kFamilies) {
+      if (first || config_.reload_per_rule) {
+        auto built = BuildIndex();
+        if (!built.ok()) return built.error();
+        HarvestGlobals();
+      }
+      first = false;
+      (this->*family)();
     }
-    auto registry = LintFaultRegistry();
-    if (!registry.ok()) return registry.error();
     std::sort(report_.findings.begin(), report_.findings.end(),
               [](const Finding& a, const Finding& b) {
                 if (a.file != b.file) return a.file < b.file;
@@ -521,9 +721,11 @@ class Linter {
   }
 
  private:
-  // Loads every source file under the scan dirs, sorted by path for
-  // deterministic traversal and output.
-  [[nodiscard]] Result<std::vector<FileText>> LoadFiles() {
+  // Loads every source file under the scan dirs (sorted by path for
+  // deterministic traversal and output), the test haystack, and the
+  // fault registry — one disk read and one tokenization per file.
+  [[nodiscard]] Result<bool> BuildIndex() {
+    index_ = FileIndex{};
     const fs::path root{config_.root};
     std::vector<fs::path> paths;
     for (const std::string& dir : config_.scan_dirs) {
@@ -542,42 +744,108 @@ class Linter {
       }
     }
     std::sort(paths.begin(), paths.end());
-    std::vector<FileText> files;
-    files.reserve(paths.size());
+    std::size_t lines = 0;
     for (const fs::path& p : paths) {
       auto text = ReadFile(p.string());
       if (!text.ok()) return text.error();
       FileText file;
       file.path = RelPath(root, p);
+      file.under_src = PathUnderAny(file.path, {config_.src_dir});
       file.raw = SplitLines(text.value());
       file.code = StripCommentsAndStrings(file.raw);
-      report_.stats.lines_scanned += file.raw.size();
-      files.push_back(std::move(file));
+      file.directives = ParseDirectives(file.raw);
+      lines += file.raw.size();
+      index_.scan_files.push_back(std::move(file));
     }
-    report_.stats.files_scanned = files.size();
-    return files;
+    report_.stats.files_scanned = index_.scan_files.size();
+    report_.stats.lines_scanned = lines;
+
+    // Test haystack (DL005 references).
+    const fs::path tests_root = root / config_.tests_dir;
+    std::error_code ec;
+    if (fs::is_directory(tests_root, ec)) {
+      std::vector<fs::path> test_paths;
+      for (fs::recursive_directory_iterator it{tests_root, ec}, end;
+           it != end && !ec; it.increment(ec)) {
+        if (it->is_regular_file() && IsSourceFile(it->path())) {
+          test_paths.push_back(it->path());
+        }
+      }
+      std::sort(test_paths.begin(), test_paths.end());
+      for (const fs::path& p : test_paths) {
+        auto t = ReadFile(p.string());
+        if (!t.ok()) return t.error();
+        index_.test_haystack += t.value();
+        index_.test_haystack += '\n';
+      }
+    }
+
+    // Fault registry: reuse the copy already in the index when the
+    // registry sits under a scan dir; load it once otherwise.
+    if (!config_.fault_registry.empty()) {
+      const auto it = std::find_if(
+          index_.scan_files.begin(), index_.scan_files.end(),
+          [&](const FileText& f) { return f.path == config_.fault_registry; });
+      if (it != index_.scan_files.end()) {
+        index_.registry = *it;
+      } else {
+        const fs::path reg_path = root / config_.fault_registry;
+        if (fs::exists(reg_path, ec)) {
+          auto text = ReadFile(reg_path.string());
+          if (!text.ok()) return text.error();
+          index_.registry.path = RelPath(root, reg_path);
+          index_.registry.raw = SplitLines(text.value());
+          index_.registry.code = StripCommentsAndStrings(index_.registry.raw);
+          index_.registry.directives = ParseDirectives(index_.registry.raw);
+        }
+      }
+    }
+    return true;
   }
 
   // Cross-file harvest: names of Result<>-returning functions (DL006
-  // receivers) and, per file path, the unordered-container names
-  // declared there (so a .cpp can see its header's members).
-  void HarvestGlobals(const std::vector<FileText>& files) {
-    for (const FileText& file : files) {
+  // receivers) and, per file path, the unordered-container and
+  // future-typed names declared there (so a .cpp can see its header's
+  // members).
+  void HarvestGlobals() {
+    result_functions_.clear();
+    unordered_names_by_file_.clear();
+    future_names_by_file_.clear();
+    for (const FileText& file : index_.scan_files) {
       for (std::size_t i = 0; i < file.code.size(); ++i) {
         const std::string_view next =
             i + 1 < file.code.size() ? std::string_view{file.code[i + 1]}
                                      : std::string_view{};
         HarvestResultDecls(file.code[i], next, &result_functions_, nullptr);
       }
-      auto& names = unordered_names_by_file_[file.path];
-      HarvestUnorderedNames(file.code, &names);
+      HarvestUnorderedNames(file.code, &unordered_names_by_file_[file.path]);
+      HarvestFutureNames(file.code, &future_names_by_file_[file.path]);
     }
+  }
+
+  /// Names harvested for `file` plus its sibling header's (so member
+  /// declarations in the .hpp are visible to the .cpp).
+  [[nodiscard]] std::unordered_set<std::string> NamesVisibleTo(
+      const std::unordered_map<std::string, std::unordered_set<std::string>>&
+          by_file,
+      const FileText& file) const {
+    std::unordered_set<std::string> names;
+    const auto own = by_file.find(file.path);
+    if (own != by_file.end()) names = own->second;
+    if (file.path.size() > 4 &&
+        file.path.compare(file.path.size() - 4, 4, ".cpp") == 0) {
+      const std::string sibling =
+          file.path.substr(0, file.path.size() - 4) + ".hpp";
+      const auto it = by_file.find(sibling);
+      if (it != by_file.end()) names.insert(it->second.begin(),
+                                            it->second.end());
+    }
+    return names;
   }
 
   void Emit(const FileText& file, std::size_t line_index, std::size_t rule,
             std::string message) {
-    const Directives& d = directives_;
-    if (IsSuppressed(d, line_index, kRules[rule].id)) {
+    if (IsSuppressed(file.directives, line_index, kRules[rule].id)) {
       ++report_.stats.suppressions_honored;
       return;
     }
@@ -587,18 +855,26 @@ class Linter {
                                        kRules[rule].fixit});
   }
 
-  void LintFile(const FileText& file) {
-    directives_ = ParseDirectives(file.raw);
-    const bool deterministic =
-        PathUnderAny(file.path, config_.deterministic_layers);
-    const bool boundary = PathUnderAny(file.path, config_.boundary_paths);
-    if (deterministic) CheckDeterminismTokens(file);
-    if (boundary) CheckUnorderedIteration(file);
-    CheckResultValueUse(file);
+  // Bare directives: a suppression with no reason is a finding tagged
+  // with the rule it tried to silence (and silences nothing).
+  void LintEmptyReasonDirectives() {
+    for (const FileText& file : index_.scan_files) {
+      for (const Directives::EmptyReason& e : file.directives.empty_reason) {
+        const std::size_t rule = RuleIndexOf(e.rule_id);
+        if (rule >= kNumRules) continue;  // unknown rule id: ignore
+        ++report_.stats.findings_per_rule[rule];
+        report_.findings.push_back(Finding{
+            file.path, e.line + 1, kRules[rule].id,
+            "`defuse-lint: " + e.directive +
+                "` has no reason text; bare directives are ignored — state "
+                "why the finding is safe to silence",
+            kRules[rule].fixit});
+      }
+    }
   }
 
   // DL001/DL002/DL003: forbidden tokens in deterministic layers.
-  void CheckDeterminismTokens(const FileText& file) {
+  void LintDeterminismTokens() {
     struct TokenRule {
       std::size_t rule;
       std::string_view token;
@@ -625,103 +901,99 @@ class Linter {
         {kDL003, "setenv", "setenv()"},
         {kDL003, "putenv", "putenv()"},
     };
-    for (std::size_t i = 0; i < file.code.size(); ++i) {
-      const std::string& line = file.code[i];
-      if (IsPreprocessorLine(line)) continue;
-      for (const TokenRule& t : kTokens) {
-        if (ContainsToken(line, t.token)) {
-          Emit(file, i, t.rule,
-               std::string{t.what} + " in deterministic layer");
-          break;  // one finding per line is enough
+    for (const FileText& file : index_.scan_files) {
+      if (!PathUnderAny(file.path, config_.deterministic_layers)) continue;
+      for (std::size_t i = 0; i < file.code.size(); ++i) {
+        const std::string& line = file.code[i];
+        if (IsPreprocessorLine(line)) continue;
+        for (const TokenRule& t : kTokens) {
+          if (ContainsToken(line, t.token)) {
+            Emit(file, i, t.rule,
+                 std::string{t.what} + " in deterministic layer");
+            break;  // one finding per line is enough
+          }
         }
       }
     }
   }
 
   // DL004: iteration over a hash-ordered container on a boundary path.
-  void CheckUnorderedIteration(const FileText& file) {
-    // Names visible to this file: its own plus its sibling header's.
-    std::unordered_set<std::string> names =
-        unordered_names_by_file_[file.path];
-    if (file.path.size() > 4 &&
-        file.path.compare(file.path.size() - 4, 4, ".cpp") == 0) {
-      const std::string sibling =
-          file.path.substr(0, file.path.size() - 4) + ".hpp";
-      const auto it = unordered_names_by_file_.find(sibling);
-      if (it != unordered_names_by_file_.end()) {
-        names.insert(it->second.begin(), it->second.end());
-      }
-    }
-    if (names.empty()) return;
+  void LintUnorderedIteration() {
+    for (const FileText& file : index_.scan_files) {
+      if (!PathUnderAny(file.path, config_.boundary_paths)) continue;
+      const std::unordered_set<std::string> names =
+          NamesVisibleTo(unordered_names_by_file_, file);
+      if (names.empty()) continue;
 
-    for (std::size_t i = 0; i < file.code.size(); ++i) {
-      const std::string& line = file.code[i];
-      bool flagged = false;
-      // (a) range-for over an unordered container.
-      std::size_t fpos = 0;
-      while (!flagged &&
-             (fpos = line.find("for", fpos)) != std::string::npos) {
-        const bool word =
-            (fpos == 0 || !IsIdentChar(line[fpos - 1])) &&
-            (fpos + 3 >= line.size() || !IsIdentChar(line[fpos + 3]));
-        if (!word) {
-          fpos += 3;
-          continue;
-        }
-        const std::size_t open = line.find('(', fpos);
-        if (open == std::string::npos) break;
-        // The range-for ':' at paren depth 1 that is not part of '::'.
-        int depth = 0;
-        std::size_t colon = std::string::npos;
-        std::size_t close = std::string::npos;
-        for (std::size_t j = open; j < line.size(); ++j) {
-          if (line[j] == '(') ++depth;
-          if (line[j] == ')') {
-            --depth;
-            if (depth == 0) {
-              close = j;
-              break;
+      for (std::size_t i = 0; i < file.code.size(); ++i) {
+        const std::string& line = file.code[i];
+        bool flagged = false;
+        // (a) range-for over an unordered container.
+        std::size_t fpos = 0;
+        while (!flagged &&
+               (fpos = line.find("for", fpos)) != std::string::npos) {
+          const bool word =
+              (fpos == 0 || !IsIdentChar(line[fpos - 1])) &&
+              (fpos + 3 >= line.size() || !IsIdentChar(line[fpos + 3]));
+          if (!word) {
+            fpos += 3;
+            continue;
+          }
+          const std::size_t open = line.find('(', fpos);
+          if (open == std::string::npos) break;
+          // The range-for ':' at paren depth 1 that is not part of '::'.
+          int depth = 0;
+          std::size_t colon = std::string::npos;
+          std::size_t close = std::string::npos;
+          for (std::size_t j = open; j < line.size(); ++j) {
+            if (line[j] == '(') ++depth;
+            if (line[j] == ')') {
+              --depth;
+              if (depth == 0) {
+                close = j;
+                break;
+              }
+            }
+            if (line[j] == ':' && depth == 1 &&
+                (j == 0 || line[j - 1] != ':') &&
+                (j + 1 >= line.size() || line[j + 1] != ':')) {
+              colon = j;
             }
           }
-          if (line[j] == ':' && depth == 1 &&
-              (j == 0 || line[j - 1] != ':') &&
-              (j + 1 >= line.size() || line[j + 1] != ':')) {
-            colon = j;
+          if (colon != std::string::npos) {
+            const std::size_t seq_end =
+                close == std::string::npos ? line.size() : close;
+            const std::string_view seq = TrimView(
+                std::string_view{line}.substr(colon + 1, seq_end - colon - 1));
+            const std::string_view base = LastIdentifier(seq);
+            if (!base.empty() && names.count(std::string{base}) > 0) {
+              FlagUnordered(file, i, base, "range-for");
+              flagged = true;
+            }
           }
+          fpos += 3;
         }
-        if (colon != std::string::npos) {
-          const std::size_t seq_end =
-              close == std::string::npos ? line.size() : close;
-          const std::string_view seq = TrimView(
-              std::string_view{line}.substr(colon + 1, seq_end - colon - 1));
-          const std::string_view base = LastIdentifier(seq);
+        // (b) explicit iterator walk: NAME.begin() (catches sorted-copy
+        // constructions, which must carry the justification).
+        std::size_t bpos = 0;
+        while (!flagged &&
+               (bpos = line.find(".begin()", bpos)) != std::string::npos) {
+          const std::size_t start = ReceiverStart(line, bpos);
+          const std::string_view base = LastIdentifier(
+              std::string_view{line}.substr(start, bpos - start));
           if (!base.empty() && names.count(std::string{base}) > 0) {
-            FlagUnordered(file, i, base, "range-for");
+            FlagUnordered(file, i, base, "iterator walk");
             flagged = true;
           }
+          bpos += 8;
         }
-        fpos += 3;
-      }
-      // (b) explicit iterator walk: NAME.begin() (catches sorted-copy
-      // constructions, which must carry the justification).
-      std::size_t bpos = 0;
-      while (!flagged &&
-             (bpos = line.find(".begin()", bpos)) != std::string::npos) {
-        const std::size_t start = ReceiverStart(line, bpos);
-        const std::string_view base =
-            LastIdentifier(std::string_view{line}.substr(start, bpos - start));
-        if (!base.empty() && names.count(std::string{base}) > 0) {
-          FlagUnordered(file, i, base, "iterator walk");
-          flagged = true;
-        }
-        bpos += 8;
       }
     }
   }
 
   void FlagUnordered(const FileText& file, std::size_t line_index,
                      std::string_view container, std::string_view how) {
-    if (HasBoundaryJustification(directives_, line_index)) {
+    if (HasJustification(file.directives.sorted_at_boundary, line_index)) {
       ++report_.stats.suppressions_honored;
       return;
     }
@@ -732,37 +1004,39 @@ class Linter {
 
   // DL006: `.value()` on a provable Result without a preceding ok()
   // check in the lexical window since its binding.
-  void CheckResultValueUse(const FileText& file) {
-    // Result-typed local declarations per line, for provability.
-    for (std::size_t i = 0; i < file.code.size(); ++i) {
-      const std::string& line = file.code[i];
-      std::size_t pos = 0;
-      while ((pos = line.find(".value()", pos)) != std::string::npos) {
-        const std::size_t start = ReceiverStart(file.code[i], pos);
-        std::string receiver{
-            TrimView(std::string_view{line}.substr(start, pos - start))};
-        // `std::move(x).value()` checks x.
-        if (receiver.rfind("std::move(", 0) == 0 && receiver.back() == ')') {
-          receiver = receiver.substr(10, receiver.size() - 11);
-        }
-        if (receiver.empty()) {
-          pos += 8;
-          continue;
-        }
-        if (receiver.back() == ')') {
-          // Direct call: Fn(...).value(). A temporary can never have
-          // been ok()-checked.
-          const std::string_view callee = LastIdentifier(receiver);
-          if (!callee.empty() &&
-              result_functions_.count(std::string{callee}) > 0) {
-            Emit(file, i, kDL006,
-                 "naked .value() on the temporary Result returned by '" +
-                     std::string{callee} + "'");
+  void LintResultValueUse() {
+    for (const FileText& file : index_.scan_files) {
+      for (std::size_t i = 0; i < file.code.size(); ++i) {
+        const std::string& line = file.code[i];
+        std::size_t pos = 0;
+        while ((pos = line.find(".value()", pos)) != std::string::npos) {
+          const std::size_t start = ReceiverStart(file.code[i], pos);
+          std::string receiver{
+              TrimView(std::string_view{line}.substr(start, pos - start))};
+          // `std::move(x).value()` checks x.
+          if (receiver.rfind("std::move(", 0) == 0 &&
+              receiver.back() == ')') {
+            receiver = receiver.substr(10, receiver.size() - 11);
           }
-        } else {
-          CheckVariableValueUse(file, i, receiver);
+          if (receiver.empty()) {
+            pos += 8;
+            continue;
+          }
+          if (receiver.back() == ')') {
+            // Direct call: Fn(...).value(). A temporary can never have
+            // been ok()-checked.
+            const std::string_view callee = LastIdentifier(receiver);
+            if (!callee.empty() &&
+                result_functions_.count(std::string{callee}) > 0) {
+              Emit(file, i, kDL006,
+                   "naked .value() on the temporary Result returned by '" +
+                       std::string{callee} + "'");
+            }
+          } else {
+            CheckVariableValueUse(file, i, receiver);
+          }
+          pos += 8;
         }
-        pos += 8;
       }
     }
   }
@@ -796,7 +1070,8 @@ class Linter {
             TrimView(std::string_view{line}.substr(after + 1));
         const std::size_t call = rhs.find('(');
         if (call != std::string_view::npos) {
-          const std::string_view callee = LastIdentifier(rhs.substr(0, call + 1));
+          const std::string_view callee =
+              LastIdentifier(rhs.substr(0, call + 1));
           if (!callee.empty() &&
               result_functions_.count(std::string{callee}) > 0) {
             binding_line = i;
@@ -813,8 +1088,8 @@ class Linter {
       if (HasOkCheck(file.code[i], receiver)) return;
     }
     Emit(file, use_line, kDL006,
-         "naked .value() on Result '" + receiver +
-             "' bound at line " + std::to_string(binding_line + 1) +
+         "naked .value() on Result '" + receiver + "' bound at line " +
+             std::to_string(binding_line + 1) +
              " with no ok() check in between");
   }
 
@@ -851,27 +1126,292 @@ class Linter {
     return false;
   }
 
-  // DL005: every registered fault-site name appears in at least one test.
-  [[nodiscard]] Result<bool> LintFaultRegistry() {
-    if (config_.fault_registry.empty()) return true;
-    const fs::path root{config_.root};
-    const fs::path reg_path = root / config_.fault_registry;
-    std::error_code ec;
-    if (!fs::exists(reg_path, ec)) return true;  // nothing to check
-    auto text = ReadFile(reg_path.string());
-    if (!text.ok()) return text.error();
+  // DL007: the module include graph must follow the declared layer DAG.
+  void LintModuleGraph() {
+    const auto rank_of = [&](const std::string& module) {
+      for (const auto& [name, rank] : config_.layer_ranks) {
+        if (name == module) return rank;
+      }
+      return -1;
+    };
 
+    struct EdgeAccum {
+      std::size_t includes = 0;
+      bool violation = false;
+      std::string example;  // "file:line" of the first include seen
+    };
+    std::set<std::string> modules;
+    std::map<std::pair<std::string, std::string>, EdgeAccum> edges;
+
+    for (const FileText& file : index_.scan_files) {
+      if (!file.under_src) continue;
+      const std::string from = ModuleOf(file.path, config_.src_dir);
+      if (from.empty()) continue;
+      modules.insert(from);
+      for (std::size_t i = 0; i < file.code.size(); ++i) {
+        // Detect the directive on the stripped line (a commented-out
+        // include is blank there), then read the path from the raw line
+        // (string contents are blanked in the stripped copy).
+        const std::string_view code = TrimView(file.code[i]);
+        if (code.rfind("#", 0) != 0 ||
+            code.find("include") == std::string_view::npos ||
+            code.find('"') == std::string_view::npos) {
+          continue;
+        }
+        const std::string& raw = file.raw[i];
+        const std::size_t q1 = raw.find('"');
+        if (q1 == std::string::npos) continue;
+        const std::size_t q2 = raw.find('"', q1 + 1);
+        if (q2 == std::string::npos) continue;
+        const std::string include_path = raw.substr(q1 + 1, q2 - q1 - 1);
+        const std::size_t slash = include_path.find('/');
+        if (slash == std::string::npos) continue;  // same-dir / unknown
+        const std::string to = include_path.substr(0, slash);
+        // Only count modules that actually exist under src/ (quoted
+        // system-style includes would otherwise pollute the graph).
+        if (to == from) continue;  // intra-module
+        modules.insert(to);
+        const int from_rank = rank_of(from);
+        const int to_rank = rank_of(to);
+        const bool violation =
+            from_rank >= 0 && to_rank >= 0 && to_rank > from_rank;
+        auto& acc = edges[{from, to}];
+        ++acc.includes;
+        if (acc.example.empty()) {
+          acc.example = file.path + ":" + std::to_string(i + 1);
+        }
+        if (violation) {
+          acc.violation = true;
+          Emit(file, i, kDL007,
+               "include chain " + file.path + " -> \"" + include_path +
+                   "\" climbs the layer DAG: '" + from + "' (rank " +
+                   std::to_string(from_rank) + ") must not depend on '" + to +
+                   "' (rank " + std::to_string(to_rank) +
+                   "); the allowed direction is " + to + " -> " + from);
+        }
+      }
+    }
+
+    // Assemble the exported graph.
+    ModuleGraph graph;
+    graph.modules.assign(modules.begin(), modules.end());
+    graph.module_ranks.reserve(graph.modules.size());
+    for (const std::string& m : graph.modules) {
+      graph.module_ranks.push_back(rank_of(m));
+    }
+    for (const auto& [key, acc] : edges) {
+      graph.edges.push_back(ModuleGraphEdge{key.first, key.second,
+                                            acc.includes, acc.violation,
+                                            acc.example});
+    }
+
+    // Cycle detection over the module graph (any cycle is a layering
+    // bug even when every edge individually passes the rank check —
+    // same-rank modules may not include each other both ways).
+    std::map<std::string, std::vector<std::string>> adj;
+    for (const auto& [key, acc] : edges) {
+      adj[key.first].push_back(key.second);
+    }
+    std::set<std::string> reported;
+    std::map<std::string, int> color;  // 0 new, 1 on stack, 2 done
+    std::vector<std::string> stack;
+    const std::function<void(const std::string&)> dfs =
+        [&](const std::string& node) {
+          color[node] = 1;
+          stack.push_back(node);
+          for (const std::string& next : adj[node]) {
+            if (color[next] == 1) {
+              // Found a back edge: the cycle is the stack suffix from
+              // `next`. Canonicalize by rotating the smallest name first.
+              const auto begin =
+                  std::find(stack.begin(), stack.end(), next);
+              std::vector<std::string> cycle(begin, stack.end());
+              const auto min_it =
+                  std::min_element(cycle.begin(), cycle.end());
+              std::rotate(cycle.begin(), min_it, cycle.end());
+              std::string desc;
+              for (const std::string& m : cycle) desc += m + " -> ";
+              desc += cycle.front();
+              if (reported.insert(desc).second) {
+                const auto edge =
+                    edges.find({cycle.front(), cycle[1 % cycle.size()]});
+                const std::string at = edge != edges.end()
+                                           ? edge->second.example
+                                           : std::string{"?"};
+                graph.cycles.push_back(desc);
+                // Anchor the finding at the first edge's example include.
+                const std::size_t colon = at.rfind(':');
+                Finding f;
+                f.file = at.substr(0, colon);
+                f.line = colon == std::string::npos
+                             ? 0
+                             : static_cast<std::size_t>(
+                                   std::stoul(at.substr(colon + 1)));
+                f.rule_id = kRules[kDL007].id;
+                f.message = "module dependency cycle: " + desc;
+                f.fixit = kRules[kDL007].fixit;
+                ++report_.stats.findings_per_rule[kDL007];
+                report_.findings.push_back(std::move(f));
+              }
+            } else if (color[next] == 0) {
+              dfs(next);
+            }
+          }
+          stack.pop_back();
+          color[node] = 2;
+        };
+    for (const std::string& m : graph.modules) {
+      if (color[m] == 0) dfs(m);
+    }
+    report_.module_graph = std::move(graph);
+  }
+
+  // DL008: sync primitives must sit next to the fields they guard.
+  void LintGuardedByAdjacency() {
+    constexpr std::string_view kSyncTypes[] = {
+        "std::mutex",          "std::recursive_mutex",
+        "std::timed_mutex",    "std::shared_mutex",
+        "std::condition_variable_any", "std::condition_variable",
+        "std::atomic",         "std::sig_atomic_t",
+        "sig_atomic_t",        "Mutex",
+    };
+    for (const FileText& file : index_.scan_files) {
+      if (!file.under_src) continue;
+      for (std::size_t i = 0; i < file.code.size(); ++i) {
+        const std::string_view head =
+            StripDeclQualifiers(TrimView(file.code[i]));
+        if (head.empty() || IsPreprocessorLine(head)) continue;
+        std::string_view matched;
+        std::string_view rest;
+        for (const std::string_view type : kSyncTypes) {
+          if (ConsumeType(head, type, &rest)) {
+            matched = type;
+            break;
+          }
+        }
+        if (matched.empty()) continue;
+        rest = TrimView(rest);
+        // References and pointers are borrows, not the owning
+        // declaration the discipline applies to.
+        if (rest.empty() || rest.front() == '&' || rest.front() == '*') {
+          continue;
+        }
+        if (!IsIdentChar(rest.front())) continue;  // ctor call, cast, ...
+        if (head.find(';') == std::string_view::npos) continue;
+        // Adjacent GUARDED_BY within three lines either side satisfies
+        // the rule — the primitive visibly guards a declared field set.
+        bool guarded = false;
+        const std::size_t lo = i >= 3 ? i - 3 : 0;
+        const std::size_t hi = std::min(i + 3, file.code.size() - 1);
+        for (std::size_t j = lo; j <= hi && !guarded; ++j) {
+          if (file.code[j].find("GUARDED_BY(") != std::string::npos) {
+            guarded = true;
+          }
+        }
+        if (guarded) continue;
+        Emit(file, i, kDL008,
+             "'" + std::string{matched} + "' declaration with no adjacent "
+             "GUARDED_BY-annotated field set: declare what it protects "
+             "(common/annotations.hpp) or justify the lock-free protocol");
+      }
+    }
+  }
+
+  // DL009: no blocking call in a scope lexically holding a lock.
+  void LintBlockingUnderLock() {
+    constexpr std::string_view kLockTypes[] = {
+        "std::lock_guard", "std::unique_lock", "std::scoped_lock",
+        "MutexLock"};
+    constexpr std::string_view kBlockingTokens[] = {
+        "fsync",          "fdatasync",          "AtomicWriteFile",
+        "ReadFileWithFaults", "MineDependencies", "ofstream",
+        "ifstream",       "fopen",              "fwrite",
+        "fread",          "::send(",            "::recv(",
+        "::poll(",        "::accept(",          "::connect(",
+        "::read(",        "::write(",
+    };
+    for (const FileText& file : index_.scan_files) {
+      if (!file.under_src) continue;
+      const std::unordered_set<std::string> futures =
+          NamesVisibleTo(future_names_by_file_, file);
+      int depth = 0;
+      struct HeldLock {
+        int depth;
+        std::size_t line;  // 0-based declaration line
+      };
+      std::vector<HeldLock> held;
+      for (std::size_t i = 0; i < file.code.size(); ++i) {
+        const std::string& line = file.code[i];
+        // A lock declared on this line guards until its block closes.
+        const std::string_view head =
+            StripDeclQualifiers(TrimView(line));
+        for (const std::string_view type : kLockTypes) {
+          std::string_view rest;
+          if (ConsumeType(head, type, &rest)) {
+            held.push_back(HeldLock{depth, i});
+            break;
+          }
+        }
+        if (!held.empty()) {
+          // Blocking tokens on a line inside a locked scope.
+          std::string_view blocked;
+          for (const std::string_view token : kBlockingTokens) {
+            if (ContainsToken(line, token)) {
+              blocked = token;
+              break;
+            }
+          }
+          if (blocked.empty()) {
+            // future.get() blocks until the async task finishes.
+            std::size_t pos = 0;
+            while ((pos = line.find(".get()", pos)) != std::string::npos) {
+              const std::size_t start = ReceiverStart(line, pos);
+              const std::string_view base = LastIdentifier(
+                  std::string_view{line}.substr(start, pos - start));
+              if (!base.empty() && futures.count(std::string{base}) > 0) {
+                blocked = ".get() on a future";
+                break;
+              }
+              pos += 6;
+            }
+          }
+          if (!blocked.empty()) {
+            if (HasJustification(file.directives.lock_free_handoff, i)) {
+              ++report_.stats.suppressions_honored;
+            } else {
+              Emit(file, i, kDL009,
+                   "blocking call '" + std::string{blocked} +
+                       "' while holding the lock declared at line " +
+                       std::to_string(held.back().line + 1) +
+                       "; release first or justify with lock-free-handoff");
+            }
+          }
+        }
+        // Brace accounting after the line's checks: a lock declared at
+        // depth d dies when depth drops below d.
+        for (const char c : line) {
+          if (c == '{') ++depth;
+          if (c == '}') {
+            --depth;
+            while (!held.empty() && depth < held.back().depth) {
+              held.pop_back();
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // DL005: every registered fault-site name appears in at least one test.
+  void LintFaultRegistry() {
+    if (config_.fault_registry.empty() || index_.registry.path.empty()) {
+      return;
+    }
+    const FileText& reg = index_.registry;
     // Collect (line, enumerator, wire name) from the FaultSiteName
     // switch: `case FaultSite::kX: return "x";`.
-    struct Site {
-      std::size_t line;
-      std::string enumerator;
-      std::string name;
-    };
-    std::vector<Site> sites;
-    const std::vector<std::string> raw = SplitLines(text.value());
-    for (std::size_t i = 0; i < raw.size(); ++i) {
-      const std::string& line = raw[i];
+    for (std::size_t i = 0; i < reg.raw.size(); ++i) {
+      const std::string& line = reg.raw[i];
       const std::size_t case_pos = line.find("case FaultSite::");
       if (case_pos == std::string::npos) continue;
       std::size_t j = case_pos + 16;
@@ -882,60 +1422,75 @@ class Linter {
       if (q1 == std::string::npos) continue;
       const std::size_t q2 = line.find('"', q1 + 1);
       if (q2 == std::string::npos) continue;
-      sites.push_back(Site{i, enumerator, line.substr(q1 + 1, q2 - q1 - 1)});
-    }
-    if (sites.empty()) return true;
-
-    // One concatenated haystack of every test file.
-    std::string tests;
-    const fs::path tests_root = root / config_.tests_dir;
-    if (fs::is_directory(tests_root, ec)) {
-      std::vector<fs::path> paths;
-      for (fs::recursive_directory_iterator it{tests_root, ec}, end;
-           it != end && !ec; it.increment(ec)) {
-        if (it->is_regular_file() && IsSourceFile(it->path())) {
-          paths.push_back(it->path());
-        }
-      }
-      std::sort(paths.begin(), paths.end());
-      for (const fs::path& p : paths) {
-        auto t = ReadFile(p.string());
-        if (!t.ok()) return t.error();
-        tests += t.value();
-        tests += '\n';
-      }
-    }
-
-    FileText reg;
-    reg.path = RelPath(root, reg_path);
-    reg.raw = raw;
-    directives_ = ParseDirectives(reg.raw);
-    for (const Site& site : sites) {
+      const std::string name = line.substr(q1 + 1, q2 - q1 - 1);
       // The enumerator must appear as a whole token; the wire name also
       // counts as a plain substring because FaultProfile knobs are
       // named after their site ("net_accept_failure_fraction" is a
       // genuine reference to site "net_accept").
-      if (ContainsToken(tests, site.enumerator) ||
-          tests.find(site.name) != std::string::npos) {
+      if (ContainsToken(index_.test_haystack, enumerator) ||
+          index_.test_haystack.find(name) != std::string::npos) {
         continue;
       }
-      Emit(reg, site.line, kDL005,
-           "fault site \"" + site.name + "\" (FaultSite::" + site.enumerator +
+      Emit(reg, i, kDL005,
+           "fault site \"" + name + "\" (FaultSite::" + enumerator +
                ") is not referenced by any test under " + config_.tests_dir +
                "/");
     }
-    return true;
   }
 
   LintConfig config_;
   LintReport report_;
-  Directives directives_;
+  FileIndex index_;
   std::unordered_set<std::string> result_functions_;
   std::unordered_map<std::string, std::unordered_set<std::string>>
       unordered_names_by_file_;
+  std::unordered_map<std::string, std::unordered_set<std::string>>
+      future_names_by_file_;
 };
 
+[[nodiscard]] std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+std::size_t ModuleGraph::num_violations() const noexcept {
+  std::size_t n = 0;
+  for (const ModuleGraphEdge& e : edges) {
+    if (e.violation) ++n;
+  }
+  return n;
+}
+
+std::string ModuleGraph::ToDot() const {
+  std::string out = "digraph modules {\n  rankdir=BT;\n";
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    out += "  \"" + modules[i] + "\"";
+    if (i < module_ranks.size() && module_ranks[i] >= 0) {
+      out += " [label=\"" + modules[i] + "\\nrank " +
+             std::to_string(module_ranks[i]) + "\"]";
+    }
+    out += ";\n";
+  }
+  for (const ModuleGraphEdge& e : edges) {
+    out += "  \"" + e.from + "\" -> \"" + e.to + "\"";
+    if (e.violation) out += " [color=red, penwidth=2]";
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
 
 const std::array<RuleInfo, kNumRules>& Rules() noexcept { return kRules; }
 
@@ -987,6 +1542,28 @@ std::string ReportJson(const LintReport& report, double elapsed_seconds) {
     out += "\": " + std::to_string(report.stats.findings_per_rule[i]);
   }
   out += "\n  },\n";
+  const ModuleGraph& g = report.module_graph;
+  out += "  \"module_graph\": {\n";
+  out += "    \"nodes\": " + std::to_string(g.modules.size()) + ",\n";
+  out += "    \"edges\": " + std::to_string(g.edges.size()) + ",\n";
+  out += "    \"violations\": " + std::to_string(g.num_violations()) + ",\n";
+  out += "    \"cycles\": " + std::to_string(g.cycles.size()) + ",\n";
+  out += "    \"modules\": [";
+  for (std::size_t i = 0; i < g.modules.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + JsonEscape(g.modules[i]) + "\"";
+  }
+  out += "],\n    \"edge_list\": [";
+  for (std::size_t i = 0; i < g.edges.size(); ++i) {
+    const ModuleGraphEdge& e = g.edges[i];
+    if (i > 0) out += ',';
+    out += "\n      {\"from\": \"" + JsonEscape(e.from) + "\", \"to\": \"" +
+           JsonEscape(e.to) +
+           "\", \"includes\": " + std::to_string(e.includes) +
+           ", \"violation\": " + (e.violation ? "true" : "false") + "}";
+  }
+  if (!g.edges.empty()) out += "\n    ";
+  out += "],\n    \"dot\": \"" + JsonEscape(g.ToDot()) + "\"\n  },\n";
   char buf[48];
   std::snprintf(buf, sizeof buf, "%.6f", elapsed_seconds);
   out += "  \"elapsed_seconds\": ";

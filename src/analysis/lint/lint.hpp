@@ -1,11 +1,12 @@
-// defuse-lint: a project-specific static-analysis pass (DESIGN.md §11).
+// defuse-lint: a project-specific static-analysis pass (DESIGN.md §11, §16).
 //
 // Every major subsystem stakes its correctness on bit-identical
 // determinism: the differential suites replay seeds 0-9, but a scheduler
 // bug introduced by a wall-clock read or hash-order iteration only
 // surfaces under traffic shapes no fixed seed set covers. defuse-lint
-// forbids the *sources* of nondeterminism at lint time, as table-driven
-// rules over the source tree:
+// forbids the *sources* of nondeterminism at lint time, and — since the
+// repo grew a concurrent serving tier — architecture and lock-discipline
+// violations too, as table-driven rules over the source tree:
 //
 //   DL001  no wall-clock reads in deterministic layers
 //   DL002  no ambient randomness (std::rand / random_device) in
@@ -17,29 +18,42 @@
 //          referenced by at least one test
 //   DL006  no naked Result `.value()` without a preceding ok() check
 //          in the same scope
+//   DL007  every `#include "..."` between src/ modules must follow the
+//          declared layer DAG (no upward edges, no cycles)
+//   DL008  every mutex / condition-variable / atomic member must sit
+//          next to the GUARDED_BY-annotated fields it protects
+//   DL009  no blocking call (fsync, file writes, MineDependencies,
+//          socket I/O, future .get()) while lexically holding a lock
 //
 // Findings are emitted as `file:line: [DL00x] message` so they are
 // clickable in CI logs. Each rule carries a fix-it hint and honors the
 // suppression syntax `// defuse-lint: suppress(DL00x) <reason>` on the
-// finding line or the line above. The analysis is lexical (comment- and
-// string-aware, brace-free): it trades completeness for zero build-time
-// dependencies and deterministic, sub-second runs over the whole tree.
+// finding line or the line above; a directive whose <reason> is empty is
+// itself a finding (tagged with the target rule's id) and suppresses
+// nothing. The analysis is lexical (comment- and string-aware,
+// brace-counting but parse-free): it trades completeness for zero
+// build-time dependencies and deterministic, sub-second runs over the
+// whole tree. Every file is read and tokenized exactly once into a
+// shared line index reused by all rules (LintConfig::reload_per_rule
+// re-reads per rule family so the self-check can prove the index is
+// behavior-neutral).
 #pragma once
 
 #include <array>
 #include <cstddef>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/result.hpp"
 
 namespace defuse::analysis::lint {
 
-inline constexpr std::size_t kNumRules = 6;
+inline constexpr std::size_t kNumRules = 9;
 
 struct RuleInfo {
-  std::string_view id;       ///< "DL001" ... "DL006".
+  std::string_view id;       ///< "DL001" ... "DL009".
   std::string_view name;     ///< Short kebab-case rule name.
   std::string_view summary;  ///< One-line rationale.
   std::string_view fixit;    ///< How to fix (or legitimately suppress).
@@ -68,11 +82,40 @@ struct LintStats {
   std::size_t suppressions_honored = 0;
 };
 
+/// One directed edge of the module dependency graph (DL007): module
+/// `from` includes headers of module `to`.
+struct ModuleGraphEdge {
+  std::string from;
+  std::string to;
+  std::size_t includes = 0;  ///< Number of #include directives behind it.
+  bool violation = false;    ///< Upward edge in the layer DAG.
+  std::string example;       ///< "file:line" of one offending/first include.
+};
+
+/// The src/ module dependency graph mined from #include "..." lines.
+struct ModuleGraph {
+  std::vector<std::string> modules;    ///< Sorted module names.
+  std::vector<int> module_ranks;       ///< Parallel to modules; -1 unranked.
+  std::vector<ModuleGraphEdge> edges;  ///< Sorted by (from, to); no self-edges.
+  std::vector<std::string> cycles;     ///< Canonical "a -> b -> a" chains.
+
+  [[nodiscard]] std::size_t num_violations() const noexcept;
+  /// Graphviz rendering: one node per module (rank in the label when
+  /// declared), violation edges red, legal edges solid.
+  [[nodiscard]] std::string ToDot() const;
+};
+
 struct LintConfig {
   /// Repository root; all other paths are relative to it.
   std::string root;
-  /// Directories to scan for DL001-DL004/DL006 (.cpp/.hpp/.h).
-  std::vector<std::string> scan_dirs{"src"};
+  /// Directories to scan (.cpp/.hpp/.h/.cc). DL001-DL004/DL006 apply to
+  /// every scanned file; DL005 and DL007-DL009 only to files under
+  /// `src_dir` (bench/ and tools/ are outside the layer DAG and the
+  /// annotation discipline).
+  std::vector<std::string> scan_dirs{"src", "bench", "tools"};
+  /// The directory whose first-level subdirectories are the layer-DAG
+  /// modules (DL007-DL009 scope).
+  std::string src_dir = "src";
   /// Layers that must stay free of wall-clock/rand/getenv (DL001-003).
   std::vector<std::string> deterministic_layers{
       "src/mining", "src/graph", "src/policy",
@@ -86,12 +129,29 @@ struct LintConfig {
   std::string fault_registry = "src/faults/injector.hpp";
   /// Directory whose files count as "tests" for DL005 references.
   std::string tests_dir = "tests";
+  /// The declared layer DAG (DL007): module -> rank. An include edge is
+  /// legal iff rank(includee) <= rank(includer); modules not listed here
+  /// (analysis, and anything outside src/) are unconstrained. Braced
+  /// sets in the DESIGN.md §16 diagram share a rank, so intra-set edges
+  /// are legal in either direction (cycle detection still rejects loops).
+  std::vector<std::pair<std::string, int>> layer_ranks{
+      {"common", 0}, {"stats", 1},    {"trace", 1},  {"graph", 1},
+      {"mining", 2}, {"policy", 3},   {"sim", 4},    {"core", 5},
+      {"faults", 6}, {"platform", 7}, {"net", 8},    {"server", 8},
+      {"router", 9}, {"arena", 10},   {"cli", 11}};
+  /// Debug/self-check mode: re-read and re-tokenize every file from disk
+  /// before each rule family instead of sharing one index. Findings must
+  /// be byte-identical to the shared-index run (asserted by the lint
+  /// self-check test); kept so the perf fix stays provably behavior-free.
+  bool reload_per_rule = false;
 };
 
 struct LintReport {
   /// Sorted by (file, line, rule id).
   std::vector<Finding> findings;
   LintStats stats;
+  /// The mined module graph (empty when no src/ files were scanned).
+  ModuleGraph module_graph;
 };
 
 /// Walks the tree under `config.root` and returns every finding. Only
@@ -101,9 +161,10 @@ struct LintReport {
 /// `file:line: [DL00x] message`.
 [[nodiscard]] std::string FormatFinding(const Finding& f);
 
-/// BENCH_lint.json payload: per-rule finding counts, scan volume, and
-/// wall runtime (measured by the caller — the library itself never
-/// reads a clock, so it stays admissible in deterministic layers).
+/// BENCH_lint.json payload: per-rule finding counts, scan volume, module
+/// graph (nodes/edges/violations/cycles plus JSON edge list and DOT), and
+/// wall runtime (measured by the caller — the library itself never reads
+/// a clock, so it stays admissible in deterministic layers).
 [[nodiscard]] std::string ReportJson(const LintReport& report,
                                      double elapsed_seconds);
 

@@ -80,7 +80,7 @@ Result<LeagueTable> RunLeague(const LeagueConfig& config) {
     for (const std::string& spec : config.policies) {
       auto built = policies.Build(context, spec);
       if (!built.ok()) return built.error();
-      const std::unique_ptr<sim::SchedulingPolicy> policy =
+      const std::unique_ptr<policy::SchedulingPolicy> policy =
           std::move(built).value();
 
       const sim::SimulationResult result =

@@ -66,13 +66,13 @@ void SeedUnitHistograms(Policy& policy, std::size_t histogram_bins,
                            .default_value = "2"},
                  AmpParam()},
       .factory = [](const PolicyBuildContext& ctx, const SpecValues& values)
-          -> Result<std::unique_ptr<sim::SchedulingPolicy>> {
+          -> Result<std::unique_ptr<policy::SchedulingPolicy>> {
         if (ctx.mining == nullptr) return MissingMining("ar");
         policy::HybridConfig config;
         config.use_ar_fallback = true;
         config.ar_sigma_band = values.GetDouble("band");
         config.amplification = values.GetDouble("amp");
-        return std::unique_ptr<sim::SchedulingPolicy>{core::MakeDefuseScheduler(
+        return std::unique_ptr<policy::SchedulingPolicy>{core::MakeDefuseScheduler(
             *ctx.trace, *ctx.mining, ctx.train, config)};
       }});
 
@@ -83,12 +83,12 @@ void SeedUnitHistograms(Policy& policy, std::size_t histogram_bins,
       .needs_mining = true,
       .params = {AmpParam()},
       .factory = [](const PolicyBuildContext& ctx, const SpecValues& values)
-          -> Result<std::unique_ptr<sim::SchedulingPolicy>> {
+          -> Result<std::unique_ptr<policy::SchedulingPolicy>> {
         if (ctx.mining == nullptr) return MissingMining("diurnal");
         policy::DiurnalConfig config;
         config.hybrid.amplification = values.GetDouble("amp");
         auto diurnal = std::make_unique<policy::DiurnalPolicy>(
-            sim::UnitMap::FromDependencySets(ctx.mining->sets,
+            graph::UnitMap::FromDependencySets(ctx.mining->sets,
                                              ctx.model->num_functions()),
             config);
         SeedUnitHistograms(*diurnal, config.hybrid.histogram_bins,
@@ -102,7 +102,7 @@ void SeedUnitHistograms(Policy& policy, std::size_t histogram_bins,
             }
           }
         }
-        return std::unique_ptr<sim::SchedulingPolicy>{std::move(diurnal)};
+        return std::unique_ptr<policy::SchedulingPolicy>{std::move(diurnal)};
       }});
 
   entries.push_back(PolicyEntry{
@@ -117,10 +117,10 @@ void SeedUnitHistograms(Policy& policy, std::size_t histogram_bins,
                            .max_value = 1440,
                            .default_value = "10"}},
       .factory = [](const PolicyBuildContext& ctx, const SpecValues& values)
-          -> Result<std::unique_ptr<sim::SchedulingPolicy>> {
-        return std::unique_ptr<sim::SchedulingPolicy>{
+          -> Result<std::unique_ptr<policy::SchedulingPolicy>> {
+        return std::unique_ptr<policy::SchedulingPolicy>{
             std::make_unique<policy::FixedKeepAlivePolicy>(
-                sim::UnitMap::PerFunction(ctx.model->num_functions()),
+                graph::UnitMap::PerFunction(ctx.model->num_functions()),
                 static_cast<MinuteDelta>(values.GetInt("keepalive")))};
       }});
 
@@ -144,15 +144,15 @@ void SeedUnitHistograms(Policy& policy, std::size_t histogram_bins,
                            .max_value = 240,
                            .default_value = "10"}},
       .factory = [](const PolicyBuildContext& ctx, const SpecValues& values)
-          -> Result<std::unique_ptr<sim::SchedulingPolicy>> {
+          -> Result<std::unique_ptr<policy::SchedulingPolicy>> {
         if (ctx.mining == nullptr) return MissingMining("forecast");
         policy::ForecastSlotConfig config;
         config.sigma_band = values.GetDouble("band");
         config.fixed_keepalive =
             static_cast<MinuteDelta>(values.GetInt("warm"));
-        return std::unique_ptr<sim::SchedulingPolicy>{
+        return std::unique_ptr<policy::SchedulingPolicy>{
             std::make_unique<policy::ForecastSlotPolicy>(
-                sim::UnitMap::FromDependencySets(ctx.mining->sets,
+                graph::UnitMap::FromDependencySets(ctx.mining->sets,
                                                  ctx.model->num_functions()),
                 [] { return std::make_unique<policy::ArForecaster>(); },
                 config)};
@@ -185,7 +185,7 @@ void SeedUnitHistograms(Policy& policy, std::size_t histogram_bins,
                            .max_value = 240,
                            .default_value = "1"}},
       .factory = [](const PolicyBuildContext& ctx, const SpecValues& values)
-          -> Result<std::unique_ptr<sim::SchedulingPolicy>> {
+          -> Result<std::unique_ptr<policy::SchedulingPolicy>> {
         if (ctx.mining == nullptr) return MissingMining("hiku");
         policy::HikuConfig config;
         config.trigger_delay = static_cast<MinuteDelta>(values.GetInt("delay"));
@@ -196,9 +196,9 @@ void SeedUnitHistograms(Policy& policy, std::size_t histogram_bins,
         // Function granularity: the mined graph's edges *are* the
         // function-level trigger edges (dependency sets would swallow
         // every edge into a single unit and leave nothing to trigger).
-        return std::unique_ptr<sim::SchedulingPolicy>{
+        return std::unique_ptr<policy::SchedulingPolicy>{
             std::make_unique<policy::HikuPullPolicy>(
-                sim::UnitMap::PerFunction(ctx.model->num_functions()),
+                graph::UnitMap::PerFunction(ctx.model->num_functions()),
                 ctx.mining->graph, config)};
       }});
 
@@ -216,22 +216,22 @@ void SeedUnitHistograms(Policy& policy, std::size_t histogram_bins,
                            .default_value = "set"},
                  AmpParam()},
       .factory = [](const PolicyBuildContext& ctx, const SpecValues& values)
-          -> Result<std::unique_ptr<sim::SchedulingPolicy>> {
+          -> Result<std::unique_ptr<policy::SchedulingPolicy>> {
         policy::HybridConfig config;
         config.amplification = values.GetDouble("amp");
         const std::string& variant = values.GetEnum("variant");
         if (variant == "set") {
           if (ctx.mining == nullptr) return MissingMining("hybrid:set");
-          return std::unique_ptr<sim::SchedulingPolicy>{
+          return std::unique_ptr<policy::SchedulingPolicy>{
               core::MakeDefuseScheduler(*ctx.trace, *ctx.mining, ctx.train,
                                         config)};
         }
         if (variant == "function" || variant == "fine") {
-          return std::unique_ptr<sim::SchedulingPolicy>{
+          return std::unique_ptr<policy::SchedulingPolicy>{
               core::MakeHybridFunctionScheduler(*ctx.trace, *ctx.model,
                                                 ctx.train, config)};
         }
-        return std::unique_ptr<sim::SchedulingPolicy>{
+        return std::unique_ptr<policy::SchedulingPolicy>{
             core::MakeHybridApplicationScheduler(*ctx.trace, *ctx.model,
                                                  ctx.train, config)};
       }});
@@ -243,18 +243,18 @@ void SeedUnitHistograms(Policy& policy, std::size_t histogram_bins,
       .needs_mining = true,
       .params = {AmpParam()},
       .factory = [](const PolicyBuildContext& ctx, const SpecValues& values)
-          -> Result<std::unique_ptr<sim::SchedulingPolicy>> {
+          -> Result<std::unique_ptr<policy::SchedulingPolicy>> {
         if (ctx.mining == nullptr) return MissingMining("predictor");
         policy::PredictorConfig config;
         config.hybrid.amplification = values.GetDouble("amp");
         auto predictor = std::make_unique<policy::PeriodicityPredictorPolicy>(
-            sim::UnitMap::FromDependencySets(ctx.mining->sets,
+            graph::UnitMap::FromDependencySets(ctx.mining->sets,
                                              ctx.model->num_functions()),
             config);
         SeedUnitHistograms(*predictor, config.hybrid.histogram_bins,
                            config.hybrid.histogram_bin_width, *ctx.trace,
                            ctx.train);
-        return std::unique_ptr<sim::SchedulingPolicy>{std::move(predictor)};
+        return std::unique_ptr<policy::SchedulingPolicy>{std::move(predictor)};
       }});
 
   entries.push_back(PolicyEntry{
@@ -268,17 +268,17 @@ void SeedUnitHistograms(Policy& policy, std::size_t histogram_bins,
                            .choices = {"latency", "balanced", "cost"},
                            .default_value = "balanced"}},
       .factory = [](const PolicyBuildContext& ctx, const SpecValues& values)
-          -> Result<std::unique_ptr<sim::SchedulingPolicy>> {
+          -> Result<std::unique_ptr<policy::SchedulingPolicy>> {
         policy::SpesConfig config;
         const std::string& tier = values.GetEnum("tier");
         config.tier = tier == "latency"  ? policy::SpesTier::kLatency
                       : tier == "cost"   ? policy::SpesTier::kCost
                                          : policy::SpesTier::kBalanced;
         auto spes = std::make_unique<policy::SpesTieredPolicy>(
-            sim::UnitMap::PerFunction(ctx.model->num_functions()), config);
+            graph::UnitMap::PerFunction(ctx.model->num_functions()), config);
         SeedUnitHistograms(*spes, config.histogram_bins,
                            config.histogram_bin_width, *ctx.trace, ctx.train);
-        return std::unique_ptr<sim::SchedulingPolicy>{std::move(spes)};
+        return std::unique_ptr<policy::SchedulingPolicy>{std::move(spes)};
       }});
 
   std::sort(entries.begin(), entries.end(),
@@ -329,7 +329,7 @@ Result<ResolvedPolicySpec> PolicyRegistry::Resolve(
   return resolved;
 }
 
-Result<std::unique_ptr<sim::SchedulingPolicy>> PolicyRegistry::Build(
+Result<std::unique_ptr<policy::SchedulingPolicy>> PolicyRegistry::Build(
     const PolicyBuildContext& context, std::string_view spec_text) const {
   if (context.model == nullptr || context.trace == nullptr) {
     return Error{.code = ErrorCode::kFailedPrecondition,

@@ -21,7 +21,7 @@
 #include "arena/spec.hpp"
 #include "common/result.hpp"
 #include "core/defuse.hpp"
-#include "sim/policy.hpp"
+#include "policy/scheduling_policy.hpp"
 #include "trace/invocation_trace.hpp"
 #include "trace/model.hpp"
 
@@ -40,7 +40,7 @@ struct PolicyBuildContext {
 };
 
 using PolicyFactory =
-    std::function<Result<std::unique_ptr<sim::SchedulingPolicy>>(
+    std::function<Result<std::unique_ptr<policy::SchedulingPolicy>>(
         const PolicyBuildContext&, const SpecValues&)>;
 
 struct PolicyEntry {
@@ -79,7 +79,7 @@ class PolicyRegistry {
       std::string_view spec_text) const;
 
   /// Resolve + construct.
-  [[nodiscard]] Result<std::unique_ptr<sim::SchedulingPolicy>> Build(
+  [[nodiscard]] Result<std::unique_ptr<policy::SchedulingPolicy>> Build(
       const PolicyBuildContext& context, std::string_view spec_text) const;
 
   /// Registers an entry (tests and out-of-tree extensions). Keeps the

@@ -5,6 +5,7 @@
 namespace defuse::cli {
 namespace {
 
+// defuse-lint: suppress(DL008) async-signal-safe idiom: sig_atomic_t is the only type a signal handler may touch; a mutex here would deadlock the handler
 volatile std::sig_atomic_t g_shutdown_requested = 0;
 
 void OnShutdownSignal(int) { g_shutdown_requested = 1; }

@@ -46,20 +46,19 @@ void SyncParentDir(const std::string& path) {
 std::string AtomicTempPath(const std::string& path) { return path + ".tmp"; }
 
 Result<bool> AtomicWriteFile(const std::string& path, std::string_view content,
-                             faults::FaultInjector* injector) {
+                             const IoFaultHooks* hooks) {
   const std::string tmp = AtomicTempPath(path);
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return Errno("cannot open temp file", tmp);
 
   // Injected crash mid-write: a deterministic prefix lands, nothing is
   // published, and the partial temp file stays behind as crash debris.
-  if (injector != nullptr &&
-      injector->ShouldFail(faults::FaultSite::kSnapshotTornWrite)) {
+  if (hooks != nullptr && hooks->fail_torn_write &&
+      hooks->fail_torn_write()) {
     const std::size_t prefix =
-        content.empty()
+        content.empty() || !hooks->torn_write_shape
             ? 0
-            : injector->DrawShape(faults::FaultSite::kSnapshotTornWrite) %
-                  content.size();
+            : hooks->torn_write_shape() % content.size();
     (void)WriteAll(fd, content.substr(0, prefix));
     (void)::close(fd);
     return Error{ErrorCode::kIoError,
@@ -78,8 +77,7 @@ Result<bool> AtomicWriteFile(const std::string& path, std::string_view content,
   }
   if (::close(fd) != 0) return Errno("close failure on", tmp);
 
-  if (injector != nullptr &&
-      injector->ShouldFail(faults::FaultSite::kSnapshotRename)) {
+  if (hooks != nullptr && hooks->fail_rename && hooks->fail_rename()) {
     return Error{ErrorCode::kIoError,
                  "injected rename failure publishing " + path};
   }
@@ -91,7 +89,7 @@ Result<bool> AtomicWriteFile(const std::string& path, std::string_view content,
 }
 
 Result<std::string> ReadFileWithFaults(const std::string& path,
-                                       faults::FaultInjector* injector) {
+                                       const IoFaultHooks* hooks) {
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     if (errno == ENOENT) {
@@ -114,10 +112,10 @@ Result<std::string> ReadFileWithFaults(const std::string& path,
   }
   (void)::close(fd);
 
-  if (!buffer.empty() && injector != nullptr &&
-      injector->ShouldFail(faults::FaultSite::kStateReadBitFlip)) {
+  if (!buffer.empty() && hooks != nullptr && hooks->fail_read_bit_flip &&
+      hooks->fail_read_bit_flip() && hooks->read_bit_shape) {
     const std::uint64_t bit =
-        injector->DrawShape(faults::FaultSite::kStateReadBitFlip) %
+        hooks->read_bit_shape() %
         (static_cast<std::uint64_t>(buffer.size()) * 8);
     buffer[static_cast<std::size_t>(bit / 8)] =
         static_cast<char>(buffer[static_cast<std::size_t>(bit / 8)] ^

@@ -4,29 +4,46 @@
 // returns, either the destination holds the complete new content (all
 // bytes fsynced before the rename published them) or it is untouched —
 // never a torn mixture. The temp-write / fsync / rename / dir-fsync
-// dance is the standard POSIX recipe; every step can be made to fail by
-// the attached faults::FaultInjector so the chaos suite can prove the
-// "or it is untouched" half:
+// dance is the standard POSIX recipe; every step can be made to fail via
+// the IoFaultHooks seam so the chaos suite can prove the "or it is
+// untouched" half. The hooks are plain std::function slots: common/
+// stays at the bottom of the layer DAG and never includes faults/ —
+// faults/io_hooks.hpp adapts a faults::FaultInjector into this struct.
 //
-//   * kSnapshotTornWrite — simulated crash mid-write: a prefix of the
-//     bytes lands in the temp file, the rename never happens, and the
-//     call errors. The destination is untouched; the partial temp file
-//     is left behind for fsck to find, exactly like a real crash.
-//   * kSnapshotRename — the temp file is complete and synced but the
+//   * fail_torn_write/torn_write_shape — simulated crash mid-write: a
+//     prefix of the bytes lands in the temp file, the rename never
+//     happens, and the call errors. The destination is untouched; the
+//     partial temp file is left behind for fsck to find, exactly like a
+//     real crash.
+//   * fail_rename — the temp file is complete and synced but the
 //     publish rename fails (ENOSPC on the directory, power cut between
 //     sync and rename).
-//   * kStateReadBitFlip (ReadFileWithFaults) — one bit of the returned
-//     buffer flips, modelling media corruption the caller's checksum
-//     must catch.
+//   * fail_read_bit_flip/read_bit_shape (ReadFileWithFaults) — one bit
+//     of the returned buffer flips, modelling media corruption the
+//     caller's checksum must catch.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
 #include "common/result.hpp"
-#include "faults/injector.hpp"
 
 namespace defuse::io {
+
+/// Fault-injection slots for the atomic-file primitives. Unset (empty)
+/// members mean "never fail". Shape draws are consulted only after the
+/// matching fail hook returns true, and at most once per call — the
+/// adapter in faults/io_hooks.hpp relies on this exact draw order for
+/// bit-identical chaos replay.
+struct IoFaultHooks {
+  std::function<bool()> fail_torn_write;
+  std::function<std::uint64_t()> torn_write_shape;
+  std::function<bool()> fail_rename;
+  std::function<bool()> fail_read_bit_flip;
+  std::function<std::uint64_t()> read_bit_shape;
+};
 
 /// The temp path AtomicWriteFile stages through ("<path>.tmp"); exposed
 /// so fsck can recognize crash debris.
@@ -35,13 +52,13 @@ namespace defuse::io {
 /// Writes `content` to `path` atomically: temp file + fsync + rename +
 /// parent-directory fsync. On any error (real or injected) the
 /// destination keeps its previous content (or stays absent).
-[[nodiscard]] Result<bool> AtomicWriteFile(
-    const std::string& path, std::string_view content,
-    faults::FaultInjector* injector = nullptr);
+[[nodiscard]] Result<bool> AtomicWriteFile(const std::string& path,
+                                           std::string_view content,
+                                           const IoFaultHooks* hooks = nullptr);
 
-/// Reads a whole file, with the kStateReadBitFlip fault site applied to
-/// the returned buffer (one deterministic bit flip per injected fault).
+/// Reads a whole file, with the read-bit-flip hook applied to the
+/// returned buffer (one deterministic bit flip per injected fault).
 [[nodiscard]] Result<std::string> ReadFileWithFaults(
-    const std::string& path, faults::FaultInjector* injector = nullptr);
+    const std::string& path, const IoFaultHooks* hooks = nullptr);
 
 }  // namespace defuse::io

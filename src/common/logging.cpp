@@ -6,6 +6,7 @@
 namespace defuse {
 namespace {
 
+// defuse-lint: suppress(DL008) lock-free by design: the atomic itself is the synchronization for this settings flag; no guarded field set exists
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 constexpr const char* LevelName(LogLevel level) noexcept {

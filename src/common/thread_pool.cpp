@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock{mutex_};
+    const MutexLock lock{mutex_};
     stop_ = true;
   }
   ready_.notify_all();
@@ -31,7 +31,7 @@ std::size_t ThreadPool::DefaultThreads() noexcept {
 
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
-    const std::lock_guard<std::mutex> lock{mutex_};
+    const MutexLock lock{mutex_};
     queue_.push_back(std::move(task));
   }
   ready_.notify_one();
@@ -41,8 +41,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock{mutex_};
-      ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock{mutex_};
+      // Explicit wait loop (not the predicate overload): clang's
+      // thread-safety analysis can verify GUARDED_BY accesses in this
+      // form, whereas a predicate lambda is opaque to it.
+      while (!stop_ && queue_.empty()) ready_.wait(mutex_);
       // Drain-before-exit: stop_ only ends the loop once the queue is
       // empty, so every submitted future is eventually satisfied.
       if (queue_.empty()) return;

@@ -18,11 +18,12 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/annotations.hpp"
 
 namespace defuse {
 
@@ -61,11 +62,13 @@ class ThreadPool {
   void Enqueue(std::function<void()> task);
   void WorkerLoop();
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable ready_;
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  // written only in the constructor
+  Mutex mutex_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  bool stop_ GUARDED_BY(mutex_) = false;
+  /// condition_variable_any waits directly on the annotated Mutex via
+  /// its BasicLockable shims; signalled on enqueue and shutdown.
+  std::condition_variable_any ready_;  // signals the guarded fields above
 };
 
 /// Runs body(i) for every i in [0, n). With a null pool (or a single

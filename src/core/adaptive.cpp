@@ -80,8 +80,7 @@ AdaptiveResult RunAdaptive(const trace::WorkloadModel& model,
     // FP-Growth pass) before giving up on a fresh graph entirely.
     DefuseConfig mining_config = config.mining;
     bool mine_fresh = true;
-    if (config.fault_injector != nullptr &&
-        config.fault_injector->ShouldFail(faults::FaultSite::kRemine)) {
+    if (config.remine_fault && config.remine_fault()) {
       DEFUSE_LOG_WARN << "adaptive: injected mining failure at epoch "
                       << epoch.simulated.begin
                       << "; keeping previous dependency sets";

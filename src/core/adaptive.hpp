@@ -13,10 +13,10 @@
 // every configuration compared.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "core/defuse.hpp"
-#include "faults/injector.hpp"
 #include "sim/simulator.hpp"
 
 namespace defuse::core {
@@ -33,9 +33,12 @@ struct AdaptiveConfig {
   /// not mined at full strength — it drops to weak-deps-only, or to the
   /// previous epoch's sets when weak mining is off too. 0 = unlimited.
   std::uint64_t max_mining_transactions = 0;
-  /// Optional deterministic fault injector (chaos testing). Not owned;
-  /// nullptr (the default) disables every fault branch.
-  faults::FaultInjector* fault_injector = nullptr;
+  /// Optional chaos hook consulted once per epoch: returning true kills
+  /// that epoch's re-mine (the epoch degrades to the previous sets).
+  /// Empty (the default) disables the fault branch. Kept as a plain
+  /// callable so core/ stays below faults/ in the layer DAG; bind a
+  /// faults::FaultInjector here from the test or platform layer.
+  std::function<bool()> remine_fault;
 };
 
 struct AdaptiveEpoch {

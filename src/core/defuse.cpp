@@ -15,7 +15,7 @@ namespace {
 /// training window.
 void SeedFromTraining(policy::HybridHistogramPolicy& policy,
                       const trace::InvocationTrace& trace, TimeRange train) {
-  const sim::UnitMap& units = policy.unit_map();
+  const graph::UnitMap& units = policy.unit_map();
   mining::PredictabilityConfig hist_shape;
   hist_shape.histogram_bins = policy.config().histogram_bins;
   hist_shape.histogram_bin_width = policy.config().histogram_bin_width;
@@ -208,11 +208,11 @@ Result<MiningOutput> MineDependencies(
   // sorts and dedupes, so equal edge multisets give equal graphs.
   for (std::size_t u = 0; u < num_users; ++u) {
     for (const auto& itemset : shards[u].itemsets) {
-      output.graph.AddStrongItemset(itemset);
+      output.graph.AddStrongItemset(itemset.items, itemset.support);
     }
     output.num_frequent_itemsets += shards[u].itemsets.size();
     for (const auto& dep : shards[u].weak) {
-      output.graph.AddWeakDependency(dep);
+      output.graph.AddWeakDependency(dep.from, dep.to, dep.ppmi);
     }
     output.num_weak_dependencies += shards[u].weak.size();
   }
@@ -241,7 +241,7 @@ std::unique_ptr<policy::HybridHistogramPolicy> MakeSetScheduler(
     const trace::InvocationTrace& trace,
     const std::vector<graph::DependencySet>& sets, TimeRange train,
     const policy::HybridConfig& policy_config) {
-  auto units = sim::UnitMap::FromDependencySets(sets, trace.num_functions());
+  auto units = graph::UnitMap::FromDependencySets(sets, trace.num_functions());
   auto policy = std::make_unique<policy::HybridHistogramPolicy>(
       std::move(units), policy_config);
   SeedFromTraining(*policy, trace, train);
@@ -252,7 +252,7 @@ std::unique_ptr<policy::HybridHistogramPolicy> MakeHybridFunctionScheduler(
     const trace::InvocationTrace& trace, const trace::WorkloadModel& model,
     TimeRange train, const policy::HybridConfig& policy_config) {
   auto policy = std::make_unique<policy::HybridHistogramPolicy>(
-      sim::UnitMap::PerFunction(model.num_functions()), policy_config);
+      graph::UnitMap::PerFunction(model.num_functions()), policy_config);
   SeedFromTraining(*policy, trace, train);
   return policy;
 }
@@ -263,7 +263,7 @@ MakeHybridApplicationScheduler(const trace::InvocationTrace& trace,
                                TimeRange train,
                                const policy::HybridConfig& policy_config) {
   auto policy = std::make_unique<policy::HybridHistogramPolicy>(
-      sim::UnitMap::PerApplication(model), policy_config);
+      graph::UnitMap::PerApplication(model), policy_config);
   SeedFromTraining(*policy, trace, train);
   return policy;
 }

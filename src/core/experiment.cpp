@@ -107,7 +107,7 @@ MethodResult ExperimentDriver::Run(Method method, double amplification,
   policy::HybridConfig policy_config = policy_config_;
   policy_config.amplification = amplification;
 
-  std::unique_ptr<sim::SchedulingPolicy> policy;
+  std::unique_ptr<policy::SchedulingPolicy> policy;
   switch (method) {
     case Method::kDefuse:
     case Method::kDefuseStrongOnly:
@@ -127,7 +127,7 @@ MethodResult ExperimentDriver::Run(Method method, double amplification,
       const auto keepalive = static_cast<MinuteDelta>(
           static_cast<double>(policy_config.fixed_keepalive) * amplification);
       policy = std::make_unique<policy::FixedKeepAlivePolicy>(
-          sim::UnitMap::PerFunction(model_.num_functions()),
+          graph::UnitMap::PerFunction(model_.num_functions()),
           std::max<MinuteDelta>(keepalive, 1));
       break;
     }
@@ -135,7 +135,7 @@ MethodResult ExperimentDriver::Run(Method method, double amplification,
       policy::PredictorConfig config;
       config.hybrid = policy_config;
       auto predictor = std::make_unique<policy::PeriodicityPredictorPolicy>(
-          sim::UnitMap::FromDependencySets(MiningFor(method).sets,
+          graph::UnitMap::FromDependencySets(MiningFor(method).sets,
                                            model_.num_functions()),
           config);
       SeedGroupHistograms(*predictor, policy_config, trace_, train_);
@@ -146,7 +146,7 @@ MethodResult ExperimentDriver::Run(Method method, double amplification,
       policy::DiurnalConfig config;
       config.hybrid = policy_config;
       auto diurnal = std::make_unique<policy::DiurnalPolicy>(
-          sim::UnitMap::FromDependencySets(MiningFor(method).sets,
+          graph::UnitMap::FromDependencySets(MiningFor(method).sets,
                                            model_.num_functions()),
           config);
       SeedGroupHistograms(*diurnal, policy_config, trace_, train_);

@@ -1,0 +1,47 @@
+// Adapts a faults::FaultInjector into the io::IoFaultHooks seam that
+// common/io/atomic_file exposes. This is the layer-DAG inversion point:
+// common/ sits below faults/ and cannot include the injector, so the
+// durability code (platform layer) builds the hook struct here and
+// hands it down.
+//
+// Draw-order contract (bit-identical chaos replay depends on it):
+// AtomicWriteFile consults fail_torn_write exactly where it used to
+// call ShouldFail(kSnapshotTornWrite), then torn_write_shape at most
+// once iff the failure fired and the content is non-empty; fail_rename
+// maps to ShouldFail(kSnapshotRename); ReadFileWithFaults consults
+// fail_read_bit_flip only for non-empty buffers and read_bit_shape once
+// iff it fired. No extra draws are ever made.
+#pragma once
+
+#include "common/io/atomic_file.hpp"
+#include "faults/injector.hpp"
+
+namespace defuse::faults {
+
+/// Binds the snapshot/state fault sites of `injector` to the atomic-file
+/// hook slots. A null injector yields empty hooks (no injected faults).
+/// The returned struct captures `injector` by pointer; it must outlive
+/// the hooks.
+[[nodiscard]] inline io::IoFaultHooks MakeIoFaultHooks(
+    FaultInjector* injector) {
+  io::IoFaultHooks hooks;
+  if (injector == nullptr) return hooks;
+  hooks.fail_torn_write = [injector] {
+    return injector->ShouldFail(FaultSite::kSnapshotTornWrite);
+  };
+  hooks.torn_write_shape = [injector] {
+    return injector->DrawShape(FaultSite::kSnapshotTornWrite);
+  };
+  hooks.fail_rename = [injector] {
+    return injector->ShouldFail(FaultSite::kSnapshotRename);
+  };
+  hooks.fail_read_bit_flip = [injector] {
+    return injector->ShouldFail(FaultSite::kStateReadBitFlip);
+  };
+  hooks.read_bit_shape = [injector] {
+    return injector->DrawShape(FaultSite::kStateReadBitFlip);
+  };
+  return hooks;
+}
+
+}  // namespace defuse::faults

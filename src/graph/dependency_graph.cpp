@@ -10,23 +10,22 @@ namespace defuse::graph {
 DependencyGraph::DependencyGraph(std::size_t num_functions)
     : num_functions_(num_functions) {}
 
-void DependencyGraph::AddStrongItemset(const mining::Itemset& itemset) {
-  const auto& items = itemset.items;
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    for (std::size_t j = i + 1; j < items.size(); ++j) {
-      AddEdge(DependencyEdge{.a = items[i],
-                             .b = items[j],
+void DependencyGraph::AddStrongItemset(std::span<const FunctionId> functions,
+                                       std::uint64_t support) {
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    for (std::size_t j = i + 1; j < functions.size(); ++j) {
+      AddEdge(DependencyEdge{.a = functions[i],
+                             .b = functions[j],
                              .kind = EdgeKind::kStrong,
-                             .weight = static_cast<double>(itemset.support)});
+                             .weight = static_cast<double>(support)});
     }
   }
 }
 
-void DependencyGraph::AddWeakDependency(const mining::WeakDependency& dep) {
-  AddEdge(DependencyEdge{.a = dep.from,
-                         .b = dep.to,
-                         .kind = EdgeKind::kWeak,
-                         .weight = dep.ppmi});
+void DependencyGraph::AddWeakDependency(FunctionId source, FunctionId target,
+                                        double ppmi) {
+  AddEdge(DependencyEdge{
+      .a = source, .b = target, .kind = EdgeKind::kWeak, .weight = ppmi});
 }
 
 void DependencyGraph::AddEdge(DependencyEdge edge) {

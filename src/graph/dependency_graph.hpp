@@ -11,8 +11,6 @@
 #include <vector>
 
 #include "common/ids.hpp"
-#include "mining/cooccurrence.hpp"
-#include "mining/fpgrowth.hpp"
 
 namespace defuse::graph {
 
@@ -39,11 +37,14 @@ class DependencyGraph {
   /// A graph over functions 0..num_functions-1 with no edges.
   explicit DependencyGraph(std::size_t num_functions);
 
-  /// Adds a strong edge between every pair of functions in a frequent
-  /// itemset (itemsets are cliques of co-invocation).
-  void AddStrongItemset(const mining::Itemset& itemset);
-  /// Adds one weak edge.
-  void AddWeakDependency(const mining::WeakDependency& dep);
+  /// Adds a strong edge between every pair of `functions` (a frequent
+  /// itemset is a clique of co-invocation), weighted by the itemset's
+  /// `support`. Takes primitive spans rather than mining::Itemset so the
+  /// graph layer stays below mining in the layer DAG (DESIGN.md §16).
+  void AddStrongItemset(std::span<const FunctionId> functions,
+                        std::uint64_t support);
+  /// Adds one weak (directed) edge `source -> target` weighted by PPMI.
+  void AddWeakDependency(FunctionId source, FunctionId target, double ppmi);
   /// Adds a raw edge (for tests/tools).
   void AddEdge(DependencyEdge edge);
 

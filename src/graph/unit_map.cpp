@@ -1,8 +1,8 @@
-#include "sim/unit_map.hpp"
+#include "graph/unit_map.hpp"
 
 #include <algorithm>
 
-namespace defuse::sim {
+namespace defuse::graph {
 
 UnitMap::UnitMap(std::vector<std::uint32_t> fn_to_unit)
     : fn_to_unit_(std::move(fn_to_unit)) {
@@ -45,4 +45,4 @@ UnitMap UnitMap::FromDependencySets(
   return UnitMap{graph::FunctionToSetIndex(sets, num_functions)};
 }
 
-}  // namespace defuse::sim
+}  // namespace defuse::graph

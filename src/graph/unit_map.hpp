@@ -16,7 +16,7 @@
 #include "graph/dependency_graph.hpp"
 #include "trace/model.hpp"
 
-namespace defuse::sim {
+namespace defuse::graph {
 
 class UnitMap {
  public:
@@ -61,4 +61,4 @@ class UnitMap {
   std::vector<std::vector<FunctionId>> unit_functions_;
 };
 
-}  // namespace defuse::sim
+}  // namespace defuse::graph

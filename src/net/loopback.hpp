@@ -20,6 +20,11 @@
 //                       idempotency window load-bearing).
 //
 // Channels borrow the server; they must not outlive it.
+//
+// Threading discipline (DESIGN.md §16): strictly single-threaded. The
+// pump runs on the caller's thread; server, channels, and fault
+// injector are all confined to it, so the transport carries no locks
+// and no GUARDED_BY state. Determinism depends on this confinement.
 #pragma once
 
 #include <memory>

@@ -36,6 +36,11 @@
 //     connection is heaviest). The victim's reply is kResourceExhausted
 //     with retry-after advice; a connection shed more than max_conn_sheds
 //     times is condemned as abusive.
+//
+// Threading discipline (DESIGN.md §16): one ServerCore is confined to
+// the single thread that pumps its transport. Connections, the
+// admission queue, and all backpressure counters are unguarded on
+// purpose — there is no concurrent access to guard against.
 #pragma once
 
 #include <cstdint>

@@ -21,6 +21,11 @@
 // writes the snapshot atomically and only rotates the journal after the
 // snapshot succeeded, so the previous generation's snapshot + journal
 // stay the recovery source until the new generation is fully durable.
+//
+// Threading discipline (DESIGN.md §16): single-threaded by contract,
+// like the Platform it journals for. One DurableState belongs to one
+// serving thread; nothing here is shared, so there are no locks and
+// nothing for GUARDED_BY to guard. Cross-thread use is a caller bug.
 #pragma once
 
 #include <cstdint>

@@ -9,6 +9,7 @@
 
 #include "common/csv.hpp"
 #include "common/io/atomic_file.hpp"
+#include "faults/io_hooks.hpp"
 #include "common/io/framed.hpp"
 
 namespace defuse::platform::durability {
@@ -188,7 +189,8 @@ void StateJournal::Close() {
 Result<StateJournal::Scan> StateJournal::Read(
     const std::string& dir, std::uint64_t gen,
     faults::FaultInjector* injector) {
-  auto buffer = io::ReadFileWithFaults(JournalPath(dir, gen), injector);
+  const io::IoFaultHooks hooks = faults::MakeIoFaultHooks(injector);
+  auto buffer = io::ReadFileWithFaults(JournalPath(dir, gen), &hooks);
   if (!buffer.ok()) return buffer.error();
 
   Scan scan;

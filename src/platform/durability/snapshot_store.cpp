@@ -7,6 +7,7 @@
 #include <system_error>
 
 #include "common/io/atomic_file.hpp"
+#include "faults/io_hooks.hpp"
 #include "common/io/checksum.hpp"
 #include "common/logging.hpp"
 #include "platform/durability/journal.hpp"
@@ -151,7 +152,9 @@ Result<std::uint64_t> SnapshotStore::Write(std::string_view payload) {
   const RetryOutcome outcome = RetryWithBackoff(
       options_.write_retry,
       [&] {
-        const auto written = io::AtomicWriteFile(path, file, options_.injector);
+        const io::IoFaultHooks hooks =
+            faults::MakeIoFaultHooks(options_.injector);
+        const auto written = io::AtomicWriteFile(path, file, &hooks);
         if (!written.ok()) {
           last_error = written.error();
           return false;
@@ -240,8 +243,8 @@ std::vector<SnapshotInfo> SnapshotStore::List() const {
 }
 
 Result<std::string> SnapshotStore::ReadVerified(std::uint64_t gen) const {
-  auto file = io::ReadFileWithFaults(SnapshotPath(dir_, gen),
-                                     options_.injector);
+  const io::IoFaultHooks hooks = faults::MakeIoFaultHooks(options_.injector);
+  auto file = io::ReadFileWithFaults(SnapshotPath(dir_, gen), &hooks);
   if (!file.ok()) return file.error();
   return DecodeSnapshotFile(file.value(), gen);
 }

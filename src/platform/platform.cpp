@@ -26,8 +26,8 @@ Platform::Platform(trace::WorkloadModel model, PlatformConfig config)
   assert(config_.remine_interval >= 1);
   assert(config_.mining_window >= 1);
   // Bootstrap: every function is its own unit until the first re-mine.
-  units_ = std::make_unique<sim::UnitMap>(
-      sim::UnitMap::PerFunction(model_.num_functions()));
+  units_ = std::make_unique<graph::UnitMap>(
+      graph::UnitMap::PerFunction(model_.num_functions()));
   policy_ = std::make_unique<policy::HybridHistogramPolicy>(*units_,
                                                             config_.policy);
   unit_last_invoked_.assign(units_->num_units(), -1);
@@ -206,8 +206,8 @@ Platform::MinedSwap Platform::MineWindow(
     return swap;
   }
   const auto mining = std::move(mined).value();
-  swap.units = std::make_unique<sim::UnitMap>(
-      sim::UnitMap::FromDependencySets(mining.sets,
+  swap.units = std::make_unique<graph::UnitMap>(
+      graph::UnitMap::FromDependencySets(mining.sets,
                                        model_.num_functions()));
   // Seed histograms for the fresh per-set units from the same window.
   mining::PredictabilityConfig shape;
@@ -318,7 +318,7 @@ void Platform::PollAsyncRemine(bool wait) {
 }
 
 void Platform::ApplyDecision(UnitId unit, Minute now) {
-  sim::UnitDecision decision = policy_->OnInvocation(unit, now);
+  policy::UnitDecision decision = policy_->OnInvocation(unit, now);
   if (decision.prewarm <= decision.linger) {
     decision.keepalive = std::max(decision.linger,
                                   decision.prewarm + decision.keepalive);
@@ -593,8 +593,8 @@ bool Platform::LoadState(std::string_view text) {
   // same instance.
   auto sets = graph::ReadDependencySetsCsv(sets_buffer, model_);
   if (!sets.ok()) return false;
-  auto staged_units = std::make_unique<sim::UnitMap>(
-      sim::UnitMap::FromDependencySets(sets.value(), model_.num_functions()));
+  auto staged_units = std::make_unique<graph::UnitMap>(
+      graph::UnitMap::FromDependencySets(sets.value(), model_.num_functions()));
   auto staged_policy = std::make_unique<policy::HybridHistogramPolicy>(
       *staged_units, config_.policy);
   if (!staged_policy->LoadHistograms(histograms_buffer)) return false;

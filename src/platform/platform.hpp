@@ -136,7 +136,7 @@ class Platform {
     return fn_cold_;
   }
   /// The current dependency sets (singletons until the first re-mine).
-  [[nodiscard]] const sim::UnitMap& units() const noexcept { return *units_; }
+  [[nodiscard]] const graph::UnitMap& units() const noexcept { return *units_; }
   /// Forces a re-mine over [now - mining_window, now). In serial mode
   /// (the default) it completes before returning; with
   /// `config.async_remine` it is submitted to the background worker and
@@ -232,7 +232,7 @@ class Platform {
   /// Built either inline (serial mode) or on the background worker.
   struct MinedSwap {
     bool mined_ok = false;
-    std::unique_ptr<sim::UnitMap> units;          // engaged when mined_ok
+    std::unique_ptr<graph::UnitMap> units;          // engaged when mined_ok
     std::vector<stats::Histogram> histograms;     // per unit, same order
     /// Boundary bookkeeping carried from submit to adoption (the async
     /// path adopts at a later Invoke, so it cannot read live members).
@@ -285,7 +285,7 @@ class Platform {
   trace::WorkloadModel model_;
   PlatformConfig config_;
   trace::InvocationTrace history_;
-  std::unique_ptr<sim::UnitMap> units_;
+  std::unique_ptr<graph::UnitMap> units_;
   std::unique_ptr<policy::HybridHistogramPolicy> policy_;
   std::vector<Residency> residency_;        // per function
   std::vector<Minute> unit_last_invoked_;   // per current unit
@@ -305,6 +305,14 @@ class Platform {
   /// Boundary currently deferred behind an in-flight re-mine (so each
   /// deferral is booked once, not once per invocation).
   Minute last_deferred_boundary_ = -1;
+  /// Threading discipline (DESIGN.md §16): the platform itself is
+  /// single-threaded — every member above is touched only by the thread
+  /// calling Invoke/Tick. The async re-mine worker receives its inputs
+  /// by value at submit time, writes only into its own MinedSwap, and
+  /// hands it back through this future; the main thread adopts the swap
+  /// on a later Invoke. The future IS the synchronization — there are
+  /// deliberately no mutexes here (lock-free handoff), which is what
+  /// keeps async output bit-identical to the serial path.
   std::future<MinedSwap> remine_future_;
   /// Lazily created on the first async re-mine. Declared last so its
   /// destructor joins the worker before any member the task reads

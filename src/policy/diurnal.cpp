@@ -6,7 +6,7 @@
 
 namespace defuse::policy {
 
-DiurnalPolicy::DiurnalPolicy(sim::UnitMap units, DiurnalConfig config)
+DiurnalPolicy::DiurnalPolicy(graph::UnitMap units, DiurnalConfig config)
     : hybrid_(std::move(units), config.hybrid), config_(config) {
   assert(kMinutesPerDay % config_.slot_minutes == 0);
   const auto n = hybrid_.unit_map().num_units();
@@ -74,7 +74,7 @@ bool DiurnalPolicy::SlotActive(UnitId unit, Minute minute_of_day) const {
   return active_mask_[unit.value()][SlotOf(minute_of_day)];
 }
 
-sim::UnitDecision DiurnalPolicy::OnInvocation(UnitId unit, Minute now) {
+policy::UnitDecision DiurnalPolicy::OnInvocation(UnitId unit, Minute now) {
   SeedDayProfile(unit, now);  // the profile keeps learning online
   if (!IsDiurnalUnit(unit)) return hybrid_.OnInvocation(unit, now);
 
@@ -103,7 +103,7 @@ sim::UnitDecision DiurnalPolicy::OnInvocation(UnitId unit, Minute now) {
 
   const MinuteDelta remaining_run =
       std::max<MinuteDelta>(resident_until - now, 1);
-  sim::UnitDecision decision;
+  policy::UnitDecision decision;
   if (gap_slots == 0 || gap_slots > slots) {
     // Degenerate mask (all slots active): plain keep-alive to run end.
     decision.prewarm = 0;

@@ -36,9 +36,9 @@ struct DiurnalConfig {
   MinuteDelta lead = 5;
 };
 
-class DiurnalPolicy final : public sim::SchedulingPolicy {
+class DiurnalPolicy final : public policy::SchedulingPolicy {
  public:
-  DiurnalPolicy(sim::UnitMap units, DiurnalConfig config);
+  DiurnalPolicy(graph::UnitMap units, DiurnalConfig config);
 
   void SeedHistogram(UnitId unit, const stats::Histogram& training) {
     hybrid_.SeedHistogram(unit, training);
@@ -46,10 +46,10 @@ class DiurnalPolicy final : public sim::SchedulingPolicy {
   /// Seeds the day profile from training invocation minutes.
   void SeedDayProfile(UnitId unit, Minute invocation_minute);
 
-  [[nodiscard]] const sim::UnitMap& unit_map() const noexcept override {
+  [[nodiscard]] const graph::UnitMap& unit_map() const noexcept override {
     return hybrid_.unit_map();
   }
-  [[nodiscard]] sim::UnitDecision OnInvocation(UnitId unit,
+  [[nodiscard]] policy::UnitDecision OnInvocation(UnitId unit,
                                                Minute now) override;
   void ObserveIdleTime(UnitId unit, MinuteDelta gap) override;
   [[nodiscard]] const char* name() const noexcept override {

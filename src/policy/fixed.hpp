@@ -3,21 +3,21 @@
 // fallback branch for unpredictable units in the hybrid policy.
 #pragma once
 
-#include "sim/policy.hpp"
+#include "policy/scheduling_policy.hpp"
 
 namespace defuse::policy {
 
-class FixedKeepAlivePolicy final : public sim::SchedulingPolicy {
+class FixedKeepAlivePolicy final : public policy::SchedulingPolicy {
  public:
-  FixedKeepAlivePolicy(sim::UnitMap units, MinuteDelta keepalive)
+  FixedKeepAlivePolicy(graph::UnitMap units, MinuteDelta keepalive)
       : units_(std::move(units)), keepalive_(keepalive) {}
 
-  [[nodiscard]] const sim::UnitMap& unit_map() const noexcept override {
+  [[nodiscard]] const graph::UnitMap& unit_map() const noexcept override {
     return units_;
   }
-  [[nodiscard]] sim::UnitDecision OnInvocation(UnitId /*unit*/,
+  [[nodiscard]] policy::UnitDecision OnInvocation(UnitId /*unit*/,
                                                Minute /*now*/) override {
-    return sim::UnitDecision{.prewarm = 0, .keepalive = keepalive_};
+    return policy::UnitDecision{.prewarm = 0, .keepalive = keepalive_};
   }
   void ObserveIdleTime(UnitId /*unit*/, MinuteDelta /*gap*/) override {}
   [[nodiscard]] const char* name() const noexcept override {
@@ -25,7 +25,7 @@ class FixedKeepAlivePolicy final : public sim::SchedulingPolicy {
   }
 
  private:
-  sim::UnitMap units_;
+  graph::UnitMap units_;
   MinuteDelta keepalive_;
 };
 

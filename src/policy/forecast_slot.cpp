@@ -6,7 +6,7 @@
 
 namespace defuse::policy {
 
-ForecastSlotPolicy::ForecastSlotPolicy(sim::UnitMap units,
+ForecastSlotPolicy::ForecastSlotPolicy(graph::UnitMap units,
                                        const ForecasterFactory& factory,
                                        ForecastSlotConfig config)
     : units_(std::move(units)), config_(config) {
@@ -20,9 +20,9 @@ void ForecastSlotPolicy::ObserveIdleTime(UnitId unit, MinuteDelta gap) {
   forecasters_[unit.value()]->Observe(gap);
 }
 
-sim::UnitDecision ForecastSlotPolicy::DecisionFor(UnitId unit) const {
+policy::UnitDecision ForecastSlotPolicy::DecisionFor(UnitId unit) const {
   const IdleForecaster& fc = *forecasters_[unit.value()];
-  sim::UnitDecision decision;
+  policy::UnitDecision decision;
   if (!fc.Ready()) {
     decision.prewarm = 0;
     decision.keepalive = config_.fixed_keepalive;
@@ -44,7 +44,7 @@ sim::UnitDecision ForecastSlotPolicy::DecisionFor(UnitId unit) const {
   return decision;
 }
 
-sim::UnitDecision ForecastSlotPolicy::OnInvocation(UnitId unit,
+policy::UnitDecision ForecastSlotPolicy::OnInvocation(UnitId unit,
                                                    Minute /*now*/) {
   return DecisionFor(unit);
 }

@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "policy/ar_model.hpp"
-#include "sim/policy.hpp"
+#include "policy/scheduling_policy.hpp"
 
 namespace defuse::policy {
 
@@ -70,16 +70,16 @@ struct ForecastSlotConfig {
   MinuteDelta min_prewarm = 8;
 };
 
-class ForecastSlotPolicy final : public sim::SchedulingPolicy {
+class ForecastSlotPolicy final : public policy::SchedulingPolicy {
  public:
   /// `factory` builds one forecaster per unit at construction.
-  ForecastSlotPolicy(sim::UnitMap units, const ForecasterFactory& factory,
+  ForecastSlotPolicy(graph::UnitMap units, const ForecasterFactory& factory,
                      ForecastSlotConfig config);
 
-  [[nodiscard]] const sim::UnitMap& unit_map() const noexcept override {
+  [[nodiscard]] const graph::UnitMap& unit_map() const noexcept override {
     return units_;
   }
-  [[nodiscard]] sim::UnitDecision OnInvocation(UnitId unit,
+  [[nodiscard]] policy::UnitDecision OnInvocation(UnitId unit,
                                                Minute now) override;
   void ObserveIdleTime(UnitId unit, MinuteDelta gap) override;
   [[nodiscard]] const char* name() const noexcept override {
@@ -93,10 +93,10 @@ class ForecastSlotPolicy final : public sim::SchedulingPolicy {
     return *forecasters_[unit.value()];
   }
   /// The decision the policy would make right now (tests, tooling).
-  [[nodiscard]] sim::UnitDecision DecisionFor(UnitId unit) const;
+  [[nodiscard]] policy::UnitDecision DecisionFor(UnitId unit) const;
 
  private:
-  sim::UnitMap units_;
+  graph::UnitMap units_;
   ForecastSlotConfig config_;
   std::vector<std::unique_ptr<IdleForecaster>> forecasters_;
 };

@@ -5,7 +5,7 @@
 
 namespace defuse::policy {
 
-HikuPullPolicy::HikuPullPolicy(sim::UnitMap units,
+HikuPullPolicy::HikuPullPolicy(graph::UnitMap units,
                                const graph::DependencyGraph& graph,
                                HikuConfig config)
     : units_(std::move(units)), config_(config) {
@@ -38,21 +38,21 @@ HikuPullPolicy::HikuPullPolicy(sim::UnitMap units,
   successor_offsets_[num_units] = successor_ids_.size();
 }
 
-sim::UnitDecision HikuPullPolicy::OnInvocation(UnitId /*unit*/,
+policy::UnitDecision HikuPullPolicy::OnInvocation(UnitId /*unit*/,
                                                Minute /*now*/) {
   // No speculative residency: linger only long enough to absorb a
   // same-burst re-invocation.
-  return sim::UnitDecision{.prewarm = 0,
+  return policy::UnitDecision{.prewarm = 0,
                            .keepalive = config_.self_keepalive,
                            .linger = 1};
 }
 
 void HikuPullPolicy::CollectTriggeredPrewarms(
-    UnitId invoked, Minute /*now*/, std::vector<sim::PrewarmRequest>& out) {
+    UnitId invoked, Minute /*now*/, std::vector<policy::PrewarmRequest>& out) {
   const std::size_t u = invoked.value();
   for (std::size_t i = successor_offsets_[u]; i < successor_offsets_[u + 1];
        ++i) {
-    out.push_back(sim::PrewarmRequest{.unit = UnitId{successor_ids_[i]},
+    out.push_back(policy::PrewarmRequest{.unit = UnitId{successor_ids_[i]},
                                       .delay = config_.trigger_delay,
                                       .keepalive = config_.trigger_keepalive});
   }

@@ -23,7 +23,7 @@
 #include <vector>
 
 #include "graph/dependency_graph.hpp"
-#include "sim/policy.hpp"
+#include "policy/scheduling_policy.hpp"
 
 namespace defuse::policy {
 
@@ -38,21 +38,21 @@ struct HikuConfig {
   MinuteDelta trigger_keepalive = 5;
 };
 
-class HikuPullPolicy final : public sim::SchedulingPolicy {
+class HikuPullPolicy final : public policy::SchedulingPolicy {
  public:
   /// Projects `graph` (function-level) onto `units` to build the
   /// unit-level trigger adjacency.
-  HikuPullPolicy(sim::UnitMap units, const graph::DependencyGraph& graph,
+  HikuPullPolicy(graph::UnitMap units, const graph::DependencyGraph& graph,
                  HikuConfig config);
 
-  [[nodiscard]] const sim::UnitMap& unit_map() const noexcept override {
+  [[nodiscard]] const graph::UnitMap& unit_map() const noexcept override {
     return units_;
   }
-  [[nodiscard]] sim::UnitDecision OnInvocation(UnitId unit,
+  [[nodiscard]] policy::UnitDecision OnInvocation(UnitId unit,
                                                Minute now) override;
   void ObserveIdleTime(UnitId /*unit*/, MinuteDelta /*gap*/) override {}
   void CollectTriggeredPrewarms(UnitId invoked, Minute now,
-                                std::vector<sim::PrewarmRequest>& out) override;
+                                std::vector<policy::PrewarmRequest>& out) override;
   [[nodiscard]] const char* name() const noexcept override {
     return "hiku-pull";
   }
@@ -62,7 +62,7 @@ class HikuPullPolicy final : public sim::SchedulingPolicy {
   [[nodiscard]] std::vector<UnitId> SuccessorsOf(UnitId unit) const;
 
  private:
-  sim::UnitMap units_;
+  graph::UnitMap units_;
   HikuConfig config_;
   /// CSR-shaped successor lists: successors of unit u are
   /// successor_ids_[successor_offsets_[u] .. successor_offsets_[u+1]).

@@ -5,7 +5,7 @@
 
 namespace defuse::policy {
 
-HybridHistogramPolicy::HybridHistogramPolicy(sim::UnitMap units,
+HybridHistogramPolicy::HybridHistogramPolicy(graph::UnitMap units,
                                              HybridConfig config)
     : units_(std::move(units)), config_(config) {
   histograms_.reserve(units_.num_units());
@@ -48,10 +48,10 @@ bool HybridHistogramPolicy::IsPredictableUnit(UnitId unit) const {
   return hist.BinCountCv() > config_.cv_threshold;
 }
 
-sim::UnitDecision HybridHistogramPolicy::DecisionFor(UnitId unit) const {
+policy::UnitDecision HybridHistogramPolicy::DecisionFor(UnitId unit) const {
   if (cache_valid_[unit.value()]) return cached_[unit.value()];
 
-  sim::UnitDecision decision;
+  policy::UnitDecision decision;
   if (UsesArFallback(unit)) {
     // Forecast the next idle gap; stay resident for +-ar_sigma_band
     // residual standard deviations around it.
@@ -100,7 +100,7 @@ sim::UnitDecision HybridHistogramPolicy::DecisionFor(UnitId unit) const {
   return decision;
 }
 
-sim::UnitDecision HybridHistogramPolicy::OnInvocation(UnitId unit,
+policy::UnitDecision HybridHistogramPolicy::OnInvocation(UnitId unit,
                                                       Minute /*now*/) {
   return DecisionFor(unit);
 }

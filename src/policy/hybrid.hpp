@@ -24,7 +24,7 @@
 #include <vector>
 
 #include "policy/ar_model.hpp"
-#include "sim/policy.hpp"
+#include "policy/scheduling_policy.hpp"
 #include "stats/histogram.hpp"
 
 namespace defuse::policy {
@@ -68,17 +68,17 @@ struct HybridConfig {
   MinuteDelta histogram_bin_width = 1;
 };
 
-class HybridHistogramPolicy final : public sim::SchedulingPolicy {
+class HybridHistogramPolicy final : public policy::SchedulingPolicy {
  public:
-  HybridHistogramPolicy(sim::UnitMap units, HybridConfig config);
+  HybridHistogramPolicy(graph::UnitMap units, HybridConfig config);
 
   /// Seeds one unit's histogram from training idle times.
   void SeedHistogram(UnitId unit, const stats::Histogram& training);
 
-  [[nodiscard]] const sim::UnitMap& unit_map() const noexcept override {
+  [[nodiscard]] const graph::UnitMap& unit_map() const noexcept override {
     return units_;
   }
-  [[nodiscard]] sim::UnitDecision OnInvocation(UnitId unit,
+  [[nodiscard]] policy::UnitDecision OnInvocation(UnitId unit,
                                                Minute now) override;
   void ObserveIdleTime(UnitId unit, MinuteDelta gap) override;
   [[nodiscard]] const char* name() const noexcept override {
@@ -91,7 +91,7 @@ class HybridHistogramPolicy final : public sim::SchedulingPolicy {
   }
   /// The decision the policy would make right now (exposed for tests and
   /// figure tooling).
-  [[nodiscard]] sim::UnitDecision DecisionFor(UnitId unit) const;
+  [[nodiscard]] policy::UnitDecision DecisionFor(UnitId unit) const;
   /// True if the unit currently takes the histogram (predictable) branch.
   [[nodiscard]] bool IsPredictableUnit(UnitId unit) const;
 
@@ -108,13 +108,13 @@ class HybridHistogramPolicy final : public sim::SchedulingPolicy {
   [[nodiscard]] bool LoadHistograms(std::string_view text);
 
  private:
-  sim::UnitMap units_;
+  graph::UnitMap units_;
   HybridConfig config_;
   std::vector<stats::Histogram> histograms_;
   /// Sliding AR(1) models, allocated only under use_ar_fallback.
   std::vector<ArIdleTimeModel> ar_models_;
   /// Decision cache, invalidated per unit by ObserveIdleTime.
-  mutable std::vector<sim::UnitDecision> cached_;
+  mutable std::vector<policy::UnitDecision> cached_;
   mutable std::vector<bool> cache_valid_;
 };
 

@@ -4,7 +4,7 @@
 
 namespace defuse::policy {
 
-PeriodicityPredictorPolicy::PeriodicityPredictorPolicy(sim::UnitMap units,
+PeriodicityPredictorPolicy::PeriodicityPredictorPolicy(graph::UnitMap units,
                                                        PredictorConfig config)
     : hybrid_(std::move(units), config.hybrid), config_(config) {}
 
@@ -27,7 +27,7 @@ bool PeriodicityPredictorPolicy::IsPeriodicUnit(UnitId unit) const {
   return hist.ModeMassFraction(1) >= config_.mode_threshold;
 }
 
-sim::UnitDecision PeriodicityPredictorPolicy::OnInvocation(UnitId unit,
+policy::UnitDecision PeriodicityPredictorPolicy::OnInvocation(UnitId unit,
                                                            Minute now) {
   if (!IsPeriodicUnit(unit)) return hybrid_.OnInvocation(unit, now);
   const stats::Histogram& hist = hybrid_.histogram(unit);
@@ -38,7 +38,7 @@ sim::UnitDecision PeriodicityPredictorPolicy::OnInvocation(UnitId unit,
   const MinuteDelta mode_start =
       static_cast<MinuteDelta>(mode_bin) * hist.bin_width();
   const MinuteDelta mode_end = mode_start + hist.bin_width();
-  sim::UnitDecision decision;
+  policy::UnitDecision decision;
   decision.prewarm = std::max<MinuteDelta>(mode_start - config_.lead, 0);
   decision.keepalive =
       std::max<MinuteDelta>(mode_end + config_.lag - decision.prewarm, 1);

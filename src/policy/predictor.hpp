@@ -28,17 +28,17 @@ struct PredictorConfig {
   MinuteDelta lag = 2;
 };
 
-class PeriodicityPredictorPolicy final : public sim::SchedulingPolicy {
+class PeriodicityPredictorPolicy final : public policy::SchedulingPolicy {
  public:
-  PeriodicityPredictorPolicy(sim::UnitMap units, PredictorConfig config);
+  PeriodicityPredictorPolicy(graph::UnitMap units, PredictorConfig config);
 
   /// Seeds the embedded hybrid policy's histogram.
   void SeedHistogram(UnitId unit, const stats::Histogram& training);
 
-  [[nodiscard]] const sim::UnitMap& unit_map() const noexcept override {
+  [[nodiscard]] const graph::UnitMap& unit_map() const noexcept override {
     return hybrid_.unit_map();
   }
-  [[nodiscard]] sim::UnitDecision OnInvocation(UnitId unit,
+  [[nodiscard]] policy::UnitDecision OnInvocation(UnitId unit,
                                                Minute now) override;
   void ObserveIdleTime(UnitId unit, MinuteDelta gap) override;
   [[nodiscard]] const char* name() const noexcept override {

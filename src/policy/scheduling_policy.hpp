@@ -24,9 +24,9 @@
 
 #include "common/ids.hpp"
 #include "common/time.hpp"
-#include "sim/unit_map.hpp"
+#include "graph/unit_map.hpp"
 
-namespace defuse::sim {
+namespace defuse::policy {
 
 struct UnitDecision {
   MinuteDelta prewarm = 0;
@@ -52,7 +52,7 @@ class SchedulingPolicy {
   virtual ~SchedulingPolicy() = default;
 
   /// The function->unit partition this policy schedules over.
-  [[nodiscard]] virtual const UnitMap& unit_map() const noexcept = 0;
+  [[nodiscard]] virtual const graph::UnitMap& unit_map() const noexcept = 0;
 
   /// Container-management decision for `unit`, which was invoked at `now`.
   [[nodiscard]] virtual UnitDecision OnInvocation(UnitId unit,
@@ -76,4 +76,4 @@ class SchedulingPolicy {
   [[nodiscard]] virtual const char* name() const noexcept = 0;
 };
 
-}  // namespace defuse::sim
+}  // namespace defuse::policy

@@ -23,7 +23,7 @@ SpesTierParams ParamsForTier(SpesTier tier) noexcept {
       .keepalive_scale = 1.0, .tail_percentile = 0.05, .margin = 0.10};
 }
 
-SpesTieredPolicy::SpesTieredPolicy(sim::UnitMap units, SpesConfig config)
+SpesTieredPolicy::SpesTieredPolicy(graph::UnitMap units, SpesConfig config)
     : units_(std::move(units)),
       config_(config),
       tier_params_(ParamsForTier(config.tier)) {
@@ -55,11 +55,11 @@ const char* SpesTieredPolicy::name() const noexcept {
   return "spes-balanced";
 }
 
-sim::UnitDecision SpesTieredPolicy::DecisionFor(UnitId unit) const {
+policy::UnitDecision SpesTieredPolicy::DecisionFor(UnitId unit) const {
   const stats::Histogram& hist = histograms_[unit.value()];
   const double scale = tier_params_.keepalive_scale;
 
-  sim::UnitDecision decision;
+  policy::UnitDecision decision;
   const bool representative =
       hist.total() >= config_.min_observations &&
       hist.out_of_bounds_fraction() <= config_.oob_threshold;
@@ -91,7 +91,7 @@ sim::UnitDecision SpesTieredPolicy::DecisionFor(UnitId unit) const {
   return decision;
 }
 
-sim::UnitDecision SpesTieredPolicy::OnInvocation(UnitId unit,
+policy::UnitDecision SpesTieredPolicy::OnInvocation(UnitId unit,
                                                  Minute /*now*/) {
   return DecisionFor(unit);
 }

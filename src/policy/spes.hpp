@@ -25,7 +25,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "sim/policy.hpp"
+#include "policy/scheduling_policy.hpp"
 #include "stats/histogram.hpp"
 
 namespace defuse::policy {
@@ -56,27 +56,27 @@ struct SpesConfig {
   MinuteDelta histogram_bin_width = 1;
 };
 
-class SpesTieredPolicy final : public sim::SchedulingPolicy {
+class SpesTieredPolicy final : public policy::SchedulingPolicy {
  public:
-  SpesTieredPolicy(sim::UnitMap units, SpesConfig config);
+  SpesTieredPolicy(graph::UnitMap units, SpesConfig config);
 
   /// Seeds one unit's histogram from training idle times.
   void SeedHistogram(UnitId unit, const stats::Histogram& training);
 
-  [[nodiscard]] const sim::UnitMap& unit_map() const noexcept override {
+  [[nodiscard]] const graph::UnitMap& unit_map() const noexcept override {
     return units_;
   }
-  [[nodiscard]] sim::UnitDecision OnInvocation(UnitId unit,
+  [[nodiscard]] policy::UnitDecision OnInvocation(UnitId unit,
                                                Minute now) override;
   void ObserveIdleTime(UnitId unit, MinuteDelta gap) override;
   [[nodiscard]] const char* name() const noexcept override;
 
   [[nodiscard]] const SpesConfig& config() const noexcept { return config_; }
   /// The decision the policy would make right now (tests, tooling).
-  [[nodiscard]] sim::UnitDecision DecisionFor(UnitId unit) const;
+  [[nodiscard]] policy::UnitDecision DecisionFor(UnitId unit) const;
 
  private:
-  sim::UnitMap units_;
+  graph::UnitMap units_;
   SpesConfig config_;
   SpesTierParams tier_params_;
   std::vector<stats::Histogram> histograms_;

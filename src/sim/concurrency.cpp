@@ -20,7 +20,7 @@ struct Pool {
 }  // namespace
 
 std::vector<double> ConcurrencyResult::FunctionColdStartRates(
-    const UnitMap& units) const {
+    const graph::UnitMap& units) const {
   std::vector<double> rates;
   for (std::size_t f = 0; f < units.num_functions(); ++f) {
     const UnitId unit =
@@ -50,8 +50,8 @@ double ConcurrencyResult::EventColdFraction() const {
 
 ConcurrencyResult SimulateConcurrent(const trace::InvocationTrace& trace,
                                      TimeRange eval,
-                                     SchedulingPolicy& policy) {
-  const UnitMap& units = policy.unit_map();
+                                     policy::SchedulingPolicy& policy) {
+  const graph::UnitMap& units = policy.unit_map();
   assert(units.num_functions() == trace.num_functions());
   const auto num_units = units.num_units();
   const auto eval_len =
@@ -166,7 +166,7 @@ ConcurrencyResult SimulateConcurrent(const trace::InvocationTrace& trace,
       UnitState& u = state[unit_value];
       if (prev >= 0) policy.ObserveIdleTime(unit, now - prev);
       ++u.generation;
-      UnitDecision decision = policy.OnInvocation(unit, now);
+      policy::UnitDecision decision = policy.OnInvocation(unit, now);
       if (decision.prewarm <= decision.linger) {
         decision.keepalive = std::max(decision.linger,
                                       decision.prewarm + decision.keepalive);

@@ -24,7 +24,7 @@
 #include <vector>
 
 #include "sim/metrics.hpp"
-#include "sim/policy.hpp"
+#include "policy/scheduling_policy.hpp"
 #include "trace/invocation_trace.hpp"
 
 namespace defuse::sim {
@@ -48,7 +48,7 @@ struct ConcurrencyResult {
   /// Event-level cold-start rate per invoked function (unit-inherited,
   /// as in the paper).
   [[nodiscard]] std::vector<double> FunctionColdStartRates(
-      const UnitMap& units) const;
+      const graph::UnitMap& units) const;
   [[nodiscard]] double AverageResidentContainers() const;
   [[nodiscard]] double EventColdFraction() const;
 };
@@ -56,6 +56,6 @@ struct ConcurrencyResult {
 /// Runs `policy` over `eval` with container-level semantics.
 [[nodiscard]] ConcurrencyResult SimulateConcurrent(
     const trace::InvocationTrace& trace, TimeRange eval,
-    SchedulingPolicy& policy);
+    policy::SchedulingPolicy& policy);
 
 }  // namespace defuse::sim

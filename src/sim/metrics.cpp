@@ -5,7 +5,7 @@
 namespace defuse::sim {
 
 std::vector<double> SimulationResult::FunctionColdStartRates(
-    const UnitMap& units) const {
+    const graph::UnitMap& units) const {
   std::vector<double> rates;
   rates.reserve(units.num_functions());
   for (std::size_t f = 0; f < units.num_functions(); ++f) {
@@ -41,13 +41,13 @@ double SimulationResult::AverageLoadingFunctions() const {
          static_cast<double>(loading_functions.size());
 }
 
-double SimulationResult::ColdStartRatePercentile(const UnitMap& units,
+double SimulationResult::ColdStartRatePercentile(const graph::UnitMap& units,
                                                  double q) const {
   const auto rates = FunctionColdStartRates(units);
   return stats::Percentile(rates, q);
 }
 
-stats::Ecdf SimulationResult::ColdStartRateEcdf(const UnitMap& units) const {
+stats::Ecdf SimulationResult::ColdStartRateEcdf(const graph::UnitMap& units) const {
   return stats::Ecdf{FunctionColdStartRates(units)};
 }
 

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "common/time.hpp"
-#include "sim/unit_map.hpp"
+#include "graph/unit_map.hpp"
 #include "stats/ecdf.hpp"
 
 namespace defuse::sim {
@@ -36,7 +36,7 @@ struct SimulationResult {
   std::uint64_t capacity_evictions = 0;
 
   /// Cross-unit pre-warm windows applied on behalf of pull-based
-  /// policies (SchedulingPolicy::CollectTriggeredPrewarms).
+  /// policies (policy::SchedulingPolicy::CollectTriggeredPrewarms).
   std::uint64_t triggered_prewarms = 0;
 
   /// Weighted resident memory per minute; filled only when
@@ -49,7 +49,7 @@ struct SimulationResult {
   /// minutes / invoked minutes (functions never invoked in the window are
   /// skipped, as they have no defined rate).
   [[nodiscard]] std::vector<double> FunctionColdStartRates(
-      const UnitMap& units) const;
+      const graph::UnitMap& units) const;
 
   /// Mean number of loaded functions over the window (the paper's memory
   /// usage proxy).
@@ -64,11 +64,11 @@ struct SimulationResult {
 
   /// q-th percentile of the function cold-start rate distribution
   /// (Fig 7 uses q = 0.75).
-  [[nodiscard]] double ColdStartRatePercentile(const UnitMap& units,
+  [[nodiscard]] double ColdStartRatePercentile(const graph::UnitMap& units,
                                                double q) const;
 
   /// ECDF of function cold-start rates (Figs 8a, 10a, 11a).
-  [[nodiscard]] stats::Ecdf ColdStartRateEcdf(const UnitMap& units) const;
+  [[nodiscard]] stats::Ecdf ColdStartRateEcdf(const graph::UnitMap& units) const;
 };
 
 /// Latency model for translating cold fractions into the client-facing

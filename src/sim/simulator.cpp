@@ -31,9 +31,9 @@ struct ScheduledEvent {
 }  // namespace
 
 SimulationResult Simulate(const trace::InvocationTrace& trace, TimeRange eval,
-                          SchedulingPolicy& policy,
+                          policy::SchedulingPolicy& policy,
                           const SimulatorOptions& options) {
-  const UnitMap& units = policy.unit_map();
+  const graph::UnitMap& units = policy.unit_map();
   assert(units.num_functions() == trace.num_functions());
   const auto num_units = units.num_units();
   const auto eval_len =
@@ -63,7 +63,7 @@ SimulationResult Simulate(const trace::InvocationTrace& trace, TimeRange eval,
   std::vector<std::pair<std::uint32_t, Minute>> invoked_units;
   // Cross-unit pre-warm requests collected this minute, rebuilt each
   // minute (pull-based policies; empty for everything else).
-  std::vector<PrewarmRequest> triggered;
+  std::vector<policy::PrewarmRequest> triggered;
 
   // Optional weighted-memory accounting (see SimulatorOptions).
   const bool weighted = options.function_weights != nullptr;
@@ -191,7 +191,7 @@ SimulationResult Simulate(const trace::InvocationTrace& trace, TimeRange eval,
         policy.ObserveIdleTime(unit, now - prev);
       }
       ++u.generation;  // invalidate anything previously scheduled
-      UnitDecision decision = policy.OnInvocation(unit, now);
+      policy::UnitDecision decision = policy.OnInvocation(unit, now);
       assert(decision.prewarm >= 0);
       assert(decision.keepalive >= 0);
       assert(decision.linger >= 1);
@@ -236,7 +236,7 @@ SimulationResult Simulate(const trace::InvocationTrace& trace, TimeRange eval,
     }
     if (!triggered.empty()) {
       std::stable_sort(triggered.begin(), triggered.end(),
-                       [](const PrewarmRequest& a, const PrewarmRequest& b) {
+                       [](const policy::PrewarmRequest& a, const policy::PrewarmRequest& b) {
                          return a.unit.value() < b.unit.value();
                        });
       std::size_t i = 0;

@@ -16,7 +16,7 @@
 #pragma once
 
 #include "sim/metrics.hpp"
-#include "sim/policy.hpp"
+#include "policy/scheduling_policy.hpp"
 #include "trace/invocation_trace.hpp"
 
 namespace defuse::sim {
@@ -43,7 +43,7 @@ struct SimulatorOptions {
 /// Runs `policy` over `eval` minutes of the trace.
 [[nodiscard]] SimulationResult Simulate(const trace::InvocationTrace& trace,
                                         TimeRange eval,
-                                        SchedulingPolicy& policy,
+                                        policy::SchedulingPolicy& policy,
                                         const SimulatorOptions& options = {});
 
 }  // namespace defuse::sim

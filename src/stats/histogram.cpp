@@ -26,6 +26,7 @@ void Histogram::AddCount(MinuteDelta value, std::uint64_t count) noexcept {
     // real immediate re-invocation, silently dragging the pre-warm
     // percentile toward zero. Quarantine it instead.
     negative_count_ += count;
+    // defuse-lint: suppress(DL008) lock-free once-flag: exchange() is the whole protocol, there is no guarded state behind it
     static std::atomic<bool> warned{false};
     if (!warned.exchange(true, std::memory_order_relaxed)) {
       DEFUSE_LOG_WARN << "histogram: negative value " << value

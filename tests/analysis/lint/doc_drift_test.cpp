@@ -1,0 +1,125 @@
+// Doc-drift gate: the DL-rule tables in DESIGN.md (§11 for the
+// determinism/safety rules, §16 for the architecture/lock-discipline
+// rules) and the README CI-gates table must stay in lockstep with the
+// rule set the linter actually ships (lint::Rules()). Parsed, not
+// eyeballed: a rule added/renamed in code without its table row — or a
+// documented rule the code no longer has — fails `ctest -L lint`.
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/lint/lint.hpp"
+
+namespace defuse::analysis::lint {
+namespace {
+
+#ifndef DEFUSE_REPO_ROOT
+#error "build must define DEFUSE_REPO_ROOT"
+#endif
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in{path};
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string Trim(std::string s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.erase(s.begin());
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.pop_back();
+  }
+  return s;
+}
+
+/// Collects id -> kebab-case name from every markdown table row of the
+/// form `| DL0xx | `name` | ... |` in `text`.
+std::map<std::string, std::string> ParseRuleTables(const std::string& text) {
+  std::map<std::string, std::string> rows;
+  std::istringstream lines{text};
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::string trimmed = Trim(line);
+    if (trimmed.rfind("| DL0", 0) != 0) continue;
+    // Split the row into cells.
+    std::vector<std::string> cells;
+    std::string cell;
+    for (std::size_t i = 1; i < trimmed.size(); ++i) {  // skip leading '|'
+      if (trimmed[i] == '|') {
+        cells.push_back(Trim(cell));
+        cell.clear();
+      } else {
+        cell += trimmed[i];
+      }
+    }
+    if (cells.size() < 2) continue;
+    std::string name = cells[1];
+    if (name.size() >= 2 && name.front() == '`' && name.back() == '`') {
+      name = name.substr(1, name.size() - 2);
+    }
+    EXPECT_EQ(rows.count(cells[0]), 0u)
+        << cells[0] << " documented twice with names '" << rows[cells[0]]
+        << "' and '" << name << "'";
+    rows[cells[0]] = name;
+  }
+  return rows;
+}
+
+TEST(LintDocDrift, DesignTablesMatchShippedRules) {
+  const std::string design =
+      ReadAll(std::string{DEFUSE_REPO_ROOT} + "/DESIGN.md");
+  const auto documented = ParseRuleTables(design);
+
+  const auto& rules = Rules();
+  ASSERT_EQ(documented.size(), rules.size())
+      << "DESIGN.md documents " << documented.size() << " DL rules but "
+      << "lint::Rules() ships " << rules.size();
+  for (const RuleInfo& rule : rules) {
+    const auto it = documented.find(std::string{rule.id});
+    ASSERT_NE(it, documented.end())
+        << rule.id << " (" << rule.name
+        << ") is missing from the DESIGN.md §11/§16 rule tables";
+    EXPECT_EQ(it->second, rule.name)
+        << rule.id << " is documented as '" << it->second
+        << "' but shipped as '" << rule.name << "'";
+  }
+}
+
+TEST(LintDocDrift, DesignNamesEveryRuleIdInProse) {
+  // The §11 table carries DL001-006 and the §16 table DL007-009; both
+  // sections must exist (the tables above could in principle move).
+  const std::string design =
+      ReadAll(std::string{DEFUSE_REPO_ROOT} + "/DESIGN.md");
+  EXPECT_NE(design.find("## 11."), std::string::npos);
+  EXPECT_NE(design.find("## 16."), std::string::npos);
+}
+
+TEST(LintDocDrift, ReadmeGateRowCoversTheFullRuleRange) {
+  const std::string readme =
+      ReadAll(std::string{DEFUSE_REPO_ROOT} + "/README.md");
+  const auto& rules = Rules();
+  const std::string first{rules.front().id};
+  const std::string last{rules.back().id};
+  // The tier1_lint gate row advertises the rule range; both endpoints
+  // must name rules that actually exist (checked against Rules() above)
+  // and appear in the README.
+  EXPECT_NE(readme.find(first), std::string::npos)
+      << "README.md never mentions " << first;
+  EXPECT_NE(readme.find(last), std::string::npos)
+      << "README.md CI-gates table does not cover up to " << last
+      << " — update the tier1_lint.sh row";
+  EXPECT_NE(readme.find("ctest -L lint"), std::string::npos)
+      << "README.md CI-gates table lost the `ctest -L lint` row";
+}
+
+}  // namespace
+}  // namespace defuse::analysis::lint

@@ -1,0 +1,8 @@
+// Fixture: the repaired edge — depend downward on common instead.
+#include "common/ids.hpp"
+
+namespace defuse::graph {
+
+int Answer() { return 42; }
+
+}  // namespace defuse::graph

@@ -1,0 +1,8 @@
+// Fixture: a rank-1 module reaching up into the rank-5 core layer.
+#include "core/engine.hpp"
+
+namespace defuse::graph {
+
+int Answer() { return 42; }
+
+}  // namespace defuse::graph

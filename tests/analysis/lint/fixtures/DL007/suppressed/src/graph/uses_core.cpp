@@ -1,0 +1,9 @@
+// Fixture: the upward edge carrying a justified suppression.
+// defuse-lint: suppress(DL007) transitional shim while Engine moves down a layer
+#include "core/engine.hpp"
+
+namespace defuse::graph {
+
+int Answer() { return 42; }
+
+}  // namespace defuse::graph

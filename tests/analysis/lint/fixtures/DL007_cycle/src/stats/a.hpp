@@ -1,0 +1,6 @@
+// Fixture: half of a same-rank include cycle (stats <-> trace).
+#include "trace/b.hpp"
+
+namespace defuse::stats {
+int A();
+}  // namespace defuse::stats

@@ -1,0 +1,6 @@
+// Fixture: the other half of the cycle.
+#include "stats/a.hpp"
+
+namespace defuse::trace {
+int B();
+}  // namespace defuse::trace

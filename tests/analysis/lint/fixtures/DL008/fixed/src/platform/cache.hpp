@@ -1,0 +1,14 @@
+// Fixture: the repair — the fields the mutex protects are declared
+// GUARDED_BY right next to it (common/annotations.hpp).
+#pragma once
+
+namespace defuse::platform {
+
+class Cache {
+ private:
+  Mutex mu_;
+  int hits_ GUARDED_BY(mu_) = 0;
+  int misses_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace defuse::platform

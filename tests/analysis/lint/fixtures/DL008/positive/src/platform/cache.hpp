@@ -1,0 +1,14 @@
+// Fixture: a mutex member with no adjacent GUARDED_BY field set.
+#pragma once
+
+namespace defuse::platform {
+
+class Cache {
+ private:
+  std::mutex mu_;
+
+  int hits_ = 0;
+  int misses_ = 0;
+};
+
+}  // namespace defuse::platform

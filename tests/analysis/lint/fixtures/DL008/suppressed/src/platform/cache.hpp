@@ -1,0 +1,15 @@
+// Fixture: the mutex carrying a justified lock-free-protocol suppression.
+#pragma once
+
+namespace defuse::platform {
+
+class Cache {
+ private:
+  // defuse-lint: suppress(DL008) guards only the ctor-time warmup, documented in Cache()
+  std::mutex mu_;
+
+  int hits_ = 0;
+  int misses_ = 0;
+};
+
+}  // namespace defuse::platform

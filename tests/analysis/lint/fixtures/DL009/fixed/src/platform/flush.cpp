@@ -1,0 +1,18 @@
+// Fixture: the repair — snapshot under the lock, block after release.
+namespace defuse::platform {
+
+void Flush(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    snapshot = state;
+  }
+  fsync(fd);
+}
+
+void Join() {
+  std::future<int> pending = Submit(Job{});
+  pending.get();
+  std::unique_lock<std::mutex> lock(mu);
+}
+
+}  // namespace defuse::platform

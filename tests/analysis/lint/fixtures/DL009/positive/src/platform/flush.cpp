@@ -1,0 +1,15 @@
+// Fixture: blocking I/O and a future join while lexically holding a lock.
+namespace defuse::platform {
+
+void Flush(int fd) {
+  std::lock_guard<std::mutex> lock(mu);
+  fsync(fd);
+}
+
+void Join() {
+  std::future<int> pending = Submit(Job{});
+  std::unique_lock<std::mutex> lock(mu);
+  pending.get();
+}
+
+}  // namespace defuse::platform

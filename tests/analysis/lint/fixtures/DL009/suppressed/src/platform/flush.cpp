@@ -1,0 +1,17 @@
+// Fixture: the same blocking calls carrying lock-free-handoff notes.
+namespace defuse::platform {
+
+void Flush(int fd) {
+  std::lock_guard<std::mutex> lock(mu);
+  // defuse-lint: lock-free-handoff fd is private to this thread; the lock orders metadata only
+  fsync(fd);
+}
+
+void Join() {
+  std::future<int> pending = Submit(Job{});
+  std::unique_lock<std::mutex> lock(mu);
+  // defuse-lint: lock-free-handoff worker finished before the lock was taken (joined upstream)
+  pending.get();
+}
+
+}  // namespace defuse::platform

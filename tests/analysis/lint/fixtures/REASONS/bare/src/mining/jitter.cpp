@@ -1,0 +1,8 @@
+// Fixture: a bare suppression — no reason text — must silence nothing
+// and itself be a finding tagged with the rule it targeted.
+namespace defuse::mining {
+
+// defuse-lint: suppress(DL002)
+int Jitter() { return std::rand(); }
+
+}  // namespace defuse::mining

@@ -1,0 +1,7 @@
+// Fixture: a real reason makes the same directive take effect.
+namespace defuse::mining {
+
+// defuse-lint: suppress(DL002) rand() feeds a log banner only; nothing mined reads it
+int Jitter() { return std::rand(); }
+
+}  // namespace defuse::mining

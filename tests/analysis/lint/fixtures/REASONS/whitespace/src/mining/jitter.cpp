@@ -1,0 +1,8 @@
+// Fixture: a whitespace-only reason after the directive is as bare as
+// no reason at all — trailing blanks are not a justification.
+namespace defuse::mining {
+
+// defuse-lint: suppress(DL002)      
+int Jitter() { return std::rand(); }
+
+}  // namespace defuse::mining

@@ -76,6 +76,21 @@ std::vector<FixtureCase> Cases() {
        false},
       {"DL006", "suppressed", {}, true},
       {"DL006", "fixed", {}, false},
+
+      {"DL007", "positive", {{"src/graph/uses_core.cpp", 2, "DL007"}}, false},
+      {"DL007", "suppressed", {}, true},
+      {"DL007", "fixed", {}, false},
+
+      {"DL008", "positive", {{"src/platform/cache.hpp", 8, "DL008"}}, false},
+      {"DL008", "suppressed", {}, true},
+      {"DL008", "fixed", {}, false},
+
+      {"DL009", "positive",
+       {{"src/platform/flush.cpp", 6, "DL009"},
+        {"src/platform/flush.cpp", 12, "DL009"}},
+       false},
+      {"DL009", "suppressed", {}, true},
+      {"DL009", "fixed", {}, false},
   };
 }
 
@@ -110,9 +125,9 @@ std::string Describe(const std::vector<ExpectedFinding>& findings) {
   return out.empty() ? "  (none)\n" : out;
 }
 
-TEST(LintRuleTable, HasSixDocumentedRules) {
+TEST(LintRuleTable, HasNineDocumentedRules) {
   const auto& rules = Rules();
-  ASSERT_EQ(rules.size(), 6u);
+  ASSERT_EQ(rules.size(), 9u);
   for (std::size_t i = 0; i < rules.size(); ++i) {
     EXPECT_EQ(rules[i].id, "DL00" + std::to_string(i + 1));
     EXPECT_FALSE(rules[i].name.empty());
@@ -120,7 +135,7 @@ TEST(LintRuleTable, HasSixDocumentedRules) {
     EXPECT_FALSE(rules[i].fixit.empty());
   }
   EXPECT_NE(FindRule("DL001"), nullptr);
-  EXPECT_NE(FindRule("DL006"), nullptr);
+  EXPECT_NE(FindRule("DL009"), nullptr);
   EXPECT_EQ(FindRule("DL999"), nullptr);
 }
 
@@ -180,6 +195,66 @@ TEST(LintFixtures, ReportJsonContainsPerRuleCounts) {
   EXPECT_NE(json.find("\"elapsed_seconds\": 0.25"), std::string::npos) << json;
 }
 
+// A directive with no reason text must silence nothing and itself be a
+// finding tagged with the rule it targeted — a bare suppression is
+// indistinguishable from silencing a real bug in review.
+TEST(LintSuppressionReasons, BareAndWhitespaceDirectivesAreFindings) {
+  for (const char* variant : {"bare", "whitespace"}) {
+    SCOPED_TRACE(variant);
+    const std::string root =
+        std::string{DEFUSE_LINT_FIXTURES} + "/REASONS/" + variant;
+    const LintReport report = MustLint(root);
+    // The directive line itself plus the un-silenced std::rand below it.
+    const auto observed = Observed(report);
+    ASSERT_EQ(observed.size(), 2u) << Describe(observed);
+    EXPECT_EQ(observed[0].rule_id, "DL002");
+    EXPECT_EQ(observed[0].line, 5u);  // the bare directive
+    EXPECT_EQ(observed[1].rule_id, "DL002");
+    EXPECT_EQ(observed[1].line, 6u);  // the call it failed to silence
+    EXPECT_EQ(report.stats.suppressions_honored, 0u);
+  }
+  const LintReport valid =
+      MustLint(std::string{DEFUSE_LINT_FIXTURES} + "/REASONS/valid");
+  EXPECT_TRUE(valid.findings.empty())
+      << Describe(Observed(valid));
+  EXPECT_EQ(valid.stats.suppressions_honored, 1u);
+}
+
+// Two same-rank modules including each other pass the rank check edge by
+// edge but still form a cycle, which DL007 must reject.
+TEST(LintModuleGraph, SameRankCycleIsAFinding) {
+  const LintReport report =
+      MustLint(std::string{DEFUSE_LINT_FIXTURES} + "/DL007_cycle");
+  ASSERT_EQ(report.module_graph.cycles.size(), 1u);
+  EXPECT_EQ(report.module_graph.cycles[0], "stats -> trace -> stats");
+  ASSERT_EQ(report.findings.size(), 1u) << Describe(Observed(report));
+  EXPECT_EQ(report.findings[0].rule_id, "DL007");
+  EXPECT_EQ(report.module_graph.num_violations(), 0u)
+      << "both edges are rank-legal; only the cycle is the bug";
+}
+
+TEST(LintModuleGraph, PositiveFixtureExportsViolationEdge) {
+  const LintReport report =
+      MustLint(std::string{DEFUSE_LINT_FIXTURES} + "/DL007/positive");
+  EXPECT_EQ(report.module_graph.num_violations(), 1u);
+  bool found = false;
+  for (const ModuleGraphEdge& e : report.module_graph.edges) {
+    if (e.from == "graph" && e.to == "core") {
+      found = true;
+      EXPECT_TRUE(e.violation);
+      EXPECT_EQ(e.example, "src/graph/uses_core.cpp:2");
+    }
+  }
+  EXPECT_TRUE(found);
+  const std::string dot = report.module_graph.ToDot();
+  EXPECT_NE(dot.find("digraph modules"), std::string::npos);
+  EXPECT_NE(dot.find("\"graph\" -> \"core\" [color=red"),
+            std::string::npos)
+      << dot;
+  const std::string json = ReportJson(report, 0.5);
+  EXPECT_NE(json.find("\"violations\": 1"), std::string::npos) << json;
+}
+
 // The tree itself must be lint-clean: this is the merge gate the fixtures
 // exist to protect. If this fails, either fix the violation or add a
 // justified suppression at the flagged site.
@@ -188,6 +263,35 @@ TEST(LintSelfCheck, RepositoryTreeIsClean) {
   EXPECT_GT(report.stats.files_scanned, 50u);
   EXPECT_TRUE(report.findings.empty())
       << "repository lint findings:\n" << Describe(Observed(report));
+  // The real module graph is the layering contract of DESIGN.md §16.
+  EXPECT_GT(report.module_graph.modules.size(), 10u);
+  EXPECT_EQ(report.module_graph.num_violations(), 0u);
+  EXPECT_TRUE(report.module_graph.cycles.empty());
+}
+
+// The shared line index is a pure performance optimization: re-reading
+// and re-tokenizing every file before each rule family must produce
+// byte-identical findings, stats, and report JSON.
+TEST(LintSelfCheck, SharedIndexMatchesReloadPerRule) {
+  LintConfig shared;
+  shared.root = DEFUSE_REPO_ROOT;
+  LintConfig reload = shared;
+  reload.reload_per_rule = true;
+
+  auto a = RunLint(shared);
+  auto b = RunLint(reload);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ReportJson(a.value(), 0.0), ReportJson(b.value(), 0.0));
+  ASSERT_EQ(a.value().findings.size(), b.value().findings.size());
+  for (std::size_t i = 0; i < a.value().findings.size(); ++i) {
+    EXPECT_EQ(FormatFinding(a.value().findings[i]),
+              FormatFinding(b.value().findings[i]));
+  }
+  EXPECT_EQ(a.value().stats.suppressions_honored,
+            b.value().stats.suppressions_honored);
+  EXPECT_EQ(a.value().stats.files_scanned, b.value().stats.files_scanned);
+  EXPECT_EQ(a.value().stats.lines_scanned, b.value().stats.lines_scanned);
 }
 
 }  // namespace

@@ -91,20 +91,20 @@ TEST(League, JsonAndCsvRowsAgreeOnCellCount) {
 /// Two-function policy: invoking function 0 pulls function 1 warm via
 /// CollectTriggeredPrewarms (delay 1, keepalive 2); nobody lingers on
 /// their own.
-class PullPolicy final : public sim::SchedulingPolicy {
+class PullPolicy final : public policy::SchedulingPolicy {
  public:
-  PullPolicy() : units_(sim::UnitMap::PerFunction(2)) {}
+  PullPolicy() : units_(graph::UnitMap::PerFunction(2)) {}
 
-  [[nodiscard]] const sim::UnitMap& unit_map() const noexcept override {
+  [[nodiscard]] const graph::UnitMap& unit_map() const noexcept override {
     return units_;
   }
-  [[nodiscard]] sim::UnitDecision OnInvocation(UnitId, Minute) override {
+  [[nodiscard]] policy::UnitDecision OnInvocation(UnitId, Minute) override {
     return {.prewarm = 0, .keepalive = 1};
   }
   void ObserveIdleTime(UnitId, MinuteDelta) override {}
   void CollectTriggeredPrewarms(
       UnitId invoked, Minute,
-      std::vector<sim::PrewarmRequest>& out) override {
+      std::vector<policy::PrewarmRequest>& out) override {
     if (invoked.value() == 0) {
       out.push_back({.unit = UnitId{1}, .delay = 1, .keepalive = 2});
     }
@@ -112,7 +112,7 @@ class PullPolicy final : public sim::SchedulingPolicy {
   [[nodiscard]] const char* name() const noexcept override { return "pull"; }
 
  private:
-  sim::UnitMap units_;
+  graph::UnitMap units_;
 };
 
 trace::InvocationTrace TraceOf(

@@ -139,7 +139,7 @@ TEST(PolicyRegistry, RegisterRejectsDuplicates) {
   PolicyEntry entry;
   entry.name = "custom";
   entry.factory = [](const PolicyBuildContext&, const SpecValues&)
-      -> Result<std::unique_ptr<sim::SchedulingPolicy>> {
+      -> Result<std::unique_ptr<policy::SchedulingPolicy>> {
     return Error{.code = ErrorCode::kFailedPrecondition, .message = "stub"};
   };
   ASSERT_TRUE(registry.Register(entry).ok());

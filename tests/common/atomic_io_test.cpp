@@ -13,6 +13,7 @@
 #include "common/io/atomic_file.hpp"
 #include "common/io/framed.hpp"
 #include "faults/injector.hpp"
+#include "faults/io_hooks.hpp"
 
 namespace defuse::io {
 namespace {
@@ -60,7 +61,8 @@ TEST_F(AtomicIoTest, TornWriteLeavesDestinationAbsent) {
   faults::FaultProfile profile;
   profile.snapshot_torn_write_fraction = 1.0;
   faults::FaultInjector injector{1, profile};
-  const auto r = AtomicWriteFile(path_, "never published", &injector);
+  const auto hooks = faults::MakeIoFaultHooks(&injector);
+  const auto r = AtomicWriteFile(path_, "never published", &hooks);
   ASSERT_FALSE(r.ok());
   EXPECT_FALSE(fs::exists(path_));
   // The crash leaves partial temp debris behind, like a real power cut.
@@ -73,7 +75,8 @@ TEST_F(AtomicIoTest, TornWriteLeavesOldContentIntact) {
   faults::FaultProfile profile;
   profile.snapshot_torn_write_fraction = 1.0;
   faults::FaultInjector injector{2, profile};
-  ASSERT_FALSE(AtomicWriteFile(path_, "new content", &injector).ok());
+  const auto hooks = faults::MakeIoFaultHooks(&injector);
+  ASSERT_FALSE(AtomicWriteFile(path_, "new content", &hooks).ok());
   EXPECT_EQ(ReadBack(path_), "old content");
 }
 
@@ -82,14 +85,16 @@ TEST_F(AtomicIoTest, RenameFailureLeavesOldContentIntact) {
   faults::FaultProfile profile;
   profile.snapshot_rename_failure_fraction = 1.0;
   faults::FaultInjector injector{3, profile};
-  ASSERT_FALSE(AtomicWriteFile(path_, "new content", &injector).ok());
+  const auto hooks = faults::MakeIoFaultHooks(&injector);
+  ASSERT_FALSE(AtomicWriteFile(path_, "new content", &hooks).ok());
   EXPECT_EQ(ReadBack(path_), "old content");
   EXPECT_EQ(injector.injected(faults::FaultSite::kSnapshotRename), 1u);
 }
 
 TEST_F(AtomicIoTest, DisabledInjectorInjectsNothing) {
   faults::FaultInjector disabled;  // default-constructed: off
-  ASSERT_TRUE(AtomicWriteFile(path_, "content", &disabled).ok());
+  const auto hooks = faults::MakeIoFaultHooks(&disabled);
+  ASSERT_TRUE(AtomicWriteFile(path_, "content", &hooks).ok());
   EXPECT_EQ(disabled.decisions(faults::FaultSite::kSnapshotTornWrite), 0u);
   EXPECT_EQ(disabled.decisions(faults::FaultSite::kSnapshotRename), 0u);
 }
@@ -106,7 +111,8 @@ TEST_F(AtomicIoTest, BitFlipReadCorruptsExactlyOneBit) {
   faults::FaultProfile profile;
   profile.state_read_bit_flip_fraction = 1.0;
   faults::FaultInjector injector{4, profile};
-  const auto r = ReadFileWithFaults(path_, &injector);
+  const auto hooks = faults::MakeIoFaultHooks(&injector);
+  const auto r = ReadFileWithFaults(path_, &hooks);
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r.value().size(), content.size());
   int flipped_bits = 0;

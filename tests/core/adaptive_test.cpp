@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "faults/injector.hpp"
 #include "stats/descriptive.hpp"
 #include "trace/generator.hpp"
 
@@ -164,7 +165,9 @@ TEST(RunAdaptive, InjectedMiningFailuresDegradeExactlyThoseEpochs) {
   profile.remine_failure_fraction = 1.0;  // every epoch's mine fails
   faults::FaultInjector injector{0, profile};
   AdaptiveConfig adaptive;
-  adaptive.fault_injector = &injector;
+  adaptive.remine_fault = [&injector] {
+    return injector.ShouldFail(faults::FaultSite::kRemine);
+  };
   const TimeRange span{2 * kMinutesPerDay, 4 * kMinutesPerDay};
   const auto result = RunAdaptive(w.model, w.trace, span, adaptive);
   ASSERT_EQ(result.epochs.size(), 2u);
@@ -217,7 +220,9 @@ TEST(RunAdaptive, DegradedEpochReusesLastGoodSets) {
   ASSERT_TRUE(found);
   faults::FaultInjector injector{chosen_seed, profile};
   AdaptiveConfig adaptive;
-  adaptive.fault_injector = &injector;
+  adaptive.remine_fault = [&injector] {
+    return injector.ShouldFail(faults::FaultSite::kRemine);
+  };
   const auto result = RunAdaptive(w.model, w.trace, span, adaptive);
   ASSERT_EQ(result.epochs.size(), 3u);
   EXPECT_FALSE(result.epochs[0].degraded);

@@ -2,15 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <initializer_list>
+#include <vector>
+
 namespace defuse::graph {
 namespace {
 
-mining::Itemset Set(std::initializer_list<std::uint32_t> ids,
-                    std::uint64_t support) {
-  mining::Itemset s;
-  for (const auto id : ids) s.items.push_back(FunctionId{id});
-  s.support = support;
-  return s;
+std::vector<FunctionId> Set(std::initializer_list<std::uint32_t> ids) {
+  std::vector<FunctionId> fns;
+  for (const auto id : ids) fns.push_back(FunctionId{id});
+  return fns;
 }
 
 TEST(DependencyGraph, StartsWithNoEdges) {
@@ -23,7 +24,7 @@ TEST(DependencyGraph, StartsWithNoEdges) {
 
 TEST(DependencyGraph, ItemsetBecomesAClique) {
   DependencyGraph g{5};
-  g.AddStrongItemset(Set({0, 1, 2}, 9));
+  g.AddStrongItemset(Set({0, 1, 2}), 9);
   EXPECT_EQ(g.num_strong_edges(), 3u);  // C(3,2)
   for (const auto& e : g.edges()) {
     EXPECT_EQ(e.kind, EdgeKind::kStrong);
@@ -33,7 +34,7 @@ TEST(DependencyGraph, ItemsetBecomesAClique) {
 
 TEST(DependencyGraph, PairItemsetIsOneEdge) {
   DependencyGraph g{5};
-  g.AddStrongItemset(Set({3, 4}, 2));
+  g.AddStrongItemset(Set({3, 4}), 2);
   ASSERT_EQ(g.edges().size(), 1u);
   EXPECT_EQ(g.edges()[0].a, FunctionId{3});
   EXPECT_EQ(g.edges()[0].b, FunctionId{4});
@@ -41,9 +42,7 @@ TEST(DependencyGraph, PairItemsetIsOneEdge) {
 
 TEST(DependencyGraph, WeakDependencyKeepsDirectionAndWeight) {
   DependencyGraph g{5};
-  g.AddWeakDependency(
-      mining::WeakDependency{.from = FunctionId{2}, .to = FunctionId{0},
-                             .ppmi = 3.5});
+  g.AddWeakDependency(FunctionId{2}, FunctionId{0}, 3.5);
   ASSERT_EQ(g.num_weak_edges(), 1u);
   EXPECT_EQ(g.edges()[0].a, FunctionId{2});
   EXPECT_EQ(g.edges()[0].b, FunctionId{0});
@@ -52,9 +51,8 @@ TEST(DependencyGraph, WeakDependencyKeepsDirectionAndWeight) {
 
 TEST(DependencyGraph, NeighborsSpanBothDirections) {
   DependencyGraph g{5};
-  g.AddStrongItemset(Set({0, 1}, 2));
-  g.AddWeakDependency(
-      mining::WeakDependency{.from = FunctionId{2}, .to = FunctionId{1}});
+  g.AddStrongItemset(Set({0, 1}), 2);
+  g.AddWeakDependency(FunctionId{2}, FunctionId{1}, 0.0);
   EXPECT_EQ(g.Neighbors(FunctionId{1}),
             (std::vector<FunctionId>{FunctionId{0}, FunctionId{2}}));
   EXPECT_EQ(g.Neighbors(FunctionId{3}), std::vector<FunctionId>{});
@@ -62,17 +60,16 @@ TEST(DependencyGraph, NeighborsSpanBothDirections) {
 
 TEST(DependencyGraph, NeighborsAreDeduplicated) {
   DependencyGraph g{5};
-  g.AddStrongItemset(Set({0, 1}, 2));
-  g.AddStrongItemset(Set({0, 1}, 3));  // same pair from another itemset
+  g.AddStrongItemset(Set({0, 1}), 2);
+  g.AddStrongItemset(Set({0, 1}), 3);  // same pair from another itemset
   EXPECT_EQ(g.Neighbors(FunctionId{0}),
             std::vector<FunctionId>{FunctionId{1}});
 }
 
 TEST(DependencyGraph, ConnectedComponentsCoverAllFunctions) {
   DependencyGraph g{6};
-  g.AddStrongItemset(Set({0, 1}, 2));
-  g.AddWeakDependency(
-      mining::WeakDependency{.from = FunctionId{4}, .to = FunctionId{1}});
+  g.AddStrongItemset(Set({0, 1}), 2);
+  g.AddWeakDependency(FunctionId{4}, FunctionId{1}, 0.0);
   const auto sets = g.ConnectedComponents();
   ASSERT_EQ(sets.size(), 4u);  // {0,1,4}, {2}, {3}, {5}
   EXPECT_EQ(sets[0].functions,
@@ -87,11 +84,10 @@ TEST(DependencyGraph, ConnectedComponentsCoverAllFunctions) {
 
 TEST(DependencyGraph, StrongAndWeakEdgesMergeComponents) {
   DependencyGraph g{7};
-  g.AddStrongItemset(Set({0, 1, 2}, 5));
-  g.AddStrongItemset(Set({3, 4}, 5));
+  g.AddStrongItemset(Set({0, 1, 2}), 5);
+  g.AddStrongItemset(Set({3, 4}), 5);
   // A weak link joins the two strong cliques into one set.
-  g.AddWeakDependency(
-      mining::WeakDependency{.from = FunctionId{2}, .to = FunctionId{3}});
+  g.AddWeakDependency(FunctionId{2}, FunctionId{3}, 0.0);
   const auto sets = g.ConnectedComponents();
   ASSERT_EQ(sets.size(), 3u);
   EXPECT_EQ(sets[0].functions.size(), 5u);
@@ -99,8 +95,8 @@ TEST(DependencyGraph, StrongAndWeakEdgesMergeComponents) {
 
 TEST(DependencyGraph, CanonicalizeMergesDuplicateStrongEdges) {
   DependencyGraph g{4};
-  g.AddStrongItemset(Set({0, 1}, 2));
-  g.AddStrongItemset(Set({0, 1}, 7));  // duplicate pair, higher support
+  g.AddStrongItemset(Set({0, 1}), 2);
+  g.AddStrongItemset(Set({0, 1}), 7);  // duplicate pair, higher support
   g.AddEdge(DependencyEdge{.a = FunctionId{1},
                            .b = FunctionId{0},
                            .kind = EdgeKind::kStrong,
@@ -114,12 +110,8 @@ TEST(DependencyGraph, CanonicalizeMergesDuplicateStrongEdges) {
 
 TEST(DependencyGraph, CanonicalizeKeepsWeakDirections) {
   DependencyGraph g{4};
-  g.AddWeakDependency(mining::WeakDependency{.from = FunctionId{0},
-                                             .to = FunctionId{1},
-                                             .ppmi = 1.0});
-  g.AddWeakDependency(mining::WeakDependency{.from = FunctionId{1},
-                                             .to = FunctionId{0},
-                                             .ppmi = 2.0});
+  g.AddWeakDependency(FunctionId{0}, FunctionId{1}, 1.0);
+  g.AddWeakDependency(FunctionId{1}, FunctionId{0}, 2.0);
   g.Canonicalize();
   // Opposite-direction weak edges are distinct relationships.
   EXPECT_EQ(g.edges().size(), 2u);
@@ -127,10 +119,9 @@ TEST(DependencyGraph, CanonicalizeKeepsWeakDirections) {
 
 TEST(DependencyGraph, CanonicalizePreservesComponents) {
   DependencyGraph g{6};
-  g.AddStrongItemset(Set({0, 1, 2}, 3));
-  g.AddStrongItemset(Set({1, 2}, 5));
-  g.AddWeakDependency(mining::WeakDependency{.from = FunctionId{4},
-                                             .to = FunctionId{2}});
+  g.AddStrongItemset(Set({0, 1, 2}), 3);
+  g.AddStrongItemset(Set({1, 2}), 5);
+  g.AddWeakDependency(FunctionId{4}, FunctionId{2}, 0.0);
   const auto before = g.ConnectedComponents();
   g.Canonicalize();
   const auto after = g.ConnectedComponents();
@@ -142,7 +133,7 @@ TEST(DependencyGraph, CanonicalizePreservesComponents) {
 
 TEST(FunctionToSetIndex, InvertsTheMapping) {
   DependencyGraph g{5};
-  g.AddStrongItemset(Set({1, 3}, 2));
+  g.AddStrongItemset(Set({1, 3}), 2);
   const auto sets = g.ConnectedComponents();
   const auto index = FunctionToSetIndex(sets, 5);
   ASSERT_EQ(index.size(), 5u);
@@ -157,9 +148,8 @@ TEST(FunctionToSetIndex, InvertsTheMapping) {
 
 TEST(DependencyGraph, ToDotRendersEdgeStyles) {
   DependencyGraph g{3};
-  g.AddStrongItemset(Set({0, 1}, 2));
-  g.AddWeakDependency(
-      mining::WeakDependency{.from = FunctionId{2}, .to = FunctionId{0}});
+  g.AddStrongItemset(Set({0, 1}), 2);
+  g.AddWeakDependency(FunctionId{2}, FunctionId{0}, 0.0);
   const std::string dot = g.ToDot();
   EXPECT_NE(dot.find("digraph"), std::string::npos);
   EXPECT_NE(dot.find("dir=none"), std::string::npos);   // strong
@@ -168,7 +158,7 @@ TEST(DependencyGraph, ToDotRendersEdgeStyles) {
 
 TEST(DependencyGraph, ToDotUsesProvidedNames) {
   DependencyGraph g{2};
-  g.AddStrongItemset(Set({0, 1}, 2));
+  g.AddStrongItemset(Set({0, 1}), 2);
   const std::vector<std::string> names{"checkout", "pay"};
   const std::string dot = g.ToDot(&names);
   EXPECT_NE(dot.find("checkout"), std::string::npos);

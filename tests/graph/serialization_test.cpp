@@ -110,13 +110,10 @@ TEST(DependencyCsv, MinedOutputRoundTripsThroughBothFormats) {
   // the same connected components.
   Fixture fx;
   DependencyGraph graph{fx.model.num_functions()};
-  mining::Itemset itemset;
-  itemset.items = {FunctionId{0}, FunctionId{1}, FunctionId{2}};
-  itemset.support = 4;
-  graph.AddStrongItemset(itemset);
-  graph.AddWeakDependency(
-      mining::WeakDependency{.from = FunctionId{4}, .to = FunctionId{2},
-                             .ppmi = 1.5});
+  const std::vector<FunctionId> itemset = {FunctionId{0}, FunctionId{1},
+                                           FunctionId{2}};
+  graph.AddStrongItemset(itemset, /*support=*/4);
+  graph.AddWeakDependency(FunctionId{4}, FunctionId{2}, /*ppmi=*/1.5);
 
   const auto loaded_graph = ReadDependencyEdgesCsv(
       WriteDependencyEdgesCsv(graph, fx.model), fx.model);

@@ -28,7 +28,7 @@ trace::InvocationTrace OfficeHoursTrace(Minute days) {
 }
 
 TEST(DiurnalPolicy, LearnsTheActiveWindow) {
-  DiurnalPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  DiurnalPolicy policy{graph::UnitMap::PerFunction(1), TestConfig()};
   const auto trace = OfficeHoursTrace(3);
   for (const auto& e : trace.series(FunctionId{0})) {
     policy.SeedDayProfile(UnitId{0}, e.minute);
@@ -41,7 +41,7 @@ TEST(DiurnalPolicy, LearnsTheActiveWindow) {
 }
 
 TEST(DiurnalPolicy, TooFewObservationsDelegatesToHybrid) {
-  DiurnalPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  DiurnalPolicy policy{graph::UnitMap::PerFunction(1), TestConfig()};
   for (int i = 0; i < 5; ++i) {
     policy.SeedDayProfile(UnitId{0}, 9 * 60 + i);
   }
@@ -51,7 +51,7 @@ TEST(DiurnalPolicy, TooFewObservationsDelegatesToHybrid) {
 }
 
 TEST(DiurnalPolicy, SpreadActivityIsNotDiurnal) {
-  DiurnalPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  DiurnalPolicy policy{graph::UnitMap::PerFunction(1), TestConfig()};
   // Uniform activity around the clock.
   for (Minute m = 0; m < kMinutesPerDay; m += 10) {
     policy.SeedDayProfile(UnitId{0}, m);
@@ -60,7 +60,7 @@ TEST(DiurnalPolicy, SpreadActivityIsNotDiurnal) {
 }
 
 TEST(DiurnalPolicy, DecisionLingersThroughTheRunAndPrewarmsTomorrow) {
-  DiurnalPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  DiurnalPolicy policy{graph::UnitMap::PerFunction(1), TestConfig()};
   const auto trace = OfficeHoursTrace(3);
   for (const auto& e : trace.series(FunctionId{0})) {
     policy.SeedDayProfile(UnitId{0}, e.minute);
@@ -79,7 +79,7 @@ TEST(DiurnalPolicy, DecisionLingersThroughTheRunAndPrewarmsTomorrow) {
 TEST(DiurnalPolicy, EndToEndMorningsAreWarmAndNightsAreFree) {
   constexpr Minute kDays = 8;
   const auto trace = OfficeHoursTrace(kDays);
-  DiurnalPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  DiurnalPolicy policy{graph::UnitMap::PerFunction(1), TestConfig()};
   // Seed from the first 4 days, simulate the rest.
   const TimeRange train{0, 4 * kMinutesPerDay};
   for (const auto& e : trace.SeriesInRange(FunctionId{0}, train)) {
@@ -94,14 +94,14 @@ TEST(DiurnalPolicy, EndToEndMorningsAreWarmAndNightsAreFree) {
 
   // The hybrid histogram policy alone leaves every morning cold (the
   // overnight gap exceeds its histogram) at similar memory.
-  HybridHistogramPolicy hybrid{sim::UnitMap::PerFunction(1),
+  HybridHistogramPolicy hybrid{graph::UnitMap::PerFunction(1),
                                TestConfig().hybrid};
   const auto hr = sim::Simulate(trace, eval, hybrid);
   EXPECT_GE(hr.unit_cold_minutes[0], 4u);  // one per morning
 }
 
 TEST(DiurnalPolicy, OffHoursInvocationStillServed) {
-  DiurnalPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  DiurnalPolicy policy{graph::UnitMap::PerFunction(1), TestConfig()};
   const auto trace = OfficeHoursTrace(3);
   for (const auto& e : trace.series(FunctionId{0})) {
     policy.SeedDayProfile(UnitId{0}, e.minute);
@@ -115,7 +115,7 @@ TEST(DiurnalPolicy, OffHoursInvocationStillServed) {
 }
 
 TEST(DiurnalPolicy, OnlineProfileUpdatesViaOnInvocation) {
-  DiurnalPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  DiurnalPolicy policy{graph::UnitMap::PerFunction(1), TestConfig()};
   // No seeding: feed invocations through OnInvocation only.
   for (Minute day = 0; day < 5; ++day) {
     for (Minute m = 600; m < 660; m += 5) {

@@ -8,7 +8,7 @@ namespace defuse::policy {
 namespace {
 
 TEST(FixedKeepAlivePolicy, AlwaysReturnsTheConfiguredKeepAlive) {
-  FixedKeepAlivePolicy policy{sim::UnitMap::PerFunction(3), 10};
+  FixedKeepAlivePolicy policy{graph::UnitMap::PerFunction(3), 10};
   for (std::uint32_t u = 0; u < 3; ++u) {
     const auto d = policy.OnInvocation(UnitId{u}, 57);
     EXPECT_EQ(d.prewarm, 0);
@@ -17,7 +17,7 @@ TEST(FixedKeepAlivePolicy, AlwaysReturnsTheConfiguredKeepAlive) {
 }
 
 TEST(FixedKeepAlivePolicy, IgnoresIdleObservations) {
-  FixedKeepAlivePolicy policy{sim::UnitMap::PerFunction(1), 7};
+  FixedKeepAlivePolicy policy{graph::UnitMap::PerFunction(1), 7};
   policy.ObserveIdleTime(UnitId{0}, 100);
   policy.ObserveIdleTime(UnitId{0}, 1);
   const auto d = policy.OnInvocation(UnitId{0}, 0);
@@ -25,7 +25,7 @@ TEST(FixedKeepAlivePolicy, IgnoresIdleObservations) {
 }
 
 TEST(FixedKeepAlivePolicy, NameIsStable) {
-  FixedKeepAlivePolicy policy{sim::UnitMap::PerFunction(1), 7};
+  FixedKeepAlivePolicy policy{graph::UnitMap::PerFunction(1), 7};
   EXPECT_STREQ(policy.name(), "fixed-keepalive");
 }
 
@@ -35,7 +35,7 @@ TEST(FixedKeepAlivePolicy, EndToEndColdStartPattern) {
   trace::InvocationTrace trace{1, TimeRange{0, 40}};
   for (Minute m : {0, 5, 20, 29}) trace.Add(FunctionId{0}, m);
   trace.Finalize();
-  FixedKeepAlivePolicy policy{sim::UnitMap::PerFunction(1), 10};
+  FixedKeepAlivePolicy policy{graph::UnitMap::PerFunction(1), 10};
   const auto r = sim::Simulate(trace, TimeRange{0, 40}, policy);
   EXPECT_EQ(r.unit_invoked_minutes[0], 4u);
   EXPECT_EQ(r.unit_cold_minutes[0], 2u);

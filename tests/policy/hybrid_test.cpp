@@ -50,7 +50,7 @@ TEST(ValidateHybridConfig, RejectsBadValues) {
 }
 
 TEST(HybridHistogramPolicy, NoObservationsFallsBackToFixed) {
-  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  HybridHistogramPolicy policy{graph::UnitMap::PerFunction(1), TestConfig()};
   EXPECT_FALSE(policy.IsPredictableUnit(UnitId{0}));
   const auto d = policy.DecisionFor(UnitId{0});
   EXPECT_EQ(d.prewarm, 0);
@@ -58,7 +58,7 @@ TEST(HybridHistogramPolicy, NoObservationsFallsBackToFixed) {
 }
 
 TEST(HybridHistogramPolicy, PeakedHistogramIsPredictable) {
-  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  HybridHistogramPolicy policy{graph::UnitMap::PerFunction(1), TestConfig()};
   policy.SeedHistogram(UnitId{0}, PeakedHistogram(30, 1000));
   EXPECT_TRUE(policy.IsPredictableUnit(UnitId{0}));
   const auto d = policy.DecisionFor(UnitId{0});
@@ -69,7 +69,7 @@ TEST(HybridHistogramPolicy, PeakedHistogramIsPredictable) {
 }
 
 TEST(HybridHistogramPolicy, FlatHistogramIsUnpredictable) {
-  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  HybridHistogramPolicy policy{graph::UnitMap::PerFunction(1), TestConfig()};
   stats::Histogram flat{240, 1};
   for (MinuteDelta v = 0; v < 240; ++v) flat.AddCount(v, 5);
   policy.SeedHistogram(UnitId{0}, flat);
@@ -78,7 +78,7 @@ TEST(HybridHistogramPolicy, FlatHistogramIsUnpredictable) {
 }
 
 TEST(HybridHistogramPolicy, MostlyOutOfBoundsFallsBackToFixed) {
-  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  HybridHistogramPolicy policy{graph::UnitMap::PerFunction(1), TestConfig()};
   stats::Histogram h{240, 1};
   h.AddCount(30, 10);
   h.AddCount(1000, 20);  // 2/3 out of bounds
@@ -89,7 +89,7 @@ TEST(HybridHistogramPolicy, MostlyOutOfBoundsFallsBackToFixed) {
 TEST(HybridHistogramPolicy, AmplificationScalesKeepAliveOnly) {
   auto cfg = TestConfig();
   cfg.amplification = 3.0;
-  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(2), cfg};
+  HybridHistogramPolicy policy{graph::UnitMap::PerFunction(2), cfg};
   policy.SeedHistogram(UnitId{0}, PeakedHistogram(30, 1000));
   const auto predictable = policy.DecisionFor(UnitId{0});
   EXPECT_EQ(predictable.prewarm, 27);    // unscaled
@@ -101,10 +101,10 @@ TEST(HybridHistogramPolicy, AmplificationScalesKeepAliveOnly) {
 TEST(HybridHistogramPolicy, MarginWidensTheWindow) {
   auto cfg = TestConfig();
   cfg.margin = 0.0;
-  HybridHistogramPolicy no_margin{sim::UnitMap::PerFunction(1), cfg};
+  HybridHistogramPolicy no_margin{graph::UnitMap::PerFunction(1), cfg};
   no_margin.SeedHistogram(UnitId{0}, PeakedHistogram(30, 1000));
   cfg.margin = 0.2;
-  HybridHistogramPolicy with_margin{sim::UnitMap::PerFunction(1), cfg};
+  HybridHistogramPolicy with_margin{graph::UnitMap::PerFunction(1), cfg};
   with_margin.SeedHistogram(UnitId{0}, PeakedHistogram(30, 1000));
   EXPECT_LT(with_margin.DecisionFor(UnitId{0}).prewarm,
             no_margin.DecisionFor(UnitId{0}).prewarm);
@@ -120,14 +120,14 @@ TEST(HybridHistogramPolicy, HistThresholdControlsPercentiles) {
   auto cfg = TestConfig();
   cfg.margin = 0.0;
   cfg.hist_threshold = 0.05;  // 5th pct is the low mode
-  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), cfg};
+  HybridHistogramPolicy policy{graph::UnitMap::PerFunction(1), cfg};
   policy.SeedHistogram(UnitId{0}, h);
   const auto d = policy.DecisionFor(UnitId{0});
   EXPECT_EQ(d.prewarm, 10);
   EXPECT_EQ(d.keepalive, 91);  // 101 - 10
 
   cfg.hist_threshold = 0.2;  // 20th pct is already the high mode
-  HybridHistogramPolicy wider{sim::UnitMap::PerFunction(1), cfg};
+  HybridHistogramPolicy wider{graph::UnitMap::PerFunction(1), cfg};
   wider.SeedHistogram(UnitId{0}, h);
   EXPECT_EQ(wider.DecisionFor(UnitId{0}).prewarm, 100);
 }
@@ -139,20 +139,20 @@ TEST(HybridHistogramPolicy, SmallPrewarmFoldsIntoKeepAlive) {
   auto cfg = TestConfig();
   cfg.min_prewarm = 8;
   cfg.margin = 0.0;
-  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), cfg};
+  HybridHistogramPolicy policy{graph::UnitMap::PerFunction(1), cfg};
   policy.SeedHistogram(UnitId{0}, PeakedHistogram(6, 1000));
   const auto d = policy.DecisionFor(UnitId{0});
   EXPECT_EQ(d.prewarm, 0);
   EXPECT_EQ(d.keepalive, 7);  // 7-minute window (upper edge) + folded 6...
 
   // Just above the threshold: a real pre-warm cycle.
-  HybridHistogramPolicy longer{sim::UnitMap::PerFunction(1), cfg};
+  HybridHistogramPolicy longer{graph::UnitMap::PerFunction(1), cfg};
   longer.SeedHistogram(UnitId{0}, PeakedHistogram(20, 1000));
   EXPECT_EQ(longer.DecisionFor(UnitId{0}).prewarm, 20);
 }
 
 TEST(HybridHistogramPolicy, ObserveIdleTimeUpdatesTheHistogram) {
-  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  HybridHistogramPolicy policy{graph::UnitMap::PerFunction(1), TestConfig()};
   EXPECT_FALSE(policy.IsPredictableUnit(UnitId{0}));
   for (int i = 0; i < 100; ++i) policy.ObserveIdleTime(UnitId{0}, 25);
   EXPECT_TRUE(policy.IsPredictableUnit(UnitId{0}));
@@ -161,7 +161,7 @@ TEST(HybridHistogramPolicy, ObserveIdleTimeUpdatesTheHistogram) {
 }
 
 TEST(HybridHistogramPolicy, DecisionCacheInvalidatesOnObservation) {
-  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  HybridHistogramPolicy policy{graph::UnitMap::PerFunction(1), TestConfig()};
   policy.SeedHistogram(UnitId{0}, PeakedHistogram(30, 1000));
   const auto before = policy.DecisionFor(UnitId{0});
   // Shift the mass: decisions must change.
@@ -171,7 +171,7 @@ TEST(HybridHistogramPolicy, DecisionCacheInvalidatesOnObservation) {
 }
 
 TEST(HybridHistogramPolicy, OnInvocationMatchesDecisionFor) {
-  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  HybridHistogramPolicy policy{graph::UnitMap::PerFunction(1), TestConfig()};
   policy.SeedHistogram(UnitId{0}, PeakedHistogram(60, 500));
   EXPECT_EQ(policy.OnInvocation(UnitId{0}, 1234), policy.DecisionFor(UnitId{0}));
 }
@@ -182,7 +182,7 @@ TEST(HybridHistogramPolicy, ArFallbackHandlesOutOfRangeIdleTimes) {
   // fallback the policy pre-warms near the forecast gap.
   auto cfg = TestConfig();
   cfg.use_ar_fallback = true;
-  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), cfg};
+  HybridHistogramPolicy policy{graph::UnitMap::PerFunction(1), cfg};
   for (int i = 0; i < 10; ++i) policy.ObserveIdleTime(UnitId{0}, 360);
   EXPECT_TRUE(policy.UsesArFallback(UnitId{0}));
   const auto d = policy.DecisionFor(UnitId{0});
@@ -190,7 +190,7 @@ TEST(HybridHistogramPolicy, ArFallbackHandlesOutOfRangeIdleTimes) {
   EXPECT_LE(d.keepalive, 10);
 
   // Without the flag the same unit falls back to the fixed keep-alive.
-  HybridHistogramPolicy plain{sim::UnitMap::PerFunction(1), TestConfig()};
+  HybridHistogramPolicy plain{graph::UnitMap::PerFunction(1), TestConfig()};
   for (int i = 0; i < 10; ++i) plain.ObserveIdleTime(UnitId{0}, 360);
   EXPECT_FALSE(plain.UsesArFallback(UnitId{0}));
   EXPECT_EQ(plain.DecisionFor(UnitId{0}).prewarm, 0);
@@ -199,7 +199,7 @@ TEST(HybridHistogramPolicy, ArFallbackHandlesOutOfRangeIdleTimes) {
 TEST(HybridHistogramPolicy, ArFallbackNotUsedForInRangeHistograms) {
   auto cfg = TestConfig();
   cfg.use_ar_fallback = true;
-  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), cfg};
+  HybridHistogramPolicy policy{graph::UnitMap::PerFunction(1), cfg};
   for (int i = 0; i < 50; ++i) policy.ObserveIdleTime(UnitId{0}, 30);
   EXPECT_FALSE(policy.UsesArFallback(UnitId{0}));  // histogram covers it
   EXPECT_TRUE(policy.IsPredictableUnit(UnitId{0}));
@@ -213,8 +213,8 @@ TEST(HybridHistogramPolicy, ArFallbackEndToEndBeatsFixedOnLongPeriods) {
   trace.Finalize();
   auto cfg = TestConfig();
   cfg.use_ar_fallback = true;
-  HybridHistogramPolicy with_ar{sim::UnitMap::PerFunction(1), cfg};
-  HybridHistogramPolicy without{sim::UnitMap::PerFunction(1), TestConfig()};
+  HybridHistogramPolicy with_ar{graph::UnitMap::PerFunction(1), cfg};
+  HybridHistogramPolicy without{graph::UnitMap::PerFunction(1), TestConfig()};
   const auto eval = TimeRange{0, 360 * 60};
   const auto a = sim::Simulate(trace, eval, with_ar);
   const auto b = sim::Simulate(trace, eval, without);
@@ -227,12 +227,12 @@ TEST(HybridHistogramPolicy, ArFallbackEndToEndBeatsFixedOnLongPeriods) {
 TEST(HybridHistogramPolicy, HistogramStateRoundTripsAcrossRestart) {
   // A daemon persists its learned histograms, restarts, reloads — and
   // makes the same decisions.
-  HybridHistogramPolicy original{sim::UnitMap::PerFunction(3), TestConfig()};
+  HybridHistogramPolicy original{graph::UnitMap::PerFunction(3), TestConfig()};
   original.SeedHistogram(UnitId{0}, PeakedHistogram(30, 1000));
   for (int i = 0; i < 50; ++i) original.ObserveIdleTime(UnitId{2}, 90);
   const std::string state = original.SerializeHistograms();
 
-  HybridHistogramPolicy restarted{sim::UnitMap::PerFunction(3),
+  HybridHistogramPolicy restarted{graph::UnitMap::PerFunction(3),
                                   TestConfig()};
   ASSERT_TRUE(restarted.LoadHistograms(state));
   for (std::uint32_t u = 0; u < 3; ++u) {
@@ -245,7 +245,7 @@ TEST(HybridHistogramPolicy, HistogramStateRoundTripsAcrossRestart) {
 }
 
 TEST(HybridHistogramPolicy, LoadHistogramsRejectsBadInput) {
-  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(2), TestConfig()};
+  HybridHistogramPolicy policy{graph::UnitMap::PerFunction(2), TestConfig()};
   EXPECT_FALSE(policy.LoadHistograms("wrong header\n"));
   EXPECT_FALSE(policy.LoadHistograms("unit,histogram\n9,1|0|0:1\n"));
   EXPECT_FALSE(policy.LoadHistograms("unit,histogram\nx,1|0|0:1\n"));
@@ -257,7 +257,7 @@ TEST(HybridHistogramPolicy, PeriodicWorkloadEndToEndIsMostlyWarm) {
   trace::InvocationTrace trace{1, TimeRange{0, 6000}};
   for (Minute m = 0; m < 6000; m += 30) trace.Add(FunctionId{0}, m);
   trace.Finalize();
-  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  HybridHistogramPolicy policy{graph::UnitMap::PerFunction(1), TestConfig()};
   stats::Histogram train{240, 1};
   for (const auto gap : trace.IdleTimes(FunctionId{0}, TimeRange{0, 3000})) {
     train.Add(gap);
@@ -288,7 +288,7 @@ TEST(HybridHistogramPolicy, UnpredictableWorkloadUsesFixedKeepAlive) {
     ++k;
   }
   trace.Finalize();
-  HybridHistogramPolicy policy{sim::UnitMap::PerFunction(1), TestConfig()};
+  HybridHistogramPolicy policy{graph::UnitMap::PerFunction(1), TestConfig()};
   const auto r = sim::Simulate(trace, TimeRange{0, 100000}, policy);
   EXPECT_EQ(r.unit_invoked_minutes[0], total + 1);
   EXPECT_EQ(r.unit_invoked_minutes[0] - r.unit_cold_minutes[0],

@@ -20,7 +20,7 @@ stats::Histogram PeakedHistogram(MinuteDelta value, std::uint64_t count) {
 }
 
 TEST(PeriodicityPredictorPolicy, DominantModeTakesPredictionBranch) {
-  PeriodicityPredictorPolicy policy{sim::UnitMap::PerFunction(1),
+  PeriodicityPredictorPolicy policy{graph::UnitMap::PerFunction(1),
                                     TestConfig()};
   policy.SeedHistogram(UnitId{0}, PeakedHistogram(30, 1000));
   EXPECT_TRUE(policy.IsPeriodicUnit(UnitId{0}));
@@ -39,10 +39,10 @@ TEST(PeriodicityPredictorPolicy, TightensResidencyVsHybrid) {
   spread.AddCount(30, 800);   // dominant mode
   spread.AddCount(60, 100);   // occasional double-gap
   spread.AddCount(90, 100);
-  PeriodicityPredictorPolicy predictor{sim::UnitMap::PerFunction(1),
+  PeriodicityPredictorPolicy predictor{graph::UnitMap::PerFunction(1),
                                        TestConfig()};
   predictor.SeedHistogram(UnitId{0}, spread);
-  HybridHistogramPolicy hybrid{sim::UnitMap::PerFunction(1),
+  HybridHistogramPolicy hybrid{graph::UnitMap::PerFunction(1),
                                TestConfig().hybrid};
   hybrid.SeedHistogram(UnitId{0}, spread);
   const auto p = predictor.OnInvocation(UnitId{0}, 0);
@@ -54,7 +54,7 @@ TEST(PeriodicityPredictorPolicy, WeakModeFallsBackToHybrid) {
   // Mass spread evenly across many bins: no dominant mode.
   stats::Histogram flat{240, 1};
   for (MinuteDelta v = 0; v < 240; v += 3) flat.AddCount(v, 10);
-  PeriodicityPredictorPolicy policy{sim::UnitMap::PerFunction(1),
+  PeriodicityPredictorPolicy policy{graph::UnitMap::PerFunction(1),
                                     TestConfig()};
   policy.SeedHistogram(UnitId{0}, flat);
   EXPECT_FALSE(policy.IsPeriodicUnit(UnitId{0}));
@@ -63,7 +63,7 @@ TEST(PeriodicityPredictorPolicy, WeakModeFallsBackToHybrid) {
 }
 
 TEST(PeriodicityPredictorPolicy, TooFewObservationsFallsBack) {
-  PeriodicityPredictorPolicy policy{sim::UnitMap::PerFunction(1),
+  PeriodicityPredictorPolicy policy{graph::UnitMap::PerFunction(1),
                                     TestConfig()};
   policy.SeedHistogram(UnitId{0}, PeakedHistogram(30, 3));
   EXPECT_FALSE(policy.IsPeriodicUnit(UnitId{0}));
@@ -71,7 +71,7 @@ TEST(PeriodicityPredictorPolicy, TooFewObservationsFallsBack) {
 
 TEST(PeriodicityPredictorPolicy, SmallModeFoldsIntoResidency) {
   // Mode at 4 minutes: below min_prewarm, so no unload/reload cycle.
-  PeriodicityPredictorPolicy policy{sim::UnitMap::PerFunction(1),
+  PeriodicityPredictorPolicy policy{graph::UnitMap::PerFunction(1),
                                     TestConfig()};
   policy.SeedHistogram(UnitId{0}, PeakedHistogram(4, 1000));
   const auto d = policy.OnInvocation(UnitId{0}, 0);
@@ -80,7 +80,7 @@ TEST(PeriodicityPredictorPolicy, SmallModeFoldsIntoResidency) {
 }
 
 TEST(PeriodicityPredictorPolicy, ObservationsFlowToTheHistogram) {
-  PeriodicityPredictorPolicy policy{sim::UnitMap::PerFunction(1),
+  PeriodicityPredictorPolicy policy{graph::UnitMap::PerFunction(1),
                                     TestConfig()};
   for (int i = 0; i < 100; ++i) policy.ObserveIdleTime(UnitId{0}, 42);
   EXPECT_TRUE(policy.IsPeriodicUnit(UnitId{0}));
@@ -97,12 +97,12 @@ TEST(PeriodicityPredictorPolicy, PeriodicWorkloadIsWarmAndLean) {
   stats::Histogram seed{240, 1};
   for (const auto gap : trace.IdleTimes(FunctionId{0}, train)) seed.Add(gap);
 
-  PeriodicityPredictorPolicy predictor{sim::UnitMap::PerFunction(1),
+  PeriodicityPredictorPolicy predictor{graph::UnitMap::PerFunction(1),
                                        TestConfig()};
   predictor.SeedHistogram(UnitId{0}, seed);
   const auto pr = sim::Simulate(trace, eval, predictor);
 
-  HybridHistogramPolicy hybrid{sim::UnitMap::PerFunction(1),
+  HybridHistogramPolicy hybrid{graph::UnitMap::PerFunction(1),
                                TestConfig().hybrid};
   hybrid.SeedHistogram(UnitId{0}, seed);
   const auto hr = sim::Simulate(trace, eval, hybrid);

@@ -7,6 +7,8 @@
 #include "sim/simulator.hpp"
 
 namespace defuse::sim {
+
+using graph::UnitMap;
 namespace {
 
 trace::InvocationTrace TraceOf(

@@ -17,6 +17,8 @@
 #include "sim/simulator.hpp"
 
 namespace defuse::sim {
+
+using graph::UnitMap;
 namespace {
 
 struct Reference {

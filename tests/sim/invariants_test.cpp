@@ -7,6 +7,10 @@
 #include "sim/simulator.hpp"
 
 namespace defuse::sim {
+
+using graph::UnitMap;
+using policy::SchedulingPolicy;
+using policy::UnitDecision;
 namespace {
 
 /// Emits pseudo-random (pre-warm, keep-alive) decisions.

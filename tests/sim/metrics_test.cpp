@@ -5,6 +5,8 @@
 #include "sim/metrics.hpp"
 
 namespace defuse::sim {
+
+using graph::UnitMap;
 namespace {
 
 /// Two units over three functions: unit 0 = {f0, f1}, unit 1 = {f2}.

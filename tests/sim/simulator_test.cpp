@@ -5,6 +5,10 @@
 #include <vector>
 
 namespace defuse::sim {
+
+using graph::UnitMap;
+using policy::SchedulingPolicy;
+using policy::UnitDecision;
 namespace {
 
 /// Test policy: returns a fixed decision (optionally per unit) and

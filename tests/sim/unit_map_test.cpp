@@ -1,8 +1,10 @@
-#include "sim/unit_map.hpp"
+#include "graph/unit_map.hpp"
 
 #include <gtest/gtest.h>
 
 namespace defuse::sim {
+
+using graph::UnitMap;
 namespace {
 
 TEST(UnitMap, PerFunctionIsIdentity) {

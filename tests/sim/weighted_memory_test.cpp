@@ -6,6 +6,8 @@
 #include "sim/simulator.hpp"
 
 namespace defuse::sim {
+
+using graph::UnitMap;
 namespace {
 
 trace::InvocationTrace TwoFunctionTrace() {

@@ -10,6 +10,11 @@
 #      installed; skipped (with a notice) when it is not, so the gate
 #      stays runnable on minimal containers while CI images with the
 #      toolchain get the full pass
+#   4. run a clang++ -Wthread-safety -Werror syntax-only pass over src/
+#      translation units, when clang++ is installed, so the GUARDED_BY
+#      annotations from common/annotations.hpp are analyzer-checked (the
+#      lexical rules DL008/DL009 enforce the same discipline on GCC-only
+#      containers); skipped with a notice otherwise
 #
 # Exit status is the defuse-lint contract: 0 clean, 1 findings, 2 a
 # scan failed outright.
@@ -35,6 +40,17 @@ if command -v clang-tidy >/dev/null 2>&1; then
   done
 else
   echo "clang-tidy not installed: skipping (config: .clang-tidy)"
+fi
+
+echo "== clang++ -Wthread-safety =="
+if command -v clang++ >/dev/null 2>&1; then
+  # Syntax-only: we want the thread-safety analysis over the annotated
+  # code, not a second full build. Headers are covered transitively.
+  find "$SRC_DIR/src" -name '*.cpp' -print | sort | while IFS= read -r tu; do
+    clang++ -std=c++20 -fsyntax-only -Wthread-safety -Werror       -I "$SRC_DIR/src" "$tu"
+  done
+else
+  echo "clang++ not installed: skipping -Wthread-safety (DL008/DL009 cover the discipline lexically)"
 fi
 
 echo "tier-1 lint: PASS"

@@ -34,7 +34,7 @@ cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
 # boundary.
 cmake --build "$BUILD_DIR" -j \
   --target test_common test_mining test_core test_platform \
-  test_durability test_serving test_router test_delta
+  test_durability test_serving test_router test_delta test_lint
 
 for t in test_common test_mining test_core test_platform test_durability \
     test_serving test_delta; do
@@ -46,4 +46,9 @@ done
 echo "== test_router (TSan: supervisor restart + handoff) =="
 "$BUILD_DIR/tests/test_router" \
   --gtest_filter='ShardSupervisor*:Handoff*:ShardRouter*:RouterForwardingFuzz*'
+# The lock-discipline rules (DL008/DL009) guard the same surface TSan
+# hunts races on; run the lint suite here so a regression in either
+# fails the same script.
+echo "== ctest -L lint =="
+ctest --test-dir "$BUILD_DIR" -L lint --output-on-failure
 echo "TSan parallel-mining suite: PASS"
